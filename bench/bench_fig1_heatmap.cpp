@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces Figure 1: the heatmap of geomean slowdown when the
+ * optimisation configurations optimal for one chip are run on
+ * another.
+ */
+#include <iostream>
+
+#include "common.hpp"
+#include "graphport/port/heatmap.hpp"
+#include "graphport/support/strings.hpp"
+#include "graphport/support/table.hpp"
+
+using namespace graphport;
+
+int
+main()
+{
+    bench::banner("Figure 1", "Section II-A",
+                  "Geomean slowdown of per-chip-optimal "
+                  "configurations ported across chips\n(rows: chip "
+                  "run on; columns: chip tuned for; higher is "
+                  "worse).");
+    const runner::Dataset ds = bench::studyDataset();
+    const port::Heatmap hm = port::computeHeatmap(ds);
+
+    std::vector<std::string> header = {"run on \\ tuned for"};
+    header.insert(header.end(), hm.chips.begin(), hm.chips.end());
+    header.push_back("row geomean");
+    TextTable t(header);
+    for (std::size_t r = 0; r < hm.chips.size(); ++r) {
+        std::vector<std::string> row = {hm.chips[r]};
+        for (std::size_t c = 0; c < hm.chips.size(); ++c)
+            row.push_back(fmtDouble(hm.cells[r][c]));
+        row.push_back(fmtDouble(hm.rowGeomean[r]));
+        t.addRow(row);
+    }
+    t.addSeparator();
+    std::vector<std::string> colRow = {"column geomean"};
+    for (double g : hm.columnGeomean)
+        colRow.push_back(fmtDouble(g));
+    colRow.push_back("");
+    t.addRow(colRow);
+    t.print(std::cout);
+
+    std::cout
+        << "\nExpected shape (paper): the diagonal is 1.00; every "
+           "chip-specialised\nstrategy causes at least ~1.1x geomean "
+           "slowdown on the other chips;\nMALI suffers the largest "
+           "slowdowns under foreign strategies; the two\nNvidia "
+           "chips are asymmetric (GTX1080 suffers under M4000 "
+           "settings more\nthan the reverse).\n";
+    return 0;
+}

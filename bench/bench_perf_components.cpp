@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Component performance benchmarks (google-benchmark): the building
+ * blocks the reproduction's wall-clock cost depends on — graph
+ * generation, trace recording, cost-engine evaluation, the MWU test,
+ * and full dataset queries.
+ */
+#include <benchmark/benchmark.h>
+
+#include "graphport/apps/app.hpp"
+#include "graphport/graph/generators.hpp"
+#include "graphport/port/algorithm1.hpp"
+#include "graphport/runner/dataset.hpp"
+#include "graphport/sim/costengine.hpp"
+#include "graphport/stats/mwu.hpp"
+#include "graphport/support/rng.hpp"
+
+using namespace graphport;
+
+namespace {
+
+void
+BM_RoadGrid(benchmark::State &state)
+{
+    const auto side = static_cast<graph::NodeId>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            graph::gen::roadGrid(side, side, 0.01, 1, "road"));
+    }
+    state.SetItemsProcessed(state.iterations() * side * side);
+}
+BENCHMARK(BM_RoadGrid)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_Rmat(benchmark::State &state)
+{
+    const auto scale = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            graph::gen::rmat(scale, 16.0, 2, "social"));
+    }
+    state.SetItemsProcessed(state.iterations() * (1ll << scale) * 16);
+}
+BENCHMARK(BM_Rmat)->Arg(10)->Arg(12)->Arg(14);
+
+void
+BM_MannWhitneyU(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(7);
+    std::vector<double> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = 0.9 + 0.2 * rng.nextDouble();
+        b[i] = 1.0;
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stats::mannWhitneyU(a, b));
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MannWhitneyU)->Arg(64)->Arg(1024)->Arg(16384);
+
+void
+BM_AppTraceRecording(benchmark::State &state)
+{
+    const graph::Csr g = graph::gen::rmat(12, 16.0, 2, "social");
+    const apps::Application &app = apps::appByName("bfs-wl");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(apps::runApp(app, g, "social"));
+    }
+    state.SetItemsProcessed(state.iterations() * g.numEdges());
+}
+BENCHMARK(BM_AppTraceRecording);
+
+void
+BM_CostEngineAppTime(benchmark::State &state)
+{
+    const graph::Csr g = graph::gen::rmat(12, 16.0, 2, "social");
+    const auto [out, trace] =
+        apps::runApp(apps::appByName("sssp-wl"), g, "social");
+    const sim::ChipModel &chip = sim::chipByName("R9");
+    dsl::OptConfig cfg;
+    cfg.fg = dsl::FgMode::Fg8;
+    cfg.sg = true;
+    cfg.oitergb = true;
+    const sim::CostEngine engine(chip, cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.appTimeNs(trace));
+    state.SetItemsProcessed(state.iterations() *
+                            trace.launchCount());
+}
+BENCHMARK(BM_CostEngineAppTime);
+
+void
+BM_SmallDatasetBuild(benchmark::State &state)
+{
+    const runner::Universe u = runner::smallUniverse(
+        2, {"M4000", "R9"});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runner::Dataset::build(u));
+    state.SetItemsProcessed(state.iterations() * u.numTests() * 96);
+}
+BENCHMARK(BM_SmallDatasetBuild);
+
+void
+BM_OptsForPartition(benchmark::State &state)
+{
+    static const runner::Dataset ds =
+        runner::Dataset::build(runner::smallUniverse(4));
+    std::vector<std::size_t> tests(ds.numTests());
+    for (std::size_t t = 0; t < tests.size(); ++t)
+        tests[t] = t;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(port::optsForPartition(ds, tests));
+    state.SetItemsProcessed(state.iterations() * tests.size() * 96);
+}
+BENCHMARK(BM_OptsForPartition);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces the study-setup tables: Table I (GPUs), Table VII
+ * (applications) and Table VIII (inputs, with measured structural
+ * metrics).
+ */
+#include <iostream>
+
+#include "common.hpp"
+#include "graphport/apps/app.hpp"
+#include "graphport/graph/metrics.hpp"
+#include "graphport/sim/chip.hpp"
+#include "graphport/support/strings.hpp"
+#include "graphport/support/table.hpp"
+
+using namespace graphport;
+
+int
+main()
+{
+    bench::banner("Tables I, VII, VIII", "Section VI",
+                  "The GPUs, applications and inputs of the study.");
+
+    TextTable chips({"Vendor", "Chip", "#CUs", "SG Size", "Short Name",
+                     "Type"});
+    for (const sim::ChipModel &c : sim::allChips()) {
+        chips.addRow({c.vendor, c.fullName, std::to_string(c.numCus),
+                      std::to_string(c.subgroupSize), c.shortName,
+                      c.discrete ? "discrete" : "integrated"});
+    }
+    std::cout << "Table I: GPUs (6 chips, 4 vendors)\n";
+    chips.print(std::cout);
+
+    TextTable apps({"Problem", "Application", "Fastest", "Strategy"});
+    for (const auto &app : apps::allApplications()) {
+        apps.addRow({app->problem(), app->name(),
+                     app->fastestVariant() ? "*" : "",
+                     app->description()});
+    }
+    std::cout << "\nTable VII: applications (17 over 7 problems)\n";
+    apps.print(std::cout);
+
+    TextTable inputs({"Input", "Class", "Nodes", "Edges", "Avg Deg",
+                      "Max Deg", "Pseudo-Diameter"});
+    for (const runner::InputSpec &spec :
+         runner::studyUniverse().inputs) {
+        const graph::Csr g = spec.make();
+        const graph::GraphMetrics m = graph::computeMetrics(g);
+        inputs.addRow({spec.name, spec.cls,
+                       std::to_string(m.numNodes),
+                       std::to_string(m.numEdges),
+                       fmtDouble(m.avgDegree, 1),
+                       std::to_string(m.maxDegree),
+                       std::to_string(m.pseudoDiameter)});
+    }
+    std::cout << "\nTable VIII: inputs (3 classes)\n";
+    inputs.print(std::cout);
+    std::cout << "\nExpected shape: road has a pseudo-diameter two "
+                 "orders of magnitude\nabove the other inputs with "
+                 "uniform low degree; social has a skewed\n(power-"
+                 "law) degree distribution; random is concentrated "
+                 "binomial.\n";
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces Table X: the two chip-dissection microbenchmarks —
+ * sg-cmb (subgroup atomic RMW combining) and m-divg (gratuitous
+ * barrier against intra-workgroup memory divergence).
+ */
+#include <iostream>
+
+#include "common.hpp"
+#include "graphport/micro/micro.hpp"
+#include "graphport/support/strings.hpp"
+#include "graphport/support/table.hpp"
+
+using namespace graphport;
+
+int
+main()
+{
+    bench::banner("Table X", "Section VIII-b/c",
+                  "Microbenchmark speedups per chip: sg-cmb "
+                  "(subgroup-combined atomics)\nand m-divg "
+                  "(gratuitous barrier vs. memory divergence).");
+
+    std::vector<std::string> header = {"Micro"};
+    for (const sim::ChipModel &chip : sim::allChips())
+        header.push_back(chip.shortName);
+    TextTable t(header);
+
+    std::vector<std::string> sgRow = {"sg-cmb"};
+    std::vector<std::string> divRow = {"m-divg"};
+    for (const sim::ChipModel &chip : sim::allChips()) {
+        sgRow.push_back(fmtFactor(micro::sgCmbSpeedup(chip)));
+        divRow.push_back(fmtFactor(micro::mDivgSpeedup(chip)));
+    }
+    t.addRow(sgRow);
+    t.addRow(divRow);
+    t.print(std::cout);
+
+    std::cout
+        << "\nExpected shape (paper): sg-cmb — large speedups only "
+           "on R9 (~22x, paper\n22.31x) and IRIS (~8x), a fraction "
+           "of their subgroup sizes; ~0.88x on the\nNvidia chips and "
+           "HD5500 whose OpenCL JITs already combine; ~1x on "
+           "MALI\n(subgroup size 1). m-divg — every chip benefits "
+           "mildly (1.0-1.5x) except\nMALI, the extreme outlier "
+           "(paper 6.45x), revealing its sensitivity to\n"
+           "intra-workgroup memory divergence.\n";
+    return 0;
+}

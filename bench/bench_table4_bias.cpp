@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Table IV: the per-chip bias of the magnitude-based
+ * "maximise geomean" selection versus the rank-based (MWU) global
+ * strategy. The geomean-maximising configuration is skewed towards
+ * optimisation-sensitive chips; the MWU pick balances chips.
+ */
+#include <iostream>
+
+#include "common.hpp"
+#include "graphport/port/evaluate.hpp"
+#include "graphport/port/ranking.hpp"
+#include "graphport/port/strategy.hpp"
+#include "graphport/support/strings.hpp"
+#include "graphport/support/table.hpp"
+
+using namespace graphport;
+
+namespace {
+
+void
+printChipTable(const runner::Dataset &ds, const port::Strategy &s,
+               const std::string &title)
+{
+    std::cout << title << " [config: "
+              << dsl::OptConfig::decode(s.configFor(0)).label()
+              << "]\n";
+    TextTable t({"Chip", "Speedups", "Slowdowns", "Geomean",
+                 "Max Speedup"});
+    for (const port::ChipEval &ce : port::evaluatePerChip(ds, s)) {
+        t.addRow({ce.chip, std::to_string(ce.speedups),
+                  std::to_string(ce.slowdowns),
+                  fmtDouble(ce.geomeanVsBaseline),
+                  fmtFactor(ce.maxSpeedup)});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table IV", "Section II-C",
+                  "Per-chip outcomes of the max-geomean combination "
+                  "vs. the rank-based pick.");
+    const runner::Dataset ds = bench::studyDataset();
+    const auto ranking = port::rankCombos(ds);
+    const port::NaiveAnalyses naive = port::naiveAnalyses(ranking);
+
+    const port::Strategy maxGeo =
+        port::makeConstant(ds, naive.maxGeomean, "max-geomean");
+    printChipTable(ds, maxGeo,
+                   "Magnitude-based selection (highest global "
+                   "geomean):");
+
+    std::cout << "\n";
+    const port::Strategy mwu = port::makeSpecialised(
+        ds, port::Specialisation{false, false, false});
+    printChipTable(ds, mwu,
+                   "Rank-based (MWU) global strategy:");
+
+    std::cout
+        << "\nExpected shape (paper): the magnitude-based pick is "
+           "biased — it wins\nbig on sensitive chips while giving "
+           "another chip (GTX1080 in the paper)\nno speedups and "
+           "many slowdowns; the rank-based pick spreads speedups\n"
+           "across every chip.\n";
+    return 0;
+}

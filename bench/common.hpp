@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared plumbing for the per-table/per-figure bench binaries.
+ *
+ * Every bench reproduces one table or figure of the paper. They all
+ * consume the same study dataset; the first bench to run performs the
+ * sweep and caches it as CSV next to the working directory so the
+ * rest load it in milliseconds. Delete the cache (or set
+ * GRAPHPORT_DATASET_CACHE=none) to force a fresh sweep.
+ */
+#ifndef GRAPHPORT_BENCH_COMMON_HPP
+#define GRAPHPORT_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "graphport/runner/dataset.hpp"
+#include "graphport/runner/universe.hpp"
+
+namespace graphport {
+namespace bench {
+
+/** Cache path for the study dataset ("none" disables caching). */
+inline std::string
+datasetCachePath()
+{
+    if (const char *env = std::getenv("GRAPHPORT_DATASET_CACHE"))
+        return env;
+    return "graphport_dataset_cache.csv";
+}
+
+/** Build (or load the cached) study-scale dataset. */
+inline runner::Dataset
+studyDataset()
+{
+    const runner::Universe universe = runner::studyUniverse();
+    const std::string cache = datasetCachePath();
+    if (cache == "none")
+        return runner::Dataset::build(universe);
+    return runner::Dataset::buildOrLoadCached(universe, cache);
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *experiment, const char *paper_ref,
+       const char *description)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("graphport reproduction | %s (%s)\n", experiment,
+                paper_ref);
+    std::printf("%s\n", description);
+    std::printf("================================================="
+                "=============\n\n");
+}
+
+} // namespace bench
+} // namespace graphport
+
+#endif // GRAPHPORT_BENCH_COMMON_HPP

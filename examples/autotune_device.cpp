@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Scenario: a DSL-compiler maintainer brings up a new GPU and wants a
+ * default optimisation policy for it — without autotuning every
+ * (application, input) pair.
+ *
+ * The example sweeps a small measurement campaign on the device, runs
+ * the paper's Algorithm 1 on the device's partition, and prints the
+ * recommended per-chip configuration with effect sizes, comparing its
+ * quality against both the baseline and the per-test oracle.
+ */
+#include <cstdio>
+#include <string>
+
+#include "graphport/port/algorithm1.hpp"
+#include "graphport/port/evaluate.hpp"
+#include "graphport/port/strategy.hpp"
+#include "graphport/runner/dataset.hpp"
+
+using namespace graphport;
+
+int
+main(int argc, char **argv)
+{
+    // Pick the device to tune (default: the AMD R9).
+    const std::string device = argc > 1 ? argv[1] : "R9";
+
+    // A measurement campaign: 6 applications x 2 inputs x 3 runs on
+    // every configuration — small enough to run in seconds.
+    runner::Universe campaign = runner::smallUniverse(6, {device});
+    std::printf("measuring %zu tests x %u configs x %u runs on %s "
+                "...\n",
+                campaign.numTests(), 96u, campaign.runs,
+                device.c_str());
+    const runner::Dataset ds = runner::Dataset::build(campaign);
+
+    // Algorithm 1 on the device partition.
+    const port::PartitionAnalysis analysis =
+        port::optsForPartition(ds, ds.testsWhere("", "", device));
+
+    std::printf("\nrecommended configuration for %s: [%s]\n\n",
+                device.c_str(), analysis.config.label().c_str());
+    std::printf("%-8s %-7s %-5s %-8s %s\n", "opt", "verdict", "CL",
+                "median", "significant pairs");
+    for (const port::OptDecision &d : analysis.decisions) {
+        const char *verdict =
+            d.verdict == port::Verdict::Enable
+                ? "ENABLE"
+                : (d.verdict == port::Verdict::Disable ? "disable"
+                                                       : "unsure");
+        std::printf("%-8s %-7s %.2f  %.3f    %zu\n",
+                    dsl::optName(d.opt).c_str(), verdict,
+                    d.mwu.clEffectSize, d.medianRatio,
+                    d.significantPairs);
+    }
+
+    // How good is the policy? Compare against baseline and oracle.
+    const port::Strategy policy = port::makeConstant(
+        ds, analysis.config.encode(), "derived-policy");
+    const port::StrategyEval eval =
+        port::evaluateStrategy(ds, policy);
+    std::printf("\npolicy quality on the campaign:\n");
+    std::printf("  geomean speedup vs baseline: %.2fx\n",
+                eval.geomeanVsBaseline);
+    std::printf("  geomean gap to per-test oracle: %.2fx\n",
+                eval.geomeanVsOracle);
+    std::printf("  speedups/slowdowns: %zu/%zu of %zu tests\n",
+                eval.speedups, eval.slowdowns, eval.testsConsidered);
+    return 0;
+}

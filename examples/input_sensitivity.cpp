@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Scenario: how much does the *input* change which optimisations pay
+ * off? Runs one application across the three input classes on one
+ * chip and prints the best configurations and what the road/social
+ * contrast does to iteration outlining and load balancing.
+ */
+#include <cstdio>
+
+#include "graphport/apps/app.hpp"
+#include "graphport/graph/metrics.hpp"
+#include "graphport/runner/universe.hpp"
+#include "graphport/sim/chip.hpp"
+#include "graphport/sim/costengine.hpp"
+
+using namespace graphport;
+
+int
+main(int argc, char **argv)
+{
+    const std::string appName = argc > 1 ? argv[1] : "sssp-wl";
+    const std::string chipName = argc > 2 ? argv[2] : "IRIS";
+    const apps::Application &app = apps::appByName(appName);
+    const sim::ChipModel &chip = sim::chipByName(chipName);
+
+    std::printf("app %s on chip %s, across the input classes\n\n",
+                appName.c_str(), chipName.c_str());
+    std::printf("%-8s %10s %9s | %-28s %9s\n", "input", "diameter",
+                "base ms", "best configuration", "speedup");
+
+    for (const runner::InputSpec &spec :
+         runner::studyUniverse().inputs) {
+        const graph::Csr g = spec.make();
+        const graph::GraphMetrics m = graph::computeMetrics(g);
+        const auto [out, trace] = apps::runApp(app, g, spec.name);
+
+        // Exhaustively price all 96 configurations on this chip.
+        double baseNs = 0.0;
+        double bestNs = 0.0;
+        dsl::OptConfig best;
+        for (const dsl::OptConfig &cfg : dsl::allConfigs()) {
+            const double t =
+                sim::CostEngine(chip, cfg).appTimeNs(trace);
+            if (cfg.isBaseline())
+                baseNs = t;
+            if (bestNs == 0.0 || t < bestNs) {
+                bestNs = t;
+                best = cfg;
+            }
+        }
+        std::printf("%-8s %10u %9.2f | %-28s %8.2fx\n",
+                    spec.name.c_str(), m.pseudoDiameter,
+                    baseNs / 1e6, ("[" + best.label() + "]").c_str(),
+                    baseNs / bestNs);
+    }
+
+    std::printf("\nExpected: the large-diameter road input rewards "
+                "iteration outlining\n(many tiny kernels), while the "
+                "skewed social input rewards the\nnested-parallelism "
+                "load balancers — the same application needs\n"
+                "different optimisations per input.\n");
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Application interface and registry.
+ *
+ * The study uses 17 graph applications over 7 problems (paper
+ * Table VII). Each application performs its real computation in host
+ * C++ — so outputs are validated against graph::ref oracles — while
+ * recording the kernel launches it would issue on a GPU through a
+ * dsl::TraceRecorder.
+ *
+ * Conventions:
+ *  - BFS/SSSP applications use node 0 as the source.
+ *  - Graphs are symmetric (undirected), as produced by graph::gen.
+ */
+#ifndef GRAPHPORT_APPS_APP_HPP
+#define GRAPHPORT_APPS_APP_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graphport/dsl/recorder.hpp"
+#include "graphport/graph/csr.hpp"
+
+namespace graphport {
+namespace apps {
+
+/** Source node used by BFS and SSSP applications. */
+constexpr graph::NodeId kSourceNode = 0;
+
+/**
+ * Output of one application execution. Only the fields relevant to
+ * the application's problem are populated.
+ */
+struct AppOutput
+{
+    /** BFS levels (BFS apps). */
+    std::vector<std::int32_t> levels;
+    /** Shortest-path distances (SSSP apps). */
+    std::vector<std::uint64_t> distances;
+    /** Component labels (CC apps). */
+    std::vector<graph::NodeId> labels;
+    /** PageRank values (PR apps). */
+    std::vector<double> ranks;
+    /** Independent-set membership (MIS apps). */
+    std::vector<bool> inSet;
+    /** Triangle count or MSF weight (TRI/MST apps). */
+    std::uint64_t scalar = 0;
+};
+
+/** One graph application (a DSL program). */
+class Application
+{
+  public:
+    virtual ~Application() = default;
+
+    /** Unique short name, e.g. "bfs-wl". */
+    virtual std::string name() const = 0;
+
+    /** Problem family, e.g. "BFS". */
+    virtual std::string problem() const = 0;
+
+    /**
+     * Whether this variant implements the fastest algorithm for its
+     * problem (the (*) markers of paper Table VII).
+     */
+    virtual bool fastestVariant() const { return false; }
+
+    /** One-line description of the implementation strategy. */
+    virtual std::string description() const = 0;
+
+    /**
+     * Execute on @p g, recording kernels into @p rec.
+     *
+     * Must be deterministic: the same graph always produces the same
+     * output and trace.
+     */
+    virtual AppOutput run(const graph::Csr &g,
+                          dsl::TraceRecorder &rec) const = 0;
+};
+
+/** All 17 applications of the study, in Table VII order. */
+const std::vector<std::unique_ptr<Application>> &allApplications();
+
+/**
+ * Look up an application by name.
+ *
+ * @throws FatalError for unknown names.
+ */
+const Application &appByName(const std::string &name);
+
+/** Names of all applications, in registry order. */
+std::vector<std::string> allAppNames();
+
+/**
+ * Run @p app on @p g and return both its output and its trace.
+ *
+ * @param input_name Input name recorded in the trace.
+ */
+std::pair<AppOutput, dsl::AppTrace>
+runApp(const Application &app, const graph::Csr &g,
+       const std::string &input_name);
+
+} // namespace apps
+} // namespace graphport
+
+#endif // GRAPHPORT_APPS_APP_HPP

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Breadth-first search variants (paper Table VII, problem BFS):
+ *
+ *  - bfs-topo:   level-synchronous, topology-driven. Every iteration
+ *                launches one kernel over all nodes; only nodes on the
+ *                current level expand their neighbours.
+ *  - bfs-wl:     worklist-driven. Each iteration expands exactly the
+ *                frontier, pushing newly discovered nodes onto the
+ *                next worklist with atomic RMW operations.
+ *  - bfs-hybrid: (*) switches between worklist expansion for sparse
+ *                frontiers and a topology-driven sweep for dense ones.
+ */
+#include "graphport/apps/factories.hpp"
+
+#include <vector>
+
+namespace graphport {
+namespace apps {
+
+namespace {
+
+using graph::Csr;
+using graph::NodeId;
+
+class BfsTopo : public Application
+{
+  public:
+    std::string name() const override { return "bfs-topo"; }
+    std::string problem() const override { return "BFS"; }
+    std::string
+    description() const override
+    {
+        return "Level-synchronous topology-driven BFS";
+    }
+
+    AppOutput
+    run(const Csr &g, dsl::TraceRecorder &rec) const override
+    {
+        const NodeId n = g.numNodes();
+        std::vector<std::int32_t> level(n, -1);
+        level[kSourceNode] = 0;
+        std::vector<NodeId> frontier = {kSourceNode};
+
+        std::int32_t depth = 0;
+        while (!frontier.empty()) {
+            rec.beginIteration();
+            std::vector<NodeId> next;
+            for (NodeId u : frontier) {
+                for (NodeId v : g.neighbors(u)) {
+                    if (level[v] < 0) {
+                        level[v] = depth + 1;
+                        next.push_back(v);
+                    }
+                }
+            }
+            // One thread per node; only frontier threads walk edges.
+            // The convergence flag (any update?) is read by the host.
+            dsl::KernelParams params;
+            params.name = "bfs_topo_step";
+            params.computePerItem = 1.0;
+            params.computePerEdge = 1.0;
+            // Successful level writes are plain stores; no worklist.
+            params.flatWrites = next.size();
+            params.hostSyncAfter = true;
+            rec.neighborKernelSparse(params, frontier);
+            frontier = std::move(next);
+            ++depth;
+        }
+        AppOutput out;
+        out.levels = std::move(level);
+        return out;
+    }
+};
+
+class BfsWl : public Application
+{
+  public:
+    std::string name() const override { return "bfs-wl"; }
+    std::string problem() const override { return "BFS"; }
+    std::string
+    description() const override
+    {
+        return "Worklist-driven BFS with atomic frontier pushes";
+    }
+
+    AppOutput
+    run(const Csr &g, dsl::TraceRecorder &rec) const override
+    {
+        const NodeId n = g.numNodes();
+        std::vector<std::int32_t> level(n, -1);
+        level[kSourceNode] = 0;
+        std::vector<NodeId> frontier = {kSourceNode};
+
+        std::int32_t depth = 0;
+        while (!frontier.empty()) {
+            rec.beginIteration();
+            std::vector<NodeId> next;
+            std::uint64_t attempts = 0;
+            for (NodeId u : frontier) {
+                for (NodeId v : g.neighbors(u)) {
+                    ++attempts;
+                    if (level[v] < 0) {
+                        level[v] = depth + 1;
+                        next.push_back(v);
+                    }
+                }
+            }
+            dsl::KernelParams params;
+            params.name = "bfs_wl_expand";
+            params.computePerItem = 1.0;
+            params.computePerEdge = 1.0;
+            // Every discovery is one worklist push (contended tail);
+            // every visit attempt is a scattered CAS on the level.
+            params.contendedPushes = next.size();
+            params.scatteredRmw = attempts;
+            params.hostSyncAfter = true;
+            rec.neighborKernel(params, frontier);
+            frontier = std::move(next);
+            ++depth;
+        }
+        AppOutput out;
+        out.levels = std::move(level);
+        return out;
+    }
+};
+
+class BfsHybrid : public Application
+{
+  public:
+    std::string name() const override { return "bfs-hybrid"; }
+    std::string problem() const override { return "BFS"; }
+    bool fastestVariant() const override { return true; }
+    std::string
+    description() const override
+    {
+        return "Hybrid BFS: worklist for sparse frontiers, "
+               "topology-driven sweep for dense ones";
+    }
+
+    AppOutput
+    run(const Csr &g, dsl::TraceRecorder &rec) const override
+    {
+        const NodeId n = g.numNodes();
+        std::vector<std::int32_t> level(n, -1);
+        level[kSourceNode] = 0;
+        std::vector<NodeId> frontier = {kSourceNode};
+
+        std::int32_t depth = 0;
+        while (!frontier.empty()) {
+            rec.beginIteration();
+            const bool dense = frontier.size() > n / 20;
+            std::vector<NodeId> next;
+            std::uint64_t attempts = 0;
+            for (NodeId u : frontier) {
+                for (NodeId v : g.neighbors(u)) {
+                    ++attempts;
+                    if (level[v] < 0) {
+                        level[v] = depth + 1;
+                        next.push_back(v);
+                    }
+                }
+            }
+            dsl::KernelParams params;
+            params.computePerItem = 1.0;
+            params.computePerEdge = 1.0;
+            params.hostSyncAfter = true;
+            if (dense) {
+                params.name = "bfs_hybrid_sweep";
+                params.flatWrites = next.size();
+                rec.neighborKernelSparse(params, frontier);
+            } else {
+                params.name = "bfs_hybrid_expand";
+                params.contendedPushes = next.size();
+                params.scatteredRmw = attempts;
+                rec.neighborKernel(params, frontier);
+            }
+            frontier = std::move(next);
+            ++depth;
+        }
+        AppOutput out;
+        out.levels = std::move(level);
+        return out;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Application>
+makeBfsTopo()
+{
+    return std::make_unique<BfsTopo>();
+}
+
+std::unique_ptr<Application>
+makeBfsWl()
+{
+    return std::make_unique<BfsWl>();
+}
+
+std::unique_ptr<Application>
+makeBfsHybrid()
+{
+    return std::make_unique<BfsHybrid>();
+}
+
+} // namespace apps
+} // namespace graphport

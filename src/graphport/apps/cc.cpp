@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Connected-components variants (paper Table VII, problem CC):
+ *
+ *  - cc-sv: (*) Shiloach-Vishkin style hooking + pointer jumping.
+ *  - cc-lp: label propagation to the minimum neighbour label.
+ *  - cc-af: Afforest-style neighbour sampling followed by a final
+ *           hooking pass over the edges of minority components.
+ *
+ * All variants label every node with the smallest node id in its
+ * component, matching graph::ref::connectedComponents.
+ */
+#include "graphport/apps/factories.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace graphport {
+namespace apps {
+
+namespace {
+
+using graph::Csr;
+using graph::NodeId;
+
+/** Follow parent pointers to the root. */
+NodeId
+findRoot(const std::vector<NodeId> &parent, NodeId u)
+{
+    while (parent[u] != u)
+        u = parent[u];
+    return u;
+}
+
+/** Fully compress every node to its root (final flat kernel). */
+void
+finalCompress(std::vector<NodeId> &parent, dsl::TraceRecorder &rec)
+{
+    dsl::KernelParams params;
+    params.name = "cc_final_compress";
+    params.computePerItem = 2.0;
+    for (NodeId u = 0; u < parent.size(); ++u)
+        parent[u] = findRoot(parent, u);
+    rec.flatKernel(params, parent.size(), /*streaming=*/false);
+}
+
+class CcSv : public Application
+{
+  public:
+    std::string name() const override { return "cc-sv"; }
+    std::string problem() const override { return "CC"; }
+    bool fastestVariant() const override { return true; }
+    std::string
+    description() const override
+    {
+        return "Shiloach-Vishkin hooking with pointer jumping";
+    }
+
+    AppOutput
+    run(const Csr &g, dsl::TraceRecorder &rec) const override
+    {
+        const NodeId n = g.numNodes();
+        std::vector<NodeId> parent(n);
+        std::iota(parent.begin(), parent.end(), 0);
+
+        bool changed = true;
+        while (changed) {
+            rec.beginIteration();
+            changed = false;
+            std::uint64_t hooks = 0;
+            // Hook: attach the root of the larger label onto the
+            // smaller across every edge (atomic-min on roots).
+            for (NodeId u = 0; u < n; ++u) {
+                for (NodeId v : g.neighbors(u)) {
+                    NodeId ru = findRoot(parent, u);
+                    NodeId rv = findRoot(parent, v);
+                    if (ru != rv) {
+                        if (ru > rv)
+                            std::swap(ru, rv);
+                        parent[rv] = ru;
+                        ++hooks;
+                        changed = true;
+                    }
+                }
+            }
+            dsl::KernelParams hook;
+            hook.name = "cc_sv_hook";
+            hook.computePerItem = 1.0;
+            hook.computePerEdge = 2.0;
+            hook.scatteredRmw = hooks;
+            rec.neighborKernelAllNodes(hook);
+
+            // Shortcut: one pointer jump per node.
+            for (NodeId u = 0; u < n; ++u)
+                parent[u] = parent[parent[u]];
+            dsl::KernelParams jump;
+            jump.name = "cc_sv_shortcut";
+            jump.computePerItem = 2.0;
+            jump.hostSyncAfter = true;
+            rec.flatKernel(jump, n, /*streaming=*/false);
+        }
+        rec.beginIteration();
+        finalCompress(parent, rec);
+        AppOutput out;
+        out.labels = std::move(parent);
+        return out;
+    }
+};
+
+class CcLp : public Application
+{
+  public:
+    std::string name() const override { return "cc-lp"; }
+    std::string problem() const override { return "CC"; }
+    std::string
+    description() const override
+    {
+        return "Label propagation to the minimum neighbour label";
+    }
+
+    AppOutput
+    run(const Csr &g, dsl::TraceRecorder &rec) const override
+    {
+        const NodeId n = g.numNodes();
+        std::vector<NodeId> label(n);
+        std::iota(label.begin(), label.end(), 0);
+
+        bool changed = true;
+        while (changed) {
+            rec.beginIteration();
+            changed = false;
+            std::uint64_t updates = 0;
+            std::vector<NodeId> next = label;
+            for (NodeId u = 0; u < n; ++u) {
+                NodeId best = label[u];
+                for (NodeId v : g.neighbors(u))
+                    best = std::min(best, label[v]);
+                if (best < label[u]) {
+                    next[u] = best;
+                    ++updates;
+                    changed = true;
+                }
+            }
+            label = std::move(next);
+            dsl::KernelParams params;
+            params.name = "cc_lp_step";
+            params.computePerItem = 1.0;
+            params.computePerEdge = 1.0;
+            params.flatWrites = updates;
+            params.hostSyncAfter = true;
+            rec.neighborKernelAllNodes(params);
+        }
+        AppOutput out;
+        out.labels = std::move(label);
+        return out;
+    }
+};
+
+class CcAf : public Application
+{
+  public:
+    std::string name() const override { return "cc-af"; }
+    std::string problem() const override { return "CC"; }
+    std::string
+    description() const override
+    {
+        return "Afforest-style sampled hooking with a minority-"
+               "component finish pass";
+    }
+
+    AppOutput
+    run(const Csr &g, dsl::TraceRecorder &rec) const override
+    {
+        const NodeId n = g.numNodes();
+        std::vector<NodeId> parent(n);
+        std::iota(parent.begin(), parent.end(), 0);
+        constexpr unsigned kSampleRounds = 2;
+
+        auto hookEdge = [&](NodeId u, NodeId v) {
+            NodeId ru = findRoot(parent, u);
+            NodeId rv = findRoot(parent, v);
+            while (ru != rv) {
+                if (ru > rv)
+                    std::swap(ru, rv);
+                parent[rv] = ru;
+                rv = findRoot(parent, rv);
+                ru = findRoot(parent, ru);
+            }
+        };
+
+        // Sampling rounds: hook along the k-th neighbour only.
+        for (unsigned round = 0; round < kSampleRounds; ++round) {
+            rec.beginIteration();
+            std::vector<std::uint64_t> inner(n, 0);
+            std::uint64_t hooks = 0;
+            for (NodeId u = 0; u < n; ++u) {
+                const auto nbrs = g.neighbors(u);
+                if (round < nbrs.size()) {
+                    hookEdge(u, nbrs[round]);
+                    inner[u] = 1;
+                    ++hooks;
+                }
+            }
+            dsl::KernelParams params;
+            params.name = "cc_af_sample";
+            params.computePerItem = 1.5;
+            params.computePerEdge = 2.0;
+            params.scatteredRmw = hooks;
+            rec.innerSizeKernel(params, inner);
+        }
+
+        // Find the most frequent root (sampled on device; exact here).
+        rec.beginIteration();
+        std::vector<NodeId> rootOf(n);
+        for (NodeId u = 0; u < n; ++u)
+            rootOf[u] = findRoot(parent, u);
+        std::vector<std::uint32_t> freq(n, 0);
+        NodeId majority = 0;
+        for (NodeId u = 0; u < n; ++u) {
+            if (++freq[rootOf[u]] > freq[majority])
+                majority = rootOf[u];
+        }
+        dsl::KernelParams sample;
+        sample.name = "cc_af_majority";
+        sample.computePerItem = 1.0;
+        sample.hostSyncAfter = true;
+        rec.flatKernel(sample, n, /*streaming=*/false);
+
+        // Finish: hook the remaining edges of non-majority nodes.
+        rec.beginIteration();
+        std::vector<NodeId> minorityNodes;
+        std::uint64_t finishHooks = 0;
+        for (NodeId u = 0; u < n; ++u) {
+            if (rootOf[u] == majority)
+                continue;
+            minorityNodes.push_back(u);
+            for (NodeId v : g.neighbors(u)) {
+                hookEdge(u, v);
+                ++finishHooks;
+            }
+        }
+        dsl::KernelParams finish;
+        finish.name = "cc_af_finish";
+        finish.computePerItem = 1.0;
+        finish.computePerEdge = 2.0;
+        finish.scatteredRmw = finishHooks;
+        finish.hostSyncAfter = true;
+        rec.neighborKernel(finish, minorityNodes);
+
+        rec.beginIteration();
+        finalCompress(parent, rec);
+        AppOutput out;
+        out.labels = std::move(parent);
+        return out;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Application>
+makeCcSv()
+{
+    return std::make_unique<CcSv>();
+}
+
+std::unique_ptr<Application>
+makeCcLp()
+{
+    return std::make_unique<CcLp>();
+}
+
+std::unique_ptr<Application>
+makeCcAf()
+{
+    return std::make_unique<CcAf>();
+}
+
+} // namespace apps
+} // namespace graphport

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Internal factory declarations for the application registry. One
+ * factory per application variant; definitions live in the per-problem
+ * source files (bfs.cpp, cc.cpp, ...).
+ */
+#ifndef GRAPHPORT_APPS_FACTORIES_HPP
+#define GRAPHPORT_APPS_FACTORIES_HPP
+
+#include <memory>
+
+#include "graphport/apps/app.hpp"
+
+namespace graphport {
+namespace apps {
+
+std::unique_ptr<Application> makeBfsTopo();
+std::unique_ptr<Application> makeBfsWl();
+std::unique_ptr<Application> makeBfsHybrid();
+
+std::unique_ptr<Application> makeCcSv();
+std::unique_ptr<Application> makeCcLp();
+std::unique_ptr<Application> makeCcAf();
+
+std::unique_ptr<Application> makeMisLuby();
+std::unique_ptr<Application> makeMisPrio();
+
+std::unique_ptr<Application> makeMstBoruvka();
+std::unique_ptr<Application> makeMstBh();
+
+std::unique_ptr<Application> makePrTopo();
+std::unique_ptr<Application> makePrRes();
+
+std::unique_ptr<Application> makeSsspBf();
+std::unique_ptr<Application> makeSsspWl();
+std::unique_ptr<Application> makeSsspNf();
+
+std::unique_ptr<Application> makeTriNode();
+std::unique_ptr<Application> makeTriEdge();
+
+} // namespace apps
+} // namespace graphport
+
+#endif // GRAPHPORT_APPS_FACTORIES_HPP

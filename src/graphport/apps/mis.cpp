@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Maximal-independent-set variants (paper Table VII, problem MIS):
+ *
+ *  - mis-luby: Luby's algorithm with random priorities re-drawn per
+ *              round.
+ *  - mis-prio: (*) static (degree, id) priorities; fewer rounds on
+ *              skewed graphs.
+ *
+ * Both produce a set validated with
+ * graph::ref::isMaximalIndependentSet.
+ */
+#include "graphport/apps/factories.hpp"
+
+#include <vector>
+
+#include "graphport/support/rng.hpp"
+
+namespace graphport {
+namespace apps {
+
+namespace {
+
+using graph::Csr;
+using graph::NodeId;
+
+enum class MisState : std::uint8_t { Undecided, In, Out };
+
+/**
+ * Generic priority-based MIS round structure shared by both variants.
+ * @p priority must injectively order nodes (ties broken by id).
+ */
+template <typename PriorityFn>
+AppOutput
+runMis(const Csr &g, dsl::TraceRecorder &rec, const char *kernel_name,
+       bool redraw, PriorityFn make_priorities)
+{
+    const NodeId n = g.numNodes();
+    std::vector<MisState> state(n, MisState::Undecided);
+    std::vector<NodeId> undecided(n);
+    for (NodeId u = 0; u < n; ++u)
+        undecided[u] = u;
+
+    std::vector<std::uint64_t> priority = make_priorities(0);
+    unsigned round = 0;
+    while (!undecided.empty()) {
+        rec.beginIteration();
+        if (redraw && round > 0)
+            priority = make_priorities(round);
+
+        // Select: a node enters the set iff it beats every undecided
+        // neighbour's priority.
+        std::vector<NodeId> winners;
+        for (NodeId u : undecided) {
+            bool best = true;
+            for (NodeId v : g.neighbors(u)) {
+                if (state[v] != MisState::Out &&
+                    priority[v] > priority[u]) {
+                    best = false;
+                    break;
+                }
+            }
+            if (best)
+                winners.push_back(u);
+        }
+        dsl::KernelParams select;
+        select.name = std::string(kernel_name) + "_select";
+        select.computePerItem = 1.0;
+        select.computePerEdge = 2.0;
+        select.hostSyncAfter = false;
+        rec.neighborKernel(select, undecided);
+
+        // Commit: winners enter the set; their neighbours leave.
+        std::uint64_t knockouts = 0;
+        for (NodeId u : winners) {
+            state[u] = MisState::In;
+            for (NodeId v : g.neighbors(u)) {
+                if (state[v] == MisState::Undecided) {
+                    state[v] = MisState::Out;
+                    ++knockouts;
+                }
+            }
+        }
+        dsl::KernelParams commit;
+        commit.name = std::string(kernel_name) + "_commit";
+        commit.computePerItem = 1.0;
+        commit.computePerEdge = 1.0;
+        commit.scatteredRmw = knockouts;
+        commit.hostSyncAfter = true;
+        rec.neighborKernel(commit, winners);
+
+        std::vector<NodeId> next;
+        for (NodeId u : undecided) {
+            if (state[u] == MisState::Undecided)
+                next.push_back(u);
+        }
+        undecided = std::move(next);
+        ++round;
+    }
+
+    AppOutput out;
+    out.inSet.assign(n, false);
+    for (NodeId u = 0; u < n; ++u)
+        out.inSet[u] = state[u] == MisState::In;
+    return out;
+}
+
+class MisLuby : public Application
+{
+  public:
+    std::string name() const override { return "mis-luby"; }
+    std::string problem() const override { return "MIS"; }
+    std::string
+    description() const override
+    {
+        return "Luby's MIS with per-round random priorities";
+    }
+
+    AppOutput
+    run(const Csr &g, dsl::TraceRecorder &rec) const override
+    {
+        const NodeId n = g.numNodes();
+        return runMis(g, rec, "mis_luby", /*redraw=*/true,
+                      [n](unsigned round) {
+                          // Deterministic per-round priorities,
+                          // tie-free because the low bits hold the id.
+                          std::vector<std::uint64_t> p(n);
+                          for (NodeId u = 0; u < n; ++u) {
+                              p[u] = (splitmix64(
+                                          (static_cast<std::uint64_t>(
+                                               round)
+                                           << 32) ^
+                                          u)
+                                      << 20) |
+                                     u;
+                          }
+                          return p;
+                      });
+    }
+};
+
+class MisPrio : public Application
+{
+  public:
+    std::string name() const override { return "mis-prio"; }
+    std::string problem() const override { return "MIS"; }
+    bool fastestVariant() const override { return true; }
+    std::string
+    description() const override
+    {
+        return "Priority MIS with static (low-degree-first, id) "
+               "priorities";
+    }
+
+    AppOutput
+    run(const Csr &g, dsl::TraceRecorder &rec) const override
+    {
+        const NodeId n = g.numNodes();
+        return runMis(g, rec, "mis_prio", /*redraw=*/false,
+                      [&g, n](unsigned) {
+                          // Low-degree nodes win; ties break by id.
+                          std::vector<std::uint64_t> p(n);
+                          for (NodeId u = 0; u < n; ++u) {
+                              const std::uint64_t inv_degree =
+                                  ~g.outDegree(u) & 0xffffffffull;
+                              p[u] = (inv_degree << 32) |
+                                     (~static_cast<std::uint64_t>(u) &
+                                      0xffffffffull);
+                          }
+                          return p;
+                      });
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Application>
+makeMisLuby()
+{
+    return std::make_unique<MisLuby>();
+}
+
+std::unique_ptr<Application>
+makeMisPrio()
+{
+    return std::make_unique<MisPrio>();
+}
+
+} // namespace apps
+} // namespace graphport

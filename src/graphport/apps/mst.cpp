@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Minimum-spanning-tree variants (paper Table VII, problem MST).
+ * Both compute the total weight of a minimum spanning forest using
+ * Borůvka rounds:
+ *
+ *  - mst-boruvka: (*) each round scans only nodes of still-open
+ *                 components (edge work shrinks as components close).
+ *  - mst-bh:      simpler edge-hooking variant that rescans all nodes
+ *                 every round.
+ *
+ * Correctness: every added edge is a component's minimum outgoing edge
+ * under a globally consistent tie-break key (weight, endpoints), which
+ * makes the spanning forest weight equal graph::ref::msfWeight.
+ */
+#include "graphport/apps/factories.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+namespace graphport {
+namespace apps {
+
+namespace {
+
+using graph::Csr;
+using graph::NodeId;
+
+constexpr std::uint64_t kNoEdge =
+    std::numeric_limits<std::uint64_t>::max();
+
+NodeId
+findRoot(const std::vector<NodeId> &parent, NodeId u)
+{
+    while (parent[u] != u)
+        u = parent[u];
+    return u;
+}
+
+/**
+ * Globally consistent comparison key for edge (u, v, w): weight first,
+ * endpoint ids as tie-break so every component picks a unique minimum.
+ */
+std::uint64_t
+edgeKey(NodeId u, NodeId v, graph::Weight w)
+{
+    const std::uint64_t lo = std::min(u, v);
+    const std::uint64_t hi = std::max(u, v);
+    return (static_cast<std::uint64_t>(w) << 40) | (lo << 20) | hi;
+}
+
+/** Candidate minimum outgoing edge of a component. */
+struct Candidate
+{
+    std::uint64_t key = kNoEdge;
+    NodeId u = 0;
+    NodeId v = 0;
+    graph::Weight w = 0;
+};
+
+/**
+ * Shared Borůvka driver.
+ *
+ * @param prune When true (mst-boruvka), rounds scan only nodes whose
+ *              component still has an outgoing edge; when false
+ *              (mst-bh), every round rescans all nodes.
+ */
+AppOutput
+runBoruvka(const Csr &g, dsl::TraceRecorder &rec, bool prune,
+           const char *prefix)
+{
+    const NodeId n = g.numNodes();
+    std::vector<NodeId> parent(n);
+    std::iota(parent.begin(), parent.end(), 0);
+    std::uint64_t total = 0;
+
+    std::vector<NodeId> active(n);
+    std::iota(active.begin(), active.end(), 0);
+
+    bool progress = true;
+    while (progress) {
+        rec.beginIteration();
+        progress = false;
+
+        // Kernel 1: every active node scans its edges and atomically
+        // lowers its component's candidate minimum outgoing edge.
+        std::vector<Candidate> best(n);
+        std::uint64_t proposals = 0;
+        for (NodeId u : active) {
+            const auto nbrs = g.neighbors(u);
+            const auto wts = g.edgeWeights(u);
+            const NodeId ru = findRoot(parent, u);
+            for (std::size_t i = 0; i < nbrs.size(); ++i) {
+                const NodeId v = nbrs[i];
+                if (findRoot(parent, v) == ru)
+                    continue;
+                const std::uint64_t key = edgeKey(u, v, wts[i]);
+                if (key < best[ru].key) {
+                    best[ru] = {key, u, v, wts[i]};
+                    ++proposals;
+                }
+            }
+        }
+        dsl::KernelParams find;
+        find.name = std::string(prefix) + "_find_min";
+        find.computePerItem = 1.0;
+        find.computePerEdge = 3.0;
+        find.scatteredRmw = proposals;
+        rec.neighborKernel(find, active);
+
+        // Kernel 2: each component with a candidate hooks along it.
+        std::uint64_t hooks = 0;
+        for (NodeId r = 0; r < n; ++r) {
+            if (best[r].key == kNoEdge)
+                continue;
+            NodeId ru = findRoot(parent, best[r].u);
+            NodeId rv = findRoot(parent, best[r].v);
+            if (ru == rv)
+                continue; // mutual pick already merged us this round
+            if (ru > rv)
+                std::swap(ru, rv);
+            parent[rv] = ru;
+            total += best[r].w;
+            ++hooks;
+            progress = true;
+        }
+        dsl::KernelParams hook;
+        hook.name = std::string(prefix) + "_hook";
+        hook.computePerItem = 3.0;
+        hook.scatteredRmw = hooks;
+        rec.flatKernel(hook, n, /*streaming=*/false);
+
+        // Kernel(s) 3: pointer jumping until parents are star-shaped.
+        bool jumped = true;
+        while (jumped) {
+            jumped = false;
+            for (NodeId u = 0; u < n; ++u) {
+                const NodeId p = parent[u];
+                if (parent[p] != p) {
+                    parent[u] = parent[p];
+                    jumped = true;
+                }
+            }
+            dsl::KernelParams jump;
+            jump.name = std::string(prefix) + "_compress";
+            jump.computePerItem = 2.0;
+            jump.hostSyncAfter = !jumped;
+            rec.flatKernel(jump, n, /*streaming=*/false);
+        }
+
+        if (prune) {
+            // Keep only nodes that still have an outgoing edge.
+            std::vector<NodeId> next;
+            for (NodeId u : active) {
+                const NodeId ru = parent[u]; // compressed
+                bool open = false;
+                for (NodeId v : g.neighbors(u)) {
+                    if (parent[v] != ru) {
+                        open = true;
+                        break;
+                    }
+                }
+                if (open)
+                    next.push_back(u);
+            }
+            active = std::move(next);
+            dsl::KernelParams filter;
+            filter.name = std::string(prefix) + "_filter";
+            filter.computePerItem = 1.0;
+            filter.contendedPushes = active.size();
+            filter.hostSyncAfter = true;
+            rec.flatKernel(filter, n, /*streaming=*/false);
+            if (active.empty())
+                progress = false;
+        }
+    }
+
+    AppOutput out;
+    out.scalar = total;
+    // Also expose the final component labelling for inspection.
+    for (NodeId u = 0; u < n; ++u)
+        parent[u] = findRoot(parent, u);
+    out.labels = std::move(parent);
+    return out;
+}
+
+class MstBoruvka : public Application
+{
+  public:
+    std::string name() const override { return "mst-boruvka"; }
+    std::string problem() const override { return "MST"; }
+    bool fastestVariant() const override { return true; }
+    std::string
+    description() const override
+    {
+        return "Borůvka MSF with per-round component pruning";
+    }
+
+    AppOutput
+    run(const Csr &g, dsl::TraceRecorder &rec) const override
+    {
+        return runBoruvka(g, rec, /*prune=*/true, "mst_boruvka");
+    }
+};
+
+class MstBh : public Application
+{
+  public:
+    std::string name() const override { return "mst-bh"; }
+    std::string problem() const override { return "MST"; }
+    std::string
+    description() const override
+    {
+        return "Borůvka MSF, unpruned edge-hooking variant";
+    }
+
+    AppOutput
+    run(const Csr &g, dsl::TraceRecorder &rec) const override
+    {
+        return runBoruvka(g, rec, /*prune=*/false, "mst_bh");
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Application>
+makeMstBoruvka()
+{
+    return std::make_unique<MstBoruvka>();
+}
+
+std::unique_ptr<Application>
+makeMstBh()
+{
+    return std::make_unique<MstBh>();
+}
+
+} // namespace apps
+} // namespace graphport

@@ -1,0 +1,65 @@
+#include "graphport/apps/app.hpp"
+
+#include "graphport/apps/factories.hpp"
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+namespace apps {
+
+const std::vector<std::unique_ptr<Application>> &
+allApplications()
+{
+    static const std::vector<std::unique_ptr<Application>> apps = [] {
+        std::vector<std::unique_ptr<Application>> v;
+        v.push_back(makeBfsTopo());
+        v.push_back(makeBfsWl());
+        v.push_back(makeBfsHybrid());
+        v.push_back(makeCcSv());
+        v.push_back(makeCcLp());
+        v.push_back(makeCcAf());
+        v.push_back(makeMisLuby());
+        v.push_back(makeMisPrio());
+        v.push_back(makeMstBoruvka());
+        v.push_back(makeMstBh());
+        v.push_back(makePrTopo());
+        v.push_back(makePrRes());
+        v.push_back(makeSsspBf());
+        v.push_back(makeSsspWl());
+        v.push_back(makeSsspNf());
+        v.push_back(makeTriNode());
+        v.push_back(makeTriEdge());
+        return v;
+    }();
+    return apps;
+}
+
+const Application &
+appByName(const std::string &name)
+{
+    for (const auto &app : allApplications()) {
+        if (app->name() == name)
+            return *app;
+    }
+    fatal("unknown application: " + name);
+}
+
+std::vector<std::string>
+allAppNames()
+{
+    std::vector<std::string> names;
+    for (const auto &app : allApplications())
+        names.push_back(app->name());
+    return names;
+}
+
+std::pair<AppOutput, dsl::AppTrace>
+runApp(const Application &app, const graph::Csr &g,
+       const std::string &input_name)
+{
+    dsl::TraceRecorder rec(app.name(), g, input_name);
+    AppOutput out = app.run(g, rec);
+    return {std::move(out), rec.finish()};
+}
+
+} // namespace apps
+} // namespace graphport

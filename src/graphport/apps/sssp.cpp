@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Single-source shortest-path variants (paper Table VII, problem
+ * SSSP). The paper's priority-worklist variant is excluded (as in the
+ * paper, for its CUDA-only support library); the three ported
+ * variants are:
+ *
+ *  - sssp-bf: Bellman-Ford, topology-driven relaxation sweeps.
+ *  - sssp-wl: (*) worklist-driven relaxation.
+ *  - sssp-nf: near-far binning (delta-stepping flavour): relaxations
+ *             below the current threshold are processed immediately,
+ *             the rest deferred to a far pile.
+ */
+#include "graphport/apps/factories.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graphport/graph/reference.hpp"
+
+namespace graphport {
+namespace apps {
+
+namespace {
+
+using graph::Csr;
+using graph::NodeId;
+using graph::ref::kInfDist;
+
+class SsspBf : public Application
+{
+  public:
+    std::string name() const override { return "sssp-bf"; }
+    std::string problem() const override { return "SSSP"; }
+    std::string
+    description() const override
+    {
+        return "Bellman-Ford SSSP with topology-driven sweeps";
+    }
+
+    AppOutput
+    run(const Csr &g, dsl::TraceRecorder &rec) const override
+    {
+        const NodeId n = g.numNodes();
+        std::vector<std::uint64_t> dist(n, kInfDist);
+        dist[kSourceNode] = 0;
+
+        bool changed = true;
+        while (changed) {
+            rec.beginIteration();
+            changed = false;
+            std::uint64_t relaxed = 0;
+            for (NodeId u = 0; u < n; ++u) {
+                if (dist[u] == kInfDist)
+                    continue;
+                const auto nbrs = g.neighbors(u);
+                const auto wts = g.edgeWeights(u);
+                for (std::size_t i = 0; i < nbrs.size(); ++i) {
+                    const std::uint64_t nd = dist[u] + wts[i];
+                    if (nd < dist[nbrs[i]]) {
+                        dist[nbrs[i]] = nd;
+                        ++relaxed;
+                        changed = true;
+                    }
+                }
+            }
+            dsl::KernelParams params;
+            params.name = "sssp_bf_relax";
+            params.computePerItem = 1.0;
+            params.computePerEdge = 2.0;
+            params.scatteredRmw = relaxed;
+            params.hostSyncAfter = true;
+            rec.neighborKernelAllNodes(params);
+        }
+        AppOutput out;
+        out.distances = std::move(dist);
+        return out;
+    }
+};
+
+class SsspWl : public Application
+{
+  public:
+    std::string name() const override { return "sssp-wl"; }
+    std::string problem() const override { return "SSSP"; }
+    bool fastestVariant() const override { return true; }
+    std::string
+    description() const override
+    {
+        return "Worklist-driven SSSP relaxation";
+    }
+
+    AppOutput
+    run(const Csr &g, dsl::TraceRecorder &rec) const override
+    {
+        const NodeId n = g.numNodes();
+        std::vector<std::uint64_t> dist(n, kInfDist);
+        dist[kSourceNode] = 0;
+        std::vector<NodeId> worklist = {kSourceNode};
+        std::vector<bool> queued(n, false);
+        queued[kSourceNode] = true;
+
+        while (!worklist.empty()) {
+            rec.beginIteration();
+            std::vector<NodeId> next;
+            std::uint64_t attempts = 0;
+            for (NodeId u : worklist)
+                queued[u] = false;
+            for (NodeId u : worklist) {
+                const auto nbrs = g.neighbors(u);
+                const auto wts = g.edgeWeights(u);
+                for (std::size_t i = 0; i < nbrs.size(); ++i) {
+                    ++attempts;
+                    const std::uint64_t nd = dist[u] + wts[i];
+                    if (nd < dist[nbrs[i]]) {
+                        dist[nbrs[i]] = nd;
+                        if (!queued[nbrs[i]]) {
+                            queued[nbrs[i]] = true;
+                            next.push_back(nbrs[i]);
+                        }
+                    }
+                }
+            }
+            dsl::KernelParams params;
+            params.name = "sssp_wl_relax";
+            params.computePerItem = 1.0;
+            params.computePerEdge = 2.0;
+            params.scatteredRmw = attempts;
+            params.contendedPushes = next.size();
+            params.hostSyncAfter = true;
+            rec.neighborKernel(params, worklist);
+            worklist = std::move(next);
+        }
+        AppOutput out;
+        out.distances = std::move(dist);
+        return out;
+    }
+};
+
+class SsspNf : public Application
+{
+  public:
+    std::string name() const override { return "sssp-nf"; }
+    std::string problem() const override { return "SSSP"; }
+    std::string
+    description() const override
+    {
+        return "Near-far SSSP (delta-stepping flavour)";
+    }
+
+    AppOutput
+    run(const Csr &g, dsl::TraceRecorder &rec) const override
+    {
+        const NodeId n = g.numNodes();
+        std::vector<std::uint64_t> dist(n, kInfDist);
+        dist[kSourceNode] = 0;
+
+        // Delta: a small multiple of the mean edge weight.
+        std::uint64_t weightSum = 0;
+        for (NodeId u = 0; u < n; ++u) {
+            for (graph::Weight w : g.edgeWeights(u))
+                weightSum += w;
+        }
+        const std::uint64_t delta = std::max<std::uint64_t>(
+            1, 2 * weightSum / std::max<std::uint64_t>(1, g.numEdges()));
+
+        std::vector<NodeId> near = {kSourceNode};
+        std::vector<NodeId> far;
+        std::uint64_t threshold = delta;
+
+        while (!near.empty() || !far.empty()) {
+            // Drain the near pile.
+            while (!near.empty()) {
+                rec.beginIteration();
+                std::vector<NodeId> nextNear;
+                std::uint64_t attempts = 0;
+                std::uint64_t pushes = 0;
+                for (NodeId u : near) {
+                    if (dist[u] >= threshold)
+                        continue; // stale entry
+                    const auto nbrs = g.neighbors(u);
+                    const auto wts = g.edgeWeights(u);
+                    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+                        ++attempts;
+                        const std::uint64_t nd = dist[u] + wts[i];
+                        if (nd < dist[nbrs[i]]) {
+                            dist[nbrs[i]] = nd;
+                            ++pushes;
+                            if (nd < threshold)
+                                nextNear.push_back(nbrs[i]);
+                            else
+                                far.push_back(nbrs[i]);
+                        }
+                    }
+                }
+                dsl::KernelParams params;
+                params.name = "sssp_nf_relax";
+                params.computePerItem = 1.5;
+                params.computePerEdge = 2.0;
+                params.scatteredRmw = attempts;
+                params.contendedPushes = pushes;
+                params.hostSyncAfter = true;
+                rec.neighborKernel(params, near);
+                near = std::move(nextNear);
+            }
+            if (far.empty())
+                break;
+            // Advance the threshold and split the far pile.
+            rec.beginIteration();
+            std::vector<NodeId> keep;
+            std::uint64_t minFar = kInfDist;
+            for (NodeId u : far)
+                minFar = std::min(minFar, dist[u]);
+            while (threshold <= minFar)
+                threshold += delta;
+            for (NodeId u : far) {
+                if (dist[u] < threshold)
+                    near.push_back(u);
+                else
+                    keep.push_back(u);
+            }
+            dsl::KernelParams split;
+            split.name = "sssp_nf_split";
+            split.computePerItem = 2.0;
+            split.contendedPushes = near.size();
+            split.hostSyncAfter = true;
+            rec.flatKernel(split, far.size(), /*streaming=*/false);
+            far = std::move(keep);
+        }
+        AppOutput out;
+        out.distances = std::move(dist);
+        return out;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Application>
+makeSsspBf()
+{
+    return std::make_unique<SsspBf>();
+}
+
+std::unique_ptr<Application>
+makeSsspWl()
+{
+    return std::make_unique<SsspWl>();
+}
+
+std::unique_ptr<Application>
+makeSsspNf()
+{
+    return std::make_unique<SsspNf>();
+}
+
+} // namespace apps
+} // namespace graphport

@@ -1,0 +1,215 @@
+#include "graphport/dsl/optconfig.hpp"
+
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+namespace dsl {
+
+std::string
+optName(Opt opt)
+{
+    switch (opt) {
+      case Opt::CoopCv:
+        return "coop-cv";
+      case Opt::Wg:
+        return "wg";
+      case Opt::Sg:
+        return "sg";
+      case Opt::Fg1:
+        return "fg";
+      case Opt::Fg8:
+        return "fg8";
+      case Opt::OiterGb:
+        return "oitergb";
+      case Opt::Sz256:
+        return "sz256";
+      default:
+        panic("optName: invalid Opt");
+    }
+}
+
+const std::vector<Opt> &
+allOpts()
+{
+    static const std::vector<Opt> opts = {
+        Opt::CoopCv, Opt::Wg,      Opt::Sg,    Opt::Fg1,
+        Opt::Fg8,    Opt::OiterGb, Opt::Sz256,
+    };
+    return opts;
+}
+
+bool
+OptConfig::isBaseline() const
+{
+    return !coopCv && !wg && !sg && fg == FgMode::Off && !oitergb &&
+           !sz256;
+}
+
+bool
+OptConfig::has(Opt opt) const
+{
+    switch (opt) {
+      case Opt::CoopCv:
+        return coopCv;
+      case Opt::Wg:
+        return wg;
+      case Opt::Sg:
+        return sg;
+      case Opt::Fg1:
+        return fg == FgMode::Fg1;
+      case Opt::Fg8:
+        return fg == FgMode::Fg8;
+      case Opt::OiterGb:
+        return oitergb;
+      case Opt::Sz256:
+        return sz256;
+      default:
+        panic("OptConfig::has: invalid Opt");
+    }
+}
+
+OptConfig
+OptConfig::with(Opt opt) const
+{
+    OptConfig c = *this;
+    switch (opt) {
+      case Opt::CoopCv:
+        c.coopCv = true;
+        break;
+      case Opt::Wg:
+        c.wg = true;
+        break;
+      case Opt::Sg:
+        c.sg = true;
+        break;
+      case Opt::Fg1:
+        c.fg = FgMode::Fg1;
+        break;
+      case Opt::Fg8:
+        c.fg = FgMode::Fg8;
+        break;
+      case Opt::OiterGb:
+        c.oitergb = true;
+        break;
+      case Opt::Sz256:
+        c.sz256 = true;
+        break;
+      default:
+        panic("OptConfig::with: invalid Opt");
+    }
+    return c;
+}
+
+OptConfig
+OptConfig::without(Opt opt) const
+{
+    OptConfig c = *this;
+    switch (opt) {
+      case Opt::CoopCv:
+        c.coopCv = false;
+        break;
+      case Opt::Wg:
+        c.wg = false;
+        break;
+      case Opt::Sg:
+        c.sg = false;
+        break;
+      case Opt::Fg1:
+      case Opt::Fg8:
+        c.fg = FgMode::Off;
+        break;
+      case Opt::OiterGb:
+        c.oitergb = false;
+        break;
+      case Opt::Sz256:
+        c.sz256 = false;
+        break;
+      default:
+        panic("OptConfig::without: invalid Opt");
+    }
+    return c;
+}
+
+std::string
+OptConfig::label() const
+{
+    if (isBaseline())
+        return "baseline";
+    std::string out;
+    auto append = [&](const std::string &s) {
+        if (!out.empty())
+            out += ", ";
+        out += s;
+    };
+    // Print in the paper's customary order.
+    if (sz256)
+        append("sz256");
+    if (wg)
+        append("wg");
+    if (sg)
+        append("sg");
+    if (fg == FgMode::Fg1)
+        append("fg");
+    if (fg == FgMode::Fg8)
+        append("fg8");
+    if (coopCv)
+        append("coop-cv");
+    if (oitergb)
+        append("oitergb");
+    return out;
+}
+
+unsigned
+OptConfig::encode() const
+{
+    unsigned id = static_cast<unsigned>(fg);
+    unsigned bits = 0;
+    bits |= coopCv ? 1u : 0u;
+    bits |= wg ? 2u : 0u;
+    bits |= sg ? 4u : 0u;
+    bits |= oitergb ? 8u : 0u;
+    bits |= sz256 ? 16u : 0u;
+    return id + 3u * bits;
+}
+
+OptConfig
+OptConfig::decode(unsigned id)
+{
+    fatalIf(id >= kNumConfigs, "OptConfig::decode id out of range");
+    OptConfig c;
+    c.fg = static_cast<FgMode>(id % 3u);
+    const unsigned bits = id / 3u;
+    c.coopCv = bits & 1u;
+    c.wg = bits & 2u;
+    c.sg = bits & 4u;
+    c.oitergb = bits & 8u;
+    c.sz256 = bits & 16u;
+    return c;
+}
+
+const std::vector<OptConfig> &
+allConfigs()
+{
+    static const std::vector<OptConfig> configs = [] {
+        std::vector<OptConfig> out;
+        out.reserve(kNumConfigs);
+        for (unsigned id = 0; id < kNumConfigs; ++id)
+            out.push_back(OptConfig::decode(id));
+        return out;
+    }();
+    return configs;
+}
+
+std::vector<OptConfig>
+allConfigsWith(Opt opt)
+{
+    std::vector<OptConfig> out;
+    for (const OptConfig &c : allConfigs()) {
+        if (c.has(opt))
+            out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace dsl
+} // namespace graphport

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The optimisation space of the study (paper Section V).
+ *
+ * Five independent binary optimisations plus a ternary nested-parallelism
+ * fine-grained mode:
+ *
+ *  - coop-cv:  cooperative conversion — combine worklist atomic RMW
+ *              pushes within a subgroup into a single push.
+ *  - wg:       nested parallelism — redistribute high-degree nodes over
+ *              the whole workgroup.
+ *  - sg:       nested parallelism — redistribute medium-degree nodes
+ *              over the subgroup.
+ *  - fg:       nested parallelism — linearise remaining edges across
+ *              threads, processing 1 (fg1) or 8 (fg8) edges per thread
+ *              per round.
+ *  - oitergb:  iteration outlining — replace the host fixpoint loop's
+ *              kernel relaunches with an on-device global barrier.
+ *  - sz256:    workgroup size 256 instead of the default 128.
+ *
+ * 2^5 x 3 = 96 configurations, i.e. 95 non-baseline combinations plus
+ * the all-off baseline — exactly the paper's optimisation space.
+ */
+#ifndef GRAPHPORT_DSL_OPTCONFIG_HPP
+#define GRAPHPORT_DSL_OPTCONFIG_HPP
+
+#include <string>
+#include <vector>
+
+namespace graphport {
+namespace dsl {
+
+/** Fine-grained nested-parallelism mode. */
+enum class FgMode { Off = 0, Fg1 = 1, Fg8 = 2 };
+
+/**
+ * The individual optimisations Algorithm 1 reasons about. fg1 and fg8
+ * are recorded as mutually exclusive binary optimisations, following
+ * the paper (Section III).
+ */
+enum class Opt
+{
+    CoopCv = 0,
+    Wg,
+    Sg,
+    Fg1,
+    Fg8,
+    OiterGb,
+    Sz256,
+    NumOpts,
+};
+
+/** Number of distinct Opt values. */
+constexpr unsigned kNumOpts = static_cast<unsigned>(Opt::NumOpts);
+
+/** Paper-style name of an optimisation ("coop-cv", "fg8", ...). */
+std::string optName(Opt opt);
+
+/** All individual optimisations in a fixed order. */
+const std::vector<Opt> &allOpts();
+
+/**
+ * One point in the optimisation space: a set of enabled optimisations.
+ */
+struct OptConfig
+{
+    bool coopCv = false;
+    bool wg = false;
+    bool sg = false;
+    FgMode fg = FgMode::Off;
+    bool oitergb = false;
+    bool sz256 = false;
+
+    /** Workgroup size implied by sz256. */
+    unsigned workgroupSize() const { return sz256 ? 256u : 128u; }
+
+    /** True when no optimisation is enabled. */
+    bool isBaseline() const;
+
+    /** Whether individual optimisation @p opt is enabled. */
+    bool has(Opt opt) const;
+
+    /** Return a copy with @p opt enabled. */
+    OptConfig with(Opt opt) const;
+
+    /**
+     * Return a copy with @p opt disabled (the "mirror" setting of
+     * Algorithm 1 line 12). Disabling Fg1/Fg8 sets fg = Off.
+     */
+    OptConfig without(Opt opt) const;
+
+    /**
+     * Paper-style label: comma-separated enabled optimisation names,
+     * or "baseline" when empty. E.g. "fg8, sg, oitergb".
+     */
+    std::string label() const;
+
+    /** Compact id in [0, 96). The baseline has id 0. */
+    unsigned encode() const;
+
+    /** Inverse of encode(). */
+    static OptConfig decode(unsigned id);
+
+    /** The all-off configuration. */
+    static OptConfig baseline() { return {}; }
+
+    bool operator==(const OptConfig &other) const = default;
+};
+
+/** Total number of configurations (including the baseline). */
+constexpr unsigned kNumConfigs = 96;
+
+/** All 96 configurations, ordered by encode() id. */
+const std::vector<OptConfig> &allConfigs();
+
+/**
+ * All configurations in which @p opt is enabled (Algorithm 1's
+ * ALL_OPT_SETTINGS). For Fg1/Fg8 this means fg == Fg1/Fg8
+ * respectively.
+ */
+std::vector<OptConfig> allConfigsWith(Opt opt);
+
+} // namespace dsl
+} // namespace graphport
+
+#endif // GRAPHPORT_DSL_OPTCONFIG_HPP

@@ -1,0 +1,49 @@
+#include "graphport/dsl/plan.hpp"
+
+#include <cmath>
+
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+namespace dsl {
+
+SchemePartition
+partitionSchemes(const OptConfig &config, unsigned sg_size,
+                 unsigned wg_size)
+{
+    panicIf(sg_size == 0, "partitionSchemes: subgroup size 0");
+    panicIf(wg_size == 0, "partitionSchemes: workgroup size 0");
+
+    SchemePartition part;
+    part.sgRequested = config.sg;
+    part.wgRequested = config.wg;
+    part.usesSg = config.sg && sg_size > 1;
+    part.usesWg = config.wg;
+    if (config.fg == FgMode::Fg1)
+        part.fgChunk = 1;
+    else if (config.fg == FgMode::Fg8)
+        part.fgChunk = 8;
+
+    for (unsigned b = 0; b < kDegreeBuckets; ++b) {
+        // Lower bound of the bucket's degree range.
+        const double lo = (b == 0) ? 0.0
+                                   : std::pow(2.0,
+                                              static_cast<double>(b));
+        // The wg scheme only pays off for very-high-degree nodes; the
+        // compiler routes degrees below 4x the workgroup size to the
+        // cheaper sg/fg schemes.
+        if (part.usesWg && lo >= 4.0 * static_cast<double>(wg_size)) {
+            part.bucketScheme[b] = Scheme::Wg;
+        } else if (part.usesSg && lo >= static_cast<double>(sg_size)) {
+            part.bucketScheme[b] = Scheme::Sg;
+        } else if (part.fgChunk != 0) {
+            part.bucketScheme[b] = Scheme::Fg;
+        } else {
+            part.bucketScheme[b] = Scheme::Serial;
+        }
+    }
+    return part;
+}
+
+} // namespace dsl
+} // namespace graphport

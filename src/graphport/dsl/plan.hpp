@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Execution-plan lowering: the "compiler" step that decides, for a
+ * given optimisation configuration and chip geometry, which
+ * nested-parallelism scheme handles each degree class of a neighbour
+ * kernel (paper Section V-B):
+ *
+ *  - wg handles high-degree nodes (degree >= workgroup size),
+ *  - sg handles medium-degree nodes (degree >= subgroup size),
+ *  - fg linearises the remaining edges across threads,
+ *  - anything left runs serially, one node per thread.
+ */
+#ifndef GRAPHPORT_DSL_PLAN_HPP
+#define GRAPHPORT_DSL_PLAN_HPP
+
+#include <array>
+
+#include "graphport/dsl/optconfig.hpp"
+#include "graphport/dsl/trace.hpp"
+
+namespace graphport {
+namespace dsl {
+
+/** Load-balancing scheme assigned to a degree class. */
+enum class Scheme { Serial, Fg, Sg, Wg };
+
+/** Per-degree-bucket scheme assignment for a neighbour kernel. */
+struct SchemePartition
+{
+    /** Scheme handling each degree bucket. */
+    std::array<Scheme, kDegreeBuckets> bucketScheme{};
+
+    /** Edges processed per thread per fg round (0 when fg is off). */
+    unsigned fgChunk = 0;
+
+    /** Whether any load-balancing scheme is active. */
+    bool
+    anyScheme() const
+    {
+        return fgChunk != 0 || usesSg || usesWg;
+    }
+
+    /** Whether the sg scheme is active (requires subgroup size > 1). */
+    bool usesSg = false;
+
+    /** Whether the wg scheme is active. */
+    bool usesWg = false;
+
+    /**
+     * Whether the config requested sg at all (even with subgroup size
+     * 1, where the scheme degenerates but its phase-separating
+     * barriers remain — the MALI effect of paper Section VIII-c).
+     */
+    bool sgRequested = false;
+
+    /** Whether the config requested wg at all. */
+    bool wgRequested = false;
+};
+
+/**
+ * Lower @p config to a scheme partition for a chip with subgroup size
+ * @p sg_size, using workgroup size @p wg_size.
+ */
+SchemePartition partitionSchemes(const OptConfig &config,
+                                 unsigned sg_size, unsigned wg_size);
+
+} // namespace dsl
+} // namespace graphport
+
+#endif // GRAPHPORT_DSL_PLAN_HPP

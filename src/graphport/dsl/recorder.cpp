@@ -1,0 +1,162 @@
+#include "graphport/dsl/recorder.hpp"
+
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+namespace dsl {
+
+TraceRecorder::TraceRecorder(std::string app, const graph::Csr &g,
+                             std::string input)
+    : graph_(g)
+{
+    trace_.app = std::move(app);
+    trace_.input = std::move(input);
+    trace_.numNodes = g.numNodes();
+    trace_.numEdges = g.numEdges();
+}
+
+void
+TraceRecorder::beginIteration()
+{
+    panicIf(finished_, "TraceRecorder used after finish()");
+    if (iterationStarted_)
+        ++currentIteration_;
+    iterationStarted_ = true;
+}
+
+KernelLaunch
+TraceRecorder::makeLaunch(const KernelParams &params) const
+{
+    KernelLaunch l;
+    l.name = params.name;
+    l.iteration = currentIteration_;
+    l.contendedPushes = params.contendedPushes;
+    l.scatteredRmw = params.scatteredRmw;
+    l.flatReads = params.flatReads;
+    l.flatWrites = params.flatWrites;
+    l.computePerItem = params.computePerItem;
+    l.computePerEdge = params.computePerEdge;
+    l.hostSyncAfter = params.hostSyncAfter;
+    return l;
+}
+
+void
+TraceRecorder::push(KernelLaunch launch)
+{
+    panicIf(finished_, "TraceRecorder used after finish()");
+    if (!iterationStarted_) {
+        // Tolerate apps that record a kernel before declaring an
+        // iteration: open iteration 0 implicitly.
+        iterationStarted_ = true;
+    }
+    trace_.launches.push_back(std::move(launch));
+}
+
+void
+TraceRecorder::neighborKernel(const KernelParams &params,
+                              std::span<const graph::NodeId> frontier)
+{
+    KernelLaunch l = makeLaunch(params);
+    l.items = frontier.size();
+    l.hasNeighborLoop = true;
+    l.randomAccess = true;
+    std::uint64_t edges = 0;
+    for (graph::NodeId u : frontier) {
+        const std::uint64_t d = graph_.outDegree(u);
+        l.hist.add(d);
+        edges += d;
+    }
+    l.edges = edges;
+    push(std::move(l));
+}
+
+void
+TraceRecorder::neighborKernelAllNodes(const KernelParams &params)
+{
+    if (!allNodesHistValid_) {
+        allNodesHist_ = DegreeHist{};
+        allNodesEdges_ = 0;
+        for (graph::NodeId u = 0; u < graph_.numNodes(); ++u) {
+            const std::uint64_t d = graph_.outDegree(u);
+            allNodesHist_.add(d);
+            allNodesEdges_ += d;
+        }
+        allNodesHistValid_ = true;
+    }
+    KernelLaunch l = makeLaunch(params);
+    l.items = graph_.numNodes();
+    l.edges = allNodesEdges_;
+    l.hist = allNodesHist_;
+    l.hasNeighborLoop = true;
+    l.randomAccess = true;
+    push(std::move(l));
+}
+
+void
+TraceRecorder::neighborKernelSparse(
+    const KernelParams &params,
+    std::span<const graph::NodeId> active)
+{
+    KernelLaunch l = makeLaunch(params);
+    l.items = graph_.numNodes();
+    l.hasNeighborLoop = true;
+    l.randomAccess = true;
+    std::uint64_t edges = 0;
+    for (graph::NodeId u : active) {
+        const std::uint64_t d = graph_.outDegree(u);
+        l.hist.add(d);
+        edges += d;
+    }
+    // Non-active threads read their state and exit: zero-length inner
+    // loops in bucket 0.
+    panicIf(active.size() > graph_.numNodes(),
+            "neighborKernelSparse: more active nodes than nodes");
+    l.hist.buckets[0] +=
+        graph_.numNodes() - static_cast<std::uint64_t>(active.size());
+    l.edges = edges;
+    push(std::move(l));
+}
+
+void
+TraceRecorder::innerSizeKernel(
+    const KernelParams &params,
+    std::span<const std::uint64_t> inner_sizes)
+{
+    KernelLaunch l = makeLaunch(params);
+    l.items = inner_sizes.size();
+    l.hasNeighborLoop = true;
+    l.randomAccess = true;
+    std::uint64_t edges = 0;
+    for (std::uint64_t d : inner_sizes) {
+        l.hist.add(d);
+        edges += d;
+    }
+    l.edges = edges;
+    push(std::move(l));
+}
+
+void
+TraceRecorder::flatKernel(const KernelParams &params,
+                          std::uint64_t items, bool streaming)
+{
+    KernelLaunch l = makeLaunch(params);
+    l.items = items;
+    l.edges = 0;
+    l.hasNeighborLoop = false;
+    l.randomAccess = !streaming;
+    push(std::move(l));
+}
+
+AppTrace
+TraceRecorder::finish()
+{
+    panicIf(finished_, "TraceRecorder::finish called twice");
+    finished_ = true;
+    trace_.hostIterations =
+        iterationStarted_ ? currentIteration_ + 1 : 0;
+    trace_.validate();
+    return std::move(trace_);
+}
+
+} // namespace dsl
+} // namespace graphport

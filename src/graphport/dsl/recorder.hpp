@@ -1,0 +1,133 @@
+/**
+ * @file
+ * TraceRecorder: the device-runtime facade graph applications program
+ * against.
+ *
+ * An application performs its real computation in host C++ (so outputs
+ * can be validated against the reference oracles) while describing each
+ * kernel launch it *would* have issued on a GPU through this recorder.
+ * The recorder derives degree histograms from the graph and frontier,
+ * and assembles the AppTrace the simulator prices.
+ */
+#ifndef GRAPHPORT_DSL_RECORDER_HPP
+#define GRAPHPORT_DSL_RECORDER_HPP
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graphport/dsl/trace.hpp"
+#include "graphport/graph/csr.hpp"
+
+namespace graphport {
+namespace dsl {
+
+/** Kernel-launch parameters shared by all recording helpers. */
+struct KernelParams
+{
+    std::string name;
+    /** Contended worklist-tail pushes (coop-cv combinable). */
+    std::uint64_t contendedPushes = 0;
+    /** Scattered atomic RMW ops (atomic-min updates etc.). */
+    std::uint64_t scatteredRmw = 0;
+    /** Per-launch flat global reads beyond adjacency traffic. */
+    std::uint64_t flatReads = 0;
+    /** Per-launch flat global writes. */
+    std::uint64_t flatWrites = 0;
+    /** Scalar work units per item. */
+    double computePerItem = 1.0;
+    /** Scalar work units per inner iteration. */
+    double computePerEdge = 1.0;
+    /** Host reads a convergence flag after this launch. */
+    bool hostSyncAfter = false;
+};
+
+/**
+ * Records the kernel launches of one application execution.
+ */
+class TraceRecorder
+{
+  public:
+    /**
+     * @param app    Application name.
+     * @param g      Input graph (kept by reference; must outlive the
+     *               recorder).
+     * @param input  Input name recorded in the trace.
+     */
+    TraceRecorder(std::string app, const graph::Csr &g,
+                  std::string input);
+
+    /**
+     * Mark the start of a host fixpoint iteration. Kernels recorded
+     * afterwards belong to this iteration.
+     */
+    void beginIteration();
+
+    /**
+     * Record a kernel that iterates over @p frontier nodes and walks
+     * each node's adjacency list.
+     */
+    void neighborKernel(const KernelParams &params,
+                        std::span<const graph::NodeId> frontier);
+
+    /**
+     * Record a kernel that iterates over all nodes and walks each
+     * node's adjacency list (topology-driven operators).
+     */
+    void neighborKernelAllNodes(const KernelParams &params);
+
+    /**
+     * Record a topology-driven kernel that launches one thread per
+     * node but only walks the adjacency lists of @p active nodes;
+     * the remaining threads contribute zero-length inner loops. This
+     * captures the SIMD inefficiency of topology-driven operators on
+     * sparse frontiers.
+     */
+    void neighborKernelSparse(const KernelParams &params,
+                              std::span<const graph::NodeId> active);
+
+    /**
+     * Record a kernel whose per-item inner-loop sizes are given
+     * explicitly (e.g. triangle counting, whose inner work is an
+     * adjacency intersection rather than a plain neighbour walk).
+     */
+    void innerSizeKernel(const KernelParams &params,
+                         std::span<const std::uint64_t> inner_sizes);
+
+    /**
+     * Record a kernel with @p items parallel items and no inner loop
+     * (initialisation sweeps, pointer jumping, rank normalisation...).
+     *
+     * @param streaming When true, per-item accesses are contiguous.
+     */
+    void flatKernel(const KernelParams &params, std::uint64_t items,
+                    bool streaming = true);
+
+    /** Number of launches recorded so far. */
+    std::size_t launchCount() const { return trace_.launches.size(); }
+
+    /**
+     * Finalise and return the trace. The recorder must not be used
+     * afterwards.
+     */
+    AppTrace finish();
+
+  private:
+    KernelLaunch makeLaunch(const KernelParams &params) const;
+    void push(KernelLaunch launch);
+
+    const graph::Csr &graph_;
+    AppTrace trace_;
+    std::uint32_t currentIteration_ = 0;
+    bool iterationStarted_ = false;
+    bool finished_ = false;
+    // Cached histogram over all nodes, built on first use.
+    mutable bool allNodesHistValid_ = false;
+    mutable DegreeHist allNodesHist_;
+    mutable std::uint64_t allNodesEdges_ = 0;
+};
+
+} // namespace dsl
+} // namespace graphport
+
+#endif // GRAPHPORT_DSL_RECORDER_HPP

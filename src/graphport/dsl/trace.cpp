@@ -1,0 +1,143 @@
+#include "graphport/dsl/trace.hpp"
+
+#include <cmath>
+
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+namespace dsl {
+
+unsigned
+DegreeHist::bucketOf(std::uint64_t d)
+{
+    if (d <= 1)
+        return 0;
+    unsigned b = 0;
+    while (d > 1) {
+        d >>= 1;
+        ++b;
+    }
+    return b < kDegreeBuckets ? b : kDegreeBuckets - 1;
+}
+
+double
+DegreeHist::bucketMid(unsigned b)
+{
+    if (b == 0)
+        return 1.0;
+    // Midpoint of [2^b, 2^(b+1)).
+    return 1.5 * std::pow(2.0, static_cast<double>(b));
+}
+
+double
+DegreeHist::bucketHi(unsigned b)
+{
+    if (b == 0)
+        return 1.0;
+    return std::pow(2.0, static_cast<double>(b + 1)) - 1.0;
+}
+
+void
+DegreeHist::add(std::uint64_t d)
+{
+    ++buckets[bucketOf(d)];
+    // Invalidate the order-statistic memo.
+    maxMemo_.fill({0u, 0.0});
+}
+
+std::uint64_t
+DegreeHist::totalItems() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t c : buckets)
+        total += c;
+    return total;
+}
+
+double
+DegreeHist::totalWork() const
+{
+    double total = 0.0;
+    for (unsigned b = 0; b < kDegreeBuckets; ++b)
+        total += static_cast<double>(buckets[b]) * bucketMid(b);
+    return total;
+}
+
+double
+DegreeHist::meanSize() const
+{
+    const std::uint64_t n = totalItems();
+    if (n == 0)
+        return 0.0;
+    return totalWork() / static_cast<double>(n);
+}
+
+double
+DegreeHist::expectedMaxOf(unsigned k) const
+{
+    if (k == 0)
+        return 0.0;
+    for (auto &slot : maxMemo_) {
+        if (slot.first == k)
+            return slot.second;
+        if (slot.first == 0) {
+            slot.first = k;
+            slot.second = computeExpectedMaxOf(k);
+            return slot.second;
+        }
+    }
+    // Memo full: compute without caching.
+    return computeExpectedMaxOf(k);
+}
+
+double
+DegreeHist::computeExpectedMaxOf(unsigned k) const
+{
+    const std::uint64_t n = totalItems();
+    if (n == 0 || k == 0)
+        return 0.0;
+    if (k == 1)
+        return meanSize();
+    // E[max] = sum_b mid(b) * (F(b)^k - F(b-1)^k) over the bucket CDF,
+    // treating items as iid draws from the histogram.
+    const double total = static_cast<double>(n);
+    double expect = 0.0;
+    double cumPrev = 0.0;
+    double fPrev = 0.0;
+    for (unsigned b = 0; b < kDegreeBuckets; ++b) {
+        if (buckets[b] == 0)
+            continue;
+        const double cum = cumPrev + static_cast<double>(buckets[b]);
+        const double f = std::pow(cum / total,
+                                  static_cast<double>(k));
+        expect += bucketMid(b) * (f - fPrev);
+        cumPrev = cum;
+        fPrev = f;
+    }
+    return expect;
+}
+
+std::size_t
+AppTrace::hostSyncCount() const
+{
+    std::size_t count = 0;
+    for (const KernelLaunch &l : launches)
+        count += l.hostSyncAfter ? 1 : 0;
+    return count;
+}
+
+void
+AppTrace::validate() const
+{
+    for (const KernelLaunch &l : launches) {
+        panicIf(l.hist.totalItems() != l.items && l.hasNeighborLoop,
+                "KernelLaunch '" + l.name +
+                    "': histogram items != items");
+        panicIf(l.iteration >= hostIterations && hostIterations > 0,
+                "KernelLaunch '" + l.name +
+                    "': iteration index out of range");
+    }
+}
+
+} // namespace dsl
+} // namespace graphport

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Workload traces.
+ *
+ * Running a DSL application over an input once produces an AppTrace: an
+ * ordered list of kernel launches, each describing the *work* the
+ * kernel performed (items, inner-loop degree histogram, atomic
+ * operations, flat memory traffic). The trace is independent of both
+ * the chip and the optimisation configuration; the simulator's cost
+ * engine prices the same trace under every (chip, config) pair. This
+ * trace-driven split is what makes the paper-scale sweep
+ * (17 apps x 3 inputs x 6 chips x 96 configs x 3 runs) tractable.
+ */
+#ifndef GRAPHPORT_DSL_TRACE_HPP
+#define GRAPHPORT_DSL_TRACE_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace graphport {
+namespace dsl {
+
+/** Number of power-of-two degree buckets (covers degrees up to 2^23). */
+constexpr unsigned kDegreeBuckets = 24;
+
+/**
+ * Histogram of inner-loop trip counts (typically node degrees) with
+ * power-of-two buckets: bucket 0 holds sizes 0 and 1; bucket k >= 1
+ * holds sizes in [2^k, 2^(k+1)).
+ */
+struct DegreeHist
+{
+    std::array<std::uint64_t, kDegreeBuckets> buckets{};
+
+    /** Bucket index for inner size @p d. */
+    static unsigned bucketOf(std::uint64_t d);
+
+    /** Representative (midpoint) size of bucket @p b. */
+    static double bucketMid(unsigned b);
+
+    /** Inclusive upper bound of bucket @p b. */
+    static double bucketHi(unsigned b);
+
+    /** Add one item of inner size @p d. */
+    void add(std::uint64_t d);
+
+    /** Total number of items recorded. */
+    std::uint64_t totalItems() const;
+
+    /** Total inner iterations (sum of representative sizes). */
+    double totalWork() const;
+
+    /** Mean inner size (0 when empty). */
+    double meanSize() const;
+
+    /**
+     * Expected maximum inner size among @p k items drawn uniformly at
+     * random from the histogram (exact order statistic over buckets,
+     * using representative sizes). Returns 0 when empty.
+     *
+     * Models the SIMD-divergence cost of mapping one item per lane:
+     * the subgroup (or workgroup) retires only when its largest inner
+     * loop finishes.
+     *
+     * Results are memoised per k (the cost engine queries the same
+     * few subgroup/workgroup sizes for every configuration).
+     */
+    double expectedMaxOf(unsigned k) const;
+
+  private:
+    /// Small memo of (k, expectedMaxOf(k)) pairs; k == 0 means empty.
+    mutable std::array<std::pair<unsigned, double>, 8> maxMemo_{};
+
+    double computeExpectedMaxOf(unsigned k) const;
+};
+
+/** One kernel launch with its workload description. */
+struct KernelLaunch
+{
+    /** Kernel name (e.g. "bfs_expand"). */
+    std::string name;
+
+    /** Host fixpoint iteration this launch belongs to. */
+    std::uint32_t iteration = 0;
+
+    /** Number of parallel items (nodes / worklist entries / edges). */
+    std::uint64_t items = 0;
+
+    /** Total inner-loop iterations (== histogram work). */
+    std::uint64_t edges = 0;
+
+    /** Histogram of per-item inner-loop sizes. */
+    DegreeHist hist;
+
+    /**
+     * Contended atomic RMW operations (worklist-tail pushes) — the
+     * operations cooperative conversion can combine.
+     */
+    std::uint64_t contendedPushes = 0;
+
+    /**
+     * Scattered atomic RMW operations (e.g. atomic-min distance
+     * updates) that hit many distinct locations and parallelise.
+     */
+    std::uint64_t scatteredRmw = 0;
+
+    /** Per-item flat global reads beyond adjacency traffic. */
+    std::uint64_t flatReads = 0;
+
+    /** Per-item flat global writes. */
+    std::uint64_t flatWrites = 0;
+
+    /** Scalar compute per item, in abstract work units. */
+    double computePerItem = 1.0;
+
+    /** Scalar compute per inner iteration, in abstract work units. */
+    double computePerEdge = 1.0;
+
+    /**
+     * Whether items iterate over graph adjacency (nested-parallelism
+     * schemes apply only to such kernels).
+     */
+    bool hasNeighborLoop = false;
+
+    /**
+     * Whether inner-loop memory accesses are data-dependent gathers
+     * (true for adjacency walks; false for streaming scans).
+     */
+    bool randomAccess = true;
+
+    /**
+     * Whether the host reads back a convergence flag after this launch
+     * (a device-to-host memcpy the oitergb optimisation elides).
+     */
+    bool hostSyncAfter = false;
+
+    /**
+     * Explicit intra-workgroup divergence spread override. Negative
+     * means "derive from the degree histogram" (the normal case);
+     * microbenchmarks (m-divg) set it explicitly.
+     */
+    double divergenceSpread = -1.0;
+
+    /**
+     * Whether the kernel contains gratuitous (semantically
+     * unnecessary) workgroup barriers in its inner loop, which
+     * re-converge the workgroup's memory access streams (paper
+     * Section VIII-c).
+     */
+    bool gratuitousBarriers = false;
+
+    /** Inner iterations between gratuitous barriers. */
+    unsigned barrierStride = 6;
+};
+
+/** The complete workload trace of one (application, input) execution. */
+struct AppTrace
+{
+    std::string app;
+    std::string input;
+    std::uint64_t numNodes = 0;
+    std::uint64_t numEdges = 0;
+    /** Number of host fixpoint iterations executed. */
+    std::uint32_t hostIterations = 0;
+    /**
+     * Whether the app's outer loop can be outlined onto the device
+     * (true for all apps in the study; kept for generality).
+     */
+    bool outlinable = true;
+    std::vector<KernelLaunch> launches;
+
+    /** Total kernel launches. */
+    std::size_t launchCount() const { return launches.size(); }
+
+    /** Sum of hostSyncAfter flags (host round trips). */
+    std::size_t hostSyncCount() const;
+
+    /** Check internal consistency; throws PanicError on violation. */
+    void validate() const;
+};
+
+} // namespace dsl
+} // namespace graphport
+
+#endif // GRAPHPORT_DSL_TRACE_HPP

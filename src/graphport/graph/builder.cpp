@@ -1,0 +1,85 @@
+#include "graphport/graph/builder.hpp"
+
+#include <algorithm>
+
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+namespace graph {
+
+Builder::Builder(NodeId num_nodes) : numNodes_(num_nodes)
+{
+}
+
+void
+Builder::addEdge(NodeId src, NodeId dst, Weight weight)
+{
+    fatalIf(src >= numNodes_ || dst >= numNodes_,
+            "Builder::addEdge endpoint out of range");
+    edges_.push_back({src, dst, weight});
+}
+
+Csr
+Builder::build(const std::string &name) const
+{
+    return build(name, Options{});
+}
+
+Csr
+Builder::build(const std::string &name, const Options &opts) const
+{
+    std::vector<Edge> work = edges_;
+    if (opts.symmetrize) {
+        work.reserve(work.size() * 2);
+        const std::size_t original = edges_.size();
+        for (std::size_t i = 0; i < original; ++i) {
+            const Edge &e = edges_[i];
+            work.push_back({e.dst, e.src, e.weight});
+        }
+    }
+    if (opts.removeSelfLoops) {
+        work.erase(std::remove_if(work.begin(), work.end(),
+                                  [](const Edge &e) {
+                                      return e.src == e.dst;
+                                  }),
+                   work.end());
+    }
+    std::sort(work.begin(), work.end(),
+              [](const Edge &a, const Edge &b) {
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  if (a.dst != b.dst)
+                      return a.dst < b.dst;
+                  return a.weight < b.weight;
+              });
+    if (opts.removeDuplicates) {
+        work.erase(std::unique(work.begin(), work.end(),
+                               [](const Edge &a, const Edge &b) {
+                                   return a.src == b.src &&
+                                          a.dst == b.dst;
+                               }),
+                   work.end());
+    }
+
+    std::vector<EdgeId> row_starts(numNodes_ + 1, 0);
+    std::vector<NodeId> columns;
+    std::vector<Weight> weights;
+    columns.reserve(work.size());
+    if (opts.weighted)
+        weights.reserve(work.size());
+
+    for (const Edge &e : work) {
+        ++row_starts[e.src + 1];
+        columns.push_back(e.dst);
+        if (opts.weighted)
+            weights.push_back(e.weight);
+    }
+    for (std::size_t i = 1; i < row_starts.size(); ++i)
+        row_starts[i] += row_starts[i - 1];
+
+    return Csr(std::move(row_starts), std::move(columns),
+               std::move(weights), name);
+}
+
+} // namespace graph
+} // namespace graphport

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Edge-list to CSR construction with optional symmetrisation,
+ * self-loop removal and duplicate-edge removal.
+ */
+#ifndef GRAPHPORT_GRAPH_BUILDER_HPP
+#define GRAPHPORT_GRAPH_BUILDER_HPP
+
+#include <string>
+#include <vector>
+
+#include "graphport/graph/csr.hpp"
+
+namespace graphport {
+namespace graph {
+
+/** A directed, optionally weighted edge. */
+struct Edge
+{
+    NodeId src;
+    NodeId dst;
+    Weight weight = 1;
+};
+
+/**
+ * Accumulates edges and produces a validated Csr.
+ *
+ * Typical use:
+ * @code
+ *   Builder b(numNodes);
+ *   b.addEdge(0, 1, 4);
+ *   Csr g = b.build("mygraph", BuildOptions{.symmetrize = true});
+ * @endcode
+ */
+class Builder
+{
+  public:
+    /** Options controlling CSR construction. */
+    struct Options
+    {
+        /** Insert the reverse of every edge (undirected graphs). */
+        bool symmetrize = false;
+        /** Drop src == dst edges. */
+        bool removeSelfLoops = true;
+        /** Collapse parallel edges (first weight wins). */
+        bool removeDuplicates = true;
+        /** Attach weights to the resulting graph. */
+        bool weighted = false;
+    };
+
+    /** Construct a builder for a graph with @p num_nodes nodes. */
+    explicit Builder(NodeId num_nodes);
+
+    /**
+     * Add a directed edge.
+     *
+     * @throws FatalError when an endpoint is out of range.
+     */
+    void addEdge(NodeId src, NodeId dst, Weight weight = 1);
+
+    /** Number of edges added so far. */
+    std::size_t edgeCount() const { return edges_.size(); }
+
+    /**
+     * Produce the CSR graph. Neighbour lists are sorted by destination.
+     *
+     * @param name Name recorded in the graph.
+     * @param opts Construction options.
+     */
+    Csr build(const std::string &name, const Options &opts) const;
+
+    /** Produce the CSR graph with default options. */
+    Csr build(const std::string &name) const;
+
+  private:
+    NodeId numNodes_;
+    std::vector<Edge> edges_;
+};
+
+} // namespace graph
+} // namespace graphport
+
+#endif // GRAPHPORT_GRAPH_BUILDER_HPP

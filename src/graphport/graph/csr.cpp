@@ -1,0 +1,69 @@
+#include "graphport/graph/csr.hpp"
+
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+namespace graph {
+
+Csr::Csr(std::vector<EdgeId> row_starts, std::vector<NodeId> columns,
+         std::vector<Weight> weights, std::string name)
+    : rowStarts_(std::move(row_starts)), columns_(std::move(columns)),
+      weights_(std::move(weights)), name_(std::move(name))
+{
+    validate();
+}
+
+NodeId
+Csr::numNodes() const
+{
+    return static_cast<NodeId>(rowStarts_.size() - 1);
+}
+
+EdgeId
+Csr::numEdges() const
+{
+    return static_cast<EdgeId>(columns_.size());
+}
+
+EdgeId
+Csr::outDegree(NodeId node) const
+{
+    return rowStarts_[node + 1] - rowStarts_[node];
+}
+
+std::span<const NodeId>
+Csr::neighbors(NodeId node) const
+{
+    return {columns_.data() + rowStarts_[node],
+            static_cast<std::size_t>(outDegree(node))};
+}
+
+std::span<const Weight>
+Csr::edgeWeights(NodeId node) const
+{
+    if (weights_.empty())
+        return {};
+    return {weights_.data() + rowStarts_[node],
+            static_cast<std::size_t>(outDegree(node))};
+}
+
+void
+Csr::validate() const
+{
+    panicIf(rowStarts_.empty(), "CSR rowStarts must be non-empty");
+    panicIf(rowStarts_.front() != 0, "CSR rowStarts must begin at 0");
+    panicIf(rowStarts_.back() != columns_.size(),
+            "CSR rowStarts must end at numEdges");
+    for (std::size_t i = 1; i < rowStarts_.size(); ++i) {
+        panicIf(rowStarts_[i] < rowStarts_[i - 1],
+                "CSR rowStarts must be non-decreasing");
+    }
+    const NodeId n = numNodes();
+    for (NodeId dst : columns_)
+        panicIf(dst >= n, "CSR edge destination out of range");
+    panicIf(!weights_.empty() && weights_.size() != columns_.size(),
+            "CSR weights must be empty or parallel to columns");
+}
+
+} // namespace graph
+} // namespace graphport

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Compressed sparse row (CSR) graph representation.
+ *
+ * This is the in-memory format every graphport application consumes,
+ * mirroring the adjacency layout GPU graph frameworks (IrGL, Gunrock,
+ * etc.) use on-device. Edges are directed; undirected graphs are stored
+ * symmetrised (both directions present).
+ */
+#ifndef GRAPHPORT_GRAPH_CSR_HPP
+#define GRAPHPORT_GRAPH_CSR_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace graphport {
+namespace graph {
+
+/** Node identifier. */
+using NodeId = std::uint32_t;
+/** Edge index into the CSR arrays. */
+using EdgeId = std::uint64_t;
+/** Edge weight (used by SSSP/MST). */
+using Weight = std::uint32_t;
+
+/**
+ * Immutable CSR graph.
+ *
+ * Construction goes through graph::Builder; the invariants below are
+ * established there and checked by validate():
+ *  - rowStarts has numNodes()+1 entries, is non-decreasing, and
+ *    rowStarts.front() == 0, rowStarts.back() == numEdges();
+ *  - every destination in columns is a valid NodeId;
+ *  - weights is either empty (unweighted) or parallel to columns.
+ */
+class Csr
+{
+  public:
+    /** Construct an empty graph. */
+    Csr() = default;
+
+    /**
+     * Construct from raw CSR arrays.
+     *
+     * @param row_starts Offsets into @p columns, one per node plus a
+     *                   terminal entry.
+     * @param columns    Edge destinations.
+     * @param weights    Optional edge weights (empty or |columns|).
+     * @param name       Human-readable graph name.
+     */
+    Csr(std::vector<EdgeId> row_starts, std::vector<NodeId> columns,
+        std::vector<Weight> weights, std::string name);
+
+    /** Number of nodes. */
+    NodeId numNodes() const;
+
+    /** Number of directed edges. */
+    EdgeId numEdges() const;
+
+    /** Out-degree of @p node. */
+    EdgeId outDegree(NodeId node) const;
+
+    /** Neighbours of @p node as a read-only span. */
+    std::span<const NodeId> neighbors(NodeId node) const;
+
+    /** Weights of @p node's out-edges (empty span when unweighted). */
+    std::span<const Weight> edgeWeights(NodeId node) const;
+
+    /** First edge index of @p node. */
+    EdgeId edgeBegin(NodeId node) const { return rowStarts_[node]; }
+
+    /** One-past-last edge index of @p node. */
+    EdgeId edgeEnd(NodeId node) const { return rowStarts_[node + 1]; }
+
+    /** Destination of edge @p e. */
+    NodeId edgeDst(EdgeId e) const { return columns_[e]; }
+
+    /** Weight of edge @p e (requires hasWeights()). */
+    Weight edgeWeight(EdgeId e) const { return weights_[e]; }
+
+    /** Whether edge weights are present. */
+    bool hasWeights() const { return !weights_.empty(); }
+
+    /** Graph name (e.g. "road", "social"). */
+    const std::string &name() const { return name_; }
+
+    /**
+     * Check all CSR invariants.
+     *
+     * @throws PanicError describing the first violated invariant.
+     */
+    void validate() const;
+
+    /** Raw row-start array (exposed for the cost engine). */
+    const std::vector<EdgeId> &rowStarts() const { return rowStarts_; }
+    /** Raw column array (exposed for the cost engine). */
+    const std::vector<NodeId> &columns() const { return columns_; }
+
+  private:
+    std::vector<EdgeId> rowStarts_ = {0};
+    std::vector<NodeId> columns_;
+    std::vector<Weight> weights_;
+    std::string name_ = "empty";
+};
+
+} // namespace graph
+} // namespace graphport
+
+#endif // GRAPHPORT_GRAPH_CSR_HPP

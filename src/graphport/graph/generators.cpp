@@ -1,0 +1,163 @@
+#include "graphport/graph/generators.hpp"
+
+#include <cmath>
+
+#include "graphport/graph/builder.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/rng.hpp"
+
+namespace graphport {
+namespace graph {
+namespace gen {
+
+Csr
+roadGrid(NodeId width, NodeId height, double shortcut_fraction,
+         std::uint64_t seed, const std::string &name)
+{
+    fatalIf(width < 2 || height < 2, "roadGrid needs a >= 2x2 grid");
+    const NodeId n = width * height;
+    Builder b(n);
+    Rng rng(seed);
+
+    auto id = [&](NodeId x, NodeId y) { return y * width + x; };
+    // Road segment weights: small integers like real road lengths.
+    auto roadWeight = [&]() {
+        return static_cast<Weight>(1 + rng.nextBelow(16));
+    };
+
+    for (NodeId y = 0; y < height; ++y) {
+        for (NodeId x = 0; x < width; ++x) {
+            if (x + 1 < width)
+                b.addEdge(id(x, y), id(x + 1, y), roadWeight());
+            if (y + 1 < height)
+                b.addEdge(id(x, y), id(x, y + 1), roadWeight());
+        }
+    }
+
+    // Shortcut "highway" edges: connect a node with another a modest
+    // grid distance away, preserving the large-diameter character.
+    const auto n_shortcuts =
+        static_cast<std::uint64_t>(shortcut_fraction *
+                                   static_cast<double>(n));
+    for (std::uint64_t i = 0; i < n_shortcuts; ++i) {
+        const NodeId x = static_cast<NodeId>(rng.nextBelow(width));
+        const NodeId y = static_cast<NodeId>(rng.nextBelow(height));
+        const NodeId span = 2 + static_cast<NodeId>(rng.nextBelow(6));
+        const NodeId tx =
+            static_cast<NodeId>(std::min<std::uint64_t>(
+                width - 1, x + span));
+        const NodeId ty =
+            static_cast<NodeId>(std::min<std::uint64_t>(
+                height - 1, y + span));
+        if (id(x, y) != id(tx, ty))
+            b.addEdge(id(x, y), id(tx, ty),
+                      static_cast<Weight>(4 + rng.nextBelow(28)));
+    }
+
+    return b.build(name, Builder::Options{.symmetrize = true,
+                                          .removeSelfLoops = true,
+                                          .removeDuplicates = true,
+                                          .weighted = true});
+}
+
+Csr
+rmat(unsigned scale, double avg_degree, std::uint64_t seed,
+     const std::string &name)
+{
+    fatalIf(scale < 2 || scale > 26, "rmat scale out of [2,26]");
+    fatalIf(avg_degree <= 0.0, "rmat avg_degree must be positive");
+    const NodeId n = static_cast<NodeId>(1u) << scale;
+    const auto m = static_cast<std::uint64_t>(
+        avg_degree * static_cast<double>(n));
+    Builder b(n);
+    Rng rng(seed);
+
+    // RMAT partition probabilities: slightly milder than the classic
+    // (0.57, 0.19, 0.19) so hub degrees stay in a realistic range for
+    // the graph sizes of the study.
+    const double a = 0.52, bq = 0.21, c = 0.21;
+    std::vector<bool> touched(n, false);
+    for (std::uint64_t e = 0; e < m; ++e) {
+        NodeId src = 0, dst = 0;
+        for (unsigned bit = 0; bit < scale; ++bit) {
+            const double r = rng.nextDouble();
+            unsigned sbit, dbit;
+            if (r < a) {
+                sbit = 0; dbit = 0;
+            } else if (r < a + bq) {
+                sbit = 0; dbit = 1;
+            } else if (r < a + bq + c) {
+                sbit = 1; dbit = 0;
+            } else {
+                sbit = 1; dbit = 1;
+            }
+            src = (src << 1) | sbit;
+            dst = (dst << 1) | dbit;
+        }
+        if (src != dst) {
+            b.addEdge(src, dst,
+                      static_cast<Weight>(1 + rng.nextBelow(64)));
+            touched[src] = true;
+            touched[dst] = true;
+        }
+    }
+    // Guarantee minimum degree 1: isolated nodes (dangling after
+    // symmetrisation) would make push-style PageRank ill-defined.
+    for (NodeId u = 0; u < n; ++u) {
+        if (!touched[u]) {
+            NodeId other = static_cast<NodeId>(rng.nextBelow(n));
+            if (other == u)
+                other = (u + 1) % n;
+            b.addEdge(u, other,
+                      static_cast<Weight>(1 + rng.nextBelow(64)));
+        }
+    }
+
+    return b.build(name, Builder::Options{.symmetrize = true,
+                                          .removeSelfLoops = true,
+                                          .removeDuplicates = true,
+                                          .weighted = true});
+}
+
+Csr
+uniformRandom(NodeId num_nodes, double avg_degree, std::uint64_t seed,
+              const std::string &name)
+{
+    fatalIf(num_nodes < 2, "uniformRandom needs >= 2 nodes");
+    fatalIf(avg_degree <= 0.0,
+            "uniformRandom avg_degree must be positive");
+    const auto m = static_cast<std::uint64_t>(
+        avg_degree * static_cast<double>(num_nodes));
+    Builder b(num_nodes);
+    Rng rng(seed);
+    std::vector<bool> touched(num_nodes, false);
+    for (std::uint64_t e = 0; e < m; ++e) {
+        const NodeId src = static_cast<NodeId>(rng.nextBelow(num_nodes));
+        const NodeId dst = static_cast<NodeId>(rng.nextBelow(num_nodes));
+        if (src != dst) {
+            b.addEdge(src, dst,
+                      static_cast<Weight>(1 + rng.nextBelow(64)));
+            touched[src] = true;
+            touched[dst] = true;
+        }
+    }
+    // Guarantee minimum degree 1 (see rmat()).
+    for (NodeId u = 0; u < num_nodes; ++u) {
+        if (!touched[u]) {
+            NodeId other =
+                static_cast<NodeId>(rng.nextBelow(num_nodes));
+            if (other == u)
+                other = (u + 1) % num_nodes;
+            b.addEdge(u, other,
+                      static_cast<Weight>(1 + rng.nextBelow(64)));
+        }
+    }
+    return b.build(name, Builder::Options{.symmetrize = true,
+                                          .removeSelfLoops = true,
+                                          .removeDuplicates = true,
+                                          .weighted = true});
+}
+
+} // namespace gen
+} // namespace graph
+} // namespace graphport

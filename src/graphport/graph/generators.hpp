@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Synthetic graph generators standing in for the paper's three input
+ * classes (Table VIII):
+ *
+ *  - roadGrid:      road-network class (usa.ny-like) — 2-D grid with a
+ *                   sprinkling of shortcut edges; large diameter, low
+ *                   and nearly uniform degree, small integer weights.
+ *  - rmat:          social-network class — RMAT recursive matrix with
+ *                   the classic skewed partition; small diameter,
+ *                   power-law degree distribution.
+ *  - uniformRandom: uniform random class — Erdős–Rényi-style G(n, m);
+ *                   small diameter, binomial (concentrated) degrees.
+ *
+ * All generators are deterministic given a seed and return symmetrised,
+ * weighted, self-loop-free CSR graphs.
+ */
+#ifndef GRAPHPORT_GRAPH_GENERATORS_HPP
+#define GRAPHPORT_GRAPH_GENERATORS_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "graphport/graph/csr.hpp"
+
+namespace graphport {
+namespace graph {
+namespace gen {
+
+/**
+ * Generate a road-style grid network.
+ *
+ * @param width    Grid width in intersections.
+ * @param height   Grid height in intersections.
+ * @param shortcut_fraction Fraction of nodes receiving one extra
+ *                 medium-range "highway" edge (default 1%).
+ * @param seed     RNG seed.
+ * @param name     Graph name (defaults to "road").
+ */
+Csr roadGrid(NodeId width, NodeId height,
+             double shortcut_fraction = 0.01,
+             std::uint64_t seed = 1, const std::string &name = "road");
+
+/**
+ * Generate an RMAT power-law graph (social-network class).
+ *
+ * @param scale       log2 of the node count.
+ * @param avg_degree  Average (directed) degree before symmetrisation.
+ * @param seed        RNG seed.
+ * @param name        Graph name (defaults to "social").
+ *
+ * Partition probabilities are the classic (0.57, 0.19, 0.19, 0.05).
+ */
+Csr rmat(unsigned scale, double avg_degree, std::uint64_t seed = 2,
+         const std::string &name = "social");
+
+/**
+ * Generate a uniform random graph (Erdős–Rényi G(n, m) flavour).
+ *
+ * @param num_nodes   Node count.
+ * @param avg_degree  Average (directed) degree before symmetrisation.
+ * @param seed        RNG seed.
+ * @param name        Graph name (defaults to "random").
+ */
+Csr uniformRandom(NodeId num_nodes, double avg_degree,
+                  std::uint64_t seed = 3,
+                  const std::string &name = "random");
+
+} // namespace gen
+} // namespace graph
+} // namespace graphport
+
+#endif // GRAPHPORT_GRAPH_GENERATORS_HPP

@@ -1,0 +1,189 @@
+#include "graphport/graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "graphport/graph/builder.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/strings.hpp"
+
+namespace graphport {
+namespace graph {
+namespace io {
+
+namespace {
+
+Builder::Options
+symmetricWeighted()
+{
+    Builder::Options opts;
+    opts.symmetrize = true;
+    opts.removeSelfLoops = true;
+    opts.removeDuplicates = true;
+    opts.weighted = true;
+    return opts;
+}
+
+std::uint64_t
+parseUint(const std::string &token, const std::string &context)
+{
+    try {
+        std::size_t pos = 0;
+        const unsigned long long v = std::stoull(token, &pos);
+        fatalIf(pos != token.size(),
+                context + ": bad integer '" + token + "'");
+        return v;
+    } catch (const std::logic_error &) {
+        fatal(context + ": bad integer '" + token + "'");
+    }
+}
+
+} // namespace
+
+Csr
+readDimacs(std::istream &is, const std::string &name)
+{
+    std::string line;
+    bool haveHeader = false;
+    std::uint64_t numNodes = 0;
+    std::uint64_t declaredArcs = 0;
+    std::uint64_t seenArcs = 0;
+    Builder builder(0);
+
+    while (std::getline(is, line)) {
+        const std::string t = trim(line);
+        if (t.empty() || t[0] == 'c')
+            continue;
+        std::istringstream ls(t);
+        std::string kind;
+        ls >> kind;
+        if (kind == "p") {
+            fatalIf(haveHeader, "DIMACS: duplicate problem line");
+            std::string sp;
+            ls >> sp;
+            fatalIf(sp != "sp",
+                    "DIMACS: expected 'p sp', got 'p " + sp + "'");
+            ls >> numNodes >> declaredArcs;
+            fatalIf(ls.fail() || numNodes == 0,
+                    "DIMACS: malformed problem line: " + t);
+            builder = Builder(static_cast<NodeId>(numNodes));
+            haveHeader = true;
+        } else if (kind == "a") {
+            fatalIf(!haveHeader,
+                    "DIMACS: arc before problem line");
+            std::uint64_t src = 0, dst = 0, w = 1;
+            ls >> src >> dst >> w;
+            fatalIf(ls.fail(), "DIMACS: malformed arc line: " + t);
+            fatalIf(src == 0 || dst == 0 || src > numNodes ||
+                        dst > numNodes,
+                    "DIMACS: arc endpoint out of range: " + t);
+            // DIMACS ids are 1-based.
+            builder.addEdge(static_cast<NodeId>(src - 1),
+                            static_cast<NodeId>(dst - 1),
+                            static_cast<Weight>(w));
+            ++seenArcs;
+        } else {
+            fatal("DIMACS: unknown line kind '" + kind + "'");
+        }
+    }
+    fatalIf(!haveHeader, "DIMACS: missing problem line");
+    fatalIf(declaredArcs != seenArcs,
+            "DIMACS: header declares " +
+                std::to_string(declaredArcs) + " arcs but file has " +
+                std::to_string(seenArcs));
+    return builder.build(name, symmetricWeighted());
+}
+
+void
+writeDimacs(std::ostream &os, const Csr &g)
+{
+    os << "c graphport export: " << g.name() << "\n";
+    os << "p sp " << g.numNodes() << " " << g.numEdges() << "\n";
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        const auto nbrs = g.neighbors(u);
+        const auto wts = g.edgeWeights(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            os << "a " << (u + 1) << " " << (nbrs[i] + 1) << " "
+               << (g.hasWeights() ? wts[i] : Weight{1}) << "\n";
+        }
+    }
+}
+
+Csr
+readEdgeList(std::istream &is, const std::string &name)
+{
+    struct RawEdge
+    {
+        std::uint64_t src, dst, w;
+    };
+    std::vector<RawEdge> edges;
+    std::uint64_t maxNode = 0;
+    std::string line;
+    while (std::getline(is, line)) {
+        const std::string t = trim(line);
+        if (t.empty() || t[0] == '#')
+            continue;
+        std::istringstream ls(t);
+        std::string a, b, c;
+        ls >> a >> b;
+        fatalIf(a.empty() || b.empty(),
+                "edge list: malformed line: " + t);
+        std::uint64_t w = 1;
+        if (ls >> c)
+            w = parseUint(c, "edge list");
+        const std::uint64_t src = parseUint(a, "edge list");
+        const std::uint64_t dst = parseUint(b, "edge list");
+        edges.push_back({src, dst, w});
+        maxNode = std::max({maxNode, src, dst});
+    }
+    fatalIf(edges.empty(), "edge list: no edges found");
+    Builder builder(static_cast<NodeId>(maxNode + 1));
+    for (const RawEdge &e : edges) {
+        builder.addEdge(static_cast<NodeId>(e.src),
+                        static_cast<NodeId>(e.dst),
+                        static_cast<Weight>(e.w));
+    }
+    return builder.build(name, symmetricWeighted());
+}
+
+void
+writeEdgeList(std::ostream &os, const Csr &g)
+{
+    os << "# graphport export: " << g.name() << "\n";
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        const auto nbrs = g.neighbors(u);
+        const auto wts = g.edgeWeights(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            // Emit each undirected edge once.
+            if (u > nbrs[i])
+                continue;
+            os << u << " " << nbrs[i] << " "
+               << (g.hasWeights() ? wts[i] : Weight{1}) << "\n";
+        }
+    }
+}
+
+Csr
+loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in.good(), "cannot open graph file: " + path);
+    // Stem of the filename as graph name.
+    std::string name = path;
+    const std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    const std::size_t dot = name.find_last_of('.');
+    const std::string ext =
+        dot == std::string::npos ? "" : name.substr(dot);
+    if (dot != std::string::npos)
+        name = name.substr(0, dot);
+    if (ext == ".gr")
+        return readDimacs(in, name);
+    return readEdgeList(in, name);
+}
+
+} // namespace io
+} // namespace graph
+} // namespace graphport

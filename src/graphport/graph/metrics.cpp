@@ -1,0 +1,103 @@
+#include "graphport/graph/metrics.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace graphport {
+namespace graph {
+
+namespace {
+
+/**
+ * BFS from @p src returning (farthest node, eccentricity, #reached).
+ */
+struct BfsSweep
+{
+    NodeId farthest;
+    NodeId eccentricity;
+    NodeId reached;
+};
+
+BfsSweep
+bfsSweep(const Csr &g, NodeId src)
+{
+    std::vector<std::int32_t> level(g.numNodes(), -1);
+    std::queue<NodeId> q;
+    level[src] = 0;
+    q.push(src);
+    NodeId farthest = src;
+    NodeId reached = 1;
+    while (!q.empty()) {
+        const NodeId u = q.front();
+        q.pop();
+        for (NodeId v : g.neighbors(u)) {
+            if (level[v] < 0) {
+                level[v] = level[u] + 1;
+                ++reached;
+                if (level[v] > level[farthest])
+                    farthest = v;
+                q.push(v);
+            }
+        }
+    }
+    return {farthest, static_cast<NodeId>(level[farthest]), reached};
+}
+
+} // namespace
+
+GraphMetrics
+computeMetrics(const Csr &g, unsigned sweeps)
+{
+    GraphMetrics m;
+    m.numNodes = g.numNodes();
+    m.numEdges = g.numEdges();
+    if (m.numNodes == 0)
+        return m;
+    m.avgDegree = static_cast<double>(m.numEdges) /
+                  static_cast<double>(m.numNodes);
+    for (NodeId u = 0; u < m.numNodes; ++u)
+        m.maxDegree = std::max(m.maxDegree, g.outDegree(u));
+    m.degreeSkew = m.avgDegree > 0.0
+                       ? static_cast<double>(m.maxDegree) / m.avgDegree
+                       : 0.0;
+
+    // Double-sweep pseudo-diameter starting from node 0 and iterating
+    // from the farthest node discovered so far.
+    NodeId start = 0;
+    NodeId best = 0;
+    NodeId bestReached = 0;
+    for (unsigned s = 0; s < sweeps; ++s) {
+        const BfsSweep sweep = bfsSweep(g, start);
+        best = std::max(best, sweep.eccentricity);
+        bestReached = std::max(bestReached, sweep.reached);
+        if (sweep.farthest == start)
+            break;
+        start = sweep.farthest;
+    }
+    m.pseudoDiameter = best;
+    m.largestComponentFraction =
+        static_cast<double>(bestReached) /
+        static_cast<double>(m.numNodes);
+    return m;
+}
+
+std::vector<std::uint64_t>
+degreeHistogram(const Csr &g)
+{
+    std::vector<std::uint64_t> hist;
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        EdgeId d = g.outDegree(u);
+        unsigned bucket = 0;
+        while (d > 1) {
+            d >>= 1;
+            ++bucket;
+        }
+        if (bucket >= hist.size())
+            hist.resize(bucket + 1, 0);
+        ++hist[bucket];
+    }
+    return hist;
+}
+
+} // namespace graph
+} // namespace graphport

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Structural graph metrics used to characterise inputs (the paper's
+ * Table VIII reports node/edge counts, degree statistics and diameter
+ * class for each input).
+ */
+#ifndef GRAPHPORT_GRAPH_METRICS_HPP
+#define GRAPHPORT_GRAPH_METRICS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graphport/graph/csr.hpp"
+
+namespace graphport {
+namespace graph {
+
+/** Summary of a graph's structure. */
+struct GraphMetrics
+{
+    NodeId numNodes = 0;
+    EdgeId numEdges = 0;
+    double avgDegree = 0.0;
+    EdgeId maxDegree = 0;
+    /** Degree skew: max degree divided by average degree. */
+    double degreeSkew = 0.0;
+    /** Pseudo-diameter estimated by repeated BFS sweeps. */
+    NodeId pseudoDiameter = 0;
+    /** Fraction of nodes in the largest connected component. */
+    double largestComponentFraction = 0.0;
+};
+
+/**
+ * Compute metrics for @p g.
+ *
+ * The pseudo-diameter uses the standard double-sweep heuristic: BFS
+ * from a start node, then BFS again from the farthest node found,
+ * repeated @p sweeps times; the largest eccentricity seen is reported.
+ */
+GraphMetrics computeMetrics(const Csr &g, unsigned sweeps = 4);
+
+/**
+ * Histogram of out-degrees with power-of-two buckets:
+ * bucket k counts nodes with degree in [2^k, 2^(k+1)) (bucket 0 holds
+ * degrees 0 and 1).
+ */
+std::vector<std::uint64_t> degreeHistogram(const Csr &g);
+
+} // namespace graph
+} // namespace graphport
+
+#endif // GRAPHPORT_GRAPH_METRICS_HPP

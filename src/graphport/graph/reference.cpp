@@ -1,0 +1,281 @@
+#include "graphport/graph/reference.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <unordered_set>
+
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+namespace graph {
+namespace ref {
+
+std::vector<std::int32_t>
+bfsLevels(const Csr &g, NodeId src)
+{
+    fatalIf(src >= g.numNodes(), "bfsLevels source out of range");
+    std::vector<std::int32_t> level(g.numNodes(), kUnreached);
+    std::queue<NodeId> q;
+    level[src] = 0;
+    q.push(src);
+    while (!q.empty()) {
+        const NodeId u = q.front();
+        q.pop();
+        for (NodeId v : g.neighbors(u)) {
+            if (level[v] == kUnreached) {
+                level[v] = level[u] + 1;
+                q.push(v);
+            }
+        }
+    }
+    return level;
+}
+
+std::vector<std::uint64_t>
+sssp(const Csr &g, NodeId src)
+{
+    fatalIf(src >= g.numNodes(), "sssp source out of range");
+    fatalIf(!g.hasWeights(), "sssp requires a weighted graph");
+    std::vector<std::uint64_t> dist(g.numNodes(), kInfDist);
+    using Entry = std::pair<std::uint64_t, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    dist[src] = 0;
+    pq.push({0, src});
+    while (!pq.empty()) {
+        const auto [d, u] = pq.top();
+        pq.pop();
+        if (d != dist[u])
+            continue;
+        const auto nbrs = g.neighbors(u);
+        const auto wts = g.edgeWeights(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            const std::uint64_t nd = d + wts[i];
+            if (nd < dist[nbrs[i]]) {
+                dist[nbrs[i]] = nd;
+                pq.push({nd, nbrs[i]});
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<NodeId>
+connectedComponents(const Csr &g)
+{
+    const NodeId n = g.numNodes();
+    std::vector<NodeId> label(n);
+    std::iota(label.begin(), label.end(), 0);
+    std::vector<bool> visited(n, false);
+    std::vector<NodeId> stack;
+    for (NodeId s = 0; s < n; ++s) {
+        if (visited[s])
+            continue;
+        // s is the smallest unvisited id, hence the canonical label of
+        // its component.
+        stack.push_back(s);
+        visited[s] = true;
+        while (!stack.empty()) {
+            const NodeId u = stack.back();
+            stack.pop_back();
+            label[u] = s;
+            for (NodeId v : g.neighbors(u)) {
+                if (!visited[v]) {
+                    visited[v] = true;
+                    stack.push_back(v);
+                }
+            }
+        }
+    }
+    return label;
+}
+
+std::size_t
+componentCount(const std::vector<NodeId> &labels)
+{
+    std::unordered_set<NodeId> distinct(labels.begin(), labels.end());
+    return distinct.size();
+}
+
+std::vector<double>
+pagerank(const Csr &g, double damping, unsigned max_iters,
+         double tolerance)
+{
+    const NodeId n = g.numNodes();
+    if (n == 0)
+        return {};
+    const double base = (1.0 - damping) / static_cast<double>(n);
+    std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+    std::vector<double> next(n, 0.0);
+    for (unsigned it = 0; it < max_iters; ++it) {
+        std::fill(next.begin(), next.end(), base);
+        double danglingMass = 0.0;
+        for (NodeId u = 0; u < n; ++u) {
+            const EdgeId deg = g.outDegree(u);
+            if (deg == 0) {
+                danglingMass += rank[u];
+                continue;
+            }
+            const double share =
+                damping * rank[u] / static_cast<double>(deg);
+            for (NodeId v : g.neighbors(u))
+                next[v] += share;
+        }
+        // Dangling nodes spread their mass uniformly.
+        const double danglingShare =
+            damping * danglingMass / static_cast<double>(n);
+        double delta = 0.0;
+        for (NodeId u = 0; u < n; ++u) {
+            next[u] += danglingShare;
+            delta += std::abs(next[u] - rank[u]);
+        }
+        rank.swap(next);
+        if (delta < tolerance)
+            break;
+    }
+    return rank;
+}
+
+std::uint64_t
+triangleCount(const Csr &g)
+{
+    // Count ordered triples u < v < w with all three edges present.
+    // Neighbour lists are sorted (Builder guarantees this), so use
+    // sorted-list intersection on the higher-id halves.
+    std::uint64_t count = 0;
+    const NodeId n = g.numNodes();
+    for (NodeId u = 0; u < n; ++u) {
+        const auto nu = g.neighbors(u);
+        for (NodeId v : nu) {
+            if (v <= u)
+                continue;
+            const auto nv = g.neighbors(v);
+            // Intersect neighbours of u and v that are > v.
+            auto iu = std::lower_bound(nu.begin(), nu.end(), v + 1);
+            auto iv = std::lower_bound(nv.begin(), nv.end(), v + 1);
+            while (iu != nu.end() && iv != nv.end()) {
+                if (*iu < *iv) {
+                    ++iu;
+                } else if (*iv < *iu) {
+                    ++iv;
+                } else {
+                    ++count;
+                    ++iu;
+                    ++iv;
+                }
+            }
+        }
+    }
+    return count;
+}
+
+namespace {
+
+/** Union-find with path halving and union by size. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(NodeId n) : parent_(n), size_(n, 1)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    NodeId
+    find(NodeId x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    bool
+    unite(NodeId a, NodeId b)
+    {
+        NodeId ra = find(a);
+        NodeId rb = find(b);
+        if (ra == rb)
+            return false;
+        if (size_[ra] < size_[rb])
+            std::swap(ra, rb);
+        parent_[rb] = ra;
+        size_[ra] += size_[rb];
+        return true;
+    }
+
+  private:
+    std::vector<NodeId> parent_;
+    std::vector<NodeId> size_;
+};
+
+} // namespace
+
+std::uint64_t
+msfWeight(const Csr &g)
+{
+    fatalIf(!g.hasWeights(), "msfWeight requires a weighted graph");
+    struct E
+    {
+        Weight w;
+        NodeId u, v;
+    };
+    std::vector<E> edges;
+    edges.reserve(g.numEdges() / 2);
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        const auto nbrs = g.neighbors(u);
+        const auto wts = g.edgeWeights(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            if (u < nbrs[i])
+                edges.push_back({wts[i], u, nbrs[i]});
+        }
+    }
+    std::sort(edges.begin(), edges.end(),
+              [](const E &a, const E &b) { return a.w < b.w; });
+    UnionFind uf(g.numNodes());
+    std::uint64_t total = 0;
+    for (const E &e : edges) {
+        if (uf.unite(e.u, e.v))
+            total += e.w;
+    }
+    return total;
+}
+
+bool
+isIndependentSet(const Csr &g, const std::vector<bool> &in_set)
+{
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        if (!in_set[u])
+            continue;
+        for (NodeId v : g.neighbors(u)) {
+            if (v != u && in_set[v])
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+isMaximalIndependentSet(const Csr &g, const std::vector<bool> &in_set)
+{
+    if (!isIndependentSet(g, in_set))
+        return false;
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        if (in_set[u])
+            continue;
+        bool blocked = false;
+        for (NodeId v : g.neighbors(u)) {
+            if (v != u && in_set[v]) {
+                blocked = true;
+                break;
+            }
+        }
+        if (!blocked)
+            return false;
+    }
+    return true;
+}
+
+} // namespace ref
+} // namespace graph
+} // namespace graphport

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Sequential reference implementations of the seven graph problems in
+ * the study (Table VII). These are the correctness oracles: every DSL
+ * application's output is validated against the corresponding function
+ * here in the test suite.
+ */
+#ifndef GRAPHPORT_GRAPH_REFERENCE_HPP
+#define GRAPHPORT_GRAPH_REFERENCE_HPP
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graphport/graph/csr.hpp"
+
+namespace graphport {
+namespace graph {
+namespace ref {
+
+/** Distance value for unreachable nodes. */
+constexpr std::uint64_t kInfDist =
+    std::numeric_limits<std::uint64_t>::max();
+
+/** Level value for unreachable nodes. */
+constexpr std::int32_t kUnreached = -1;
+
+/**
+ * BFS levels from @p src; unreachable nodes get kUnreached.
+ */
+std::vector<std::int32_t> bfsLevels(const Csr &g, NodeId src);
+
+/**
+ * Single-source shortest paths (Dijkstra); requires g.hasWeights().
+ * Unreachable nodes get kInfDist.
+ */
+std::vector<std::uint64_t> sssp(const Csr &g, NodeId src);
+
+/**
+ * Connected-component labels. Each node is labelled with the smallest
+ * node id in its component, giving a canonical labelling.
+ */
+std::vector<NodeId> connectedComponents(const Csr &g);
+
+/** Number of distinct components in a labelling. */
+std::size_t componentCount(const std::vector<NodeId> &labels);
+
+/**
+ * PageRank by power iteration with uniform teleport.
+ *
+ * @param g        Graph (treated as directed; symmetric inputs give
+ *                 undirected semantics).
+ * @param damping  Damping factor (paper-standard 0.85).
+ * @param max_iters Iteration cap.
+ * @param tolerance L1 convergence threshold.
+ */
+std::vector<double> pagerank(const Csr &g, double damping = 0.85,
+                             unsigned max_iters = 100,
+                             double tolerance = 1e-7);
+
+/**
+ * Exact triangle count of a symmetric graph (each triangle counted
+ * once).
+ */
+std::uint64_t triangleCount(const Csr &g);
+
+/**
+ * Total weight of a minimum spanning forest (Kruskal). Requires
+ * g.hasWeights() and a symmetric graph.
+ */
+std::uint64_t msfWeight(const Csr &g);
+
+/** True if @p in_set is an independent set of @p g. */
+bool isIndependentSet(const Csr &g, const std::vector<bool> &in_set);
+
+/**
+ * True if @p in_set is a *maximal* independent set of @p g: it is
+ * independent and no further node can be added.
+ */
+bool isMaximalIndependentSet(const Csr &g,
+                             const std::vector<bool> &in_set);
+
+} // namespace ref
+} // namespace graph
+} // namespace graphport
+
+#endif // GRAPHPORT_GRAPH_REFERENCE_HPP

@@ -1,0 +1,84 @@
+#include "graphport/micro/micro.hpp"
+
+#include "graphport/dsl/trace.hpp"
+#include "graphport/sim/costengine.hpp"
+
+namespace graphport {
+namespace micro {
+
+std::vector<UtilisationPoint>
+launchOverheadSweep(const sim::ChipModel &chip,
+                    const std::vector<double> &kernel_ns,
+                    unsigned launches)
+{
+    std::vector<UtilisationPoint> points;
+    const double n = static_cast<double>(launches);
+    for (double k : kernel_ns) {
+        const double busyTime = n * k;
+        const double wallTime =
+            n * (k + chip.kernelLaunchNs + chip.hostMemcpyNs);
+        points.push_back({k, busyTime / wallTime});
+    }
+    return points;
+}
+
+namespace {
+
+/** The sg-cmb kernel: n threads, one fetch-and-add each. */
+dsl::KernelLaunch
+sgCmbKernel(std::uint64_t n)
+{
+    dsl::KernelLaunch l;
+    l.name = "sg_cmb";
+    l.items = n;
+    l.contendedPushes = n;
+    l.computePerItem = 1.0;
+    l.hasNeighborLoop = false;
+    l.randomAccess = false;
+    return l;
+}
+
+} // namespace
+
+double
+sgCmbSpeedup(const sim::ChipModel &chip, std::uint64_t n)
+{
+    const dsl::KernelLaunch kernel = sgCmbKernel(n);
+    const sim::CostEngine plain(chip, dsl::OptConfig::baseline());
+    dsl::OptConfig cfg;
+    cfg.coopCv = true;
+    const sim::CostEngine combined(chip, cfg);
+    return plain.kernelTimeNs(kernel) / combined.kernelTimeNs(kernel);
+}
+
+double
+mDivgSpeedup(const sim::ChipModel &chip, std::uint64_t items,
+             std::uint64_t stride_len)
+{
+    // Strided large-array accesses: every inner iteration is a DRAM
+    // round trip, and threads drift apart without barriers. The
+    // explicit spread models the drift the paper's microbenchmark
+    // induces.
+    dsl::KernelLaunch l;
+    l.name = "m_divg";
+    l.items = items;
+    l.hasNeighborLoop = true;
+    l.randomAccess = true;
+    for (std::uint64_t i = 0; i < items; ++i)
+        l.hist.add(stride_len);
+    l.edges = items * stride_len;
+    l.divergenceSpread = 3.0;
+    l.computePerItem = 1.0;
+    l.computePerEdge = 0.5;
+
+    const sim::CostEngine engine(chip, dsl::OptConfig::baseline());
+    const double without = engine.kernelTimeNs(l);
+    dsl::KernelLaunch barriered = l;
+    barriered.gratuitousBarriers = true;
+    barriered.barrierStride = 6;
+    const double with = engine.kernelTimeNs(barriered);
+    return without / with;
+}
+
+} // namespace micro
+} // namespace graphport

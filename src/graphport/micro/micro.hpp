@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Section VIII microbenchmarks, run through the same cost engine as
+ * the applications:
+ *
+ *  - launchOverheadSweep: the Figure 5 utilisation experiment —
+ *    launch a constant-time kernel many times with an interleaved
+ *    single-int memcpy, and measure GPU utilisation as the kernel
+ *    duration varies. Exposes per-chip kernel-launch overhead.
+ *  - sgCmbSpeedup: the Table X sg-cmb row — time N atomic
+ *    fetch-and-add operations on a single location, with and without
+ *    subgroup combining (the hand-written coop-cv idiom).
+ *  - mDivgSpeedup: the Table X m-divg row — a strided-access kernel
+ *    with and without a gratuitous in-loop workgroup barrier that
+ *    re-converges the workgroup's memory accesses.
+ */
+#ifndef GRAPHPORT_MICRO_MICRO_HPP
+#define GRAPHPORT_MICRO_MICRO_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graphport/sim/chip.hpp"
+
+namespace graphport {
+namespace micro {
+
+/** One point of the Figure 5 utilisation curve. */
+struct UtilisationPoint
+{
+    /** Duration of the constant-time kernel, ns. */
+    double kernelNs = 0.0;
+    /** Fraction of wall time the GPU spent executing kernels. */
+    double utilisation = 0.0;
+};
+
+/**
+ * Figure 5: utilisation of @p chip when launching constant-time
+ * kernels of the given durations, each followed by a single-integer
+ * device-to-host copy.
+ *
+ * @param kernel_ns Kernel durations to sweep.
+ * @param launches  Number of launches per point (paper: 10000; the
+ *                  count cancels out of the utilisation ratio but is
+ *                  kept for fidelity).
+ */
+std::vector<UtilisationPoint>
+launchOverheadSweep(const sim::ChipModel &chip,
+                    const std::vector<double> &kernel_ns,
+                    unsigned launches = 10000);
+
+/**
+ * Table X, sg-cmb: speedup of subgroup-combined atomics over plain
+ * per-thread atomics for @p n fetch-and-adds on one location.
+ * Chips whose driver already combines (Nvidia, HD5500) see ~1x or a
+ * slight slowdown; chips without (R9, IRIS) see large speedups
+ * bounded by their subgroup size; MALI (subgroup size 1) sees none.
+ */
+double sgCmbSpeedup(const sim::ChipModel &chip,
+                    std::uint64_t n = 20000);
+
+/**
+ * Table X, m-divg: speedup from adding a gratuitous workgroup
+ * barrier to a strided-access loop, which bounds how far threads of
+ * a workgroup drift apart. Extreme on MALI.
+ *
+ * @param items  Threads in the kernel.
+ * @param stride_len Inner loop length per thread.
+ */
+double mDivgSpeedup(const sim::ChipModel &chip,
+                    std::uint64_t items = 4096,
+                    std::uint64_t stride_len = 64);
+
+} // namespace micro
+} // namespace graphport
+
+#endif // GRAPHPORT_MICRO_MICRO_HPP

@@ -1,0 +1,96 @@
+#include "graphport/port/algorithm1.hpp"
+
+#include <limits>
+
+#include "graphport/support/error.hpp"
+#include "graphport/support/mathutil.hpp"
+
+namespace graphport {
+namespace port {
+
+const OptDecision &
+PartitionAnalysis::decisionFor(dsl::Opt opt) const
+{
+    for (const OptDecision &d : decisions) {
+        if (d.opt == opt)
+            return d;
+    }
+    panic("PartitionAnalysis: no decision for " + dsl::optName(opt));
+}
+
+dsl::OptConfig
+resolveConfig(const std::vector<OptDecision> &decisions)
+{
+    dsl::OptConfig config;
+    // fg1/fg8 are mutually exclusive; remember both candidates.
+    const OptDecision *fg1 = nullptr;
+    const OptDecision *fg8 = nullptr;
+    for (const OptDecision &d : decisions) {
+        if (d.verdict != Verdict::Enable)
+            continue;
+        switch (d.opt) {
+          case dsl::Opt::Fg1:
+            fg1 = &d;
+            break;
+          case dsl::Opt::Fg8:
+            fg8 = &d;
+            break;
+          default:
+            config = config.with(d.opt);
+        }
+    }
+    if (fg1 && fg8) {
+        // Both variants help; pick the one with the stronger median
+        // speedup (Section III: the variants are mutually exclusive).
+        config.fg = fg8->medianRatio <= fg1->medianRatio
+                        ? dsl::FgMode::Fg8
+                        : dsl::FgMode::Fg1;
+    } else if (fg1) {
+        config.fg = dsl::FgMode::Fg1;
+    } else if (fg8) {
+        config.fg = dsl::FgMode::Fg8;
+    }
+    return config;
+}
+
+PartitionAnalysis
+optsForPartition(const runner::Dataset &ds,
+                 const std::vector<std::size_t> &tests, double alpha)
+{
+    PartitionAnalysis analysis;
+    for (dsl::Opt opt : dsl::allOpts()) {
+        OptDecision decision;
+        decision.opt = opt;
+
+        std::vector<double> a;
+        std::vector<double> b;
+        for (const dsl::OptConfig &os : dsl::allConfigsWith(opt)) {
+            const dsl::OptConfig dis = os.without(opt);
+            const unsigned osId = os.encode();
+            const unsigned disId = dis.encode();
+            for (std::size_t t : tests) {
+                if (!ds.significant(t, osId, disId))
+                    continue;
+                a.push_back(ds.meanNs(t, osId) /
+                            ds.meanNs(t, disId));
+                b.push_back(1.0);
+            }
+        }
+        decision.significantPairs = a.size();
+        if (!a.empty()) {
+            decision.mwu = stats::mannWhitneyU(a, b);
+            decision.medianRatio = median(a);
+            if (decision.mwu.significant(alpha)) {
+                decision.verdict = decision.medianRatio < 1.0
+                                       ? Verdict::Enable
+                                       : Verdict::Disable;
+            }
+        }
+        analysis.decisions.push_back(decision);
+    }
+    analysis.config = resolveConfig(analysis.decisions);
+    return analysis;
+}
+
+} // namespace port
+} // namespace graphport

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The paper's Algorithm 1: deriving an optimisation configuration for
+ * a data partition with a magnitude-agnostic, rank-based analysis.
+ *
+ * For every individual optimisation `opt`, two lists are built by
+ * scanning all configuration pairs (os, os[opt=disabled]) over all
+ * tests in the partition. Whenever the runtimes of a pair differ
+ * significantly (non-overlapping 95% CIs), the normalised runtime
+ * enabled/disabled joins list A and the constant 1.0 joins list B.
+ * The Mann-Whitney U test then decides whether enabling `opt` shifts
+ * runtimes; the optimisation is enabled only for a statistically
+ * significant shift towards speedups (median(A) < 1).
+ */
+#ifndef GRAPHPORT_PORT_ALGORITHM1_HPP
+#define GRAPHPORT_PORT_ALGORITHM1_HPP
+
+#include <vector>
+
+#include "graphport/dsl/optconfig.hpp"
+#include "graphport/runner/dataset.hpp"
+#include "graphport/stats/mwu.hpp"
+
+namespace graphport {
+namespace port {
+
+/** Verdict of Algorithm 1 for one optimisation on one partition. */
+enum class Verdict { Enable, Disable, Inconclusive };
+
+/** Decision record for one optimisation (one row of Table IX). */
+struct OptDecision
+{
+    dsl::Opt opt = dsl::Opt::CoopCv;
+    Verdict verdict = Verdict::Inconclusive;
+    /** MWU outcome; clEffectSize is the CL column of Table IX. */
+    stats::MwuResult mwu;
+    /** Number of significantly different pairs that fed the test. */
+    std::size_t significantPairs = 0;
+    /** Median of list A (normalised enabled/disabled runtimes). */
+    double medianRatio = 1.0;
+};
+
+/** Full analysis result for one partition. */
+struct PartitionAnalysis
+{
+    /** One decision per optimisation, in allOpts() order. */
+    std::vector<OptDecision> decisions;
+    /** The enabled set, with fg1/fg8 conflicts resolved. */
+    dsl::OptConfig config;
+
+    /** Decision for @p opt. @throws PanicError when missing. */
+    const OptDecision &decisionFor(dsl::Opt opt) const;
+};
+
+/**
+ * OPTS_FOR_PARTITION (Algorithm 1, line 7) over the tests in
+ * @p tests.
+ *
+ * @param ds    The dataset to analyse.
+ * @param tests Indices of the tests forming the partition.
+ * @param alpha MWU significance level (paper: 0.05).
+ */
+PartitionAnalysis optsForPartition(const runner::Dataset &ds,
+                                   const std::vector<std::size_t> &tests,
+                                   double alpha = 0.05);
+
+/**
+ * Resolve a set of per-optimisation verdicts into a configuration,
+ * picking the stronger of fg1/fg8 when both are recommended.
+ */
+dsl::OptConfig resolveConfig(const std::vector<OptDecision> &decisions);
+
+} // namespace port
+} // namespace graphport
+
+#endif // GRAPHPORT_PORT_ALGORITHM1_HPP

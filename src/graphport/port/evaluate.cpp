@@ -1,0 +1,89 @@
+#include "graphport/port/evaluate.hpp"
+
+#include <algorithm>
+
+#include "graphport/support/mathutil.hpp"
+
+namespace graphport {
+namespace port {
+
+StrategyEval
+evaluateStrategy(const runner::Dataset &ds, const Strategy &strategy)
+{
+    StrategyEval eval;
+    eval.name = strategy.name;
+    const unsigned baseline = dsl::OptConfig::baseline().encode();
+
+    std::vector<double> vsOracle;
+    std::vector<double> vsBaseline;
+    vsOracle.reserve(ds.numTests());
+    vsBaseline.reserve(ds.numTests());
+
+    for (std::size_t t = 0; t < ds.numTests(); ++t) {
+        const unsigned cfg = strategy.configFor(t);
+        const double timeCfg = ds.meanNs(t, cfg);
+        const double timeOracle = ds.meanNs(t, ds.bestConfig(t));
+        const double timeBase = ds.meanNs(t, baseline);
+        vsOracle.push_back(timeCfg / timeOracle);
+        vsBaseline.push_back(timeBase / timeCfg);
+        eval.maxSpeedup = std::max(eval.maxSpeedup,
+                                   timeBase / timeCfg);
+        eval.maxSlowdown = std::max(eval.maxSlowdown,
+                                    timeCfg / timeBase);
+
+        if (!ds.anySpeedupAvailable(t))
+            continue;
+        ++eval.testsConsidered;
+        switch (ds.outcome(t, cfg, baseline)) {
+          case runner::Outcome::Speedup:
+            ++eval.speedups;
+            break;
+          case runner::Outcome::Slowdown:
+            ++eval.slowdowns;
+            break;
+          case runner::Outcome::NoChange:
+            ++eval.noChange;
+            break;
+        }
+    }
+    eval.geomeanVsOracle = geomean(vsOracle);
+    eval.geomeanVsBaseline = geomean(vsBaseline);
+    return eval;
+}
+
+std::vector<ChipEval>
+evaluatePerChip(const runner::Dataset &ds, const Strategy &strategy)
+{
+    const unsigned baseline = dsl::OptConfig::baseline().encode();
+    std::vector<ChipEval> out;
+    for (const std::string &chip : ds.universe().chips) {
+        ChipEval ce;
+        ce.chip = chip;
+        std::vector<double> ratios;
+        for (std::size_t t : ds.testsWhere("", "", chip)) {
+            const unsigned cfg = strategy.configFor(t);
+            const double timeCfg = ds.meanNs(t, cfg);
+            const double timeBase = ds.meanNs(t, baseline);
+            ratios.push_back(timeBase / timeCfg);
+            ce.maxSpeedup = std::max(ce.maxSpeedup,
+                                     timeBase / timeCfg);
+            switch (ds.outcome(t, cfg, baseline)) {
+              case runner::Outcome::Speedup:
+                ++ce.speedups;
+                break;
+              case runner::Outcome::Slowdown:
+                ++ce.slowdowns;
+                break;
+              case runner::Outcome::NoChange:
+                break;
+            }
+        }
+        if (!ratios.empty())
+            ce.geomeanVsBaseline = geomean(ratios);
+        out.push_back(ce);
+    }
+    return out;
+}
+
+} // namespace port
+} // namespace graphport

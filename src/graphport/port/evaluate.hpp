@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Strategy evaluation (paper Section VII, Figures 3 and 4, Table IV):
+ * counting significant speedups/slowdowns against the baseline and
+ * measuring geomean slowdown against the oracle.
+ */
+#ifndef GRAPHPORT_PORT_EVALUATE_HPP
+#define GRAPHPORT_PORT_EVALUATE_HPP
+
+#include <string>
+#include <vector>
+
+#include "graphport/port/strategy.hpp"
+#include "graphport/runner/dataset.hpp"
+
+namespace graphport {
+namespace port {
+
+/** Figure 3 / Figure 4 summary of a strategy. */
+struct StrategyEval
+{
+    std::string name;
+    /** Tests considered (those with any speedup available). */
+    std::size_t testsConsidered = 0;
+    /** Significant outcomes vs. baseline among considered tests. */
+    std::size_t speedups = 0;
+    std::size_t slowdowns = 0;
+    std::size_t noChange = 0;
+    /** Geomean of strategy/oracle runtimes over all tests (>= 1). */
+    double geomeanVsOracle = 1.0;
+    /** Geomean of baseline/strategy runtimes over all tests. */
+    double geomeanVsBaseline = 1.0;
+    /** Largest individual speedup over the baseline. */
+    double maxSpeedup = 1.0;
+    /** Largest individual slowdown vs. the baseline. */
+    double maxSlowdown = 1.0;
+};
+
+/**
+ * Evaluate @p strategy on @p ds.
+ *
+ * Outcome counts follow the paper's Figure 3 convention: tests for
+ * which no configuration yields a significant speedup are excluded
+ * (43% of the paper's tests).
+ */
+StrategyEval evaluateStrategy(const runner::Dataset &ds,
+                              const Strategy &strategy);
+
+/** Per-chip outcome breakdown of a strategy (paper Table IV). */
+struct ChipEval
+{
+    std::string chip;
+    std::size_t speedups = 0;
+    std::size_t slowdowns = 0;
+    double geomeanVsBaseline = 1.0;
+    double maxSpeedup = 1.0;
+};
+
+/** Evaluate @p strategy per chip. */
+std::vector<ChipEval> evaluatePerChip(const runner::Dataset &ds,
+                                      const Strategy &strategy);
+
+} // namespace port
+} // namespace graphport
+
+#endif // GRAPHPORT_PORT_EVALUATE_HPP

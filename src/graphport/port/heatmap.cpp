@@ -1,0 +1,51 @@
+#include "graphport/port/heatmap.hpp"
+
+#include "graphport/support/mathutil.hpp"
+
+namespace graphport {
+namespace port {
+
+Heatmap
+computeHeatmap(const runner::Dataset &ds)
+{
+    Heatmap hm;
+    hm.chips = ds.universe().chips;
+    const std::size_t n = hm.chips.size();
+    hm.cells.assign(n, std::vector<double>(n, 1.0));
+
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            std::vector<double> slowdowns;
+            for (const std::string &app : ds.universe().apps) {
+                for (const auto &input : ds.universe().inputs) {
+                    const std::size_t donor = ds.testIndex(
+                        app, input.name, hm.chips[c]);
+                    const std::size_t host = ds.testIndex(
+                        app, input.name, hm.chips[r]);
+                    const unsigned donorBest = ds.bestConfig(donor);
+                    const unsigned hostBest = ds.bestConfig(host);
+                    slowdowns.push_back(
+                        ds.meanNs(host, donorBest) /
+                        ds.meanNs(host, hostBest));
+                }
+            }
+            hm.cells[r][c] = geomean(slowdowns);
+        }
+    }
+
+    hm.columnGeomean.resize(n);
+    hm.rowGeomean.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> col, row;
+        for (std::size_t j = 0; j < n; ++j) {
+            col.push_back(hm.cells[j][i]);
+            row.push_back(hm.cells[i][j]);
+        }
+        hm.columnGeomean[i] = geomean(col);
+        hm.rowGeomean[i] = geomean(row);
+    }
+    return hm;
+}
+
+} // namespace port
+} // namespace graphport

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The chip-to-chip portability heatmap (paper Figure 1): how much a
+ * chip slows down when it runs each (application, input) pair with the
+ * optimisation configuration that is optimal for another chip.
+ */
+#ifndef GRAPHPORT_PORT_HEATMAP_HPP
+#define GRAPHPORT_PORT_HEATMAP_HPP
+
+#include <string>
+#include <vector>
+
+#include "graphport/runner/dataset.hpp"
+
+namespace graphport {
+namespace port {
+
+/** Figure 1's heatmap of geomean cross-chip slowdowns. */
+struct Heatmap
+{
+    /** Chip short names, indexing rows and columns. */
+    std::vector<std::string> chips;
+    /**
+     * cells[r][c]: geomean slowdown when chip r runs with the
+     * configurations optimal for chip c (diagonal == 1).
+     */
+    std::vector<std::vector<double>> cells;
+    /** Column geomeans: portability of chip c's strategy. */
+    std::vector<double> columnGeomean;
+    /** Row geomeans: robustness of chip r to foreign strategies. */
+    std::vector<double> rowGeomean;
+};
+
+/**
+ * Compute the heatmap: for every pair of chips (r, c) and every
+ * (application, input), apply the configuration that is optimal on
+ * chip c to chip r and normalise by chip r's own optimum.
+ */
+Heatmap computeHeatmap(const runner::Dataset &ds);
+
+} // namespace port
+} // namespace graphport
+
+#endif // GRAPHPORT_PORT_HEATMAP_HPP

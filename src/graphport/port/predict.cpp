@@ -1,0 +1,202 @@
+#include "graphport/port/predict.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "graphport/apps/app.hpp"
+#include "graphport/port/evaluate.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/mathutil.hpp"
+
+namespace graphport {
+namespace port {
+
+const std::array<std::string, kNumWorkloadFeatures> &
+featureNames()
+{
+    static const std::array<std::string, kNumWorkloadFeatures> names =
+        {
+            "log_launches",
+            "launches_per_iteration",
+            "mean_inner_size",
+            "divergence_spread",
+            "pushes_per_item",
+            "edges_per_item",
+        };
+    return names;
+}
+
+WorkloadFeatures
+extractFeatures(const dsl::AppTrace &trace)
+{
+    WorkloadFeatures f{};
+    double items = 0.0, edges = 0.0, pushes = 0.0;
+    double spreadAcc = 0.0;
+    std::size_t neighborKernels = 0;
+    for (const dsl::KernelLaunch &l : trace.launches) {
+        items += static_cast<double>(l.items);
+        edges += static_cast<double>(l.edges);
+        pushes += static_cast<double>(l.contendedPushes);
+        if (l.hasNeighborLoop && l.items > 0) {
+            const double mean = l.hist.meanSize();
+            const double max128 = l.hist.expectedMaxOf(128);
+            spreadAcc += (max128 - mean) / (mean + 1.0);
+            ++neighborKernels;
+        }
+    }
+    const double launches =
+        static_cast<double>(trace.launchCount());
+    const double iterations =
+        std::max(1.0, static_cast<double>(trace.hostIterations));
+    f[0] = std::log2(1.0 + launches);
+    f[1] = launches / iterations;
+    f[2] = items > 0.0 ? edges / std::max(1.0, items) : 0.0;
+    f[3] = neighborKernels > 0
+               ? spreadAcc / static_cast<double>(neighborKernels)
+               : 0.0;
+    f[4] = items > 0.0 ? pushes / items : 0.0;
+    f[5] = trace.numNodes > 0
+               ? static_cast<double>(trace.numEdges) /
+                     static_cast<double>(trace.numNodes)
+               : 0.0;
+    return f;
+}
+
+KnnPredictor::KnnPredictor(unsigned k) : k_(k)
+{
+    fatalIf(k == 0, "KnnPredictor: k must be >= 1");
+}
+
+void
+KnnPredictor::addExample(const WorkloadFeatures &features,
+                         unsigned config)
+{
+    examples_.push_back({features, config});
+}
+
+unsigned
+KnnPredictor::predict(const WorkloadFeatures &features) const
+{
+    fatalIf(examples_.empty(),
+            "KnnPredictor: no training examples");
+
+    // Normalise each dimension by the training range so no single
+    // feature dominates the distance.
+    WorkloadFeatures lo{}, hi{};
+    for (unsigned d = 0; d < kNumWorkloadFeatures; ++d) {
+        lo[d] = examples_.front().features[d];
+        hi[d] = lo[d];
+    }
+    for (const Example &e : examples_) {
+        for (unsigned d = 0; d < kNumWorkloadFeatures; ++d) {
+            lo[d] = std::min(lo[d], e.features[d]);
+            hi[d] = std::max(hi[d], e.features[d]);
+        }
+    }
+    auto distance = [&](const WorkloadFeatures &a,
+                        const WorkloadFeatures &b) {
+        double acc = 0.0;
+        for (unsigned d = 0; d < kNumWorkloadFeatures; ++d) {
+            const double range = hi[d] - lo[d];
+            const double diff =
+                range > 0.0 ? (a[d] - b[d]) / range : 0.0;
+            acc += diff * diff;
+        }
+        return acc;
+    };
+
+    std::vector<std::pair<double, unsigned>> ranked;
+    ranked.reserve(examples_.size());
+    for (const Example &e : examples_)
+        ranked.push_back({distance(features, e.features), e.config});
+    std::sort(ranked.begin(), ranked.end());
+
+    const std::size_t take =
+        std::min<std::size_t>(k_, ranked.size());
+    // Majority vote; nearest example breaks ties.
+    std::map<unsigned, unsigned> votes;
+    for (std::size_t i = 0; i < take; ++i)
+        ++votes[ranked[i].second];
+    unsigned best = ranked.front().second;
+    unsigned bestVotes = votes[best];
+    for (const auto &[cfg, count] : votes) {
+        if (count > bestVotes) {
+            best = cfg;
+            bestVotes = count;
+        }
+    }
+    return best;
+}
+
+std::map<std::string, dsl::AppTrace>
+collectTraces(const runner::Universe &universe)
+{
+    std::map<std::string, dsl::AppTrace> traces;
+    for (const runner::InputSpec &input : universe.inputs) {
+        const graph::Csr g = input.make();
+        for (const std::string &appName : universe.apps) {
+            auto [out, trace] = apps::runApp(
+                apps::appByName(appName), g, input.name);
+            traces.emplace(appName + "|" + input.name,
+                           std::move(trace));
+        }
+    }
+    return traces;
+}
+
+PredictionEval
+evaluatePredictor(const runner::Dataset &ds,
+                  const std::map<std::string, dsl::AppTrace> &traces,
+                  unsigned k)
+{
+    PredictionEval eval;
+    const unsigned baseline = dsl::OptConfig::baseline().encode();
+    std::vector<double> vsOracle, vsBaseline;
+
+    for (const std::string &chip : ds.universe().chips) {
+        const auto tests = ds.testsWhere("", "", chip);
+        for (std::size_t held : tests) {
+            const runner::Test heldTest = ds.testAt(held);
+            KnnPredictor predictor(k);
+            for (std::size_t other : tests) {
+                if (other == held)
+                    continue;
+                const runner::Test t = ds.testAt(other);
+                const auto it =
+                    traces.find(t.app + "|" + t.input);
+                fatalIf(it == traces.end(),
+                        "evaluatePredictor: missing trace for " +
+                            t.app + "|" + t.input);
+                predictor.addExample(extractFeatures(it->second),
+                                     ds.bestConfig(other));
+            }
+            const auto it =
+                traces.find(heldTest.app + "|" + heldTest.input);
+            fatalIf(it == traces.end(),
+                    "evaluatePredictor: missing trace for held test");
+            const unsigned predicted =
+                predictor.predict(extractFeatures(it->second));
+
+            ++eval.tests;
+            const unsigned oracle = ds.bestConfig(held);
+            eval.exactMatches += predicted == oracle ? 1 : 0;
+            vsOracle.push_back(ds.meanNs(held, predicted) /
+                               ds.meanNs(held, oracle));
+            vsBaseline.push_back(ds.meanNs(held, baseline) /
+                                 ds.meanNs(held, predicted));
+            if (ds.outcome(held, predicted, baseline) ==
+                runner::Outcome::Slowdown) {
+                ++eval.slowdowns;
+            }
+        }
+    }
+    if (!vsOracle.empty()) {
+        eval.geomeanVsOracle = geomean(vsOracle);
+        eval.geomeanVsBaseline = geomean(vsBaseline);
+    }
+    return eval;
+}
+
+} // namespace port
+} // namespace graphport

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Predictive strategies — the paper's second future-work direction
+ * (Section IX): move from *descriptive* models (which need
+ * measurements of the exact test) to *predictive* ones that choose a
+ * configuration for an unseen (application, input) pair on a chip.
+ *
+ * The predictor is deliberately simple and transparent, in the spirit
+ * of the paper's black-box treatment of chips: a nearest-neighbour
+ * vote in a workload feature space derived from the *trace* (which the
+ * compiler knows without timing anything):
+ *
+ *  - log launches per host iteration and total launches (how
+ *    launch-bound the app is -> oitergb),
+ *  - mean inner-loop size and divergence spread (load imbalance ->
+ *    np schemes),
+ *  - contended pushes per item (worklist pressure -> coop-cv),
+ *  - edge-to-item ratio (memory boundedness).
+ *
+ * Evaluation is leave-one-out over a dataset: predict each test's
+ * configuration from the other tests on the same chip and compare
+ * with that test's oracle.
+ */
+#ifndef GRAPHPORT_PORT_PREDICT_HPP
+#define GRAPHPORT_PORT_PREDICT_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "graphport/dsl/trace.hpp"
+#include "graphport/port/strategy.hpp"
+#include "graphport/runner/dataset.hpp"
+
+namespace graphport {
+namespace port {
+
+/** Number of workload features. */
+constexpr unsigned kNumWorkloadFeatures = 6;
+
+/** A point in workload feature space. */
+using WorkloadFeatures = std::array<double, kNumWorkloadFeatures>;
+
+/**
+ * Extract (timing-free) workload features from a trace.
+ */
+WorkloadFeatures extractFeatures(const dsl::AppTrace &trace);
+
+/** Human-readable feature names, parallel to WorkloadFeatures. */
+const std::array<std::string, kNumWorkloadFeatures> &featureNames();
+
+/**
+ * A k-nearest-neighbour configuration predictor trained on
+ * (features, best configuration) pairs of one chip.
+ */
+class KnnPredictor
+{
+  public:
+    /**
+     * @param k Number of neighbours consulted (majority vote on the
+     *          configuration id; nearest wins ties).
+     */
+    explicit KnnPredictor(unsigned k = 3);
+
+    /** Add one training example. */
+    void addExample(const WorkloadFeatures &features,
+                    unsigned config);
+
+    /** Number of stored examples. */
+    std::size_t size() const { return examples_.size(); }
+
+    /**
+     * Predict a configuration for @p features.
+     *
+     * @throws FatalError when no examples have been added.
+     */
+    unsigned predict(const WorkloadFeatures &features) const;
+
+  private:
+    struct Example
+    {
+        WorkloadFeatures features;
+        unsigned config;
+    };
+    unsigned k_;
+    std::vector<Example> examples_;
+};
+
+/** Leave-one-out evaluation summary of the predictor. */
+struct PredictionEval
+{
+    /** Tests evaluated. */
+    std::size_t tests = 0;
+    /** Predictions equal to the test's oracle configuration. */
+    std::size_t exactMatches = 0;
+    /** Geomean of predicted/oracle runtimes (>= 1). */
+    double geomeanVsOracle = 1.0;
+    /** Geomean of baseline/predicted runtimes. */
+    double geomeanVsBaseline = 1.0;
+    /** Tests the prediction made significantly slower than baseline. */
+    std::size_t slowdowns = 0;
+};
+
+/**
+ * Leave-one-out evaluation on @p ds: for every test, train a
+ * predictor on all other tests *of the same chip* (features from
+ * their traces, labels from their oracle configurations) and predict
+ * this test's configuration.
+ *
+ * @param traces Per-(app, input) traces keyed "app|input" (as
+ *               produced by collectTraces).
+ */
+PredictionEval evaluatePredictor(
+    const runner::Dataset &ds,
+    const std::map<std::string, dsl::AppTrace> &traces,
+    unsigned k = 3);
+
+/** Run every (app, input) of a universe once and key traces "app|input". */
+std::map<std::string, dsl::AppTrace>
+collectTraces(const runner::Universe &universe);
+
+} // namespace port
+} // namespace graphport
+
+#endif // GRAPHPORT_PORT_PREDICT_HPP

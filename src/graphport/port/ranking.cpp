@@ -1,0 +1,123 @@
+#include "graphport/port/ranking.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graphport/support/mathutil.hpp"
+
+namespace graphport {
+namespace port {
+
+std::vector<ComboStats>
+rankCombos(const runner::Dataset &ds)
+{
+    const unsigned baseline = dsl::OptConfig::baseline().encode();
+    std::vector<ComboStats> stats;
+    stats.reserve(ds.numConfigs() - 1);
+
+    for (unsigned cfg = 0; cfg < ds.numConfigs(); ++cfg) {
+        if (cfg == baseline)
+            continue;
+        ComboStats cs;
+        cs.config = cfg;
+        cs.label = dsl::OptConfig::decode(cfg).label();
+        std::vector<double> ratios;
+        ratios.reserve(ds.numTests());
+        for (std::size_t t = 0; t < ds.numTests(); ++t) {
+            const double base = ds.meanNs(t, baseline);
+            const double time = ds.meanNs(t, cfg);
+            ratios.push_back(base / time);
+            cs.maxSpeedup = std::max(cs.maxSpeedup, base / time);
+            switch (ds.outcome(t, cfg, baseline)) {
+              case runner::Outcome::Speedup:
+                ++cs.speedups;
+                break;
+              case runner::Outcome::Slowdown:
+                ++cs.slowdowns;
+                break;
+              case runner::Outcome::NoChange:
+                break;
+            }
+        }
+        cs.geomean = geomean(ratios);
+        stats.push_back(std::move(cs));
+    }
+
+    std::sort(stats.begin(), stats.end(),
+              [](const ComboStats &a, const ComboStats &b) {
+                  if (a.slowdowns != b.slowdowns)
+                      return a.slowdowns < b.slowdowns;
+                  if (a.speedups != b.speedups)
+                      return a.speedups > b.speedups;
+                  return a.geomean > b.geomean;
+              });
+    return stats;
+}
+
+std::size_t
+rankOf(const std::vector<ComboStats> &ranking, unsigned config)
+{
+    for (std::size_t i = 0; i < ranking.size(); ++i) {
+        if (ranking[i].config == config)
+            return i;
+    }
+    return std::numeric_limits<std::size_t>::max();
+}
+
+std::vector<EnvelopeRow>
+computeEnvelope(const runner::Dataset &ds)
+{
+    const unsigned baseline = dsl::OptConfig::baseline().encode();
+    std::vector<EnvelopeRow> rows;
+    for (const std::string &chip : ds.universe().chips) {
+        EnvelopeRow row;
+        row.chip = chip;
+        for (std::size_t t : ds.testsWhere("", "", chip)) {
+            const runner::Test test = ds.testAt(t);
+            const double base = ds.meanNs(t, baseline);
+            for (unsigned cfg = 0; cfg < ds.numConfigs(); ++cfg) {
+                if (cfg == baseline)
+                    continue;
+                const double ratio = base / ds.meanNs(t, cfg);
+                if (ratio > row.maxSpeedup) {
+                    row.maxSpeedup = ratio;
+                    row.speedupApp = test.app;
+                    row.speedupInput = test.input;
+                    row.speedupConfig =
+                        dsl::OptConfig::decode(cfg).label();
+                }
+                if (1.0 / ratio > row.maxSlowdown) {
+                    row.maxSlowdown = 1.0 / ratio;
+                    row.slowdownApp = test.app;
+                    row.slowdownInput = test.input;
+                    row.slowdownConfig =
+                        dsl::OptConfig::decode(cfg).label();
+                }
+            }
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+NaiveAnalyses
+naiveAnalyses(const std::vector<ComboStats> &ranking)
+{
+    NaiveAnalyses out;
+    for (const ComboStats &cs : ranking) {
+        if (cs.slowdowns == 0)
+            out.doNoHarm.push_back(cs.config);
+    }
+    out.fewestSlowdowns = ranking.front().config;
+    double bestGeomean = 0.0;
+    for (const ComboStats &cs : ranking) {
+        if (cs.geomean > bestGeomean) {
+            bestGeomean = cs.geomean;
+            out.maxGeomean = cs.config;
+        }
+    }
+    return out;
+}
+
+} // namespace port
+} // namespace graphport

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Global combination ranking and the Section II analyses:
+ *
+ *  - Table III: every non-baseline configuration ranked by the number
+ *    of tests it slows down when applied globally.
+ *  - Table II: the per-chip speedup/slowdown envelope (best and worst
+ *    individual effects of any configuration).
+ *  - Section II-C: the naive portable-strategy selectors (do no harm,
+ *    fewest slowdowns, maximise geomean) that the paper shows to be
+ *    trivial or biased.
+ */
+#ifndef GRAPHPORT_PORT_RANKING_HPP
+#define GRAPHPORT_PORT_RANKING_HPP
+
+#include <string>
+#include <vector>
+
+#include "graphport/runner/dataset.hpp"
+
+namespace graphport {
+namespace port {
+
+/** Global statistics of one configuration (one row of Table III). */
+struct ComboStats
+{
+    unsigned config = 0;
+    std::string label;
+    /** Significant outcomes vs. baseline across all tests. */
+    std::size_t slowdowns = 0;
+    std::size_t speedups = 0;
+    /** Geomean of baseline/config runtimes across all tests. */
+    double geomean = 1.0;
+    /** Largest individual speedup across tests. */
+    double maxSpeedup = 1.0;
+};
+
+/**
+ * Rank all 95 non-baseline configurations by ascending slowdown
+ * count (ties broken by descending speedup count, then geomean).
+ * The returned vector is ordered by rank; element 0 is rank 0.
+ */
+std::vector<ComboStats> rankCombos(const runner::Dataset &ds);
+
+/** Rank position of @p config in @p ranking; SIZE_MAX if absent. */
+std::size_t rankOf(const std::vector<ComboStats> &ranking,
+                   unsigned config);
+
+/** One row of the Table II envelope. */
+struct EnvelopeRow
+{
+    std::string chip;
+    double maxSpeedup = 1.0;
+    std::string speedupApp;
+    std::string speedupInput;
+    std::string speedupConfig;
+    double maxSlowdown = 1.0;
+    std::string slowdownApp;
+    std::string slowdownInput;
+    std::string slowdownConfig;
+};
+
+/** Per-chip extreme speedups and slowdowns (paper Table II). */
+std::vector<EnvelopeRow> computeEnvelope(const runner::Dataset &ds);
+
+/** Results of the Section II-C naive strategy selectors. */
+struct NaiveAnalyses
+{
+    /** Configs causing no slowdown anywhere (usually empty). */
+    std::vector<unsigned> doNoHarm;
+    /** Config with the fewest slowdowns (rank 0). */
+    unsigned fewestSlowdowns = 0;
+    /** Config with the highest global geomean. */
+    unsigned maxGeomean = 0;
+};
+
+/** Run the naive selectors over a ranking. */
+NaiveAnalyses naiveAnalyses(const std::vector<ComboStats> &ranking);
+
+} // namespace port
+} // namespace graphport
+
+#endif // GRAPHPORT_PORT_RANKING_HPP

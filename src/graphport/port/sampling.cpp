@@ -1,0 +1,115 @@
+#include "graphport/port/sampling.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "graphport/port/evaluate.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/rng.hpp"
+
+namespace graphport {
+namespace port {
+
+namespace {
+
+/** Partition test indices by the specialised dimensions. */
+std::map<std::string, std::vector<std::size_t>>
+partitionTests(const runner::Dataset &ds, const Specialisation &spec)
+{
+    std::map<std::string, std::vector<std::size_t>> partitions;
+    for (std::size_t t = 0; t < ds.numTests(); ++t) {
+        const runner::Test test = ds.testAt(t);
+        std::string key;
+        if (spec.byApp)
+            key += test.app + "|";
+        if (spec.byInput)
+            key += test.input + "|";
+        if (spec.byChip)
+            key += test.chip + "|";
+        partitions[key].push_back(t);
+    }
+    return partitions;
+}
+
+} // namespace
+
+SamplingResult
+sampledAnalysis(const runner::Dataset &ds, const Specialisation &spec,
+                double fraction, unsigned trials, std::uint64_t seed,
+                double alpha)
+{
+    fatalIf(fraction <= 0.0 || fraction > 1.0,
+            "sampledAnalysis: fraction out of (0, 1]");
+    fatalIf(trials == 0, "sampledAnalysis: need at least one trial");
+
+    SamplingResult result;
+    result.sampleFraction = fraction;
+    result.trials = trials;
+
+    const auto partitions = partitionTests(ds, spec);
+
+    // Full-data reference analysis per partition.
+    std::map<std::string, PartitionAnalysis> reference;
+    for (const auto &[key, tests] : partitions)
+        reference.emplace(key, optsForPartition(ds, tests, alpha));
+
+    Rng rng(seed);
+    double verdictAgree = 0.0;
+    double configAgree = 0.0;
+    double geoVsOracle = 0.0;
+
+    for (unsigned trial = 0; trial < trials; ++trial) {
+        Strategy strategy;
+        strategy.name = "sampled";
+        strategy.configPerTest.assign(
+            ds.numTests(), dsl::OptConfig::baseline().encode());
+
+        std::size_t verdictsTotal = 0, verdictsSame = 0;
+        std::size_t configsSame = 0;
+
+        for (const auto &[key, tests] : partitions) {
+            // Sample ceil(fraction * n) tests without replacement.
+            std::vector<std::size_t> pool = tests;
+            rng.shuffle(pool);
+            const std::size_t take = std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       fraction * static_cast<double>(pool.size()) +
+                       0.999999));
+            pool.resize(std::min(take, pool.size()));
+
+            const PartitionAnalysis sampled =
+                optsForPartition(ds, pool, alpha);
+            const PartitionAnalysis &full = reference.at(key);
+
+            for (std::size_t i = 0; i < sampled.decisions.size();
+                 ++i) {
+                ++verdictsTotal;
+                verdictsSame += sampled.decisions[i].verdict ==
+                                        full.decisions[i].verdict
+                                    ? 1
+                                    : 0;
+            }
+            configsSame +=
+                sampled.config.encode() == full.config.encode() ? 1
+                                                                : 0;
+            const unsigned cfg = sampled.config.encode();
+            for (std::size_t t : tests)
+                strategy.configPerTest[t] = cfg;
+        }
+
+        verdictAgree += static_cast<double>(verdictsSame) /
+                        static_cast<double>(verdictsTotal);
+        configAgree += static_cast<double>(configsSame) /
+                       static_cast<double>(partitions.size());
+        geoVsOracle +=
+            evaluateStrategy(ds, strategy).geomeanVsOracle;
+    }
+
+    result.verdictAgreement = verdictAgree / trials;
+    result.configAgreement = configAgree / trials;
+    result.geomeanVsOracle = geoVsOracle / trials;
+    return result;
+}
+
+} // namespace port
+} // namespace graphport

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Sampled analysis — the paper's future-work question (Section IX):
+ * "whether smaller sample sizes from the test domain could be
+ * sufficient to yield significant results".
+ *
+ * Algorithm 1 is re-run on random subsets of each partition's tests,
+ * and the resulting verdicts, configurations and strategy quality are
+ * compared against the full-data analysis. This quantifies how much
+ * experimental time a practitioner could save.
+ */
+#ifndef GRAPHPORT_PORT_SAMPLING_HPP
+#define GRAPHPORT_PORT_SAMPLING_HPP
+
+#include <cstdint>
+
+#include "graphport/port/strategy.hpp"
+#include "graphport/runner/dataset.hpp"
+
+namespace graphport {
+namespace port {
+
+/** Outcome of one sampled-analysis experiment. */
+struct SamplingResult
+{
+    /** Fraction of each partition's tests used, in (0, 1]. */
+    double sampleFraction = 1.0;
+    /** Number of random subsets evaluated. */
+    unsigned trials = 0;
+    /**
+     * Mean fraction of (partition, optimisation) verdicts agreeing
+     * with the full-data analysis.
+     */
+    double verdictAgreement = 0.0;
+    /**
+     * Mean fraction of partitions whose final configuration equals
+     * the full-data configuration.
+     */
+    double configAgreement = 0.0;
+    /**
+     * Mean geomean-vs-oracle of the strategies built from the
+     * sampled analyses (1.0 = oracle-equivalent).
+     */
+    double geomeanVsOracle = 1.0;
+};
+
+/**
+ * Run the sampled-analysis experiment.
+ *
+ * @param ds       The full dataset (the sampled analyses only *read*
+ *                 subsets; no new measurements are taken).
+ * @param spec     Which specialisation to sample under (e.g. per
+ *                 chip).
+ * @param fraction Fraction of each partition's tests per trial,
+ *                 clamped so at least one test is used.
+ * @param trials   Number of random subsets.
+ * @param seed     RNG seed for subset selection.
+ * @param alpha    MWU significance level.
+ */
+SamplingResult sampledAnalysis(const runner::Dataset &ds,
+                               const Specialisation &spec,
+                               double fraction, unsigned trials,
+                               std::uint64_t seed = 0xfade,
+                               double alpha = 0.05);
+
+} // namespace port
+} // namespace graphport
+
+#endif // GRAPHPORT_PORT_SAMPLING_HPP

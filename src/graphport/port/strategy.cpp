@@ -1,0 +1,137 @@
+#include "graphport/port/strategy.hpp"
+
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+namespace port {
+
+std::string
+Specialisation::name() const
+{
+    if (!byApp && !byInput && !byChip)
+        return "global";
+    std::string out;
+    auto append = [&](const std::string &s) {
+        if (!out.empty())
+            out += "_";
+        out += s;
+    };
+    if (byChip)
+        append("chip");
+    if (byApp)
+        append("app");
+    if (byInput)
+        append("input");
+    return out;
+}
+
+unsigned
+Specialisation::degree() const
+{
+    return (byApp ? 1u : 0u) + (byInput ? 1u : 0u) + (byChip ? 1u : 0u);
+}
+
+const std::vector<Specialisation> &
+Specialisation::lattice()
+{
+    static const std::vector<Specialisation> lattice = {
+        {false, false, false}, // global
+        {false, false, true},  // chip
+        {true, false, false},  // app
+        {false, true, false},  // input
+        {true, false, true},   // chip_app
+        {false, true, true},   // chip_input
+        {true, true, false},   // app_input
+        {true, true, true},    // chip_app_input
+    };
+    return lattice;
+}
+
+unsigned
+Strategy::configFor(std::size_t test) const
+{
+    panicIf(test >= configPerTest.size(),
+            "Strategy::configFor out of range");
+    return configPerTest[test];
+}
+
+Strategy
+makeBaseline(const runner::Dataset &ds)
+{
+    Strategy s;
+    s.name = "baseline";
+    s.configPerTest.assign(ds.numTests(),
+                           dsl::OptConfig::baseline().encode());
+    return s;
+}
+
+Strategy
+makeOracle(const runner::Dataset &ds)
+{
+    Strategy s;
+    s.name = "oracle";
+    s.configPerTest.resize(ds.numTests());
+    for (std::size_t t = 0; t < ds.numTests(); ++t)
+        s.configPerTest[t] = ds.bestConfig(t);
+    return s;
+}
+
+Strategy
+makeConstant(const runner::Dataset &ds, unsigned config,
+             const std::string &name)
+{
+    panicIf(config >= ds.numConfigs(),
+            "makeConstant: config out of range");
+    Strategy s;
+    s.name = name;
+    s.configPerTest.assign(ds.numTests(), config);
+    return s;
+}
+
+Strategy
+makeSpecialised(const runner::Dataset &ds, const Specialisation &spec,
+                double alpha)
+{
+    Strategy s;
+    s.name = spec.name();
+    s.configPerTest.assign(ds.numTests(),
+                           dsl::OptConfig::baseline().encode());
+
+    // Group test indices by their partition key.
+    std::map<std::string, std::vector<std::size_t>> partitions;
+    for (std::size_t t = 0; t < ds.numTests(); ++t) {
+        const runner::Test test = ds.testAt(t);
+        std::string key;
+        if (spec.byApp)
+            key += test.app + "|";
+        if (spec.byInput)
+            key += test.input + "|";
+        if (spec.byChip)
+            key += test.chip + "|";
+        partitions[key].push_back(t);
+    }
+
+    for (const auto &[key, tests] : partitions) {
+        PartitionAnalysis analysis =
+            optsForPartition(ds, tests, alpha);
+        const unsigned cfg = analysis.config.encode();
+        for (std::size_t t : tests)
+            s.configPerTest[t] = cfg;
+        s.partitions.emplace(key, std::move(analysis));
+    }
+    return s;
+}
+
+std::vector<Strategy>
+allStrategies(const runner::Dataset &ds, double alpha)
+{
+    std::vector<Strategy> out;
+    out.push_back(makeBaseline(ds));
+    for (const Specialisation &spec : Specialisation::lattice())
+        out.push_back(makeSpecialised(ds, spec, alpha));
+    out.push_back(makeOracle(ds));
+    return out;
+}
+
+} // namespace port
+} // namespace graphport

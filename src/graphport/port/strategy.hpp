@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Optimisation strategies: functions from (application, input, chip)
+ * to an optimisation configuration (paper Table V / Section III-A).
+ *
+ * The specialisation lattice has eight MWU-derived strategies — one
+ * per subset of {app, input, chip} — plus the baseline (everything
+ * off) and the oracle (per-test best configuration queried from the
+ * dataset). A strategy derived with specialisation subset S partitions
+ * the dataset by the dimensions in S and runs Algorithm 1 on each
+ * partition.
+ */
+#ifndef GRAPHPORT_PORT_STRATEGY_HPP
+#define GRAPHPORT_PORT_STRATEGY_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graphport/port/algorithm1.hpp"
+#include "graphport/runner/dataset.hpp"
+
+namespace graphport {
+namespace port {
+
+/** Which dimensions a strategy specialises over. */
+struct Specialisation
+{
+    bool byApp = false;
+    bool byInput = false;
+    bool byChip = false;
+
+    /** Paper-style name: "global", "chip", "app_input", ... */
+    std::string name() const;
+
+    /** Number of specialised dimensions. */
+    unsigned degree() const;
+
+    /** All eight subsets, from global to chip_app_input. */
+    static const std::vector<Specialisation> &lattice();
+};
+
+/** A fully materialised strategy: one configuration per test. */
+struct Strategy
+{
+    std::string name;
+    /** Config id per test index (parallel to Dataset tests). */
+    std::vector<unsigned> configPerTest;
+    /**
+     * Per-partition analyses, keyed by partition label (empty for
+     * baseline/oracle, one entry keyed "" for global).
+     */
+    std::map<std::string, PartitionAnalysis> partitions;
+
+    /** Configuration assigned to @p test. */
+    unsigned configFor(std::size_t test) const;
+};
+
+/** The baseline strategy: every test maps to the empty config. */
+Strategy makeBaseline(const runner::Dataset &ds);
+
+/** The oracle strategy: every test maps to its best configuration. */
+Strategy makeOracle(const runner::Dataset &ds);
+
+/**
+ * An MWU-derived strategy specialised over @p spec: partition the
+ * tests by the specialised dimensions and run Algorithm 1 per
+ * partition.
+ */
+Strategy makeSpecialised(const runner::Dataset &ds,
+                         const Specialisation &spec,
+                         double alpha = 0.05);
+
+/**
+ * A constant strategy applying one configuration to every test (used
+ * by the Section II-C naive analyses).
+ */
+Strategy makeConstant(const runner::Dataset &ds, unsigned config,
+                      const std::string &name);
+
+/**
+ * All ten strategies of the study: baseline, the eight lattice
+ * strategies, and the oracle, in increasing order of specialisation.
+ */
+std::vector<Strategy> allStrategies(const runner::Dataset &ds,
+                                    double alpha = 0.05);
+
+} // namespace port
+} // namespace graphport
+
+#endif // GRAPHPORT_PORT_STRATEGY_HPP

@@ -1,0 +1,34 @@
+#include "graphport/port/topspeedups.hpp"
+
+namespace graphport {
+namespace port {
+
+std::vector<TopSpeedupRow>
+computeTopSpeedups(const runner::Dataset &ds)
+{
+    const unsigned baseline = dsl::OptConfig::baseline().encode();
+    std::vector<TopSpeedupRow> rows;
+    for (const std::string &chip : ds.universe().chips) {
+        TopSpeedupRow row;
+        row.chip = chip;
+        for (std::size_t t : ds.testsWhere("", "", chip)) {
+            const unsigned best = ds.bestConfig(t);
+            if (ds.outcome(t, best, baseline) !=
+                runner::Outcome::Speedup) {
+                continue;
+            }
+            ++row.testsWithSpeedup;
+            const dsl::OptConfig cfg = dsl::OptConfig::decode(best);
+            const auto &opts = dsl::allOpts();
+            for (std::size_t i = 0; i < opts.size(); ++i) {
+                if (cfg.has(opts[i]))
+                    ++row.optCounts[i];
+            }
+        }
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace port
+} // namespace graphport

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 2: which optimisations are necessary for the top speedups on
+ * each chip. For every (application, input) pair on a chip, the
+ * best-performing configuration is queried; the summary reports how
+ * often each optimisation appears in those per-test optima.
+ */
+#ifndef GRAPHPORT_PORT_TOPSPEEDUPS_HPP
+#define GRAPHPORT_PORT_TOPSPEEDUPS_HPP
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "graphport/dsl/optconfig.hpp"
+#include "graphport/runner/dataset.hpp"
+
+namespace graphport {
+namespace port {
+
+/** Per-chip summary of optimisations required for top speedups. */
+struct TopSpeedupRow
+{
+    std::string chip;
+    /** Tests on this chip whose best config beats the baseline. */
+    std::size_t testsWithSpeedup = 0;
+    /**
+     * For each optimisation (allOpts() order): in how many per-test
+     * optimal configurations it appears.
+     */
+    std::array<std::size_t, dsl::kNumOpts> optCounts{};
+};
+
+/** Compute the Figure 2 summary. */
+std::vector<TopSpeedupRow> computeTopSpeedups(const runner::Dataset &ds);
+
+} // namespace port
+} // namespace graphport
+
+#endif // GRAPHPORT_PORT_TOPSPEEDUPS_HPP

@@ -1,0 +1,317 @@
+#include "graphport/runner/dataset.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+
+#include "graphport/apps/app.hpp"
+#include "graphport/sim/chip.hpp"
+#include "graphport/sim/costengine.hpp"
+#include "graphport/support/csv.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/rng.hpp"
+#include "graphport/support/strings.hpp"
+
+namespace graphport {
+namespace runner {
+
+namespace {
+
+/** Deterministic 64-bit hash of a string. */
+std::uint64_t
+hashStr(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s)
+        h = splitmix64(h ^ c);
+    return h;
+}
+
+std::uint64_t
+runSeed(std::uint64_t master, const Test &test, unsigned config,
+        unsigned run)
+{
+    std::uint64_t h = master;
+    h = splitmix64(h ^ hashStr(test.app));
+    h = splitmix64(h ^ hashStr(test.input));
+    h = splitmix64(h ^ hashStr(test.chip));
+    h = splitmix64(h ^ config);
+    h = splitmix64(h ^ run);
+    return h;
+}
+
+} // namespace
+
+std::string
+Test::label() const
+{
+    return app + "/" + input + "/" + chip;
+}
+
+std::size_t
+Dataset::numTests() const
+{
+    return universe_.numTests();
+}
+
+Test
+Dataset::testAt(std::size_t t) const
+{
+    const std::size_t nChips = universe_.chips.size();
+    const std::size_t nInputs = universe_.inputs.size();
+    panicIf(t >= numTests(), "Dataset::testAt out of range");
+    const std::size_t c = t % nChips;
+    const std::size_t i = (t / nChips) % nInputs;
+    const std::size_t a = t / (nChips * nInputs);
+    return {universe_.apps[a], universe_.inputs[i].name,
+            universe_.chips[c]};
+}
+
+std::size_t
+Dataset::testIndex(const std::string &app, const std::string &input,
+                   const std::string &chip) const
+{
+    const auto findIn = [](const std::vector<std::string> &v,
+                           const std::string &x) {
+        const auto it = std::find(v.begin(), v.end(), x);
+        fatalIf(it == v.end(), "Dataset: unknown name " + x);
+        return static_cast<std::size_t>(it - v.begin());
+    };
+    const std::size_t a = findIn(universe_.apps, app);
+    std::size_t i = universe_.inputs.size();
+    for (std::size_t k = 0; k < universe_.inputs.size(); ++k) {
+        if (universe_.inputs[k].name == input) {
+            i = k;
+            break;
+        }
+    }
+    fatalIf(i == universe_.inputs.size(),
+            "Dataset: unknown input " + input);
+    const std::size_t c = findIn(universe_.chips, chip);
+    return (a * universe_.inputs.size() + i) * universe_.chips.size() +
+           c;
+}
+
+std::vector<std::size_t>
+Dataset::testsWhere(const std::string &app, const std::string &input,
+                    const std::string &chip) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t t = 0; t < numTests(); ++t) {
+        const Test test = testAt(t);
+        if (!app.empty() && test.app != app)
+            continue;
+        if (!input.empty() && test.input != input)
+            continue;
+        if (!chip.empty() && test.chip != chip)
+            continue;
+        out.push_back(t);
+    }
+    return out;
+}
+
+std::size_t
+Dataset::cellIndex(std::size_t test, unsigned config) const
+{
+    panicIf(test >= numTests(), "Dataset: test index out of range");
+    panicIf(config >= numConfigs(),
+            "Dataset: config index out of range");
+    return test * numConfigs() + config;
+}
+
+const std::vector<double> &
+Dataset::runs(std::size_t test, unsigned config) const
+{
+    return cellRuns_[cellIndex(test, config)];
+}
+
+const stats::SampleSummary &
+Dataset::summary(std::size_t test, unsigned config) const
+{
+    return summaries_[cellIndex(test, config)];
+}
+
+double
+Dataset::meanNs(std::size_t test, unsigned config) const
+{
+    return summary(test, config).mean;
+}
+
+bool
+Dataset::significant(std::size_t test, unsigned config_a,
+                     unsigned config_b) const
+{
+    return stats::significantDifference(summary(test, config_a),
+                                        summary(test, config_b));
+}
+
+Outcome
+Dataset::outcome(std::size_t test, unsigned config,
+                 unsigned reference) const
+{
+    if (!significant(test, config, reference))
+        return Outcome::NoChange;
+    return meanNs(test, config) < meanNs(test, reference)
+               ? Outcome::Speedup
+               : Outcome::Slowdown;
+}
+
+unsigned
+Dataset::bestConfig(std::size_t test) const
+{
+    unsigned best = 0;
+    double bestNs = std::numeric_limits<double>::max();
+    for (unsigned cfg = 0; cfg < numConfigs(); ++cfg) {
+        const double t = meanNs(test, cfg);
+        if (t < bestNs) {
+            bestNs = t;
+            best = cfg;
+        }
+    }
+    return best;
+}
+
+bool
+Dataset::anySpeedupAvailable(std::size_t test) const
+{
+    const unsigned baseline = dsl::OptConfig::baseline().encode();
+    const unsigned best = bestConfig(test);
+    return outcome(test, best, baseline) == Outcome::Speedup;
+}
+
+void
+Dataset::finalise()
+{
+    const std::size_t cells = numTests() * numConfigs();
+    const unsigned runs = universe_.runs;
+    panicIf(runsNs_.size() != cells * runs,
+            "Dataset: run vector size mismatch");
+    cellRuns_.resize(cells);
+    summaries_.resize(cells);
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+        cellRuns_[cell].assign(runsNs_.begin() + cell * runs,
+                               runsNs_.begin() + (cell + 1) * runs);
+        summaries_[cell] = stats::summarise(cellRuns_[cell]);
+    }
+}
+
+Dataset
+Dataset::build(const Universe &universe)
+{
+    universe.validate();
+    Dataset ds;
+    ds.universe_ = universe;
+    const std::size_t cells = ds.numTests() * ds.numConfigs();
+    ds.runsNs_.assign(cells * universe.runs, 0.0);
+
+    const auto &configs = dsl::allConfigs();
+
+    for (std::size_t i = 0; i < universe.inputs.size(); ++i) {
+        const graph::Csr g = universe.inputs[i].make();
+        for (std::size_t a = 0; a < universe.apps.size(); ++a) {
+            const apps::Application &app =
+                apps::appByName(universe.apps[a]);
+            auto [output, trace] =
+                apps::runApp(app, g, universe.inputs[i].name);
+            (void)output;
+            for (std::size_t c = 0; c < universe.chips.size(); ++c) {
+                const sim::ChipModel &chip =
+                    sim::chipByName(universe.chips[c]);
+                const std::size_t test =
+                    (a * universe.inputs.size() + i) *
+                        universe.chips.size() +
+                    c;
+                const Test id = ds.testAt(test);
+                for (unsigned cfg = 0; cfg < ds.numConfigs(); ++cfg) {
+                    const sim::CostEngine engine(chip, configs[cfg]);
+                    const double base = engine.appTimeNs(trace);
+                    for (unsigned r = 0; r < universe.runs; ++r) {
+                        const std::uint64_t seed = runSeed(
+                            universe.seed, id, cfg, r);
+                        ds.runsNs_[(test * ds.numConfigs() + cfg) *
+                                       universe.runs +
+                                   r] =
+                            sim::noisyTimeNs(base, chip.noiseSigma,
+                                             seed);
+                    }
+                }
+            }
+        }
+    }
+    ds.finalise();
+    return ds;
+}
+
+void
+Dataset::saveCsv(std::ostream &os) const
+{
+    os << "app,input,chip,config,run,ns\n";
+    for (std::size_t t = 0; t < numTests(); ++t) {
+        const Test test = testAt(t);
+        for (unsigned cfg = 0; cfg < numConfigs(); ++cfg) {
+            const auto &rs = runs(t, cfg);
+            for (unsigned r = 0; r < rs.size(); ++r) {
+                os << csvRow({test.app, test.input, test.chip,
+                              std::to_string(cfg), std::to_string(r),
+                              fmtDouble(rs[r], 3)})
+                   << "\n";
+            }
+        }
+    }
+}
+
+Dataset
+Dataset::loadCsv(const Universe &universe, std::istream &is)
+{
+    universe.validate();
+    Dataset ds;
+    ds.universe_ = universe;
+    const std::size_t cells = ds.numTests() * ds.numConfigs();
+    ds.runsNs_.assign(cells * universe.runs, -1.0);
+
+    std::string line;
+    fatalIf(!std::getline(is, line), "Dataset CSV: empty file");
+    fatalIf(trim(line) != "app,input,chip,config,run,ns",
+            "Dataset CSV: unexpected header: " + line);
+    while (std::getline(is, line)) {
+        if (trim(line).empty())
+            continue;
+        const std::vector<std::string> f = csvParseLine(line);
+        fatalIf(f.size() != 6, "Dataset CSV: bad row: " + line);
+        const std::size_t test = ds.testIndex(f[0], f[1], f[2]);
+        const unsigned cfg = static_cast<unsigned>(std::stoul(f[3]));
+        const unsigned run = static_cast<unsigned>(std::stoul(f[4]));
+        fatalIf(cfg >= ds.numConfigs() || run >= universe.runs,
+                "Dataset CSV: index out of range: " + line);
+        ds.runsNs_[(test * ds.numConfigs() + cfg) * universe.runs +
+                   run] = std::stod(f[5]);
+    }
+    for (double v : ds.runsNs_)
+        fatalIf(v < 0.0, "Dataset CSV: missing cells for universe");
+    ds.finalise();
+    return ds;
+}
+
+Dataset
+Dataset::buildOrLoadCached(const Universe &universe,
+                           const std::string &path)
+{
+    {
+        std::ifstream in(path);
+        if (in.good()) {
+            try {
+                return loadCsv(universe, in);
+            } catch (const FatalError &) {
+                // Stale or mismatched cache: fall through to rebuild.
+            }
+        }
+    }
+    Dataset ds = build(universe);
+    std::ofstream out(path);
+    if (out.good())
+        ds.saveCsv(out);
+    return ds;
+}
+
+} // namespace runner
+} // namespace graphport

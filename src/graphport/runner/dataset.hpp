@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The experiment dataset: repeated timings for every
+ * (application, input, chip, configuration) cell of a universe.
+ *
+ * This is the object the paper's whole analysis consumes. A "test" is
+ * an (application, input, chip) triple; each test has one timing
+ * sample (of `runs` repetitions) per optimisation configuration.
+ *
+ * Datasets are deterministic: building the same universe twice yields
+ * identical numbers. They can be persisted to CSV so that the many
+ * per-table bench binaries share one sweep.
+ */
+#ifndef GRAPHPORT_RUNNER_DATASET_HPP
+#define GRAPHPORT_RUNNER_DATASET_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graphport/dsl/optconfig.hpp"
+#include "graphport/runner/universe.hpp"
+#include "graphport/stats/significance.hpp"
+
+namespace graphport {
+namespace runner {
+
+/** Identity of one test (a point of the study's cross product). */
+struct Test
+{
+    std::string app;
+    std::string input;
+    std::string chip;
+
+    /** "app/input/chip" display form. */
+    std::string label() const;
+};
+
+/** Outcome of comparing a configuration against a reference. */
+enum class Outcome { Speedup, Slowdown, NoChange };
+
+/** Timing dataset over a universe. */
+class Dataset
+{
+  public:
+    /**
+     * Run the full sweep for @p universe: generate inputs, trace
+     * every (app, input) pair once, and price every
+     * (test, configuration) cell with `universe.runs` noisy
+     * measurements.
+     */
+    static Dataset build(const Universe &universe);
+
+    /**
+     * Load the dataset from @p path if the file exists, otherwise
+     * build it and save it there. Used by the bench binaries to share
+     * one sweep.
+     */
+    static Dataset buildOrLoadCached(const Universe &universe,
+                                     const std::string &path);
+
+    /** Serialise to CSV (one row per run). */
+    void saveCsv(std::ostream &os) const;
+
+    /**
+     * Deserialise from CSV produced by saveCsv for the same universe.
+     *
+     * @throws FatalError when the file does not match the universe.
+     */
+    static Dataset loadCsv(const Universe &universe, std::istream &is);
+
+    /** The universe this dataset covers. */
+    const Universe &universe() const { return universe_; }
+
+    /** Number of tests (app x input x chip). */
+    std::size_t numTests() const;
+
+    /** Number of configurations per test (always 96). */
+    unsigned numConfigs() const { return dsl::kNumConfigs; }
+
+    /** Identity of test @p t. */
+    Test testAt(std::size_t t) const;
+
+    /** Index of a test by names. @throws FatalError when unknown. */
+    std::size_t testIndex(const std::string &app,
+                          const std::string &input,
+                          const std::string &chip) const;
+
+    /** All test indices whose chip is @p chip, etc. */
+    std::vector<std::size_t> testsWhere(const std::string &app,
+                                        const std::string &input,
+                                        const std::string &chip) const;
+
+    /** Raw repeated timings of one cell, ns. */
+    const std::vector<double> &runs(std::size_t test,
+                                    unsigned config) const;
+
+    /** Cached summary (mean, median, 95% CI) of one cell. */
+    const stats::SampleSummary &summary(std::size_t test,
+                                        unsigned config) const;
+
+    /** Mean runtime of one cell, ns. */
+    double meanNs(std::size_t test, unsigned config) const;
+
+    /**
+     * Whether the runtimes of two configurations differ significantly
+     * on @p test (the paper's SIGNIFICANT predicate: non-overlapping
+     * 95% CIs).
+     */
+    bool significant(std::size_t test, unsigned config_a,
+                     unsigned config_b) const;
+
+    /**
+     * Classify @p config against @p reference on @p test: Speedup
+     * when significantly faster, Slowdown when significantly slower,
+     * NoChange otherwise.
+     */
+    Outcome outcome(std::size_t test, unsigned config,
+                    unsigned reference) const;
+
+    /** Config id with the lowest mean runtime (the test's oracle). */
+    unsigned bestConfig(std::size_t test) const;
+
+    /**
+     * Whether any configuration yields a significant speedup over the
+     * baseline on @p test. The paper reports that 43% of its tests
+     * see no speedup from any configuration; such tests are excluded
+     * from Figure 3.
+     */
+    bool anySpeedupAvailable(std::size_t test) const;
+
+  private:
+    Dataset() = default;
+
+    std::size_t cellIndex(std::size_t test, unsigned config) const;
+    void finalise();
+
+    Universe universe_;
+    /** Flat runs: [test][config][run]. */
+    std::vector<double> runsNs_;
+    /** Per-cell run vectors (views materialised for the API). */
+    std::vector<std::vector<double>> cellRuns_;
+    /** Per-cell summaries. */
+    std::vector<stats::SampleSummary> summaries_;
+};
+
+} // namespace runner
+} // namespace graphport
+
+#endif // GRAPHPORT_RUNNER_DATASET_HPP

@@ -1,0 +1,100 @@
+#include "graphport/runner/universe.hpp"
+
+#include "graphport/apps/app.hpp"
+#include "graphport/graph/generators.hpp"
+#include "graphport/sim/chip.hpp"
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+namespace runner {
+
+graph::Csr
+InputSpec::make() const
+{
+    switch (kind) {
+      case Kind::RoadGrid:
+        return graph::gen::roadGrid(sizeParam, sizeParam, 0.01, seed,
+                                    name);
+      case Kind::Rmat:
+        return graph::gen::rmat(sizeParam, avgDegree, seed, name);
+      case Kind::Uniform:
+        return graph::gen::uniformRandom(sizeParam, avgDegree, seed,
+                                         name);
+      default:
+        panic("InputSpec: invalid kind");
+    }
+}
+
+std::size_t
+Universe::numTests() const
+{
+    return apps.size() * inputs.size() * chips.size();
+}
+
+void
+Universe::validate() const
+{
+    fatalIf(apps.empty() || inputs.empty() || chips.empty(),
+            "Universe must have at least one app, input and chip");
+    fatalIf(runs == 0, "Universe must have at least one run");
+    for (const std::string &a : apps)
+        apps::appByName(a); // throws on unknown names
+    for (const std::string &c : chips)
+        sim::chipByName(c);
+}
+
+Universe
+studyUniverse()
+{
+    Universe u;
+    u.apps = apps::allAppNames();
+    // The three input classes of Table VIII. The road input mirrors
+    // usa.ny's structure (large diameter, low uniform degree); the
+    // social input is a power-law RMAT; the random input is uniform.
+    u.inputs = {
+        {"road", "road network", InputSpec::Kind::RoadGrid, 128, 0.0,
+         11},
+        {"social", "social network", InputSpec::Kind::Rmat, 14, 16.0,
+         12},
+        {"random", "uniform random", InputSpec::Kind::Uniform, 16384,
+         8.0, 13},
+    };
+    u.chips = sim::allChipNames();
+    u.runs = 3;
+    u.seed = 0x5eed;
+    u.validate();
+    return u;
+}
+
+Universe
+smallUniverse(unsigned n_apps, std::vector<std::string> chips)
+{
+    Universe u;
+    const std::vector<std::string> names = apps::allAppNames();
+    for (unsigned i = 0; i < n_apps && i < names.size(); ++i)
+        u.apps.push_back(names[i]);
+    u.inputs = {
+        {"road", "road network", InputSpec::Kind::RoadGrid, 24, 0.0,
+         11},
+        {"social", "social network", InputSpec::Kind::Rmat, 9, 8.0,
+         12},
+    };
+    u.chips = chips.empty() ? sim::allChipNames() : std::move(chips);
+    u.runs = 3;
+    u.seed = 0x5eed;
+    u.validate();
+    return u;
+}
+
+const InputSpec &
+inputByName(const Universe &u, const std::string &name)
+{
+    for (const InputSpec &i : u.inputs) {
+        if (i.name == name)
+            return i;
+    }
+    fatal("unknown input: " + name);
+}
+
+} // namespace runner
+} // namespace graphport

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The experiment universe: which applications, inputs and chips a
+ * dataset sweep covers.
+ *
+ * The default universe is the paper's study (Section VI): 17
+ * applications x 3 input classes x 6 chips. Tests construct smaller
+ * universes for speed.
+ */
+#ifndef GRAPHPORT_RUNNER_UNIVERSE_HPP
+#define GRAPHPORT_RUNNER_UNIVERSE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graphport/graph/csr.hpp"
+
+namespace graphport {
+namespace runner {
+
+/** One input of the study (paper Table VIII). */
+struct InputSpec
+{
+    std::string name;   ///< e.g. "road"
+    std::string cls;    ///< input class, e.g. "road network"
+    /** Which generator to invoke. */
+    enum class Kind { RoadGrid, Rmat, Uniform } kind;
+    /** RoadGrid: grid side; Rmat: scale; Uniform: node count. */
+    std::uint32_t sizeParam = 0;
+    /** Rmat/Uniform: average degree (ignored for RoadGrid). */
+    double avgDegree = 0.0;
+    std::uint64_t seed = 1;
+
+    /** Instantiate the graph. */
+    graph::Csr make() const;
+};
+
+/** An experiment universe: the cross product to sweep. */
+struct Universe
+{
+    std::vector<std::string> apps;
+    std::vector<InputSpec> inputs;
+    std::vector<std::string> chips;
+    /** Repeated timings per (test, config) cell (paper: 3). */
+    unsigned runs = 3;
+    /** Master seed for measurement noise. */
+    std::uint64_t seed = 0x5eed;
+
+    /** Number of (app, input, chip) tests. */
+    std::size_t numTests() const;
+
+    /** Validate names against the registries. */
+    void validate() const;
+};
+
+/** The paper-scale study universe (17 apps x 3 inputs x 6 chips). */
+Universe studyUniverse();
+
+/**
+ * A reduced universe for fast tests: @p n_apps applications (prefix
+ * of the registry), the road + social inputs at small scale, and the
+ * chips named in @p chips (all six when empty).
+ */
+Universe smallUniverse(unsigned n_apps = 4,
+                       std::vector<std::string> chips = {});
+
+/** Find an input spec by name within a universe. */
+const InputSpec &inputByName(const Universe &u,
+                             const std::string &name);
+
+} // namespace runner
+} // namespace graphport
+
+#endif // GRAPHPORT_RUNNER_UNIVERSE_HPP

@@ -1,0 +1,311 @@
+#include "graphport/sim/chip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+namespace sim {
+
+unsigned
+ChipModel::wgPerCu(unsigned wg_size) const
+{
+    return wg_size <= 128 ? wgPerCu128 : wgPerCu256;
+}
+
+unsigned
+ChipModel::concurrentWorkgroups(unsigned wg_size) const
+{
+    return numCus * wgPerCu(wg_size);
+}
+
+double
+ChipModel::effectiveLanes(unsigned wg_size) const
+{
+    const double physical =
+        static_cast<double>(numCus) * static_cast<double>(lanesPerCu);
+    // Occupancy factor: resident threads at this workgroup size
+    // relative to the best the chip achieves at either size.
+    const double resident128 =
+        static_cast<double>(wgPerCu128) * 128.0;
+    const double resident256 =
+        static_cast<double>(wgPerCu256) * 256.0;
+    const double peak = std::max(resident128, resident256);
+    const double resident = static_cast<double>(wgPerCu(wg_size)) *
+                            static_cast<double>(wg_size);
+    const double occupancy = peak > 0.0 ? resident / peak : 1.0;
+    // Fewer, larger workgroups give the scheduler fewer independent
+    // groups to hide latency with.
+    const double groupRatio =
+        static_cast<double>(wgPerCu(wg_size)) /
+        static_cast<double>(std::max(wgPerCu128, wgPerCu256));
+    const double groupFactor = std::pow(groupRatio, 0.1);
+    return physical * occupancy * groupFactor * ilpEfficiency;
+}
+
+double
+ChipModel::wgBarrierCostNs(unsigned wg_size) const
+{
+    // Barrier cost grows with the number of threads synchronised.
+    return wgBarrierNs * (static_cast<double>(wg_size) / 128.0);
+}
+
+double
+ChipModel::globalBarrierCostNs(unsigned wg_size) const
+{
+    // The portable global barrier (Sorensen et al. recipe) has every
+    // resident thread participate: workgroups signal and wait on a
+    // master workgroup, with per-thread flag traffic.
+    return globalBarrierPerWgNs *
+           static_cast<double>(concurrentWorkgroups(wg_size)) *
+           (static_cast<double>(wg_size) / 128.0);
+}
+
+void
+ChipModel::validate() const
+{
+    panicIf(shortName.empty(), "ChipModel without a name");
+    panicIf(numCus == 0, "ChipModel numCus == 0: " + shortName);
+    panicIf(subgroupSize == 0,
+            "ChipModel subgroupSize == 0: " + shortName);
+    panicIf(lanesPerCu == 0,
+            "ChipModel lanesPerCu == 0: " + shortName);
+    panicIf(wgPerCu128 == 0 || wgPerCu256 == 0,
+            "ChipModel occupancy == 0: " + shortName);
+    panicIf(ilpEfficiency <= 0.0 || ilpEfficiency > 1.0,
+            "ChipModel ilpEfficiency out of (0,1]: " + shortName);
+    panicIf(randomEdgeNs <= 0.0 || coalescedEdgeNs <= 0.0,
+            "ChipModel edge costs must be positive: " + shortName);
+    panicIf(randomEdgeNs < coalescedEdgeNs,
+            "ChipModel random access cheaper than coalesced: " +
+                shortName);
+    panicIf(kernelLaunchNs <= 0.0 || hostMemcpyNs <= 0.0,
+            "ChipModel host overheads must be positive: " + shortName);
+    panicIf(noiseSigma < 0.0,
+            "ChipModel noiseSigma negative: " + shortName);
+}
+
+const std::vector<ChipModel> &
+allChips()
+{
+    static const std::vector<ChipModel> chips = [] {
+        std::vector<ChipModel> v;
+
+        // Nvidia Quadro M4000 (Maxwell): low launch overhead, driver
+        // already combines subgroup atomics, lockstep warps.
+        ChipModel m4000;
+        m4000.shortName = "M4000";
+        m4000.vendor = "Nvidia";
+        m4000.fullName = "Quadro M4000";
+        m4000.discrete = true;
+        m4000.numCus = 13;
+        m4000.subgroupSize = 32;
+        m4000.lanesPerCu = 128;
+        m4000.wgPerCu128 = 8;
+        m4000.wgPerCu256 = 4;
+        m4000.ilpEfficiency = 0.70;
+        m4000.randomEdgeNs = 25.0;
+        m4000.coalescedEdgeNs = 3.0;
+        m4000.localOpNs = 1.0;
+        m4000.computeUnitNs = 0.8;
+        m4000.memBandwidthGBs = 192.0;
+        m4000.memDivergenceSensitivity = 0.25;
+        m4000.contendedRmwNs = 6.0;
+        m4000.scatteredRmwNs = 1.2;
+        m4000.driverCombinesAtomics = true;
+        m4000.wgBarrierNs = 18.0;
+        m4000.sgBarrierNs = 0.0;
+        m4000.globalBarrierPerWgNs = 50.0;
+        m4000.globalBarrierBaseNs = 500.0;
+        m4000.kernelLaunchNs = 4000.0;
+        m4000.hostMemcpyNs = 2500.0;
+        m4000.noiseSigma = 0.02;
+        v.push_back(m4000);
+
+        // Nvidia GTX 1080 (Pascal): newer, faster everywhere; same
+        // runtime traits as the M4000.
+        ChipModel gtx;
+        gtx.shortName = "GTX1080";
+        gtx.vendor = "Nvidia";
+        gtx.fullName = "GTX 1080";
+        gtx.discrete = true;
+        gtx.numCus = 20;
+        gtx.subgroupSize = 32;
+        gtx.lanesPerCu = 128;
+        gtx.wgPerCu128 = 8;
+        gtx.wgPerCu256 = 4;
+        gtx.ilpEfficiency = 0.72;
+        gtx.randomEdgeNs = 18.0;
+        gtx.coalescedEdgeNs = 2.2;
+        gtx.localOpNs = 0.8;
+        gtx.computeUnitNs = 0.6;
+        gtx.memBandwidthGBs = 320.0;
+        gtx.memDivergenceSensitivity = 0.20;
+        gtx.contendedRmwNs = 4.0;
+        gtx.scatteredRmwNs = 0.8;
+        gtx.driverCombinesAtomics = true;
+        gtx.wgBarrierNs = 13.0;
+        gtx.sgBarrierNs = 0.0;
+        gtx.globalBarrierPerWgNs = 50.0;
+        gtx.globalBarrierBaseNs = 500.0;
+        gtx.kernelLaunchNs = 3500.0;
+        gtx.hostMemcpyNs = 2200.0;
+        gtx.noiseSigma = 0.02;
+        v.push_back(gtx);
+
+        // Intel HD 5500 (Broadwell GT2): integrated, high launch
+        // overhead, expensive barriers, driver combines atomics.
+        ChipModel hd;
+        hd.shortName = "HD5500";
+        hd.vendor = "Intel";
+        hd.fullName = "HD 5500";
+        hd.discrete = false;
+        hd.numCus = 24;
+        hd.subgroupSize = 16;
+        hd.lanesPerCu = 8;
+        hd.wgPerCu128 = 3;
+        hd.wgPerCu256 = 1;
+        hd.ilpEfficiency = 0.65;
+        hd.randomEdgeNs = 45.0;
+        hd.coalescedEdgeNs = 8.0;
+        hd.localOpNs = 3.0;
+        hd.computeUnitNs = 2.0;
+        hd.memBandwidthGBs = 25.0;
+        hd.memDivergenceSensitivity = 0.35;
+        hd.contendedRmwNs = 14.0;
+        hd.scatteredRmwNs = 2.5;
+        hd.driverCombinesAtomics = true;
+        hd.wgBarrierNs = 90.0;
+        hd.sgBarrierNs = 25.0;
+        hd.globalBarrierPerWgNs = 150.0;
+        hd.globalBarrierBaseNs = 2000.0;
+        hd.kernelLaunchNs = 28000.0;
+        hd.hostMemcpyNs = 14000.0;
+        hd.noiseSigma = 0.04;
+        v.push_back(hd);
+
+        // Intel Iris 6100 (Broadwell GT3): like HD5500 but wider; its
+        // OpenCL stack does NOT combine subgroup atomics, so coop-cv
+        // pays off (paper Table X: ~8x on sg-cmb).
+        ChipModel iris;
+        iris.shortName = "IRIS";
+        iris.vendor = "Intel";
+        iris.fullName = "Iris 6100";
+        iris.discrete = false;
+        iris.numCus = 47;
+        iris.subgroupSize = 16;
+        iris.lanesPerCu = 8;
+        iris.wgPerCu128 = 3;
+        iris.wgPerCu256 = 1;
+        iris.ilpEfficiency = 0.65;
+        iris.randomEdgeNs = 40.0;
+        iris.coalescedEdgeNs = 7.0;
+        iris.localOpNs = 2.8;
+        iris.computeUnitNs = 1.8;
+        iris.memBandwidthGBs = 34.0;
+        iris.memDivergenceSensitivity = 0.35;
+        iris.contendedRmwNs = 11.0;
+        iris.scatteredRmwNs = 2.2;
+        iris.driverCombinesAtomics = false;
+        iris.wgBarrierNs = 80.0;
+        iris.sgBarrierNs = 22.0;
+        iris.globalBarrierPerWgNs = 80.0;
+        iris.globalBarrierBaseNs = 2000.0;
+        iris.kernelLaunchNs = 25000.0;
+        iris.hostMemcpyNs = 12000.0;
+        iris.noiseSigma = 0.04;
+        v.push_back(iris);
+
+        // AMD Radeon R9 (GCN): discrete, wide 64-lane subgroups in
+        // lockstep, no driver-side atomic combining (sg-cmb ~22x).
+        ChipModel r9;
+        r9.shortName = "R9";
+        r9.vendor = "AMD";
+        r9.fullName = "Radeon R9";
+        r9.discrete = true;
+        r9.numCus = 28;
+        r9.subgroupSize = 64;
+        r9.lanesPerCu = 64;
+        r9.wgPerCu128 = 8;
+        r9.wgPerCu256 = 4;
+        r9.ilpEfficiency = 0.70;
+        r9.randomEdgeNs = 22.0;
+        r9.coalescedEdgeNs = 2.6;
+        r9.localOpNs = 0.9;
+        r9.computeUnitNs = 0.7;
+        r9.memBandwidthGBs = 320.0;
+        r9.memDivergenceSensitivity = 0.30;
+        r9.contendedRmwNs = 8.0;
+        r9.scatteredRmwNs = 1.5;
+        r9.driverCombinesAtomics = false;
+        r9.wgBarrierNs = 22.0;
+        r9.sgBarrierNs = 0.0;
+        r9.globalBarrierPerWgNs = 30.0;
+        r9.globalBarrierBaseNs = 1000.0;
+        r9.kernelLaunchNs = 12000.0;
+        r9.hostMemcpyNs = 8000.0;
+        r9.noiseSigma = 0.03;
+        v.push_back(r9);
+
+        // ARM Mali-T628: mobile, tiny, trivial subgroup size, very
+        // high launch overhead, and an extreme sensitivity to
+        // intra-workgroup memory divergence (m-divg 6.45x).
+        ChipModel mali;
+        mali.shortName = "MALI";
+        mali.vendor = "ARM";
+        mali.fullName = "Mali-T628";
+        mali.discrete = false;
+        mali.numCus = 4;
+        mali.subgroupSize = 1;
+        mali.lanesPerCu = 8;
+        mali.wgPerCu128 = 3;
+        mali.wgPerCu256 = 1;
+        mali.ilpEfficiency = 0.60;
+        mali.randomEdgeNs = 120.0;
+        mali.coalescedEdgeNs = 100.0;
+        mali.localOpNs = 30.0;
+        mali.computeUnitNs = 6.0;
+        mali.memBandwidthGBs = 8.5;
+        mali.memDivergenceSensitivity = 9.0;
+        mali.contendedRmwNs = 35.0;
+        mali.scatteredRmwNs = 8.0;
+        mali.driverCombinesAtomics = false;
+        mali.wgBarrierNs = 180.0;
+        // Subgroup size 1: a subgroup barrier is a no-op.
+        mali.sgBarrierNs = 0.0;
+        mali.globalBarrierPerWgNs = 220.0;
+        mali.globalBarrierBaseNs = 8000.0;
+        mali.kernelLaunchNs = 80000.0;
+        mali.hostMemcpyNs = 40000.0;
+        mali.noiseSigma = 0.06;
+        v.push_back(mali);
+
+        for (const ChipModel &c : v)
+            c.validate();
+        return v;
+    }();
+    return chips;
+}
+
+const ChipModel &
+chipByName(const std::string &short_name)
+{
+    for (const ChipModel &c : allChips()) {
+        if (c.shortName == short_name)
+            return c;
+    }
+    fatal("unknown chip: " + short_name);
+}
+
+std::vector<std::string>
+allChipNames()
+{
+    std::vector<std::string> names;
+    for (const ChipModel &c : allChips())
+        names.push_back(c.shortName);
+    return names;
+}
+
+} // namespace sim
+} // namespace graphport

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * GPU chip models.
+ *
+ * Each ChipModel is the analytical stand-in for one of the paper's six
+ * physical GPUs (Table I). Parameters encode the per-chip performance
+ * characteristics the paper measures directly in Section VIII:
+ * kernel-launch and memcpy overhead (Fig. 5), atomic RMW throughput and
+ * driver-side subgroup combining (Table X, sg-cmb), and intra-workgroup
+ * memory-divergence sensitivity (Table X, m-divg). The remaining
+ * parameters (lane counts, barrier costs, coalescing efficiency,
+ * occupancy) follow public architecture documentation for the chips.
+ *
+ * "Chip" deliberately includes the runtime environment (driver/JIT),
+ * as in the paper — e.g. driverCombinesAtomics models the Nvidia and
+ * HD5500 OpenCL JITs implementing coop-cv themselves.
+ */
+#ifndef GRAPHPORT_SIM_CHIP_HPP
+#define GRAPHPORT_SIM_CHIP_HPP
+
+#include <string>
+#include <vector>
+
+namespace graphport {
+namespace sim {
+
+/** Analytical model of one GPU plus its runtime environment. */
+struct ChipModel
+{
+    // --- identity -----------------------------------------------------
+    std::string shortName;   ///< e.g. "R9" (paper Table I short name)
+    std::string vendor;      ///< e.g. "AMD"
+    std::string fullName;    ///< e.g. "Radeon R9"
+    bool discrete = false;   ///< discrete vs integrated GPU
+
+    // --- execution geometry -------------------------------------------
+    unsigned numCus = 1;          ///< compute units
+    unsigned subgroupSize = 1;    ///< hardware SIMD width (1 = none)
+    unsigned lanesPerCu = 1;      ///< physical ALU lanes per CU
+    unsigned maxWorkgroupSize = 256;
+    /** Resident workgroups per CU at workgroup size 128. */
+    unsigned wgPerCu128 = 4;
+    /** Resident workgroups per CU at workgroup size 256. */
+    unsigned wgPerCu256 = 2;
+    /** Latency-hiding efficiency of resident subgroups, in (0, 1]. */
+    double ilpEfficiency = 0.7;
+
+    // --- memory system -------------------------------------------------
+    /** Cost of one data-dependent (uncoalesced) edge gather, ns/lane. */
+    double randomEdgeNs = 1.0;
+    /** Cost of one contiguous (coalesced) edge access, ns/lane. */
+    double coalescedEdgeNs = 0.3;
+    /** Cost of one local-memory op (scratchpad read or write), ns. */
+    double localOpNs = 0.2;
+    /** Cost of one abstract scalar compute unit, ns/lane. */
+    double computeUnitNs = 0.15;
+    /** Peak usable DRAM bandwidth, GB/s (== bytes/ns). */
+    double memBandwidthGBs = 100.0;
+    /**
+     * Intra-workgroup memory-divergence sensitivity: multiplier slope
+     * applied when threads of a workgroup drift apart in their access
+     * streams (paper Section VIII-c; extreme on MALI).
+     */
+    double memDivergenceSensitivity = 0.25;
+
+    // --- atomics ---------------------------------------------------------
+    /** Serialised cost of one contended global atomic RMW, ns. */
+    double contendedRmwNs = 6.0;
+    /** Cost of one scattered (parallel-friendly) atomic RMW, ns. */
+    double scatteredRmwNs = 1.0;
+    /**
+     * Whether the OpenCL JIT already aggregates subgroup atomics
+     * (paper finds this for both Nvidia chips and HD5500), making
+     * explicit coop-cv redundant there.
+     */
+    bool driverCombinesAtomics = false;
+
+    // --- synchronisation --------------------------------------------------
+    /** Workgroup barrier cost at workgroup size 128, ns. */
+    double wgBarrierNs = 20.0;
+    /** Subgroup barrier cost, ns (0 on lockstep hardware). */
+    double sgBarrierNs = 0.0;
+    /** Per-resident-workgroup cost of the portable global barrier, ns. */
+    double globalBarrierPerWgNs = 80.0;
+    /** Fixed cost of one portable-global-barrier episode, ns. */
+    double globalBarrierBaseNs = 500.0;
+
+    // --- host interaction --------------------------------------------------
+    /** Kernel launch overhead, ns. */
+    double kernelLaunchNs = 10000.0;
+    /** Small device-to-host memcpy (convergence flag), ns. */
+    double hostMemcpyNs = 5000.0;
+
+    // --- measurement ------------------------------------------------------
+    /** Lognormal run-to-run noise sigma. */
+    double noiseSigma = 0.03;
+
+    /** Resident workgroups per CU for workgroup size @p wg_size. */
+    unsigned wgPerCu(unsigned wg_size) const;
+
+    /** Chip-wide resident workgroups for @p wg_size. */
+    unsigned concurrentWorkgroups(unsigned wg_size) const;
+
+    /**
+     * Effective parallel lane count for @p wg_size: physical lanes
+     * scaled by occupancy (resident threads vs. peak) and
+     * latency-hiding efficiency.
+     */
+    double effectiveLanes(unsigned wg_size) const;
+
+    /** Workgroup barrier cost for workgroup size @p wg_size, ns. */
+    double wgBarrierCostNs(unsigned wg_size) const;
+
+    /** One portable-global-barrier episode for @p wg_size, ns. */
+    double globalBarrierCostNs(unsigned wg_size) const;
+
+    /** Validate parameter sanity; throws PanicError on nonsense. */
+    void validate() const;
+};
+
+/** The six chips of the study (paper Table I), in table order. */
+const std::vector<ChipModel> &allChips();
+
+/**
+ * Look up a chip by its short name (case-sensitive, e.g. "GTX1080").
+ *
+ * @throws FatalError for unknown names.
+ */
+const ChipModel &chipByName(const std::string &short_name);
+
+/** Short names of all chips, in table order. */
+std::vector<std::string> allChipNames();
+
+} // namespace sim
+} // namespace graphport
+
+#endif // GRAPHPORT_SIM_CHIP_HPP

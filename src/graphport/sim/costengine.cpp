@@ -1,0 +1,374 @@
+#include "graphport/sim/costengine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graphport/support/error.hpp"
+#include "graphport/support/mathutil.hpp"
+#include "graphport/support/rng.hpp"
+
+namespace graphport {
+namespace sim {
+
+namespace {
+
+// Model constants (see DESIGN.md, "sim" module). These are shared
+// across all chips; per-chip behaviour lives in ChipModel.
+
+/// Clamp for the divergence spread derived from degree histograms.
+constexpr double kAutoSpreadClamp = 1.5;
+/// Clamp for explicitly provided (microbenchmark) spreads.
+constexpr double kExplicitSpreadClamp = 4.0;
+/// Residual divergence once phase barriers re-converge the workgroup.
+constexpr double kDivergenceMitigation = 0.12;
+/// Fraction of SIMD-divergence excess the scheduler cannot hide.
+constexpr double kSimdDivergenceExposure = 0.5;
+/// Cap on serial-round imbalance (in multiples of the mean degree):
+/// oversubscription and cache locality bound how badly one straggler
+/// lane can stall its subgroup in practice.
+constexpr double kSerialImbalanceCap = 8.0;
+/// Fixed in-kernel execution cost, ns.
+constexpr double kKernelBaseNs = 400.0;
+/// Approximate DRAM traffic per adjacency edge, bytes.
+constexpr double kBytesPerEdge = 12.0;
+/// Approximate DRAM traffic per item, bytes.
+constexpr double kBytesPerItem = 16.0;
+/// Approximate DRAM traffic per flat access, bytes.
+constexpr double kBytesPerFlat = 8.0;
+/// Local-memory ops per scan step (read, add, write).
+constexpr double kScanOpsPerStep = 3.0;
+/// A combined (subgroup-aggregated) RMW carries a wider payload and
+/// costs more than a plain one at the memory controller.
+constexpr double kCombinedRmwFactor = 2.0;
+/// Threads parked at a phase barrier are switched out, so only a
+/// fraction of their stall shows up as lost execution bandwidth.
+constexpr double kBarrierStallFactor = 0.3;
+
+double
+log2ceil(unsigned v)
+{
+    double l = 0.0;
+    unsigned x = 1;
+    while (x < v) {
+        x <<= 1;
+        l += 1.0;
+    }
+    return std::max(1.0, l);
+}
+
+} // namespace
+
+CostEngine::CostEngine(const ChipModel &chip,
+                       const dsl::OptConfig &config)
+    : chip_(chip), config_(config),
+      wgSize_(std::min(config.workgroupSize(), chip.maxWorkgroupSize)),
+      part_(dsl::partitionSchemes(config, chip.subgroupSize, wgSize_))
+{
+}
+
+KernelCost
+CostEngine::kernelCost(const dsl::KernelLaunch &launch) const
+{
+    KernelCost cost;
+    const ChipModel &c = chip_;
+    const unsigned S = c.subgroupSize;
+    const unsigned W = wgSize_;
+    const double items = static_cast<double>(launch.items);
+    if (launch.items == 0) {
+        cost.baseNs = kKernelBaseNs;
+        cost.totalNs = kKernelBaseNs;
+        return cost;
+    }
+
+    double busy = 0.0;
+
+    // ---- divergence spread of this launch --------------------------------
+    double spread;
+    if (launch.divergenceSpread >= 0.0) {
+        spread = clampTo(launch.divergenceSpread, 0.0,
+                         kExplicitSpreadClamp);
+    } else if (launch.hasNeighborLoop) {
+        const double meanDeg = launch.hist.meanSize();
+        const double maxW = launch.hist.expectedMaxOf(W);
+        spread = clampTo((maxW - meanDeg) / (meanDeg + 1.0), 0.0,
+                         kAutoSpreadClamp);
+    } else {
+        spread = 0.0;
+    }
+    // Whether phase-separating barriers actually re-converge the
+    // workgroup: true only when a scheme takes real work (an empty
+    // scheme class inserts no phase barriers) or the kernel carries
+    // gratuitous barriers.
+    // Only the sg scheme's phase-separating workgroup barriers (and
+    // explicitly gratuitous ones) re-converge the workgroup's memory
+    // streams: sg interleaves its phases with the serial walk, which
+    // is the accidental divergence fix the paper discovers on MALI
+    // (Section VIII-c). The wg queue drain happens after the serial
+    // phase and the fg scheme replaces the serial walk outright, so
+    // neither re-converges what serial work remains.
+    const bool mitigated =
+        launch.gratuitousBarriers ||
+        (launch.hasNeighborLoop && part_.sgRequested);
+    const double divFactor =
+        1.0 + c.memDivergenceSensitivity * spread *
+                  (mitigated ? kDivergenceMitigation : 1.0);
+
+    // ---- per-item compute common to every scheme ---------------------------
+    busy += items * launch.computePerItem * c.computeUnitNs;
+
+    if (launch.hasNeighborLoop) {
+        // Partition the degree histogram into scheme classes.
+        dsl::DegreeHist serialHist;
+        double fgEdges = 0.0, fgItems = 0.0;
+        double serialItems = 0.0;
+        const double perEdgeCompute =
+            launch.computePerEdge * c.computeUnitNs;
+
+        for (unsigned b = 0; b < dsl::kDegreeBuckets; ++b) {
+            const double nb =
+                static_cast<double>(launch.hist.buckets[b]);
+            if (nb == 0.0)
+                continue;
+            const double mid = dsl::DegreeHist::bucketMid(b);
+            switch (part_.bucketScheme[b]) {
+              case dsl::Scheme::Serial:
+                serialHist.buckets[b] = launch.hist.buckets[b];
+                serialItems += nb;
+                break;
+              case dsl::Scheme::Fg:
+                fgEdges += nb * mid;
+                fgItems += nb;
+                break;
+              case dsl::Scheme::Sg: {
+                // Whole subgroup walks one node's (contiguous)
+                // adjacency list; scan distributes the work.
+                const double edgeNs =
+                    c.coalescedEdgeNs * 1.25 + perEdgeCompute;
+                const double perItem =
+                    mid * edgeNs +
+                    static_cast<double>(S) *
+                        (2.0 * c.sgBarrierNs +
+                         log2ceil(S) * c.localOpNs);
+                busy += nb * perItem;
+                break;
+              }
+              case dsl::Scheme::Wg: {
+                // Whole workgroup cooperates on one node after a
+                // leader election through local memory; work is
+                // staged through the scratchpad.
+                const double edgeNs = c.coalescedEdgeNs * 1.25 +
+                                      c.localOpNs + perEdgeCompute;
+                const double perItem =
+                    mid * edgeNs +
+                    static_cast<double>(W) *
+                        (2.0 * c.wgBarrierCostNs(W) +
+                         log2ceil(W) * c.localOpNs) +
+                    c.scatteredRmwNs;
+                busy += nb * perItem;
+                break;
+              }
+            }
+        }
+
+        // Serial class: one node per lane, subgroup retires on its
+        // slowest lane; data-dependent gathers pay the (possibly
+        // mitigated) memory-divergence factor.
+        if (serialItems > 0.0) {
+            const double meanDeg = serialHist.meanSize();
+            const double maxS = serialHist.expectedMaxOf(S);
+            const double roundEdges =
+                meanDeg +
+                std::min(kSimdDivergenceExposure * (maxS - meanDeg),
+                         kSerialImbalanceCap * meanDeg + 16.0);
+            const double edgeNs =
+                (launch.randomAccess ? c.randomEdgeNs
+                                     : c.coalescedEdgeNs) *
+                    divFactor +
+                perEdgeCompute;
+            busy += serialItems * roundEdges * edgeNs;
+        }
+
+        // Fg class: edges linearised over the workgroup, processed in
+        // batches of W * chunk with a prefix-sum handoff per batch.
+        if (fgEdges > 0.0) {
+            const double edgeNs = c.coalescedEdgeNs + perEdgeCompute;
+            busy += fgEdges * edgeNs;
+            const double chunk = static_cast<double>(part_.fgChunk);
+            const double batches =
+                std::max(1.0, fgEdges / (static_cast<double>(W) *
+                                         chunk));
+            // In-loop barriers hit the fast path; one barrier plus
+            // a scan handoff per batch.
+            const double batchStall =
+                c.wgBarrierCostNs(W) + log2ceil(W) * c.localOpNs;
+            // One stall per batch; all W lanes wait it out.
+            busy += batches * static_cast<double>(W) * batchStall;
+            // Inspector: every fg item publishes its degree.
+            busy += fgItems * 2.0 * c.localOpNs;
+        }
+
+        // Scheme-request fixed overheads (inspection, predication,
+        // phase barriers) paid whether or not the class is populated.
+        const double nWg =
+            std::max(1.0, std::ceil(items / static_cast<double>(W)));
+        if (part_.wgRequested) {
+            // Local queue setup, publish, drain-check and reset.
+            // Unlike sg's phase barriers, the queue-drain barriers
+            // gate every thread on the slowest lane with no work to
+            // overlap, so the full stall is lost.
+            busy += items * 3.0 * c.localOpNs;
+            busy += nWg * static_cast<double>(W) * 4.0 *
+                    c.wgBarrierCostNs(W);
+        }
+        if (part_.sgRequested) {
+            busy += items * 2.0 * c.localOpNs;
+            // Phase-separating workgroup barriers around the sg
+            // stage, plus the subgroup-level sync itself.
+            busy += nWg * static_cast<double>(W) * 2.0 *
+                    c.wgBarrierCostNs(W) * kBarrierStallFactor;
+            const double nSg =
+                std::max(1.0, std::ceil(items / static_cast<double>(
+                                                    std::max(1u, S))));
+            busy += nSg * static_cast<double>(S) * 2.0 * c.sgBarrierNs;
+        }
+        // Gratuitous in-loop barriers (m-divg): one stall per stride
+        // of inner iterations, paid by the whole workgroup.
+        if (launch.gratuitousBarriers && launch.barrierStride > 0) {
+            const double meanDeg = launch.hist.meanSize();
+            const double barriersPerItem =
+                meanDeg / static_cast<double>(launch.barrierStride);
+            busy += items * barriersPerItem * c.wgBarrierCostNs(W);
+        }
+    } else {
+        // Flat kernel: one access per item.
+        const double accessNs =
+            (launch.randomAccess ? c.randomEdgeNs : c.coalescedEdgeNs) *
+            divFactor;
+        busy += items * accessNs;
+        if (launch.gratuitousBarriers)
+            busy += items * c.wgBarrierCostNs(W);
+    }
+
+    // Flat auxiliary traffic (mostly coalesced).
+    busy += static_cast<double>(launch.flatReads + launch.flatWrites) *
+            c.coalescedEdgeNs;
+
+    // Scattered atomics parallelise across lanes.
+    busy += static_cast<double>(launch.scatteredRmw) * c.scatteredRmwNs;
+
+    // ---- contended atomics (worklist pushes) ---------------------------
+    const double pushes = static_cast<double>(launch.contendedPushes);
+    double effectivePushes = pushes;
+    double pushCostNs = c.contendedRmwNs;
+    if (pushes > 0.0) {
+        const bool combined =
+            (config_.coopCv || c.driverCombinesAtomics) && S > 1;
+        if (combined) {
+            effectivePushes = std::ceil(pushes / S);
+            pushCostNs *= kCombinedRmwFactor;
+            // Subgroup scan participation for explicit coop-cv. The
+            // driver's built-in combining is already reflected in the
+            // baseline, so it adds no extra work.
+            if (config_.coopCv) {
+                busy += pushes * log2ceil(S) * 2.0 * c.localOpNs;
+                busy += effectivePushes * static_cast<double>(S) * 2.0 *
+                        c.sgBarrierNs;
+                if (c.driverCombinesAtomics) {
+                    // Redundant manual combining on top of the
+                    // driver's own: predication plus a longer
+                    // dependence chain in front of the atomic.
+                    busy += pushes * 2.0 * c.localOpNs;
+                    pushCostNs *= 1.15;
+                }
+            }
+        } else if (config_.coopCv) {
+            // coop-cv requested but no usable subgroup (S == 1):
+            // orchestration with no gain.
+            busy += pushes * 2.0 * c.localOpNs;
+            pushCostNs *= 1.10;
+        }
+    }
+    cost.atomicNs = effectivePushes * pushCostNs;
+
+    // ---- assembly --------------------------------------------------------
+    cost.busyNs = busy;
+    cost.computeNs = busy / c.effectiveLanes(W);
+    // Divergent gathers fetch whole cache lines for single words,
+    // inflating DRAM traffic (bounded by the line/word ratio).
+    const double wasteFactor =
+        launch.randomAccess ? clampTo(divFactor, 1.0, 4.0) : 1.0;
+    const double bytes =
+        static_cast<double>(launch.edges) * kBytesPerEdge *
+            wasteFactor +
+        items * kBytesPerItem +
+        static_cast<double>(launch.flatReads + launch.flatWrites) *
+            kBytesPerFlat;
+    cost.bandwidthNs = bytes / c.memBandwidthGBs;
+    cost.baseNs = kKernelBaseNs;
+    cost.totalNs = std::max(cost.computeNs, cost.bandwidthNs) +
+                   cost.atomicNs + cost.baseNs;
+    return cost;
+}
+
+double
+CostEngine::kernelTimeNs(const dsl::KernelLaunch &launch) const
+{
+    return kernelCost(launch).totalNs;
+}
+
+double
+CostEngine::launchOverheadNs(const dsl::KernelLaunch &launch) const
+{
+    if (config_.oitergb) {
+        // Outlined: the relaunch becomes a device-side global barrier
+        // episode; the convergence flag is read on-device.
+        return chip_.globalBarrierBaseNs +
+               chip_.globalBarrierCostNs(wgSize_);
+    }
+    return chip_.kernelLaunchNs +
+           (launch.hostSyncAfter ? chip_.hostMemcpyNs : 0.0);
+}
+
+AppCost
+CostEngine::appCost(const dsl::AppTrace &trace) const
+{
+    AppCost app;
+    app.launches = trace.launches.size();
+    for (const dsl::KernelLaunch &l : trace.launches) {
+        app.kernelNs += kernelTimeNs(l);
+        app.overheadNs += launchOverheadNs(l);
+    }
+    if (config_.oitergb) {
+        // One real launch for the outlined mega-kernel plus the final
+        // flag read-back.
+        app.overheadNs += chip_.kernelLaunchNs + chip_.hostMemcpyNs;
+    }
+    app.totalNs = app.kernelNs + app.overheadNs;
+    return app;
+}
+
+double
+CostEngine::appTimeNs(const dsl::AppTrace &trace) const
+{
+    return appCost(trace).totalNs;
+}
+
+double
+noisyTimeNs(double deterministic_ns, double sigma,
+            std::uint64_t run_seed)
+{
+    Rng rng(splitmix64(run_seed));
+    return deterministic_ns * rng.nextLognormal(sigma);
+}
+
+double
+measureAppRunNs(const ChipModel &chip, const dsl::OptConfig &config,
+                const dsl::AppTrace &trace, std::uint64_t run_seed)
+{
+    const CostEngine engine(chip, config);
+    return noisyTimeNs(engine.appTimeNs(trace), chip.noiseSigma,
+                       run_seed);
+}
+
+} // namespace sim
+} // namespace graphport

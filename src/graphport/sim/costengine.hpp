@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Trace-driven GPU cost engine.
+ *
+ * Prices an application's workload trace (dsl::AppTrace) on a chip
+ * model under an optimisation configuration. The model works in
+ * lane-busy nanoseconds:
+ *
+ *  - every piece of work (edge gathers, scalar compute, barrier
+ *    stalls, scan participation) contributes busy-ns to the lanes that
+ *    perform or wait on it;
+ *  - kernel compute time = busy-ns / effective parallel lanes, with a
+ *    DRAM bandwidth floor;
+ *  - contended atomic RMW operations serialise and add wall time
+ *    directly;
+ *  - kernel launch and host memcpy overheads are added per launch, or
+ *    replaced by portable-global-barrier episodes when iteration
+ *    outlining (oitergb) is enabled.
+ *
+ * The nested-parallelism schemes (wg/sg/fg) change which lanes process
+ * which degree classes (via dsl::partitionSchemes); cooperative
+ * conversion changes how many contended atomics reach memory; sz256
+ * changes workgroup geometry, occupancy and barrier costs.
+ */
+#ifndef GRAPHPORT_SIM_COSTENGINE_HPP
+#define GRAPHPORT_SIM_COSTENGINE_HPP
+
+#include <cstdint>
+
+#include "graphport/dsl/optconfig.hpp"
+#include "graphport/dsl/plan.hpp"
+#include "graphport/dsl/trace.hpp"
+#include "graphport/sim/chip.hpp"
+
+namespace graphport {
+namespace sim {
+
+/** Decomposition of one kernel launch's simulated time. */
+struct KernelCost
+{
+    /** Lane-busy nanoseconds before division by parallelism. */
+    double busyNs = 0.0;
+    /** busyNs / effective lanes. */
+    double computeNs = 0.0;
+    /** DRAM-bandwidth floor for this kernel. */
+    double bandwidthNs = 0.0;
+    /** Serialised contended-atomic time. */
+    double atomicNs = 0.0;
+    /** Fixed in-kernel base cost. */
+    double baseNs = 0.0;
+    /** Kernel execution time (excludes launch overhead). */
+    double totalNs = 0.0;
+};
+
+/** Decomposition of a whole application execution's simulated time. */
+struct AppCost
+{
+    double kernelNs = 0.0;    ///< sum of kernel execution times
+    double overheadNs = 0.0;  ///< launches, memcpys, global barriers
+    double totalNs = 0.0;
+    std::size_t launches = 0;
+};
+
+/**
+ * Prices kernels and whole traces for one (chip, config) pair.
+ */
+class CostEngine
+{
+  public:
+    /**
+     * @param chip   Chip model (kept by reference; must outlive the
+     *               engine).
+     * @param config Optimisation configuration to lower with.
+     */
+    CostEngine(const ChipModel &chip, const dsl::OptConfig &config);
+
+    /** Workgroup size used after clamping to the chip maximum. */
+    unsigned workgroupSize() const { return wgSize_; }
+
+    /** Full cost decomposition of one kernel launch. */
+    KernelCost kernelCost(const dsl::KernelLaunch &launch) const;
+
+    /** Kernel execution time in ns (excludes launch overhead). */
+    double kernelTimeNs(const dsl::KernelLaunch &launch) const;
+
+    /**
+     * Host-side overhead attributable to one launch: kernel launch +
+     * optional memcpy normally, or one global-barrier episode when
+     * outlined.
+     */
+    double launchOverheadNs(const dsl::KernelLaunch &launch) const;
+
+    /** Deterministic (noise-free) execution time of a full trace. */
+    AppCost appCost(const dsl::AppTrace &trace) const;
+
+    /** Convenience: appCost(trace).totalNs. */
+    double appTimeNs(const dsl::AppTrace &trace) const;
+
+  private:
+    const ChipModel &chip_;
+    dsl::OptConfig config_;
+    unsigned wgSize_;
+    dsl::SchemePartition part_;
+};
+
+/**
+ * One noisy measurement of a trace under (chip, config): the
+ * deterministic time scaled by per-run lognormal noise.
+ *
+ * @param run_seed Seed identifying the run; the same seed always
+ *                 reproduces the same measurement.
+ */
+double measureAppRunNs(const ChipModel &chip,
+                       const dsl::OptConfig &config,
+                       const dsl::AppTrace &trace,
+                       std::uint64_t run_seed);
+
+/** Noisy measurement from a precomputed deterministic time. */
+double noisyTimeNs(double deterministic_ns, double sigma,
+                   std::uint64_t run_seed);
+
+} // namespace sim
+} // namespace graphport
+
+#endif // GRAPHPORT_SIM_COSTENGINE_HPP

@@ -1,0 +1,56 @@
+#include "graphport/stats/ranks.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace graphport {
+namespace stats {
+
+std::vector<double>
+averageRanks(const std::vector<double> &values)
+{
+    const std::size_t n = values.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return values[a] < values[b];
+              });
+
+    std::vector<double> ranks(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && values[order[j + 1]] == values[order[i]])
+            ++j;
+        // Elements order[i..j] are tied; midrank is the average of the
+        // 1-based ranks i+1 .. j+1.
+        const double midrank =
+            0.5 * (static_cast<double>(i + 1) + static_cast<double>(j + 1));
+        for (std::size_t k = i; k <= j; ++k)
+            ranks[order[k]] = midrank;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+double
+tieCorrectionTerm(std::vector<double> values)
+{
+    std::sort(values.begin(), values.end());
+    double term = 0.0;
+    std::size_t i = 0;
+    const std::size_t n = values.size();
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && values[j + 1] == values[i])
+            ++j;
+        const double t = static_cast<double>(j - i + 1);
+        term += t * t * t - t;
+        i = j + 1;
+    }
+    return term;
+}
+
+} // namespace stats
+} // namespace graphport

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Rank utilities for non-parametric statistics: midrank assignment with
+ * tie handling, and the tie-correction term used by the Mann-Whitney U
+ * normal approximation.
+ */
+#ifndef GRAPHPORT_STATS_RANKS_HPP
+#define GRAPHPORT_STATS_RANKS_HPP
+
+#include <vector>
+
+namespace graphport {
+namespace stats {
+
+/**
+ * Assign 1-based midranks to @p values. Tied values receive the average
+ * of the ranks they span (standard fractional ranking).
+ *
+ * @param values Input data (not modified).
+ * @return Rank of each input element, parallel to @p values.
+ */
+std::vector<double> averageRanks(const std::vector<double> &values);
+
+/**
+ * Sum of (t^3 - t) over tie groups of the combined sample, as used by
+ * the tie-corrected variance of the Mann-Whitney U statistic.
+ *
+ * @param values Combined sample from both groups.
+ */
+double tieCorrectionTerm(std::vector<double> values);
+
+} // namespace stats
+} // namespace graphport
+
+#endif // GRAPHPORT_STATS_RANKS_HPP

@@ -1,0 +1,45 @@
+#include "graphport/stats/significance.hpp"
+
+#include <cmath>
+
+#include "graphport/support/mathutil.hpp"
+
+namespace graphport {
+namespace stats {
+
+SampleSummary
+summarise(const std::vector<double> &samples)
+{
+    SampleSummary s;
+    s.n = samples.size();
+    if (samples.empty())
+        return s;
+    s.mean = mean(samples);
+    s.median = median(samples);
+    s.ciHalf = ciHalfWidth95(samples);
+    return s;
+}
+
+bool
+significantDifference(const SampleSummary &a, const SampleSummary &b)
+{
+    if (a.n == 0 || b.n == 0)
+        return false;
+    const double loA = a.mean - a.ciHalf;
+    const double hiA = a.mean + a.ciHalf;
+    const double loB = b.mean - b.ciHalf;
+    const double hiB = b.mean + b.ciHalf;
+    // Non-overlapping intervals => significant difference.
+    return hiA < loB || hiB < loA;
+}
+
+bool
+significantDifference(const std::vector<double> &samplesA,
+                      const std::vector<double> &samplesB)
+{
+    return significantDifference(summarise(samplesA),
+                                 summarise(samplesB));
+}
+
+} // namespace stats
+} // namespace graphport

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Per-test significance filtering.
+ *
+ * Algorithm 1's SIGNIFICANT(p(os), p(dis_os)) decides, for one test
+ * (application, input, chip) and one pair of optimisation settings,
+ * whether the observed runtime difference is real or noise, using the
+ * 95% confidence intervals of the repeated timings (the paper runs each
+ * test three times). Only significant pairs contribute normalised
+ * ratios to the MWU comparison lists.
+ */
+#ifndef GRAPHPORT_STATS_SIGNIFICANCE_HPP
+#define GRAPHPORT_STATS_SIGNIFICANCE_HPP
+
+#include <vector>
+
+namespace graphport {
+namespace stats {
+
+/** Summary of a repeated-measurement sample. */
+struct SampleSummary
+{
+    double mean = 0.0;
+    double median = 0.0;
+    /** Half-width of the two-sided 95% CI of the mean. */
+    double ciHalf = 0.0;
+    std::size_t n = 0;
+};
+
+/** Compute the summary of a set of repeated timings. */
+SampleSummary summarise(const std::vector<double> &samples);
+
+/**
+ * True when the 95% confidence intervals of the two samples do not
+ * overlap, i.e. the runtime difference is treated as statistically
+ * significant (the paper's SIGNIFICANT predicate).
+ */
+bool significantDifference(const std::vector<double> &samplesA,
+                           const std::vector<double> &samplesB);
+
+/** CI-overlap check on precomputed summaries. */
+bool significantDifference(const SampleSummary &a,
+                           const SampleSummary &b);
+
+} // namespace stats
+} // namespace graphport
+
+#endif // GRAPHPORT_STATS_SIGNIFICANCE_HPP

@@ -1,0 +1,99 @@
+#include "graphport/support/csv.hpp"
+
+#include "graphport/support/error.hpp"
+#include "graphport/support/strings.hpp"
+
+namespace graphport {
+
+std::string
+csvEscape(const std::string &field)
+{
+    bool needsQuote = false;
+    for (char c : field) {
+        if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+            needsQuote = true;
+            break;
+        }
+    }
+    if (!needsQuote)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out += "\"";
+    return out;
+}
+
+std::string
+csvRow(const std::vector<std::string> &fields)
+{
+    std::string out;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out.push_back(',');
+        out += csvEscape(fields[i]);
+    }
+    return out;
+}
+
+std::vector<std::string>
+csvParseLine(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string cur;
+    bool inQuotes = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (inQuotes) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cur.push_back('"');
+                    ++i;
+                } else {
+                    inQuotes = false;
+                }
+            } else {
+                cur.push_back(c);
+            }
+        } else if (c == '"') {
+            inQuotes = true;
+        } else if (c == ',') {
+            fields.push_back(cur);
+            cur.clear();
+        } else if (c == '\r') {
+            // tolerate CRLF line endings
+        } else {
+            cur.push_back(c);
+        }
+    }
+    fatalIf(inQuotes, "CSV line has unbalanced quotes: " + line);
+    fields.push_back(cur);
+    return fields;
+}
+
+void
+csvWrite(std::ostream &os,
+         const std::vector<std::vector<std::string>> &rows)
+{
+    for (const auto &row : rows)
+        os << csvRow(row) << "\n";
+}
+
+std::vector<std::vector<std::string>>
+csvRead(std::istream &is)
+{
+    std::vector<std::vector<std::string>> rows;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (trim(line).empty())
+            continue;
+        rows.push_back(csvParseLine(line));
+    }
+    return rows;
+}
+
+} // namespace graphport

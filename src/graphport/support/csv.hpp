@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal CSV reading/writing, used to persist the experiment dataset so
+ * that the per-table bench binaries can share one sweep instead of each
+ * regenerating it.
+ *
+ * The dialect is deliberately simple: comma separated, double-quote
+ * escaping with doubled quotes, no embedded newlines inside fields.
+ */
+#ifndef GRAPHPORT_SUPPORT_CSV_HPP
+#define GRAPHPORT_SUPPORT_CSV_HPP
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace graphport {
+
+/** Escape a single CSV field (quotes it only when necessary). */
+std::string csvEscape(const std::string &field);
+
+/** Serialise one CSV row (no trailing newline). */
+std::string csvRow(const std::vector<std::string> &fields);
+
+/**
+ * Parse a single CSV line into fields.
+ *
+ * @throws FatalError on unbalanced quotes.
+ */
+std::vector<std::string> csvParseLine(const std::string &line);
+
+/** Write rows (including any header the caller prepends) to @p os. */
+void csvWrite(std::ostream &os,
+              const std::vector<std::vector<std::string>> &rows);
+
+/** Read all rows from @p is; blank lines are skipped. */
+std::vector<std::vector<std::string>> csvRead(std::istream &is);
+
+} // namespace graphport
+
+#endif // GRAPHPORT_SUPPORT_CSV_HPP

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Error-reporting primitives for graphport.
+ *
+ * Follows the gem5 fatal/panic distinction:
+ *  - fatal():  the *user* did something unsupported (bad configuration,
+ *              malformed input file). Throws graphport::FatalError.
+ *  - panic():  an internal invariant was violated (a graphport bug).
+ *              Throws graphport::PanicError.
+ *
+ * Both throw rather than abort so that library consumers and tests can
+ * observe and recover from error conditions.
+ */
+#ifndef GRAPHPORT_SUPPORT_ERROR_HPP
+#define GRAPHPORT_SUPPORT_ERROR_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace graphport {
+
+/** Error caused by invalid user input or configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error("fatal: " + msg)
+    {}
+};
+
+/** Error caused by a violated internal invariant (a graphport bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error("panic: " + msg)
+    {}
+};
+
+/**
+ * Report a user-caused error.
+ *
+ * @param msg Human-readable description of the problem.
+ * @throws FatalError always.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Report an internal invariant violation.
+ *
+ * @param msg Human-readable description of the violated invariant.
+ * @throws PanicError always.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Check a user-facing precondition; calls fatal() with @p msg if
+ * @p cond is false.
+ */
+void fatalIf(bool cond, const std::string &msg);
+
+/**
+ * Check an internal invariant; calls panic() with @p msg if @p cond is
+ * false.
+ */
+void panicIf(bool cond, const std::string &msg);
+
+} // namespace graphport
+
+#endif // GRAPHPORT_SUPPORT_ERROR_HPP

@@ -1,0 +1,112 @@
+#include "graphport/support/mathutil.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+
+double
+geomean(const std::vector<double> &values)
+{
+    panicIf(values.empty(), "geomean of empty vector");
+    double acc = 0.0;
+    for (double v : values) {
+        panicIf(v <= 0.0, "geomean requires strictly positive values");
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    panicIf(values.empty(), "mean of empty vector");
+    double acc = 0.0;
+    for (double v : values)
+        acc += v;
+    return acc / static_cast<double>(values.size());
+}
+
+double
+median(std::vector<double> values)
+{
+    panicIf(values.empty(), "median of empty vector");
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    if (n % 2 == 1)
+        return values[n / 2];
+    return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    panicIf(values.empty(), "percentile of empty vector");
+    panicIf(p < 0.0 || p > 100.0, "percentile p out of [0,100]");
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values[0];
+    const double rank =
+        (p / 100.0) * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double m = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double
+tCritical95(std::size_t df)
+{
+    // Two-sided 95% Student t critical values. Small-df entries are
+    // exact to three decimals; beyond the table we approach z = 1.96.
+    static const double table[] = {
+        0.0,    // df = 0 (unused)
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    constexpr std::size_t tableMax = sizeof(table) / sizeof(table[0]) - 1;
+    if (df == 0)
+        return 0.0;
+    if (df <= tableMax)
+        return table[df];
+    if (df <= 60)
+        return 2.000;
+    if (df <= 120)
+        return 1.980;
+    return 1.960;
+}
+
+double
+ciHalfWidth95(const std::vector<double> &values)
+{
+    const std::size_t n = values.size();
+    if (n < 2)
+        return 0.0;
+    const double se =
+        stddev(values) / std::sqrt(static_cast<double>(n));
+    return tCritical95(n - 1) * se;
+}
+
+double
+clampTo(double x, double lo, double hi)
+{
+    return std::min(hi, std::max(lo, x));
+}
+
+} // namespace graphport

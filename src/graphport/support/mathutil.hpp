@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Small numeric helpers shared across graphport: geometric mean, median,
+ * percentiles, and simple descriptive statistics. These are the primitive
+ * summaries the paper's analysis is built from (geomean speedups/slowdowns,
+ * runtime medians).
+ */
+#ifndef GRAPHPORT_SUPPORT_MATHUTIL_HPP
+#define GRAPHPORT_SUPPORT_MATHUTIL_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace graphport {
+
+/**
+ * Geometric mean of strictly positive values.
+ *
+ * @param values Non-empty vector of positive values.
+ * @return exp(mean(log(values))).
+ * @throws PanicError on empty input or non-positive entries.
+ */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean of a non-empty vector. */
+double mean(const std::vector<double> &values);
+
+/**
+ * Median of a non-empty vector (average of the two central order
+ * statistics for even sizes). The input is copied, not modified.
+ */
+double median(std::vector<double> values);
+
+/**
+ * Linear-interpolation percentile.
+ *
+ * @param values Non-empty data (copied).
+ * @param p      Percentile in [0, 100].
+ */
+double percentile(std::vector<double> values, double p);
+
+/** Sample standard deviation (n-1 denominator); 0 for n < 2. */
+double stddev(const std::vector<double> &values);
+
+/**
+ * Half-width of the two-sided 95% confidence interval of the mean,
+ * using Student t critical values for small n (the paper runs each
+ * test 3 times). Returns 0 for n < 2.
+ */
+double ciHalfWidth95(const std::vector<double> &values);
+
+/**
+ * Two-sided Student t critical value at 95% confidence for @p df
+ * degrees of freedom (tabulated for small df, 1.96 asymptotically).
+ */
+double tCritical95(std::size_t df);
+
+/** Clamp @p x into [lo, hi]. */
+double clampTo(double x, double lo, double hi);
+
+} // namespace graphport
+
+#endif // GRAPHPORT_SUPPORT_MATHUTIL_HPP

@@ -1,0 +1,129 @@
+#include "graphport/support/rng.hpp"
+
+#include <cmath>
+
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+namespace {
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    reseed(seed);
+}
+
+void
+Rng::reseed(std::uint64_t seed)
+{
+    seed_ = seed;
+    std::uint64_t s = seed;
+    for (auto &word : state_) {
+        s = splitmix64(s);
+        word = s;
+    }
+    // xoshiro must not start in the all-zero state.
+    if (!(state_[0] | state_[1] | state_[2] | state_[3]))
+        state_[0] = 0x1ull;
+    haveSpareGaussian_ = false;
+    spareGaussian_ = 0.0;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits -> uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    panicIf(bound == 0, "Rng::nextBelow bound must be >= 1");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    panicIf(lo > hi, "Rng::nextRange requires lo <= hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1ull;
+    return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextGaussian()
+{
+    if (haveSpareGaussian_) {
+        haveSpareGaussian_ = false;
+        return spareGaussian_;
+    }
+    // Box-Muller: avoid log(0) by nudging u1 away from zero.
+    double u1 = nextDouble();
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    const double u2 = nextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    spareGaussian_ = r * std::sin(theta);
+    haveSpareGaussian_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::nextLognormal(double sigma)
+{
+    return std::exp(sigma * nextGaussian());
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+Rng
+Rng::fork(std::uint64_t stream) const
+{
+    return Rng(splitmix64(seed_ ^ splitmix64(stream + 0x632be59bd9b4e019ull)));
+}
+
+} // namespace graphport

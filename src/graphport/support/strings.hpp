@@ -1,0 +1,41 @@
+/**
+ * @file
+ * String helpers: splitting, trimming, joining, and compact numeric
+ * formatting used by the table/CSV emitters.
+ */
+#ifndef GRAPHPORT_SUPPORT_STRINGS_HPP
+#define GRAPHPORT_SUPPORT_STRINGS_HPP
+
+#include <string>
+#include <vector>
+
+namespace graphport {
+
+/** Split @p s on @p delim; empty fields are preserved. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Strip ASCII whitespace from both ends. */
+std::string trim(const std::string &s);
+
+/** Join @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Format a double with @p decimals fractional digits. */
+std::string fmtDouble(double v, int decimals = 2);
+
+/**
+ * Format a multiplicative factor the way the paper prints them:
+ * "1.15x", "22.31x", "0.88x".
+ */
+std::string fmtFactor(double v, int decimals = 2);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string s);
+
+} // namespace graphport
+
+#endif // GRAPHPORT_SUPPORT_STRINGS_HPP

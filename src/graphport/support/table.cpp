@@ -1,0 +1,77 @@
+#include "graphport/support/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    panicIf(header_.empty(), "TextTable requires at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    panicIf(row.size() != header_.size(),
+            "TextTable row width mismatch");
+    rows_.push_back(std::move(row));
+    ++nDataRows_;
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << " " << cells[c]
+               << std::string(widths[c] - cells[c].size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+    auto emitRule = [&]() {
+        os << "+";
+        for (std::size_t w : widths)
+            os << std::string(w + 2, '-') << "+";
+        os << "\n";
+    };
+
+    emitRule();
+    emitRow(header_);
+    emitRule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            emitRule();
+        else
+            emitRow(row);
+    }
+    emitRule();
+}
+
+std::string
+TextTable::toString() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+} // namespace graphport

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Plain-text table rendering used by the benchmark harnesses to print
+ * the paper's tables and figure series in a readable aligned form.
+ */
+#ifndef GRAPHPORT_SUPPORT_TABLE_HPP
+#define GRAPHPORT_SUPPORT_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace graphport {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"Chip", "Speedup"});
+ *   t.addRow({"R9", "22.31x"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Construct with header labels, one per column. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /**
+     * Append a data row. Must have the same number of cells as the
+     * header.
+     */
+    void addRow(std::vector<std::string> row);
+
+    /** Insert a horizontal separator line before the next row. */
+    void addSeparator();
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render the table to a string. */
+    std::string toString() const;
+
+    /** Number of data rows added so far (separators excluded). */
+    std::size_t rowCount() const { return nDataRows_; }
+
+  private:
+    std::vector<std::string> header_;
+    // Separator rows are encoded as empty vectors.
+    std::vector<std::vector<std::string>> rows_;
+    std::size_t nDataRows_ = 0;
+};
+
+} // namespace graphport
+
+#endif // GRAPHPORT_SUPPORT_TABLE_HPP

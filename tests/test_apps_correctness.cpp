@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Correctness validation of all 17 applications against the
+ * sequential reference oracles, on all three input classes, plus
+ * structural checks on the recorded traces.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "graphport/apps/app.hpp"
+#include "graphport/graph/generators.hpp"
+#include "graphport/graph/reference.hpp"
+#include "graphport/support/error.hpp"
+
+using namespace graphport;
+using namespace graphport::graph;
+
+namespace {
+
+/** Small instances of the three input classes. */
+const Csr &
+inputGraph(const std::string &name)
+{
+    static const std::map<std::string, Csr> graphs = [] {
+        std::map<std::string, Csr> m;
+        m.emplace("road", gen::roadGrid(20, 20, 0.01, 11));
+        m.emplace("social", gen::rmat(9, 8.0, 12));
+        m.emplace("random", gen::uniformRandom(512, 6.0, 13));
+        return m;
+    }();
+    return graphs.at(name);
+}
+
+struct Case
+{
+    std::string app;
+    std::string input;
+};
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const std::string &app : apps::allAppNames()) {
+        for (const char *input : {"road", "social", "random"})
+            cases.push_back({app, input});
+    }
+    return cases;
+}
+
+void
+validateOutput(const std::string &app_name, const Csr &g,
+               const apps::AppOutput &out)
+{
+    const apps::Application &app = apps::appByName(app_name);
+    const std::string problem = app.problem();
+    if (problem == "BFS") {
+        EXPECT_EQ(out.levels, ref::bfsLevels(g, apps::kSourceNode));
+    } else if (problem == "SSSP") {
+        EXPECT_EQ(out.distances, ref::sssp(g, apps::kSourceNode));
+    } else if (problem == "CC") {
+        EXPECT_EQ(out.labels, ref::connectedComponents(g));
+    } else if (problem == "PR") {
+        const auto expected = ref::pagerank(g);
+        ASSERT_EQ(out.ranks.size(), expected.size());
+        const double sum = std::accumulate(out.ranks.begin(),
+                                           out.ranks.end(), 0.0);
+        EXPECT_NEAR(sum, 1.0, 1e-3);
+        for (std::size_t i = 0; i < expected.size(); ++i)
+            EXPECT_NEAR(out.ranks[i], expected[i], 1e-3)
+                << "node " << i;
+    } else if (problem == "MIS") {
+        EXPECT_TRUE(ref::isMaximalIndependentSet(g, out.inSet));
+    } else if (problem == "MST") {
+        EXPECT_EQ(out.scalar, ref::msfWeight(g));
+    } else if (problem == "TRI") {
+        EXPECT_EQ(out.scalar, ref::triangleCount(g));
+    } else {
+        FAIL() << "unknown problem " << problem;
+    }
+}
+
+} // namespace
+
+class AppCorrectnessTest : public ::testing::TestWithParam<Case>
+{};
+
+TEST_P(AppCorrectnessTest, OutputMatchesReference)
+{
+    const Case &c = GetParam();
+    const Csr &g = inputGraph(c.input);
+    const apps::Application &app = apps::appByName(c.app);
+    const auto [out, trace] = apps::runApp(app, g, c.input);
+    validateOutput(c.app, g, out);
+}
+
+TEST_P(AppCorrectnessTest, TraceIsWellFormed)
+{
+    const Case &c = GetParam();
+    const Csr &g = inputGraph(c.input);
+    const apps::Application &app = apps::appByName(c.app);
+    const auto [out, trace] = apps::runApp(app, g, c.input);
+    EXPECT_EQ(trace.app, c.app);
+    EXPECT_EQ(trace.input, c.input);
+    EXPECT_GT(trace.launchCount(), 0u);
+    EXPECT_GT(trace.hostIterations, 0u);
+    EXPECT_EQ(trace.numNodes, g.numNodes());
+    EXPECT_EQ(trace.numEdges, g.numEdges());
+    EXPECT_NO_THROW(trace.validate());
+    for (const dsl::KernelLaunch &l : trace.launches) {
+        EXPECT_FALSE(l.name.empty());
+        EXPECT_LT(l.iteration, trace.hostIterations);
+        if (l.hasNeighborLoop) {
+            EXPECT_EQ(l.hist.totalItems(), l.items) << l.name;
+        }
+    }
+}
+
+TEST_P(AppCorrectnessTest, DeterministicAcrossRuns)
+{
+    const Case &c = GetParam();
+    const Csr &g = inputGraph(c.input);
+    const apps::Application &app = apps::appByName(c.app);
+    const auto [out1, trace1] = apps::runApp(app, g, c.input);
+    const auto [out2, trace2] = apps::runApp(app, g, c.input);
+    EXPECT_EQ(out1.scalar, out2.scalar);
+    EXPECT_EQ(out1.levels, out2.levels);
+    EXPECT_EQ(out1.labels, out2.labels);
+    EXPECT_EQ(trace1.launchCount(), trace2.launchCount());
+    EXPECT_EQ(trace1.hostIterations, trace2.hostIterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAppsAllInputs, AppCorrectnessTest,
+    ::testing::ValuesIn(allCases()),
+    [](const ::testing::TestParamInfo<Case> &info) {
+        std::string name = info.param.app + "_" + info.param.input;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(AppRegistry, SeventeenAppsSevenProblems)
+{
+    const auto &apps = apps::allApplications();
+    EXPECT_EQ(apps.size(), 17u);
+    std::map<std::string, unsigned> perProblem;
+    unsigned fastest = 0;
+    for (const auto &app : apps) {
+        ++perProblem[app->problem()];
+        fastest += app->fastestVariant() ? 1 : 0;
+        EXPECT_FALSE(app->description().empty());
+    }
+    EXPECT_EQ(perProblem.size(), 7u);
+    // One fastest variant per problem (Table VII's (*) markers).
+    EXPECT_EQ(fastest, 7u);
+    EXPECT_EQ(perProblem["BFS"], 3u);
+    EXPECT_EQ(perProblem["SSSP"], 3u);
+    EXPECT_EQ(perProblem["CC"], 3u);
+    EXPECT_EQ(perProblem["MIS"], 2u);
+    EXPECT_EQ(perProblem["MST"], 2u);
+    EXPECT_EQ(perProblem["PR"], 2u);
+    EXPECT_EQ(perProblem["TRI"], 2u);
+}
+
+TEST(AppRegistry, NamesAreUniqueAndLookupWorks)
+{
+    const auto names = apps::allAppNames();
+    for (const std::string &name : names)
+        EXPECT_EQ(apps::appByName(name).name(), name);
+    EXPECT_THROW(apps::appByName("nonexistent"), FatalError);
+}
+
+TEST(AppBehaviour, RoadBfsHasManyIterations)
+{
+    // The large-diameter property that makes oitergb matter.
+    const Csr &road = inputGraph("road");
+    const Csr &social = inputGraph("social");
+    const auto [o1, roadTrace] =
+        apps::runApp(apps::appByName("bfs-wl"), road, "road");
+    const auto [o2, socialTrace] =
+        apps::runApp(apps::appByName("bfs-wl"), social, "social");
+    EXPECT_GT(roadTrace.hostIterations,
+              4 * socialTrace.hostIterations);
+}
+
+TEST(AppBehaviour, WorklistAppsPushAtomically)
+{
+    const Csr &g = inputGraph("social");
+    for (const char *name : {"bfs-wl", "sssp-wl", "sssp-nf"}) {
+        const auto [out, trace] =
+            apps::runApp(apps::appByName(name), g, "social");
+        std::uint64_t pushes = 0;
+        for (const auto &l : trace.launches)
+            pushes += l.contendedPushes;
+        EXPECT_GT(pushes, 0u) << name;
+    }
+}
+
+TEST(AppBehaviour, TopologyDrivenAppsDoNot)
+{
+    const Csr &g = inputGraph("social");
+    for (const char *name : {"bfs-topo", "sssp-bf", "pr-topo"}) {
+        const auto [out, trace] =
+            apps::runApp(apps::appByName(name), g, "social");
+        std::uint64_t pushes = 0;
+        for (const auto &l : trace.launches)
+            pushes += l.contendedPushes;
+        EXPECT_EQ(pushes, 0u) << name;
+    }
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Edge-case validation of every application on degenerate graphs:
+ * a single-node path, a tiny path, a star, and a disconnected graph
+ * (where BFS/SSSP meet unreachable nodes and CC/MST meet multiple
+ * components).
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graphport/apps/app.hpp"
+#include "graphport/graph/reference.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+using namespace graphport::graph;
+
+namespace {
+
+struct EdgeCase
+{
+    std::string app;
+    std::string graphName;
+};
+
+const Csr &
+edgeGraph(const std::string &name)
+{
+    static const std::map<std::string, Csr> graphs = [] {
+        std::map<std::string, Csr> m;
+        m.emplace("path2", testutil::path(2));
+        m.emplace("path16", testutil::path(16));
+        m.emplace("star16", testutil::star(16));
+        m.emplace("disconnected", testutil::twoTriangles());
+        return m;
+    }();
+    return graphs.at(name);
+}
+
+std::vector<EdgeCase>
+allEdgeCases()
+{
+    std::vector<EdgeCase> cases;
+    for (const std::string &app : apps::allAppNames()) {
+        for (const char *g :
+             {"path2", "path16", "star16", "disconnected"})
+            cases.push_back({app, g});
+    }
+    return cases;
+}
+
+} // namespace
+
+class AppEdgeCaseTest : public ::testing::TestWithParam<EdgeCase>
+{};
+
+TEST_P(AppEdgeCaseTest, CorrectOnDegenerateGraphs)
+{
+    const EdgeCase &c = GetParam();
+    const Csr &g = edgeGraph(c.graphName);
+    const apps::Application &app = apps::appByName(c.app);
+    const auto [out, trace] = apps::runApp(app, g, c.graphName);
+
+    const std::string problem = app.problem();
+    if (problem == "BFS") {
+        EXPECT_EQ(out.levels, ref::bfsLevels(g, apps::kSourceNode));
+    } else if (problem == "SSSP") {
+        EXPECT_EQ(out.distances, ref::sssp(g, apps::kSourceNode));
+    } else if (problem == "CC") {
+        EXPECT_EQ(out.labels, ref::connectedComponents(g));
+    } else if (problem == "PR") {
+        const double sum = std::accumulate(out.ranks.begin(),
+                                           out.ranks.end(), 0.0);
+        EXPECT_NEAR(sum, 1.0, 1e-3);
+        const auto expected = ref::pagerank(g);
+        for (std::size_t i = 0; i < expected.size(); ++i)
+            EXPECT_NEAR(out.ranks[i], expected[i], 1e-3);
+    } else if (problem == "MIS") {
+        EXPECT_TRUE(ref::isMaximalIndependentSet(g, out.inSet));
+    } else if (problem == "MST") {
+        EXPECT_EQ(out.scalar, ref::msfWeight(g));
+    } else if (problem == "TRI") {
+        EXPECT_EQ(out.scalar, ref::triangleCount(g));
+    }
+}
+
+TEST_P(AppEdgeCaseTest, TraceStaysConsistent)
+{
+    const EdgeCase &c = GetParam();
+    const Csr &g = edgeGraph(c.graphName);
+    const apps::Application &app = apps::appByName(c.app);
+    const auto [out, trace] = apps::runApp(app, g, c.graphName);
+    EXPECT_NO_THROW(trace.validate());
+    EXPECT_GT(trace.hostIterations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAppsTinyGraphs, AppEdgeCaseTest,
+    ::testing::ValuesIn(allEdgeCases()),
+    [](const ::testing::TestParamInfo<EdgeCase> &info) {
+        std::string name =
+            info.param.app + "_" + info.param.graphName;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(AppEdgeCases, BfsOnDisconnectedGraphLeavesUnreached)
+{
+    const Csr &g = edgeGraph("disconnected");
+    const auto [out, trace] =
+        apps::runApp(apps::appByName("bfs-hybrid"), g, "disc");
+    EXPECT_EQ(out.levels[3], ref::kUnreached);
+    EXPECT_EQ(out.levels[4], ref::kUnreached);
+    EXPECT_EQ(out.levels[5], ref::kUnreached);
+}
+
+TEST(AppEdgeCases, CcFindsBothComponents)
+{
+    const Csr &g = edgeGraph("disconnected");
+    for (const char *name : {"cc-sv", "cc-lp", "cc-af"}) {
+        const auto [out, trace] =
+            apps::runApp(apps::appByName(name), g, "disc");
+        EXPECT_EQ(ref::componentCount(out.labels), 2u) << name;
+    }
+}
+
+TEST(AppEdgeCases, MstOnForestSumsBothTrees)
+{
+    const Csr &g = edgeGraph("disconnected");
+    for (const char *name : {"mst-boruvka", "mst-bh"}) {
+        const auto [out, trace] =
+            apps::runApp(apps::appByName(name), g, "disc");
+        EXPECT_EQ(out.scalar, ref::msfWeight(g)) << name;
+    }
+}
+
+TEST(AppEdgeCases, StarMisIsLeavesOrHub)
+{
+    // On a star the MIS is either {hub} or all leaves; both are
+    // maximal. Priority MIS (low degree first) must pick the leaves.
+    const Csr &g = edgeGraph("star16");
+    const auto [out, trace] =
+        apps::runApp(apps::appByName("mis-prio"), g, "star");
+    EXPECT_FALSE(out.inSet[0]);
+    for (NodeId u = 1; u < g.numNodes(); ++u)
+        EXPECT_TRUE(out.inSet[u]);
+}

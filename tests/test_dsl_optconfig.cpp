@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the optimisation space: exactly 96 configurations,
+ * bijective encoding, label formatting, and the with/without algebra
+ * Algorithm 1 depends on.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graphport/dsl/optconfig.hpp"
+#include "graphport/support/error.hpp"
+
+using namespace graphport;
+using namespace graphport::dsl;
+
+TEST(OptSpace, Has96ConfigsAnd95Combinations)
+{
+    EXPECT_EQ(allConfigs().size(), 96u);
+    unsigned nonBaseline = 0;
+    for (const OptConfig &c : allConfigs())
+        nonBaseline += c.isBaseline() ? 0 : 1;
+    EXPECT_EQ(nonBaseline, 95u); // the paper's combination count
+}
+
+TEST(OptSpace, BaselineIsIdZero)
+{
+    EXPECT_EQ(OptConfig::baseline().encode(), 0u);
+    EXPECT_TRUE(OptConfig::decode(0).isBaseline());
+}
+
+TEST(OptSpace, OptNamesMatchPaper)
+{
+    EXPECT_EQ(optName(Opt::CoopCv), "coop-cv");
+    EXPECT_EQ(optName(Opt::Wg), "wg");
+    EXPECT_EQ(optName(Opt::Sg), "sg");
+    EXPECT_EQ(optName(Opt::Fg1), "fg");
+    EXPECT_EQ(optName(Opt::Fg8), "fg8");
+    EXPECT_EQ(optName(Opt::OiterGb), "oitergb");
+    EXPECT_EQ(optName(Opt::Sz256), "sz256");
+    EXPECT_EQ(allOpts().size(), kNumOpts);
+}
+
+TEST(OptConfigTest, WorkgroupSize)
+{
+    OptConfig c;
+    EXPECT_EQ(c.workgroupSize(), 128u);
+    c.sz256 = true;
+    EXPECT_EQ(c.workgroupSize(), 256u);
+}
+
+TEST(OptConfigTest, LabelFormatting)
+{
+    EXPECT_EQ(OptConfig::baseline().label(), "baseline");
+    OptConfig c;
+    c.fg = FgMode::Fg8;
+    c.sg = true;
+    c.oitergb = true;
+    EXPECT_EQ(c.label(), "sg, fg8, oitergb");
+    OptConfig d;
+    d.fg = FgMode::Fg1;
+    EXPECT_EQ(d.label(), "fg");
+}
+
+TEST(OptConfigTest, HasMatchesFields)
+{
+    OptConfig c;
+    c.fg = FgMode::Fg1;
+    EXPECT_TRUE(c.has(Opt::Fg1));
+    EXPECT_FALSE(c.has(Opt::Fg8));
+    c.fg = FgMode::Fg8;
+    EXPECT_FALSE(c.has(Opt::Fg1));
+    EXPECT_TRUE(c.has(Opt::Fg8));
+    EXPECT_FALSE(c.has(Opt::CoopCv));
+    c.coopCv = true;
+    EXPECT_TRUE(c.has(Opt::CoopCv));
+}
+
+TEST(OptConfigTest, WithWithoutAreInverse)
+{
+    for (Opt opt : allOpts()) {
+        const OptConfig on = OptConfig::baseline().with(opt);
+        EXPECT_TRUE(on.has(opt)) << optName(opt);
+        EXPECT_TRUE(on.without(opt).isBaseline()) << optName(opt);
+    }
+}
+
+TEST(OptConfigTest, FgVariantsAreMutuallyExclusive)
+{
+    const OptConfig fg1 = OptConfig::baseline().with(Opt::Fg1);
+    const OptConfig fg8 = fg1.with(Opt::Fg8);
+    EXPECT_FALSE(fg8.has(Opt::Fg1));
+    EXPECT_TRUE(fg8.has(Opt::Fg8));
+    // Disabling either fg variant turns fg off entirely.
+    EXPECT_EQ(fg8.without(Opt::Fg8).fg, FgMode::Off);
+    EXPECT_EQ(fg8.without(Opt::Fg1).fg, FgMode::Off);
+}
+
+TEST(OptConfigTest, DecodeRejectsOutOfRange)
+{
+    EXPECT_THROW(OptConfig::decode(96), FatalError);
+}
+
+TEST(OptSpace, AllConfigsWithCounts)
+{
+    // Binary opts appear in half the space (48); each fg variant in
+    // a third (32).
+    EXPECT_EQ(allConfigsWith(Opt::CoopCv).size(), 48u);
+    EXPECT_EQ(allConfigsWith(Opt::Wg).size(), 48u);
+    EXPECT_EQ(allConfigsWith(Opt::Sg).size(), 48u);
+    EXPECT_EQ(allConfigsWith(Opt::OiterGb).size(), 48u);
+    EXPECT_EQ(allConfigsWith(Opt::Sz256).size(), 48u);
+    EXPECT_EQ(allConfigsWith(Opt::Fg1).size(), 32u);
+    EXPECT_EQ(allConfigsWith(Opt::Fg8).size(), 32u);
+}
+
+TEST(OptSpace, MirrorSettingsDifferOnlyInOpt)
+{
+    // Algorithm 1's (os, dis_os) pairs: identical except for opt.
+    for (Opt opt : allOpts()) {
+        for (const OptConfig &os : allConfigsWith(opt)) {
+            const OptConfig dis = os.without(opt);
+            EXPECT_FALSE(dis.has(opt));
+            for (Opt other : allOpts()) {
+                if (other == opt)
+                    continue;
+                // Disabling fg1 also kills fg8 and vice versa; all
+                // other opts must be untouched.
+                const bool fgPair =
+                    (opt == Opt::Fg1 && other == Opt::Fg8) ||
+                    (opt == Opt::Fg8 && other == Opt::Fg1);
+                if (!fgPair) {
+                    EXPECT_EQ(os.has(other), dis.has(other))
+                        << optName(opt) << " vs " << optName(other);
+                }
+            }
+        }
+    }
+}
+
+/** Encode/decode bijection over the full space. */
+class EncodeRoundTripTest : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(EncodeRoundTripTest, RoundTrips)
+{
+    const unsigned id = GetParam();
+    const OptConfig c = OptConfig::decode(id);
+    EXPECT_EQ(c.encode(), id);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIds, EncodeRoundTripTest,
+                         ::testing::Range(0u, kNumConfigs));
+
+TEST(OptSpace, EncodingIsInjective)
+{
+    std::set<unsigned> ids;
+    for (const OptConfig &c : allConfigs())
+        ids.insert(c.encode());
+    EXPECT_EQ(ids.size(), 96u);
+}
+
+TEST(OptSpace, LabelsAreUnique)
+{
+    std::set<std::string> labels;
+    for (const OptConfig &c : allConfigs())
+        labels.insert(c.label());
+    EXPECT_EQ(labels.size(), 96u);
+}

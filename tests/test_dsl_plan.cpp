@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the execution-plan lowering (scheme partitioning).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graphport/dsl/plan.hpp"
+#include "graphport/support/error.hpp"
+
+using namespace graphport;
+using namespace graphport::dsl;
+
+namespace {
+
+OptConfig
+config(bool wg, bool sg, FgMode fg)
+{
+    OptConfig c;
+    c.wg = wg;
+    c.sg = sg;
+    c.fg = fg;
+    return c;
+}
+
+} // namespace
+
+TEST(Plan, BaselineIsAllSerial)
+{
+    const SchemePartition p =
+        partitionSchemes(OptConfig::baseline(), 32, 128);
+    for (unsigned b = 0; b < kDegreeBuckets; ++b)
+        EXPECT_EQ(p.bucketScheme[b], Scheme::Serial);
+    EXPECT_FALSE(p.anyScheme());
+    EXPECT_EQ(p.fgChunk, 0u);
+}
+
+TEST(Plan, FgCatchesEverythingWhenAlone)
+{
+    const SchemePartition p =
+        partitionSchemes(config(false, false, FgMode::Fg8), 32, 128);
+    for (unsigned b = 0; b < kDegreeBuckets; ++b)
+        EXPECT_EQ(p.bucketScheme[b], Scheme::Fg);
+    EXPECT_EQ(p.fgChunk, 8u);
+}
+
+TEST(Plan, Fg1ChunkIsOne)
+{
+    const SchemePartition p =
+        partitionSchemes(config(false, false, FgMode::Fg1), 32, 128);
+    EXPECT_EQ(p.fgChunk, 1u);
+}
+
+TEST(Plan, SgTakesMediumDegrees)
+{
+    const SchemePartition p =
+        partitionSchemes(config(false, true, FgMode::Off), 32, 128);
+    // Bucket 5 = [32, 64): at the subgroup-size threshold.
+    EXPECT_EQ(p.bucketScheme[4], Scheme::Serial); // [16,32)
+    EXPECT_EQ(p.bucketScheme[5], Scheme::Sg);
+    EXPECT_EQ(p.bucketScheme[12], Scheme::Sg); // no wg: sg unbounded
+    EXPECT_TRUE(p.usesSg);
+}
+
+TEST(Plan, WgTakesOnlyVeryHighDegrees)
+{
+    const SchemePartition p =
+        partitionSchemes(config(true, true, FgMode::Fg8), 32, 128);
+    // wg threshold is 4x the workgroup size = 512 (bucket 9).
+    EXPECT_EQ(p.bucketScheme[8], Scheme::Sg);  // [256, 512)
+    EXPECT_EQ(p.bucketScheme[9], Scheme::Wg);  // [512, 1024)
+    EXPECT_EQ(p.bucketScheme[5], Scheme::Sg);
+    EXPECT_EQ(p.bucketScheme[2], Scheme::Fg);
+    EXPECT_TRUE(p.usesWg);
+}
+
+TEST(Plan, WgWithoutSgLeavesMediumToFgOrSerial)
+{
+    const SchemePartition noFg =
+        partitionSchemes(config(true, false, FgMode::Off), 32, 128);
+    EXPECT_EQ(noFg.bucketScheme[7], Scheme::Serial); // [128,256)
+    EXPECT_EQ(noFg.bucketScheme[9], Scheme::Wg);
+    const SchemePartition withFg =
+        partitionSchemes(config(true, false, FgMode::Fg8), 32, 128);
+    EXPECT_EQ(withFg.bucketScheme[7], Scheme::Fg);
+}
+
+TEST(Plan, SubgroupSizeOneDisablesSgScheme)
+{
+    // MALI: sg requested but no physical subgroups — the scheme
+    // assigns nothing, yet the request (and its phase barriers) is
+    // recorded.
+    const SchemePartition p =
+        partitionSchemes(config(false, true, FgMode::Off), 1, 128);
+    EXPECT_FALSE(p.usesSg);
+    EXPECT_TRUE(p.sgRequested);
+    for (unsigned b = 0; b < kDegreeBuckets; ++b)
+        EXPECT_EQ(p.bucketScheme[b], Scheme::Serial);
+}
+
+TEST(Plan, WorkgroupSizeShiftsWgThreshold)
+{
+    const SchemePartition p128 =
+        partitionSchemes(config(true, false, FgMode::Off), 32, 128);
+    const SchemePartition p256 =
+        partitionSchemes(config(true, false, FgMode::Off), 32, 256);
+    // 4*128 = 512 (bucket 9); 4*256 = 1024 (bucket 10).
+    EXPECT_EQ(p128.bucketScheme[9], Scheme::Wg);
+    EXPECT_EQ(p256.bucketScheme[9], Scheme::Serial);
+    EXPECT_EQ(p256.bucketScheme[10], Scheme::Wg);
+}
+
+TEST(Plan, RejectsZeroSizes)
+{
+    EXPECT_THROW(partitionSchemes(OptConfig::baseline(), 0, 128),
+                 PanicError);
+    EXPECT_THROW(partitionSchemes(OptConfig::baseline(), 32, 0),
+                 PanicError);
+}
+
+/**
+ * Property sweep: every bucket is assigned exactly one scheme and
+ * scheme thresholds are respected, across the full config space and
+ * realistic chip geometries.
+ */
+struct PlanSweepParam
+{
+    unsigned sgSize;
+    unsigned wgSize;
+};
+
+class PlanSweepTest : public ::testing::TestWithParam<PlanSweepParam>
+{};
+
+TEST_P(PlanSweepTest, ThresholdInvariants)
+{
+    const auto [sgSize, wgSize] = GetParam();
+    for (const OptConfig &c : allConfigs()) {
+        const SchemePartition p =
+            partitionSchemes(c, sgSize, wgSize);
+        for (unsigned b = 0; b < kDegreeBuckets; ++b) {
+            const double lo =
+                b == 0 ? 0.0 : std::pow(2.0, static_cast<double>(b));
+            switch (p.bucketScheme[b]) {
+              case Scheme::Wg:
+                EXPECT_TRUE(c.wg);
+                EXPECT_GE(lo, 4.0 * wgSize);
+                break;
+              case Scheme::Sg:
+                EXPECT_TRUE(c.sg && sgSize > 1);
+                EXPECT_GE(lo, static_cast<double>(sgSize));
+                break;
+              case Scheme::Fg:
+                EXPECT_NE(c.fg, FgMode::Off);
+                break;
+              case Scheme::Serial:
+                // Serial only when no scheme claims the bucket.
+                EXPECT_TRUE(c.fg == FgMode::Off ||
+                            p.bucketScheme[b] != Scheme::Serial);
+                break;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChipGeometries, PlanSweepTest,
+    ::testing::Values(PlanSweepParam{1, 128}, PlanSweepParam{16, 128},
+                      PlanSweepParam{32, 128}, PlanSweepParam{64, 128},
+                      PlanSweepParam{16, 256}, PlanSweepParam{32, 256},
+                      PlanSweepParam{64, 256}));

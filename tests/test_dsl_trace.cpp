@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for degree histograms, order statistics, and the trace
+ * recorder.
+ */
+#include <gtest/gtest.h>
+
+#include "graphport/dsl/recorder.hpp"
+#include "graphport/dsl/trace.hpp"
+#include "graphport/support/error.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+using namespace graphport::dsl;
+
+TEST(DegreeHistBuckets, BucketBoundaries)
+{
+    EXPECT_EQ(DegreeHist::bucketOf(0), 0u);
+    EXPECT_EQ(DegreeHist::bucketOf(1), 0u);
+    EXPECT_EQ(DegreeHist::bucketOf(2), 1u);
+    EXPECT_EQ(DegreeHist::bucketOf(3), 1u);
+    EXPECT_EQ(DegreeHist::bucketOf(4), 2u);
+    EXPECT_EQ(DegreeHist::bucketOf(7), 2u);
+    EXPECT_EQ(DegreeHist::bucketOf(8), 3u);
+    EXPECT_EQ(DegreeHist::bucketOf(1023), 9u);
+    EXPECT_EQ(DegreeHist::bucketOf(1024), 10u);
+}
+
+TEST(DegreeHistBuckets, HugeDegreesClampToLastBucket)
+{
+    EXPECT_EQ(DegreeHist::bucketOf(~0ull), kDegreeBuckets - 1);
+}
+
+TEST(DegreeHistBuckets, MidpointsAndBounds)
+{
+    EXPECT_DOUBLE_EQ(DegreeHist::bucketMid(0), 1.0);
+    EXPECT_DOUBLE_EQ(DegreeHist::bucketMid(1), 3.0);
+    EXPECT_DOUBLE_EQ(DegreeHist::bucketMid(2), 6.0);
+    EXPECT_DOUBLE_EQ(DegreeHist::bucketHi(1), 3.0);
+    EXPECT_DOUBLE_EQ(DegreeHist::bucketHi(2), 7.0);
+}
+
+TEST(DegreeHistTest, TotalsAndMean)
+{
+    DegreeHist h;
+    h.add(1);
+    h.add(4);
+    h.add(4);
+    EXPECT_EQ(h.totalItems(), 3u);
+    // Representative sizes: 1, 6, 6.
+    EXPECT_DOUBLE_EQ(h.totalWork(), 13.0);
+    EXPECT_NEAR(h.meanSize(), 13.0 / 3.0, 1e-12);
+}
+
+TEST(DegreeHistTest, EmptyHistogram)
+{
+    const DegreeHist h;
+    EXPECT_EQ(h.totalItems(), 0u);
+    EXPECT_DOUBLE_EQ(h.meanSize(), 0.0);
+    EXPECT_DOUBLE_EQ(h.expectedMaxOf(16), 0.0);
+}
+
+TEST(ExpectedMax, UniformHistogramIsConstant)
+{
+    DegreeHist h;
+    for (int i = 0; i < 100; ++i)
+        h.add(4); // all in bucket 2, mid 6
+    for (unsigned k : {1u, 2u, 32u, 128u})
+        EXPECT_DOUBLE_EQ(h.expectedMaxOf(k), 6.0) << k;
+}
+
+TEST(ExpectedMax, MonotoneInK)
+{
+    DegreeHist h;
+    for (int i = 0; i < 90; ++i)
+        h.add(2);
+    for (int i = 0; i < 10; ++i)
+        h.add(64);
+    double prev = 0.0;
+    for (unsigned k : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        const double e = h.expectedMaxOf(k);
+        EXPECT_GE(e, prev - 1e-9) << k;
+        prev = e;
+    }
+    // k = 1 is the mean; large k approaches the top bucket mid.
+    EXPECT_NEAR(h.expectedMaxOf(1), h.meanSize(), 1e-9);
+    EXPECT_NEAR(h.expectedMaxOf(4096), DegreeHist::bucketMid(6),
+                1.0);
+}
+
+TEST(ExpectedMax, TwoPointDistributionExactValue)
+{
+    // 50/50 split of buckets 0 (mid 1) and 6 (mid 96):
+    // E[max of 2] = P(both low)*1 + (1 - P)*96 = 0.25*1 + 0.75*96.
+    DegreeHist h;
+    h.add(1);
+    h.add(64);
+    EXPECT_NEAR(h.expectedMaxOf(2), 0.25 * 1.0 + 0.75 * 96.0, 1e-9);
+}
+
+TEST(ExpectedMax, MemoisationIsConsistent)
+{
+    DegreeHist h;
+    for (int i = 0; i < 50; ++i)
+        h.add(i % 17);
+    const double first = h.expectedMaxOf(32);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(h.expectedMaxOf(32), first);
+    // Adding data invalidates the memo.
+    h.add(4096);
+    EXPECT_GT(h.expectedMaxOf(32), first);
+}
+
+TEST(Recorder, TracksIterationsAndLaunches)
+{
+    const graph::Csr g = testutil::path(8);
+    TraceRecorder rec("app", g, "path");
+    rec.beginIteration();
+    rec.flatKernel({.name = "a"}, 8);
+    rec.beginIteration();
+    rec.flatKernel({.name = "b"}, 8);
+    rec.flatKernel({.name = "c"}, 8);
+    const AppTrace trace = rec.finish();
+    EXPECT_EQ(trace.hostIterations, 2u);
+    ASSERT_EQ(trace.launchCount(), 3u);
+    EXPECT_EQ(trace.launches[0].iteration, 0u);
+    EXPECT_EQ(trace.launches[1].iteration, 1u);
+    EXPECT_EQ(trace.launches[2].iteration, 1u);
+}
+
+TEST(Recorder, NeighborKernelHistogramsMatchGraph)
+{
+    const graph::Csr g = testutil::star(9);
+    TraceRecorder rec("app", g, "star");
+    rec.beginIteration();
+    const std::vector<graph::NodeId> frontier = {0, 1};
+    rec.neighborKernel({.name = "k"}, frontier);
+    const AppTrace trace = rec.finish();
+    const KernelLaunch &l = trace.launches[0];
+    EXPECT_EQ(l.items, 2u);
+    EXPECT_EQ(l.edges, 9u); // deg(0)=8, deg(1)=1
+    EXPECT_TRUE(l.hasNeighborLoop);
+    EXPECT_EQ(l.hist.totalItems(), 2u);
+}
+
+TEST(Recorder, SparseKernelPadsWithZeroDegreeItems)
+{
+    const graph::Csr g = testutil::path(10);
+    TraceRecorder rec("app", g, "path");
+    rec.beginIteration();
+    const std::vector<graph::NodeId> active = {4};
+    rec.neighborKernelSparse({.name = "k"}, active);
+    const AppTrace trace = rec.finish();
+    const KernelLaunch &l = trace.launches[0];
+    EXPECT_EQ(l.items, 10u);
+    EXPECT_EQ(l.edges, 2u);
+    EXPECT_EQ(l.hist.totalItems(), 10u);
+    EXPECT_EQ(l.hist.buckets[0], 9u); // 9 idle threads
+}
+
+TEST(Recorder, AllNodesKernelIsCachedAndCorrect)
+{
+    const graph::Csr g = testutil::triangle();
+    TraceRecorder rec("app", g, "triangle");
+    rec.beginIteration();
+    rec.neighborKernelAllNodes({.name = "k1"});
+    rec.neighborKernelAllNodes({.name = "k2"});
+    const AppTrace trace = rec.finish();
+    for (const KernelLaunch &l : trace.launches) {
+        EXPECT_EQ(l.items, 3u);
+        EXPECT_EQ(l.edges, 6u);
+    }
+}
+
+TEST(Recorder, InnerSizeKernel)
+{
+    const graph::Csr g = testutil::path(4);
+    TraceRecorder rec("app", g, "path");
+    rec.beginIteration();
+    const std::vector<std::uint64_t> sizes = {10, 20, 30};
+    rec.innerSizeKernel({.name = "tri"}, sizes);
+    const AppTrace trace = rec.finish();
+    EXPECT_EQ(trace.launches[0].items, 3u);
+    EXPECT_EQ(trace.launches[0].edges, 60u);
+}
+
+TEST(Recorder, FinishTwicePanics)
+{
+    const graph::Csr g = testutil::path(4);
+    TraceRecorder rec("app", g, "path");
+    rec.beginIteration();
+    rec.flatKernel({.name = "k"}, 4);
+    rec.finish();
+    EXPECT_THROW(rec.finish(), PanicError);
+}
+
+TEST(Recorder, KernelParamsArePropagated)
+{
+    const graph::Csr g = testutil::path(4);
+    TraceRecorder rec("app", g, "path");
+    rec.beginIteration();
+    KernelParams params;
+    params.name = "k";
+    params.contendedPushes = 7;
+    params.scatteredRmw = 11;
+    params.flatReads = 13;
+    params.computePerItem = 2.5;
+    params.hostSyncAfter = true;
+    rec.flatKernel(params, 4);
+    const AppTrace trace = rec.finish();
+    const KernelLaunch &l = trace.launches[0];
+    EXPECT_EQ(l.contendedPushes, 7u);
+    EXPECT_EQ(l.scatteredRmw, 11u);
+    EXPECT_EQ(l.flatReads, 13u);
+    EXPECT_DOUBLE_EQ(l.computePerItem, 2.5);
+    EXPECT_TRUE(l.hostSyncAfter);
+    EXPECT_EQ(trace.hostSyncCount(), 1u);
+}

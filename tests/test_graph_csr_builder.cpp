@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the CSR representation and the edge-list builder.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graphport/graph/builder.hpp"
+#include "graphport/graph/csr.hpp"
+#include "graphport/support/error.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+using namespace graphport::graph;
+
+TEST(Csr, EmptyGraph)
+{
+    const Csr g;
+    EXPECT_EQ(g.numNodes(), 0u);
+    EXPECT_EQ(g.numEdges(), 0u);
+    EXPECT_FALSE(g.hasWeights());
+}
+
+TEST(Csr, TriangleStructure)
+{
+    const Csr g = testutil::triangle();
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.numEdges(), 6u); // symmetrised
+    EXPECT_EQ(g.outDegree(0), 2u);
+    EXPECT_EQ(g.outDegree(1), 2u);
+    EXPECT_EQ(g.outDegree(2), 2u);
+    EXPECT_TRUE(g.hasWeights());
+    EXPECT_EQ(g.name(), "triangle");
+}
+
+TEST(Csr, NeighborsAreSorted)
+{
+    const Csr g = testutil::star(8);
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        const auto nbrs = g.neighbors(u);
+        EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    }
+}
+
+TEST(Csr, EdgeAccessorsConsistent)
+{
+    const Csr g = testutil::triangle();
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        const auto nbrs = g.neighbors(u);
+        ASSERT_EQ(nbrs.size(), g.edgeEnd(u) - g.edgeBegin(u));
+        for (std::size_t i = 0; i < nbrs.size(); ++i)
+            EXPECT_EQ(g.edgeDst(g.edgeBegin(u) + i), nbrs[i]);
+    }
+}
+
+TEST(Csr, WeightsParallelToColumns)
+{
+    const Csr g = testutil::triangle();
+    for (NodeId u = 0; u < g.numNodes(); ++u)
+        EXPECT_EQ(g.edgeWeights(u).size(), g.neighbors(u).size());
+}
+
+TEST(Csr, SymmetrisedWeightsMatch)
+{
+    // Weight of (u, v) equals weight of (v, u) after symmetrisation.
+    const Csr g = testutil::triangle();
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        const auto nbrs = g.neighbors(u);
+        const auto wts = g.edgeWeights(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            const NodeId v = nbrs[i];
+            const auto back = g.neighbors(v);
+            const auto backW = g.edgeWeights(v);
+            const auto it =
+                std::lower_bound(back.begin(), back.end(), u);
+            ASSERT_NE(it, back.end());
+            EXPECT_EQ(backW[it - back.begin()], wts[i]);
+        }
+    }
+}
+
+TEST(Csr, ValidateRejectsBadRowStarts)
+{
+    EXPECT_THROW(Csr({0, 2, 1}, {0, 0}, {}, "bad"), PanicError);
+    EXPECT_THROW(Csr({1, 2}, {0, 0}, {}, "bad"), PanicError);
+    EXPECT_THROW(Csr({0, 1}, {5}, {}, "bad"), PanicError);
+    EXPECT_THROW(Csr({0, 1}, {0}, {1, 2}, "bad"), PanicError);
+}
+
+TEST(Builder, RemovesSelfLoops)
+{
+    Builder b(3);
+    b.addEdge(0, 0);
+    b.addEdge(0, 1);
+    const Csr g = b.build("g");
+    EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(Builder, RemovesDuplicates)
+{
+    Builder b(3);
+    b.addEdge(0, 1, 5);
+    b.addEdge(0, 1, 9);
+    b.addEdge(0, 2);
+    Builder::Options opts;
+    opts.weighted = true;
+    const Csr g = b.build("g", opts);
+    EXPECT_EQ(g.numEdges(), 2u);
+    // First (lowest) weight wins after sorting.
+    EXPECT_EQ(g.edgeWeights(0)[0], 5u);
+}
+
+TEST(Builder, KeepsDuplicatesWhenAsked)
+{
+    Builder b(3);
+    b.addEdge(0, 1);
+    b.addEdge(0, 1);
+    Builder::Options opts;
+    opts.removeDuplicates = false;
+    const Csr g = b.build("g", opts);
+    EXPECT_EQ(g.numEdges(), 2u);
+}
+
+TEST(Builder, SymmetrizeAddsReverseEdges)
+{
+    Builder b(3);
+    b.addEdge(0, 1);
+    Builder::Options opts;
+    opts.symmetrize = true;
+    const Csr g = b.build("g", opts);
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_EQ(g.neighbors(1)[0], 0u);
+}
+
+TEST(Builder, DirectedByDefault)
+{
+    Builder b(3);
+    b.addEdge(0, 1);
+    const Csr g = b.build("g");
+    EXPECT_EQ(g.outDegree(0), 1u);
+    EXPECT_EQ(g.outDegree(1), 0u);
+}
+
+TEST(Builder, RejectsOutOfRangeEndpoints)
+{
+    Builder b(3);
+    EXPECT_THROW(b.addEdge(3, 0), FatalError);
+    EXPECT_THROW(b.addEdge(0, 3), FatalError);
+}
+
+TEST(Builder, IsolatedNodesHaveZeroDegree)
+{
+    Builder b(5);
+    b.addEdge(0, 1);
+    const Csr g = b.build("g");
+    EXPECT_EQ(g.outDegree(4), 0u);
+    EXPECT_TRUE(g.neighbors(4).empty());
+}

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the synthetic input generators: determinism, structural
+ * class properties (Table VIII shapes) and invariants.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graphport/graph/generators.hpp"
+#include "graphport/graph/metrics.hpp"
+#include "graphport/support/error.hpp"
+
+using namespace graphport;
+using namespace graphport::graph;
+
+namespace {
+
+/** Every edge must have its reverse present (symmetric graphs). */
+bool
+isSymmetric(const Csr &g)
+{
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        for (NodeId v : g.neighbors(u)) {
+            const auto back = g.neighbors(v);
+            if (!std::binary_search(back.begin(), back.end(), u))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+TEST(RoadGrid, NodeCountMatchesGrid)
+{
+    const Csr g = gen::roadGrid(10, 7);
+    EXPECT_EQ(g.numNodes(), 70u);
+}
+
+TEST(RoadGrid, IsSymmetricWeightedNoSelfLoops)
+{
+    const Csr g = gen::roadGrid(16, 16);
+    EXPECT_TRUE(isSymmetric(g));
+    EXPECT_TRUE(g.hasWeights());
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        for (NodeId v : g.neighbors(u))
+            ASSERT_NE(u, v);
+    }
+}
+
+TEST(RoadGrid, HasRoadNetworkShape)
+{
+    const Csr g = gen::roadGrid(48, 48);
+    const GraphMetrics m = computeMetrics(g);
+    // Low, near-uniform degree and large diameter.
+    EXPECT_LT(m.avgDegree, 6.0);
+    EXPECT_LE(m.maxDegree, 10u);
+    EXPECT_GT(m.pseudoDiameter, 40u);
+    EXPECT_DOUBLE_EQ(m.largestComponentFraction, 1.0);
+}
+
+TEST(RoadGrid, RejectsTinyGrids)
+{
+    EXPECT_THROW(gen::roadGrid(1, 5), FatalError);
+}
+
+TEST(Rmat, HasSocialNetworkShape)
+{
+    const Csr g = gen::rmat(11, 12.0);
+    const GraphMetrics m = computeMetrics(g);
+    // Skewed degrees and small diameter.
+    EXPECT_GT(m.degreeSkew, 5.0);
+    EXPECT_LT(m.pseudoDiameter, 20u);
+}
+
+TEST(Rmat, RejectsBadParameters)
+{
+    EXPECT_THROW(gen::rmat(1, 8.0), FatalError);
+    EXPECT_THROW(gen::rmat(30, 8.0), FatalError);
+    EXPECT_THROW(gen::rmat(10, 0.0), FatalError);
+}
+
+TEST(Rmat, MinimumDegreeOne)
+{
+    const Csr g = gen::rmat(10, 4.0);
+    for (NodeId u = 0; u < g.numNodes(); ++u)
+        EXPECT_GE(g.outDegree(u), 1u) << "node " << u;
+}
+
+TEST(UniformRandom, HasUniformShape)
+{
+    const Csr g = gen::uniformRandom(4096, 8.0);
+    const GraphMetrics m = computeMetrics(g);
+    // Concentrated degrees, small diameter.
+    EXPECT_LT(m.degreeSkew, 5.0);
+    EXPECT_LT(m.pseudoDiameter, 15u);
+}
+
+TEST(UniformRandom, MinimumDegreeOne)
+{
+    const Csr g = gen::uniformRandom(2048, 2.0);
+    for (NodeId u = 0; u < g.numNodes(); ++u)
+        EXPECT_GE(g.outDegree(u), 1u);
+}
+
+TEST(UniformRandom, RejectsBadParameters)
+{
+    EXPECT_THROW(gen::uniformRandom(1, 4.0), FatalError);
+    EXPECT_THROW(gen::uniformRandom(100, -1.0), FatalError);
+}
+
+TEST(Generators, SkewOrderingAcrossClasses)
+{
+    // The defining Table VIII property: social skew >> random skew,
+    // road diameter >> social/random diameter.
+    const GraphMetrics road =
+        computeMetrics(gen::roadGrid(48, 48));
+    const GraphMetrics social = computeMetrics(gen::rmat(12, 12.0));
+    const GraphMetrics random =
+        computeMetrics(gen::uniformRandom(4096, 12.0));
+    EXPECT_GT(social.degreeSkew, 3.0 * random.degreeSkew);
+    EXPECT_GT(road.pseudoDiameter, 3 * social.pseudoDiameter);
+    EXPECT_GT(road.pseudoDiameter, 3 * random.pseudoDiameter);
+}
+
+/** Determinism and seed-sensitivity, parameterized per generator. */
+struct GenCase
+{
+    const char *name;
+    Csr (*make)(std::uint64_t seed);
+};
+
+Csr
+makeRoad(std::uint64_t seed)
+{
+    return gen::roadGrid(20, 20, 0.01, seed);
+}
+Csr
+makeRmat(std::uint64_t seed)
+{
+    return gen::rmat(9, 8.0, seed);
+}
+Csr
+makeUniform(std::uint64_t seed)
+{
+    return gen::uniformRandom(512, 8.0, seed);
+}
+
+class GeneratorDeterminismTest
+    : public ::testing::TestWithParam<GenCase>
+{};
+
+TEST_P(GeneratorDeterminismTest, SameSeedSameGraph)
+{
+    const Csr a = GetParam().make(42);
+    const Csr b = GetParam().make(42);
+    EXPECT_EQ(a.rowStarts(), b.rowStarts());
+    EXPECT_EQ(a.columns(), b.columns());
+}
+
+TEST_P(GeneratorDeterminismTest, DifferentSeedsDiffer)
+{
+    const Csr a = GetParam().make(42);
+    const Csr b = GetParam().make(43);
+    EXPECT_TRUE(a.rowStarts() != b.rowStarts() ||
+                a.columns() != b.columns());
+}
+
+TEST_P(GeneratorDeterminismTest, SymmetricAndValid)
+{
+    const Csr g = GetParam().make(7);
+    g.validate();
+    EXPECT_TRUE(isSymmetric(g));
+    EXPECT_TRUE(g.hasWeights());
+}
+
+TEST_P(GeneratorDeterminismTest, WeightsArePositive)
+{
+    const Csr g = GetParam().make(8);
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        for (Weight w : g.edgeWeights(u))
+            ASSERT_GE(w, 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorDeterminismTest,
+    ::testing::Values(GenCase{"road", makeRoad},
+                      GenCase{"rmat", makeRmat},
+                      GenCase{"uniform", makeUniform}),
+    [](const ::testing::TestParamInfo<GenCase> &info) {
+        return info.param.name;
+    });

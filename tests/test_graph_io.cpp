@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for DIMACS and edge-list graph I/O.
+ */
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "graphport/graph/generators.hpp"
+#include "graphport/graph/io.hpp"
+#include "graphport/support/error.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+using namespace graphport::graph;
+
+TEST(DimacsRead, ParsesSmallGraph)
+{
+    std::stringstream ss("c a comment\n"
+                         "p sp 3 2\n"
+                         "a 1 2 5\n"
+                         "a 2 3 7\n");
+    const Csr g = io::readDimacs(ss, "tiny");
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.numEdges(), 4u); // symmetrised
+    EXPECT_EQ(g.name(), "tiny");
+    EXPECT_EQ(g.edgeWeights(0)[0], 5u);
+}
+
+TEST(DimacsRead, IgnoresCommentsAndBlankLines)
+{
+    std::stringstream ss("c header\n\n"
+                         "p sp 2 1\n"
+                         "c mid comment\n"
+                         "a 1 2 3\n\n");
+    EXPECT_EQ(io::readDimacs(ss).numEdges(), 2u);
+}
+
+TEST(DimacsRead, RejectsMalformedInput)
+{
+    {
+        std::stringstream ss("a 1 2 3\n"); // arc before header
+        EXPECT_THROW(io::readDimacs(ss), FatalError);
+    }
+    {
+        std::stringstream ss("p sp 2 1\np sp 2 1\na 1 2 1\n");
+        EXPECT_THROW(io::readDimacs(ss), FatalError);
+    }
+    {
+        std::stringstream ss("p max 2 1\na 1 2 1\n"); // wrong kind
+        EXPECT_THROW(io::readDimacs(ss), FatalError);
+    }
+    {
+        std::stringstream ss("p sp 2 1\na 1 5 1\n"); // out of range
+        EXPECT_THROW(io::readDimacs(ss), FatalError);
+    }
+    {
+        std::stringstream ss("p sp 2 2\na 1 2 1\n"); // count mismatch
+        EXPECT_THROW(io::readDimacs(ss), FatalError);
+    }
+    {
+        std::stringstream ss("x what\n");
+        EXPECT_THROW(io::readDimacs(ss), FatalError);
+    }
+    {
+        std::stringstream ss(""); // empty file
+        EXPECT_THROW(io::readDimacs(ss), FatalError);
+    }
+}
+
+TEST(DimacsRoundTrip, PreservesStructure)
+{
+    const Csr original = gen::roadGrid(8, 8, 0.01, 5);
+    std::stringstream ss;
+    io::writeDimacs(ss, original);
+    const Csr loaded = io::readDimacs(ss, original.name());
+    EXPECT_EQ(loaded.rowStarts(), original.rowStarts());
+    EXPECT_EQ(loaded.columns(), original.columns());
+    for (NodeId u = 0; u < original.numNodes(); ++u) {
+        const auto a = original.edgeWeights(u);
+        const auto b = loaded.edgeWeights(u);
+        for (std::size_t i = 0; i < a.size(); ++i)
+            ASSERT_EQ(a[i], b[i]);
+    }
+}
+
+TEST(EdgeListRead, ParsesWithAndWithoutWeights)
+{
+    std::stringstream ss("# comment\n"
+                         "0 1 4\n"
+                         "1 2\n");
+    const Csr g = io::readEdgeList(ss, "el");
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.numEdges(), 4u);
+    EXPECT_EQ(g.edgeWeights(0)[0], 4u);
+    EXPECT_EQ(g.edgeWeights(2)[0], 1u); // defaulted weight
+}
+
+TEST(EdgeListRead, InfersNodeCount)
+{
+    std::stringstream ss("0 9\n");
+    EXPECT_EQ(io::readEdgeList(ss).numNodes(), 10u);
+}
+
+TEST(EdgeListRead, RejectsGarbage)
+{
+    {
+        std::stringstream ss("not numbers\n");
+        EXPECT_THROW(io::readEdgeList(ss), FatalError);
+    }
+    {
+        std::stringstream ss("");
+        EXPECT_THROW(io::readEdgeList(ss), FatalError);
+    }
+    {
+        std::stringstream ss("1 2 3x\n");
+        EXPECT_THROW(io::readEdgeList(ss), FatalError);
+    }
+}
+
+TEST(EdgeListRoundTrip, PreservesStructure)
+{
+    const Csr original = gen::rmat(7, 6.0, 9);
+    std::stringstream ss;
+    io::writeEdgeList(ss, original);
+    const Csr loaded = io::readEdgeList(ss, original.name());
+    // Node count can shrink if the top ids are isolated; compare
+    // edges instead.
+    EXPECT_EQ(loaded.numEdges(), original.numEdges());
+    for (NodeId u = 0; u < loaded.numNodes(); ++u) {
+        const auto a = original.neighbors(u);
+        const auto b = loaded.neighbors(u);
+        ASSERT_EQ(std::vector<NodeId>(a.begin(), a.end()),
+                  std::vector<NodeId>(b.begin(), b.end()));
+    }
+}
+
+TEST(LoadFile, DispatchesOnExtensionAndNamesByStem)
+{
+    const Csr g = testutil::triangle();
+    {
+        std::ofstream out("/tmp/graphport_test.gr");
+        io::writeDimacs(out, g);
+    }
+    const Csr viaDimacs = io::loadFile("/tmp/graphport_test.gr");
+    EXPECT_EQ(viaDimacs.name(), "graphport_test");
+    EXPECT_EQ(viaDimacs.numEdges(), g.numEdges());
+
+    {
+        std::ofstream out("/tmp/graphport_test.el");
+        io::writeEdgeList(out, g);
+    }
+    const Csr viaEl = io::loadFile("/tmp/graphport_test.el");
+    EXPECT_EQ(viaEl.numEdges(), g.numEdges());
+}
+
+TEST(LoadFile, MissingFileIsFatal)
+{
+    EXPECT_THROW(io::loadFile("/nonexistent/nope.gr"), FatalError);
+}
+
+TEST(IoGraphsRunThroughApps, LoadedGraphIsUsable)
+{
+    // End-to-end: a round-tripped graph feeds an application.
+    const Csr original = gen::roadGrid(10, 10, 0.0, 4);
+    std::stringstream ss;
+    io::writeDimacs(ss, original);
+    const Csr loaded = io::readDimacs(ss, "road-file");
+    loaded.validate();
+    EXPECT_EQ(loaded.numNodes(), original.numNodes());
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for graph metrics (pseudo-diameter, degree statistics,
+ * histograms).
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graphport/graph/generators.hpp"
+#include "graphport/graph/metrics.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+using namespace graphport::graph;
+
+TEST(Metrics, PathDiameter)
+{
+    const GraphMetrics m = computeMetrics(testutil::path(10));
+    EXPECT_EQ(m.numNodes, 10u);
+    EXPECT_EQ(m.numEdges, 18u);
+    EXPECT_EQ(m.pseudoDiameter, 9u);
+    EXPECT_DOUBLE_EQ(m.largestComponentFraction, 1.0);
+}
+
+TEST(Metrics, StarShape)
+{
+    const GraphMetrics m = computeMetrics(testutil::star(9));
+    EXPECT_EQ(m.maxDegree, 8u);
+    EXPECT_EQ(m.pseudoDiameter, 2u);
+    EXPECT_NEAR(m.degreeSkew, 8.0 / m.avgDegree, 1e-9);
+}
+
+TEST(Metrics, DisconnectedComponents)
+{
+    const GraphMetrics m = computeMetrics(testutil::twoTriangles());
+    EXPECT_DOUBLE_EQ(m.largestComponentFraction, 0.5);
+    EXPECT_EQ(m.pseudoDiameter, 1u);
+}
+
+TEST(Metrics, EmptyGraph)
+{
+    const GraphMetrics m = computeMetrics(Csr{});
+    EXPECT_EQ(m.numNodes, 0u);
+    EXPECT_EQ(m.numEdges, 0u);
+}
+
+TEST(Metrics, SingleNodeNoEdges)
+{
+    graph::Builder b(1);
+    const GraphMetrics m = computeMetrics(b.build("one"));
+    EXPECT_EQ(m.numNodes, 1u);
+    EXPECT_EQ(m.pseudoDiameter, 0u);
+    EXPECT_DOUBLE_EQ(m.largestComponentFraction, 1.0);
+}
+
+TEST(DegreeHistogram, CountsSumToNodes)
+{
+    const Csr g = gen::rmat(9, 8.0);
+    const auto hist = degreeHistogram(g);
+    const std::uint64_t total =
+        std::accumulate(hist.begin(), hist.end(), std::uint64_t{0});
+    EXPECT_EQ(total, g.numNodes());
+}
+
+TEST(DegreeHistogram, BucketsArePowersOfTwo)
+{
+    // Path interior nodes have degree 2 (bucket 1), endpoints degree
+    // 1 (bucket 0).
+    const auto hist = degreeHistogram(testutil::path(10));
+    ASSERT_GE(hist.size(), 2u);
+    EXPECT_EQ(hist[0], 2u);
+    EXPECT_EQ(hist[1], 8u);
+}
+
+TEST(DegreeHistogram, StarHub)
+{
+    // Star with 9 leaves: hub degree 9 is in bucket 3 ([8,16)).
+    const auto hist = degreeHistogram(testutil::star(10));
+    ASSERT_GE(hist.size(), 4u);
+    EXPECT_EQ(hist[0], 9u);
+    EXPECT_EQ(hist[3], 1u);
+}
+
+TEST(Metrics, MoreSweepsNeverReduceDiameter)
+{
+    const Csr g = gen::roadGrid(24, 24, 0.01, 3);
+    const GraphMetrics one = computeMetrics(g, 1);
+    const GraphMetrics four = computeMetrics(g, 4);
+    EXPECT_GE(four.pseudoDiameter, one.pseudoDiameter);
+}

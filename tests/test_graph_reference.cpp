@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the sequential reference algorithms — the oracles the
+ * whole application suite is validated against, so these are checked
+ * against hand-computed results on small graphs.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graphport/graph/generators.hpp"
+#include "graphport/graph/reference.hpp"
+#include "graphport/support/error.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+using namespace graphport::graph;
+
+TEST(RefBfs, PathLevels)
+{
+    const auto levels = ref::bfsLevels(testutil::path(5), 0);
+    EXPECT_EQ(levels, (std::vector<std::int32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RefBfs, UnreachableNodes)
+{
+    const auto levels =
+        ref::bfsLevels(testutil::twoTriangles(), 0);
+    EXPECT_EQ(levels[1], 1);
+    EXPECT_EQ(levels[2], 1);
+    EXPECT_EQ(levels[3], ref::kUnreached);
+    EXPECT_EQ(levels[5], ref::kUnreached);
+}
+
+TEST(RefBfs, RejectsBadSource)
+{
+    EXPECT_THROW(ref::bfsLevels(testutil::path(3), 3), FatalError);
+}
+
+TEST(RefSssp, TriangleShortcuts)
+{
+    // Triangle weights: 0-1 (1), 1-2 (2), 0-2 (4). Shortest 0->2 is
+    // via 1: 3 < 4.
+    const auto dist = ref::sssp(testutil::triangle(), 0);
+    EXPECT_EQ(dist[0], 0u);
+    EXPECT_EQ(dist[1], 1u);
+    EXPECT_EQ(dist[2], 3u);
+}
+
+TEST(RefSssp, UnreachableIsInf)
+{
+    const auto dist = ref::sssp(testutil::twoTriangles(), 0);
+    EXPECT_EQ(dist[4], ref::kInfDist);
+}
+
+TEST(RefSssp, RequiresWeights)
+{
+    graph::Builder b(2);
+    b.addEdge(0, 1);
+    const Csr g = b.build("unweighted");
+    EXPECT_THROW(ref::sssp(g, 0), FatalError);
+}
+
+TEST(RefCc, LabelsAreComponentMinima)
+{
+    const auto labels =
+        ref::connectedComponents(testutil::twoTriangles());
+    EXPECT_EQ(labels, (std::vector<NodeId>{0, 0, 0, 3, 3, 3}));
+    EXPECT_EQ(ref::componentCount(labels), 2u);
+}
+
+TEST(RefCc, SingletonNodes)
+{
+    graph::Builder b(3);
+    b.addEdge(0, 1);
+    Builder::Options opts;
+    opts.symmetrize = true;
+    const auto labels =
+        ref::connectedComponents(b.build("g", opts));
+    EXPECT_EQ(labels[2], 2u);
+    EXPECT_EQ(ref::componentCount(labels), 2u);
+}
+
+TEST(RefPagerank, SumsToOne)
+{
+    const auto ranks = ref::pagerank(gen::rmat(8, 6.0));
+    const double sum =
+        std::accumulate(ranks.begin(), ranks.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(RefPagerank, UniformOnSymmetricRegularGraph)
+{
+    // On a triangle every node has the same rank by symmetry.
+    const auto ranks = ref::pagerank(testutil::triangle());
+    EXPECT_NEAR(ranks[0], 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(ranks[1], 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(ranks[2], 1.0 / 3.0, 1e-9);
+}
+
+TEST(RefPagerank, HubOutranksLeaves)
+{
+    const auto ranks = ref::pagerank(testutil::star(8));
+    for (NodeId u = 1; u < 8; ++u)
+        EXPECT_GT(ranks[0], ranks[u]);
+}
+
+TEST(RefTriangles, KnownCounts)
+{
+    EXPECT_EQ(ref::triangleCount(testutil::triangle()), 1u);
+    EXPECT_EQ(ref::triangleCount(testutil::twoTriangles()), 2u);
+    EXPECT_EQ(ref::triangleCount(testutil::path(6)), 0u);
+    EXPECT_EQ(ref::triangleCount(testutil::star(6)), 0u);
+}
+
+TEST(RefTriangles, CompleteGraphK5)
+{
+    graph::Builder b(5);
+    for (NodeId u = 0; u < 5; ++u) {
+        for (NodeId v = u + 1; v < 5; ++v)
+            b.addEdge(u, v);
+    }
+    Builder::Options opts;
+    opts.symmetrize = true;
+    EXPECT_EQ(ref::triangleCount(b.build("k5", opts)), 10u);
+}
+
+TEST(RefMsf, TriangleDropsHeaviestCycleEdge)
+{
+    // Weights 1, 2, 4: MST keeps 1 and 2.
+    EXPECT_EQ(ref::msfWeight(testutil::triangle()), 3u);
+}
+
+TEST(RefMsf, ForestSumsComponents)
+{
+    // Two triangles with weights {1,1,1} and {2,2,2}: each MST keeps
+    // two edges.
+    EXPECT_EQ(ref::msfWeight(testutil::twoTriangles()), 2u + 4u);
+}
+
+TEST(RefMsf, PathKeepsAllEdges)
+{
+    EXPECT_EQ(ref::msfWeight(testutil::path(5)), 4u);
+}
+
+TEST(RefMis, Validators)
+{
+    const Csr g = testutil::path(4); // 0-1-2-3
+    EXPECT_TRUE(ref::isIndependentSet(g, {true, false, true, false}));
+    EXPECT_TRUE(
+        ref::isMaximalIndependentSet(g, {true, false, true, false}));
+    // Adjacent pair is not independent.
+    EXPECT_FALSE(ref::isIndependentSet(g, {true, true, false, false}));
+    // Independent but not maximal: node 3 could be added.
+    EXPECT_FALSE(ref::isMaximalIndependentSet(
+        g, {true, false, false, false}));
+    // Empty set is independent but not maximal.
+    EXPECT_TRUE(
+        ref::isIndependentSet(g, {false, false, false, false}));
+    EXPECT_FALSE(ref::isMaximalIndependentSet(
+        g, {false, false, false, false}));
+}
+
+TEST(RefSssp, AgreesWithBfsOnUnitWeights)
+{
+    // On a unit-weight graph, SSSP distance == BFS level.
+    graph::Builder b(20);
+    for (NodeId u = 0; u + 1 < 20; ++u)
+        b.addEdge(u, u + 1, 1);
+    b.addEdge(0, 10, 1);
+    Builder::Options opts;
+    opts.symmetrize = true;
+    opts.weighted = true;
+    const Csr g = b.build("g", opts);
+    const auto dist = ref::sssp(g, 0);
+    const auto levels = ref::bfsLevels(g, 0);
+    for (NodeId u = 0; u < 20; ++u)
+        EXPECT_EQ(dist[u], static_cast<std::uint64_t>(levels[u]));
+}

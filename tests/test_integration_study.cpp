@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Integration test: run the full paper-scale study (17 apps x 3
+ * inputs x 6 chips x 96 configs x 3 runs) and assert the headline
+ * findings of the paper hold in the reproduction.
+ */
+#include <gtest/gtest.h>
+
+#include "graphport/port/evaluate.hpp"
+#include "graphport/port/heatmap.hpp"
+#include "graphport/port/ranking.hpp"
+#include "graphport/port/strategy.hpp"
+#include "graphport/runner/dataset.hpp"
+
+using namespace graphport;
+using namespace graphport::port;
+
+namespace {
+
+/** The study dataset, built once for the whole test binary. */
+const runner::Dataset &
+study()
+{
+    static const runner::Dataset ds =
+        runner::Dataset::build(runner::studyUniverse());
+    return ds;
+}
+
+const Strategy &
+chipStrategy()
+{
+    static const Strategy s = makeSpecialised(
+        study(), Specialisation{false, false, true});
+    return s;
+}
+
+const PartitionAnalysis &
+chipAnalysis(const std::string &chip)
+{
+    const auto it = chipStrategy().partitions.find(chip + "|");
+    EXPECT_NE(it, chipStrategy().partitions.end());
+    return it->second;
+}
+
+} // namespace
+
+TEST(Study, DatasetCoversPaperScale)
+{
+    EXPECT_EQ(study().numTests(), 306u);
+    EXPECT_EQ(study().numConfigs(), 96u);
+}
+
+TEST(Study, OitergbDisabledExactlyOnNvidia)
+{
+    // Paper Section VIII-a / Table IX.
+    for (const std::string &chip : study().universe().chips) {
+        const Verdict v =
+            chipAnalysis(chip).decisionFor(dsl::Opt::OiterGb).verdict;
+        if (chip == "M4000" || chip == "GTX1080")
+            EXPECT_NE(v, Verdict::Enable) << chip;
+        else
+            EXPECT_EQ(v, Verdict::Enable) << chip;
+    }
+}
+
+TEST(Study, CoopCvEnabledExactlyOnR9AndIris)
+{
+    // Paper Section VIII-b / Table IX: only the chips whose OpenCL
+    // stacks do not already combine subgroup atomics.
+    for (const std::string &chip : study().universe().chips) {
+        const Verdict v =
+            chipAnalysis(chip).decisionFor(dsl::Opt::CoopCv).verdict;
+        if (chip == "R9" || chip == "IRIS")
+            EXPECT_EQ(v, Verdict::Enable) << chip;
+        else
+            EXPECT_NE(v, Verdict::Enable) << chip;
+    }
+}
+
+TEST(Study, SgEnabledEverywhereIncludingMali)
+{
+    // Paper Section VIII-c: sg is enabled on every chip; on MALI the
+    // speedup comes from its phase barriers, not load balancing.
+    for (const std::string &chip : study().universe().chips) {
+        EXPECT_EQ(
+            chipAnalysis(chip).decisionFor(dsl::Opt::Sg).verdict,
+            Verdict::Enable)
+            << chip;
+    }
+}
+
+TEST(Study, Sz256NeverRecommended)
+{
+    for (const std::string &chip : study().universe().chips) {
+        EXPECT_NE(
+            chipAnalysis(chip).decisionFor(dsl::Opt::Sz256).verdict,
+            Verdict::Enable)
+            << chip;
+    }
+}
+
+TEST(Study, Fg8StronglyRecommendedOnDiscreteChips)
+{
+    for (const char *chip : {"M4000", "GTX1080", "R9"}) {
+        const OptDecision &d =
+            chipAnalysis(chip).decisionFor(dsl::Opt::Fg8);
+        EXPECT_EQ(d.verdict, Verdict::Enable) << chip;
+        EXPECT_GT(d.mwu.clEffectSize, 0.85) << chip;
+    }
+}
+
+TEST(Study, BottomRankedCombosContainSz256OrWg)
+{
+    // Paper Table III: the worst global combinations all stack
+    // sz256 with wg.
+    const auto ranking = rankCombos(study());
+    for (std::size_t i = ranking.size() - 5; i < ranking.size();
+         ++i) {
+        const dsl::OptConfig c =
+            dsl::OptConfig::decode(ranking[i].config);
+        EXPECT_TRUE(c.sz256 || c.wg) << ranking[i].label;
+        EXPECT_LT(ranking[i].geomean, 1.05) << ranking[i].label;
+    }
+}
+
+TEST(Study, TopRankedCombosAreFgOrSgFlavoured)
+{
+    const auto ranking = rankCombos(study());
+    for (std::size_t i = 0; i < 3; ++i) {
+        const dsl::OptConfig c =
+            dsl::OptConfig::decode(ranking[i].config);
+        EXPECT_TRUE(c.fg != dsl::FgMode::Off || c.sg || c.coopCv)
+            << ranking[i].label;
+        EXPECT_FALSE(c.sz256) << ranking[i].label;
+        EXPECT_FALSE(c.wg) << ranking[i].label;
+    }
+}
+
+TEST(Study, SpecialisationMonotonicallyClosesOracleGap)
+{
+    // Paper Figures 3 and 4: moving up the lattice never hurts and
+    // slowdowns shrink with each dimension.
+    const auto strategies = allStrategies(study());
+    std::map<std::string, StrategyEval> evals;
+    for (const Strategy &s : strategies)
+        evals.emplace(s.name, evaluateStrategy(study(), s));
+
+    const double baseline = evals.at("baseline").geomeanVsOracle;
+    const double global = evals.at("global").geomeanVsOracle;
+    EXPECT_LT(global, baseline);
+    // Every 1-D strategy beats global; every 2-D beats its 1-D
+    // subsets; the full specialisation beats everything.
+    EXPECT_LE(evals.at("chip").geomeanVsOracle, global + 1e-9);
+    EXPECT_LE(evals.at("app").geomeanVsOracle, global + 1e-9);
+    EXPECT_LE(evals.at("input").geomeanVsOracle, global + 1e-9);
+    EXPECT_LE(evals.at("chip_app_input").geomeanVsOracle,
+              evals.at("chip").geomeanVsOracle + 0.02);
+    // Slowdowns shrink towards zero with full specialisation.
+    EXPECT_GT(evals.at("global").slowdowns,
+              evals.at("chip_app_input").slowdowns);
+    EXPECT_EQ(evals.at("chip_app_input").slowdowns, 0u);
+    EXPECT_EQ(evals.at("oracle").slowdowns, 0u);
+}
+
+TEST(Study, ChipIsTheBestSingleDimensionForSpeedups)
+{
+    // Paper Section VII: "the optimal single dimension to specialise
+    // for speedups is chip".
+    const auto strategies = allStrategies(study());
+    std::map<std::string, StrategyEval> evals;
+    for (const Strategy &s : strategies)
+        evals.emplace(s.name, evaluateStrategy(study(), s));
+    EXPECT_GE(evals.at("chip").speedups, evals.at("app").speedups);
+    EXPECT_GE(evals.at("chip").speedups,
+              evals.at("input").speedups);
+}
+
+TEST(Study, PortableStrategyBeatsBaseline)
+{
+    // Paper abstract: a fully portable approach improves geomean
+    // performance over not optimising at all.
+    const StrategyEval global = evaluateStrategy(
+        study(), makeSpecialised(study(),
+                                 Specialisation{false, false, false}));
+    EXPECT_GT(global.geomeanVsBaseline, 1.1);
+    // ... and the global pick includes the paper's core portable
+    // set {fg8, sg, oitergb}.
+    const dsl::OptConfig cfg = dsl::OptConfig::decode(
+        makeSpecialised(study(),
+                        Specialisation{false, false, false})
+            .configFor(0));
+    EXPECT_EQ(cfg.fg, dsl::FgMode::Fg8);
+    EXPECT_TRUE(cfg.sg);
+    EXPECT_TRUE(cfg.oitergb);
+}
+
+TEST(Study, HeatmapShowsChipsAreADistinctDimension)
+{
+    // Paper Section II-A: no chip-specialised strategy is fully
+    // portable; MALI suffers the most under foreign strategies.
+    const Heatmap hm = computeHeatmap(study());
+    const std::size_t n = hm.chips.size();
+    for (std::size_t c = 0; c < n; ++c) {
+        double worstOnOthers = 1.0;
+        for (std::size_t r = 0; r < n; ++r) {
+            if (r != c)
+                worstOnOthers =
+                    std::max(worstOnOthers, hm.cells[r][c]);
+        }
+        EXPECT_GT(worstOnOthers, 1.05) << hm.chips[c];
+    }
+    // MALI's row geomean is the largest.
+    const auto maliIt = std::find(hm.chips.begin(), hm.chips.end(),
+                                  "MALI");
+    const std::size_t mali = maliIt - hm.chips.begin();
+    for (std::size_t r = 0; r < n; ++r) {
+        if (r != mali) {
+            EXPECT_GT(hm.rowGeomean[mali], hm.rowGeomean[r])
+                << hm.chips[r];
+        }
+    }
+}
+
+TEST(Study, ExtremeSlowdownsComeFromRoadInputs)
+{
+    // Paper Table II: every per-chip extreme lands on usa.ny (the
+    // road-class input).
+    unsigned roadCount = 0;
+    const auto rows = computeEnvelope(study());
+    for (const EnvelopeRow &row : rows)
+        roadCount += row.slowdownInput == "road" ? 1 : 0;
+    EXPECT_GE(roadCount, rows.size() - 1);
+    // And the envelope is wide: some chip sees > 5x speedup and
+    // some chip sees > 5x slowdown.
+    double up = 1.0, down = 1.0;
+    for (const EnvelopeRow &row : rows) {
+        up = std::max(up, row.maxSpeedup);
+        down = std::max(down, row.maxSlowdown);
+    }
+    EXPECT_GT(up, 5.0);
+    EXPECT_GT(down, 5.0);
+}
+
+TEST(Study, NvidiaOnlyViewUnderstatesTheEnvelope)
+{
+    // Paper Section II-B: restricting to Nvidia chips hides most of
+    // the envelope.
+    double nvidiaUp = 1.0, allUp = 1.0;
+    double nvidiaDown = 1.0, allDown = 1.0;
+    for (const EnvelopeRow &row : computeEnvelope(study())) {
+        allUp = std::max(allUp, row.maxSpeedup);
+        allDown = std::max(allDown, row.maxSlowdown);
+        if (row.chip == "M4000" || row.chip == "GTX1080") {
+            nvidiaUp = std::max(nvidiaUp, row.maxSpeedup);
+            nvidiaDown = std::max(nvidiaDown, row.maxSlowdown);
+        }
+    }
+    EXPECT_GT(allUp, 1.5 * nvidiaUp);
+    EXPECT_GT(allDown, 1.5 * nvidiaDown);
+}
+
+TEST(Study, DoNoHarmIsNearlyImpossible)
+{
+    // Paper Section II-C: (almost) every combination slows something
+    // down; at most a couple of single-opt combos survive.
+    const auto ranking = rankCombos(study());
+    const NaiveAnalyses naive = naiveAnalyses(ranking);
+    EXPECT_LE(naive.doNoHarm.size(), 3u);
+    // And the fewest-slowdowns pick yields an underwhelming best
+    // case compared to the oracle's envelope.
+    const StrategyEval oracle =
+        evaluateStrategy(study(), makeOracle(study()));
+    EXPECT_LT(ranking.front().geomean,
+              oracle.geomeanVsBaseline);
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the Section VIII microbenchmarks: the Table X and
+ * Figure 5 shapes must hold.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graphport/micro/micro.hpp"
+
+using namespace graphport;
+using namespace graphport::sim;
+
+TEST(SgCmb, LargeOnlyWhereDriverDoesNotCombine)
+{
+    // Paper Table X: R9 22.31x, IRIS ~8x, Nvidia/HD5500 ~0.88x,
+    // MALI ~1x.
+    const double r9 = micro::sgCmbSpeedup(chipByName("R9"));
+    const double iris = micro::sgCmbSpeedup(chipByName("IRIS"));
+    EXPECT_GT(r9, 10.0);
+    EXPECT_GT(iris, 3.0);
+    EXPECT_GT(r9, iris); // bounded by subgroup size: 64 vs 16
+    for (const char *name : {"M4000", "GTX1080", "HD5500", "MALI"}) {
+        const double s = micro::sgCmbSpeedup(chipByName(name));
+        EXPECT_LT(s, 1.1) << name;
+        EXPECT_GT(s, 0.7) << name;
+    }
+}
+
+TEST(SgCmb, SpeedupBoundedBySubgroupSize)
+{
+    for (const ChipModel &chip : allChips()) {
+        EXPECT_LE(micro::sgCmbSpeedup(chip),
+                  static_cast<double>(chip.subgroupSize) + 1.0)
+            << chip.shortName;
+    }
+}
+
+TEST(SgCmb, ScalesWithProblemSize)
+{
+    // The speedup is roughly size-independent (both sides scale).
+    const ChipModel &r9 = chipByName("R9");
+    const double small = micro::sgCmbSpeedup(r9, 5000);
+    const double large = micro::sgCmbSpeedup(r9, 40000);
+    EXPECT_NEAR(small / large, 1.0, 0.5);
+}
+
+TEST(MDivg, MaliIsTheOutlier)
+{
+    // Paper Table X: MALI 6.45x, all other chips ~1.0-1.5x.
+    const double mali = micro::mDivgSpeedup(chipByName("MALI"));
+    EXPECT_GT(mali, 4.0);
+    EXPECT_LT(mali, 9.0);
+    for (const ChipModel &chip : allChips()) {
+        if (chip.shortName == "MALI")
+            continue;
+        const double s = micro::mDivgSpeedup(chip);
+        EXPECT_GT(s, 0.95) << chip.shortName;
+        EXPECT_LT(s, 2.5) << chip.shortName;
+        EXPECT_GT(mali, 2.0 * s) << chip.shortName;
+    }
+}
+
+TEST(LaunchSweep, UtilisationIsMonotoneInKernelTime)
+{
+    for (const ChipModel &chip : allChips()) {
+        const auto points = micro::launchOverheadSweep(
+            chip, {1e3, 1e4, 1e5, 1e6});
+        for (std::size_t i = 1; i < points.size(); ++i)
+            EXPECT_GT(points[i].utilisation,
+                      points[i - 1].utilisation)
+                << chip.shortName;
+        for (const auto &p : points) {
+            EXPECT_GT(p.utilisation, 0.0);
+            EXPECT_LT(p.utilisation, 1.0);
+        }
+    }
+}
+
+TEST(LaunchSweep, NvidiaHasHighestUtilisation)
+{
+    // The Figure 5 ordering at a fixed 20us kernel.
+    std::map<std::string, double> util;
+    for (const ChipModel &chip : allChips()) {
+        util[chip.shortName] =
+            micro::launchOverheadSweep(chip, {20e3})[0].utilisation;
+    }
+    for (const auto &[name, u] : util) {
+        if (name == "M4000" || name == "GTX1080")
+            continue;
+        EXPECT_LT(u, util["M4000"]) << name;
+        EXPECT_LT(u, util["GTX1080"]) << name;
+    }
+    // MALI is the lowest.
+    for (const auto &[name, u] : util) {
+        if (name != "MALI") {
+            EXPECT_GT(u, util["MALI"]) << name;
+        }
+    }
+}
+
+TEST(LaunchSweep, LaunchCountCancelsOut)
+{
+    const ChipModel &chip = chipByName("IRIS");
+    const auto a = micro::launchOverheadSweep(chip, {5e4}, 100);
+    const auto b = micro::launchOverheadSweep(chip, {5e4}, 10000);
+    EXPECT_DOUBLE_EQ(a[0].utilisation, b[0].utilisation);
+}

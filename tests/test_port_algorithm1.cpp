@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for Algorithm 1 (OPTS_FOR_PARTITION / ENABLE_OPT) and the
+ * fg-conflict resolution.
+ */
+#include <gtest/gtest.h>
+
+#include "graphport/port/algorithm1.hpp"
+#include "graphport/support/error.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+using namespace graphport::port;
+
+namespace {
+
+std::vector<std::size_t>
+allTests(const runner::Dataset &ds)
+{
+    std::vector<std::size_t> tests(ds.numTests());
+    for (std::size_t t = 0; t < tests.size(); ++t)
+        tests[t] = t;
+    return tests;
+}
+
+} // namespace
+
+TEST(Algorithm1, ProducesOneDecisionPerOpt)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const PartitionAnalysis pa =
+        optsForPartition(ds, allTests(ds));
+    EXPECT_EQ(pa.decisions.size(), dsl::allOpts().size());
+    for (dsl::Opt opt : dsl::allOpts())
+        EXPECT_EQ(pa.decisionFor(opt).opt, opt);
+}
+
+TEST(Algorithm1, VerdictsAreConsistentWithStatistics)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const PartitionAnalysis pa =
+        optsForPartition(ds, allTests(ds));
+    for (const OptDecision &d : pa.decisions) {
+        EXPECT_GE(d.mwu.p, 0.0);
+        EXPECT_LE(d.mwu.p, 1.0);
+        switch (d.verdict) {
+          case Verdict::Enable:
+            EXPECT_TRUE(d.mwu.significant());
+            EXPECT_LT(d.medianRatio, 1.0);
+            break;
+          case Verdict::Disable:
+            EXPECT_TRUE(d.mwu.significant());
+            EXPECT_GE(d.medianRatio, 1.0);
+            break;
+          case Verdict::Inconclusive:
+            if (d.significantPairs > 0) {
+                EXPECT_FALSE(d.mwu.significant());
+            }
+            break;
+        }
+    }
+}
+
+TEST(Algorithm1, EnabledOptsAppearInConfig)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const PartitionAnalysis pa =
+        optsForPartition(ds, allTests(ds));
+    for (const OptDecision &d : pa.decisions) {
+        if (d.verdict != Verdict::Enable)
+            continue;
+        const bool fgVariant =
+            d.opt == dsl::Opt::Fg1 || d.opt == dsl::Opt::Fg8;
+        if (!fgVariant) {
+            EXPECT_TRUE(pa.config.has(d.opt))
+                << dsl::optName(d.opt);
+        } else {
+            // At least one fg variant must be selected.
+            EXPECT_NE(pa.config.fg, dsl::FgMode::Off);
+        }
+    }
+}
+
+TEST(Algorithm1, EmptyPartitionIsAllInconclusive)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const PartitionAnalysis pa = optsForPartition(ds, {});
+    for (const OptDecision &d : pa.decisions) {
+        EXPECT_EQ(d.verdict, Verdict::Inconclusive);
+        EXPECT_EQ(d.significantPairs, 0u);
+    }
+    EXPECT_TRUE(pa.config.isBaseline());
+}
+
+TEST(Algorithm1, StricterAlphaEnablesFewerOpts)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const PartitionAnalysis loose =
+        optsForPartition(ds, allTests(ds), 0.05);
+    const PartitionAnalysis strict =
+        optsForPartition(ds, allTests(ds), 1e-12);
+    unsigned looseEnabled = 0, strictEnabled = 0;
+    for (std::size_t i = 0; i < loose.decisions.size(); ++i) {
+        looseEnabled +=
+            loose.decisions[i].verdict == Verdict::Enable ? 1 : 0;
+        strictEnabled +=
+            strict.decisions[i].verdict == Verdict::Enable ? 1 : 0;
+    }
+    EXPECT_LE(strictEnabled, looseEnabled);
+}
+
+TEST(ResolveConfig, PlainEnables)
+{
+    std::vector<OptDecision> decisions(3);
+    decisions[0].opt = dsl::Opt::Sg;
+    decisions[0].verdict = Verdict::Enable;
+    decisions[1].opt = dsl::Opt::CoopCv;
+    decisions[1].verdict = Verdict::Disable;
+    decisions[2].opt = dsl::Opt::OiterGb;
+    decisions[2].verdict = Verdict::Inconclusive;
+    const dsl::OptConfig c = resolveConfig(decisions);
+    EXPECT_TRUE(c.sg);
+    EXPECT_FALSE(c.coopCv);
+    EXPECT_FALSE(c.oitergb);
+}
+
+TEST(ResolveConfig, FgConflictPicksStrongerMedian)
+{
+    std::vector<OptDecision> decisions(2);
+    decisions[0].opt = dsl::Opt::Fg1;
+    decisions[0].verdict = Verdict::Enable;
+    decisions[0].medianRatio = 0.9;
+    decisions[1].opt = dsl::Opt::Fg8;
+    decisions[1].verdict = Verdict::Enable;
+    decisions[1].medianRatio = 0.7; // stronger speedup
+    EXPECT_EQ(resolveConfig(decisions).fg, dsl::FgMode::Fg8);
+
+    decisions[0].medianRatio = 0.5; // now fg1 stronger
+    EXPECT_EQ(resolveConfig(decisions).fg, dsl::FgMode::Fg1);
+}
+
+TEST(ResolveConfig, SingleFgVariant)
+{
+    std::vector<OptDecision> decisions(1);
+    decisions[0].opt = dsl::Opt::Fg1;
+    decisions[0].verdict = Verdict::Enable;
+    EXPECT_EQ(resolveConfig(decisions).fg, dsl::FgMode::Fg1);
+    decisions[0].opt = dsl::Opt::Fg8;
+    EXPECT_EQ(resolveConfig(decisions).fg, dsl::FgMode::Fg8);
+}
+
+TEST(PartitionAnalysis, DecisionForUnknownPanics)
+{
+    PartitionAnalysis pa;
+    EXPECT_THROW(pa.decisionFor(dsl::Opt::Sg), PanicError);
+}
+
+TEST(Algorithm1, ChipPartitionsDisagree)
+{
+    // The heart of the paper: different chips yield different
+    // recommended configurations.
+    const runner::Dataset &ds = testutil::smallAllChipDataset();
+    const PartitionAnalysis nv =
+        optsForPartition(ds, ds.testsWhere("", "", "GTX1080"));
+    const PartitionAnalysis mali =
+        optsForPartition(ds, ds.testsWhere("", "", "MALI"));
+    EXPECT_NE(nv.config.encode(), mali.config.encode());
+    // oitergb must split Nvidia from MALI even at small scale.
+    EXPECT_FALSE(nv.config.oitergb);
+    EXPECT_TRUE(mali.config.oitergb);
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for strategy evaluation, combination ranking, the envelope
+ * and the naive selectors.
+ */
+#include <gtest/gtest.h>
+
+#include "graphport/port/evaluate.hpp"
+#include "graphport/port/ranking.hpp"
+#include "graphport/port/strategy.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+using namespace graphport::port;
+
+TEST(Evaluate, BaselineShowsNoChangeEverywhere)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const StrategyEval e =
+        evaluateStrategy(ds, makeBaseline(ds));
+    EXPECT_EQ(e.speedups, 0u);
+    EXPECT_EQ(e.slowdowns, 0u);
+    EXPECT_EQ(e.noChange, e.testsConsidered);
+    EXPECT_DOUBLE_EQ(e.geomeanVsBaseline, 1.0);
+    EXPECT_GE(e.geomeanVsOracle, 1.0);
+}
+
+TEST(Evaluate, OracleDominatesEverything)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const StrategyEval oracle =
+        evaluateStrategy(ds, makeOracle(ds));
+    EXPECT_DOUBLE_EQ(oracle.geomeanVsOracle, 1.0);
+    EXPECT_EQ(oracle.slowdowns, 0u);
+    EXPECT_EQ(oracle.speedups, oracle.testsConsidered);
+    for (const Strategy &s : allStrategies(ds)) {
+        const StrategyEval e = evaluateStrategy(ds, s);
+        EXPECT_LE(oracle.geomeanVsOracle,
+                  e.geomeanVsOracle + 1e-12)
+            << s.name;
+        EXPECT_LE(e.geomeanVsBaseline,
+                  oracle.geomeanVsBaseline + 1e-12)
+            << s.name;
+    }
+}
+
+TEST(Evaluate, CountsAddUp)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    for (const Strategy &s : allStrategies(ds)) {
+        const StrategyEval e = evaluateStrategy(ds, s);
+        EXPECT_EQ(e.speedups + e.slowdowns + e.noChange,
+                  e.testsConsidered)
+            << s.name;
+        EXPECT_GE(e.maxSpeedup, 1.0);
+        EXPECT_GE(e.maxSlowdown, 1.0);
+    }
+}
+
+TEST(Evaluate, PerChipBreakdownCoversAllChips)
+{
+    const runner::Dataset &ds = testutil::smallAllChipDataset();
+    const auto perChip =
+        evaluatePerChip(ds, makeOracle(ds));
+    EXPECT_EQ(perChip.size(), ds.universe().chips.size());
+    for (const ChipEval &ce : perChip) {
+        EXPECT_EQ(ce.slowdowns, 0u) << ce.chip;
+        EXPECT_GE(ce.geomeanVsBaseline, 1.0) << ce.chip;
+    }
+}
+
+TEST(Ranking, CoversAllNonBaselineConfigs)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const auto ranking = rankCombos(ds);
+    EXPECT_EQ(ranking.size(), 95u);
+    std::set<unsigned> configs;
+    for (const ComboStats &cs : ranking) {
+        EXPECT_NE(cs.config, dsl::OptConfig::baseline().encode());
+        configs.insert(cs.config);
+        EXPECT_FALSE(cs.label.empty());
+        EXPECT_GE(cs.maxSpeedup, 1.0 - 1e-12);
+    }
+    EXPECT_EQ(configs.size(), 95u);
+}
+
+TEST(Ranking, SortedBySlowdowns)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const auto ranking = rankCombos(ds);
+    for (std::size_t i = 1; i < ranking.size(); ++i)
+        EXPECT_LE(ranking[i - 1].slowdowns, ranking[i].slowdowns);
+}
+
+TEST(Ranking, RankOfFindsEntries)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const auto ranking = rankCombos(ds);
+    EXPECT_EQ(rankOf(ranking, ranking[7].config), 7u);
+    EXPECT_EQ(rankOf(ranking, dsl::OptConfig::baseline().encode()),
+              std::numeric_limits<std::size_t>::max());
+}
+
+TEST(Envelope, OneRowPerChipWithSaneExtremes)
+{
+    const runner::Dataset &ds = testutil::smallAllChipDataset();
+    const auto rows = computeEnvelope(ds);
+    EXPECT_EQ(rows.size(), ds.universe().chips.size());
+    for (const EnvelopeRow &row : rows) {
+        EXPECT_GE(row.maxSpeedup, 1.0);
+        EXPECT_GE(row.maxSlowdown, 1.0);
+        EXPECT_FALSE(row.speedupApp.empty());
+        EXPECT_FALSE(row.slowdownApp.empty());
+    }
+}
+
+TEST(Naive, SelectorsAreConsistentWithRanking)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const auto ranking = rankCombos(ds);
+    const NaiveAnalyses naive = naiveAnalyses(ranking);
+    EXPECT_EQ(naive.fewestSlowdowns, ranking.front().config);
+    // The max-geomean pick really has the highest geomean.
+    double best = 0.0;
+    for (const ComboStats &cs : ranking)
+        best = std::max(best, cs.geomean);
+    EXPECT_DOUBLE_EQ(
+        ranking[rankOf(ranking, naive.maxGeomean)].geomean, best);
+    // Every do-no-harm entry has zero slowdowns.
+    for (unsigned cfg : naive.doNoHarm) {
+        EXPECT_EQ(ranking[rankOf(ranking, cfg)].slowdowns, 0u);
+    }
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the Figure 1 cross-chip heatmap.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graphport/port/heatmap.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+using namespace graphport::port;
+
+TEST(Heatmap, DiagonalIsExactlyOne)
+{
+    const Heatmap hm =
+        computeHeatmap(testutil::smallAllChipDataset());
+    for (std::size_t i = 0; i < hm.chips.size(); ++i)
+        EXPECT_DOUBLE_EQ(hm.cells[i][i], 1.0);
+}
+
+TEST(Heatmap, AllCellsAreSlowdowns)
+{
+    // Every cell normalises against the row chip's own optimum, so
+    // no cell can be below 1.
+    const Heatmap hm =
+        computeHeatmap(testutil::smallAllChipDataset());
+    for (const auto &row : hm.cells) {
+        for (double cell : row)
+            EXPECT_GE(cell, 1.0 - 1e-12);
+    }
+}
+
+TEST(Heatmap, DimensionsMatchUniverse)
+{
+    const runner::Dataset &ds = testutil::smallAllChipDataset();
+    const Heatmap hm = computeHeatmap(ds);
+    EXPECT_EQ(hm.chips, ds.universe().chips);
+    EXPECT_EQ(hm.cells.size(), hm.chips.size());
+    for (const auto &row : hm.cells)
+        EXPECT_EQ(row.size(), hm.chips.size());
+    EXPECT_EQ(hm.rowGeomean.size(), hm.chips.size());
+    EXPECT_EQ(hm.columnGeomean.size(), hm.chips.size());
+}
+
+TEST(Heatmap, MarginalsAreGeomeansOfCells)
+{
+    const Heatmap hm =
+        computeHeatmap(testutil::smallAllChipDataset());
+    const std::size_t n = hm.chips.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        double rowLog = 0.0, colLog = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            rowLog += std::log(hm.cells[i][j]);
+            colLog += std::log(hm.cells[j][i]);
+        }
+        EXPECT_NEAR(hm.rowGeomean[i],
+                    std::exp(rowLog / static_cast<double>(n)), 1e-9);
+        EXPECT_NEAR(hm.columnGeomean[i],
+                    std::exp(colLog / static_cast<double>(n)), 1e-9);
+    }
+}
+
+TEST(Heatmap, CrossVendorPortingCosts)
+{
+    // Porting between vendors must cost something: at least one
+    // off-diagonal cell in every row shows a real slowdown.
+    const Heatmap hm =
+        computeHeatmap(testutil::smallAllChipDataset());
+    const std::size_t n = hm.chips.size();
+    for (std::size_t r = 0; r < n; ++r) {
+        double worst = 1.0;
+        for (std::size_t c = 0; c < n; ++c) {
+            if (c != r)
+                worst = std::max(worst, hm.cells[r][c]);
+        }
+        EXPECT_GT(worst, 1.01) << hm.chips[r];
+    }
+}

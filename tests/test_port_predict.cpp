@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the predictive-model future-work module: feature
+ * extraction, the k-NN predictor, and leave-one-out evaluation.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graphport/apps/app.hpp"
+#include "graphport/graph/generators.hpp"
+#include "graphport/port/predict.hpp"
+#include "graphport/support/error.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+using namespace graphport::port;
+
+TEST(Features, NamesMatchDimension)
+{
+    EXPECT_EQ(featureNames().size(), kNumWorkloadFeatures);
+}
+
+TEST(Features, AreFiniteAndDeterministic)
+{
+    const graph::Csr g = graph::gen::rmat(9, 8.0, 3);
+    const auto [out, trace] = apps::runApp(
+        apps::appByName("sssp-wl"), g, "social");
+    const WorkloadFeatures a = extractFeatures(trace);
+    const WorkloadFeatures b = extractFeatures(trace);
+    for (unsigned d = 0; d < kNumWorkloadFeatures; ++d) {
+        EXPECT_TRUE(std::isfinite(a[d])) << d;
+        EXPECT_DOUBLE_EQ(a[d], b[d]) << d;
+    }
+}
+
+TEST(Features, SeparateWorkloadClasses)
+{
+    // A launch-bound road worklist app vs. a single-kernel triangle
+    // count must land far apart in feature space.
+    const graph::Csr road = graph::gen::roadGrid(24, 24, 0.01, 4);
+    const auto [o1, bfsTrace] =
+        apps::runApp(apps::appByName("bfs-wl"), road, "road");
+    const auto [o2, triTrace] =
+        apps::runApp(apps::appByName("tri-node"), road, "road");
+    const WorkloadFeatures bfs = extractFeatures(bfsTrace);
+    const WorkloadFeatures tri = extractFeatures(triTrace);
+    EXPECT_GT(bfs[0], tri[0]);     // far more launches
+    EXPECT_GT(bfs[4], tri[4] - 1e-12); // worklist pushes
+}
+
+TEST(Knn, PredictsNearestLabel)
+{
+    KnnPredictor p(1);
+    WorkloadFeatures a{0, 0, 0, 0, 0, 0};
+    WorkloadFeatures b{10, 10, 10, 10, 10, 10};
+    p.addExample(a, 7);
+    p.addExample(b, 42);
+    WorkloadFeatures nearA{1, 1, 0, 0, 0, 0};
+    WorkloadFeatures nearB{9, 9, 10, 10, 10, 10};
+    EXPECT_EQ(p.predict(nearA), 7u);
+    EXPECT_EQ(p.predict(nearB), 42u);
+}
+
+TEST(Knn, MajorityVoteWins)
+{
+    KnnPredictor p(3);
+    p.addExample({0, 0, 0, 0, 0, 0}, 1);
+    p.addExample({1, 0, 0, 0, 0, 0}, 2);
+    p.addExample({2, 0, 0, 0, 0, 0}, 2);
+    EXPECT_EQ(p.predict({0.4, 0, 0, 0, 0, 0}), 2u);
+}
+
+TEST(Knn, EmptyPredictorIsFatal)
+{
+    const KnnPredictor p(3);
+    EXPECT_THROW(p.predict({}), FatalError);
+    EXPECT_THROW(KnnPredictor(0), FatalError);
+}
+
+TEST(Knn, KLargerThanExamplesIsFine)
+{
+    KnnPredictor p(10);
+    p.addExample({0, 0, 0, 0, 0, 0}, 5);
+    EXPECT_EQ(p.predict({3, 3, 3, 3, 3, 3}), 5u);
+}
+
+TEST(Predictor, LeaveOneOutIsReasonable)
+{
+    const runner::Dataset &ds = testutil::smallAllChipDataset();
+    const auto traces = collectTraces(ds.universe());
+    const PredictionEval e = evaluatePredictor(ds, traces, 3);
+    EXPECT_EQ(e.tests, ds.numTests());
+    EXPECT_GE(e.geomeanVsOracle, 1.0);
+    // Predictions must recover a solid share of the oracle's value.
+    EXPECT_GT(e.geomeanVsBaseline, 1.1);
+    // And not slow down many tests.
+    EXPECT_LT(e.slowdowns, e.tests / 4);
+}
+
+TEST(Predictor, CollectTracesCoversUniverse)
+{
+    const runner::Universe u = runner::smallUniverse(3, {"M4000"});
+    const auto traces = collectTraces(u);
+    EXPECT_EQ(traces.size(), u.apps.size() * u.inputs.size());
+    for (const auto &[key, trace] : traces)
+        EXPECT_GT(trace.launchCount(), 0u) << key;
+}
+
+TEST(Predictor, MissingTraceIsFatal)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const std::map<std::string, dsl::AppTrace> empty;
+    EXPECT_THROW(evaluatePredictor(ds, empty, 3), FatalError);
+}

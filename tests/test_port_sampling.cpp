@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the sampled-analysis experiment (the paper's Section IX
+ * future-work direction).
+ */
+#include <gtest/gtest.h>
+
+#include "graphport/port/sampling.hpp"
+#include "graphport/support/error.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+using namespace graphport::port;
+
+TEST(Sampling, FullFractionAgreesExactly)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const SamplingResult r = sampledAnalysis(
+        ds, Specialisation{false, false, true}, 1.0, 2);
+    EXPECT_DOUBLE_EQ(r.verdictAgreement, 1.0);
+    EXPECT_DOUBLE_EQ(r.configAgreement, 1.0);
+    EXPECT_GE(r.geomeanVsOracle, 1.0);
+}
+
+TEST(Sampling, ResultsAreWellFormed)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    for (double fraction : {0.25, 0.5, 0.75}) {
+        const SamplingResult r = sampledAnalysis(
+            ds, Specialisation{false, false, true}, fraction, 3);
+        EXPECT_DOUBLE_EQ(r.sampleFraction, fraction);
+        EXPECT_EQ(r.trials, 3u);
+        EXPECT_GE(r.verdictAgreement, 0.0);
+        EXPECT_LE(r.verdictAgreement, 1.0);
+        EXPECT_GE(r.configAgreement, 0.0);
+        EXPECT_LE(r.configAgreement, 1.0);
+        EXPECT_GE(r.geomeanVsOracle, 1.0);
+    }
+}
+
+TEST(Sampling, AgreementGrowsWithFraction)
+{
+    // Not strictly monotone per trial, but the endpoints must order.
+    const runner::Dataset &ds = testutil::smallAllChipDataset();
+    const SamplingResult tiny = sampledAnalysis(
+        ds, Specialisation{false, false, true}, 0.15, 4);
+    const SamplingResult full = sampledAnalysis(
+        ds, Specialisation{false, false, true}, 1.0, 4);
+    EXPECT_LE(tiny.verdictAgreement, full.verdictAgreement + 1e-12);
+    EXPECT_DOUBLE_EQ(full.verdictAgreement, 1.0);
+}
+
+TEST(Sampling, DeterministicPerSeed)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const SamplingResult a = sampledAnalysis(
+        ds, Specialisation{false, false, false}, 0.5, 3, 77);
+    const SamplingResult b = sampledAnalysis(
+        ds, Specialisation{false, false, false}, 0.5, 3, 77);
+    EXPECT_DOUBLE_EQ(a.verdictAgreement, b.verdictAgreement);
+    EXPECT_DOUBLE_EQ(a.geomeanVsOracle, b.geomeanVsOracle);
+}
+
+TEST(Sampling, RejectsBadParameters)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const Specialisation spec{false, false, true};
+    EXPECT_THROW(sampledAnalysis(ds, spec, 0.0, 3), FatalError);
+    EXPECT_THROW(sampledAnalysis(ds, spec, 1.5, 3), FatalError);
+    EXPECT_THROW(sampledAnalysis(ds, spec, 0.5, 0), FatalError);
+}
+
+TEST(Sampling, WorksAcrossTheLattice)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    for (const Specialisation &spec : Specialisation::lattice()) {
+        const SamplingResult r =
+            sampledAnalysis(ds, spec, 0.5, 2);
+        EXPECT_GE(r.geomeanVsOracle, 1.0) << spec.name();
+    }
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the specialisation lattice and strategy construction.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graphport/port/strategy.hpp"
+#include "graphport/support/error.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+using namespace graphport::port;
+
+TEST(Specialisation, LatticeHasEightElements)
+{
+    const auto &lattice = Specialisation::lattice();
+    EXPECT_EQ(lattice.size(), 8u);
+    std::set<std::string> names;
+    for (const Specialisation &s : lattice)
+        names.insert(s.name());
+    EXPECT_EQ(names.size(), 8u);
+    EXPECT_TRUE(names.count("global"));
+    EXPECT_TRUE(names.count("chip"));
+    EXPECT_TRUE(names.count("app_input"));
+    EXPECT_TRUE(names.count("chip_app_input"));
+}
+
+TEST(Specialisation, DegreeCounts)
+{
+    EXPECT_EQ((Specialisation{false, false, false}).degree(), 0u);
+    EXPECT_EQ((Specialisation{true, false, true}).degree(), 2u);
+    EXPECT_EQ((Specialisation{true, true, true}).degree(), 3u);
+}
+
+TEST(Strategy, BaselineMapsEverythingToEmptyConfig)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const Strategy s = makeBaseline(ds);
+    EXPECT_EQ(s.name, "baseline");
+    for (std::size_t t = 0; t < ds.numTests(); ++t)
+        EXPECT_EQ(s.configFor(t),
+                  dsl::OptConfig::baseline().encode());
+}
+
+TEST(Strategy, OracleMapsToBestConfig)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const Strategy s = makeOracle(ds);
+    for (std::size_t t = 0; t < ds.numTests(); ++t)
+        EXPECT_EQ(s.configFor(t), ds.bestConfig(t));
+}
+
+TEST(Strategy, ConstantStrategy)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const Strategy s = makeConstant(ds, 17, "seventeen");
+    for (std::size_t t = 0; t < ds.numTests(); ++t)
+        EXPECT_EQ(s.configFor(t), 17u);
+    EXPECT_THROW(makeConstant(ds, 96, "bad"), PanicError);
+}
+
+TEST(Strategy, ConfigForOutOfRangePanics)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const Strategy s = makeBaseline(ds);
+    EXPECT_THROW(s.configFor(ds.numTests()), PanicError);
+}
+
+TEST(Strategy, GlobalHasOnePartition)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const Strategy s = makeSpecialised(
+        ds, Specialisation{false, false, false});
+    EXPECT_EQ(s.partitions.size(), 1u);
+    // Every test maps to the same configuration.
+    const unsigned cfg = s.configFor(0);
+    for (std::size_t t = 0; t < ds.numTests(); ++t)
+        EXPECT_EQ(s.configFor(t), cfg);
+}
+
+TEST(Strategy, ChipSpecialisationPartitionsByChip)
+{
+    const runner::Dataset &ds = testutil::smallAllChipDataset();
+    const Strategy s =
+        makeSpecialised(ds, Specialisation{false, false, true});
+    EXPECT_EQ(s.partitions.size(), ds.universe().chips.size());
+    // All tests of one chip share a configuration.
+    for (const std::string &chip : ds.universe().chips) {
+        const auto tests = ds.testsWhere("", "", chip);
+        const unsigned cfg = s.configFor(tests.front());
+        for (std::size_t t : tests)
+            EXPECT_EQ(s.configFor(t), cfg) << chip;
+    }
+}
+
+TEST(Strategy, FullSpecialisationPartitionsPerTest)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const Strategy s =
+        makeSpecialised(ds, Specialisation{true, true, true});
+    EXPECT_EQ(s.partitions.size(), ds.numTests());
+}
+
+TEST(Strategy, AllStrategiesOrderedByName)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const auto strategies = allStrategies(ds);
+    ASSERT_EQ(strategies.size(), 10u);
+    EXPECT_EQ(strategies.front().name, "baseline");
+    EXPECT_EQ(strategies[1].name, "global");
+    EXPECT_EQ(strategies.back().name, "oracle");
+    for (const Strategy &s : strategies)
+        EXPECT_EQ(s.configPerTest.size(), ds.numTests());
+}
+
+TEST(Strategy, AppInputIgnoresChip)
+{
+    const runner::Dataset &ds = testutil::smallAllChipDataset();
+    const Strategy s =
+        makeSpecialised(ds, Specialisation{true, true, false});
+    // Same (app, input) on different chips -> same configuration.
+    for (const std::string &app : ds.universe().apps) {
+        for (const auto &input : ds.universe().inputs) {
+            std::set<unsigned> cfgs;
+            for (const std::string &chip : ds.universe().chips) {
+                cfgs.insert(s.configFor(
+                    ds.testIndex(app, input.name, chip)));
+            }
+            EXPECT_EQ(cfgs.size(), 1u) << app << "/" << input.name;
+        }
+    }
+}

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the dataset sweep: determinism, indexing, significance
+ * classification, and CSV persistence.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graphport/runner/dataset.hpp"
+#include "graphport/support/error.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+using namespace graphport::runner;
+
+TEST(Dataset, DimensionsMatchUniverse)
+{
+    const Dataset &ds = testutil::smallDataset();
+    EXPECT_EQ(ds.numTests(), ds.universe().numTests());
+    EXPECT_EQ(ds.numConfigs(), 96u);
+    for (std::size_t t = 0; t < ds.numTests(); ++t) {
+        for (unsigned cfg : {0u, 40u, 95u})
+            EXPECT_EQ(ds.runs(t, cfg).size(), ds.universe().runs);
+    }
+}
+
+TEST(Dataset, TestIndexRoundTrips)
+{
+    const Dataset &ds = testutil::smallDataset();
+    for (std::size_t t = 0; t < ds.numTests(); ++t) {
+        const runner::Test test = ds.testAt(t);
+        EXPECT_EQ(ds.testIndex(test.app, test.input, test.chip), t);
+    }
+    EXPECT_THROW(ds.testIndex("nope", "road", "M4000"), FatalError);
+    EXPECT_THROW(ds.testIndex("bfs-topo", "nope", "M4000"),
+                 FatalError);
+    EXPECT_THROW(ds.testIndex("bfs-topo", "road", "nope"),
+                 FatalError);
+}
+
+TEST(Dataset, TestsWhereFilters)
+{
+    const Dataset &ds = testutil::smallDataset();
+    const auto byChip = ds.testsWhere("", "", "M4000");
+    EXPECT_EQ(byChip.size(), ds.universe().apps.size() *
+                                 ds.universe().inputs.size());
+    for (std::size_t t : byChip)
+        EXPECT_EQ(ds.testAt(t).chip, "M4000");
+    const auto all = ds.testsWhere("", "", "");
+    EXPECT_EQ(all.size(), ds.numTests());
+}
+
+TEST(Dataset, BuildIsDeterministic)
+{
+    const Universe u = smallUniverse(2, {"M4000"});
+    const Dataset a = Dataset::build(u);
+    const Dataset b = Dataset::build(u);
+    for (std::size_t t = 0; t < a.numTests(); ++t) {
+        for (unsigned cfg = 0; cfg < a.numConfigs(); ++cfg)
+            ASSERT_EQ(a.runs(t, cfg), b.runs(t, cfg));
+    }
+}
+
+TEST(Dataset, RunsArePositiveAndNoisy)
+{
+    const Dataset &ds = testutil::smallDataset();
+    for (std::size_t t = 0; t < ds.numTests(); ++t) {
+        const auto &rs = ds.runs(t, 0);
+        for (double r : rs)
+            ASSERT_GT(r, 0.0);
+        // Repeated runs differ (noise) but not wildly.
+        EXPECT_NE(rs[0], rs[1]);
+        EXPECT_NEAR(rs[0] / rs[1], 1.0, 0.5);
+    }
+}
+
+TEST(Dataset, SummariesMatchRuns)
+{
+    const Dataset &ds = testutil::smallDataset();
+    const auto &runs = ds.runs(0, 0);
+    const stats::SampleSummary &s = ds.summary(0, 0);
+    EXPECT_EQ(s.n, runs.size());
+    EXPECT_DOUBLE_EQ(s.mean, ds.meanNs(0, 0));
+}
+
+TEST(Dataset, OutcomeClassification)
+{
+    const Dataset &ds = testutil::smallDataset();
+    const unsigned baseline = dsl::OptConfig::baseline().encode();
+    // Self comparison is never significant.
+    for (std::size_t t = 0; t < ds.numTests(); ++t) {
+        EXPECT_FALSE(ds.significant(t, baseline, baseline));
+        EXPECT_EQ(ds.outcome(t, baseline, baseline),
+                  Outcome::NoChange);
+    }
+}
+
+TEST(Dataset, BestConfigIsActuallyBest)
+{
+    const Dataset &ds = testutil::smallDataset();
+    for (std::size_t t = 0; t < ds.numTests(); ++t) {
+        const unsigned best = ds.bestConfig(t);
+        for (unsigned cfg = 0; cfg < ds.numConfigs(); ++cfg)
+            ASSERT_LE(ds.meanNs(t, best), ds.meanNs(t, cfg));
+    }
+}
+
+TEST(Dataset, CsvRoundTrip)
+{
+    const Universe u = smallUniverse(2, {"M4000", "MALI"});
+    const Dataset original = Dataset::build(u);
+    std::stringstream ss;
+    original.saveCsv(ss);
+    const Dataset loaded = Dataset::loadCsv(u, ss);
+    for (std::size_t t = 0; t < original.numTests(); ++t) {
+        for (unsigned cfg = 0; cfg < original.numConfigs(); ++cfg) {
+            const auto &a = original.runs(t, cfg);
+            const auto &b = loaded.runs(t, cfg);
+            ASSERT_EQ(a.size(), b.size());
+            for (std::size_t r = 0; r < a.size(); ++r)
+                ASSERT_NEAR(a[r], b[r], 1e-2);
+        }
+    }
+}
+
+TEST(Dataset, LoadRejectsWrongHeader)
+{
+    const Universe u = smallUniverse(2, {"M4000"});
+    std::stringstream ss("wrong,header\n");
+    EXPECT_THROW(Dataset::loadCsv(u, ss), FatalError);
+}
+
+TEST(Dataset, LoadRejectsIncompleteData)
+{
+    const Universe u = smallUniverse(2, {"M4000"});
+    std::stringstream ss("app,input,chip,config,run,ns\n"
+                         "bfs-topo,road,M4000,0,0,123.0\n");
+    EXPECT_THROW(Dataset::loadCsv(u, ss), FatalError);
+}
+
+TEST(Dataset, LoadRejectsUnknownNames)
+{
+    const Universe u = smallUniverse(2, {"M4000"});
+    std::stringstream ss("app,input,chip,config,run,ns\n"
+                         "who,road,M4000,0,0,123.0\n");
+    EXPECT_THROW(Dataset::loadCsv(u, ss), FatalError);
+}
+
+TEST(Dataset, ChipOrderingOfRuntimes)
+{
+    // Same app/input: MALI must be slower than GTX1080 at baseline —
+    // a basic sanity check that chip identity flows through.
+    const Dataset &ds = testutil::smallAllChipDataset();
+    const unsigned baseline = dsl::OptConfig::baseline().encode();
+    for (const std::string &app : ds.universe().apps) {
+        for (const auto &input : ds.universe().inputs) {
+            const double gtx = ds.meanNs(
+                ds.testIndex(app, input.name, "GTX1080"), baseline);
+            const double mali = ds.meanNs(
+                ds.testIndex(app, input.name, "MALI"), baseline);
+            EXPECT_GT(mali, gtx) << app << "/" << input.name;
+        }
+    }
+}

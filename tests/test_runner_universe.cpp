@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the experiment universe definitions.
+ */
+#include <gtest/gtest.h>
+
+#include "graphport/runner/universe.hpp"
+#include "graphport/support/error.hpp"
+
+using namespace graphport;
+using namespace graphport::runner;
+
+TEST(StudyUniverse, MatchesPaperScale)
+{
+    const Universe u = studyUniverse();
+    EXPECT_EQ(u.apps.size(), 17u);
+    EXPECT_EQ(u.inputs.size(), 3u);
+    EXPECT_EQ(u.chips.size(), 6u);
+    EXPECT_EQ(u.runs, 3u); // the paper runs each test 3 times
+    EXPECT_EQ(u.numTests(), 17u * 3u * 6u);
+    EXPECT_NO_THROW(u.validate());
+}
+
+TEST(StudyUniverse, InputClassesArePresent)
+{
+    const Universe u = studyUniverse();
+    EXPECT_EQ(inputByName(u, "road").cls, "road network");
+    EXPECT_EQ(inputByName(u, "social").cls, "social network");
+    EXPECT_EQ(inputByName(u, "random").cls, "uniform random");
+    EXPECT_THROW(inputByName(u, "missing"), FatalError);
+}
+
+TEST(StudyUniverse, InputSpecsInstantiate)
+{
+    for (const InputSpec &spec : studyUniverse().inputs) {
+        const graph::Csr g = spec.make();
+        EXPECT_GT(g.numNodes(), 1000u) << spec.name;
+        EXPECT_TRUE(g.hasWeights()) << spec.name;
+        EXPECT_EQ(g.name(), spec.name);
+    }
+}
+
+TEST(SmallUniverse, RespectsRequestedShape)
+{
+    const Universe u = smallUniverse(3, {"M4000", "MALI"});
+    EXPECT_EQ(u.apps.size(), 3u);
+    EXPECT_EQ(u.chips.size(), 2u);
+    EXPECT_NO_THROW(u.validate());
+}
+
+TEST(SmallUniverse, DefaultsToAllChips)
+{
+    EXPECT_EQ(smallUniverse(2).chips.size(), 6u);
+}
+
+TEST(UniverseValidation, RejectsUnknownNames)
+{
+    Universe u = smallUniverse(2, {"M4000"});
+    u.apps.push_back("not-an-app");
+    EXPECT_THROW(u.validate(), FatalError);
+
+    Universe u2 = smallUniverse(2, {"M4000"});
+    u2.chips.push_back("not-a-chip");
+    EXPECT_THROW(u2.validate(), FatalError);
+
+    Universe u3 = smallUniverse(2, {"M4000"});
+    u3.runs = 0;
+    EXPECT_THROW(u3.validate(), FatalError);
+
+    Universe u4 = smallUniverse(2, {"M4000"});
+    u4.inputs.clear();
+    EXPECT_THROW(u4.validate(), FatalError);
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the chip models: the roster matches Table I, every model
+ * validates, and the paper's measured per-chip traits (Section VIII)
+ * are encoded correctly.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graphport/sim/chip.hpp"
+#include "graphport/support/error.hpp"
+
+using namespace graphport;
+using namespace graphport::sim;
+
+TEST(ChipRoster, SixChipsFourVendors)
+{
+    const auto &chips = allChips();
+    EXPECT_EQ(chips.size(), 6u);
+    std::set<std::string> vendors;
+    for (const ChipModel &c : chips)
+        vendors.insert(c.vendor);
+    EXPECT_EQ(vendors.size(), 4u);
+    EXPECT_TRUE(vendors.count("Nvidia"));
+    EXPECT_TRUE(vendors.count("Intel"));
+    EXPECT_TRUE(vendors.count("AMD"));
+    EXPECT_TRUE(vendors.count("ARM"));
+}
+
+TEST(ChipRoster, TableIShortNames)
+{
+    const std::vector<std::string> expected = {
+        "M4000", "GTX1080", "HD5500", "IRIS", "R9", "MALI"};
+    EXPECT_EQ(allChipNames(), expected);
+}
+
+TEST(ChipRoster, AllModelsValidate)
+{
+    for (const ChipModel &c : allChips())
+        EXPECT_NO_THROW(c.validate()) << c.shortName;
+}
+
+TEST(ChipRoster, LookupByName)
+{
+    EXPECT_EQ(chipByName("R9").vendor, "AMD");
+    EXPECT_THROW(chipByName("RTX9090"), FatalError);
+}
+
+TEST(ChipTraits, SubgroupSizesMatchTableI)
+{
+    EXPECT_EQ(chipByName("M4000").subgroupSize, 32u);
+    EXPECT_EQ(chipByName("GTX1080").subgroupSize, 32u);
+    EXPECT_EQ(chipByName("R9").subgroupSize, 64u);
+    EXPECT_EQ(chipByName("MALI").subgroupSize, 1u);
+    EXPECT_EQ(chipByName("IRIS").subgroupSize, 16u);
+    EXPECT_EQ(chipByName("HD5500").subgroupSize, 16u);
+}
+
+TEST(ChipTraits, NvidiaHasLowestLaunchOverhead)
+{
+    // The Figure 5 finding that motivates oitergb everywhere except
+    // Nvidia.
+    const double m4000 = chipByName("M4000").kernelLaunchNs;
+    const double gtx = chipByName("GTX1080").kernelLaunchNs;
+    for (const ChipModel &c : allChips()) {
+        if (c.vendor == "Nvidia")
+            continue;
+        EXPECT_GT(c.kernelLaunchNs, m4000) << c.shortName;
+        EXPECT_GT(c.kernelLaunchNs, gtx) << c.shortName;
+    }
+    EXPECT_GT(chipByName("MALI").kernelLaunchNs,
+              2.0 * chipByName("R9").kernelLaunchNs);
+}
+
+TEST(ChipTraits, DriverCombiningMatchesTableX)
+{
+    // The paper finds the Nvidia and HD5500 JITs already implement
+    // coop-cv; R9, IRIS and MALI do not.
+    EXPECT_TRUE(chipByName("M4000").driverCombinesAtomics);
+    EXPECT_TRUE(chipByName("GTX1080").driverCombinesAtomics);
+    EXPECT_TRUE(chipByName("HD5500").driverCombinesAtomics);
+    EXPECT_FALSE(chipByName("IRIS").driverCombinesAtomics);
+    EXPECT_FALSE(chipByName("R9").driverCombinesAtomics);
+    EXPECT_FALSE(chipByName("MALI").driverCombinesAtomics);
+}
+
+TEST(ChipTraits, MaliIsTheDivergenceOutlier)
+{
+    const double mali =
+        chipByName("MALI").memDivergenceSensitivity;
+    for (const ChipModel &c : allChips()) {
+        if (c.shortName != "MALI") {
+            EXPECT_GT(mali, 5.0 * c.memDivergenceSensitivity)
+                << c.shortName;
+        }
+    }
+}
+
+TEST(ChipTraits, LockstepSubgroupsHaveFreeBarriers)
+{
+    EXPECT_DOUBLE_EQ(chipByName("M4000").sgBarrierNs, 0.0);
+    EXPECT_DOUBLE_EQ(chipByName("R9").sgBarrierNs, 0.0);
+    EXPECT_GT(chipByName("IRIS").sgBarrierNs, 0.0);
+}
+
+TEST(ChipGeometry, OccupancyFunctions)
+{
+    const ChipModel &r9 = chipByName("R9");
+    EXPECT_EQ(r9.wgPerCu(128), r9.wgPerCu128);
+    EXPECT_EQ(r9.wgPerCu(256), r9.wgPerCu256);
+    EXPECT_EQ(r9.concurrentWorkgroups(128),
+              r9.numCus * r9.wgPerCu128);
+}
+
+TEST(ChipGeometry, EffectiveLanesPositiveAndBounded)
+{
+    for (const ChipModel &c : allChips()) {
+        for (unsigned w : {128u, 256u}) {
+            const double lanes = c.effectiveLanes(w);
+            EXPECT_GT(lanes, 0.0) << c.shortName;
+            EXPECT_LE(lanes, static_cast<double>(c.numCus) *
+                                 c.lanesPerCu)
+                << c.shortName;
+        }
+    }
+}
+
+TEST(ChipGeometry, IntegratedChipsLoseOccupancyAt256)
+{
+    // sz256's occupancy penalty (Table VI: "occupancy, workgroup-
+    // local resource limits") applies on the integrated chips.
+    for (const char *name : {"HD5500", "IRIS", "MALI"}) {
+        const ChipModel &c = chipByName(name);
+        EXPECT_LT(c.effectiveLanes(256), c.effectiveLanes(128))
+            << name;
+    }
+}
+
+TEST(ChipGeometry, WgBarrierScalesWithWidth)
+{
+    for (const ChipModel &c : allChips()) {
+        EXPECT_DOUBLE_EQ(c.wgBarrierCostNs(128), c.wgBarrierNs);
+        EXPECT_DOUBLE_EQ(c.wgBarrierCostNs(256),
+                         2.0 * c.wgBarrierNs);
+    }
+}
+
+TEST(ChipGeometry, GlobalBarrierScalesWithResidentThreads)
+{
+    for (const ChipModel &c : allChips()) {
+        EXPECT_GT(c.globalBarrierCostNs(128), 0.0);
+        // Per-thread scaling: cost at 256 uses double the per-wg
+        // weight but possibly fewer groups.
+        const double expected128 =
+            c.globalBarrierPerWgNs * c.concurrentWorkgroups(128);
+        EXPECT_DOUBLE_EQ(c.globalBarrierCostNs(128), expected128);
+    }
+}
+
+TEST(ChipTraits, ValidationCatchesNonsense)
+{
+    ChipModel bad = chipByName("R9");
+    bad.randomEdgeNs = 0.1;
+    bad.coalescedEdgeNs = 0.5; // random cheaper than coalesced
+    EXPECT_THROW(bad.validate(), PanicError);
+
+    ChipModel zeroCu = chipByName("R9");
+    zeroCu.numCus = 0;
+    EXPECT_THROW(zeroCu.validate(), PanicError);
+
+    ChipModel badIlp = chipByName("R9");
+    badIlp.ilpEfficiency = 1.5;
+    EXPECT_THROW(badIlp.validate(), PanicError);
+}

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Tests for the trace-driven cost engine: structural invariants over
+ * the full (chip, config) space and the directional effects each
+ * optimisation must have (paper Section V performance
+ * considerations).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graphport/dsl/optconfig.hpp"
+#include "graphport/dsl/trace.hpp"
+#include "graphport/sim/chip.hpp"
+#include "graphport/sim/costengine.hpp"
+
+using namespace graphport;
+using namespace graphport::sim;
+using graphport::dsl::DegreeHist;
+using graphport::dsl::FgMode;
+using graphport::dsl::KernelLaunch;
+using graphport::dsl::OptConfig;
+
+namespace {
+
+/** A skewed neighbour kernel (social-network flavour). */
+KernelLaunch
+skewedKernel(std::uint64_t items = 4096)
+{
+    KernelLaunch l;
+    l.name = "skewed";
+    l.items = items;
+    l.hasNeighborLoop = true;
+    l.randomAccess = true;
+    std::uint64_t edges = 0;
+    for (std::uint64_t i = 0; i < items; ++i) {
+        const std::uint64_t d = (i % 100 == 0) ? 800 : 8;
+        l.hist.add(d);
+        edges += d;
+    }
+    l.edges = edges;
+    return l;
+}
+
+/** A uniform neighbour kernel (road flavour). */
+KernelLaunch
+uniformKernel(std::uint64_t items = 4096, std::uint64_t deg = 4)
+{
+    KernelLaunch l;
+    l.name = "uniform";
+    l.items = items;
+    l.hasNeighborLoop = true;
+    l.randomAccess = true;
+    for (std::uint64_t i = 0; i < items; ++i)
+        l.hist.add(deg);
+    l.edges = items * deg;
+    return l;
+}
+
+/** A worklist kernel with contended pushes. */
+KernelLaunch
+pushKernel(std::uint64_t pushes)
+{
+    KernelLaunch l;
+    l.name = "push";
+    l.items = pushes;
+    l.hasNeighborLoop = false;
+    l.randomAccess = false;
+    l.contendedPushes = pushes;
+    return l;
+}
+
+dsl::AppTrace
+tinyTrace(unsigned launches, bool host_sync)
+{
+    dsl::AppTrace trace;
+    trace.app = "synthetic";
+    trace.input = "synthetic";
+    trace.hostIterations = launches;
+    for (unsigned i = 0; i < launches; ++i) {
+        KernelLaunch l = uniformKernel(256);
+        l.iteration = i;
+        l.hostSyncAfter = host_sync;
+        trace.launches.push_back(l);
+    }
+    return trace;
+}
+
+} // namespace
+
+/** Invariants that must hold for every chip and configuration. */
+class EngineInvariantTest
+    : public ::testing::TestWithParam<std::tuple<std::string, unsigned>>
+{
+  protected:
+    const ChipModel &chip() const
+    {
+        return chipByName(std::get<0>(GetParam()));
+    }
+    OptConfig config() const
+    {
+        return OptConfig::decode(std::get<1>(GetParam()));
+    }
+};
+
+TEST_P(EngineInvariantTest, TimesArePositiveAndFinite)
+{
+    const CostEngine engine(chip(), config());
+    for (const KernelLaunch &l :
+         {skewedKernel(), uniformKernel(), pushKernel(1000)}) {
+        const KernelCost cost = engine.kernelCost(l);
+        EXPECT_GT(cost.totalNs, 0.0);
+        EXPECT_TRUE(std::isfinite(cost.totalNs));
+        EXPECT_GE(cost.atomicNs, 0.0);
+        EXPECT_GE(cost.computeNs, 0.0);
+    }
+}
+
+TEST_P(EngineInvariantTest, MoreItemsNeverCheaper)
+{
+    const CostEngine engine(chip(), config());
+    const double small = engine.kernelTimeNs(uniformKernel(512));
+    const double large = engine.kernelTimeNs(uniformKernel(4096));
+    EXPECT_LE(small, large * 1.0001);
+}
+
+TEST_P(EngineInvariantTest, EmptyKernelHasBaseCostOnly)
+{
+    const CostEngine engine(chip(), config());
+    KernelLaunch l;
+    l.items = 0;
+    const KernelCost cost = engine.kernelCost(l);
+    EXPECT_GT(cost.totalNs, 0.0);
+    EXPECT_DOUBLE_EQ(cost.atomicNs, 0.0);
+}
+
+TEST_P(EngineInvariantTest, AppCostDecomposes)
+{
+    const CostEngine engine(chip(), config());
+    const dsl::AppTrace trace = tinyTrace(5, true);
+    const AppCost app = engine.appCost(trace);
+    EXPECT_EQ(app.launches, 5u);
+    EXPECT_NEAR(app.totalNs, app.kernelNs + app.overheadNs, 1e-6);
+    EXPECT_GT(app.overheadNs, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChipConfigGrid, EngineInvariantTest,
+    ::testing::Combine(
+        ::testing::Values("M4000", "GTX1080", "HD5500", "IRIS", "R9",
+                          "MALI"),
+        ::testing::Values(0u, 1u, 2u, 5u, 17u, 40u, 61u, 95u)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_cfg" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(EngineOitergb, ReplacesLaunchOverheadNotKernelTime)
+{
+    const ChipModel &chip = chipByName("R9");
+    OptConfig oit;
+    oit.oitergb = true;
+    const CostEngine plain(chip, OptConfig::baseline());
+    const CostEngine outlined(chip, oit);
+    const KernelLaunch l = uniformKernel();
+    EXPECT_DOUBLE_EQ(plain.kernelTimeNs(l),
+                     outlined.kernelTimeNs(l));
+    EXPECT_NE(plain.launchOverheadNs(l),
+              outlined.launchOverheadNs(l));
+}
+
+TEST(EngineOitergb, HelpsHighOverheadChipsOnLaunchBoundApps)
+{
+    const dsl::AppTrace trace = tinyTrace(200, true);
+    OptConfig oit;
+    oit.oitergb = true;
+    for (const char *name : {"HD5500", "IRIS", "R9", "MALI"}) {
+        const ChipModel &chip = chipByName(name);
+        const double base =
+            CostEngine(chip, OptConfig::baseline()).appTimeNs(trace);
+        const double outlined =
+            CostEngine(chip, oit).appTimeNs(trace);
+        EXPECT_LT(outlined, base) << name;
+    }
+}
+
+TEST(EngineOitergb, DoesNotHelpNvidiaMuch)
+{
+    const dsl::AppTrace trace = tinyTrace(200, false);
+    OptConfig oit;
+    oit.oitergb = true;
+    for (const char *name : {"M4000", "GTX1080"}) {
+        const ChipModel &chip = chipByName(name);
+        const double base =
+            CostEngine(chip, OptConfig::baseline()).appTimeNs(trace);
+        const double outlined =
+            CostEngine(chip, oit).appTimeNs(trace);
+        EXPECT_GT(outlined, base) << name;
+    }
+}
+
+TEST(EngineCoopCv, ReducesAtomicsWhereDriverDoesNot)
+{
+    const KernelLaunch l = pushKernel(20000);
+    OptConfig cc;
+    cc.coopCv = true;
+    const ChipModel &r9 = chipByName("R9");
+    const double r9Base =
+        CostEngine(r9, OptConfig::baseline()).kernelCost(l).atomicNs;
+    const double r9Coop =
+        CostEngine(r9, cc).kernelCost(l).atomicNs;
+    EXPECT_LT(r9Coop, r9Base / 4.0);
+}
+
+TEST(EngineCoopCv, RedundantOnDriverCombiningChips)
+{
+    const KernelLaunch l = pushKernel(20000);
+    OptConfig cc;
+    cc.coopCv = true;
+    const ChipModel &m4000 = chipByName("M4000");
+    const double base =
+        CostEngine(m4000, OptConfig::baseline()).kernelTimeNs(l);
+    const double coop = CostEngine(m4000, cc).kernelTimeNs(l);
+    EXPECT_GT(coop, base); // slight slowdown, never a win
+    EXPECT_LT(coop, base * 1.5);
+}
+
+TEST(EngineCoopCv, NoEffectWithoutSubgroups)
+{
+    const KernelLaunch l = pushKernel(20000);
+    OptConfig cc;
+    cc.coopCv = true;
+    const ChipModel &mali = chipByName("MALI");
+    const double base =
+        CostEngine(mali, OptConfig::baseline()).kernelCost(l).atomicNs;
+    const double coop =
+        CostEngine(mali, cc).kernelCost(l).atomicNs;
+    // Subgroup size 1: atomic count cannot shrink.
+    EXPECT_GE(coop, base);
+}
+
+TEST(EngineNp, Fg8BeatsSerialOnSkewedWork)
+{
+    OptConfig fg8;
+    fg8.fg = FgMode::Fg8;
+    for (const char *name : {"M4000", "R9", "HD5500"}) {
+        const ChipModel &chip = chipByName(name);
+        const double serial =
+            CostEngine(chip, OptConfig::baseline())
+                .kernelTimeNs(skewedKernel());
+        const double fg =
+            CostEngine(chip, fg8).kernelTimeNs(skewedKernel());
+        EXPECT_LT(fg, serial) << name;
+    }
+}
+
+TEST(EngineNp, Fg8CheaperThanFg1)
+{
+    OptConfig fg8, fg1;
+    fg8.fg = FgMode::Fg8;
+    fg1.fg = FgMode::Fg1;
+    const ChipModel &chip = chipByName("HD5500");
+    EXPECT_LT(CostEngine(chip, fg8).kernelTimeNs(skewedKernel()),
+              CostEngine(chip, fg1).kernelTimeNs(skewedKernel()));
+}
+
+TEST(EngineNp, WgIsPureOverheadOnUniformWork)
+{
+    OptConfig wg;
+    wg.wg = true;
+    // Compute-bound kernel so the queue-drain overhead is not hidden
+    // behind the DRAM bandwidth floor.
+    KernelLaunch l = uniformKernel(4096, 8);
+    l.computePerEdge = 60.0;
+    for (const char *name : {"M4000", "IRIS", "MALI"}) {
+        const ChipModel &chip = chipByName(name);
+        const double serial =
+            CostEngine(chip, OptConfig::baseline()).kernelTimeNs(l);
+        const double withWg =
+            CostEngine(chip, wg).kernelTimeNs(l);
+        EXPECT_GT(withWg, serial) << name;
+    }
+}
+
+TEST(EngineSg, CuresDivergenceOnMali)
+{
+    // The Section VIII-c story: sg helps MALI even with subgroup
+    // size 1, through its phase-separating barriers.
+    OptConfig sg;
+    sg.sg = true;
+    const ChipModel &mali = chipByName("MALI");
+    const double serial =
+        CostEngine(mali, OptConfig::baseline())
+            .kernelTimeNs(skewedKernel());
+    const double withSg =
+        CostEngine(mali, sg).kernelTimeNs(skewedKernel());
+    EXPECT_LT(withSg, serial * 0.7);
+}
+
+TEST(EngineSz256, CostsOccupancyOnIntegratedChips)
+{
+    OptConfig sz;
+    sz.sz256 = true;
+    for (const char *name : {"HD5500", "IRIS", "MALI"}) {
+        const ChipModel &chip = chipByName(name);
+        const double base =
+            CostEngine(chip, OptConfig::baseline())
+                .kernelTimeNs(uniformKernel(16384, 8));
+        const double at256 =
+            CostEngine(chip, sz).kernelTimeNs(uniformKernel(16384, 8));
+        EXPECT_GT(at256, base) << name;
+    }
+}
+
+TEST(EngineNoise, DeterministicPerSeedAndCentred)
+{
+    const ChipModel &chip = chipByName("R9");
+    const dsl::AppTrace trace = tinyTrace(10, true);
+    const double a =
+        measureAppRunNs(chip, OptConfig::baseline(), trace, 42);
+    const double b =
+        measureAppRunNs(chip, OptConfig::baseline(), trace, 42);
+    EXPECT_DOUBLE_EQ(a, b);
+    const double c =
+        measureAppRunNs(chip, OptConfig::baseline(), trace, 43);
+    EXPECT_NE(a, c);
+
+    const double det =
+        CostEngine(chip, OptConfig::baseline()).appTimeNs(trace);
+    // Noise is multiplicative and small: within 30% of the
+    // deterministic value.
+    EXPECT_NEAR(a / det, 1.0, 0.3);
+}
+
+TEST(EngineNoise, ZeroSigmaIsExact)
+{
+    EXPECT_DOUBLE_EQ(noisyTimeNs(1234.5, 0.0, 99), 1234.5);
+}
+
+TEST(EngineDivergence, GratuitousBarriersMitigate)
+{
+    KernelLaunch l = uniformKernel(4096, 64);
+    l.divergenceSpread = 3.0;
+    KernelLaunch barriered = l;
+    barriered.gratuitousBarriers = true;
+    const ChipModel &mali = chipByName("MALI");
+    const CostEngine engine(mali, OptConfig::baseline());
+    EXPECT_LT(engine.kernelTimeNs(barriered),
+              engine.kernelTimeNs(l) / 2.0);
+}
+
+TEST(EngineWorkgroupSize, ClampedToChipMaximum)
+{
+    OptConfig sz;
+    sz.sz256 = true;
+    for (const ChipModel &chip : allChips()) {
+        const CostEngine engine(chip, sz);
+        EXPECT_LE(engine.workgroupSize(), chip.maxWorkgroupSize);
+    }
+}

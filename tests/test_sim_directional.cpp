@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Directional property tests over the full chip grid: for every chip,
+ * each optimisation's effect must follow from that chip's own model
+ * parameters (not from hard-coded per-chip expectations). These tests
+ * encode the paper's Section V "performance considerations" as
+ * machine-checked implications, so any future chip added to the
+ * roster is automatically held to them.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graphport/dsl/optconfig.hpp"
+#include "graphport/dsl/trace.hpp"
+#include "graphport/sim/chip.hpp"
+#include "graphport/sim/costengine.hpp"
+
+using namespace graphport;
+using namespace graphport::sim;
+using graphport::dsl::FgMode;
+using graphport::dsl::KernelLaunch;
+using graphport::dsl::OptConfig;
+
+namespace {
+
+/** A short-kernel, many-iteration trace (road BFS flavour). */
+dsl::AppTrace
+launchBoundTrace(unsigned iterations = 300)
+{
+    dsl::AppTrace trace;
+    trace.app = "synthetic";
+    trace.input = "road-like";
+    trace.hostIterations = iterations;
+    for (unsigned i = 0; i < iterations; ++i) {
+        KernelLaunch l;
+        l.name = "frontier";
+        l.iteration = i;
+        l.items = 128;
+        l.hasNeighborLoop = true;
+        for (int n = 0; n < 128; ++n)
+            l.hist.add(4);
+        l.edges = 128 * 4;
+        l.hostSyncAfter = true;
+        trace.launches.push_back(l);
+    }
+    return trace;
+}
+
+/** A skewed, compute-heavy kernel (social flavour). */
+KernelLaunch
+socialKernel()
+{
+    KernelLaunch l;
+    l.name = "expand";
+    l.items = 8192;
+    l.hasNeighborLoop = true;
+    l.randomAccess = true;
+    std::uint64_t edges = 0;
+    for (std::uint64_t i = 0; i < l.items; ++i) {
+        const std::uint64_t d = (i % 64 == 0) ? 700 : 12;
+        l.hist.add(d);
+        edges += d;
+    }
+    l.edges = edges;
+    l.computePerEdge = 3.0;
+    return l;
+}
+
+class ChipGridTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const ChipModel &chip() const { return chipByName(GetParam()); }
+};
+
+} // namespace
+
+TEST_P(ChipGridTest, OitergbDirectionFollowsOverheadBalance)
+{
+    // Outlining wins exactly when one global-barrier episode costs
+    // less than the launch + memcpy it replaces (the trace is
+    // sync-bound, so the balance dominates the total).
+    const ChipModel &c = chip();
+    const dsl::AppTrace trace = launchBoundTrace();
+    OptConfig oit;
+    oit.oitergb = true;
+    const double base =
+        CostEngine(c, OptConfig::baseline()).appTimeNs(trace);
+    const double outlined = CostEngine(c, oit).appTimeNs(trace);
+    const double barrierEpisode =
+        c.globalBarrierBaseNs + c.globalBarrierCostNs(128);
+    const double launchEpisode = c.kernelLaunchNs + c.hostMemcpyNs;
+    if (barrierEpisode < 0.9 * launchEpisode) {
+        EXPECT_LT(outlined, base) << c.shortName;
+    }
+    if (barrierEpisode > 1.1 * launchEpisode) {
+        EXPECT_GT(outlined, base) << c.shortName;
+    }
+}
+
+TEST_P(ChipGridTest, CoopCvDirectionFollowsDriverCombining)
+{
+    const ChipModel &c = chip();
+    KernelLaunch l;
+    l.name = "push";
+    l.items = 20000;
+    l.contendedPushes = 20000;
+    l.randomAccess = false;
+    OptConfig cc;
+    cc.coopCv = true;
+    const double base =
+        CostEngine(c, OptConfig::baseline()).kernelTimeNs(l);
+    const double coop = CostEngine(c, cc).kernelTimeNs(l);
+    if (!c.driverCombinesAtomics && c.subgroupSize > 1) {
+        // Real combining opportunity: must be a clear win.
+        EXPECT_LT(coop, base / 2.0) << c.shortName;
+    } else {
+        // Redundant or impossible: never a win.
+        EXPECT_GE(coop, base) << c.shortName;
+    }
+}
+
+TEST_P(ChipGridTest, NpSchemesBeatSerialOnSkewedWork)
+{
+    // Any fine-grained load balancing must beat the serial schedule
+    // on heavily skewed neighbour work, on every chip.
+    const ChipModel &c = chip();
+    const KernelLaunch l = socialKernel();
+    OptConfig fg8;
+    fg8.fg = FgMode::Fg8;
+    const double serial =
+        CostEngine(c, OptConfig::baseline()).kernelTimeNs(l);
+    EXPECT_LT(CostEngine(c, fg8).kernelTimeNs(l), serial)
+        << c.shortName;
+}
+
+TEST_P(ChipGridTest, SgBenefitScalesWithDivergenceSensitivity)
+{
+    // The relative gain of sg on divergent work must grow with the
+    // chip's divergence sensitivity: compare against a hypothetical
+    // twin with near-zero sensitivity.
+    const ChipModel &c = chip();
+    ChipModel twin = c;
+    twin.memDivergenceSensitivity = 0.01;
+    const KernelLaunch l = socialKernel();
+    OptConfig sg;
+    sg.sg = true;
+    const double gain =
+        CostEngine(c, OptConfig::baseline()).kernelTimeNs(l) /
+        CostEngine(c, sg).kernelTimeNs(l);
+    const double twinGain =
+        CostEngine(twin, OptConfig::baseline()).kernelTimeNs(l) /
+        CostEngine(twin, sg).kernelTimeNs(l);
+    EXPECT_GE(gain, twinGain * 0.999) << c.shortName;
+    if (c.memDivergenceSensitivity > 1.0) {
+        EXPECT_GT(gain, 1.5 * twinGain) << c.shortName;
+    }
+}
+
+TEST_P(ChipGridTest, Sz256NeverHelpsLatencyHiding)
+{
+    // effectiveLanes(256) <= effectiveLanes(128) on every chip in
+    // the roster (equal-thread occupancy at best, group-count
+    // penalty always).
+    const ChipModel &c = chip();
+    EXPECT_LE(c.effectiveLanes(256), c.effectiveLanes(128) + 1e-9)
+        << c.shortName;
+}
+
+TEST_P(ChipGridTest, BandwidthFloorBindsEventually)
+{
+    // A pure streaming kernel large enough must be bandwidth-bound:
+    // doubling edges doubles time.
+    const ChipModel &c = chip();
+    auto mk = [](std::uint64_t items) {
+        KernelLaunch l;
+        l.name = "stream";
+        l.items = items;
+        l.hasNeighborLoop = true;
+        l.randomAccess = false;
+        for (std::uint64_t i = 0; i < items; ++i)
+            l.hist.add(16);
+        l.edges = items * 16;
+        l.computePerEdge = 0.01;
+        l.computePerItem = 0.01;
+        return l;
+    };
+    const CostEngine engine(c, OptConfig::baseline());
+    const double t1 = engine.kernelTimeNs(mk(1u << 18));
+    const double t2 = engine.kernelTimeNs(mk(1u << 19));
+    EXPECT_NEAR(t2 / t1, 2.0, 0.25) << c.shortName;
+}
+
+TEST_P(ChipGridTest, NoiseSigmaMatchesEmpiricalSpread)
+{
+    // The lognormal noise injected at measurement time must have
+    // roughly the chip's configured sigma in log space.
+    const ChipModel &c = chip();
+    const dsl::AppTrace trace = launchBoundTrace(10);
+    std::vector<double> logs;
+    for (std::uint64_t seed = 0; seed < 400; ++seed) {
+        logs.push_back(std::log(
+            measureAppRunNs(c, OptConfig::baseline(), trace, seed)));
+    }
+    double mean = 0.0;
+    for (double v : logs)
+        mean += v;
+    mean /= static_cast<double>(logs.size());
+    double var = 0.0;
+    for (double v : logs)
+        var += (v - mean) * (v - mean);
+    var /= static_cast<double>(logs.size() - 1);
+    EXPECT_NEAR(std::sqrt(var), c.noiseSigma, 0.35 * c.noiseSigma)
+        << c.shortName;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChips, ChipGridTest,
+                         ::testing::Values("M4000", "GTX1080",
+                                           "HD5500", "IRIS", "R9",
+                                           "MALI"));

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Golden-value regression tests for the calibrated model.
+ *
+ * The chip parameters were calibrated against the paper's Section
+ * VIII fingerprints (see DESIGN.md section 11); these tests pin the
+ * exact values so an accidental parameter or formula change — which
+ * would silently re-shape every reproduced table — fails loudly.
+ * When a calibration change is *intentional*, update the constants
+ * here and re-validate EXPERIMENTS.md.
+ */
+#include <gtest/gtest.h>
+
+#include "graphport/apps/app.hpp"
+#include "graphport/graph/generators.hpp"
+#include "graphport/micro/micro.hpp"
+#include "graphport/sim/costengine.hpp"
+
+using namespace graphport;
+
+namespace {
+
+struct Golden
+{
+    const char *chip;
+    double sgCmb;
+    double mDivg;
+    double appBaseNs;
+    double appFullNs;
+};
+
+// bfs-wl on rmat(scale 10, avg degree 8, seed 12); "full" is
+// [sg, fg8, coop-cv, oitergb].
+constexpr Golden kGolden[] = {
+    {"M4000", 0.894778, 1.581371, 43206.476239, 44578.438007},
+    {"GTX1080", 0.895105, 1.465804, 37603.231259, 60013.639904},
+    {"HD5500", 0.875201, 1.397798, 278173.378888, 131717.173664},
+    {"IRIS", 6.159231, 1.802671, 245691.726260, 126424.414857},
+    {"R9", 25.187266, 1.677199, 131911.562256, 69629.610447},
+    {"MALI", 0.859538, 6.206299, 2197912.685475, 389563.390625},
+};
+
+const dsl::AppTrace &
+goldenTrace()
+{
+    static const dsl::AppTrace trace = [] {
+        const graph::Csr g = graph::gen::rmat(10, 8.0, 12);
+        auto [out, t] = apps::runApp(apps::appByName("bfs-wl"), g,
+                                     "social");
+        return t;
+    }();
+    return trace;
+}
+
+} // namespace
+
+class GoldenTest : public ::testing::TestWithParam<Golden>
+{};
+
+TEST_P(GoldenTest, MicrobenchmarksPinned)
+{
+    const Golden &gold = GetParam();
+    const sim::ChipModel &chip = sim::chipByName(gold.chip);
+    EXPECT_NEAR(micro::sgCmbSpeedup(chip), gold.sgCmb,
+                1e-4 * gold.sgCmb);
+    EXPECT_NEAR(micro::mDivgSpeedup(chip), gold.mDivg,
+                1e-4 * gold.mDivg);
+}
+
+TEST_P(GoldenTest, AppTimesPinned)
+{
+    const Golden &gold = GetParam();
+    const sim::ChipModel &chip = sim::chipByName(gold.chip);
+    dsl::OptConfig full;
+    full.fg = dsl::FgMode::Fg8;
+    full.sg = true;
+    full.coopCv = true;
+    full.oitergb = true;
+    const double base =
+        sim::CostEngine(chip, dsl::OptConfig::baseline())
+            .appTimeNs(goldenTrace());
+    const double opt =
+        sim::CostEngine(chip, full).appTimeNs(goldenTrace());
+    EXPECT_NEAR(base, gold.appBaseNs, 1e-6 * gold.appBaseNs);
+    EXPECT_NEAR(opt, gold.appFullNs, 1e-6 * gold.appFullNs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllChips, GoldenTest, ::testing::ValuesIn(kGolden),
+    [](const ::testing::TestParamInfo<Golden> &info) {
+        return std::string(info.param.chip);
+    });
+
+TEST(GoldenShapes, PortableSetHelpsExactlyWhereExpected)
+{
+    // The portable set [sg, fg8, coop-cv, oitergb] must hurt the two
+    // Nvidia chips (launch-bound, driver-combined) and help everyone
+    // else on this worklist BFS.
+    for (const Golden &gold : kGolden) {
+        const bool nvidia = std::string(gold.chip) == "M4000" ||
+                            std::string(gold.chip) == "GTX1080";
+        if (nvidia)
+            EXPECT_LT(gold.appBaseNs, gold.appFullNs) << gold.chip;
+        else
+            EXPECT_GT(gold.appBaseNs, gold.appFullNs) << gold.chip;
+    }
+}

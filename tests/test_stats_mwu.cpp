@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the Mann-Whitney U test, against hand-computed reference
+ * values and structural invariants (the paper's analysis depends on
+ * this test being right).
+ */
+#include <gtest/gtest.h>
+
+#include "graphport/stats/mwu.hpp"
+#include "graphport/support/rng.hpp"
+
+using namespace graphport;
+using namespace graphport::stats;
+
+TEST(NormalCdf, KnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.96), 0.975, 1e-3);
+    EXPECT_NEAR(normalCdf(-1.96), 0.025, 1e-3);
+    EXPECT_NEAR(normalCdf(-5.0), 0.0, 1e-6);
+}
+
+TEST(Mwu, FullySeparatedSmallSample)
+{
+    // a = {1,2,3}, b = {4,5,6}: U_A = 0 (a never beats b),
+    // mean U = 4.5, var = 5.25, z = (0 - 4.5 + 0.5)/sqrt(5.25).
+    const MwuResult r = mannWhitneyU({1, 2, 3}, {4, 5, 6});
+    EXPECT_DOUBLE_EQ(r.uA, 0.0);
+    EXPECT_DOUBLE_EQ(r.uB, 9.0);
+    EXPECT_DOUBLE_EQ(r.clEffectSize, 1.0); // P(a < b) = 1
+    EXPECT_NEAR(r.z, -1.7457, 1e-3);
+    EXPECT_NEAR(r.p, 0.0809, 1e-3);
+    EXPECT_FALSE(r.significant());
+}
+
+TEST(Mwu, LargerSeparatedSampleIsSignificant)
+{
+    std::vector<double> a, b;
+    for (int i = 0; i < 20; ++i) {
+        a.push_back(i);        // 0..19
+        b.push_back(100 + i);  // 100..119
+    }
+    const MwuResult r = mannWhitneyU(a, b);
+    EXPECT_TRUE(r.significant());
+    EXPECT_LT(r.p, 1e-6);
+    EXPECT_DOUBLE_EQ(r.clEffectSize, 1.0);
+}
+
+TEST(Mwu, IdenticalConstantSamplesNotSignificant)
+{
+    const std::vector<double> a(10, 1.0);
+    const std::vector<double> b(10, 1.0);
+    const MwuResult r = mannWhitneyU(a, b);
+    EXPECT_DOUBLE_EQ(r.p, 1.0);
+    EXPECT_DOUBLE_EQ(r.clEffectSize, 0.5);
+    EXPECT_FALSE(r.significant());
+}
+
+TEST(Mwu, EmptyGroupsAreDegenerate)
+{
+    EXPECT_FALSE(mannWhitneyU({}, {1.0}).significant());
+    EXPECT_FALSE(mannWhitneyU({1.0}, {}).significant());
+    EXPECT_FALSE(mannWhitneyU({}, {}).significant());
+}
+
+TEST(Mwu, PaperShapeRatiosAgainstOnes)
+{
+    // The Algorithm 1 shape: A holds normalised runtimes, B all 1.0.
+    // Clear speedups (ratios < 1) must reject the null with
+    // clEffectSize near 1 (P(A < B) high).
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 30; ++i) {
+        a.push_back(0.5 + 0.01 * i); // 0.5..0.79
+        b.push_back(1.0);
+    }
+    const MwuResult r = mannWhitneyU(a, b);
+    EXPECT_TRUE(r.significant());
+    EXPECT_GT(r.clEffectSize, 0.95);
+}
+
+TEST(Mwu, MixedRatiosNotSignificant)
+{
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 30; ++i) {
+        a.push_back(i % 2 == 0 ? 0.9 : 1.1);
+        b.push_back(1.0);
+    }
+    const MwuResult r = mannWhitneyU(a, b);
+    EXPECT_FALSE(r.significant());
+    EXPECT_NEAR(r.clEffectSize, 0.5, 0.05);
+}
+
+TEST(Mwu, HandlesHeavyTies)
+{
+    // Half of A ties with B's constant value.
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 40; ++i) {
+        a.push_back(i % 2 == 0 ? 1.0 : 0.8);
+        b.push_back(1.0);
+    }
+    const MwuResult r = mannWhitneyU(a, b);
+    EXPECT_GT(r.clEffectSize, 0.5);
+    EXPECT_TRUE(r.significant());
+}
+
+TEST(Mwu, SymmetryOfGroups)
+{
+    const std::vector<double> a{1.0, 3.0, 5.0, 7.0};
+    const std::vector<double> b{2.0, 4.0, 6.0};
+    const MwuResult ab = mannWhitneyU(a, b);
+    const MwuResult ba = mannWhitneyU(b, a);
+    EXPECT_DOUBLE_EQ(ab.uA, ba.uB);
+    EXPECT_DOUBLE_EQ(ab.uB, ba.uA);
+    EXPECT_NEAR(ab.p, ba.p, 1e-12);
+    EXPECT_NEAR(ab.clEffectSize, 1.0 - ba.clEffectSize, 1e-12);
+}
+
+/** Parameterized invariants over random inputs. */
+class MwuPropertyTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(MwuPropertyTest, StructuralInvariants)
+{
+    Rng rng(GetParam());
+    const std::size_t nA = 5 + rng.nextBelow(50);
+    const std::size_t nB = 5 + rng.nextBelow(50);
+    std::vector<double> a, b;
+    for (std::size_t i = 0; i < nA; ++i)
+        a.push_back(rng.nextDouble() * 2.0);
+    for (std::size_t i = 0; i < nB; ++i)
+        b.push_back(rng.nextDouble() * 2.0);
+    const MwuResult r = mannWhitneyU(a, b);
+    EXPECT_NEAR(r.uA + r.uB, static_cast<double>(nA * nB), 1e-9);
+    EXPECT_GE(r.p, 0.0);
+    EXPECT_LE(r.p, 1.0);
+    EXPECT_GE(r.clEffectSize, 0.0);
+    EXPECT_LE(r.clEffectSize, 1.0);
+    EXPECT_LE(r.z, 0.0); // z of min(U) with continuity correction
+}
+
+TEST_P(MwuPropertyTest, SameDistributionRarelySignificant)
+{
+    // Under the null, p < 0.05 should be rare; with a handful of
+    // seeds we just check it is not systematically significant.
+    Rng rng(GetParam() * 7919 + 1);
+    std::vector<double> a, b;
+    for (int i = 0; i < 40; ++i) {
+        a.push_back(rng.nextGaussian());
+        b.push_back(rng.nextGaussian());
+    }
+    const MwuResult r = mannWhitneyU(a, b);
+    EXPECT_GT(r.p, 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MwuPropertyTest,
+                         ::testing::Range(1, 13));

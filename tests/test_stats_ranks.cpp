@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for midrank assignment and the tie-correction term.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graphport/stats/ranks.hpp"
+
+using namespace graphport::stats;
+
+TEST(AverageRanks, NoTies)
+{
+    const auto r = averageRanks({30.0, 10.0, 20.0});
+    EXPECT_EQ(r, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(AverageRanks, SimpleTie)
+{
+    // 10 and 10 share ranks 1 and 2 -> midrank 1.5.
+    const auto r = averageRanks({10.0, 10.0, 20.0});
+    EXPECT_EQ(r, (std::vector<double>{1.5, 1.5, 3.0}));
+}
+
+TEST(AverageRanks, AllTied)
+{
+    const auto r = averageRanks({5.0, 5.0, 5.0, 5.0});
+    for (double x : r)
+        EXPECT_DOUBLE_EQ(x, 2.5);
+}
+
+TEST(AverageRanks, Empty)
+{
+    EXPECT_TRUE(averageRanks({}).empty());
+}
+
+TEST(AverageRanks, RankSumInvariant)
+{
+    // Ranks always sum to n(n+1)/2, ties or not.
+    const std::vector<std::vector<double>> cases = {
+        {1, 2, 3, 4},
+        {1, 1, 1, 4},
+        {2, 2, 3, 3, 3, 9},
+        {7},
+    };
+    for (const auto &v : cases) {
+        const auto r = averageRanks(v);
+        const double sum =
+            std::accumulate(r.begin(), r.end(), 0.0);
+        const double n = static_cast<double>(v.size());
+        EXPECT_DOUBLE_EQ(sum, n * (n + 1.0) / 2.0);
+    }
+}
+
+TEST(TieCorrection, NoTiesIsZero)
+{
+    EXPECT_DOUBLE_EQ(tieCorrectionTerm({1.0, 2.0, 3.0}), 0.0);
+}
+
+TEST(TieCorrection, KnownValues)
+{
+    // One group of 2: 2^3 - 2 = 6.
+    EXPECT_DOUBLE_EQ(tieCorrectionTerm({1.0, 1.0, 3.0}), 6.0);
+    // One group of 3: 27 - 3 = 24.
+    EXPECT_DOUBLE_EQ(tieCorrectionTerm({2.0, 2.0, 2.0}), 24.0);
+    // Two groups of 2: 6 + 6 = 12.
+    EXPECT_DOUBLE_EQ(tieCorrectionTerm({1.0, 1.0, 2.0, 2.0}), 12.0);
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the 95%-CI significance predicate (Algorithm 1's
+ * SIGNIFICANT).
+ */
+#include <gtest/gtest.h>
+
+#include "graphport/stats/significance.hpp"
+
+using namespace graphport::stats;
+
+namespace {
+
+/** Disambiguate the braced-init overload for the vector form. */
+bool
+sig(std::vector<double> a, std::vector<double> b)
+{
+    return significantDifference(a, b);
+}
+
+} // namespace
+
+TEST(Summarise, Basics)
+{
+    const SampleSummary s = summarise({1.0, 2.0, 3.0});
+    EXPECT_EQ(s.n, 3u);
+    EXPECT_DOUBLE_EQ(s.mean, 2.0);
+    EXPECT_DOUBLE_EQ(s.median, 2.0);
+    EXPECT_GT(s.ciHalf, 0.0);
+}
+
+TEST(Summarise, EmptySample)
+{
+    const SampleSummary s = summarise({});
+    EXPECT_EQ(s.n, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Significant, FarApartTightSamples)
+{
+    EXPECT_TRUE(sig({1.0, 1.01, 0.99}, {2.0, 2.01, 1.99}));
+}
+
+TEST(Significant, OverlappingSamples)
+{
+    EXPECT_FALSE(sig({1.0, 2.0, 3.0}, {1.5, 2.5, 3.5}));
+}
+
+TEST(Significant, IdenticalSamples)
+{
+    EXPECT_FALSE(sig({1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}));
+}
+
+TEST(Significant, EmptySampleNeverSignificant)
+{
+    EXPECT_FALSE(sig({}, {1.0, 2.0}));
+    EXPECT_FALSE(sig({1.0, 2.0}, {}));
+}
+
+TEST(Significant, SymmetricInArguments)
+{
+    const std::vector<double> a{1.0, 1.1, 0.9};
+    const std::vector<double> b{5.0, 5.1, 4.9};
+    EXPECT_EQ(significantDifference(a, b),
+              significantDifference(b, a));
+}
+
+TEST(Significant, SingleSamplesActAsPoints)
+{
+    // n = 1 gives zero-width CIs: different points are significant.
+    EXPECT_TRUE(sig({1.0}, {2.0}));
+    EXPECT_FALSE(sig({1.0}, {1.0}));
+}
+
+TEST(Significant, NoiseScaleMatters)
+{
+    // Same means, wider noise -> not significant.
+    EXPECT_FALSE(sig({1.0, 3.0, 2.0}, {2.5, 4.5, 3.5}));
+    // Same gap, tiny noise -> significant.
+    EXPECT_TRUE(sig({2.0, 2.01, 1.99}, {3.5, 3.51, 3.49}));
+}
+
+/**
+ * Parameterized: two three-run samples whose relative gap varies;
+ * the predicate must flip from insignificant to significant as the
+ * gap grows past the CI width.
+ */
+class GapTest : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(GapTest, MonotoneInGap)
+{
+    const double gap = GetParam();
+    const std::vector<double> a{1.00, 1.02, 0.98};
+    const std::vector<double> b{1.00 + gap, 1.02 + gap, 0.98 + gap};
+    const bool sig = significantDifference(a, b);
+    // CI half width here is ~0.0497; gaps beyond ~0.1 must be
+    // significant, gaps below ~0.09 must not.
+    if (gap > 0.11) {
+        EXPECT_TRUE(sig) << "gap " << gap;
+    }
+    if (gap < 0.09) {
+        EXPECT_FALSE(sig) << "gap " << gap;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, GapTest,
+                         ::testing::Values(0.0, 0.02, 0.05, 0.08,
+                                           0.12, 0.2, 0.5, 1.0));

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the numeric helpers (geomean, median, percentile, CI).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graphport/support/error.hpp"
+#include "graphport/support/mathutil.hpp"
+
+using namespace graphport;
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(Geomean, IsScaleInvariant)
+{
+    const double g = geomean({1.5, 2.5, 3.5});
+    EXPECT_NEAR(geomean({3.0, 5.0, 7.0}), 2.0 * g, 1e-9);
+}
+
+TEST(Geomean, RejectsEmptyAndNonPositive)
+{
+    EXPECT_THROW(geomean({}), PanicError);
+    EXPECT_THROW(geomean({1.0, 0.0}), PanicError);
+    EXPECT_THROW(geomean({1.0, -2.0}), PanicError);
+}
+
+TEST(Mean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0, 6.0}), 4.0);
+    EXPECT_THROW(mean({}), PanicError);
+}
+
+TEST(Median, OddAndEven)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+    EXPECT_THROW(median({}), PanicError);
+}
+
+TEST(Median, DoesNotModifyCaller)
+{
+    std::vector<double> v{3.0, 1.0, 2.0};
+    median(v);
+    EXPECT_EQ(v[0], 3.0);
+}
+
+TEST(Percentile, Endpoints)
+{
+    std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+}
+
+TEST(Percentile, SingleElement)
+{
+    EXPECT_DOUBLE_EQ(percentile({5.0}, 37.0), 5.0);
+}
+
+TEST(Percentile, RejectsBadInput)
+{
+    EXPECT_THROW(percentile({}, 50.0), PanicError);
+    EXPECT_THROW(percentile({1.0}, -1.0), PanicError);
+    EXPECT_THROW(percentile({1.0}, 101.0), PanicError);
+}
+
+TEST(Stddev, KnownValue)
+{
+    // Sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} is ~2.138.
+    EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.13809, 1e-4);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+TEST(TCritical, MatchesTables)
+{
+    EXPECT_NEAR(tCritical95(1), 12.706, 1e-3);
+    EXPECT_NEAR(tCritical95(2), 4.303, 1e-3);
+    EXPECT_NEAR(tCritical95(10), 2.228, 1e-3);
+    EXPECT_NEAR(tCritical95(30), 2.042, 1e-3);
+    EXPECT_NEAR(tCritical95(1000), 1.960, 1e-3);
+}
+
+TEST(TCritical, MonotoneDecreasing)
+{
+    for (std::size_t df = 1; df < 40; ++df)
+        EXPECT_GE(tCritical95(df), tCritical95(df + 1));
+}
+
+TEST(CiHalfWidth, ZeroForTinySamples)
+{
+    EXPECT_DOUBLE_EQ(ciHalfWidth95({}), 0.0);
+    EXPECT_DOUBLE_EQ(ciHalfWidth95({3.0}), 0.0);
+}
+
+TEST(CiHalfWidth, KnownThreeSampleValue)
+{
+    // n=3, sd=1, se=1/sqrt(3), t(2)=4.303.
+    EXPECT_NEAR(ciHalfWidth95({1.0, 2.0, 3.0}),
+                4.303 / std::sqrt(3.0), 1e-3);
+}
+
+TEST(CiHalfWidth, ShrinksWithMoreSamples)
+{
+    std::vector<double> small{1.0, 2.0, 3.0};
+    std::vector<double> large;
+    for (int i = 0; i < 30; ++i)
+        large.push_back(1.0 + (i % 3));
+    EXPECT_LT(ciHalfWidth95(large), ciHalfWidth95(small));
+}
+
+TEST(ClampTo, Basics)
+{
+    EXPECT_DOUBLE_EQ(clampTo(5.0, 0.0, 3.0), 3.0);
+    EXPECT_DOUBLE_EQ(clampTo(-5.0, 0.0, 3.0), 0.0);
+    EXPECT_DOUBLE_EQ(clampTo(1.5, 0.0, 3.0), 1.5);
+}
+
+/** Property sweep: geomean lies between min and max. */
+class GeomeanBoundsTest
+    : public ::testing::TestWithParam<std::vector<double>>
+{};
+
+TEST_P(GeomeanBoundsTest, BetweenMinAndMax)
+{
+    const auto &v = GetParam();
+    const double g = geomean(v);
+    EXPECT_GE(g, *std::min_element(v.begin(), v.end()) - 1e-12);
+    EXPECT_LE(g, *std::max_element(v.begin(), v.end()) + 1e-12);
+    EXPECT_LE(g, mean(v) + 1e-12); // AM-GM
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GeomeanBoundsTest,
+    ::testing::Values(std::vector<double>{1.0},
+                      std::vector<double>{0.5, 2.0},
+                      std::vector<double>{1.0, 10.0, 100.0},
+                      std::vector<double>{0.1, 0.2, 0.3},
+                      std::vector<double>{3.0, 3.0, 3.0},
+                      std::vector<double>{1e-6, 1e6}));

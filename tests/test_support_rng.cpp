@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the deterministic RNG: reproducibility, stream
+ * independence, range correctness and distribution sanity.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "graphport/support/error.hpp"
+#include "graphport/support/rng.hpp"
+
+using namespace graphport;
+
+TEST(SplitMix64, IsDeterministic)
+{
+    EXPECT_EQ(splitmix64(0), splitmix64(0));
+    EXPECT_EQ(splitmix64(42), splitmix64(42));
+    EXPECT_NE(splitmix64(0), splitmix64(1));
+}
+
+TEST(SplitMix64, KnownReferenceValues)
+{
+    // Reference outputs of the canonical SplitMix64 algorithm.
+    EXPECT_EQ(splitmix64(0), 0xe220a8397b1dcdafull);
+    EXPECT_EQ(splitmix64(1), 0x910a2dec89025cc1ull);
+}
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(123), b(124);
+    unsigned same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3u);
+}
+
+TEST(Rng, ReseedResetsState)
+{
+    Rng a(7);
+    const std::uint64_t first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleMeanIsHalf)
+{
+    Rng rng(6);
+    double sum = 0.0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(9);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversAllValues)
+{
+    Rng rng(10);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextBelowZeroPanics)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.nextBelow(0), PanicError);
+}
+
+TEST(Rng, NextRangeInclusiveBounds)
+{
+    Rng rng(11);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const std::int64_t v = rng.nextRange(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, NextRangeBadBoundsPanics)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.nextRange(3, 2), PanicError);
+}
+
+TEST(Rng, GaussianMomentsAreStandard)
+{
+    Rng rng(12);
+    constexpr int n = 200000;
+    double sum = 0.0, sumSq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sumSq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sumSq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMedianNearOne)
+{
+    Rng rng(13);
+    std::vector<double> samples;
+    for (int i = 0; i < 20001; ++i)
+        samples.push_back(rng.nextLognormal(0.05));
+    std::sort(samples.begin(), samples.end());
+    EXPECT_NEAR(samples[samples.size() / 2], 1.0, 0.01);
+    for (double s : samples)
+        ASSERT_GT(s, 0.0);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP)
+{
+    Rng rng(14);
+    int hits = 0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent)
+{
+    Rng parent(21);
+    Rng a = parent.fork(1);
+    Rng b = parent.fork(2);
+    Rng a2 = Rng(21).fork(1);
+    EXPECT_EQ(a.next(), a2.next());
+    // Streams 1 and 2 should not be correlated.
+    unsigned same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3u);
+}
+
+TEST(Rng, ShuffleIsAPermutation)
+{
+    Rng rng(31);
+    std::vector<int> v(100);
+    for (int i = 0; i < 100; ++i)
+        v[i] = i;
+    std::vector<int> orig = v;
+    rng.shuffle(v);
+    EXPECT_NE(v, orig);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ShuffleDeterministicPerSeed)
+{
+    std::vector<int> a{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> b = a;
+    Rng r1(77), r2(77);
+    r1.shuffle(a);
+    r2.shuffle(b);
+    EXPECT_EQ(a, b);
+}
+
+/** Parameterized: raw output passes a crude equidistribution check. */
+class RngBitsTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RngBitsTest, BitBalance)
+{
+    Rng rng(GetParam());
+    std::array<int, 64> ones{};
+    constexpr int n = 4096;
+    for (int i = 0; i < n; ++i) {
+        std::uint64_t x = rng.next();
+        for (int bit = 0; bit < 64; ++bit)
+            ones[bit] += (x >> bit) & 1;
+    }
+    for (int bit = 0; bit < 64; ++bit) {
+        EXPECT_NEAR(static_cast<double>(ones[bit]) / n, 0.5, 0.05)
+            << "bit " << bit;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngBitsTest,
+                         ::testing::Values(0ull, 1ull, 42ull,
+                                           0xdeadbeefull,
+                                           ~0ull));

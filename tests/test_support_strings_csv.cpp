@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for string helpers and CSV (de)serialisation.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graphport/support/csv.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/strings.hpp"
+
+using namespace graphport;
+
+TEST(Split, Basics)
+{
+    EXPECT_EQ(split("a,b,c", ','),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(split("a,,b", ','),
+              (std::vector<std::string>{"a", "", "b"}));
+    EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Trim, Basics)
+{
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim("hi"), "hi");
+    EXPECT_EQ(trim("\t\n hi \r"), "hi");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Join, Basics)
+{
+    EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+    EXPECT_EQ(join({"a"}, ","), "a");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(FmtDouble, Decimals)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtDouble(1.0, 0), "1");
+    EXPECT_EQ(fmtDouble(-2.5, 1), "-2.5");
+}
+
+TEST(FmtFactor, PaperStyle)
+{
+    EXPECT_EQ(fmtFactor(22.31), "22.31x");
+    EXPECT_EQ(fmtFactor(0.88), "0.88x");
+}
+
+TEST(StartsWith, Basics)
+{
+    EXPECT_TRUE(startsWith("hello", "he"));
+    EXPECT_TRUE(startsWith("hello", ""));
+    EXPECT_FALSE(startsWith("hello", "hello!"));
+}
+
+TEST(ToLower, Basics)
+{
+    EXPECT_EQ(toLower("AbC"), "abc");
+    EXPECT_EQ(toLower("123"), "123");
+}
+
+TEST(CsvEscape, OnlyQuotesWhenNeeded)
+{
+    EXPECT_EQ(csvEscape("plain"), "plain");
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvRow, JoinsEscaped)
+{
+    EXPECT_EQ(csvRow({"a", "b,c", "d"}), "a,\"b,c\",d");
+}
+
+TEST(CsvParseLine, Basics)
+{
+    EXPECT_EQ(csvParseLine("a,b,c"),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(csvParseLine("a,\"b,c\",d"),
+              (std::vector<std::string>{"a", "b,c", "d"}));
+    EXPECT_EQ(csvParseLine("\"he said \"\"hi\"\"\""),
+              (std::vector<std::string>{"he said \"hi\""}));
+    EXPECT_EQ(csvParseLine(""), (std::vector<std::string>{""}));
+}
+
+TEST(CsvParseLine, ToleratesCrlf)
+{
+    EXPECT_EQ(csvParseLine("a,b\r"),
+              (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvParseLine, RejectsUnbalancedQuotes)
+{
+    EXPECT_THROW(csvParseLine("\"oops"), FatalError);
+}
+
+TEST(CsvReadWrite, RoundTripsRows)
+{
+    const std::vector<std::vector<std::string>> rows = {
+        {"app", "input", "value"},
+        {"bfs-wl", "road", "1.5"},
+        {"name,with,commas", "quote\"y", "x"},
+    };
+    std::stringstream ss;
+    csvWrite(ss, rows);
+    EXPECT_EQ(csvRead(ss), rows);
+}
+
+TEST(CsvRead, SkipsBlankLines)
+{
+    std::stringstream ss("a,b\n\n  \nc,d\n");
+    const auto rows = csvRead(ss);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+/** Round-trip property over assorted nasty fields. */
+class CsvRoundTripTest
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(CsvRoundTripTest, FieldSurvives)
+{
+    const std::string field = GetParam();
+    const auto parsed = csvParseLine(csvRow({field, "x"}));
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0], field);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fields, CsvRoundTripTest,
+    ::testing::Values("", "plain", "with space", "a,b", "\"", "\"\"",
+                      "mix,\"of\",both", "trailing,", ",leading"));

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests for the aligned text-table renderer.
+ */
+#include <gtest/gtest.h>
+
+#include "graphport/support/error.hpp"
+#include "graphport/support/table.hpp"
+
+using namespace graphport;
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"Chip", "Speedup"});
+    t.addRow({"R9", "22.31x"});
+    t.addRow({"MALI", "1.00x"});
+    const std::string out = t.toString();
+    EXPECT_NE(out.find("Chip"), std::string::npos);
+    EXPECT_NE(out.find("22.31x"), std::string::npos);
+    EXPECT_NE(out.find("MALI"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, ColumnsAreAligned)
+{
+    TextTable t({"A", "B"});
+    t.addRow({"xxxxxxxx", "1"});
+    t.addRow({"y", "2"});
+    const std::string out = t.toString();
+    // All lines between rules must have equal length.
+    std::size_t expected = out.find('\n');
+    std::size_t start = 0;
+    while (start < out.size()) {
+        std::size_t end = out.find('\n', start);
+        if (end == std::string::npos)
+            break;
+        EXPECT_EQ(end - start, expected) << out;
+        start = end + 1;
+    }
+}
+
+TEST(TextTable, SeparatorAddsRule)
+{
+    TextTable t({"A"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    const std::string out = t.toString();
+    // 3 structural rules + 1 separator = 4 lines starting with '+'.
+    int rules = 0;
+    for (std::size_t pos = 0; pos < out.size(); ++pos) {
+        if (out[pos] == '+' && (pos == 0 || out[pos - 1] == '\n'))
+            ++rules;
+    }
+    EXPECT_EQ(rules, 4);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRow)
+{
+    TextTable t({"A", "B"});
+    EXPECT_THROW(t.addRow({"only one"}), PanicError);
+}
+
+TEST(TextTable, RejectsEmptyHeader)
+{
+    EXPECT_THROW(TextTable({}), PanicError);
+}

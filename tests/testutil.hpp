@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared fixtures for the test suite: small hand-checkable graphs and
+ * a cached small dataset so that every analysis test doesn't re-run
+ * the sweep.
+ */
+#ifndef GRAPHPORT_TESTS_TESTUTIL_HPP
+#define GRAPHPORT_TESTS_TESTUTIL_HPP
+
+#include "graphport/graph/builder.hpp"
+#include "graphport/graph/csr.hpp"
+#include "graphport/runner/dataset.hpp"
+#include "graphport/runner/universe.hpp"
+
+namespace graphport {
+namespace testutil {
+
+/** Triangle 0-1-2 (weighted, symmetric). */
+inline graph::Csr
+triangle()
+{
+    graph::Builder b(3);
+    b.addEdge(0, 1, 1);
+    b.addEdge(1, 2, 2);
+    b.addEdge(0, 2, 4);
+    return b.build("triangle",
+                   graph::Builder::Options{.symmetrize = true,
+                                           .removeSelfLoops = true,
+                                           .removeDuplicates = true,
+                                           .weighted = true});
+}
+
+/** Path 0-1-2-...-(n-1) with unit weights. */
+inline graph::Csr
+path(graph::NodeId n)
+{
+    graph::Builder b(n);
+    for (graph::NodeId u = 0; u + 1 < n; ++u)
+        b.addEdge(u, u + 1, 1);
+    return b.build("path",
+                   graph::Builder::Options{.symmetrize = true,
+                                           .removeSelfLoops = true,
+                                           .removeDuplicates = true,
+                                           .weighted = true});
+}
+
+/** Star: node 0 connected to 1..n-1. */
+inline graph::Csr
+star(graph::NodeId n)
+{
+    graph::Builder b(n);
+    for (graph::NodeId u = 1; u < n; ++u)
+        b.addEdge(0, u, u);
+    return b.build("star",
+                   graph::Builder::Options{.symmetrize = true,
+                                           .removeSelfLoops = true,
+                                           .removeDuplicates = true,
+                                           .weighted = true});
+}
+
+/** Two disjoint triangles: {0,1,2} and {3,4,5}. */
+inline graph::Csr
+twoTriangles()
+{
+    graph::Builder b(6);
+    b.addEdge(0, 1, 1);
+    b.addEdge(1, 2, 1);
+    b.addEdge(0, 2, 1);
+    b.addEdge(3, 4, 2);
+    b.addEdge(4, 5, 2);
+    b.addEdge(3, 5, 2);
+    return b.build("two-triangles",
+                   graph::Builder::Options{.symmetrize = true,
+                                           .removeSelfLoops = true,
+                                           .removeDuplicates = true,
+                                           .weighted = true});
+}
+
+/**
+ * A small dataset shared by the analysis tests (built once per test
+ * binary): 4 apps x {road, social} x 2 chips.
+ */
+inline const runner::Dataset &
+smallDataset()
+{
+    static const runner::Dataset ds = runner::Dataset::build(
+        runner::smallUniverse(4, {"M4000", "R9"}));
+    return ds;
+}
+
+/** A small dataset spanning all six chips (for per-chip analyses). */
+inline const runner::Dataset &
+smallAllChipDataset()
+{
+    static const runner::Dataset ds =
+        runner::Dataset::build(runner::smallUniverse(3));
+    return ds;
+}
+
+} // namespace testutil
+} // namespace graphport
+
+#endif // GRAPHPORT_TESTS_TESTUTIL_HPP

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * graphport_cli — command-line front end for the library.
+ *
+ * Subcommands:
+ *   list                         chips, applications, inputs, opts
+ *   inspect  <input>             structural metrics of an input
+ *   run      <app> <input> <chip> [opts]
+ *                                time one configuration (with kernel
+ *                                breakdown)
+ *   sweep    <app> <input> <chip>
+ *                                rank all 96 configurations
+ *   recommend <chip> [n_apps]    derive a per-chip policy
+ *                                (Algorithm 1) from a fresh campaign
+ *
+ * <input> is a study input name (road/social/random) or a path to a
+ * DIMACS .gr / edge-list file. [opts] is a comma-separated list of
+ * optimisation names, e.g. "fg8,sg,oitergb" (default: baseline).
+ */
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graphport/apps/app.hpp"
+#include "graphport/graph/io.hpp"
+#include "graphport/graph/metrics.hpp"
+#include "graphport/port/algorithm1.hpp"
+#include "graphport/port/strategy.hpp"
+#include "graphport/runner/dataset.hpp"
+#include "graphport/sim/chip.hpp"
+#include "graphport/sim/costengine.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/strings.hpp"
+
+using namespace graphport;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: graphport_cli <command> [args]\n"
+        "  list\n"
+        "  inspect  <input>\n"
+        "  run      <app> <input> <chip> [opt,opt,...]\n"
+        "  sweep    <app> <input> <chip>\n"
+        "  recommend <chip> [n_apps]\n"
+        "\n<input> = road | social | random | path to .gr/.el file\n"
+        "opts = coop-cv wg sg fg fg8 oitergb sz256\n");
+    return 2;
+}
+
+graph::Csr
+resolveInput(const std::string &name)
+{
+    for (const runner::InputSpec &spec :
+         runner::studyUniverse().inputs) {
+        if (spec.name == name)
+            return spec.make();
+    }
+    return graph::io::loadFile(name);
+}
+
+dsl::OptConfig
+parseConfig(const std::string &spec)
+{
+    dsl::OptConfig config;
+    if (spec.empty() || spec == "baseline")
+        return config;
+    for (const std::string &raw : split(spec, ',')) {
+        const std::string token = trim(raw);
+        bool found = false;
+        for (dsl::Opt opt : dsl::allOpts()) {
+            if (dsl::optName(opt) == token) {
+                config = config.with(opt);
+                found = true;
+                break;
+            }
+        }
+        fatalIf(!found, "unknown optimisation: " + token);
+    }
+    return config;
+}
+
+int
+cmdList()
+{
+    std::printf("chips:\n");
+    for (const sim::ChipModel &c : sim::allChips()) {
+        std::printf("  %-8s %-8s %-14s %2u CUs, subgroup %u\n",
+                    c.shortName.c_str(), c.vendor.c_str(),
+                    c.fullName.c_str(), c.numCus, c.subgroupSize);
+    }
+    std::printf("\napplications:\n");
+    for (const auto &app : apps::allApplications()) {
+        std::printf("  %-12s %-5s %s%s\n", app->name().c_str(),
+                    app->problem().c_str(),
+                    app->description().c_str(),
+                    app->fastestVariant() ? " (*)" : "");
+    }
+    std::printf("\ninputs: road, social, random (or a .gr / "
+                "edge-list file)\n");
+    std::printf("\noptimisations: ");
+    for (dsl::Opt opt : dsl::allOpts())
+        std::printf("%s ", dsl::optName(opt).c_str());
+    std::printf("\n");
+    return 0;
+}
+
+int
+cmdInspect(const std::string &input)
+{
+    const graph::Csr g = resolveInput(input);
+    const graph::GraphMetrics m = graph::computeMetrics(g);
+    std::printf("graph %s:\n", g.name().c_str());
+    std::printf("  nodes            %u\n", m.numNodes);
+    std::printf("  edges (directed) %llu\n",
+                static_cast<unsigned long long>(m.numEdges));
+    std::printf("  avg degree       %.2f\n", m.avgDegree);
+    std::printf("  max degree       %llu\n",
+                static_cast<unsigned long long>(m.maxDegree));
+    std::printf("  degree skew      %.1f\n", m.degreeSkew);
+    std::printf("  pseudo-diameter  %u\n", m.pseudoDiameter);
+    std::printf("  largest comp     %.0f%%\n",
+                100.0 * m.largestComponentFraction);
+    return 0;
+}
+
+int
+cmdRun(const std::string &appName, const std::string &input,
+       const std::string &chipName, const std::string &optSpec)
+{
+    const graph::Csr g = resolveInput(input);
+    const apps::Application &app = apps::appByName(appName);
+    const sim::ChipModel &chip = sim::chipByName(chipName);
+    const dsl::OptConfig config = parseConfig(optSpec);
+
+    const auto [output, trace] = apps::runApp(app, g, g.name());
+    const sim::CostEngine engine(chip, config);
+    const sim::AppCost cost = engine.appCost(trace);
+    const sim::CostEngine baseEngine(chip,
+                                     dsl::OptConfig::baseline());
+    const double baseNs = baseEngine.appTimeNs(trace);
+
+    std::printf("%s on %s (%s), config [%s]:\n", appName.c_str(),
+                g.name().c_str(), chipName.c_str(),
+                config.label().c_str());
+    std::printf("  kernels          %zu launches, %u host "
+                "iterations\n",
+                cost.launches, trace.hostIterations);
+    std::printf("  kernel time      %.3f ms\n", cost.kernelNs / 1e6);
+    std::printf("  launch/sync time %.3f ms\n",
+                cost.overheadNs / 1e6);
+    std::printf("  total            %.3f ms\n", cost.totalNs / 1e6);
+    std::printf("  vs baseline      %.2fx\n", baseNs / cost.totalNs);
+    return 0;
+}
+
+int
+cmdSweep(const std::string &appName, const std::string &input,
+         const std::string &chipName)
+{
+    const graph::Csr g = resolveInput(input);
+    const apps::Application &app = apps::appByName(appName);
+    const sim::ChipModel &chip = sim::chipByName(chipName);
+    const auto [output, trace] = apps::runApp(app, g, g.name());
+
+    struct Entry
+    {
+        double ns;
+        unsigned cfg;
+    };
+    std::vector<Entry> entries;
+    for (const dsl::OptConfig &cfg : dsl::allConfigs()) {
+        entries.push_back(
+            {sim::CostEngine(chip, cfg).appTimeNs(trace),
+             cfg.encode()});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.ns < b.ns;
+              });
+    const double baseNs =
+        sim::CostEngine(chip, dsl::OptConfig::baseline())
+            .appTimeNs(trace);
+
+    std::printf("%s / %s / %s — all 96 configurations (best first):\n",
+                appName.c_str(), g.name().c_str(), chipName.c_str());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (i == 10 && entries.size() > 15) {
+            std::printf("  ... (%zu more) ...\n",
+                        entries.size() - 15);
+            i = entries.size() - 5;
+        }
+        const dsl::OptConfig cfg =
+            dsl::OptConfig::decode(entries[i].cfg);
+        std::printf("  %8.3f ms  %5.2fx  [%s]\n", entries[i].ns / 1e6,
+                    baseNs / entries[i].ns, cfg.label().c_str());
+    }
+    return 0;
+}
+
+int
+cmdRecommend(const std::string &chipName, unsigned n_apps)
+{
+    sim::chipByName(chipName); // validate early
+    runner::Universe campaign =
+        runner::smallUniverse(n_apps, {chipName});
+    std::printf("measuring %zu tests x 96 configs x %u runs on "
+                "%s...\n",
+                campaign.numTests(), campaign.runs,
+                chipName.c_str());
+    const runner::Dataset ds = runner::Dataset::build(campaign);
+    const port::PartitionAnalysis analysis = port::optsForPartition(
+        ds, ds.testsWhere("", "", chipName));
+    std::printf("recommended configuration: [%s]\n",
+                analysis.config.label().c_str());
+    for (const port::OptDecision &d : analysis.decisions) {
+        const char *verdict =
+            d.verdict == port::Verdict::Enable
+                ? "enable "
+                : (d.verdict == port::Verdict::Disable
+                       ? "disable"
+                       : "unsure ");
+        std::printf("  %-8s %s (CL %.2f, median %.3f, %zu pairs)\n",
+                    dsl::optName(d.opt).c_str(), verdict,
+                    d.mwu.clEffectSize, d.medianRatio,
+                    d.significantPairs);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        if (args.empty())
+            return usage();
+        const std::string &cmd = args[0];
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "inspect" && args.size() == 2)
+            return cmdInspect(args[1]);
+        if (cmd == "run" && (args.size() == 4 || args.size() == 5))
+            return cmdRun(args[1], args[2], args[3],
+                          args.size() == 5 ? args[4] : "");
+        if (cmd == "sweep" && args.size() == 4)
+            return cmdSweep(args[1], args[2], args[3]);
+        if (cmd == "recommend" &&
+            (args.size() == 2 || args.size() == 3)) {
+            return cmdRecommend(
+                args[1],
+                args.size() == 3
+                    ? static_cast<unsigned>(std::stoul(args[2]))
+                    : 6u);
+        }
+        return usage();
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
