@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Sweep-engine throughput benchmark (not a paper experiment).
+ *
+ * Times Dataset::build over the full study universe in four
+ * configurations — serial without trace compaction (the original
+ * engine), serial with compaction, and parallel with compaction at
+ * increasing thread counts — verifies that every variant produces
+ * bit-identical timings, and emits one machine-readable JSON file
+ * (default BENCH_sweep.json) so the sweep's performance trajectory is
+ * tracked across PRs.
+ *
+ * Flags:
+ *   --quick        use the small test universe (CI-friendly)
+ *   --threads N    highest thread count to measure (default 4)
+ *   --out FILE     JSON output path (default BENCH_sweep.json)
+ */
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "graphport/runner/dataset.hpp"
+#include "graphport/runner/sweepstats.hpp"
+#include "graphport/runner/universe.hpp"
+#include "graphport/support/strings.hpp"
+#include "graphport/support/threadpool.hpp"
+
+using namespace graphport;
+
+namespace {
+
+/** Whether two datasets carry bit-identical run timings. */
+bool
+identical(const runner::Dataset &a, const runner::Dataset &b)
+{
+    if (a.numTests() != b.numTests())
+        return false;
+    for (std::size_t t = 0; t < a.numTests(); ++t) {
+        for (unsigned cfg = 0; cfg < a.numConfigs(); ++cfg) {
+            if (a.runs(t, cfg) != b.runs(t, cfg))
+                return false;
+        }
+    }
+    return true;
+}
+
+struct Variant
+{
+    std::string name;
+    unsigned threads;
+    bool compact;
+    runner::SweepStats stats;
+    bool bitIdentical = true;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    unsigned maxThreads = 4;
+    std::string outPath = "BENCH_sweep.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick")
+            quick = true;
+        else if (arg == "--threads" && i + 1 < argc)
+            maxThreads = static_cast<unsigned>(std::stoul(argv[++i]));
+        else if (arg == "--out" && i + 1 < argc)
+            outPath = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: bench_sweep_throughput [--quick] "
+                         "[--threads N] [--out FILE]\n");
+            return 2;
+        }
+    }
+
+    bench::banner("sweep engine throughput", "infrastructure",
+                  "Dataset::build wall time: serial vs. trace "
+                  "compaction vs. parallel pricing");
+
+    const runner::Universe universe =
+        quick ? runner::smallUniverse() : runner::studyUniverse();
+    std::printf("universe: %s (%zu tests x 96 configs x %u runs); "
+                "%u hardware threads\n\n",
+                quick ? "small" : "study", universe.numTests(),
+                universe.runs, support::hardwareThreads());
+
+    std::vector<Variant> variants;
+    variants.push_back({"serial (no compaction)", 1, false, {}, true});
+    variants.push_back({"serial + compaction", 1, true, {}, true});
+    for (unsigned t = 2; t <= maxThreads; t *= 2)
+        variants.push_back({std::to_string(t) + " threads + "
+                                "compaction",
+                            t, true, {}, true});
+
+    // The first variant is the seed-equivalent engine: its dataset is
+    // the reference every other variant must match bit for bit.
+    runner::Dataset reference = [&] {
+        runner::BuildOptions options;
+        options.threads = variants[0].threads;
+        options.compact = variants[0].compact;
+        options.stats = &variants[0].stats;
+        return runner::Dataset::build(universe, options);
+    }();
+    std::printf("  %-28s %8.3f s  (baseline)\n",
+                variants[0].name.c_str(),
+                variants[0].stats.totalSeconds);
+
+    bool allIdentical = true;
+    for (std::size_t v = 1; v < variants.size(); ++v) {
+        runner::BuildOptions options;
+        options.threads = variants[v].threads;
+        options.compact = variants[v].compact;
+        options.stats = &variants[v].stats;
+        const runner::Dataset ds =
+            runner::Dataset::build(universe, options);
+        variants[v].bitIdentical = identical(reference, ds);
+        allIdentical = allIdentical && variants[v].bitIdentical;
+        std::printf("  %-28s %8.3f s  %6.2fx  %s\n",
+                    variants[v].name.c_str(),
+                    variants[v].stats.totalSeconds,
+                    variants[0].stats.totalSeconds /
+                        variants[v].stats.totalSeconds,
+                    variants[v].bitIdentical
+                        ? "bit-identical"
+                        : "MISMATCH vs. serial");
+    }
+
+    const runner::SweepStats &compactStats = variants[1].stats;
+    std::printf("\nlaunch compaction: %zu launches -> %zu unique "
+                "(%.2fx)\n",
+                compactStats.launchesTotal,
+                compactStats.launchesUnique,
+                compactStats.compactionRatio());
+    std::printf("invariant: every row bit-identical to the serial "
+                "reference.\n"
+                "thread speedups need real cores (this host has %u); "
+                "compaction pays in proportion to\n"
+                "how much of the launch mix comes from fixpoint apps "
+                "(pr-topo, mst-*, cc-sv/af).\n",
+                support::hardwareThreads());
+
+    // ---- machine-readable record ------------------------------------
+    std::ofstream out(outPath);
+    if (!out.good()) {
+        std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+        return 1;
+    }
+    out << "{\n"
+        << "  \"bench\": \"sweep_throughput\",\n"
+        << "  \"universe\": \"" << (quick ? "small" : "study")
+        << "\",\n"
+        << "  \"hardware_threads\": " << support::hardwareThreads()
+        << ",\n"
+        << "  \"tests\": " << universe.numTests() << ",\n"
+        << "  \"cells\": " << universe.numTests() * 96 << ",\n"
+        << "  \"runs_per_cell\": " << universe.runs << ",\n"
+        << "  \"launches_total\": " << compactStats.launchesTotal
+        << ",\n"
+        << "  \"launches_unique\": " << compactStats.launchesUnique
+        << ",\n"
+        << "  \"compaction_ratio\": "
+        << fmtDouble(compactStats.compactionRatio(), 3) << ",\n"
+        << "  \"all_bit_identical\": "
+        << (allIdentical ? "true" : "false") << ",\n"
+        << "  \"variants\": [\n";
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        const Variant &var = variants[v];
+        out << "    {\"name\": \"" << var.name << "\", "
+            << "\"threads\": " << var.threads << ", "
+            << "\"compaction\": "
+            << (var.compact ? "true" : "false") << ", "
+            << "\"total_seconds\": "
+            << fmtDouble(var.stats.totalSeconds, 6) << ", "
+            << "\"price_seconds\": "
+            << fmtDouble(var.stats.priceSeconds, 6) << ", "
+            << "\"cells_per_second\": "
+            << fmtDouble(var.stats.cellsPerSecond(), 1) << ", "
+            << "\"speedup_vs_serial\": "
+            << fmtDouble(variants[0].stats.totalSeconds /
+                             var.stats.totalSeconds,
+                         3)
+            << ", "
+            << "\"bit_identical\": "
+            << (var.bitIdentical ? "true" : "false") << "}"
+            << (v + 1 < variants.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("\nperf record written to %s\n", outPath.c_str());
+
+    return allIdentical ? 0 : 1;
+}

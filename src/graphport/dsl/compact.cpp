@@ -1,0 +1,142 @@
+#include "graphport/dsl/compact.hpp"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "graphport/support/error.hpp"
+#include "graphport/support/rng.hpp"
+
+namespace graphport {
+namespace dsl {
+
+namespace {
+
+/** splitmix64-fold one 64-bit word into a running hash. */
+inline std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    return splitmix64(h ^ v);
+}
+
+/** Bit pattern of a double, so -0.0 != 0.0 hashes consistently with
+ *  the bitwise equality used by sameWorkload. */
+inline std::uint64_t
+bitsOf(double v)
+{
+    std::uint64_t out;
+    std::memcpy(&out, &v, sizeof(out));
+    return out;
+}
+
+} // namespace
+
+std::uint64_t
+launchSignature(const KernelLaunch &l)
+{
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    h = mix(h, l.items);
+    h = mix(h, l.edges);
+    for (std::uint64_t b : l.hist.buckets)
+        h = mix(h, b);
+    h = mix(h, l.contendedPushes);
+    h = mix(h, l.scatteredRmw);
+    h = mix(h, l.flatReads);
+    h = mix(h, l.flatWrites);
+    h = mix(h, bitsOf(l.computePerItem));
+    h = mix(h, bitsOf(l.computePerEdge));
+    h = mix(h, bitsOf(l.divergenceSpread));
+    h = mix(h, static_cast<std::uint64_t>(l.barrierStride));
+    h = mix(h, (static_cast<std::uint64_t>(l.hasNeighborLoop) << 0) |
+                   (static_cast<std::uint64_t>(l.randomAccess) << 1) |
+                   (static_cast<std::uint64_t>(l.hostSyncAfter) << 2) |
+                   (static_cast<std::uint64_t>(l.gratuitousBarriers)
+                    << 3));
+    return h;
+}
+
+bool
+sameWorkload(const KernelLaunch &a, const KernelLaunch &b)
+{
+    return a.items == b.items && a.edges == b.edges &&
+           a.hist.buckets == b.hist.buckets &&
+           a.contendedPushes == b.contendedPushes &&
+           a.scatteredRmw == b.scatteredRmw &&
+           a.flatReads == b.flatReads &&
+           a.flatWrites == b.flatWrites &&
+           bitsOf(a.computePerItem) == bitsOf(b.computePerItem) &&
+           bitsOf(a.computePerEdge) == bitsOf(b.computePerEdge) &&
+           bitsOf(a.divergenceSpread) == bitsOf(b.divergenceSpread) &&
+           a.barrierStride == b.barrierStride &&
+           a.hasNeighborLoop == b.hasNeighborLoop &&
+           a.randomAccess == b.randomAccess &&
+           a.hostSyncAfter == b.hostSyncAfter &&
+           a.gratuitousBarriers == b.gratuitousBarriers;
+}
+
+double
+CompactTrace::compactionRatio() const
+{
+    if (representative.empty())
+        return 1.0;
+    return static_cast<double>(launchCount()) /
+           static_cast<double>(uniqueCount());
+}
+
+void
+CompactTrace::validate() const
+{
+    panicIf(trace == nullptr, "CompactTrace: null trace");
+    panicIf(groupOf.size() != trace->launches.size(),
+            "CompactTrace: groupOf size mismatch");
+    panicIf(representative.size() != multiplicity.size(),
+            "CompactTrace: group count mismatch");
+    std::vector<std::size_t> counts(representative.size(), 0);
+    for (std::size_t g : groupOf) {
+        panicIf(g >= representative.size(),
+                "CompactTrace: group index out of range");
+        ++counts[g];
+    }
+    for (std::size_t g = 0; g < counts.size(); ++g) {
+        panicIf(counts[g] != multiplicity[g],
+                "CompactTrace: multiplicity mismatch");
+        panicIf(representative[g] >= trace->launches.size(),
+                "CompactTrace: representative out of range");
+        panicIf(groupOf[representative[g]] != g,
+                "CompactTrace: representative not in its group");
+    }
+}
+
+CompactTrace
+compactTrace(const AppTrace &trace)
+{
+    CompactTrace ct;
+    ct.trace = &trace;
+    ct.groupOf.resize(trace.launches.size());
+    // signature -> group indices with that signature (collision chain).
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> bySig;
+    bySig.reserve(trace.launches.size());
+    for (std::size_t i = 0; i < trace.launches.size(); ++i) {
+        const KernelLaunch &l = trace.launches[i];
+        const std::uint64_t sig = launchSignature(l);
+        std::vector<std::size_t> &chain = bySig[sig];
+        std::size_t group = ct.representative.size();
+        for (std::size_t g : chain) {
+            if (sameWorkload(trace.launches[ct.representative[g]],
+                             l)) {
+                group = g;
+                break;
+            }
+        }
+        if (group == ct.representative.size()) {
+            ct.representative.push_back(i);
+            ct.multiplicity.push_back(0);
+            chain.push_back(group);
+        }
+        ct.groupOf[i] = group;
+        ++ct.multiplicity[group];
+    }
+    return ct;
+}
+
+} // namespace dsl
+} // namespace graphport

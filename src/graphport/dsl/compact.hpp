@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Trace compaction: collapse a trace's kernel launches into groups of
+ * identical workloads.
+ *
+ * Fixpoint applications relaunch the same kernels every host
+ * iteration, and many of those launches describe byte-identical work —
+ * a road-network BFS runs hundreds of near-empty frontier expansions
+ * whose items/histogram/atomic counts repeat exactly. The cost engine
+ * prices a launch purely from its workload fields, so identical
+ * workloads always cost the same on every (chip, configuration) pair.
+ *
+ * CompactTrace records, for one AppTrace, which launches share a
+ * workload. The engine then prices each distinct workload once per
+ * (chip, configuration) and replays the per-launch sum in original
+ * order, which keeps totals *bit-identical* to pricing the full trace
+ * (same additions, same order — see CostEngine::appCost overloads).
+ *
+ * Grouping is by full field equality (sameWorkload); the 64-bit
+ * LaunchSignature hash only buckets candidates, so hash collisions
+ * cannot merge distinct workloads.
+ */
+#ifndef GRAPHPORT_DSL_COMPACT_HPP
+#define GRAPHPORT_DSL_COMPACT_HPP
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "graphport/dsl/trace.hpp"
+
+namespace graphport {
+namespace dsl {
+
+/**
+ * Deterministic 64-bit hash over the workload fields of @p launch —
+ * every field the cost engine prices (items, edges, histogram,
+ * atomics, flat traffic, compute weights, flags), but not the kernel
+ * name or host iteration index, which never affect cost.
+ */
+std::uint64_t launchSignature(const KernelLaunch &launch);
+
+/**
+ * Whether two launches describe the same priced workload (field-wise
+ * equality over everything launchSignature hashes).
+ */
+bool sameWorkload(const KernelLaunch &a, const KernelLaunch &b);
+
+/**
+ * The launch-grouping of one trace. Holds a pointer to the source
+ * trace, which must outlive the CompactTrace.
+ */
+struct CompactTrace
+{
+    /** The trace this grouping describes. */
+    const AppTrace *trace = nullptr;
+
+    /**
+     * Launch index (into trace->launches) of each group's
+     * representative, in first-appearance order.
+     */
+    std::vector<std::size_t> representative;
+
+    /** Group index of every launch, parallel to trace->launches. */
+    std::vector<std::size_t> groupOf;
+
+    /** Number of launches in each group. */
+    std::vector<std::size_t> multiplicity;
+
+    /** Number of distinct workloads. */
+    std::size_t uniqueCount() const { return representative.size(); }
+
+    /** Total launches in the source trace. */
+    std::size_t launchCount() const { return groupOf.size(); }
+
+    /** launches / distinct workloads (1.0 when nothing repeats). */
+    double compactionRatio() const;
+
+    /** Check internal consistency; throws PanicError on violation. */
+    void validate() const;
+};
+
+/** Group @p trace's launches by workload. */
+CompactTrace compactTrace(const AppTrace &trace);
+
+} // namespace dsl
+} // namespace graphport
+
+#endif // GRAPHPORT_DSL_COMPACT_HPP

@@ -37,12 +37,28 @@ DegreeHist::bucketHi(unsigned b)
     return std::pow(2.0, static_cast<double>(b + 1)) - 1.0;
 }
 
+DegreeHist &
+DegreeHist::operator=(const DegreeHist &other)
+{
+    buckets = other.buckets;
+    resetMemo();
+    return *this;
+}
+
+void
+DegreeHist::resetMemo()
+{
+    for (auto &key : memoKey_)
+        key.store(0u, std::memory_order_relaxed);
+}
+
 void
 DegreeHist::add(std::uint64_t d)
 {
     ++buckets[bucketOf(d)];
-    // Invalidate the order-statistic memo.
-    maxMemo_.fill({0u, 0.0});
+    // Invalidate the order-statistic memo. add() is only legal while
+    // the histogram is still private to the recording thread.
+    resetMemo();
 }
 
 std::uint64_t
@@ -77,14 +93,27 @@ DegreeHist::expectedMaxOf(unsigned k) const
 {
     if (k == 0)
         return 0.0;
-    for (auto &slot : maxMemo_) {
-        if (slot.first == k)
-            return slot.second;
-        if (slot.first == 0) {
-            slot.first = k;
-            slot.second = computeExpectedMaxOf(k);
-            return slot.second;
+    // A slot mid-publication by another thread holds kClaimed; its
+    // eventual key is unknown, so skip it (worst case: recompute the
+    // same deterministic value).
+    constexpr std::uint32_t kClaimed = 0xffffffffu;
+    for (unsigned i = 0; i < kMemoSlots; ++i) {
+        const std::uint32_t key =
+            memoKey_[i].load(std::memory_order_acquire);
+        if (key == k)
+            return memoVal_[i].load(std::memory_order_relaxed);
+        if (key != 0)
+            continue;
+        const double v = computeExpectedMaxOf(k);
+        std::uint32_t expected = 0;
+        if (memoKey_[i].compare_exchange_strong(
+                expected, kClaimed, std::memory_order_acq_rel)) {
+            memoVal_[i].store(v, std::memory_order_relaxed);
+            memoKey_[i].store(k, std::memory_order_release);
         }
+        // On CAS failure another thread owns the slot; the value we
+        // already computed is still correct.
+        return v;
     }
     // Memo full: compute without caching.
     return computeExpectedMaxOf(k);

@@ -15,6 +15,7 @@
 #define GRAPHPORT_DSL_TRACE_HPP
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -65,14 +66,32 @@ struct DegreeHist
      * loop finishes.
      *
      * Results are memoised per k (the cost engine queries the same
-     * few subgroup/workgroup sizes for every configuration).
+     * few subgroup/workgroup sizes for every configuration). The memo
+     * is safe to populate concurrently from multiple threads, so a
+     * recorded trace can be priced in parallel; mutating the
+     * histogram (add()) while other threads price it is NOT safe.
      */
     double expectedMaxOf(unsigned k) const;
 
-  private:
-    /// Small memo of (k, expectedMaxOf(k)) pairs; k == 0 means empty.
-    mutable std::array<std::pair<unsigned, double>, 8> maxMemo_{};
+    DegreeHist() = default;
+    /** Copies the buckets only; the memo restarts empty. */
+    DegreeHist(const DegreeHist &other) : buckets(other.buckets) {}
+    DegreeHist &operator=(const DegreeHist &other);
 
+  private:
+    static constexpr unsigned kMemoSlots = 8;
+    /**
+     * Lock-free memo: a slot is claimed by CASing its key from 0 to
+     * a sentinel, its value is stored, then the real k is published
+     * with a release store. Readers accept a slot only once the key
+     * matches. Every k computes to the same deterministic value, so a
+     * racing reader that cannot find or claim a slot just recomputes.
+     */
+    mutable std::array<std::atomic<std::uint32_t>, kMemoSlots>
+        memoKey_{};
+    mutable std::array<std::atomic<double>, kMemoSlots> memoVal_{};
+
+    void resetMemo();
     double computeExpectedMaxOf(unsigned k) const;
 };
 

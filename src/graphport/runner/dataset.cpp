@@ -1,16 +1,21 @@
 #include "graphport/runner/dataset.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <limits>
+#include <unordered_map>
 
 #include "graphport/apps/app.hpp"
+#include "graphport/dsl/compact.hpp"
 #include "graphport/sim/chip.hpp"
 #include "graphport/sim/costengine.hpp"
 #include "graphport/support/csv.hpp"
 #include "graphport/support/error.hpp"
 #include "graphport/support/rng.hpp"
 #include "graphport/support/strings.hpp"
+#include "graphport/support/threadpool.hpp"
 
 namespace graphport {
 namespace runner {
@@ -27,17 +32,38 @@ hashStr(const std::string &s)
     return h;
 }
 
+/**
+ * Test-identity part of the per-run seed chain. Splitting the chain
+ * here lets the sweep hash each test's names once instead of once per
+ * (config, run); the composed value is bit-identical to the original
+ * single-function chain.
+ */
 std::uint64_t
-runSeed(std::uint64_t master, const Test &test, unsigned config,
-        unsigned run)
+runSeedBase(std::uint64_t master, const Test &test)
 {
     std::uint64_t h = master;
     h = splitmix64(h ^ hashStr(test.app));
     h = splitmix64(h ^ hashStr(test.input));
     h = splitmix64(h ^ hashStr(test.chip));
+    return h;
+}
+
+/** Completes runSeedBase for one (config, run) cell measurement. */
+std::uint64_t
+runSeedFrom(std::uint64_t base, unsigned config, unsigned run)
+{
+    std::uint64_t h = base;
     h = splitmix64(h ^ config);
     h = splitmix64(h ^ run);
     return h;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
 }
 
 } // namespace
@@ -198,47 +224,150 @@ Dataset::finalise()
 Dataset
 Dataset::build(const Universe &universe)
 {
+    return build(universe, BuildOptions{});
+}
+
+Dataset
+Dataset::build(const Universe &universe, const BuildOptions &options)
+{
     universe.validate();
+    const auto start = std::chrono::steady_clock::now();
     Dataset ds;
     ds.universe_ = universe;
-    const std::size_t cells = ds.numTests() * ds.numConfigs();
+    const std::size_t nInputs = universe.inputs.size();
+    const std::size_t nChips = universe.chips.size();
+    const std::size_t nCfg = ds.numConfigs();
+    const std::size_t cells = ds.numTests() * nCfg;
     ds.runsNs_.assign(cells * universe.runs, 0.0);
 
     const auto &configs = dsl::allConfigs();
+    std::vector<const sim::ChipModel *> chips;
+    chips.reserve(nChips);
+    for (const std::string &name : universe.chips)
+        chips.push_back(&sim::chipByName(name));
 
-    for (std::size_t i = 0; i < universe.inputs.size(); ++i) {
-        const graph::Csr g = universe.inputs[i].make();
-        for (std::size_t a = 0; a < universe.apps.size(); ++a) {
-            const apps::Application &app =
-                apps::appByName(universe.apps[a]);
-            auto [output, trace] =
-                apps::runApp(app, g, universe.inputs[i].name);
-            (void)output;
-            for (std::size_t c = 0; c < universe.chips.size(); ++c) {
-                const sim::ChipModel &chip =
-                    sim::chipByName(universe.chips[c]);
-                const std::size_t test =
-                    (a * universe.inputs.size() + i) *
-                        universe.chips.size() +
-                    c;
-                const Test id = ds.testAt(test);
-                for (unsigned cfg = 0; cfg < ds.numConfigs(); ++cfg) {
-                    const sim::CostEngine engine(chip, configs[cfg]);
-                    const double base = engine.appTimeNs(trace);
-                    for (unsigned r = 0; r < universe.runs; ++r) {
-                        const std::uint64_t seed = runSeed(
-                            universe.seed, id, cfg, r);
-                        ds.runsNs_[(test * ds.numConfigs() + cfg) *
-                                       universe.runs +
-                                   r] =
-                            sim::noisyTimeNs(base, chip.noiseSigma,
-                                             seed);
-                    }
-                }
-            }
+    // Workgroup sizes the engines will query order statistics for;
+    // used to pre-warm the histogram memos before the fan-out.
+    std::vector<unsigned> warmSizes;
+    for (const sim::ChipModel *chip : chips) {
+        for (unsigned wg : {128u, 256u}) {
+            const unsigned w = std::min(wg, chip->maxWorkgroupSize);
+            if (std::find(warmSizes.begin(), warmSizes.end(), w) ==
+                warmSizes.end())
+                warmSizes.push_back(w);
         }
     }
+
+    // ---- phase 1 (parallel): record one trace per (app, input) --------
+    // The input graphs are generated serially (there are only a
+    // handful), then the (app, input) recordings fan out across the
+    // pool: each recording is an independent pure function of its
+    // graph, and each entry slot is private to the worker that fills
+    // it, so the recorded traces are identical for any thread count.
+    support::ThreadPool pool(options.threads);
+    std::vector<graph::Csr> graphs;
+    graphs.reserve(nInputs);
+    for (std::size_t i = 0; i < nInputs; ++i)
+        graphs.push_back(universe.inputs[i].make());
+
+    struct TraceEntry
+    {
+        std::size_t app = 0;
+        std::size_t input = 0;
+        dsl::AppTrace trace;
+        dsl::CompactTrace compact;
+    };
+    // Sized up front: CompactTrace points at its trace, so entries
+    // must never move after compaction.
+    std::vector<TraceEntry> traces(universe.apps.size() * nInputs);
+    pool.parallelFor(
+        traces.size(),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t w = begin; w < end; ++w) {
+                TraceEntry &entry = traces[w];
+                entry.input = w / universe.apps.size();
+                entry.app = w % universe.apps.size();
+                const apps::Application &app =
+                    apps::appByName(universe.apps[entry.app]);
+                auto [output, trace] =
+                    apps::runApp(app, graphs[entry.input],
+                                 universe.inputs[entry.input].name);
+                (void)output;
+                entry.trace = std::move(trace);
+                // Group duplicate launches and pre-warm the shared
+                // expectedMaxOf memos while the entry is still
+                // thread-private.
+                entry.compact = dsl::compactTrace(entry.trace);
+                for (std::size_t rep : entry.compact.representative) {
+                    const dsl::DegreeHist &hist =
+                        entry.trace.launches[rep].hist;
+                    for (unsigned w2 : warmSizes)
+                        (void)hist.expectedMaxOf(w2);
+                }
+            }
+        },
+        /*chunk=*/1);
+    std::size_t launchesTotal = 0;
+    std::size_t launchesUnique = 0;
+    for (const TraceEntry &entry : traces) {
+        launchesTotal += entry.compact.launchCount();
+        launchesUnique += entry.compact.uniqueCount();
+    }
+    // Per-test seed bases, so the fan-out hashes no strings.
+    std::vector<std::uint64_t> seedBase(ds.numTests());
+    for (std::size_t t = 0; t < ds.numTests(); ++t)
+        seedBase[t] = runSeedBase(universe.seed, ds.testAt(t));
+    const double recordSeconds = secondsSince(start);
+
+    // ---- phase 2 (parallel): price every (chip, config) cell ----------
+    const auto priceStart = std::chrono::steady_clock::now();
+    const std::size_t items = traces.size() * nChips * nCfg;
+    pool.parallelFor(
+        items,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t w = begin; w < end; ++w) {
+                const unsigned cfg = static_cast<unsigned>(w % nCfg);
+                const std::size_t c = (w / nCfg) % nChips;
+                const TraceEntry &entry = traces[w / (nCfg * nChips)];
+                const sim::ChipModel &chip = *chips[c];
+                const std::size_t test =
+                    (entry.app * nInputs + entry.input) * nChips + c;
+                const sim::CostEngine engine(chip, configs[cfg]);
+                const double base =
+                    options.compact ? engine.appTimeNs(entry.compact)
+                                    : engine.appTimeNs(entry.trace);
+                for (unsigned r = 0; r < universe.runs; ++r) {
+                    ds.runsNs_[(test * nCfg + cfg) * universe.runs +
+                               r] =
+                        sim::noisyTimeNs(
+                            base, chip.noiseSigma,
+                            runSeedFrom(seedBase[test], cfg, r));
+                }
+            }
+        },
+        /*chunk=*/32);
+    const double priceSeconds = secondsSince(priceStart);
+
+    // ---- phase 3: per-cell summaries ----------------------------------
+    const auto finaliseStart = std::chrono::steady_clock::now();
     ds.finalise();
+
+    if (options.stats) {
+        SweepStats &s = *options.stats;
+        s.threads = pool.threadCount();
+        s.compaction = options.compact;
+        s.tests = ds.numTests();
+        s.configs = nCfg;
+        s.cells = cells;
+        s.runsPerCell = universe.runs;
+        s.tracesRecorded = traces.size();
+        s.launchesTotal = launchesTotal;
+        s.launchesUnique = launchesUnique;
+        s.recordSeconds = recordSeconds;
+        s.priceSeconds = priceSeconds;
+        s.finaliseSeconds = secondsSince(finaliseStart);
+        s.totalSeconds = secondsSince(start);
+    }
     return ds;
 }
 
@@ -269,6 +398,26 @@ Dataset::loadCsv(const Universe &universe, std::istream &is)
     const std::size_t cells = ds.numTests() * ds.numConfigs();
     ds.runsNs_.assign(cells * universe.runs, -1.0);
 
+    // Name -> index maps built once, instead of three linear registry
+    // scans per CSV row.
+    std::unordered_map<std::string, std::size_t> appIdx, inputIdx,
+        chipIdx;
+    for (std::size_t a = 0; a < universe.apps.size(); ++a)
+        appIdx[universe.apps[a]] = a;
+    for (std::size_t i = 0; i < universe.inputs.size(); ++i)
+        inputIdx[universe.inputs[i].name] = i;
+    for (std::size_t c = 0; c < universe.chips.size(); ++c)
+        chipIdx[universe.chips[c]] = c;
+    const auto indexOf =
+        [](const std::unordered_map<std::string, std::size_t> &map,
+           const std::string &name, const char *what) {
+            const auto it = map.find(name);
+            fatalIf(it == map.end(), std::string("Dataset CSV: "
+                                                 "unknown ") +
+                                         what + ": " + name);
+            return it->second;
+        };
+
     std::string line;
     fatalIf(!std::getline(is, line), "Dataset CSV: empty file");
     fatalIf(trim(line) != "app,input,chip,config,run,ns",
@@ -278,13 +427,21 @@ Dataset::loadCsv(const Universe &universe, std::istream &is)
             continue;
         const std::vector<std::string> f = csvParseLine(line);
         fatalIf(f.size() != 6, "Dataset CSV: bad row: " + line);
-        const std::size_t test = ds.testIndex(f[0], f[1], f[2]);
+        const std::size_t a = indexOf(appIdx, f[0], "app");
+        const std::size_t i = indexOf(inputIdx, f[1], "input");
+        const std::size_t c = indexOf(chipIdx, f[2], "chip");
+        const std::size_t test =
+            (a * universe.inputs.size() + i) * universe.chips.size() +
+            c;
         const unsigned cfg = static_cast<unsigned>(std::stoul(f[3]));
         const unsigned run = static_cast<unsigned>(std::stoul(f[4]));
         fatalIf(cfg >= ds.numConfigs() || run >= universe.runs,
                 "Dataset CSV: index out of range: " + line);
-        ds.runsNs_[(test * ds.numConfigs() + cfg) * universe.runs +
-                   run] = std::stod(f[5]);
+        double &slot =
+            ds.runsNs_[(test * ds.numConfigs() + cfg) * universe.runs +
+                       run];
+        fatalIf(slot >= 0.0, "Dataset CSV: duplicate row: " + line);
+        slot = std::stod(f[5]);
     }
     for (double v : ds.runsNs_)
         fatalIf(v < 0.0, "Dataset CSV: missing cells for universe");
@@ -294,22 +451,42 @@ Dataset::loadCsv(const Universe &universe, std::istream &is)
 
 Dataset
 Dataset::buildOrLoadCached(const Universe &universe,
-                           const std::string &path)
+                           const std::string &path,
+                           const BuildOptions &options)
 {
     {
         std::ifstream in(path);
         if (in.good()) {
             try {
                 return loadCsv(universe, in);
-            } catch (const FatalError &) {
-                // Stale or mismatched cache: fall through to rebuild.
+            } catch (const FatalError &e) {
+                // Stale or mismatched cache: rebuild, but say why the
+                // cache was thrown away.
+                std::fprintf(stderr,
+                             "graphport: warning: dataset cache '%s' "
+                             "rejected (%s); rebuilding\n",
+                             path.c_str(), e.what());
             }
         }
     }
-    Dataset ds = build(universe);
+    Dataset ds = build(universe, options);
     std::ofstream out(path);
-    if (out.good())
-        ds.saveCsv(out);
+    if (!out.good()) {
+        std::fprintf(stderr,
+                     "graphport: warning: cannot open dataset cache "
+                     "'%s' for writing; the sweep will rerun next "
+                     "time\n",
+                     path.c_str());
+        return ds;
+    }
+    ds.saveCsv(out);
+    out.flush();
+    if (!out.good()) {
+        std::fprintf(stderr,
+                     "graphport: warning: failed while writing "
+                     "dataset cache '%s'; the file may be truncated\n",
+                     path.c_str());
+    }
     return ds;
 }
 

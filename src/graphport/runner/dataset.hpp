@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "graphport/dsl/optconfig.hpp"
+#include "graphport/runner/sweepstats.hpp"
 #include "graphport/runner/universe.hpp"
 #include "graphport/stats/significance.hpp"
 
@@ -39,6 +40,30 @@ struct Test
 /** Outcome of comparing a configuration against a reference. */
 enum class Outcome { Speedup, Slowdown, NoChange };
 
+/** Knobs for Dataset::build. */
+struct BuildOptions
+{
+    /**
+     * Worker parallelism for the pricing fan-out (the calling thread
+     * counts). 0 means all hardware threads. Results are bit-identical
+     * for every thread count: each (test, config, run) cell is a pure
+     * function of the universe and the cell's own seed, and every
+     * cell writes a disjoint slot.
+     */
+    unsigned threads = 1;
+
+    /**
+     * Collapse launches with identical workloads before pricing
+     * (dsl::compactTrace), so each distinct workload is priced once
+     * per (chip, config). Numerically a no-op: the compacted cost
+     * replay is bit-identical to the full per-launch sum.
+     */
+    bool compact = true;
+
+    /** When non-null, filled with the build's SweepStats. */
+    SweepStats *stats = nullptr;
+};
+
 /** Timing dataset over a universe. */
 class Dataset
 {
@@ -47,17 +72,28 @@ class Dataset
      * Run the full sweep for @p universe: generate inputs, trace
      * every (app, input) pair once, and price every
      * (test, configuration) cell with `universe.runs` noisy
-     * measurements.
+     * measurements. Equivalent to build(universe, {}) — serial, with
+     * trace compaction.
      */
     static Dataset build(const Universe &universe);
 
     /**
+     * As build(universe), with explicit threading / compaction /
+     * observability knobs. The produced numbers are bit-identical
+     * across every combination of options.
+     */
+    static Dataset build(const Universe &universe,
+                         const BuildOptions &options);
+
+    /**
      * Load the dataset from @p path if the file exists, otherwise
-     * build it and save it there. Used by the bench binaries to share
-     * one sweep.
+     * build it (with @p options) and save it there. Used by the bench
+     * binaries to share one sweep. A rejected cache or a failed cache
+     * write is reported as a warning on stderr, never an error.
      */
     static Dataset buildOrLoadCached(const Universe &universe,
-                                     const std::string &path);
+                                     const std::string &path,
+                                     const BuildOptions &options = {});
 
     /** Serialise to CSV (one row per run). */
     void saveCsv(std::ostream &os) const;

@@ -1,0 +1,81 @@
+#include "graphport/runner/sweepstats.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "graphport/support/strings.hpp"
+
+namespace graphport {
+namespace runner {
+
+double
+SweepStats::compactionRatio() const
+{
+    if (launchesUnique == 0)
+        return 1.0;
+    return static_cast<double>(launchesTotal) /
+           static_cast<double>(launchesUnique);
+}
+
+double
+SweepStats::cellsPerSecond() const
+{
+    if (priceSeconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(cells) / priceSeconds;
+}
+
+std::string
+SweepStats::toJson() const
+{
+    std::ostringstream os;
+    os << "{"
+       << "\"threads\": " << threads << ", "
+       << "\"compaction\": " << (compaction ? "true" : "false")
+       << ", "
+       << "\"tests\": " << tests << ", "
+       << "\"configs\": " << configs << ", "
+       << "\"cells\": " << cells << ", "
+       << "\"runs_per_cell\": " << runsPerCell << ", "
+       << "\"traces_recorded\": " << tracesRecorded << ", "
+       << "\"launches_total\": " << launchesTotal << ", "
+       << "\"launches_unique\": " << launchesUnique << ", "
+       << "\"compaction_ratio\": "
+       << fmtDouble(compactionRatio(), 3) << ", "
+       << "\"record_seconds\": " << fmtDouble(recordSeconds, 6)
+       << ", "
+       << "\"price_seconds\": " << fmtDouble(priceSeconds, 6) << ", "
+       << "\"finalise_seconds\": " << fmtDouble(finaliseSeconds, 6)
+       << ", "
+       << "\"total_seconds\": " << fmtDouble(totalSeconds, 6) << ", "
+       << "\"cells_per_second\": " << fmtDouble(cellsPerSecond(), 1)
+       << "}";
+    return os.str();
+}
+
+void
+SweepStats::print(std::ostream &os) const
+{
+    os << "sweep statistics:\n"
+       << "  threads           " << threads << "\n"
+       << "  compaction        " << (compaction ? "on" : "off")
+       << "\n"
+       << "  tests             " << tests << " (x" << configs
+       << " configs x" << runsPerCell << " runs = "
+       << cells * runsPerCell << " measurements)\n"
+       << "  traces recorded   " << tracesRecorded << "\n"
+       << "  launches          " << launchesTotal << " total, "
+       << launchesUnique << " unique ("
+       << fmtDouble(compactionRatio(), 2) << "x compaction)\n"
+       << "  record phase      " << fmtDouble(recordSeconds, 3)
+       << " s\n"
+       << "  price phase       " << fmtDouble(priceSeconds, 3)
+       << " s (" << fmtDouble(cellsPerSecond(), 0) << " cells/s)\n"
+       << "  finalise phase    " << fmtDouble(finaliseSeconds, 3)
+       << " s\n"
+       << "  total             " << fmtDouble(totalSeconds, 3)
+       << " s\n";
+}
+
+} // namespace runner
+} // namespace graphport

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Observability for the dataset sweep.
+ *
+ * Dataset::build fills one SweepStats per build when asked: how many
+ * traces were recorded, how far compaction collapsed them, how the
+ * wall time split across the record / price / finalise phases, and
+ * the resulting pricing throughput. The stats print as a human table
+ * (CLI --stats) or as one machine-readable JSON object
+ * (bench_sweep_throughput's BENCH_sweep.json) so the sweep's perf
+ * trajectory can be tracked across PRs.
+ */
+#ifndef GRAPHPORT_RUNNER_SWEEPSTATS_HPP
+#define GRAPHPORT_RUNNER_SWEEPSTATS_HPP
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace graphport {
+namespace runner {
+
+/** Metrics of one Dataset::build execution. */
+struct SweepStats
+{
+    /** Worker parallelism the build actually used. */
+    unsigned threads = 1;
+    /** Whether duplicate launches were collapsed before pricing. */
+    bool compaction = true;
+
+    std::size_t tests = 0;        ///< app x input x chip triples
+    std::size_t configs = 0;      ///< configurations per test
+    std::size_t cells = 0;        ///< tests x configs
+    std::size_t runsPerCell = 0;  ///< noisy repetitions per cell
+
+    std::size_t tracesRecorded = 0;  ///< (app, input) traces
+    std::size_t launchesTotal = 0;   ///< kernel launches across traces
+    std::size_t launchesUnique = 0;  ///< distinct workloads
+
+    double recordSeconds = 0.0;    ///< graph gen + app runs + compact
+    double priceSeconds = 0.0;     ///< (chip, config) fan-out
+    double finaliseSeconds = 0.0;  ///< per-cell summaries
+    double totalSeconds = 0.0;
+
+    /** launchesTotal / launchesUnique (1.0 when nothing repeats). */
+    double compactionRatio() const;
+
+    /** Cells priced per second of the pricing phase. */
+    double cellsPerSecond() const;
+
+    /** One-object JSON form (keys are stable across PRs). */
+    std::string toJson() const;
+
+    /** Human-readable multi-line summary. */
+    void print(std::ostream &os) const;
+};
+
+} // namespace runner
+} // namespace graphport
+
+#endif // GRAPHPORT_RUNNER_SWEEPSTATS_HPP

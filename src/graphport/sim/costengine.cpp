@@ -347,10 +347,46 @@ CostEngine::appCost(const dsl::AppTrace &trace) const
     return app;
 }
 
+AppCost
+CostEngine::appCost(const dsl::CompactTrace &compact) const
+{
+    panicIf(compact.trace == nullptr,
+            "CostEngine::appCost: compact trace without source");
+    const dsl::AppTrace &trace = *compact.trace;
+    // Price each distinct workload once...
+    std::vector<double> kernelNs(compact.uniqueCount());
+    std::vector<double> overheadNs(compact.uniqueCount());
+    for (std::size_t g = 0; g < compact.uniqueCount(); ++g) {
+        const dsl::KernelLaunch &l =
+            trace.launches[compact.representative[g]];
+        kernelNs[g] = kernelTimeNs(l);
+        overheadNs[g] = launchOverheadNs(l);
+    }
+    // ...then replay the per-launch sum in original order so the
+    // floating-point result matches the uncompacted path bit for bit.
+    AppCost app;
+    app.launches = trace.launches.size();
+    for (std::size_t g : compact.groupOf) {
+        app.kernelNs += kernelNs[g];
+        app.overheadNs += overheadNs[g];
+    }
+    if (config_.oitergb) {
+        app.overheadNs += chip_.kernelLaunchNs + chip_.hostMemcpyNs;
+    }
+    app.totalNs = app.kernelNs + app.overheadNs;
+    return app;
+}
+
 double
 CostEngine::appTimeNs(const dsl::AppTrace &trace) const
 {
     return appCost(trace).totalNs;
+}
+
+double
+CostEngine::appTimeNs(const dsl::CompactTrace &compact) const
+{
+    return appCost(compact).totalNs;
 }
 
 double

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 
+#include "graphport/dsl/compact.hpp"
 #include "graphport/dsl/optconfig.hpp"
 #include "graphport/dsl/plan.hpp"
 #include "graphport/dsl/trace.hpp"
@@ -93,8 +94,22 @@ class CostEngine
     /** Deterministic (noise-free) execution time of a full trace. */
     AppCost appCost(const dsl::AppTrace &trace) const;
 
+    /**
+     * Same as appCost(*compact.trace), but prices each distinct
+     * workload once and replays the per-launch sum in original launch
+     * order. Because the replay performs the identical additions in
+     * the identical order, the result is bit-identical to the
+     * uncompacted overload — while doing the expensive per-kernel
+     * model work only uniqueCount() times instead of launchCount()
+     * times.
+     */
+    AppCost appCost(const dsl::CompactTrace &compact) const;
+
     /** Convenience: appCost(trace).totalNs. */
     double appTimeNs(const dsl::AppTrace &trace) const;
+
+    /** Convenience: appCost(compact).totalNs. */
+    double appTimeNs(const dsl::CompactTrace &compact) const;
 
   private:
     const ChipModel &chip_;

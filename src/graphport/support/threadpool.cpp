@@ -1,0 +1,126 @@
+#include "graphport/support/threadpool.hpp"
+
+#include <algorithm>
+
+namespace graphport {
+namespace support {
+
+unsigned
+hardwareThreads()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = hardwareThreads();
+    workers_.reserve(threads - 1);
+    for (unsigned i = 1; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::runChunks()
+{
+    for (;;) {
+        const std::size_t begin =
+            cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+        if (begin >= n_)
+            return;
+        const std::size_t end = std::min(begin + chunk_, n_);
+        try {
+            (*body_)(begin, end);
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!error_)
+                    error_ = std::current_exception();
+            }
+            // Drain the remaining indices so everyone exits early.
+            cursor_.store(n_, std::memory_order_relaxed);
+            return;
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+        }
+        runChunks();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--active_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)> &body,
+    std::size_t chunk)
+{
+    if (n == 0)
+        return;
+    if (chunk == 0) {
+        // Default: ~4 chunks per thread for balance, at least 1 index.
+        chunk = std::max<std::size_t>(
+            1, n / (static_cast<std::size_t>(threadCount()) * 4));
+    }
+    if (workers_.empty()) {
+        // Inline serial path (identical chunking for determinism of
+        // any per-chunk effects, though bodies must not rely on it).
+        for (std::size_t begin = 0; begin < n; begin += chunk)
+            body(begin, std::min(begin + chunk, n));
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        body_ = &body;
+        n_ = n;
+        chunk_ = chunk;
+        cursor_.store(0, std::memory_order_relaxed);
+        error_ = nullptr;
+        active_ = static_cast<unsigned>(workers_.size());
+        ++generation_;
+    }
+    wake_.notify_all();
+    runChunks();
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] { return active_ == 0; });
+        body_ = nullptr;
+        error = error_;
+        error_ = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace support
+} // namespace graphport

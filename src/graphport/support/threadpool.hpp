@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A small persistent thread pool with a chunked parallel-for.
+ *
+ * Built for the dataset sweep's embarrassingly parallel hot loop:
+ * worker threads pull fixed-size index chunks from a shared atomic
+ * cursor (dynamic self-scheduling, the practical equivalent of work
+ * stealing for a flat index space), so uneven per-index costs —
+ * pricing a road BFS trace is much cheaper than a social PageRank
+ * trace — still balance.
+ *
+ * Design constraints:
+ *  - the calling thread participates in the loop, so a pool of size 1
+ *    spawns no threads and runs inline (no behavioural difference
+ *    between serial and parallel code paths);
+ *  - bodies receive [begin, end) index ranges and must only write to
+ *    disjoint, index-derived locations; the pool provides no other
+ *    synchronisation;
+ *  - the first exception thrown by any chunk is captured, the loop is
+ *    drained early, and the exception is rethrown on the caller.
+ */
+#ifndef GRAPHPORT_SUPPORT_THREADPOOL_HPP
+#define GRAPHPORT_SUPPORT_THREADPOOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace graphport {
+namespace support {
+
+/** Number of hardware threads, at least 1. */
+unsigned hardwareThreads();
+
+/** Persistent worker pool; see file comment for the contract. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Total parallelism including the calling thread;
+     *                0 means hardwareThreads(). A pool of 1 spawns no
+     *                workers and runs every loop inline.
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Joins all workers. Must not be called during a parallelFor. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total parallelism (workers + the calling thread). */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size()) + 1;
+    }
+
+    /**
+     * Run @p body over every index in [0, n), dispatched in chunks of
+     * @p chunk indices (0 picks a default). Blocks until all indices
+     * are processed; rethrows the first exception a chunk threw.
+     *
+     * @p body is invoked as body(begin, end) for disjoint [begin, end)
+     * ranges, possibly concurrently from multiple threads. Not
+     * reentrant: @p body must not call parallelFor on the same pool.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t, std::size_t)>
+                         &body,
+                     std::size_t chunk = 0);
+
+  private:
+    void workerLoop();
+    void runChunks();
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    bool stop_ = false;
+    /** Incremented per job; workers detect new work by comparison. */
+    std::uint64_t generation_ = 0;
+    /** Workers still inside the current job. */
+    unsigned active_ = 0;
+
+    // Current job (valid while active_ > 0 or the caller is in
+    // parallelFor).
+    const std::function<void(std::size_t, std::size_t)> *body_ =
+        nullptr;
+    std::size_t n_ = 0;
+    std::size_t chunk_ = 1;
+    std::atomic<std::size_t> cursor_{0};
+    std::exception_ptr error_;
+};
+
+} // namespace support
+} // namespace graphport
+
+#endif // GRAPHPORT_SUPPORT_THREADPOOL_HPP

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for trace compaction: signature/equality semantics, grouping
+ * invariants, and the central numerical guarantee — pricing a
+ * compacted trace is bit-identical to pricing the full trace for
+ * every chip and configuration.
+ */
+#include <gtest/gtest.h>
+
+#include "graphport/apps/app.hpp"
+#include "graphport/dsl/compact.hpp"
+#include "graphport/graph/generators.hpp"
+#include "graphport/sim/chip.hpp"
+#include "graphport/sim/costengine.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+using namespace graphport::dsl;
+
+namespace {
+
+KernelLaunch
+sampleLaunch()
+{
+    KernelLaunch l;
+    l.name = "expand";
+    l.iteration = 3;
+    l.items = 100;
+    l.edges = 400;
+    for (std::uint64_t d : {1, 2, 4, 4, 8})
+        l.hist.add(d);
+    l.contendedPushes = 40;
+    l.scatteredRmw = 10;
+    l.flatReads = 100;
+    l.flatWrites = 50;
+    l.hasNeighborLoop = true;
+    return l;
+}
+
+} // namespace
+
+TEST(LaunchSignature, IgnoresNameAndIteration)
+{
+    KernelLaunch a = sampleLaunch();
+    KernelLaunch b = a;
+    b.name = "different_kernel";
+    b.iteration = 77;
+    EXPECT_EQ(launchSignature(a), launchSignature(b));
+    EXPECT_TRUE(sameWorkload(a, b));
+}
+
+TEST(LaunchSignature, SensitiveToEveryWorkloadField)
+{
+    const KernelLaunch base = sampleLaunch();
+    std::vector<KernelLaunch> variants;
+    auto vary = [&](auto mutate) {
+        KernelLaunch l = base;
+        mutate(l);
+        variants.push_back(l);
+    };
+    vary([](KernelLaunch &l) { l.items += 1; });
+    vary([](KernelLaunch &l) { l.edges += 1; });
+    vary([](KernelLaunch &l) { l.hist.add(16); });
+    vary([](KernelLaunch &l) { l.contendedPushes += 1; });
+    vary([](KernelLaunch &l) { l.scatteredRmw += 1; });
+    vary([](KernelLaunch &l) { l.flatReads += 1; });
+    vary([](KernelLaunch &l) { l.flatWrites += 1; });
+    vary([](KernelLaunch &l) { l.computePerItem += 0.5; });
+    vary([](KernelLaunch &l) { l.computePerEdge += 0.5; });
+    vary([](KernelLaunch &l) { l.hasNeighborLoop = false; });
+    vary([](KernelLaunch &l) { l.randomAccess = false; });
+    vary([](KernelLaunch &l) { l.hostSyncAfter = true; });
+    vary([](KernelLaunch &l) { l.divergenceSpread = 2.0; });
+    vary([](KernelLaunch &l) { l.gratuitousBarriers = true; });
+    vary([](KernelLaunch &l) { l.barrierStride = 3; });
+    for (const KernelLaunch &v : variants) {
+        EXPECT_NE(launchSignature(base), launchSignature(v));
+        EXPECT_FALSE(sameWorkload(base, v));
+    }
+}
+
+TEST(CompactTrace, GroupsDuplicateLaunches)
+{
+    AppTrace trace;
+    trace.app = "synthetic";
+    trace.input = "none";
+    trace.hostIterations = 6;
+    KernelLaunch a = sampleLaunch();
+    KernelLaunch b = sampleLaunch();
+    b.items = 7;
+    b.edges = 21;
+    b.hist = DegreeHist{};
+    for (int i = 0; i < 7; ++i)
+        b.hist.add(3);
+    // Pattern a b a b a b: two groups, multiplicity 3 each.
+    for (std::uint32_t it = 0; it < 6; ++it) {
+        KernelLaunch l = (it % 2 == 0) ? a : b;
+        l.iteration = it;
+        trace.launches.push_back(l);
+    }
+    const CompactTrace ct = compactTrace(trace);
+    ct.validate();
+    EXPECT_EQ(ct.launchCount(), 6u);
+    EXPECT_EQ(ct.uniqueCount(), 2u);
+    EXPECT_EQ(ct.multiplicity[0], 3u);
+    EXPECT_EQ(ct.multiplicity[1], 3u);
+    EXPECT_DOUBLE_EQ(ct.compactionRatio(), 3.0);
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_EQ(ct.groupOf[i], i % 2);
+}
+
+TEST(CompactTrace, EmptyTrace)
+{
+    AppTrace trace;
+    const CompactTrace ct = compactTrace(trace);
+    ct.validate();
+    EXPECT_EQ(ct.uniqueCount(), 0u);
+    EXPECT_DOUBLE_EQ(ct.compactionRatio(), 1.0);
+}
+
+TEST(CompactTrace, FixpointAppsCompact)
+{
+    // Fixpoint apps that sweep the whole graph every iteration
+    // (pr-topo) relaunch a workload-identical kernel until
+    // convergence; compaction must collapse those repeats.  Frontier
+    // apps (bfs-wl) see a different frontier each level, so their
+    // traces stay mostly unique — compaction must not invent
+    // duplication there.
+    const graph::Csr g =
+        graph::gen::roadGrid(24, 24, 0.01, 11, "road");
+
+    const auto [prOut, prTrace] =
+        apps::runApp(apps::appByName("pr-topo"), g, "road");
+    (void)prOut;
+    const CompactTrace pr = compactTrace(prTrace);
+    pr.validate();
+    EXPECT_GT(pr.launchCount(), 2u);
+    EXPECT_LT(pr.uniqueCount(), pr.launchCount());
+    EXPECT_GT(pr.compactionRatio(), 1.2);
+
+    const auto [bfsOut, bfsTrace] =
+        apps::runApp(apps::appByName("bfs-wl"), g, "road");
+    (void)bfsOut;
+    const CompactTrace bfs = compactTrace(bfsTrace);
+    bfs.validate();
+    EXPECT_GT(bfs.launchCount(), 0u);
+    EXPECT_GE(bfs.launchCount(), bfs.uniqueCount());
+}
+
+TEST(CompactTrace, CompactedCostBitIdenticalToFull)
+{
+    // The load-bearing invariant of the sweep engine: for every app,
+    // chip and configuration, pricing the compacted trace replays the
+    // exact floating-point sum of the full trace.
+    const graph::Csr road =
+        graph::gen::roadGrid(16, 16, 0.01, 11, "road");
+    const graph::Csr social = graph::gen::rmat(8, 8.0, 12, "social");
+    for (const std::string app :
+         {"bfs-wl", "sssp-wl", "pr-topo", "cc-sv", "mis-luby"}) {
+        for (const graph::Csr *g : {&road, &social}) {
+            const auto [output, trace] =
+                apps::runApp(apps::appByName(app), *g, g->name());
+            (void)output;
+            const CompactTrace ct = compactTrace(trace);
+            ct.validate();
+            for (const sim::ChipModel &chip : sim::allChips()) {
+                for (unsigned cfgId : {0u, 1u, 17u, 42u, 95u}) {
+                    const OptConfig cfg = OptConfig::decode(cfgId);
+                    const sim::CostEngine engine(chip, cfg);
+                    const sim::AppCost full = engine.appCost(trace);
+                    const sim::AppCost compact = engine.appCost(ct);
+                    ASSERT_EQ(full.kernelNs, compact.kernelNs)
+                        << app << "/" << g->name() << "/"
+                        << chip.shortName << "/cfg" << cfgId;
+                    ASSERT_EQ(full.overheadNs, compact.overheadNs);
+                    ASSERT_EQ(full.totalNs, compact.totalNs);
+                    ASSERT_EQ(full.launches, compact.launches);
+                }
+            }
+        }
+    }
+}
+
+TEST(DegreeHist, ExpectedMaxMemoSurvivesCopy)
+{
+    DegreeHist h;
+    for (std::uint64_t d : {1, 2, 4, 8, 16, 32})
+        h.add(d);
+    const double m32 = h.expectedMaxOf(32);
+    DegreeHist copy = h;
+    EXPECT_EQ(copy.expectedMaxOf(32), m32);
+    DegreeHist assigned;
+    assigned = h;
+    EXPECT_EQ(assigned.expectedMaxOf(32), m32);
+    // Mutation after copying must not leak stale memo entries.
+    copy.add(1024);
+    EXPECT_NE(copy.expectedMaxOf(32), m32);
+    EXPECT_EQ(h.expectedMaxOf(32), m32);
+}

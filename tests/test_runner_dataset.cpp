@@ -147,6 +147,17 @@ TEST(Dataset, LoadRejectsUnknownNames)
     EXPECT_THROW(Dataset::loadCsv(u, ss), FatalError);
 }
 
+TEST(Dataset, LoadRejectsDuplicateRows)
+{
+    // A duplicate (app, input, chip, config, run) row used to
+    // silently overwrite the earlier value; now it is a load error.
+    const Universe u = smallUniverse(2, {"M4000"});
+    std::stringstream ss("app,input,chip,config,run,ns\n"
+                         "bfs-topo,road,M4000,0,0,123.0\n"
+                         "bfs-topo,road,M4000,0,0,456.0\n");
+    EXPECT_THROW(Dataset::loadCsv(u, ss), FatalError);
+}
+
 TEST(Dataset, ChipOrderingOfRuntimes)
 {
     // Same app/input: MALI must be slower than GTX1080 at baseline —

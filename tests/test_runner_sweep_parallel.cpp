@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: parallel and compacted builds
+ * must reproduce the serial uncompacted build bit for bit, and the
+ * SweepStats observability layer must describe the build truthfully.
+ * Run under ThreadSanitizer in CI to catch races in the pricing
+ * fan-out and the DegreeHist order-statistic memo.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graphport/runner/dataset.hpp"
+#include "graphport/runner/sweepstats.hpp"
+#include "graphport/support/threadpool.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+using namespace graphport::runner;
+
+namespace {
+
+/** EXPECT bit-identical run timings across two datasets. */
+void
+expectIdentical(const Dataset &a, const Dataset &b,
+                const std::string &label)
+{
+    ASSERT_EQ(a.numTests(), b.numTests()) << label;
+    for (std::size_t t = 0; t < a.numTests(); ++t) {
+        for (unsigned cfg = 0; cfg < a.numConfigs(); ++cfg) {
+            ASSERT_EQ(a.runs(t, cfg), b.runs(t, cfg))
+                << label << ": test " << t << " cfg " << cfg;
+        }
+    }
+}
+
+} // namespace
+
+TEST(SweepParallel, CompactionIsBitIdentical)
+{
+    const Universe u = smallUniverse(3);
+    BuildOptions plain;
+    plain.threads = 1;
+    plain.compact = false;
+    const Dataset serial = Dataset::build(u, plain);
+    BuildOptions compacted;
+    compacted.threads = 1;
+    compacted.compact = true;
+    expectIdentical(serial, Dataset::build(u, compacted),
+                    "compaction");
+}
+
+TEST(SweepParallel, ThreadCountsAreBitIdentical)
+{
+    const Universe u = smallUniverse(3);
+    BuildOptions serialOpts;
+    serialOpts.threads = 1;
+    serialOpts.compact = false;
+    const Dataset serial = Dataset::build(u, serialOpts);
+    for (unsigned threads : {2u, 4u, support::hardwareThreads()}) {
+        BuildOptions options;
+        options.threads = threads;
+        expectIdentical(serial, Dataset::build(u, options),
+                        std::to_string(threads) + " threads");
+    }
+}
+
+TEST(SweepParallel, DefaultBuildMatchesExplicitOptions)
+{
+    const Universe u = smallUniverse(2, {"M4000"});
+    expectIdentical(Dataset::build(u),
+                    Dataset::build(u, BuildOptions{}), "default");
+}
+
+TEST(SweepParallel, RepeatedParallelBuildsAreDeterministic)
+{
+    const Universe u = smallUniverse(2, {"M4000", "MALI"});
+    BuildOptions options;
+    options.threads = 4;
+    const Dataset a = Dataset::build(u, options);
+    const Dataset b = Dataset::build(u, options);
+    expectIdentical(a, b, "repeat");
+}
+
+TEST(SweepParallel, StatsDescribeTheBuild)
+{
+    // Include pr-topo: a fixpoint app whose trace genuinely
+    // compacts, so the ratio assertion below is strict.
+    Universe u = smallUniverse(3, {"M4000", "IRIS"});
+    u.apps = {"pr-topo", "cc-sv", "bfs-topo"};
+    u.validate();
+    SweepStats stats;
+    BuildOptions options;
+    options.threads = 2;
+    options.stats = &stats;
+    const Dataset ds = Dataset::build(u, options);
+
+    EXPECT_EQ(stats.threads, 2u);
+    EXPECT_TRUE(stats.compaction);
+    EXPECT_EQ(stats.tests, ds.numTests());
+    EXPECT_EQ(stats.configs, ds.numConfigs());
+    EXPECT_EQ(stats.cells, ds.numTests() * ds.numConfigs());
+    EXPECT_EQ(stats.runsPerCell, u.runs);
+    EXPECT_EQ(stats.tracesRecorded, u.apps.size() * u.inputs.size());
+    EXPECT_GT(stats.launchesTotal, 0u);
+    EXPECT_GT(stats.launchesUnique, 0u);
+    EXPECT_LE(stats.launchesUnique, stats.launchesTotal);
+    // Fixpoint apps repeat launches: compaction must find some.
+    EXPECT_GT(stats.compactionRatio(), 1.0);
+    EXPECT_GT(stats.totalSeconds, 0.0);
+    EXPECT_GT(stats.priceSeconds, 0.0);
+    EXPECT_GE(stats.totalSeconds, stats.priceSeconds);
+    EXPECT_GT(stats.cellsPerSecond(), 0.0);
+}
+
+TEST(SweepParallel, StatsJsonAndPrintContainKeyFields)
+{
+    const Universe u = smallUniverse(2, {"M4000"});
+    SweepStats stats;
+    BuildOptions options;
+    options.stats = &stats;
+    (void)Dataset::build(u, options);
+
+    const std::string json = stats.toJson();
+    for (const char *key :
+         {"\"threads\"", "\"cells\"", "\"compaction_ratio\"",
+          "\"launches_total\"", "\"launches_unique\"",
+          "\"price_seconds\"", "\"total_seconds\"",
+          "\"cells_per_second\""})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+
+    std::ostringstream os;
+    stats.print(os);
+    EXPECT_NE(os.str().find("compaction"), std::string::npos);
+    EXPECT_NE(os.str().find("cells/s"), std::string::npos);
+}
+
+TEST(SweepParallel, ZeroThreadsMeansHardwareConcurrency)
+{
+    const Universe u = smallUniverse(1, {"M4000"});
+    SweepStats stats;
+    BuildOptions options;
+    options.threads = 0;
+    options.stats = &stats;
+    (void)Dataset::build(u, options);
+    EXPECT_EQ(stats.threads, support::hardwareThreads());
+}

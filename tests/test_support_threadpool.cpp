@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the thread pool: coverage (every index exactly once),
+ * chunking edge cases, exception propagation, pool reuse, and the
+ * inline single-thread path. Also the suite the ThreadSanitizer CI
+ * job runs to shake out races in the pool itself.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "graphport/support/threadpool.hpp"
+
+using namespace graphport;
+using support::ThreadPool;
+
+TEST(ThreadPool, HardwareThreadsAtLeastOne)
+{
+    EXPECT_GE(support::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPool, ThreadCountMatchesRequest)
+{
+    EXPECT_EQ(ThreadPool(1).threadCount(), 1u);
+    EXPECT_EQ(ThreadPool(3).threadCount(), 3u);
+    EXPECT_GE(ThreadPool(0).threadCount(), 1u);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 4u}) {
+        ThreadPool pool(threads);
+        for (std::size_t n : {0ul, 1ul, 7ul, 64ul, 1000ul}) {
+            std::vector<std::atomic<int>> hits(n);
+            for (auto &h : hits)
+                h.store(0);
+            pool.parallelFor(n, [&](std::size_t begin,
+                                    std::size_t end) {
+                ASSERT_LE(begin, end);
+                ASSERT_LE(end, n);
+                for (std::size_t i = begin; i < end; ++i)
+                    hits[i].fetch_add(1);
+            });
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(hits[i].load(), 1)
+                    << "index " << i << " with " << threads
+                    << " threads, n=" << n;
+        }
+    }
+}
+
+TEST(ThreadPool, ExplicitChunkSizesCover)
+{
+    ThreadPool pool(3);
+    for (std::size_t chunk : {1ul, 3ul, 17ul, 1000ul}) {
+        std::vector<std::atomic<int>> hits(100);
+        for (auto &h : hits)
+            h.store(0);
+        pool.parallelFor(
+            100,
+            [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i)
+                    hits[i].fetch_add(1);
+            },
+            chunk);
+        for (auto &h : hits)
+            ASSERT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial)
+{
+    const std::size_t n = 10000;
+    std::vector<double> values(n);
+    for (std::size_t i = 0; i < n; ++i)
+        values[i] = static_cast<double>(i) * 0.5;
+    ThreadPool pool(4);
+    std::atomic<long long> sum{0};
+    pool.parallelFor(n, [&](std::size_t begin, std::size_t end) {
+        long long local = 0;
+        for (std::size_t i = begin; i < end; ++i)
+            local += static_cast<long long>(values[i] * 2.0);
+        sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(),
+              static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossManyLoops)
+{
+    ThreadPool pool(4);
+    std::atomic<std::size_t> total{0};
+    for (int iter = 0; iter < 200; ++iter) {
+        pool.parallelFor(50, [&](std::size_t begin,
+                                 std::size_t end) {
+            total.fetch_add(end - begin);
+        });
+    }
+    EXPECT_EQ(total.load(), 200u * 50u);
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(100,
+                         [&](std::size_t begin, std::size_t) {
+                             if (begin >= 8)
+                                 throw std::runtime_error("boom");
+                         },
+                         /*chunk=*/4),
+        std::runtime_error);
+    // The pool survives an exception and keeps working.
+    std::atomic<int> count{0};
+    pool.parallelFor(10, [&](std::size_t begin, std::size_t end) {
+        count.fetch_add(static_cast<int>(end - begin));
+    });
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline)
+{
+    ThreadPool pool(1);
+    const auto caller = std::this_thread::get_id();
+    bool sameThread = true;
+    pool.parallelFor(16, [&](std::size_t, std::size_t) {
+        if (std::this_thread::get_id() != caller)
+            sameThread = false;
+    });
+    EXPECT_TRUE(sameThread);
+}

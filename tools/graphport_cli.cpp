@@ -12,6 +12,9 @@
  *                                rank all 96 configurations
  *   recommend <chip> [n_apps]    derive a per-chip policy
  *                                (Algorithm 1) from a fresh campaign
+ *   study    [--threads N] [--stats] [--small [n_apps]] [--out F]
+ *                                run the paper-scale sweep with the
+ *                                parallel sweep engine
  *
  * <input> is a study input name (road/social/random) or a path to a
  * DIMACS .gr / edge-list file. [opts] is a comma-separated list of
@@ -19,6 +22,8 @@
  */
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -48,8 +53,14 @@ usage()
         "  run      <app> <input> <chip> [opt,opt,...]\n"
         "  sweep    <app> <input> <chip>\n"
         "  recommend <chip> [n_apps]\n"
+        "  study    [--threads N] [--stats] [--small [n_apps]] "
+        "[--out FILE]\n"
         "\n<input> = road | social | random | path to .gr/.el file\n"
-        "opts = coop-cv wg sg fg fg8 oitergb sz256\n");
+        "opts = coop-cv wg sg fg fg8 oitergb sz256\n"
+        "study: full 17x3x6x96 sweep; --threads 0 = all cores, "
+        "--stats prints sweep\n"
+        "observability, --small uses the reduced test universe, "
+        "--out saves the CSV\n");
     return 2;
 }
 
@@ -233,6 +244,86 @@ cmdRecommend(const std::string &chipName, unsigned n_apps)
     return 0;
 }
 
+int
+cmdStudy(const std::vector<std::string> &args)
+{
+    unsigned threads = 1;
+    bool stats = false;
+    bool small = false;
+    unsigned smallApps = 4;
+    std::string outPath;
+    const auto parseCount = [](const std::string &flag,
+                               const std::string &value) {
+        fatalIf(value.empty() ||
+                    value.find_first_not_of("0123456789") !=
+                        std::string::npos,
+                "study: " + flag + " expects a non-negative integer, "
+                "got '" + value + "'");
+        return static_cast<unsigned>(std::stoul(value));
+    };
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--threads") {
+            fatalIf(i + 1 >= args.size(),
+                    "study: --threads requires a value");
+            threads = parseCount("--threads", args[++i]);
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--small") {
+            small = true;
+            if (i + 1 < args.size() && !args[i + 1].empty() &&
+                args[i + 1][0] != '-')
+                smallApps = parseCount("--small", args[++i]);
+        } else if (arg == "--out") {
+            fatalIf(i + 1 >= args.size(),
+                    "study: --out requires a value");
+            outPath = args[++i];
+        } else {
+            fatal("study: unknown argument " + arg);
+        }
+    }
+    fatalIf(small && smallApps == 0,
+            "study: --small needs at least 1 app");
+
+    const runner::Universe universe =
+        small ? runner::smallUniverse(smallApps)
+              : runner::studyUniverse();
+    const std::string threadDesc =
+        threads == 1 ? "serial"
+        : threads == 0
+            ? "all hardware threads"
+            : std::to_string(threads) + " threads";
+    std::printf("sweeping %zu tests x 96 configs x %u runs "
+                "(%s universe, %s)...\n",
+                universe.numTests(), universe.runs,
+                small ? "small" : "study", threadDesc.c_str());
+    runner::SweepStats sweepStats;
+    runner::BuildOptions options;
+    options.threads = threads;
+    options.stats = &sweepStats;
+    const runner::Dataset ds = runner::Dataset::build(universe,
+                                                      options);
+
+    std::printf("swept %zu cells in %.3f s (%.0f cells/s, %.2fx "
+                "launch compaction)\n",
+                sweepStats.cells, sweepStats.totalSeconds,
+                sweepStats.cellsPerSecond(),
+                sweepStats.compactionRatio());
+    if (stats) {
+        std::printf("\n");
+        sweepStats.print(std::cout);
+        std::printf("\njson: %s\n", sweepStats.toJson().c_str());
+    }
+    if (!outPath.empty()) {
+        std::ofstream out(outPath);
+        fatalIf(!out.good(),
+                "study: cannot open " + outPath + " for writing");
+        ds.saveCsv(out);
+        std::printf("dataset written to %s\n", outPath.c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -252,6 +343,8 @@ main(int argc, char **argv)
                           args.size() == 5 ? args[4] : "");
         if (cmd == "sweep" && args.size() == 4)
             return cmdSweep(args[1], args[2], args[3]);
+        if (cmd == "study")
+            return cmdStudy(args);
         if (cmd == "recommend" &&
             (args.size() == 2 || args.size() == 3)) {
             return cmdRecommend(
