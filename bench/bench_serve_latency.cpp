@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Serving-layer latency/throughput benchmark (not a paper experiment).
+ *
+ * Builds a small-universe StrategyIndex, generates a deterministic
+ * mixed query stream (lattice hits, unseen inputs, unknown chips,
+ * out-of-index apps — so the degraded tiers, the predictive path and
+ * the trace-feature LRU all see load), serves it serially and at
+ * increasing thread counts, verifies every parallel pass answers
+ * bit-identically to the serial reference, and emits one
+ * machine-readable JSON file (default BENCH_serve.json) with QPS and
+ * p50/p95/p99 latency per variant so serving performance is tracked
+ * across PRs.
+ *
+ * Flags:
+ *   --queries N    stream length (default 10000)
+ *   --threads N    highest thread count to measure (default 4)
+ *   --apps N       apps in the small index universe (default 4)
+ *   --seed S       stream seed (default 42)
+ *   --out FILE     JSON output path (default BENCH_serve.json)
+ */
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "graphport/runner/dataset.hpp"
+#include "graphport/runner/universe.hpp"
+#include "graphport/serve/advisor.hpp"
+#include "graphport/serve/index.hpp"
+#include "graphport/serve/loadgen.hpp"
+#include "graphport/support/threadpool.hpp"
+
+using namespace graphport;
+
+int
+main(int argc, char **argv)
+{
+    std::size_t queries = 10000;
+    unsigned maxThreads = 4;
+    unsigned nApps = 4;
+    std::uint64_t seed = 42;
+    std::string outPath = "BENCH_serve.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--queries" && i + 1 < argc)
+            queries = std::stoul(argv[++i]);
+        else if (arg == "--threads" && i + 1 < argc)
+            maxThreads = static_cast<unsigned>(std::stoul(argv[++i]));
+        else if (arg == "--apps" && i + 1 < argc)
+            nApps = static_cast<unsigned>(std::stoul(argv[++i]));
+        else if (arg == "--seed" && i + 1 < argc)
+            seed = std::stoull(argv[++i]);
+        else if (arg == "--out" && i + 1 < argc)
+            outPath = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: bench_serve_latency [--queries N] "
+                         "[--threads N] [--apps N] [--seed S] "
+                         "[--out FILE]\n");
+            return 2;
+        }
+    }
+
+    bench::banner("strategy-advisor serving latency",
+                  "infrastructure",
+                  "Advisor QPS and latency percentiles over a mixed "
+                  "hit/miss/predictive query stream");
+
+    std::printf("building index over the small universe (%u apps)"
+                "...\n",
+                nApps);
+    const serve::StrategyIndex index = serve::StrategyIndex::build(
+        runner::Dataset::build(runner::smallUniverse(nApps)));
+    const serve::Advisor advisor(index);
+
+    const std::vector<serve::Query> stream =
+        serve::makeQueryStream(index, queries, seed);
+    std::vector<unsigned> threadCounts;
+    for (unsigned t = 2; t <= maxThreads; t *= 2)
+        threadCounts.push_back(t);
+
+    std::printf("stream: %zu queries (seed %llu); %u hardware "
+                "threads\n\n",
+                stream.size(), static_cast<unsigned long long>(seed),
+                support::hardwareThreads());
+
+    const serve::LoadBenchResult result =
+        serve::runLoadBench(advisor, stream, threadCounts);
+    for (const serve::LoadVariant &v : result.variants) {
+        std::printf("  %2u thread(s)  %10.0f q/s  p50 %8.1f us  "
+                    "p95 %8.1f us  p99 %8.1f us  %s\n",
+                    v.requestedThreads, v.stats.qps(),
+                    v.stats.p50Ns() / 1e3, v.stats.p95Ns() / 1e3,
+                    v.stats.p99Ns() / 1e3,
+                    v.bitIdentical ? "bit-identical"
+                                   : "MISMATCH vs. serial");
+    }
+    std::printf("\n");
+    result.variants.front().stats.print(std::cout);
+    std::printf("\ninvariant: every parallel pass answers "
+                "bit-identically to the serial reference.\n");
+
+    std::ofstream out(outPath);
+    if (!out.good()) {
+        std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+        return 1;
+    }
+    serve::writeLoadBenchJson(out, result, stream.size(), seed);
+    std::printf("perf record written to %s\n", outPath.c_str());
+
+    return result.allBitIdentical ? 0 : 1;
+}

@@ -85,5 +85,23 @@ evaluatePerChip(const runner::Dataset &ds, const Strategy &strategy)
     return out;
 }
 
+std::map<std::string, double>
+partitionSlowdowns(const runner::Dataset &ds,
+                   const Strategy &strategy,
+                   const Specialisation &spec)
+{
+    std::map<std::string, std::vector<double>> ratios;
+    for (std::size_t t = 0; t < ds.numTests(); ++t) {
+        const double timeCfg = ds.meanNs(t, strategy.configFor(t));
+        const double timeOracle = ds.meanNs(t, ds.bestConfig(t));
+        ratios[partitionKey(spec, ds.testAt(t))].push_back(
+            timeCfg / timeOracle);
+    }
+    std::map<std::string, double> out;
+    for (const auto &[key, r] : ratios)
+        out.emplace(key, geomean(r));
+    return out;
+}
+
 } // namespace port
 } // namespace graphport

@@ -7,6 +7,7 @@
 #ifndef GRAPHPORT_PORT_EVALUATE_HPP
 #define GRAPHPORT_PORT_EVALUATE_HPP
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,16 @@ struct ChipEval
 /** Evaluate @p strategy per chip. */
 std::vector<ChipEval> evaluatePerChip(const runner::Dataset &ds,
                                       const Strategy &strategy);
+
+/**
+ * Per-partition quality of @p strategy: geomean of strategy/oracle
+ * runtimes (>= 1) over the tests of each partition of @p spec. The
+ * serve layer reports these as the expected slowdown of answering a
+ * query from a given partition.
+ */
+std::map<std::string, double>
+partitionSlowdowns(const runner::Dataset &ds, const Strategy &strategy,
+                   const Specialisation &spec);
 
 } // namespace port
 } // namespace graphport

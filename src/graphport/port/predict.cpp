@@ -145,6 +145,30 @@ collectTraces(const runner::Universe &universe)
     return traces;
 }
 
+unsigned
+predictConfig(const runner::Dataset &ds,
+              const std::map<std::string, dsl::AppTrace> &traces,
+              const std::string &app, const std::string &input,
+              unsigned k)
+{
+    const auto queryIt = traces.find(app + "|" + input);
+    fatalIf(queryIt == traces.end(),
+            "predictConfig: no trace for " + app + "|" + input);
+    KnnPredictor predictor(k);
+    for (std::size_t t = 0; t < ds.numTests(); ++t) {
+        const runner::Test test = ds.testAt(t);
+        if (test.app == app && test.input == input)
+            continue;
+        const auto it = traces.find(test.app + "|" + test.input);
+        fatalIf(it == traces.end(),
+                "predictConfig: missing trace for " + test.app + "|" +
+                    test.input);
+        predictor.addExample(extractFeatures(it->second),
+                             ds.bestConfig(t));
+    }
+    return predictor.predict(extractFeatures(queryIt->second));
+}
+
 PredictionEval
 evaluatePredictor(const runner::Dataset &ds,
                   const std::map<std::string, dsl::AppTrace> &traces,

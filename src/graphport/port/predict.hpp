@@ -118,6 +118,29 @@ PredictionEval evaluatePredictor(
 std::map<std::string, dsl::AppTrace>
 collectTraces(const runner::Universe &universe);
 
+/**
+ * Predict a configuration for one (app, input) pair when no
+ * per-chip measurements are usable (the serve layer's fallback for a
+ * chip the study never measured): train a k-NN predictor on every
+ * test of @p ds whose (app, input) pair differs from the query —
+ * leave-one-out over the pair, pooled across chips — with features
+ * from the tests' traces and labels from their oracle
+ * configurations, then predict from the query pair's own trace
+ * features.
+ *
+ * Examples are added in dataset test order, so the prediction is a
+ * pure function of (ds, traces, app, input, k); serve::Advisor
+ * reproduces it bit-for-bit from a snapshot.
+ *
+ * @throws FatalError when @p traces lacks the query pair or when no
+ *         training example remains.
+ */
+unsigned predictConfig(const runner::Dataset &ds,
+                       const std::map<std::string, dsl::AppTrace> &traces,
+                       const std::string &app,
+                       const std::string &input,
+                       unsigned k = 3);
+
 } // namespace port
 } // namespace graphport
 

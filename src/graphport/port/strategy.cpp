@@ -1,5 +1,6 @@
 #include "graphport/port/strategy.hpp"
 
+#include "graphport/port/evaluate.hpp"
 #include "graphport/support/error.hpp"
 
 namespace graphport {
@@ -45,6 +46,26 @@ Specialisation::lattice()
         {true, true, true},    // chip_app_input
     };
     return lattice;
+}
+
+std::string
+partitionKey(const Specialisation &spec, const runner::Test &test)
+{
+    std::string key;
+    if (spec.byApp)
+        key += test.app + "|";
+    if (spec.byInput)
+        key += test.input + "|";
+    if (spec.byChip)
+        key += test.chip + "|";
+    return key;
+}
+
+const unsigned *
+StrategyTable::configFor(const std::string &key) const
+{
+    const auto it = configByPartition.find(key);
+    return it == configByPartition.end() ? nullptr : &it->second;
 }
 
 unsigned
@@ -99,17 +120,8 @@ makeSpecialised(const runner::Dataset &ds, const Specialisation &spec,
 
     // Group test indices by their partition key.
     std::map<std::string, std::vector<std::size_t>> partitions;
-    for (std::size_t t = 0; t < ds.numTests(); ++t) {
-        const runner::Test test = ds.testAt(t);
-        std::string key;
-        if (spec.byApp)
-            key += test.app + "|";
-        if (spec.byInput)
-            key += test.input + "|";
-        if (spec.byChip)
-            key += test.chip + "|";
-        partitions[key].push_back(t);
-    }
+    for (std::size_t t = 0; t < ds.numTests(); ++t)
+        partitions[partitionKey(spec, ds.testAt(t))].push_back(t);
 
     for (const auto &[key, tests] : partitions) {
         PartitionAnalysis analysis =
@@ -120,6 +132,29 @@ makeSpecialised(const runner::Dataset &ds, const Specialisation &spec,
         s.partitions.emplace(key, std::move(analysis));
     }
     return s;
+}
+
+StrategyTable
+tabulateStrategy(const runner::Dataset &ds, const Strategy &strategy,
+                 const Specialisation &spec)
+{
+    StrategyTable table;
+    table.name = strategy.name;
+    table.spec = spec;
+    table.geomeanVsOracle =
+        evaluateStrategy(ds, strategy).geomeanVsOracle;
+    for (std::size_t t = 0; t < ds.numTests(); ++t) {
+        const std::string key = partitionKey(spec, ds.testAt(t));
+        const unsigned cfg = strategy.configFor(t);
+        const auto [it, inserted] =
+            table.configByPartition.emplace(key, cfg);
+        panicIf(!inserted && it->second != cfg,
+                "tabulateStrategy: spec does not match strategy '" +
+                    strategy.name + "' (partition " + key +
+                    " maps to several configs)");
+    }
+    table.slowdownByPartition = partitionSlowdowns(ds, strategy, spec);
+    return table;
 }
 
 std::vector<Strategy>

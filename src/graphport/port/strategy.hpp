@@ -56,6 +56,48 @@ struct Strategy
     unsigned configFor(std::size_t test) const;
 };
 
+/**
+ * Partition key of @p test under @p spec: the specialised dimension
+ * values joined in "app|input|chip|" order (each followed by "|"),
+ * empty for the global partition. This is the key makeSpecialised
+ * groups by, and the key serve::StrategyIndex answers queries with.
+ */
+std::string partitionKey(const Specialisation &spec,
+                         const runner::Test &test);
+
+/**
+ * Flat, serialisable form of a strategy: the partition -> config
+ * table plus the expected quality of answering from it. This is what
+ * the serve layer persists in index snapshots — it carries everything
+ * needed to *answer* queries, and none of the per-optimisation MWU
+ * evidence needed to *re-derive* them.
+ */
+struct StrategyTable
+{
+    std::string name;
+    /** Which dimensions the partition keys encode. */
+    Specialisation spec;
+    /** Geomean of strategy/oracle runtimes over the whole dataset. */
+    double geomeanVsOracle = 1.0;
+    /** Config id per partition key. */
+    std::map<std::string, unsigned> configByPartition;
+    /** Geomean of strategy/oracle runtimes within each partition. */
+    std::map<std::string, double> slowdownByPartition;
+
+    /** Config for @p key, or nullptr when the partition is absent. */
+    const unsigned *configFor(const std::string &key) const;
+};
+
+/**
+ * Tabulate @p strategy into its serialisable partition table.
+ * @p spec must describe how the strategy partitions the tests
+ * (the lattice spec for makeSpecialised strategies, all-dimensions
+ * for the oracle, no-dimensions for the baseline and constants).
+ */
+StrategyTable tabulateStrategy(const runner::Dataset &ds,
+                               const Strategy &strategy,
+                               const Specialisation &spec);
+
 /** The baseline strategy: every test maps to the empty config. */
 Strategy makeBaseline(const runner::Dataset &ds);
 

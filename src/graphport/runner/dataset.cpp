@@ -1,6 +1,7 @@
 #include "graphport/runner/dataset.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -195,6 +196,32 @@ Dataset::bestConfig(std::size_t test) const
         }
     }
     return best;
+}
+
+std::uint64_t
+Dataset::contentHash() const
+{
+    std::uint64_t h = 0x67726170686f7274ull; // "graphort"
+    const auto mix = [&h](std::uint64_t x) {
+        h = splitmix64(h ^ x);
+    };
+    for (const std::string &a : universe_.apps)
+        mix(hashStr(a));
+    for (const InputSpec &i : universe_.inputs) {
+        mix(hashStr(i.name));
+        mix(hashStr(i.cls));
+        mix(static_cast<std::uint64_t>(i.kind));
+        mix(i.sizeParam);
+        mix(std::bit_cast<std::uint64_t>(i.avgDegree));
+        mix(i.seed);
+    }
+    for (const std::string &c : universe_.chips)
+        mix(hashStr(c));
+    mix(universe_.runs);
+    mix(universe_.seed);
+    for (double v : runsNs_)
+        mix(std::bit_cast<std::uint64_t>(v));
+    return h;
 }
 
 bool

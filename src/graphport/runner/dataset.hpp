@@ -108,6 +108,15 @@ class Dataset
     /** The universe this dataset covers. */
     const Universe &universe() const { return universe_; }
 
+    /**
+     * Deterministic 64-bit hash of the dataset's identity and every
+     * raw timing (bit patterns, not rounded values). Two datasets
+     * hash equal iff they cover the same universe shape and carry
+     * bit-identical measurements; serve::StrategyIndex stamps its
+     * snapshots with this so a stale index is detected at load time.
+     */
+    std::uint64_t contentHash() const;
+
     /** Number of tests (app x input x chip). */
     std::size_t numTests() const;
 

@@ -1,0 +1,164 @@
+#include "graphport/serve/advisor.hpp"
+
+#include "graphport/apps/app.hpp"
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+namespace serve {
+
+bool
+Advice::sameAnswer(const Advice &other) const
+{
+    return config == other.config && tier == other.tier &&
+           predictive == other.predictive &&
+           partition == other.partition &&
+           expectedSlowdownVsOracle ==
+               other.expectedSlowdownVsOracle &&
+           partitionSlowdownVsOracle ==
+               other.partitionSlowdownVsOracle;
+}
+
+Advisor::Advisor(StrategyIndex index, std::size_t featureCacheCapacity)
+    : index_(std::move(index)), featureCache_(featureCacheCapacity)
+{}
+
+const std::vector<std::string> &
+Advisor::tierOrder()
+{
+    // Most specialised first; within equal degree, tiers that
+    // specialise on chip come first (the paper's Table IV shows chip
+    // is the dimension configurations least transfer across).
+    static const std::vector<std::string> order = {
+        "chip_app_input", "chip_app", "chip_input", "app_input",
+        "chip",           "app",      "input",      "global",
+    };
+    return order;
+}
+
+std::uint64_t
+Advisor::featureCacheHits() const
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    return featureCache_.hits();
+}
+
+std::uint64_t
+Advisor::featureCacheMisses() const
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    return featureCache_.misses();
+}
+
+port::WorkloadFeatures
+Advisor::lookupFeatures(const std::string &app,
+                        const std::string &input,
+                        FeatureSource *source) const
+{
+    // Pairs the study traced are part of the snapshot itself.
+    if (const port::WorkloadFeatures *f =
+            index_.featuresFor(app, input)) {
+        *source = FeatureSource::Snapshot;
+        return *f;
+    }
+
+    const std::string key = app + "|" + input;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        if (const port::WorkloadFeatures *f =
+                featureCache_.get(key)) {
+            *source = FeatureSource::Cache;
+            return *f;
+        }
+    }
+
+    // Trace the pair on demand — the expensive path the LRU exists
+    // for. Run outside the lock; concurrent misses on the same key
+    // recompute the same deterministic value.
+    const runner::InputSpec *spec = index_.findInput(input);
+    fatalIf(spec == nullptr,
+            "cannot advise: input '" + input +
+                "' is neither in the study nor generatable");
+    const apps::Application &app_ref = apps::appByName(app);
+    const graph::Csr g = spec->make();
+    auto [output, trace] = apps::runApp(app_ref, g, spec->name);
+    (void)output;
+    const port::WorkloadFeatures features =
+        port::extractFeatures(trace);
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        featureCache_.put(key, features);
+    }
+    *source = FeatureSource::Computed;
+    return features;
+}
+
+Advice
+Advisor::advise(const Query &q) const
+{
+    const runner::InputSpec *input = index_.findInput(q.input);
+    const bool appKnown = index_.hasApp(q.app);
+    const bool chipKnown = index_.hasChip(q.chip);
+
+    if (chipKnown) {
+        // Descend the lattice: the most specialised tier all of
+        // whose dimensions the study measured answers. "global"
+        // specialises nothing, so the loop always terminates there.
+        const runner::Test test{q.app,
+                                input ? input->name : q.input,
+                                q.chip};
+        for (const std::string &name : tierOrder()) {
+            const port::StrategyTable &table = index_.table(name);
+            if (table.spec.byApp && !appKnown)
+                continue;
+            if (table.spec.byInput && input == nullptr)
+                continue;
+            const std::string key =
+                port::partitionKey(table.spec, test);
+            const unsigned *cfg = table.configFor(key);
+            if (cfg == nullptr)
+                continue;
+            Advice advice;
+            advice.config = *cfg;
+            advice.configLabel =
+                dsl::OptConfig::decode(*cfg).label();
+            advice.tier = name;
+            advice.partition = key;
+            advice.expectedSlowdownVsOracle = table.geomeanVsOracle;
+            const auto slow = table.slowdownByPartition.find(key);
+            advice.partitionSlowdownVsOracle =
+                slow != table.slowdownByPartition.end()
+                    ? slow->second
+                    : table.geomeanVsOracle;
+            return advice;
+        }
+        panic("Advisor: lattice descent fell through the global "
+              "tier");
+    }
+
+    // Unknown chip: no descriptive tier applies (configurations do
+    // not transfer across chips); predict from workload features.
+    Advice advice;
+    advice.predictive = true;
+    advice.tier = "predictive";
+    advice.expectedSlowdownVsOracle = index_.predictiveGeomean();
+    advice.partitionSlowdownVsOracle = index_.predictiveGeomean();
+    const std::string inputName = input ? input->name : q.input;
+    const port::WorkloadFeatures features =
+        lookupFeatures(q.app, inputName, &advice.featureSource);
+
+    // port::predictConfig semantics: train on every snapshot example
+    // whose (app, input) pair differs from the query, in test order.
+    port::KnnPredictor predictor(index_.knnK());
+    for (const PredictorExample &e : index_.examples()) {
+        if (e.app == q.app && e.input == inputName)
+            continue;
+        predictor.addExample(e.features, e.bestConfig);
+    }
+    advice.config = predictor.predict(features);
+    advice.configLabel =
+        dsl::OptConfig::decode(advice.config).label();
+    return advice;
+}
+
+} // namespace serve
+} // namespace graphport

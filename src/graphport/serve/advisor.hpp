@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The advisor: graphport's on-demand form of the paper's end product
+ * — a function from (application, input, chip) to an optimisation
+ * configuration (Table V / Algorithm 1) — answered from a precomputed
+ * StrategyIndex instead of a fresh analysis.
+ *
+ * Answering walks the specialisation lattice from the most
+ * specialised tier down (chip_app_input -> chip_app -> chip_input ->
+ * app_input -> chip -> app -> input -> global; ties in degree prefer
+ * chip-specialised tiers, since chip is the dimension the paper shows
+ * matters most) and answers from the first tier whose partition
+ * covers the query, reporting which tier answered and the tier's
+ * expected geomean slowdown vs. the oracle. For a chip the study
+ * never measured no descriptive tier is trustworthy — the paper's
+ * core finding is that configurations do not transfer across chips —
+ * so the advisor falls back to the predictive path: k-NN over
+ * workload features pooled across the study's chips
+ * (port::predictConfig semantics), with an LRU cache over trace-
+ * feature lookups for (app, input) pairs outside the study.
+ *
+ * advise() is const and thread-safe; concurrent batches produce
+ * answers bit-identical to serial evaluation.
+ */
+#ifndef GRAPHPORT_SERVE_ADVISOR_HPP
+#define GRAPHPORT_SERVE_ADVISOR_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graphport/serve/index.hpp"
+#include "graphport/support/lrucache.hpp"
+
+namespace graphport {
+namespace serve {
+
+/** One request: the names may be unknown to the study. */
+struct Query
+{
+    std::string app;
+    std::string input; ///< input name or input class
+    std::string chip;
+};
+
+/** Where a predictive answer's workload features came from. */
+enum class FeatureSource
+{
+    None,     ///< lattice answer; no feature lookup happened
+    Snapshot, ///< pair traced at index-build time
+    Cache,    ///< LRU hit on an earlier on-demand trace
+    Computed, ///< traced on demand (LRU miss)
+};
+
+/** One answer. */
+struct Advice
+{
+    /** Recommended configuration. */
+    unsigned config = 0;
+    /** dsl::OptConfig::label() of config. */
+    std::string configLabel;
+    /** Lattice tier name ("chip_app_input".."global") or "predictive". */
+    std::string tier;
+    /** True when the predictive fallback answered. */
+    bool predictive = false;
+    /** Partition key that answered (empty for predictive answers). */
+    std::string partition;
+    /**
+     * Expected geomean slowdown vs. oracle of the answering tier as
+     * a whole (the leave-one-out predictor geomean for predictive
+     * answers).
+     */
+    double expectedSlowdownVsOracle = 1.0;
+    /**
+     * Expected geomean slowdown vs. oracle within the answering
+     * partition — a sharper estimate than the tier-wide number.
+     * Equals expectedSlowdownVsOracle for predictive answers.
+     */
+    double partitionSlowdownVsOracle = 1.0;
+    /** Feature provenance (predictive answers only). */
+    FeatureSource featureSource = FeatureSource::None;
+
+    /**
+     * Whether two advices carry the same answer. Feature provenance
+     * is excluded: a warm cache must not change what is answered,
+     * only how fast.
+     */
+    bool sameAnswer(const Advice &other) const;
+};
+
+/** Thread-safe query answering over a StrategyIndex. */
+class Advisor
+{
+  public:
+    /**
+     * @param index                Snapshot to answer from.
+     * @param featureCacheCapacity LRU capacity for on-demand trace
+     *                             features (pairs outside the study).
+     */
+    explicit Advisor(StrategyIndex index,
+                     std::size_t featureCacheCapacity = 256);
+
+    const StrategyIndex &index() const { return index_; }
+
+    /**
+     * Answer @p q. Thread-safe and deterministic: the answer is a
+     * pure function of the index and the query.
+     *
+     * @throws FatalError when the query cannot be answered at all
+     *         (unknown chip combined with an app or input that
+     *         cannot be traced on demand).
+     */
+    Advice advise(const Query &q) const;
+
+    /**
+     * Lattice descent order: all eight tier names, most specialised
+     * first, chip-specialised tiers preferred within equal degree.
+     */
+    static const std::vector<std::string> &tierOrder();
+
+    /** LRU feature-cache counters (lifetime totals). */
+    std::uint64_t featureCacheHits() const;
+    std::uint64_t featureCacheMisses() const;
+
+  private:
+    port::WorkloadFeatures lookupFeatures(const std::string &app,
+                                          const std::string &input,
+                                          FeatureSource *source) const;
+
+    StrategyIndex index_;
+    mutable std::mutex cacheMutex_;
+    mutable support::LruCache<std::string, port::WorkloadFeatures>
+        featureCache_;
+};
+
+} // namespace serve
+} // namespace graphport
+
+#endif // GRAPHPORT_SERVE_ADVISOR_HPP

@@ -1,0 +1,194 @@
+#include "graphport/serve/batch.hpp"
+
+#include <chrono>
+#include <istream>
+#include <ostream>
+
+#include "graphport/support/csv.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/strings.hpp"
+#include "graphport/support/threadpool.hpp"
+
+namespace graphport {
+namespace serve {
+
+namespace {
+
+/**
+ * Extract the string value of @p key from a minimal one-line JSON
+ * object. Only the subset the query wire format needs: string values
+ * without escape sequences.
+ */
+std::string
+jsonStringValue(const std::string &line,
+                const std::string &key,
+                std::size_t lineNo)
+{
+    const std::string needle = "\"" + key + "\"";
+    std::size_t pos = line.find(needle);
+    fatalIf(pos == std::string::npos,
+            "query line " + std::to_string(lineNo) +
+                ": JSON object is missing key \"" + key + "\"");
+    pos = line.find(':', pos + needle.size());
+    fatalIf(pos == std::string::npos,
+            "query line " + std::to_string(lineNo) +
+                ": no ':' after key \"" + key + "\"");
+    ++pos;
+    while (pos < line.size() &&
+           (line[pos] == ' ' || line[pos] == '\t'))
+        ++pos;
+    fatalIf(pos >= line.size() || line[pos] != '"',
+            "query line " + std::to_string(lineNo) + ": key \"" +
+                key + "\" does not carry a string value");
+    const std::size_t start = pos + 1;
+    const std::size_t end = line.find('"', start);
+    fatalIf(end == std::string::npos,
+            "query line " + std::to_string(lineNo) +
+                ": unterminated string for key \"" + key + "\"");
+    return line.substr(start, end - start);
+}
+
+Query
+parseJsonLine(const std::string &line, std::size_t lineNo)
+{
+    Query q;
+    q.app = jsonStringValue(line, "app", lineNo);
+    q.input = jsonStringValue(line, "input", lineNo);
+    q.chip = jsonStringValue(line, "chip", lineNo);
+    return q;
+}
+
+Query
+parseCsvLine(const std::string &line, std::size_t lineNo)
+{
+    const std::vector<std::string> fields = csvParseLine(line);
+    fatalIf(fields.size() != 3,
+            "query line " + std::to_string(lineNo) +
+                ": expected 3 CSV fields (app,input,chip), got " +
+                std::to_string(fields.size()));
+    return Query{fields[0], fields[1], fields[2]};
+}
+
+} // namespace
+
+std::vector<Query>
+parseQueries(std::istream &is, WireFormat format)
+{
+    std::vector<Query> queries;
+    std::string line;
+    std::size_t lineNo = 0;
+    bool first = true;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        const std::string t = trim(line);
+        if (t.empty())
+            continue;
+        if (format == WireFormat::Auto)
+            format = t.front() == '{' ? WireFormat::Json
+                                      : WireFormat::Csv;
+        if (format == WireFormat::Json) {
+            queries.push_back(parseJsonLine(t, lineNo));
+        } else {
+            // Tolerate (exactly) the canonical header row up front.
+            if (first && t == "app,input,chip") {
+                first = false;
+                continue;
+            }
+            queries.push_back(parseCsvLine(t, lineNo));
+        }
+        first = false;
+    }
+    return queries;
+}
+
+std::vector<Advice>
+serveBatch(const Advisor &advisor,
+           const std::vector<Query> &queries,
+           unsigned threads,
+           ServerStats *stats)
+{
+    using Clock = std::chrono::steady_clock;
+
+    std::vector<Advice> advices(queries.size());
+    std::vector<double> latenciesNs(queries.size(), 0.0);
+
+    support::ThreadPool pool(threads);
+    const std::uint64_t cacheHits0 = advisor.featureCacheHits();
+    const std::uint64_t cacheMisses0 = advisor.featureCacheMisses();
+
+    const auto wall0 = Clock::now();
+    pool.parallelFor(
+        queries.size(),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const auto t0 = Clock::now();
+                advices[i] = advisor.advise(queries[i]);
+                const auto t1 = Clock::now();
+                latenciesNs[i] = std::chrono::duration<double,
+                                                       std::nano>(
+                                     t1 - t0)
+                                     .count();
+            }
+        },
+        16);
+    const auto wall1 = Clock::now();
+
+    if (stats != nullptr) {
+        ServerStats s;
+        s.threads = pool.threadCount();
+        s.queries = queries.size();
+        s.wallSeconds =
+            std::chrono::duration<double>(wall1 - wall0).count();
+        for (std::size_t i = 0; i < advices.size(); ++i) {
+            const Advice &a = advices[i];
+            ++s.tierCounts[a.tier];
+            if (a.predictive)
+                ++s.predictiveAnswers;
+            if (a.featureSource == FeatureSource::Snapshot)
+                ++s.snapshotFeatureHits;
+            s.latency.record(latenciesNs[i]);
+        }
+        s.cacheHits = advisor.featureCacheHits() - cacheHits0;
+        s.cacheMisses = advisor.featureCacheMisses() - cacheMisses0;
+        *stats = s;
+    }
+    return advices;
+}
+
+void
+writeAnswers(std::ostream &os,
+             const std::vector<Query> &queries,
+             const std::vector<Advice> &advices,
+             WireFormat format)
+{
+    panicIf(queries.size() != advices.size(),
+            "writeAnswers: query/advice count mismatch");
+    if (format == WireFormat::Json) {
+        for (std::size_t i = 0; i < queries.size(); ++i) {
+            const Query &q = queries[i];
+            const Advice &a = advices[i];
+            os << "{\"app\": \"" << q.app << "\", \"input\": \""
+               << q.input << "\", \"chip\": \"" << q.chip
+               << "\", \"config\": " << a.config
+               << ", \"config_label\": \"" << a.configLabel
+               << "\", \"tier\": \"" << a.tier
+               << "\", \"expected_slowdown\": "
+               << fmtDouble(a.partitionSlowdownVsOracle, 4) << "}\n";
+        }
+        return;
+    }
+    os << "app,input,chip,config,config_label,tier,"
+          "expected_slowdown\n";
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        const Query &q = queries[i];
+        const Advice &a = advices[i];
+        os << csvRow({q.app, q.input, q.chip,
+                      std::to_string(a.config), a.configLabel,
+                      a.tier,
+                      fmtDouble(a.partitionSlowdownVsOracle, 4)})
+           << "\n";
+    }
+}
+
+} // namespace serve
+} // namespace graphport

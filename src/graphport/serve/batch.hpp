@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The batch request front-end: parse line-delimited queries (CSV or
+ * JSON lines), fan them out over support::ThreadPool, and emit
+ * answers plus a ServerStats record.
+ *
+ * Answers are written back in request order and are bit-identical
+ * for every thread count: advise() is a pure function of (index,
+ * query), the results vector is preallocated, and each worker only
+ * writes the slots of its own indices — the same argument as the
+ * sweep engine's.
+ */
+#ifndef GRAPHPORT_SERVE_BATCH_HPP
+#define GRAPHPORT_SERVE_BATCH_HPP
+
+#include <iosfwd>
+#include <vector>
+
+#include "graphport/serve/advisor.hpp"
+#include "graphport/serve/serverstats.hpp"
+
+namespace graphport {
+namespace serve {
+
+/** Wire format of a query stream / answer stream. */
+enum class WireFormat
+{
+    Auto, ///< detect: '{' starts JSON lines, anything else CSV
+    Csv,  ///< "app,input,chip" rows; optional leading header
+    Json, ///< one {"app": ..., "input": ..., "chip": ...} per line
+};
+
+/**
+ * Parse a query stream. CSV rows carry exactly three fields (an
+ * optional "app,input,chip" header is skipped); JSON lines must
+ * carry string values for the keys "app", "input" and "chip".
+ * Blank lines are skipped.
+ *
+ * @throws FatalError on malformed rows.
+ */
+std::vector<Query> parseQueries(std::istream &is,
+                                WireFormat format = WireFormat::Auto);
+
+/**
+ * Answer every query, fanning out over @p threads workers (0 = all
+ * hardware threads; the calling thread participates). Answers land
+ * in request order, bit-identical to a serial pass. When @p stats is
+ * non-null it is filled with the batch's ServerStats.
+ *
+ * A query that cannot be answered at all (FatalError from advise)
+ * aborts the batch with that error, matching the pool's
+ * first-exception contract.
+ */
+std::vector<Advice> serveBatch(const Advisor &advisor,
+                               const std::vector<Query> &queries,
+                               unsigned threads = 1,
+                               ServerStats *stats = nullptr);
+
+/**
+ * Write answers (paired with their queries) as CSV with a header or
+ * as JSON lines. @p format Auto means Csv.
+ */
+void writeAnswers(std::ostream &os,
+                  const std::vector<Query> &queries,
+                  const std::vector<Advice> &advices,
+                  WireFormat format = WireFormat::Csv);
+
+} // namespace serve
+} // namespace graphport
+
+#endif // GRAPHPORT_SERVE_BATCH_HPP

@@ -1,0 +1,524 @@
+#include "graphport/serve/index.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <set>
+
+#include "graphport/port/evaluate.hpp"
+#include "graphport/support/csv.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/mathutil.hpp"
+#include "graphport/support/strings.hpp"
+
+namespace graphport {
+namespace serve {
+
+namespace {
+
+/** Exact round-trip double formatting (C99 hexfloat). */
+std::string
+hexDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    return buf;
+}
+
+std::string
+hexU64(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+    return buf;
+}
+
+double
+parseDouble(const std::string &s, const std::string &what)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    fatalIf(s.empty() || end != s.c_str() + s.size(),
+            what + ": bad number '" + s + "'");
+    return v;
+}
+
+std::uint64_t
+parseHexU64(const std::string &s, const std::string &what)
+{
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(s.c_str(), &end, 16);
+    fatalIf(s.empty() || end != s.c_str() + s.size(),
+            what + ": bad hash '" + s + "'");
+    return v;
+}
+
+std::uint64_t
+parseU64(const std::string &s, const std::string &what)
+{
+    fatalIf(s.empty() ||
+                s.find_first_not_of("0123456789") != std::string::npos,
+            what + ": bad count '" + s + "'");
+    return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+unsigned
+parseUnsigned(const std::string &s, const std::string &what)
+{
+    return static_cast<unsigned>(parseU64(s, what));
+}
+
+std::string
+kindName(runner::InputSpec::Kind kind)
+{
+    switch (kind) {
+      case runner::InputSpec::Kind::RoadGrid:
+        return "road-grid";
+      case runner::InputSpec::Kind::Rmat:
+        return "rmat";
+      case runner::InputSpec::Kind::Uniform:
+        return "uniform";
+      default:
+        panic("StrategyIndex: invalid input kind");
+    }
+}
+
+runner::InputSpec::Kind
+kindByName(const std::string &name, const std::string &what)
+{
+    if (name == "road-grid")
+        return runner::InputSpec::Kind::RoadGrid;
+    if (name == "rmat")
+        return runner::InputSpec::Kind::Rmat;
+    if (name == "uniform")
+        return runner::InputSpec::Kind::Uniform;
+    fatal(what + ": unknown input kind '" + name + "'");
+}
+
+/** Partition keys are never empty except for "global"; mark it. */
+std::string
+encodeKey(const std::string &key)
+{
+    return key.empty() ? "-" : key;
+}
+
+std::string
+decodeKey(const std::string &field)
+{
+    return field == "-" ? "" : field;
+}
+
+/** Reads one non-blank snapshot row; fatal at end of stream. */
+std::vector<std::string>
+nextRow(std::istream &is, const std::string &what)
+{
+    std::string line;
+    while (std::getline(is, line)) {
+        if (trim(line).empty())
+            continue;
+        return csvParseLine(line);
+    }
+    fatal("index snapshot " + what +
+          ": truncated (missing 'end' marker)");
+}
+
+void
+expectKeyword(const std::vector<std::string> &row,
+              const std::string &keyword, std::size_t minFields,
+              const std::string &what)
+{
+    fatalIf(row.empty() || row[0] != keyword,
+            "index snapshot " + what + ": expected '" + keyword +
+                "' record, got '" + (row.empty() ? "" : row[0]) +
+                "'");
+    fatalIf(row.size() < minFields,
+            "index snapshot " + what + ": short '" + keyword +
+                "' record");
+}
+
+} // namespace
+
+void
+StrategyIndex::rebuildFeatureMap()
+{
+    featureByPair_.clear();
+    for (const PredictorExample &e : examples_)
+        featureByPair_.emplace(e.app + "|" + e.input, e.features);
+}
+
+bool
+StrategyIndex::hasApp(const std::string &app) const
+{
+    for (const std::string &a : apps_) {
+        if (a == app)
+            return true;
+    }
+    return false;
+}
+
+bool
+StrategyIndex::hasChip(const std::string &chip) const
+{
+    for (const std::string &c : chips_) {
+        if (c == chip)
+            return true;
+    }
+    return false;
+}
+
+const runner::InputSpec *
+StrategyIndex::findInput(const std::string &nameOrClass) const
+{
+    for (const runner::InputSpec &i : inputs_) {
+        if (i.name == nameOrClass)
+            return &i;
+    }
+    for (const runner::InputSpec &i : inputs_) {
+        if (i.cls == nameOrClass)
+            return &i;
+    }
+    return nullptr;
+}
+
+const port::StrategyTable &
+StrategyIndex::table(const std::string &name) const
+{
+    for (const port::StrategyTable &t : tables_) {
+        if (t.name == name)
+            return t;
+    }
+    panic("StrategyIndex: no strategy table named '" + name + "'");
+}
+
+const port::WorkloadFeatures *
+StrategyIndex::featuresFor(const std::string &app,
+                           const std::string &input) const
+{
+    const auto it = featureByPair_.find(app + "|" + input);
+    return it == featureByPair_.end() ? nullptr : &it->second;
+}
+
+StrategyIndex
+StrategyIndex::build(const runner::Dataset &ds, double alpha,
+                     unsigned knnK)
+{
+    fatalIf(knnK == 0, "StrategyIndex: knnK must be >= 1");
+    StrategyIndex index;
+    index.datasetHash_ = ds.contentHash();
+    index.apps_ = ds.universe().apps;
+    index.inputs_ = ds.universe().inputs;
+    index.chips_ = ds.universe().chips;
+    index.alpha_ = alpha;
+    index.knnK_ = knnK;
+
+    // All ten strategies, tabulated with the spec they partition by.
+    const std::vector<port::Strategy> strategies =
+        port::allStrategies(ds, alpha);
+    std::vector<port::Specialisation> specs;
+    specs.push_back({false, false, false}); // baseline: one partition
+    for (const port::Specialisation &s :
+         port::Specialisation::lattice())
+        specs.push_back(s);
+    specs.push_back({true, true, true}); // oracle: per-test
+    panicIf(specs.size() != strategies.size(),
+            "StrategyIndex: strategy/spec count mismatch");
+    for (std::size_t i = 0; i < strategies.size(); ++i) {
+        index.tables_.push_back(
+            port::tabulateStrategy(ds, strategies[i], specs[i]));
+    }
+
+    // Predictor training examples, one per test in test order.
+    const std::map<std::string, dsl::AppTrace> traces =
+        port::collectTraces(ds.universe());
+    for (std::size_t t = 0; t < ds.numTests(); ++t) {
+        const runner::Test test = ds.testAt(t);
+        PredictorExample e;
+        e.app = test.app;
+        e.input = test.input;
+        e.chip = test.chip;
+        e.bestConfig = ds.bestConfig(t);
+        e.features = port::extractFeatures(
+            traces.at(test.app + "|" + test.input));
+        index.examples_.push_back(std::move(e));
+    }
+    index.rebuildFeatureMap();
+
+    // Leave-one-out quality of the predictive fallback: predict each
+    // (app, input) pair from the others, score against the oracle.
+    std::set<std::string> pairs;
+    for (const PredictorExample &e : index.examples_)
+        pairs.insert(e.app + "|" + e.input);
+    if (pairs.size() >= 2) {
+        std::map<std::string, unsigned> predictedByPair;
+        for (std::size_t t = 0; t < ds.numTests(); ++t) {
+            const runner::Test test = ds.testAt(t);
+            const std::string pair = test.app + "|" + test.input;
+            if (!predictedByPair.count(pair)) {
+                predictedByPair[pair] = port::predictConfig(
+                    ds, traces, test.app, test.input, knnK);
+            }
+        }
+        std::vector<double> vsOracle;
+        for (std::size_t t = 0; t < ds.numTests(); ++t) {
+            const runner::Test test = ds.testAt(t);
+            const unsigned cfg =
+                predictedByPair.at(test.app + "|" + test.input);
+            vsOracle.push_back(ds.meanNs(t, cfg) /
+                               ds.meanNs(t, ds.bestConfig(t)));
+        }
+        index.predictiveGeomean_ = geomean(vsOracle);
+    }
+    return index;
+}
+
+void
+StrategyIndex::save(std::ostream &os) const
+{
+    os << csvRow({"graphport-index",
+                  std::to_string(kIndexFormatVersion)})
+       << "\n";
+    os << csvRow({"dataset_hash", hexU64(datasetHash_)}) << "\n";
+    os << csvRow({"alpha", hexDouble(alpha_)}) << "\n";
+    os << csvRow({"knn_k", std::to_string(knnK_)}) << "\n";
+    os << csvRow({"predictive_geomean", hexDouble(predictiveGeomean_)})
+       << "\n";
+
+    std::vector<std::string> appsRow = {
+        "apps", std::to_string(apps_.size())};
+    appsRow.insert(appsRow.end(), apps_.begin(), apps_.end());
+    os << csvRow(appsRow) << "\n";
+
+    std::vector<std::string> chipsRow = {
+        "chips", std::to_string(chips_.size())};
+    chipsRow.insert(chipsRow.end(), chips_.begin(), chips_.end());
+    os << csvRow(chipsRow) << "\n";
+
+    os << csvRow({"inputs", std::to_string(inputs_.size())}) << "\n";
+    for (const runner::InputSpec &i : inputs_) {
+        os << csvRow({"input", i.name, i.cls, kindName(i.kind),
+                      std::to_string(i.sizeParam),
+                      hexDouble(i.avgDegree),
+                      std::to_string(i.seed)})
+           << "\n";
+    }
+
+    os << csvRow({"tables", std::to_string(tables_.size())}) << "\n";
+    for (const port::StrategyTable &t : tables_) {
+        os << csvRow({"table", t.name, t.spec.byApp ? "1" : "0",
+                      t.spec.byInput ? "1" : "0",
+                      t.spec.byChip ? "1" : "0",
+                      std::to_string(t.configByPartition.size()),
+                      hexDouble(t.geomeanVsOracle)})
+           << "\n";
+        for (const auto &[key, cfg] : t.configByPartition) {
+            const auto slow = t.slowdownByPartition.find(key);
+            panicIf(slow == t.slowdownByPartition.end(),
+                    "StrategyIndex::save: partition without "
+                    "slowdown: " +
+                        key);
+            os << csvRow({"partition", encodeKey(key),
+                          std::to_string(cfg),
+                          hexDouble(slow->second)})
+               << "\n";
+        }
+    }
+
+    os << csvRow({"examples", std::to_string(examples_.size())})
+       << "\n";
+    for (const PredictorExample &e : examples_) {
+        std::vector<std::string> row = {
+            "example", e.app, e.input, e.chip,
+            std::to_string(e.bestConfig)};
+        for (double f : e.features)
+            row.push_back(hexDouble(f));
+        os << csvRow(row) << "\n";
+    }
+    os << "end\n";
+}
+
+StrategyIndex
+StrategyIndex::load(std::istream &is, const std::string &what)
+{
+    StrategyIndex index;
+
+    std::vector<std::string> row = nextRow(is, what);
+    fatalIf(row.empty() || row[0] != "graphport-index",
+            "index snapshot " + what +
+                ": not a graphport index snapshot (bad magic)");
+    fatalIf(row.size() < 2,
+            "index snapshot " + what + ": missing format version");
+    const unsigned version = parseUnsigned(row[1], what);
+    fatalIf(version != kIndexFormatVersion,
+            "index snapshot " + what + ": format version " +
+                std::to_string(version) + ", but this build reads " +
+                std::to_string(kIndexFormatVersion) +
+                "; rebuild the index with 'graphport_cli index'");
+
+    row = nextRow(is, what);
+    expectKeyword(row, "dataset_hash", 2, what);
+    index.datasetHash_ = parseHexU64(row[1], what);
+
+    row = nextRow(is, what);
+    expectKeyword(row, "alpha", 2, what);
+    index.alpha_ = parseDouble(row[1], what);
+
+    row = nextRow(is, what);
+    expectKeyword(row, "knn_k", 2, what);
+    index.knnK_ = parseUnsigned(row[1], what);
+    fatalIf(index.knnK_ == 0,
+            "index snapshot " + what + ": knn_k must be >= 1");
+
+    row = nextRow(is, what);
+    expectKeyword(row, "predictive_geomean", 2, what);
+    index.predictiveGeomean_ = parseDouble(row[1], what);
+
+    row = nextRow(is, what);
+    expectKeyword(row, "apps", 2, what);
+    const unsigned nApps = parseUnsigned(row[1], what);
+    fatalIf(row.size() != 2 + nApps,
+            "index snapshot " + what + ": apps record length");
+    index.apps_.assign(row.begin() + 2, row.end());
+
+    row = nextRow(is, what);
+    expectKeyword(row, "chips", 2, what);
+    const unsigned nChips = parseUnsigned(row[1], what);
+    fatalIf(row.size() != 2 + nChips,
+            "index snapshot " + what + ": chips record length");
+    index.chips_.assign(row.begin() + 2, row.end());
+
+    row = nextRow(is, what);
+    expectKeyword(row, "inputs", 2, what);
+    const unsigned nInputs = parseUnsigned(row[1], what);
+    for (unsigned i = 0; i < nInputs; ++i) {
+        row = nextRow(is, what);
+        expectKeyword(row, "input", 7, what);
+        runner::InputSpec spec;
+        spec.name = row[1];
+        spec.cls = row[2];
+        spec.kind = kindByName(row[3], what);
+        spec.sizeParam = parseUnsigned(row[4], what);
+        spec.avgDegree = parseDouble(row[5], what);
+        spec.seed = parseU64(row[6], what);
+        index.inputs_.push_back(std::move(spec));
+    }
+
+    row = nextRow(is, what);
+    expectKeyword(row, "tables", 2, what);
+    const unsigned nTables = parseUnsigned(row[1], what);
+    for (unsigned t = 0; t < nTables; ++t) {
+        row = nextRow(is, what);
+        expectKeyword(row, "table", 7, what);
+        port::StrategyTable table;
+        table.name = row[1];
+        table.spec.byApp = row[2] == "1";
+        table.spec.byInput = row[3] == "1";
+        table.spec.byChip = row[4] == "1";
+        const unsigned nPart = parseUnsigned(row[5], what);
+        table.geomeanVsOracle = parseDouble(row[6], what);
+        for (unsigned p = 0; p < nPart; ++p) {
+            row = nextRow(is, what);
+            expectKeyword(row, "partition", 4, what);
+            const std::string key = decodeKey(row[1]);
+            const unsigned cfg = parseUnsigned(row[2], what);
+            fatalIf(cfg >= dsl::kNumConfigs,
+                    "index snapshot " + what +
+                        ": config id out of range: " + row[2]);
+            table.configByPartition[key] = cfg;
+            table.slowdownByPartition[key] =
+                parseDouble(row[3], what);
+        }
+        index.tables_.push_back(std::move(table));
+    }
+
+    row = nextRow(is, what);
+    expectKeyword(row, "examples", 2, what);
+    const unsigned nExamples = parseUnsigned(row[1], what);
+    for (unsigned e = 0; e < nExamples; ++e) {
+        row = nextRow(is, what);
+        expectKeyword(row, "example",
+                      5 + port::kNumWorkloadFeatures, what);
+        PredictorExample ex;
+        ex.app = row[1];
+        ex.input = row[2];
+        ex.chip = row[3];
+        ex.bestConfig = parseUnsigned(row[4], what);
+        fatalIf(ex.bestConfig >= dsl::kNumConfigs,
+                "index snapshot " + what +
+                    ": config id out of range: " + row[4]);
+        for (unsigned d = 0; d < port::kNumWorkloadFeatures; ++d)
+            ex.features[d] = parseDouble(row[5 + d], what);
+        index.examples_.push_back(std::move(ex));
+    }
+
+    row = nextRow(is, what);
+    expectKeyword(row, "end", 1, what);
+    index.rebuildFeatureMap();
+    return index;
+}
+
+StrategyIndex
+StrategyIndex::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in.good(),
+            "cannot open index snapshot '" + path + "'");
+    return load(in, "'" + path + "'");
+}
+
+void
+StrategyIndex::saveFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    fatalIf(!out.good(),
+            "cannot open index snapshot '" + path +
+                "' for writing");
+    save(out);
+    out.flush();
+    fatalIf(!out.good(),
+            "failed while writing index snapshot '" + path + "'");
+}
+
+StrategyIndex
+StrategyIndex::buildOrLoadCached(const runner::Dataset &ds,
+                                 const std::string &path, double alpha,
+                                 unsigned knnK)
+{
+    {
+        std::ifstream in(path);
+        if (in.good()) {
+            try {
+                StrategyIndex index = load(in, "'" + path + "'");
+                if (index.datasetHash_ == ds.contentHash())
+                    return index;
+                std::fprintf(
+                    stderr,
+                    "graphport: warning: index snapshot '%s' was "
+                    "built from a different dataset (hash %s, "
+                    "expected %s); rebuilding\n",
+                    path.c_str(), hexU64(index.datasetHash_).c_str(),
+                    hexU64(ds.contentHash()).c_str());
+            } catch (const FatalError &e) {
+                std::fprintf(stderr,
+                             "graphport: warning: index snapshot "
+                             "'%s' rejected (%s); rebuilding\n",
+                             path.c_str(), e.what());
+            }
+        }
+    }
+    StrategyIndex index = build(ds, alpha, knnK);
+    try {
+        index.saveFile(path);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr,
+                     "graphport: warning: %s; the index will be "
+                     "rebuilt next time\n",
+                     e.what());
+    }
+    return index;
+}
+
+} // namespace serve
+} // namespace graphport

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The strategy index: everything the paper's analysis derives from a
+ * timing dataset, precomputed once and frozen into a snapshot so a
+ * server can answer (app, input, chip) -> configuration queries in
+ * microseconds instead of re-running the study.
+ *
+ * An index holds, for one dataset:
+ *  - all ten strategy tables (baseline, the eight specialisation-
+ *    lattice strategies, the oracle) as flat partition -> config maps
+ *    with per-tier and per-partition expected slowdowns vs. oracle,
+ *  - the k-NN predictor's training examples (per-test workload
+ *    features + oracle configuration), so the predictive fallback
+ *    needs no dataset at serve time,
+ *  - the universe's input specs, so features for pairs outside the
+ *    study can still be computed on demand.
+ *
+ * Snapshots are versioned (kIndexFormatVersion) and stamped with the
+ * source dataset's content hash; loading a snapshot from a different
+ * format or dataset fails with a clear diagnostic instead of silently
+ * answering from the wrong study.
+ */
+#ifndef GRAPHPORT_SERVE_INDEX_HPP
+#define GRAPHPORT_SERVE_INDEX_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graphport/port/predict.hpp"
+#include "graphport/port/strategy.hpp"
+#include "graphport/runner/dataset.hpp"
+
+namespace graphport {
+namespace serve {
+
+/** Snapshot format version this build writes and reads. */
+constexpr unsigned kIndexFormatVersion = 1;
+
+/** One k-NN training example (one test of the source dataset). */
+struct PredictorExample
+{
+    std::string app;
+    std::string input;
+    std::string chip;
+    /** The test's oracle configuration (the training label). */
+    unsigned bestConfig = 0;
+    /** Workload features of the (app, input) trace. */
+    port::WorkloadFeatures features{};
+};
+
+/** Precomputed strategies + predictor over one dataset. */
+class StrategyIndex
+{
+  public:
+    /**
+     * Derive the full index from @p ds: run Algorithm 1 for every
+     * lattice strategy, tabulate all ten strategies, record traces
+     * and extract the predictor's training examples, and measure the
+     * predictive fallback's leave-one-out geomean slowdown.
+     */
+    static StrategyIndex build(const runner::Dataset &ds,
+                               double alpha = 0.05, unsigned knnK = 3);
+
+    /**
+     * Parse a snapshot. @p what names the source in diagnostics.
+     *
+     * @throws FatalError on a foreign file, a format-version
+     *         mismatch, or a truncated/corrupt snapshot.
+     */
+    static StrategyIndex load(std::istream &is,
+                              const std::string &what = "<stream>");
+
+    /** load() from a file path. @throws FatalError when unreadable. */
+    static StrategyIndex loadFile(const std::string &path);
+
+    /**
+     * Load the snapshot at @p path if it exists and matches @p ds's
+     * content hash, otherwise build from @p ds and save there. A
+     * rejected snapshot or failed write is reported as a warning on
+     * stderr with its cause, never an error (mirrors
+     * Dataset::buildOrLoadCached).
+     */
+    static StrategyIndex buildOrLoadCached(const runner::Dataset &ds,
+                                           const std::string &path,
+                                           double alpha = 0.05,
+                                           unsigned knnK = 3);
+
+    /** Serialise the snapshot (text, exact double round-trip). */
+    void save(std::ostream &os) const;
+
+    /** save() to a file path. @throws FatalError when unwritable. */
+    void saveFile(const std::string &path) const;
+
+    /** Content hash of the dataset this index was derived from. */
+    std::uint64_t datasetHash() const { return datasetHash_; }
+
+    /** Universe dimension names. */
+    const std::vector<std::string> &apps() const { return apps_; }
+    const std::vector<runner::InputSpec> &inputs() const
+    {
+        return inputs_;
+    }
+    const std::vector<std::string> &chips() const { return chips_; }
+
+    /** Whether the study measured @p app / @p chip. */
+    bool hasApp(const std::string &app) const;
+    bool hasChip(const std::string &chip) const;
+
+    /**
+     * Resolve a query's input field, which may name an input ("road")
+     * or an input class ("road network"). Returns nullptr when the
+     * study covers neither.
+     */
+    const runner::InputSpec *
+    findInput(const std::string &nameOrClass) const;
+
+    /**
+     * All strategy tables in allStrategies order: baseline, the
+     * lattice from global to chip_app_input, oracle.
+     */
+    const std::vector<port::StrategyTable> &tables() const
+    {
+        return tables_;
+    }
+
+    /** Table by strategy name. @throws PanicError when missing. */
+    const port::StrategyTable &table(const std::string &name) const;
+
+    /** k consulted by the predictive fallback. */
+    unsigned knnK() const { return knnK_; }
+
+    /** MWU significance level the lattice was derived with. */
+    double alpha() const { return alpha_; }
+
+    /**
+     * Leave-one-out geomean slowdown vs. oracle of the predictive
+     * fallback (>= 1), measured on the source dataset at build time.
+     */
+    double predictiveGeomean() const { return predictiveGeomean_; }
+
+    /** k-NN training examples in dataset test order. */
+    const std::vector<PredictorExample> &examples() const
+    {
+        return examples_;
+    }
+
+    /**
+     * Stored workload features of one (app, input) pair, or nullptr
+     * when the study didn't trace it.
+     */
+    const port::WorkloadFeatures *
+    featuresFor(const std::string &app, const std::string &input) const;
+
+  private:
+    StrategyIndex() = default;
+
+    std::uint64_t datasetHash_ = 0;
+    std::vector<std::string> apps_;
+    std::vector<runner::InputSpec> inputs_;
+    std::vector<std::string> chips_;
+    unsigned knnK_ = 3;
+    double alpha_ = 0.05;
+    double predictiveGeomean_ = 1.0;
+    std::vector<port::StrategyTable> tables_;
+    std::vector<PredictorExample> examples_;
+    /** "app|input" -> features, derived from examples_. */
+    std::map<std::string, port::WorkloadFeatures> featureByPair_;
+
+    void rebuildFeatureMap();
+};
+
+} // namespace serve
+} // namespace graphport
+
+#endif // GRAPHPORT_SERVE_INDEX_HPP

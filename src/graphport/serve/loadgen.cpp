@@ -1,0 +1,160 @@
+#include "graphport/serve/loadgen.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "graphport/apps/app.hpp"
+#include "graphport/serve/batch.hpp"
+#include "graphport/sim/chip.hpp"
+#include "graphport/support/rng.hpp"
+#include "graphport/support/strings.hpp"
+#include "graphport/support/threadpool.hpp"
+
+namespace graphport {
+namespace serve {
+
+namespace {
+
+template <typename T>
+const T &
+pick(Rng &rng, const std::vector<T> &v)
+{
+    return v[rng.nextBelow(v.size())];
+}
+
+} // namespace
+
+std::vector<Query>
+makeQueryStream(const StrategyIndex &index,
+                std::size_t n,
+                std::uint64_t seed)
+{
+    const std::vector<std::string> &apps = index.apps();
+    const std::vector<std::string> &chips = index.chips();
+
+    std::vector<std::string> inputNames;
+    std::vector<std::string> inputClasses;
+    for (const runner::InputSpec &i : index.inputs()) {
+        inputNames.push_back(i.name);
+        inputClasses.push_back(i.cls);
+    }
+
+    // Registry members the index does not cover: querying them is
+    // what drives the degraded tiers and the predictive path.
+    std::vector<std::string> outsideApps;
+    for (const std::string &a : apps::allAppNames()) {
+        if (!index.hasApp(a))
+            outsideApps.push_back(a);
+    }
+    std::vector<std::string> unknownChips;
+    for (const std::string &c : sim::allChipNames()) {
+        if (!index.hasChip(c))
+            unknownChips.push_back(c);
+    }
+    if (unknownChips.empty()) {
+        // Index covers the whole registry; invent future silicon.
+        unknownChips = {"A100", "XE2"};
+    }
+    const std::vector<std::string> unseenInputs = {"intranet",
+                                                   "mesh"};
+
+    Rng rng(splitmix64(seed ^ 0x73657276656e6421ull));
+    std::vector<Query> queries;
+    queries.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double r = rng.nextDouble();
+        Query q;
+        if (r < 0.60) {
+            // Exact lattice hit; a quarter address the input by its
+            // class name instead of its short name.
+            q.app = pick(rng, apps);
+            q.input = rng.nextBool(0.25) ? pick(rng, inputClasses)
+                                         : pick(rng, inputNames);
+            q.chip = pick(rng, chips);
+        } else if (r < 0.78) {
+            // Unseen input on a known chip: a less-specialised tier
+            // answers.
+            q.app = pick(rng, apps);
+            q.input = pick(rng, unseenInputs);
+            q.chip = pick(rng, chips);
+        } else if (r < 0.90 || outsideApps.empty()) {
+            // Unknown chip over an indexed pair: predictive path,
+            // features straight from the snapshot.
+            q.app = pick(rng, apps);
+            q.input = pick(rng, inputNames);
+            q.chip = pick(rng, unknownChips);
+        } else {
+            // Unknown chip and an app outside the index: predictive
+            // path that must trace on demand — the LRU's workload.
+            q.app = pick(rng, outsideApps);
+            q.input = pick(rng, inputNames);
+            q.chip = pick(rng, unknownChips);
+        }
+        queries.push_back(std::move(q));
+    }
+    return queries;
+}
+
+LoadBenchResult
+runLoadBench(const Advisor &advisor,
+             const std::vector<Query> &queries,
+             const std::vector<unsigned> &threadCounts)
+{
+    LoadBenchResult result;
+
+    // Serial reference pass: every other pass must answer the same.
+    LoadVariant reference;
+    reference.requestedThreads = 1;
+    const std::vector<Advice> expected =
+        serveBatch(advisor, queries, 1, &reference.stats);
+    result.variants.push_back(std::move(reference));
+
+    for (unsigned threads : threadCounts) {
+        if (threads <= 1)
+            continue; // the serial pass already ran
+        LoadVariant variant;
+        variant.requestedThreads = threads;
+        const std::vector<Advice> got =
+            serveBatch(advisor, queries, threads, &variant.stats);
+        variant.bitIdentical =
+            got.size() == expected.size() &&
+            std::equal(got.begin(), got.end(), expected.begin(),
+                       [](const Advice &a, const Advice &b) {
+                           return a.sameAnswer(b);
+                       });
+        result.allBitIdentical =
+            result.allBitIdentical && variant.bitIdentical;
+        result.variants.push_back(std::move(variant));
+    }
+    return result;
+}
+
+void
+writeLoadBenchJson(std::ostream &os,
+                   const LoadBenchResult &result,
+                   std::size_t queries,
+                   std::uint64_t seed)
+{
+    os << "{\n"
+       << "  \"bench\": \"serve_latency\",\n"
+       << "  \"queries\": " << queries << ",\n"
+       << "  \"seed\": " << seed << ",\n"
+       << "  \"hardware_threads\": " << support::hardwareThreads()
+       << ",\n"
+       << "  \"all_bit_identical\": "
+       << (result.allBitIdentical ? "true" : "false") << ",\n"
+       << "  \"variants\": [\n";
+    for (std::size_t v = 0; v < result.variants.size(); ++v) {
+        const LoadVariant &var = result.variants[v];
+        os << "    {\"requested_threads\": " << var.requestedThreads
+           << ", "
+           << "\"bit_identical\": "
+           << (var.bitIdentical ? "true" : "false") << ", "
+           << "\"stats\": " << var.stats.toJson() << "}"
+           << (v + 1 < result.variants.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace serve
+} // namespace graphport

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Load generation for the serving layer: a deterministic mixed query
+ * stream (lattice hits, unseen inputs, unknown chips, out-of-index
+ * apps) and a bench harness that serves it at several thread counts,
+ * checks every parallel pass answers bit-identically to the serial
+ * reference, and emits one machine-readable JSON record
+ * (BENCH_serve.json).
+ */
+#ifndef GRAPHPORT_SERVE_LOADGEN_HPP
+#define GRAPHPORT_SERVE_LOADGEN_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "graphport/serve/advisor.hpp"
+#include "graphport/serve/serverstats.hpp"
+
+namespace graphport {
+namespace serve {
+
+/**
+ * Build a deterministic query stream over @p index: ~60% exact
+ * lattice hits (a quarter of which address the input by class name),
+ * ~18% unseen inputs on known chips (answered by a less-specialised
+ * tier), ~12% unknown chips over indexed pairs (predictive path,
+ * snapshot features), and ~10% unknown chips with registry apps
+ * outside the index (predictive path exercising the trace-feature
+ * LRU). Identical (index, n, seed) always yields the same stream.
+ */
+std::vector<Query> makeQueryStream(const StrategyIndex &index,
+                                   std::size_t n,
+                                   std::uint64_t seed = 42);
+
+/** One measured serving variant. */
+struct LoadVariant
+{
+    /** Thread count requested of serveBatch. */
+    unsigned requestedThreads = 1;
+    /** Batch metrics. */
+    ServerStats stats;
+    /** Whether every answer matched the serial reference. */
+    bool bitIdentical = true;
+};
+
+/** Result of runLoadBench. */
+struct LoadBenchResult
+{
+    std::vector<LoadVariant> variants;
+    /** AND over all variants' bitIdentical. */
+    bool allBitIdentical = true;
+};
+
+/**
+ * Serve @p queries once per entry of @p threadCounts. The first pass
+ * must be (and is forced to) a serial one — it is the reference every
+ * other pass is compared against with Advice::sameAnswer.
+ */
+LoadBenchResult runLoadBench(const Advisor &advisor,
+                             const std::vector<Query> &queries,
+                             const std::vector<unsigned> &threadCounts);
+
+/**
+ * Emit the BENCH_serve.json record: stream composition plus one
+ * entry per variant with QPS and latency percentiles.
+ */
+void writeLoadBenchJson(std::ostream &os,
+                        const LoadBenchResult &result,
+                        std::size_t queries,
+                        std::uint64_t seed);
+
+} // namespace serve
+} // namespace graphport
+
+#endif // GRAPHPORT_SERVE_LOADGEN_HPP

@@ -1,0 +1,139 @@
+#include "graphport/serve/serverstats.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "graphport/support/strings.hpp"
+
+namespace graphport {
+namespace serve {
+
+unsigned
+LatencyHistogram::bucketOf(double ns)
+{
+    if (!(ns > 1.0))
+        return 0;
+    const double idx = std::log2(ns) * kBucketsPerOctave;
+    if (idx >= kNumBuckets - 1)
+        return kNumBuckets - 1;
+    return static_cast<unsigned>(idx);
+}
+
+void
+LatencyHistogram::record(double ns)
+{
+    ++counts_[bucketOf(ns)];
+    ++total_;
+}
+
+double
+LatencyHistogram::percentileNs(double p) const
+{
+    if (total_ == 0)
+        return 0.0;
+    const double clamped = p < 0.0 ? 0.0 : (p > 100.0 ? 100.0 : p);
+    // The rank-th smallest sample (1-based), linear-interpolation
+    // style rank as in support percentile().
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(clamped / 100.0 *
+                  static_cast<double>(total_)));
+    const std::size_t target = rank == 0 ? 1 : rank;
+    std::size_t seen = 0;
+    for (unsigned b = 0; b < kNumBuckets; ++b) {
+        seen += counts_[b];
+        if (seen >= target) {
+            // Geometric midpoint of bucket b: 2^((b + 0.5) / 8).
+            return std::exp2((b + 0.5) /
+                             static_cast<double>(kBucketsPerOctave));
+        }
+    }
+    return std::exp2(static_cast<double>(kNumBuckets) /
+                     kBucketsPerOctave);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (unsigned b = 0; b < kNumBuckets; ++b)
+        counts_[b] += other.counts_[b];
+    total_ += other.total_;
+}
+
+double
+ServerStats::qps() const
+{
+    if (wallSeconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(queries) / wallSeconds;
+}
+
+double
+ServerStats::cacheHitRate() const
+{
+    const std::size_t lookups = cacheHits + cacheMisses;
+    if (lookups == 0)
+        return 1.0;
+    return static_cast<double>(cacheHits) /
+           static_cast<double>(lookups);
+}
+
+std::string
+ServerStats::toJson() const
+{
+    std::ostringstream os;
+    os << "{"
+       << "\"threads\": " << threads << ", "
+       << "\"queries\": " << queries << ", "
+       << "\"wall_seconds\": " << fmtDouble(wallSeconds, 6) << ", "
+       << "\"qps\": " << fmtDouble(qps(), 1) << ", "
+       << "\"p50_us\": " << fmtDouble(p50Ns() / 1e3, 3) << ", "
+       << "\"p95_us\": " << fmtDouble(p95Ns() / 1e3, 3) << ", "
+       << "\"p99_us\": " << fmtDouble(p99Ns() / 1e3, 3) << ", "
+       << "\"predictive_answers\": " << predictiveAnswers << ", "
+       << "\"snapshot_feature_hits\": " << snapshotFeatureHits
+       << ", "
+       << "\"cache_hits\": " << cacheHits << ", "
+       << "\"cache_misses\": " << cacheMisses << ", "
+       << "\"cache_hit_rate\": " << fmtDouble(cacheHitRate(), 4)
+       << ", "
+       << "\"tiers\": {";
+    bool first = true;
+    for (const auto &[tier, count] : tierCounts) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "\"" << tier << "\": " << count;
+    }
+    os << "}}";
+    return os.str();
+}
+
+void
+ServerStats::print(std::ostream &os) const
+{
+    os << "serving statistics:\n"
+       << "  threads           " << threads << "\n"
+       << "  queries           " << queries << "\n"
+       << "  wall time         " << fmtDouble(wallSeconds, 3)
+       << " s (" << fmtDouble(qps(), 0) << " queries/s)\n"
+       << "  latency           p50 "
+       << fmtDouble(p50Ns() / 1e3, 1) << " us, p95 "
+       << fmtDouble(p95Ns() / 1e3, 1) << " us, p99 "
+       << fmtDouble(p99Ns() / 1e3, 1) << " us\n"
+       << "  feature lookups   " << snapshotFeatureHits
+       << " snapshot, " << cacheHits << " cached, " << cacheMisses
+       << " traced on demand ("
+       << fmtDouble(100.0 * cacheHitRate(), 1)
+       << "% LRU hit rate)\n"
+       << "  answers by tier\n";
+    for (const auto &[tier, count] : tierCounts) {
+        os << "    " << tier;
+        for (std::size_t pad = tier.size(); pad < 16; ++pad)
+            os << ' ';
+        os << count << "\n";
+    }
+}
+
+} // namespace serve
+} // namespace graphport

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Observability for the serving layer, in the spirit of the sweep
+ * engine's SweepStats: one ServerStats per batch, carrying a
+ * log-bucketed latency histogram (p50/p95/p99), throughput, the
+ * feature-cache hit rate, and per-tier answer counts. Prints as a
+ * human table (CLI --stats) or one machine-readable JSON object
+ * (bench_serve_latency's BENCH_serve.json) so serving performance is
+ * tracked across PRs.
+ */
+#ifndef GRAPHPORT_SERVE_SERVERSTATS_HPP
+#define GRAPHPORT_SERVE_SERVERSTATS_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace graphport {
+namespace serve {
+
+/**
+ * Fixed-memory latency histogram with logarithmic buckets (8 per
+ * octave, so bucket edges are ~9% apart and a reported percentile is
+ * within ~4.5% of the true value). Covers 1 ns to ~2^48 ns.
+ */
+class LatencyHistogram
+{
+  public:
+    /** Record one latency sample (clamped into the covered range). */
+    void record(double ns);
+
+    /** Samples recorded. */
+    std::size_t count() const { return total_; }
+
+    /**
+     * Approximate @p p-th percentile (p in [0, 100]) in ns; 0 when
+     * empty. Returns the geometric midpoint of the bucket holding
+     * the requested order statistic.
+     */
+    double percentileNs(double p) const;
+
+    /** Fold @p other into this histogram. */
+    void merge(const LatencyHistogram &other);
+
+  private:
+    static constexpr unsigned kBucketsPerOctave = 8;
+    static constexpr unsigned kNumBuckets = kBucketsPerOctave * 48;
+
+    static unsigned bucketOf(double ns);
+
+    std::array<std::uint64_t, kNumBuckets> counts_{};
+    std::size_t total_ = 0;
+};
+
+/** Metrics of one served batch. */
+struct ServerStats
+{
+    /** Worker parallelism the batch actually used. */
+    unsigned threads = 1;
+    /** Queries answered. */
+    std::size_t queries = 0;
+    /** Wall time of the whole batch. */
+    double wallSeconds = 0.0;
+
+    /** Answers per tier ("chip_app_input".."global", "predictive"). */
+    std::map<std::string, std::size_t> tierCounts;
+    /** Answers from the predictive fallback. */
+    std::size_t predictiveAnswers = 0;
+    /** Feature lookups served from the snapshot's own table. */
+    std::size_t snapshotFeatureHits = 0;
+    /** Feature lookups served from the LRU cache. */
+    std::size_t cacheHits = 0;
+    /** Feature lookups that had to trace on demand. */
+    std::size_t cacheMisses = 0;
+
+    /** Per-query latency distribution. */
+    LatencyHistogram latency;
+
+    /** Queries per second of wall time (0 when unmeasured). */
+    double qps() const;
+
+    /** cacheHits / (cacheHits + cacheMisses); 1.0 with no lookups. */
+    double cacheHitRate() const;
+
+    double p50Ns() const { return latency.percentileNs(50.0); }
+    double p95Ns() const { return latency.percentileNs(95.0); }
+    double p99Ns() const { return latency.percentileNs(99.0); }
+
+    /** One-object JSON form (keys are stable across PRs). */
+    std::string toJson() const;
+
+    /** Human-readable multi-line summary. */
+    void print(std::ostream &os) const;
+};
+
+} // namespace serve
+} // namespace graphport
+
+#endif // GRAPHPORT_SERVE_SERVERSTATS_HPP

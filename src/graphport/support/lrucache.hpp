@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A small least-recently-used cache, used by the serve layer to
+ * memoise expensive trace-feature lookups (running an application to
+ * record its trace costs milliseconds; repeat queries should cost a
+ * hash lookup).
+ *
+ * The cache is deliberately single-threaded: callers that share one
+ * across threads wrap it in their own mutex (serve::Advisor does),
+ * which keeps this class trivially testable and leaves the locking
+ * granularity to the layer that knows the access pattern.
+ */
+#ifndef GRAPHPORT_SUPPORT_LRUCACHE_HPP
+#define GRAPHPORT_SUPPORT_LRUCACHE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+namespace support {
+
+/**
+ * Fixed-capacity LRU map. get() promotes, put() inserts or updates
+ * and evicts the least-recently-used entry when full.
+ */
+template <typename Key, typename Value>
+class LruCache
+{
+  public:
+    /** @param capacity Maximum entries held; must be >= 1. */
+    explicit LruCache(std::size_t capacity) : capacity_(capacity)
+    {
+        fatalIf(capacity == 0, "LruCache: capacity must be >= 1");
+    }
+
+    /**
+     * Look up @p key; returns nullptr on a miss. A hit promotes the
+     * entry to most-recently-used. The pointer stays valid until the
+     * next put() on this cache.
+     */
+    const Value *
+    get(const Key &key)
+    {
+        const auto it = map_.find(key);
+        if (it == map_.end()) {
+            ++misses_;
+            return nullptr;
+        }
+        order_.splice(order_.begin(), order_, it->second);
+        ++hits_;
+        return &it->second->second;
+    }
+
+    /**
+     * Insert @p value under @p key (or overwrite an existing entry),
+     * making it most-recently-used; evicts the least-recently-used
+     * entry when the cache is full.
+     */
+    void
+    put(const Key &key, Value value)
+    {
+        const auto it = map_.find(key);
+        if (it != map_.end()) {
+            it->second->second = std::move(value);
+            order_.splice(order_.begin(), order_, it->second);
+            return;
+        }
+        if (map_.size() >= capacity_) {
+            map_.erase(order_.back().first);
+            order_.pop_back();
+        }
+        order_.emplace_front(key, std::move(value));
+        map_[key] = order_.begin();
+    }
+
+    /** Entries currently held. */
+    std::size_t size() const { return map_.size(); }
+
+    /** Maximum entries. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** get() calls that found an entry. */
+    std::uint64_t hits() const { return hits_; }
+
+    /** get() calls that missed. */
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    std::size_t capacity_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    /** Front = most recently used. */
+    std::list<std::pair<Key, Value>> order_;
+    std::unordered_map<
+        Key, typename std::list<std::pair<Key, Value>>::iterator>
+        map_;
+};
+
+} // namespace support
+} // namespace graphport
+
+#endif // GRAPHPORT_SUPPORT_LRUCACHE_HPP

@@ -131,3 +131,36 @@ TEST(Naive, SelectorsAreConsistentWithRanking)
         EXPECT_EQ(ranking[rankOf(ranking, cfg)].slowdowns, 0u);
     }
 }
+
+TEST(Evaluate, PartitionSlowdownsCoverEveryPartition)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const Specialisation spec{false, false, true};
+    const Strategy s = makeSpecialised(ds, spec);
+    const auto slowdowns = partitionSlowdowns(ds, s, spec);
+    EXPECT_EQ(slowdowns.size(), ds.universe().chips.size());
+    for (const auto &[key, slowdown] : slowdowns)
+        EXPECT_GE(slowdown, 1.0) << key;
+}
+
+TEST(Evaluate, PartitionSlowdownsOfOracleAreExactlyOne)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const Specialisation all{true, true, true};
+    const auto slowdowns =
+        partitionSlowdowns(ds, makeOracle(ds), all);
+    EXPECT_EQ(slowdowns.size(), ds.numTests());
+    for (const auto &[key, slowdown] : slowdowns)
+        EXPECT_DOUBLE_EQ(slowdown, 1.0) << key;
+}
+
+TEST(Evaluate, GlobalPartitionSlowdownMatchesWholeDatasetEval)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const Specialisation none{false, false, false};
+    const Strategy s = makeSpecialised(ds, none);
+    const auto slowdowns = partitionSlowdowns(ds, s, none);
+    ASSERT_EQ(slowdowns.size(), 1u);
+    const StrategyEval e = evaluateStrategy(ds, s);
+    EXPECT_DOUBLE_EQ(slowdowns.at(""), e.geomeanVsOracle);
+}

@@ -113,3 +113,47 @@ TEST(Predictor, MissingTraceIsFatal)
     const std::map<std::string, dsl::AppTrace> empty;
     EXPECT_THROW(evaluatePredictor(ds, empty, 3), FatalError);
 }
+
+TEST(Predictor, PredictConfigIsDeterministicAndValid)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const auto traces = collectTraces(ds.universe());
+    const unsigned a =
+        predictConfig(ds, traces, "bfs-topo", "road", 3);
+    const unsigned b =
+        predictConfig(ds, traces, "bfs-topo", "road", 3);
+    EXPECT_EQ(a, b);
+    EXPECT_LT(a, dsl::kNumConfigs);
+}
+
+TEST(Predictor, PredictConfigLeavesTheQueryPairOut)
+{
+    // predictConfig's contract: train on every test whose (app,
+    // input) differs from the query, in dataset test order. Rebuild
+    // that predictor by hand and require the identical answer.
+    const runner::Dataset &ds = testutil::smallDataset();
+    const auto traces = collectTraces(ds.universe());
+    const std::string app = "bfs-wl";
+    const std::string input = "social";
+
+    KnnPredictor manual(3);
+    for (std::size_t t = 0; t < ds.numTests(); ++t) {
+        const runner::Test test = ds.testAt(t);
+        if (test.app == app && test.input == input)
+            continue;
+        manual.addExample(
+            extractFeatures(traces.at(test.app + "|" + test.input)),
+            ds.bestConfig(t));
+    }
+    const unsigned expected = manual.predict(
+        extractFeatures(traces.at(app + "|" + input)));
+    EXPECT_EQ(predictConfig(ds, traces, app, input, 3), expected);
+}
+
+TEST(Predictor, PredictConfigWithoutQueryTraceIsFatal)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const std::map<std::string, dsl::AppTrace> empty;
+    EXPECT_THROW(predictConfig(ds, empty, "bfs-topo", "road", 3),
+                 FatalError);
+}

@@ -132,3 +132,66 @@ TEST(Strategy, AppInputIgnoresChip)
         }
     }
 }
+
+TEST(PartitionKey, ProjectsOnlySpecialisedDimensions)
+{
+    const runner::Test test{"bfs-wl", "road", "M4000"};
+    EXPECT_EQ(partitionKey({false, false, false}, test), "");
+    EXPECT_EQ(partitionKey({true, false, false}, test), "bfs-wl|");
+    EXPECT_EQ(partitionKey({false, true, false}, test), "road|");
+    EXPECT_EQ(partitionKey({false, false, true}, test), "M4000|");
+    EXPECT_EQ(partitionKey({true, false, true}, test),
+              "bfs-wl|M4000|");
+    EXPECT_EQ(partitionKey({true, true, true}, test),
+              "bfs-wl|road|M4000|");
+}
+
+TEST(StrategyTable, TabulationAgreesWithTheStrategy)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const Specialisation spec{true, false, true};
+    const Strategy s = makeSpecialised(ds, spec);
+    const StrategyTable table = tabulateStrategy(ds, s, spec);
+
+    EXPECT_EQ(table.name, s.name);
+    EXPECT_GE(table.geomeanVsOracle, 1.0);
+    // apps x chips partitions, each agreeing with the strategy's
+    // per-test assignment.
+    EXPECT_EQ(table.configByPartition.size(),
+              ds.universe().apps.size() *
+                  ds.universe().chips.size());
+    for (std::size_t t = 0; t < ds.numTests(); ++t) {
+        const std::string key = partitionKey(spec, ds.testAt(t));
+        const unsigned *cfg = table.configFor(key);
+        ASSERT_NE(cfg, nullptr) << key;
+        EXPECT_EQ(*cfg, s.configFor(t)) << key;
+    }
+    // Every partition has a quality estimate and it is >= 1.
+    for (const auto &[key, slowdown] : table.slowdownByPartition) {
+        EXPECT_TRUE(table.configByPartition.count(key)) << key;
+        EXPECT_GE(slowdown, 1.0) << key;
+    }
+    EXPECT_EQ(table.slowdownByPartition.size(),
+              table.configByPartition.size());
+}
+
+TEST(StrategyTable, ConfigForMissesReturnNull)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const Specialisation spec{false, false, true};
+    const StrategyTable table =
+        tabulateStrategy(ds, makeSpecialised(ds, spec), spec);
+    EXPECT_EQ(table.configFor("no-such-chip|"), nullptr);
+    EXPECT_NE(table.configFor("M4000|"), nullptr);
+}
+
+TEST(StrategyTable, OracleTabulatesOnePartitionPerTest)
+{
+    const runner::Dataset &ds = testutil::smallDataset();
+    const Specialisation all{true, true, true};
+    const StrategyTable table =
+        tabulateStrategy(ds, makeOracle(ds), all);
+    EXPECT_EQ(table.configByPartition.size(), ds.numTests());
+    // The oracle never loses to itself.
+    EXPECT_DOUBLE_EQ(table.geomeanVsOracle, 1.0);
+}

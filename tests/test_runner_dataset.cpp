@@ -174,3 +174,47 @@ TEST(Dataset, ChipOrderingOfRuntimes)
         }
     }
 }
+
+TEST(Dataset, ContentHashIsDeterministic)
+{
+    const Universe u = smallUniverse(2, {"M4000"});
+    const Dataset a = Dataset::build(u);
+    const Dataset b = Dataset::build(u);
+    EXPECT_EQ(a.contentHash(), b.contentHash());
+}
+
+TEST(Dataset, ContentHashSeparatesUniverses)
+{
+    const Dataset a =
+        Dataset::build(smallUniverse(2, {"M4000"}));
+    const Dataset b = Dataset::build(smallUniverse(2, {"R9"}));
+    const Dataset c =
+        Dataset::build(smallUniverse(3, {"M4000"}));
+    EXPECT_NE(a.contentHash(), b.contentHash());
+    EXPECT_NE(a.contentHash(), c.contentHash());
+}
+
+TEST(Dataset, ContentHashOfLoadedCsvIsAFixpoint)
+{
+    // saveCsv rounds timings to 3 decimals, so a loaded dataset may
+    // hash differently from the in-memory build — but loading is
+    // deterministic, and a loaded dataset round-trips its own CSV
+    // with the hash intact.
+    const Universe u = smallUniverse(2, {"M4000"});
+    const Dataset built = Dataset::build(u);
+    std::stringstream first;
+    built.saveCsv(first);
+    const std::string text = first.str();
+
+    std::stringstream a(text);
+    std::stringstream b(text);
+    const Dataset loadedA = Dataset::loadCsv(u, a);
+    const Dataset loadedB = Dataset::loadCsv(u, b);
+    EXPECT_EQ(loadedA.contentHash(), loadedB.contentHash());
+
+    std::stringstream second;
+    loadedA.saveCsv(second);
+    std::stringstream again(second.str());
+    const Dataset reloaded = Dataset::loadCsv(u, again);
+    EXPECT_EQ(reloaded.contentHash(), loadedA.contentHash());
+}

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for serve::Advisor and the batch front-end: lattice descent
+ * tier by tier, predictive fallback equivalence with
+ * port::predictConfig, LRU-cached feature lookups answering
+ * bit-identically to cold ones, and parallel batches matching serial.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graphport/port/predict.hpp"
+#include "graphport/serve/advisor.hpp"
+#include "graphport/serve/batch.hpp"
+#include "graphport/serve/index.hpp"
+#include "graphport/serve/loadgen.hpp"
+#include "graphport/support/error.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+
+namespace {
+
+/** Index over the 4-app x {road, social} x {M4000, R9} dataset. */
+const serve::StrategyIndex &
+smallIndex()
+{
+    static const serve::StrategyIndex index =
+        serve::StrategyIndex::build(testutil::smallDataset());
+    return index;
+}
+
+const serve::Advisor &
+advisor()
+{
+    static const serve::Advisor adv(smallIndex());
+    return adv;
+}
+
+} // namespace
+
+TEST(ServeAdvisor, ExactQueryAnswersAtMostSpecialisedTier)
+{
+    const serve::Advice a =
+        advisor().advise({"bfs-topo", "road", "M4000"});
+    EXPECT_EQ(a.tier, "chip_app_input");
+    EXPECT_FALSE(a.predictive);
+    EXPECT_EQ(a.partition, "bfs-topo|road|M4000|");
+    const port::StrategyTable &table =
+        smallIndex().table("chip_app_input");
+    const unsigned *cfg = table.configFor(a.partition);
+    ASSERT_NE(cfg, nullptr);
+    EXPECT_EQ(a.config, *cfg);
+    EXPECT_EQ(a.expectedSlowdownVsOracle, table.geomeanVsOracle);
+    EXPECT_EQ(a.featureSource, serve::FeatureSource::None);
+}
+
+TEST(ServeAdvisor, InputClassResolvesToSameAnswerAsName)
+{
+    const serve::Advice byName =
+        advisor().advise({"bfs-wl", "social", "R9"});
+    const serve::Advice byClass =
+        advisor().advise({"bfs-wl", "social network", "R9"});
+    EXPECT_TRUE(byName.sameAnswer(byClass));
+    EXPECT_EQ(byClass.tier, "chip_app_input");
+}
+
+TEST(ServeAdvisor, UnseenInputDegradesToChipAppTier)
+{
+    // "random" is a study input class but not part of the small
+    // universe, so the input dimension is unknown here.
+    const serve::Advice a =
+        advisor().advise({"bfs-topo", "random", "M4000"});
+    EXPECT_EQ(a.tier, "chip_app");
+    EXPECT_FALSE(a.predictive);
+    EXPECT_EQ(a.partition, "bfs-topo|M4000|");
+    const unsigned *cfg =
+        smallIndex().table("chip_app").configFor(a.partition);
+    ASSERT_NE(cfg, nullptr);
+    EXPECT_EQ(a.config, *cfg);
+}
+
+TEST(ServeAdvisor, UnknownAppDegradesToChipInputTier)
+{
+    const serve::Advice a =
+        advisor().advise({"pr-topo", "road", "M4000"});
+    EXPECT_EQ(a.tier, "chip_input");
+    EXPECT_FALSE(a.predictive);
+    EXPECT_EQ(a.partition, "road|M4000|");
+}
+
+TEST(ServeAdvisor, UnknownAppAndInputDegradeToChipTier)
+{
+    const serve::Advice a =
+        advisor().advise({"pr-topo", "intranet", "R9"});
+    EXPECT_EQ(a.tier, "chip");
+    EXPECT_FALSE(a.predictive);
+    EXPECT_EQ(a.partition, "R9|");
+}
+
+TEST(ServeAdvisor, LatticeAlwaysAnswersWhenChipIsKnown)
+{
+    // Even a fully foreign (app, input) gets a lattice answer when
+    // the chip was measured: the predictor is only for unknown chips.
+    const serve::Advice a =
+        advisor().advise({"no-such-app", "no-such-input", "M4000"});
+    EXPECT_FALSE(a.predictive);
+    EXPECT_NE(a.tier, "predictive");
+}
+
+TEST(ServeAdvisor, UnknownChipMatchesPortPredictConfig)
+{
+    // GTX1080 is a real registry chip but absent from the small
+    // universe: the advisor must route to the predictive path and
+    // answer exactly what port::predictConfig answers.
+    const serve::Advice a =
+        advisor().advise({"bfs-topo", "road", "GTX1080"});
+    EXPECT_TRUE(a.predictive);
+    EXPECT_EQ(a.tier, "predictive");
+    EXPECT_EQ(a.featureSource, serve::FeatureSource::Snapshot);
+    EXPECT_EQ(a.expectedSlowdownVsOracle,
+              smallIndex().predictiveGeomean());
+
+    const runner::Dataset &ds = testutil::smallDataset();
+    const auto traces = port::collectTraces(ds.universe());
+    const unsigned expected = port::predictConfig(
+        ds, traces, "bfs-topo", "road", smallIndex().knnK());
+    EXPECT_EQ(a.config, expected);
+}
+
+TEST(ServeAdvisor, CachedRepeatIsBitIdenticalToCold)
+{
+    // pr-topo is outside the small index, so its features must be
+    // traced on demand: cold answer computes, warm answer hits the
+    // LRU, and both carry the identical advice.
+    const serve::Advisor adv(smallIndex());
+    const serve::Query q{"pr-topo", "road", "GTX1080"};
+    const serve::Advice cold = adv.advise(q);
+    EXPECT_EQ(cold.featureSource, serve::FeatureSource::Computed);
+    const serve::Advice warm = adv.advise(q);
+    EXPECT_EQ(warm.featureSource, serve::FeatureSource::Cache);
+    EXPECT_TRUE(cold.sameAnswer(warm));
+    EXPECT_EQ(cold.config, warm.config);
+    EXPECT_EQ(adv.featureCacheHits(), 1u);
+    EXPECT_EQ(adv.featureCacheMisses(), 1u);
+}
+
+TEST(ServeAdvisor, UnansweredQueryIsFatal)
+{
+    // Unknown chip plus an input the study can neither resolve nor
+    // generate: nothing can answer.
+    EXPECT_THROW(
+        advisor().advise({"bfs-topo", "no-such-input", "GTX1080"}),
+        FatalError);
+}
+
+TEST(ServeBatch, ParallelBatchBitIdenticalToSerial)
+{
+    const std::vector<serve::Query> stream =
+        serve::makeQueryStream(smallIndex(), 400, 7);
+    const serve::Advisor adv(smallIndex());
+    serve::ServerStats serialStats;
+    const std::vector<serve::Advice> serial =
+        serve::serveBatch(adv, stream, 1, &serialStats);
+    serve::ServerStats parallelStats;
+    const std::vector<serve::Advice> parallel =
+        serve::serveBatch(adv, stream, 4, &parallelStats);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_TRUE(serial[i].sameAnswer(parallel[i])) << i;
+
+    EXPECT_EQ(parallelStats.threads, 4u);
+    EXPECT_EQ(parallelStats.queries, stream.size());
+    EXPECT_EQ(parallelStats.latency.count(), stream.size());
+    std::size_t tierTotal = 0;
+    for (const auto &[tier, count] : parallelStats.tierCounts)
+        tierTotal += count;
+    EXPECT_EQ(tierTotal, stream.size());
+    EXPECT_GT(parallelStats.qps(), 0.0);
+}
+
+TEST(ServeBatch, QueryStreamIsDeterministic)
+{
+    const std::vector<serve::Query> a =
+        serve::makeQueryStream(smallIndex(), 100, 9);
+    const std::vector<serve::Query> b =
+        serve::makeQueryStream(smallIndex(), 100, 9);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].app, b[i].app);
+        EXPECT_EQ(a[i].input, b[i].input);
+        EXPECT_EQ(a[i].chip, b[i].chip);
+    }
+}
+
+TEST(ServeBatch, ParsesCsvWithOptionalHeader)
+{
+    std::istringstream is("app,input,chip\n"
+                          "bfs-topo,road,M4000\n"
+                          "\n"
+                          "bfs-wl,social,R9\n");
+    const std::vector<serve::Query> queries =
+        serve::parseQueries(is);
+    ASSERT_EQ(queries.size(), 2u);
+    EXPECT_EQ(queries[0].app, "bfs-topo");
+    EXPECT_EQ(queries[1].chip, "R9");
+}
+
+TEST(ServeBatch, ParsesJsonLines)
+{
+    std::istringstream is(
+        "{\"app\": \"bfs-topo\", \"input\": \"road\", "
+        "\"chip\": \"M4000\"}\n"
+        "{\"chip\": \"R9\", \"app\": \"bfs-wl\", "
+        "\"input\": \"social\"}\n");
+    const std::vector<serve::Query> queries =
+        serve::parseQueries(is);
+    ASSERT_EQ(queries.size(), 2u);
+    EXPECT_EQ(queries[0].input, "road");
+    EXPECT_EQ(queries[1].app, "bfs-wl");
+    EXPECT_EQ(queries[1].chip, "R9");
+}
+
+TEST(ServeBatch, MalformedQueriesAreFatal)
+{
+    std::istringstream shortRow("bfs-topo,road\n");
+    EXPECT_THROW(serve::parseQueries(shortRow), FatalError);
+    std::istringstream badJson("{\"app\": \"x\", \"input\": 3}\n");
+    EXPECT_THROW(serve::parseQueries(badJson), FatalError);
+}
+
+TEST(ServeBatch, WriteAnswersRoundTripsCsv)
+{
+    const std::vector<serve::Query> queries = {
+        {"bfs-topo", "road", "M4000"}};
+    const std::vector<serve::Advice> advices =
+        serve::serveBatch(advisor(), queries, 1);
+    std::ostringstream os;
+    serve::writeAnswers(os, queries, advices);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("app,input,chip,config"), std::string::npos);
+    EXPECT_NE(text.find("chip_app_input"), std::string::npos);
+}

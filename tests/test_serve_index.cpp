@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Tests for serve::StrategyIndex: exact snapshot round-trips, the
+ * versioned-format and dataset-hash guards, and the warn-and-rebuild
+ * caching behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "graphport/serve/index.hpp"
+#include "graphport/support/error.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+
+namespace {
+
+const serve::StrategyIndex &
+smallIndex()
+{
+    static const serve::StrategyIndex index =
+        serve::StrategyIndex::build(testutil::smallDataset());
+    return index;
+}
+
+std::string
+savedSnapshot()
+{
+    std::ostringstream os;
+    smallIndex().save(os);
+    return os.str();
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "graphport_" + name;
+}
+
+} // namespace
+
+TEST(ServeIndex, BuildCoversAllTenStrategies)
+{
+    const serve::StrategyIndex &index = smallIndex();
+    ASSERT_EQ(index.tables().size(), 10u);
+    // Baseline and global collapse to one partition; the oracle and
+    // the fully specialised tier have one per test.
+    const runner::Dataset &ds = testutil::smallDataset();
+    EXPECT_EQ(index.table("global").configByPartition.size(), 1u);
+    EXPECT_EQ(
+        index.table("chip_app_input").configByPartition.size(),
+        ds.numTests());
+    EXPECT_EQ(index.apps(), ds.universe().apps);
+    EXPECT_EQ(index.chips(), ds.universe().chips);
+    EXPECT_EQ(index.examples().size(), ds.numTests());
+    EXPECT_GE(index.predictiveGeomean(), 1.0);
+    EXPECT_EQ(index.datasetHash(), ds.contentHash());
+}
+
+TEST(ServeIndex, FindInputResolvesNameThenClass)
+{
+    const serve::StrategyIndex &index = smallIndex();
+    const runner::InputSpec *byName = index.findInput("road");
+    ASSERT_NE(byName, nullptr);
+    EXPECT_EQ(byName->name, "road");
+    const runner::InputSpec *byClass =
+        index.findInput("road network");
+    ASSERT_NE(byClass, nullptr);
+    EXPECT_EQ(byClass->name, "road");
+    EXPECT_EQ(index.findInput("no-such-input"), nullptr);
+}
+
+TEST(ServeIndex, SnapshotRoundTripIsExact)
+{
+    const serve::StrategyIndex &built = smallIndex();
+    std::istringstream is(savedSnapshot());
+    const serve::StrategyIndex loaded =
+        serve::StrategyIndex::load(is);
+
+    EXPECT_EQ(loaded.datasetHash(), built.datasetHash());
+    EXPECT_EQ(loaded.alpha(), built.alpha());
+    EXPECT_EQ(loaded.knnK(), built.knnK());
+    // Hexfloat serialisation: doubles round-trip bit for bit.
+    EXPECT_EQ(loaded.predictiveGeomean(), built.predictiveGeomean());
+    EXPECT_EQ(loaded.apps(), built.apps());
+    EXPECT_EQ(loaded.chips(), built.chips());
+
+    ASSERT_EQ(loaded.inputs().size(), built.inputs().size());
+    for (std::size_t i = 0; i < built.inputs().size(); ++i) {
+        EXPECT_EQ(loaded.inputs()[i].name, built.inputs()[i].name);
+        EXPECT_EQ(loaded.inputs()[i].cls, built.inputs()[i].cls);
+        EXPECT_EQ(loaded.inputs()[i].kind, built.inputs()[i].kind);
+        EXPECT_EQ(loaded.inputs()[i].sizeParam,
+                  built.inputs()[i].sizeParam);
+        EXPECT_EQ(loaded.inputs()[i].avgDegree,
+                  built.inputs()[i].avgDegree);
+        EXPECT_EQ(loaded.inputs()[i].seed, built.inputs()[i].seed);
+    }
+
+    ASSERT_EQ(loaded.tables().size(), built.tables().size());
+    for (std::size_t t = 0; t < built.tables().size(); ++t) {
+        const port::StrategyTable &a = built.tables()[t];
+        const port::StrategyTable &b = loaded.tables()[t];
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.spec.byApp, b.spec.byApp);
+        EXPECT_EQ(a.spec.byInput, b.spec.byInput);
+        EXPECT_EQ(a.spec.byChip, b.spec.byChip);
+        EXPECT_EQ(a.geomeanVsOracle, b.geomeanVsOracle);
+        EXPECT_EQ(a.configByPartition, b.configByPartition);
+        EXPECT_EQ(a.slowdownByPartition, b.slowdownByPartition);
+    }
+
+    ASSERT_EQ(loaded.examples().size(), built.examples().size());
+    for (std::size_t e = 0; e < built.examples().size(); ++e) {
+        const serve::PredictorExample &a = built.examples()[e];
+        const serve::PredictorExample &b = loaded.examples()[e];
+        EXPECT_EQ(a.app, b.app);
+        EXPECT_EQ(a.input, b.input);
+        EXPECT_EQ(a.chip, b.chip);
+        EXPECT_EQ(a.bestConfig, b.bestConfig);
+        EXPECT_EQ(a.features, b.features);
+    }
+}
+
+TEST(ServeIndex, SecondRoundTripIsByteIdentical)
+{
+    const std::string first = savedSnapshot();
+    std::istringstream is(first);
+    const serve::StrategyIndex loaded =
+        serve::StrategyIndex::load(is);
+    std::ostringstream os;
+    loaded.save(os);
+    EXPECT_EQ(os.str(), first);
+}
+
+TEST(ServeIndex, ForeignFileFailsWithBadMagic)
+{
+    std::istringstream is("hello,world\n1,2,3\n");
+    try {
+        serve::StrategyIndex::load(is, "'test'");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad magic"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ServeIndex, VersionMismatchNamesBothVersions)
+{
+    std::string text = savedSnapshot();
+    const std::string header = "graphport-index,1";
+    ASSERT_EQ(text.rfind(header, 0), 0u);
+    text.replace(0, header.size(), "graphport-index,999");
+    std::istringstream is(text);
+    try {
+        serve::StrategyIndex::load(is, "'test'");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("format version 999"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("this build reads 1"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("rebuild the index"), std::string::npos)
+            << what;
+    }
+}
+
+TEST(ServeIndex, TruncatedSnapshotFails)
+{
+    std::string text = savedSnapshot();
+    // Drop the trailing "end" marker and the last record.
+    const std::size_t cut = text.rfind("example");
+    ASSERT_NE(cut, std::string::npos);
+    std::istringstream is(text.substr(0, cut));
+    try {
+        serve::StrategyIndex::load(is, "'test'");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("truncated"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ServeIndex, OutOfRangeConfigFails)
+{
+    std::string text = savedSnapshot();
+    // Corrupt the first partition record's config id.
+    const std::size_t pos = text.find("\npartition,");
+    ASSERT_NE(pos, std::string::npos);
+    const std::size_t line_end = text.find('\n', pos + 1);
+    const std::string line =
+        text.substr(pos + 1, line_end - pos - 1);
+    // partition,<key>,<cfg>,<slowdown> -> force cfg = 9999.
+    const std::size_t cfg_start = line.find(',', line.find(',') + 1);
+    const std::size_t cfg_end = line.find(',', cfg_start + 1);
+    std::string corrupt = line;
+    corrupt.replace(cfg_start + 1, cfg_end - cfg_start - 1, "9999");
+    text.replace(pos + 1, line.size(), corrupt);
+    std::istringstream is(text);
+    try {
+        serve::StrategyIndex::load(is, "'test'");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("out of range"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ServeIndex, LoadFileMissingFails)
+{
+    EXPECT_THROW(serve::StrategyIndex::loadFile(
+                     tempPath("no_such_index.gpi")),
+                 FatalError);
+}
+
+TEST(ServeIndex, SaveFileLoadFileRoundTrip)
+{
+    const std::string path = tempPath("index_roundtrip.gpi");
+    smallIndex().saveFile(path);
+    const serve::StrategyIndex loaded =
+        serve::StrategyIndex::loadFile(path);
+    EXPECT_EQ(loaded.datasetHash(), smallIndex().datasetHash());
+    std::remove(path.c_str());
+}
+
+TEST(ServeIndex, BuildOrLoadCachedReusesMatchingSnapshot)
+{
+    const std::string path = tempPath("index_cache.gpi");
+    std::remove(path.c_str());
+    const runner::Dataset &ds = testutil::smallDataset();
+    // First call builds and writes the snapshot...
+    const serve::StrategyIndex first =
+        serve::StrategyIndex::buildOrLoadCached(ds, path);
+    std::ifstream exists(path);
+    EXPECT_TRUE(exists.good());
+    // ...second call loads it and answers identically.
+    const serve::StrategyIndex second =
+        serve::StrategyIndex::buildOrLoadCached(ds, path);
+    EXPECT_EQ(second.datasetHash(), first.datasetHash());
+    EXPECT_EQ(second.predictiveGeomean(), first.predictiveGeomean());
+    std::remove(path.c_str());
+}
+
+TEST(ServeIndex, BuildOrLoadCachedWarnsAndRebuildsOnCorruptFile)
+{
+    const std::string path = tempPath("index_corrupt.gpi");
+    {
+        std::ofstream out(path);
+        out << "this is not an index\n";
+    }
+    const runner::Dataset &ds = testutil::smallDataset();
+    ::testing::internal::CaptureStderr();
+    const serve::StrategyIndex index =
+        serve::StrategyIndex::buildOrLoadCached(ds, path);
+    const std::string err =
+        ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("rejected"), std::string::npos) << err;
+    EXPECT_NE(err.find("rebuilding"), std::string::npos) << err;
+    EXPECT_EQ(index.datasetHash(), ds.contentHash());
+    // The rebuilt snapshot replaced the corrupt file.
+    const serve::StrategyIndex reloaded =
+        serve::StrategyIndex::loadFile(path);
+    EXPECT_EQ(reloaded.datasetHash(), ds.contentHash());
+    std::remove(path.c_str());
+}
+
+TEST(ServeIndex, BuildOrLoadCachedWarnsAndRebuildsOnHashMismatch)
+{
+    const std::string path = tempPath("index_stale.gpi");
+    // A valid snapshot, but from a tampered-hash "other" dataset.
+    std::string text = savedSnapshot();
+    const std::size_t pos = text.find("dataset_hash,");
+    ASSERT_NE(pos, std::string::npos);
+    const std::size_t val = pos + std::string("dataset_hash,").size();
+    text.replace(val, 16, "deadbeefdeadbeef");
+    {
+        std::ofstream out(path);
+        out << text;
+    }
+    const runner::Dataset &ds = testutil::smallDataset();
+    ::testing::internal::CaptureStderr();
+    const serve::StrategyIndex index =
+        serve::StrategyIndex::buildOrLoadCached(ds, path);
+    const std::string err =
+        ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("different dataset"), std::string::npos)
+        << err;
+    EXPECT_NE(err.find("rebuilding"), std::string::npos) << err;
+    EXPECT_EQ(index.datasetHash(), ds.contentHash());
+    std::remove(path.c_str());
+}

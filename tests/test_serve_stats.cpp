@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the serving observability layer: latency histogram
+ * percentile accuracy and merging, and ServerStats derived metrics
+ * plus JSON shape.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "graphport/serve/serverstats.hpp"
+
+using namespace graphport;
+
+TEST(LatencyHistogram, EmptyHistogramReportsZero)
+{
+    serve::LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentileNs(50.0), 0.0);
+}
+
+TEST(LatencyHistogram, SingleValueWithinBucketResolution)
+{
+    serve::LatencyHistogram h;
+    for (int i = 0; i < 100; ++i)
+        h.record(1000.0);
+    // Log bucketing with 8 buckets/octave: the reported percentile
+    // is the bucket's geometric midpoint, within ~4.5% of the truth.
+    EXPECT_NEAR(h.percentileNs(50.0), 1000.0, 1000.0 * 0.05);
+    EXPECT_NEAR(h.percentileNs(99.0), 1000.0, 1000.0 * 0.05);
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotone)
+{
+    serve::LatencyHistogram h;
+    // 90 fast samples, 9 slower, 1 very slow.
+    for (int i = 0; i < 90; ++i)
+        h.record(500.0);
+    for (int i = 0; i < 9; ++i)
+        h.record(20000.0);
+    h.record(3.0e6);
+    EXPECT_EQ(h.count(), 100u);
+    const double p50 = h.percentileNs(50.0);
+    const double p95 = h.percentileNs(95.0);
+    const double p99 = h.percentileNs(99.0);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_NEAR(p50, 500.0, 500.0 * 0.05);
+    EXPECT_NEAR(p95, 20000.0, 20000.0 * 0.05);
+    // p99 is the 99th sample (the last 20 us one); p100 would be the
+    // 3 ms outlier.
+    EXPECT_NEAR(p99, 20000.0, 20000.0 * 0.05);
+    EXPECT_NEAR(h.percentileNs(100.0), 3.0e6, 3.0e6 * 0.05);
+}
+
+TEST(LatencyHistogram, ExtremesClampInstead0fCrashing)
+{
+    serve::LatencyHistogram h;
+    h.record(0.0);
+    h.record(-5.0);
+    h.record(1e30);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_GT(h.percentileNs(100.0), 0.0);
+}
+
+TEST(LatencyHistogram, MergeAddsCounts)
+{
+    serve::LatencyHistogram a;
+    serve::LatencyHistogram b;
+    for (int i = 0; i < 10; ++i)
+        a.record(100.0);
+    for (int i = 0; i < 30; ++i)
+        b.record(100000.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 40u);
+    // After the merge the median lands in b's (more numerous) range.
+    EXPECT_NEAR(a.percentileNs(50.0), 100000.0, 100000.0 * 0.05);
+}
+
+TEST(ServerStats, DerivedMetrics)
+{
+    serve::ServerStats s;
+    s.queries = 500;
+    s.wallSeconds = 0.25;
+    EXPECT_DOUBLE_EQ(s.qps(), 2000.0);
+    // No feature lookups at all counts as a perfect hit rate.
+    EXPECT_DOUBLE_EQ(s.cacheHitRate(), 1.0);
+    s.cacheHits = 3;
+    s.cacheMisses = 1;
+    EXPECT_DOUBLE_EQ(s.cacheHitRate(), 0.75);
+
+    serve::ServerStats unmeasured;
+    EXPECT_DOUBLE_EQ(unmeasured.qps(), 0.0);
+}
+
+TEST(ServerStats, JsonCarriesTheStableKeys)
+{
+    serve::ServerStats s;
+    s.threads = 4;
+    s.queries = 2;
+    s.wallSeconds = 0.5;
+    s.tierCounts["chip_app_input"] = 1;
+    s.tierCounts["predictive"] = 1;
+    s.predictiveAnswers = 1;
+    s.latency.record(1000.0);
+    s.latency.record(2000.0);
+    const std::string json = s.toJson();
+    for (const char *key :
+         {"\"threads\"", "\"queries\"", "\"wall_seconds\"",
+          "\"qps\"", "\"p50_us\"", "\"p95_us\"", "\"p99_us\"",
+          "\"predictive_answers\"", "\"snapshot_feature_hits\"",
+          "\"cache_hits\"", "\"cache_misses\"",
+          "\"cache_hit_rate\"", "\"tiers\"",
+          "\"chip_app_input\""}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(ServerStats, PrintMentionsEveryTier)
+{
+    serve::ServerStats s;
+    s.queries = 3;
+    s.tierCounts["global"] = 2;
+    s.tierCounts["predictive"] = 1;
+    std::ostringstream os;
+    s.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("global"), std::string::npos);
+    EXPECT_NE(text.find("predictive"), std::string::npos);
+    EXPECT_NE(text.find("latency"), std::string::npos);
+}

@@ -3,7 +3,7 @@
  * Golden-value regression tests for the calibrated model.
  *
  * The chip parameters were calibrated against the paper's Section
- * VIII fingerprints (see DESIGN.md section 11); these tests pin the
+ * VIII fingerprints (see DESIGN.md section 12); these tests pin the
  * exact values so an accidental parameter or formula change — which
  * would silently re-shape every reproduced table — fails loudly.
  * When a calibration change is *intentional*, update the constants

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for support::LruCache: hit/miss accounting, recency-driven
+ * eviction, in-place update, and capacity validation.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graphport/support/error.hpp"
+#include "graphport/support/lrucache.hpp"
+
+using namespace graphport;
+
+TEST(LruCache, MissThenHit)
+{
+    support::LruCache<std::string, int> cache(4);
+    EXPECT_EQ(cache.get("a"), nullptr);
+    cache.put("a", 1);
+    const int *v = cache.get("a");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, 1);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed)
+{
+    support::LruCache<int, int> cache(2);
+    cache.put(1, 10);
+    cache.put(2, 20);
+    // Touch 1 so that 2 becomes the LRU entry.
+    ASSERT_NE(cache.get(1), nullptr);
+    cache.put(3, 30);
+    EXPECT_EQ(cache.get(2), nullptr);
+    ASSERT_NE(cache.get(1), nullptr);
+    ASSERT_NE(cache.get(3), nullptr);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, PutPromotesExistingKey)
+{
+    support::LruCache<int, int> cache(2);
+    cache.put(1, 10);
+    cache.put(2, 20);
+    // Re-putting 1 updates the value and makes 2 the LRU entry.
+    cache.put(1, 11);
+    cache.put(3, 30);
+    EXPECT_EQ(cache.get(2), nullptr);
+    const int *v = cache.get(1);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, 11);
+}
+
+TEST(LruCache, CapacityOneStillCaches)
+{
+    support::LruCache<int, int> cache(1);
+    cache.put(1, 10);
+    ASSERT_NE(cache.get(1), nullptr);
+    cache.put(2, 20);
+    EXPECT_EQ(cache.get(1), nullptr);
+    ASSERT_NE(cache.get(2), nullptr);
+}
+
+TEST(LruCache, ZeroCapacityIsFatal)
+{
+    EXPECT_THROW((support::LruCache<int, int>(0)), FatalError);
+}
+
+TEST(LruCache, SizeNeverExceedsCapacity)
+{
+    support::LruCache<int, int> cache(3);
+    for (int i = 0; i < 50; ++i)
+        cache.put(i, i);
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.capacity(), 3u);
+    // The three most recent keys survive.
+    for (int i = 47; i < 50; ++i)
+        EXPECT_NE(cache.get(i), nullptr) << i;
+}

@@ -15,6 +15,21 @@
  *   study    [--threads N] [--stats] [--small [n_apps]] [--out F]
  *                                run the paper-scale sweep with the
  *                                parallel sweep engine
+ *   index    [--small [n_apps]] [--threads N] [--dataset F] [--out F]
+ *                                precompute the strategy index and
+ *                                freeze it into a snapshot
+ *   advise   [--index F] (<app> <input> <chip> |
+ *            --batch F|- [--threads N] [--format csv|json]
+ *            [--out F] [--stats])
+ *                                answer strategy queries from a
+ *                                snapshot (lattice fallback +
+ *                                predictive path)
+ *   serve-bench [--index F | --small [n_apps]] [--queries N]
+ *            [--threads N] [--seed S] [--out F]
+ *                                serve a mixed query stream at several
+ *                                thread counts; writes BENCH_serve.json
+ *
+ * `graphport_cli --version` prints the build version.
  *
  * <input> is a study input name (road/social/random) or a path to a
  * DIMACS .gr / edge-list file. [opts] is a comma-separated list of
@@ -33,10 +48,18 @@
 #include "graphport/port/algorithm1.hpp"
 #include "graphport/port/strategy.hpp"
 #include "graphport/runner/dataset.hpp"
+#include "graphport/serve/advisor.hpp"
+#include "graphport/serve/batch.hpp"
+#include "graphport/serve/index.hpp"
+#include "graphport/serve/loadgen.hpp"
 #include "graphport/sim/chip.hpp"
 #include "graphport/sim/costengine.hpp"
 #include "graphport/support/error.hpp"
 #include "graphport/support/strings.hpp"
+
+#ifndef GRAPHPORT_VERSION
+#define GRAPHPORT_VERSION "0.0.0-dev"
+#endif
 
 using namespace graphport;
 
@@ -55,12 +78,27 @@ usage()
         "  recommend <chip> [n_apps]\n"
         "  study    [--threads N] [--stats] [--small [n_apps]] "
         "[--out FILE]\n"
+        "  index    [--small [n_apps]] [--threads N] "
+        "[--dataset FILE] [--out FILE]\n"
+        "  advise   [--index FILE] (<app> <input> <chip> | "
+        "--batch FILE|-\n"
+        "           [--threads N] [--format csv|json] [--out FILE] "
+        "[--stats])\n"
+        "  serve-bench [--index FILE | --small [n_apps]] "
+        "[--queries N]\n"
+        "           [--threads N] [--seed S] [--out FILE]\n"
+        "  --version\n"
         "\n<input> = road | social | random | path to .gr/.el file\n"
         "opts = coop-cv wg sg fg fg8 oitergb sz256\n"
         "study: full 17x3x6x96 sweep; --threads 0 = all cores, "
         "--stats prints sweep\n"
         "observability, --small uses the reduced test universe, "
-        "--out saves the CSV\n");
+        "--out saves the CSV\n"
+        "index: sweep (or load --dataset) then freeze all strategy "
+        "tables + predictor\n"
+        "into a snapshot (default graphport_index.gpi); advise "
+        "answers queries from it,\n"
+        "labeling the lattice tier (or 'predictive') per answer\n");
     return 2;
 }
 
@@ -324,6 +362,292 @@ cmdStudy(const std::vector<std::string> &args)
     return 0;
 }
 
+/** Strict non-negative integer flag value, as in cmdStudy. */
+unsigned
+parseCountFlag(const std::string &cmd, const std::string &flag,
+               const std::string &value)
+{
+    fatalIf(value.empty() ||
+                value.find_first_not_of("0123456789") !=
+                    std::string::npos,
+            cmd + ": " + flag + " expects a non-negative integer, "
+            "got '" + value + "'");
+    return static_cast<unsigned>(std::stoul(value));
+}
+
+int
+cmdIndex(const std::vector<std::string> &args)
+{
+    unsigned threads = 1;
+    bool small = false;
+    unsigned smallApps = 4;
+    std::string datasetPath;
+    std::string outPath = "graphport_index.gpi";
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--threads") {
+            fatalIf(i + 1 >= args.size(),
+                    "index: --threads requires a value");
+            threads = parseCountFlag("index", "--threads", args[++i]);
+        } else if (arg == "--small") {
+            small = true;
+            if (i + 1 < args.size() && !args[i + 1].empty() &&
+                args[i + 1][0] != '-')
+                smallApps =
+                    parseCountFlag("index", "--small", args[++i]);
+        } else if (arg == "--dataset") {
+            fatalIf(i + 1 >= args.size(),
+                    "index: --dataset requires a value");
+            datasetPath = args[++i];
+        } else if (arg == "--out") {
+            fatalIf(i + 1 >= args.size(),
+                    "index: --out requires a value");
+            outPath = args[++i];
+        } else {
+            fatal("index: unknown argument " + arg);
+        }
+    }
+    fatalIf(small && smallApps == 0,
+            "index: --small needs at least 1 app");
+
+    const runner::Universe universe =
+        small ? runner::smallUniverse(smallApps)
+              : runner::studyUniverse();
+    const runner::Dataset ds = [&] {
+        if (!datasetPath.empty()) {
+            std::ifstream in(datasetPath);
+            fatalIf(!in.good(),
+                    "index: cannot open " + datasetPath);
+            std::printf("loading dataset from %s...\n",
+                        datasetPath.c_str());
+            return runner::Dataset::loadCsv(universe, in);
+        }
+        std::printf("sweeping %zu tests x 96 configs x %u runs "
+                    "(%s universe)...\n",
+                    universe.numTests(), universe.runs,
+                    small ? "small" : "study");
+        runner::BuildOptions options;
+        options.threads = threads;
+        return runner::Dataset::build(universe, options);
+    }();
+
+    const serve::StrategyIndex index = serve::StrategyIndex::build(ds);
+    index.saveFile(outPath);
+
+    std::size_t partitions = 0;
+    for (const port::StrategyTable &t : index.tables())
+        partitions += t.configByPartition.size();
+    std::printf("index written to %s\n", outPath.c_str());
+    std::printf("  dataset hash     %016llx\n",
+                static_cast<unsigned long long>(index.datasetHash()));
+    std::printf("  strategies       %zu tables, %zu partitions\n",
+                index.tables().size(), partitions);
+    std::printf("  predictor        %zu examples, k=%u, "
+                "leave-one-out %.2fx vs oracle\n",
+                index.examples().size(), index.knnK(),
+                index.predictiveGeomean());
+    return 0;
+}
+
+int
+cmdAdvise(const std::vector<std::string> &args)
+{
+    std::string indexPath = "graphport_index.gpi";
+    std::string batchPath;
+    std::string outPath;
+    unsigned threads = 1;
+    bool stats = false;
+    serve::WireFormat format = serve::WireFormat::Auto;
+    std::vector<std::string> positional;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--index") {
+            fatalIf(i + 1 >= args.size(),
+                    "advise: --index requires a value");
+            indexPath = args[++i];
+        } else if (arg == "--batch") {
+            fatalIf(i + 1 >= args.size(),
+                    "advise: --batch requires a value");
+            batchPath = args[++i];
+        } else if (arg == "--threads") {
+            fatalIf(i + 1 >= args.size(),
+                    "advise: --threads requires a value");
+            threads =
+                parseCountFlag("advise", "--threads", args[++i]);
+        } else if (arg == "--format") {
+            fatalIf(i + 1 >= args.size(),
+                    "advise: --format requires a value");
+            const std::string v = args[++i];
+            if (v == "csv")
+                format = serve::WireFormat::Csv;
+            else if (v == "json")
+                format = serve::WireFormat::Json;
+            else
+                fatal("advise: --format expects csv or json, got '" +
+                      v + "'");
+        } else if (arg == "--out") {
+            fatalIf(i + 1 >= args.size(),
+                    "advise: --out requires a value");
+            outPath = args[++i];
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+            fatal("advise: unknown argument " + arg);
+        } else {
+            positional.push_back(arg);
+        }
+    }
+
+    const serve::StrategyIndex index =
+        serve::StrategyIndex::loadFile(indexPath);
+    const serve::Advisor advisor(index);
+
+    if (batchPath.empty()) {
+        fatalIf(positional.size() != 3,
+                "advise: expected <app> <input> <chip> (or --batch)");
+        const serve::Query q{positional[0], positional[1],
+                             positional[2]};
+        const serve::Advice a = advisor.advise(q);
+        std::printf("advice for %s / %s / %s:\n", q.app.c_str(),
+                    q.input.c_str(), q.chip.c_str());
+        std::printf("  config     [%s] (id %u)\n",
+                    a.configLabel.c_str(), a.config);
+        std::printf("  tier       %s%s\n", a.tier.c_str(),
+                    a.predictive ? " (k-NN over workload features)"
+                                 : "");
+        if (!a.partition.empty())
+            std::printf("  partition  %s\n", a.partition.c_str());
+        std::printf("  expected slowdown vs oracle: %.2fx "
+                    "(tier-wide %.2fx)\n",
+                    a.partitionSlowdownVsOracle,
+                    a.expectedSlowdownVsOracle);
+        return 0;
+    }
+
+    fatalIf(!positional.empty(),
+            "advise: --batch and positional query are exclusive");
+    std::ifstream file;
+    std::istream *in = &std::cin;
+    if (batchPath != "-") {
+        file.open(batchPath);
+        fatalIf(!file.good(), "advise: cannot open " + batchPath);
+        in = &file;
+    }
+    const std::vector<serve::Query> queries =
+        serve::parseQueries(*in, format);
+    serve::ServerStats batchStats;
+    const std::vector<serve::Advice> advices =
+        serve::serveBatch(advisor, queries, threads, &batchStats);
+
+    std::ofstream outFile;
+    std::ostream *out = &std::cout;
+    if (!outPath.empty()) {
+        outFile.open(outPath);
+        fatalIf(!outFile.good(),
+                "advise: cannot open " + outPath + " for writing");
+        out = &outFile;
+    }
+    serve::writeAnswers(*out, queries, advices,
+                        format == serve::WireFormat::Auto
+                            ? serve::WireFormat::Csv
+                            : format);
+    if (stats)
+        batchStats.print(std::cerr);
+    return 0;
+}
+
+int
+cmdServeBench(const std::vector<std::string> &args)
+{
+    std::string indexPath;
+    bool small = false;
+    unsigned smallApps = 4;
+    std::size_t queries = 10000;
+    unsigned maxThreads = 4;
+    std::uint64_t seed = 42;
+    std::string outPath = "BENCH_serve.json";
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--index") {
+            fatalIf(i + 1 >= args.size(),
+                    "serve-bench: --index requires a value");
+            indexPath = args[++i];
+        } else if (arg == "--small") {
+            small = true;
+            if (i + 1 < args.size() && !args[i + 1].empty() &&
+                args[i + 1][0] != '-')
+                smallApps = parseCountFlag("serve-bench", "--small",
+                                           args[++i]);
+        } else if (arg == "--queries") {
+            fatalIf(i + 1 >= args.size(),
+                    "serve-bench: --queries requires a value");
+            queries = parseCountFlag("serve-bench", "--queries",
+                                     args[++i]);
+        } else if (arg == "--threads") {
+            fatalIf(i + 1 >= args.size(),
+                    "serve-bench: --threads requires a value");
+            maxThreads = parseCountFlag("serve-bench", "--threads",
+                                        args[++i]);
+        } else if (arg == "--seed") {
+            fatalIf(i + 1 >= args.size(),
+                    "serve-bench: --seed requires a value");
+            seed = parseCountFlag("serve-bench", "--seed",
+                                  args[++i]);
+        } else if (arg == "--out") {
+            fatalIf(i + 1 >= args.size(),
+                    "serve-bench: --out requires a value");
+            outPath = args[++i];
+        } else {
+            fatal("serve-bench: unknown argument " + arg);
+        }
+    }
+    fatalIf(!indexPath.empty() && small,
+            "serve-bench: --index and --small are exclusive");
+    fatalIf(maxThreads == 0,
+            "serve-bench: --threads needs at least 1");
+
+    const serve::StrategyIndex index = [&] {
+        if (!indexPath.empty())
+            return serve::StrategyIndex::loadFile(indexPath);
+        std::printf("building small-universe index (%u apps)...\n",
+                    smallApps);
+        return serve::StrategyIndex::build(
+            runner::Dataset::build(runner::smallUniverse(smallApps)));
+    }();
+    const serve::Advisor advisor(index);
+
+    const std::vector<serve::Query> stream =
+        serve::makeQueryStream(index, queries, seed);
+    std::vector<unsigned> threadCounts;
+    for (unsigned t = 2; t <= maxThreads; t *= 2)
+        threadCounts.push_back(t);
+    std::printf("serving %zu queries (seed %llu) at 1", stream.size(),
+                static_cast<unsigned long long>(seed));
+    for (unsigned t : threadCounts)
+        std::printf(", %u", t);
+    std::printf(" thread(s)...\n");
+
+    const serve::LoadBenchResult result =
+        serve::runLoadBench(advisor, stream, threadCounts);
+    for (const serve::LoadVariant &v : result.variants) {
+        std::printf("  %2u thread(s): %8.0f q/s, p50 %.1f us, p95 "
+                    "%.1f us, p99 %.1f us  %s\n",
+                    v.requestedThreads, v.stats.qps(),
+                    v.stats.p50Ns() / 1e3, v.stats.p95Ns() / 1e3,
+                    v.stats.p99Ns() / 1e3,
+                    v.bitIdentical ? "bit-identical"
+                                   : "MISMATCH vs. serial");
+    }
+    result.variants.front().stats.print(std::cout);
+
+    std::ofstream out(outPath);
+    fatalIf(!out.good(),
+            "serve-bench: cannot open " + outPath + " for writing");
+    serve::writeLoadBenchJson(out, result, stream.size(), seed);
+    std::printf("perf record written to %s\n", outPath.c_str());
+    return result.allBitIdentical ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -334,6 +658,10 @@ main(int argc, char **argv)
         if (args.empty())
             return usage();
         const std::string &cmd = args[0];
+        if (cmd == "--version" || cmd == "-V") {
+            std::printf("graphport_cli %s\n", GRAPHPORT_VERSION);
+            return 0;
+        }
         if (cmd == "list")
             return cmdList();
         if (cmd == "inspect" && args.size() == 2)
@@ -345,6 +673,12 @@ main(int argc, char **argv)
             return cmdSweep(args[1], args[2], args[3]);
         if (cmd == "study")
             return cmdStudy(args);
+        if (cmd == "index")
+            return cmdIndex(args);
+        if (cmd == "advise")
+            return cmdAdvise(args);
+        if (cmd == "serve-bench")
+            return cmdServeBench(args);
         if (cmd == "recommend" &&
             (args.size() == 2 || args.size() == 3)) {
             return cmdRecommend(
