@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Calibration benchmark (not a paper experiment).
+ *
+ * Times the §13 fingerprint fitter end to end — each paper chip is
+ * perturbed away from its registry parameters and recovered by
+ * calib::fitChip — then runs the leave-one-chip-out zoo experiment
+ * and emits one machine-readable JSON file (default BENCH_calib.json)
+ * with fit wall time, objective evaluations per second, and the LOCO
+ * geomean slowdown so calibration performance is tracked across PRs.
+ *
+ * Flags:
+ *   --starts N     multi-starts per fit (default 8)
+ *   --iters N      Nelder-Mead iteration cap per start (default 400)
+ *   --perturb PCT  relative perturbation of the starts (default 30)
+ *   --apps N       apps in the LOCO universe (default 2)
+ *   --threads N    pool parallelism (default 4)
+ *   --seed S       perturbation seed (default 42)
+ *   --out FILE     JSON output path (default BENCH_calib.json)
+ */
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "graphport/calib/fitter.hpp"
+#include "graphport/calib/objective.hpp"
+#include "graphport/calib/zoo.hpp"
+#include "graphport/sim/chip.hpp"
+#include "graphport/support/mathutil.hpp"
+
+using namespace graphport;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    calib::FitOptions fit;
+    fit.threads = 4;
+    double perturbPct = 30.0;
+    unsigned nApps = 2;
+    std::uint64_t seed = 42;
+    std::string outPath = "BENCH_calib.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--starts" && i + 1 < argc)
+            fit.starts = static_cast<unsigned>(std::stoul(argv[++i]));
+        else if (arg == "--iters" && i + 1 < argc)
+            fit.maxIters =
+                static_cast<unsigned>(std::stoul(argv[++i]));
+        else if (arg == "--perturb" && i + 1 < argc)
+            perturbPct = std::stod(argv[++i]);
+        else if (arg == "--apps" && i + 1 < argc)
+            nApps = static_cast<unsigned>(std::stoul(argv[++i]));
+        else if (arg == "--threads" && i + 1 < argc)
+            fit.threads =
+                static_cast<unsigned>(std::stoul(argv[++i]));
+        else if (arg == "--seed" && i + 1 < argc)
+            seed = std::stoull(argv[++i]);
+        else if (arg == "--out" && i + 1 < argc)
+            outPath = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: bench_calib [--starts N] [--iters N] "
+                         "[--perturb PCT] [--apps N] [--threads N] "
+                         "[--seed S] [--out FILE]\n");
+            return 2;
+        }
+    }
+
+    bench::banner("chip-model calibration", "infrastructure",
+                  "Fingerprint-fit recovery time, objective "
+                  "evaluation throughput, and the leave-one-chip-out "
+                  "advisor score");
+
+    // Perturbed-recovery fits, one per paper chip.
+    const std::vector<std::string> names = sim::allChipNames();
+    std::vector<calib::FitResult> fits;
+    std::uint64_t totalEvals = 0;
+    bool allWithinTolerance = true;
+    std::printf("fitting %zu chips (starts %u, iters %u, perturb "
+                "%.0f%%, threads %u)...\n",
+                names.size(), fit.starts, fit.maxIters, perturbPct,
+                fit.threads);
+    const auto fitStart = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const sim::ChipModel &base = sim::chipByName(names[i]);
+        const calib::Objective objective(base);
+        const sim::ChipModel start = calib::perturbChipParams(
+            base, perturbPct / 100.0, seed + i);
+        fits.push_back(calib::fitChip(objective, start, fit));
+        totalEvals += fits.back().evals;
+        allWithinTolerance &= fits.back().withinTolerance;
+    }
+    const double fitSeconds = secondsSince(fitStart);
+    const double evalsPerSecond =
+        fitSeconds > 0.0 ? static_cast<double>(totalEvals) / fitSeconds
+                         : 0.0;
+    for (const calib::FitResult &f : fits)
+        std::printf("  %-8s loss %.3e  evals %6llu  %s\n",
+                    f.chip.shortName.c_str(), f.loss,
+                    static_cast<unsigned long long>(f.evals),
+                    f.withinTolerance ? "within tolerance"
+                                      : "OUT OF TOLERANCE");
+    std::printf("fit wall time %.3f s, %llu evaluations, %.0f "
+                "evals/s\n\n",
+                fitSeconds,
+                static_cast<unsigned long long>(totalEvals),
+                evalsPerSecond);
+
+    // Leave-one-chip-out: the advisor's unknown-chip fallback scored
+    // against each held-out chip's own oracle sweep.
+    calib::ZooOptions zoo;
+    zoo.nApps = nApps;
+    zoo.threads = fit.threads;
+    std::printf("leave-one-chip-out over %zu chips (%u apps)...\n",
+                names.size(), nApps);
+    const auto locoStart = std::chrono::steady_clock::now();
+    const std::vector<calib::ZooChipResult> loco =
+        calib::locoExperiment(zoo);
+    const double locoSeconds = secondsSince(locoStart);
+    std::vector<double> locoSlowdowns;
+    bool allPredictive = true;
+    for (const calib::ZooChipResult &r : loco) {
+        std::printf("  %-8s tier %-10s advisor/oracle %.3fx "
+                    "(label %.3fx)\n",
+                    r.chip.c_str(), r.tier.c_str(), r.geomeanVsOracle,
+                    r.expectedSlowdown);
+        locoSlowdowns.push_back(r.geomeanVsOracle);
+        allPredictive &= r.tier == "predictive";
+    }
+    const double locoGeomean = geomean(locoSlowdowns);
+    std::printf("LOCO geomean slowdown %.3fx (%.3f s)\n\n",
+                locoGeomean, locoSeconds);
+
+    std::ofstream out(outPath);
+    if (!out.good()) {
+        std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+        return 1;
+    }
+    char buf[256];
+    out << "{\n";
+    out << "  \"bench\": \"calib\",\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  \"options\": {\"starts\": %u, \"iters\": %u, "
+                  "\"perturbPct\": %g, \"apps\": %u, \"threads\": %u, "
+                  "\"seed\": %llu},\n",
+                  fit.starts, fit.maxIters, perturbPct, nApps,
+                  fit.threads, static_cast<unsigned long long>(seed));
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"fitWallSeconds\": %.6f,\n  \"totalEvals\": "
+                  "%llu,\n  \"evalsPerSecond\": %.1f,\n"
+                  "  \"allWithinTolerance\": %s,\n",
+                  fitSeconds,
+                  static_cast<unsigned long long>(totalEvals),
+                  evalsPerSecond,
+                  allWithinTolerance ? "true" : "false");
+    out << buf;
+    out << "  \"chips\": [\n";
+    for (std::size_t i = 0; i < fits.size(); ++i) {
+        const calib::FitResult &f = fits[i];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"chip\": \"%s\", \"loss\": %.6e, "
+                      "\"evals\": %llu, \"withinTolerance\": %s}%s\n",
+                      f.chip.shortName.c_str(), f.loss,
+                      static_cast<unsigned long long>(f.evals),
+                      f.withinTolerance ? "true" : "false",
+                      i + 1 < fits.size() ? "," : "");
+        out << buf;
+    }
+    out << "  ],\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  \"loco\": {\"geomeanSlowdown\": %.6f, "
+                  "\"wallSeconds\": %.6f, \"allPredictive\": %s, "
+                  "\"chips\": [\n",
+                  locoGeomean, locoSeconds,
+                  allPredictive ? "true" : "false");
+    out << buf;
+    for (std::size_t i = 0; i < loco.size(); ++i) {
+        const calib::ZooChipResult &r = loco[i];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"chip\": \"%s\", \"tier\": \"%s\", "
+                      "\"geomeanVsOracle\": %.6f, "
+                      "\"expectedSlowdown\": %.6f, \"pairs\": %u}%s\n",
+                      r.chip.c_str(), r.tier.c_str(),
+                      r.geomeanVsOracle, r.expectedSlowdown, r.pairs,
+                      i + 1 < loco.size() ? "," : "");
+        out << buf;
+    }
+    out << "  ]}\n}\n";
+    std::printf("perf record written to %s\n", outPath.c_str());
+
+    return allWithinTolerance && allPredictive ? 0 : 1;
+}

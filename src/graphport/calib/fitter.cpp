@@ -1,0 +1,501 @@
+#include "graphport/calib/fitter.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <numeric>
+#include <ostream>
+
+#include "graphport/calib/params.hpp"
+#include "graphport/support/csv.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/rng.hpp"
+#include "graphport/support/strings.hpp"
+#include "graphport/support/threadpool.hpp"
+
+namespace graphport {
+namespace calib {
+
+namespace {
+
+/** Exact round-trip double formatting (C99 hexfloat). */
+std::string
+hexDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    return buf;
+}
+
+std::string
+hexU64(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+    return buf;
+}
+
+double
+parseDouble(const std::string &s, const std::string &what)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    fatalIf(s.empty() || end != s.c_str() + s.size(),
+            what + ": bad number '" + s + "'");
+    return v;
+}
+
+std::uint64_t
+parseHexU64(const std::string &s, const std::string &what)
+{
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(s.c_str(), &end, 16);
+    fatalIf(s.empty() || end != s.c_str() + s.size(),
+            what + ": bad hash '" + s + "'");
+    return v;
+}
+
+std::uint64_t
+parseU64(const std::string &s, const std::string &what)
+{
+    fatalIf(s.empty() ||
+                s.find_first_not_of("0123456789") != std::string::npos,
+            what + ": bad count '" + s + "'");
+    return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+/** Reads one non-blank snapshot row; fatal at end of stream. */
+std::vector<std::string>
+nextRow(std::istream &is, const std::string &what)
+{
+    std::string line;
+    while (std::getline(is, line)) {
+        if (trim(line).empty())
+            continue;
+        return csvParseLine(line);
+    }
+    fatal("calib snapshot " + what +
+          ": truncated (missing 'end' marker)");
+}
+
+void
+expectKeyword(const std::vector<std::string> &row,
+              const std::string &keyword, std::size_t minFields,
+              const std::string &what)
+{
+    fatalIf(row.empty() || row[0] != keyword,
+            "calib snapshot " + what + ": expected '" + keyword +
+                "' record, got '" + (row.empty() ? "" : row[0]) +
+                "'");
+    fatalIf(row.size() < minFields,
+            "calib snapshot " + what + ": short '" + keyword +
+                "' record");
+}
+
+/** Fit-scale box bounds, registry order. */
+void
+fitBox(std::vector<double> &lo, std::vector<double> &hi)
+{
+    lo.clear();
+    hi.clear();
+    for (const ParamSpec &p : freeParams()) {
+        lo.push_back(p.logScale ? std::log(p.lo) : p.lo);
+        hi.push_back(p.logScale ? std::log(p.hi) : p.hi);
+    }
+}
+
+void
+projectInto(std::vector<double> &p, const std::vector<double> &lo,
+            const std::vector<double> &hi)
+{
+    for (std::size_t i = 0; i < p.size(); ++i)
+        p[i] = std::clamp(p[i], lo[i], hi[i]);
+}
+
+/** One Nelder–Mead run: pure function of its arguments. */
+struct NmOutcome
+{
+    std::vector<double> best; ///< fit-scale point
+    double loss = 0.0;
+    std::uint64_t evals = 0;
+};
+
+NmOutcome
+nelderMead(const Objective &objective, const std::vector<double> &s0,
+           const std::vector<double> &lo, const std::vector<double> &hi,
+           unsigned maxIters, double tolerance)
+{
+    constexpr double kReflect = 1.0;
+    constexpr double kExpand = 2.0;
+    constexpr double kContract = 0.5;
+    constexpr double kShrink = 0.5;
+
+    const std::size_t d = s0.size();
+    NmOutcome out;
+    const auto eval = [&](const std::vector<double> &p) {
+        ++out.evals;
+        return objective.loss(fromFitScale(p));
+    };
+
+    // Initial simplex: s0 plus one vertex per axis, stepped by 10% of
+    // the box width (stepping down when that would leave the box).
+    std::vector<std::vector<double>> v(d + 1, s0);
+    std::vector<double> f(d + 1);
+    for (std::size_t i = 0; i < d; ++i) {
+        const double step = 0.1 * (hi[i] - lo[i]);
+        double moved = v[i + 1][i] + step;
+        if (moved > hi[i])
+            moved = v[i + 1][i] - step;
+        v[i + 1][i] = std::clamp(moved, lo[i], hi[i]);
+    }
+    for (std::size_t i = 0; i <= d; ++i)
+        f[i] = eval(v[i]);
+
+    std::vector<std::size_t> order(d + 1);
+    for (unsigned iter = 0; iter < maxIters; ++iter) {
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::stable_sort(order.begin(), order.end(),
+                         [&f](std::size_t a, std::size_t b) {
+                             return f[a] < f[b];
+                         });
+        const std::size_t best = order[0];
+        const std::size_t second = order[d - 1];
+        const std::size_t worst = order[d];
+        if (f[worst] - f[best] < tolerance)
+            break;
+
+        std::vector<double> centroid(d, 0.0);
+        for (std::size_t i = 0; i <= d; ++i) {
+            if (i == worst)
+                continue;
+            for (std::size_t k = 0; k < d; ++k)
+                centroid[k] += v[i][k];
+        }
+        for (std::size_t k = 0; k < d; ++k)
+            centroid[k] /= static_cast<double>(d);
+
+        std::vector<double> xr(d);
+        for (std::size_t k = 0; k < d; ++k)
+            xr[k] = centroid[k] +
+                    kReflect * (centroid[k] - v[worst][k]);
+        projectInto(xr, lo, hi);
+        const double fr = eval(xr);
+
+        if (fr < f[best]) {
+            std::vector<double> xe(d);
+            for (std::size_t k = 0; k < d; ++k)
+                xe[k] = centroid[k] + kExpand * (xr[k] - centroid[k]);
+            projectInto(xe, lo, hi);
+            const double fe = eval(xe);
+            if (fe < fr) {
+                v[worst] = std::move(xe);
+                f[worst] = fe;
+            } else {
+                v[worst] = std::move(xr);
+                f[worst] = fr;
+            }
+            continue;
+        }
+        if (fr < f[second]) {
+            v[worst] = std::move(xr);
+            f[worst] = fr;
+            continue;
+        }
+
+        // Contract: outside when the reflection improved on the
+        // worst vertex, inside otherwise.
+        std::vector<double> xc(d);
+        if (fr < f[worst]) {
+            for (std::size_t k = 0; k < d; ++k)
+                xc[k] =
+                    centroid[k] + kContract * (xr[k] - centroid[k]);
+        } else {
+            for (std::size_t k = 0; k < d; ++k)
+                xc[k] = centroid[k] -
+                        kContract * (centroid[k] - v[worst][k]);
+        }
+        projectInto(xc, lo, hi);
+        const double fc = eval(xc);
+        if (fc < std::min(fr, f[worst])) {
+            v[worst] = std::move(xc);
+            f[worst] = fc;
+            continue;
+        }
+
+        // Shrink everything towards the best vertex.
+        for (std::size_t i = 0; i <= d; ++i) {
+            if (i == best)
+                continue;
+            for (std::size_t k = 0; k < d; ++k)
+                v[i][k] = v[best][k] +
+                          kShrink * (v[i][k] - v[best][k]);
+            projectInto(v[i], lo, hi);
+            f[i] = eval(v[i]);
+        }
+    }
+
+    std::size_t argBest = 0;
+    for (std::size_t i = 1; i <= d; ++i) {
+        if (f[i] < f[argBest])
+            argBest = i;
+    }
+    out.best = v[argBest];
+    out.loss = f[argBest];
+    return out;
+}
+
+} // namespace
+
+FitResult
+fitChip(const Objective &objective, const sim::ChipModel &start,
+        const FitOptions &options)
+{
+    fatalIf(options.starts == 0, "calib::fitChip: starts must be >= 1");
+    fatalIf(options.maxIters == 0,
+            "calib::fitChip: maxIters must be >= 1");
+
+    std::vector<double> fitLo, fitHi;
+    fitBox(fitLo, fitHi);
+    const std::size_t d = numFreeParams();
+
+    // Start points: the caller's chip first, then seeded uniform
+    // draws across the fit-scale box. Each start's point depends only
+    // on (seed, start index), never on thread scheduling.
+    std::vector<std::vector<double>> startPoints;
+    startPoints.reserve(options.starts);
+    {
+        std::vector<double> x0 = paramsOf(start);
+        clampToBounds(x0);
+        startPoints.push_back(toFitScale(x0));
+    }
+    const Rng root(options.seed);
+    for (unsigned s = 1; s < options.starts; ++s) {
+        Rng rng = root.fork(s);
+        std::vector<double> p(d);
+        for (std::size_t k = 0; k < d; ++k)
+            p[k] = fitLo[k] +
+                   rng.nextDouble() * (fitHi[k] - fitLo[k]);
+        startPoints.push_back(std::move(p));
+    }
+
+    // Fan the independent starts over the pool into preallocated
+    // slots; each slot is written exactly once.
+    std::vector<NmOutcome> slots(options.starts);
+    support::ThreadPool pool(options.threads);
+    pool.parallelFor(
+        options.starts,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                slots[i] = nelderMead(objective, startPoints[i],
+                                      fitLo, fitHi, options.maxIters,
+                                      options.tolerance);
+            }
+        },
+        1);
+
+    // Winner: lowest loss, lowest start index on exact ties.
+    std::size_t winner = 0;
+    std::uint64_t evals = 0;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        evals += slots[i].evals;
+        if (slots[i].loss < slots[winner].loss)
+            winner = i;
+    }
+
+    FitResult result;
+    result.params = fromFitScale(slots[winner].best);
+    clampToBounds(result.params);
+    result.chip = objective.apply(result.params);
+    result.chip.validate();
+    result.loss = slots[winner].loss;
+    result.bestStart = static_cast<unsigned>(winner);
+    result.evals = evals;
+    result.withinTolerance = objective.withinTolerance(result.chip);
+    result.objectiveHash = objective.identityHash();
+    return result;
+}
+
+sim::ChipModel
+perturbChipParams(const sim::ChipModel &chip, double rel,
+                  std::uint64_t seed)
+{
+    fatalIf(rel < 0.0, "calib::perturbChipParams: negative spread");
+    Rng rng(seed);
+    std::vector<double> x = paramsOf(chip);
+    for (double &v : x)
+        v *= rng.nextLognormal(rel);
+    clampToBounds(x);
+    return withParams(chip, x);
+}
+
+std::vector<FitResult>
+calibrateRoster(const FitOptions &options)
+{
+    std::vector<FitResult> fits;
+    for (const ChipTargets &t : designTargets()) {
+        const sim::ChipModel &base = sim::chipByName(t.chip);
+        fits.push_back(fitChip(Objective(base), base, options));
+    }
+    return fits;
+}
+
+void
+saveRoster(const std::vector<FitResult> &fits, std::ostream &os)
+{
+    os << csvRow({"graphport-calib",
+                  std::to_string(kCalibFormatVersion)})
+       << "\n";
+    os << csvRow({"chips", std::to_string(fits.size())}) << "\n";
+    const std::vector<ParamSpec> &specs = freeParams();
+    for (const FitResult &f : fits) {
+        panicIf(f.params.size() != specs.size(),
+                "saveRoster: parameter dimension mismatch for " +
+                    f.chip.shortName);
+        os << csvRow({"chip", f.chip.shortName,
+                      hexU64(f.objectiveHash), hexDouble(f.loss),
+                      std::to_string(f.evals),
+                      std::to_string(f.bestStart),
+                      f.withinTolerance ? "1" : "0",
+                      std::to_string(specs.size())})
+           << "\n";
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            os << csvRow({"param", specs[i].name,
+                          hexDouble(f.params[i])})
+               << "\n";
+        }
+    }
+    os << "end\n";
+}
+
+void
+saveRosterFile(const std::vector<FitResult> &fits,
+               const std::string &path)
+{
+    std::ofstream out(path);
+    fatalIf(!out.good(),
+            "cannot open calib snapshot '" + path + "' for writing");
+    saveRoster(fits, out);
+    out.flush();
+    fatalIf(!out.good(),
+            "failed while writing calib snapshot '" + path + "'");
+}
+
+std::vector<FitResult>
+loadRoster(std::istream &is, const std::string &what)
+{
+    std::vector<std::string> row = nextRow(is, what);
+    fatalIf(row.empty() || row[0] != "graphport-calib",
+            "calib snapshot " + what +
+                ": not a graphport calib snapshot (bad magic)");
+    fatalIf(row.size() < 2,
+            "calib snapshot " + what + ": missing format version");
+    const unsigned version =
+        static_cast<unsigned>(parseU64(row[1], what));
+    fatalIf(version != kCalibFormatVersion,
+            "calib snapshot " + what + ": format version " +
+                std::to_string(version) + ", but this build reads " +
+                std::to_string(kCalibFormatVersion) +
+                "; refit with 'graphport_cli calibrate'");
+
+    row = nextRow(is, what);
+    expectKeyword(row, "chips", 2, what);
+    const std::uint64_t nChips = parseU64(row[1], what);
+
+    const std::vector<ParamSpec> &specs = freeParams();
+    std::vector<FitResult> fits;
+    for (std::uint64_t c = 0; c < nChips; ++c) {
+        row = nextRow(is, what);
+        expectKeyword(row, "chip", 8, what);
+        FitResult f;
+        const std::string name = row[1];
+        f.objectiveHash = parseHexU64(row[2], what);
+        f.loss = parseDouble(row[3], what);
+        f.evals = parseU64(row[4], what);
+        f.bestStart = static_cast<unsigned>(parseU64(row[5], what));
+        const bool storedTolerance = row[6] == "1";
+        const std::uint64_t nParams = parseU64(row[7], what);
+        fatalIf(nParams != specs.size(),
+                "calib snapshot " + what + ": chip '" + name +
+                    "' has " + std::to_string(nParams) +
+                    " parameters, but this build fits " +
+                    std::to_string(specs.size()));
+        f.params.resize(specs.size());
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            row = nextRow(is, what);
+            expectKeyword(row, "param", 3, what);
+            fatalIf(row[1] != specs[i].name,
+                    "calib snapshot " + what + ": parameter '" +
+                        row[1] + "' where '" + specs[i].name +
+                        "' was expected (registry drift)");
+            f.params[i] = parseDouble(row[2], what);
+        }
+
+        // Staleness and physicality: the stored fit must match the
+        // current objective for this chip bit-for-bit, and the
+        // reconstructed chip must still validate.
+        const sim::ChipModel &base = sim::chipByName(name);
+        const Objective objective(base);
+        fatalIf(f.objectiveHash != objective.identityHash(),
+                "calib snapshot " + what + ": chip '" + name +
+                    "' was fitted against a different objective "
+                    "(hash " +
+                    hexU64(f.objectiveHash) + ", expected " +
+                    hexU64(objective.identityHash()) +
+                    "); refit with 'graphport_cli calibrate'");
+        f.chip = objective.apply(f.params);
+        f.chip.validate();
+        f.withinTolerance = objective.withinTolerance(f.chip);
+        fatalIf(f.withinTolerance != storedTolerance,
+                "calib snapshot " + what + ": chip '" + name +
+                    "' tolerance flag does not reproduce; the "
+                    "snapshot is corrupt");
+        fits.push_back(std::move(f));
+    }
+
+    row = nextRow(is, what);
+    expectKeyword(row, "end", 1, what);
+    return fits;
+}
+
+std::vector<FitResult>
+loadRosterFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in.good(), "cannot open calib snapshot '" + path + "'");
+    return loadRoster(in, "'" + path + "'");
+}
+
+std::vector<FitResult>
+fitOrLoadCached(const std::string &path, const FitOptions &options)
+{
+    {
+        std::ifstream in(path);
+        if (in.good()) {
+            try {
+                return loadRoster(in, "'" + path + "'");
+            } catch (const FatalError &e) {
+                std::fprintf(stderr,
+                             "graphport: warning: calib snapshot "
+                             "'%s' rejected (%s); refitting\n",
+                             path.c_str(), e.what());
+            }
+        }
+    }
+    std::vector<FitResult> fits = calibrateRoster(options);
+    try {
+        saveRosterFile(fits, path);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr,
+                     "graphport: warning: %s; the roster will be "
+                     "refitted next time\n",
+                     e.what());
+    }
+    return fits;
+}
+
+} // namespace calib
+} // namespace graphport

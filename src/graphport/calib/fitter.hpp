@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Derivative-free fitting of ChipModel parameters to the §13
+ * fingerprint objective.
+ *
+ * The fitter is Nelder–Mead with box bounds (candidates are projected
+ * back into the registry box before evaluation), run from several
+ * seeded start points: the caller's start plus uniform draws across
+ * the (log-scaled) box via support::Rng. Each start is a pure
+ * function of (objective, start point, options), so starts fan out
+ * over support::ThreadPool into preallocated result slots and the
+ * winner — lowest loss, lowest start index on ties — is bit-identical
+ * at any thread count.
+ *
+ * Fitted rosters freeze into versioned hexfloat snapshots stamped
+ * with each chip's Objective::identityHash, with the same
+ * staleness/cause-on-failure discipline as serve::StrategyIndex:
+ * loads fail with a cause, fitOrLoadCached degrades to
+ * warn-and-refit on stderr.
+ */
+#ifndef GRAPHPORT_CALIB_FITTER_HPP
+#define GRAPHPORT_CALIB_FITTER_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graphport/calib/objective.hpp"
+#include "graphport/sim/chip.hpp"
+
+namespace graphport {
+namespace calib {
+
+/** Calibration snapshot format version. */
+constexpr unsigned kCalibFormatVersion = 1;
+
+/** Knobs of one fit. */
+struct FitOptions
+{
+    /** Multi-start count (the caller's start point is start 0). */
+    unsigned starts = 8;
+    /** Nelder–Mead iteration cap per start. */
+    unsigned maxIters = 400;
+    /** Convergence: stop when the simplex loss spread falls below. */
+    double tolerance = 1.0e-10;
+    /** Seed for the multi-start draws. */
+    std::uint64_t seed = 0xca11bull;
+    /** Pool parallelism (0 = hardware, 1 = inline/serial). */
+    unsigned threads = 1;
+};
+
+/** Outcome of fitting one chip. */
+struct FitResult
+{
+    sim::ChipModel chip;        ///< best fitted chip
+    std::vector<double> params; ///< its free parameters, registry order
+    double loss = 0.0;          ///< objective loss of the winner
+    unsigned bestStart = 0;     ///< which start won
+    std::uint64_t evals = 0;    ///< total loss evaluations, all starts
+    bool withinTolerance = false; ///< all fingerprints inside windows
+    std::uint64_t objectiveHash = 0; ///< identity of the objective fitted
+};
+
+/**
+ * Fit @p objective starting from the free parameters of @p start
+ * (plus options.starts - 1 seeded random starts). Deterministic:
+ * bit-identical results for any options.threads.
+ */
+FitResult fitChip(const Objective &objective,
+                  const sim::ChipModel &start,
+                  const FitOptions &options);
+
+/**
+ * Return @p chip with each free parameter multiplied by a seeded
+ * lognormal factor of spread @p rel (e.g. 0.3 for roughly ±30%),
+ * clamped into the registry box. The perturbed chip keeps its name,
+ * so datasets built against it stay comparable with the original.
+ */
+sim::ChipModel perturbChipParams(const sim::ChipModel &chip,
+                                 double rel, std::uint64_t seed);
+
+/**
+ * Calibrate every §13 paper chip from its registry parameters.
+ * One fit per chip (each internally multi-start).
+ */
+std::vector<FitResult> calibrateRoster(const FitOptions &options);
+
+/** Serialise a fitted roster (versioned hexfloat snapshot). */
+void saveRoster(const std::vector<FitResult> &fits, std::ostream &os);
+void saveRosterFile(const std::vector<FitResult> &fits,
+                    const std::string &path);
+
+/**
+ * Load a fitted roster. Fails with a cause (FatalError) on bad
+ * magic/version/record shape, on unknown chips or parameters, on a
+ * stale objective hash, and on fitted chips that no longer pass
+ * ChipModel::validate.
+ */
+std::vector<FitResult> loadRoster(std::istream &is,
+                                  const std::string &what);
+std::vector<FitResult> loadRosterFile(const std::string &path);
+
+/**
+ * Load @p path when fresh (objective hashes match the current
+ * targets/registry), else warn on stderr, refit, and try to save —
+ * a failed save also degrades to a warning.
+ */
+std::vector<FitResult> fitOrLoadCached(const std::string &path,
+                                       const FitOptions &options);
+
+} // namespace calib
+} // namespace graphport
+
+#endif // GRAPHPORT_CALIB_FITTER_HPP

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The calibration objective: DESIGN §13's fingerprint targets as a
+ * deterministic, bounded loss over the free ChipModel parameters.
+ *
+ * Three fingerprints per chip, all priced by the same cost engine
+ * the study uses:
+ *
+ *  - sg-cmb (Table X): speedup of subgroup-combined atomics,
+ *  - m-divg (Table X): speedup from the divergence-bounding barrier,
+ *  - Fig. 5 utilisation at a 10 us kernel.
+ *
+ * Each fingerprint has a target value plus a tolerance window; inside
+ * the window only a gentle log-space pull towards the target remains,
+ * outside it a heavily weighted hinge dominates. The utilisation
+ * windows are vendor-class bands chosen non-overlapping (Nvidia >>
+ * AMD/Intel >> MALI), so a roster whose chips all sit inside their
+ * windows reproduces the Fig. 5 ordering by construction — the
+ * cross-chip check is still available as checkUtilisationOrdering.
+ */
+#ifndef GRAPHPORT_CALIB_OBJECTIVE_HPP
+#define GRAPHPORT_CALIB_OBJECTIVE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graphport/sim/chip.hpp"
+
+namespace graphport {
+namespace calib {
+
+/** The three §13 fingerprints of one chip. */
+struct FingerprintSet
+{
+    double sgCmb = 0.0;   ///< Table X sg-cmb speedup
+    double mDivg = 0.0;   ///< Table X m-divg speedup
+    double util10us = 0.0; ///< Fig. 5 utilisation at 10 us kernel
+};
+
+/** Run the Section VIII microbenchmarks against @p chip. */
+FingerprintSet measureFingerprints(const sim::ChipModel &chip);
+
+/** An inclusive acceptance window for one fingerprint. */
+struct ToleranceWindow
+{
+    double lo = 0.0;
+    double hi = 0.0;
+
+    bool
+    contains(double v) const
+    {
+        return v >= lo && v <= hi;
+    }
+};
+
+/** §13 targets for one chip. */
+struct ChipTargets
+{
+    std::string chip;        ///< short name, e.g. "R9"
+    double sgCmbTarget = 1.0;
+    ToleranceWindow sgCmbWindow;
+    double mDivgTarget = 1.0;
+    ToleranceWindow mDivgWindow;
+    double utilTarget = 0.5;
+    ToleranceWindow utilWindow;
+};
+
+/** The §13 target table, one entry per paper chip, table order. */
+const std::vector<ChipTargets> &designTargets();
+
+/** Look up targets by chip short name; fatal for unknown chips. */
+const ChipTargets &targetsFor(const std::string &chip);
+
+/**
+ * True when the Fig. 5 vendor-class ordering holds across @p chips:
+ * every Nvidia utilisation above every AMD/Intel one, and every
+ * AMD/Intel one above MALI's.
+ */
+bool checkUtilisationOrdering(const std::vector<sim::ChipModel> &chips);
+
+/**
+ * The per-chip loss. Identity and non-free parameters come from the
+ * base chip; loss(x) prices the base with the free parameters
+ * replaced by x. Pure and deterministic: equal inputs give
+ * bit-identical losses on any thread.
+ */
+class Objective
+{
+  public:
+    /** Penalty returned for invalid/out-of-bounds candidates. */
+    static constexpr double kInvalidPenalty = 1.0e9;
+
+    /**
+     * Build the objective for @p base using its §13 targets
+     * (looked up by shortName; fatal when the chip has none).
+     */
+    explicit Objective(const sim::ChipModel &base);
+
+    /** Build with explicit targets (e.g. for a hypothetical chip). */
+    Objective(sim::ChipModel base, ChipTargets targets);
+
+    const sim::ChipModel &base() const { return base_; }
+    const ChipTargets &targets() const { return targets_; }
+
+    /** The base chip with free parameters replaced by @p x. */
+    sim::ChipModel apply(const std::vector<double> &x) const;
+
+    /**
+     * Bounded deterministic loss of candidate @p x. Out-of-box or
+     * non-physical candidates (ChipModel::validate throws) score
+     * kInvalidPenalty instead of raising.
+     */
+    double loss(const std::vector<double> &x) const;
+
+    /** Loss of an already-built candidate chip. */
+    double lossOf(const sim::ChipModel &chip) const;
+
+    /** All three fingerprints inside their tolerance windows? */
+    bool withinTolerance(const sim::ChipModel &chip) const;
+
+    /**
+     * Stable identity of this objective: registry layout, bounds,
+     * targets and the frozen base parameters. Stamped into fit
+     * snapshots so stale fits are detected on load.
+     */
+    std::uint64_t identityHash() const;
+
+  private:
+    sim::ChipModel base_;
+    ChipTargets targets_;
+};
+
+} // namespace calib
+} // namespace graphport
+
+#endif // GRAPHPORT_CALIB_OBJECTIVE_HPP

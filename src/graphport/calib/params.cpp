@@ -1,0 +1,125 @@
+#include "graphport/calib/params.hpp"
+
+#include <cmath>
+
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+namespace calib {
+
+const std::vector<ParamSpec> &
+freeParams()
+{
+    // Bounds bracket the six shipped chips (chip.cpp) with roughly a
+    // 4x margin either side, so multi-start exploration can roam well
+    // past any real chip without leaving physical territory.
+    static const std::vector<ParamSpec> specs = {
+        {"contendedRmwNs", &sim::ChipModel::contendedRmwNs, 1.0,
+         150.0, true},
+        {"wgBarrierNs", &sim::ChipModel::wgBarrierNs, 2.0, 800.0,
+         true},
+        {"memDivergenceSensitivity",
+         &sim::ChipModel::memDivergenceSensitivity, 0.02, 40.0, true},
+        {"kernelLaunchNs", &sim::ChipModel::kernelLaunchNs, 500.0,
+         400000.0, true},
+        {"hostMemcpyNs", &sim::ChipModel::hostMemcpyNs, 300.0,
+         200000.0, true},
+    };
+    return specs;
+}
+
+std::size_t
+numFreeParams()
+{
+    return freeParams().size();
+}
+
+const ParamSpec &
+paramByName(const std::string &name)
+{
+    for (const ParamSpec &p : freeParams()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("calib: unknown free parameter '" + name + "'");
+}
+
+std::vector<double>
+paramsOf(const sim::ChipModel &chip)
+{
+    std::vector<double> x;
+    x.reserve(numFreeParams());
+    for (const ParamSpec &p : freeParams())
+        x.push_back(chip.*(p.field));
+    return x;
+}
+
+sim::ChipModel
+withParams(const sim::ChipModel &chip, const std::vector<double> &x)
+{
+    panicIf(x.size() != numFreeParams(),
+            "calib::withParams: parameter vector dimension mismatch");
+    sim::ChipModel c = chip;
+    const std::vector<ParamSpec> &specs = freeParams();
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        c.*(specs[i].field) = x[i];
+    return c;
+}
+
+void
+clampToBounds(std::vector<double> &x)
+{
+    panicIf(x.size() != numFreeParams(),
+            "calib::clampToBounds: dimension mismatch");
+    const std::vector<ParamSpec> &specs = freeParams();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (!(x[i] >= specs[i].lo)) // also catches NaN
+            x[i] = specs[i].lo;
+        else if (x[i] > specs[i].hi)
+            x[i] = specs[i].hi;
+    }
+}
+
+bool
+insideBounds(const std::vector<double> &x)
+{
+    if (x.size() != numFreeParams())
+        return false;
+    const std::vector<ParamSpec> &specs = freeParams();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (!(x[i] >= specs[i].lo && x[i] <= specs[i].hi))
+            return false;
+    }
+    return true;
+}
+
+std::vector<double>
+toFitScale(const std::vector<double> &x)
+{
+    panicIf(x.size() != numFreeParams(),
+            "calib::toFitScale: dimension mismatch");
+    const std::vector<ParamSpec> &specs = freeParams();
+    std::vector<double> s(x);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (specs[i].logScale)
+            s[i] = std::log(s[i]);
+    }
+    return s;
+}
+
+std::vector<double>
+fromFitScale(const std::vector<double> &s)
+{
+    panicIf(s.size() != numFreeParams(),
+            "calib::fromFitScale: dimension mismatch");
+    const std::vector<ParamSpec> &specs = freeParams();
+    std::vector<double> x(s);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (specs[i].logScale)
+            x[i] = std::exp(x[i]);
+    }
+    return x;
+}
+
+} // namespace calib
+} // namespace graphport

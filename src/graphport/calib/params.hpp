@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The declared free-parameter subset of sim::ChipModel that
+ * calibration is allowed to move.
+ *
+ * DESIGN §13 calibrates chips micro-first: the Section VIII
+ * fingerprints pin down the atomics, divergence, barrier and host
+ * overhead parameters, while geometry and memory-system parameters
+ * come from public architecture documentation and stay frozen. The
+ * registry below is the machine-readable version of that split: each
+ * ParamSpec names one fingerprint-visible double member, its physical
+ * box bounds, and whether the fitter should move it in log space
+ * (all the costs span orders of magnitude across the six chips).
+ */
+#ifndef GRAPHPORT_CALIB_PARAMS_HPP
+#define GRAPHPORT_CALIB_PARAMS_HPP
+
+#include <string>
+#include <vector>
+
+#include "graphport/sim/chip.hpp"
+
+namespace graphport {
+namespace calib {
+
+/** One free parameter of the calibration problem. */
+struct ParamSpec
+{
+    std::string name;            ///< ChipModel member name
+    double sim::ChipModel::*field; ///< the member itself
+    double lo = 0.0;             ///< lower box bound (physical)
+    double hi = 0.0;             ///< upper box bound (physical)
+    bool logScale = false;       ///< optimise log(value) not value
+};
+
+/**
+ * The free parameters, in fixed registry order. Everything else in
+ * ChipModel is frozen during fitting (identity, geometry, memory
+ * system, noise).
+ */
+const std::vector<ParamSpec> &freeParams();
+
+/** Number of free parameters (dimension of the search space). */
+std::size_t numFreeParams();
+
+/** Look up a spec by member name; fatal for unknown names. */
+const ParamSpec &paramByName(const std::string &name);
+
+/** Extract the free-parameter vector of @p chip, registry order. */
+std::vector<double> paramsOf(const sim::ChipModel &chip);
+
+/**
+ * Return @p chip with the free parameters replaced by @p x
+ * (registry order). Does not validate; callers decide whether an
+ * out-of-box candidate is an error or a penalty.
+ */
+sim::ChipModel withParams(const sim::ChipModel &chip,
+                          const std::vector<double> &x);
+
+/** Clamp @p x into the registry box bounds, in place. */
+void clampToBounds(std::vector<double> &x);
+
+/** True when every coordinate of @p x is inside its box bounds. */
+bool insideBounds(const std::vector<double> &x);
+
+/**
+ * Map a physical parameter vector to the fitter's internal scale
+ * (log for logScale params) and back.
+ */
+std::vector<double> toFitScale(const std::vector<double> &x);
+std::vector<double> fromFitScale(const std::vector<double> &s);
+
+} // namespace calib
+} // namespace graphport
+
+#endif // GRAPHPORT_CALIB_PARAMS_HPP

@@ -1,0 +1,152 @@
+#include "graphport/calib/sensitivity.hpp"
+
+#include <cmath>
+
+#include "graphport/calib/params.hpp"
+#include "graphport/port/strategy.hpp"
+#include "graphport/runner/dataset.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/threadpool.hpp"
+
+namespace graphport {
+namespace calib {
+
+namespace {
+
+/**
+ * The ten strategy tables of a dataset, in study order (baseline,
+ * lattice, oracle) — the same sequence serve::StrategyIndex freezes.
+ */
+std::vector<port::StrategyTable>
+buildTables(const runner::Dataset &ds, double alpha)
+{
+    const std::vector<port::Strategy> strategies =
+        port::allStrategies(ds, alpha);
+    std::vector<port::Specialisation> specs;
+    specs.push_back({false, false, false});
+    for (const port::Specialisation &s :
+         port::Specialisation::lattice())
+        specs.push_back(s);
+    specs.push_back({true, true, true});
+    panicIf(specs.size() != strategies.size(),
+            "sensitivitySweep: strategy/spec count mismatch");
+    std::vector<port::StrategyTable> tables;
+    for (std::size_t i = 0; i < strategies.size(); ++i)
+        tables.push_back(
+            port::tabulateStrategy(ds, strategies[i], specs[i]));
+    return tables;
+}
+
+/**
+ * First (table, partition) whose chosen config differs between
+ * @p baseline and @p probed, in table order then key order — a
+ * deterministic witness of the flip.
+ */
+bool
+firstFlip(const std::vector<port::StrategyTable> &baseline,
+          const std::vector<port::StrategyTable> &probed,
+          DirectionFlip &flip)
+{
+    panicIf(baseline.size() != probed.size(),
+            "sensitivitySweep: table count changed under probe");
+    for (std::size_t t = 0; t < baseline.size(); ++t) {
+        const port::StrategyTable &b = baseline[t];
+        const port::StrategyTable &p = probed[t];
+        for (const auto &[key, cfg] : b.configByPartition) {
+            const unsigned *probedCfg = p.configFor(key);
+            const unsigned newCfg = probedCfg ? *probedCfg : cfg;
+            if (newCfg != cfg) {
+                flip.table = b.name;
+                flip.partition = key;
+                flip.fromConfig = cfg;
+                flip.toConfig = newCfg;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+/** The probe universe with @p chip standing in for its namesake. */
+runner::Universe
+probeUniverse(const runner::Universe &base, const sim::ChipModel &chip)
+{
+    runner::Universe u = base;
+    u.customChips = {chip};
+    return u;
+}
+
+} // namespace
+
+SensitivityReport
+sensitivitySweep(const std::string &chipName,
+                 const SensitivityOptions &options)
+{
+    fatalIf(options.stepPct <= 0.0,
+            "sensitivitySweep: stepPct must be positive");
+    fatalIf(options.maxPct < options.stepPct,
+            "sensitivitySweep: maxPct must be >= stepPct");
+    const sim::ChipModel &chip = sim::chipByName(chipName);
+
+    runner::Universe base = runner::smallUniverse(options.nApps);
+    const runner::Dataset baseDs =
+        runner::Dataset::build(base, {1, true, nullptr});
+    const std::vector<port::StrategyTable> baseTables =
+        buildTables(baseDs, options.alpha);
+
+    const std::vector<ParamSpec> &specs = freeParams();
+    SensitivityReport report;
+    report.chip = chipName;
+    report.params.resize(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        report.params[i].param = specs[i].name;
+        report.params[i].baseValue = chip.*(specs[i].field);
+    }
+
+    // One work item per (parameter, direction); each walks its
+    // magnitudes serially and stops at the first flip. Items write
+    // disjoint slots, so the fan-out is bit-identical to serial.
+    const std::size_t items = specs.size() * 2;
+    support::ThreadPool pool(options.threads);
+    pool.parallelFor(
+        items,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t item = begin; item < end; ++item) {
+                const std::size_t p = item / 2;
+                const bool upward = (item % 2) == 0;
+                DirectionFlip &flip = upward ? report.params[p].up
+                                             : report.params[p].down;
+                const double baseValue = report.params[p].baseValue;
+                for (double pct = options.stepPct;
+                     pct <= options.maxPct + 1e-9;
+                     pct += options.stepPct) {
+                    const double scale = upward ? 1.0 + pct / 100.0
+                                                : 1.0 - pct / 100.0;
+                    if (scale <= 0.0)
+                        break;
+                    const double moved = baseValue * scale;
+                    if (moved < specs[p].lo || moved > specs[p].hi)
+                        break;
+                    sim::ChipModel probe = chip;
+                    probe.*(specs[p].field) = moved;
+                    probe.validate();
+                    const runner::Dataset ds = runner::Dataset::build(
+                        probeUniverse(base, probe),
+                        {1, true, nullptr});
+                    ++flip.probes;
+                    if (firstFlip(baseTables,
+                                  buildTables(ds, options.alpha),
+                                  flip)) {
+                        flip.flipped = true;
+                        flip.flipPct = pct;
+                        break;
+                    }
+                }
+            }
+        },
+        1);
+    return report;
+}
+
+} // namespace calib
+} // namespace graphport

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * One-at-a-time parameter sensitivity of the strategy tables.
+ *
+ * The paper's §VII argues a handful of hardware differences are
+ * performance-critical. This module quantifies that for the model:
+ * move one free ChipModel parameter at a time by growing ±% steps,
+ * rebuild the sweep with the perturbed chip standing in for the
+ * original (same short name, so partition keys and noise seeds stay
+ * comparable), and report the smallest move at which any lattice
+ * strategy table from port::tabulateStrategy flips a chosen
+ * configuration. A parameter that flips at 5% is performance-critical;
+ * one that survives ±50% is slack the fitter cannot pin down — the
+ * two reports are complementary.
+ */
+#ifndef GRAPHPORT_CALIB_SENSITIVITY_HPP
+#define GRAPHPORT_CALIB_SENSITIVITY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graphport/runner/universe.hpp"
+#include "graphport/sim/chip.hpp"
+
+namespace graphport {
+namespace calib {
+
+/** Knobs of one sensitivity sweep. */
+struct SensitivityOptions
+{
+    /** Applications in the probe universe (prefix of the registry). */
+    unsigned nApps = 3;
+    /** Step between probed magnitudes, percent. */
+    double stepPct = 5.0;
+    /** Largest probed magnitude, percent. */
+    double maxPct = 50.0;
+    /** MWU significance for the lattice strategies. */
+    double alpha = 0.05;
+    /** Pool parallelism over (parameter, direction) probes. */
+    unsigned threads = 1;
+};
+
+/** What happened walking one direction of one parameter. */
+struct DirectionFlip
+{
+    bool flipped = false;  ///< any strategy table changed a config
+    double flipPct = 0.0;  ///< smallest probed % that flipped
+    std::string table;     ///< first differing strategy table
+    std::string partition; ///< partition whose config changed
+    unsigned fromConfig = 0;
+    unsigned toConfig = 0;
+    /** Probes actually evaluated (bounds can cut a walk short). */
+    unsigned probes = 0;
+};
+
+/** Flip thresholds of one free parameter. */
+struct ParamSensitivity
+{
+    std::string param;
+    double baseValue = 0.0;
+    DirectionFlip up;   ///< value scaled by (1 + pct/100)
+    DirectionFlip down; ///< value scaled by (1 - pct/100)
+};
+
+/** The full report for one chip. */
+struct SensitivityReport
+{
+    std::string chip;
+    /** One entry per free parameter, registry order. */
+    std::vector<ParamSensitivity> params;
+};
+
+/**
+ * Probe @p chipName (a registry chip) within an all-six-chips
+ * universe of options.nApps applications. Deterministic: the report
+ * is bit-identical for any options.threads.
+ */
+SensitivityReport sensitivitySweep(const std::string &chipName,
+                                   const SensitivityOptions &options);
+
+} // namespace calib
+} // namespace graphport
+
+#endif // GRAPHPORT_CALIB_SENSITIVITY_HPP

@@ -1,0 +1,156 @@
+#include "graphport/calib/zoo.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "graphport/calib/params.hpp"
+#include "graphport/runner/dataset.hpp"
+#include "graphport/serve/advisor.hpp"
+#include "graphport/serve/index.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/mathutil.hpp"
+#include "graphport/support/rng.hpp"
+
+namespace graphport {
+namespace calib {
+
+namespace {
+
+double
+reportGeomean(const std::vector<ZooChipResult> &results)
+{
+    if (results.empty())
+        return 1.0;
+    std::vector<double> values;
+    for (const ZooChipResult &r : results)
+        values.push_back(r.geomeanVsOracle);
+    return geomean(values);
+}
+
+} // namespace
+
+std::vector<sim::ChipModel>
+synthesizeZoo(const std::vector<sim::ChipModel> &roster,
+              const ZooOptions &options)
+{
+    fatalIf(roster.size() < 2,
+            "synthesizeZoo: need at least two parent chips");
+    const Rng root(options.seed);
+    std::vector<sim::ChipModel> zoo;
+    for (unsigned i = 0; i < options.nSynthetic; ++i) {
+        Rng rng = root.fork(i);
+        const std::size_t a = rng.nextBelow(roster.size());
+        std::size_t b = rng.nextBelow(roster.size() - 1);
+        if (b >= a)
+            ++b;
+        const double t = rng.nextDouble();
+        const sim::ChipModel &pa = roster[a];
+        const sim::ChipModel &pb = roster[b];
+
+        // Identity, geometry and the non-free parameters come from
+        // the dominant parent; the free parameters interpolate
+        // geometrically (they all live on log scales) and then take a
+        // lognormal kick so the zoo is not a line segment.
+        sim::ChipModel chip = t < 0.5 ? pa : pb;
+        chip.shortName = "ZOO" + std::to_string(i);
+        chip.vendor = "Zoo";
+        chip.fullName = "synthetic " + pa.shortName + "/" +
+                        pb.shortName + " blend";
+        const std::vector<double> xa = paramsOf(pa);
+        const std::vector<double> xb = paramsOf(pb);
+        std::vector<double> x(xa.size());
+        for (std::size_t k = 0; k < x.size(); ++k) {
+            x[k] = std::exp((1.0 - t) * std::log(xa[k]) +
+                            t * std::log(xb[k]));
+            x[k] *= rng.nextLognormal(options.perturbRel);
+        }
+        clampToBounds(x);
+        chip = withParams(chip, x);
+        chip.validate();
+        zoo.push_back(std::move(chip));
+    }
+    return zoo;
+}
+
+ZooChipResult
+scoreAgainstOracle(const sim::ChipModel &chip,
+                   const std::vector<std::string> &knownChips,
+                   const ZooOptions &options)
+{
+    for (const std::string &known : knownChips)
+        fatalIf(known == chip.shortName,
+                "scoreAgainstOracle: '" + chip.shortName +
+                    "' must not be among the known chips");
+
+    // The advisor trains on the known chips only...
+    const runner::Universe train =
+        runner::smallUniverse(options.nApps, knownChips);
+    const runner::Dataset trainDs = runner::Dataset::build(
+        train, {options.threads, true, nullptr});
+    const serve::Advisor advisor(serve::StrategyIndex::build(
+        trainDs, options.alpha, options.knnK));
+
+    // ...while the oracle sweep runs the scored chip itself.
+    runner::Universe eval = train;
+    eval.chips = {chip.shortName};
+    eval.customChips = {chip};
+    eval.validate();
+    const runner::Dataset evalDs = runner::Dataset::build(
+        eval, {options.threads, true, nullptr});
+
+    ZooChipResult result;
+    result.chip = chip.shortName;
+    std::vector<double> slowdowns;
+    for (const std::string &app : eval.apps) {
+        for (const runner::InputSpec &input : eval.inputs) {
+            const serve::Advice advice = advisor.advise(
+                {app, input.name, chip.shortName});
+            result.tier = advice.tier;
+            result.expectedSlowdown = advice.expectedSlowdownVsOracle;
+            const std::size_t test = evalDs.testIndex(
+                app, input.name, chip.shortName);
+            slowdowns.push_back(
+                evalDs.meanNs(test, advice.config) /
+                evalDs.meanNs(test, evalDs.bestConfig(test)));
+        }
+    }
+    result.pairs = static_cast<unsigned>(slowdowns.size());
+    result.geomeanVsOracle = geomean(slowdowns);
+    return result;
+}
+
+std::vector<ZooChipResult>
+locoExperiment(const ZooOptions &options)
+{
+    const std::vector<std::string> names = sim::allChipNames();
+    std::vector<ZooChipResult> results;
+    for (const std::string &heldOut : names) {
+        std::vector<std::string> known;
+        for (const std::string &n : names) {
+            if (n != heldOut)
+                known.push_back(n);
+        }
+        results.push_back(scoreAgainstOracle(
+            sim::chipByName(heldOut), known, options));
+    }
+    return results;
+}
+
+ZooReport
+runZoo(const ZooOptions &options)
+{
+    ZooReport report;
+    const std::vector<sim::ChipModel> zoo =
+        synthesizeZoo(sim::allChips(), options);
+    const std::vector<std::string> allKnown = sim::allChipNames();
+    for (const sim::ChipModel &chip : zoo)
+        report.synthetic.push_back(
+            scoreAgainstOracle(chip, allKnown, options));
+    report.loco = locoExperiment(options);
+    report.syntheticGeomean = reportGeomean(report.synthetic);
+    report.locoGeomean = reportGeomean(report.loco);
+    return report;
+}
+
+} // namespace calib
+} // namespace graphport

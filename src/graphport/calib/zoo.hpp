@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The chip zoo: hypothetical GPUs for stress-testing the advisor's
+ * unknown-chip fallback.
+ *
+ * Zoo chips are synthesized from the calibrated roster — free
+ * parameters geometrically interpolated between two parent chips,
+ * then lognormally perturbed — and swept through the same study
+ * harness as real chips (runner::Universe customChips). The
+ * experiment: build a StrategyIndex from chips the advisor *is*
+ * allowed to know, ask serve::Advisor about the zoo chip it is not,
+ * and score the predictive answers against the zoo chip's own oracle
+ * sweep. The leave-one-chip-out variant does the same with each of
+ * the six paper chips held out — the first held-out validation of
+ * port::predictConfig across a chip boundary.
+ */
+#ifndef GRAPHPORT_CALIB_ZOO_HPP
+#define GRAPHPORT_CALIB_ZOO_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graphport/sim/chip.hpp"
+
+namespace graphport {
+namespace calib {
+
+/** Knobs of a zoo experiment. */
+struct ZooOptions
+{
+    /** Synthetic chips to mint. */
+    unsigned nSynthetic = 4;
+    /** Lognormal spread applied after interpolation. */
+    double perturbRel = 0.15;
+    /** Seed for interpolation weights and perturbations. */
+    std::uint64_t seed = 0x5a00ull;
+    /** Applications in the experiment universe. */
+    unsigned nApps = 3;
+    /** k of the advisor's k-NN fallback. */
+    unsigned knnK = 3;
+    /** MWU significance for the strategy tables. */
+    double alpha = 0.05;
+    /** Pool parallelism inside the dataset sweeps. */
+    unsigned threads = 1;
+};
+
+/** How the advisor fared against one held-out or synthetic chip. */
+struct ZooChipResult
+{
+    std::string chip;
+    /** Advisor tier that answered (must be "predictive"). */
+    std::string tier;
+    /** The advisor's own expected-slowdown label. */
+    double expectedSlowdown = 1.0;
+    /** Measured geomean slowdown of its answers vs. the oracle. */
+    double geomeanVsOracle = 1.0;
+    /** (app, input) pairs scored. */
+    unsigned pairs = 0;
+};
+
+/** The full zoo report. */
+struct ZooReport
+{
+    std::vector<ZooChipResult> synthetic;
+    std::vector<ZooChipResult> loco; ///< one per held-out paper chip
+    /** Geomean of the synthetic chips' geomeanVsOracle (1 if none). */
+    double syntheticGeomean = 1.0;
+    /** Geomean of the LOCO geomeanVsOracle values (1 if none). */
+    double locoGeomean = 1.0;
+};
+
+/**
+ * Mint @p options.nSynthetic hypothetical chips ("ZOO0", "ZOO1", ...)
+ * from seeded parent pairs of @p roster. Every returned chip passes
+ * ChipModel::validate and its free parameters sit inside the
+ * registry box.
+ */
+std::vector<sim::ChipModel>
+synthesizeZoo(const std::vector<sim::ChipModel> &roster,
+              const ZooOptions &options);
+
+/**
+ * Score the advisor's unknown-chip fallback against @p chip: train an
+ * index on @p knownChips (registry names; @p chip must not be among
+ * them), advise every (app, input) pair for @p chip, and compare with
+ * the oracle of a sweep over @p chip itself.
+ */
+ZooChipResult scoreAgainstOracle(const sim::ChipModel &chip,
+                                 const std::vector<std::string> &knownChips,
+                                 const ZooOptions &options);
+
+/** The full experiment: synthetic zoo plus leave-one-chip-out. */
+ZooReport runZoo(const ZooOptions &options);
+
+/** Only the leave-one-chip-out half (used by tests and CI smoke). */
+std::vector<ZooChipResult> locoExperiment(const ZooOptions &options);
+
+} // namespace calib
+} // namespace graphport
+
+#endif // GRAPHPORT_CALIB_ZOO_HPP

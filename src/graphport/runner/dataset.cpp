@@ -217,6 +217,25 @@ Dataset::contentHash() const
     }
     for (const std::string &c : universe_.chips)
         mix(hashStr(c));
+    for (const sim::ChipModel &c : universe_.customChips) {
+        mix(hashStr(c.shortName));
+        mix(c.numCus);
+        mix(c.subgroupSize);
+        mix(c.lanesPerCu);
+        mix(c.maxWorkgroupSize);
+        mix(c.wgPerCu128);
+        mix(c.wgPerCu256);
+        mix(c.driverCombinesAtomics ? 1u : 0u);
+        mix(c.discrete ? 1u : 0u);
+        for (double v :
+             {c.ilpEfficiency, c.randomEdgeNs, c.coalescedEdgeNs,
+              c.localOpNs, c.computeUnitNs, c.memBandwidthGBs,
+              c.memDivergenceSensitivity, c.contendedRmwNs,
+              c.scatteredRmwNs, c.wgBarrierNs, c.sgBarrierNs,
+              c.globalBarrierPerWgNs, c.globalBarrierBaseNs,
+              c.kernelLaunchNs, c.hostMemcpyNs, c.noiseSigma})
+            mix(std::bit_cast<std::uint64_t>(v));
+    }
     mix(universe_.runs);
     mix(universe_.seed);
     for (double v : runsNs_)
@@ -271,7 +290,7 @@ Dataset::build(const Universe &universe, const BuildOptions &options)
     std::vector<const sim::ChipModel *> chips;
     chips.reserve(nChips);
     for (const std::string &name : universe.chips)
-        chips.push_back(&sim::chipByName(name));
+        chips.push_back(&chipFor(universe, name));
 
     // Workgroup sizes the engines will query order statistics for;
     // used to pre-warm the histogram memos before the fan-out.

@@ -39,8 +39,17 @@ Universe::validate() const
     fatalIf(runs == 0, "Universe must have at least one run");
     for (const std::string &a : apps)
         apps::appByName(a); // throws on unknown names
+    for (const sim::ChipModel &c : customChips)
+        c.validate();
+    for (std::size_t i = 0; i < customChips.size(); ++i) {
+        for (std::size_t j = i + 1; j < customChips.size(); ++j)
+            fatalIf(customChips[i].shortName ==
+                        customChips[j].shortName,
+                    "Universe customChips duplicate name: " +
+                        customChips[i].shortName);
+    }
     for (const std::string &c : chips)
-        sim::chipByName(c);
+        chipFor(*this, c);
 }
 
 Universe
@@ -84,6 +93,16 @@ smallUniverse(unsigned n_apps, std::vector<std::string> chips)
     u.seed = 0x5eed;
     u.validate();
     return u;
+}
+
+const sim::ChipModel &
+chipFor(const Universe &u, const std::string &name)
+{
+    for (const sim::ChipModel &c : u.customChips) {
+        if (c.shortName == name)
+            return c;
+    }
+    return sim::chipByName(name);
 }
 
 const InputSpec &

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graphport/graph/csr.hpp"
+#include "graphport/sim/chip.hpp"
 
 namespace graphport {
 namespace runner {
@@ -42,6 +43,13 @@ struct Universe
     std::vector<std::string> apps;
     std::vector<InputSpec> inputs;
     std::vector<std::string> chips;
+    /**
+     * Chip models that override or extend the sim registry.  A name
+     * in @ref chips resolves here first (by shortName), then falls
+     * back to sim::chipByName.  Lets calibration and the chip zoo
+     * sweep hypothetical chips without mutating the registry.
+     */
+    std::vector<sim::ChipModel> customChips;
     /** Repeated timings per (test, config) cell (paper: 3). */
     unsigned runs = 3;
     /** Master seed for measurement noise. */
@@ -53,6 +61,14 @@ struct Universe
     /** Validate names against the registries. */
     void validate() const;
 };
+
+/**
+ * Resolve a chip name within a universe: customChips first (by
+ * shortName), then the sim registry. Fatal when the name resolves
+ * nowhere.
+ */
+const sim::ChipModel &chipFor(const Universe &u,
+                              const std::string &name);
 
 /** The paper-scale study universe (17 apps x 3 inputs x 6 chips). */
 Universe studyUniverse();

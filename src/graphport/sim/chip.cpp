@@ -65,25 +65,55 @@ ChipModel::globalBarrierCostNs(unsigned wg_size) const
 void
 ChipModel::validate() const
 {
+    const auto finite = [this](double v, const char *what) {
+        panicIf(!std::isfinite(v), std::string("ChipModel ") + what +
+                                       " not finite: " + shortName);
+    };
+    const auto positive = [&](double v, const char *what) {
+        finite(v, what);
+        panicIf(v <= 0.0, std::string("ChipModel ") + what +
+                              " must be positive: " + shortName);
+    };
+    const auto nonNegative = [&](double v, const char *what) {
+        finite(v, what);
+        panicIf(v < 0.0, std::string("ChipModel ") + what +
+                             " negative: " + shortName);
+    };
+
     panicIf(shortName.empty(), "ChipModel without a name");
     panicIf(numCus == 0, "ChipModel numCus == 0: " + shortName);
     panicIf(subgroupSize == 0,
             "ChipModel subgroupSize == 0: " + shortName);
     panicIf(lanesPerCu == 0,
             "ChipModel lanesPerCu == 0: " + shortName);
+    panicIf(maxWorkgroupSize < 128,
+            "ChipModel maxWorkgroupSize < 128: " + shortName);
     panicIf(wgPerCu128 == 0 || wgPerCu256 == 0,
             "ChipModel occupancy == 0: " + shortName);
-    panicIf(ilpEfficiency <= 0.0 || ilpEfficiency > 1.0,
+    finite(ilpEfficiency, "ilpEfficiency");
+    panicIf(!(ilpEfficiency > 0.0 && ilpEfficiency <= 1.0),
             "ChipModel ilpEfficiency out of (0,1]: " + shortName);
-    panicIf(randomEdgeNs <= 0.0 || coalescedEdgeNs <= 0.0,
-            "ChipModel edge costs must be positive: " + shortName);
+    positive(randomEdgeNs, "randomEdgeNs");
+    positive(coalescedEdgeNs, "coalescedEdgeNs");
     panicIf(randomEdgeNs < coalescedEdgeNs,
             "ChipModel random access cheaper than coalesced: " +
                 shortName);
-    panicIf(kernelLaunchNs <= 0.0 || hostMemcpyNs <= 0.0,
-            "ChipModel host overheads must be positive: " + shortName);
-    panicIf(noiseSigma < 0.0,
-            "ChipModel noiseSigma negative: " + shortName);
+    positive(localOpNs, "localOpNs");
+    positive(computeUnitNs, "computeUnitNs");
+    positive(memBandwidthGBs, "memBandwidthGBs");
+    nonNegative(memDivergenceSensitivity, "memDivergenceSensitivity");
+    positive(contendedRmwNs, "contendedRmwNs");
+    positive(scatteredRmwNs, "scatteredRmwNs");
+    nonNegative(wgBarrierNs, "wgBarrierNs");
+    nonNegative(sgBarrierNs, "sgBarrierNs");
+    nonNegative(globalBarrierPerWgNs, "globalBarrierPerWgNs");
+    nonNegative(globalBarrierBaseNs, "globalBarrierBaseNs");
+    positive(kernelLaunchNs, "kernelLaunchNs");
+    positive(hostMemcpyNs, "hostMemcpyNs");
+    nonNegative(noiseSigma, "noiseSigma");
+    panicIf(noiseSigma > 1.0,
+            "ChipModel noiseSigma > 1 (not a timing noise): " +
+                shortName);
 }
 
 const std::vector<ChipModel> &

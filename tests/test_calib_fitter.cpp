@@ -1,0 +1,229 @@
+/**
+ * @file
+ * calib::Fitter: perturbed-recovery, thread-count determinism, and
+ * the snapshot discipline.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graphport/calib/fitter.hpp"
+#include "graphport/calib/params.hpp"
+#include "graphport/sim/chip.hpp"
+#include "graphport/support/error.hpp"
+
+using namespace graphport;
+
+namespace {
+
+calib::FitOptions
+quickOptions(unsigned threads = 1)
+{
+    calib::FitOptions opts;
+    opts.starts = 6;
+    opts.maxIters = 300;
+    opts.threads = threads;
+    return opts;
+}
+
+} // namespace
+
+TEST(CalibFitter, PerturbIsSeededDeterministicAndInBounds)
+{
+    const sim::ChipModel &base = sim::chipByName("HD5500");
+    const sim::ChipModel a = calib::perturbChipParams(base, 0.3, 7);
+    const sim::ChipModel b = calib::perturbChipParams(base, 0.3, 7);
+    const sim::ChipModel c = calib::perturbChipParams(base, 0.3, 8);
+    EXPECT_EQ(calib::paramsOf(a), calib::paramsOf(b));
+    EXPECT_NE(calib::paramsOf(a), calib::paramsOf(c));
+    EXPECT_NE(calib::paramsOf(a), calib::paramsOf(base));
+    EXPECT_TRUE(calib::insideBounds(calib::paramsOf(a)));
+    EXPECT_EQ(a.shortName, base.shortName);
+    EXPECT_NO_THROW(a.validate());
+}
+
+// The acceptance criterion: started from perturbed parameters, the
+// fitter recovers every paper chip inside its §13 tolerance window.
+TEST(CalibFitter, RecoversEveryPerturbedPaperChipWithinTolerance)
+{
+    const std::vector<std::string> names = sim::allChipNames();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const sim::ChipModel &base = sim::chipByName(names[i]);
+        const calib::Objective objective(base);
+        const sim::ChipModel start =
+            calib::perturbChipParams(base, 0.3, 1000 + i);
+        // The perturbed start is (usually) out of tolerance — the
+        // fit has real work to do.
+        const calib::FitResult fit =
+            calib::fitChip(objective, start, quickOptions());
+        EXPECT_TRUE(fit.withinTolerance) << names[i];
+        EXPECT_TRUE(objective.withinTolerance(fit.chip)) << names[i];
+        EXPECT_LT(fit.loss, objective.lossOf(start) + 1e-12)
+            << names[i];
+        EXPECT_GT(fit.evals, 0u) << names[i];
+        EXPECT_EQ(fit.chip.shortName, names[i]);
+        EXPECT_NO_THROW(fit.chip.validate());
+    }
+}
+
+// The other acceptance criterion: bit-identical at any thread count.
+TEST(CalibFitter, BitIdenticalAcrossThreadCounts)
+{
+    const sim::ChipModel &base = sim::chipByName("IRIS");
+    const calib::Objective objective(base);
+    const sim::ChipModel start =
+        calib::perturbChipParams(base, 0.3, 99);
+    const calib::FitResult serial =
+        calib::fitChip(objective, start, quickOptions(1));
+    for (unsigned threads : {4u, 8u}) {
+        const calib::FitResult parallel =
+            calib::fitChip(objective, start, quickOptions(threads));
+        EXPECT_EQ(parallel.params, serial.params)
+            << threads << " threads";
+        EXPECT_EQ(parallel.loss, serial.loss);
+        EXPECT_EQ(parallel.evals, serial.evals);
+        EXPECT_EQ(parallel.bestStart, serial.bestStart);
+    }
+}
+
+TEST(CalibFitter, MultiStartRecoversFromAnUninformativeStart)
+{
+    // Start from the geometric middle of the box — no chip looks
+    // like that — and rely on the seeded multi-start to find R9.
+    const sim::ChipModel &base = sim::chipByName("R9");
+    const calib::Objective objective(base);
+    std::vector<double> mid;
+    for (const calib::ParamSpec &p : calib::freeParams())
+        mid.push_back(std::sqrt(p.lo * p.hi));
+    const sim::ChipModel start = calib::withParams(base, mid);
+    calib::FitOptions opts = quickOptions();
+    opts.starts = 8;
+    const calib::FitResult fit = calib::fitChip(objective, start, opts);
+    EXPECT_TRUE(fit.withinTolerance);
+}
+
+TEST(CalibFitter, RejectsDegenerateOptions)
+{
+    const calib::Objective objective(sim::chipByName("R9"));
+    calib::FitOptions opts;
+    opts.starts = 0;
+    EXPECT_THROW(
+        calib::fitChip(objective, sim::chipByName("R9"), opts),
+        FatalError);
+    opts.starts = 1;
+    opts.maxIters = 0;
+    EXPECT_THROW(
+        calib::fitChip(objective, sim::chipByName("R9"), opts),
+        FatalError);
+}
+
+TEST(CalibFitter, SnapshotRoundTripsBitExactly)
+{
+    calib::FitOptions opts = quickOptions();
+    opts.starts = 2;
+    opts.maxIters = 60;
+    std::vector<calib::FitResult> fits;
+    for (const char *name : {"M4000", "MALI"}) {
+        const sim::ChipModel &base = sim::chipByName(name);
+        fits.push_back(
+            calib::fitChip(calib::Objective(base), base, opts));
+    }
+    std::stringstream ss;
+    calib::saveRoster(fits, ss);
+    const std::vector<calib::FitResult> loaded =
+        calib::loadRoster(ss, "test");
+    ASSERT_EQ(loaded.size(), fits.size());
+    for (std::size_t i = 0; i < fits.size(); ++i) {
+        EXPECT_EQ(loaded[i].chip.shortName, fits[i].chip.shortName);
+        EXPECT_EQ(loaded[i].params, fits[i].params); // hexfloat exact
+        EXPECT_EQ(loaded[i].loss, fits[i].loss);
+        EXPECT_EQ(loaded[i].evals, fits[i].evals);
+        EXPECT_EQ(loaded[i].withinTolerance, fits[i].withinTolerance);
+        EXPECT_EQ(loaded[i].objectiveHash, fits[i].objectiveHash);
+    }
+}
+
+TEST(CalibFitter, LoadFailsWithCause)
+{
+    calib::FitOptions opts = quickOptions();
+    opts.starts = 1;
+    opts.maxIters = 40;
+    const sim::ChipModel &base = sim::chipByName("GTX1080");
+    std::vector<calib::FitResult> fits = {
+        calib::fitChip(calib::Objective(base), base, opts)};
+    std::stringstream good;
+    calib::saveRoster(fits, good);
+    const std::string snapshot = good.str();
+
+    const auto expectRejects = [](const std::string &text,
+                                  const std::string &needle) {
+        std::stringstream in(text);
+        try {
+            calib::loadRoster(in, "test");
+            FAIL() << "expected rejection mentioning '" << needle
+                   << "'";
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find(needle),
+                      std::string::npos)
+                << e.what();
+        }
+    };
+
+    expectRejects("not,a,snapshot\n", "bad magic");
+    {
+        std::string wrongVersion = snapshot;
+        wrongVersion.replace(wrongVersion.find(",1"), 2, ",99");
+        expectRejects(wrongVersion, "format version");
+    }
+    {
+        // Flip the stored objective hash: the fit is stale.
+        std::string stale = snapshot;
+        const std::size_t at = stale.find("chip,GTX1080,") +
+                               std::string("chip,GTX1080,").size();
+        stale[at] = stale[at] == '0' ? '1' : '0';
+        expectRejects(stale, "different objective");
+    }
+    {
+        std::string drifted = snapshot;
+        drifted.replace(drifted.find("param,contendedRmwNs"),
+                        std::string("param,contendedRmwNs").size(),
+                        "param,nonexistentKnob");
+        expectRejects(drifted, "registry drift");
+    }
+    expectRejects(snapshot.substr(0, snapshot.size() / 2),
+                  "truncated");
+}
+
+TEST(CalibFitter, FitOrLoadCachedDegradesToRefit)
+{
+    const std::string path =
+        testing::TempDir() + "/calib_cache_test.gpc";
+    {
+        std::ofstream out(path);
+        out << "garbage that is not a snapshot\n";
+    }
+    calib::FitOptions opts = quickOptions();
+    opts.starts = 1;
+    opts.maxIters = 40;
+    // Rejects the garbage with a warning, refits, saves.
+    testing::internal::CaptureStderr();
+    const std::vector<calib::FitResult> first =
+        calib::fitOrLoadCached(path, opts);
+    const std::string warning =
+        testing::internal::GetCapturedStderr();
+    EXPECT_NE(warning.find("rejected"), std::string::npos);
+    ASSERT_EQ(first.size(), sim::allChipNames().size());
+
+    // Second call loads the freshly written snapshot bit-exactly.
+    const std::vector<calib::FitResult> second =
+        calib::fitOrLoadCached(path, opts);
+    ASSERT_EQ(second.size(), first.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(second[i].params, first[i].params);
+        EXPECT_EQ(second[i].loss, first[i].loss);
+    }
+    std::remove(path.c_str());
+}

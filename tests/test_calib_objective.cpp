@@ -1,0 +1,193 @@
+/**
+ * @file
+ * calib::Objective: the §13 fingerprint targets as a loss function.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "graphport/calib/objective.hpp"
+#include "graphport/calib/params.hpp"
+#include "graphport/micro/micro.hpp"
+#include "graphport/sim/chip.hpp"
+#include "graphport/support/error.hpp"
+
+using namespace graphport;
+
+TEST(CalibParams, RegistryShapeAndBounds)
+{
+    const std::vector<calib::ParamSpec> &specs = calib::freeParams();
+    ASSERT_GE(specs.size(), 5u);
+    EXPECT_EQ(specs.size(), calib::numFreeParams());
+    for (const calib::ParamSpec &p : specs) {
+        EXPECT_FALSE(p.name.empty());
+        EXPECT_LT(p.lo, p.hi);
+        EXPECT_GT(p.lo, 0.0);
+    }
+    EXPECT_EQ(calib::paramByName("contendedRmwNs").name,
+              "contendedRmwNs");
+    EXPECT_THROW(calib::paramByName("nope"), FatalError);
+}
+
+TEST(CalibParams, EveryPaperChipSitsInsideTheBox)
+{
+    for (const sim::ChipModel &c : sim::allChips())
+        EXPECT_TRUE(calib::insideBounds(calib::paramsOf(c)))
+            << c.shortName;
+}
+
+TEST(CalibParams, WithParamsRoundTrips)
+{
+    const sim::ChipModel &chip = sim::chipByName("GTX1080");
+    const std::vector<double> x = calib::paramsOf(chip);
+    const sim::ChipModel same = calib::withParams(chip, x);
+    EXPECT_EQ(calib::paramsOf(same), x);
+
+    std::vector<double> moved = x;
+    moved[0] *= 2.0;
+    const sim::ChipModel changed = calib::withParams(chip, moved);
+    EXPECT_EQ(changed.contendedRmwNs, x[0] * 2.0);
+    // Frozen parameters are untouched.
+    EXPECT_EQ(changed.randomEdgeNs, chip.randomEdgeNs);
+    EXPECT_EQ(changed.subgroupSize, chip.subgroupSize);
+}
+
+TEST(CalibParams, ClampHandlesNanAndOutOfBox)
+{
+    std::vector<double> x(calib::numFreeParams(), 1.0e99);
+    x[1] = std::numeric_limits<double>::quiet_NaN();
+    x[2] = -5.0;
+    calib::clampToBounds(x);
+    EXPECT_TRUE(calib::insideBounds(x));
+    const std::vector<calib::ParamSpec> &specs = calib::freeParams();
+    EXPECT_EQ(x[0], specs[0].hi);
+    EXPECT_EQ(x[1], specs[1].lo); // NaN lands on the lower bound
+    EXPECT_EQ(x[2], specs[2].lo);
+}
+
+TEST(CalibParams, FitScaleRoundTripsBitExactlyOnBounds)
+{
+    const std::vector<calib::ParamSpec> &specs = calib::freeParams();
+    for (const sim::ChipModel &c : sim::allChips()) {
+        const std::vector<double> x = calib::paramsOf(c);
+        const std::vector<double> back =
+            calib::fromFitScale(calib::toFitScale(x));
+        for (std::size_t i = 0; i < x.size(); ++i)
+            EXPECT_NEAR(back[i], x[i], 1e-9 * x[i])
+                << c.shortName << " " << specs[i].name;
+    }
+}
+
+TEST(CalibObjective, AllPaperChipsWithinTolerance)
+{
+    for (const sim::ChipModel &c : sim::allChips()) {
+        const calib::Objective objective(c);
+        EXPECT_TRUE(objective.withinTolerance(c)) << c.shortName;
+        EXPECT_LT(objective.lossOf(c), 1.0) << c.shortName;
+    }
+}
+
+TEST(CalibObjective, FingerprintsMatchTheDesignTable)
+{
+    // The §13 model column, re-measured through the micro harness.
+    const calib::FingerprintSet r9 =
+        calib::measureFingerprints(sim::chipByName("R9"));
+    EXPECT_NEAR(r9.sgCmb, 25.2, 0.5);
+    const calib::FingerprintSet mali =
+        calib::measureFingerprints(sim::chipByName("MALI"));
+    EXPECT_NEAR(mali.mDivg, 6.21, 0.3);
+    EXPECT_LT(mali.util10us, 0.1);
+    const calib::FingerprintSet m4000 =
+        calib::measureFingerprints(sim::chipByName("M4000"));
+    EXPECT_NEAR(m4000.sgCmb, 0.89, 0.05);
+    EXPECT_GT(m4000.util10us, 0.5);
+}
+
+TEST(CalibObjective, LossIsDeterministic)
+{
+    const calib::Objective objective(sim::chipByName("IRIS"));
+    const std::vector<double> x =
+        calib::paramsOf(sim::chipByName("IRIS"));
+    const double a = objective.loss(x);
+    const double b = objective.loss(x);
+    EXPECT_EQ(a, b); // bit-identical, not just close
+}
+
+TEST(CalibObjective, OutOfBoundsCandidateGetsThePenalty)
+{
+    const calib::Objective objective(sim::chipByName("R9"));
+    std::vector<double> x = calib::paramsOf(sim::chipByName("R9"));
+    x[0] = calib::freeParams()[0].hi * 10.0;
+    EXPECT_EQ(objective.loss(x), calib::Objective::kInvalidPenalty);
+    x[0] = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(objective.loss(x), calib::Objective::kInvalidPenalty);
+}
+
+TEST(CalibObjective, LossIsBoundedAcrossTheWholeBox)
+{
+    const calib::Objective objective(sim::chipByName("MALI"));
+    const std::vector<calib::ParamSpec> &specs = calib::freeParams();
+    // Both extreme corners of the box: pathological but bounded.
+    std::vector<double> lo, hi;
+    for (const calib::ParamSpec &p : specs) {
+        lo.push_back(p.lo);
+        hi.push_back(p.hi);
+    }
+    for (const std::vector<double> &corner : {lo, hi}) {
+        const double loss = objective.loss(corner);
+        EXPECT_TRUE(std::isfinite(loss));
+        EXPECT_LE(loss, calib::Objective::kInvalidPenalty);
+        EXPECT_GE(loss, 0.0);
+    }
+}
+
+TEST(CalibObjective, ValidatesTheBaseChip)
+{
+    sim::ChipModel broken = sim::chipByName("R9");
+    broken.lanesPerCu = 0;
+    EXPECT_THROW(calib::Objective{broken}, PanicError);
+}
+
+TEST(CalibObjective, TargetsExistForExactlyThePaperChips)
+{
+    EXPECT_EQ(calib::designTargets().size(),
+              sim::allChipNames().size());
+    for (const std::string &name : sim::allChipNames())
+        EXPECT_EQ(calib::targetsFor(name).chip, name);
+    EXPECT_THROW(calib::targetsFor("TPUv9"), FatalError);
+}
+
+TEST(CalibObjective, IdentityHashSeparatesChipsAndIsStable)
+{
+    const calib::Objective r9(sim::chipByName("R9"));
+    const calib::Objective mali(sim::chipByName("MALI"));
+    EXPECT_EQ(r9.identityHash(),
+              calib::Objective(sim::chipByName("R9")).identityHash());
+    EXPECT_NE(r9.identityHash(), mali.identityHash());
+
+    // Moving a frozen base parameter moves the hash too.
+    sim::ChipModel tweaked = sim::chipByName("R9");
+    tweaked.randomEdgeNs *= 1.01;
+    EXPECT_NE(calib::Objective(tweaked).identityHash(),
+              r9.identityHash());
+}
+
+TEST(CalibObjective, UtilisationOrderingHoldsForTheRoster)
+{
+    EXPECT_TRUE(calib::checkUtilisationOrdering(sim::allChips()));
+}
+
+TEST(CalibObjective, UtilisationOrderingDetectsAViolation)
+{
+    std::vector<sim::ChipModel> chips = sim::allChips();
+    for (sim::ChipModel &c : chips) {
+        // Give MALI Nvidia-class launch overheads: the Fig. 5
+        // ordering (mid tier above MALI) must now fail.
+        if (c.shortName == "MALI") {
+            c.kernelLaunchNs = 4000.0;
+            c.hostMemcpyNs = 2500.0;
+        }
+    }
+    EXPECT_FALSE(calib::checkUtilisationOrdering(chips));
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * calib::Sensitivity: per-parameter strategy-table flip thresholds.
+ */
+#include <gtest/gtest.h>
+
+#include "graphport/calib/params.hpp"
+#include "graphport/calib/sensitivity.hpp"
+#include "graphport/support/error.hpp"
+
+using namespace graphport;
+
+namespace {
+
+calib::SensitivityOptions
+quickOptions(unsigned threads = 1)
+{
+    calib::SensitivityOptions opts;
+    opts.nApps = 2;
+    opts.stepPct = 15.0;
+    opts.maxPct = 45.0;
+    opts.threads = threads;
+    return opts;
+}
+
+} // namespace
+
+// The acceptance criterion: a flip threshold entry for every free
+// parameter on at least one chip.
+TEST(CalibSensitivity, ReportsEveryFreeParameter)
+{
+    const calib::SensitivityReport report =
+        calib::sensitivitySweep("MALI", quickOptions());
+    EXPECT_EQ(report.chip, "MALI");
+    const std::vector<calib::ParamSpec> &specs = calib::freeParams();
+    ASSERT_EQ(report.params.size(), specs.size());
+    const sim::ChipModel &chip = sim::chipByName("MALI");
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(report.params[i].param, specs[i].name);
+        EXPECT_EQ(report.params[i].baseValue, chip.*(specs[i].field));
+        // Every direction was actually probed (or cut short at a
+        // bound, which cannot happen for the registry chips at 45%).
+        EXPECT_GT(report.params[i].up.probes, 0u) << specs[i].name;
+        EXPECT_GT(report.params[i].down.probes, 0u) << specs[i].name;
+    }
+}
+
+TEST(CalibSensitivity, FindsAFlipOnMali)
+{
+    // MALI's barrier cost and divergence sensitivity are its §VII
+    // performance-critical parameters; moving them far enough must
+    // flip at least one strategy table configuration.
+    const calib::SensitivityReport report =
+        calib::sensitivitySweep("MALI", quickOptions());
+    bool anyFlip = false;
+    for (const calib::ParamSensitivity &p : report.params) {
+        for (const calib::DirectionFlip *d : {&p.up, &p.down}) {
+            if (!d->flipped)
+                continue;
+            anyFlip = true;
+            EXPECT_GT(d->flipPct, 0.0);
+            EXPECT_LE(d->flipPct, 45.0);
+            EXPECT_FALSE(d->table.empty());
+            EXPECT_NE(d->fromConfig, d->toConfig);
+        }
+    }
+    EXPECT_TRUE(anyFlip);
+}
+
+TEST(CalibSensitivity, BitIdenticalAcrossThreadCounts)
+{
+    const calib::SensitivityReport serial =
+        calib::sensitivitySweep("MALI", quickOptions(1));
+    const calib::SensitivityReport parallel =
+        calib::sensitivitySweep("MALI", quickOptions(4));
+    ASSERT_EQ(parallel.params.size(), serial.params.size());
+    for (std::size_t i = 0; i < serial.params.size(); ++i) {
+        const calib::ParamSensitivity &a = serial.params[i];
+        const calib::ParamSensitivity &b = parallel.params[i];
+        EXPECT_EQ(a.param, b.param);
+        for (unsigned dir = 0; dir < 2; ++dir) {
+            const calib::DirectionFlip &da = dir ? a.down : a.up;
+            const calib::DirectionFlip &db = dir ? b.down : b.up;
+            EXPECT_EQ(da.flipped, db.flipped) << a.param;
+            EXPECT_EQ(da.flipPct, db.flipPct) << a.param;
+            EXPECT_EQ(da.table, db.table) << a.param;
+            EXPECT_EQ(da.partition, db.partition) << a.param;
+            EXPECT_EQ(da.fromConfig, db.fromConfig) << a.param;
+            EXPECT_EQ(da.toConfig, db.toConfig) << a.param;
+            EXPECT_EQ(da.probes, db.probes) << a.param;
+        }
+    }
+}
+
+TEST(CalibSensitivity, RejectsBadOptionsAndChips)
+{
+    calib::SensitivityOptions opts = quickOptions();
+    opts.stepPct = 0.0;
+    EXPECT_THROW(calib::sensitivitySweep("MALI", opts), FatalError);
+    opts = quickOptions();
+    opts.maxPct = opts.stepPct / 2.0;
+    EXPECT_THROW(calib::sensitivitySweep("MALI", opts), FatalError);
+    EXPECT_THROW(calib::sensitivitySweep("TPUv9", quickOptions()),
+                 FatalError);
+}

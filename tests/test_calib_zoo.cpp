@@ -1,0 +1,108 @@
+/**
+ * @file
+ * calib::ChipZoo: synthetic chips and the leave-one-chip-out score
+ * of serve::Advisor's unknown-chip fallback.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graphport/calib/params.hpp"
+#include "graphport/calib/zoo.hpp"
+#include "graphport/support/error.hpp"
+
+using namespace graphport;
+
+namespace {
+
+calib::ZooOptions
+quickOptions()
+{
+    calib::ZooOptions opts;
+    opts.nSynthetic = 3;
+    opts.nApps = 2;
+    return opts;
+}
+
+} // namespace
+
+TEST(CalibZoo, SynthesizeIsSeededDeterministicAndValid)
+{
+    const std::vector<sim::ChipModel> roster = sim::allChips();
+    const std::vector<sim::ChipModel> a =
+        calib::synthesizeZoo(roster, quickOptions());
+    const std::vector<sim::ChipModel> b =
+        calib::synthesizeZoo(roster, quickOptions());
+    ASSERT_EQ(a.size(), 3u);
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(calib::paramsOf(a[i]), calib::paramsOf(b[i]));
+        EXPECT_EQ(a[i].shortName, "ZOO" + std::to_string(i));
+        EXPECT_EQ(a[i].vendor, "Zoo");
+        EXPECT_TRUE(calib::insideBounds(calib::paramsOf(a[i])));
+        EXPECT_NO_THROW(a[i].validate());
+        names.insert(a[i].shortName);
+    }
+    EXPECT_EQ(names.size(), a.size());
+
+    calib::ZooOptions reseeded = quickOptions();
+    reseeded.seed = quickOptions().seed + 1;
+    const std::vector<sim::ChipModel> c =
+        calib::synthesizeZoo(roster, reseeded);
+    bool anyDiffers = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        anyDiffers |= calib::paramsOf(a[i]) != calib::paramsOf(c[i]);
+    EXPECT_TRUE(anyDiffers);
+}
+
+TEST(CalibZoo, SynthesizeRejectsATinyRoster)
+{
+    const std::vector<sim::ChipModel> one = {sim::chipByName("R9")};
+    EXPECT_THROW(calib::synthesizeZoo(one, quickOptions()),
+                 FatalError);
+}
+
+TEST(CalibZoo, ScoreRejectsAKnownChip)
+{
+    EXPECT_THROW(
+        calib::scoreAgainstOracle(sim::chipByName("R9"),
+                                  sim::allChipNames(),
+                                  quickOptions()),
+        FatalError);
+}
+
+// The acceptance criterion: leave-one-chip-out over the six paper
+// chips exercises the advisor's predictive fallback tier and yields
+// a finite geomean slowdown vs the oracle.
+TEST(CalibZoo, LocoCoversAllSixChipsViaTheFallbackTier)
+{
+    const std::vector<calib::ZooChipResult> results =
+        calib::locoExperiment(quickOptions());
+    const std::vector<std::string> names = sim::allChipNames();
+    ASSERT_EQ(results.size(), names.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const calib::ZooChipResult &r = results[i];
+        EXPECT_EQ(r.chip, names[i]);
+        // The held-out chip is unknown to the index, so the advisor
+        // must answer from the k-NN fallback tier with an
+        // expected-slowdown label attached.
+        EXPECT_EQ(r.tier, "predictive") << r.chip;
+        EXPECT_GE(r.expectedSlowdown, 1.0) << r.chip;
+        // The oracle is the per-test best config by construction.
+        EXPECT_GE(r.geomeanVsOracle, 1.0) << r.chip;
+        EXPECT_EQ(r.pairs, quickOptions().nApps * 2u) << r.chip;
+    }
+}
+
+TEST(CalibZoo, RunZooAggregatesBothExperiments)
+{
+    const calib::ZooReport report = calib::runZoo(quickOptions());
+    EXPECT_EQ(report.synthetic.size(), 3u);
+    EXPECT_EQ(report.loco.size(), sim::allChipNames().size());
+    EXPECT_GE(report.syntheticGeomean, 1.0);
+    EXPECT_GE(report.locoGeomean, 1.0);
+    for (const calib::ZooChipResult &r : report.synthetic) {
+        EXPECT_EQ(r.tier, "predictive") << r.chip;
+        EXPECT_GE(r.geomeanVsOracle, 1.0) << r.chip;
+    }
+}

@@ -4,6 +4,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "graphport/runner/dataset.hpp"
 #include "graphport/runner/universe.hpp"
 #include "graphport/support/error.hpp"
 
@@ -70,4 +71,69 @@ TEST(UniverseValidation, RejectsUnknownNames)
     Universe u4 = smallUniverse(2, {"M4000"});
     u4.inputs.clear();
     EXPECT_THROW(u4.validate(), FatalError);
+}
+
+TEST(CustomChips, ChipForPrefersTheCustomRoster)
+{
+    Universe u = smallUniverse(2, {"R9"});
+    EXPECT_EQ(&chipFor(u, "R9"), &sim::chipByName("R9"));
+
+    // A custom chip with a registry name shadows the registry entry.
+    sim::ChipModel tuned = sim::chipByName("R9");
+    tuned.contendedRmwNs *= 2.0;
+    u.customChips = {tuned};
+    EXPECT_NO_THROW(u.validate());
+    EXPECT_EQ(chipFor(u, "R9").contendedRmwNs, tuned.contendedRmwNs);
+    EXPECT_THROW(chipFor(u, "not-a-chip"), FatalError);
+}
+
+TEST(CustomChips, ValidateRejectsBrokenOrDuplicateCustoms)
+{
+    Universe u = smallUniverse(2, {"R9"});
+    sim::ChipModel broken = sim::chipByName("R9");
+    broken.memBandwidthGBs = 0.0;
+    u.customChips = {broken};
+    EXPECT_ANY_THROW(u.validate());
+
+    Universe u2 = smallUniverse(2, {"R9"});
+    u2.customChips = {sim::chipByName("R9"), sim::chipByName("R9")};
+    EXPECT_THROW(u2.validate(), FatalError);
+}
+
+TEST(CustomChips, UniverseCanRunAChipTheRegistryLacks)
+{
+    Universe u = smallUniverse(2, {"M4000"});
+    sim::ChipModel synth = sim::chipByName("M4000");
+    synth.shortName = "SYNTH";
+    u.customChips = {synth};
+    u.chips = {"SYNTH"};
+    EXPECT_NO_THROW(u.validate());
+    EXPECT_EQ(chipFor(u, "SYNTH").shortName, "SYNTH");
+}
+
+TEST(CustomChips, DatasetSeesTheSubstitutedChip)
+{
+    const Universe base = smallUniverse(2, {"MALI"});
+    const Dataset ref = Dataset::build(base);
+
+    // Same universe, but MALI's barrier cost is doubled through the
+    // custom roster: the numbers and the content hash must move.
+    Universe tuned = base;
+    sim::ChipModel chip = sim::chipByName("MALI");
+    chip.wgBarrierNs *= 2.0;
+    tuned.customChips = {chip};
+    const Dataset moved = Dataset::build(tuned);
+
+    EXPECT_NE(moved.contentHash(), ref.contentHash());
+    bool anyDiffers = false;
+    for (std::size_t t = 0; t < ref.numTests(); ++t) {
+        for (unsigned cfg = 0; cfg < ref.numConfigs(); ++cfg)
+            anyDiffers |= moved.meanNs(t, cfg) != ref.meanNs(t, cfg);
+    }
+    EXPECT_TRUE(anyDiffers);
+
+    // An empty custom roster is identity: the hash is unchanged.
+    Universe noop = base;
+    noop.customChips = {};
+    EXPECT_EQ(Dataset::build(noop).contentHash(), ref.contentHash());
 }

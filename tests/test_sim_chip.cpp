@@ -6,6 +6,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "graphport/sim/chip.hpp"
@@ -172,4 +173,46 @@ TEST(ChipTraits, ValidationCatchesNonsense)
     ChipModel badIlp = chipByName("R9");
     badIlp.ilpEfficiency = 1.5;
     EXPECT_THROW(badIlp.validate(), PanicError);
+}
+
+TEST(ChipTraits, ValidationCatchesNonFiniteAndNegativeCosts)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+
+    ChipModel nanSens = chipByName("R9");
+    nanSens.memDivergenceSensitivity = nan;
+    EXPECT_THROW(nanSens.validate(), PanicError);
+
+    ChipModel infLaunch = chipByName("R9");
+    infLaunch.kernelLaunchNs = inf;
+    EXPECT_THROW(infLaunch.validate(), PanicError);
+
+    ChipModel zeroBw = chipByName("R9");
+    zeroBw.memBandwidthGBs = 0.0;
+    EXPECT_THROW(zeroBw.validate(), PanicError);
+
+    ChipModel negRmw = chipByName("R9");
+    negRmw.contendedRmwNs = -1.0;
+    EXPECT_THROW(negRmw.validate(), PanicError);
+
+    ChipModel negBarrier = chipByName("R9");
+    negBarrier.wgBarrierNs = -0.5;
+    EXPECT_THROW(negBarrier.validate(), PanicError);
+
+    ChipModel zeroMemcpy = chipByName("R9");
+    zeroMemcpy.hostMemcpyNs = 0.0;
+    EXPECT_THROW(zeroMemcpy.validate(), PanicError);
+
+    ChipModel badNoise = chipByName("R9");
+    badNoise.noiseSigma = 1.5;
+    EXPECT_THROW(badNoise.validate(), PanicError);
+
+    ChipModel noName = chipByName("R9");
+    noName.shortName.clear();
+    EXPECT_THROW(noName.validate(), PanicError);
+
+    ChipModel tinyWg = chipByName("R9");
+    tinyWg.maxWorkgroupSize = 64;
+    EXPECT_THROW(tinyWg.validate(), PanicError);
 }

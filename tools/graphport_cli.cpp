@@ -28,21 +28,44 @@
  *            [--threads N] [--seed S] [--out F]
  *                                serve a mixed query stream at several
  *                                thread counts; writes BENCH_serve.json
+ *   calibrate [--chip NAME] [--starts N] [--iters N] [--threads N]
+ *            [--seed S] [--perturb PCT] [--out F]
+ *                                fit chip parameters to the §13
+ *                                fingerprint objective (Nelder–Mead,
+ *                                seeded multi-start)
+ *   sensitivity <chip> [--apps N] [--step PCT] [--max PCT]
+ *            [--alpha A] [--threads N]
+ *                                ±% one-at-a-time sweeps reporting how
+ *                                far each free parameter can move
+ *                                before a strategy table flips
+ *   zoo      [--synthetic N] [--perturb REL] [--seed S] [--apps N]
+ *            [--knn K] [--threads N] [--loco-only]
+ *                                score the advisor's unknown-chip
+ *                                fallback against synthetic chips and
+ *                                each held-out paper chip's oracle
  *
- * `graphport_cli --version` prints the build version.
+ * `graphport_cli --version` prints the build version; `--help`
+ * enumerates the subcommands.
  *
  * <input> is a study input name (road/social/random) or a path to a
  * DIMACS .gr / edge-list file. [opts] is a comma-separated list of
  * optimisation names, e.g. "fg8,sg,oitergb" (default: baseline).
  */
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "graphport/apps/app.hpp"
+#include "graphport/calib/fitter.hpp"
+#include "graphport/calib/objective.hpp"
+#include "graphport/calib/params.hpp"
+#include "graphport/calib/sensitivity.hpp"
+#include "graphport/calib/zoo.hpp"
 #include "graphport/graph/io.hpp"
 #include "graphport/graph/metrics.hpp"
 #include "graphport/port/algorithm1.hpp"
@@ -55,6 +78,7 @@
 #include "graphport/sim/chip.hpp"
 #include "graphport/sim/costengine.hpp"
 #include "graphport/support/error.hpp"
+#include "graphport/support/mathutil.hpp"
 #include "graphport/support/strings.hpp"
 
 #ifndef GRAPHPORT_VERSION
@@ -65,11 +89,11 @@ using namespace graphport;
 
 namespace {
 
-int
-usage()
+void
+printUsage(std::FILE *to)
 {
     std::fprintf(
-        stderr,
+        to,
         "usage: graphport_cli <command> [args]\n"
         "  list\n"
         "  inspect  <input>\n"
@@ -87,7 +111,16 @@ usage()
         "  serve-bench [--index FILE | --small [n_apps]] "
         "[--queries N]\n"
         "           [--threads N] [--seed S] [--out FILE]\n"
-        "  --version\n"
+        "  calibrate [--chip NAME] [--starts N] [--iters N] "
+        "[--threads N]\n"
+        "           [--seed S] [--perturb PCT] [--out FILE]\n"
+        "  sensitivity <chip> [--apps N] [--step PCT] [--max PCT] "
+        "[--alpha A]\n"
+        "           [--threads N]\n"
+        "  zoo      [--synthetic N] [--perturb REL] [--seed S] "
+        "[--apps N]\n"
+        "           [--knn K] [--threads N] [--loco-only]\n"
+        "  --help | --version\n"
         "\n<input> = road | social | random | path to .gr/.el file\n"
         "opts = coop-cv wg sg fg fg8 oitergb sz256\n"
         "study: full 17x3x6x96 sweep; --threads 0 = all cores, "
@@ -98,7 +131,21 @@ usage()
         "tables + predictor\n"
         "into a snapshot (default graphport_index.gpi); advise "
         "answers queries from it,\n"
-        "labeling the lattice tier (or 'predictive') per answer\n");
+        "labeling the lattice tier (or 'predictive') per answer\n"
+        "calibrate: refit chip models to the DESIGN §13 fingerprints "
+        "(--perturb starts\n"
+        "from lognormally kicked parameters; --out freezes the "
+        "roster snapshot)\n"
+        "sensitivity: per-parameter flip thresholds of the strategy "
+        "tables\n"
+        "zoo: leave-one-chip-out + synthetic-chip validation of the "
+        "predictive fallback\n");
+}
+
+int
+usage()
+{
+    printUsage(stderr);
     return 2;
 }
 
@@ -648,6 +695,297 @@ cmdServeBench(const std::vector<std::string> &args)
     return result.allBitIdentical ? 0 : 1;
 }
 
+/** Strict finite double flag value. */
+double
+parseDoubleFlag(const std::string &cmd, const std::string &flag,
+                const std::string &value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    fatalIf(value.empty() || end != value.c_str() + value.size() ||
+                !std::isfinite(v),
+            cmd + ": " + flag + " expects a number, got '" + value +
+                "'");
+    return v;
+}
+
+int
+cmdCalibrate(const std::vector<std::string> &args)
+{
+    std::string chipName;
+    calib::FitOptions opts;
+    opts.threads = 1;
+    double perturbPct = 0.0;
+    std::string outPath;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--chip") {
+            fatalIf(i + 1 >= args.size(),
+                    "calibrate: --chip requires a value");
+            chipName = args[++i];
+        } else if (arg == "--starts") {
+            fatalIf(i + 1 >= args.size(),
+                    "calibrate: --starts requires a value");
+            opts.starts =
+                parseCountFlag("calibrate", "--starts", args[++i]);
+        } else if (arg == "--iters") {
+            fatalIf(i + 1 >= args.size(),
+                    "calibrate: --iters requires a value");
+            opts.maxIters =
+                parseCountFlag("calibrate", "--iters", args[++i]);
+        } else if (arg == "--threads") {
+            fatalIf(i + 1 >= args.size(),
+                    "calibrate: --threads requires a value");
+            opts.threads =
+                parseCountFlag("calibrate", "--threads", args[++i]);
+        } else if (arg == "--seed") {
+            fatalIf(i + 1 >= args.size(),
+                    "calibrate: --seed requires a value");
+            opts.seed =
+                parseCountFlag("calibrate", "--seed", args[++i]);
+        } else if (arg == "--perturb") {
+            fatalIf(i + 1 >= args.size(),
+                    "calibrate: --perturb requires a value");
+            perturbPct =
+                parseDoubleFlag("calibrate", "--perturb", args[++i]);
+            fatalIf(perturbPct < 0.0,
+                    "calibrate: --perturb must be non-negative");
+        } else if (arg == "--out") {
+            fatalIf(i + 1 >= args.size(),
+                    "calibrate: --out requires a value");
+            outPath = args[++i];
+        } else {
+            fatal("calibrate: unknown argument " + arg);
+        }
+    }
+    fatalIf(opts.starts == 0, "calibrate: --starts needs at least 1");
+    fatalIf(opts.maxIters == 0, "calibrate: --iters needs at least 1");
+
+    std::vector<std::string> chips;
+    if (chipName.empty()) {
+        chips = sim::allChipNames();
+    } else {
+        sim::chipByName(chipName); // validate early
+        chips.push_back(chipName);
+    }
+
+    std::vector<calib::FitResult> fits;
+    bool allInTolerance = true;
+    for (std::size_t i = 0; i < chips.size(); ++i) {
+        const sim::ChipModel &base = sim::chipByName(chips[i]);
+        const calib::Objective objective(base);
+        const sim::ChipModel start =
+            perturbPct > 0.0
+                ? calib::perturbChipParams(base, perturbPct / 100.0,
+                                           opts.seed + i)
+                : base;
+        const calib::FitResult fit =
+            calib::fitChip(objective, start, opts);
+        const calib::FingerprintSet f =
+            calib::measureFingerprints(fit.chip);
+        const calib::ChipTargets &t = objective.targets();
+        std::printf("%-8s loss %.3e (%llu evals, start %u)%s\n",
+                    chips[i].c_str(), fit.loss,
+                    static_cast<unsigned long long>(fit.evals),
+                    fit.bestStart,
+                    fit.withinTolerance ? "" : "  OUT OF TOLERANCE");
+        std::printf("  sg-cmb  %7.2fx  (target %.2fx, window "
+                    "[%.2f, %.2f])\n",
+                    f.sgCmb, t.sgCmbTarget, t.sgCmbWindow.lo,
+                    t.sgCmbWindow.hi);
+        std::printf("  m-divg  %7.2fx  (target %.2fx, window "
+                    "[%.2f, %.2f])\n",
+                    f.mDivg, t.mDivgTarget, t.mDivgWindow.lo,
+                    t.mDivgWindow.hi);
+        std::printf("  util    %7.3f   (target %.3f, window "
+                    "[%.3f, %.3f])\n",
+                    f.util10us, t.utilTarget, t.utilWindow.lo,
+                    t.utilWindow.hi);
+        const std::vector<double> registry =
+            calib::paramsOf(base);
+        const std::vector<calib::ParamSpec> &specs =
+            calib::freeParams();
+        for (std::size_t k = 0; k < specs.size(); ++k) {
+            std::printf("  %-26s %10.3f  (registry %10.3f)\n",
+                        specs[k].name.c_str(), fit.params[k],
+                        registry[k]);
+        }
+        allInTolerance = allInTolerance && fit.withinTolerance;
+        fits.push_back(fit);
+    }
+    if (!outPath.empty()) {
+        calib::saveRosterFile(fits, outPath);
+        std::printf("calibration snapshot written to %s\n",
+                    outPath.c_str());
+    }
+    return allInTolerance ? 0 : 1;
+}
+
+int
+cmdSensitivity(const std::vector<std::string> &args)
+{
+    std::string chipName;
+    calib::SensitivityOptions opts;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--apps") {
+            fatalIf(i + 1 >= args.size(),
+                    "sensitivity: --apps requires a value");
+            opts.nApps =
+                parseCountFlag("sensitivity", "--apps", args[++i]);
+        } else if (arg == "--step") {
+            fatalIf(i + 1 >= args.size(),
+                    "sensitivity: --step requires a value");
+            opts.stepPct =
+                parseDoubleFlag("sensitivity", "--step", args[++i]);
+        } else if (arg == "--max") {
+            fatalIf(i + 1 >= args.size(),
+                    "sensitivity: --max requires a value");
+            opts.maxPct =
+                parseDoubleFlag("sensitivity", "--max", args[++i]);
+        } else if (arg == "--alpha") {
+            fatalIf(i + 1 >= args.size(),
+                    "sensitivity: --alpha requires a value");
+            opts.alpha =
+                parseDoubleFlag("sensitivity", "--alpha", args[++i]);
+        } else if (arg == "--threads") {
+            fatalIf(i + 1 >= args.size(),
+                    "sensitivity: --threads requires a value");
+            opts.threads =
+                parseCountFlag("sensitivity", "--threads", args[++i]);
+        } else if (!arg.empty() && arg[0] == '-') {
+            fatal("sensitivity: unknown argument " + arg);
+        } else {
+            fatalIf(!chipName.empty(),
+                    "sensitivity: expected exactly one <chip>");
+            chipName = arg;
+        }
+    }
+    fatalIf(chipName.empty(), "sensitivity: expected <chip>");
+    fatalIf(opts.nApps == 0, "sensitivity: --apps needs at least 1");
+
+    std::printf("probing %s: %zu free parameters, ±%.0f%% steps up "
+                "to ±%.0f%% (%u apps)...\n",
+                chipName.c_str(), calib::numFreeParams(),
+                opts.stepPct, opts.maxPct, opts.nApps);
+    const calib::SensitivityReport report =
+        calib::sensitivitySweep(chipName, opts);
+    std::printf("%-26s %10s  %-26s %-26s\n", "parameter", "value",
+                "up-flip", "down-flip");
+    for (const calib::ParamSensitivity &p : report.params) {
+        const auto describe = [](const calib::DirectionFlip &d) {
+            if (!d.flipped)
+                return std::string("none (") +
+                       std::to_string(d.probes) + " probes)";
+            return "at " + std::to_string(d.flipPct).substr(0, 4) +
+                   "% (" + d.table + ")";
+        };
+        std::printf("%-26s %10.3f  %-26s %-26s\n", p.param.c_str(),
+                    p.baseValue, describe(p.up).c_str(),
+                    describe(p.down).c_str());
+    }
+    return 0;
+}
+
+int
+cmdZoo(const std::vector<std::string> &args)
+{
+    calib::ZooOptions opts;
+    bool locoOnly = false;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--synthetic") {
+            fatalIf(i + 1 >= args.size(),
+                    "zoo: --synthetic requires a value");
+            opts.nSynthetic =
+                parseCountFlag("zoo", "--synthetic", args[++i]);
+        } else if (arg == "--perturb") {
+            fatalIf(i + 1 >= args.size(),
+                    "zoo: --perturb requires a value");
+            opts.perturbRel =
+                parseDoubleFlag("zoo", "--perturb", args[++i]);
+            fatalIf(opts.perturbRel < 0.0,
+                    "zoo: --perturb must be non-negative");
+        } else if (arg == "--seed") {
+            fatalIf(i + 1 >= args.size(),
+                    "zoo: --seed requires a value");
+            opts.seed = parseCountFlag("zoo", "--seed", args[++i]);
+        } else if (arg == "--apps") {
+            fatalIf(i + 1 >= args.size(),
+                    "zoo: --apps requires a value");
+            opts.nApps = parseCountFlag("zoo", "--apps", args[++i]);
+        } else if (arg == "--knn") {
+            fatalIf(i + 1 >= args.size(),
+                    "zoo: --knn requires a value");
+            opts.knnK = parseCountFlag("zoo", "--knn", args[++i]);
+        } else if (arg == "--threads") {
+            fatalIf(i + 1 >= args.size(),
+                    "zoo: --threads requires a value");
+            opts.threads =
+                parseCountFlag("zoo", "--threads", args[++i]);
+        } else if (arg == "--loco-only") {
+            locoOnly = true;
+        } else {
+            fatal("zoo: unknown argument " + arg);
+        }
+    }
+    fatalIf(opts.nApps == 0, "zoo: --apps needs at least 1");
+    fatalIf(opts.knnK == 0, "zoo: --knn needs at least 1");
+
+    const auto printResult = [](const char *kind,
+                                const calib::ZooChipResult &r) {
+        std::printf("  %-8s %-10s advisor %5.2fx vs oracle "
+                    "(label said %.2fx, %u pairs)%s\n",
+                    r.chip.c_str(), kind, r.geomeanVsOracle,
+                    r.expectedSlowdown, r.pairs,
+                    r.tier == "predictive" ? ""
+                                           : "  [NON-PREDICTIVE TIER]");
+    };
+
+    calib::ZooReport report;
+    if (locoOnly) {
+        std::printf("leave-one-chip-out over the %zu paper chips "
+                    "(%u apps)...\n",
+                    sim::allChipNames().size(), opts.nApps);
+        report.loco = calib::locoExperiment(opts);
+        std::vector<double> values;
+        for (const calib::ZooChipResult &r : report.loco)
+            values.push_back(r.geomeanVsOracle);
+        report.locoGeomean = geomean(values);
+    } else {
+        std::printf("zoo: %u synthetic chips + leave-one-chip-out "
+                    "(%u apps, seed %llu)...\n",
+                    opts.nSynthetic, opts.nApps,
+                    static_cast<unsigned long long>(opts.seed));
+        report = calib::runZoo(opts);
+        for (const calib::ZooChipResult &r : report.synthetic)
+            printResult("synthetic", r);
+        std::printf("  synthetic geomean: %.2fx vs oracle\n",
+                    report.syntheticGeomean);
+    }
+    for (const calib::ZooChipResult &r : report.loco)
+        printResult("held-out", r);
+    std::printf("  leave-one-chip-out geomean: %.2fx vs oracle\n",
+                report.locoGeomean);
+    bool allPredictive = true;
+    for (const calib::ZooChipResult &r : report.loco)
+        allPredictive = allPredictive && r.tier == "predictive";
+    for (const calib::ZooChipResult &r : report.synthetic)
+        allPredictive = allPredictive && r.tier == "predictive";
+    return allPredictive ? 0 : 1;
+}
+
+/** Reject any flag-looking argument of a purely positional command. */
+void
+rejectFlags(const std::string &cmd,
+            const std::vector<std::string> &args)
+{
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        fatalIf(!args[i].empty() && args[i][0] == '-',
+                cmd + ": unknown argument " + args[i]);
+    }
+}
+
 } // namespace
 
 int
@@ -662,15 +1000,34 @@ main(int argc, char **argv)
             std::printf("graphport_cli %s\n", GRAPHPORT_VERSION);
             return 0;
         }
-        if (cmd == "list")
+        if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+            printUsage(stdout);
+            return 0;
+        }
+        if (cmd == "list") {
+            rejectFlags("list", args);
+            fatalIf(args.size() != 1, "list: unexpected argument");
             return cmdList();
-        if (cmd == "inspect" && args.size() == 2)
+        }
+        if (cmd == "inspect") {
+            rejectFlags("inspect", args);
+            fatalIf(args.size() != 2, "inspect: expected <input>");
             return cmdInspect(args[1]);
-        if (cmd == "run" && (args.size() == 4 || args.size() == 5))
+        }
+        if (cmd == "run") {
+            rejectFlags("run", args);
+            fatalIf(args.size() != 4 && args.size() != 5,
+                    "run: expected <app> <input> <chip> "
+                    "[opt,opt,...]");
             return cmdRun(args[1], args[2], args[3],
                           args.size() == 5 ? args[4] : "");
-        if (cmd == "sweep" && args.size() == 4)
+        }
+        if (cmd == "sweep") {
+            rejectFlags("sweep", args);
+            fatalIf(args.size() != 4,
+                    "sweep: expected <app> <input> <chip>");
             return cmdSweep(args[1], args[2], args[3]);
+        }
         if (cmd == "study")
             return cmdStudy(args);
         if (cmd == "index")
@@ -679,12 +1036,20 @@ main(int argc, char **argv)
             return cmdAdvise(args);
         if (cmd == "serve-bench")
             return cmdServeBench(args);
-        if (cmd == "recommend" &&
-            (args.size() == 2 || args.size() == 3)) {
+        if (cmd == "calibrate")
+            return cmdCalibrate(args);
+        if (cmd == "sensitivity")
+            return cmdSensitivity(args);
+        if (cmd == "zoo")
+            return cmdZoo(args);
+        if (cmd == "recommend") {
+            rejectFlags("recommend", args);
+            fatalIf(args.size() != 2 && args.size() != 3,
+                    "recommend: expected <chip> [n_apps]");
             return cmdRecommend(
                 args[1],
                 args.size() == 3
-                    ? static_cast<unsigned>(std::stoul(args[2]))
+                    ? parseCountFlag("recommend", "[n_apps]", args[2])
                     : 6u);
         }
         return usage();
