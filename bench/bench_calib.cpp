@@ -26,6 +26,7 @@
 
 #include "common.hpp"
 #include "graphport/calib/fitter.hpp"
+#include "graphport/obs/export.hpp"
 #include "graphport/calib/objective.hpp"
 #include "graphport/calib/zoo.hpp"
 #include "graphport/sim/chip.hpp"
@@ -151,57 +152,52 @@ main(int argc, char **argv)
         std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
         return 1;
     }
-    char buf[256];
-    out << "{\n";
-    out << "  \"bench\": \"calib\",\n";
-    std::snprintf(buf, sizeof(buf),
-                  "  \"options\": {\"starts\": %u, \"iters\": %u, "
-                  "\"perturbPct\": %g, \"apps\": %u, \"threads\": %u, "
-                  "\"seed\": %llu},\n",
-                  fit.starts, fit.maxIters, perturbPct, nApps,
-                  fit.threads, static_cast<unsigned long long>(seed));
-    out << buf;
-    std::snprintf(buf, sizeof(buf),
-                  "  \"fitWallSeconds\": %.6f,\n  \"totalEvals\": "
-                  "%llu,\n  \"evalsPerSecond\": %.1f,\n"
-                  "  \"allWithinTolerance\": %s,\n",
-                  fitSeconds,
-                  static_cast<unsigned long long>(totalEvals),
-                  evalsPerSecond,
-                  allWithinTolerance ? "true" : "false");
-    out << buf;
-    out << "  \"chips\": [\n";
-    for (std::size_t i = 0; i < fits.size(); ++i) {
-        const calib::FitResult &f = fits[i];
-        std::snprintf(buf, sizeof(buf),
-                      "    {\"chip\": \"%s\", \"loss\": %.6e, "
-                      "\"evals\": %llu, \"withinTolerance\": %s}%s\n",
-                      f.chip.shortName.c_str(), f.loss,
-                      static_cast<unsigned long long>(f.evals),
-                      f.withinTolerance ? "true" : "false",
-                      i + 1 < fits.size() ? "," : "");
-        out << buf;
+    char buf[64];
+    obs::Exporter ex(out);
+    ex.beginObject();
+    ex.field("bench", "calib");
+    ex.beginObject("options", obs::Exporter::Style::Inline);
+    ex.field("starts", fit.starts);
+    ex.field("iters", fit.maxIters);
+    // %g keeps "--perturb 30" rendering as 30, not 30.000000.
+    std::snprintf(buf, sizeof(buf), "%g", perturbPct);
+    ex.rawField("perturbPct", buf);
+    ex.field("apps", nApps);
+    ex.field("threads", fit.threads);
+    ex.field("seed", seed);
+    ex.endObject();
+    ex.field("fitWallSeconds", fitSeconds, 6);
+    ex.field("totalEvals", totalEvals);
+    ex.field("evalsPerSecond", evalsPerSecond, 1);
+    ex.field("allWithinTolerance", allWithinTolerance);
+    ex.beginArray("chips");
+    for (const calib::FitResult &f : fits) {
+        ex.beginObject(obs::Exporter::Style::Inline);
+        ex.field("chip", f.chip.shortName);
+        std::snprintf(buf, sizeof(buf), "%.6e", f.loss);
+        ex.rawField("loss", buf);
+        ex.field("evals", f.evals);
+        ex.field("withinTolerance", f.withinTolerance);
+        ex.endObject();
     }
-    out << "  ],\n";
-    std::snprintf(buf, sizeof(buf),
-                  "  \"loco\": {\"geomeanSlowdown\": %.6f, "
-                  "\"wallSeconds\": %.6f, \"allPredictive\": %s, "
-                  "\"chips\": [\n",
-                  locoGeomean, locoSeconds,
-                  allPredictive ? "true" : "false");
-    out << buf;
-    for (std::size_t i = 0; i < loco.size(); ++i) {
-        const calib::ZooChipResult &r = loco[i];
-        std::snprintf(buf, sizeof(buf),
-                      "    {\"chip\": \"%s\", \"tier\": \"%s\", "
-                      "\"geomeanVsOracle\": %.6f, "
-                      "\"expectedSlowdown\": %.6f, \"pairs\": %u}%s\n",
-                      r.chip.c_str(), r.tier.c_str(),
-                      r.geomeanVsOracle, r.expectedSlowdown, r.pairs,
-                      i + 1 < loco.size() ? "," : "");
-        out << buf;
+    ex.endArray();
+    ex.beginObject("loco", obs::Exporter::Style::Inline);
+    ex.field("geomeanSlowdown", locoGeomean, 6);
+    ex.field("wallSeconds", locoSeconds, 6);
+    ex.field("allPredictive", allPredictive);
+    ex.beginArray("chips");
+    for (const calib::ZooChipResult &r : loco) {
+        ex.beginObject(obs::Exporter::Style::Inline);
+        ex.field("chip", r.chip);
+        ex.field("tier", r.tier);
+        ex.field("geomeanVsOracle", r.geomeanVsOracle, 6);
+        ex.field("expectedSlowdown", r.expectedSlowdown, 6);
+        ex.field("pairs", r.pairs);
+        ex.endObject();
     }
-    out << "  ]}\n}\n";
+    ex.endArray();
+    ex.endObject();
+    ex.endObject();
     std::printf("perf record written to %s\n", outPath.c_str());
 
     return allWithinTolerance && allPredictive ? 0 : 1;

@@ -10,17 +10,24 @@
  * (default BENCH_sweep.json) so the sweep's performance trajectory is
  * tracked across PRs.
  *
+ * Also measures the cost of attaching graphport::obs to the sweep:
+ * the serial + compaction build is re-run bare and with an obs::Obs
+ * sink (min of 3 each), and the relative overhead is reported against
+ * the < 2% budget from DESIGN.md §15.
+ *
  * Flags:
  *   --quick        use the small test universe (CI-friendly)
  *   --threads N    highest thread count to measure (default 4)
  *   --out FILE     JSON output path (default BENCH_sweep.json)
  */
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "graphport/obs/obs.hpp"
 #include "graphport/runner/dataset.hpp"
 #include "graphport/runner/sweepstats.hpp"
 #include "graphport/runner/universe.hpp"
@@ -131,6 +138,38 @@ main(int argc, char **argv)
                         : "MISMATCH vs. serial");
     }
 
+    // ---- obs overhead ----------------------------------------------
+    // Re-run the serial + compaction build bare and with an obs sink
+    // attached (spans + metrics), min of 3 each, to price the
+    // instrumentation against the < 2% budget. Interleaved so cache
+    // warmth does not favour one side.
+    const auto timedBuild = [&universe](obs::Obs *sink) {
+        runner::BuildOptions options;
+        options.threads = 1;
+        options.compact = true;
+        runner::SweepStats stats;
+        options.stats = &stats;
+        options.obs = sink;
+        (void)runner::Dataset::build(universe, options);
+        return stats.totalSeconds;
+    };
+    double bareSeconds = timedBuild(nullptr);
+    double obsSeconds = [&] {
+        obs::Obs sink;
+        return timedBuild(&sink);
+    }();
+    for (int rep = 1; rep < 3; ++rep) {
+        bareSeconds = std::min(bareSeconds, timedBuild(nullptr));
+        obs::Obs sink;
+        obsSeconds = std::min(obsSeconds, timedBuild(&sink));
+    }
+    const double obsOverheadPct =
+        (obsSeconds - bareSeconds) / bareSeconds * 100.0;
+    std::printf("\nobs overhead (serial + compaction, min of 3): "
+                "bare %.6f s, instrumented %.6f s, %+.2f%% "
+                "(budget < 2%%)\n",
+                bareSeconds, obsSeconds, obsOverheadPct);
+
     const runner::SweepStats &compactStats = variants[1].stats;
     std::printf("\nlaunch compaction: %zu launches -> %zu unique "
                 "(%.2fx)\n",
@@ -151,46 +190,39 @@ main(int argc, char **argv)
         std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
         return 1;
     }
-    out << "{\n"
-        << "  \"bench\": \"sweep_throughput\",\n"
-        << "  \"universe\": \"" << (quick ? "small" : "study")
-        << "\",\n"
-        << "  \"hardware_threads\": " << support::hardwareThreads()
-        << ",\n"
-        << "  \"tests\": " << universe.numTests() << ",\n"
-        << "  \"cells\": " << universe.numTests() * 96 << ",\n"
-        << "  \"runs_per_cell\": " << universe.runs << ",\n"
-        << "  \"launches_total\": " << compactStats.launchesTotal
-        << ",\n"
-        << "  \"launches_unique\": " << compactStats.launchesUnique
-        << ",\n"
-        << "  \"compaction_ratio\": "
-        << fmtDouble(compactStats.compactionRatio(), 3) << ",\n"
-        << "  \"all_bit_identical\": "
-        << (allIdentical ? "true" : "false") << ",\n"
-        << "  \"variants\": [\n";
-    for (std::size_t v = 0; v < variants.size(); ++v) {
-        const Variant &var = variants[v];
-        out << "    {\"name\": \"" << var.name << "\", "
-            << "\"threads\": " << var.threads << ", "
-            << "\"compaction\": "
-            << (var.compact ? "true" : "false") << ", "
-            << "\"total_seconds\": "
-            << fmtDouble(var.stats.totalSeconds, 6) << ", "
-            << "\"price_seconds\": "
-            << fmtDouble(var.stats.priceSeconds, 6) << ", "
-            << "\"cells_per_second\": "
-            << fmtDouble(var.stats.cellsPerSecond(), 1) << ", "
-            << "\"speedup_vs_serial\": "
-            << fmtDouble(variants[0].stats.totalSeconds /
-                             var.stats.totalSeconds,
-                         3)
-            << ", "
-            << "\"bit_identical\": "
-            << (var.bitIdentical ? "true" : "false") << "}"
-            << (v + 1 < variants.size() ? "," : "") << "\n";
+    obs::Exporter ex(out);
+    ex.beginObject();
+    ex.field("bench", "sweep_throughput");
+    ex.field("universe", quick ? "small" : "study");
+    ex.field("hardware_threads", support::hardwareThreads());
+    ex.field("tests", universe.numTests());
+    ex.field("cells", universe.numTests() * 96);
+    ex.field("runs_per_cell", universe.runs);
+    ex.field("launches_total", compactStats.launchesTotal);
+    ex.field("launches_unique", compactStats.launchesUnique);
+    ex.field("compaction_ratio", compactStats.compactionRatio(), 3);
+    ex.field("all_bit_identical", allIdentical);
+    ex.field("obs_bare_seconds", bareSeconds, 6);
+    ex.field("obs_instrumented_seconds", obsSeconds, 6);
+    ex.field("obs_overhead_pct", obsOverheadPct, 2);
+    ex.beginArray("variants");
+    for (const Variant &var : variants) {
+        ex.beginObject(obs::Exporter::Style::Inline);
+        ex.field("name", var.name);
+        ex.field("threads", var.threads);
+        ex.field("compaction", var.compact);
+        ex.field("total_seconds", var.stats.totalSeconds, 6);
+        ex.field("price_seconds", var.stats.priceSeconds, 6);
+        ex.field("cells_per_second", var.stats.cellsPerSecond(), 1);
+        ex.field("speedup_vs_serial",
+                 variants[0].stats.totalSeconds /
+                     var.stats.totalSeconds,
+                 3);
+        ex.field("bit_identical", var.bitIdentical);
+        ex.endObject();
     }
-    out << "  ]\n}\n";
+    ex.endArray();
+    ex.endObject();
     std::printf("\nperf record written to %s\n", outPath.c_str());
 
     return allIdentical ? 0 : 1;

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Schema check for graphport::obs output files (CI obs-smoke job).
+
+Usage:
+    python3 ci/validate_obs.py summary FILE [FILE...]
+    python3 ci/validate_obs.py trace FILE [FILE...]
+
+"summary" validates a --metrics-out document (the canonical
+graphport-obs-summary JSON); "trace" validates a --trace-out Chrome
+trace_event document. Standard library only — CI must not install
+anything.
+"""
+import json
+import numbers
+import sys
+
+
+class SchemaError(Exception):
+    pass
+
+
+def expect(cond, path, want):
+    if not cond:
+        raise SchemaError(f"{path}: expected {want}")
+
+
+def is_num(v):
+    return isinstance(v, numbers.Real) and not isinstance(v, bool)
+
+
+def is_count(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def check_summary(doc):
+    expect(isinstance(doc, dict), "$", "object")
+    expect(doc.get("format") == "graphport-obs-summary", "format",
+           '"graphport-obs-summary"')
+    expect(is_count(doc.get("version")), "version", "version integer")
+    for section in ("counters", "gauges", "histograms"):
+        expect(isinstance(doc.get(section), dict), section, "object")
+    for name, value in doc["counters"].items():
+        expect(is_count(value), f"counters.{name}",
+               "non-negative integer")
+    for name, value in doc["gauges"].items():
+        expect(is_num(value), f"gauges.{name}", "number")
+    for name, hist in doc["histograms"].items():
+        path = f"histograms.{name}"
+        expect(isinstance(hist, dict), path, "object")
+        expect(is_count(hist.get("count")), f"{path}.count",
+               "non-negative integer")
+        for pct in ("p50_ns", "p95_ns", "p99_ns"):
+            if pct in hist:
+                expect(is_num(hist[pct]), f"{path}.{pct}", "number")
+    expect(isinstance(doc.get("spans"), list), "spans", "array")
+    for i, span in enumerate(doc["spans"]):
+        path = f"spans[{i}]"
+        expect(isinstance(span, dict), path, "object")
+        expect(isinstance(span.get("name"), str) and span["name"],
+               f"{path}.name", "non-empty string")
+        expect(is_count(span.get("key")), f"{path}.key",
+               "non-negative integer")
+        expect(is_count(span.get("depth")), f"{path}.depth",
+               "non-negative integer")
+        if "ann" in span:
+            expect(isinstance(span["ann"], dict), f"{path}.ann",
+                   "object")
+            for k, v in span["ann"].items():
+                expect(is_num(v), f"{path}.ann.{k}", "number")
+    # Depths must form valid preorder runs: a root starts at 0 and a
+    # child is at most one deeper than its predecessor.
+    prev = -1
+    for i, span in enumerate(doc["spans"]):
+        expect(span["depth"] <= prev + 1, f"spans[{i}].depth",
+               f"depth <= {prev + 1} (preorder)")
+        prev = span["depth"]
+    return len(doc["spans"])
+
+
+def check_trace(doc):
+    expect(isinstance(doc, dict), "$", "object")
+    expect(isinstance(doc.get("traceEvents"), list), "traceEvents",
+           "array")
+    for i, ev in enumerate(doc["traceEvents"]):
+        path = f"traceEvents[{i}]"
+        expect(isinstance(ev, dict), path, "object")
+        expect(isinstance(ev.get("name"), str) and ev["name"],
+               f"{path}.name", "non-empty string")
+        expect(ev.get("ph") == "X", f"{path}.ph", '"X"')
+        for field in ("ts", "dur"):
+            expect(is_num(ev.get(field)) and ev[field] >= 0,
+                   f"{path}.{field}", "non-negative number")
+        for field in ("pid", "tid"):
+            expect(is_count(ev.get(field)), f"{path}.{field}",
+                   "non-negative integer")
+    return len(doc["traceEvents"])
+
+
+def main(argv):
+    if len(argv) < 3 or argv[1] not in ("summary", "trace"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    check = check_summary if argv[1] == "summary" else check_trace
+    for path in argv[2:]:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+            n = check(doc)
+        except (OSError, ValueError, SchemaError) as e:
+            print(f"{path}: FAIL: {e}", file=sys.stderr)
+            return 1
+        unit = "spans" if argv[1] == "summary" else "events"
+        print(f"{path}: ok ({n} {unit})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

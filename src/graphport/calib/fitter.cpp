@@ -1,20 +1,17 @@
 #include "graphport/calib/fitter.hpp"
 
 #include <algorithm>
-#include <cinttypes>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <istream>
 #include <numeric>
 #include <ostream>
 
 #include "graphport/calib/params.hpp"
-#include "graphport/support/csv.hpp"
+#include "graphport/obs/obs.hpp"
 #include "graphport/support/error.hpp"
 #include "graphport/support/rng.hpp"
-#include "graphport/support/strings.hpp"
+#include "graphport/support/snapshot.hpp"
 #include "graphport/support/threadpool.hpp"
 
 namespace graphport {
@@ -22,79 +19,13 @@ namespace calib {
 
 namespace {
 
-/** Exact round-trip double formatting (C99 hexfloat). */
-std::string
-hexDouble(double v)
-{
-    char buf[48];
-    std::snprintf(buf, sizeof buf, "%a", v);
-    return buf;
-}
+using support::hexDouble;
+using support::hexU64;
 
-std::string
-hexU64(std::uint64_t v)
-{
-    char buf[24];
-    std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
-    return buf;
-}
-
-double
-parseDouble(const std::string &s, const std::string &what)
-{
-    char *end = nullptr;
-    const double v = std::strtod(s.c_str(), &end);
-    fatalIf(s.empty() || end != s.c_str() + s.size(),
-            what + ": bad number '" + s + "'");
-    return v;
-}
-
-std::uint64_t
-parseHexU64(const std::string &s, const std::string &what)
-{
-    char *end = nullptr;
-    const std::uint64_t v = std::strtoull(s.c_str(), &end, 16);
-    fatalIf(s.empty() || end != s.c_str() + s.size(),
-            what + ": bad hash '" + s + "'");
-    return v;
-}
-
-std::uint64_t
-parseU64(const std::string &s, const std::string &what)
-{
-    fatalIf(s.empty() ||
-                s.find_first_not_of("0123456789") != std::string::npos,
-            what + ": bad count '" + s + "'");
-    return std::strtoull(s.c_str(), nullptr, 10);
-}
-
-/** Reads one non-blank snapshot row; fatal at end of stream. */
-std::vector<std::string>
-nextRow(std::istream &is, const std::string &what)
-{
-    std::string line;
-    while (std::getline(is, line)) {
-        if (trim(line).empty())
-            continue;
-        return csvParseLine(line);
-    }
-    fatal("calib snapshot " + what +
-          ": truncated (missing 'end' marker)");
-}
-
-void
-expectKeyword(const std::vector<std::string> &row,
-              const std::string &keyword, std::size_t minFields,
-              const std::string &what)
-{
-    fatalIf(row.empty() || row[0] != keyword,
-            "calib snapshot " + what + ": expected '" + keyword +
-                "' record, got '" + (row.empty() ? "" : row[0]) +
-                "'");
-    fatalIf(row.size() < minFields,
-            "calib snapshot " + what + ": short '" + keyword +
-                "' record");
-}
+/** On-disk identity of a calib snapshot. */
+constexpr const char *kCalibMagic = "graphport-calib";
+constexpr const char *kCalibRebuildHint =
+    "refit with 'graphport_cli calibrate'";
 
 /** Fit-scale box bounds, registry order. */
 void
@@ -284,18 +215,26 @@ fitChip(const Objective &objective, const sim::ChipModel &start,
 
     // Fan the independent starts over the pool into preallocated
     // slots; each slot is written exactly once.
+    obs::Span fitSpan(obs::tracerOf(options.obs), "calib.fit");
     std::vector<NmOutcome> slots(options.starts);
     support::ThreadPool pool(options.threads);
     pool.parallelFor(
         options.starts,
         [&](std::size_t begin, std::size_t end) {
             for (std::size_t i = begin; i < end; ++i) {
+                // Keyed by start index: the exported span structure
+                // is the same at every thread count.
+                const obs::Span startSpan(fitSpan, "start", i);
                 slots[i] = nelderMead(objective, startPoints[i],
                                       fitLo, fitHi, options.maxIters,
                                       options.tolerance);
+                startSpan.annotate(
+                    "evals", static_cast<double>(slots[i].evals));
+                startSpan.annotate("loss", slots[i].loss);
             }
         },
         1);
+    fitSpan.close();
 
     // Winner: lowest loss, lowest start index on exact ties.
     std::size_t winner = 0;
@@ -316,6 +255,13 @@ fitChip(const Objective &objective, const sim::ChipModel &start,
     result.evals = evals;
     result.withinTolerance = objective.withinTolerance(result.chip);
     result.objectiveHash = objective.identityHash();
+
+    if (options.obs != nullptr) {
+        obs::MetricsRegistry &m = options.obs->metrics;
+        m.counter("calib.fits").add(1);
+        m.counter("calib.starts").add(options.starts);
+        m.counter("calib.evals").add(evals);
+    }
     return result;
 }
 
@@ -346,29 +292,22 @@ calibrateRoster(const FitOptions &options)
 void
 saveRoster(const std::vector<FitResult> &fits, std::ostream &os)
 {
-    os << csvRow({"graphport-calib",
-                  std::to_string(kCalibFormatVersion)})
-       << "\n";
-    os << csvRow({"chips", std::to_string(fits.size())}) << "\n";
+    support::SnapshotWriter w(os, kCalibMagic, kCalibFormatVersion);
+    w.row({"chips", std::to_string(fits.size())});
     const std::vector<ParamSpec> &specs = freeParams();
     for (const FitResult &f : fits) {
         panicIf(f.params.size() != specs.size(),
                 "saveRoster: parameter dimension mismatch for " +
                     f.chip.shortName);
-        os << csvRow({"chip", f.chip.shortName,
-                      hexU64(f.objectiveHash), hexDouble(f.loss),
-                      std::to_string(f.evals),
-                      std::to_string(f.bestStart),
-                      f.withinTolerance ? "1" : "0",
-                      std::to_string(specs.size())})
-           << "\n";
-        for (std::size_t i = 0; i < specs.size(); ++i) {
-            os << csvRow({"param", specs[i].name,
-                          hexDouble(f.params[i])})
-               << "\n";
-        }
+        w.row({"chip", f.chip.shortName, hexU64(f.objectiveHash),
+               hexDouble(f.loss), std::to_string(f.evals),
+               std::to_string(f.bestStart),
+               f.withinTolerance ? "1" : "0",
+               std::to_string(specs.size())});
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            w.row({"param", specs[i].name, hexDouble(f.params[i])});
     }
-    os << "end\n";
+    w.end();
 }
 
 void
@@ -387,51 +326,38 @@ saveRosterFile(const std::vector<FitResult> &fits,
 std::vector<FitResult>
 loadRoster(std::istream &is, const std::string &what)
 {
-    std::vector<std::string> row = nextRow(is, what);
-    fatalIf(row.empty() || row[0] != "graphport-calib",
-            "calib snapshot " + what +
-                ": not a graphport calib snapshot (bad magic)");
-    fatalIf(row.size() < 2,
-            "calib snapshot " + what + ": missing format version");
-    const unsigned version =
-        static_cast<unsigned>(parseU64(row[1], what));
-    fatalIf(version != kCalibFormatVersion,
-            "calib snapshot " + what + ": format version " +
-                std::to_string(version) + ", but this build reads " +
-                std::to_string(kCalibFormatVersion) +
-                "; refit with 'graphport_cli calibrate'");
+    support::SnapshotReader r(is, kCalibMagic, kCalibFormatVersion,
+                              "calib snapshot " + what,
+                              kCalibRebuildHint);
 
-    row = nextRow(is, what);
-    expectKeyword(row, "chips", 2, what);
-    const std::uint64_t nChips = parseU64(row[1], what);
+    std::vector<std::string> row = r.expect("chips", 2);
+    const std::uint64_t nChips = r.count(row[1]);
 
     const std::vector<ParamSpec> &specs = freeParams();
     std::vector<FitResult> fits;
     for (std::uint64_t c = 0; c < nChips; ++c) {
-        row = nextRow(is, what);
-        expectKeyword(row, "chip", 8, what);
+        row = r.expect("chip", 8);
         FitResult f;
         const std::string name = row[1];
-        f.objectiveHash = parseHexU64(row[2], what);
-        f.loss = parseDouble(row[3], what);
-        f.evals = parseU64(row[4], what);
-        f.bestStart = static_cast<unsigned>(parseU64(row[5], what));
+        f.objectiveHash = r.hash(row[2]);
+        f.loss = r.number(row[3]);
+        f.evals = r.count(row[4]);
+        f.bestStart = r.smallCount(row[5]);
         const bool storedTolerance = row[6] == "1";
-        const std::uint64_t nParams = parseU64(row[7], what);
-        fatalIf(nParams != specs.size(),
-                "calib snapshot " + what + ": chip '" + name +
-                    "' has " + std::to_string(nParams) +
-                    " parameters, but this build fits " +
-                    std::to_string(specs.size()));
+        const std::uint64_t nParams = r.count(row[7]);
+        r.rejectIf(nParams != specs.size(),
+                   "chip '" + name + "' has " +
+                       std::to_string(nParams) +
+                       " parameters, but this build fits " +
+                       std::to_string(specs.size()));
         f.params.resize(specs.size());
         for (std::size_t i = 0; i < specs.size(); ++i) {
-            row = nextRow(is, what);
-            expectKeyword(row, "param", 3, what);
-            fatalIf(row[1] != specs[i].name,
-                    "calib snapshot " + what + ": parameter '" +
-                        row[1] + "' where '" + specs[i].name +
-                        "' was expected (registry drift)");
-            f.params[i] = parseDouble(row[2], what);
+            row = r.expect("param", 3);
+            r.rejectIf(row[1] != specs[i].name,
+                       "parameter '" + row[1] + "' where '" +
+                           specs[i].name +
+                           "' was expected (registry drift)");
+            f.params[i] = r.number(row[2]);
         }
 
         // Staleness and physicality: the stored fit must match the
@@ -439,25 +365,24 @@ loadRoster(std::istream &is, const std::string &what)
         // reconstructed chip must still validate.
         const sim::ChipModel &base = sim::chipByName(name);
         const Objective objective(base);
-        fatalIf(f.objectiveHash != objective.identityHash(),
-                "calib snapshot " + what + ": chip '" + name +
-                    "' was fitted against a different objective "
-                    "(hash " +
-                    hexU64(f.objectiveHash) + ", expected " +
-                    hexU64(objective.identityHash()) +
-                    "); refit with 'graphport_cli calibrate'");
+        r.rejectIf(f.objectiveHash != objective.identityHash(),
+                   "chip '" + name +
+                       "' was fitted against a different objective "
+                       "(hash " +
+                       hexU64(f.objectiveHash) + ", expected " +
+                       hexU64(objective.identityHash()) + "); " +
+                       kCalibRebuildHint);
         f.chip = objective.apply(f.params);
         f.chip.validate();
         f.withinTolerance = objective.withinTolerance(f.chip);
-        fatalIf(f.withinTolerance != storedTolerance,
-                "calib snapshot " + what + ": chip '" + name +
-                    "' tolerance flag does not reproduce; the "
-                    "snapshot is corrupt");
+        r.rejectIf(f.withinTolerance != storedTolerance,
+                   "chip '" + name +
+                       "' tolerance flag does not reproduce; the "
+                       "snapshot is corrupt");
         fits.push_back(std::move(f));
     }
 
-    row = nextRow(is, what);
-    expectKeyword(row, "end", 1, what);
+    r.expectEnd();
     return fits;
 }
 
@@ -472,29 +397,16 @@ loadRosterFile(const std::string &path)
 std::vector<FitResult>
 fitOrLoadCached(const std::string &path, const FitOptions &options)
 {
-    {
-        std::ifstream in(path);
-        if (in.good()) {
-            try {
-                return loadRoster(in, "'" + path + "'");
-            } catch (const FatalError &e) {
-                std::fprintf(stderr,
-                             "graphport: warning: calib snapshot "
-                             "'%s' rejected (%s); refitting\n",
-                             path.c_str(), e.what());
-            }
-        }
-    }
-    std::vector<FitResult> fits = calibrateRoster(options);
-    try {
-        saveRosterFile(fits, path);
-    } catch (const FatalError &e) {
-        std::fprintf(stderr,
-                     "graphport: warning: %s; the roster will be "
-                     "refitted next time\n",
-                     e.what());
-    }
-    return fits;
+    return support::loadOrRebuild(
+        path, "calib snapshot", "refitting",
+        "the roster will be refitted next time",
+        [&](std::ifstream &in) {
+            return loadRoster(in, "'" + path + "'");
+        },
+        [&] { return calibrateRoster(options); },
+        [&](const std::vector<FitResult> &fits) {
+            saveRosterFile(fits, path);
+        });
 }
 
 } // namespace calib

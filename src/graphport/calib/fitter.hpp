@@ -30,6 +30,11 @@
 #include "graphport/sim/chip.hpp"
 
 namespace graphport {
+
+namespace obs {
+struct Obs;
+}
+
 namespace calib {
 
 /** Calibration snapshot format version. */
@@ -48,6 +53,15 @@ struct FitOptions
     std::uint64_t seed = 0xca11bull;
     /** Pool parallelism (0 = hardware, 1 = inline/serial). */
     unsigned threads = 1;
+
+    /**
+     * When non-null, each fit adds "calib.*" counters (fits, starts,
+     * objective evals) to obs->metrics and opens one "calib.fit"
+     * span with a child per start (keyed by start index, so the span
+     * structure is bit-identical for every thread count) on
+     * obs->tracer.
+     */
+    obs::Obs *obs = nullptr;
 };
 
 /** Outcome of fitting one chip. */

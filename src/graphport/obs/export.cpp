@@ -1,0 +1,382 @@
+#include "graphport/obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "graphport/obs/metrics.hpp"
+#include "graphport/obs/trace.hpp"
+
+namespace graphport {
+namespace obs {
+
+namespace {
+
+/**
+ * Deterministic shortest-ish rendering for annotation values, which
+ * span many magnitudes (launch counts, losses near 1e-12).
+ */
+std::string
+fmtValue(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+unsigned
+Exporter::blockDepth() const
+{
+    unsigned depth = 0;
+    for (const Level &level : stack_)
+        if (level.style == Style::Block)
+            ++depth;
+    return depth;
+}
+
+void
+Exporter::raw(const std::string &text)
+{
+    os_ << text;
+}
+
+void
+Exporter::prefix()
+{
+    if (stack_.empty())
+        return;
+    Level &level = stack_.back();
+    if (level.style == Style::Block) {
+        os_ << (level.count == 0 ? "\n" : ",\n");
+        for (unsigned i = 0; i < 2 * blockDepth(); ++i)
+            os_ << ' ';
+    } else if (level.count != 0) {
+        os_ << ", ";
+    }
+    ++level.count;
+}
+
+void
+Exporter::keyPart(const char *key)
+{
+    os_ << '"' << escapeJson(key) << "\": ";
+}
+
+void
+Exporter::open(char bracket, const char *key, Style style)
+{
+    prefix();
+    if (key)
+        keyPart(key);
+    os_ << bracket;
+    stack_.push_back(Level{style, bracket == '['});
+}
+
+void
+Exporter::close(char bracket)
+{
+    const Level level = stack_.back();
+    stack_.pop_back();
+    if (level.style == Style::Block && level.count != 0) {
+        os_ << '\n';
+        for (unsigned i = 0; i < 2 * blockDepth(); ++i)
+            os_ << ' ';
+    }
+    os_ << bracket;
+    // BENCH files end with a newline; inline one-liners (toJson
+    // strings) do not.
+    if (stack_.empty() && level.style == Style::Block)
+        os_ << '\n';
+}
+
+void
+Exporter::beginObject(Style style)
+{
+    open('{', nullptr, style);
+}
+
+void
+Exporter::beginObject(const char *key, Style style)
+{
+    open('{', key, style);
+}
+
+void
+Exporter::endObject()
+{
+    close('}');
+}
+
+void
+Exporter::beginArray(const char *key, Style style)
+{
+    open('[', key, style);
+}
+
+void
+Exporter::beginArray(Style style)
+{
+    open('[', nullptr, style);
+}
+
+void
+Exporter::endArray()
+{
+    close(']');
+}
+
+void
+Exporter::field(const char *key, const std::string &v)
+{
+    prefix();
+    keyPart(key);
+    os_ << '"' << escapeJson(v) << '"';
+}
+
+void
+Exporter::field(const char *key, const char *v)
+{
+    field(key, std::string(v));
+}
+
+void
+Exporter::field(const char *key, bool v)
+{
+    prefix();
+    keyPart(key);
+    os_ << (v ? "true" : "false");
+}
+
+void
+Exporter::field(const char *key, double v, int decimals)
+{
+    prefix();
+    keyPart(key);
+    os_ << fmtDouble(v, decimals);
+}
+
+void
+Exporter::rawField(const char *key, const std::string &json)
+{
+    prefix();
+    keyPart(key);
+    os_ << json;
+}
+
+void
+Exporter::rawItem(const std::string &json)
+{
+    prefix();
+    os_ << json;
+}
+
+void
+Exporter::item(const std::string &v)
+{
+    prefix();
+    os_ << '"' << escapeJson(v) << '"';
+}
+
+namespace {
+
+/** One node of the sorted span tree. */
+struct TreeNode
+{
+    const SpanRecord *rec;
+    std::vector<std::size_t> children; // indices into the span list
+};
+
+/**
+ * Sort sibling span indices by (key, name): the deterministic export
+ * order promised by the tracing contract.
+ */
+void
+sortSiblings(const std::vector<SpanRecord> &spans,
+             std::vector<std::size_t> &siblings)
+{
+    std::sort(siblings.begin(), siblings.end(),
+              [&spans](std::size_t a, std::size_t b) {
+                  if (spans[a].key != spans[b].key)
+                      return spans[a].key < spans[b].key;
+                  return spans[a].name < spans[b].name;
+              });
+}
+
+void
+writeSpan(Exporter &ex, const SpanRecord &rec, unsigned depth,
+          bool includeWallTimes)
+{
+    ex.beginObject(Exporter::Style::Inline);
+    ex.field("name", rec.name);
+    ex.field("key", rec.key);
+    ex.field("depth", depth);
+    if (includeWallTimes) {
+        ex.field("wall_start_us", rec.startNs / 1e3, 3);
+        ex.field("wall_us", rec.durNs / 1e3, 3);
+        ex.field("tid", rec.tid);
+    }
+    if (!rec.annotations.empty()) {
+        ex.beginObject("ann", Exporter::Style::Inline);
+        for (const auto &[name, value] : rec.annotations)
+            ex.rawField(name.c_str(), fmtValue(value));
+        ex.endObject();
+    }
+    ex.endObject();
+}
+
+void
+writeSpanSubtree(Exporter &ex, const std::vector<SpanRecord> &spans,
+                 const std::vector<std::vector<std::size_t>> &children,
+                 std::size_t id, unsigned depth, bool includeWallTimes)
+{
+    writeSpan(ex, spans[id], depth, includeWallTimes);
+    for (const std::size_t child : children[id])
+        writeSpanSubtree(ex, spans, children, child, depth + 1,
+                         includeWallTimes);
+}
+
+void
+writeSpans(Exporter &ex, const Tracer &tracer, bool includeWallTimes)
+{
+    const std::vector<SpanRecord> spans = tracer.spans();
+    std::vector<std::size_t> roots;
+    std::vector<std::vector<std::size_t>> children(spans.size());
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        if (spans[i].parent == kNoSpan)
+            roots.push_back(i);
+        else
+            children[spans[i].parent].push_back(i);
+    }
+    sortSiblings(spans, roots);
+    for (auto &siblings : children)
+        sortSiblings(spans, siblings);
+
+    ex.beginArray("spans");
+    for (const std::size_t root : roots)
+        writeSpanSubtree(ex, spans, children, root, 0,
+                         includeWallTimes);
+    ex.endArray();
+}
+
+} // namespace
+
+void
+writeSummaryJson(std::ostream &os, const MetricsRegistry *metrics,
+                 const Tracer *tracer, const SummaryOptions &options)
+{
+    Exporter ex(os);
+    ex.beginObject();
+    ex.field("format", "graphport-obs-summary");
+    ex.field("version", 1);
+
+    ex.beginObject("counters");
+    if (metrics) {
+        for (const auto &[name, value] : metrics->counters())
+            ex.field(name.c_str(), value);
+    }
+    ex.endObject();
+
+    ex.beginObject("gauges");
+    if (metrics) {
+        for (const auto &[name, value] : metrics->gauges()) {
+            if (!options.includeWallTimes &&
+                isRunDependentMetric(name))
+                continue;
+            ex.field(name.c_str(), value, 6);
+        }
+    }
+    ex.endObject();
+
+    ex.beginObject("histograms");
+    if (metrics) {
+        for (const auto &[name, hist] : metrics->histograms()) {
+            ex.beginObject(name.c_str(), Exporter::Style::Inline);
+            ex.field("count", hist.count());
+            // Percentile positions depend on the recorded wall
+            // times, so they belong to the wall channel.
+            if (options.includeWallTimes) {
+                ex.field("p50_ns", hist.percentileNs(50.0), 3);
+                ex.field("p95_ns", hist.percentileNs(95.0), 3);
+                ex.field("p99_ns", hist.percentileNs(99.0), 3);
+            }
+            ex.endObject();
+        }
+    }
+    ex.endObject();
+
+    if (tracer)
+        writeSpans(ex, *tracer, options.includeWallTimes);
+    else {
+        ex.beginArray("spans");
+        ex.endArray();
+    }
+    ex.endObject();
+}
+
+void
+writeChromeTrace(std::ostream &os, const Tracer &tracer)
+{
+    const std::vector<SpanRecord> spans = tracer.spans();
+    Exporter ex(os);
+    ex.beginObject();
+    ex.field("displayTimeUnit", "ms");
+    ex.beginArray("traceEvents");
+    for (const SpanRecord &rec : spans) {
+        ex.beginObject(Exporter::Style::Inline);
+        ex.field("name", rec.name);
+        ex.field("ph", "X");
+        ex.field("ts", rec.startNs / 1e3, 3);
+        ex.field("dur", rec.durNs / 1e3, 3);
+        ex.field("pid", 1);
+        ex.field("tid", rec.tid);
+        if (!rec.annotations.empty()) {
+            ex.beginObject("args", Exporter::Style::Inline);
+            for (const auto &[name, value] : rec.annotations)
+                ex.rawField(name.c_str(), fmtValue(value));
+            ex.endObject();
+        }
+        ex.endObject();
+    }
+    ex.endArray();
+    ex.endObject();
+}
+
+} // namespace obs
+} // namespace graphport

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Exporters for graphport::obs: a small structured-JSON writer
+ * (obs::Exporter) shared by every machine-readable output in the
+ * tree (BENCH_*.json, --metrics-out, --trace-out), plus the two
+ * canonical documents built on top of it — the metrics/trace summary
+ * and the Chrome trace_event file (load the latter in
+ * chrome://tracing or https://ui.perfetto.dev).
+ *
+ * Exporter exists so the JSON written by benches, stats structs and
+ * the obs layer share one escaping/formatting implementation and one
+ * set of layout conventions:
+ *
+ *  - Style::Block — one field per line, two-space indent per nesting
+ *    level, trailing newline (the BENCH_*.json house style);
+ *  - Style::Inline — a single line with ", " separators (the
+ *    ServerStats::toJson() house style, also used for array items
+ *    inside Block documents).
+ *
+ * Doubles are formatted with fmtDouble at an explicit decimal count,
+ * so output is deterministic; rawField()/rawItem() are the escape
+ * hatch for preformatted values (e.g. "%.6e" losses in bench_calib).
+ */
+#ifndef GRAPHPORT_OBS_EXPORT_HPP
+#define GRAPHPORT_OBS_EXPORT_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "graphport/support/strings.hpp"
+
+namespace graphport {
+namespace obs {
+
+class MetricsRegistry;
+class Tracer;
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string escapeJson(const std::string &s);
+
+/**
+ * Structured JSON writer. Containers are opened with
+ * beginObject/beginArray and closed in LIFO order; each container
+ * picks its own Style, so a Block document can hold one-line Inline
+ * records (the "variants" arrays in BENCH files). The writer owns
+ * separators and indentation — callers never print punctuation.
+ */
+class Exporter
+{
+  public:
+    enum class Style
+    {
+        Block,
+        Inline
+    };
+
+    explicit Exporter(std::ostream &os) : os_(os) {}
+    Exporter(const Exporter &) = delete;
+    Exporter &operator=(const Exporter &) = delete;
+
+    /** Open the top-level object or an anonymous array item. */
+    void beginObject(Style style = Style::Block);
+    /** Open an object-valued field. */
+    void beginObject(const char *key, Style style = Style::Block);
+    void endObject();
+
+    void beginArray(const char *key, Style style = Style::Block);
+    /** Open the top-level array or an anonymous array item. */
+    void beginArray(Style style = Style::Block);
+    void endArray();
+
+    void field(const char *key, const std::string &v);
+    void field(const char *key, const char *v);
+    void field(const char *key, bool v);
+    void field(const char *key, double v, int decimals);
+
+    template <typename T,
+              typename = std::enable_if_t<std::is_integral_v<T> &&
+                                          !std::is_same_v<T, bool>>>
+    void field(const char *key, T v)
+    {
+        prefix();
+        keyPart(key);
+        // Print through a wide type so char-sized integers render as
+        // numbers.
+        if constexpr (std::is_signed_v<T>)
+            raw(std::to_string(static_cast<long long>(v)));
+        else
+            raw(std::to_string(static_cast<unsigned long long>(v)));
+    }
+
+    /** A field whose value is already valid JSON text. */
+    void rawField(const char *key, const std::string &json);
+    /** An array item that is already valid JSON text. */
+    void rawItem(const std::string &json);
+    /** A string-valued array item. */
+    void item(const std::string &v);
+
+  private:
+    struct Level
+    {
+        Style style;
+        bool array;
+        std::size_t count = 0;
+    };
+
+    void prefix();
+    void keyPart(const char *key);
+    void open(char bracket, const char *key, Style style);
+    void close(char bracket);
+    void raw(const std::string &text);
+    unsigned blockDepth() const;
+
+    std::ostream &os_;
+    std::vector<Level> stack_;
+};
+
+/** Options for writeSummaryJson. */
+struct SummaryOptions
+{
+    /**
+     * When false, run-environment channels are dropped — gauges
+     * named by the wall-time or thread-count schemes
+     * (isRunDependentMetric), histogram percentiles, and span
+     * start/duration/tid fields — leaving only data that is
+     * bit-identical across runs and thread counts.
+     */
+    bool includeWallTimes = true;
+};
+
+/**
+ * Write the canonical --metrics-out document: counters, gauges and
+ * histograms of @p metrics plus the span tree of @p tracer (flattened
+ * depth-first, siblings ordered by (key, name), with a "depth"
+ * field). Either source may be null.
+ */
+void writeSummaryJson(std::ostream &os, const MetricsRegistry *metrics,
+                      const Tracer *tracer,
+                      const SummaryOptions &options = {});
+
+/**
+ * Write the span tree of @p tracer as a Chrome trace_event document
+ * (complete "X" events, microsecond timestamps) for --trace-out.
+ */
+void writeChromeTrace(std::ostream &os, const Tracer &tracer);
+
+} // namespace obs
+} // namespace graphport
+
+#endif // GRAPHPORT_OBS_EXPORT_HPP

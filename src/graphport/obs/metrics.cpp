@@ -1,0 +1,218 @@
+#include "graphport/obs/metrics.hpp"
+
+#include <cmath>
+
+namespace graphport {
+namespace obs {
+
+unsigned
+Histogram::bucketOf(double ns)
+{
+    if (!(ns > 1.0))
+        return 0;
+    const double idx = std::log2(ns) * kBucketsPerOctave;
+    if (idx >= kNumBuckets - 1)
+        return kNumBuckets - 1;
+    return static_cast<unsigned>(idx);
+}
+
+void
+Histogram::record(double ns)
+{
+    counts_[bucketOf(ns)].fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double
+Histogram::percentileNs(double p) const
+{
+    const std::size_t total = count();
+    if (total == 0)
+        return 0.0;
+    const double clamped = p < 0.0 ? 0.0 : (p > 100.0 ? 100.0 : p);
+    // The rank-th smallest sample (1-based), linear-interpolation
+    // style rank as in support percentile().
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(clamped / 100.0 * static_cast<double>(total)));
+    const std::size_t target = rank == 0 ? 1 : rank;
+    std::size_t seen = 0;
+    for (unsigned b = 0; b < kNumBuckets; ++b) {
+        seen += counts_[b].load(std::memory_order_relaxed);
+        if (seen >= target) {
+            // Geometric midpoint of bucket b: 2^((b + 0.5) / 8).
+            return std::exp2((b + 0.5) /
+                             static_cast<double>(kBucketsPerOctave));
+        }
+    }
+    return std::exp2(static_cast<double>(kNumBuckets) /
+                     kBucketsPerOctave);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (unsigned b = 0; b < kNumBuckets; ++b) {
+        counts_[b].fetch_add(
+            other.counts_[b].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+    }
+    total_.fetch_add(other.total_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+void
+Histogram::copyFrom(const Histogram &other)
+{
+    for (unsigned b = 0; b < kNumBuckets; ++b) {
+        counts_[b].store(
+            other.counts_[b].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+    }
+    total_.store(other.total_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<Counter> &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<Gauge> &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<Histogram> &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+std::uint64_t
+MetricsRegistry::counterValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second->value();
+}
+
+double
+MetricsRegistry::gaugeValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
+const Histogram *
+MetricsRegistry::findHistogram(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        out.emplace_back(name, c->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+MetricsRegistry::gauges() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(gauges_.size());
+    for (const auto &[name, g] : gauges_)
+        out.emplace_back(name, g->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, Histogram>>
+MetricsRegistry::histograms() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, Histogram>> out;
+    out.reserve(histograms_.size());
+    for (const auto &[name, h] : histograms_)
+        out.emplace_back(name, *h);
+    return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::countersWithPrefix(const std::string &prefix) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (auto it = counters_.lower_bound(prefix);
+         it != counters_.end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0;
+         ++it)
+        out.emplace_back(it->first, it->second->value());
+    return out;
+}
+
+void
+MetricsRegistry::merge(const MetricsRegistry &other)
+{
+    for (const auto &[name, value] : other.counters())
+        counter(name).add(value);
+    for (const auto &[name, value] : other.gauges())
+        gauge(name).set(value);
+    for (const auto &[name, h] : other.histograms())
+        histogram(name).merge(h);
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.empty() && gauges_.empty() &&
+           histograms_.empty();
+}
+
+bool
+isWallTimeMetric(const std::string &name)
+{
+    for (const char *suffix : {"_seconds", "_ms", "_us", "_ns"}) {
+        const std::string s = suffix;
+        if (name.size() >= s.size() &&
+            name.compare(name.size() - s.size(), s.size(), s) == 0)
+            return true;
+    }
+    return false;
+}
+
+bool
+isRunDependentMetric(const std::string &name)
+{
+    if (isWallTimeMetric(name))
+        return true;
+    const std::string s = ".threads";
+    return name == "threads" ||
+           (name.size() >= s.size() &&
+            name.compare(name.size() - s.size(), s.size(), s) == 0);
+}
+
+} // namespace obs
+} // namespace graphport

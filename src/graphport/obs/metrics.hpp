@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The metrics half of graphport::obs: named counters, gauges and
+ * log-bucketed histograms collected in a MetricsRegistry.
+ *
+ * One registry per measured activity (a sweep, a served batch, a
+ * calibration) — explicitly scoped, never a global. Producers record
+ * into a registry they own and merge it into a caller-provided one;
+ * consumers read a deterministic, name-sorted view (std::map order)
+ * or project it into a legacy stats struct (runner::SweepStats,
+ * serve::ServerStats).
+ *
+ * Naming scheme (see DESIGN.md §15): "<subsystem>.<metric>", e.g.
+ * "sweep.cells", "serve.cache_hits", "calib.evals". Names ending in
+ * "_seconds", "_ms", "_us" or "_ns" carry wall-clock measurements and
+ * are excluded from structure-only exports, which must be
+ * bit-identical across runs and thread counts.
+ */
+#ifndef GRAPHPORT_OBS_METRICS_HPP
+#define GRAPHPORT_OBS_METRICS_HPP
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace graphport {
+namespace obs {
+
+/** Monotonic event count. add() is thread-safe and lock-free. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins scalar (thread counts, phase wall times). */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-memory value histogram with logarithmic buckets (8 per
+ * octave, so bucket edges are ~9% apart and a reported percentile is
+ * within ~4.5% of the true value). Covers 1 to ~2^48; the serving
+ * layer records latencies in ns.
+ *
+ * record() is thread-safe and lock-free; readers see a consistent
+ * enough view for percentile reporting. Copying snapshots the bucket
+ * counts, so the histogram can live inside value-type stats structs.
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+    Histogram(const Histogram &other) { copyFrom(other); }
+
+    Histogram &operator=(const Histogram &other)
+    {
+        if (this != &other)
+            copyFrom(other);
+        return *this;
+    }
+
+    /** Record one sample (clamped into the covered range). */
+    void record(double ns);
+
+    /** Samples recorded. */
+    std::size_t count() const
+    {
+        return total_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Approximate @p p-th percentile (p in [0, 100]); 0 when empty.
+     * Returns the geometric midpoint of the bucket holding the
+     * requested order statistic.
+     */
+    double percentileNs(double p) const;
+
+    /** Fold @p other into this histogram. */
+    void merge(const Histogram &other);
+
+  private:
+    static constexpr unsigned kBucketsPerOctave = 8;
+    static constexpr unsigned kNumBuckets = kBucketsPerOctave * 48;
+
+    static unsigned bucketOf(double ns);
+    void copyFrom(const Histogram &other);
+
+    std::array<std::atomic<std::uint64_t>, kNumBuckets> counts_{};
+    std::atomic<std::size_t> total_{0};
+};
+
+/**
+ * A named collection of counters, gauges and histograms. Metric
+ * creation is mutex-protected; the returned references stay valid for
+ * the registry's lifetime, and recording through them is lock-free.
+ * Enumeration is name-sorted, so exports are deterministic.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Get or create the metric named @p name. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** Value of a counter/gauge, or 0 when it does not exist. */
+    std::uint64_t counterValue(const std::string &name) const;
+    double gaugeValue(const std::string &name) const;
+
+    /** The histogram named @p name, or nullptr. */
+    const Histogram *findHistogram(const std::string &name) const;
+
+    /** Name-sorted snapshots of every metric of one kind. */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    counters() const;
+    std::vector<std::pair<std::string, double>> gauges() const;
+    std::vector<std::pair<std::string, Histogram>> histograms() const;
+
+    /** Name-sorted counters whose name starts with @p prefix. */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    countersWithPrefix(const std::string &prefix) const;
+
+    /**
+     * Fold @p other into this registry: counters add, gauges take
+     * the other's value, histograms merge. Producers record into a
+     * local registry and merge it into the caller's at the end, so
+     * a shared registry accumulates across activities without the
+     * per-activity views double-counting.
+     */
+    void merge(const MetricsRegistry &other);
+
+    /** True when no metric has been created. */
+    bool empty() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/**
+ * Whether @p name denotes a wall-clock metric by the naming scheme
+ * (suffix "_seconds", "_ms", "_us" or "_ns").
+ */
+bool isWallTimeMetric(const std::string &name);
+
+/**
+ * Whether @p name carries run-environment data — wall-clock metrics
+ * plus thread counts ("<subsystem>.threads") — that legitimately
+ * varies between runs of identical work. Such metrics are omitted
+ * from structure-only exports, which must be bit-identical at any
+ * thread count.
+ */
+bool isRunDependentMetric(const std::string &name);
+
+} // namespace obs
+} // namespace graphport
+
+#endif // GRAPHPORT_OBS_METRICS_HPP

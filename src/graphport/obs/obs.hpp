@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Umbrella header and context type for graphport::obs.
+ *
+ * An obs::Obs bundles the two halves of the observability layer — a
+ * MetricsRegistry and a Tracer — into one handle that callers thread
+ * through the measured paths (Dataset::build, serve::serveBatch,
+ * calib::fitChip) as an optional pointer. A null handle means "not
+ * observed": metrics producers skip their merge and spans are inert,
+ * so uninstrumented callers pay nothing.
+ */
+#ifndef GRAPHPORT_OBS_OBS_HPP
+#define GRAPHPORT_OBS_OBS_HPP
+
+#include "graphport/obs/export.hpp"
+#include "graphport/obs/metrics.hpp"
+#include "graphport/obs/trace.hpp"
+
+namespace graphport {
+namespace obs {
+
+/** One observed scope: metrics plus a trace. */
+struct Obs
+{
+    MetricsRegistry metrics;
+    Tracer tracer;
+};
+
+/** The tracer of @p obs, or nullptr. */
+inline Tracer *
+tracerOf(Obs *obs)
+{
+    return obs ? &obs->tracer : nullptr;
+}
+
+} // namespace obs
+} // namespace graphport
+
+#endif // GRAPHPORT_OBS_OBS_HPP

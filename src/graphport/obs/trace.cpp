@@ -1,0 +1,146 @@
+#include "graphport/obs/trace.hpp"
+
+namespace graphport {
+namespace obs {
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+double
+Tracer::nowNs() const
+{
+    const auto dt = std::chrono::steady_clock::now() - epoch_;
+    return std::chrono::duration<double, std::nano>(dt).count();
+}
+
+unsigned
+Tracer::tidOf(const std::thread::id &id)
+{
+    const auto it = tids_.find(id);
+    if (it != tids_.end())
+        return it->second;
+    const unsigned tid = static_cast<unsigned>(tids_.size());
+    tids_.emplace(id, tid);
+    return tid;
+}
+
+SpanId
+Tracer::open(const char *name, SpanId parent, std::uint64_t key)
+{
+    const double start = nowNs();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (key == kAutoKey) {
+        if (parent == kNoSpan)
+            key = rootsOpened_++;
+        else
+            key = childrenOpened_[parent]++;
+    } else if (parent != kNoSpan) {
+        ++childrenOpened_[parent];
+    } else {
+        ++rootsOpened_;
+    }
+    const SpanId id = spans_.size();
+    SpanRecord rec;
+    rec.name = name;
+    rec.parent = parent;
+    rec.key = key;
+    rec.startNs = start;
+    rec.tid = tidOf(std::this_thread::get_id());
+    spans_.push_back(std::move(rec));
+    childrenOpened_.push_back(0);
+    return id;
+}
+
+void
+Tracer::close(SpanId id)
+{
+    const double end = nowNs();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (id >= spans_.size())
+        return;
+    SpanRecord &rec = spans_[id];
+    if (rec.durNs == 0.0)
+        rec.durNs = end - rec.startNs;
+}
+
+void
+Tracer::annotate(SpanId id, const char *name, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (id >= spans_.size())
+        return;
+    spans_[id].annotations.emplace_back(name, value);
+}
+
+std::size_t
+Tracer::spanCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_.size();
+}
+
+std::vector<SpanRecord>
+Tracer::spans() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+}
+
+Span::Span(Tracer *tracer, const char *name, std::uint64_t key)
+    : tracer_(tracer)
+{
+    if (tracer_) {
+        id_ = tracer_->open(name, kNoSpan, key);
+        open_ = true;
+    }
+}
+
+Span::Span(const Span &parent, const char *name, std::uint64_t key)
+    : tracer_(parent.tracer_)
+{
+    if (tracer_) {
+        id_ = tracer_->open(name, parent.id_, key);
+        open_ = true;
+    }
+}
+
+Span::Span(Span &&other) noexcept
+    : tracer_(other.tracer_), id_(other.id_), open_(other.open_)
+{
+    other.tracer_ = nullptr;
+    other.open_ = false;
+}
+
+Span &
+Span::operator=(Span &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        tracer_ = other.tracer_;
+        id_ = other.id_;
+        open_ = other.open_;
+        other.tracer_ = nullptr;
+        other.open_ = false;
+    }
+    return *this;
+}
+
+Span::~Span() { close(); }
+
+void
+Span::annotate(const char *name, double value) const
+{
+    if (tracer_)
+        tracer_->annotate(id_, name, value);
+}
+
+void
+Span::close()
+{
+    if (open_) {
+        tracer_->close(id_);
+        open_ = false;
+    }
+}
+
+} // namespace obs
+} // namespace graphport

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The tracing half of graphport::obs: deterministic scoped spans
+ * parented into a trace tree.
+ *
+ * Determinism contract: a span's *structure* — (parent, key, name) —
+ * must be a pure function of the work, never of thread scheduling.
+ * Exporters sort siblings by (key, name), so the exported tree is
+ * bit-identical at any thread count. Call sites that open spans from
+ * a thread-pool fan-out pass the task index as the key; serial call
+ * sites may use kAutoKey, which numbers siblings in creation order
+ * (deterministic only when the siblings are opened from one thread).
+ * Sibling (key, name) pairs must be unique.
+ *
+ * Wall-clock data (start time, duration, thread id) is recorded on
+ * the side and emitted as annotations by the exporters; structure-only
+ * exports drop it. User annotations are (name, double) pairs and must
+ * themselves be deterministic values (launch counts, losses — never
+ * wall times, which the span already carries).
+ *
+ * obs::Span is the RAII front end. A Span built from a null Tracer is
+ * inert (every operation is a no-op), and a child of an inert Span is
+ * inert, so instrumented code needs no "is tracing on?" branches.
+ */
+#ifndef GRAPHPORT_OBS_TRACE_HPP
+#define GRAPHPORT_OBS_TRACE_HPP
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace graphport {
+namespace obs {
+
+/** Index of a span within its Tracer. */
+using SpanId = std::size_t;
+
+/** "No span": the parent of a root span. */
+constexpr SpanId kNoSpan = static_cast<SpanId>(-1);
+
+/**
+ * Sibling key for serial call sites: the span is numbered by creation
+ * order among its parent's children.
+ */
+constexpr std::uint64_t kAutoKey = ~std::uint64_t{0};
+
+/** One recorded span. */
+struct SpanRecord
+{
+    std::string name;
+    SpanId parent = kNoSpan;
+    /** Deterministic sibling-ordering key. */
+    std::uint64_t key = 0;
+    /** Wall-clock annotations (ns since the tracer's epoch). */
+    double startNs = 0.0;
+    double durNs = 0.0;
+    /** Dense id of the recording thread (wall channel only). */
+    unsigned tid = 0;
+    /** User annotations; values must be deterministic. */
+    std::vector<std::pair<std::string, double>> annotations;
+};
+
+/**
+ * Records spans. Thread-safe: open/close/annotate take one internal
+ * lock, so spans may be opened from pool workers. Keep per-item spans
+ * out of loops that iterate millions of times; phase- and task-level
+ * granularity is the intended scale.
+ */
+class Tracer
+{
+  public:
+    Tracer();
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /**
+     * Open a span. @p key orders the span among its siblings in
+     * exports; kAutoKey numbers it by creation order.
+     */
+    SpanId open(const char *name, SpanId parent = kNoSpan,
+                std::uint64_t key = kAutoKey);
+
+    /** Close @p id, recording its duration. Idempotent. */
+    void close(SpanId id);
+
+    /** Attach a deterministic (name, value) pair to @p id. */
+    void annotate(SpanId id, const char *name, double value);
+
+    /** Spans recorded so far. */
+    std::size_t spanCount() const;
+
+    /** Snapshot of every recorded span, in creation order. */
+    std::vector<SpanRecord> spans() const;
+
+  private:
+    double nowNs() const;
+    unsigned tidOf(const std::thread::id &id);
+
+    mutable std::mutex mutex_;
+    std::vector<SpanRecord> spans_;
+    /** Children opened so far per parent (kAutoKey numbering). */
+    std::vector<std::uint64_t> childrenOpened_;
+    std::uint64_t rootsOpened_ = 0;
+    std::map<std::thread::id, unsigned> tids_;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+/**
+ * RAII span: opens on construction, closes on destruction (or on an
+ * explicit close()). Inert when built from a null Tracer or an inert
+ * parent.
+ */
+class Span
+{
+  public:
+    /** An inert span. */
+    Span() = default;
+
+    /** Root span of @p tracer (nullptr => inert). */
+    explicit Span(Tracer *tracer, const char *name,
+                  std::uint64_t key = kAutoKey);
+
+    /** Child of @p parent (inert parent => inert child). */
+    Span(const Span &parent, const char *name,
+         std::uint64_t key = kAutoKey);
+
+    Span(Span &&other) noexcept;
+    Span &operator=(Span &&other) noexcept;
+    ~Span();
+
+    /** Attach a deterministic annotation; no-op when inert. */
+    void annotate(const char *name, double value) const;
+
+    /** Close now instead of at scope exit. Idempotent. */
+    void close();
+
+    /** The owning tracer, or nullptr when inert. */
+    Tracer *tracer() const { return tracer_; }
+
+    /** This span's id (meaningless when inert). */
+    SpanId id() const { return id_; }
+
+  private:
+    Tracer *tracer_ = nullptr;
+    SpanId id_ = kNoSpan;
+    bool open_ = false;
+};
+
+} // namespace obs
+} // namespace graphport
+
+#endif // GRAPHPORT_OBS_TRACE_HPP

@@ -10,11 +10,13 @@
 
 #include "graphport/apps/app.hpp"
 #include "graphport/dsl/compact.hpp"
+#include "graphport/obs/obs.hpp"
 #include "graphport/sim/chip.hpp"
 #include "graphport/sim/costengine.hpp"
 #include "graphport/support/csv.hpp"
 #include "graphport/support/error.hpp"
 #include "graphport/support/rng.hpp"
+#include "graphport/support/snapshot.hpp"
 #include "graphport/support/strings.hpp"
 #include "graphport/support/threadpool.hpp"
 
@@ -278,6 +280,7 @@ Dataset::build(const Universe &universe, const BuildOptions &options)
 {
     universe.validate();
     const auto start = std::chrono::steady_clock::now();
+    obs::Span buildSpan(obs::tracerOf(options.obs), "sweep.build");
     Dataset ds;
     ds.universe_ = universe;
     const std::size_t nInputs = universe.inputs.size();
@@ -326,6 +329,7 @@ Dataset::build(const Universe &universe, const BuildOptions &options)
     // Sized up front: CompactTrace points at its trace, so entries
     // must never move after compaction.
     std::vector<TraceEntry> traces(universe.apps.size() * nInputs);
+    obs::Span recordSpan(buildSpan, "record", 0);
     pool.parallelFor(
         traces.size(),
         [&](std::size_t begin, std::size_t end) {
@@ -333,6 +337,10 @@ Dataset::build(const Universe &universe, const BuildOptions &options)
                 TraceEntry &entry = traces[w];
                 entry.input = w / universe.apps.size();
                 entry.app = w % universe.apps.size();
+                // One span per recorded trace; the explicit key (the
+                // work index) keeps the exported structure identical
+                // at every thread count.
+                const obs::Span traceSpan(recordSpan, "trace", w);
                 const apps::Application &app =
                     apps::appByName(universe.apps[entry.app]);
                 auto [output, trace] =
@@ -350,6 +358,13 @@ Dataset::build(const Universe &universe, const BuildOptions &options)
                     for (unsigned w2 : warmSizes)
                         (void)hist.expectedMaxOf(w2);
                 }
+                traceSpan.annotate(
+                    "launches",
+                    static_cast<double>(
+                        entry.compact.launchCount()));
+                traceSpan.annotate(
+                    "unique", static_cast<double>(
+                                  entry.compact.uniqueCount()));
             }
         },
         /*chunk=*/1);
@@ -364,9 +379,11 @@ Dataset::build(const Universe &universe, const BuildOptions &options)
     for (std::size_t t = 0; t < ds.numTests(); ++t)
         seedBase[t] = runSeedBase(universe.seed, ds.testAt(t));
     const double recordSeconds = secondsSince(start);
+    recordSpan.close();
 
     // ---- phase 2 (parallel): price every (chip, config) cell ----------
     const auto priceStart = std::chrono::steady_clock::now();
+    obs::Span priceSpan(buildSpan, "price", 1);
     const std::size_t items = traces.size() * nChips * nCfg;
     pool.parallelFor(
         items,
@@ -393,26 +410,40 @@ Dataset::build(const Universe &universe, const BuildOptions &options)
         },
         /*chunk=*/32);
     const double priceSeconds = secondsSince(priceStart);
+    priceSpan.close();
 
     // ---- phase 3: per-cell summaries ----------------------------------
     const auto finaliseStart = std::chrono::steady_clock::now();
-    ds.finalise();
+    {
+        const obs::Span finaliseSpan(buildSpan, "finalise", 2);
+        ds.finalise();
+    }
 
-    if (options.stats) {
-        SweepStats &s = *options.stats;
-        s.threads = pool.threadCount();
-        s.compaction = options.compact;
-        s.tests = ds.numTests();
-        s.configs = nCfg;
-        s.cells = cells;
-        s.runsPerCell = universe.runs;
-        s.tracesRecorded = traces.size();
-        s.launchesTotal = launchesTotal;
-        s.launchesUnique = launchesUnique;
-        s.recordSeconds = recordSeconds;
-        s.priceSeconds = priceSeconds;
-        s.finaliseSeconds = secondsSince(finaliseStart);
-        s.totalSeconds = secondsSince(start);
+    if (options.stats || options.obs) {
+        // Record into a build-local registry, then project the legacy
+        // stats view from it and fold it into the caller's registry —
+        // a shared registry spanning several builds accumulates
+        // without the per-build views double-counting.
+        obs::MetricsRegistry local;
+        local.gauge("sweep.threads").set(pool.threadCount());
+        local.gauge("sweep.compaction")
+            .set(options.compact ? 1.0 : 0.0);
+        local.counter("sweep.tests").add(ds.numTests());
+        local.counter("sweep.configs").add(nCfg);
+        local.counter("sweep.cells").add(cells);
+        local.counter("sweep.runs_per_cell").add(universe.runs);
+        local.counter("sweep.traces_recorded").add(traces.size());
+        local.counter("sweep.launches_total").add(launchesTotal);
+        local.counter("sweep.launches_unique").add(launchesUnique);
+        local.gauge("sweep.record_seconds").set(recordSeconds);
+        local.gauge("sweep.price_seconds").set(priceSeconds);
+        local.gauge("sweep.finalise_seconds")
+            .set(secondsSince(finaliseStart));
+        local.gauge("sweep.total_seconds").set(secondsSince(start));
+        if (options.stats)
+            *options.stats = SweepStats::fromMetrics(local);
+        if (options.obs)
+            options.obs->metrics.merge(local);
     }
     return ds;
 }
@@ -500,40 +531,22 @@ Dataset::buildOrLoadCached(const Universe &universe,
                            const std::string &path,
                            const BuildOptions &options)
 {
-    {
-        std::ifstream in(path);
-        if (in.good()) {
-            try {
-                return loadCsv(universe, in);
-            } catch (const FatalError &e) {
-                // Stale or mismatched cache: rebuild, but say why the
-                // cache was thrown away.
-                std::fprintf(stderr,
-                             "graphport: warning: dataset cache '%s' "
-                             "rejected (%s); rebuilding\n",
-                             path.c_str(), e.what());
-            }
-        }
-    }
-    Dataset ds = build(universe, options);
-    std::ofstream out(path);
-    if (!out.good()) {
-        std::fprintf(stderr,
-                     "graphport: warning: cannot open dataset cache "
-                     "'%s' for writing; the sweep will rerun next "
-                     "time\n",
-                     path.c_str());
-        return ds;
-    }
-    ds.saveCsv(out);
-    out.flush();
-    if (!out.good()) {
-        std::fprintf(stderr,
-                     "graphport: warning: failed while writing "
-                     "dataset cache '%s'; the file may be truncated\n",
-                     path.c_str());
-    }
-    return ds;
+    return support::loadOrRebuild(
+        path, "dataset cache", "rebuilding",
+        "the sweep will rerun next time",
+        [&](std::ifstream &in) { return loadCsv(universe, in); },
+        [&] { return build(universe, options); },
+        [&](const Dataset &ds) {
+            std::ofstream out(path);
+            fatalIf(!out.good(), "cannot open dataset cache '" +
+                                     path + "' for writing");
+            ds.saveCsv(out);
+            out.flush();
+            fatalIf(!out.good(), "failed while writing dataset "
+                                 "cache '" +
+                                     path +
+                                     "'; the file may be truncated");
+        });
 }
 
 } // namespace runner

@@ -24,6 +24,11 @@
 #include "graphport/stats/significance.hpp"
 
 namespace graphport {
+
+namespace obs {
+struct Obs;
+}
+
 namespace runner {
 
 /** Identity of one test (a point of the study's cross product). */
@@ -62,6 +67,14 @@ struct BuildOptions
 
     /** When non-null, filled with the build's SweepStats. */
     SweepStats *stats = nullptr;
+
+    /**
+     * When non-null, the build merges its "sweep.*" metrics into
+     * obs->metrics and opens per-phase spans (record / price /
+     * finalise, with one child per recorded trace) on obs->tracer.
+     * Span structure is bit-identical for every thread count.
+     */
+    obs::Obs *obs = nullptr;
 };
 
 /** Timing dataset over a universe. */

@@ -3,10 +3,33 @@
 #include <ostream>
 #include <sstream>
 
+#include "graphport/obs/export.hpp"
+#include "graphport/obs/metrics.hpp"
 #include "graphport/support/strings.hpp"
 
 namespace graphport {
 namespace runner {
+
+SweepStats
+SweepStats::fromMetrics(const obs::MetricsRegistry &metrics)
+{
+    SweepStats s;
+    s.threads =
+        static_cast<unsigned>(metrics.gaugeValue("sweep.threads"));
+    s.compaction = metrics.gaugeValue("sweep.compaction") != 0.0;
+    s.tests = metrics.counterValue("sweep.tests");
+    s.configs = metrics.counterValue("sweep.configs");
+    s.cells = metrics.counterValue("sweep.cells");
+    s.runsPerCell = metrics.counterValue("sweep.runs_per_cell");
+    s.tracesRecorded = metrics.counterValue("sweep.traces_recorded");
+    s.launchesTotal = metrics.counterValue("sweep.launches_total");
+    s.launchesUnique = metrics.counterValue("sweep.launches_unique");
+    s.recordSeconds = metrics.gaugeValue("sweep.record_seconds");
+    s.priceSeconds = metrics.gaugeValue("sweep.price_seconds");
+    s.finaliseSeconds = metrics.gaugeValue("sweep.finalise_seconds");
+    s.totalSeconds = metrics.gaugeValue("sweep.total_seconds");
+    return s;
+}
 
 double
 SweepStats::compactionRatio() const
@@ -29,27 +52,24 @@ std::string
 SweepStats::toJson() const
 {
     std::ostringstream os;
-    os << "{"
-       << "\"threads\": " << threads << ", "
-       << "\"compaction\": " << (compaction ? "true" : "false")
-       << ", "
-       << "\"tests\": " << tests << ", "
-       << "\"configs\": " << configs << ", "
-       << "\"cells\": " << cells << ", "
-       << "\"runs_per_cell\": " << runsPerCell << ", "
-       << "\"traces_recorded\": " << tracesRecorded << ", "
-       << "\"launches_total\": " << launchesTotal << ", "
-       << "\"launches_unique\": " << launchesUnique << ", "
-       << "\"compaction_ratio\": "
-       << fmtDouble(compactionRatio(), 3) << ", "
-       << "\"record_seconds\": " << fmtDouble(recordSeconds, 6)
-       << ", "
-       << "\"price_seconds\": " << fmtDouble(priceSeconds, 6) << ", "
-       << "\"finalise_seconds\": " << fmtDouble(finaliseSeconds, 6)
-       << ", "
-       << "\"total_seconds\": " << fmtDouble(totalSeconds, 6) << ", "
-       << "\"cells_per_second\": " << fmtDouble(cellsPerSecond(), 1)
-       << "}";
+    obs::Exporter ex(os);
+    ex.beginObject(obs::Exporter::Style::Inline);
+    ex.field("threads", threads);
+    ex.field("compaction", compaction);
+    ex.field("tests", tests);
+    ex.field("configs", configs);
+    ex.field("cells", cells);
+    ex.field("runs_per_cell", runsPerCell);
+    ex.field("traces_recorded", tracesRecorded);
+    ex.field("launches_total", launchesTotal);
+    ex.field("launches_unique", launchesUnique);
+    ex.field("compaction_ratio", compactionRatio(), 3);
+    ex.field("record_seconds", recordSeconds, 6);
+    ex.field("price_seconds", priceSeconds, 6);
+    ex.field("finalise_seconds", finaliseSeconds, 6);
+    ex.field("total_seconds", totalSeconds, 6);
+    ex.field("cells_per_second", cellsPerSecond(), 1);
+    ex.endObject();
     return os.str();
 }
 

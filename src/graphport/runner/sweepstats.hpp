@@ -9,6 +9,10 @@
  * (CLI --stats) or as one machine-readable JSON object
  * (bench_sweep_throughput's BENCH_sweep.json) so the sweep's perf
  * trajectory can be tracked across PRs.
+ *
+ * SweepStats is a view over the obs layer: Dataset::build records
+ * into an obs::MetricsRegistry under "sweep.*" names and projects the
+ * registry into this struct with fromMetrics().
  */
 #ifndef GRAPHPORT_RUNNER_SWEEPSTATS_HPP
 #define GRAPHPORT_RUNNER_SWEEPSTATS_HPP
@@ -18,6 +22,11 @@
 #include <string>
 
 namespace graphport {
+
+namespace obs {
+class MetricsRegistry;
+}
+
 namespace runner {
 
 /** Metrics of one Dataset::build execution. */
@@ -41,6 +50,12 @@ struct SweepStats
     double priceSeconds = 0.0;     ///< (chip, config) fan-out
     double finaliseSeconds = 0.0;  ///< per-cell summaries
     double totalSeconds = 0.0;
+
+    /**
+     * Project the "sweep.*" metrics of @p metrics into a stats view
+     * (the inverse of Dataset::build's recording).
+     */
+    static SweepStats fromMetrics(const obs::MetricsRegistry &metrics);
 
     /** launchesTotal / launchesUnique (1.0 when nothing repeats). */
     double compactionRatio() const;

@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "graphport/obs/obs.hpp"
 #include "graphport/support/csv.hpp"
 #include "graphport/support/error.hpp"
 #include "graphport/support/strings.hpp"
@@ -105,7 +106,8 @@ std::vector<Advice>
 serveBatch(const Advisor &advisor,
            const std::vector<Query> &queries,
            unsigned threads,
-           ServerStats *stats)
+           ServerStats *stats,
+           obs::Obs *obs)
 {
     using Clock = std::chrono::steady_clock;
 
@@ -116,11 +118,16 @@ serveBatch(const Advisor &advisor,
     const std::uint64_t cacheHits0 = advisor.featureCacheHits();
     const std::uint64_t cacheMisses0 = advisor.featureCacheMisses();
 
+    obs::Span batchSpan(obs::tracerOf(obs), "serve.batch");
     const auto wall0 = Clock::now();
     pool.parallelFor(
         queries.size(),
         [&](std::size_t begin, std::size_t end) {
             for (std::size_t i = begin; i < end; ++i) {
+                // Keyed by request index: the exported span tree is
+                // the same at every thread count. Inert (zero-cost)
+                // when no tracer is attached.
+                const obs::Span querySpan(batchSpan, "query", i);
                 const auto t0 = Clock::now();
                 advices[i] = advisor.advise(queries[i]);
                 const auto t1 = Clock::now();
@@ -132,25 +139,37 @@ serveBatch(const Advisor &advisor,
         },
         16);
     const auto wall1 = Clock::now();
+    batchSpan.close();
 
-    if (stats != nullptr) {
-        ServerStats s;
-        s.threads = pool.threadCount();
-        s.queries = queries.size();
-        s.wallSeconds =
-            std::chrono::duration<double>(wall1 - wall0).count();
+    if (stats != nullptr || obs != nullptr) {
+        // Assemble into a batch-local registry, project the legacy
+        // stats view, then fold into the caller's registry so a
+        // shared registry accumulates across batches.
+        obs::MetricsRegistry local;
+        local.gauge("serve.threads").set(pool.threadCount());
+        local.counter("serve.queries").add(queries.size());
+        local.gauge("serve.wall_seconds")
+            .set(std::chrono::duration<double>(wall1 - wall0)
+                     .count());
+        obs::Histogram &latency =
+            local.histogram("serve.latency_ns");
         for (std::size_t i = 0; i < advices.size(); ++i) {
             const Advice &a = advices[i];
-            ++s.tierCounts[a.tier];
+            local.counter("serve.tier." + a.tier).add(1);
             if (a.predictive)
-                ++s.predictiveAnswers;
+                local.counter("serve.predictive_answers").add(1);
             if (a.featureSource == FeatureSource::Snapshot)
-                ++s.snapshotFeatureHits;
-            s.latency.record(latenciesNs[i]);
+                local.counter("serve.snapshot_feature_hits").add(1);
+            latency.record(latenciesNs[i]);
         }
-        s.cacheHits = advisor.featureCacheHits() - cacheHits0;
-        s.cacheMisses = advisor.featureCacheMisses() - cacheMisses0;
-        *stats = s;
+        local.counter("serve.cache_hits")
+            .add(advisor.featureCacheHits() - cacheHits0);
+        local.counter("serve.cache_misses")
+            .add(advisor.featureCacheMisses() - cacheMisses0);
+        if (stats != nullptr)
+            *stats = ServerStats::fromMetrics(local);
+        if (obs != nullptr)
+            obs->metrics.merge(local);
     }
     return advices;
 }

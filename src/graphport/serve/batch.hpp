@@ -20,6 +20,11 @@
 #include "graphport/serve/serverstats.hpp"
 
 namespace graphport {
+
+namespace obs {
+struct Obs;
+}
+
 namespace serve {
 
 /** Wire format of a query stream / answer stream. */
@@ -50,11 +55,18 @@ std::vector<Query> parseQueries(std::istream &is,
  * A query that cannot be answered at all (FatalError from advise)
  * aborts the batch with that error, matching the pool's
  * first-exception contract.
+ *
+ * When @p obs is non-null the batch merges its "serve.*" metrics
+ * (queries, tier counts, cache hits/misses, a latency histogram)
+ * into obs->metrics and opens a "serve.batch" span with one child
+ * per query (keyed by request index, so the span structure is
+ * bit-identical for every thread count) on obs->tracer.
  */
 std::vector<Advice> serveBatch(const Advisor &advisor,
                                const std::vector<Query> &queries,
                                unsigned threads = 1,
-                               ServerStats *stats = nullptr);
+                               ServerStats *stats = nullptr,
+                               obs::Obs *obs = nullptr);
 
 /**
  * Write answers (paired with their queries) as CSV with a header or

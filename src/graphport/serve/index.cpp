@@ -1,75 +1,27 @@
 #include "graphport/serve/index.hpp"
 
-#include <cinttypes>
-#include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <set>
 
 #include "graphport/port/evaluate.hpp"
-#include "graphport/support/csv.hpp"
 #include "graphport/support/error.hpp"
 #include "graphport/support/mathutil.hpp"
-#include "graphport/support/strings.hpp"
+#include "graphport/support/snapshot.hpp"
 
 namespace graphport {
 namespace serve {
 
 namespace {
 
-/** Exact round-trip double formatting (C99 hexfloat). */
-std::string
-hexDouble(double v)
-{
-    char buf[48];
-    std::snprintf(buf, sizeof buf, "%a", v);
-    return buf;
-}
+using support::hexDouble;
+using support::hexU64;
 
-std::string
-hexU64(std::uint64_t v)
-{
-    char buf[24];
-    std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
-    return buf;
-}
-
-double
-parseDouble(const std::string &s, const std::string &what)
-{
-    char *end = nullptr;
-    const double v = std::strtod(s.c_str(), &end);
-    fatalIf(s.empty() || end != s.c_str() + s.size(),
-            what + ": bad number '" + s + "'");
-    return v;
-}
-
-std::uint64_t
-parseHexU64(const std::string &s, const std::string &what)
-{
-    char *end = nullptr;
-    const std::uint64_t v = std::strtoull(s.c_str(), &end, 16);
-    fatalIf(s.empty() || end != s.c_str() + s.size(),
-            what + ": bad hash '" + s + "'");
-    return v;
-}
-
-std::uint64_t
-parseU64(const std::string &s, const std::string &what)
-{
-    fatalIf(s.empty() ||
-                s.find_first_not_of("0123456789") != std::string::npos,
-            what + ": bad count '" + s + "'");
-    return std::strtoull(s.c_str(), nullptr, 10);
-}
-
-unsigned
-parseUnsigned(const std::string &s, const std::string &what)
-{
-    return static_cast<unsigned>(parseU64(s, what));
-}
+/** On-disk identity of an index snapshot. */
+constexpr const char *kIndexMagic = "graphport-index";
+constexpr const char *kIndexRebuildHint =
+    "rebuild the index with 'graphport_cli index'";
 
 std::string
 kindName(runner::InputSpec::Kind kind)
@@ -109,34 +61,6 @@ std::string
 decodeKey(const std::string &field)
 {
     return field == "-" ? "" : field;
-}
-
-/** Reads one non-blank snapshot row; fatal at end of stream. */
-std::vector<std::string>
-nextRow(std::istream &is, const std::string &what)
-{
-    std::string line;
-    while (std::getline(is, line)) {
-        if (trim(line).empty())
-            continue;
-        return csvParseLine(line);
-    }
-    fatal("index snapshot " + what +
-          ": truncated (missing 'end' marker)");
-}
-
-void
-expectKeyword(const std::vector<std::string> &row,
-              const std::string &keyword, std::size_t minFields,
-              const std::string &what)
-{
-    fatalIf(row.empty() || row[0] != keyword,
-            "index snapshot " + what + ": expected '" + keyword +
-                "' record, got '" + (row.empty() ? "" : row[0]) +
-                "'");
-    fatalIf(row.size() < minFields,
-            "index snapshot " + what + ": short '" + keyword +
-                "' record");
 }
 
 } // namespace
@@ -277,184 +201,143 @@ StrategyIndex::build(const runner::Dataset &ds, double alpha,
 void
 StrategyIndex::save(std::ostream &os) const
 {
-    os << csvRow({"graphport-index",
-                  std::to_string(kIndexFormatVersion)})
-       << "\n";
-    os << csvRow({"dataset_hash", hexU64(datasetHash_)}) << "\n";
-    os << csvRow({"alpha", hexDouble(alpha_)}) << "\n";
-    os << csvRow({"knn_k", std::to_string(knnK_)}) << "\n";
-    os << csvRow({"predictive_geomean", hexDouble(predictiveGeomean_)})
-       << "\n";
+    support::SnapshotWriter w(os, kIndexMagic, kIndexFormatVersion);
+    w.row({"dataset_hash", hexU64(datasetHash_)});
+    w.row({"alpha", hexDouble(alpha_)});
+    w.row({"knn_k", std::to_string(knnK_)});
+    w.row({"predictive_geomean", hexDouble(predictiveGeomean_)});
 
     std::vector<std::string> appsRow = {
         "apps", std::to_string(apps_.size())};
     appsRow.insert(appsRow.end(), apps_.begin(), apps_.end());
-    os << csvRow(appsRow) << "\n";
+    w.row(appsRow);
 
     std::vector<std::string> chipsRow = {
         "chips", std::to_string(chips_.size())};
     chipsRow.insert(chipsRow.end(), chips_.begin(), chips_.end());
-    os << csvRow(chipsRow) << "\n";
+    w.row(chipsRow);
 
-    os << csvRow({"inputs", std::to_string(inputs_.size())}) << "\n";
+    w.row({"inputs", std::to_string(inputs_.size())});
     for (const runner::InputSpec &i : inputs_) {
-        os << csvRow({"input", i.name, i.cls, kindName(i.kind),
-                      std::to_string(i.sizeParam),
-                      hexDouble(i.avgDegree),
-                      std::to_string(i.seed)})
-           << "\n";
+        w.row({"input", i.name, i.cls, kindName(i.kind),
+               std::to_string(i.sizeParam), hexDouble(i.avgDegree),
+               std::to_string(i.seed)});
     }
 
-    os << csvRow({"tables", std::to_string(tables_.size())}) << "\n";
+    w.row({"tables", std::to_string(tables_.size())});
     for (const port::StrategyTable &t : tables_) {
-        os << csvRow({"table", t.name, t.spec.byApp ? "1" : "0",
-                      t.spec.byInput ? "1" : "0",
-                      t.spec.byChip ? "1" : "0",
-                      std::to_string(t.configByPartition.size()),
-                      hexDouble(t.geomeanVsOracle)})
-           << "\n";
+        w.row({"table", t.name, t.spec.byApp ? "1" : "0",
+               t.spec.byInput ? "1" : "0", t.spec.byChip ? "1" : "0",
+               std::to_string(t.configByPartition.size()),
+               hexDouble(t.geomeanVsOracle)});
         for (const auto &[key, cfg] : t.configByPartition) {
             const auto slow = t.slowdownByPartition.find(key);
             panicIf(slow == t.slowdownByPartition.end(),
                     "StrategyIndex::save: partition without "
                     "slowdown: " +
                         key);
-            os << csvRow({"partition", encodeKey(key),
-                          std::to_string(cfg),
-                          hexDouble(slow->second)})
-               << "\n";
+            w.row({"partition", encodeKey(key), std::to_string(cfg),
+                   hexDouble(slow->second)});
         }
     }
 
-    os << csvRow({"examples", std::to_string(examples_.size())})
-       << "\n";
+    w.row({"examples", std::to_string(examples_.size())});
     for (const PredictorExample &e : examples_) {
         std::vector<std::string> row = {
             "example", e.app, e.input, e.chip,
             std::to_string(e.bestConfig)};
         for (double f : e.features)
             row.push_back(hexDouble(f));
-        os << csvRow(row) << "\n";
+        w.row(row);
     }
-    os << "end\n";
+    w.end();
 }
 
 StrategyIndex
 StrategyIndex::load(std::istream &is, const std::string &what)
 {
     StrategyIndex index;
+    support::SnapshotReader r(is, kIndexMagic, kIndexFormatVersion,
+                              "index snapshot " + what,
+                              kIndexRebuildHint);
 
-    std::vector<std::string> row = nextRow(is, what);
-    fatalIf(row.empty() || row[0] != "graphport-index",
-            "index snapshot " + what +
-                ": not a graphport index snapshot (bad magic)");
-    fatalIf(row.size() < 2,
-            "index snapshot " + what + ": missing format version");
-    const unsigned version = parseUnsigned(row[1], what);
-    fatalIf(version != kIndexFormatVersion,
-            "index snapshot " + what + ": format version " +
-                std::to_string(version) + ", but this build reads " +
-                std::to_string(kIndexFormatVersion) +
-                "; rebuild the index with 'graphport_cli index'");
+    std::vector<std::string> row = r.expect("dataset_hash", 2);
+    index.datasetHash_ = r.hash(row[1]);
 
-    row = nextRow(is, what);
-    expectKeyword(row, "dataset_hash", 2, what);
-    index.datasetHash_ = parseHexU64(row[1], what);
+    row = r.expect("alpha", 2);
+    index.alpha_ = r.number(row[1]);
 
-    row = nextRow(is, what);
-    expectKeyword(row, "alpha", 2, what);
-    index.alpha_ = parseDouble(row[1], what);
+    row = r.expect("knn_k", 2);
+    index.knnK_ = r.smallCount(row[1]);
+    r.rejectIf(index.knnK_ == 0, "knn_k must be >= 1");
 
-    row = nextRow(is, what);
-    expectKeyword(row, "knn_k", 2, what);
-    index.knnK_ = parseUnsigned(row[1], what);
-    fatalIf(index.knnK_ == 0,
-            "index snapshot " + what + ": knn_k must be >= 1");
+    row = r.expect("predictive_geomean", 2);
+    index.predictiveGeomean_ = r.number(row[1]);
 
-    row = nextRow(is, what);
-    expectKeyword(row, "predictive_geomean", 2, what);
-    index.predictiveGeomean_ = parseDouble(row[1], what);
-
-    row = nextRow(is, what);
-    expectKeyword(row, "apps", 2, what);
-    const unsigned nApps = parseUnsigned(row[1], what);
-    fatalIf(row.size() != 2 + nApps,
-            "index snapshot " + what + ": apps record length");
+    row = r.expect("apps", 2);
+    const unsigned nApps = r.smallCount(row[1]);
+    r.rejectIf(row.size() != 2 + nApps, "apps record length");
     index.apps_.assign(row.begin() + 2, row.end());
 
-    row = nextRow(is, what);
-    expectKeyword(row, "chips", 2, what);
-    const unsigned nChips = parseUnsigned(row[1], what);
-    fatalIf(row.size() != 2 + nChips,
-            "index snapshot " + what + ": chips record length");
+    row = r.expect("chips", 2);
+    const unsigned nChips = r.smallCount(row[1]);
+    r.rejectIf(row.size() != 2 + nChips, "chips record length");
     index.chips_.assign(row.begin() + 2, row.end());
 
-    row = nextRow(is, what);
-    expectKeyword(row, "inputs", 2, what);
-    const unsigned nInputs = parseUnsigned(row[1], what);
+    row = r.expect("inputs", 2);
+    const unsigned nInputs = r.smallCount(row[1]);
     for (unsigned i = 0; i < nInputs; ++i) {
-        row = nextRow(is, what);
-        expectKeyword(row, "input", 7, what);
+        row = r.expect("input", 7);
         runner::InputSpec spec;
         spec.name = row[1];
         spec.cls = row[2];
-        spec.kind = kindByName(row[3], what);
-        spec.sizeParam = parseUnsigned(row[4], what);
-        spec.avgDegree = parseDouble(row[5], what);
-        spec.seed = parseU64(row[6], what);
+        spec.kind = kindByName(row[3], r.label());
+        spec.sizeParam = r.smallCount(row[4]);
+        spec.avgDegree = r.number(row[5]);
+        spec.seed = r.count(row[6]);
         index.inputs_.push_back(std::move(spec));
     }
 
-    row = nextRow(is, what);
-    expectKeyword(row, "tables", 2, what);
-    const unsigned nTables = parseUnsigned(row[1], what);
+    row = r.expect("tables", 2);
+    const unsigned nTables = r.smallCount(row[1]);
     for (unsigned t = 0; t < nTables; ++t) {
-        row = nextRow(is, what);
-        expectKeyword(row, "table", 7, what);
+        row = r.expect("table", 7);
         port::StrategyTable table;
         table.name = row[1];
         table.spec.byApp = row[2] == "1";
         table.spec.byInput = row[3] == "1";
         table.spec.byChip = row[4] == "1";
-        const unsigned nPart = parseUnsigned(row[5], what);
-        table.geomeanVsOracle = parseDouble(row[6], what);
+        const unsigned nPart = r.smallCount(row[5]);
+        table.geomeanVsOracle = r.number(row[6]);
         for (unsigned p = 0; p < nPart; ++p) {
-            row = nextRow(is, what);
-            expectKeyword(row, "partition", 4, what);
+            row = r.expect("partition", 4);
             const std::string key = decodeKey(row[1]);
-            const unsigned cfg = parseUnsigned(row[2], what);
-            fatalIf(cfg >= dsl::kNumConfigs,
-                    "index snapshot " + what +
-                        ": config id out of range: " + row[2]);
+            const unsigned cfg = r.smallCount(row[2]);
+            r.rejectIf(cfg >= dsl::kNumConfigs,
+                       "config id out of range: " + row[2]);
             table.configByPartition[key] = cfg;
-            table.slowdownByPartition[key] =
-                parseDouble(row[3], what);
+            table.slowdownByPartition[key] = r.number(row[3]);
         }
         index.tables_.push_back(std::move(table));
     }
 
-    row = nextRow(is, what);
-    expectKeyword(row, "examples", 2, what);
-    const unsigned nExamples = parseUnsigned(row[1], what);
+    row = r.expect("examples", 2);
+    const unsigned nExamples = r.smallCount(row[1]);
     for (unsigned e = 0; e < nExamples; ++e) {
-        row = nextRow(is, what);
-        expectKeyword(row, "example",
-                      5 + port::kNumWorkloadFeatures, what);
+        row = r.expect("example", 5 + port::kNumWorkloadFeatures);
         PredictorExample ex;
         ex.app = row[1];
         ex.input = row[2];
         ex.chip = row[3];
-        ex.bestConfig = parseUnsigned(row[4], what);
-        fatalIf(ex.bestConfig >= dsl::kNumConfigs,
-                "index snapshot " + what +
-                    ": config id out of range: " + row[4]);
+        ex.bestConfig = r.smallCount(row[4]);
+        r.rejectIf(ex.bestConfig >= dsl::kNumConfigs,
+                   "config id out of range: " + row[4]);
         for (unsigned d = 0; d < port::kNumWorkloadFeatures; ++d)
-            ex.features[d] = parseDouble(row[5 + d], what);
+            ex.features[d] = r.number(row[5 + d]);
         index.examples_.push_back(std::move(ex));
     }
 
-    row = nextRow(is, what);
-    expectKeyword(row, "end", 1, what);
+    r.expectEnd();
     index.rebuildFeatureMap();
     return index;
 }
@@ -486,38 +369,21 @@ StrategyIndex::buildOrLoadCached(const runner::Dataset &ds,
                                  const std::string &path, double alpha,
                                  unsigned knnK)
 {
-    {
-        std::ifstream in(path);
-        if (in.good()) {
-            try {
-                StrategyIndex index = load(in, "'" + path + "'");
-                if (index.datasetHash_ == ds.contentHash())
-                    return index;
-                std::fprintf(
-                    stderr,
-                    "graphport: warning: index snapshot '%s' was "
-                    "built from a different dataset (hash %s, "
-                    "expected %s); rebuilding\n",
-                    path.c_str(), hexU64(index.datasetHash_).c_str(),
-                    hexU64(ds.contentHash()).c_str());
-            } catch (const FatalError &e) {
-                std::fprintf(stderr,
-                             "graphport: warning: index snapshot "
-                             "'%s' rejected (%s); rebuilding\n",
-                             path.c_str(), e.what());
-            }
-        }
-    }
-    StrategyIndex index = build(ds, alpha, knnK);
-    try {
-        index.saveFile(path);
-    } catch (const FatalError &e) {
-        std::fprintf(stderr,
-                     "graphport: warning: %s; the index will be "
-                     "rebuilt next time\n",
-                     e.what());
-    }
-    return index;
+    return support::loadOrRebuild(
+        path, "index snapshot", "rebuilding",
+        "the index will be rebuilt next time",
+        [&](std::ifstream &in) {
+            StrategyIndex index = load(in, "'" + path + "'");
+            // An index is only valid for the exact dataset it was
+            // built from; treat a hash mismatch as a reject.
+            fatalIf(index.datasetHash_ != ds.contentHash(),
+                    "built from a different dataset (hash " +
+                        hexU64(index.datasetHash_) + ", expected " +
+                        hexU64(ds.contentHash()) + ")");
+            return index;
+        },
+        [&] { return build(ds, alpha, knnK); },
+        [&](const StrategyIndex &index) { index.saveFile(path); });
 }
 
 } // namespace serve

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "graphport/apps/app.hpp"
+#include "graphport/obs/export.hpp"
 #include "graphport/serve/batch.hpp"
 #include "graphport/sim/chip.hpp"
 #include "graphport/support/rng.hpp"
@@ -98,7 +99,8 @@ makeQueryStream(const StrategyIndex &index,
 LoadBenchResult
 runLoadBench(const Advisor &advisor,
              const std::vector<Query> &queries,
-             const std::vector<unsigned> &threadCounts)
+             const std::vector<unsigned> &threadCounts,
+             obs::Obs *obs)
 {
     LoadBenchResult result;
 
@@ -106,7 +108,7 @@ runLoadBench(const Advisor &advisor,
     LoadVariant reference;
     reference.requestedThreads = 1;
     const std::vector<Advice> expected =
-        serveBatch(advisor, queries, 1, &reference.stats);
+        serveBatch(advisor, queries, 1, &reference.stats, obs);
     result.variants.push_back(std::move(reference));
 
     for (unsigned threads : threadCounts) {
@@ -115,7 +117,8 @@ runLoadBench(const Advisor &advisor,
         LoadVariant variant;
         variant.requestedThreads = threads;
         const std::vector<Advice> got =
-            serveBatch(advisor, queries, threads, &variant.stats);
+            serveBatch(advisor, queries, threads, &variant.stats,
+                       obs);
         variant.bitIdentical =
             got.size() == expected.size() &&
             std::equal(got.begin(), got.end(), expected.begin(),
@@ -135,25 +138,23 @@ writeLoadBenchJson(std::ostream &os,
                    std::size_t queries,
                    std::uint64_t seed)
 {
-    os << "{\n"
-       << "  \"bench\": \"serve_latency\",\n"
-       << "  \"queries\": " << queries << ",\n"
-       << "  \"seed\": " << seed << ",\n"
-       << "  \"hardware_threads\": " << support::hardwareThreads()
-       << ",\n"
-       << "  \"all_bit_identical\": "
-       << (result.allBitIdentical ? "true" : "false") << ",\n"
-       << "  \"variants\": [\n";
-    for (std::size_t v = 0; v < result.variants.size(); ++v) {
-        const LoadVariant &var = result.variants[v];
-        os << "    {\"requested_threads\": " << var.requestedThreads
-           << ", "
-           << "\"bit_identical\": "
-           << (var.bitIdentical ? "true" : "false") << ", "
-           << "\"stats\": " << var.stats.toJson() << "}"
-           << (v + 1 < result.variants.size() ? "," : "") << "\n";
+    obs::Exporter ex(os);
+    ex.beginObject();
+    ex.field("bench", "serve_latency");
+    ex.field("queries", queries);
+    ex.field("seed", seed);
+    ex.field("hardware_threads", support::hardwareThreads());
+    ex.field("all_bit_identical", result.allBitIdentical);
+    ex.beginArray("variants");
+    for (const LoadVariant &var : result.variants) {
+        ex.beginObject(obs::Exporter::Style::Inline);
+        ex.field("requested_threads", var.requestedThreads);
+        ex.field("bit_identical", var.bitIdentical);
+        ex.rawField("stats", var.stats.toJson());
+        ex.endObject();
     }
-    os << "  ]\n}\n";
+    ex.endArray();
+    ex.endObject();
 }
 
 } // namespace serve

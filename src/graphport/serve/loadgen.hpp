@@ -18,6 +18,11 @@
 #include "graphport/serve/serverstats.hpp"
 
 namespace graphport {
+
+namespace obs {
+struct Obs;
+}
+
 namespace serve {
 
 /**
@@ -55,11 +60,14 @@ struct LoadBenchResult
 /**
  * Serve @p queries once per entry of @p threadCounts. The first pass
  * must be (and is forced to) a serial one — it is the reference every
- * other pass is compared against with Advice::sameAnswer.
+ * other pass is compared against with Advice::sameAnswer. When @p obs
+ * is non-null every pass records into it (one "serve.batch" span and
+ * one set of "serve.*" metric increments per variant).
  */
 LoadBenchResult runLoadBench(const Advisor &advisor,
                              const std::vector<Query> &queries,
-                             const std::vector<unsigned> &threadCounts);
+                             const std::vector<unsigned> &threadCounts,
+                             obs::Obs *obs = nullptr);
 
 /**
  * Emit the BENCH_serve.json record: stream composition plus one

@@ -1,63 +1,38 @@
 #include "graphport/serve/serverstats.hpp"
 
-#include <cmath>
 #include <ostream>
 #include <sstream>
 
+#include "graphport/obs/export.hpp"
 #include "graphport/support/strings.hpp"
 
 namespace graphport {
 namespace serve {
 
-unsigned
-LatencyHistogram::bucketOf(double ns)
-{
-    if (!(ns > 1.0))
-        return 0;
-    const double idx = std::log2(ns) * kBucketsPerOctave;
-    if (idx >= kNumBuckets - 1)
-        return kNumBuckets - 1;
-    return static_cast<unsigned>(idx);
-}
+/** Metric names serveBatch records under; see DESIGN.md §15. */
+static const char kTierPrefix[] = "serve.tier.";
 
-void
-LatencyHistogram::record(double ns)
+ServerStats
+ServerStats::fromMetrics(const obs::MetricsRegistry &metrics)
 {
-    ++counts_[bucketOf(ns)];
-    ++total_;
-}
-
-double
-LatencyHistogram::percentileNs(double p) const
-{
-    if (total_ == 0)
-        return 0.0;
-    const double clamped = p < 0.0 ? 0.0 : (p > 100.0 ? 100.0 : p);
-    // The rank-th smallest sample (1-based), linear-interpolation
-    // style rank as in support percentile().
-    const std::size_t rank = static_cast<std::size_t>(
-        std::ceil(clamped / 100.0 *
-                  static_cast<double>(total_)));
-    const std::size_t target = rank == 0 ? 1 : rank;
-    std::size_t seen = 0;
-    for (unsigned b = 0; b < kNumBuckets; ++b) {
-        seen += counts_[b];
-        if (seen >= target) {
-            // Geometric midpoint of bucket b: 2^((b + 0.5) / 8).
-            return std::exp2((b + 0.5) /
-                             static_cast<double>(kBucketsPerOctave));
-        }
-    }
-    return std::exp2(static_cast<double>(kNumBuckets) /
-                     kBucketsPerOctave);
-}
-
-void
-LatencyHistogram::merge(const LatencyHistogram &other)
-{
-    for (unsigned b = 0; b < kNumBuckets; ++b)
-        counts_[b] += other.counts_[b];
-    total_ += other.total_;
+    ServerStats s;
+    s.threads =
+        static_cast<unsigned>(metrics.gaugeValue("serve.threads"));
+    s.queries = metrics.counterValue("serve.queries");
+    s.wallSeconds = metrics.gaugeValue("serve.wall_seconds");
+    s.predictiveAnswers =
+        metrics.counterValue("serve.predictive_answers");
+    s.snapshotFeatureHits =
+        metrics.counterValue("serve.snapshot_feature_hits");
+    s.cacheHits = metrics.counterValue("serve.cache_hits");
+    s.cacheMisses = metrics.counterValue("serve.cache_misses");
+    for (const auto &[name, count] :
+         metrics.countersWithPrefix(kTierPrefix))
+        s.tierCounts[name.substr(sizeof kTierPrefix - 1)] = count;
+    if (const obs::Histogram *h =
+            metrics.findHistogram("serve.latency_ns"))
+        s.latency = *h;
+    return s;
 }
 
 double
@@ -82,30 +57,25 @@ std::string
 ServerStats::toJson() const
 {
     std::ostringstream os;
-    os << "{"
-       << "\"threads\": " << threads << ", "
-       << "\"queries\": " << queries << ", "
-       << "\"wall_seconds\": " << fmtDouble(wallSeconds, 6) << ", "
-       << "\"qps\": " << fmtDouble(qps(), 1) << ", "
-       << "\"p50_us\": " << fmtDouble(p50Ns() / 1e3, 3) << ", "
-       << "\"p95_us\": " << fmtDouble(p95Ns() / 1e3, 3) << ", "
-       << "\"p99_us\": " << fmtDouble(p99Ns() / 1e3, 3) << ", "
-       << "\"predictive_answers\": " << predictiveAnswers << ", "
-       << "\"snapshot_feature_hits\": " << snapshotFeatureHits
-       << ", "
-       << "\"cache_hits\": " << cacheHits << ", "
-       << "\"cache_misses\": " << cacheMisses << ", "
-       << "\"cache_hit_rate\": " << fmtDouble(cacheHitRate(), 4)
-       << ", "
-       << "\"tiers\": {";
-    bool first = true;
-    for (const auto &[tier, count] : tierCounts) {
-        if (!first)
-            os << ", ";
-        first = false;
-        os << "\"" << tier << "\": " << count;
-    }
-    os << "}}";
+    obs::Exporter ex(os);
+    ex.beginObject(obs::Exporter::Style::Inline);
+    ex.field("threads", threads);
+    ex.field("queries", queries);
+    ex.field("wall_seconds", wallSeconds, 6);
+    ex.field("qps", qps(), 1);
+    ex.field("p50_us", p50Ns() / 1e3, 3);
+    ex.field("p95_us", p95Ns() / 1e3, 3);
+    ex.field("p99_us", p99Ns() / 1e3, 3);
+    ex.field("predictive_answers", predictiveAnswers);
+    ex.field("snapshot_feature_hits", snapshotFeatureHits);
+    ex.field("cache_hits", cacheHits);
+    ex.field("cache_misses", cacheMisses);
+    ex.field("cache_hit_rate", cacheHitRate(), 4);
+    ex.beginObject("tiers", obs::Exporter::Style::Inline);
+    for (const auto &[tier, count] : tierCounts)
+        ex.field(tier.c_str(), count);
+    ex.endObject();
+    ex.endObject();
     return os.str();
 }
 

@@ -7,53 +7,31 @@
  * human table (CLI --stats) or one machine-readable JSON object
  * (bench_serve_latency's BENCH_serve.json) so serving performance is
  * tracked across PRs.
+ *
+ * ServerStats is a view over the obs layer: serveBatch records into
+ * an obs::MetricsRegistry under "serve.*" names and projects the
+ * registry into this struct with fromMetrics(). The histogram is the
+ * shared obs::Histogram — the serving layer keeps only the
+ * LatencyHistogram name.
  */
 #ifndef GRAPHPORT_SERVE_SERVERSTATS_HPP
 #define GRAPHPORT_SERVE_SERVERSTATS_HPP
 
-#include <array>
 #include <cstddef>
-#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <string>
+
+#include "graphport/obs/metrics.hpp"
 
 namespace graphport {
 namespace serve {
 
 /**
- * Fixed-memory latency histogram with logarithmic buckets (8 per
- * octave, so bucket edges are ~9% apart and a reported percentile is
- * within ~4.5% of the true value). Covers 1 ns to ~2^48 ns.
+ * Fixed-memory latency histogram with logarithmic buckets; the one
+ * shared histogram implementation, under its serving-layer name.
  */
-class LatencyHistogram
-{
-  public:
-    /** Record one latency sample (clamped into the covered range). */
-    void record(double ns);
-
-    /** Samples recorded. */
-    std::size_t count() const { return total_; }
-
-    /**
-     * Approximate @p p-th percentile (p in [0, 100]) in ns; 0 when
-     * empty. Returns the geometric midpoint of the bucket holding
-     * the requested order statistic.
-     */
-    double percentileNs(double p) const;
-
-    /** Fold @p other into this histogram. */
-    void merge(const LatencyHistogram &other);
-
-  private:
-    static constexpr unsigned kBucketsPerOctave = 8;
-    static constexpr unsigned kNumBuckets = kBucketsPerOctave * 48;
-
-    static unsigned bucketOf(double ns);
-
-    std::array<std::uint64_t, kNumBuckets> counts_{};
-    std::size_t total_ = 0;
-};
+using LatencyHistogram = obs::Histogram;
 
 /** Metrics of one served batch. */
 struct ServerStats
@@ -78,6 +56,12 @@ struct ServerStats
 
     /** Per-query latency distribution. */
     LatencyHistogram latency;
+
+    /**
+     * Project the "serve.*" metrics of @p metrics into a stats view
+     * (the inverse of serveBatch's recording).
+     */
+    static ServerStats fromMetrics(const obs::MetricsRegistry &metrics);
 
     /** Queries per second of wall time (0 when unmeasured). */
     double qps() const;

@@ -1,0 +1,140 @@
+#include "graphport/support/snapshot.hpp"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "graphport/support/csv.hpp"
+#include "graphport/support/strings.hpp"
+
+namespace graphport {
+namespace support {
+
+std::string
+hexDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    return buf;
+}
+
+std::string
+hexU64(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+    return buf;
+}
+
+SnapshotWriter::SnapshotWriter(std::ostream &os,
+                               const std::string &magic,
+                               unsigned version)
+    : os_(os)
+{
+    row({magic, std::to_string(version)});
+}
+
+void
+SnapshotWriter::row(const std::vector<std::string> &fields)
+{
+    os_ << csvRow(fields) << "\n";
+}
+
+void
+SnapshotWriter::end()
+{
+    os_ << "end\n";
+}
+
+SnapshotReader::SnapshotReader(std::istream &is,
+                               const std::string &magic,
+                               unsigned version, std::string label,
+                               const std::string &rebuildHint)
+    : is_(is), label_(std::move(label))
+{
+    const std::vector<std::string> header = nextRow();
+    rejectIf(header.empty() || header[0] != magic,
+             "not a " + magic + " snapshot (bad magic)");
+    rejectIf(header.size() < 2, "missing format version");
+    const unsigned stored = smallCount(header[1]);
+    rejectIf(stored != version,
+             "format version " + std::to_string(stored) +
+                 ", but this build reads " + std::to_string(version) +
+                 "; " + rebuildHint);
+}
+
+void
+SnapshotReader::reject(const std::string &cause) const
+{
+    fatal(label_ + ": " + cause);
+}
+
+std::vector<std::string>
+SnapshotReader::nextRow()
+{
+    std::string line;
+    while (std::getline(is_, line)) {
+        if (trim(line).empty())
+            continue;
+        return csvParseLine(line);
+    }
+    reject("truncated (missing 'end' marker)");
+}
+
+std::vector<std::string>
+SnapshotReader::expect(const std::string &keyword,
+                       std::size_t minFields)
+{
+    std::vector<std::string> row = nextRow();
+    rejectIf(row.empty() || row[0] != keyword,
+             "expected '" + keyword + "' record, got '" +
+                 (row.empty() ? "" : row[0]) + "'");
+    rejectIf(row.size() < minFields,
+             "short '" + keyword + "' record");
+    return row;
+}
+
+void
+SnapshotReader::expectEnd()
+{
+    expect("end", 1);
+}
+
+double
+SnapshotReader::number(const std::string &s) const
+{
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    rejectIf(s.empty() || end != s.c_str() + s.size(),
+             "bad number '" + s + "'");
+    return v;
+}
+
+std::uint64_t
+SnapshotReader::hash(const std::string &s) const
+{
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(s.c_str(), &end, 16);
+    rejectIf(s.empty() || end != s.c_str() + s.size(),
+             "bad hash '" + s + "'");
+    return v;
+}
+
+std::uint64_t
+SnapshotReader::count(const std::string &s) const
+{
+    rejectIf(s.empty() || s.find_first_not_of("0123456789") !=
+                              std::string::npos,
+             "bad count '" + s + "'");
+    return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+unsigned
+SnapshotReader::smallCount(const std::string &s) const
+{
+    return static_cast<unsigned>(count(s));
+}
+
+} // namespace support
+} // namespace graphport

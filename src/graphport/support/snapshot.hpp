@@ -1,0 +1,167 @@
+/**
+ * @file
+ * One snapshot discipline for every cached artefact in the tree
+ * (dataset CSV cache aside, which predates the row format): a
+ * versioned, magic-stamped CSV-row container with exact hexfloat
+ * round-tripping, uniform cause-on-reject diagnostics, and
+ * warn-and-rebuild load semantics.
+ *
+ * Format: one CSV row per record; the first row is `<magic>,<version>`
+ * and the last is `end`, so truncation is always detectable. Doubles
+ * travel as C99 hexfloats (%a) and 64-bit hashes as zero-padded hex,
+ * both bit-exact across save/load.
+ *
+ * Reject policy: every structural defect throws FatalError with a
+ * message of the form "<label>: <cause>" where the label names the
+ * artefact ("index snapshot '<path>'"). Callers that cache rebuildable
+ * state wrap load/build/save in loadOrRebuild(), which converts a
+ * rejected snapshot into a stderr warning (quoting the cause) and a
+ * rebuild, and a failed save into a warning and a retry next run —
+ * a bad cache file must never take the tool down.
+ */
+#ifndef GRAPHPORT_SUPPORT_SNAPSHOT_HPP
+#define GRAPHPORT_SUPPORT_SNAPSHOT_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+namespace support {
+
+/** Exact round-trip double formatting (C99 hexfloat). */
+std::string hexDouble(double v);
+
+/** Zero-padded 16-digit hex of a 64-bit identity hash. */
+std::string hexU64(std::uint64_t v);
+
+/** Writes the header row on construction, records via row(). */
+class SnapshotWriter
+{
+  public:
+    SnapshotWriter(std::ostream &os, const std::string &magic,
+                   unsigned version);
+
+    /** Write one record row. */
+    void row(const std::vector<std::string> &fields);
+
+    /** Write the `end` marker; the snapshot is complete after this. */
+    void end();
+
+  private:
+    std::ostream &os_;
+};
+
+/**
+ * Validating reader. The constructor consumes and checks the header
+ * (magic and version); every helper throws FatalError prefixed with
+ * the artefact label on any defect.
+ */
+class SnapshotReader
+{
+  public:
+    /**
+     * @param label artefact name used to prefix every diagnostic,
+     *        e.g. "index snapshot '<path>'".
+     * @param rebuildHint appended to the version-mismatch message,
+     *        e.g. "rebuild the index with 'graphport_cli index'".
+     */
+    SnapshotReader(std::istream &is, const std::string &magic,
+                   unsigned version, std::string label,
+                   const std::string &rebuildHint);
+
+    /**
+     * Read the next record, check its keyword and minimum field
+     * count, and return it.
+     */
+    std::vector<std::string> expect(const std::string &keyword,
+                                    std::size_t minFields);
+
+    /** Require the `end` marker next. */
+    void expectEnd();
+
+    /** Throw FatalError("<label>: <cause>"). */
+    [[noreturn]] void reject(const std::string &cause) const;
+
+    void rejectIf(bool condition, const std::string &cause) const
+    {
+        if (condition)
+            reject(cause);
+    }
+
+    /** Parse a hexfloat/decimal double ("bad number" on defect). */
+    double number(const std::string &s) const;
+
+    /** Parse a 16-digit hex identity hash ("bad hash"). */
+    std::uint64_t hash(const std::string &s) const;
+
+    /** Parse a decimal count ("bad count"). */
+    std::uint64_t count(const std::string &s) const;
+
+    /** count(), narrowed to unsigned. */
+    unsigned smallCount(const std::string &s) const;
+
+    const std::string &label() const { return label_; }
+
+  private:
+    std::vector<std::string> nextRow();
+
+    std::istream &is_;
+    std::string label_;
+};
+
+/**
+ * The warn-and-rebuild cache protocol shared by
+ * Dataset::buildOrLoadCached, StrategyIndex::buildOrLoadCached and
+ * calib::fitOrLoadCached.
+ *
+ * Tries @p load on @p path; a FatalError there (bad magic, stale
+ * hash, truncation, ...) becomes "graphport: warning: <kind> '<path>'
+ * rejected (<cause>); <rebuildVerb>" on stderr and falls through to
+ * @p build. The fresh result is handed to @p save; a FatalError there
+ * becomes "graphport: warning: <cause>; <retryNote>" — the result is
+ * still returned, it just won't be cached.
+ *
+ * @param load  (std::ifstream&) -> T, throws FatalError on reject
+ * @param build () -> T
+ * @param save  (const T&) -> void, throws FatalError on I/O failure
+ */
+template <typename LoadFn, typename BuildFn, typename SaveFn>
+auto
+loadOrRebuild(const std::string &path, const char *kind,
+              const char *rebuildVerb, const char *retryNote,
+              LoadFn &&load, BuildFn &&build, SaveFn &&save)
+{
+    {
+        std::ifstream in(path);
+        if (in.good()) {
+            try {
+                return load(in);
+            } catch (const FatalError &e) {
+                std::fprintf(stderr,
+                             "graphport: warning: %s '%s' rejected "
+                             "(%s); %s\n",
+                             kind, path.c_str(), e.what(),
+                             rebuildVerb);
+            }
+        }
+    }
+    auto result = build();
+    try {
+        save(result);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "graphport: warning: %s; %s\n", e.what(),
+                     retryNote);
+    }
+    return result;
+}
+
+} // namespace support
+} // namespace graphport
+
+#endif // GRAPHPORT_SUPPORT_SNAPSHOT_HPP

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * graphport::obs metrics: counters, gauges, the log-bucketed
+ * histogram, registry semantics (get-or-create, sorted enumeration,
+ * prefix queries, merge), and the wall-time naming scheme.
+ */
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graphport/obs/metrics.hpp"
+#include "graphport/support/threadpool.hpp"
+
+using namespace graphport;
+
+TEST(ObsCounterTest, StartsAtZeroAndAccumulates)
+{
+    obs::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsGaugeTest, LastWriteWins)
+{
+    obs::Gauge g;
+    EXPECT_EQ(g.value(), 0.0);
+    g.set(1.5);
+    g.set(-2.25);
+    EXPECT_EQ(g.value(), -2.25);
+}
+
+TEST(ObsHistogramTest, EmptyHistogramReportsZero)
+{
+    obs::Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentileNs(50.0), 0.0);
+    EXPECT_EQ(h.percentileNs(99.0), 0.0);
+}
+
+TEST(ObsHistogramTest, PercentileWithinBucketResolution)
+{
+    obs::Histogram h;
+    for (int i = 0; i < 1000; ++i)
+        h.record(1000.0);
+    EXPECT_EQ(h.count(), 1000u);
+    // Buckets are 8 per octave, so the geometric bucket midpoint is
+    // within ~4.5% of the recorded value.
+    EXPECT_NEAR(h.percentileNs(50.0), 1000.0, 1000.0 * 0.05);
+    EXPECT_NEAR(h.percentileNs(99.0), 1000.0, 1000.0 * 0.05);
+}
+
+TEST(ObsHistogramTest, PercentilesSeparateMixedPopulations)
+{
+    obs::Histogram h;
+    // 90% fast (100ns), 10% slow (100us).
+    for (int i = 0; i < 900; ++i)
+        h.record(100.0);
+    for (int i = 0; i < 100; ++i)
+        h.record(100000.0);
+    EXPECT_NEAR(h.percentileNs(50.0), 100.0, 100.0 * 0.05);
+    EXPECT_NEAR(h.percentileNs(95.0), 100000.0, 100000.0 * 0.05);
+    EXPECT_NEAR(h.percentileNs(99.0), 100000.0, 100000.0 * 0.05);
+}
+
+TEST(ObsHistogramTest, SubUnitSamplesLandInTheFirstBucket)
+{
+    obs::Histogram h;
+    h.record(0.0);
+    h.record(0.5);
+    h.record(-3.0); // clamped, not dropped
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_GT(h.percentileNs(50.0), 0.0);
+    EXPECT_LT(h.percentileNs(50.0), 2.0);
+}
+
+TEST(ObsHistogramTest, CopyDetachesFromTheOriginal)
+{
+    obs::Histogram a;
+    a.record(64.0);
+    obs::Histogram b = a;
+    b.record(64.0);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(ObsHistogramTest, MergeAddsBucketCounts)
+{
+    obs::Histogram a;
+    obs::Histogram b;
+    for (int i = 0; i < 10; ++i)
+        a.record(100.0);
+    for (int i = 0; i < 10; ++i)
+        b.record(100000.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 20u);
+    EXPECT_NEAR(a.percentileNs(25.0), 100.0, 100.0 * 0.05);
+    EXPECT_NEAR(a.percentileNs(75.0), 100000.0, 100000.0 * 0.05);
+}
+
+TEST(ObsRegistryTest, GetOrCreateReturnsTheSameMetric)
+{
+    obs::MetricsRegistry r;
+    EXPECT_TRUE(r.empty());
+    obs::Counter &c1 = r.counter("a.hits");
+    obs::Counter &c2 = r.counter("a.hits");
+    EXPECT_EQ(&c1, &c2);
+    c1.add(3);
+    EXPECT_EQ(r.counterValue("a.hits"), 3u);
+    EXPECT_FALSE(r.empty());
+}
+
+TEST(ObsRegistryTest, AbsentMetricsReadAsZeroOrNull)
+{
+    obs::MetricsRegistry r;
+    EXPECT_EQ(r.counterValue("no.such"), 0u);
+    EXPECT_EQ(r.gaugeValue("no.such"), 0.0);
+    EXPECT_EQ(r.findHistogram("no.such"), nullptr);
+}
+
+TEST(ObsRegistryTest, EnumerationIsNameSorted)
+{
+    obs::MetricsRegistry r;
+    r.counter("z.last").add(1);
+    r.counter("a.first").add(2);
+    r.counter("m.middle").add(3);
+    const auto counters = r.counters();
+    ASSERT_EQ(counters.size(), 3u);
+    EXPECT_EQ(counters[0].first, "a.first");
+    EXPECT_EQ(counters[1].first, "m.middle");
+    EXPECT_EQ(counters[2].first, "z.last");
+}
+
+TEST(ObsRegistryTest, CountersWithPrefixSelectsOneSubsystem)
+{
+    obs::MetricsRegistry r;
+    r.counter("serve.tier.exact").add(5);
+    r.counter("serve.tier.global").add(2);
+    r.counter("serve.queries").add(7);
+    r.counter("sweep.cells").add(9);
+    const auto tiers = r.countersWithPrefix("serve.tier.");
+    ASSERT_EQ(tiers.size(), 2u);
+    EXPECT_EQ(tiers[0].first, "serve.tier.exact");
+    EXPECT_EQ(tiers[0].second, 5u);
+    EXPECT_EQ(tiers[1].first, "serve.tier.global");
+    EXPECT_EQ(tiers[1].second, 2u);
+}
+
+TEST(ObsRegistryTest, MergeAddsCountersOverwritesGauges)
+{
+    obs::MetricsRegistry a;
+    a.counter("n.events").add(10);
+    a.gauge("n.level").set(1.0);
+    a.histogram("n.lat_ns").record(100.0);
+
+    obs::MetricsRegistry b;
+    b.counter("n.events").add(5);
+    b.counter("n.other").add(1);
+    b.gauge("n.level").set(2.0);
+    b.histogram("n.lat_ns").record(100.0);
+
+    a.merge(b);
+    EXPECT_EQ(a.counterValue("n.events"), 15u);
+    EXPECT_EQ(a.counterValue("n.other"), 1u);
+    EXPECT_EQ(a.gaugeValue("n.level"), 2.0);
+    ASSERT_NE(a.findHistogram("n.lat_ns"), nullptr);
+    EXPECT_EQ(a.findHistogram("n.lat_ns")->count(), 2u);
+}
+
+TEST(ObsRegistryTest, ConcurrentRecordingLosesNothing)
+{
+    obs::MetricsRegistry r;
+    obs::Counter &hits = r.counter("t.hits");
+    obs::Histogram &lat = r.histogram("t.lat_ns");
+    support::ThreadPool pool(4);
+    pool.parallelFor(
+        10000,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                hits.add();
+                lat.record(100.0 + static_cast<double>(i % 7));
+                // Creation under contention must also be safe.
+                r.counter("t.created").add();
+            }
+        },
+        64);
+    EXPECT_EQ(r.counterValue("t.hits"), 10000u);
+    EXPECT_EQ(r.counterValue("t.created"), 10000u);
+    EXPECT_EQ(lat.count(), 10000u);
+}
+
+TEST(ObsNamingTest, WallTimeSuffixesAreRecognised)
+{
+    EXPECT_TRUE(obs::isWallTimeMetric("sweep.record_seconds"));
+    EXPECT_TRUE(obs::isWallTimeMetric("a.b_ms"));
+    EXPECT_TRUE(obs::isWallTimeMetric("a.b_us"));
+    EXPECT_TRUE(obs::isWallTimeMetric("serve.latency_ns"));
+    EXPECT_FALSE(obs::isWallTimeMetric("sweep.cells"));
+    EXPECT_FALSE(obs::isWallTimeMetric("serve.answers"));
+    EXPECT_FALSE(obs::isWallTimeMetric("ns"));
+    EXPECT_FALSE(obs::isWallTimeMetric(""));
+}
+
+TEST(ObsNamingTest, RunDependentCoversWallTimesAndThreadCounts)
+{
+    EXPECT_TRUE(obs::isRunDependentMetric("sweep.total_seconds"));
+    EXPECT_TRUE(obs::isRunDependentMetric("sweep.threads"));
+    EXPECT_TRUE(obs::isRunDependentMetric("serve.threads"));
+    EXPECT_TRUE(obs::isRunDependentMetric("threads"));
+    EXPECT_FALSE(obs::isRunDependentMetric("sweep.cells"));
+    EXPECT_FALSE(obs::isRunDependentMetric("calib.evals"));
+}

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * graphport::obs tracing: the deterministic span-structure contract
+ * (bit-identical structure-only exports at any thread count), Span
+ * RAII/inert semantics, and the two exporters end to end — including
+ * an instrumented Dataset::build at 1 vs 4 threads.
+ */
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graphport/obs/obs.hpp"
+#include "graphport/runner/dataset.hpp"
+#include "graphport/runner/universe.hpp"
+#include "graphport/support/threadpool.hpp"
+
+using namespace graphport;
+
+namespace {
+
+/** Structure-only summary (wall channels dropped). */
+std::string
+structureOf(const obs::Obs &o)
+{
+    std::ostringstream os;
+    obs::SummaryOptions opts;
+    opts.includeWallTimes = false;
+    obs::writeSummaryJson(os, &o.metrics, &o.tracer, opts);
+    return os.str();
+}
+
+/**
+ * A fan-out workload: one root, one child per task (keyed by task
+ * index), and an annotated grandchild under each child.
+ */
+void
+runFanOut(obs::Obs &o, unsigned threads)
+{
+    obs::Span root(&o.tracer, "work");
+    support::ThreadPool pool(threads);
+    pool.parallelFor(
+        16,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const obs::Span task(root, "task", i);
+                const obs::Span step(task, "step", 0);
+                step.annotate("items", static_cast<double>(i * 3));
+                o.metrics.counter("work.items").add(i * 3);
+            }
+        },
+        1);
+}
+
+} // namespace
+
+TEST(ObsSpanTest, InertSpansAreNoOps)
+{
+    obs::Span inert;
+    EXPECT_EQ(inert.tracer(), nullptr);
+    inert.annotate("x", 1.0);
+    inert.close();
+
+    obs::Span fromNull(static_cast<obs::Tracer *>(nullptr), "root");
+    EXPECT_EQ(fromNull.tracer(), nullptr);
+
+    obs::Span child(fromNull, "child", 0);
+    EXPECT_EQ(child.tracer(), nullptr);
+    child.annotate("y", 2.0);
+}
+
+TEST(ObsSpanTest, RaiiOpensAndCloses)
+{
+    obs::Tracer tracer;
+    {
+        obs::Span root(&tracer, "outer");
+        EXPECT_EQ(root.tracer(), &tracer);
+        obs::Span child(root, "inner", 0);
+        child.annotate("n", 7.0);
+    }
+    const std::vector<obs::SpanRecord> spans = tracer.spans();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].name, "outer");
+    EXPECT_EQ(spans[0].parent, obs::kNoSpan);
+    EXPECT_GT(spans[0].durNs, 0.0);
+    EXPECT_EQ(spans[1].name, "inner");
+    EXPECT_EQ(spans[1].parent, obs::SpanId(0));
+    ASSERT_EQ(spans[1].annotations.size(), 1u);
+    EXPECT_EQ(spans[1].annotations[0].first, "n");
+    EXPECT_EQ(spans[1].annotations[0].second, 7.0);
+}
+
+TEST(ObsSpanTest, AutoKeyNumbersSiblingsInCreationOrder)
+{
+    obs::Tracer tracer;
+    const obs::SpanId root = tracer.open("root");
+    const obs::SpanId a = tracer.open("a", root);
+    const obs::SpanId b = tracer.open("b", root);
+    const obs::SpanId other = tracer.open("other");
+    tracer.close(b);
+    tracer.close(a);
+    tracer.close(other);
+    tracer.close(root);
+    const std::vector<obs::SpanRecord> spans = tracer.spans();
+    ASSERT_EQ(spans.size(), 4u);
+    EXPECT_EQ(spans[0].key, 0u); // first root
+    EXPECT_EQ(spans[1].key, 0u); // first child of root
+    EXPECT_EQ(spans[2].key, 1u); // second child of root
+    EXPECT_EQ(spans[3].key, 1u); // second root
+}
+
+TEST(ObsSpanTest, CloseIsIdempotent)
+{
+    obs::Tracer tracer;
+    obs::Span span(&tracer, "once");
+    span.close();
+    const double dur = tracer.spans()[0].durNs;
+    span.close();
+    EXPECT_EQ(tracer.spans()[0].durNs, dur);
+}
+
+TEST(ObsSpanTest, StructureIsIdenticalAcrossThreadCounts)
+{
+    std::string reference;
+    for (unsigned threads : {1u, 4u, 8u}) {
+        obs::Obs o;
+        runFanOut(o, threads);
+        const std::string structure = structureOf(o);
+        if (reference.empty())
+            reference = structure;
+        else
+            EXPECT_EQ(structure, reference)
+                << "structure-only export changed at " << threads
+                << " threads";
+    }
+    // The reference itself must contain the keyed children and the
+    // deterministic annotations, but no wall-clock fields.
+    EXPECT_NE(reference.find("\"task\""), std::string::npos);
+    EXPECT_NE(reference.find("\"items\""), std::string::npos);
+    EXPECT_EQ(reference.find("wall_us"), std::string::npos);
+    EXPECT_EQ(reference.find("\"tid\""), std::string::npos);
+}
+
+TEST(ObsSpanTest, SiblingsExportSortedByKey)
+{
+    obs::Obs o;
+    // Open children out of key order, from one thread.
+    obs::Span root(&o.tracer, "root");
+    obs::Span late(root, "child", 5);
+    late.close();
+    obs::Span early(root, "child", 1);
+    early.close();
+    root.close();
+    const std::string out = structureOf(o);
+    const std::size_t k1 = out.find("\"key\": 1");
+    const std::size_t k5 = out.find("\"key\": 5");
+    ASSERT_NE(k1, std::string::npos);
+    ASSERT_NE(k5, std::string::npos);
+    EXPECT_LT(k1, k5);
+}
+
+TEST(ObsExportTest, ChromeTraceListsEveryClosedSpan)
+{
+    obs::Obs o;
+    runFanOut(o, 2);
+    std::ostringstream os;
+    obs::writeChromeTrace(os, o.tracer);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(out.find("\"displayTimeUnit\": \"ms\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"name\": \"work\""), std::string::npos);
+    EXPECT_NE(out.find("\"name\": \"task\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(ObsExportTest, SummaryIncludesWallTimesByDefault)
+{
+    obs::Obs o;
+    runFanOut(o, 1);
+    o.metrics.gauge("work.total_seconds").set(0.5);
+    std::ostringstream os;
+    obs::writeSummaryJson(os, &o.metrics, &o.tracer);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"work.total_seconds\""), std::string::npos);
+    EXPECT_NE(out.find("wall_us"), std::string::npos);
+    // Structure-only drops both again.
+    o.metrics.counter("work.items").add(0);
+    const std::string structure = structureOf(o);
+    EXPECT_EQ(structure.find("\"work.total_seconds\""),
+              std::string::npos);
+    EXPECT_NE(structure.find("\"work.items\""), std::string::npos);
+}
+
+TEST(ObsDatasetTest, BuildSpanStructureIsThreadCountInvariant)
+{
+    const runner::Universe universe = runner::smallUniverse(2);
+    std::string reference;
+    for (unsigned threads : {1u, 4u}) {
+        obs::Obs o;
+        runner::BuildOptions options;
+        options.threads = threads;
+        options.obs = &o;
+        const runner::Dataset ds =
+            runner::Dataset::build(universe, options);
+        EXPECT_GT(ds.numTests(), 0u);
+        const std::string structure = structureOf(o);
+        if (reference.empty())
+            reference = structure;
+        else
+            EXPECT_EQ(structure, reference)
+                << "Dataset::build structure-only export changed at "
+                << threads << " threads";
+    }
+    EXPECT_NE(reference.find("\"sweep.build\""), std::string::npos);
+    EXPECT_NE(reference.find("\"record\""), std::string::npos);
+    EXPECT_NE(reference.find("\"price\""), std::string::npos);
+    EXPECT_NE(reference.find("\"finalise\""), std::string::npos);
+    EXPECT_NE(reference.find("\"launches\""), std::string::npos);
+    EXPECT_NE(reference.find("\"sweep.cells\""), std::string::npos);
+}

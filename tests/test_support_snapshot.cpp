@@ -1,0 +1,303 @@
+/**
+ * @file
+ * support::Snapshot: the one snapshot discipline shared by the
+ * dataset cache, the strategy index and the calibration roster —
+ * hexfloat round-tripping, header validation, cause-on-reject
+ * diagnostics, the warn-and-rebuild cache protocol, and the
+ * cross-subsystem property that every loader rejects the other
+ * subsystems' snapshots by magic.
+ */
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graphport/calib/fitter.hpp"
+#include "graphport/serve/index.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/snapshot.hpp"
+
+using namespace graphport;
+using support::SnapshotReader;
+using support::SnapshotWriter;
+
+namespace {
+
+constexpr const char *kMagic = "graphport-testsnap";
+constexpr unsigned kVersion = 7;
+constexpr const char *kHint = "rerun the thing";
+
+SnapshotReader
+reader(std::istream &is)
+{
+    return SnapshotReader(is, kMagic, kVersion, "test snapshot",
+                          kHint);
+}
+
+/** What a loader rejected @p text with, or "" if it loaded. */
+std::string
+rejectCause(const std::string &text)
+{
+    std::istringstream is(text);
+    try {
+        SnapshotReader r = reader(is);
+        r.expectEnd();
+        return "";
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+}
+
+} // namespace
+
+TEST(SnapshotHexTest, HexDoubleRoundTripsExactly)
+{
+    for (double v : {0.1, -3.75, 1.0e-300, 6.02214076e23, 0.0}) {
+        const std::string s = support::hexDouble(v);
+        std::istringstream is(std::string(kMagic) + ",7\nv," + s +
+                              "\nend\n");
+        SnapshotReader r = reader(is);
+        const std::vector<std::string> row = r.expect("v", 2);
+        EXPECT_EQ(r.number(row[1]), v) << s;
+    }
+}
+
+TEST(SnapshotHexTest, HexU64IsPaddedAndRoundTrips)
+{
+    EXPECT_EQ(support::hexU64(0x1234).size(), 16u);
+    const std::uint64_t v = 0xdeadbeefcafef00dull;
+    std::istringstream is(std::string(kMagic) + ",7\nh," +
+                          support::hexU64(v) + "\nend\n");
+    SnapshotReader r = reader(is);
+    EXPECT_EQ(r.hash(r.expect("h", 2)[1]), v);
+}
+
+TEST(SnapshotRoundTripTest, WriterOutputLoadsBack)
+{
+    std::ostringstream os;
+    SnapshotWriter w(os, kMagic, kVersion);
+    w.row({"meta", "3", support::hexDouble(2.5)});
+    w.row({"item", "alpha, beta"}); // embedded comma must survive
+    w.end();
+
+    std::istringstream is(os.str());
+    SnapshotReader r = reader(is);
+    const std::vector<std::string> meta = r.expect("meta", 3);
+    EXPECT_EQ(r.count(meta[1]), 3u);
+    EXPECT_EQ(r.number(meta[2]), 2.5);
+    const std::vector<std::string> item = r.expect("item", 2);
+    EXPECT_EQ(item[1], "alpha, beta");
+    r.expectEnd();
+}
+
+TEST(SnapshotRejectTest, BadMagic)
+{
+    const std::string cause = rejectCause("something-else,7\nend\n");
+    EXPECT_NE(cause.find("bad magic"), std::string::npos) << cause;
+    EXPECT_NE(cause.find("test snapshot"), std::string::npos)
+        << cause;
+}
+
+TEST(SnapshotRejectTest, MissingVersion)
+{
+    const std::string cause =
+        rejectCause(std::string(kMagic) + "\nend\n");
+    EXPECT_NE(cause.find("missing format version"), std::string::npos)
+        << cause;
+}
+
+TEST(SnapshotRejectTest, VersionMismatchQuotesBothAndTheHint)
+{
+    const std::string cause =
+        rejectCause(std::string(kMagic) + ",999\nend\n");
+    EXPECT_NE(cause.find("format version 999"), std::string::npos)
+        << cause;
+    EXPECT_NE(cause.find("this build reads 7"), std::string::npos)
+        << cause;
+    EXPECT_NE(cause.find(kHint), std::string::npos) << cause;
+}
+
+TEST(SnapshotRejectTest, TruncationIsDetected)
+{
+    const std::string cause =
+        rejectCause(std::string(kMagic) + ",7\n");
+    EXPECT_NE(cause.find("truncated"), std::string::npos) << cause;
+    EXPECT_NE(cause.find("missing 'end' marker"), std::string::npos)
+        << cause;
+}
+
+TEST(SnapshotRejectTest, WrongKeywordAndShortRecords)
+{
+    {
+        std::istringstream is(std::string(kMagic) +
+                              ",7\nwrong,1\nend\n");
+        SnapshotReader r = reader(is);
+        try {
+            r.expect("meta", 2);
+            FAIL() << "expected FatalError";
+        } catch (const FatalError &e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find("expected 'meta' record"),
+                      std::string::npos)
+                << what;
+            EXPECT_NE(what.find("got 'wrong'"), std::string::npos)
+                << what;
+        }
+    }
+    {
+        std::istringstream is(std::string(kMagic) +
+                              ",7\nmeta,1\nend\n");
+        SnapshotReader r = reader(is);
+        try {
+            r.expect("meta", 3);
+            FAIL() << "expected FatalError";
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find(
+                          "short 'meta' record"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}
+
+TEST(SnapshotRejectTest, MalformedValuesNameTheOffender)
+{
+    std::istringstream is(std::string(kMagic) + ",7\nend\n");
+    SnapshotReader r = reader(is);
+    for (const auto &[parse, needle] :
+         std::vector<std::pair<std::function<void()>, std::string>>{
+             {[&] { r.number("xyz"); }, "bad number 'xyz'"},
+             {[&] { r.hash("nothex"); }, "bad hash 'nothex'"},
+             {[&] { r.count("-3"); }, "bad count '-3'"}}) {
+        try {
+            parse();
+            FAIL() << "expected FatalError for " << needle;
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find(needle),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}
+
+TEST(SnapshotCacheTest, LoadOrRebuildWarnsOnceThenCaches)
+{
+    const std::string path =
+        ::testing::TempDir() + "graphport_snapshot_cache_test.snap";
+    std::remove(path.c_str());
+
+    unsigned builds = 0;
+    const auto loadFn = [](std::ifstream &in) {
+        SnapshotReader r(in, kMagic, kVersion, "test snapshot",
+                         kHint);
+        const int v = static_cast<int>(r.count(r.expect("v", 2)[1]));
+        r.expectEnd();
+        return v;
+    };
+    const auto buildFn = [&builds] {
+        ++builds;
+        return 42;
+    };
+    const auto saveFn = [&path](int v) {
+        std::ofstream out(path);
+        SnapshotWriter w(out, kMagic, kVersion);
+        w.row({"v", std::to_string(v)});
+        w.end();
+    };
+    const auto roundTrip = [&] {
+        return support::loadOrRebuild(path, "test snapshot",
+                                      "rebuilding", "will retry",
+                                      loadFn, buildFn, saveFn);
+    };
+
+    // No file: silent build + save.
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(roundTrip(), 42);
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+    EXPECT_EQ(builds, 1u);
+
+    // Cached: load, no rebuild.
+    EXPECT_EQ(roundTrip(), 42);
+    EXPECT_EQ(builds, 1u);
+
+    // Corrupted: warn with the cause, rebuild, re-save.
+    {
+        std::ofstream out(path);
+        out << "garbage\n";
+    }
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(roundTrip(), 42);
+    const std::string warning =
+        ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(builds, 2u);
+    EXPECT_NE(warning.find("graphport: warning:"), std::string::npos)
+        << warning;
+    EXPECT_NE(warning.find("rejected"), std::string::npos) << warning;
+    EXPECT_NE(warning.find("bad magic"), std::string::npos)
+        << warning;
+    EXPECT_NE(warning.find("rebuilding"), std::string::npos)
+        << warning;
+
+    // The re-save healed the cache.
+    EXPECT_EQ(roundTrip(), 42);
+    EXPECT_EQ(builds, 2u);
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotCacheTest, FailedSaveDegradesToAWarning)
+{
+    const std::string path =
+        ::testing::TempDir() + "graphport_snapshot_nosave_test.snap";
+    std::remove(path.c_str());
+    ::testing::internal::CaptureStderr();
+    const int got = support::loadOrRebuild(
+        path, "test snapshot", "rebuilding", "will retry next run",
+        [](std::ifstream &) { return 0; }, [] { return 7; },
+        [](int) { fatal("disk full"); });
+    const std::string warning =
+        ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(got, 7);
+    EXPECT_NE(warning.find("disk full"), std::string::npos)
+        << warning;
+    EXPECT_NE(warning.find("will retry next run"), std::string::npos)
+        << warning;
+}
+
+TEST(SnapshotCrossSubsystemTest, LoadersRejectEachOthersMagic)
+{
+    // A calib roster is not an index snapshot...
+    {
+        std::istringstream is("graphport-calib,1\nchips,0\nend\n");
+        try {
+            serve::StrategyIndex::load(is, "'cross'");
+            FAIL() << "expected FatalError";
+        } catch (const FatalError &e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find("not a graphport-index snapshot"),
+                      std::string::npos)
+                << what;
+            EXPECT_NE(what.find("bad magic"), std::string::npos)
+                << what;
+        }
+    }
+    // ...and an index snapshot is not a calib roster.
+    {
+        std::istringstream is("graphport-index,1\ndataset_hash,"
+                              "0000000000000000\nend\n");
+        try {
+            calib::loadRoster(is, "'cross'");
+            FAIL() << "expected FatalError";
+        } catch (const FatalError &e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find("not a graphport-calib snapshot"),
+                      std::string::npos)
+                << what;
+            EXPECT_NE(what.find("bad magic"), std::string::npos)
+                << what;
+        }
+    }
+}

@@ -1,0 +1,238 @@
+#include "cliopts.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+
+#include "graphport/obs/obs.hpp"
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+namespace cli {
+
+std::uint64_t
+parseCount(const std::string &cmd, const std::string &flag,
+           const std::string &value)
+{
+    fatalIf(value.empty() ||
+                value.find_first_not_of("0123456789") !=
+                    std::string::npos,
+            cmd + ": " + flag + " expects a non-negative integer, "
+            "got '" + value + "'");
+    return std::stoull(value);
+}
+
+double
+parseNumber(const std::string &cmd, const std::string &flag,
+            const std::string &value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    fatalIf(value.empty() || end != value.c_str() + value.size() ||
+                !std::isfinite(v),
+            cmd + ": " + flag + " expects a number, got '" + value +
+                "'");
+    return v;
+}
+
+FlagSet::FlagSet(std::string command, std::string synopsis)
+    : command_(std::move(command)), synopsis_(std::move(synopsis))
+{
+}
+
+FlagSet &
+FlagSet::add(Spec spec)
+{
+    specs_.push_back(std::move(spec));
+    return *this;
+}
+
+FlagSet &
+FlagSet::number(const char *flag, double *target,
+                const char *valueName, const char *help)
+{
+    Spec s{flag, valueName, help, false, nullptr, nullptr};
+    s.applyValue = [this, target,
+                    flag = std::string(flag)](const std::string &v) {
+        *target = parseNumber(command_, flag, v);
+    };
+    return add(std::move(s));
+}
+
+FlagSet &
+FlagSet::text(const char *flag, std::string *target,
+              const char *valueName, const char *help)
+{
+    Spec s{flag, valueName, help, false, nullptr, nullptr};
+    s.applyValue = [target](const std::string &v) { *target = v; };
+    return add(std::move(s));
+}
+
+FlagSet &
+FlagSet::toggle(const char *flag, bool *target, const char *help)
+{
+    Spec s{flag, "", help, false, nullptr, nullptr};
+    s.applyToggle = [target] { *target = true; };
+    return add(std::move(s));
+}
+
+FlagSet &
+FlagSet::toggleWithCount(const char *flag, bool *on, unsigned *target,
+                         const char *valueName, const char *help)
+{
+    Spec s{flag, valueName, help, true, nullptr, nullptr};
+    s.applyToggle = [on] { *on = true; };
+    s.applyValue = [this, target,
+                    flag = std::string(flag)](const std::string &v) {
+        *target =
+            static_cast<unsigned>(parseCount(command_, flag, v));
+    };
+    return add(std::move(s));
+}
+
+FlagSet &
+FlagSet::choice(const char *flag, std::string *target,
+                std::vector<std::string> choices, const char *help)
+{
+    std::string expected;
+    std::string metavar;
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+        if (i > 0) {
+            expected +=
+                i + 1 == choices.size() ? " or " : ", ";
+            metavar += "|";
+        }
+        expected += choices[i];
+        metavar += choices[i];
+    }
+    Spec s{flag, metavar, help, false, nullptr, nullptr};
+    s.applyValue = [this, target, flag = std::string(flag),
+                    choices = std::move(choices),
+                    expected](const std::string &v) {
+        for (const std::string &c : choices) {
+            if (v == c) {
+                *target = v;
+                return;
+            }
+        }
+        fatal(command_ + ": " + flag + " expects " + expected +
+              ", got '" + v + "'");
+    };
+    return add(std::move(s));
+}
+
+FlagSet &
+FlagSet::positionals(std::vector<std::string> *out, const char *help)
+{
+    positionals_ = out;
+    positionalsHelp_ = help;
+    return *this;
+}
+
+bool
+FlagSet::parse(const std::vector<std::string> &args) const
+{
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--help" || arg == "-h") {
+            printHelp(stdout);
+            return false;
+        }
+        const Spec *spec = nullptr;
+        for (const Spec &s : specs_) {
+            if (s.flag == arg) {
+                spec = &s;
+                break;
+            }
+        }
+        if (spec != nullptr) {
+            if (spec->valueName.empty()) {
+                spec->applyToggle();
+            } else if (spec->optionalValue) {
+                spec->applyToggle();
+                if (i + 1 < args.size() && !args[i + 1].empty() &&
+                    args[i + 1][0] != '-')
+                    spec->applyValue(args[++i]);
+            } else {
+                fatalIf(i + 1 >= args.size(),
+                        command_ + ": " + spec->flag +
+                            " requires a value");
+                spec->applyValue(args[++i]);
+            }
+        } else if (positionals_ != nullptr &&
+                   (arg.empty() || arg[0] != '-' || arg == "-")) {
+            positionals_->push_back(arg);
+        } else {
+            fatal(command_ + ": unknown argument " + arg);
+        }
+    }
+    return true;
+}
+
+void
+FlagSet::printHelp(std::FILE *to) const
+{
+    std::fprintf(to, "usage: graphport_cli %s%s%s\n",
+                 command_.c_str(), synopsis_.empty() ? "" : " ",
+                 synopsis_.c_str());
+    if (!positionalsHelp_.empty())
+        std::fprintf(to, "  %s\n", positionalsHelp_.c_str());
+    for (const Spec &s : specs_) {
+        std::string head = s.flag;
+        if (!s.valueName.empty())
+            head += s.optionalValue ? " [" + s.valueName + "]"
+                                    : " " + s.valueName;
+        std::fprintf(to, "  %-22s %s\n", head.c_str(),
+                     s.help.c_str());
+    }
+    std::fprintf(to, "  %-22s %s\n", "--help",
+                 "show this flag reference");
+}
+
+void
+addObsFlags(FlagSet &flags, std::string *metricsOut,
+            std::string *traceOut)
+{
+    flags
+        .text("--metrics-out", metricsOut, "FILE",
+              "write an obs summary (counters, gauges, latency "
+              "percentiles, span tree) as JSON")
+        .text("--trace-out", traceOut, "FILE",
+              "write spans as Chrome trace_event JSON "
+              "(load in chrome://tracing)");
+}
+
+bool
+obsRequested(const std::string &metricsOut,
+             const std::string &traceOut)
+{
+    return !metricsOut.empty() || !traceOut.empty();
+}
+
+void
+writeObsFiles(const std::string &cmd, const obs::Obs &o,
+              const std::string &metricsOut,
+              const std::string &traceOut)
+{
+    if (!metricsOut.empty()) {
+        std::ofstream out(metricsOut);
+        fatalIf(!out.good(), cmd + ": cannot open " + metricsOut +
+                                 " for writing");
+        obs::writeSummaryJson(out, &o.metrics, &o.tracer);
+        fatalIf(!out.good(),
+                cmd + ": failed while writing " + metricsOut);
+        std::printf("metrics written to %s\n", metricsOut.c_str());
+    }
+    if (!traceOut.empty()) {
+        std::ofstream out(traceOut);
+        fatalIf(!out.good(), cmd + ": cannot open " + traceOut +
+                                 " for writing");
+        obs::writeChromeTrace(out, o.tracer);
+        fatalIf(!out.good(),
+                cmd + ": failed while writing " + traceOut);
+        std::printf("trace written to %s\n", traceOut.c_str());
+    }
+}
+
+} // namespace cli
+} // namespace graphport

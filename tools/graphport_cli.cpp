@@ -44,6 +44,13 @@
  *                                fallback against synthetic chips and
  *                                each held-out paper chip's oracle
  *
+ * Flag subcommands parse through cli::FlagSet (cliopts.hpp): strict
+ * unknown-flag rejection, typed values, and `<subcommand> --help`
+ * printing a generated flag reference. study, serve-bench, and
+ * calibrate additionally take --metrics-out FILE (obs summary JSON)
+ * and --trace-out FILE (Chrome trace_event JSON for
+ * chrome://tracing).
+ *
  * `graphport_cli --version` prints the build version; `--help`
  * enumerates the subcommands.
  *
@@ -52,9 +59,7 @@
  * optimisation names, e.g. "fg8,sg,oitergb" (default: baseline).
  */
 #include <algorithm>
-#include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -68,6 +73,7 @@
 #include "graphport/calib/zoo.hpp"
 #include "graphport/graph/io.hpp"
 #include "graphport/graph/metrics.hpp"
+#include "graphport/obs/obs.hpp"
 #include "graphport/port/algorithm1.hpp"
 #include "graphport/port/strategy.hpp"
 #include "graphport/runner/dataset.hpp"
@@ -80,6 +86,8 @@
 #include "graphport/support/error.hpp"
 #include "graphport/support/mathutil.hpp"
 #include "graphport/support/strings.hpp"
+
+#include "cliopts.hpp"
 
 #ifndef GRAPHPORT_VERSION
 #define GRAPHPORT_VERSION "0.0.0-dev"
@@ -121,6 +129,10 @@ printUsage(std::FILE *to)
         "[--apps N]\n"
         "           [--knn K] [--threads N] [--loco-only]\n"
         "  --help | --version\n"
+        "\nstudy, serve-bench, and calibrate also accept "
+        "[--metrics-out FILE]\n"
+        "[--trace-out FILE]; any flag subcommand followed by --help "
+        "prints its\nfull flag reference\n"
         "\n<input> = road | social | random | path to .gr/.el file\n"
         "opts = coop-cv wg sg fg fg8 oitergb sz256\n"
         "study: full 17x3x6x96 sweep; --threads 0 = all cores, "
@@ -337,36 +349,21 @@ cmdStudy(const std::vector<std::string> &args)
     bool small = false;
     unsigned smallApps = 4;
     std::string outPath;
-    const auto parseCount = [](const std::string &flag,
-                               const std::string &value) {
-        fatalIf(value.empty() ||
-                    value.find_first_not_of("0123456789") !=
-                        std::string::npos,
-                "study: " + flag + " expects a non-negative integer, "
-                "got '" + value + "'");
-        return static_cast<unsigned>(std::stoul(value));
-    };
-    for (std::size_t i = 1; i < args.size(); ++i) {
-        const std::string &arg = args[i];
-        if (arg == "--threads") {
-            fatalIf(i + 1 >= args.size(),
-                    "study: --threads requires a value");
-            threads = parseCount("--threads", args[++i]);
-        } else if (arg == "--stats") {
-            stats = true;
-        } else if (arg == "--small") {
-            small = true;
-            if (i + 1 < args.size() && !args[i + 1].empty() &&
-                args[i + 1][0] != '-')
-                smallApps = parseCount("--small", args[++i]);
-        } else if (arg == "--out") {
-            fatalIf(i + 1 >= args.size(),
-                    "study: --out requires a value");
-            outPath = args[++i];
-        } else {
-            fatal("study: unknown argument " + arg);
-        }
-    }
+    std::string metricsOut;
+    std::string traceOut;
+    cli::FlagSet flags("study",
+                       "[--threads N] [--stats] [--small [n_apps]] "
+                       "[--out FILE]");
+    flags
+        .count("--threads", &threads, "N",
+               "worker threads (0 = all hardware threads)")
+        .toggle("--stats", &stats, "print sweep observability")
+        .toggleWithCount("--small", &small, &smallApps, "n_apps",
+                         "use the reduced test universe")
+        .text("--out", &outPath, "FILE", "save the dataset CSV");
+    cli::addObsFlags(flags, &metricsOut, &traceOut);
+    if (!flags.parse(args))
+        return 0;
     fatalIf(small && smallApps == 0,
             "study: --small needs at least 1 app");
 
@@ -383,9 +380,12 @@ cmdStudy(const std::vector<std::string> &args)
                 universe.numTests(), universe.runs,
                 small ? "small" : "study", threadDesc.c_str());
     runner::SweepStats sweepStats;
+    obs::Obs o;
     runner::BuildOptions options;
     options.threads = threads;
     options.stats = &sweepStats;
+    if (cli::obsRequested(metricsOut, traceOut))
+        options.obs = &o;
     const runner::Dataset ds = runner::Dataset::build(universe,
                                                       options);
 
@@ -406,20 +406,8 @@ cmdStudy(const std::vector<std::string> &args)
         ds.saveCsv(out);
         std::printf("dataset written to %s\n", outPath.c_str());
     }
+    cli::writeObsFiles("study", o, metricsOut, traceOut);
     return 0;
-}
-
-/** Strict non-negative integer flag value, as in cmdStudy. */
-unsigned
-parseCountFlag(const std::string &cmd, const std::string &flag,
-               const std::string &value)
-{
-    fatalIf(value.empty() ||
-                value.find_first_not_of("0123456789") !=
-                    std::string::npos,
-            cmd + ": " + flag + " expects a non-negative integer, "
-            "got '" + value + "'");
-    return static_cast<unsigned>(std::stoul(value));
 }
 
 int
@@ -430,30 +418,20 @@ cmdIndex(const std::vector<std::string> &args)
     unsigned smallApps = 4;
     std::string datasetPath;
     std::string outPath = "graphport_index.gpi";
-    for (std::size_t i = 1; i < args.size(); ++i) {
-        const std::string &arg = args[i];
-        if (arg == "--threads") {
-            fatalIf(i + 1 >= args.size(),
-                    "index: --threads requires a value");
-            threads = parseCountFlag("index", "--threads", args[++i]);
-        } else if (arg == "--small") {
-            small = true;
-            if (i + 1 < args.size() && !args[i + 1].empty() &&
-                args[i + 1][0] != '-')
-                smallApps =
-                    parseCountFlag("index", "--small", args[++i]);
-        } else if (arg == "--dataset") {
-            fatalIf(i + 1 >= args.size(),
-                    "index: --dataset requires a value");
-            datasetPath = args[++i];
-        } else if (arg == "--out") {
-            fatalIf(i + 1 >= args.size(),
-                    "index: --out requires a value");
-            outPath = args[++i];
-        } else {
-            fatal("index: unknown argument " + arg);
-        }
-    }
+    cli::FlagSet flags("index",
+                       "[--small [n_apps]] [--threads N] "
+                       "[--dataset FILE] [--out FILE]");
+    flags
+        .toggleWithCount("--small", &small, &smallApps, "n_apps",
+                         "use the reduced test universe")
+        .count("--threads", &threads, "N",
+               "worker threads (0 = all hardware threads)")
+        .text("--dataset", &datasetPath, "FILE",
+              "load a saved dataset CSV instead of sweeping")
+        .text("--out", &outPath, "FILE",
+              "index snapshot path (default graphport_index.gpi)");
+    if (!flags.parse(args))
+        return 0;
     fatalIf(small && smallApps == 0,
             "index: --small needs at least 1 app");
 
@@ -504,46 +482,33 @@ cmdAdvise(const std::vector<std::string> &args)
     std::string outPath;
     unsigned threads = 1;
     bool stats = false;
-    serve::WireFormat format = serve::WireFormat::Auto;
+    std::string formatName;
     std::vector<std::string> positional;
-    for (std::size_t i = 1; i < args.size(); ++i) {
-        const std::string &arg = args[i];
-        if (arg == "--index") {
-            fatalIf(i + 1 >= args.size(),
-                    "advise: --index requires a value");
-            indexPath = args[++i];
-        } else if (arg == "--batch") {
-            fatalIf(i + 1 >= args.size(),
-                    "advise: --batch requires a value");
-            batchPath = args[++i];
-        } else if (arg == "--threads") {
-            fatalIf(i + 1 >= args.size(),
-                    "advise: --threads requires a value");
-            threads =
-                parseCountFlag("advise", "--threads", args[++i]);
-        } else if (arg == "--format") {
-            fatalIf(i + 1 >= args.size(),
-                    "advise: --format requires a value");
-            const std::string v = args[++i];
-            if (v == "csv")
-                format = serve::WireFormat::Csv;
-            else if (v == "json")
-                format = serve::WireFormat::Json;
-            else
-                fatal("advise: --format expects csv or json, got '" +
-                      v + "'");
-        } else if (arg == "--out") {
-            fatalIf(i + 1 >= args.size(),
-                    "advise: --out requires a value");
-            outPath = args[++i];
-        } else if (arg == "--stats") {
-            stats = true;
-        } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
-            fatal("advise: unknown argument " + arg);
-        } else {
-            positional.push_back(arg);
-        }
-    }
+    cli::FlagSet flags("advise",
+                       "[--index FILE] (<app> <input> <chip> | "
+                       "--batch FILE|-)");
+    flags
+        .text("--index", &indexPath, "FILE",
+              "strategy index snapshot "
+              "(default graphport_index.gpi)")
+        .text("--batch", &batchPath, "FILE|-",
+              "serve a query file (or stdin) instead of one query")
+        .count("--threads", &threads, "N", "batch parallelism")
+        .choice("--format", &formatName, {"csv", "json"},
+                "query/answer wire format (default: sniff)")
+        .text("--out", &outPath, "FILE",
+              "write answers here instead of stdout")
+        .toggle("--stats", &stats,
+                "print batch serving stats to stderr")
+        .positionals(&positional,
+                     "<app> <input> <chip>  one-shot query");
+    if (!flags.parse(args))
+        return 0;
+    serve::WireFormat format = serve::WireFormat::Auto;
+    if (formatName == "csv")
+        format = serve::WireFormat::Csv;
+    else if (formatName == "json")
+        format = serve::WireFormat::Json;
 
     const serve::StrategyIndex index =
         serve::StrategyIndex::loadFile(indexPath);
@@ -613,41 +578,26 @@ cmdServeBench(const std::vector<std::string> &args)
     unsigned maxThreads = 4;
     std::uint64_t seed = 42;
     std::string outPath = "BENCH_serve.json";
-    for (std::size_t i = 1; i < args.size(); ++i) {
-        const std::string &arg = args[i];
-        if (arg == "--index") {
-            fatalIf(i + 1 >= args.size(),
-                    "serve-bench: --index requires a value");
-            indexPath = args[++i];
-        } else if (arg == "--small") {
-            small = true;
-            if (i + 1 < args.size() && !args[i + 1].empty() &&
-                args[i + 1][0] != '-')
-                smallApps = parseCountFlag("serve-bench", "--small",
-                                           args[++i]);
-        } else if (arg == "--queries") {
-            fatalIf(i + 1 >= args.size(),
-                    "serve-bench: --queries requires a value");
-            queries = parseCountFlag("serve-bench", "--queries",
-                                     args[++i]);
-        } else if (arg == "--threads") {
-            fatalIf(i + 1 >= args.size(),
-                    "serve-bench: --threads requires a value");
-            maxThreads = parseCountFlag("serve-bench", "--threads",
-                                        args[++i]);
-        } else if (arg == "--seed") {
-            fatalIf(i + 1 >= args.size(),
-                    "serve-bench: --seed requires a value");
-            seed = parseCountFlag("serve-bench", "--seed",
-                                  args[++i]);
-        } else if (arg == "--out") {
-            fatalIf(i + 1 >= args.size(),
-                    "serve-bench: --out requires a value");
-            outPath = args[++i];
-        } else {
-            fatal("serve-bench: unknown argument " + arg);
-        }
-    }
+    std::string metricsOut;
+    std::string traceOut;
+    cli::FlagSet flags("serve-bench",
+                       "[--index FILE | --small [n_apps]] "
+                       "[--queries N] [--threads N]");
+    flags
+        .text("--index", &indexPath, "FILE",
+              "serve from a frozen index snapshot")
+        .toggleWithCount("--small", &small, &smallApps, "n_apps",
+                         "build a small-universe index instead")
+        .count("--queries", &queries, "N",
+               "query stream length (default 10000)")
+        .count("--threads", &maxThreads, "N",
+               "serve at 1, 2, 4, ... up to N threads")
+        .count("--seed", &seed, "S", "query stream seed")
+        .text("--out", &outPath, "FILE",
+              "perf record path (default BENCH_serve.json)");
+    cli::addObsFlags(flags, &metricsOut, &traceOut);
+    if (!flags.parse(args))
+        return 0;
     fatalIf(!indexPath.empty() && small,
             "serve-bench: --index and --small are exclusive");
     fatalIf(maxThreads == 0,
@@ -674,8 +624,11 @@ cmdServeBench(const std::vector<std::string> &args)
         std::printf(", %u", t);
     std::printf(" thread(s)...\n");
 
+    obs::Obs o;
+    obs::Obs *obsPtr =
+        cli::obsRequested(metricsOut, traceOut) ? &o : nullptr;
     const serve::LoadBenchResult result =
-        serve::runLoadBench(advisor, stream, threadCounts);
+        serve::runLoadBench(advisor, stream, threadCounts, obsPtr);
     for (const serve::LoadVariant &v : result.variants) {
         std::printf("  %2u thread(s): %8.0f q/s, p50 %.1f us, p95 "
                     "%.1f us, p99 %.1f us  %s\n",
@@ -692,21 +645,8 @@ cmdServeBench(const std::vector<std::string> &args)
             "serve-bench: cannot open " + outPath + " for writing");
     serve::writeLoadBenchJson(out, result, stream.size(), seed);
     std::printf("perf record written to %s\n", outPath.c_str());
+    cli::writeObsFiles("serve-bench", o, metricsOut, traceOut);
     return result.allBitIdentical ? 0 : 1;
-}
-
-/** Strict finite double flag value. */
-double
-parseDoubleFlag(const std::string &cmd, const std::string &flag,
-                const std::string &value)
-{
-    char *end = nullptr;
-    const double v = std::strtod(value.c_str(), &end);
-    fatalIf(value.empty() || end != value.c_str() + value.size() ||
-                !std::isfinite(v),
-            cmd + ": " + flag + " expects a number, got '" + value +
-                "'");
-    return v;
 }
 
 int
@@ -717,47 +657,30 @@ cmdCalibrate(const std::vector<std::string> &args)
     opts.threads = 1;
     double perturbPct = 0.0;
     std::string outPath;
-    for (std::size_t i = 1; i < args.size(); ++i) {
-        const std::string &arg = args[i];
-        if (arg == "--chip") {
-            fatalIf(i + 1 >= args.size(),
-                    "calibrate: --chip requires a value");
-            chipName = args[++i];
-        } else if (arg == "--starts") {
-            fatalIf(i + 1 >= args.size(),
-                    "calibrate: --starts requires a value");
-            opts.starts =
-                parseCountFlag("calibrate", "--starts", args[++i]);
-        } else if (arg == "--iters") {
-            fatalIf(i + 1 >= args.size(),
-                    "calibrate: --iters requires a value");
-            opts.maxIters =
-                parseCountFlag("calibrate", "--iters", args[++i]);
-        } else if (arg == "--threads") {
-            fatalIf(i + 1 >= args.size(),
-                    "calibrate: --threads requires a value");
-            opts.threads =
-                parseCountFlag("calibrate", "--threads", args[++i]);
-        } else if (arg == "--seed") {
-            fatalIf(i + 1 >= args.size(),
-                    "calibrate: --seed requires a value");
-            opts.seed =
-                parseCountFlag("calibrate", "--seed", args[++i]);
-        } else if (arg == "--perturb") {
-            fatalIf(i + 1 >= args.size(),
-                    "calibrate: --perturb requires a value");
-            perturbPct =
-                parseDoubleFlag("calibrate", "--perturb", args[++i]);
-            fatalIf(perturbPct < 0.0,
-                    "calibrate: --perturb must be non-negative");
-        } else if (arg == "--out") {
-            fatalIf(i + 1 >= args.size(),
-                    "calibrate: --out requires a value");
-            outPath = args[++i];
-        } else {
-            fatal("calibrate: unknown argument " + arg);
-        }
-    }
+    std::string metricsOut;
+    std::string traceOut;
+    cli::FlagSet flags("calibrate",
+                       "[--chip NAME] [--starts N] [--iters N] "
+                       "[--perturb PCT]");
+    flags
+        .text("--chip", &chipName, "NAME",
+              "fit one chip (default: the whole roster)")
+        .count("--starts", &opts.starts, "N",
+               "multi-start count (default 8)")
+        .count("--iters", &opts.maxIters, "N",
+               "Nelder-Mead iteration cap per start")
+        .count("--threads", &opts.threads, "N",
+               "fan starts over N threads")
+        .count("--seed", &opts.seed, "S", "multi-start draw seed")
+        .number("--perturb", &perturbPct, "PCT",
+                "kick start parameters by roughly +/-PCT%")
+        .text("--out", &outPath, "FILE",
+              "freeze the fitted roster snapshot here");
+    cli::addObsFlags(flags, &metricsOut, &traceOut);
+    if (!flags.parse(args))
+        return 0;
+    fatalIf(perturbPct < 0.0,
+            "calibrate: --perturb must be non-negative");
     fatalIf(opts.starts == 0, "calibrate: --starts needs at least 1");
     fatalIf(opts.maxIters == 0, "calibrate: --iters needs at least 1");
 
@@ -768,6 +691,10 @@ cmdCalibrate(const std::vector<std::string> &args)
         sim::chipByName(chipName); // validate early
         chips.push_back(chipName);
     }
+
+    obs::Obs o;
+    if (cli::obsRequested(metricsOut, traceOut))
+        opts.obs = &o;
 
     std::vector<calib::FitResult> fits;
     bool allInTolerance = true;
@@ -818,50 +745,35 @@ cmdCalibrate(const std::vector<std::string> &args)
         std::printf("calibration snapshot written to %s\n",
                     outPath.c_str());
     }
+    cli::writeObsFiles("calibrate", o, metricsOut, traceOut);
     return allInTolerance ? 0 : 1;
 }
 
 int
 cmdSensitivity(const std::vector<std::string> &args)
 {
-    std::string chipName;
     calib::SensitivityOptions opts;
-    for (std::size_t i = 1; i < args.size(); ++i) {
-        const std::string &arg = args[i];
-        if (arg == "--apps") {
-            fatalIf(i + 1 >= args.size(),
-                    "sensitivity: --apps requires a value");
-            opts.nApps =
-                parseCountFlag("sensitivity", "--apps", args[++i]);
-        } else if (arg == "--step") {
-            fatalIf(i + 1 >= args.size(),
-                    "sensitivity: --step requires a value");
-            opts.stepPct =
-                parseDoubleFlag("sensitivity", "--step", args[++i]);
-        } else if (arg == "--max") {
-            fatalIf(i + 1 >= args.size(),
-                    "sensitivity: --max requires a value");
-            opts.maxPct =
-                parseDoubleFlag("sensitivity", "--max", args[++i]);
-        } else if (arg == "--alpha") {
-            fatalIf(i + 1 >= args.size(),
-                    "sensitivity: --alpha requires a value");
-            opts.alpha =
-                parseDoubleFlag("sensitivity", "--alpha", args[++i]);
-        } else if (arg == "--threads") {
-            fatalIf(i + 1 >= args.size(),
-                    "sensitivity: --threads requires a value");
-            opts.threads =
-                parseCountFlag("sensitivity", "--threads", args[++i]);
-        } else if (!arg.empty() && arg[0] == '-') {
-            fatal("sensitivity: unknown argument " + arg);
-        } else {
-            fatalIf(!chipName.empty(),
-                    "sensitivity: expected exactly one <chip>");
-            chipName = arg;
-        }
-    }
-    fatalIf(chipName.empty(), "sensitivity: expected <chip>");
+    std::vector<std::string> positional;
+    cli::FlagSet flags("sensitivity",
+                       "<chip> [--apps N] [--step PCT] [--max PCT] "
+                       "[--alpha A]");
+    flags
+        .count("--apps", &opts.nApps, "N",
+               "small-universe app count per probe")
+        .number("--step", &opts.stepPct, "PCT",
+                "probe step size in percent")
+        .number("--max", &opts.maxPct, "PCT",
+                "largest probe offset in percent")
+        .number("--alpha", &opts.alpha, "A",
+                "Algorithm 1 significance level")
+        .count("--threads", &opts.threads, "N", "probe parallelism")
+        .positionals(&positional, "<chip>  chip to probe");
+    if (!flags.parse(args))
+        return 0;
+    fatalIf(positional.size() > 1,
+            "sensitivity: expected exactly one <chip>");
+    fatalIf(positional.empty(), "sensitivity: expected <chip>");
+    const std::string chipName = positional.front();
     fatalIf(opts.nApps == 0, "sensitivity: --apps needs at least 1");
 
     std::printf("probing %s: %zu free parameters, ±%.0f%% steps up "
@@ -892,43 +804,26 @@ cmdZoo(const std::vector<std::string> &args)
 {
     calib::ZooOptions opts;
     bool locoOnly = false;
-    for (std::size_t i = 1; i < args.size(); ++i) {
-        const std::string &arg = args[i];
-        if (arg == "--synthetic") {
-            fatalIf(i + 1 >= args.size(),
-                    "zoo: --synthetic requires a value");
-            opts.nSynthetic =
-                parseCountFlag("zoo", "--synthetic", args[++i]);
-        } else if (arg == "--perturb") {
-            fatalIf(i + 1 >= args.size(),
-                    "zoo: --perturb requires a value");
-            opts.perturbRel =
-                parseDoubleFlag("zoo", "--perturb", args[++i]);
-            fatalIf(opts.perturbRel < 0.0,
-                    "zoo: --perturb must be non-negative");
-        } else if (arg == "--seed") {
-            fatalIf(i + 1 >= args.size(),
-                    "zoo: --seed requires a value");
-            opts.seed = parseCountFlag("zoo", "--seed", args[++i]);
-        } else if (arg == "--apps") {
-            fatalIf(i + 1 >= args.size(),
-                    "zoo: --apps requires a value");
-            opts.nApps = parseCountFlag("zoo", "--apps", args[++i]);
-        } else if (arg == "--knn") {
-            fatalIf(i + 1 >= args.size(),
-                    "zoo: --knn requires a value");
-            opts.knnK = parseCountFlag("zoo", "--knn", args[++i]);
-        } else if (arg == "--threads") {
-            fatalIf(i + 1 >= args.size(),
-                    "zoo: --threads requires a value");
-            opts.threads =
-                parseCountFlag("zoo", "--threads", args[++i]);
-        } else if (arg == "--loco-only") {
-            locoOnly = true;
-        } else {
-            fatal("zoo: unknown argument " + arg);
-        }
-    }
+    cli::FlagSet flags("zoo",
+                       "[--synthetic N] [--perturb REL] [--seed S] "
+                       "[--loco-only]");
+    flags
+        .count("--synthetic", &opts.nSynthetic, "N",
+               "synthetic chip count")
+        .number("--perturb", &opts.perturbRel, "REL",
+                "lognormal parameter spread (e.g. 0.3)")
+        .count("--seed", &opts.seed, "S", "synthetic chip seed")
+        .count("--apps", &opts.nApps, "N",
+               "small-universe app count")
+        .count("--knn", &opts.knnK, "K", "k-NN neighbour count")
+        .count("--threads", &opts.threads, "N", "fit parallelism")
+        .toggle("--loco-only", &locoOnly,
+                "skip the synthetic zoo, run leave-one-chip-out "
+                "only");
+    if (!flags.parse(args))
+        return 0;
+    fatalIf(opts.perturbRel < 0.0,
+            "zoo: --perturb must be non-negative");
     fatalIf(opts.nApps == 0, "zoo: --apps needs at least 1");
     fatalIf(opts.knnK == 0, "zoo: --knn needs at least 1");
 
@@ -1049,7 +944,8 @@ main(int argc, char **argv)
             return cmdRecommend(
                 args[1],
                 args.size() == 3
-                    ? parseCountFlag("recommend", "[n_apps]", args[2])
+                    ? static_cast<unsigned>(cli::parseCount(
+                          "recommend", "[n_apps]", args[2]))
                     : 6u);
         }
         return usage();
