@@ -314,13 +314,10 @@ void
 saveRosterFile(const std::vector<FitResult> &fits,
                const std::string &path)
 {
-    std::ofstream out(path);
-    fatalIf(!out.good(),
-            "cannot open calib snapshot '" + path + "' for writing");
-    saveRoster(fits, out);
-    out.flush();
-    fatalIf(!out.good(),
-            "failed while writing calib snapshot '" + path + "'");
+    support::atomicWriteFile(path, "calib snapshot",
+                             [&](std::ostream &os) {
+                                 saveRoster(fits, os);
+                             });
 }
 
 std::vector<FitResult>

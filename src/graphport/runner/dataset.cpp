@@ -537,15 +537,9 @@ Dataset::buildOrLoadCached(const Universe &universe,
         [&](std::ifstream &in) { return loadCsv(universe, in); },
         [&] { return build(universe, options); },
         [&](const Dataset &ds) {
-            std::ofstream out(path);
-            fatalIf(!out.good(), "cannot open dataset cache '" +
-                                     path + "' for writing");
-            ds.saveCsv(out);
-            out.flush();
-            fatalIf(!out.good(), "failed while writing dataset "
-                                 "cache '" +
-                                     path +
-                                     "'; the file may be truncated");
+            support::atomicWriteFile(
+                path, "dataset cache",
+                [&](std::ostream &os) { ds.saveCsv(os); });
         });
 }
 

@@ -354,14 +354,8 @@ StrategyIndex::loadFile(const std::string &path)
 void
 StrategyIndex::saveFile(const std::string &path) const
 {
-    std::ofstream out(path);
-    fatalIf(!out.good(),
-            "cannot open index snapshot '" + path +
-                "' for writing");
-    save(out);
-    out.flush();
-    fatalIf(!out.good(),
-            "failed while writing index snapshot '" + path + "'");
+    support::atomicWriteFile(path, "index snapshot",
+                             [&](std::ostream &os) { save(os); });
 }
 
 StrategyIndex

@@ -1,9 +1,11 @@
 #include "graphport/support/snapshot.hpp"
 
 #include <cinttypes>
+#include <cstdio>
 #include <cstdlib>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "graphport/support/csv.hpp"
 #include "graphport/support/strings.hpp"
@@ -25,6 +27,39 @@ hexU64(std::uint64_t v)
     char buf[24];
     std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
     return buf;
+}
+
+void
+atomicWriteFile(const std::string &path, const std::string &label,
+                const std::function<void(std::ostream &)> &write)
+{
+    // Render first: if the producer throws, the disk is untouched.
+    std::ostringstream buffer;
+    write(buffer);
+    const std::string bytes = buffer.str();
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp,
+                          std::ios::binary | std::ios::trunc);
+        fatalIf(!out.good(), "cannot open temp file '" + tmp +
+                                 "' for " + label + " '" + path +
+                                 "'");
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out.good()) {
+            out.close();
+            std::remove(tmp.c_str());
+            fatal("failed while writing " + label + " '" + path +
+                  "' (temp file removed; previous contents intact)");
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        fatal("cannot publish " + label + " '" + path +
+              "' (rename from temp failed)");
+    }
 }
 
 SnapshotWriter::SnapshotWriter(std::ostream &os,

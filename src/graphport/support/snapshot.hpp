@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -39,6 +40,18 @@ std::string hexDouble(double v);
 
 /** Zero-padded 16-digit hex of a 64-bit identity hash. */
 std::string hexU64(std::uint64_t v);
+
+/**
+ * Crash-safe whole-file write. @p write renders the full contents
+ * into a memory buffer; the buffer is then written to `<path>.tmp`,
+ * flushed, and renamed over @p path in one atomic step. A crash or
+ * I/O failure at any point leaves the previous file (if any) intact —
+ * the reader never sees a torn write. On failure the temp file is
+ * removed and FatalError names the artefact via @p label (e.g.
+ * "dataset cache").
+ */
+void atomicWriteFile(const std::string &path, const std::string &label,
+                     const std::function<void(std::ostream &)> &write);
 
 /** Writes the header row on construction, records via row(). */
 class SnapshotWriter

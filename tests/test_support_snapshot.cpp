@@ -267,6 +267,91 @@ TEST(SnapshotCacheTest, FailedSaveDegradesToAWarning)
         << warning;
 }
 
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in.good())
+        return "<missing>";
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return std::ifstream(path).good();
+}
+
+} // namespace
+
+TEST(AtomicWriteTest, WritesContentAndLeavesNoTempBehind)
+{
+    const std::string path =
+        ::testing::TempDir() + "graphport_atomic_write_test.txt";
+    std::remove(path.c_str());
+    support::atomicWriteFile(path, "test artefact",
+                             [](std::ostream &os) {
+                                 os << "payload v1\n";
+                             });
+    EXPECT_EQ(readFile(path), "payload v1\n");
+    EXPECT_FALSE(fileExists(path + ".tmp"));
+    std::remove(path.c_str());
+}
+
+TEST(AtomicWriteTest, ReplacesExistingFileAtomically)
+{
+    const std::string path =
+        ::testing::TempDir() + "graphport_atomic_replace_test.txt";
+    support::atomicWriteFile(path, "test artefact",
+                             [](std::ostream &os) { os << "old\n"; });
+    support::atomicWriteFile(path, "test artefact",
+                             [](std::ostream &os) { os << "new\n"; });
+    EXPECT_EQ(readFile(path), "new\n");
+    EXPECT_FALSE(fileExists(path + ".tmp"));
+    std::remove(path.c_str());
+}
+
+TEST(AtomicWriteTest, ThrowingProducerLeavesPreviousContentsIntact)
+{
+    const std::string path =
+        ::testing::TempDir() + "graphport_atomic_throw_test.txt";
+    support::atomicWriteFile(path, "test artefact",
+                             [](std::ostream &os) { os << "keep\n"; });
+    EXPECT_THROW(support::atomicWriteFile(
+                     path, "test artefact",
+                     [](std::ostream &os) {
+                         os << "half-written";
+                         fatal("producer exploded");
+                     }),
+                 FatalError);
+    EXPECT_EQ(readFile(path), "keep\n");
+    EXPECT_FALSE(fileExists(path + ".tmp"));
+    std::remove(path.c_str());
+}
+
+TEST(AtomicWriteTest, UnwritableDirectoryNamesTheArtefact)
+{
+    const std::string path =
+        "/nonexistent-graphport-dir/artefact.txt";
+    try {
+        support::atomicWriteFile(path, "test artefact",
+                                 [](std::ostream &os) {
+                                     os << "doomed\n";
+                                 });
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("test artefact"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find(path), std::string::npos) << what;
+    }
+    EXPECT_FALSE(fileExists(path));
+}
+
 TEST(SnapshotCrossSubsystemTest, LoadersRejectEachOthersMagic)
 {
     // A calib roster is not an index snapshot...

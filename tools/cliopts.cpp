@@ -6,6 +6,7 @@
 
 #include "graphport/obs/obs.hpp"
 #include "graphport/support/error.hpp"
+#include "graphport/support/snapshot.hpp"
 
 namespace graphport {
 namespace cli {
@@ -215,21 +216,19 @@ writeObsFiles(const std::string &cmd, const obs::Obs &o,
               const std::string &traceOut)
 {
     if (!metricsOut.empty()) {
-        std::ofstream out(metricsOut);
-        fatalIf(!out.good(), cmd + ": cannot open " + metricsOut +
-                                 " for writing");
-        obs::writeSummaryJson(out, &o.metrics, &o.tracer);
-        fatalIf(!out.good(),
-                cmd + ": failed while writing " + metricsOut);
+        support::atomicWriteFile(
+            metricsOut, cmd + ": metrics summary",
+            [&](std::ostream &os) {
+                obs::writeSummaryJson(os, &o.metrics, &o.tracer);
+            });
         std::printf("metrics written to %s\n", metricsOut.c_str());
     }
     if (!traceOut.empty()) {
-        std::ofstream out(traceOut);
-        fatalIf(!out.good(), cmd + ": cannot open " + traceOut +
-                                 " for writing");
-        obs::writeChromeTrace(out, o.tracer);
-        fatalIf(!out.good(),
-                cmd + ": failed while writing " + traceOut);
+        support::atomicWriteFile(
+            traceOut, cmd + ": trace",
+            [&](std::ostream &os) {
+                obs::writeChromeTrace(os, o.tracer);
+            });
         std::printf("trace written to %s\n", traceOut.c_str());
     }
 }

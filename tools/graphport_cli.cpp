@@ -85,6 +85,7 @@
 #include "graphport/sim/costengine.hpp"
 #include "graphport/support/error.hpp"
 #include "graphport/support/mathutil.hpp"
+#include "graphport/support/snapshot.hpp"
 #include "graphport/support/strings.hpp"
 
 #include "cliopts.hpp"
@@ -400,10 +401,9 @@ cmdStudy(const std::vector<std::string> &args)
         std::printf("\njson: %s\n", sweepStats.toJson().c_str());
     }
     if (!outPath.empty()) {
-        std::ofstream out(outPath);
-        fatalIf(!out.good(),
-                "study: cannot open " + outPath + " for writing");
-        ds.saveCsv(out);
+        support::atomicWriteFile(
+            outPath, "study: dataset CSV",
+            [&](std::ostream &os) { ds.saveCsv(os); });
         std::printf("dataset written to %s\n", outPath.c_str());
     }
     cli::writeObsFiles("study", o, metricsOut, traceOut);
@@ -640,10 +640,12 @@ cmdServeBench(const std::vector<std::string> &args)
     }
     result.variants.front().stats.print(std::cout);
 
-    std::ofstream out(outPath);
-    fatalIf(!out.good(),
-            "serve-bench: cannot open " + outPath + " for writing");
-    serve::writeLoadBenchJson(out, result, stream.size(), seed);
+    support::atomicWriteFile(
+        outPath, "serve-bench: perf record",
+        [&](std::ostream &os) {
+            serve::writeLoadBenchJson(os, result, stream.size(),
+                                      seed);
+        });
     std::printf("perf record written to %s\n", outPath.c_str());
     cli::writeObsFiles("serve-bench", o, metricsOut, traceOut);
     return result.allBitIdentical ? 0 : 1;
