@@ -37,8 +37,11 @@ struct Obs;
 
 namespace calib {
 
-/** Calibration snapshot format version. */
-constexpr unsigned kCalibFormatVersion = 1;
+/**
+ * Calibration snapshot format version.
+ * v2: whole-file checksum trailer row (support::SnapshotWriter).
+ */
+constexpr unsigned kCalibFormatVersion = 2;
 
 /** Knobs of one fit. */
 struct FitOptions

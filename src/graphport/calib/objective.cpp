@@ -23,15 +23,6 @@ constexpr double kHingeWeight = 50.0;
 /** Cap on each fingerprint term so the loss stays bounded. */
 constexpr double kTermCap = 1.0e4;
 
-std::uint64_t
-hashStr(const std::string &s)
-{
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (unsigned char c : s)
-        h = splitmix64(h ^ c);
-    return h;
-}
-
 /**
  * One fingerprint's contribution: squared log-distance to the target
  * inside the window, plus a heavily weighted squared log-hinge

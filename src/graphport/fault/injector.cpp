@@ -1,0 +1,252 @@
+#include "graphport/fault/injector.hpp"
+
+#include <cstdlib>
+
+#include "graphport/obs/metrics.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/rng.hpp"
+#include "graphport/support/snapshot.hpp"
+#include "graphport/support/strings.hpp"
+
+namespace graphport {
+namespace fault {
+
+namespace {
+
+std::string
+describe(const std::string &site, std::uint64_t key)
+{
+    return "injected fault at site '" + site + "' (key " +
+           std::to_string(key) + ")";
+}
+
+/**
+ * The pure decision function: does @p rule fire for @p key under
+ * @p seed at the site hashed to @p siteHash? No state, no clock, no
+ * arrival order — this is what makes fault sequences bit-identical
+ * at any thread count.
+ */
+bool
+decide(std::uint64_t seed, std::uint64_t siteHash,
+       const SiteRule &rule, std::uint64_t key)
+{
+    switch (rule.mode) {
+    case SiteRule::Mode::Probability: {
+        const std::uint64_t h = splitmix64(
+            seed ^ splitmix64(siteHash ^ splitmix64(key)));
+        // Top 53 bits -> uniform double in [0, 1).
+        const double u =
+            static_cast<double>(h >> 11) * 0x1.0p-53;
+        return u < rule.probability;
+    }
+    case SiteRule::Mode::Once:
+        return key == rule.n;
+    case SiteRule::Mode::Every:
+        return rule.n != 0 && key % rule.n == 0;
+    case SiteRule::Mode::FirstN:
+        return key < rule.n;
+    }
+    return false;
+}
+
+/**
+ * support::atomicWriteFile fault seam, keyed by a hash of the
+ * destination path (write calls have no natural dense index; the
+ * path names the artefact deterministically).
+ *
+ * Sites: snapshot.write.enospc throws FatalError before any byte
+ * hits the disk (the loadOrRebuild warn path absorbs it);
+ * snapshot.write.short truncates the rendered bytes in half and
+ * snapshot.write.bitflip flips one key-derived bit — both publish a
+ * corrupt file that the reader-side checksum must reject on the next
+ * load; snapshot.rename vetoes publication (temp removed, previous
+ * file intact).
+ */
+void
+applyWriteFaults(std::string &bytes, const std::string &path)
+{
+    const std::uint64_t key = hashStr(path);
+    if (shouldInject("snapshot.write.enospc", key))
+        fatal("injected ENOSPC while writing '" + path + "'");
+    if (shouldInject("snapshot.write.short", key) && bytes.size() > 1)
+        bytes.resize(bytes.size() / 2);
+    if (shouldInject("snapshot.write.bitflip", key) &&
+        !bytes.empty()) {
+        const std::uint64_t pos =
+            splitmix64(key ^ bytes.size()) % bytes.size();
+        bytes[pos] ^= static_cast<char>(
+            1u << (splitmix64(key ^ pos) % 8));
+    }
+}
+
+void
+gateRename(const std::string &path)
+{
+    if (shouldInject("snapshot.rename", hashStr(path)))
+        fatal("injected rename failure publishing '" + path + "'");
+}
+
+} // namespace
+
+InjectedFault::InjectedFault(const std::string &site,
+                             std::uint64_t key)
+    : std::runtime_error(describe(site, key)), site_(site), key_(key)
+{
+}
+
+InjectedCrash::InjectedCrash(const std::string &site,
+                             std::uint64_t key)
+    : std::runtime_error("injected crash at site '" + site +
+                         "' (key " + std::to_string(key) + ")"),
+      site_(site), key_(key)
+{
+}
+
+FaultSchedule
+FaultSchedule::parse(const std::string &spec)
+{
+    FaultSchedule schedule;
+    for (const std::string &rawClause : split(spec, ';')) {
+        const std::string clause = trim(rawClause);
+        if (clause.empty())
+            continue;
+
+        const auto parseCount = [&clause](const std::string &value) {
+            fatalIf(value.empty() ||
+                        value.find_first_not_of("0123456789") !=
+                            std::string::npos,
+                    "fault-spec: expected a non-negative integer in "
+                    "'" +
+                        clause + "'");
+            return std::strtoull(value.c_str(), nullptr, 10);
+        };
+
+        const std::size_t colon = clause.find(':');
+        if (colon == std::string::npos) {
+            // Must be seed=N.
+            const std::size_t eq = clause.find('=');
+            fatalIf(eq == std::string::npos ||
+                        trim(clause.substr(0, eq)) != "seed",
+                    "fault-spec: bad clause '" + clause +
+                        "' (want seed=N or <site>:<rule>)");
+            schedule.seed = parseCount(trim(clause.substr(eq + 1)));
+            continue;
+        }
+
+        const std::string site = trim(clause.substr(0, colon));
+        fatalIf(site.empty(),
+                "fault-spec: empty site in '" + clause + "'");
+        const std::string ruleSpec = trim(clause.substr(colon + 1));
+        const std::size_t eq = ruleSpec.find('=');
+        fatalIf(eq == std::string::npos,
+                "fault-spec: bad rule '" + ruleSpec + "' for site '" +
+                    site + "' (want p=F, once=K, every=N or first=N)");
+        const std::string mode = trim(ruleSpec.substr(0, eq));
+        const std::string value = trim(ruleSpec.substr(eq + 1));
+
+        SiteRule rule;
+        if (mode == "p") {
+            char *end = nullptr;
+            rule.mode = SiteRule::Mode::Probability;
+            rule.probability = std::strtod(value.c_str(), &end);
+            fatalIf(value.empty() ||
+                        end != value.c_str() + value.size() ||
+                        rule.probability < 0.0 ||
+                        rule.probability > 1.0,
+                    "fault-spec: p wants a probability in [0, 1], "
+                    "got '" +
+                        value + "'");
+        } else if (mode == "once") {
+            rule.mode = SiteRule::Mode::Once;
+            rule.n = parseCount(value);
+        } else if (mode == "every") {
+            rule.mode = SiteRule::Mode::Every;
+            rule.n = parseCount(value);
+            fatalIf(rule.n == 0, "fault-spec: every=N needs N >= 1");
+        } else if (mode == "first") {
+            rule.mode = SiteRule::Mode::FirstN;
+            rule.n = parseCount(value);
+        } else {
+            fatal("fault-spec: unknown rule '" + mode +
+                  "' for site '" + site +
+                  "' (want p, once, every or first)");
+        }
+        fatalIf(schedule.sites.count(site) != 0,
+                "fault-spec: site '" + site + "' given twice");
+        schedule.sites[site] = rule;
+    }
+    return schedule;
+}
+
+Injector::Injector(FaultSchedule schedule)
+    : schedule_(std::move(schedule))
+{
+    for (const auto &[site, rule] : schedule_.sites)
+        states_[site].rule = rule;
+}
+
+bool
+Injector::shouldInject(const std::string &site, std::uint64_t key)
+{
+    checked_.fetch_add(1, std::memory_order_relaxed);
+    const auto it = states_.find(site);
+    if (it == states_.end())
+        return false;
+    if (!decide(schedule_.seed, hashStr(site), it->second.rule, key))
+        return false;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    it->second.fired.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+Injector::maybeFault(const std::string &site, std::uint64_t key)
+{
+    if (shouldInject(site, key))
+        throw InjectedFault(site, key);
+}
+
+void
+Injector::maybeCrash(const std::string &site, std::uint64_t key)
+{
+    if (shouldInject(site, key))
+        throw InjectedCrash(site, key);
+}
+
+void
+Injector::mergeInto(obs::MetricsRegistry &metrics) const
+{
+    metrics.counter("fault.checked").add(checkedCount());
+    metrics.counter("fault.injected").add(injectedCount());
+    for (const auto &[site, state] : states_) {
+        const std::uint64_t fired =
+            state.fired.load(std::memory_order_relaxed);
+        if (fired != 0)
+            metrics.counter("fault.injected." + site).add(fired);
+    }
+}
+
+namespace detail {
+std::atomic<Injector *> g_injector{nullptr};
+}
+
+Injector *
+installedInjector()
+{
+    return detail::g_injector.load(std::memory_order_relaxed);
+}
+
+Injector *
+installInjector(Injector *injector)
+{
+    if (injector != nullptr)
+        support::setAtomicWriteFaultHooks(&applyWriteFaults,
+                                          &gateRename);
+    else
+        support::setAtomicWriteFaultHooks(nullptr, nullptr);
+    return detail::g_injector.exchange(injector,
+                                       std::memory_order_acq_rel);
+}
+
+} // namespace fault
+} // namespace graphport

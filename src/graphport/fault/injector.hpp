@@ -1,0 +1,235 @@
+/**
+ * @file
+ * graphport::fault — deterministic, seed-driven fault injection.
+ *
+ * A FaultSchedule names injection sites ("snapshot.write.bitflip",
+ * "serve.lookup", "sweep.crash", ...) and gives each a firing rule;
+ * an Injector evaluates those rules as a pure function of
+ * (seed, site, key), so whether a given check fires never depends on
+ * thread count, arrival order, or wall clock — the hard determinism
+ * bar for the chaos suites is that the same seed + schedule produce
+ * bit-identical fault sequences at any parallelism.
+ *
+ * The key is chosen by the call site to name the unit of work being
+ * checked: the sweep crash site keys by cell work index, the serve
+ * lookup site keys by a (query, tier, attempt) mix, snapshot write
+ * sites key by a hash of the destination path. Keyed decisions are
+ * what make "--fault-spec 'seed=1;sweep.crash:once=500'" mean "crash
+ * when pricing cell 500" rather than "crash on the 500th check some
+ * thread happens to make".
+ *
+ * Schedule grammar (--fault-spec): semicolon-separated clauses.
+ *   seed=N             decision seed (default 0)
+ *   <site>:p=F         fire with probability F per key (keyed hash)
+ *   <site>:once=K      fire exactly when key == K
+ *   <site>:every=N     fire when key % N == 0
+ *   <site>:first=N     fire when key < N
+ * Example: "seed=42;serve.lookup:p=0.25;snapshot.rename:once=0".
+ *
+ * Faults are delivered as exceptions: InjectedFault is retryable
+ * (the serve layer retries/degrades past it), InjectedCrash is the
+ * kill-9 equivalent (the CLI converts it to exit code 137 so CI can
+ * rehearse crash/resume without actually signalling the process).
+ *
+ * Installation is an atomic pointer: with no injector installed,
+ * every hook is one relaxed load + branch — zero overhead on the
+ * production path (bench_serve_latency budgets < 1%).
+ */
+#ifndef GRAPHPORT_FAULT_INJECTOR_HPP
+#define GRAPHPORT_FAULT_INJECTOR_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace graphport {
+namespace obs {
+class MetricsRegistry;
+}
+
+namespace fault {
+
+/** A retryable injected failure (I/O hiccup, lookup fault, ...). */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    InjectedFault(const std::string &site, std::uint64_t key);
+
+    const std::string &site() const { return site_; }
+    std::uint64_t key() const { return key_; }
+
+  private:
+    std::string site_;
+    std::uint64_t key_;
+};
+
+/**
+ * A kill-9-equivalent injected crash. Nothing below the process
+ * entry point may catch this: the CLI converts it to exit code 137,
+ * leaving whatever was durably written (checkpoints, renamed
+ * snapshots) behind for the resume path to prove itself on.
+ */
+class InjectedCrash : public std::runtime_error
+{
+  public:
+    InjectedCrash(const std::string &site, std::uint64_t key);
+
+    const std::string &site() const { return site_; }
+    std::uint64_t key() const { return key_; }
+
+  private:
+    std::string site_;
+    std::uint64_t key_;
+};
+
+/** One site's firing rule. */
+struct SiteRule
+{
+    enum class Mode
+    {
+        Probability, ///< p=F: keyed hash < F
+        Once,        ///< once=K: key == K
+        Every,       ///< every=N: key % N == 0
+        FirstN,      ///< first=N: key < N
+    };
+
+    Mode mode = Mode::Probability;
+    double probability = 0.0;
+    std::uint64_t n = 0;
+};
+
+/**
+ * Parsed --fault-spec: a seed plus per-site rules. parse() throws
+ * FatalError with a grammar diagnostic on any malformed clause.
+ */
+struct FaultSchedule
+{
+    std::uint64_t seed = 0;
+    std::map<std::string, SiteRule> sites;
+
+    static FaultSchedule parse(const std::string &spec);
+
+    bool empty() const { return sites.empty(); }
+};
+
+/**
+ * Evaluates a FaultSchedule. shouldInject(site, key) is a pure
+ * function of (seed, site, key); the injector only adds counting on
+ * top (fault.checked / fault.injected / fault.injected.<site>),
+ * which is atomic and therefore safe from any thread.
+ */
+class Injector
+{
+  public:
+    explicit Injector(FaultSchedule schedule);
+
+    /** Decide (and count) whether @p site fires for @p key. */
+    bool shouldInject(const std::string &site, std::uint64_t key);
+
+    /** Throw InjectedFault when the site fires. */
+    void maybeFault(const std::string &site, std::uint64_t key);
+
+    /** Throw InjectedCrash when the site fires. */
+    void maybeCrash(const std::string &site, std::uint64_t key);
+
+    std::uint64_t checkedCount() const
+    {
+        return checked_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t injectedCount() const
+    {
+        return injected_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Fold fault.checked, fault.injected and per-site
+     * fault.injected.<site> counters into @p metrics.
+     */
+    void mergeInto(obs::MetricsRegistry &metrics) const;
+
+    const FaultSchedule &schedule() const { return schedule_; }
+
+  private:
+    struct SiteState
+    {
+        SiteRule rule;
+        std::atomic<std::uint64_t> fired{0};
+    };
+
+    FaultSchedule schedule_;
+    std::map<std::string, SiteState> states_;
+    std::atomic<std::uint64_t> checked_{0};
+    std::atomic<std::uint64_t> injected_{0};
+};
+
+/** The installed injector, or nullptr when injection is disabled. */
+Injector *installedInjector();
+
+/**
+ * Install @p injector globally (nullptr disables). Returns the
+ * previously installed injector. Not for concurrent (un)install —
+ * install before fanning work out, uninstall after joining.
+ */
+Injector *installInjector(Injector *injector);
+
+/** RAII install-for-a-scope; restores the previous injector. */
+class ScopedInjector
+{
+  public:
+    explicit ScopedInjector(Injector *injector)
+        : previous_(installInjector(injector))
+    {
+    }
+
+    ~ScopedInjector() { installInjector(previous_); }
+
+    ScopedInjector(const ScopedInjector &) = delete;
+    ScopedInjector &operator=(const ScopedInjector &) = delete;
+
+  private:
+    Injector *previous_;
+};
+
+namespace detail {
+extern std::atomic<Injector *> g_injector;
+}
+
+/**
+ * Hot-path hook: false immediately (one relaxed load + branch) when
+ * no injector is installed.
+ */
+inline bool
+shouldInject(const char *site, std::uint64_t key)
+{
+    Injector *inj =
+        detail::g_injector.load(std::memory_order_relaxed);
+    return inj != nullptr && inj->shouldInject(site, key);
+}
+
+/** Throw InjectedFault when @p site fires for @p key. */
+inline void
+maybeFault(const char *site, std::uint64_t key)
+{
+    Injector *inj =
+        detail::g_injector.load(std::memory_order_relaxed);
+    if (inj != nullptr)
+        inj->maybeFault(site, key);
+}
+
+/** Throw InjectedCrash when @p site fires for @p key. */
+inline void
+maybeCrash(const char *site, std::uint64_t key)
+{
+    Injector *inj =
+        detail::g_injector.load(std::memory_order_relaxed);
+    if (inj != nullptr)
+        inj->maybeCrash(site, key);
+}
+
+} // namespace fault
+} // namespace graphport
+
+#endif // GRAPHPORT_FAULT_INJECTOR_HPP

@@ -4,6 +4,7 @@
 #include <bit>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <unordered_map>
@@ -24,16 +25,6 @@ namespace graphport {
 namespace runner {
 
 namespace {
-
-/** Deterministic 64-bit hash of a string. */
-std::uint64_t
-hashStr(const std::string &s)
-{
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (unsigned char c : s)
-        h = splitmix64(h ^ c);
-    return h;
-}
 
 /**
  * Test-identity part of the per-run seed chain. Splitting the chain
@@ -451,19 +442,26 @@ Dataset::build(const Universe &universe, const BuildOptions &options)
 void
 Dataset::saveCsv(std::ostream &os) const
 {
-    os << "app,input,chip,config,run,ns\n";
+    // Chained line checksum, mirrored by loadCsv: a bit flipped
+    // anywhere — even inside a timing digit — fails the trailer.
+    std::uint64_t sum = support::kSnapshotSumInit;
+    const auto emit = [&](const std::string &line) {
+        sum = splitmix64(sum ^ hashStr(line));
+        os << line << "\n";
+    };
+    emit("app,input,chip,config,run,ns");
     for (std::size_t t = 0; t < numTests(); ++t) {
         const Test test = testAt(t);
         for (unsigned cfg = 0; cfg < numConfigs(); ++cfg) {
             const auto &rs = runs(t, cfg);
             for (unsigned r = 0; r < rs.size(); ++r) {
-                os << csvRow({test.app, test.input, test.chip,
-                              std::to_string(cfg), std::to_string(r),
-                              fmtDouble(rs[r], 3)})
-                   << "\n";
+                emit(csvRow({test.app, test.input, test.chip,
+                             std::to_string(cfg), std::to_string(r),
+                             fmtDouble(rs[r], 3)}));
             }
         }
     }
+    os << "# sum " << support::hexU64(sum) << "\n";
 }
 
 Dataset
@@ -499,9 +497,29 @@ Dataset::loadCsv(const Universe &universe, std::istream &is)
     fatalIf(!std::getline(is, line), "Dataset CSV: empty file");
     fatalIf(trim(line) != "app,input,chip,config,run,ns",
             "Dataset CSV: unexpected header: " + line);
+    std::uint64_t sum =
+        splitmix64(support::kSnapshotSumInit ^ hashStr(line));
+    bool sawTrailer = false;
     while (std::getline(is, line)) {
         if (trim(line).empty())
             continue;
+        if (startsWith(trim(line), "#")) {
+            // "# sum <hex>" trailer: must be last, must match.
+            const std::vector<std::string> parts =
+                split(trim(line), ' ');
+            fatalIf(parts.size() != 3 || parts[1] != "sum",
+                    "Dataset CSV: bad trailer: " + line);
+            fatalIf(parts[2] != support::hexU64(sum),
+                    "Dataset CSV: checksum mismatch (stored " +
+                        parts[2] + ", computed " +
+                        support::hexU64(sum) +
+                        "); the file is corrupt");
+            sawTrailer = true;
+            continue;
+        }
+        fatalIf(sawTrailer,
+                "Dataset CSV: data after the checksum trailer");
+        sum = splitmix64(sum ^ hashStr(line));
         const std::vector<std::string> f = csvParseLine(line);
         fatalIf(f.size() != 6, "Dataset CSV: bad row: " + line);
         const std::size_t a = indexOf(appIdx, f[0], "app");
@@ -510,16 +528,35 @@ Dataset::loadCsv(const Universe &universe, std::istream &is)
         const std::size_t test =
             (a * universe.inputs.size() + i) * universe.chips.size() +
             c;
-        const unsigned cfg = static_cast<unsigned>(std::stoul(f[3]));
-        const unsigned run = static_cast<unsigned>(std::stoul(f[4]));
-        fatalIf(cfg >= ds.numConfigs() || run >= universe.runs,
+        // Strict, non-throwing numeric parsing: fuzzed bytes must hit
+        // a cause-labelled reject, never an uncaught std::stoul
+        // exception. Overflow saturates and fails the range check.
+        const auto parseCount = [&line](const std::string &s) {
+            fatalIf(s.empty() ||
+                        s.find_first_not_of("0123456789") !=
+                            std::string::npos,
+                    "Dataset CSV: bad count in row: " + line);
+            return std::strtoull(s.c_str(), nullptr, 10);
+        };
+        const std::uint64_t cfg64 = parseCount(f[3]);
+        const std::uint64_t run64 = parseCount(f[4]);
+        fatalIf(cfg64 >= ds.numConfigs() || run64 >= universe.runs,
                 "Dataset CSV: index out of range: " + line);
+        const unsigned cfg = static_cast<unsigned>(cfg64);
+        const unsigned run = static_cast<unsigned>(run64);
         double &slot =
             ds.runsNs_[(test * ds.numConfigs() + cfg) * universe.runs +
                        run];
         fatalIf(slot >= 0.0, "Dataset CSV: duplicate row: " + line);
-        slot = std::stod(f[5]);
+        char *end = nullptr;
+        const double ns = std::strtod(f[5].c_str(), &end);
+        fatalIf(f[5].empty() || end != f[5].c_str() + f[5].size() ||
+                    !(ns >= 0.0),
+                "Dataset CSV: bad timing in row: " + line);
+        slot = ns;
     }
+    fatalIf(!sawTrailer, "Dataset CSV: missing checksum trailer "
+                         "(truncated file?)");
     for (double v : ds.runsNs_)
         fatalIf(v < 0.0, "Dataset CSV: missing cells for universe");
     ds.finalise();

@@ -108,13 +108,17 @@ class Dataset
                                      const std::string &path,
                                      const BuildOptions &options = {});
 
-    /** Serialise to CSV (one row per run). */
+    /**
+     * Serialise to CSV (one row per run), ending with a
+     * "# sum <hex>" checksum trailer over every preceding line.
+     */
     void saveCsv(std::ostream &os) const;
 
     /**
      * Deserialise from CSV produced by saveCsv for the same universe.
      *
-     * @throws FatalError when the file does not match the universe.
+     * @throws FatalError when the file does not match the universe,
+     *         is truncated (missing trailer), or fails the checksum.
      */
     static Dataset loadCsv(const Universe &universe, std::istream &is);
 

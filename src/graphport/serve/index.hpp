@@ -36,8 +36,11 @@
 namespace graphport {
 namespace serve {
 
-/** Snapshot format version this build writes and reads. */
-constexpr unsigned kIndexFormatVersion = 1;
+/**
+ * Snapshot format version this build writes and reads.
+ * v2: whole-file checksum trailer row (support::SnapshotWriter).
+ */
+constexpr unsigned kIndexFormatVersion = 2;
 
 /** One k-NN training example (one test of the source dataset). */
 struct PredictorExample

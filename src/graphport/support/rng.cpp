@@ -15,6 +15,15 @@ splitmix64(std::uint64_t x)
     return x ^ (x >> 31);
 }
 
+std::uint64_t
+hashStr(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s)
+        h = splitmix64(h ^ c);
+    return h;
+}
+
 namespace {
 
 std::uint64_t

@@ -11,6 +11,7 @@
 #define GRAPHPORT_SUPPORT_RNG_HPP
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace graphport {
@@ -23,6 +24,13 @@ namespace graphport {
  * @return The mixed 64-bit output.
  */
 std::uint64_t splitmix64(std::uint64_t x);
+
+/**
+ * Deterministic 64-bit hash of a string (byte-wise splitmix64
+ * chain). Stable across platforms and runs — used for identity
+ * hashes, seed derivation, and keyed fault decisions.
+ */
+std::uint64_t hashStr(const std::string &s);
 
 /**
  * Deterministic pseudo-random number generator (xoshiro256**).

@@ -7,11 +7,27 @@
 #include <ostream>
 #include <sstream>
 
+#include <atomic>
+
 #include "graphport/support/csv.hpp"
+#include "graphport/support/rng.hpp"
 #include "graphport/support/strings.hpp"
 
 namespace graphport {
 namespace support {
+
+namespace {
+std::atomic<AtomicWriteMutator> g_writeMutator{nullptr};
+std::atomic<AtomicWriteGate> g_writeGate{nullptr};
+} // namespace
+
+void
+setAtomicWriteFaultHooks(AtomicWriteMutator mutate,
+                         AtomicWriteGate gate)
+{
+    g_writeMutator.store(mutate, std::memory_order_release);
+    g_writeGate.store(gate, std::memory_order_release);
+}
 
 std::string
 hexDouble(double v)
@@ -36,7 +52,14 @@ atomicWriteFile(const std::string &path, const std::string &label,
     // Render first: if the producer throws, the disk is untouched.
     std::ostringstream buffer;
     write(buffer);
-    const std::string bytes = buffer.str();
+    std::string bytes = buffer.str();
+
+    // Fault seam: simulated ENOSPC (throws) or a torn/bit-flipped
+    // write (mutates bytes); reader-side checksums must catch the
+    // latter on the next load.
+    if (AtomicWriteMutator mutate =
+            g_writeMutator.load(std::memory_order_relaxed))
+        mutate(bytes, path);
 
     const std::string tmp = path + ".tmp";
     {
@@ -53,6 +76,15 @@ atomicWriteFile(const std::string &path, const std::string &label,
             std::remove(tmp.c_str());
             fatal("failed while writing " + label + " '" + path +
                   "' (temp file removed; previous contents intact)");
+        }
+    }
+    if (AtomicWriteGate gate =
+            g_writeGate.load(std::memory_order_relaxed)) {
+        try {
+            gate(path);
+        } catch (...) {
+            std::remove(tmp.c_str());
+            throw;
         }
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -73,12 +105,15 @@ SnapshotWriter::SnapshotWriter(std::ostream &os,
 void
 SnapshotWriter::row(const std::vector<std::string> &fields)
 {
-    os_ << csvRow(fields) << "\n";
+    const std::string line = csvRow(fields);
+    sum_ = splitmix64(sum_ ^ hashStr(line));
+    os_ << line << "\n";
 }
 
 void
 SnapshotWriter::end()
 {
+    os_ << csvRow({"sum", hexU64(sum_)}) << "\n";
     os_ << "end\n";
 }
 
@@ -112,7 +147,12 @@ SnapshotReader::nextRow()
     while (std::getline(is_, line)) {
         if (trim(line).empty())
             continue;
-        return csvParseLine(line);
+        std::vector<std::string> row = csvParseLine(line);
+        // Mirror the writer's chained checksum over every record
+        // line; the sum/end trailer rows are not part of the sum.
+        if (!row.empty() && row[0] != "sum" && row[0] != "end")
+            sum_ = splitmix64(sum_ ^ hashStr(line));
+        return row;
     }
     reject("truncated (missing 'end' marker)");
 }
@@ -133,6 +173,15 @@ SnapshotReader::expect(const std::string &keyword,
 void
 SnapshotReader::expectEnd()
 {
+    const std::uint64_t sum = sum_;
+    const std::vector<std::string> row = expect("sum", 2);
+    // Textual compare against the canonical lowercase rendering: the
+    // sum row is outside its own checksum, and a case-insensitive
+    // hex *parse* would let a bit 5 flip ('a' -> 'A') through.
+    rejectIf(row[1] != hexU64(sum),
+             "whole-file checksum mismatch (stored " + row[1] +
+                 ", computed " + hexU64(sum) +
+                 "); the snapshot is corrupt");
     expect("end", 1);
 }
 

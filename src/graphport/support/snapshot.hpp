@@ -7,9 +7,11 @@
  * warn-and-rebuild load semantics.
  *
  * Format: one CSV row per record; the first row is `<magic>,<version>`
- * and the last is `end`, so truncation is always detectable. Doubles
- * travel as C99 hexfloats (%a) and 64-bit hashes as zero-padded hex,
- * both bit-exact across save/load.
+ * and the last two are `sum,<hex64>` (a chained hash of every
+ * preceding line, so a flipped bit anywhere in the file — even inside
+ * a hexfloat digit — is detected) and `end`, so truncation is always
+ * detectable. Doubles travel as C99 hexfloats (%a) and 64-bit hashes
+ * as zero-padded hex, both bit-exact across save/load.
  *
  * Reject policy: every structural defect throws FatalError with a
  * message of the form "<label>: <cause>" where the label names the
@@ -53,6 +55,9 @@ std::string hexU64(std::uint64_t v);
 void atomicWriteFile(const std::string &path, const std::string &label,
                      const std::function<void(std::ostream &)> &write);
 
+/** Initial value of the chained whole-file checksum. */
+constexpr std::uint64_t kSnapshotSumInit = 0x67726170686f7274ull;
+
 /** Writes the header row on construction, records via row(). */
 class SnapshotWriter
 {
@@ -63,11 +68,15 @@ class SnapshotWriter
     /** Write one record row. */
     void row(const std::vector<std::string> &fields);
 
-    /** Write the `end` marker; the snapshot is complete after this. */
+    /**
+     * Write the `sum` checksum row and the `end` marker; the
+     * snapshot is complete after this.
+     */
     void end();
 
   private:
     std::ostream &os_;
+    std::uint64_t sum_ = kSnapshotSumInit;
 };
 
 /**
@@ -95,7 +104,10 @@ class SnapshotReader
     std::vector<std::string> expect(const std::string &keyword,
                                     std::size_t minFields);
 
-    /** Require the `end` marker next. */
+    /**
+     * Require the `sum` checksum row (verified against every line
+     * read so far) followed by the `end` marker.
+     */
     void expectEnd();
 
     /** Throw FatalError("<label>: <cause>"). */
@@ -126,7 +138,23 @@ class SnapshotReader
 
     std::istream &is_;
     std::string label_;
+    std::uint64_t sum_ = kSnapshotSumInit;
 };
+
+/**
+ * Test/fault seams for atomicWriteFile. @p mutate may corrupt the
+ * rendered bytes (torn or bit-flipped write) or throw FatalError
+ * (simulated ENOSPC) before the temp file is written; @p gate may
+ * throw FatalError to veto the final rename (the temp file is then
+ * removed). Pass nullptr to clear. Installed by graphport::fault
+ * when a fault injector with snapshot.* sites is active; the
+ * production path costs one relaxed atomic load per write.
+ */
+using AtomicWriteMutator = void (*)(std::string &bytes,
+                                    const std::string &path);
+using AtomicWriteGate = void (*)(const std::string &path);
+void setAtomicWriteFaultHooks(AtomicWriteMutator mutate,
+                              AtomicWriteGate gate);
 
 /**
  * The warn-and-rebuild cache protocol shared by

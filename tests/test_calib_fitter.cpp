@@ -14,6 +14,7 @@
 #include "graphport/calib/params.hpp"
 #include "graphport/sim/chip.hpp"
 #include "graphport/support/error.hpp"
+#include "testutil.hpp"
 
 using namespace graphport;
 
@@ -175,23 +176,38 @@ TEST(CalibFitter, LoadFailsWithCause)
     expectRejects("not,a,snapshot\n", "bad magic");
     {
         std::string wrongVersion = snapshot;
-        wrongVersion.replace(wrongVersion.find(",1"), 2, ",99");
+        const std::string header = "graphport-calib,2";
+        ASSERT_EQ(wrongVersion.rfind(header, 0), 0u);
+        wrongVersion.replace(0, header.size(),
+                             "graphport-calib,99");
         expectRejects(wrongVersion, "format version");
     }
     {
-        // Flip the stored objective hash: the fit is stale.
+        // Flip the stored objective hash (and reseal the file-level
+        // checksum): the fit is semantically stale.
         std::string stale = snapshot;
         const std::size_t at = stale.find("chip,GTX1080,") +
                                std::string("chip,GTX1080,").size();
         stale[at] = stale[at] == '0' ? '1' : '0';
-        expectRejects(stale, "different objective");
+        expectRejects(testutil::resealSnapshot(stale),
+                      "different objective");
     }
     {
         std::string drifted = snapshot;
         drifted.replace(drifted.find("param,contendedRmwNs"),
                         std::string("param,contendedRmwNs").size(),
                         "param,nonexistentKnob");
-        expectRejects(drifted, "registry drift");
+        expectRejects(testutil::resealSnapshot(drifted),
+                      "registry drift");
+    }
+    // A tampered sum row trips the whole-file checksum.
+    {
+        std::string badSum = snapshot;
+        const std::size_t at = badSum.find("\nsum,");
+        ASSERT_NE(at, std::string::npos);
+        char &digit = badSum[at + 5];
+        digit = digit == '0' ? '1' : '0';
+        expectRejects(badSum, "checksum mismatch");
     }
     expectRejects(snapshot.substr(0, snapshot.size() / 2),
                   "truncated");

@@ -153,7 +153,7 @@ TEST(ServeIndex, ForeignFileFailsWithBadMagic)
 TEST(ServeIndex, VersionMismatchNamesBothVersions)
 {
     std::string text = savedSnapshot();
-    const std::string header = "graphport-index,1";
+    const std::string header = "graphport-index,2";
     ASSERT_EQ(text.rfind(header, 0), 0u);
     text.replace(0, header.size(), "graphport-index,999");
     std::istringstream is(text);
@@ -164,7 +164,7 @@ TEST(ServeIndex, VersionMismatchNamesBothVersions)
         const std::string what = e.what();
         EXPECT_NE(what.find("format version 999"), std::string::npos)
             << what;
-        EXPECT_NE(what.find("this build reads 1"), std::string::npos)
+        EXPECT_NE(what.find("this build reads 2"), std::string::npos)
             << what;
         EXPECT_NE(what.find("rebuild the index"), std::string::npos)
             << what;
@@ -275,12 +275,15 @@ TEST(ServeIndex, BuildOrLoadCachedWarnsAndRebuildsOnCorruptFile)
 TEST(ServeIndex, BuildOrLoadCachedWarnsAndRebuildsOnHashMismatch)
 {
     const std::string path = tempPath("index_stale.gpi");
-    // A valid snapshot, but from a tampered-hash "other" dataset.
+    // A valid snapshot, but from a tampered-hash "other" dataset —
+    // resealed so the whole-file checksum passes and the *semantic*
+    // staleness guard is what rejects it.
     std::string text = savedSnapshot();
     const std::size_t pos = text.find("dataset_hash,");
     ASSERT_NE(pos, std::string::npos);
     const std::size_t val = pos + std::string("dataset_hash,").size();
     text.replace(val, 16, "deadbeefdeadbeef");
+    text = testutil::resealSnapshot(text);
     {
         std::ofstream out(path);
         out << text;

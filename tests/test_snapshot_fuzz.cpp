@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Snapshot fuzz suite: seeded random truncations, bit flips and
+ * garbage headers over every persisted artefact format — the index
+ * snapshot (.gpi), the calibration roster (.gpc) and the dataset
+ * cache CSV. The robustness bar: every corruption is rejected with a
+ * cause-labelled FatalError; no mutation may crash the loader with a
+ * foreign exception, and none may be silently accepted.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "graphport/calib/fitter.hpp"
+#include "graphport/runner/dataset.hpp"
+#include "graphport/serve/index.hpp"
+#include "graphport/sim/chip.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/rng.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+
+namespace {
+
+/** Deterministic fuzz stream (no std::random machinery). */
+class FuzzRng
+{
+  public:
+    explicit FuzzRng(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next()
+    {
+        state_ += 0x9e3779b97f4a7c15ull;
+        return splitmix64(state_);
+    }
+
+    /** Uniform in [0, n). */
+    std::size_t below(std::size_t n) { return next() % n; }
+
+  private:
+    std::uint64_t state_;
+};
+
+/** A loader under test: parses @p text or throws FatalError. */
+using Loader = std::function<void(const std::string &text)>;
+
+/**
+ * Drive one loader through the three corruption families. Every
+ * mutated text must raise FatalError with a non-empty message; an
+ * uncaught foreign exception fails the NeverCrashes bar and a clean
+ * return is a silent accept.
+ */
+void
+fuzzLoader(const std::string &pristine, const Loader &load,
+           std::uint64_t seed)
+{
+    // Sanity: the loaders accept their own pristine bytes.
+    ASSERT_NO_THROW(load(pristine)) << "pristine artefact rejected";
+    ASSERT_GE(pristine.size(), 16u);
+
+    unsigned rejected = 0;
+    const auto mustReject = [&](const std::string &mutated,
+                                const std::string &what) {
+        try {
+            load(mutated);
+            FAIL() << what << ": silently accepted";
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()), "")
+                << what << ": reject carries no cause";
+            ++rejected;
+        } catch (const std::exception &e) {
+            FAIL() << what << ": foreign exception instead of a "
+                   << "cause-labelled FatalError: " << e.what();
+        }
+    };
+
+    FuzzRng rng(seed);
+
+    // Truncations. Cutting at size-1 only drops the final newline,
+    // which parses identically — every shorter cut loses a row, the
+    // checksum trailer or the end marker and must be rejected.
+    for (unsigned i = 0; i < 48; ++i) {
+        const std::size_t cut = rng.below(pristine.size() - 1);
+        mustReject(pristine.substr(0, cut),
+                   "truncation at byte " + std::to_string(cut));
+    }
+
+    // Single-bit flips anywhere in the file: the whole-file checksum
+    // (or a stricter structural check upstream of it) must fire.
+    for (unsigned i = 0; i < 48; ++i) {
+        const std::size_t pos = rng.below(pristine.size());
+        std::string flipped = pristine;
+        flipped[pos] = static_cast<char>(
+            static_cast<unsigned char>(flipped[pos]) ^
+            (1u << rng.below(8)));
+        mustReject(flipped, "bit flip at byte " +
+                                std::to_string(pos));
+    }
+
+    // Garbage headers: the first line replaced with random printable
+    // noise — the magic/version guard rejects before anything else.
+    for (unsigned i = 0; i < 16; ++i) {
+        std::string garbage;
+        const std::size_t len = 1 + rng.below(40);
+        for (std::size_t c = 0; c < len; ++c)
+            garbage += static_cast<char>(' ' + rng.below(95));
+        const std::size_t eol = pristine.find('\n');
+        mustReject(garbage + pristine.substr(eol),
+                   "garbage header '" + garbage + "'");
+    }
+
+    EXPECT_EQ(rejected, 48u + 48u + 16u);
+}
+
+std::string
+indexSnapshotText()
+{
+    std::ostringstream os;
+    serve::StrategyIndex::build(testutil::smallDataset()).save(os);
+    return os.str();
+}
+
+std::string
+calibRosterText()
+{
+    calib::FitOptions opts;
+    opts.starts = 1;
+    opts.maxIters = 40;
+    const sim::ChipModel &base = sim::chipByName("M4000");
+    const std::vector<calib::FitResult> fits = {
+        calib::fitChip(calib::Objective(base), base, opts)};
+    std::ostringstream os;
+    calib::saveRoster(fits, os);
+    return os.str();
+}
+
+std::string
+datasetCsvText()
+{
+    std::ostringstream os;
+    testutil::smallDataset().saveCsv(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(SnapshotFuzz, IndexSnapshotNeverCrashesNeverAccepts)
+{
+    fuzzLoader(indexSnapshotText(),
+               [](const std::string &text) {
+                   std::istringstream is(text);
+                   serve::StrategyIndex::load(is, "'fuzz'");
+               },
+               /*seed=*/0x6770695f667a7aull);
+}
+
+TEST(SnapshotFuzz, CalibRosterNeverCrashesNeverAccepts)
+{
+    fuzzLoader(calibRosterText(),
+               [](const std::string &text) {
+                   std::istringstream is(text);
+                   calib::loadRoster(is, "fuzz");
+               },
+               /*seed=*/0x6770635f667a7aull);
+}
+
+TEST(SnapshotFuzz, DatasetCacheNeverCrashesNeverAccepts)
+{
+    const runner::Universe universe =
+        testutil::smallDataset().universe();
+    fuzzLoader(datasetCsvText(),
+               [&universe](const std::string &text) {
+                   std::istringstream is(text);
+                   runner::Dataset::loadCsv(universe, is);
+               },
+               /*seed=*/0x6473657400667aull);
+}
+
+// Different fuzz seeds explore different corruption sets; a second
+// seed doubles coverage cheaply and guards against a lucky first
+// seed.
+TEST(SnapshotFuzz, SecondSeedIndexSnapshot)
+{
+    fuzzLoader(indexSnapshotText(),
+               [](const std::string &text) {
+                   std::istringstream is(text);
+                   serve::StrategyIndex::load(is, "'fuzz'");
+               },
+               /*seed=*/0xdeadbeef12345678ull);
+}

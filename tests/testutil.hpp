@@ -7,10 +7,16 @@
 #ifndef GRAPHPORT_TESTS_TESTUTIL_HPP
 #define GRAPHPORT_TESTS_TESTUTIL_HPP
 
+#include <string>
+#include <vector>
+
 #include "graphport/graph/builder.hpp"
 #include "graphport/graph/csr.hpp"
 #include "graphport/runner/dataset.hpp"
 #include "graphport/runner/universe.hpp"
+#include "graphport/support/rng.hpp"
+#include "graphport/support/snapshot.hpp"
+#include "graphport/support/strings.hpp"
 
 namespace graphport {
 namespace testutil {
@@ -95,6 +101,30 @@ smallAllChipDataset()
     static const runner::Dataset ds =
         runner::Dataset::build(runner::smallUniverse(3));
     return ds;
+}
+
+/**
+ * Recompute the `sum` checksum row of a (possibly tampered) snapshot
+ * text so that tampering tests exercise the *semantic* reject they
+ * target instead of tripping the whole-file checksum first.
+ */
+inline std::string
+resealSnapshot(const std::string &text)
+{
+    std::uint64_t sum = support::kSnapshotSumInit;
+    std::string out;
+    for (const std::string &line : split(text, '\n')) {
+        if (trim(line).empty())
+            continue;
+        const std::string head = line.substr(0, line.find(','));
+        if (head == "sum" || head == "end")
+            continue;
+        sum = splitmix64(sum ^ hashStr(line));
+        out += line + "\n";
+    }
+    out += "sum," + support::hexU64(sum) + "\n";
+    out += "end\n";
+    return out;
 }
 
 } // namespace testutil
