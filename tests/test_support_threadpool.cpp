@@ -10,8 +10,10 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "graphport/fault/injector.hpp"
 #include "graphport/support/threadpool.hpp"
 
 using namespace graphport;
@@ -119,6 +121,83 @@ TEST(ThreadPool, PropagatesFirstException)
         count.fetch_add(static_cast<int>(end - begin));
     });
     EXPECT_EQ(count.load(), 10);
+}
+
+// The hardening contract at every pool width: a throwing chunk's
+// payload survives verbatim (first exception wins, none are lost in
+// the drain), and the pool is immediately reusable.
+TEST(ThreadPool, ThrowingChunkPayloadSurvivesAtAnyWidth)
+{
+    for (unsigned threads : {1u, 4u, 8u}) {
+        ThreadPool pool(threads);
+        try {
+            pool.parallelFor(64,
+                             [&](std::size_t begin, std::size_t) {
+                                 if (begin == 12)
+                                     throw std::runtime_error(
+                                         "chunk 12 failed");
+                             },
+                             /*chunk=*/4);
+            FAIL() << threads << " threads: exception swallowed";
+        } catch (const std::runtime_error &e) {
+            EXPECT_EQ(std::string(e.what()), "chunk 12 failed")
+                << threads << " threads";
+        }
+        // Immediately reusable, full coverage.
+        std::atomic<unsigned> count{0};
+        pool.parallelFor(32, [&](std::size_t b, std::size_t e) {
+            count.fetch_add(static_cast<unsigned>(e - b));
+        });
+        EXPECT_EQ(count.load(), 32u) << threads << " threads";
+    }
+}
+
+// After a throw the loop drains: no new chunks start, so far fewer
+// than n indices are visited when an early chunk fails.
+TEST(ThreadPool, ThrowDrainsRemainingChunks)
+{
+    ThreadPool pool(4);
+    std::atomic<std::size_t> visited{0};
+    EXPECT_THROW(
+        pool.parallelFor(100000,
+                         [&](std::size_t begin, std::size_t end) {
+                             visited.fetch_add(end - begin);
+                             if (begin == 0)
+                                 throw std::runtime_error("early");
+                         },
+                         /*chunk=*/1),
+        std::runtime_error);
+    // Only chunks already in flight while the drain propagated ran;
+    // a full run would have visited all 100000. The generous bound
+    // keeps the test robust on slow, oversubscribed CI machines.
+    EXPECT_LT(visited.load(), 50000u);
+}
+
+// An injected crash (the kill-9 rehearsal) keeps its type and
+// metadata through the pool's capture/rethrow path, so the process
+// entry point can still translate it to exit code 137.
+TEST(ThreadPool, InjectedCrashPassesThroughTyped)
+{
+    fault::Injector inj(
+        fault::FaultSchedule::parse("sweep.crash:once=37"));
+    fault::ScopedInjector scope(&inj);
+    for (unsigned threads : {1u, 4u}) {
+        ThreadPool pool(threads);
+        try {
+            pool.parallelFor(64,
+                             [](std::size_t begin, std::size_t end) {
+                                 for (std::size_t i = begin; i < end;
+                                      ++i)
+                                     fault::maybeCrash("sweep.crash",
+                                                       i);
+                             },
+                             /*chunk=*/4);
+            FAIL() << threads << " threads: crash swallowed";
+        } catch (const fault::InjectedCrash &e) {
+            EXPECT_EQ(e.site(), "sweep.crash");
+            EXPECT_EQ(e.key(), 37u);
+        }
+    }
 }
 
 TEST(ThreadPool, SingleThreadRunsInline)
