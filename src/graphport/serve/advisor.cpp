@@ -1,7 +1,14 @@
 #include "graphport/serve/advisor.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "graphport/apps/app.hpp"
+#include "graphport/fault/injector.hpp"
+#include "graphport/serve/breaker.hpp"
 #include "graphport/support/error.hpp"
+#include "graphport/support/rng.hpp"
 
 namespace graphport {
 namespace serve {
@@ -15,7 +22,11 @@ Advice::sameAnswer(const Advice &other) const
            expectedSlowdownVsOracle ==
                other.expectedSlowdownVsOracle &&
            partitionSlowdownVsOracle ==
-               other.partitionSlowdownVsOracle;
+               other.partitionSlowdownVsOracle &&
+           intendedTier == other.intendedTier &&
+           degraded == other.degraded &&
+           degradeSteps == other.degradeSteps &&
+           retries == other.retries;
 }
 
 Advisor::Advisor(StrategyIndex index, std::size_t featureCacheCapacity)
@@ -95,18 +106,107 @@ Advisor::lookupFeatures(const std::string &app,
 Advice
 Advisor::advise(const Query &q) const
 {
+    // The resilient path with no installed injector degenerates to
+    // the plain lattice descent (one relaxed atomic load per
+    // covering tier).
+    return adviseResilient(q, 0, ServePolicy{}, nullptr);
+}
+
+Advice
+Advisor::adviseResilient(const Query &q, std::uint64_t queryKey,
+                         const ServePolicy &policy,
+                         CircuitBreaker *breaker) const
+{
+    fatalIf(policy.maxRetries > 9,
+            "ServePolicy: maxRetries must be <= 9 (fault keys "
+            "reserve one digit per attempt)");
     const runner::InputSpec *input = index_.findInput(q.input);
     const bool appKnown = index_.hasApp(q.app);
     const bool chipKnown = index_.hasChip(q.chip);
+
+    std::uint64_t budget = policy.deadlineNs;
+    unsigned retries = 0;
+    unsigned degradeSteps = 0;
+    std::string intendedTier;
+
+    /*
+     * One shard's attempt loop: true when the (possibly injected)
+     * lookup eventually succeeds, false when retries or the deadline
+     * budget are exhausted — the caller then degrades a ladder step.
+     * Everything that can change the outcome is virtual-time
+     * arithmetic over (keyBase, policy, schedule); only the optional
+     * realBackoff sleep touches the wall clock, and the breaker may
+     * skip it without changing any answer.
+     */
+    const auto attempt = [&](const char *site,
+                             std::uint64_t keyBase,
+                             const std::string &shard) {
+        for (unsigned k = 0;; ++k) {
+            if (!fault::shouldInject(site, keyBase + k)) {
+                if (breaker != nullptr)
+                    breaker->onSuccess(shard);
+                return true;
+            }
+            if (breaker != nullptr)
+                breaker->onFailure(shard);
+            if (k == policy.maxRetries)
+                return false;
+            const std::uint64_t backoff =
+                (policy.backoffBaseNs << k) +
+                (policy.backoffBaseNs == 0
+                     ? 0
+                     : splitmix64(keyBase + k) %
+                           policy.backoffBaseNs);
+            if (policy.deadlineNs != 0) {
+                if (backoff > budget)
+                    return false; // deadline: degrade immediately
+                budget -= backoff;
+            }
+            ++retries;
+            if (policy.realBackoff &&
+                (breaker == nullptr || breaker->allowSleep(shard)))
+                std::this_thread::sleep_for(
+                    std::chrono::nanoseconds(std::min<std::uint64_t>(
+                        backoff, 1000000)));
+        }
+    };
+
+    const auto finish = [&](Advice advice) {
+        advice.intendedTier = intendedTier;
+        advice.degraded = degradeSteps > 0;
+        advice.degradeSteps = degradeSteps;
+        advice.retries = retries;
+        return advice;
+    };
+
+    const runner::Test test{q.app, input ? input->name : q.input,
+                            q.chip};
+    const auto answerFromTable =
+        [&](const std::string &name,
+            const port::StrategyTable &table,
+            const std::string &key, unsigned cfg) {
+            Advice advice;
+            advice.config = cfg;
+            advice.configLabel =
+                dsl::OptConfig::decode(cfg).label();
+            advice.tier = name;
+            advice.partition = key;
+            advice.expectedSlowdownVsOracle = table.geomeanVsOracle;
+            const auto slow = table.slowdownByPartition.find(key);
+            advice.partitionSlowdownVsOracle =
+                slow != table.slowdownByPartition.end()
+                    ? slow->second
+                    : table.geomeanVsOracle;
+            return finish(advice);
+        };
 
     if (chipKnown) {
         // Descend the lattice: the most specialised tier all of
         // whose dimensions the study measured answers. "global"
         // specialises nothing, so the loop always terminates there.
-        const runner::Test test{q.app,
-                                input ? input->name : q.input,
-                                q.chip};
-        for (const std::string &name : tierOrder()) {
+        const std::vector<std::string> &order = tierOrder();
+        for (std::size_t t = 0; t < order.size(); ++t) {
+            const std::string &name = order[t];
             const port::StrategyTable &table = index_.table(name);
             if (table.spec.byApp && !appKnown)
                 continue;
@@ -116,20 +216,18 @@ Advisor::advise(const Query &q) const
                 port::partitionKey(table.spec, test);
             const unsigned *cfg = table.configFor(key);
             if (cfg == nullptr)
+                continue; // not covering: plain descent, no penalty
+            if (intendedTier.empty())
+                intendedTier = name;
+            // The global tier is the ladder's floor, exempt from
+            // injection: every covered query has a guaranteed answer.
+            if (name != "global" &&
+                !attempt("serve.lookup", queryKey * 1000 + t * 10,
+                         name)) {
+                ++degradeSteps;
                 continue;
-            Advice advice;
-            advice.config = *cfg;
-            advice.configLabel =
-                dsl::OptConfig::decode(*cfg).label();
-            advice.tier = name;
-            advice.partition = key;
-            advice.expectedSlowdownVsOracle = table.geomeanVsOracle;
-            const auto slow = table.slowdownByPartition.find(key);
-            advice.partitionSlowdownVsOracle =
-                slow != table.slowdownByPartition.end()
-                    ? slow->second
-                    : table.geomeanVsOracle;
-            return advice;
+            }
+            return answerFromTable(name, table, key, *cfg);
         }
         panic("Advisor: lattice descent fell through the global "
               "tier");
@@ -137,27 +235,43 @@ Advisor::advise(const Query &q) const
 
     // Unknown chip: no descriptive tier applies (configurations do
     // not transfer across chips); predict from workload features.
-    Advice advice;
-    advice.predictive = true;
-    advice.tier = "predictive";
-    advice.expectedSlowdownVsOracle = index_.predictiveGeomean();
-    advice.partitionSlowdownVsOracle = index_.predictiveGeomean();
-    const std::string inputName = input ? input->name : q.input;
-    const port::WorkloadFeatures features =
-        lookupFeatures(q.app, inputName, &advice.featureSource);
+    intendedTier = "predictive";
+    if (attempt("serve.predict", queryKey * 10, "predictive")) {
+        Advice advice;
+        advice.predictive = true;
+        advice.tier = "predictive";
+        advice.expectedSlowdownVsOracle = index_.predictiveGeomean();
+        advice.partitionSlowdownVsOracle =
+            index_.predictiveGeomean();
+        const std::string inputName = input ? input->name : q.input;
+        const port::WorkloadFeatures features =
+            lookupFeatures(q.app, inputName, &advice.featureSource);
 
-    // port::predictConfig semantics: train on every snapshot example
-    // whose (app, input) pair differs from the query, in test order.
-    port::KnnPredictor predictor(index_.knnK());
-    for (const PredictorExample &e : index_.examples()) {
-        if (e.app == q.app && e.input == inputName)
-            continue;
-        predictor.addExample(e.features, e.bestConfig);
+        // port::predictConfig semantics: train on every snapshot
+        // example whose (app, input) pair differs from the query, in
+        // test order.
+        port::KnnPredictor predictor(index_.knnK());
+        for (const PredictorExample &e : index_.examples()) {
+            if (e.app == q.app && e.input == inputName)
+                continue;
+            predictor.addExample(e.features, e.bestConfig);
+        }
+        advice.config = predictor.predict(features);
+        advice.configLabel =
+            dsl::OptConfig::decode(advice.config).label();
+        return finish(advice);
     }
-    advice.config = predictor.predict(features);
-    advice.configLabel =
-        dsl::OptConfig::decode(advice.config).label();
-    return advice;
+
+    // Predictive path exhausted: the global tier's single
+    // configuration is the ladder's floor even for unknown chips —
+    // a transferable-if-mediocre answer beats no answer.
+    ++degradeSteps;
+    const port::StrategyTable &table = index_.table("global");
+    const std::string key = port::partitionKey(table.spec, test);
+    const unsigned *cfg = table.configFor(key);
+    panicIf(cfg == nullptr,
+            "Advisor: global tier has no configuration");
+    return answerFromTable("global", table, key, *cfg);
 }
 
 } // namespace serve

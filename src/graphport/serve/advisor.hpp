@@ -31,10 +31,13 @@
 #include <vector>
 
 #include "graphport/serve/index.hpp"
+#include "graphport/serve/policy.hpp"
 #include "graphport/support/lrucache.hpp"
 
 namespace graphport {
 namespace serve {
+
+class CircuitBreaker;
 
 /** One request: the names may be unknown to the study. */
 struct Query
@@ -82,9 +85,23 @@ struct Advice
     FeatureSource featureSource = FeatureSource::None;
 
     /**
+     * Tier that would have answered with no faults injected (equals
+     * `tier` for undegraded answers).
+     */
+    std::string intendedTier;
+    /** True when fault pressure pushed the answer down the ladder. */
+    bool degraded = false;
+    /** Ladder steps descended past the intended tier. */
+    unsigned degradeSteps = 0;
+    /** Failed attempts that were retried while answering. */
+    unsigned retries = 0;
+
+    /**
      * Whether two advices carry the same answer. Feature provenance
      * is excluded: a warm cache must not change what is answered,
-     * only how fast.
+     * only how fast. Degradation fields are *included* — under a
+     * fixed fault schedule they are deterministic, and the chaos
+     * suite compares them across thread counts.
      */
     bool sameAnswer(const Advice &other) const;
 };
@@ -112,6 +129,35 @@ class Advisor
      *         cannot be traced on demand).
      */
     Advice advise(const Query &q) const;
+
+    /**
+     * Answer @p q under fault pressure: every covering-tier lookup
+     * passes the "serve.lookup" injection site (the predictive path
+     * passes "serve.predict"), keyed
+     * `queryKey * 1000 + tierIndex * 10 + attempt` (predictive:
+     * `queryKey * 10 + attempt`). A failed attempt is retried up to
+     * policy.maxRetries times with exponential backoff + jitter
+     * charged against the query's virtual deadline budget; when a
+     * tier's attempts are exhausted the ladder degrades to the next
+     * covering tier, bottoming out at "global", which is exempt from
+     * injection — so every semantically answerable query is answered
+     * under any schedule. The "global" floor for a failed predictive
+     * path is the global tier's single configuration.
+     *
+     * Deterministic: the Advice (including retry/degradation counts)
+     * is a pure function of (index, query, queryKey, policy, fault
+     * schedule). @p breaker, when non-null, only gates real-time
+     * backoff sleeps and collects transition counts — it never
+     * changes an answer. With no injector installed this is
+     * equivalent to advise() plus one relaxed atomic load per
+     * covering tier.
+     *
+     * @throws FatalError only for semantically unanswerable queries
+     *         (same cases as advise()); never for injected faults.
+     */
+    Advice adviseResilient(const Query &q, std::uint64_t queryKey,
+                           const ServePolicy &policy,
+                           CircuitBreaker *breaker = nullptr) const;
 
     /**
      * Lattice descent order: all eight tier names, most specialised

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "graphport/obs/obs.hpp"
+#include "graphport/serve/breaker.hpp"
 #include "graphport/support/csv.hpp"
 #include "graphport/support/error.hpp"
 #include "graphport/support/strings.hpp"
@@ -107,7 +108,8 @@ serveBatch(const Advisor &advisor,
            const std::vector<Query> &queries,
            unsigned threads,
            ServerStats *stats,
-           obs::Obs *obs)
+           obs::Obs *obs,
+           const ServePolicy &policy)
 {
     using Clock = std::chrono::steady_clock;
 
@@ -115,6 +117,7 @@ serveBatch(const Advisor &advisor,
     std::vector<double> latenciesNs(queries.size(), 0.0);
 
     support::ThreadPool pool(threads);
+    CircuitBreaker breaker(policy.breakerFailureThreshold);
     const std::uint64_t cacheHits0 = advisor.featureCacheHits();
     const std::uint64_t cacheMisses0 = advisor.featureCacheMisses();
 
@@ -129,7 +132,8 @@ serveBatch(const Advisor &advisor,
                 // when no tracer is attached.
                 const obs::Span querySpan(batchSpan, "query", i);
                 const auto t0 = Clock::now();
-                advices[i] = advisor.advise(queries[i]);
+                advices[i] = advisor.adviseResilient(
+                    queries[i], i, policy, &breaker);
                 const auto t1 = Clock::now();
                 latenciesNs[i] = std::chrono::duration<double,
                                                        std::nano>(
@@ -153,6 +157,7 @@ serveBatch(const Advisor &advisor,
                      .count());
         obs::Histogram &latency =
             local.histogram("serve.latency_ns");
+        std::uint64_t retries = 0, degraded = 0;
         for (std::size_t i = 0; i < advices.size(); ++i) {
             const Advice &a = advices[i];
             local.counter("serve.tier." + a.tier).add(1);
@@ -160,8 +165,17 @@ serveBatch(const Advisor &advisor,
                 local.counter("serve.predictive_answers").add(1);
             if (a.featureSource == FeatureSource::Snapshot)
                 local.counter("serve.snapshot_feature_hits").add(1);
+            retries += a.retries;
+            if (a.degraded) {
+                ++degraded;
+                local.counter("serve.degraded.tier." + a.tier)
+                    .add(1);
+            }
             latency.record(latenciesNs[i]);
         }
+        local.counter("serve.retries").add(retries);
+        local.counter("serve.degraded.total").add(degraded);
+        breaker.mergeInto(local);
         local.counter("serve.cache_hits")
             .add(advisor.featureCacheHits() - cacheHits0);
         local.counter("serve.cache_misses")

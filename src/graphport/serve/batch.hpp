@@ -54,19 +54,26 @@ std::vector<Query> parseQueries(std::istream &is,
  *
  * A query that cannot be answered at all (FatalError from advise)
  * aborts the batch with that error, matching the pool's
- * first-exception contract.
+ * first-exception contract. Injected faults never abort: each query
+ * runs through Advisor::adviseResilient keyed by its request index,
+ * retrying and descending the strategy lattice under @p policy until
+ * the injection-exempt "global" floor answers — so 100% of
+ * semantically answerable queries are answered under any fault
+ * schedule, with identical results at every thread count.
  *
  * When @p obs is non-null the batch merges its "serve.*" metrics
- * (queries, tier counts, cache hits/misses, a latency histogram)
- * into obs->metrics and opens a "serve.batch" span with one child
- * per query (keyed by request index, so the span structure is
+ * (queries, tier counts, cache hits/misses, retry/degradation
+ * counts, circuit-breaker transitions, a latency histogram) into
+ * obs->metrics and opens a "serve.batch" span with one child per
+ * query (keyed by request index, so the span structure is
  * bit-identical for every thread count) on obs->tracer.
  */
 std::vector<Advice> serveBatch(const Advisor &advisor,
                                const std::vector<Query> &queries,
                                unsigned threads = 1,
                                ServerStats *stats = nullptr,
-                               obs::Obs *obs = nullptr);
+                               obs::Obs *obs = nullptr,
+                               const ServePolicy &policy = {});
 
 /**
  * Write answers (paired with their queries) as CSV with a header or

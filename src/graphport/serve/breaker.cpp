@@ -1,0 +1,94 @@
+#include "graphport/serve/breaker.hpp"
+
+#include "graphport/obs/metrics.hpp"
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+namespace serve {
+
+CircuitBreaker::CircuitBreaker(unsigned failureThreshold)
+    : failureThreshold_(failureThreshold)
+{
+    fatalIf(failureThreshold == 0,
+            "CircuitBreaker: failure threshold must be >= 1");
+}
+
+void
+CircuitBreaker::onFailure(const std::string &shard)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Shard &s = shards_[shard];
+    ++s.consecutiveFailures;
+    if (!s.open && s.consecutiveFailures >= failureThreshold_) {
+        s.open = true;
+        ++opened_;
+    }
+}
+
+void
+CircuitBreaker::onSuccess(const std::string &shard)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Shard &s = shards_[shard];
+    s.consecutiveFailures = 0;
+    if (s.open) {
+        s.open = false;
+        ++closed_;
+    }
+}
+
+bool
+CircuitBreaker::allowSleep(const std::string &shard)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = shards_.find(shard);
+    if (it == shards_.end() || !it->second.open)
+        return true;
+    ++shortCircuits_;
+    return false;
+}
+
+bool
+CircuitBreaker::isOpen(const std::string &shard) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = shards_.find(shard);
+    return it != shards_.end() && it->second.open;
+}
+
+std::uint64_t
+CircuitBreaker::openedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return opened_;
+}
+
+std::uint64_t
+CircuitBreaker::closedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+std::uint64_t
+CircuitBreaker::shortCircuitCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shortCircuits_;
+}
+
+void
+CircuitBreaker::mergeInto(obs::MetricsRegistry &metrics) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (opened_ != 0)
+        metrics.counter("serve.breaker.opened").add(opened_);
+    if (closed_ != 0)
+        metrics.counter("serve.breaker.closed").add(closed_);
+    if (shortCircuits_ != 0)
+        metrics.counter("serve.breaker.short_circuits")
+            .add(shortCircuits_);
+}
+
+} // namespace serve
+} // namespace graphport

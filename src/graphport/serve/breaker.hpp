@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A per-shard circuit breaker for the serving layer, with one
+ * deliberate restriction: it is *answer-invariant*.
+ *
+ * Shards are the lattice tiers plus "predictive" — the units that
+ * fail independently under fault injection. A shard opens after N
+ * consecutive failed lookup attempts and closes again on the first
+ * success. While open, the breaker's only behavioural effect is to
+ * short-circuit the optional real-time backoff sleep
+ * (ServePolicy::realBackoff): the retry *decisions* still run, so
+ * every Advice — including its retry and degradation counts — stays
+ * a pure function of (query, policy, fault schedule) and is
+ * bit-identical at any thread count, even though breaker state
+ * itself depends on cross-thread arrival order.
+ *
+ * Transitions and short-circuits are counted and fold into obs
+ * metrics (serve.breaker.opened / closed / short_circuits).
+ */
+#ifndef GRAPHPORT_SERVE_BREAKER_HPP
+#define GRAPHPORT_SERVE_BREAKER_HPP
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace graphport {
+namespace obs {
+class MetricsRegistry;
+}
+
+namespace serve {
+
+/** Thread-safe; see file comment for the answer-invariance rule. */
+class CircuitBreaker
+{
+  public:
+    /** @param failureThreshold consecutive failures that open a shard. */
+    explicit CircuitBreaker(unsigned failureThreshold = 5);
+
+    /** Record a failed lookup attempt on @p shard. */
+    void onFailure(const std::string &shard);
+
+    /** Record a successful lookup on @p shard (closes it). */
+    void onSuccess(const std::string &shard);
+
+    /**
+     * Whether a real-time backoff sleep on @p shard may proceed.
+     * False (and counted as a short-circuit) while the shard is open.
+     */
+    bool allowSleep(const std::string &shard);
+
+    /** Whether @p shard is currently open. */
+    bool isOpen(const std::string &shard) const;
+
+    std::uint64_t openedCount() const;
+    std::uint64_t closedCount() const;
+    std::uint64_t shortCircuitCount() const;
+
+    /**
+     * Fold serve.breaker.opened / serve.breaker.closed /
+     * serve.breaker.short_circuits into @p metrics (only non-zero
+     * counters, matching the registry's sparse style).
+     */
+    void mergeInto(obs::MetricsRegistry &metrics) const;
+
+  private:
+    struct Shard
+    {
+        unsigned consecutiveFailures = 0;
+        bool open = false;
+    };
+
+    const unsigned failureThreshold_;
+    mutable std::mutex mutex_;
+    std::map<std::string, Shard> shards_;
+    std::uint64_t opened_ = 0;
+    std::uint64_t closed_ = 0;
+    std::uint64_t shortCircuits_ = 0;
+};
+
+} // namespace serve
+} // namespace graphport
+
+#endif // GRAPHPORT_SERVE_BREAKER_HPP

@@ -100,7 +100,8 @@ LoadBenchResult
 runLoadBench(const Advisor &advisor,
              const std::vector<Query> &queries,
              const std::vector<unsigned> &threadCounts,
-             obs::Obs *obs)
+             obs::Obs *obs,
+             const ServePolicy &policy)
 {
     LoadBenchResult result;
 
@@ -108,7 +109,8 @@ runLoadBench(const Advisor &advisor,
     LoadVariant reference;
     reference.requestedThreads = 1;
     const std::vector<Advice> expected =
-        serveBatch(advisor, queries, 1, &reference.stats, obs);
+        serveBatch(advisor, queries, 1, &reference.stats, obs,
+                   policy);
     result.variants.push_back(std::move(reference));
 
     for (unsigned threads : threadCounts) {
@@ -118,7 +120,7 @@ runLoadBench(const Advisor &advisor,
         variant.requestedThreads = threads;
         const std::vector<Advice> got =
             serveBatch(advisor, queries, threads, &variant.stats,
-                       obs);
+                       obs, policy);
         variant.bitIdentical =
             got.size() == expected.size() &&
             std::equal(got.begin(), got.end(), expected.begin(),

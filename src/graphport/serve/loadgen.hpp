@@ -62,12 +62,16 @@ struct LoadBenchResult
  * must be (and is forced to) a serial one — it is the reference every
  * other pass is compared against with Advice::sameAnswer. When @p obs
  * is non-null every pass records into it (one "serve.batch" span and
- * one set of "serve.*" metric increments per variant).
+ * one set of "serve.*" metric increments per variant). @p policy is
+ * forwarded to serveBatch verbatim: under an installed fault
+ * injector the bit-identical check doubles as the chaos invariant —
+ * retries, degradations and answers must all match the serial pass.
  */
 LoadBenchResult runLoadBench(const Advisor &advisor,
                              const std::vector<Query> &queries,
                              const std::vector<unsigned> &threadCounts,
-                             obs::Obs *obs = nullptr);
+                             obs::Obs *obs = nullptr,
+                             const ServePolicy &policy = {});
 
 /**
  * Emit the BENCH_serve.json record: stream composition plus one

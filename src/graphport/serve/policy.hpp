@@ -1,0 +1,66 @@
+/**
+ * @file
+ * ServePolicy: the serving layer's resilience knobs — bounded retry
+ * with exponential backoff and deterministic jitter, a per-query
+ * deadline budget, and the circuit-breaker thresholds.
+ *
+ * Determinism contract: every knob that can change an *answer* is
+ * evaluated in virtual time. A retry's backoff charges its
+ * nanoseconds against the query's deadline budget arithmetically —
+ * no clock is read — so whether a query degrades a tier is a pure
+ * function of (query key, policy, fault schedule) and is therefore
+ * bit-identical at any thread count. Only `realBackoff` touches wall
+ * time, and the circuit breaker may skip that sleep without
+ * affecting any answer (see breaker.hpp).
+ */
+#ifndef GRAPHPORT_SERVE_POLICY_HPP
+#define GRAPHPORT_SERVE_POLICY_HPP
+
+#include <cstdint>
+
+namespace graphport {
+namespace serve {
+
+/** Resilience knobs for adviseResilient / serveBatch. */
+struct ServePolicy
+{
+    /**
+     * Retries per tier after the first failed attempt. Capped at 9 so
+     * the (query, tier, attempt) fault key composition
+     * `query * 1000 + tierIndex * 10 + attempt` stays readable in
+     * --fault-spec clauses.
+     */
+    unsigned maxRetries = 2;
+
+    /**
+     * Backoff before retry k (0-based) is
+     * `backoffBaseNs << k` plus a deterministic jitter in
+     * [0, backoffBaseNs), derived from the fault key — the classic
+     * exponential-backoff-with-jitter shape, in virtual nanoseconds.
+     */
+    std::uint64_t backoffBaseNs = 1000;
+
+    /**
+     * Per-query deadline budget in virtual nanoseconds; 0 means
+     * unlimited. Backoffs charge against it; when the next backoff
+     * does not fit, remaining retries at the current tier are
+     * abandoned and the ladder degrades immediately.
+     */
+    std::uint64_t deadlineNs = 0;
+
+    /**
+     * When true, each retry also sleeps its backoff in wall time
+     * (capped at 1 ms) — for latency benches that want the backoff
+     * visible in the histogram. The circuit breaker short-circuits
+     * this sleep when its shard is open. Never changes answers.
+     */
+    bool realBackoff = false;
+
+    /** Consecutive failures on a shard that open its breaker. */
+    unsigned breakerFailureThreshold = 5;
+};
+
+} // namespace serve
+} // namespace graphport
+
+#endif // GRAPHPORT_SERVE_POLICY_HPP

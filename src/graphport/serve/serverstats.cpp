@@ -26,6 +26,10 @@ ServerStats::fromMetrics(const obs::MetricsRegistry &metrics)
         metrics.counterValue("serve.snapshot_feature_hits");
     s.cacheHits = metrics.counterValue("serve.cache_hits");
     s.cacheMisses = metrics.counterValue("serve.cache_misses");
+    s.retries = metrics.counterValue("serve.retries");
+    s.degradedAnswers = metrics.counterValue("serve.degraded.total");
+    s.breakerOpened =
+        metrics.counterValue("serve.breaker.opened");
     for (const auto &[name, count] :
          metrics.countersWithPrefix(kTierPrefix))
         s.tierCounts[name.substr(sizeof kTierPrefix - 1)] = count;
@@ -71,6 +75,9 @@ ServerStats::toJson() const
     ex.field("cache_hits", cacheHits);
     ex.field("cache_misses", cacheMisses);
     ex.field("cache_hit_rate", cacheHitRate(), 4);
+    ex.field("retries", retries);
+    ex.field("degraded_answers", degradedAnswers);
+    ex.field("breaker_opened", breakerOpened);
     ex.beginObject("tiers", obs::Exporter::Style::Inline);
     for (const auto &[tier, count] : tierCounts)
         ex.field(tier.c_str(), count);
@@ -96,6 +103,9 @@ ServerStats::print(std::ostream &os) const
        << " traced on demand ("
        << fmtDouble(100.0 * cacheHitRate(), 1)
        << "% LRU hit rate)\n"
+       << "  resilience        " << retries << " retries, "
+       << degradedAnswers << " degraded answers, " << breakerOpened
+       << " breaker opens\n"
        << "  answers by tier\n";
     for (const auto &[tier, count] : tierCounts) {
         os << "    " << tier;

@@ -54,6 +54,13 @@ struct ServerStats
     /** Feature lookups that had to trace on demand. */
     std::size_t cacheMisses = 0;
 
+    /** Failed attempts retried under fault injection. */
+    std::size_t retries = 0;
+    /** Answers that degraded below their intended tier. */
+    std::size_t degradedAnswers = 0;
+    /** Circuit-breaker shards opened during the batch. */
+    std::size_t breakerOpened = 0;
+
     /** Per-query latency distribution. */
     LatencyHistogram latency;
 

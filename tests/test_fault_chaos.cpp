@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Chaos suite for the hardened serving pipeline: seeded fault
+ * schedules over serveBatch must never lose a query, must only ever
+ * degrade *down* the strategy lattice, and must answer bit-identically
+ * at every thread count — the determinism bar that makes fault
+ * injection a regression test rather than a flake generator.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graphport/fault/injector.hpp"
+#include "graphport/serve/advisor.hpp"
+#include "graphport/serve/batch.hpp"
+#include "graphport/serve/index.hpp"
+#include "graphport/serve/loadgen.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+
+namespace {
+
+const serve::StrategyIndex &
+smallIndex()
+{
+    static const serve::StrategyIndex index =
+        serve::StrategyIndex::build(testutil::smallDataset());
+    return index;
+}
+
+const serve::Advisor &
+advisor()
+{
+    static const serve::Advisor adv(smallIndex());
+    return adv;
+}
+
+/** The mixed stream: lattice hits, unseen inputs, unknown chips. */
+std::vector<serve::Query>
+chaosStream(std::size_t n, std::uint64_t seed)
+{
+    return serve::makeQueryStream(smallIndex(), n, seed);
+}
+
+/** Position of @p tier in the lattice order; tierOrder().size() for
+ *  "predictive" (above the whole descriptive ladder). */
+std::size_t
+tierRank(const std::string &tier)
+{
+    const std::vector<std::string> &order =
+        serve::Advisor::tierOrder();
+    const auto it = std::find(order.begin(), order.end(), tier);
+    if (it != order.end())
+        return static_cast<std::size_t>(it - order.begin());
+    EXPECT_EQ(tier, "predictive") << "unknown tier " << tier;
+    return order.size();
+}
+
+std::vector<serve::Advice>
+serveUnder(const std::string &spec,
+           const std::vector<serve::Query> &queries,
+           unsigned threads,
+           const serve::ServePolicy &policy,
+           serve::ServerStats *stats = nullptr)
+{
+    fault::Injector injector(fault::FaultSchedule::parse(spec));
+    fault::ScopedInjector scope(&injector);
+    return serve::serveBatch(advisor(), queries, threads, stats,
+                             nullptr, policy);
+}
+
+} // namespace
+
+TEST(FaultChaos, EveryQueryAnsweredUnderHeavySchedule)
+{
+    const std::vector<serve::Query> queries = chaosStream(96, 11);
+    serve::ServerStats stats;
+    const std::vector<serve::Advice> advices = serveUnder(
+        "seed=3;serve.lookup:p=0.6;serve.predict:p=0.6", queries, 1,
+        serve::ServePolicy{}, &stats);
+
+    ASSERT_EQ(advices.size(), queries.size());
+    std::size_t degraded = 0, retries = 0;
+    for (const serve::Advice &a : advices) {
+        // Answered means a concrete configuration with a tier label.
+        EXPECT_FALSE(a.tier.empty());
+        EXPECT_FALSE(a.configLabel.empty());
+        EXPECT_FALSE(a.intendedTier.empty());
+        if (a.degraded) {
+            ++degraded;
+            EXPECT_GT(a.degradeSteps, 0u);
+        } else {
+            EXPECT_EQ(a.degradeSteps, 0u);
+        }
+        retries += a.retries;
+    }
+    // p=0.6 with 2 retries must visibly degrade a mixed stream.
+    EXPECT_GT(degraded, 0u);
+    EXPECT_GT(retries, 0u);
+    EXPECT_EQ(stats.queries, queries.size());
+    EXPECT_EQ(stats.degradedAnswers, degraded);
+    EXPECT_EQ(stats.retries, retries);
+}
+
+TEST(FaultChaos, DegradationOnlyDescendsTheLattice)
+{
+    const std::vector<serve::Query> queries = chaosStream(96, 23);
+    const std::vector<serve::Advice> advices = serveUnder(
+        "seed=5;serve.lookup:p=0.7;serve.predict:p=0.7", queries, 1,
+        serve::ServePolicy{});
+
+    for (const serve::Advice &a : advices) {
+        if (a.intendedTier == "predictive") {
+            // The predictive path's only fallback is the global
+            // floor.
+            EXPECT_TRUE(a.tier == "predictive" || a.tier == "global")
+                << a.tier;
+            if (a.degraded) {
+                EXPECT_EQ(a.tier, "global");
+            }
+            continue;
+        }
+        // Descriptive queries: the answered tier is never more
+        // specialised than the intended one, and strictly less so
+        // when the answer degraded.
+        const std::size_t intended = tierRank(a.intendedTier);
+        const std::size_t answered = tierRank(a.tier);
+        EXPECT_GE(answered, intended)
+            << a.tier << " above intended " << a.intendedTier;
+        if (a.degraded)
+            EXPECT_GT(answered, intended);
+        else
+            EXPECT_EQ(answered, intended);
+    }
+}
+
+TEST(FaultChaos, BitIdenticalAcrossThreadCounts)
+{
+    const std::vector<serve::Query> queries = chaosStream(128, 42);
+    serve::ServePolicy policy;
+    policy.deadlineNs = 50000; // tight enough to trip sometimes
+
+    for (const char *spec :
+         {"seed=1;serve.lookup:p=0.4;serve.predict:p=0.4",
+          "seed=9;serve.lookup:every=3;serve.predict:first=40"}) {
+        const std::vector<serve::Advice> serial =
+            serveUnder(spec, queries, 1, policy);
+        for (unsigned threads : {4u, 8u}) {
+            const std::vector<serve::Advice> parallel =
+                serveUnder(spec, queries, threads, policy);
+            ASSERT_EQ(parallel.size(), serial.size());
+            for (std::size_t i = 0; i < serial.size(); ++i)
+                EXPECT_TRUE(serial[i].sameAnswer(parallel[i]))
+                    << "spec " << spec << ", " << threads
+                    << " threads, query " << i;
+        }
+    }
+}
+
+TEST(FaultChaos, DeadlineBudgetCutsRetriesShort)
+{
+    const std::vector<serve::Query> queries = chaosStream(64, 7);
+    const char *spec = "seed=2;serve.lookup:p=0.5;serve.predict:p=0.5";
+
+    // A budget smaller than the first backoff forbids any retry:
+    // every injected failure degrades immediately, yet every query
+    // still gets an answer.
+    serve::ServePolicy tight;
+    tight.backoffBaseNs = 1000;
+    tight.deadlineNs = 1;
+    const std::vector<serve::Advice> rushed =
+        serveUnder(spec, queries, 1, tight);
+    ASSERT_EQ(rushed.size(), queries.size());
+    for (const serve::Advice &a : rushed)
+        EXPECT_EQ(a.retries, 0u);
+
+    // The same schedule with no deadline retries freely and, with
+    // more attempts available, never degrades more than the rushed
+    // pass did.
+    serve::ServerStats relaxedStats, rushedStats;
+    serveUnder(spec, queries, 1, tight, &rushedStats);
+    const std::vector<serve::Advice> relaxed = serveUnder(
+        spec, queries, 1, serve::ServePolicy{}, &relaxedStats);
+    EXPECT_GT(relaxedStats.retries, 0u);
+    EXPECT_LE(relaxedStats.degradedAnswers,
+              rushedStats.degradedAnswers);
+    // Per query: a tier the relaxed pass fails (all attempts fire)
+    // the rushed pass fails too (its single attempt fired), so extra
+    // retry budget can only reduce degradation steps.
+    for (std::size_t i = 0; i < queries.size(); ++i)
+        EXPECT_LE(relaxed[i].degradeSteps, rushed[i].degradeSteps)
+            << "query " << i;
+}
+
+TEST(FaultChaos, BreakerNeverChangesAnswers)
+{
+    const std::vector<serve::Query> queries = chaosStream(96, 31);
+    const char *spec = "seed=4;serve.lookup:p=0.6;serve.predict:p=0.6";
+
+    serve::ServePolicy hair;
+    hair.breakerFailureThreshold = 1; // opens on the first failure
+    serve::ServerStats hairStats, calmStats;
+    const std::vector<serve::Advice> withHairTrigger =
+        serveUnder(spec, queries, 1, hair, &hairStats);
+    const std::vector<serve::Advice> withCalmBreaker = serveUnder(
+        spec, queries, 1, serve::ServePolicy{}, &calmStats);
+
+    // The breaker is observability + sleep-gating only: answers are
+    // identical whatever its threshold.
+    ASSERT_EQ(withHairTrigger.size(), withCalmBreaker.size());
+    for (std::size_t i = 0; i < queries.size(); ++i)
+        EXPECT_TRUE(
+            withHairTrigger[i].sameAnswer(withCalmBreaker[i]))
+            << "query " << i;
+    EXPECT_GT(hairStats.breakerOpened, 0u);
+    EXPECT_GE(hairStats.breakerOpened, calmStats.breakerOpened);
+}
+
+TEST(FaultChaos, NoInjectorMeansNoRetriesNoDegradation)
+{
+    const std::vector<serve::Query> queries = chaosStream(48, 19);
+    serve::ServerStats stats;
+    const std::vector<serve::Advice> advices = serve::serveBatch(
+        advisor(), queries, 4, &stats, nullptr,
+        serve::ServePolicy{});
+    ASSERT_EQ(advices.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        const serve::Advice &a = advices[i];
+        EXPECT_EQ(a.retries, 0u);
+        EXPECT_FALSE(a.degraded);
+        EXPECT_EQ(a.tier, a.intendedTier);
+        // The resilient path without faults is the plain advise().
+        EXPECT_TRUE(a.sameAnswer(advisor().advise(queries[i])))
+            << "query " << i;
+    }
+    EXPECT_EQ(stats.retries, 0u);
+    EXPECT_EQ(stats.degradedAnswers, 0u);
+    EXPECT_EQ(stats.breakerOpened, 0u);
+}
+
+TEST(FaultChaos, LoadBenchChecksBitIdentityUnderFaults)
+{
+    const std::vector<serve::Query> queries = chaosStream(64, 3);
+    fault::Injector injector(fault::FaultSchedule::parse(
+        "seed=8;serve.lookup:p=0.5;serve.predict:p=0.5"));
+    fault::ScopedInjector scope(&injector);
+    const serve::LoadBenchResult result = serve::runLoadBench(
+        advisor(), queries, {1, 4, 8}, nullptr,
+        serve::ServePolicy{});
+    EXPECT_TRUE(result.allBitIdentical);
+    ASSERT_EQ(result.variants.size(), 3u);
+    EXPECT_GT(result.variants.front().stats.degradedAnswers, 0u);
+    EXPECT_GT(injector.injectedCount(), 0u);
+}

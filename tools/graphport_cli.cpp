@@ -46,10 +46,13 @@
  *
  * Flag subcommands parse through cli::FlagSet (cliopts.hpp): strict
  * unknown-flag rejection, typed values, and `<subcommand> --help`
- * printing a generated flag reference. study, serve-bench, and
- * calibrate additionally take --metrics-out FILE (obs summary JSON)
- * and --trace-out FILE (Chrome trace_event JSON for
- * chrome://tracing).
+ * printing a generated flag reference. study, advise, serve-bench,
+ * and calibrate additionally take --metrics-out FILE (obs summary
+ * JSON) and --trace-out FILE (Chrome trace_event JSON for
+ * chrome://tracing). advise and serve-bench take --fault-spec SPEC
+ * (deterministic fault injection; see graphport/fault/injector.hpp
+ * for the grammar) and --deadline-ms N (per-query retry budget);
+ * an injected crash exits with code 137, a real kill -9's status.
  *
  * `graphport_cli --version` prints the build version; `--help`
  * enumerates the subcommands.
@@ -62,6 +65,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -71,6 +75,7 @@
 #include "graphport/calib/params.hpp"
 #include "graphport/calib/sensitivity.hpp"
 #include "graphport/calib/zoo.hpp"
+#include "graphport/fault/injector.hpp"
 #include "graphport/graph/io.hpp"
 #include "graphport/graph/metrics.hpp"
 #include "graphport/obs/obs.hpp"
@@ -474,6 +479,56 @@ cmdIndex(const std::vector<std::string> &args)
     return 0;
 }
 
+/**
+ * Shared --fault-spec / --deadline-ms wiring for the serving
+ * subcommands. addFlags() registers the flags; materialise() parses
+ * the spec into an owned Injector (nullptr when injection is off) to
+ * hand to fault::ScopedInjector; policy() is the ServePolicy
+ * forwarded to serveBatch; mergeMetrics() folds the fault.* counters
+ * into an obs registry before --metrics-out is written.
+ */
+struct FaultOpts
+{
+    std::string spec;
+    std::uint64_t deadlineMs = 0;
+    std::unique_ptr<fault::Injector> injector;
+
+    void
+    addFlags(cli::FlagSet &flags)
+    {
+        flags
+            .text("--fault-spec", &spec, "SPEC",
+                  "inject faults, e.g. "
+                  "\"seed=1;serve.lookup:p=0.2\"")
+            .count("--deadline-ms", &deadlineMs, "N",
+                   "per-query retry budget in virtual milliseconds");
+    }
+
+    fault::Injector *
+    materialise()
+    {
+        if (!spec.empty())
+            injector = std::make_unique<fault::Injector>(
+                fault::FaultSchedule::parse(spec));
+        return injector.get();
+    }
+
+    serve::ServePolicy
+    policy() const
+    {
+        serve::ServePolicy p;
+        p.deadlineNs = deadlineMs * 1000000ull;
+        return p;
+    }
+
+    void
+    mergeMetrics(obs::Obs *o) const
+    {
+        if (injector != nullptr && o != nullptr)
+            injector->mergeInto(o->metrics);
+    }
+};
+
 int
 cmdAdvise(const std::vector<std::string> &args)
 {
@@ -483,6 +538,9 @@ cmdAdvise(const std::vector<std::string> &args)
     unsigned threads = 1;
     bool stats = false;
     std::string formatName;
+    FaultOpts faultOpts;
+    std::string metricsOut;
+    std::string traceOut;
     std::vector<std::string> positional;
     cli::FlagSet flags("advise",
                        "[--index FILE] (<app> <input> <chip> | "
@@ -502,6 +560,8 @@ cmdAdvise(const std::vector<std::string> &args)
                 "print batch serving stats to stderr")
         .positionals(&positional,
                      "<app> <input> <chip>  one-shot query");
+    faultOpts.addFlags(flags);
+    cli::addObsFlags(flags, &metricsOut, &traceOut);
     if (!flags.parse(args))
         return 0;
     serve::WireFormat format = serve::WireFormat::Auto;
@@ -514,12 +574,19 @@ cmdAdvise(const std::vector<std::string> &args)
         serve::StrategyIndex::loadFile(indexPath);
     const serve::Advisor advisor(index);
 
+    fault::ScopedInjector injectorScope(faultOpts.materialise());
+    const serve::ServePolicy policy = faultOpts.policy();
+    obs::Obs o;
+    obs::Obs *obsPtr =
+        cli::obsRequested(metricsOut, traceOut) ? &o : nullptr;
+
     if (batchPath.empty()) {
         fatalIf(positional.size() != 3,
                 "advise: expected <app> <input> <chip> (or --batch)");
         const serve::Query q{positional[0], positional[1],
                              positional[2]};
-        const serve::Advice a = advisor.advise(q);
+        const serve::Advice a =
+            advisor.adviseResilient(q, 0, policy, nullptr);
         std::printf("advice for %s / %s / %s:\n", q.app.c_str(),
                     q.input.c_str(), q.chip.c_str());
         std::printf("  config     [%s] (id %u)\n",
@@ -527,12 +594,19 @@ cmdAdvise(const std::vector<std::string> &args)
         std::printf("  tier       %s%s\n", a.tier.c_str(),
                     a.predictive ? " (k-NN over workload features)"
                                  : "");
+        if (a.degraded)
+            std::printf("  degraded   %u step(s) below %s, %u "
+                        "retr%s\n",
+                        a.degradeSteps, a.intendedTier.c_str(),
+                        a.retries, a.retries == 1 ? "y" : "ies");
         if (!a.partition.empty())
             std::printf("  partition  %s\n", a.partition.c_str());
         std::printf("  expected slowdown vs oracle: %.2fx "
                     "(tier-wide %.2fx)\n",
                     a.partitionSlowdownVsOracle,
                     a.expectedSlowdownVsOracle);
+        faultOpts.mergeMetrics(obsPtr);
+        cli::writeObsFiles("advise", o, metricsOut, traceOut);
         return 0;
     }
 
@@ -548,8 +622,8 @@ cmdAdvise(const std::vector<std::string> &args)
     const std::vector<serve::Query> queries =
         serve::parseQueries(*in, format);
     serve::ServerStats batchStats;
-    const std::vector<serve::Advice> advices =
-        serve::serveBatch(advisor, queries, threads, &batchStats);
+    const std::vector<serve::Advice> advices = serve::serveBatch(
+        advisor, queries, threads, &batchStats, obsPtr, policy);
 
     std::ofstream outFile;
     std::ostream *out = &std::cout;
@@ -565,6 +639,8 @@ cmdAdvise(const std::vector<std::string> &args)
                             : format);
     if (stats)
         batchStats.print(std::cerr);
+    faultOpts.mergeMetrics(obsPtr);
+    cli::writeObsFiles("advise", o, metricsOut, traceOut);
     return 0;
 }
 
@@ -578,6 +654,7 @@ cmdServeBench(const std::vector<std::string> &args)
     unsigned maxThreads = 4;
     std::uint64_t seed = 42;
     std::string outPath = "BENCH_serve.json";
+    FaultOpts faultOpts;
     std::string metricsOut;
     std::string traceOut;
     cli::FlagSet flags("serve-bench",
@@ -595,6 +672,7 @@ cmdServeBench(const std::vector<std::string> &args)
         .count("--seed", &seed, "S", "query stream seed")
         .text("--out", &outPath, "FILE",
               "perf record path (default BENCH_serve.json)");
+    faultOpts.addFlags(flags);
     cli::addObsFlags(flags, &metricsOut, &traceOut);
     if (!flags.parse(args))
         return 0;
@@ -627,8 +705,9 @@ cmdServeBench(const std::vector<std::string> &args)
     obs::Obs o;
     obs::Obs *obsPtr =
         cli::obsRequested(metricsOut, traceOut) ? &o : nullptr;
-    const serve::LoadBenchResult result =
-        serve::runLoadBench(advisor, stream, threadCounts, obsPtr);
+    fault::ScopedInjector injectorScope(faultOpts.materialise());
+    const serve::LoadBenchResult result = serve::runLoadBench(
+        advisor, stream, threadCounts, obsPtr, faultOpts.policy());
     for (const serve::LoadVariant &v : result.variants) {
         std::printf("  %2u thread(s): %8.0f q/s, p50 %.1f us, p95 "
                     "%.1f us, p99 %.1f us  %s\n",
@@ -647,6 +726,7 @@ cmdServeBench(const std::vector<std::string> &args)
                                       seed);
         });
     std::printf("perf record written to %s\n", outPath.c_str());
+    faultOpts.mergeMetrics(obsPtr);
     cli::writeObsFiles("serve-bench", o, metricsOut, traceOut);
     return result.allBitIdentical ? 0 : 1;
 }
@@ -951,6 +1031,13 @@ main(int argc, char **argv)
                     : 6u);
         }
         return usage();
+    } catch (const fault::InjectedCrash &e) {
+        // The kill-9 rehearsal: nothing below main() may catch an
+        // injected crash. 137 = 128 + SIGKILL, what a real kill -9
+        // would report, so crash/resume CI checks can't tell the
+        // difference.
+        std::fprintf(stderr, "killed: %s\n", e.what());
+        return 137;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 1;
