@@ -90,7 +90,7 @@ sensitivitySweep(const std::string &chipName,
 
     runner::Universe base = runner::smallUniverse(options.nApps);
     const runner::Dataset baseDs =
-        runner::Dataset::build(base, {1, true, nullptr});
+        runner::Dataset::build(base, runner::BuildOptions{});
     const std::vector<port::StrategyTable> baseTables =
         buildTables(baseDs, options.alpha);
 
@@ -130,9 +130,10 @@ sensitivitySweep(const std::string &chipName,
                     sim::ChipModel probe = chip;
                     probe.*(specs[p].field) = moved;
                     probe.validate();
-                    const runner::Dataset ds = runner::Dataset::build(
-                        probeUniverse(base, probe),
-                        {1, true, nullptr});
+                    const runner::Dataset ds =
+                        runner::Dataset::build(
+                            probeUniverse(base, probe),
+                            runner::BuildOptions{});
                     ++flip.probes;
                     if (firstFlip(baseTables,
                                   buildTables(ds, options.alpha),

@@ -85,8 +85,10 @@ scoreAgainstOracle(const sim::ChipModel &chip,
     // The advisor trains on the known chips only...
     const runner::Universe train =
         runner::smallUniverse(options.nApps, knownChips);
-    const runner::Dataset trainDs = runner::Dataset::build(
-        train, {options.threads, true, nullptr});
+    runner::BuildOptions trainBuild;
+    trainBuild.threads = options.threads;
+    const runner::Dataset trainDs =
+        runner::Dataset::build(train, trainBuild);
     const serve::Advisor advisor(serve::StrategyIndex::build(
         trainDs, options.alpha, options.knnK));
 
@@ -95,8 +97,10 @@ scoreAgainstOracle(const sim::ChipModel &chip,
     eval.chips = {chip.shortName};
     eval.customChips = {chip};
     eval.validate();
-    const runner::Dataset evalDs = runner::Dataset::build(
-        eval, {options.threads, true, nullptr});
+    runner::BuildOptions evalBuild;
+    evalBuild.threads = options.threads;
+    const runner::Dataset evalDs =
+        runner::Dataset::build(eval, evalBuild);
 
     ZooChipResult result;
     result.chip = chip.shortName;

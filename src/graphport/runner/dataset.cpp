@@ -11,6 +11,7 @@
 
 #include "graphport/apps/app.hpp"
 #include "graphport/dsl/compact.hpp"
+#include "graphport/fault/injector.hpp"
 #include "graphport/obs/obs.hpp"
 #include "graphport/sim/chip.hpp"
 #include "graphport/sim/costengine.hpp"
@@ -58,6 +59,169 @@ secondsSince(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - start)
         .count();
+}
+
+// ---- pricing checkpoint (.gpk) ------------------------------------
+//
+// Append-only text format, one line per priced work item:
+//
+//   graphport-checkpoint,1
+//   universe,<identity hash hex>
+//   cell,<work index>,<run bits hex>...,<row checksum hex>
+//
+// Doubles travel as raw bit patterns so a restored cell is bit-exact.
+// Every cell row carries its own checksum: a crash mid-append leaves
+// a torn final line that restore drops (with a warning) instead of
+// rejecting the whole file — everything before it is still good.
+
+constexpr const char *kCheckpointMagic = "graphport-checkpoint,1";
+
+/** Slot of work item @p w's first run in the flat runsNs_ array. */
+std::size_t
+cellSlot(std::size_t w, std::size_t nApps, std::size_t nInputs,
+         std::size_t nChips, std::size_t nCfg, unsigned runs)
+{
+    const std::size_t cfg = w % nCfg;
+    const std::size_t c = (w / nCfg) % nChips;
+    const std::size_t traceIdx = w / (nCfg * nChips);
+    const std::size_t app = traceIdx % nApps;
+    const std::size_t input = traceIdx / nApps;
+    const std::size_t test = (app * nInputs + input) * nChips + c;
+    return (test * nCfg + cfg) * runs;
+}
+
+std::uint64_t
+checkpointRowSum(const std::string &payload)
+{
+    return splitmix64(support::kSnapshotSumInit ^ hashStr(payload));
+}
+
+std::string
+checkpointRow(std::size_t w, const double *runs, unsigned n)
+{
+    std::string payload = "cell," + std::to_string(w);
+    for (unsigned r = 0; r < n; ++r) {
+        payload += ',';
+        payload += support::hexU64(
+            std::bit_cast<std::uint64_t>(runs[r]));
+    }
+    return payload + ',' +
+           support::hexU64(checkpointRowSum(payload));
+}
+
+/** Strict canonical-hex parse; false on anything hexU64 won't emit. */
+bool
+parseHexU64(const std::string &s, std::uint64_t *out)
+{
+    if (s.empty() || s.size() > 16 ||
+        s.find_first_not_of("0123456789abcdef") != std::string::npos)
+        return false;
+    *out = std::strtoull(s.c_str(), nullptr, 16);
+    return support::hexU64(*out) == s;
+}
+
+/**
+ * Restore the valid prefix of a checkpoint file: fills runsNs / done
+ * for every intact cell row and collects those rows verbatim so the
+ * caller can rewrite the file without the torn tail. A file for a
+ * different universe (or with a foreign header) restores nothing —
+ * warning, not error, matching the dataset cache's contract.
+ */
+std::size_t
+restoreCheckpoint(const std::string &path, std::uint64_t identity,
+                  const Universe &universe, std::size_t items,
+                  std::size_t nCfg, std::vector<double> &runsNs,
+                  std::vector<char> &done,
+                  std::vector<std::string> &validRows)
+{
+    std::ifstream in(path);
+    if (!in.good())
+        return 0; // no checkpoint yet: fresh run
+
+    const auto reject = [&](const std::string &cause) {
+        std::fprintf(stderr,
+                     "graphport: warning: checkpoint '%s' rejected "
+                     "(%s); starting the sweep over\n",
+                     path.c_str(), cause.c_str());
+        return std::size_t{0};
+    };
+
+    std::string line;
+    if (!std::getline(in, line) || trim(line) != kCheckpointMagic)
+        return reject("bad header");
+    if (!std::getline(in, line))
+        return reject("missing universe stamp");
+    const std::vector<std::string> stamp = split(trim(line), ',');
+    std::uint64_t storedIdentity = 0;
+    if (stamp.size() != 2 || stamp[0] != "universe" ||
+        !parseHexU64(stamp[1], &storedIdentity))
+        return reject("bad universe stamp");
+    if (storedIdentity != identity)
+        return reject("written for a different universe");
+
+    const std::size_t nApps = universe.apps.size();
+    const std::size_t nInputs = universe.inputs.size();
+    const std::size_t nChips = universe.chips.size();
+    std::size_t restored = 0;
+    while (std::getline(in, line)) {
+        const std::string row = trim(line);
+        if (row.empty())
+            continue;
+        // Any malformed row is treated as the torn tail of the crash
+        // that made resuming necessary: drop it and everything after.
+        const std::size_t lastComma = row.rfind(',');
+        std::uint64_t storedSum = 0;
+        if (lastComma == std::string::npos ||
+            !parseHexU64(row.substr(lastComma + 1), &storedSum) ||
+            storedSum !=
+                checkpointRowSum(row.substr(0, lastComma))) {
+            std::fprintf(stderr,
+                         "graphport: warning: checkpoint '%s': "
+                         "dropping torn tail row\n",
+                         path.c_str());
+            break;
+        }
+        const std::vector<std::string> f = split(row, ',');
+        if (f.size() != 3 + universe.runs || f[0] != "cell") {
+            std::fprintf(stderr,
+                         "graphport: warning: checkpoint '%s': "
+                         "dropping malformed row\n",
+                         path.c_str());
+            break;
+        }
+        std::uint64_t w = 0;
+        if (f[1].empty() ||
+            f[1].find_first_not_of("0123456789") !=
+                std::string::npos ||
+            (w = std::strtoull(f[1].c_str(), nullptr, 10)) >= items) {
+            std::fprintf(stderr,
+                         "graphport: warning: checkpoint '%s': "
+                         "dropping row with bad work index\n",
+                         path.c_str());
+            break;
+        }
+        std::vector<std::uint64_t> bits(universe.runs);
+        bool okBits = true;
+        for (unsigned r = 0; r < universe.runs && okBits; ++r)
+            okBits = parseHexU64(f[2 + r], &bits[r]);
+        if (!okBits) {
+            std::fprintf(stderr,
+                         "graphport: warning: checkpoint '%s': "
+                         "dropping row with bad payload\n",
+                         path.c_str());
+            break;
+        }
+        if (done[w])
+            continue; // duplicate append (flushed twice): harmless
+        const std::size_t slot =
+            cellSlot(w, nApps, nInputs, nChips, nCfg, universe.runs);
+        for (unsigned r = 0; r < universe.runs; ++r)
+            runsNs[slot + r] = std::bit_cast<double>(bits[r]);
+        done[w] = 1;
+        ++restored;
+        validRows.push_back(row);
+    }
+    return restored;
 }
 
 } // namespace
@@ -192,15 +356,15 @@ Dataset::bestConfig(std::size_t test) const
 }
 
 std::uint64_t
-Dataset::contentHash() const
+universeIdentityHash(const Universe &universe)
 {
     std::uint64_t h = 0x67726170686f7274ull; // "graphort"
     const auto mix = [&h](std::uint64_t x) {
         h = splitmix64(h ^ x);
     };
-    for (const std::string &a : universe_.apps)
+    for (const std::string &a : universe.apps)
         mix(hashStr(a));
-    for (const InputSpec &i : universe_.inputs) {
+    for (const InputSpec &i : universe.inputs) {
         mix(hashStr(i.name));
         mix(hashStr(i.cls));
         mix(static_cast<std::uint64_t>(i.kind));
@@ -208,9 +372,9 @@ Dataset::contentHash() const
         mix(std::bit_cast<std::uint64_t>(i.avgDegree));
         mix(i.seed);
     }
-    for (const std::string &c : universe_.chips)
+    for (const std::string &c : universe.chips)
         mix(hashStr(c));
-    for (const sim::ChipModel &c : universe_.customChips) {
+    for (const sim::ChipModel &c : universe.customChips) {
         mix(hashStr(c.shortName));
         mix(c.numCus);
         mix(c.subgroupSize);
@@ -229,10 +393,17 @@ Dataset::contentHash() const
               c.kernelLaunchNs, c.hostMemcpyNs, c.noiseSigma})
             mix(std::bit_cast<std::uint64_t>(v));
     }
-    mix(universe_.runs);
-    mix(universe_.seed);
+    mix(universe.runs);
+    mix(universe.seed);
+    return h;
+}
+
+std::uint64_t
+Dataset::contentHash() const
+{
+    std::uint64_t h = universeIdentityHash(universe_);
     for (double v : runsNs_)
-        mix(std::bit_cast<std::uint64_t>(v));
+        h = splitmix64(h ^ std::bit_cast<std::uint64_t>(v));
     return h;
 }
 
@@ -376,30 +547,115 @@ Dataset::build(const Universe &universe, const BuildOptions &options)
     const auto priceStart = std::chrono::steady_clock::now();
     obs::Span priceSpan(buildSpan, "price", 1);
     const std::size_t items = traces.size() * nChips * nCfg;
-    pool.parallelFor(
-        items,
-        [&](std::size_t begin, std::size_t end) {
-            for (std::size_t w = begin; w < end; ++w) {
-                const unsigned cfg = static_cast<unsigned>(w % nCfg);
-                const std::size_t c = (w / nCfg) % nChips;
-                const TraceEntry &entry = traces[w / (nCfg * nChips)];
-                const sim::ChipModel &chip = *chips[c];
-                const std::size_t test =
-                    (entry.app * nInputs + entry.input) * nChips + c;
-                const sim::CostEngine engine(chip, configs[cfg]);
-                const double base =
-                    options.compact ? engine.appTimeNs(entry.compact)
-                                    : engine.appTimeNs(entry.trace);
-                for (unsigned r = 0; r < universe.runs; ++r) {
-                    ds.runsNs_[(test * nCfg + cfg) * universe.runs +
-                               r] =
-                        sim::noisyTimeNs(
-                            base, chip.noiseSigma,
-                            runSeedFrom(seedBase[test], cfg, r));
+
+    // Optional crash-safe checkpointing: restore the valid prefix of
+    // an interrupted sweep (those cells are never re-priced), then
+    // price in blocks, appending and flushing each completed block.
+    // Restored payloads are bit-exact, so a resumed build's
+    // contentHash equals an uninterrupted one at any thread count.
+    const bool checkpointing = !options.checkpointPath.empty();
+    std::vector<char> done;
+    std::size_t restored = 0;
+    std::size_t flushes = 0;
+    std::ofstream ckOut;
+    if (checkpointing) {
+        done.assign(items, 0);
+        const std::uint64_t identity = universeIdentityHash(universe);
+        std::vector<std::string> validRows;
+        restored = restoreCheckpoint(options.checkpointPath,
+                                     identity, universe, items, nCfg,
+                                     ds.runsNs_, done, validRows);
+        // Rewrite as exactly the restored prefix, dropping any torn
+        // tail, so appends extend a clean file.
+        support::atomicWriteFile(
+            options.checkpointPath, "sweep checkpoint",
+            [&](std::ostream &os) {
+                os << kCheckpointMagic << "\n";
+                os << "universe," << support::hexU64(identity)
+                   << "\n";
+                for (const std::string &row : validRows)
+                    os << row << "\n";
+            });
+        ckOut.open(options.checkpointPath, std::ios::app);
+        fatalIf(!ckOut.good(), "cannot append to sweep checkpoint " +
+                                   options.checkpointPath);
+    }
+
+    const auto priceBlock = [&](std::size_t blockBegin,
+                                std::size_t blockEnd) {
+        pool.parallelFor(
+            blockEnd - blockBegin,
+            [&](std::size_t begin, std::size_t end) {
+                for (std::size_t k = begin; k < end; ++k) {
+                    const std::size_t w = blockBegin + k;
+                    if (!done.empty() && done[w])
+                        continue; // restored from the checkpoint
+                    // Crash rehearsal site, keyed by cell work index:
+                    // "sweep.crash:once=K" means "die pricing cell
+                    // K", whichever thread gets there.
+                    fault::maybeCrash("sweep.crash", w);
+                    const unsigned cfg =
+                        static_cast<unsigned>(w % nCfg);
+                    const std::size_t c = (w / nCfg) % nChips;
+                    const TraceEntry &entry =
+                        traces[w / (nCfg * nChips)];
+                    const sim::ChipModel &chip = *chips[c];
+                    const std::size_t test =
+                        (entry.app * nInputs + entry.input) * nChips +
+                        c;
+                    const sim::CostEngine engine(chip, configs[cfg]);
+                    const double base =
+                        options.compact
+                            ? engine.appTimeNs(entry.compact)
+                            : engine.appTimeNs(entry.trace);
+                    for (unsigned r = 0; r < universe.runs; ++r) {
+                        ds.runsNs_[(test * nCfg + cfg) *
+                                       universe.runs +
+                                   r] =
+                            sim::noisyTimeNs(
+                                base, chip.noiseSigma,
+                                runSeedFrom(seedBase[test], cfg, r));
+                    }
                 }
+            },
+            /*chunk=*/32);
+    };
+
+    if (!checkpointing) {
+        priceBlock(0, items);
+    } else {
+        const std::size_t blockSize =
+            options.checkpointEvery == 0 ? items
+                                         : options.checkpointEvery;
+        for (std::size_t b = 0; b < items; b += blockSize) {
+            const std::size_t e = std::min(items, b + blockSize);
+            priceBlock(b, e);
+            // The block completed: make it durable before starting
+            // the next one. A crash inside priceBlock leaves this
+            // block un-appended — resume re-prices exactly it.
+            bool wrote = false;
+            for (std::size_t w = b; w < e; ++w) {
+                if (done[w])
+                    continue;
+                ckOut << checkpointRow(
+                             w,
+                             &ds.runsNs_[cellSlot(
+                                 w, universe.apps.size(), nInputs,
+                                 nChips, nCfg, universe.runs)],
+                             universe.runs)
+                      << "\n";
+                done[w] = 1;
+                wrote = true;
             }
-        },
-        /*chunk=*/32);
+            if (wrote) {
+                ckOut.flush();
+                fatalIf(!ckOut.good(),
+                        "sweep checkpoint append failed: " +
+                            options.checkpointPath);
+                ++flushes;
+            }
+        }
+    }
     const double priceSeconds = secondsSince(priceStart);
     priceSpan.close();
 
@@ -431,10 +687,21 @@ Dataset::build(const Universe &universe, const BuildOptions &options)
         local.gauge("sweep.finalise_seconds")
             .set(secondsSince(finaliseStart));
         local.gauge("sweep.total_seconds").set(secondsSince(start));
+        if (checkpointing) {
+            local.counter("sweep.checkpoint.cells_restored")
+                .add(restored);
+            local.counter("sweep.checkpoint.flushes").add(flushes);
+        }
         if (options.stats)
             *options.stats = SweepStats::fromMetrics(local);
         if (options.obs)
             options.obs->metrics.merge(local);
+    }
+    if (checkpointing) {
+        // The sweep completed: the checkpoint has served its purpose
+        // and a stale one must not shadow the next (different) run.
+        ckOut.close();
+        std::remove(options.checkpointPath.c_str());
     }
     return ds;
 }

@@ -75,7 +75,33 @@ struct BuildOptions
      * Span structure is bit-identical for every thread count.
      */
     obs::Obs *obs = nullptr;
+
+    /**
+     * When non-empty, checkpoint the pricing phase into this file
+     * (.gpk): every checkpointEvery priced cells the completed block
+     * is appended (bit-exact double payloads, per-row checksums) and
+     * flushed. A build that finds the file resumes, restoring every
+     * valid row without re-pricing it — after a crash (including an
+     * injected "sweep.crash") the resumed dataset is bit-identical
+     * to an uninterrupted build, at any thread count. A checkpoint
+     * written for a different universe, or a torn tail from the
+     * crash itself, is tolerated: bad rows are dropped with a stderr
+     * warning, never an error. Deleted on successful completion.
+     */
+    std::string checkpointPath;
+
+    /** Cells priced between checkpoint appends (default 256). */
+    std::size_t checkpointEvery = 256;
 };
+
+/**
+ * Deterministic 64-bit hash of a universe's identity (apps, inputs,
+ * chips, custom chip parameters, runs, seed) — the measurement-free
+ * prefix of Dataset::contentHash. Checkpoint files are stamped with
+ * it so a .gpk written for one universe is never restored into
+ * another.
+ */
+std::uint64_t universeIdentityHash(const Universe &universe);
 
 /** Timing dataset over a universe. */
 class Dataset

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Crash/resume tests for the sweep checkpoint (.gpk): an injected
+ * kill-9-equivalent crash mid-pricing must leave a checkpoint that a
+ * second build restores bit-identically — at any thread count,
+ * without re-pricing the durable cells — while torn tails and
+ * foreign-universe checkpoints degrade to a warning and a fresh
+ * sweep, never an error.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graphport/fault/injector.hpp"
+#include "graphport/obs/obs.hpp"
+#include "graphport/runner/dataset.hpp"
+#include "graphport/runner/universe.hpp"
+
+using namespace graphport;
+
+namespace {
+
+std::string
+ckPath(const std::string &name)
+{
+    return ::testing::TempDir() + "graphport_ck_" + name + ".gpk";
+}
+
+runner::Universe
+universe()
+{
+    return runner::smallUniverse(2);
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return std::ifstream(path).good();
+}
+
+/**
+ * Run a checkpointed build expecting the injected crash at cell
+ * @p crashCell; returns true when the crash fired (the checkpoint is
+ * then left on disk for the resume pass to prove itself on).
+ */
+bool
+crashAtCell(const std::string &path, std::size_t crashCell,
+            unsigned threads, std::size_t every = 64)
+{
+    fault::Injector injector(fault::FaultSchedule::parse(
+        "seed=1;sweep.crash:once=" + std::to_string(crashCell)));
+    fault::ScopedInjector scope(&injector);
+    runner::BuildOptions options;
+    options.threads = threads;
+    options.checkpointPath = path;
+    options.checkpointEvery = every;
+    try {
+        runner::Dataset::build(universe(), options);
+    } catch (const fault::InjectedCrash &e) {
+        EXPECT_EQ(e.site(), "sweep.crash");
+        EXPECT_EQ(e.key(), crashCell);
+        return true;
+    }
+    return false;
+}
+
+/** Resume (no injector) and return the finished dataset. */
+runner::Dataset
+resume(const std::string &path, unsigned threads, obs::Obs *obs,
+       std::size_t every = 64)
+{
+    runner::BuildOptions options;
+    options.threads = threads;
+    options.checkpointPath = path;
+    options.checkpointEvery = every;
+    options.obs = obs;
+    return runner::Dataset::build(universe(), options);
+}
+
+} // namespace
+
+TEST(SweepCheckpoint, ResumeAfterInjectedCrashIsBitIdentical)
+{
+    const std::uint64_t expected =
+        runner::Dataset::build(universe()).contentHash();
+
+    const std::string path = ckPath("crash_resume");
+    std::remove(path.c_str());
+    ASSERT_TRUE(crashAtCell(path, 500, 1));
+    ASSERT_TRUE(fileExists(path)) << "crash left no checkpoint";
+
+    obs::Obs o;
+    const runner::Dataset resumed = resume(path, 1, &o);
+    EXPECT_EQ(resumed.contentHash(), expected);
+    // Blocks 0..447 were flushed before the crash at cell 500.
+    EXPECT_EQ(o.metrics.counterValue("sweep.checkpoint."
+                                     "cells_restored"),
+              448u);
+    EXPECT_FALSE(fileExists(path))
+        << "completed build must delete its checkpoint";
+}
+
+TEST(SweepCheckpoint, ResumeAtDifferentThreadCountMatches)
+{
+    const std::uint64_t expected =
+        runner::Dataset::build(universe()).contentHash();
+    const std::string path = ckPath("threads");
+    std::remove(path.c_str());
+    ASSERT_TRUE(crashAtCell(path, 300, 4));
+    for (unsigned threads : {1u, 8u}) {
+        // Re-crash then resume at each width; every resume must land
+        // on the serial uninterrupted hash.
+        const runner::Dataset resumed =
+            resume(path, threads, nullptr);
+        EXPECT_EQ(resumed.contentHash(), expected)
+            << threads << " threads";
+        ASSERT_TRUE(crashAtCell(path, 300, threads));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SweepCheckpoint, RestoredCellsAreNotRepriced)
+{
+    const std::string path = ckPath("no_reprice");
+    std::remove(path.c_str());
+    ASSERT_TRUE(crashAtCell(path, 500, 2));
+
+    // The reference build prices every cell, so it must run before
+    // the once=10 schedule is installed (it has no checkpoint to
+    // shield it).
+    const std::uint64_t expected =
+        runner::Dataset::build(universe()).contentHash();
+
+    // Cell 10 is durable in the checkpoint (block [0, 64) flushed
+    // long before the crash). If the resume re-priced it, this
+    // schedule would crash again — completing proves the restore
+    // path skips it.
+    fault::Injector injector(
+        fault::FaultSchedule::parse("seed=1;sweep.crash:once=10"));
+    fault::ScopedInjector scope(&injector);
+    obs::Obs o;
+    const runner::Dataset resumed = resume(path, 1, &o);
+    EXPECT_EQ(resumed.contentHash(), expected);
+    EXPECT_EQ(injector.injectedCount(), 0u);
+}
+
+TEST(SweepCheckpoint, TornTailIsDroppedNotFatal)
+{
+    const std::string path = ckPath("torn");
+    std::remove(path.c_str());
+    ASSERT_TRUE(crashAtCell(path, 200, 1));
+    {
+        // A crash mid-append: the last row stops mid-payload.
+        std::ofstream out(path, std::ios::app);
+        out << "cell,9999,deadbeef";
+    }
+    obs::Obs o;
+    const runner::Dataset resumed = resume(path, 1, &o);
+    EXPECT_EQ(resumed.contentHash(),
+              runner::Dataset::build(universe()).contentHash());
+    EXPECT_GT(
+        o.metrics.counterValue("sweep.checkpoint.cells_restored"),
+        0u);
+}
+
+TEST(SweepCheckpoint, ForeignUniverseCheckpointRestoresNothing)
+{
+    const std::string path = ckPath("foreign");
+    std::remove(path.c_str());
+    ASSERT_TRUE(crashAtCell(path, 200, 1));
+
+    // Same file, different universe: the identity stamp must veto
+    // the restore and the sweep must start over, warning only.
+    runner::Universe other = universe();
+    other.seed += 1;
+    runner::BuildOptions options;
+    options.checkpointPath = path;
+    obs::Obs o;
+    options.obs = &o;
+    const runner::Dataset ds =
+        runner::Dataset::build(other, options);
+    EXPECT_EQ(o.metrics.counterValue("sweep.checkpoint."
+                                     "cells_restored"),
+              0u);
+    EXPECT_EQ(ds.contentHash(),
+              runner::Dataset::build(other).contentHash());
+}
+
+TEST(SweepCheckpoint, UncrashedCheckpointedBuildMatchesPlain)
+{
+    const std::string path = ckPath("plain");
+    std::remove(path.c_str());
+    runner::BuildOptions options;
+    options.checkpointPath = path;
+    options.checkpointEvery = 100;
+    const runner::Dataset ds =
+        runner::Dataset::build(universe(), options);
+    EXPECT_EQ(ds.contentHash(),
+              runner::Dataset::build(universe()).contentHash());
+    EXPECT_FALSE(fileExists(path));
+}
+
+TEST(SweepCheckpoint, IdentityHashSeparatesUniverses)
+{
+    const runner::Universe a = universe();
+    runner::Universe b = universe();
+    b.seed += 1;
+    EXPECT_NE(runner::universeIdentityHash(a),
+              runner::universeIdentityHash(b));
+    EXPECT_EQ(runner::universeIdentityHash(a),
+              runner::universeIdentityHash(universe()));
+}

@@ -355,23 +355,40 @@ cmdStudy(const std::vector<std::string> &args)
     bool small = false;
     unsigned smallApps = 4;
     std::string outPath;
+    std::string checkpointPath;
+    std::size_t checkpointEvery = 256;
+    std::string faultSpec;
     std::string metricsOut;
     std::string traceOut;
     cli::FlagSet flags("study",
                        "[--threads N] [--stats] [--small [n_apps]] "
-                       "[--out FILE]");
+                       "[--out FILE] [--checkpoint FILE]");
     flags
         .count("--threads", &threads, "N",
                "worker threads (0 = all hardware threads)")
         .toggle("--stats", &stats, "print sweep observability")
         .toggleWithCount("--small", &small, &smallApps, "n_apps",
                          "use the reduced test universe")
-        .text("--out", &outPath, "FILE", "save the dataset CSV");
+        .text("--out", &outPath, "FILE", "save the dataset CSV")
+        .text("--checkpoint", &checkpointPath, "FILE",
+              "crash-safe sweep checkpoint (.gpk); an interrupted "
+              "sweep resumes from it bit-identically")
+        .count("--checkpoint-every", &checkpointEvery, "N",
+               "cells priced between checkpoint flushes "
+               "(default 256)")
+        .text("--fault-spec", &faultSpec, "SPEC",
+              "inject faults, e.g. \"seed=1;sweep.crash:once=500\"");
     cli::addObsFlags(flags, &metricsOut, &traceOut);
     if (!flags.parse(args))
         return 0;
     fatalIf(small && smallApps == 0,
             "study: --small needs at least 1 app");
+
+    std::unique_ptr<fault::Injector> injector;
+    if (!faultSpec.empty())
+        injector = std::make_unique<fault::Injector>(
+            fault::FaultSchedule::parse(faultSpec));
+    fault::ScopedInjector injectorScope(injector.get());
 
     const runner::Universe universe =
         small ? runner::smallUniverse(smallApps)
@@ -390,6 +407,8 @@ cmdStudy(const std::vector<std::string> &args)
     runner::BuildOptions options;
     options.threads = threads;
     options.stats = &sweepStats;
+    options.checkpointPath = checkpointPath;
+    options.checkpointEvery = checkpointEvery;
     if (cli::obsRequested(metricsOut, traceOut))
         options.obs = &o;
     const runner::Dataset ds = runner::Dataset::build(universe,
@@ -411,6 +430,9 @@ cmdStudy(const std::vector<std::string> &args)
             [&](std::ostream &os) { ds.saveCsv(os); });
         std::printf("dataset written to %s\n", outPath.c_str());
     }
+    if (injector != nullptr &&
+        cli::obsRequested(metricsOut, traceOut))
+        injector->mergeInto(o.metrics);
     cli::writeObsFiles("study", o, metricsOut, traceOut);
     return 0;
 }
