@@ -7,10 +7,12 @@
  * out-of-index apps — so the degraded tiers, the predictive path and
  * the trace-feature LRU all see load), serves it serially and at
  * increasing thread counts, verifies every parallel pass answers
- * bit-identically to the serial reference, and emits one
- * machine-readable JSON file (default BENCH_serve.json) with QPS and
- * p50/p95/p99 latency per variant so serving performance is tracked
- * across PRs.
+ * bit-identically to the serial reference, measures the overhead of
+ * the disabled fault hooks on the serving path (budget < 1%; the
+ * process fails when it is exceeded), and emits one machine-readable
+ * JSON file (default BENCH_serve.json) with QPS, p50/p95/p99 latency
+ * per variant and the fault_overhead_pct record so serving
+ * performance is tracked across PRs.
  *
  * Flags:
  *   --queries N    stream length (default 10000)
@@ -87,7 +89,7 @@ main(int argc, char **argv)
                 stream.size(), static_cast<unsigned long long>(seed),
                 support::hardwareThreads());
 
-    const serve::LoadBenchResult result =
+    serve::LoadBenchResult result =
         serve::runLoadBench(advisor, stream, threadCounts);
     for (const serve::LoadVariant &v : result.variants) {
         std::printf("  %2u thread(s)  %10.0f q/s  p50 %8.1f us  "
@@ -103,6 +105,17 @@ main(int argc, char **argv)
     std::printf("\ninvariant: every parallel pass answers "
                 "bit-identically to the serial reference.\n");
 
+    std::printf("\nmeasuring disabled-fault-hook overhead "
+                "(adviseResilient vs advise, serial, best of 5)"
+                "...\n");
+    result.faultOverheadPct =
+        serve::measureFaultHookOverheadPct(advisor, stream);
+    const bool overheadOk = result.faultOverheadPct < 1.0;
+    std::printf("  fault-hook overhead: %.3f%%  (budget < 1%%)  "
+                "%s\n",
+                result.faultOverheadPct,
+                overheadOk ? "within budget" : "OVER BUDGET");
+
     std::ofstream out(outPath);
     if (!out.good()) {
         std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
@@ -111,5 +124,5 @@ main(int argc, char **argv)
     serve::writeLoadBenchJson(out, result, stream.size(), seed);
     std::printf("perf record written to %s\n", outPath.c_str());
 
-    return result.allBitIdentical ? 0 : 1;
+    return result.allBitIdentical && overheadOk ? 0 : 1;
 }

@@ -2,12 +2,16 @@
 """Schema check for graphport::obs output files (CI obs-smoke job).
 
 Usage:
-    python3 ci/validate_obs.py summary FILE [FILE...]
+    python3 ci/validate_obs.py summary [--require-fault] FILE [FILE...]
     python3 ci/validate_obs.py trace FILE [FILE...]
 
 "summary" validates a --metrics-out document (the canonical
 graphport-obs-summary JSON); "trace" validates a --trace-out Chrome
-trace_event document. Standard library only — CI must not install
+trace_event document. With --require-fault (chaos-smoke job), a
+summary must additionally carry the fault-injection counters —
+fault.checked, fault.injected with injected <= checked — and its
+degradation accounting must be sane (serve.degraded.total <=
+serve.queries). Standard library only — CI must not install
 anything.
 """
 import json
@@ -77,6 +81,20 @@ def check_summary(doc):
     return len(doc["spans"])
 
 
+def check_fault(doc):
+    counters = doc["counters"]
+    for name in ("fault.checked", "fault.injected"):
+        expect(name in counters, f"counters.{name}",
+               "counter present (--require-fault)")
+    expect(counters["fault.injected"] <= counters["fault.checked"],
+           "counters.fault.injected", "injected <= checked")
+    if "serve.queries" in counters:
+        expect(counters.get("serve.degraded.total", 0) <=
+               counters["serve.queries"],
+               "counters.serve.degraded.total",
+               "degraded.total <= serve.queries")
+
+
 def check_trace(doc):
     expect(isinstance(doc, dict), "$", "object")
     expect(isinstance(doc.get("traceEvents"), list), "traceEvents",
@@ -97,19 +115,29 @@ def check_trace(doc):
 
 
 def main(argv):
-    if len(argv) < 3 or argv[1] not in ("summary", "trace"):
+    args = list(argv[1:])
+    require_fault = "--require-fault" in args
+    if require_fault:
+        args.remove("--require-fault")
+    if len(args) < 2 or args[0] not in ("summary", "trace"):
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    check = check_summary if argv[1] == "summary" else check_trace
-    for path in argv[2:]:
+    if require_fault and args[0] != "summary":
+        print("--require-fault only applies to summary files",
+              file=sys.stderr)
+        return 2
+    check = check_summary if args[0] == "summary" else check_trace
+    for path in args[1:]:
         try:
             with open(path) as f:
                 doc = json.load(f)
             n = check(doc)
+            if require_fault:
+                check_fault(doc)
         except (OSError, ValueError, SchemaError) as e:
             print(f"{path}: FAIL: {e}", file=sys.stderr)
             return 1
-        unit = "spans" if argv[1] == "summary" else "events"
+        unit = "spans" if args[0] == "summary" else "events"
         print(f"{path}: ok ({n} {unit})")
     return 0
 

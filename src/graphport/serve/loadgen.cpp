@@ -1,6 +1,7 @@
 #include "graphport/serve/loadgen.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <ostream>
 
 #include "graphport/apps/app.hpp"
@@ -134,6 +135,44 @@ runLoadBench(const Advisor &advisor,
     return result;
 }
 
+double
+measureFaultHookOverheadPct(const Advisor &advisor,
+                            const std::vector<Query> &queries,
+                            unsigned repeats)
+{
+    using Clock = std::chrono::steady_clock;
+    const ServePolicy policy;
+    const auto passNs = [&](bool resilient) {
+        const auto t0 = Clock::now();
+        for (std::size_t i = 0; i < queries.size(); ++i) {
+            if (resilient)
+                advisor.adviseResilient(queries[i], i, policy,
+                                        nullptr);
+            else
+                advisor.advise(queries[i]);
+        }
+        const auto t1 = Clock::now();
+        return std::chrono::duration<double, std::nano>(t1 - t0)
+            .count();
+    };
+
+    // One throwaway pass fills the trace-feature LRU so neither
+    // variant pays cold-cache traces; alternating thereafter spreads
+    // any slow drift (thermal, scheduler) evenly across both.
+    passNs(false);
+    double plainNs = 0.0, hookedNs = 0.0;
+    for (unsigned r = 0; r < repeats; ++r) {
+        const double p = passNs(false);
+        const double h = passNs(true);
+        plainNs = r == 0 ? p : std::min(plainNs, p);
+        hookedNs = r == 0 ? h : std::min(hookedNs, h);
+    }
+    if (plainNs <= 0.0)
+        return 0.0;
+    return std::max(0.0,
+                    (hookedNs - plainNs) / plainNs * 100.0);
+}
+
 void
 writeLoadBenchJson(std::ostream &os,
                    const LoadBenchResult &result,
@@ -147,6 +186,10 @@ writeLoadBenchJson(std::ostream &os,
     ex.field("seed", seed);
     ex.field("hardware_threads", support::hardwareThreads());
     ex.field("all_bit_identical", result.allBitIdentical);
+    if (result.faultOverheadPct >= 0.0) {
+        ex.field("fault_overhead_pct", result.faultOverheadPct, 3);
+        ex.field("fault_overhead_budget_pct", 1.0, 1);
+    }
     ex.beginArray("variants");
     for (const LoadVariant &var : result.variants) {
         ex.beginObject(obs::Exporter::Style::Inline);

@@ -55,6 +55,11 @@ struct LoadBenchResult
     std::vector<LoadVariant> variants;
     /** AND over all variants' bitIdentical. */
     bool allBitIdentical = true;
+    /**
+     * Disabled-fault-hook overhead in percent (see
+     * measureFaultHookOverheadPct); negative when not measured.
+     */
+    double faultOverheadPct = -1.0;
 };
 
 /**
@@ -74,8 +79,23 @@ LoadBenchResult runLoadBench(const Advisor &advisor,
                              const ServePolicy &policy = {});
 
 /**
+ * Measure the cost of the fault machinery when no injector is
+ * installed: time the stream through adviseResilient (the production
+ * serving path, whose fault hooks reduce to one relaxed atomic load
+ * per covering tier) against plain advise (no fault machinery at
+ * all), serially, best of @p repeats alternating passes after a
+ * cache-warming pass. Returns the relative slowdown in percent,
+ * clamped at zero (timing jitter can make the difference negative).
+ * The repo budget for this number is < 1%.
+ */
+double measureFaultHookOverheadPct(const Advisor &advisor,
+                                   const std::vector<Query> &queries,
+                                   unsigned repeats = 5);
+
+/**
  * Emit the BENCH_serve.json record: stream composition plus one
- * entry per variant with QPS and latency percentiles.
+ * entry per variant with QPS and latency percentiles, and — when
+ * measured — the disabled-fault-hook overhead against its budget.
  */
 void writeLoadBenchJson(std::ostream &os,
                         const LoadBenchResult &result,
