@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Counting global operator new/delete, linked only into binaries
+ * that enforce the serving layer's zero-allocation claim
+ * (bench_serve_latency, test_serve_frozen). Provides the strong
+ * definitions of the support/allochook.hpp accessors; every other
+ * binary gets the weak "counting inactive" fallbacks instead and
+ * keeps the stock allocator.
+ *
+ * Counters are thread-local so a measuring thread only sees its own
+ * allocations, not a concurrent worker's.
+ */
+#include "graphport/support/allochook.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+thread_local graphport::support::AllocCounts g_counts;
+
+void *
+countedNew(std::size_t size)
+{
+    ++g_counts.allocs;
+    g_counts.bytes += size;
+    if (void *p = std::malloc(size != 0 ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+countedAlignedNew(std::size_t size, std::size_t align)
+{
+    ++g_counts.allocs;
+    g_counts.bytes += size;
+    void *p = nullptr;
+    if (align < sizeof(void *))
+        align = sizeof(void *);
+    if (posix_memalign(&p, align, size != 0 ? size : 1) == 0)
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+countedDelete(void *p) noexcept
+{
+    if (p == nullptr)
+        return;
+    ++g_counts.frees;
+    std::free(p);
+}
+
+} // namespace
+
+namespace graphport {
+namespace support {
+
+bool
+allocCountingActive()
+{
+    return true;
+}
+
+void
+resetThreadAllocCounts()
+{
+    g_counts = AllocCounts{};
+}
+
+AllocCounts
+threadAllocCounts()
+{
+    return g_counts;
+}
+
+} // namespace support
+} // namespace graphport
+
+void *
+operator new(std::size_t size)
+{
+    return countedNew(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return countedNew(size);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    try {
+        return countedNew(size);
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    try {
+        return countedNew(size);
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    return countedAlignedNew(size,
+                             static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return countedAlignedNew(size,
+                             static_cast<std::size_t>(align));
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align,
+             const std::nothrow_t &) noexcept
+{
+    try {
+        return countedAlignedNew(size,
+                                 static_cast<std::size_t>(align));
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align,
+               const std::nothrow_t &) noexcept
+{
+    try {
+        return countedAlignedNew(size,
+                                 static_cast<std::size_t>(align));
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void
+operator delete(void *p) noexcept
+{
+    countedDelete(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    countedDelete(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    countedDelete(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    countedDelete(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    countedDelete(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    countedDelete(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    countedDelete(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    countedDelete(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    countedDelete(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    countedDelete(p);
+}
+
+void
+operator delete(void *p, std::align_val_t,
+                const std::nothrow_t &) noexcept
+{
+    countedDelete(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t,
+                  const std::nothrow_t &) noexcept
+{
+    countedDelete(p);
+}

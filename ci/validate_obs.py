@@ -4,6 +4,7 @@
 Usage:
     python3 ci/validate_obs.py summary [--require-fault] FILE [FILE...]
     python3 ci/validate_obs.py trace FILE [FILE...]
+    python3 ci/validate_obs.py serve FILE [FILE...]
 
 "summary" validates a --metrics-out document (the canonical
 graphport-obs-summary JSON); "trace" validates a --trace-out Chrome
@@ -11,8 +12,11 @@ trace_event document. With --require-fault (chaos-smoke job), a
 summary must additionally carry the fault-injection counters —
 fault.checked, fault.injected with injected <= checked — and its
 degradation accounting must be sane (serve.degraded.total <=
-serve.queries). Standard library only — CI must not install
-anything.
+serve.queries). "serve" validates a BENCH_serve.json perf record
+(serve-smoke job) and enforces the serving-path budgets: every
+variant bit-identical, allocs_per_query present and exactly 0, and
+the open-loop p99 within its recorded budget with the load kept up.
+Standard library only — CI must not install anything.
 """
 import json
 import numbers
@@ -95,6 +99,51 @@ def check_fault(doc):
                "degraded.total <= serve.queries")
 
 
+def check_serve(doc):
+    expect(isinstance(doc, dict), "$", "object")
+    expect(doc.get("bench") == "serve_latency", "bench",
+           '"serve_latency"')
+    expect(doc.get("all_bit_identical") is True, "all_bit_identical",
+           "true (frozen path must match the serial reference)")
+    variants = doc.get("variants")
+    expect(isinstance(variants, list) and variants, "variants",
+           "non-empty array")
+    for i, v in enumerate(variants):
+        path = f"variants[{i}]"
+        expect(isinstance(v, dict), path, "object")
+        expect(v.get("bit_identical") is True,
+               f"{path}.bit_identical", "true")
+
+    # Zero-allocation budget: the bench binary links the counting
+    # allocator, so the field must be present — absence means the
+    # instrumentation silently fell off.
+    expect("allocs_per_query" in doc, "allocs_per_query",
+           "field present (counting allocator linked)")
+    expect(is_num(doc["allocs_per_query"]), "allocs_per_query",
+           "number")
+    expect(doc["allocs_per_query"] == 0, "allocs_per_query",
+           "exactly 0 (zero-allocation steady path)")
+
+    # Open-loop record: coordinated-omission-safe p99 within the
+    # budget the bench recorded, at a rate it kept up with.
+    ol = doc.get("open_loop")
+    expect(isinstance(ol, dict), "open_loop", "object")
+    for field in ("target_qps", "achieved_qps", "p50_us", "p99_us",
+                  "p99_budget_us"):
+        expect(is_num(ol.get(field)), f"open_loop.{field}", "number")
+    expect(is_count(ol.get("queries")), "open_loop.queries",
+           "non-negative integer")
+    expect(ol.get("kept_up") is True, "open_loop.kept_up",
+           "true (offered load sustained)")
+    expect(ol["p99_us"] <= ol["p99_budget_us"], "open_loop.p99_us",
+           f"p99 <= budget ({ol.get('p99_budget_us')} us)")
+    if "sustained_qps" in ol:
+        expect(is_num(ol["sustained_qps"]) and
+               ol["sustained_qps"] > 0,
+               "open_loop.sustained_qps", "positive number")
+    return len(variants)
+
+
 def check_trace(doc):
     expect(isinstance(doc, dict), "$", "object")
     expect(isinstance(doc.get("traceEvents"), list), "traceEvents",
@@ -119,14 +168,15 @@ def main(argv):
     require_fault = "--require-fault" in args
     if require_fault:
         args.remove("--require-fault")
-    if len(args) < 2 or args[0] not in ("summary", "trace"):
+    if len(args) < 2 or args[0] not in ("summary", "trace", "serve"):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     if require_fault and args[0] != "summary":
         print("--require-fault only applies to summary files",
               file=sys.stderr)
         return 2
-    check = check_summary if args[0] == "summary" else check_trace
+    check = {"summary": check_summary, "trace": check_trace,
+             "serve": check_serve}[args[0]]
     for path in args[1:]:
         try:
             with open(path) as f:
@@ -137,7 +187,8 @@ def main(argv):
         except (OSError, ValueError, SchemaError) as e:
             print(f"{path}: FAIL: {e}", file=sys.stderr)
             return 1
-        unit = "spans" if args[0] == "summary" else "events"
+        unit = {"summary": "spans", "trace": "events",
+                "serve": "variants"}[args[0]]
         print(f"{path}: ok ({n} {unit})")
     return 0
 

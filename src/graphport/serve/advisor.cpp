@@ -17,6 +17,7 @@ bool
 Advice::sameAnswer(const Advice &other) const
 {
     return config == other.config && tier == other.tier &&
+           tierId == other.tierId &&
            predictive == other.predictive &&
            partition == other.partition &&
            expectedSlowdownVsOracle ==
@@ -29,9 +30,49 @@ Advice::sameAnswer(const Advice &other) const
            retries == other.retries;
 }
 
+namespace {
+
+/** Inflate a POD AdviceView into the string-carrying Advice. */
+Advice
+materialise(const FrozenIndex &frozen, const AdviceView &v)
+{
+    Advice a;
+    a.config = v.config;
+    a.configLabel = dsl::OptConfig::decode(v.config).label();
+    a.tier = tierName(v.tier);
+    a.tierId = v.tier;
+    a.predictive = v.predictive;
+    // Partition keys are the specialised dimension values in
+    // app,input,chip order, each '|'-terminated (port::partitionKey);
+    // predictive answers and the global partition stay empty.
+    if (v.partApp != kNoSymbol)
+        a.partition += frozen.symbolName(v.partApp) + "|";
+    if (v.partInput != kNoSymbol)
+        a.partition += frozen.symbolName(v.partInput) + "|";
+    if (v.partChip != kNoSymbol)
+        a.partition += frozen.symbolName(v.partChip) + "|";
+    a.expectedSlowdownVsOracle = v.expectedSlowdownVsOracle;
+    a.partitionSlowdownVsOracle = v.partitionSlowdownVsOracle;
+    a.featureSource = v.featureSource;
+    a.intendedTier = tierName(v.intendedTier);
+    a.degraded = v.degraded;
+    a.degradeSteps = v.degradeSteps;
+    a.retries = v.retries;
+    return a;
+}
+
+} // namespace
+
 Advisor::Advisor(StrategyIndex index, std::size_t featureCacheCapacity)
-    : index_(std::move(index)), featureCache_(featureCacheCapacity)
+    : state_(std::make_shared<const IndexBundle>(std::move(index))),
+      featureCache_(featureCacheCapacity)
 {}
+
+void
+Advisor::swapIndex(StrategyIndex index)
+{
+    state_.swap(std::make_shared<const IndexBundle>(std::move(index)));
+}
 
 const std::vector<std::string> &
 Advisor::tierOrder()
@@ -61,13 +102,14 @@ Advisor::featureCacheMisses() const
 }
 
 port::WorkloadFeatures
-Advisor::lookupFeatures(const std::string &app,
+Advisor::lookupFeatures(const StrategyIndex &index,
+                        const std::string &app,
                         const std::string &input,
                         FeatureSource *source) const
 {
     // Pairs the study traced are part of the snapshot itself.
     if (const port::WorkloadFeatures *f =
-            index_.featuresFor(app, input)) {
+            index.featuresFor(app, input)) {
         *source = FeatureSource::Snapshot;
         return *f;
     }
@@ -85,7 +127,7 @@ Advisor::lookupFeatures(const std::string &app,
     // Trace the pair on demand — the expensive path the LRU exists
     // for. Run outside the lock; concurrent misses on the same key
     // recompute the same deterministic value.
-    const runner::InputSpec *spec = index_.findInput(input);
+    const runner::InputSpec *spec = index.findInput(input);
     fatalIf(spec == nullptr,
             "cannot advise: input '" + input +
                 "' is neither in the study nor generatable");
@@ -112,43 +154,83 @@ Advisor::advise(const Query &q) const
     return adviseResilient(q, 0, ServePolicy{}, nullptr);
 }
 
+AdviceView
+Advisor::advise(const IdQuery &q, std::uint64_t queryKey,
+                const ServePolicy &policy,
+                CircuitBreaker *breaker) const
+{
+    const Lease bundle = lease();
+    return bundle->frozen.advise(q, queryKey, policy, breaker,
+                                 nullptr);
+}
+
 Advice
 Advisor::adviseResilient(const Query &q, std::uint64_t queryKey,
                          const ServePolicy &policy,
                          CircuitBreaker *breaker) const
 {
+    const Lease bundle = lease();
+    const FrozenIndex &frozen = bundle->frozen;
+
+    // On-demand feature lookup for pairs outside the snapshot; the
+    // frozen descent invokes it only on the successful predictive
+    // branch, so LRU side effects and trace fatals keep the exact
+    // ordering of the pre-compilation path relative to injected
+    // faults.
+    struct StringResolver final : FeatureResolver
+    {
+        const Advisor *self = nullptr;
+        const StrategyIndex *index = nullptr;
+        const Query *q = nullptr;
+
+        port::WorkloadFeatures
+        resolve(FeatureSource *source) override
+        {
+            const runner::InputSpec *spec =
+                index->findInput(q->input);
+            return self->lookupFeatures(
+                *index, q->app, spec ? spec->name : q->input,
+                source);
+        }
+    };
+    StringResolver resolver;
+    resolver.self = this;
+    resolver.index = &bundle->index;
+    resolver.q = &q;
+
+    const IdQuery idq =
+        frozen.internQuery(q.app, q.input, q.chip);
+    return materialise(
+        frozen,
+        frozen.advise(idq, queryKey, policy, breaker, &resolver));
+}
+
+Advice
+Advisor::adviseReference(const Query &q, std::uint64_t queryKey,
+                         const ServePolicy &policy) const
+{
     fatalIf(policy.maxRetries > 9,
             "ServePolicy: maxRetries must be <= 9 (fault keys "
             "reserve one digit per attempt)");
-    const runner::InputSpec *input = index_.findInput(q.input);
-    const bool appKnown = index_.hasApp(q.app);
-    const bool chipKnown = index_.hasChip(q.chip);
+    const Lease bundle = lease();
+    const StrategyIndex &index = bundle->index;
+    const runner::InputSpec *input = index.findInput(q.input);
+    const bool appKnown = index.hasApp(q.app);
+    const bool chipKnown = index.hasChip(q.chip);
 
     std::uint64_t budget = policy.deadlineNs;
     unsigned retries = 0;
     unsigned degradeSteps = 0;
     std::string intendedTier;
 
-    /*
-     * One shard's attempt loop: true when the (possibly injected)
-     * lookup eventually succeeds, false when retries or the deadline
-     * budget are exhausted — the caller then degrades a ladder step.
-     * Everything that can change the outcome is virtual-time
-     * arithmetic over (keyBase, policy, schedule); only the optional
-     * realBackoff sleep touches the wall clock, and the breaker may
-     * skip it without changing any answer.
-     */
+    // Same virtual-time arithmetic as the frozen path, minus the
+    // breaker (the oracle compares answers, which breakers never
+    // change) and minus real sleeps.
     const auto attempt = [&](const char *site,
-                             std::uint64_t keyBase,
-                             const std::string &shard) {
+                             std::uint64_t keyBase) {
         for (unsigned k = 0;; ++k) {
-            if (!fault::shouldInject(site, keyBase + k)) {
-                if (breaker != nullptr)
-                    breaker->onSuccess(shard);
+            if (!fault::shouldInject(site, keyBase + k))
                 return true;
-            }
-            if (breaker != nullptr)
-                breaker->onFailure(shard);
             if (k == policy.maxRetries)
                 return false;
             const std::uint64_t backoff =
@@ -163,11 +245,6 @@ Advisor::adviseResilient(const Query &q, std::uint64_t queryKey,
                 budget -= backoff;
             }
             ++retries;
-            if (policy.realBackoff &&
-                (breaker == nullptr || breaker->allowSleep(shard)))
-                std::this_thread::sleep_for(
-                    std::chrono::nanoseconds(std::min<std::uint64_t>(
-                        backoff, 1000000)));
         }
     };
 
@@ -190,6 +267,8 @@ Advisor::adviseResilient(const Query &q, std::uint64_t queryKey,
             advice.configLabel =
                 dsl::OptConfig::decode(cfg).label();
             advice.tier = name;
+            advice.tierId =
+                static_cast<Tier>(tierFromName(name));
             advice.partition = key;
             advice.expectedSlowdownVsOracle = table.geomeanVsOracle;
             const auto slow = table.slowdownByPartition.find(key);
@@ -201,13 +280,10 @@ Advisor::adviseResilient(const Query &q, std::uint64_t queryKey,
         };
 
     if (chipKnown) {
-        // Descend the lattice: the most specialised tier all of
-        // whose dimensions the study measured answers. "global"
-        // specialises nothing, so the loop always terminates there.
         const std::vector<std::string> &order = tierOrder();
         for (std::size_t t = 0; t < order.size(); ++t) {
             const std::string &name = order[t];
-            const port::StrategyTable &table = index_.table(name);
+            const port::StrategyTable &table = index.table(name);
             if (table.spec.byApp && !appKnown)
                 continue;
             if (table.spec.byInput && input == nullptr)
@@ -219,11 +295,9 @@ Advisor::adviseResilient(const Query &q, std::uint64_t queryKey,
                 continue; // not covering: plain descent, no penalty
             if (intendedTier.empty())
                 intendedTier = name;
-            // The global tier is the ladder's floor, exempt from
-            // injection: every covered query has a guaranteed answer.
             if (name != "global" &&
-                !attempt("serve.lookup", queryKey * 1000 + t * 10,
-                         name)) {
+                !attempt("serve.lookup",
+                         queryKey * 1000 + t * 10)) {
                 ++degradeSteps;
                 continue;
             }
@@ -233,25 +307,24 @@ Advisor::adviseResilient(const Query &q, std::uint64_t queryKey,
               "tier");
     }
 
-    // Unknown chip: no descriptive tier applies (configurations do
-    // not transfer across chips); predict from workload features.
     intendedTier = "predictive";
-    if (attempt("serve.predict", queryKey * 10, "predictive")) {
+    if (attempt("serve.predict", queryKey * 10)) {
         Advice advice;
         advice.predictive = true;
         advice.tier = "predictive";
-        advice.expectedSlowdownVsOracle = index_.predictiveGeomean();
+        advice.tierId = Tier::Predictive;
+        advice.expectedSlowdownVsOracle = index.predictiveGeomean();
         advice.partitionSlowdownVsOracle =
-            index_.predictiveGeomean();
+            index.predictiveGeomean();
         const std::string inputName = input ? input->name : q.input;
-        const port::WorkloadFeatures features =
-            lookupFeatures(q.app, inputName, &advice.featureSource);
+        const port::WorkloadFeatures features = lookupFeatures(
+            index, q.app, inputName, &advice.featureSource);
 
         // port::predictConfig semantics: train on every snapshot
         // example whose (app, input) pair differs from the query, in
         // test order.
-        port::KnnPredictor predictor(index_.knnK());
-        for (const PredictorExample &e : index_.examples()) {
+        port::KnnPredictor predictor(index.knnK());
+        for (const PredictorExample &e : index.examples()) {
             if (e.app == q.app && e.input == inputName)
                 continue;
             predictor.addExample(e.features, e.bestConfig);
@@ -262,11 +335,8 @@ Advisor::adviseResilient(const Query &q, std::uint64_t queryKey,
         return finish(advice);
     }
 
-    // Predictive path exhausted: the global tier's single
-    // configuration is the ladder's floor even for unknown chips —
-    // a transferable-if-mediocre answer beats no answer.
     ++degradeSteps;
-    const port::StrategyTable &table = index_.table("global");
+    const port::StrategyTable &table = index.table("global");
     const std::string key = port::partitionKey(table.spec, test);
     const unsigned *cfg = table.configFor(key);
     panicIf(cfg == nullptr,

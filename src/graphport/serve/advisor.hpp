@@ -19,6 +19,13 @@
  * (port::predictConfig semantics), with an LRU cache over trace-
  * feature lookups for (app, input) pairs outside the study.
  *
+ * The descent itself runs on a FrozenIndex — the StrategyIndex
+ * compiled at construction (and at every swapIndex) into interned
+ * IDs, packed-key flat tables and SoA k-NN features — held behind an
+ * epoch-based pointer, so the string API is a thin materialising
+ * wrapper over an allocation-free ID core and the index can be
+ * hot-swapped without stalling a single reader.
+ *
  * advise() is const and thread-safe; concurrent batches produce
  * answers bit-identical to serial evaluation.
  */
@@ -26,12 +33,16 @@
 #define GRAPHPORT_SERVE_ADVISOR_HPP
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "graphport/serve/frozen.hpp"
 #include "graphport/serve/index.hpp"
 #include "graphport/serve/policy.hpp"
+#include "graphport/serve/tier.hpp"
+#include "graphport/support/epochptr.hpp"
 #include "graphport/support/lrucache.hpp"
 
 namespace graphport {
@@ -47,15 +58,6 @@ struct Query
     std::string chip;
 };
 
-/** Where a predictive answer's workload features came from. */
-enum class FeatureSource
-{
-    None,     ///< lattice answer; no feature lookup happened
-    Snapshot, ///< pair traced at index-build time
-    Cache,    ///< LRU hit on an earlier on-demand trace
-    Computed, ///< traced on demand (LRU miss)
-};
-
 /** One answer. */
 struct Advice
 {
@@ -65,6 +67,8 @@ struct Advice
     std::string configLabel;
     /** Lattice tier name ("chip_app_input".."global") or "predictive". */
     std::string tier;
+    /** The same tier as an enum, for array-indexed accounting. */
+    Tier tierId = Tier::Global;
     /** True when the predictive fallback answered. */
     bool predictive = false;
     /** Partition key that answered (empty for predictive answers). */
@@ -118,7 +122,38 @@ class Advisor
     explicit Advisor(StrategyIndex index,
                      std::size_t featureCacheCapacity = 256);
 
-    const StrategyIndex &index() const { return index_; }
+    /** The published state: the index plus its compiled form. */
+    struct IndexBundle
+    {
+        explicit IndexBundle(StrategyIndex idx)
+            : index(std::move(idx)), frozen(index)
+        {}
+
+        StrategyIndex index;
+        FrozenIndex frozen;
+    };
+
+    /** A pinned snapshot of the current bundle (see EpochPtr). */
+    using Lease = support::EpochPtr<IndexBundle>::Guard;
+
+    /**
+     * Pin the current index bundle. Wait-free against other readers
+     * and against swapIndex; never allocates. Hot loops lease once
+     * and drive `lease()->frozen` directly.
+     */
+    Lease lease() const { return state_.read(); }
+
+    /**
+     * Publish @p index as the new snapshot. In-flight queries finish
+     * on the bundle they leased; new queries see the replacement.
+     * Readers are never stalled. The feature LRU is kept: on-demand
+     * trace features are a pure function of (app, input), not of the
+     * index.
+     */
+    void swapIndex(StrategyIndex index);
+
+    /** Number of swapIndex calls published so far. */
+    std::uint64_t indexEpoch() const { return state_.epoch(); }
 
     /**
      * Answer @p q. Thread-safe and deterministic: the answer is a
@@ -129,6 +164,17 @@ class Advisor
      *         cannot be traced on demand).
      */
     Advice advise(const Query &q) const;
+
+    /**
+     * The ID-based overload: answers entirely in interned symbols
+     * and returns a POD AdviceView without touching the allocator on
+     * the steady path. Queries the FrozenIndex cannot answer without
+     * an on-demand trace (see FrozenIndex::steady) are fatal — route
+     * those through the string API.
+     */
+    AdviceView advise(const IdQuery &q, std::uint64_t queryKey = 0,
+                      const ServePolicy &policy = ServePolicy{},
+                      CircuitBreaker *breaker = nullptr) const;
 
     /**
      * Answer @p q under fault pressure: every covering-tier lookup
@@ -160,6 +206,15 @@ class Advisor
                            CircuitBreaker *breaker = nullptr) const;
 
     /**
+     * The pre-compilation reference implementation: the same descent
+     * walked directly over the StrategyIndex's string-keyed maps.
+     * Kept as the test oracle the frozen path is proven bit-identical
+     * against; not used by any serving path.
+     */
+    Advice adviseReference(const Query &q, std::uint64_t queryKey,
+                           const ServePolicy &policy) const;
+
+    /**
      * Lattice descent order: all eight tier names, most specialised
      * first, chip-specialised tiers preferred within equal degree.
      */
@@ -170,11 +225,12 @@ class Advisor
     std::uint64_t featureCacheMisses() const;
 
   private:
-    port::WorkloadFeatures lookupFeatures(const std::string &app,
+    port::WorkloadFeatures lookupFeatures(const StrategyIndex &index,
+                                          const std::string &app,
                                           const std::string &input,
                                           FeatureSource *source) const;
 
-    StrategyIndex index_;
+    support::EpochPtr<IndexBundle> state_;
     mutable std::mutex cacheMutex_;
     mutable support::LruCache<std::string, port::WorkloadFeatures>
         featureCache_;

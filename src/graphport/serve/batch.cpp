@@ -1,5 +1,6 @@
 #include "graphport/serve/batch.hpp"
 
+#include <array>
 #include <chrono>
 #include <istream>
 #include <ostream>
@@ -157,22 +158,44 @@ serveBatch(const Advisor &advisor,
                      .count());
         obs::Histogram &latency =
             local.histogram("serve.latency_ns");
-        std::uint64_t retries = 0, degraded = 0;
+        // Tier accounting is array-indexed by Advice::tierId and
+        // folded into named counters once per batch — no
+        // "serve.tier." + name string formatting per query.
+        std::array<std::uint64_t, kNumTiers> tierCounts{};
+        std::array<std::uint64_t, kNumTiers> degradedCounts{};
+        std::uint64_t retries = 0, degraded = 0, predictive = 0,
+                      snapshotHits = 0;
         for (std::size_t i = 0; i < advices.size(); ++i) {
             const Advice &a = advices[i];
-            local.counter("serve.tier." + a.tier).add(1);
+            ++tierCounts[static_cast<std::size_t>(a.tierId)];
             if (a.predictive)
-                local.counter("serve.predictive_answers").add(1);
+                ++predictive;
             if (a.featureSource == FeatureSource::Snapshot)
-                local.counter("serve.snapshot_feature_hits").add(1);
+                ++snapshotHits;
             retries += a.retries;
             if (a.degraded) {
                 ++degraded;
-                local.counter("serve.degraded.tier." + a.tier)
-                    .add(1);
+                ++degradedCounts[static_cast<std::size_t>(a.tierId)];
             }
             latency.record(latenciesNs[i]);
         }
+        for (std::size_t t = 0; t < kNumTiers; ++t) {
+            const Tier tier = static_cast<Tier>(t);
+            if (tierCounts[t] != 0)
+                local.counter("serve.tier." + tierName(tier))
+                    .add(tierCounts[t]);
+            if (degradedCounts[t] != 0)
+                local
+                    .counter("serve.degraded.tier." +
+                             tierName(tier))
+                    .add(degradedCounts[t]);
+        }
+        if (predictive != 0)
+            local.counter("serve.predictive_answers")
+                .add(predictive);
+        if (snapshotHits != 0)
+            local.counter("serve.snapshot_feature_hits")
+                .add(snapshotHits);
         local.counter("serve.retries").add(retries);
         local.counter("serve.degraded.total").add(degraded);
         breaker.mergeInto(local);

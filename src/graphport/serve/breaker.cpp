@@ -14,10 +14,10 @@ CircuitBreaker::CircuitBreaker(unsigned failureThreshold)
 }
 
 void
-CircuitBreaker::onFailure(const std::string &shard)
+CircuitBreaker::onFailure(Tier shard)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    Shard &s = shards_[shard];
+    Shard &s = shards_[static_cast<std::size_t>(shard)];
     ++s.consecutiveFailures;
     if (!s.open && s.consecutiveFailures >= failureThreshold_) {
         s.open = true;
@@ -26,10 +26,10 @@ CircuitBreaker::onFailure(const std::string &shard)
 }
 
 void
-CircuitBreaker::onSuccess(const std::string &shard)
+CircuitBreaker::onSuccess(Tier shard)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    Shard &s = shards_[shard];
+    Shard &s = shards_[static_cast<std::size_t>(shard)];
     s.consecutiveFailures = 0;
     if (s.open) {
         s.open = false;
@@ -38,22 +38,20 @@ CircuitBreaker::onSuccess(const std::string &shard)
 }
 
 bool
-CircuitBreaker::allowSleep(const std::string &shard)
+CircuitBreaker::allowSleep(Tier shard)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = shards_.find(shard);
-    if (it == shards_.end() || !it->second.open)
+    if (!shards_[static_cast<std::size_t>(shard)].open)
         return true;
     ++shortCircuits_;
     return false;
 }
 
 bool
-CircuitBreaker::isOpen(const std::string &shard) const
+CircuitBreaker::isOpen(Tier shard) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = shards_.find(shard);
-    return it != shards_.end() && it->second.open;
+    return shards_[static_cast<std::size_t>(shard)].open;
 }
 
 std::uint64_t

@@ -3,11 +3,13 @@
  * A per-shard circuit breaker for the serving layer, with one
  * deliberate restriction: it is *answer-invariant*.
  *
- * Shards are the lattice tiers plus "predictive" — the units that
- * fail independently under fault injection. A shard opens after N
- * consecutive failed lookup attempts and closes again on the first
- * success. While open, the breaker's only behavioural effect is to
- * short-circuit the optional real-time backoff sleep
+ * Shards are the lattice tiers plus the predictive path — the units
+ * that fail independently under fault injection — addressed by Tier,
+ * so the hot path touches a fixed array instead of building
+ * shard-name strings and probing a map per query. A shard opens
+ * after N consecutive failed lookup attempts and closes again on the
+ * first success. While open, the breaker's only behavioural effect
+ * is to short-circuit the optional real-time backoff sleep
  * (ServePolicy::realBackoff): the retry *decisions* still run, so
  * every Advice — including its retry and degradation counts — stays
  * a pure function of (query, policy, fault schedule) and is
@@ -20,10 +22,11 @@
 #ifndef GRAPHPORT_SERVE_BREAKER_HPP
 #define GRAPHPORT_SERVE_BREAKER_HPP
 
+#include <array>
 #include <cstdint>
-#include <map>
 #include <mutex>
-#include <string>
+
+#include "graphport/serve/tier.hpp"
 
 namespace graphport {
 namespace obs {
@@ -40,19 +43,19 @@ class CircuitBreaker
     explicit CircuitBreaker(unsigned failureThreshold = 5);
 
     /** Record a failed lookup attempt on @p shard. */
-    void onFailure(const std::string &shard);
+    void onFailure(Tier shard);
 
     /** Record a successful lookup on @p shard (closes it). */
-    void onSuccess(const std::string &shard);
+    void onSuccess(Tier shard);
 
     /**
      * Whether a real-time backoff sleep on @p shard may proceed.
      * False (and counted as a short-circuit) while the shard is open.
      */
-    bool allowSleep(const std::string &shard);
+    bool allowSleep(Tier shard);
 
     /** Whether @p shard is currently open. */
-    bool isOpen(const std::string &shard) const;
+    bool isOpen(Tier shard) const;
 
     std::uint64_t openedCount() const;
     std::uint64_t closedCount() const;
@@ -74,7 +77,7 @@ class CircuitBreaker
 
     const unsigned failureThreshold_;
     mutable std::mutex mutex_;
-    std::map<std::string, Shard> shards_;
+    std::array<Shard, kNumTiers> shards_{};
     std::uint64_t opened_ = 0;
     std::uint64_t closed_ = 0;
     std::uint64_t shortCircuits_ = 0;

@@ -1,0 +1,473 @@
+#include "graphport/serve/frozen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "graphport/dsl/optconfig.hpp"
+#include "graphport/fault/injector.hpp"
+#include "graphport/serve/breaker.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/rng.hpp"
+#include "graphport/support/strings.hpp"
+
+namespace graphport {
+namespace serve {
+
+namespace {
+
+/**
+ * Per-thread k-NN scratch. Sized on first use (and re-sized only
+ * after an index swap to a larger example set), so the steady path
+ * allocates nothing once a thread is warm.
+ */
+struct PredictScratch
+{
+    std::vector<double> dist;
+    std::vector<std::pair<double, unsigned>> ranked;
+    std::array<unsigned, dsl::kNumConfigs> votes;
+};
+
+PredictScratch &
+predictScratch()
+{
+    thread_local PredictScratch scratch;
+    return scratch;
+}
+
+/** Pair key used for feature rows and exclusion masks. */
+inline std::uint64_t
+pairKey(std::uint32_t appSym, std::uint32_t inputSym)
+{
+    return (static_cast<std::uint64_t>(appSym) << 32) | inputSym;
+}
+
+} // namespace
+
+std::uint64_t
+FrozenIndex::packKey(const port::Specialisation &spec,
+                     std::uint32_t appSym, std::uint32_t inputNameSym,
+                     std::uint32_t chipSym) const noexcept
+{
+    // 21 bits per specialised dimension, +1 offset: key 0 is the
+    // global partition and ~0 (FlatTable's sentinel) is unreachable.
+    std::uint64_t key = 0;
+    if (spec.byApp)
+        key = (key << 21) | (appSym + 1);
+    if (spec.byInput)
+        key = (key << 21) | (inputNameSym + 1);
+    if (spec.byChip)
+        key = (key << 21) | (chipSym + 1);
+    return key;
+}
+
+FrozenIndex::FrozenIndex(const StrategyIndex &index)
+{
+    // Vocabulary: every name a query can hit or a table can key on.
+    for (const std::string &a : index.apps())
+        symbols_.intern(a);
+    for (const runner::InputSpec &i : index.inputs()) {
+        symbols_.intern(i.name);
+        symbols_.intern(i.cls);
+    }
+    for (const std::string &c : index.chips())
+        symbols_.intern(c);
+    for (const PredictorExample &e : index.examples()) {
+        symbols_.intern(e.app);
+        symbols_.intern(e.input);
+    }
+    for (std::size_t t = 0; t < kNumLatticeTiers; ++t) {
+        const port::StrategyTable &src =
+            index.table(tierName(static_cast<Tier>(t)));
+        for (const auto &[key, cfg] : src.configByPartition) {
+            (void)cfg;
+            for (const std::string &part : split(key, '|')) {
+                if (!part.empty())
+                    symbols_.intern(part);
+            }
+        }
+    }
+    panicIf(symbols_.size() >= (1u << 21) - 1,
+            "FrozenIndex: symbol space exceeds 21-bit key packing");
+
+    isApp_.assign(symbols_.size(), 0);
+    isChip_.assign(symbols_.size(), 0);
+    inputIndexOf_.assign(symbols_.size(), -1);
+    for (const std::string &a : index.apps())
+        isApp_[symbols_.find(a)] = 1;
+    for (const std::string &c : index.chips())
+        isChip_[symbols_.find(c)] = 1;
+
+    // Input resolution replicates StrategyIndex::findInput: a name
+    // match over all inputs beats any class match, first wins within
+    // each pass.
+    const std::vector<runner::InputSpec> &inputs = index.inputs();
+    inputNameSym_.resize(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        inputNameSym_[i] = symbols_.find(inputs[i].name);
+        std::int32_t &slot = inputIndexOf_[inputNameSym_[i]];
+        if (slot < 0)
+            slot = static_cast<std::int32_t>(i);
+    }
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        std::int32_t &slot =
+            inputIndexOf_[symbols_.find(inputs[i].cls)];
+        if (slot < 0)
+            slot = static_cast<std::int32_t>(i);
+    }
+
+    // Flatten each lattice tier's partition map into an
+    // open-addressed table keyed by packed ID tuples.
+    for (std::size_t t = 0; t < kNumLatticeTiers; ++t) {
+        const port::StrategyTable &src =
+            index.table(tierName(static_cast<Tier>(t)));
+        TierTable &dst = tiers_[t];
+        dst.spec = src.spec;
+        dst.geomean = src.geomeanVsOracle;
+        std::vector<std::pair<std::uint64_t, Entry>> entries;
+        entries.reserve(src.configByPartition.size());
+        for (const auto &[key, cfg] : src.configByPartition) {
+            const auto slow = src.slowdownByPartition.find(key);
+            panicIf(slow == src.slowdownByPartition.end(),
+                    "FrozenIndex: partition without slowdown: " +
+                        key);
+            // Keys are the specialised dimension values in
+            // app,input,chip order, each followed by '|'.
+            std::vector<std::string> parts = split(key, '|');
+            if (!parts.empty() && parts.back().empty())
+                parts.pop_back();
+            panicIf(parts.size() != src.spec.degree(),
+                    "FrozenIndex: partition key arity mismatch: '" +
+                        key + "'");
+            std::size_t p = 0;
+            std::uint32_t appSym = kNoSymbol;
+            std::uint32_t inputSym = kNoSymbol;
+            std::uint32_t chipSym = kNoSymbol;
+            if (src.spec.byApp)
+                appSym = symbols_.find(parts[p++]);
+            if (src.spec.byInput)
+                inputSym = symbols_.find(parts[p++]);
+            if (src.spec.byChip)
+                chipSym = symbols_.find(parts[p++]);
+            entries.push_back(
+                {packKey(src.spec, appSym, inputSym, chipSym),
+                 Entry{cfg, slow->second}});
+        }
+        dst.entries.build(entries);
+    }
+
+    // k-NN training set, transposed to structure-of-arrays: one
+    // contiguous column of doubles per feature dimension.
+    const std::vector<PredictorExample> &examples = index.examples();
+    numExamples_ = examples.size();
+    feat_.assign(port::kNumWorkloadFeatures * numExamples_, 0.0);
+    exampleCfg_.resize(numExamples_);
+    examplePair_.resize(numExamples_);
+    std::map<std::uint64_t, std::int32_t> firstRowByPair;
+    for (std::size_t e = 0; e < numExamples_; ++e) {
+        const PredictorExample &ex = examples[e];
+        const std::uint32_t appSym = symbols_.find(ex.app);
+        const std::uint32_t inputSym = symbols_.find(ex.input);
+        panicIf(appSym == kNoSymbol || inputSym == kNoSymbol,
+                "FrozenIndex: example pair missing from the symbol "
+                "table");
+        for (unsigned d = 0; d < port::kNumWorkloadFeatures; ++d)
+            feat_[d * numExamples_ + e] = ex.features[d];
+        exampleCfg_[e] = ex.bestConfig;
+        examplePair_[e] = pairKey(appSym, inputSym);
+        // First example of a pair wins, matching the std::map
+        // emplace in StrategyIndex::rebuildLookups.
+        firstRowByPair.emplace(examplePair_[e],
+                               static_cast<std::int32_t>(e));
+    }
+    std::vector<std::pair<std::uint64_t, std::int32_t>> rows(
+        firstRowByPair.begin(), firstRowByPair.end());
+    featureRowByPair_.build(rows);
+
+    knnK_ = index.knnK();
+    predictiveGeomean_ = index.predictiveGeomean();
+}
+
+const FrozenIndex::Entry *
+FrozenIndex::lookup(Tier t, std::uint32_t appSym,
+                    std::uint32_t inputNameSym,
+                    std::uint32_t chipSym) const noexcept
+{
+    const TierTable &tt = tiers_[static_cast<std::size_t>(t)];
+    return tt.entries.find(
+        packKey(tt.spec, appSym, inputNameSym, chipSym));
+}
+
+std::int32_t
+FrozenIndex::featureRow(std::uint32_t appSym,
+                        std::uint32_t inputNameSym) const noexcept
+{
+    if (appSym == kNoSymbol || inputNameSym == kNoSymbol)
+        return -1;
+    const std::int32_t *row =
+        featureRowByPair_.find(pairKey(appSym, inputNameSym));
+    return row == nullptr ? -1 : *row;
+}
+
+port::WorkloadFeatures
+FrozenIndex::featureAt(std::int32_t row) const
+{
+    // Guarded (not panicIf): the unconditional message argument
+    // would allocate on every call and this is the steady path.
+    if (row < 0 || static_cast<std::size_t>(row) >= numExamples_)
+        panic("FrozenIndex: feature row out of range");
+    port::WorkloadFeatures f{};
+    for (unsigned d = 0; d < port::kNumWorkloadFeatures; ++d)
+        f[d] = feat_[d * numExamples_ +
+                     static_cast<std::size_t>(row)];
+    return f;
+}
+
+unsigned
+FrozenIndex::predictConfig(const port::WorkloadFeatures &query,
+                           std::uint32_t excludeApp,
+                           std::uint32_t excludeInput) const
+{
+    const std::size_t n = numExamples_;
+    const std::uint64_t exKey = pairKey(excludeApp, excludeInput);
+
+    std::size_t included = 0;
+    for (std::size_t e = 0; e < n; ++e)
+        included += examplePair_[e] != exKey ? 1u : 0u;
+    if (included == 0)
+        fatal("KnnPredictor: no training examples");
+
+    PredictScratch &scr = predictScratch();
+    scr.dist.assign(n, 0.0);
+
+    // Per-dimension range normalisation over the *included* example
+    // set, then squared-distance accumulation — dimensions outer,
+    // examples inner, so every example sees the identical
+    // subtract/divide/multiply/add sequence as the scalar
+    // KnnPredictor and the loops stay branch-free over contiguous
+    // doubles for the vectoriser.
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    for (unsigned d = 0; d < port::kNumWorkloadFeatures; ++d) {
+        const double *col = feat_.data() + d * n;
+        double lo = kInf;
+        double hi = -kInf;
+        for (std::size_t e = 0; e < n; ++e) {
+            const bool in = examplePair_[e] != exKey;
+            lo = std::min(lo, in ? col[e] : kInf);
+            hi = std::max(hi, in ? col[e] : -kInf);
+        }
+        const double range = hi - lo;
+        if (range > 0.0) {
+            // The scalar path adds diff * diff with diff = 0 for a
+            // degenerate range; adding +0.0 is a bitwise no-op on
+            // these non-negative accumulators, so the whole
+            // dimension is skipped instead.
+            const double qd = query[d];
+            double *dist = scr.dist.data();
+            for (std::size_t e = 0; e < n; ++e) {
+                const double diff = (qd - col[e]) / range;
+                dist[e] += diff * diff;
+            }
+        }
+    }
+
+    // Rank in example order (the scalar path's insertion order) so
+    // std::sort permutes an identical sequence identically.
+    scr.ranked.clear();
+    for (std::size_t e = 0; e < n; ++e) {
+        if (examplePair_[e] != exKey)
+            scr.ranked.push_back({scr.dist[e], exampleCfg_[e]});
+    }
+    std::sort(scr.ranked.begin(), scr.ranked.end());
+
+    const std::size_t take =
+        std::min<std::size_t>(knnK_, scr.ranked.size());
+    // Majority vote; nearest example breaks ties. A dense array
+    // walked in ascending config order reproduces the scalar path's
+    // std::map<config, votes> iteration exactly (unvoted configs
+    // hold zero and can never displace the incumbent).
+    scr.votes.fill(0);
+    for (std::size_t i = 0; i < take; ++i)
+        ++scr.votes[scr.ranked[i].second];
+    unsigned best = scr.ranked.front().second;
+    unsigned bestVotes = scr.votes[best];
+    for (unsigned cfg = 0; cfg < dsl::kNumConfigs; ++cfg) {
+        if (scr.votes[cfg] > bestVotes) {
+            best = cfg;
+            bestVotes = scr.votes[cfg];
+        }
+    }
+    return best;
+}
+
+bool
+FrozenIndex::steady(const IdQuery &q) const noexcept
+{
+    if (q.chip != kNoSymbol && isChip(q.chip))
+        return true;
+    const std::int32_t idx =
+        q.input == kNoSymbol ? -1 : inputIndex(q.input);
+    const std::uint32_t inputSym =
+        idx >= 0 ? inputNameSym_[static_cast<std::size_t>(idx)]
+                 : q.input;
+    return featureRow(q.app, inputSym) >= 0;
+}
+
+AdviceView
+FrozenIndex::advise(const IdQuery &q, std::uint64_t queryKey,
+                    const ServePolicy &policy,
+                    CircuitBreaker *breaker,
+                    FeatureResolver *resolver) const
+{
+    if (policy.maxRetries > 9)
+        fatal("ServePolicy: maxRetries must be <= 9 (fault keys "
+              "reserve one digit per attempt)");
+    const std::int32_t inputIdx =
+        q.input == kNoSymbol ? -1 : inputIndex(q.input);
+    const std::uint32_t inputSym =
+        inputIdx >= 0
+            ? inputNameSym_[static_cast<std::size_t>(inputIdx)]
+            : q.input;
+    const bool appKnown = q.app != kNoSymbol && isApp(q.app);
+    const bool chipKnown = q.chip != kNoSymbol && isChip(q.chip);
+
+    std::uint64_t budget = policy.deadlineNs;
+    unsigned retries = 0;
+    unsigned degradeSteps = 0;
+
+    /*
+     * One shard's attempt loop: true when the (possibly injected)
+     * lookup eventually succeeds, false when retries or the deadline
+     * budget are exhausted — the caller then degrades a ladder step.
+     * Identical keys and virtual-time arithmetic to the historical
+     * string path, so chaos schedules reproduce bit-for-bit.
+     */
+    const auto attempt = [&](const char *site,
+                             std::uint64_t keyBase, Tier shard) {
+        for (unsigned k = 0;; ++k) {
+            if (!fault::shouldInject(site, keyBase + k)) {
+                if (breaker != nullptr)
+                    breaker->onSuccess(shard);
+                return true;
+            }
+            if (breaker != nullptr)
+                breaker->onFailure(shard);
+            if (k == policy.maxRetries)
+                return false;
+            const std::uint64_t backoff =
+                (policy.backoffBaseNs << k) +
+                (policy.backoffBaseNs == 0
+                     ? 0
+                     : splitmix64(keyBase + k) %
+                           policy.backoffBaseNs);
+            if (policy.deadlineNs != 0) {
+                if (backoff > budget)
+                    return false; // deadline: degrade immediately
+                budget -= backoff;
+            }
+            ++retries;
+            if (policy.realBackoff &&
+                (breaker == nullptr || breaker->allowSleep(shard)))
+                std::this_thread::sleep_for(
+                    std::chrono::nanoseconds(std::min<std::uint64_t>(
+                        backoff, 1000000)));
+        }
+    };
+
+    const auto finish = [&](AdviceView v, Tier intended) {
+        v.intendedTier = intended;
+        v.degraded = degradeSteps > 0;
+        v.degradeSteps = degradeSteps;
+        v.retries = retries;
+        return v;
+    };
+
+    if (chipKnown) {
+        // Descend the lattice: the most specialised tier all of
+        // whose dimensions the study measured answers. "global"
+        // specialises nothing, so the loop always terminates there.
+        int intended = -1;
+        for (std::size_t t = 0; t < kNumLatticeTiers; ++t) {
+            const Tier tier = static_cast<Tier>(t);
+            const TierTable &tt = tiers_[t];
+            if (tt.spec.byApp && !appKnown)
+                continue;
+            if (tt.spec.byInput && inputIdx < 0)
+                continue;
+            const Entry *e = lookup(tier, q.app, inputSym, q.chip);
+            if (e == nullptr)
+                continue; // not covering: plain descent, no penalty
+            if (intended < 0)
+                intended = static_cast<int>(t);
+            // The global tier is the ladder's floor, exempt from
+            // injection: every covered query has a guaranteed answer.
+            if (tier != Tier::Global &&
+                !attempt("serve.lookup", queryKey * 1000 + t * 10,
+                         tier)) {
+                ++degradeSteps;
+                continue;
+            }
+            AdviceView v;
+            v.config = e->config;
+            v.tier = tier;
+            if (tt.spec.byApp)
+                v.partApp = q.app;
+            if (tt.spec.byInput)
+                v.partInput = inputSym;
+            if (tt.spec.byChip)
+                v.partChip = q.chip;
+            v.expectedSlowdownVsOracle = tt.geomean;
+            v.partitionSlowdownVsOracle = e->slowdown;
+            return finish(v, static_cast<Tier>(intended));
+        }
+        panic("Advisor: lattice descent fell through the global "
+              "tier");
+    }
+
+    // Unknown chip: no descriptive tier applies (configurations do
+    // not transfer across chips); predict from workload features.
+    if (attempt("serve.predict", queryKey * 10, Tier::Predictive)) {
+        AdviceView v;
+        v.predictive = true;
+        v.tier = Tier::Predictive;
+        v.expectedSlowdownVsOracle = predictiveGeomean_;
+        v.partitionSlowdownVsOracle = predictiveGeomean_;
+        port::WorkloadFeatures features{};
+        const std::int32_t row = featureRow(q.app, inputSym);
+        if (row >= 0) {
+            v.featureSource = FeatureSource::Snapshot;
+            features = featureAt(row);
+        } else {
+            if (resolver == nullptr)
+                fatal("FrozenIndex::advise: the query pair has no "
+                      "snapshot features and no resolver was "
+                      "supplied (route this query through the "
+                      "string API)");
+            features = resolver->resolve(&v.featureSource);
+        }
+        v.config = predictConfig(features, q.app, inputSym);
+        return finish(v, Tier::Predictive);
+    }
+
+    // Predictive path exhausted: the global tier's single
+    // configuration is the ladder's floor even for unknown chips —
+    // a transferable-if-mediocre answer beats no answer.
+    ++degradeSteps;
+    const TierTable &g =
+        tiers_[static_cast<std::size_t>(Tier::Global)];
+    const Entry *e = g.entries.find(0);
+    if (e == nullptr)
+        panic("Advisor: global tier has no configuration");
+    AdviceView v;
+    v.config = e->config;
+    v.tier = Tier::Global;
+    v.expectedSlowdownVsOracle = g.geomean;
+    v.partitionSlowdownVsOracle = e->slowdown;
+    return finish(v, Tier::Predictive);
+}
+
+} // namespace serve
+} // namespace graphport

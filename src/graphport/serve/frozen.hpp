@@ -1,0 +1,277 @@
+/**
+ * @file
+ * The frozen index: StrategyIndex compiled at index-freeze time into
+ * the allocation-free form the serving hot path runs on.
+ *
+ *  - One string-interning symbol table maps every app, input name,
+ *    input class and chip to a dense u32 ID; queries are looked up by
+ *    string_view (no temporary keys) and answered entirely in IDs.
+ *  - All lattice strategy tables and their partition maps are
+ *    flattened into open-addressed, build-time-sized contiguous
+ *    arrays keyed by packed ID tuples (21 bits per specialised
+ *    dimension, +1-offset so the empty sentinel is unreachable).
+ *  - The k-NN training features are transposed into a
+ *    structure-of-arrays matrix (contiguous doubles, one column per
+ *    feature dimension) with a branch-free distance loop written for
+ *    auto-vectorisation. The arithmetic replicates
+ *    port::KnnPredictor::predict operation for operation — same
+ *    normalisation, same accumulation order, same vote semantics —
+ *    so predictions are bit-identical to the scalar path.
+ *
+ * advise() is the ID-based overload of the advisor: it performs the
+ * same resilient lattice descent as the string API (identical fault
+ * keys, retry/backoff arithmetic and degradation ladder) but returns
+ * a POD AdviceView holding symbol IDs instead of strings, and
+ * allocates nothing on the steady path (lattice answers and
+ * predictive answers with snapshot features, after per-thread scratch
+ * warm-up).
+ */
+#ifndef GRAPHPORT_SERVE_FROZEN_HPP
+#define GRAPHPORT_SERVE_FROZEN_HPP
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "graphport/port/predict.hpp"
+#include "graphport/port/strategy.hpp"
+#include "graphport/serve/index.hpp"
+#include "graphport/serve/policy.hpp"
+#include "graphport/serve/tier.hpp"
+#include "graphport/support/flattable.hpp"
+#include "graphport/support/interner.hpp"
+
+namespace graphport {
+namespace serve {
+
+class CircuitBreaker;
+
+/** Sentinel for "no symbol" (see StringInterner::kNoSymbol). */
+constexpr std::uint32_t kNoSymbol =
+    support::StringInterner::kNoSymbol;
+
+/** One request in interned form; kNoSymbol marks unknown names. */
+struct IdQuery
+{
+    std::uint32_t app = kNoSymbol;
+    std::uint32_t input = kNoSymbol; ///< input name or class symbol
+    std::uint32_t chip = kNoSymbol;
+};
+
+/**
+ * One answer in POD form: indices into the interned symbol table, no
+ * std::string members. The string API (Advisor::advise) is a thin
+ * materialising wrapper over this.
+ */
+struct AdviceView
+{
+    unsigned config = 0;
+    Tier tier = Tier::Global;
+    bool predictive = false;
+    /** Partition symbols; kNoSymbol for unspecialised dimensions. */
+    std::uint32_t partApp = kNoSymbol;
+    std::uint32_t partInput = kNoSymbol;
+    std::uint32_t partChip = kNoSymbol;
+    double expectedSlowdownVsOracle = 1.0;
+    double partitionSlowdownVsOracle = 1.0;
+    FeatureSource featureSource = FeatureSource::None;
+    Tier intendedTier = Tier::Global;
+    bool degraded = false;
+    unsigned degradeSteps = 0;
+    unsigned retries = 0;
+};
+
+/**
+ * Callback for workload features the snapshot lacks (pairs outside
+ * the study). advise() invokes it only on the successful predictive
+ * branch, exactly where the string path would trace on demand — so
+ * LRU side effects and trace fatals keep their original ordering
+ * relative to fault injection.
+ */
+class FeatureResolver
+{
+  public:
+    virtual ~FeatureResolver() = default;
+    /** Resolve the query pair's features and report provenance. */
+    virtual port::WorkloadFeatures
+    resolve(FeatureSource *source) = 0;
+};
+
+class FrozenIndex
+{
+  public:
+    /** Compile @p index; the index can be discarded afterwards. */
+    explicit FrozenIndex(const StrategyIndex &index);
+
+    /** One partition's answer in a flattened tier table. */
+    struct Entry
+    {
+        unsigned config = 0;
+        double slowdown = 1.0;
+    };
+
+    /** Symbol of @p name, or kNoSymbol. Never allocates. */
+    std::uint32_t
+    findSymbol(std::string_view name) const noexcept
+    {
+        return symbols_.find(name);
+    }
+
+    /** Intern a whole query. Never allocates. */
+    IdQuery
+    internQuery(std::string_view app, std::string_view input,
+                std::string_view chip) const noexcept
+    {
+        return {symbols_.find(app), symbols_.find(input),
+                symbols_.find(chip)};
+    }
+
+    /** The string behind @p sym. */
+    const std::string &
+    symbolName(std::uint32_t sym) const
+    {
+        return symbols_.name(sym);
+    }
+
+    bool
+    isApp(std::uint32_t sym) const noexcept
+    {
+        return sym < isApp_.size() && isApp_[sym] != 0;
+    }
+
+    bool
+    isChip(std::uint32_t sym) const noexcept
+    {
+        return sym < isChip_.size() && isChip_[sym] != 0;
+    }
+
+    /**
+     * Input index resolved from a name-or-class symbol with
+     * StrategyIndex::findInput's semantics (name match over all
+     * inputs first, then class match; first wins), or -1.
+     */
+    std::int32_t
+    inputIndex(std::uint32_t sym) const noexcept
+    {
+        return sym < inputIndexOf_.size() ? inputIndexOf_[sym] : -1;
+    }
+
+    /** Name symbol of input @p idx. */
+    std::uint32_t
+    inputNameSym(std::int32_t idx) const
+    {
+        return inputNameSym_[static_cast<std::size_t>(idx)];
+    }
+
+    const port::Specialisation &
+    tierSpec(Tier t) const
+    {
+        return tiers_[static_cast<std::size_t>(t)].spec;
+    }
+
+    double
+    tierGeomean(Tier t) const
+    {
+        return tiers_[static_cast<std::size_t>(t)].geomean;
+    }
+
+    /**
+     * Partition lookup of lattice tier @p t for the given dimension
+     * symbols (unspecialised dimensions ignored). Never allocates.
+     */
+    const Entry *lookup(Tier t, std::uint32_t appSym,
+                        std::uint32_t inputNameSym,
+                        std::uint32_t chipSym) const noexcept;
+
+    unsigned knnK() const { return knnK_; }
+    double predictiveGeomean() const { return predictiveGeomean_; }
+    std::size_t exampleCount() const { return numExamples_; }
+
+    /**
+     * Row of the snapshot feature matrix holding (app, input name),
+     * or -1 when the study never traced the pair. Never allocates.
+     */
+    std::int32_t featureRow(std::uint32_t appSym,
+                            std::uint32_t inputNameSym) const noexcept;
+
+    /** Features stored at @p row. */
+    port::WorkloadFeatures featureAt(std::int32_t row) const;
+
+    /**
+     * SoA k-NN prediction, bit-identical to training a
+     * port::KnnPredictor on every example whose (app, input) pair
+     * differs from (excludeApp, excludeInput) in example order and
+     * calling predict(). Uses per-thread scratch; allocation-free
+     * once the thread's scratch is warm.
+     */
+    unsigned predictConfig(const port::WorkloadFeatures &query,
+                           std::uint32_t excludeApp,
+                           std::uint32_t excludeInput) const;
+
+    /**
+     * The ID-based advise overload: same resilient lattice descent,
+     * fault-injection keys, retry/backoff arithmetic and degradation
+     * ladder as Advisor::adviseResilient, answering in IDs.
+     *
+     * @p resolver supplies workload features for pairs the snapshot
+     * lacks; it is invoked only on the successful predictive branch.
+     * Passing nullptr makes such queries fatal — steady-path callers
+     * (the open-loop bench) route them through the string API
+     * instead.
+     *
+     * Allocation-free on the steady path: lattice answers, and
+     * predictive answers with snapshot features, once the calling
+     * thread's scratch is warm.
+     */
+    AdviceView advise(const IdQuery &q, std::uint64_t queryKey,
+                      const ServePolicy &policy,
+                      CircuitBreaker *breaker = nullptr,
+                      FeatureResolver *resolver = nullptr) const;
+
+    /**
+     * Whether @p q is answerable on the steady path (no feature
+     * resolver, no on-demand trace): a known chip, or a pair the
+     * snapshot traced. Never allocates.
+     */
+    bool steady(const IdQuery &q) const noexcept;
+
+  private:
+    struct TierTable
+    {
+        port::Specialisation spec;
+        double geomean = 1.0;
+        support::FlatTable<Entry> entries;
+    };
+
+    std::uint64_t packKey(const port::Specialisation &spec,
+                          std::uint32_t appSym,
+                          std::uint32_t inputNameSym,
+                          std::uint32_t chipSym) const noexcept;
+
+    support::StringInterner symbols_;
+    std::vector<std::uint8_t> isApp_;
+    std::vector<std::uint8_t> isChip_;
+    /** Per symbol: resolved input index or -1. */
+    std::vector<std::int32_t> inputIndexOf_;
+    /** Per input index: its name's symbol. */
+    std::vector<std::uint32_t> inputNameSym_;
+    std::array<TierTable, kNumLatticeTiers> tiers_;
+
+    unsigned knnK_ = 3;
+    double predictiveGeomean_ = 1.0;
+    std::size_t numExamples_ = 0;
+    /** SoA feature matrix: feat_[d * numExamples_ + e]. */
+    std::vector<double> feat_;
+    /** Training labels, in example order. */
+    std::vector<unsigned> exampleCfg_;
+    /** (appSym << 32 | inputSym) per example, for exclusion masks. */
+    std::vector<std::uint64_t> examplePair_;
+    /** (appSym << 32 | inputSym) -> first example row. */
+    support::FlatTable<std::int32_t> featureRowByPair_;
+};
+
+} // namespace serve
+} // namespace graphport
+
+#endif // GRAPHPORT_SERVE_FROZEN_HPP

@@ -66,31 +66,52 @@ decodeKey(const std::string &field)
 } // namespace
 
 void
-StrategyIndex::rebuildFeatureMap()
+StrategyIndex::rebuildLookups()
 {
-    featureByPair_.clear();
-    for (const PredictorExample &e : examples_)
-        featureByPair_.emplace(e.app + "|" + e.input, e.features);
+    symbols_ = support::StringInterner();
+    for (const std::string &a : apps_)
+        symbols_.intern(a);
+    for (const std::string &c : chips_)
+        symbols_.intern(c);
+    for (const PredictorExample &e : examples_) {
+        symbols_.intern(e.app);
+        symbols_.intern(e.input);
+    }
+
+    isApp_.assign(symbols_.size(), 0);
+    isChip_.assign(symbols_.size(), 0);
+    for (const std::string &a : apps_)
+        isApp_[symbols_.find(a)] = 1;
+    for (const std::string &c : chips_)
+        isChip_[symbols_.find(c)] = 1;
+
+    // First example of a pair wins, like the std::map::emplace this
+    // table replaces.
+    std::map<std::uint64_t, port::WorkloadFeatures> firstByPair;
+    for (const PredictorExample &e : examples_) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(symbols_.find(e.app))
+             << 32) |
+            symbols_.find(e.input);
+        firstByPair.emplace(key, e.features);
+    }
+    std::vector<std::pair<std::uint64_t, port::WorkloadFeatures>>
+        rows(firstByPair.begin(), firstByPair.end());
+    featureByPair_.build(rows);
 }
 
 bool
 StrategyIndex::hasApp(const std::string &app) const
 {
-    for (const std::string &a : apps_) {
-        if (a == app)
-            return true;
-    }
-    return false;
+    const std::uint32_t sym = symbols_.find(app);
+    return sym < isApp_.size() && isApp_[sym] != 0;
 }
 
 bool
 StrategyIndex::hasChip(const std::string &chip) const
 {
-    for (const std::string &c : chips_) {
-        if (c == chip)
-            return true;
-    }
-    return false;
+    const std::uint32_t sym = symbols_.find(chip);
+    return sym < isChip_.size() && isChip_[sym] != 0;
 }
 
 const runner::InputSpec *
@@ -121,8 +142,13 @@ const port::WorkloadFeatures *
 StrategyIndex::featuresFor(const std::string &app,
                            const std::string &input) const
 {
-    const auto it = featureByPair_.find(app + "|" + input);
-    return it == featureByPair_.end() ? nullptr : &it->second;
+    const std::uint32_t appSym = symbols_.find(app);
+    const std::uint32_t inputSym = symbols_.find(input);
+    if (appSym == support::StringInterner::kNoSymbol ||
+        inputSym == support::StringInterner::kNoSymbol)
+        return nullptr;
+    return featureByPair_.find(
+        (static_cast<std::uint64_t>(appSym) << 32) | inputSym);
 }
 
 StrategyIndex
@@ -168,7 +194,7 @@ StrategyIndex::build(const runner::Dataset &ds, double alpha,
             traces.at(test.app + "|" + test.input));
         index.examples_.push_back(std::move(e));
     }
-    index.rebuildFeatureMap();
+    index.rebuildLookups();
 
     // Leave-one-out quality of the predictive fallback: predict each
     // (app, input) pair from the others, score against the oracle.
@@ -338,7 +364,7 @@ StrategyIndex::load(std::istream &is, const std::string &what)
     }
 
     r.expectEnd();
-    index.rebuildFeatureMap();
+    index.rebuildLookups();
     return index;
 }
 

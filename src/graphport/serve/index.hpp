@@ -32,6 +32,8 @@
 #include "graphport/port/predict.hpp"
 #include "graphport/port/strategy.hpp"
 #include "graphport/runner/dataset.hpp"
+#include "graphport/support/flattable.hpp"
+#include "graphport/support/interner.hpp"
 
 namespace graphport {
 namespace serve {
@@ -169,10 +171,21 @@ class StrategyIndex
     double predictiveGeomean_ = 1.0;
     std::vector<port::StrategyTable> tables_;
     std::vector<PredictorExample> examples_;
-    /** "app|input" -> features, derived from examples_. */
-    std::map<std::string, port::WorkloadFeatures> featureByPair_;
 
-    void rebuildFeatureMap();
+    /**
+     * Derived lookup structures (never serialised): universe names
+     * interned to dense IDs, membership flags per symbol, and the
+     * example features keyed by packed (appSym, inputSym) pairs —
+     * so hasApp/hasChip/featuresFor probe hashes instead of doing
+     * linear scans or building "app|input" key strings per call.
+     */
+    support::StringInterner symbols_;
+    std::vector<std::uint8_t> isApp_;
+    std::vector<std::uint8_t> isChip_;
+    /** (appSym << 32 | inputSym) -> features, first example wins. */
+    support::FlatTable<port::WorkloadFeatures> featureByPair_;
+
+    void rebuildLookups();
 };
 
 } // namespace serve

@@ -31,8 +31,14 @@ ServerStats::fromMetrics(const obs::MetricsRegistry &metrics)
     s.breakerOpened =
         metrics.counterValue("serve.breaker.opened");
     for (const auto &[name, count] :
-         metrics.countersWithPrefix(kTierPrefix))
-        s.tierCounts[name.substr(sizeof kTierPrefix - 1)] = count;
+         metrics.countersWithPrefix(kTierPrefix)) {
+        const std::string tier =
+            name.substr(sizeof kTierPrefix - 1);
+        s.tierCounts[tier] = count;
+        const int id = tierFromName(tier);
+        if (id >= 0)
+            s.tierCountById[static_cast<std::size_t>(id)] = count;
+    }
     if (const obs::Histogram *h =
             metrics.findHistogram("serve.latency_ns"))
         s.latency = *h;

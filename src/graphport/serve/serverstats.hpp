@@ -17,12 +17,14 @@
 #ifndef GRAPHPORT_SERVE_SERVERSTATS_HPP
 #define GRAPHPORT_SERVE_SERVERSTATS_HPP
 
+#include <array>
 #include <cstddef>
 #include <iosfwd>
 #include <map>
 #include <string>
 
 #include "graphport/obs/metrics.hpp"
+#include "graphport/serve/tier.hpp"
 
 namespace graphport {
 namespace serve {
@@ -45,6 +47,8 @@ struct ServerStats
 
     /** Answers per tier ("chip_app_input".."global", "predictive"). */
     std::map<std::string, std::size_t> tierCounts;
+    /** The same counts array-indexed by Tier (hot-path friendly). */
+    std::array<std::size_t, kNumTiers> tierCountById{};
     /** Answers from the predictive fallback. */
     std::size_t predictiveAnswers = 0;
     /** Feature lookups served from the snapshot's own table. */

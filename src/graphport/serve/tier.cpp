@@ -1,0 +1,45 @@
+#include "graphport/serve/tier.hpp"
+
+#include <array>
+
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+namespace serve {
+
+namespace {
+
+const std::array<std::string, kNumTiers> &
+tierNames()
+{
+    static const std::array<std::string, kNumTiers> names = {
+        "chip_app_input", "chip_app", "chip_input",
+        "app_input",      "chip",     "app",
+        "input",          "global",   "predictive",
+    };
+    return names;
+}
+
+} // namespace
+
+const std::string &
+tierName(Tier t)
+{
+    const std::size_t i = static_cast<std::size_t>(t);
+    panicIf(i >= kNumTiers, "tierName: tier id out of range");
+    return tierNames()[i];
+}
+
+int
+tierFromName(std::string_view name)
+{
+    const auto &names = tierNames();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+} // namespace serve
+} // namespace graphport

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Dense IDs for the serving layer's answer tiers: the eight
+ * specialisation-lattice tiers in descent order (most specialised
+ * first, chip-specialised tiers preferred within equal degree — the
+ * dimension the paper shows configurations least transfer across)
+ * plus the predictive fallback. Everything on the hot path — tier
+ * tables, breaker shards, per-tier counters — indexes by Tier
+ * instead of formatting tier-name strings per query; the names exist
+ * only at the edges (stats projection, JSON, CLI output).
+ */
+#ifndef GRAPHPORT_SERVE_TIER_HPP
+#define GRAPHPORT_SERVE_TIER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace graphport {
+namespace serve {
+
+/** Answer tiers, in lattice descent order; Predictive last. */
+enum class Tier : std::uint8_t
+{
+    ChipAppInput = 0,
+    ChipApp,
+    ChipInput,
+    AppInput,
+    Chip,
+    App,
+    Input,
+    Global,
+    Predictive,
+};
+
+/** Lattice tiers (descent ladder), excluding the predictive path. */
+constexpr std::size_t kNumLatticeTiers = 8;
+/** All tiers including the predictive fallback. */
+constexpr std::size_t kNumTiers = 9;
+
+/** Stable tier name ("chip_app_input".."global", "predictive"). */
+const std::string &tierName(Tier t);
+
+/**
+ * Tier behind @p name, or -1 when @p name is no tier (stats
+ * projection tolerates foreign metric suffixes).
+ */
+int tierFromName(std::string_view name);
+
+/** Where a predictive answer's workload features came from. */
+enum class FeatureSource
+{
+    None,     ///< lattice answer; no feature lookup happened
+    Snapshot, ///< pair traced at index-build time
+    Cache,    ///< LRU hit on an earlier on-demand trace
+    Computed, ///< traced on demand (LRU miss)
+};
+
+} // namespace serve
+} // namespace graphport
+
+#endif // GRAPHPORT_SERVE_TIER_HPP

@@ -1,0 +1,27 @@
+#include "graphport/support/allochook.hpp"
+
+namespace graphport {
+namespace support {
+
+// Weak fallbacks: binaries that do not link bench/alloc_hook.cpp
+// (which provides strong definitions plus the counting operator
+// new/delete) report counting as inactive.
+
+__attribute__((weak)) bool
+allocCountingActive()
+{
+    return false;
+}
+
+__attribute__((weak)) void
+resetThreadAllocCounts()
+{}
+
+__attribute__((weak)) AllocCounts
+threadAllocCounts()
+{
+    return {};
+}
+
+} // namespace support
+} // namespace graphport

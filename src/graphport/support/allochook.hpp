@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Thread-local allocation counting for bench builds.
+ *
+ * The serving layer's zero-allocation claim is enforced by counting
+ * global operator new/delete calls on the measuring thread. The
+ * counting replacement operators live in bench/alloc_hook.cpp and
+ * are linked only into binaries that opt in (bench_serve_latency and
+ * the frozen-index tests); this header's accessors have weak
+ * fallback definitions (allochook.cpp) that report counting as
+ * inactive, so ordinary binaries pay nothing and
+ * measureSteadyAllocsPerQuery degrades to "not measured".
+ */
+#ifndef GRAPHPORT_SUPPORT_ALLOCHOOK_HPP
+#define GRAPHPORT_SUPPORT_ALLOCHOOK_HPP
+
+#include <cstdint>
+
+namespace graphport {
+namespace support {
+
+/** Allocation totals of the calling thread since the last reset. */
+struct AllocCounts
+{
+    std::uint64_t allocs = 0;
+    std::uint64_t frees = 0;
+    std::uint64_t bytes = 0;
+};
+
+/** True when the counting operator new/delete is linked in. */
+bool allocCountingActive();
+
+/** Zero the calling thread's counters. */
+void resetThreadAllocCounts();
+
+/** Read the calling thread's counters. */
+AllocCounts threadAllocCounts();
+
+} // namespace support
+} // namespace graphport
+
+#endif // GRAPHPORT_SUPPORT_ALLOCHOOK_HPP

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * An epoch-based RCU-style shared pointer for read-mostly snapshots
+ * (the advisor's frozen index): readers pin the current value with
+ * two uncontended atomic RMWs and never block or allocate; a writer
+ * publishes a replacement, flips the active slot, and waits for the
+ * old slot's readers to drain before releasing the old value.
+ *
+ * Two slots alternate. A reader increments the active slot's reader
+ * count and re-checks the active index — if a swap raced in between,
+ * it backs out and retries (bounded by the number of concurrent
+ * swaps, not by other readers). The writer only reuses a slot whose
+ * reader count has reached zero, so a Guard's target is immortal for
+ * the Guard's lifetime.
+ *
+ * This deliberately avoids std::atomic_load(shared_ptr), whose
+ * libstdc++ implementation serialises readers through a spinlock
+ * pool.
+ */
+#ifndef GRAPHPORT_SUPPORT_EPOCHPTR_HPP
+#define GRAPHPORT_SUPPORT_EPOCHPTR_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace graphport {
+namespace support {
+
+template <typename T> class EpochPtr
+{
+  private:
+    struct Slot
+    {
+        std::shared_ptr<const T> value;
+        std::atomic<std::uint64_t> readers{0};
+    };
+
+  public:
+    /** A pinned reference; the value outlives the guard. */
+    class Guard
+    {
+      public:
+        Guard(const Guard &) = delete;
+        Guard &operator=(const Guard &) = delete;
+
+        Guard(Guard &&other) noexcept
+            : slot_(other.slot_), value_(other.value_)
+        {
+            other.slot_ = nullptr;
+            other.value_ = nullptr;
+        }
+
+        ~Guard()
+        {
+            if (slot_ != nullptr)
+                slot_->readers.fetch_sub(
+                    1, std::memory_order_release);
+        }
+
+        const T &operator*() const { return *value_; }
+        const T *operator->() const { return value_; }
+        const T *get() const { return value_; }
+
+      private:
+        friend class EpochPtr;
+        Guard(Slot *slot, const T *value)
+            : slot_(slot), value_(value)
+        {}
+
+        Slot *slot_;
+        const T *value_;
+    };
+
+    explicit EpochPtr(std::shared_ptr<const T> initial)
+    {
+        slots_[0].value = std::move(initial);
+    }
+
+    /** Pin the current value. Wait-free against other readers. */
+    Guard
+    read() const
+    {
+        for (;;) {
+            const std::uint32_t a =
+                active_.load(std::memory_order_acquire);
+            Slot &slot = slots_[a];
+            slot.readers.fetch_add(1, std::memory_order_acquire);
+            if (active_.load(std::memory_order_acquire) == a)
+                return Guard(&slot, slot.value.get());
+            // A swap flipped the slot under us; back out and retry.
+            slot.readers.fetch_sub(1, std::memory_order_release);
+        }
+    }
+
+    /**
+     * Publish @p next and retire the previous value once its readers
+     * drain. Writers are serialised; readers are never stalled.
+     */
+    void
+    swap(std::shared_ptr<const T> next)
+    {
+        std::lock_guard<std::mutex> lock(writerMutex_);
+        const std::uint32_t old =
+            active_.load(std::memory_order_relaxed);
+        const std::uint32_t fresh = old ^ 1u;
+        // The fresh slot was drained by the previous swap; only
+        // transient reader increments (about to back out) can be in
+        // flight.
+        while (slots_[fresh].readers.load(
+                   std::memory_order_acquire) != 0)
+            std::this_thread::yield();
+        slots_[fresh].value = std::move(next);
+        active_.store(fresh, std::memory_order_release);
+        epoch_.fetch_add(1, std::memory_order_acq_rel);
+        while (slots_[old].readers.load(
+                   std::memory_order_acquire) != 0)
+            std::this_thread::yield();
+        slots_[old].value.reset();
+    }
+
+    /** Number of swaps published so far. */
+    std::uint64_t
+    epoch() const
+    {
+        return epoch_.load(std::memory_order_acquire);
+    }
+
+  private:
+    mutable Slot slots_[2];
+    std::atomic<std::uint32_t> active_{0};
+    std::atomic<std::uint64_t> epoch_{0};
+    std::mutex writerMutex_;
+};
+
+} // namespace support
+} // namespace graphport
+
+#endif // GRAPHPORT_SUPPORT_EPOCHPTR_HPP

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A build-time-sized, open-addressed hash table from u64 keys to
+ * values, for lookups compiled once at index-freeze time and probed
+ * on the serving hot path. Two contiguous arrays (keys, values),
+ * power-of-two capacity sized for a <= 50% load factor, linear
+ * probing, splitmix64 key mixing: a find() is one or two cache lines
+ * and never allocates.
+ *
+ * The all-ones key (~0) is reserved as the empty-slot sentinel;
+ * callers pack IDs with a +1 offset so no real key can collide with
+ * it. Keys are unique: build() panics on duplicates.
+ */
+#ifndef GRAPHPORT_SUPPORT_FLATTABLE_HPP
+#define GRAPHPORT_SUPPORT_FLATTABLE_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graphport/support/error.hpp"
+#include "graphport/support/rng.hpp"
+
+namespace graphport {
+namespace support {
+
+template <typename Value> class FlatTable
+{
+  public:
+    static constexpr std::uint64_t kEmptyKey = ~0ull;
+
+    FlatTable() = default;
+
+    /** Build from (key, value) pairs; panics on a duplicate key. */
+    void
+    build(const std::vector<std::pair<std::uint64_t, Value>> &entries)
+    {
+        std::size_t capacity = 8;
+        while (capacity < entries.size() * 2)
+            capacity *= 2;
+        keys_.assign(capacity, kEmptyKey);
+        values_.assign(capacity, Value{});
+        mask_ = capacity - 1;
+        size_ = entries.size();
+        for (const auto &[key, value] : entries) {
+            panicIf(key == kEmptyKey,
+                    "FlatTable: key collides with the empty "
+                    "sentinel");
+            std::uint64_t i = splitmix64(key) & mask_;
+            while (keys_[i] != kEmptyKey) {
+                panicIf(keys_[i] == key,
+                        "FlatTable: duplicate key");
+                i = (i + 1) & mask_;
+            }
+            keys_[i] = key;
+            values_[i] = value;
+        }
+    }
+
+    /** Value for @p key, or nullptr. Never allocates. */
+    const Value *
+    find(std::uint64_t key) const noexcept
+    {
+        if (keys_.empty())
+            return nullptr;
+        std::uint64_t i = splitmix64(key) & mask_;
+        while (keys_[i] != kEmptyKey) {
+            if (keys_[i] == key)
+                return &values_[i];
+            i = (i + 1) & mask_;
+        }
+        return nullptr;
+    }
+
+    std::size_t size() const { return size_; }
+
+  private:
+    std::vector<std::uint64_t> keys_;
+    std::vector<Value> values_;
+    std::uint64_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace support
+} // namespace graphport
+
+#endif // GRAPHPORT_SUPPORT_FLATTABLE_HPP

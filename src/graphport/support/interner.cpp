@@ -1,0 +1,87 @@
+#include "graphport/support/interner.hpp"
+
+#include "graphport/support/error.hpp"
+#include "graphport/support/rng.hpp"
+
+namespace graphport {
+namespace support {
+
+std::uint64_t
+hashBytes(std::string_view s)
+{
+    // Same construction as hashStr (splitmix64 chain over bytes) but
+    // over a view, so hot-path callers never materialise a string.
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (const char c : s)
+        h = splitmix64(h ^ static_cast<unsigned char>(c));
+    return splitmix64(h ^ s.size());
+}
+
+StringInterner::StringInterner()
+    : slots_(16, kNoSymbol), mask_(15)
+{}
+
+void
+StringInterner::grow()
+{
+    std::vector<std::uint32_t> fresh(slots_.size() * 2, kNoSymbol);
+    const std::uint64_t mask = fresh.size() - 1;
+    for (const std::uint32_t id : slots_) {
+        if (id == kNoSymbol)
+            continue;
+        std::uint64_t i = hashBytes(names_[id]) & mask;
+        while (fresh[i] != kNoSymbol)
+            i = (i + 1) & mask;
+        fresh[i] = id;
+    }
+    slots_ = std::move(fresh);
+    mask_ = mask;
+}
+
+std::uint32_t
+StringInterner::intern(std::string_view s)
+{
+    panicIf(names_.size() >= kNoSymbol,
+            "StringInterner: symbol space exhausted");
+    std::uint64_t i = hashBytes(s) & mask_;
+    while (slots_[i] != kNoSymbol) {
+        if (names_[slots_[i]] == s)
+            return slots_[i];
+        i = (i + 1) & mask_;
+    }
+    // Keep the load factor under 70% so probes stay short.
+    if ((names_.size() + 1) * 10 >= slots_.size() * 7) {
+        grow();
+        i = hashBytes(s) & mask_;
+        while (slots_[i] != kNoSymbol)
+            i = (i + 1) & mask_;
+    }
+    const std::uint32_t id =
+        static_cast<std::uint32_t>(names_.size());
+    names_.emplace_back(s);
+    slots_[i] = id;
+    return id;
+}
+
+std::uint32_t
+StringInterner::find(std::string_view s) const noexcept
+{
+    std::uint64_t i = hashBytes(s) & mask_;
+    while (slots_[i] != kNoSymbol) {
+        if (names_[slots_[i]] == s)
+            return slots_[i];
+        i = (i + 1) & mask_;
+    }
+    return kNoSymbol;
+}
+
+const std::string &
+StringInterner::name(std::uint32_t id) const
+{
+    panicIf(id >= names_.size(),
+            "StringInterner: symbol id out of range");
+    return names_[id];
+}
+
+} // namespace support
+} // namespace graphport

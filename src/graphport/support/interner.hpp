@@ -1,0 +1,67 @@
+/**
+ * @file
+ * String interning: a symbol table mapping strings to dense u32 IDs
+ * in insertion order. Built once at index-freeze time; lookups on the
+ * serving hot path (find) are open-addressed probes over a flat
+ * power-of-two table and never allocate — the query side passes a
+ * std::string_view, so not even a temporary key string is built.
+ *
+ * IDs are dense (0, 1, 2, ...) so callers can use them to index
+ * parallel flag/attribute arrays, and they are stable for the
+ * lifetime of the interner (symbols are never removed).
+ */
+#ifndef GRAPHPORT_SUPPORT_INTERNER_HPP
+#define GRAPHPORT_SUPPORT_INTERNER_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graphport {
+namespace support {
+
+/** Deterministic 64-bit hash of a byte sequence (splitmix64 chain). */
+std::uint64_t hashBytes(std::string_view s);
+
+class StringInterner
+{
+  public:
+    /** Sentinel returned by find() for strings never interned. */
+    static constexpr std::uint32_t kNoSymbol = 0xffffffffu;
+
+    StringInterner();
+
+    /** Intern @p s, returning its dense ID (existing or new). */
+    std::uint32_t intern(std::string_view s);
+
+    /**
+     * ID of @p s, or kNoSymbol when it was never interned. Never
+     * allocates: safe on the zero-allocation serving path.
+     */
+    std::uint32_t find(std::string_view s) const noexcept;
+
+    /** The string behind @p id. @throws PanicError when out of range. */
+    const std::string &name(std::uint32_t id) const;
+
+    /** Number of interned symbols. */
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(names_.size());
+    }
+
+  private:
+    void grow();
+
+    /** Interned strings, indexed by ID. */
+    std::vector<std::string> names_;
+    /** Open-addressed table of IDs (kNoSymbol = empty slot). */
+    std::vector<std::uint32_t> slots_;
+    /** slots_.size() - 1; slots_ is always a power of two. */
+    std::uint64_t mask_ = 0;
+};
+
+} // namespace support
+} // namespace graphport
+
+#endif // GRAPHPORT_SUPPORT_INTERNER_HPP

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * The frozen-index proof: the compiled ID path (interned symbols,
+ * packed-key flat tables, SoA k-NN) must answer bit-identically to
+ * the string/map reference descent over the *entire* query universe
+ * — every (app, input, chip) combination the study covers, plus
+ * input classes, unseen inputs, out-of-index apps and unknown chips
+ * (the predictive path) — with and without fault schedules, at 1/4/8
+ * threads, and while the index is hot-swapped mid-batch. This binary
+ * links the counting allocator, so it also enforces the steady-path
+ * zero-allocation budget.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graphport/fault/injector.hpp"
+#include "graphport/port/predict.hpp"
+#include "graphport/serve/advisor.hpp"
+#include "graphport/serve/batch.hpp"
+#include "graphport/serve/frozen.hpp"
+#include "graphport/serve/index.hpp"
+#include "graphport/serve/loadgen.hpp"
+#include "graphport/support/allochook.hpp"
+#include "graphport/support/error.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+
+namespace {
+
+const serve::StrategyIndex &
+smallIndex()
+{
+    static const serve::StrategyIndex index =
+        serve::StrategyIndex::build(testutil::smallDataset());
+    return index;
+}
+
+const serve::Advisor &
+advisor()
+{
+    static const serve::Advisor adv(smallIndex());
+    return adv;
+}
+
+/**
+ * Every query shape the advisor can meet: the full study cross
+ * product by input name and by input class, plus an out-of-index app
+ * (traceable on demand), an unknown app, an unseen-here input class,
+ * a nonsense input and an unknown chip (routes to the predictive
+ * path). Some combinations are semantically unanswerable — the sweep
+ * requires reference and frozen paths to agree on *that* too.
+ */
+std::vector<serve::Query>
+queryUniverse()
+{
+    std::vector<std::string> apps = smallIndex().apps();
+    apps.push_back("pr-topo");     // registry app outside the index
+    apps.push_back("no-such-app"); // untraceable
+    std::vector<std::string> inputs;
+    for (const runner::InputSpec &in : smallIndex().inputs()) {
+        inputs.push_back(in.name);
+        inputs.push_back(in.cls);
+    }
+    inputs.push_back("random"); // study class absent from the index
+    inputs.push_back("no-such-input");
+    std::vector<std::string> chips = smallIndex().chips();
+    chips.push_back("GTX1080"); // registry chip outside the index
+
+    std::vector<serve::Query> queries;
+    for (const std::string &app : apps)
+        for (const std::string &input : inputs)
+            for (const std::string &chip : chips)
+                queries.push_back({app, input, chip});
+    return queries;
+}
+
+/**
+ * adviseResilient (frozen ID descent) against adviseReference (the
+ * string/map oracle) over the whole universe: identical answers,
+ * identical retry/degradation accounting, identical fatals.
+ */
+void
+expectFrozenMatchesReference(const serve::ServePolicy &policy)
+{
+    const serve::Advisor adv(smallIndex());
+    std::size_t answered = 0;
+    std::size_t unanswerable = 0;
+    std::uint64_t key = 0;
+    for (const serve::Query &q : queryUniverse()) {
+        ++key;
+        bool refFatal = false;
+        serve::Advice ref;
+        try {
+            ref = adv.adviseReference(q, key, policy);
+        } catch (const FatalError &) {
+            refFatal = true;
+        }
+        bool frozenFatal = false;
+        serve::Advice got;
+        try {
+            got = adv.adviseResilient(q, key, policy);
+        } catch (const FatalError &) {
+            frozenFatal = true;
+        }
+        ASSERT_EQ(refFatal, frozenFatal)
+            << q.app << "/" << q.input << "/" << q.chip;
+        if (refFatal) {
+            ++unanswerable;
+            continue;
+        }
+        ++answered;
+        EXPECT_TRUE(ref.sameAnswer(got))
+            << q.app << "/" << q.input << "/" << q.chip
+            << ": reference " << ref.tier << " cfg " << ref.config
+            << " vs frozen " << got.tier << " cfg " << got.config;
+        EXPECT_EQ(ref.configLabel, got.configLabel);
+        EXPECT_EQ(ref.partition, got.partition);
+        EXPECT_EQ(ref.expectedSlowdownVsOracle,
+                  got.expectedSlowdownVsOracle);
+        EXPECT_EQ(ref.partitionSlowdownVsOracle,
+                  got.partitionSlowdownVsOracle);
+    }
+    // The universe must exercise both outcomes.
+    EXPECT_GT(answered, 0u);
+    EXPECT_GT(unanswerable, 0u);
+}
+
+} // namespace
+
+TEST(ServeFrozen, BitIdenticalToReferenceOverFullUniverse)
+{
+    expectFrozenMatchesReference(serve::ServePolicy{});
+}
+
+TEST(ServeFrozen, BitIdenticalToReferenceUnderLookupFaults)
+{
+    fault::Injector inj(fault::FaultSchedule::parse(
+        "seed=3;serve.lookup:p=0.35"));
+    fault::ScopedInjector scope(&inj);
+    expectFrozenMatchesReference(serve::ServePolicy{});
+    EXPECT_GT(inj.injectedCount(), 0u);
+}
+
+TEST(ServeFrozen, BitIdenticalUnderPredictFaultsAndDeadline)
+{
+    fault::Injector inj(fault::FaultSchedule::parse(
+        "seed=11;serve.lookup:p=0.5;serve.predict:p=0.6"));
+    fault::ScopedInjector scope(&inj);
+    serve::ServePolicy policy;
+    policy.maxRetries = 3;
+    policy.deadlineNs = 20000; // tight: forces early degradation
+    expectFrozenMatchesReference(policy);
+    EXPECT_GT(inj.injectedCount(), 0u);
+}
+
+TEST(ServeFrozen, OverLongRetryBudgetIsFatalOnBothPaths)
+{
+    serve::ServePolicy policy;
+    policy.maxRetries = 10; // key packing supports at most 9
+    const serve::Query q{"bfs-topo", "road", "M4000"};
+    EXPECT_THROW(advisor().adviseResilient(q, 1, policy),
+                 FatalError);
+    EXPECT_THROW(advisor().adviseReference(q, 1, policy),
+                 FatalError);
+}
+
+TEST(ServeFrozen, SoaPredictionMatchesPortKnnForEveryStudyPair)
+{
+    const auto lease = advisor().lease();
+    const serve::FrozenIndex &frozen = lease->frozen;
+    const runner::Dataset &ds = testutil::smallDataset();
+    const auto traces = port::collectTraces(ds.universe());
+    for (const std::string &app : smallIndex().apps())
+        for (const runner::InputSpec &in : smallIndex().inputs()) {
+            const unsigned expected = port::predictConfig(
+                ds, traces, app, in.name, smallIndex().knnK());
+            const std::uint32_t appSym = frozen.findSymbol(app);
+            const std::uint32_t inSym = frozen.findSymbol(in.name);
+            ASSERT_NE(appSym, serve::kNoSymbol);
+            ASSERT_NE(inSym, serve::kNoSymbol);
+            const std::int32_t row =
+                frozen.featureRow(appSym, inSym);
+            ASSERT_GE(row, 0) << app << "/" << in.name;
+            const unsigned got = frozen.predictConfig(
+                frozen.featureAt(row), appSym, inSym);
+            EXPECT_EQ(got, expected) << app << "/" << in.name;
+        }
+}
+
+TEST(ServeFrozen, IdOverloadMatchesStringApiOnSteadyQueries)
+{
+    const serve::Advisor &adv = advisor();
+    const std::vector<serve::Query> stream =
+        serve::makeQueryStream(smallIndex(), 300, 19);
+    const auto lease = adv.lease();
+    std::size_t steady = 0;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const serve::IdQuery id = lease->frozen.internQuery(
+            stream[i].app, stream[i].input, stream[i].chip);
+        if (!lease->frozen.steady(id))
+            continue;
+        ++steady;
+        const serve::AdviceView view = adv.advise(id, i);
+        const serve::Advice ref =
+            adv.adviseResilient(stream[i], i, serve::ServePolicy{});
+        EXPECT_EQ(view.config, ref.config) << i;
+        EXPECT_EQ(serve::tierName(view.tier), ref.tier) << i;
+        EXPECT_EQ(view.predictive, ref.predictive) << i;
+        EXPECT_EQ(view.degraded, ref.degraded) << i;
+        EXPECT_EQ(view.retries, ref.retries) << i;
+        EXPECT_EQ(view.expectedSlowdownVsOracle,
+                  ref.expectedSlowdownVsOracle)
+            << i;
+        EXPECT_EQ(view.partitionSlowdownVsOracle,
+                  ref.partitionSlowdownVsOracle)
+            << i;
+    }
+    EXPECT_GT(steady, 0u);
+}
+
+TEST(ServeFrozen, SteadyClassifiesQueriesByAnswerability)
+{
+    const auto lease = advisor().lease();
+    const serve::FrozenIndex &frozen = lease->frozen;
+    // Known chip: always lattice-answerable, no trace needed.
+    EXPECT_TRUE(frozen.steady(
+        frozen.internQuery("bfs-topo", "road", "M4000")));
+    EXPECT_TRUE(frozen.steady(frozen.internQuery(
+        "no-such-app", "no-such-input", "M4000")));
+    // Unknown chip + snapshot-traced pair: predictive, steady.
+    EXPECT_TRUE(frozen.steady(
+        frozen.internQuery("bfs-topo", "road", "GTX1080")));
+    // Unknown chip + pair outside the snapshot: needs an on-demand
+    // trace, so the string API must handle it.
+    EXPECT_FALSE(frozen.steady(
+        frozen.internQuery("pr-topo", "road", "GTX1080")));
+}
+
+TEST(ServeFrozen, BatchBitIdenticalAcrossThreadCountsUnderFaults)
+{
+    fault::Injector inj(fault::FaultSchedule::parse(
+        "seed=5;serve.lookup:p=0.25;serve.predict:p=0.25"));
+    fault::ScopedInjector scope(&inj);
+    const std::vector<serve::Query> stream =
+        serve::makeQueryStream(smallIndex(), 600, 11);
+    const serve::Advisor adv(smallIndex());
+    const std::vector<serve::Advice> serial =
+        serve::serveBatch(adv, stream, 1);
+    for (const unsigned threads : {4u, 8u}) {
+        const std::vector<serve::Advice> parallel =
+            serve::serveBatch(adv, stream, threads);
+        ASSERT_EQ(serial.size(), parallel.size());
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            EXPECT_TRUE(serial[i].sameAnswer(parallel[i]))
+                << "thread count " << threads << ", query " << i;
+    }
+}
+
+TEST(ServeFrozen, HotSwapMidBatchYieldsOneIndexsAnswerPerQuery)
+{
+    const serve::StrategyIndex &indexA = smallIndex();
+    const serve::StrategyIndex indexB =
+        serve::StrategyIndex::build(runner::Dataset::build(
+            runner::smallUniverse(2, {"M4000", "R9"})));
+
+    const std::vector<serve::Query> stream =
+        serve::makeQueryStream(indexA, 400, 13);
+    // Per-index references, keyed exactly as serveBatch keys (the
+    // request index).
+    const serve::Advisor advA(indexA);
+    const serve::Advisor advB(indexB);
+    const std::vector<serve::Advice> refA =
+        serve::serveBatch(advA, stream, 1);
+    const std::vector<serve::Advice> refB =
+        serve::serveBatch(advB, stream, 1);
+
+    serve::Advisor adv(indexA);
+    std::atomic<bool> done{false};
+    std::thread swapper([&] {
+        bool useB = true;
+        while (!done.load(std::memory_order_relaxed)) {
+            adv.swapIndex(useB ? indexB : indexA);
+            useB = !useB;
+            std::this_thread::yield();
+        }
+    });
+    const std::vector<serve::Advice> got =
+        serve::serveBatch(adv, stream, 4);
+    done.store(true);
+    swapper.join();
+
+    ASSERT_EQ(got.size(), stream.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_TRUE(got[i].sameAnswer(refA[i]) ||
+                    got[i].sameAnswer(refB[i]))
+            << "query " << i << " answered " << got[i].tier
+            << " cfg " << got[i].config
+            << ", matching neither index";
+    EXPECT_GT(adv.indexEpoch(), 0u);
+}
+
+TEST(ServeFrozen, SwapToSameIndexChangesNoAnswer)
+{
+    serve::Advisor adv(smallIndex());
+    const std::vector<serve::Query> stream =
+        serve::makeQueryStream(smallIndex(), 200, 23);
+    const std::vector<serve::Advice> before =
+        serve::serveBatch(adv, stream, 1);
+    adv.swapIndex(smallIndex());
+    EXPECT_EQ(adv.indexEpoch(), 1u);
+    const std::vector<serve::Advice> after =
+        serve::serveBatch(adv, stream, 1);
+    for (std::size_t i = 0; i < before.size(); ++i)
+        EXPECT_TRUE(before[i].sameAnswer(after[i])) << i;
+}
+
+TEST(ServeFrozen, SteadyPathAllocatesNothing)
+{
+    // This test binary links bench/alloc_hook.cpp, so the counting
+    // operators are live and the budget is enforced, not skipped.
+    ASSERT_TRUE(support::allocCountingActive());
+    const std::vector<serve::Query> stream =
+        serve::makeQueryStream(smallIndex(), 500, 17);
+    const double perQuery =
+        serve::measureSteadyAllocsPerQuery(advisor(), stream);
+    ASSERT_GE(perQuery, 0.0) << "no steady queries in the stream";
+    EXPECT_EQ(perQuery, 0.0);
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the open-loop load generator: the Poisson arrival
+ * schedule is deterministic, monotonic and has the right mean
+ * interarrival gap, and runOpenLoop serves every query, measures
+ * coordinated-omission-safe latency from intended send times, and
+ * reports a consistent kept-up verdict.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "graphport/serve/advisor.hpp"
+#include "graphport/serve/index.hpp"
+#include "graphport/serve/loadgen.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+
+namespace {
+
+const serve::StrategyIndex &
+smallIndex()
+{
+    static const serve::StrategyIndex index =
+        serve::StrategyIndex::build(testutil::smallDataset());
+    return index;
+}
+
+const serve::Advisor &
+advisor()
+{
+    static const serve::Advisor adv(smallIndex());
+    return adv;
+}
+
+} // namespace
+
+TEST(OpenLoopSchedule, DeterministicForAFixedSeed)
+{
+    const std::vector<std::uint64_t> a =
+        serve::makeArrivalScheduleNs(500, 10000.0, 42);
+    const std::vector<std::uint64_t> b =
+        serve::makeArrivalScheduleNs(500, 10000.0, 42);
+    ASSERT_EQ(a.size(), 500u);
+    EXPECT_EQ(a, b);
+    const std::vector<std::uint64_t> c =
+        serve::makeArrivalScheduleNs(500, 10000.0, 43);
+    EXPECT_NE(a, c);
+}
+
+TEST(OpenLoopSchedule, MonotonicNonDecreasing)
+{
+    const std::vector<std::uint64_t> sched =
+        serve::makeArrivalScheduleNs(2000, 50000.0, 7);
+    for (std::size_t i = 1; i < sched.size(); ++i)
+        ASSERT_GE(sched[i], sched[i - 1]) << i;
+}
+
+TEST(OpenLoopSchedule, MeanInterarrivalMatchesTargetQps)
+{
+    // Exponential interarrivals with rate targetQps: the mean gap
+    // over 20k draws must sit within a few percent of 1e9/qps.
+    const double qps = 25000.0;
+    const std::size_t n = 20000;
+    const std::vector<std::uint64_t> sched =
+        serve::makeArrivalScheduleNs(n, qps, 1);
+    const double meanGapNs =
+        static_cast<double>(sched.back()) /
+        static_cast<double>(n - 1);
+    const double expectedNs = 1e9 / qps;
+    EXPECT_NEAR(meanGapNs, expectedNs, expectedNs * 0.05);
+}
+
+TEST(OpenLoopSchedule, ScalesInverselyWithRate)
+{
+    const std::vector<std::uint64_t> slow =
+        serve::makeArrivalScheduleNs(1000, 1000.0, 9);
+    const std::vector<std::uint64_t> fast =
+        serve::makeArrivalScheduleNs(1000, 100000.0, 9);
+    EXPECT_GT(slow.back(), fast.back());
+}
+
+TEST(OpenLoop, ServesEveryQueryAndReportsConsistently)
+{
+    const std::vector<serve::Query> stream =
+        serve::makeQueryStream(smallIndex(), 300, 21);
+    serve::OpenLoopOptions opts;
+    opts.targetQps = 50000.0; // ~6 ms schedule: quick but non-trivial
+    opts.threads = 2;
+    opts.seed = 5;
+    const serve::OpenLoopResult result =
+        serve::runOpenLoop(advisor(), stream, opts);
+
+    EXPECT_EQ(result.targetQps, opts.targetQps);
+    // The schedule's actual rate sits near the nominal target (a
+    // finite Poisson draw, so not exactly on it).
+    EXPECT_NEAR(result.offeredQps, opts.targetQps,
+                opts.targetQps * 0.2);
+    EXPECT_EQ(result.queries, stream.size());
+    EXPECT_LE(result.steadyQueries, result.queries);
+    EXPECT_GT(result.steadyQueries, 0u);
+    EXPECT_GT(result.wallSeconds, 0.0);
+    EXPECT_GT(result.achievedQps, 0.0);
+    EXPECT_EQ(result.latency.count(), stream.size());
+    EXPECT_EQ(result.serviceTime.count(), stream.size());
+    // Latency is measured from the intended send time, so it can
+    // only exceed pure service time.
+    EXPECT_GE(result.latency.percentileNs(50.0),
+              result.serviceTime.percentileNs(50.0));
+    EXPECT_EQ(result.keptUp,
+              result.achievedQps >= 0.97 * result.offeredQps);
+}
+
+TEST(OpenLoop, SingleThreadedPassAlsoCompletes)
+{
+    const std::vector<serve::Query> stream =
+        serve::makeQueryStream(smallIndex(), 150, 29);
+    serve::OpenLoopOptions opts;
+    opts.targetQps = 30000.0;
+    opts.threads = 1;
+    const serve::OpenLoopResult result =
+        serve::runOpenLoop(advisor(), stream, opts);
+    EXPECT_EQ(result.queries, stream.size());
+    EXPECT_EQ(result.latency.count(), stream.size());
+}
