@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Strategy-portfolio benchmark (not a paper experiment).
+ *
+ * Exercises the portfolio layer end to end over the small universe
+ * and enforces its contracts: the greedy and exact cover solvers must
+ * agree on the small universe (same cardinality, both within the
+ * radius), the K-vs-ε Pareto frontier must be monotone (K strictly
+ * increasing, ε strictly decreasing, ending at the ε = 0 full oracle
+ * set), portfolio dispatch through the advisor must answer
+ * bit-identically at every thread count, every reported portability
+ * cost must match a direct per-cell recomputation from the dataset,
+ * dispatch must stay within 2x of the plain lattice descent (it is a
+ * single flat-table probe, so it is normally *faster*), and the
+ * steady ID dispatch path must not allocate (this binary links the
+ * counting allocator; budget: exactly 0). Any violation fails the
+ * process. Emits one machine-readable JSON file (default
+ * BENCH_portfolio.json) so portfolio performance is tracked across
+ * PRs.
+ *
+ * Flags:
+ *   --apps N       apps in the small universe (default 4)
+ *   --eps E        cover radius (default 0.10)
+ *   --queries N    dispatch stream length (default 8000)
+ *   --threads N    highest dispatch thread count (default 8)
+ *   --seed S       stream seed (default 42)
+ *   --out FILE     JSON output path (default BENCH_portfolio.json)
+ */
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "graphport/obs/obs.hpp"
+#include "graphport/portfolio/cover.hpp"
+#include "graphport/portfolio/portfolio.hpp"
+#include "graphport/runner/dataset.hpp"
+#include "graphport/runner/universe.hpp"
+#include "graphport/serve/advisor.hpp"
+#include "graphport/serve/index.hpp"
+#include "graphport/serve/loadgen.hpp"
+#include "graphport/support/allochook.hpp"
+#include "graphport/support/threadpool.hpp"
+
+using namespace graphport;
+
+namespace {
+
+/** Seconds for one serial adviseResilient pass over @p stream. */
+double
+timedPass(const serve::Advisor &advisor,
+          const std::vector<serve::Query> &stream)
+{
+    using Clock = std::chrono::steady_clock;
+    const serve::ServePolicy policy;
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < stream.size(); ++i)
+        (void)advisor.adviseResilient(stream[i], i, policy, nullptr);
+    const auto t1 = Clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned nApps = 4;
+    double eps = 0.10;
+    std::size_t queries = 8000;
+    unsigned maxThreads = 8;
+    std::uint64_t seed = 42;
+    std::string outPath = "BENCH_portfolio.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--apps" && i + 1 < argc)
+            nApps = static_cast<unsigned>(std::stoul(argv[++i]));
+        else if (arg == "--eps" && i + 1 < argc)
+            eps = std::stod(argv[++i]);
+        else if (arg == "--queries" && i + 1 < argc)
+            queries = std::stoul(argv[++i]);
+        else if (arg == "--threads" && i + 1 < argc)
+            maxThreads = static_cast<unsigned>(std::stoul(argv[++i]));
+        else if (arg == "--seed" && i + 1 < argc)
+            seed = std::stoull(argv[++i]);
+        else if (arg == "--out" && i + 1 < argc)
+            outPath = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: bench_portfolio [--apps N] [--eps E] "
+                         "[--queries N] [--threads N] [--seed S] "
+                         "[--out FILE]\n");
+            return 2;
+        }
+    }
+
+    bench::banner("strategy-portfolio covers and dispatch",
+                  "infrastructure",
+                  "Greedy-vs-exact cover agreement, Pareto-frontier "
+                  "monotonicity, and portfolio-dispatch serving "
+                  "budgets");
+
+    std::printf("sweeping the small universe (%u apps)...\n", nApps);
+    const runner::Dataset ds =
+        runner::Dataset::build(runner::smallUniverse(nApps));
+    const portfolio::SlowdownMatrix matrix =
+        portfolio::SlowdownMatrix::build(ds, 0);
+    std::printf("  %zu cells x %u configs\n\n", matrix.cells(),
+                matrix.configs());
+
+    // ---- greedy vs exact ---------------------------------------------
+    portfolio::CoverOptions opts;
+    opts.epsilon = eps;
+    opts.threads = 0;
+    const portfolio::CoverSolution greedy =
+        portfolio::solveCover(matrix, opts);
+    opts.exact = true;
+    const portfolio::CoverSolution exact =
+        portfolio::solveCover(matrix, opts);
+    opts.exact = false;
+    const bool agree =
+        greedy.members.size() == exact.members.size();
+    const bool feasible =
+        greedy.maxSlowdown <= 1.0 + eps &&
+        exact.maxSlowdown <= 1.0 + eps &&
+        exact.members.size() <= greedy.members.size();
+    std::printf("cover at eps %.4f: greedy %zu member(s) "
+                "(max %.3fx, geomean %.3fx), exact %zu member(s) "
+                "(max %.3fx)  %s\n",
+                eps, greedy.members.size(), greedy.maxSlowdown,
+                greedy.geomeanSlowdown, exact.members.size(),
+                exact.maxSlowdown,
+                agree && feasible ? "AGREE" : "DISAGREE");
+
+    // ---- frontier ----------------------------------------------------
+    const std::vector<portfolio::FrontierPoint> frontier =
+        portfolio::paretoFrontier(matrix, opts);
+    bool frontierMonotone = !frontier.empty() &&
+                            frontier.back().epsilon == 0.0;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+        if (frontier[i].maxSlowdown >
+            1.0 + frontier[i].epsilon + 1e-12)
+            frontierMonotone = false;
+        if (i == 0)
+            continue;
+        if (frontier[i].k <= frontier[i - 1].k ||
+            frontier[i].epsilon >= frontier[i - 1].epsilon)
+            frontierMonotone = false;
+    }
+    std::printf("frontier: %zu point(s), K %u..%u, eps %.4f..%.4f  "
+                "%s\n\n",
+                frontier.size(), frontier.front().k,
+                frontier.back().k, frontier.front().epsilon,
+                frontier.back().epsilon,
+                frontierMonotone ? "monotone" : "NOT MONOTONE");
+
+    // ---- dispatch: bit-identity across thread counts -----------------
+    const portfolio::Portfolio p =
+        portfolio::Portfolio::fromSolution(ds, greedy);
+    const serve::StrategyIndex index =
+        serve::StrategyIndex::build(ds);
+    serve::Advisor plainAdvisor(index);
+    serve::Advisor pfAdvisor(index);
+    pfAdvisor.attachPortfolio(p);
+
+    const std::vector<serve::Query> stream =
+        serve::makeQueryStream(index, queries, seed);
+    std::vector<unsigned> threadCounts;
+    for (unsigned t = 4; t <= maxThreads; t *= 2)
+        threadCounts.push_back(t);
+    std::printf("dispatching %zu queries (seed %llu) through the "
+                "%zu-member portfolio...\n",
+                stream.size(),
+                static_cast<unsigned long long>(seed),
+                p.members().size());
+    const serve::LoadBenchResult load =
+        serve::runLoadBench(pfAdvisor, stream, threadCounts);
+    for (const serve::LoadVariant &v : load.variants) {
+        std::printf("  %2u thread(s)  %10.0f q/s  p50 %6.1f us  "
+                    "p99 %6.1f us  %s\n",
+                    v.requestedThreads, v.stats.qps(),
+                    v.stats.p50Ns() / 1e3, v.stats.p99Ns() / 1e3,
+                    v.bitIdentical ? "bit-identical"
+                                   : "MISMATCH vs. serial");
+    }
+
+    // ---- dispatch overhead vs the plain lattice descent --------------
+    std::printf("\nmeasuring dispatch overhead vs plain advise "
+                "(serial, best of 7)...\n");
+    double plainSec = timedPass(plainAdvisor, stream); // warm
+    double pfSec = timedPass(pfAdvisor, stream);       // warm
+    for (int rep = 0; rep < 7; ++rep) {
+        plainSec = std::min(plainSec,
+                            timedPass(plainAdvisor, stream));
+        pfSec = std::min(pfSec, timedPass(pfAdvisor, stream));
+    }
+    const double overheadPct =
+        (pfSec - plainSec) / plainSec * 100.0;
+    const bool overheadOk = overheadPct < 100.0;
+    std::printf("  plain %.6f s, portfolio %.6f s: %+.1f%% "
+                "(budget < +100%%)  %s\n",
+                plainSec, pfSec, overheadPct,
+                overheadOk ? "within budget" : "OVER BUDGET");
+
+    // ---- portability cost vs direct recomputation --------------------
+    // Every dataset cell, queried by name, must come back on the
+    // portfolio tier with exactly the slowdown the dataset implies
+    // for the advised configuration.
+    std::size_t costMismatches = 0;
+    const serve::ServePolicy policy;
+    for (std::size_t t = 0; t < ds.numTests(); ++t) {
+        const runner::Test &test = ds.testAt(t);
+        const serve::Advice a = pfAdvisor.adviseResilient(
+            serve::Query{test.app, test.input, test.chip}, t, policy,
+            nullptr);
+        const double direct =
+            ds.meanNs(t, a.config) /
+            ds.meanNs(t, ds.bestConfig(t));
+        if (a.tierId != serve::Tier::Portfolio ||
+            a.partition.empty() ||
+            a.portabilityCostVsOracle != direct)
+            ++costMismatches;
+    }
+    std::printf("\nportability-cost cross-check: %zu cell(s), "
+                "%zu mismatch(es)  %s\n",
+                ds.numTests(), costMismatches,
+                costMismatches == 0 ? "exact" : "MISMATCH");
+
+    // ---- steady-path allocations -------------------------------------
+    double allocsPerQuery = -1.0;
+    if (support::allocCountingActive()) {
+        const serve::Advisor::Lease lease = pfAdvisor.lease();
+        const serve::FrozenIndex &frozen = lease->frozen;
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+            const serve::IdQuery id = frozen.internQuery(
+                stream[i].app, stream[i].input, stream[i].chip);
+            (void)pfAdvisor.advise(id, i, policy, nullptr);
+        }
+        support::resetThreadAllocCounts();
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+            const serve::IdQuery id = frozen.internQuery(
+                stream[i].app, stream[i].input, stream[i].chip);
+            (void)pfAdvisor.advise(id, i, policy, nullptr);
+        }
+        const support::AllocCounts counts =
+            support::threadAllocCounts();
+        allocsPerQuery = static_cast<double>(counts.allocs) /
+                         static_cast<double>(stream.size());
+    }
+    const bool allocsOk = allocsPerQuery <= 0.0;
+    if (allocsPerQuery < 0.0)
+        std::printf("counting allocator not linked; alloc check "
+                    "skipped\n");
+    else
+        std::printf("dispatch allocs/query: %.3f  (budget: exactly "
+                    "0)  %s\n",
+                    allocsPerQuery,
+                    allocsOk ? "within budget" : "OVER BUDGET");
+
+    // ---- machine-readable record -------------------------------------
+    std::ofstream out(outPath);
+    if (!out.good()) {
+        std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+        return 1;
+    }
+    obs::Exporter ex(out);
+    ex.beginObject();
+    ex.field("bench", "portfolio");
+    ex.field("apps", nApps);
+    ex.field("cells", matrix.cells());
+    ex.field("configs", matrix.configs());
+    ex.field("epsilon", eps, 4);
+    ex.field("queries", stream.size());
+    ex.field("seed", seed);
+    ex.field("hardware_threads", support::hardwareThreads());
+    ex.field("greedy_members", greedy.members.size());
+    ex.field("exact_members", exact.members.size());
+    ex.field("greedy_exact_agree", agree);
+    ex.field("greedy_max_slowdown", greedy.maxSlowdown, 4);
+    ex.field("greedy_geomean_slowdown", greedy.geomeanSlowdown, 4);
+    ex.field("frontier_monotone", frontierMonotone);
+    ex.beginArray("frontier");
+    for (const portfolio::FrontierPoint &fp : frontier) {
+        ex.beginObject(obs::Exporter::Style::Inline);
+        ex.field("k", fp.k);
+        ex.field("epsilon", fp.epsilon, 6);
+        ex.field("max_slowdown", fp.maxSlowdown, 4);
+        ex.field("geomean_slowdown", fp.geomeanSlowdown, 4);
+        ex.endObject();
+    }
+    ex.endArray();
+    ex.field("all_bit_identical", load.allBitIdentical);
+    ex.beginArray("dispatch");
+    for (const serve::LoadVariant &v : load.variants) {
+        ex.beginObject(obs::Exporter::Style::Inline);
+        ex.field("threads", v.requestedThreads);
+        ex.field("qps", v.stats.qps(), 0);
+        ex.field("p50_us", v.stats.p50Ns() / 1e3, 1);
+        ex.field("p99_us", v.stats.p99Ns() / 1e3, 1);
+        ex.field("bit_identical", v.bitIdentical);
+        ex.endObject();
+    }
+    ex.endArray();
+    ex.field("dispatch_overhead_pct", overheadPct, 1);
+    ex.field("dispatch_overhead_budget_pct", 100.0, 0);
+    if (allocsPerQuery >= 0.0)
+        ex.field("allocs_per_query", allocsPerQuery, 3);
+    ex.field("cells_checked", ds.numTests());
+    ex.field("portability_cost_mismatches", costMismatches);
+    ex.endObject();
+    std::printf("\nperf record written to %s\n", outPath.c_str());
+
+    const bool ok = agree && feasible && frontierMonotone &&
+                    load.allBitIdentical && overheadOk && allocsOk &&
+                    costMismatches == 0;
+    return ok ? 0 : 1;
+}

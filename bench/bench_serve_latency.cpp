@@ -211,9 +211,18 @@ main(int argc, char **argv)
     const double p99Us =
         result.openLoop.latency.percentileNs(99.0) / 1e3;
     const bool p99Ok = p99Us < 1000.0;
-    std::printf("  achieved %.0f q/s (%s)  p50 %.1f us  p99 %.1f "
-                "us  (p99 budget < 1000 us)  %s\n",
-                result.openLoop.achievedQps,
+    // Print achieved next to sustained and offered: an under-target
+    // run is visible in the summary without opening BENCH_serve.json.
+    const double achievedPct =
+        result.openLoop.offeredQps > 0.0
+            ? 100.0 * result.openLoop.achievedQps /
+                  result.openLoop.offeredQps
+            : 0.0;
+    std::printf("  sustained %.0f q/s; offered %.0f q/s, achieved "
+                "%.0f q/s (%.0f%%, %s)  p50 %.1f us  p99 %.1f us  "
+                "(p99 budget < 1000 us)  %s\n",
+                result.sustainedQps, result.openLoop.offeredQps,
+                result.openLoop.achievedQps, achievedPct,
                 result.openLoop.keptUp ? "kept up" : "FELL BEHIND",
                 result.openLoop.latency.percentileNs(50.0) / 1e3,
                 p99Us, p99Ok ? "within budget" : "OVER BUDGET");

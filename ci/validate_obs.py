@@ -5,6 +5,7 @@ Usage:
     python3 ci/validate_obs.py summary [--require-fault] FILE [FILE...]
     python3 ci/validate_obs.py trace FILE [FILE...]
     python3 ci/validate_obs.py serve FILE [FILE...]
+    python3 ci/validate_obs.py portfolio FILE [FILE...]
 
 "summary" validates a --metrics-out document (the canonical
 graphport-obs-summary JSON); "trace" validates a --trace-out Chrome
@@ -16,6 +17,12 @@ serve.queries). "serve" validates a BENCH_serve.json perf record
 (serve-smoke job) and enforces the serving-path budgets: every
 variant bit-identical, allocs_per_query present and exactly 0, and
 the open-loop p99 within its recorded budget with the load kept up.
+"portfolio" validates a BENCH_portfolio.json record
+(portfolio-smoke job): greedy and exact covers agree, the K-vs-ε
+frontier is monotone (K strictly up, ε strictly down, ending at
+ε = 0), dispatch stays bit-identical and within its overhead
+budget, allocs_per_query is exactly 0, and every reported
+portability cost matched direct recomputation.
 Standard library only — CI must not install anything.
 """
 import json
@@ -144,6 +151,62 @@ def check_serve(doc):
     return len(variants)
 
 
+def check_portfolio(doc):
+    expect(isinstance(doc, dict), "$", "object")
+    expect(doc.get("bench") == "portfolio", "bench", '"portfolio"')
+    expect(doc.get("greedy_exact_agree") is True,
+           "greedy_exact_agree",
+           "true (greedy and exact covers must agree)")
+    expect(doc.get("frontier_monotone") is True, "frontier_monotone",
+           "true")
+    frontier = doc.get("frontier")
+    expect(isinstance(frontier, list) and frontier, "frontier",
+           "non-empty array")
+    prev_k, prev_eps = 0, None
+    for i, fp in enumerate(frontier):
+        path = f"frontier[{i}]"
+        expect(isinstance(fp, dict), path, "object")
+        expect(is_count(fp.get("k")) and fp["k"] > prev_k,
+               f"{path}.k", f"integer > {prev_k} (strictly rising)")
+        expect(is_num(fp.get("epsilon")) and fp["epsilon"] >= 0,
+               f"{path}.epsilon", "non-negative number")
+        if prev_eps is not None:
+            expect(fp["epsilon"] < prev_eps, f"{path}.epsilon",
+                   f"epsilon < {prev_eps} (strictly falling)")
+        prev_k, prev_eps = fp["k"], fp["epsilon"]
+    expect(frontier[-1]["epsilon"] == 0, "frontier[-1].epsilon",
+           "0 (the frontier ends at the full oracle cover)")
+
+    expect(doc.get("all_bit_identical") is True, "all_bit_identical",
+           "true (dispatch must match the serial reference)")
+    dispatch = doc.get("dispatch")
+    expect(isinstance(dispatch, list) and dispatch, "dispatch",
+           "non-empty array")
+    for i, v in enumerate(dispatch):
+        path = f"dispatch[{i}]"
+        expect(isinstance(v, dict), path, "object")
+        expect(v.get("bit_identical") is True,
+               f"{path}.bit_identical", "true")
+
+    for field in ("dispatch_overhead_pct",
+                  "dispatch_overhead_budget_pct"):
+        expect(is_num(doc.get(field)), field, "number")
+    expect(doc["dispatch_overhead_pct"] <=
+           doc["dispatch_overhead_budget_pct"],
+           "dispatch_overhead_pct",
+           f"<= budget ({doc.get('dispatch_overhead_budget_pct')})")
+
+    expect("allocs_per_query" in doc, "allocs_per_query",
+           "field present (counting allocator linked)")
+    expect(doc["allocs_per_query"] == 0, "allocs_per_query",
+           "exactly 0 (zero-allocation dispatch path)")
+    expect(is_count(doc.get("portability_cost_mismatches")) and
+           doc["portability_cost_mismatches"] == 0,
+           "portability_cost_mismatches",
+           "exactly 0 (reported costs must match recomputation)")
+    return len(frontier)
+
+
 def check_trace(doc):
     expect(isinstance(doc, dict), "$", "object")
     expect(isinstance(doc.get("traceEvents"), list), "traceEvents",
@@ -168,7 +231,8 @@ def main(argv):
     require_fault = "--require-fault" in args
     if require_fault:
         args.remove("--require-fault")
-    if len(args) < 2 or args[0] not in ("summary", "trace", "serve"):
+    if len(args) < 2 or args[0] not in ("summary", "trace", "serve",
+                                    "portfolio"):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     if require_fault and args[0] != "summary":
@@ -176,7 +240,8 @@ def main(argv):
               file=sys.stderr)
         return 2
     check = {"summary": check_summary, "trace": check_trace,
-             "serve": check_serve}[args[0]]
+             "serve": check_serve,
+             "portfolio": check_portfolio}[args[0]]
     for path in args[1:]:
         try:
             with open(path) as f:
@@ -188,7 +253,8 @@ def main(argv):
             print(f"{path}: FAIL: {e}", file=sys.stderr)
             return 1
         unit = {"summary": "spans", "trace": "events",
-                "serve": "variants"}[args[0]]
+                "serve": "variants",
+                "portfolio": "frontier points"}[args[0]]
         print(f"{path}: ok ({n} {unit})")
     return 0
 

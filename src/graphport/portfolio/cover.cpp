@@ -1,0 +1,443 @@
+#include "graphport/portfolio/cover.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graphport/obs/obs.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/mathutil.hpp"
+#include "graphport/support/threadpool.hpp"
+
+namespace graphport {
+namespace portfolio {
+
+namespace {
+
+/** Cells-per-word of the coverage bitsets. */
+constexpr std::size_t kWordBits = 64;
+
+std::size_t
+wordCount(std::size_t cells)
+{
+    return (cells + kWordBits - 1) / kWordBits;
+}
+
+/**
+ * Per-config coverage bitsets at one radius: masks[c * words + w]
+ * has bit (t % 64) of word (t / 64) set when config c covers cell t.
+ * Parallel over configs, disjoint writes — bit-identical at every
+ * thread count.
+ */
+std::vector<std::uint64_t>
+coverageMasks(const SlowdownMatrix &m, double epsilon,
+              support::ThreadPool &pool)
+{
+    const std::size_t words = wordCount(m.cells());
+    std::vector<std::uint64_t> masks(m.configs() * words, 0);
+    const double radius = 1.0 + epsilon;
+    pool.parallelFor(
+        m.configs(),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t c = begin; c < end; ++c) {
+                std::uint64_t *row = masks.data() + c * words;
+                for (std::size_t t = 0; t < m.cells(); ++t) {
+                    if (m.at(t, static_cast<unsigned>(c)) <= radius)
+                        row[t / kWordBits] |= 1ull
+                                              << (t % kWordBits);
+                }
+            }
+        },
+        1);
+    return masks;
+}
+
+std::size_t
+popcountRow(const std::uint64_t *row, const std::uint64_t *covered,
+            std::size_t words)
+{
+    std::size_t n = 0;
+    for (std::size_t w = 0; w < words; ++w)
+        n += static_cast<std::size_t>(
+            __builtin_popcountll(row[w] & ~covered[w]));
+    return n;
+}
+
+/**
+ * Greedy set cover: repeatedly take the configuration covering the
+ * most still-uncovered cells, ties to the lowest configuration id.
+ * Gains are computed in parallel into disjoint slots; the argmax
+ * reduction is serial, so member order is bit-identical at every
+ * thread count.
+ */
+std::vector<unsigned>
+greedyCover(const SlowdownMatrix &m,
+            const std::vector<std::uint64_t> &masks,
+            support::ThreadPool &pool)
+{
+    const std::size_t words = wordCount(m.cells());
+    std::vector<std::uint64_t> covered(words, 0);
+    std::vector<std::size_t> gains(m.configs(), 0);
+    std::vector<unsigned> members;
+    std::size_t remaining = m.cells();
+    while (remaining > 0) {
+        pool.parallelFor(
+            m.configs(),
+            [&](std::size_t begin, std::size_t end) {
+                for (std::size_t c = begin; c < end; ++c)
+                    gains[c] = popcountRow(
+                        masks.data() + c * words, covered.data(),
+                        words);
+            },
+            8);
+        std::size_t bestGain = 0;
+        unsigned best = 0;
+        for (unsigned c = 0; c < m.configs(); ++c) {
+            if (gains[c] > bestGain) {
+                bestGain = gains[c];
+                best = c;
+            }
+        }
+        panicIf(bestGain == 0,
+                "greedyCover: uncoverable cell (oracle slowdown "
+                "above the radius?)");
+        members.push_back(best);
+        const std::uint64_t *row = masks.data() + best * words;
+        for (std::size_t w = 0; w < words; ++w)
+            covered[w] |= row[w];
+        remaining -= bestGain;
+    }
+    return members;
+}
+
+/**
+ * Exact minimum set cover by branch and bound. Branches on the
+ * uncovered cell with the fewest covering configurations (first such
+ * cell on ties), trying its covering configurations in ascending id
+ * order; prunes with the incumbent (seeded by the greedy cover) and
+ * the ceil(remaining / best-possible-gain) lower bound. Entirely
+ * serial — the search tree is explored in one deterministic order —
+ * and capped at a node budget so a pathological universe fails fast
+ * instead of running unbounded.
+ */
+class ExactSolver
+{
+  public:
+    ExactSolver(const SlowdownMatrix &m,
+                const std::vector<std::uint64_t> &masks,
+                std::vector<unsigned> incumbent)
+        : m_(m), masks_(masks), words_(wordCount(m.cells())),
+          best_(std::move(incumbent))
+    {
+        coveringOf_.resize(m_.cells());
+        for (std::size_t t = 0; t < m_.cells(); ++t) {
+            for (unsigned c = 0; c < m_.configs(); ++c) {
+                if (masks_[c * words_ + t / kWordBits] &
+                    (1ull << (t % kWordBits)))
+                    coveringOf_[t].push_back(c);
+            }
+            fatalIf(coveringOf_[t].empty(),
+                    "exact cover: cell has no covering "
+                    "configuration");
+        }
+    }
+
+    std::vector<unsigned>
+    solve()
+    {
+        std::vector<std::uint64_t> covered(words_, 0);
+        std::vector<unsigned> chosen;
+        recurse(covered, chosen, m_.cells());
+        std::sort(best_.begin(), best_.end());
+        return best_;
+    }
+
+  private:
+    void
+    recurse(std::vector<std::uint64_t> &covered,
+            std::vector<unsigned> &chosen, std::size_t remaining)
+    {
+        fatalIf(++nodes_ > kNodeBudget,
+                "exact cover: search exceeded the node budget; "
+                "use the greedy solver for this universe");
+        if (remaining == 0) {
+            if (chosen.size() < best_.size())
+                best_ = chosen;
+            return;
+        }
+        if (chosen.size() + 1 >= best_.size())
+            return; // even one more member cannot improve
+        // Lower bound: no configuration can cover more uncovered
+        // cells than the best current gain.
+        std::size_t maxGain = 0;
+        for (unsigned c = 0; c < m_.configs(); ++c)
+            maxGain = std::max(
+                maxGain, popcountRow(masks_.data() + c * words_,
+                                     covered.data(), words_));
+        const std::size_t lower =
+            (remaining + maxGain - 1) / maxGain;
+        if (chosen.size() + lower >= best_.size())
+            return;
+
+        // Branch on the most constrained uncovered cell.
+        std::size_t branchCell = m_.cells();
+        std::size_t fewest = m_.configs() + 1;
+        for (std::size_t t = 0; t < m_.cells(); ++t) {
+            if (covered[t / kWordBits] & (1ull << (t % kWordBits)))
+                continue;
+            std::size_t live = 0;
+            for (unsigned c : coveringOf_[t]) {
+                if (popcountRow(masks_.data() + c * words_,
+                                covered.data(), words_) > 0)
+                    ++live;
+            }
+            if (live < fewest) {
+                fewest = live;
+                branchCell = t;
+            }
+        }
+        panicIf(branchCell == m_.cells(),
+                "exact cover: no uncovered cell found");
+
+        for (unsigned c : coveringOf_[branchCell]) {
+            std::vector<std::uint64_t> next = covered;
+            std::size_t gain = 0;
+            const std::uint64_t *row = masks_.data() + c * words_;
+            for (std::size_t w = 0; w < words_; ++w) {
+                gain += static_cast<std::size_t>(
+                    __builtin_popcountll(row[w] & ~next[w]));
+                next[w] |= row[w];
+            }
+            if (gain == 0)
+                continue;
+            chosen.push_back(c);
+            recurse(next, chosen, remaining - gain);
+            chosen.pop_back();
+        }
+    }
+
+    static constexpr std::size_t kNodeBudget = 2'000'000;
+
+    const SlowdownMatrix &m_;
+    const std::vector<std::uint64_t> &masks_;
+    std::size_t words_;
+    std::vector<unsigned> best_;
+    std::vector<std::vector<unsigned>> coveringOf_;
+    std::size_t nodes_ = 0;
+};
+
+/**
+ * Attribute every cell to its best member (strict improvement, so
+ * ties go to the earliest member) and derive the solution summary.
+ */
+void
+attributeCells(const SlowdownMatrix &m, CoverSolution &s)
+{
+    panicIf(s.members.empty(), "attributeCells: empty cover");
+    s.cellAssignments.resize(m.cells());
+    std::vector<double> assigned(m.cells(), 0.0);
+    for (std::size_t t = 0; t < m.cells(); ++t) {
+        std::uint32_t bestMember = 0;
+        double best = m.at(t, s.members[0]);
+        for (std::uint32_t i = 1; i < s.members.size(); ++i) {
+            const double slow = m.at(t, s.members[i]);
+            if (slow < best) {
+                best = slow;
+                bestMember = i;
+            }
+        }
+        s.cellAssignments[t] = {bestMember, best};
+        assigned[t] = best;
+        panicIf(best > 1.0 + s.epsilon,
+                "cover solution violates its own radius");
+    }
+    s.maxSlowdown =
+        *std::max_element(assigned.begin(), assigned.end());
+    s.geomeanSlowdown = geomean(assigned);
+
+    // The degradation floor: the single member that is least bad
+    // over the whole universe, not just its assigned cells.
+    s.bestGlobalMember = 0;
+    s.bestGlobalGeomean = 0.0;
+    for (std::uint32_t i = 0; i < s.members.size(); ++i) {
+        std::vector<double> slows(m.cells());
+        for (std::size_t t = 0; t < m.cells(); ++t)
+            slows[t] = m.at(t, s.members[i]);
+        const double g = geomean(slows);
+        if (i == 0 || g < s.bestGlobalGeomean) {
+            s.bestGlobalGeomean = g;
+            s.bestGlobalMember = i;
+        }
+    }
+}
+
+} // namespace
+
+SlowdownMatrix
+SlowdownMatrix::build(const runner::Dataset &ds, unsigned threads)
+{
+    SlowdownMatrix m;
+    m.cells_ = ds.numTests();
+    m.configs_ = ds.numConfigs();
+    fatalIf(m.cells_ == 0, "SlowdownMatrix: empty dataset");
+    m.slow_.assign(m.cells_ * m.configs_, 0.0);
+    m.oracle_.assign(m.cells_, 0);
+    support::ThreadPool pool(threads);
+    pool.parallelFor(
+        m.cells_,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t t = begin; t < end; ++t) {
+                const unsigned best = ds.bestConfig(t);
+                m.oracle_[t] = best;
+                const double oracleNs = ds.meanNs(t, best);
+                for (unsigned c = 0; c < m.configs_; ++c)
+                    m.slow_[t * m.configs_ + c] =
+                        ds.meanNs(t, c) / oracleNs;
+            }
+        },
+        1);
+    return m;
+}
+
+CoverSolution
+solveCover(const SlowdownMatrix &m, const CoverOptions &opts)
+{
+    fatalIf(opts.epsilon < 0.0,
+            "solveCover: epsilon must be >= 0");
+    obs::Span span(obs::tracerOf(opts.obs), "portfolio.solve");
+    support::ThreadPool pool(opts.threads);
+    const std::vector<std::uint64_t> masks =
+        coverageMasks(m, opts.epsilon, pool);
+
+    CoverSolution s;
+    s.epsilon = opts.epsilon;
+    s.exact = opts.exact;
+    s.members = greedyCover(m, masks, pool);
+    if (opts.exact) {
+        ExactSolver exact(m, masks, s.members);
+        s.members = exact.solve();
+    }
+    attributeCells(m, s);
+
+    if (opts.obs != nullptr) {
+        obs::MetricsRegistry &reg = opts.obs->metrics;
+        reg.counter("portfolio.solve.cells").add(m.cells());
+        reg.counter("portfolio.solve.configs").add(m.configs());
+        reg.counter("portfolio.solve.members")
+            .add(s.members.size());
+        reg.gauge("portfolio.solve.epsilon").set(s.epsilon);
+        reg.gauge("portfolio.solve.max_slowdown")
+            .set(s.maxSlowdown);
+    }
+    return s;
+}
+
+CoverSolution
+solveCover(const runner::Dataset &ds, const CoverOptions &opts)
+{
+    return solveCover(SlowdownMatrix::build(ds, opts.threads), opts);
+}
+
+std::vector<FrontierPoint>
+paretoFrontier(const SlowdownMatrix &m, const CoverOptions &opts)
+{
+    obs::Span span(obs::tracerOf(opts.obs), "portfolio.frontier");
+    // Coverage only changes at the finite set of per-cell slowdown
+    // values; those are the only ε worth evaluating. ε = 0 is always
+    // a candidate (the oracle configs themselves).
+    std::vector<double> candidates;
+    candidates.reserve(m.cells() * m.configs());
+    for (std::size_t t = 0; t < m.cells(); ++t) {
+        for (unsigned c = 0; c < m.configs(); ++c)
+            candidates.push_back(m.at(t, c) - 1.0);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(
+        std::unique(candidates.begin(), candidates.end()),
+        candidates.end());
+    panicIf(candidates.empty() || candidates.front() != 0.0,
+            "paretoFrontier: candidate grid must start at 0");
+    const std::size_t total = candidates.size();
+    if (opts.maxFrontierCandidates >= 2 &&
+        total > opts.maxFrontierCandidates) {
+        // Subsample evenly, always keeping ε = 0 and the largest
+        // candidate so both frontier ends stay exact.
+        std::vector<double> kept;
+        kept.reserve(opts.maxFrontierCandidates);
+        const std::size_t n = opts.maxFrontierCandidates;
+        for (std::size_t i = 0; i < n; ++i)
+            kept.push_back(
+                candidates[i * (total - 1) / (n - 1)]);
+        kept.erase(std::unique(kept.begin(), kept.end()),
+                   kept.end());
+        candidates = std::move(kept);
+    }
+
+    // Greedy cover size at every candidate radius: independent
+    // solves into disjoint slots (serial argmax order inside each).
+    support::ThreadPool pool(opts.threads);
+    std::vector<std::size_t> sizes(candidates.size(), 0);
+    pool.parallelFor(
+        candidates.size(),
+        [&](std::size_t begin, std::size_t end) {
+            support::ThreadPool inner(1);
+            for (std::size_t i = begin; i < end; ++i) {
+                const std::vector<std::uint64_t> masks =
+                    coverageMasks(m, candidates[i], inner);
+                sizes[i] = greedyCover(m, masks, inner).size();
+            }
+        },
+        1);
+
+    // ε*(K) = smallest candidate ε coverable with K members; the
+    // feasible candidate set only grows with K, so ε*(K) is
+    // non-increasing. Dominated points (same ε as a smaller K) are
+    // dropped: K strictly increases, ε strictly decreases.
+    const std::size_t kFull = sizes.front(); // cover at ε = 0
+    std::vector<FrontierPoint> frontier;
+    double lastEps = -1.0;
+    for (std::size_t k = 1; k <= kFull; ++k) {
+        double eps = -1.0;
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            if (sizes[i] <= k &&
+                (eps < 0.0 || candidates[i] < eps))
+                eps = candidates[i];
+        }
+        if (eps < 0.0 || eps == lastEps)
+            continue;
+        lastEps = eps;
+        CoverOptions pointOpts = opts;
+        pointOpts.epsilon = eps;
+        pointOpts.obs = nullptr;
+        const CoverSolution s = solveCover(m, pointOpts);
+        FrontierPoint p;
+        p.k = static_cast<unsigned>(s.members.size());
+        p.epsilon = eps;
+        p.maxSlowdown = s.maxSlowdown;
+        p.geomeanSlowdown = s.geomeanSlowdown;
+        p.members = s.members;
+        frontier.push_back(std::move(p));
+    }
+    panicIf(frontier.empty(), "paretoFrontier: empty frontier");
+
+    if (opts.obs != nullptr) {
+        obs::MetricsRegistry &reg = opts.obs->metrics;
+        reg.counter("portfolio.frontier.candidates")
+            .add(candidates.size());
+        reg.counter("portfolio.frontier.points")
+            .add(frontier.size());
+        if (total > candidates.size())
+            reg.counter("portfolio.frontier.candidates_dropped")
+                .add(total - candidates.size());
+    }
+    return frontier;
+}
+
+std::vector<FrontierPoint>
+paretoFrontier(const runner::Dataset &ds, const CoverOptions &opts)
+{
+    return paretoFrontier(SlowdownMatrix::build(ds, opts.threads),
+                          opts);
+}
+
+} // namespace portfolio
+} // namespace graphport

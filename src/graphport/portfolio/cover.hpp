@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The strategy-portfolio cover solver: how few configurations suffice?
+ *
+ * The paper's core finding is that no single configuration is
+ * near-optimal across chips; the "A Few Fit Most" observation is that
+ * a *small* set usually is. This module quantifies that trade-off
+ * over a priced runner::Dataset. A set S of configurations ε-covers a
+ * cell (an (app, input, chip) test) when some member of S is within a
+ * factor (1 + ε) of the cell's oracle configuration:
+ *
+ *     min_{c in S} meanNs(t, c) / meanNs(t, bestConfig(t)) <= 1 + ε.
+ *
+ * solveCover computes a small ε-cover of every cell: the classic
+ * greedy set-cover heuristic (pick the configuration covering the
+ * most still-uncovered cells, ties to the lowest configuration id),
+ * whose cover is at most (1 + ln n) times the optimum, or an exact
+ * branch-and-bound search for small universes. Both are deterministic
+ * and bit-identical under support::ThreadPool fan-out: parallel
+ * stages write disjoint slots and every reduction is serial.
+ *
+ * paretoFrontier sweeps the achievable (K, ε) trade-off: for each
+ * portfolio size K, the smallest ε whose cover needs at most K
+ * members, evaluated over the finite candidate set of per-cell
+ * slowdowns (the only ε values at which coverage can change). The
+ * frontier is monotone by construction — K strictly increases, ε
+ * strictly decreases — with per-cell slowdown attribution per point.
+ */
+#ifndef GRAPHPORT_PORTFOLIO_COVER_HPP
+#define GRAPHPORT_PORTFOLIO_COVER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graphport/runner/dataset.hpp"
+
+namespace graphport {
+
+namespace obs {
+struct Obs;
+}
+
+namespace portfolio {
+
+/**
+ * Per-cell slowdown-vs-oracle matrix of a dataset: the solver's whole
+ * input, precomputed once so greedy sweeps don't re-divide means.
+ */
+class SlowdownMatrix
+{
+  public:
+    /**
+     * Build from @p ds: slowdown(t, c) = meanNs(t, c) /
+     * meanNs(t, bestConfig(t)). Bit-identical at every @p threads
+     * count (each cell writes a disjoint slot).
+     */
+    static SlowdownMatrix build(const runner::Dataset &ds,
+                                unsigned threads = 1);
+
+    /** Number of (app, input, chip) cells (dataset tests). */
+    std::size_t cells() const { return cells_; }
+
+    /** Number of configurations (dsl::kNumConfigs). */
+    unsigned configs() const { return configs_; }
+
+    /** Slowdown vs oracle of one (cell, config); >= 1 at oracle. */
+    double
+    at(std::size_t cell, unsigned config) const
+    {
+        return slow_[cell * configs_ + config];
+    }
+
+    /** The cell's oracle configuration (Dataset::bestConfig). */
+    unsigned oracle(std::size_t cell) const { return oracle_[cell]; }
+
+  private:
+    std::size_t cells_ = 0;
+    unsigned configs_ = 0;
+    /** [cell * configs + config]. */
+    std::vector<double> slow_;
+    std::vector<unsigned> oracle_;
+};
+
+/** Knobs for solveCover / paretoFrontier. */
+struct CoverOptions
+{
+    /** Cover radius: a member within (1 + epsilon) of oracle covers. */
+    double epsilon = 0.10;
+
+    /**
+     * Worker parallelism (0 = all hardware threads). Results are
+     * bit-identical for every thread count.
+     */
+    unsigned threads = 1;
+
+    /**
+     * Solve exactly (branch-and-bound over the coverage sets) instead
+     * of greedily. Intended for small universes; the search is capped
+     * at a node budget and fails over that budget rather than running
+     * unbounded.
+     */
+    bool exact = false;
+
+    /**
+     * paretoFrontier evaluates coverage at every distinct per-cell
+     * slowdown value; above this many candidates the grid is
+     * subsampled evenly (the ε = 0 and largest candidates are always
+     * kept) so study-scale frontiers stay tractable.
+     */
+    std::size_t maxFrontierCandidates = 512;
+
+    /**
+     * When non-null, the solve records "portfolio.*" metrics and a
+     * "portfolio.solve" (or "portfolio.frontier") span.
+     */
+    obs::Obs *obs = nullptr;
+};
+
+/** One cell's attribution within a solved cover. */
+struct CellAssignment
+{
+    /** Index into CoverSolution::members of the assigned member. */
+    std::uint32_t member = 0;
+    /** Realized slowdown vs oracle of the assigned member. */
+    double slowdown = 1.0;
+};
+
+/** A solved ε-cover with per-cell attribution. */
+struct CoverSolution
+{
+    /** The radius the cover was solved for. */
+    double epsilon = 0.0;
+    /** Whether the exact solver produced it. */
+    bool exact = false;
+    /**
+     * Member configuration ids: greedy selection order, or ascending
+     * for exact solutions.
+     */
+    std::vector<unsigned> members;
+    /** Per dataset test, the assigned member and realized slowdown. */
+    std::vector<CellAssignment> cellAssignments;
+    /**
+     * Index into members of the single member with the lowest geomean
+     * slowdown over *all* cells — the serving layer's degradation
+     * floor when a query resolves to no cell.
+     */
+    std::uint32_t bestGlobalMember = 0;
+    /** That member's geomean slowdown over all cells. */
+    double bestGlobalGeomean = 1.0;
+    /** Max over cells of the assigned slowdown (<= 1 + epsilon). */
+    double maxSlowdown = 1.0;
+    /** Geomean over cells of the assigned slowdown. */
+    double geomeanSlowdown = 1.0;
+};
+
+/**
+ * Solve the ε-cover over @p m. Greedy by default ((1 + ln n)-approx,
+ * ties to the lowest configuration id); exact branch-and-bound with
+ * opts.exact. Always feasible for epsilon >= 0: every cell's oracle
+ * configuration covers it at slowdown 1.
+ *
+ * @throws FatalError when opts.epsilon < 0 or the exact search
+ *         exceeds its node budget.
+ */
+CoverSolution solveCover(const SlowdownMatrix &m,
+                         const CoverOptions &opts);
+
+/** solveCover over a freshly built SlowdownMatrix of @p ds. */
+CoverSolution solveCover(const runner::Dataset &ds,
+                         const CoverOptions &opts);
+
+/** One point of the K-vs-ε Pareto frontier. */
+struct FrontierPoint
+{
+    /** Portfolio size (cover cardinality). */
+    unsigned k = 0;
+    /** Smallest radius coverable with k members. */
+    double epsilon = 0.0;
+    /** Realized max / geomean slowdown of the k-member cover. */
+    double maxSlowdown = 1.0;
+    double geomeanSlowdown = 1.0;
+    /** The cover's member configuration ids. */
+    std::vector<unsigned> members;
+};
+
+/**
+ * The K-vs-ε Pareto frontier of @p m: for each achievable cover size
+ * K (ascending), the smallest candidate ε whose greedy cover needs at
+ * most K members. Dominated points are dropped, so K strictly
+ * increases while ε strictly decreases, ending at the ε = 0 cover
+ * (the full oracle set). opts.epsilon is ignored; opts.exact selects
+ * the exact solver for the per-point covers.
+ */
+std::vector<FrontierPoint> paretoFrontier(const SlowdownMatrix &m,
+                                          const CoverOptions &opts);
+
+/** paretoFrontier over a freshly built SlowdownMatrix of @p ds. */
+std::vector<FrontierPoint> paretoFrontier(const runner::Dataset &ds,
+                                          const CoverOptions &opts);
+
+} // namespace portfolio
+} // namespace graphport
+
+#endif // GRAPHPORT_PORTFOLIO_COVER_HPP

@@ -1,0 +1,198 @@
+#include "graphport/portfolio/portfolio.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "graphport/dsl/optconfig.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/snapshot.hpp"
+
+namespace graphport {
+namespace portfolio {
+
+namespace {
+
+using support::hexDouble;
+using support::hexU64;
+
+/** On-disk identity of a portfolio snapshot. */
+constexpr const char *kPortfolioMagic = "graphport-portfolio";
+constexpr unsigned kPortfolioFormatVersion = 1;
+constexpr const char *kPortfolioRebuildHint =
+    "re-solve the portfolio with 'graphport_cli portfolio solve'";
+
+} // namespace
+
+Portfolio
+Portfolio::fromSolution(const runner::Dataset &ds,
+                        const CoverSolution &s)
+{
+    panicIf(s.members.empty(),
+            "Portfolio::fromSolution: empty cover");
+    panicIf(s.cellAssignments.size() != ds.numTests(),
+            "Portfolio::fromSolution: attribution/test count "
+            "mismatch");
+    Portfolio p;
+    p.datasetHash_ = ds.contentHash();
+    p.epsilon_ = s.epsilon;
+    p.exact_ = s.exact;
+    p.members_ = s.members;
+    p.bestGlobalMember_ = s.bestGlobalMember;
+    p.bestGlobalGeomean_ = s.bestGlobalGeomean;
+    p.maxSlowdown_ = s.maxSlowdown;
+    p.geomeanSlowdown_ = s.geomeanSlowdown;
+    p.cells_.reserve(ds.numTests());
+    for (std::size_t t = 0; t < ds.numTests(); ++t) {
+        const runner::Test test = ds.testAt(t);
+        PortfolioCell cell;
+        cell.app = test.app;
+        cell.input = test.input;
+        cell.chip = test.chip;
+        cell.member = s.cellAssignments[t].member;
+        cell.slowdown = s.cellAssignments[t].slowdown;
+        p.cells_.push_back(std::move(cell));
+    }
+    return p;
+}
+
+Portfolio
+Portfolio::solve(const runner::Dataset &ds, const CoverOptions &opts)
+{
+    return fromSolution(ds, solveCover(ds, opts));
+}
+
+Portfolio
+Portfolio::solveOrLoadCached(const runner::Dataset &ds,
+                             const std::string &path,
+                             const CoverOptions &opts)
+{
+    return support::loadOrRebuild(
+        path, "portfolio snapshot", "re-solving",
+        "the portfolio will be re-solved next time",
+        [&](std::ifstream &in) {
+            Portfolio p = load(in, "'" + path + "'");
+            // A portfolio is only valid for the exact dataset it was
+            // solved over, at the requested radius.
+            fatalIf(p.datasetHash_ != ds.contentHash(),
+                    "solved over a different dataset (hash " +
+                        hexU64(p.datasetHash_) + ", expected " +
+                        hexU64(ds.contentHash()) + ")");
+            fatalIf(p.epsilon_ != opts.epsilon,
+                    "solved for epsilon " + hexDouble(p.epsilon_) +
+                        ", expected " + hexDouble(opts.epsilon));
+            return p;
+        },
+        [&] { return solve(ds, opts); },
+        [&](const Portfolio &p) { p.saveFile(path); });
+}
+
+void
+Portfolio::save(std::ostream &os) const
+{
+    support::SnapshotWriter w(os, kPortfolioMagic,
+                              kPortfolioFormatVersion);
+    w.row({"dataset_hash", hexU64(datasetHash_)});
+    w.row({"epsilon", hexDouble(epsilon_)});
+    w.row({"exact", exact_ ? "1" : "0"});
+    w.row({"summary", hexDouble(maxSlowdown_),
+           hexDouble(geomeanSlowdown_)});
+    w.row({"best_global", std::to_string(bestGlobalMember_),
+           hexDouble(bestGlobalGeomean_)});
+
+    w.row({"members", std::to_string(members_.size())});
+    for (unsigned cfg : members_)
+        w.row({"member", std::to_string(cfg)});
+
+    w.row({"cells", std::to_string(cells_.size())});
+    for (const PortfolioCell &c : cells_) {
+        w.row({"cell", c.app, c.input, c.chip,
+               std::to_string(c.member), hexDouble(c.slowdown)});
+    }
+    w.end();
+}
+
+Portfolio
+Portfolio::load(std::istream &is, const std::string &what)
+{
+    Portfolio p;
+    support::SnapshotReader r(is, kPortfolioMagic,
+                              kPortfolioFormatVersion,
+                              "portfolio snapshot " + what,
+                              kPortfolioRebuildHint);
+
+    std::vector<std::string> row = r.expect("dataset_hash", 2);
+    p.datasetHash_ = r.hash(row[1]);
+
+    row = r.expect("epsilon", 2);
+    p.epsilon_ = r.number(row[1]);
+    r.rejectIf(p.epsilon_ < 0.0, "epsilon must be >= 0");
+
+    row = r.expect("exact", 2);
+    r.rejectIf(row[1] != "0" && row[1] != "1",
+               "exact must be 0 or 1");
+    p.exact_ = row[1] == "1";
+
+    row = r.expect("summary", 3);
+    p.maxSlowdown_ = r.number(row[1]);
+    p.geomeanSlowdown_ = r.number(row[2]);
+
+    row = r.expect("best_global", 3);
+    p.bestGlobalMember_ = r.smallCount(row[1]);
+    p.bestGlobalGeomean_ = r.number(row[2]);
+
+    row = r.expect("members", 2);
+    const unsigned nMembers = r.smallCount(row[1]);
+    r.rejectIf(nMembers == 0, "portfolio must have members");
+    for (unsigned m = 0; m < nMembers; ++m) {
+        row = r.expect("member", 2);
+        const unsigned cfg = r.smallCount(row[1]);
+        r.rejectIf(cfg >= dsl::kNumConfigs,
+                   "config id out of range: " + row[1]);
+        p.members_.push_back(cfg);
+    }
+    r.rejectIf(p.bestGlobalMember_ >= nMembers,
+               "best_global member index out of range");
+
+    row = r.expect("cells", 2);
+    const std::uint64_t nCells = r.count(row[1]);
+    r.rejectIf(nCells == 0, "portfolio must cover cells");
+    for (std::uint64_t c = 0; c < nCells; ++c) {
+        row = r.expect("cell", 6);
+        PortfolioCell cell;
+        cell.app = row[1];
+        cell.input = row[2];
+        cell.chip = row[3];
+        cell.member = r.smallCount(row[4]);
+        r.rejectIf(cell.member >= nMembers,
+                   "cell member index out of range: " + row[4]);
+        cell.slowdown = r.number(row[5]);
+        r.rejectIf(!std::isfinite(cell.slowdown) ||
+                       cell.slowdown < 1.0,
+                   "cell slowdown must be >= 1: " + row[5]);
+        p.cells_.push_back(std::move(cell));
+    }
+
+    r.expectEnd();
+    return p;
+}
+
+Portfolio
+Portfolio::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in.good(),
+            "cannot open portfolio snapshot '" + path + "'");
+    return load(in, "'" + path + "'");
+}
+
+void
+Portfolio::saveFile(const std::string &path) const
+{
+    support::atomicWriteFile(path, "portfolio snapshot",
+                             [&](std::ostream &os) { save(os); });
+}
+
+} // namespace portfolio
+} // namespace graphport

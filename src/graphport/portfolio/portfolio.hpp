@@ -1,0 +1,125 @@
+/**
+ * @file
+ * A frozen, servable strategy portfolio: the cover solver's output
+ * bound to the dataset it was solved over, with the same snapshot
+ * discipline as `.gpi` indexes and `.gpc` calibrations.
+ *
+ * A Portfolio names the K member configurations, every (app, input,
+ * chip) cell's assigned member and realized slowdown vs oracle, and
+ * the single best-global member the serving layer degrades to when a
+ * query resolves to no cell. It round-trips through versioned `.gpp`
+ * snapshot files stamped with the dataset content hash, so a stale or
+ * foreign portfolio is rejected at load exactly like a stale index.
+ */
+#ifndef GRAPHPORT_PORTFOLIO_PORTFOLIO_HPP
+#define GRAPHPORT_PORTFOLIO_PORTFOLIO_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graphport/portfolio/cover.hpp"
+#include "graphport/runner/dataset.hpp"
+
+namespace graphport {
+namespace portfolio {
+
+/** One (app, input, chip) cell's frozen attribution. */
+struct PortfolioCell
+{
+    std::string app;
+    std::string input;
+    std::string chip;
+    /** Index into Portfolio::members() of the assigned member. */
+    std::uint32_t member = 0;
+    /** Realized slowdown vs the cell's oracle configuration. */
+    double slowdown = 1.0;
+};
+
+/**
+ * A solved ε-cover frozen against one dataset. Immutable once built;
+ * the serving layer compiles it into a serve::FrozenPortfolio for
+ * allocation-free dispatch.
+ */
+class Portfolio
+{
+  public:
+    /** Bind @p s (solved over @p ds) to the dataset's identity. */
+    static Portfolio fromSolution(const runner::Dataset &ds,
+                                  const CoverSolution &s);
+
+    /** Solve over @p ds and bind, in one step. */
+    static Portfolio solve(const runner::Dataset &ds,
+                           const CoverOptions &opts);
+
+    /**
+     * loadOrRebuild protocol over a `.gpp` path: a missing, corrupt,
+     * stale (dataset-hash mismatch) or version-skewed snapshot warns
+     * and re-solves; a healthy one loads without solving. Rejects a
+     * loaded portfolio whose epsilon differs from opts.epsilon.
+     */
+    static Portfolio solveOrLoadCached(const runner::Dataset &ds,
+                                       const std::string &path,
+                                       const CoverOptions &opts);
+
+    /** Content hash of the dataset the cover was solved over. */
+    std::uint64_t datasetHash() const { return datasetHash_; }
+
+    /** The radius the cover was solved for. */
+    double epsilon() const { return epsilon_; }
+
+    /** Whether the exact solver produced it. */
+    bool exact() const { return exact_; }
+
+    /** Member configuration ids (size K). */
+    const std::vector<unsigned> &members() const { return members_; }
+
+    /** Per-cell attributions, in dataset test order. */
+    const std::vector<PortfolioCell> &cells() const { return cells_; }
+
+    /** Index into members() of the degradation-floor member. */
+    std::uint32_t bestGlobalMember() const { return bestGlobalMember_; }
+
+    /** That member's geomean slowdown over all cells. */
+    double bestGlobalGeomean() const { return bestGlobalGeomean_; }
+
+    /** Max over cells of the assigned slowdown. */
+    double maxSlowdown() const { return maxSlowdown_; }
+
+    /** Geomean over cells of the assigned slowdown. */
+    double geomeanSlowdown() const { return geomeanSlowdown_; }
+
+    /** Serialise as a `.gpp` snapshot. */
+    void save(std::ostream &os) const;
+
+    /**
+     * Parse and validate a `.gpp` snapshot. @p what names the source
+     * in diagnostics (e.g. "'portfolio.gpp'").
+     *
+     * @throws FatalError on any structural defect.
+     */
+    static Portfolio load(std::istream &is, const std::string &what);
+
+    /** load() from a file path (fatal when unopenable). */
+    static Portfolio loadFile(const std::string &path);
+
+    /** Crash-safe save() to a file path. */
+    void saveFile(const std::string &path) const;
+
+  private:
+    std::uint64_t datasetHash_ = 0;
+    double epsilon_ = 0.0;
+    bool exact_ = false;
+    std::vector<unsigned> members_;
+    std::vector<PortfolioCell> cells_;
+    std::uint32_t bestGlobalMember_ = 0;
+    double bestGlobalGeomean_ = 1.0;
+    double maxSlowdown_ = 1.0;
+    double geomeanSlowdown_ = 1.0;
+};
+
+} // namespace portfolio
+} // namespace graphport
+
+#endif // GRAPHPORT_PORTFOLIO_PORTFOLIO_HPP

@@ -750,24 +750,34 @@ Dataset::loadCsv(const Universe &universe, std::istream &is)
         inputIdx[universe.inputs[i].name] = i;
     for (std::size_t c = 0; c < universe.chips.size(); ++c)
         chipIdx[universe.chips[c]] = c;
+    // Every row-level reject names the 1-based line it came from and
+    // the offending column, so a corrupt multi-megabyte cache is
+    // diagnosable without binary-searching the file by hand.
+    std::size_t lineNo = 1; // the header is line 1
+    const auto at = [&lineNo](const std::string &what) {
+        return "Dataset CSV line " + std::to_string(lineNo) + ": " +
+               what;
+    };
     const auto indexOf =
-        [](const std::unordered_map<std::string, std::size_t> &map,
-           const std::string &name, const char *what) {
+        [&at](const std::unordered_map<std::string, std::size_t> &map,
+              const std::string &name, const char *what,
+              unsigned column) {
             const auto it = map.find(name);
-            fatalIf(it == map.end(), std::string("Dataset CSV: "
-                                                 "unknown ") +
-                                         what + ": " + name);
+            fatalIf(it == map.end(),
+                    at(std::string("unknown ") + what + " '" + name +
+                       "' (column " + std::to_string(column) + ")"));
             return it->second;
         };
 
     std::string line;
     fatalIf(!std::getline(is, line), "Dataset CSV: empty file");
     fatalIf(trim(line) != "app,input,chip,config,run,ns",
-            "Dataset CSV: unexpected header: " + line);
+            at("unexpected header: " + line));
     std::uint64_t sum =
         splitmix64(support::kSnapshotSumInit ^ hashStr(line));
     bool sawTrailer = false;
     while (std::getline(is, line)) {
+        ++lineNo;
         if (trim(line).empty())
             continue;
         if (startsWith(trim(line), "#")) {
@@ -775,51 +785,59 @@ Dataset::loadCsv(const Universe &universe, std::istream &is)
             const std::vector<std::string> parts =
                 split(trim(line), ' ');
             fatalIf(parts.size() != 3 || parts[1] != "sum",
-                    "Dataset CSV: bad trailer: " + line);
+                    at("bad trailer: " + line));
             fatalIf(parts[2] != support::hexU64(sum),
-                    "Dataset CSV: checksum mismatch (stored " +
-                        parts[2] + ", computed " +
-                        support::hexU64(sum) +
-                        "); the file is corrupt");
+                    at("checksum mismatch (stored " + parts[2] +
+                       ", computed " + support::hexU64(sum) +
+                       "); the file is corrupt"));
             sawTrailer = true;
             continue;
         }
-        fatalIf(sawTrailer,
-                "Dataset CSV: data after the checksum trailer");
+        fatalIf(sawTrailer, at("data after the checksum trailer"));
         sum = splitmix64(sum ^ hashStr(line));
         const std::vector<std::string> f = csvParseLine(line);
-        fatalIf(f.size() != 6, "Dataset CSV: bad row: " + line);
-        const std::size_t a = indexOf(appIdx, f[0], "app");
-        const std::size_t i = indexOf(inputIdx, f[1], "input");
-        const std::size_t c = indexOf(chipIdx, f[2], "chip");
+        fatalIf(f.size() != 6,
+                at("bad row (expected 6 columns, got " +
+                   std::to_string(f.size()) + "): " + line));
+        const std::size_t a = indexOf(appIdx, f[0], "app", 1);
+        const std::size_t i = indexOf(inputIdx, f[1], "input", 2);
+        const std::size_t c = indexOf(chipIdx, f[2], "chip", 3);
         const std::size_t test =
             (a * universe.inputs.size() + i) * universe.chips.size() +
             c;
         // Strict, non-throwing numeric parsing: fuzzed bytes must hit
         // a cause-labelled reject, never an uncaught std::stoul
         // exception. Overflow saturates and fails the range check.
-        const auto parseCount = [&line](const std::string &s) {
+        const auto parseCount = [&at](const std::string &s,
+                                      const char *what,
+                                      unsigned column) {
             fatalIf(s.empty() ||
                         s.find_first_not_of("0123456789") !=
                             std::string::npos,
-                    "Dataset CSV: bad count in row: " + line);
+                    at(std::string("bad ") + what + " count '" + s +
+                       "' (column " + std::to_string(column) + ")"));
             return std::strtoull(s.c_str(), nullptr, 10);
         };
-        const std::uint64_t cfg64 = parseCount(f[3]);
-        const std::uint64_t run64 = parseCount(f[4]);
-        fatalIf(cfg64 >= ds.numConfigs() || run64 >= universe.runs,
-                "Dataset CSV: index out of range: " + line);
+        const std::uint64_t cfg64 = parseCount(f[3], "config", 4);
+        const std::uint64_t run64 = parseCount(f[4], "run", 5);
+        fatalIf(cfg64 >= ds.numConfigs(),
+                at("config index " + f[3] + " out of range (column "
+                   "4, " +
+                   std::to_string(ds.numConfigs()) + " configs)"));
+        fatalIf(run64 >= universe.runs,
+                at("run index " + f[4] + " out of range (column 5, " +
+                   std::to_string(universe.runs) + " runs)"));
         const unsigned cfg = static_cast<unsigned>(cfg64);
         const unsigned run = static_cast<unsigned>(run64);
         double &slot =
             ds.runsNs_[(test * ds.numConfigs() + cfg) * universe.runs +
                        run];
-        fatalIf(slot >= 0.0, "Dataset CSV: duplicate row: " + line);
+        fatalIf(slot >= 0.0, at("duplicate row: " + line));
         char *end = nullptr;
         const double ns = std::strtod(f[5].c_str(), &end);
         fatalIf(f[5].empty() || end != f[5].c_str() + f[5].size() ||
                     !(ns >= 0.0),
-                "Dataset CSV: bad timing in row: " + line);
+                at("bad timing '" + f[5] + "' (column 6)"));
         slot = ns;
     }
     fatalIf(!sawTrailer, "Dataset CSV: missing checksum trailer "

@@ -9,6 +9,7 @@
 #include "graphport/serve/breaker.hpp"
 #include "graphport/support/error.hpp"
 #include "graphport/support/rng.hpp"
+#include "graphport/support/snapshot.hpp"
 
 namespace graphport {
 namespace serve {
@@ -27,7 +28,10 @@ Advice::sameAnswer(const Advice &other) const
            intendedTier == other.intendedTier &&
            degraded == other.degraded &&
            degradeSteps == other.degradeSteps &&
-           retries == other.retries;
+           retries == other.retries &&
+           portfolioMember == other.portfolioMember &&
+           portabilityCostVsOracle ==
+               other.portabilityCostVsOracle;
 }
 
 namespace {
@@ -58,6 +62,8 @@ materialise(const FrozenIndex &frozen, const AdviceView &v)
     a.degraded = v.degraded;
     a.degradeSteps = v.degradeSteps;
     a.retries = v.retries;
+    a.portfolioMember = v.portfolioMember;
+    a.portabilityCostVsOracle = v.portabilityCostVsOracle;
     return a;
 }
 
@@ -72,6 +78,30 @@ void
 Advisor::swapIndex(StrategyIndex index)
 {
     state_.swap(std::make_shared<const IndexBundle>(std::move(index)));
+}
+
+void
+Advisor::attachPortfolio(const portfolio::Portfolio &p)
+{
+    std::shared_ptr<const IndexBundle> next;
+    {
+        const Lease bundle = lease();
+        // Both artefacts must describe the same priced dataset, or
+        // the compiled cell table would silently answer for the
+        // wrong study.
+        fatalIf(p.datasetHash() != bundle->index.datasetHash(),
+                "attachPortfolio: portfolio solved over a different "
+                "dataset than the index (hash " +
+                    support::hexU64(p.datasetHash()) +
+                    ", expected " +
+                    support::hexU64(bundle->index.datasetHash()) +
+                    ")");
+        next = std::make_shared<const IndexBundle>(bundle->index, p);
+    }
+    // The lease must be released before publishing: swap() waits for
+    // the retiring slot's readers to drain, and our own pin would
+    // spin that wait forever.
+    state_.swap(std::move(next));
 }
 
 const std::vector<std::string> &
@@ -160,6 +190,9 @@ Advisor::advise(const IdQuery &q, std::uint64_t queryKey,
                 CircuitBreaker *breaker) const
 {
     const Lease bundle = lease();
+    if (bundle->portfolio.attached())
+        return bundle->portfolio.advise(bundle->frozen, q, queryKey,
+                                        policy, breaker);
     return bundle->frozen.advise(q, queryKey, policy, breaker,
                                  nullptr);
 }
@@ -171,6 +204,17 @@ Advisor::adviseResilient(const Query &q, std::uint64_t queryKey,
 {
     const Lease bundle = lease();
     const FrozenIndex &frozen = bundle->frozen;
+
+    // Portfolio dispatch replaces the whole descent when attached;
+    // it never traces, so no resolver is needed.
+    if (bundle->portfolio.attached()) {
+        const IdQuery idq =
+            frozen.internQuery(q.app, q.input, q.chip);
+        return materialise(frozen,
+                           bundle->portfolio.advise(
+                               frozen, idq, queryKey, policy,
+                               breaker));
+    }
 
     // On-demand feature lookup for pairs outside the snapshot; the
     // frozen descent invokes it only on the successful predictive

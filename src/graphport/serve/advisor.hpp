@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "graphport/serve/frozen.hpp"
+#include "graphport/serve/frozen_portfolio.hpp"
 #include "graphport/serve/index.hpp"
 #include "graphport/serve/policy.hpp"
 #include "graphport/serve/tier.hpp"
@@ -101,11 +102,25 @@ struct Advice
     unsigned retries = 0;
 
     /**
+     * Portfolio dispatch only: index into the portfolio's member
+     * list of the answering member (0 off the portfolio tier).
+     */
+    std::uint32_t portfolioMember = 0;
+    /**
+     * Portfolio dispatch only: realized slowdown vs the cell's
+     * oracle configuration — the portfolio's best-global geomean
+     * when the query resolved to no covered cell; 1.0 off the
+     * portfolio tier.
+     */
+    double portabilityCostVsOracle = 1.0;
+
+    /**
      * Whether two advices carry the same answer. Feature provenance
      * is excluded: a warm cache must not change what is answered,
      * only how fast. Degradation fields are *included* — under a
      * fixed fault schedule they are deterministic, and the chaos
-     * suite compares them across thread counts.
+     * suite compares them across thread counts. Portfolio fields are
+     * included for the same reason.
      */
     bool sameAnswer(const Advice &other) const;
 };
@@ -122,15 +137,25 @@ class Advisor
     explicit Advisor(StrategyIndex index,
                      std::size_t featureCacheCapacity = 256);
 
-    /** The published state: the index plus its compiled form. */
+    /**
+     * The published state: the index plus its compiled form, and —
+     * when one is attached — the compiled portfolio queries dispatch
+     * through instead of the lattice descent.
+     */
     struct IndexBundle
     {
         explicit IndexBundle(StrategyIndex idx)
             : index(std::move(idx)), frozen(index)
         {}
 
+        IndexBundle(StrategyIndex idx, const portfolio::Portfolio &p)
+            : index(std::move(idx)), frozen(index),
+              portfolio(p, frozen)
+        {}
+
         StrategyIndex index;
         FrozenIndex frozen;
+        FrozenPortfolio portfolio;
     };
 
     /** A pinned snapshot of the current bundle (see EpochPtr). */
@@ -151,6 +176,20 @@ class Advisor
      * index.
      */
     void swapIndex(StrategyIndex index);
+
+    /**
+     * Publish the current index with @p p compiled in: every
+     * subsequent query dispatches to one of the portfolio's K
+     * members ("serve.portfolio" fault site, Tier::Portfolio breaker
+     * shard, best-global floor) instead of descending the lattice.
+     * Fatal when the portfolio was solved over a different dataset
+     * than the index (content-hash mismatch). swapIndex publishes
+     * without a portfolio — re-attach after a swap.
+     */
+    void attachPortfolio(const portfolio::Portfolio &p);
+
+    /** Whether the published bundle carries a portfolio. */
+    bool hasPortfolio() const { return lease()->portfolio.attached(); }
 
     /** Number of swapIndex calls published so far. */
     std::uint64_t indexEpoch() const { return state_.epoch(); }

@@ -165,9 +165,18 @@ serveBatch(const Advisor &advisor,
         std::array<std::uint64_t, kNumTiers> degradedCounts{};
         std::uint64_t retries = 0, degraded = 0, predictive = 0,
                       snapshotHits = 0;
+        std::uint64_t portfolioCellHits = 0, portfolioFloor = 0;
         for (std::size_t i = 0; i < advices.size(); ++i) {
             const Advice &a = advices[i];
             ++tierCounts[static_cast<std::size_t>(a.tierId)];
+            // Portfolio dispatch resolution: a covered cell carries
+            // its partition key; the best-global floor does not.
+            if (a.tierId == Tier::Portfolio) {
+                if (a.partition.empty())
+                    ++portfolioFloor;
+                else
+                    ++portfolioCellHits;
+            }
             if (a.predictive)
                 ++predictive;
             if (a.featureSource == FeatureSource::Snapshot)
@@ -190,6 +199,12 @@ serveBatch(const Advisor &advisor,
                              tierName(tier))
                     .add(degradedCounts[t]);
         }
+        if (portfolioCellHits != 0)
+            local.counter("portfolio.dispatch.cell_hits")
+                .add(portfolioCellHits);
+        if (portfolioFloor != 0)
+            local.counter("portfolio.dispatch.floor")
+                .add(portfolioFloor);
         if (predictive != 0)
             local.counter("serve.predictive_answers")
                 .add(predictive);

@@ -80,6 +80,18 @@ struct AdviceView
     bool degraded = false;
     unsigned degradeSteps = 0;
     unsigned retries = 0;
+    /**
+     * Portfolio dispatch only: index into the portfolio's member
+     * list of the answering member (meaningless off the portfolio
+     * tier).
+     */
+    std::uint32_t portfolioMember = 0;
+    /**
+     * Portfolio dispatch only: the realized slowdown vs the cell's
+     * oracle configuration (the portfolio's best-global geomean when
+     * the query resolved to no cell); 1.0 off the portfolio tier.
+     */
+    double portabilityCostVsOracle = 1.0;
 };
 
 /**

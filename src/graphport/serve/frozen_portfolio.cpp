@@ -1,0 +1,159 @@
+#include "graphport/serve/frozen_portfolio.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "graphport/fault/injector.hpp"
+#include "graphport/serve/breaker.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/rng.hpp"
+
+namespace graphport {
+namespace serve {
+
+namespace {
+
+/** FrozenIndex partition-key packing for the full (a, i, c) tuple. */
+inline std::uint64_t
+packCellKey(std::uint32_t appSym, std::uint32_t inputNameSym,
+            std::uint32_t chipSym)
+{
+    return (static_cast<std::uint64_t>(appSym + 1) << 42) |
+           (static_cast<std::uint64_t>(inputNameSym + 1) << 21) |
+           (chipSym + 1);
+}
+
+} // namespace
+
+FrozenPortfolio::FrozenPortfolio(const portfolio::Portfolio &p,
+                                 const FrozenIndex &frozen)
+    : attached_(true), datasetHash_(p.datasetHash()),
+      epsilon_(p.epsilon()), members_(p.members()),
+      bestGlobalMember_(p.bestGlobalMember()),
+      bestGlobalGeomean_(p.bestGlobalGeomean()),
+      geomeanSlowdown_(p.geomeanSlowdown()),
+      cellCount_(p.cells().size())
+{
+    std::vector<std::pair<std::uint64_t, Cell>> entries;
+    entries.reserve(p.cells().size());
+    for (const portfolio::PortfolioCell &c : p.cells()) {
+        const std::uint32_t appSym = frozen.findSymbol(c.app);
+        const std::uint32_t inputSym = frozen.findSymbol(c.input);
+        const std::uint32_t chipSym = frozen.findSymbol(c.chip);
+        fatalIf(appSym == kNoSymbol || inputSym == kNoSymbol ||
+                    chipSym == kNoSymbol,
+                "FrozenPortfolio: cell (" + c.app + ", " + c.input +
+                    ", " + c.chip +
+                    ") names a symbol the index lacks (portfolio "
+                    "and index solved over different datasets?)");
+        entries.push_back({packCellKey(appSym, inputSym, chipSym),
+                           Cell{c.member, c.slowdown}});
+    }
+    cells_.build(entries);
+}
+
+AdviceView
+FrozenPortfolio::advise(const FrozenIndex &frozen, const IdQuery &q,
+                        std::uint64_t queryKey,
+                        const ServePolicy &policy,
+                        CircuitBreaker *breaker) const
+{
+    // Guarded (not panicIf): the unconditional message argument
+    // would construct a std::string on every call and break the
+    // zero-allocation budget of the dispatch path.
+    if (!attached_)
+        panic("FrozenPortfolio::advise on a detached portfolio");
+    if (policy.maxRetries > 9)
+        fatal("ServePolicy: maxRetries must be <= 9 (fault keys "
+              "reserve one digit per attempt)");
+    const std::int32_t inputIdx =
+        q.input == kNoSymbol ? -1 : frozen.inputIndex(q.input);
+    const std::uint32_t inputSym =
+        inputIdx >= 0 ? frozen.inputNameSym(inputIdx) : q.input;
+
+    std::uint64_t budget = policy.deadlineNs;
+    unsigned retries = 0;
+    unsigned degradeSteps = 0;
+
+    // The lattice descent's attempt loop verbatim (frozen.cpp):
+    // identical fault keys and virtual-time arithmetic, shard
+    // Tier::Portfolio.
+    const auto attempt = [&](const char *site,
+                             std::uint64_t keyBase, Tier shard) {
+        for (unsigned k = 0;; ++k) {
+            if (!fault::shouldInject(site, keyBase + k)) {
+                if (breaker != nullptr)
+                    breaker->onSuccess(shard);
+                return true;
+            }
+            if (breaker != nullptr)
+                breaker->onFailure(shard);
+            if (k == policy.maxRetries)
+                return false;
+            const std::uint64_t backoff =
+                (policy.backoffBaseNs << k) +
+                (policy.backoffBaseNs == 0
+                     ? 0
+                     : splitmix64(keyBase + k) %
+                           policy.backoffBaseNs);
+            if (policy.deadlineNs != 0) {
+                if (backoff > budget)
+                    return false; // deadline: degrade immediately
+                budget -= backoff;
+            }
+            ++retries;
+            if (policy.realBackoff &&
+                (breaker == nullptr || breaker->allowSleep(shard)))
+                std::this_thread::sleep_for(
+                    std::chrono::nanoseconds(std::min<std::uint64_t>(
+                        backoff, 1000000)));
+        }
+    };
+
+    const auto finish = [&](AdviceView v) {
+        v.tier = Tier::Portfolio;
+        v.intendedTier = Tier::Portfolio;
+        v.degraded = degradeSteps > 0;
+        v.degradeSteps = degradeSteps;
+        v.retries = retries;
+        return v;
+    };
+
+    const Cell *cell = nullptr;
+    if (q.app != kNoSymbol && inputSym != kNoSymbol &&
+        q.chip != kNoSymbol)
+        cell = cells_.find(packCellKey(q.app, inputSym, q.chip));
+
+    if (cell != nullptr) {
+        if (attempt("serve.portfolio", queryKey * 10,
+                    Tier::Portfolio)) {
+            AdviceView v;
+            v.config = members_[cell->member];
+            v.partApp = q.app;
+            v.partInput = inputSym;
+            v.partChip = q.chip;
+            v.expectedSlowdownVsOracle = geomeanSlowdown_;
+            v.partitionSlowdownVsOracle = cell->slowdown;
+            v.portfolioMember = cell->member;
+            v.portabilityCostVsOracle = cell->slowdown;
+            return finish(v);
+        }
+        // Attempts exhausted: one ladder step down to the floor.
+        ++degradeSteps;
+    }
+
+    // The floor: the portfolio's single best-global member, exempt
+    // from injection — covered or not, every query has an answer.
+    // An uncovered query reaching here is the *intended* answer, not
+    // a degradation.
+    AdviceView v;
+    v.config = members_[bestGlobalMember_];
+    v.expectedSlowdownVsOracle = bestGlobalGeomean_;
+    v.partitionSlowdownVsOracle = bestGlobalGeomean_;
+    v.portfolioMember = bestGlobalMember_;
+    v.portabilityCostVsOracle = bestGlobalGeomean_;
+    return finish(v);
+}
+
+} // namespace serve
+} // namespace graphport

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Portfolio dispatch: a solved portfolio::Portfolio compiled against
+ * a FrozenIndex's symbol table into the allocation-free form the
+ * serving hot path runs on.
+ *
+ * Every (app, input, chip) cell the portfolio covers becomes one
+ * entry in an open-addressed flat table keyed by a packed symbol
+ * tuple (21 bits per dimension, +1-offset, exactly the FrozenIndex
+ * partition-key packing). advise() resolves a query to one of the K
+ * portfolio members with the same resilient attempt/retry/backoff
+ * arithmetic as the lattice descent — the "serve.portfolio" fault
+ * site, breaker shard Tier::Portfolio — and degrades to the
+ * portfolio's single best-global member when attempts are exhausted
+ * or when the query resolves to no covered cell. The floor is
+ * injection-exempt, so every query is always answered.
+ */
+#ifndef GRAPHPORT_SERVE_FROZEN_PORTFOLIO_HPP
+#define GRAPHPORT_SERVE_FROZEN_PORTFOLIO_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graphport/portfolio/portfolio.hpp"
+#include "graphport/serve/frozen.hpp"
+#include "graphport/serve/policy.hpp"
+#include "graphport/support/flattable.hpp"
+
+namespace graphport {
+namespace serve {
+
+class CircuitBreaker;
+
+/**
+ * A compiled, servable portfolio. Default-constructed instances are
+ * detached (attached() == false) — the advisor then serves the plain
+ * lattice descent.
+ */
+class FrozenPortfolio
+{
+  public:
+    FrozenPortfolio() = default;
+
+    /**
+     * Compile @p p against @p frozen's symbol table. Every cell name
+     * must be interned by the index — both artefacts derive from the
+     * same dataset, which Advisor::attachPortfolio enforces by
+     * content hash.
+     */
+    FrozenPortfolio(const portfolio::Portfolio &p,
+                    const FrozenIndex &frozen);
+
+    /** Whether a portfolio is compiled in. */
+    bool attached() const noexcept { return attached_; }
+
+    /** Member configuration ids (size K). */
+    const std::vector<unsigned> &members() const { return members_; }
+
+    /** Index into members() of the degradation-floor member. */
+    std::uint32_t bestGlobalMember() const { return bestGlobalMember_; }
+
+    /** Floor member's geomean slowdown over all cells. */
+    double bestGlobalGeomean() const { return bestGlobalGeomean_; }
+
+    /** The solved cover's radius. */
+    double epsilon() const { return epsilon_; }
+
+    /** Content hash of the dataset the portfolio was solved over. */
+    std::uint64_t datasetHash() const { return datasetHash_; }
+
+    /** Covered cells. */
+    std::size_t cellCount() const { return cellCount_; }
+
+    /**
+     * Resolve @p q to a portfolio member. Same key-equals-arithmetic
+     * resilience contract as FrozenIndex::advise: the cell lookup
+     * passes the "serve.portfolio" injection site keyed
+     * `queryKey * 10 + attempt` on breaker shard Tier::Portfolio,
+     * retried with the identical backoff-and-virtual-deadline
+     * arithmetic; exhaustion (or an uncovered query) answers the
+     * best-global floor member, which is injection-exempt.
+     *
+     * Deterministic and allocation-free: the view is a pure function
+     * of (portfolio, index, query, queryKey, policy, fault schedule)
+     * and nothing on this path touches the allocator.
+     */
+    AdviceView advise(const FrozenIndex &frozen, const IdQuery &q,
+                      std::uint64_t queryKey,
+                      const ServePolicy &policy,
+                      CircuitBreaker *breaker = nullptr) const;
+
+  private:
+    /** One covered cell: assigned member and realized slowdown. */
+    struct Cell
+    {
+        std::uint32_t member = 0;
+        double slowdown = 1.0;
+    };
+
+    bool attached_ = false;
+    std::uint64_t datasetHash_ = 0;
+    double epsilon_ = 0.0;
+    std::vector<unsigned> members_;
+    std::uint32_t bestGlobalMember_ = 0;
+    double bestGlobalGeomean_ = 1.0;
+    double geomeanSlowdown_ = 1.0;
+    std::size_t cellCount_ = 0;
+    /** (appSym+1)<<42 | (inputSym+1)<<21 | (chipSym+1) -> Cell. */
+    support::FlatTable<Cell> cells_;
+};
+
+} // namespace serve
+} // namespace graphport
+
+#endif // GRAPHPORT_SERVE_FROZEN_PORTFOLIO_HPP

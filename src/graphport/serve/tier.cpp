@@ -16,6 +16,7 @@ tierNames()
         "chip_app_input", "chip_app", "chip_input",
         "app_input",      "chip",     "app",
         "input",          "global",   "predictive",
+        "portfolio",
     };
     return names;
 }

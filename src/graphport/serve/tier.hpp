@@ -20,7 +20,11 @@
 namespace graphport {
 namespace serve {
 
-/** Answer tiers, in lattice descent order; Predictive last. */
+/**
+ * Answer tiers, in lattice descent order; Predictive and the
+ * portfolio-dispatch tier (answers drawn from a frozen K-member
+ * strategy portfolio) after.
+ */
 enum class Tier : std::uint8_t
 {
     ChipAppInput = 0,
@@ -32,14 +36,18 @@ enum class Tier : std::uint8_t
     Input,
     Global,
     Predictive,
+    Portfolio,
 };
 
 /** Lattice tiers (descent ladder), excluding the predictive path. */
 constexpr std::size_t kNumLatticeTiers = 8;
-/** All tiers including the predictive fallback. */
-constexpr std::size_t kNumTiers = 9;
+/** All tiers including the predictive and portfolio paths. */
+constexpr std::size_t kNumTiers = 10;
 
-/** Stable tier name ("chip_app_input".."global", "predictive"). */
+/**
+ * Stable tier name ("chip_app_input".."global", "predictive",
+ * "portfolio").
+ */
 const std::string &tierName(Tier t);
 
 /**

@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Tests for portfolio::solveCover / paretoFrontier and the `.gpp`
+ * snapshot: degenerate covers (K = 1, ε = 0), greedy-vs-exact
+ * agreement on the small universe, frontier monotonicity, thread-count
+ * determinism, and the versioned-format / dataset-hash / epsilon
+ * guards of Portfolio::solveOrLoadCached.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "graphport/portfolio/cover.hpp"
+#include "graphport/portfolio/portfolio.hpp"
+#include "graphport/support/error.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+
+namespace {
+
+const portfolio::SlowdownMatrix &
+smallMatrix()
+{
+    static const portfolio::SlowdownMatrix m =
+        portfolio::SlowdownMatrix::build(testutil::smallDataset(), 1);
+    return m;
+}
+
+portfolio::CoverOptions
+optsAt(double eps)
+{
+    portfolio::CoverOptions o;
+    o.epsilon = eps;
+    return o;
+}
+
+portfolio::Portfolio
+smallPortfolio()
+{
+    return portfolio::Portfolio::solve(testutil::smallDataset(),
+                                       optsAt(0.10));
+}
+
+std::string
+savedSnapshot()
+{
+    std::ostringstream os;
+    smallPortfolio().save(os);
+    return os.str();
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "graphport_" + name;
+}
+
+/** Max-over-cells slowdown of one configuration. */
+double
+maxSlowdownOf(const portfolio::SlowdownMatrix &m, unsigned cfg)
+{
+    double worst = 0.0;
+    for (std::size_t t = 0; t < m.cells(); ++t)
+        worst = std::max(worst, m.at(t, cfg));
+    return worst;
+}
+
+} // namespace
+
+TEST(PortfolioCover, SlowdownMatrixIsOneAtOracle)
+{
+    const portfolio::SlowdownMatrix &m = smallMatrix();
+    EXPECT_EQ(m.cells(), testutil::smallDataset().numTests());
+    EXPECT_EQ(m.configs(), testutil::smallDataset().numConfigs());
+    for (std::size_t t = 0; t < m.cells(); ++t) {
+        EXPECT_EQ(m.at(t, m.oracle(t)), 1.0);
+        for (unsigned c = 0; c < m.configs(); ++c)
+            EXPECT_GE(m.at(t, c), 1.0);
+    }
+}
+
+TEST(PortfolioCover, FrontierKOneIsTheMinimaxConfig)
+{
+    // The K = 1 frontier point degenerates to the best single global
+    // choice: the configuration minimising the worst-case slowdown
+    // (ties to the lowest configuration id).
+    const portfolio::SlowdownMatrix &m = smallMatrix();
+    double minimax = maxSlowdownOf(m, 0);
+    unsigned best = 0;
+    for (unsigned c = 1; c < m.configs(); ++c) {
+        const double worst = maxSlowdownOf(m, c);
+        if (worst < minimax) {
+            minimax = worst;
+            best = c;
+        }
+    }
+    const std::vector<portfolio::FrontierPoint> frontier =
+        portfolio::paretoFrontier(m, optsAt(0.10));
+    ASSERT_FALSE(frontier.empty());
+    ASSERT_EQ(frontier.front().k, 1u);
+    ASSERT_EQ(frontier.front().members.size(), 1u);
+    EXPECT_EQ(frontier.front().members[0], best);
+    EXPECT_EQ(frontier.front().maxSlowdown, minimax);
+}
+
+TEST(PortfolioCover, GenerousRadiusYieldsASingleMember)
+{
+    const portfolio::SlowdownMatrix &m = smallMatrix();
+    double minimax = maxSlowdownOf(m, 0);
+    for (unsigned c = 1; c < m.configs(); ++c)
+        minimax = std::min(minimax, maxSlowdownOf(m, c));
+    // A radius past the minimax slowdown is coverable by one member.
+    const portfolio::CoverSolution s =
+        portfolio::solveCover(m, optsAt(minimax));
+    ASSERT_EQ(s.members.size(), 1u);
+    EXPECT_EQ(s.bestGlobalMember, 0u);
+    EXPECT_LE(s.maxSlowdown, 1.0 + minimax);
+    for (const portfolio::CellAssignment &a : s.cellAssignments)
+        EXPECT_EQ(a.member, 0u);
+}
+
+TEST(PortfolioCover, EpsilonZeroRequiresTheFullOracleSet)
+{
+    const portfolio::SlowdownMatrix &m = smallMatrix();
+    std::set<unsigned> oracles;
+    for (std::size_t t = 0; t < m.cells(); ++t)
+        oracles.insert(m.oracle(t));
+    const portfolio::CoverSolution s =
+        portfolio::solveCover(m, optsAt(0.0));
+    EXPECT_EQ(s.members.size(), oracles.size());
+    EXPECT_EQ(s.maxSlowdown, 1.0);
+    EXPECT_EQ(s.geomeanSlowdown, 1.0);
+    for (const portfolio::CellAssignment &a : s.cellAssignments)
+        EXPECT_EQ(a.slowdown, 1.0);
+}
+
+TEST(PortfolioCover, GreedyAndExactAgreeOnTheSmallUniverse)
+{
+    const portfolio::SlowdownMatrix &m = smallMatrix();
+    portfolio::CoverOptions o = optsAt(0.10);
+    const portfolio::CoverSolution greedy =
+        portfolio::solveCover(m, o);
+    o.exact = true;
+    const portfolio::CoverSolution exact =
+        portfolio::solveCover(m, o);
+    EXPECT_FALSE(greedy.exact);
+    EXPECT_TRUE(exact.exact);
+    // The exact search is seeded with the greedy incumbent, so it can
+    // only be smaller — and on the small universe greedy is optimal.
+    EXPECT_EQ(exact.members.size(), greedy.members.size());
+    std::vector<unsigned> a = greedy.members, b = exact.members;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+    EXPECT_LE(greedy.maxSlowdown, 1.10);
+    EXPECT_LE(exact.maxSlowdown, 1.10);
+}
+
+TEST(PortfolioCover, CoverIsFeasibleAndAttributedAtEveryRadius)
+{
+    const portfolio::SlowdownMatrix &m = smallMatrix();
+    for (const double eps : {0.0, 0.02, 0.05, 0.10, 0.25, 1.0}) {
+        const portfolio::CoverSolution s =
+            portfolio::solveCover(m, optsAt(eps));
+        EXPECT_LE(s.maxSlowdown, 1.0 + eps);
+        ASSERT_EQ(s.cellAssignments.size(), m.cells());
+        for (std::size_t t = 0; t < m.cells(); ++t) {
+            const portfolio::CellAssignment &a = s.cellAssignments[t];
+            ASSERT_LT(a.member, s.members.size());
+            EXPECT_EQ(a.slowdown, m.at(t, s.members[a.member]));
+        }
+    }
+}
+
+TEST(PortfolioCover, RejectsNegativeEpsilon)
+{
+    EXPECT_THROW(portfolio::solveCover(smallMatrix(), optsAt(-0.5)),
+                 FatalError);
+}
+
+TEST(PortfolioCover, FrontierIsMonotoneAndEndsAtZero)
+{
+    const std::vector<portfolio::FrontierPoint> frontier =
+        portfolio::paretoFrontier(smallMatrix(), optsAt(0.10));
+    ASSERT_FALSE(frontier.empty());
+    EXPECT_EQ(frontier.front().k, 1u);
+    EXPECT_EQ(frontier.back().epsilon, 0.0);
+    EXPECT_EQ(frontier.back().maxSlowdown, 1.0);
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+        EXPECT_EQ(frontier[i].members.size(), frontier[i].k);
+        EXPECT_LE(frontier[i].maxSlowdown,
+                  1.0 + frontier[i].epsilon + 1e-12);
+        if (i > 0) {
+            EXPECT_GT(frontier[i].k, frontier[i - 1].k);
+            EXPECT_LT(frontier[i].epsilon,
+                      frontier[i - 1].epsilon);
+        }
+    }
+}
+
+TEST(PortfolioCover, DeterministicAcrossThreadCounts)
+{
+    const portfolio::SlowdownMatrix &m = smallMatrix();
+    portfolio::CoverOptions o = optsAt(0.10);
+    const portfolio::CoverSolution serial =
+        portfolio::solveCover(m, o);
+    const std::vector<portfolio::FrontierPoint> serialFrontier =
+        portfolio::paretoFrontier(m, o);
+    for (const unsigned threads : {4u, 8u}) {
+        o.threads = threads;
+        const portfolio::SlowdownMatrix mt =
+            portfolio::SlowdownMatrix::build(testutil::smallDataset(),
+                                             threads);
+        const portfolio::CoverSolution s =
+            portfolio::solveCover(mt, o);
+        EXPECT_EQ(s.members, serial.members);
+        EXPECT_EQ(s.maxSlowdown, serial.maxSlowdown);
+        EXPECT_EQ(s.geomeanSlowdown, serial.geomeanSlowdown);
+        ASSERT_EQ(s.cellAssignments.size(),
+                  serial.cellAssignments.size());
+        for (std::size_t t = 0; t < s.cellAssignments.size(); ++t) {
+            EXPECT_EQ(s.cellAssignments[t].member,
+                      serial.cellAssignments[t].member);
+            EXPECT_EQ(s.cellAssignments[t].slowdown,
+                      serial.cellAssignments[t].slowdown);
+        }
+        const std::vector<portfolio::FrontierPoint> frontier =
+            portfolio::paretoFrontier(mt, o);
+        ASSERT_EQ(frontier.size(), serialFrontier.size());
+        for (std::size_t i = 0; i < frontier.size(); ++i) {
+            EXPECT_EQ(frontier[i].k, serialFrontier[i].k);
+            EXPECT_EQ(frontier[i].epsilon,
+                      serialFrontier[i].epsilon);
+            EXPECT_EQ(frontier[i].members,
+                      serialFrontier[i].members);
+        }
+    }
+}
+
+TEST(PortfolioSnapshot, RoundTripIsExact)
+{
+    const portfolio::Portfolio built = smallPortfolio();
+    std::istringstream is(savedSnapshot());
+    const portfolio::Portfolio loaded =
+        portfolio::Portfolio::load(is, "'test'");
+    EXPECT_EQ(loaded.datasetHash(), built.datasetHash());
+    EXPECT_EQ(loaded.epsilon(), built.epsilon());
+    EXPECT_EQ(loaded.exact(), built.exact());
+    EXPECT_EQ(loaded.members(), built.members());
+    EXPECT_EQ(loaded.bestGlobalMember(), built.bestGlobalMember());
+    EXPECT_EQ(loaded.bestGlobalGeomean(), built.bestGlobalGeomean());
+    EXPECT_EQ(loaded.maxSlowdown(), built.maxSlowdown());
+    EXPECT_EQ(loaded.geomeanSlowdown(), built.geomeanSlowdown());
+    ASSERT_EQ(loaded.cells().size(), built.cells().size());
+    for (std::size_t c = 0; c < built.cells().size(); ++c) {
+        const portfolio::PortfolioCell &a = built.cells()[c];
+        const portfolio::PortfolioCell &b = loaded.cells()[c];
+        EXPECT_EQ(a.app, b.app);
+        EXPECT_EQ(a.input, b.input);
+        EXPECT_EQ(a.chip, b.chip);
+        EXPECT_EQ(a.member, b.member);
+        EXPECT_EQ(a.slowdown, b.slowdown);
+    }
+}
+
+TEST(PortfolioSnapshot, SecondRoundTripIsByteIdentical)
+{
+    const std::string first = savedSnapshot();
+    std::istringstream is(first);
+    const portfolio::Portfolio loaded =
+        portfolio::Portfolio::load(is, "'test'");
+    std::ostringstream os;
+    loaded.save(os);
+    EXPECT_EQ(os.str(), first);
+}
+
+TEST(PortfolioSnapshot, ForeignFileFailsWithBadMagic)
+{
+    std::istringstream is("hello,world\n1,2,3\n");
+    try {
+        portfolio::Portfolio::load(is, "'test'");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad magic"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(PortfolioSnapshot, VersionMismatchNamesBothVersions)
+{
+    std::string text = savedSnapshot();
+    const std::string header = "graphport-portfolio,1";
+    ASSERT_EQ(text.rfind(header, 0), 0u);
+    text.replace(0, header.size(), "graphport-portfolio,999");
+    std::istringstream is(text);
+    try {
+        portfolio::Portfolio::load(is, "'test'");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("format version 999"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("this build reads 1"), std::string::npos)
+            << what;
+    }
+}
+
+TEST(PortfolioSnapshot, TruncatedSnapshotFails)
+{
+    std::string text = savedSnapshot();
+    const std::size_t cut = text.rfind("cell,");
+    ASSERT_NE(cut, std::string::npos);
+    std::istringstream is(text.substr(0, cut));
+    try {
+        portfolio::Portfolio::load(is, "'test'");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("truncated"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(PortfolioSnapshot, OutOfRangeCellMemberFails)
+{
+    std::string text = savedSnapshot();
+    // Point the first cell at a member index beyond K and reseal so
+    // the semantic guard (not the checksum) is what rejects it.
+    const std::size_t pos = text.find("\ncell,");
+    ASSERT_NE(pos, std::string::npos);
+    const std::size_t lineEnd = text.find('\n', pos + 1);
+    std::string line = text.substr(pos + 1, lineEnd - pos - 1);
+    // cell,<app>,<input>,<chip>,<member>,<slowdown>
+    std::size_t comma = 0;
+    for (int i = 0; i < 4; ++i)
+        comma = line.find(',', comma + 1);
+    const std::size_t memberEnd = line.find(',', comma + 1);
+    line.replace(comma + 1, memberEnd - comma - 1, "9999");
+    text.replace(pos + 1, lineEnd - pos - 1, line);
+    std::istringstream is(testutil::resealSnapshot(text));
+    try {
+        portfolio::Portfolio::load(is, "'test'");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("member index out of range"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(PortfolioSnapshot, LoadFileMissingFails)
+{
+    EXPECT_THROW(portfolio::Portfolio::loadFile(
+                     tempPath("no_such_portfolio.gpp")),
+                 FatalError);
+}
+
+TEST(PortfolioSnapshot, SaveFileLoadFileRoundTrip)
+{
+    const std::string path = tempPath("portfolio_roundtrip.gpp");
+    const portfolio::Portfolio built = smallPortfolio();
+    built.saveFile(path);
+    const portfolio::Portfolio loaded =
+        portfolio::Portfolio::loadFile(path);
+    EXPECT_EQ(loaded.datasetHash(), built.datasetHash());
+    EXPECT_EQ(loaded.members(), built.members());
+    std::remove(path.c_str());
+}
+
+TEST(PortfolioSnapshot, SolveOrLoadCachedReusesMatchingSnapshot)
+{
+    const std::string path = tempPath("portfolio_cache.gpp");
+    std::remove(path.c_str());
+    const runner::Dataset &ds = testutil::smallDataset();
+    const portfolio::Portfolio first =
+        portfolio::Portfolio::solveOrLoadCached(ds, path,
+                                                optsAt(0.10));
+    std::ifstream exists(path);
+    EXPECT_TRUE(exists.good());
+    const portfolio::Portfolio second =
+        portfolio::Portfolio::solveOrLoadCached(ds, path,
+                                                optsAt(0.10));
+    EXPECT_EQ(second.datasetHash(), first.datasetHash());
+    EXPECT_EQ(second.members(), first.members());
+    std::remove(path.c_str());
+}
+
+TEST(PortfolioSnapshot, SolveOrLoadCachedRebuildsOnStaleHash)
+{
+    const std::string path = tempPath("portfolio_stale.gpp");
+    std::string text = savedSnapshot();
+    const std::size_t pos = text.find("dataset_hash,");
+    ASSERT_NE(pos, std::string::npos);
+    const std::size_t val =
+        pos + std::string("dataset_hash,").size();
+    text.replace(val, 16, "deadbeefdeadbeef");
+    {
+        std::ofstream out(path);
+        out << testutil::resealSnapshot(text);
+    }
+    const runner::Dataset &ds = testutil::smallDataset();
+    ::testing::internal::CaptureStderr();
+    const portfolio::Portfolio p =
+        portfolio::Portfolio::solveOrLoadCached(ds, path,
+                                                optsAt(0.10));
+    const std::string err =
+        ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("different dataset"), std::string::npos)
+        << err;
+    EXPECT_NE(err.find("re-solving"), std::string::npos) << err;
+    EXPECT_EQ(p.datasetHash(), ds.contentHash());
+    std::remove(path.c_str());
+}
+
+TEST(PortfolioSnapshot, SolveOrLoadCachedRebuildsOnEpsilonMismatch)
+{
+    const std::string path = tempPath("portfolio_eps.gpp");
+    smallPortfolio().saveFile(path); // solved at eps = 0.10
+    const runner::Dataset &ds = testutil::smallDataset();
+    ::testing::internal::CaptureStderr();
+    const portfolio::Portfolio p =
+        portfolio::Portfolio::solveOrLoadCached(ds, path,
+                                                optsAt(0.25));
+    const std::string err =
+        ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("epsilon"), std::string::npos) << err;
+    EXPECT_NE(err.find("re-solving"), std::string::npos) << err;
+    EXPECT_EQ(p.epsilon(), 0.25);
+    std::remove(path.c_str());
+}
+
+TEST(PortfolioSnapshot, SolveOrLoadCachedRebuildsOnCorruptFile)
+{
+    const std::string path = tempPath("portfolio_corrupt.gpp");
+    {
+        std::ofstream out(path);
+        out << "this is not a portfolio\n";
+    }
+    const runner::Dataset &ds = testutil::smallDataset();
+    ::testing::internal::CaptureStderr();
+    const portfolio::Portfolio p =
+        portfolio::Portfolio::solveOrLoadCached(ds, path,
+                                                optsAt(0.10));
+    const std::string err =
+        ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("rejected"), std::string::npos) << err;
+    EXPECT_EQ(p.datasetHash(), ds.contentHash());
+    std::remove(path.c_str());
+}

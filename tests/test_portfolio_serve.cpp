@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Portfolio dispatch through the serving layer: covered cells answer
+ * with their assigned member and the exact recomputed portability
+ * cost, uncovered queries get the best-global floor *undegraded*,
+ * fault pressure on a covered cell degrades one ladder step to the
+ * floor, batches stay bit-identical across thread counts, and the
+ * dispatch path touches the allocator zero times. This binary links
+ * the counting allocator, so the budget is enforced, not skipped.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graphport/fault/injector.hpp"
+#include "graphport/obs/obs.hpp"
+#include "graphport/portfolio/portfolio.hpp"
+#include "graphport/serve/advisor.hpp"
+#include "graphport/serve/batch.hpp"
+#include "graphport/serve/loadgen.hpp"
+#include "graphport/support/allochook.hpp"
+#include "graphport/support/error.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+
+namespace {
+
+const portfolio::Portfolio &
+smallPortfolio()
+{
+    static const portfolio::Portfolio p = [] {
+        portfolio::CoverOptions o;
+        o.epsilon = 0.10;
+        return portfolio::Portfolio::solve(testutil::smallDataset(),
+                                           o);
+    }();
+    return p;
+}
+
+/** A fresh advisor over the small dataset with the portfolio attached. */
+std::unique_ptr<serve::Advisor>
+portfolioAdvisor()
+{
+    auto adv = std::make_unique<serve::Advisor>(
+        serve::StrategyIndex::build(testutil::smallDataset()));
+    adv->attachPortfolio(smallPortfolio());
+    return adv;
+}
+
+unsigned
+floorConfig()
+{
+    const portfolio::Portfolio &p = smallPortfolio();
+    return p.members()[p.bestGlobalMember()];
+}
+
+} // namespace
+
+TEST(PortfolioServe, CoveredCellsAnswerWithTheAssignedMember)
+{
+    const auto advPtr = portfolioAdvisor();
+    const serve::Advisor &adv = *advPtr;
+    const runner::Dataset &ds = testutil::smallDataset();
+    const portfolio::Portfolio &p = smallPortfolio();
+    for (std::size_t t = 0; t < ds.numTests(); ++t) {
+        const runner::Test test = ds.testAt(t);
+        const serve::Advice a = adv.adviseResilient(
+            {test.app, test.input, test.chip}, t, {});
+        EXPECT_EQ(a.tierId, serve::Tier::Portfolio);
+        EXPECT_EQ(a.tier, "portfolio");
+        EXPECT_FALSE(a.predictive);
+        EXPECT_FALSE(a.degraded);
+        EXPECT_FALSE(a.partition.empty());
+        const portfolio::PortfolioCell &cell = p.cells()[t];
+        EXPECT_EQ(a.portfolioMember, cell.member);
+        EXPECT_EQ(a.config, p.members()[cell.member]);
+        // The acceptance criterion: the reported portability cost
+        // must equal a direct recomputation from the priced dataset,
+        // exactly (both sides are the same division of means).
+        EXPECT_EQ(a.portabilityCostVsOracle,
+                  ds.meanNs(t, a.config) /
+                      ds.meanNs(t, ds.bestConfig(t)))
+            << test.app << "/" << test.input << "/" << test.chip;
+        EXPECT_EQ(a.partitionSlowdownVsOracle, cell.slowdown);
+    }
+}
+
+TEST(PortfolioServe, UncoveredQueryGetsTheFloorUndegraded)
+{
+    const auto advPtr = portfolioAdvisor();
+    const serve::Advisor &adv = *advPtr;
+    // An app the study never measured, and a chip outside the index:
+    // neither resolves to a cell, and the portfolio path never
+    // traces, so both answer from the best-global floor.
+    for (const serve::Query &q :
+         {serve::Query{"no-such-app", "road", "M4000"},
+          serve::Query{"bfs-topo", "road", "GTX1080"}}) {
+        const serve::Advice a = adv.adviseResilient(q, 7, {});
+        EXPECT_EQ(a.tierId, serve::Tier::Portfolio);
+        // The floor is the intended answer for an uncovered query,
+        // not a degradation.
+        EXPECT_FALSE(a.degraded);
+        EXPECT_EQ(a.degradeSteps, 0u);
+        EXPECT_TRUE(a.partition.empty());
+        EXPECT_EQ(a.config, floorConfig());
+        EXPECT_EQ(a.portfolioMember,
+                  smallPortfolio().bestGlobalMember());
+        EXPECT_EQ(a.portabilityCostVsOracle,
+                  smallPortfolio().bestGlobalGeomean());
+    }
+}
+
+TEST(PortfolioServe, AttachRejectsAForeignPortfolio)
+{
+    // Solved over the all-chip dataset, attached to an advisor over
+    // the two-chip one: the content hashes differ.
+    portfolio::CoverOptions o;
+    o.epsilon = 0.10;
+    const portfolio::Portfolio foreign = portfolio::Portfolio::solve(
+        testutil::smallAllChipDataset(), o);
+    serve::Advisor adv(
+        serve::StrategyIndex::build(testutil::smallDataset()));
+    EXPECT_THROW(adv.attachPortfolio(foreign), FatalError);
+    EXPECT_FALSE(adv.hasPortfolio());
+}
+
+TEST(PortfolioServe, SwapIndexDropsThePortfolio)
+{
+    const auto advPtr = portfolioAdvisor();
+    serve::Advisor &adv = *advPtr;
+    ASSERT_TRUE(adv.hasPortfolio());
+    adv.swapIndex(
+        serve::StrategyIndex::build(testutil::smallDataset()));
+    EXPECT_FALSE(adv.hasPortfolio());
+    // Back on the lattice descent.
+    const serve::Advice a =
+        adv.adviseResilient({"bfs-topo", "road", "M4000"}, 1, {});
+    EXPECT_NE(a.tierId, serve::Tier::Portfolio);
+    // And re-attachable against the republished index.
+    adv.attachPortfolio(smallPortfolio());
+    EXPECT_TRUE(adv.hasPortfolio());
+    const serve::Advice b =
+        adv.adviseResilient({"bfs-topo", "road", "M4000"}, 1, {});
+    EXPECT_EQ(b.tierId, serve::Tier::Portfolio);
+}
+
+TEST(PortfolioServe, FaultPressureDegradesOneStepToTheFloor)
+{
+    const auto advPtr = portfolioAdvisor();
+    const serve::Advisor &adv = *advPtr;
+    fault::Injector injector(
+        fault::FaultSchedule::parse("seed=1;serve.portfolio:p=1"));
+    fault::ScopedInjector scope(&injector);
+    const serve::ServePolicy policy;
+    const serve::Advice a = adv.adviseResilient(
+        {"bfs-topo", "road", "M4000"}, 3, policy);
+    EXPECT_EQ(a.tierId, serve::Tier::Portfolio);
+    EXPECT_TRUE(a.degraded);
+    EXPECT_EQ(a.degradeSteps, 1u);
+    EXPECT_EQ(a.retries, policy.maxRetries);
+    // The floor answer carries no cell attribution.
+    EXPECT_TRUE(a.partition.empty());
+    EXPECT_EQ(a.config, floorConfig());
+    EXPECT_EQ(a.portabilityCostVsOracle,
+              smallPortfolio().bestGlobalGeomean());
+}
+
+TEST(PortfolioServe, BatchIsBitIdenticalAcrossThreadCounts)
+{
+    const auto advPtr = portfolioAdvisor();
+    const serve::Advisor &adv = *advPtr;
+    const std::vector<serve::Query> stream = serve::makeQueryStream(
+        serve::StrategyIndex::build(testutil::smallDataset()), 400,
+        11);
+    const serve::LoadBenchResult result =
+        serve::runLoadBench(adv, stream, {1, 4, 8});
+    EXPECT_TRUE(result.allBitIdentical);
+}
+
+TEST(PortfolioServe, BatchIsBitIdenticalUnderFaultPressure)
+{
+    const auto advPtr = portfolioAdvisor();
+    const serve::Advisor &adv = *advPtr;
+    fault::Injector injector(fault::FaultSchedule::parse(
+        "seed=9;serve.portfolio:p=0.3"));
+    fault::ScopedInjector scope(&injector);
+    const std::vector<serve::Query> stream = serve::makeQueryStream(
+        serve::StrategyIndex::build(testutil::smallDataset()), 400,
+        13);
+    const serve::LoadBenchResult result =
+        serve::runLoadBench(adv, stream, {1, 4, 8});
+    EXPECT_TRUE(result.allBitIdentical);
+}
+
+TEST(PortfolioServe, BatchRecordsDispatchCounters)
+{
+    const auto advPtr = portfolioAdvisor();
+    const serve::Advisor &adv = *advPtr;
+    const std::vector<serve::Query> queries = {
+        {"bfs-topo", "road", "M4000"}, // covered cell
+        {"bfs-topo", "road", "R9"},    // covered cell
+        {"no-such-app", "road", "M4000"}, // floor
+    };
+    obs::Obs obs;
+    const std::vector<serve::Advice> answers =
+        serve::serveBatch(adv, queries, 1, nullptr, &obs);
+    ASSERT_EQ(answers.size(), queries.size());
+    EXPECT_EQ(obs.metrics.counterValue("portfolio.dispatch.cell_hits"),
+              2u);
+    EXPECT_EQ(obs.metrics.counterValue("portfolio.dispatch.floor"),
+              1u);
+    EXPECT_EQ(obs.metrics.counterValue("serve.tier.portfolio"), 3u);
+}
+
+TEST(PortfolioServe, DispatchAllocatesNothing)
+{
+    // This test binary links bench/alloc_hook.cpp, so the counting
+    // operators are live and the budget is enforced, not skipped.
+    ASSERT_TRUE(support::allocCountingActive());
+    const auto advPtr = portfolioAdvisor();
+    const serve::Advisor &adv = *advPtr;
+    const std::vector<serve::Query> stream = serve::makeQueryStream(
+        serve::StrategyIndex::build(testutil::smallDataset()), 300,
+        17);
+    const serve::ServePolicy policy;
+    const serve::Advisor::Lease bundle = adv.lease();
+    const auto pass = [&] {
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+            const serve::IdQuery id = bundle->frozen.internQuery(
+                stream[i].app, stream[i].input, stream[i].chip);
+            const serve::AdviceView v =
+                adv.advise(id, i, policy, nullptr);
+            (void)v;
+        }
+    };
+    pass(); // warm: intern tables and code paths
+    support::resetThreadAllocCounts();
+    pass();
+    const support::AllocCounts counts =
+        support::threadAllocCounts();
+    EXPECT_EQ(counts.allocs, 0u);
+    EXPECT_EQ(counts.frees, 0u);
+}

@@ -147,6 +147,44 @@ TEST(Dataset, LoadRejectsUnknownNames)
     EXPECT_THROW(Dataset::loadCsv(u, ss), FatalError);
 }
 
+TEST(Dataset, LoadErrorsNameLineAndColumn)
+{
+    // Rejects are diagnosable without binary-searching the file: the
+    // message names the 1-based line and the offending column.
+    const Universe u = smallUniverse(2, {"M4000"});
+    std::stringstream ss("app,input,chip,config,run,ns\n"
+                         "bfs-topo,road,M4000,0,0,123.0\n"
+                         "who,road,M4000,0,1,456.0\n");
+    try {
+        Dataset::loadCsv(u, ss);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+        EXPECT_NE(what.find("unknown app 'who'"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("column 1"), std::string::npos) << what;
+    }
+}
+
+TEST(Dataset, BadCountErrorsNameLineAndColumn)
+{
+    const Universe u = smallUniverse(2, {"M4000"});
+    std::stringstream ss("app,input,chip,config,run,ns\n"
+                         "bfs-topo,road,M4000,abc,0,123.0\n");
+    try {
+        Dataset::loadCsv(u, ss);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+        EXPECT_NE(what.find("bad config count 'abc'"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("column 4"), std::string::npos) << what;
+    }
+}
+
 TEST(Dataset, LoadRejectsDuplicateRows)
 {
     // A duplicate (app, input, chip, config, run) row used to

@@ -18,18 +18,30 @@
  *   index    [--small [n_apps]] [--threads N] [--dataset F] [--out F]
  *                                precompute the strategy index and
  *                                freeze it into a snapshot
- *   advise   [--index F] (<app> <input> <chip> |
+ *   advise   [--index F] [--portfolio F.gpp] (<app> <input> <chip> |
  *            --batch F|- [--threads N] [--format csv|json]
  *            [--out F] [--stats])
  *                                answer strategy queries from a
  *                                snapshot (lattice fallback +
- *                                predictive path)
+ *                                predictive path), optionally
+ *                                dispatching through a frozen
+ *                                portfolio
+ *   portfolio solve [--small [n_apps]] [--dataset F] [--eps E]
+ *            [--exact] [--threads N] [--out F.gpp]
+ *                                solve the minimal ε-cover portfolio
+ *                                and freeze it into a snapshot
+ *   portfolio frontier [--small [n_apps]] [--dataset F] [--exact]
+ *            [--threads N] [--max-candidates N]
+ *                                print the K-vs-ε Pareto frontier
+ *   portfolio inspect <file.gpp> summarise a frozen portfolio
  *   serve-bench [--index F | --small [n_apps]] [--queries N]
  *            [--threads N] [--seed S] [--open-loop]
- *            [--target-qps Q] [--out F]
+ *            [--target-qps Q] [--portfolio F.gpp|auto]
+ *            [--portfolio-eps E] [--out F]
  *                                serve a mixed query stream at several
  *                                thread counts (optionally open-loop
- *                                with Poisson arrivals); writes
+ *                                with Poisson arrivals, optionally
+ *                                through portfolio dispatch); writes
  *                                BENCH_serve.json
  *   calibrate [--chip NAME] [--starts N] [--iters N] [--threads N]
  *            [--seed S] [--perturb PCT] [--out F]
@@ -84,6 +96,8 @@
 #include "graphport/obs/obs.hpp"
 #include "graphport/port/algorithm1.hpp"
 #include "graphport/port/strategy.hpp"
+#include "graphport/portfolio/cover.hpp"
+#include "graphport/portfolio/portfolio.hpp"
 #include "graphport/runner/dataset.hpp"
 #include "graphport/serve/advisor.hpp"
 #include "graphport/serve/batch.hpp"
@@ -95,6 +109,7 @@
 #include "graphport/support/mathutil.hpp"
 #include "graphport/support/snapshot.hpp"
 #include "graphport/support/strings.hpp"
+#include "graphport/support/table.hpp"
 
 #include "cliopts.hpp"
 
@@ -121,15 +136,21 @@ printUsage(std::FILE *to)
         "[--out FILE]\n"
         "  index    [--small [n_apps]] [--threads N] "
         "[--dataset FILE] [--out FILE]\n"
-        "  advise   [--index FILE] (<app> <input> <chip> | "
-        "--batch FILE|-\n"
-        "           [--threads N] [--format csv|json] [--out FILE] "
-        "[--stats])\n"
+        "  advise   [--index FILE] [--portfolio FILE.gpp] "
+        "(<app> <input> <chip> |\n"
+        "           --batch FILE|- [--threads N] "
+        "[--format csv|json] [--out FILE]\n"
+        "           [--stats])\n"
+        "  portfolio solve|frontier|inspect "
+        "[--small [n_apps]] [--dataset FILE]\n"
+        "           [--eps E] [--exact] [--threads N] "
+        "[--out FILE.gpp]\n"
         "  serve-bench [--index FILE | --small [n_apps]] "
         "[--queries N]\n"
         "           [--threads N] [--seed S] [--open-loop] "
         "[--target-qps Q]\n"
-        "           [--out FILE]\n"
+        "           [--portfolio FILE.gpp|auto] [--portfolio-eps E] "
+        "[--out FILE]\n"
         "  calibrate [--chip NAME] [--starts N] [--iters N] "
         "[--threads N]\n"
         "           [--seed S] [--perturb PCT] [--out FILE]\n"
@@ -155,6 +176,12 @@ printUsage(std::FILE *to)
         "into a snapshot (default graphport_index.gpi); advise "
         "answers queries from it,\n"
         "labeling the lattice tier (or 'predictive') per answer\n"
+        "portfolio: solve the smallest K-member configuration set "
+        "covering every cell\n"
+        "within (1+eps) of its oracle, freeze it as .gpp, or print "
+        "the K-vs-eps Pareto\n"
+        "frontier; advise/serve-bench --portfolio dispatch queries "
+        "to its members\n"
         "calibrate: refit chip models to the DESIGN §13 fingerprints "
         "(--perturb starts\n"
         "from lognormally kicked parameters; --out freezes the "
@@ -506,6 +533,193 @@ cmdIndex(const std::vector<std::string> &args)
     return 0;
 }
 
+/** Dataset for the portfolio solver: saved CSV or a fresh sweep. */
+runner::Dataset
+portfolioDataset(const std::string &datasetPath, bool small,
+                 unsigned smallApps, unsigned threads)
+{
+    const runner::Universe universe =
+        small ? runner::smallUniverse(smallApps)
+              : runner::studyUniverse();
+    if (!datasetPath.empty()) {
+        std::ifstream in(datasetPath);
+        fatalIf(!in.good(), "portfolio: cannot open " + datasetPath);
+        std::printf("loading dataset from %s...\n",
+                    datasetPath.c_str());
+        return runner::Dataset::loadCsv(universe, in);
+    }
+    std::printf("sweeping %zu tests x 96 configs x %u runs (%s "
+                "universe)...\n",
+                universe.numTests(), universe.runs,
+                small ? "small" : "study");
+    runner::BuildOptions options;
+    options.threads = threads;
+    return runner::Dataset::build(universe, options);
+}
+
+/** Member label + per-member attribution lines shared by solve and
+ *  inspect. */
+void
+printPortfolioMembers(const portfolio::Portfolio &p)
+{
+    std::vector<std::size_t> cellsOf(p.members().size(), 0);
+    for (const portfolio::PortfolioCell &c : p.cells())
+        ++cellsOf[c.member];
+    for (std::size_t m = 0; m < p.members().size(); ++m) {
+        const unsigned cfg = p.members()[m];
+        std::printf("  member %zu: [%s] (id %u), %zu cell(s)%s\n", m,
+                    dsl::OptConfig::decode(cfg).label().c_str(), cfg,
+                    cellsOf[m],
+                    m == p.bestGlobalMember()
+                        ? "  <- best-global floor"
+                        : "");
+    }
+    std::printf("  max slowdown %.3fx, geomean %.3fx (eps %.4f, %s "
+                "solver); floor geomean %.3fx\n",
+                p.maxSlowdown(), p.geomeanSlowdown(), p.epsilon(),
+                p.exact() ? "exact" : "greedy",
+                p.bestGlobalGeomean());
+}
+
+int
+cmdPortfolio(const std::vector<std::string> &args)
+{
+    fatalIf(args.size() < 2,
+            "portfolio: expected solve | frontier | inspect");
+    const std::string mode = args[1];
+    std::vector<std::string> rest;
+    rest.push_back("portfolio " + mode);
+    rest.insert(rest.end(), args.begin() + 2, args.end());
+
+    if (mode == "inspect") {
+        std::vector<std::string> positional;
+        cli::FlagSet flags("portfolio inspect", "<file.gpp>");
+        flags.positionals(&positional,
+                          "<file.gpp>  frozen portfolio snapshot");
+        if (!flags.parse(rest))
+            return 0;
+        fatalIf(positional.size() != 1,
+                "portfolio inspect: expected <file.gpp>");
+        const portfolio::Portfolio p =
+            portfolio::Portfolio::loadFile(positional[0]);
+        std::printf("portfolio %s:\n", positional[0].c_str());
+        std::printf("  dataset hash %016llx, %zu cells, %zu "
+                    "member(s)\n",
+                    static_cast<unsigned long long>(p.datasetHash()),
+                    p.cells().size(), p.members().size());
+        printPortfolioMembers(p);
+        return 0;
+    }
+
+    if (mode != "solve" && mode != "frontier")
+        fatal("portfolio: unknown mode '" + mode +
+              "' (solve | frontier | inspect)");
+    const bool solveMode = mode == "solve";
+
+    bool small = false;
+    unsigned smallApps = 4;
+    std::string datasetPath;
+    unsigned threads = 1;
+    double eps = 0.10;
+    bool exact = false;
+    std::size_t maxCandidates = 512;
+    std::string outPath = "graphport_portfolio.gpp";
+    std::string metricsOut;
+    std::string traceOut;
+    cli::FlagSet flags(
+        "portfolio " + mode,
+        solveMode ? "[--small [n_apps]] [--dataset FILE] [--eps E] "
+                    "[--exact] [--out FILE.gpp]"
+                  : "[--small [n_apps]] [--dataset FILE] [--exact] "
+                    "[--max-candidates N]");
+    flags
+        .toggleWithCount("--small", &small, &smallApps, "n_apps",
+                         "use the reduced test universe")
+        .text("--dataset", &datasetPath, "FILE",
+              "load a saved dataset CSV instead of sweeping")
+        .count("--threads", &threads, "N",
+               "worker threads (0 = all hardware threads; results "
+               "are bit-identical at any count)")
+        .toggle("--exact", &exact,
+                "exact branch-and-bound instead of the greedy "
+                "(1+ln n)-approximation");
+    if (solveMode) {
+        flags
+            .number("--eps", &eps, "E",
+                    "cover radius: a member within (1+E) of the "
+                    "oracle covers a cell (default 0.10)")
+            .text("--out", &outPath, "FILE.gpp",
+                  "portfolio snapshot path (default "
+                  "graphport_portfolio.gpp)");
+    } else {
+        flags.count("--max-candidates", &maxCandidates, "N",
+                    "subsample the candidate eps grid above this "
+                    "many distinct slowdowns (default 512)");
+    }
+    cli::addObsFlags(flags, &metricsOut, &traceOut);
+    if (!flags.parse(rest))
+        return 0;
+    fatalIf(small && smallApps == 0,
+            "portfolio: --small needs at least 1 app");
+
+    const runner::Dataset ds =
+        portfolioDataset(datasetPath, small, smallApps, threads);
+
+    obs::Obs o;
+    obs::Obs *obsPtr =
+        cli::obsRequested(metricsOut, traceOut) ? &o : nullptr;
+    portfolio::CoverOptions copts;
+    copts.epsilon = eps;
+    copts.threads = threads;
+    copts.exact = exact;
+    copts.maxFrontierCandidates = maxCandidates;
+    copts.obs = obsPtr;
+
+    if (solveMode) {
+        const portfolio::Portfolio p =
+            portfolio::Portfolio::solve(ds, copts);
+        p.saveFile(outPath);
+        std::printf("portfolio: %zu member(s) cover %zu cells "
+                    "within %.4f of oracle\n",
+                    p.members().size(), p.cells().size(), eps);
+        printPortfolioMembers(p);
+        std::printf("portfolio written to %s\n", outPath.c_str());
+        cli::writeObsFiles("portfolio", o, metricsOut, traceOut);
+        return 0;
+    }
+
+    const std::vector<portfolio::FrontierPoint> frontier =
+        portfolio::paretoFrontier(ds, copts);
+    TextTable table({"K", "eps", "max slowdown", "geomean",
+                     "member config ids"});
+    char buf[64];
+    for (const portfolio::FrontierPoint &fp : frontier) {
+        std::string members;
+        for (unsigned cfg : fp.members) {
+            if (!members.empty())
+                members += ",";
+            members += std::to_string(cfg);
+        }
+        std::vector<std::string> row;
+        row.push_back(std::to_string(fp.k));
+        std::snprintf(buf, sizeof buf, "%.4f", fp.epsilon);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof buf, "%.3fx", fp.maxSlowdown);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof buf, "%.3fx", fp.geomeanSlowdown);
+        row.push_back(buf);
+        row.push_back(members);
+        table.addRow(std::move(row));
+    }
+    std::printf("K-vs-eps Pareto frontier (%zu points, %zu cells, "
+                "%s per-point covers):\n",
+                frontier.size(), ds.numTests(),
+                exact ? "exact" : "greedy");
+    table.print(std::cout);
+    cli::writeObsFiles("portfolio", o, metricsOut, traceOut);
+    return 0;
+}
+
 /**
  * Shared --fault-spec / --deadline-ms wiring for the serving
  * subcommands. addFlags() registers the flags; materialise() parses
@@ -560,6 +774,7 @@ int
 cmdAdvise(const std::vector<std::string> &args)
 {
     std::string indexPath = "graphport_index.gpi";
+    std::string portfolioPath;
     std::string batchPath;
     std::string outPath;
     unsigned threads = 1;
@@ -570,12 +785,15 @@ cmdAdvise(const std::vector<std::string> &args)
     std::string traceOut;
     std::vector<std::string> positional;
     cli::FlagSet flags("advise",
-                       "[--index FILE] (<app> <input> <chip> | "
-                       "--batch FILE|-)");
+                       "[--index FILE] [--portfolio FILE.gpp] "
+                       "(<app> <input> <chip> | --batch FILE|-)");
     flags
         .text("--index", &indexPath, "FILE",
               "strategy index snapshot "
               "(default graphport_index.gpi)")
+        .text("--portfolio", &portfolioPath, "FILE.gpp",
+              "dispatch every query to a member of this frozen "
+              "portfolio instead of the lattice descent")
         .text("--batch", &batchPath, "FILE|-",
               "serve a query file (or stdin) instead of one query")
         .count("--threads", &threads, "N", "batch parallelism")
@@ -599,7 +817,10 @@ cmdAdvise(const std::vector<std::string> &args)
 
     const serve::StrategyIndex index =
         serve::StrategyIndex::loadFile(indexPath);
-    const serve::Advisor advisor(index);
+    serve::Advisor advisor(index);
+    if (!portfolioPath.empty())
+        advisor.attachPortfolio(
+            portfolio::Portfolio::loadFile(portfolioPath));
 
     fault::ScopedInjector injectorScope(faultOpts.materialise());
     const serve::ServePolicy policy = faultOpts.policy();
@@ -632,6 +853,15 @@ cmdAdvise(const std::vector<std::string> &args)
                     "(tier-wide %.2fx)\n",
                     a.partitionSlowdownVsOracle,
                     a.expectedSlowdownVsOracle);
+        if (a.tierId == serve::Tier::Portfolio)
+            std::printf("  portfolio  member %u%s, realized "
+                        "portability cost %.2fx vs oracle\n",
+                        a.portfolioMember,
+                        a.partition.empty()
+                            ? " (best-global floor: query outside "
+                              "the covered cells)"
+                            : "",
+                        a.portabilityCostVsOracle);
         faultOpts.mergeMetrics(obsPtr);
         cli::writeObsFiles("advise", o, metricsOut, traceOut);
         return 0;
@@ -682,13 +912,16 @@ cmdServeBench(const std::vector<std::string> &args)
     std::uint64_t seed = 42;
     bool openLoop = false;
     double targetQps = 0.0;
+    std::string portfolioPath;
+    double portfolioEps = 0.10;
     std::string outPath = "BENCH_serve.json";
     FaultOpts faultOpts;
     std::string metricsOut;
     std::string traceOut;
     cli::FlagSet flags("serve-bench",
                        "[--index FILE | --small [n_apps]] "
-                       "[--queries N] [--threads N] [--open-loop]");
+                       "[--queries N] [--threads N] [--open-loop] "
+                       "[--portfolio FILE.gpp|auto]");
     flags
         .text("--index", &indexPath, "FILE",
               "serve from a frozen index snapshot")
@@ -706,6 +939,11 @@ cmdServeBench(const std::vector<std::string> &args)
         .number("--target-qps", &targetQps, "Q",
                 "open-loop offered load (default: 60% of the "
                 "measured max sustained rate)")
+        .text("--portfolio", &portfolioPath, "FILE.gpp|auto",
+              "dispatch through a frozen portfolio ('auto' solves "
+              "one over the --small universe first)")
+        .number("--portfolio-eps", &portfolioEps, "E",
+                "cover radius for --portfolio auto (default 0.10)")
         .text("--out", &outPath, "FILE",
               "perf record path (default BENCH_serve.json)");
     faultOpts.addFlags(flags);
@@ -717,15 +955,37 @@ cmdServeBench(const std::vector<std::string> &args)
     fatalIf(maxThreads == 0,
             "serve-bench: --threads needs at least 1");
 
+    std::unique_ptr<runner::Dataset> smallDs;
     const serve::StrategyIndex index = [&] {
         if (!indexPath.empty())
             return serve::StrategyIndex::loadFile(indexPath);
         std::printf("building small-universe index (%u apps)...\n",
                     smallApps);
-        return serve::StrategyIndex::build(
+        smallDs = std::make_unique<runner::Dataset>(
             runner::Dataset::build(runner::smallUniverse(smallApps)));
+        return serve::StrategyIndex::build(*smallDs);
     }();
-    const serve::Advisor advisor(index);
+    serve::Advisor advisor(index);
+    if (!portfolioPath.empty()) {
+        const portfolio::Portfolio p = [&] {
+            if (portfolioPath != "auto")
+                return portfolio::Portfolio::loadFile(portfolioPath);
+            fatalIf(smallDs == nullptr,
+                    "serve-bench: --portfolio auto needs the "
+                    "--small universe (pass --portfolio FILE.gpp "
+                    "with --index)");
+            portfolio::CoverOptions copts;
+            copts.epsilon = portfolioEps;
+            copts.threads = maxThreads;
+            return portfolio::Portfolio::solve(*smallDs, copts);
+        }();
+        advisor.attachPortfolio(p);
+        std::printf("portfolio dispatch: %zu member(s), eps %.4f, "
+                    "geomean %.3fx, floor member %u (%.3fx)\n",
+                    p.members().size(), p.epsilon(),
+                    p.geomeanSlowdown(), p.bestGlobalMember(),
+                    p.bestGlobalGeomean());
+    }
 
     const std::vector<serve::Query> stream =
         serve::makeQueryStream(index, queries, seed);
@@ -799,13 +1059,21 @@ cmdServeBench(const std::vector<std::string> &args)
                 serve::runOpenLoop(advisor, openStream, opts);
         }
         result.openLoopMeasured = true;
-        std::printf("  max sustained %.0f q/s; achieved %.0f q/s "
-                    "(%s), p50 %.1f us, p99 %.1f us "
-                    "(intended-send reference)\n",
+        // Achieved-vs-offered makes an under-target run visible in
+        // the summary line itself, without opening the JSON record.
+        const double achievedPct =
+            result.openLoop.offeredQps > 0.0
+                ? 100.0 * result.openLoop.achievedQps /
+                      result.openLoop.offeredQps
+                : 0.0;
+        std::printf("  max sustained %.0f q/s; offered %.0f q/s, "
+                    "achieved %.0f q/s (%.0f%%, %s), p50 %.1f us, "
+                    "p99 %.1f us (intended-send reference)\n",
                     result.sustainedQps,
-                    result.openLoop.achievedQps,
+                    result.openLoop.offeredQps,
+                    result.openLoop.achievedQps, achievedPct,
                     result.openLoop.keptUp ? "kept up"
-                                           : "fell behind",
+                                           : "FELL BEHIND",
                     result.openLoop.latency.percentileNs(50.0) /
                         1e3,
                     result.openLoop.latency.percentileNs(99.0) /
@@ -1102,6 +1370,8 @@ main(int argc, char **argv)
             return cmdStudy(args);
         if (cmd == "index")
             return cmdIndex(args);
+        if (cmd == "portfolio")
+            return cmdPortfolio(args);
         if (cmd == "advise")
             return cmdAdvise(args);
         if (cmd == "serve-bench")
