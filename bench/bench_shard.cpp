@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Shard wire-protocol component benchmark (not a paper experiment).
+ *
+ * The router touches every query twice (scatter out, gather back), so
+ * the end-to-end sharded QPS ceiling is set by the per-query protocol
+ * cost: frame checksum, POD codec pack/unpack, and the kernel pipe
+ * round-trip. This bench prices each component in isolation, checks
+ * the codec round-trips batches bit-identically, and emits
+ * BENCH_shard_wire.json so a protocol regression (e.g. a checksum
+ * back to byte-at-a-time) shows up as a step in the trajectory, not
+ * as an unexplained QPS drop in the full serve-bench.
+ *
+ * Flags:
+ *   --batch N      queries per frame (default 512)
+ *   --frames N     timed frames per component (default 2000)
+ *   --out FILE     JSON output path (default BENCH_shard_wire.json)
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "graphport/obs/obs.hpp"
+#include "graphport/serve/advisor.hpp"
+#include "graphport/shard/wire.hpp"
+#include "graphport/support/framing.hpp"
+#include "graphport/support/rng.hpp"
+
+using namespace graphport;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** A deterministic synthetic batch shaped like study traffic. */
+void
+makeBatch(std::size_t batch, std::vector<serve::Query> *queries,
+          std::vector<std::uint64_t> *keys,
+          std::vector<std::size_t> *indices)
+{
+    const char *apps[] = {"bfs-topo", "sssp-wl", "cc-sv", "pr-topo"};
+    const char *inputs[] = {"road", "social", "random"};
+    const char *chips[] = {"M4000", "GTX1080", "HD5500",
+                           "IRIS",  "R9",      "MALI"};
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    for (std::size_t i = 0; i < batch; ++i) {
+        state = splitmix64(state);
+        queries->push_back({apps[state % 4], inputs[(state >> 8) % 3],
+                            chips[(state >> 16) % 6]});
+        keys->push_back(state);
+        indices->push_back(i);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t batch = 512;
+    std::size_t frames = 2000;
+    std::string outPath = "BENCH_shard_wire.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--batch" && i + 1 < argc)
+            batch = std::stoul(argv[++i]);
+        else if (arg == "--frames" && i + 1 < argc)
+            frames = std::stoul(argv[++i]);
+        else if (arg == "--out" && i + 1 < argc)
+            outPath = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: bench_shard [--batch N] [--frames N] "
+                         "[--out FILE]\n");
+            return 2;
+        }
+    }
+
+    std::printf("=============================================="
+                "================\n"
+                "graphport reproduction | shard wire protocol "
+                "(infrastructure)\n"
+                "per-query cost of the router <-> worker framed "
+                "pipe protocol\n"
+                "=============================================="
+                "================\n\n");
+
+    std::vector<serve::Query> queries;
+    std::vector<std::uint64_t> keys;
+    std::vector<std::size_t> indices;
+    makeBatch(batch, &queries, &keys, &indices);
+
+    // ---- frame checksum throughput ---------------------------------
+    const std::string payload =
+        shard::packQueryFrame(1, queries, keys, indices);
+    std::uint64_t sink = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t f = 0; f < frames; ++f)
+        sink ^= support::frameChecksum(payload);
+    const double sumSeconds = secondsSince(t0);
+    const double sumMBps = static_cast<double>(payload.size()) *
+                           static_cast<double>(frames) / sumSeconds /
+                           1e6;
+    std::printf("frameChecksum: %zu-byte query frame, %.0f MB/s\n",
+                payload.size(), sumMBps);
+
+    // ---- query codec -----------------------------------------------
+    bool roundTripOk = true;
+    t0 = std::chrono::steady_clock::now();
+    for (std::size_t f = 0; f < frames; ++f) {
+        const std::string p =
+            shard::packQueryFrame(f, queries, keys, indices);
+        std::uint64_t frameKey = 0;
+        std::vector<serve::Query> gotQ;
+        std::vector<std::uint64_t> gotK;
+        std::string cause;
+        if (!shard::unpackQueryFrame(p, &frameKey, &gotQ, &gotK,
+                                     &cause) ||
+            frameKey != f || gotK != keys)
+            roundTripOk = false;
+        sink ^= frameKey;
+    }
+    const double queryUs = secondsSince(t0) /
+                           static_cast<double>(frames * batch) * 1e6;
+    std::printf("query codec:   pack+unpack %.4f us/query (%zu "
+                "queries/frame)\n",
+                queryUs, batch);
+
+    // ---- advice codec ----------------------------------------------
+    std::vector<shard::WireAdvice> advices(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+        advices[i].config = static_cast<std::uint32_t>(i % 96);
+        advices[i].expectedBits = keys[i];
+        std::snprintf(advices[i].partition,
+                      sizeof advices[i].partition, "part-%zu", i);
+    }
+    t0 = std::chrono::steady_clock::now();
+    for (std::size_t f = 0; f < frames; ++f) {
+        const std::string p = shard::packAdviceFrame(f, advices);
+        std::uint64_t frameKey = 0;
+        std::vector<shard::WireAdvice> got;
+        std::string cause;
+        if (!shard::unpackAdviceFrame(p, &frameKey, &got, &cause) ||
+            got.size() != advices.size())
+            roundTripOk = false;
+        else if (std::memcmp(got.data(), advices.data(),
+                             got.size() * sizeof(shard::WireAdvice)))
+            roundTripOk = false;
+        sink ^= frameKey;
+    }
+    const double adviceUs = secondsSince(t0) /
+                            static_cast<double>(frames * batch) * 1e6;
+    std::printf("advice codec:  pack+unpack %.4f us/query\n",
+                adviceUs);
+
+    // ---- kernel pipe round-trip ------------------------------------
+    // Self-loopback: write a framed batch into a pipe and read it
+    // back. One frame must fit the pipe buffer or a single thread
+    // would deadlock; cap the in-flight payload well under 64 KiB.
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        std::fprintf(stderr, "pipe() failed\n");
+        return 1;
+    }
+    const std::size_t pipeBatch =
+        std::min<std::size_t>(batch, 200);
+    std::vector<std::size_t> pipeIndices(
+        indices.begin(),
+        indices.begin() + static_cast<std::ptrdiff_t>(pipeBatch));
+    const std::string pipePayload =
+        shard::packQueryFrame(2, queries, keys, pipeIndices);
+    bool pipeOk = true;
+    t0 = std::chrono::steady_clock::now();
+    for (std::size_t f = 0; f < frames; ++f) {
+        if (!support::writeFrame(fds[1], pipePayload)) {
+            pipeOk = false;
+            break;
+        }
+        std::string got;
+        std::string cause;
+        if (support::readFrame(fds[0], got, cause) !=
+                support::FrameStatus::Ok ||
+            got.size() != pipePayload.size()) {
+            pipeOk = false;
+            break;
+        }
+    }
+    const double pipeUs =
+        secondsSince(t0) / static_cast<double>(frames * pipeBatch) *
+        1e6;
+    ::close(fds[0]);
+    ::close(fds[1]);
+    std::printf("pipe loopback: write+read %.4f us/query (%zu-byte "
+                "frame, %zu queries)\n\n",
+                pipeUs, pipePayload.size(), pipeBatch);
+
+    const double totalUs = queryUs + adviceUs + 2.0 * pipeUs;
+    std::printf("protocol floor: ~%.3f us/query round-trip "
+                "(vs one advise; both pipe directions counted)\n",
+                totalUs);
+    std::printf("codec round-trips %s\n\n",
+                roundTripOk && pipeOk ? "bit-identical"
+                                      : "MISMATCH");
+
+    std::ofstream out(outPath);
+    if (!out.good()) {
+        std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+        return 1;
+    }
+    obs::Exporter ex(out);
+    ex.beginObject();
+    ex.field("bench", "shard_wire");
+    ex.field("batch", batch);
+    ex.field("frames", frames);
+    ex.field("frame_bytes", payload.size());
+    ex.field("checksum_mb_per_s", sumMBps, 1);
+    ex.field("query_codec_us_per_query", queryUs, 4);
+    ex.field("advice_codec_us_per_query", adviceUs, 4);
+    ex.field("pipe_us_per_query", pipeUs, 4);
+    ex.field("protocol_floor_us_per_query", totalUs, 4);
+    ex.field("round_trip_ok", roundTripOk && pipeOk);
+    ex.field("checksum_entropy", sink != 0);
+    ex.endObject();
+    std::printf("perf record written to %s\n", outPath.c_str());
+
+    return roundTripOk && pipeOk ? 0 : 1;
+}

@@ -6,6 +6,7 @@ Usage:
     python3 ci/validate_obs.py trace FILE [FILE...]
     python3 ci/validate_obs.py serve FILE [FILE...]
     python3 ci/validate_obs.py portfolio FILE [FILE...]
+    python3 ci/validate_obs.py shard FILE [FILE...]
 
 "summary" validates a --metrics-out document (the canonical
 graphport-obs-summary JSON); "trace" validates a --trace-out Chrome
@@ -23,6 +24,15 @@ frontier is monotone (K strictly up, ε strictly down, ending at
 ε = 0), dispatch stays bit-identical and within its overhead
 budget, allocs_per_query is exactly 0, and every reported
 portability cost matched direct recomputation.
+"shard" validates a BENCH_shard.json record (shard-smoke job): the
+routed answers bit-identical to the in-process reference,
+allocs_per_query exactly 0 on the in-shard dispatch path, positive
+shard.route.* counters with torn frames bounded by frames sent, and
+router QPS >= the recorded speedup budget times the single-process
+figure whenever the record says the gate was enforceable
+(speedup_enforced — >= 2 shards on a machine with >= 2 CPUs; a
+1-CPU run records the speedup without enforcing it, since N workers
+time-slicing one core cannot beat one process).
 Standard library only — CI must not install anything.
 """
 import json
@@ -207,6 +217,62 @@ def check_portfolio(doc):
     return len(frontier)
 
 
+def check_shard(doc):
+    expect(isinstance(doc, dict), "$", "object")
+    expect(doc.get("bench") == "shard", "bench", '"shard"')
+    expect(is_count(doc.get("shards")) and doc["shards"] >= 1,
+           "shards", "integer >= 1")
+    expect(is_count(doc.get("queries")) and doc["queries"] >= 1,
+           "queries", "integer >= 1")
+    expect(is_count(doc.get("cpus")) and doc["cpus"] >= 1, "cpus",
+           "integer >= 1")
+    for field in ("single_process_qps", "router_qps", "speedup",
+                  "speedup_budget"):
+        expect(is_num(doc.get(field)) and doc[field] > 0, field,
+               "positive number")
+
+    expect(doc.get("bit_identical") is True, "bit_identical",
+           "true (routed answers must match the in-process "
+           "reference)")
+    expect("allocs_per_query" in doc, "allocs_per_query",
+           "field present (counting allocator linked)")
+    expect(doc["allocs_per_query"] == 0, "allocs_per_query",
+           "exactly 0 (zero-allocation in-shard dispatch)")
+
+    expect(isinstance(doc.get("speedup_enforced"), bool),
+           "speedup_enforced", "boolean")
+    if doc["speedup_enforced"]:
+        expect(doc["speedup"] >= doc["speedup_budget"], "speedup",
+               f">= budget ({doc['speedup_budget']}x) on an "
+               "enforceable run")
+
+    counters = doc.get("counters")
+    expect(isinstance(counters, dict), "counters", "object")
+    for name in ("shard.route.batches", "shard.route.queries",
+                 "shard.route.frames_sent"):
+        expect(is_count(counters.get(name)) and counters[name] > 0,
+               f"counters.{name}", "positive integer")
+    for name in ("shard.route.frames_torn",
+                 "shard.route.worker_respawns"):
+        expect(is_count(counters.get(name)), f"counters.{name}",
+               "non-negative integer")
+    expect(counters["shard.route.frames_torn"] <=
+           counters["shard.route.frames_sent"],
+           "counters.shard.route.frames_torn",
+           "torn <= frames sent")
+
+    ol = doc.get("open_loop")
+    if ol is not None:
+        expect(isinstance(ol, dict), "open_loop", "object")
+        for field in ("target_qps", "offered_qps", "achieved_qps",
+                      "p50_us", "p99_us"):
+            expect(is_num(ol.get(field)), f"open_loop.{field}",
+                   "number")
+        expect(ol.get("kept_up") is True, "open_loop.kept_up",
+               "true (offered load sustained)")
+    return doc["shards"]
+
+
 def check_trace(doc):
     expect(isinstance(doc, dict), "$", "object")
     expect(isinstance(doc.get("traceEvents"), list), "traceEvents",
@@ -232,7 +298,7 @@ def main(argv):
     if require_fault:
         args.remove("--require-fault")
     if len(args) < 2 or args[0] not in ("summary", "trace", "serve",
-                                    "portfolio"):
+                                    "portfolio", "shard"):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     if require_fault and args[0] != "summary":
@@ -241,7 +307,8 @@ def main(argv):
         return 2
     check = {"summary": check_summary, "trace": check_trace,
              "serve": check_serve,
-             "portfolio": check_portfolio}[args[0]]
+             "portfolio": check_portfolio,
+             "shard": check_shard}[args[0]]
     for path in args[1:]:
         try:
             with open(path) as f:
@@ -254,7 +321,8 @@ def main(argv):
             return 1
         unit = {"summary": "spans", "trace": "events",
                 "serve": "variants",
-                "portfolio": "frontier points"}[args[0]]
+                "portfolio": "frontier points",
+                "shard": "shards"}[args[0]]
         print(f"{path}: ok ({n} {unit})")
     return 0
 

@@ -121,16 +121,78 @@ parseHexU64(const std::string &s, std::uint64_t *out)
 }
 
 /**
+ * Parse one "cell,<w>,<bits>...,<sum>" checkpoint row. Returns true
+ * with *w / bits filled, or false with *cause set. Shared by the
+ * lenient in-build resume and the strict shard merge so the two paths
+ * can never drift on what a valid row is.
+ */
+bool
+parseCheckpointRow(const std::string &row, std::size_t items,
+                   unsigned runs, std::size_t *w,
+                   std::vector<std::uint64_t> &bits,
+                   std::string *cause)
+{
+    const std::size_t lastComma = row.rfind(',');
+    std::uint64_t storedSum = 0;
+    if (lastComma == std::string::npos ||
+        !parseHexU64(row.substr(lastComma + 1), &storedSum) ||
+        storedSum != checkpointRowSum(row.substr(0, lastComma))) {
+        *cause = "row checksum mismatch (torn row)";
+        return false;
+    }
+    const std::vector<std::string> f = split(row, ',');
+    if (f.size() != 3 + runs || f[0] != "cell") {
+        *cause = "malformed row";
+        return false;
+    }
+    std::uint64_t w64 = 0;
+    if (f[1].empty() ||
+        f[1].find_first_not_of("0123456789") != std::string::npos ||
+        (w64 = std::strtoull(f[1].c_str(), nullptr, 10)) >= items) {
+        *cause = "bad work index '" + f[1] + "'";
+        return false;
+    }
+    bits.assign(runs, 0);
+    for (unsigned r = 0; r < runs; ++r) {
+        if (!parseHexU64(f[2 + r], &bits[r])) {
+            *cause = "bad payload";
+            return false;
+        }
+    }
+    *w = static_cast<std::size_t>(w64);
+    return true;
+}
+
+/** Whether the stored runs at @p slot equal @p bits bit-for-bit. */
+bool
+sameCellBits(const std::vector<double> &runsNs, std::size_t slot,
+             const std::vector<std::uint64_t> &bits)
+{
+    for (std::size_t r = 0; r < bits.size(); ++r) {
+        if (std::bit_cast<std::uint64_t>(runsNs[slot + r]) != bits[r])
+            return false;
+    }
+    return true;
+}
+
+/**
  * Restore the valid prefix of a checkpoint file: fills runsNs / done
  * for every intact cell row and collects those rows verbatim so the
  * caller can rewrite the file without the torn tail. A file for a
  * different universe (or with a foreign header) restores nothing —
- * warning, not error, matching the dataset cache's contract.
+ * warning, not error, matching the dataset cache's contract. A
+ * duplicate row whose payload conflicts with the one already restored
+ * also rejects the whole file: two flushes of the same cell can only
+ * differ when the file was hand-edited or spliced from two sweeps,
+ * and no deterministic pick between them is safe. [rangeBegin,
+ * rangeEnd) is the work range the caller is about to price; the
+ * torn-tail warning names the first cell in it the resume re-prices.
  */
 std::size_t
 restoreCheckpoint(const std::string &path, std::uint64_t identity,
                   const Universe &universe, std::size_t items,
-                  std::size_t nCfg, std::vector<double> &runsNs,
+                  std::size_t nCfg, std::size_t rangeBegin,
+                  std::size_t rangeEnd, std::vector<double> &runsNs,
                   std::vector<char> &done,
                   std::vector<std::string> &validRows)
 {
@@ -138,11 +200,24 @@ restoreCheckpoint(const std::string &path, std::uint64_t identity,
     if (!in.good())
         return 0; // no checkpoint yet: fresh run
 
+    std::vector<std::size_t> restoredWs;
     const auto reject = [&](const std::string &cause) {
         std::fprintf(stderr,
                      "graphport: warning: checkpoint '%s' rejected "
                      "(%s); starting the sweep over\n",
                      path.c_str(), cause.c_str());
+        // Roll back rows restored before the defect was seen: a
+        // rejected file must restore nothing.
+        for (std::size_t w : restoredWs) {
+            const std::size_t slot =
+                cellSlot(w, universe.apps.size(),
+                         universe.inputs.size(),
+                         universe.chips.size(), nCfg, universe.runs);
+            for (unsigned r = 0; r < universe.runs; ++r)
+                runsNs[slot + r] = 0.0;
+            done[w] = 0;
+        }
+        validRows.clear();
         return std::size_t{0};
     };
 
@@ -163,63 +238,53 @@ restoreCheckpoint(const std::string &path, std::uint64_t identity,
     const std::size_t nInputs = universe.inputs.size();
     const std::size_t nChips = universe.chips.size();
     std::size_t restored = 0;
+    bool torn = false;
+    std::string tornCause;
+    std::vector<std::uint64_t> bits;
     while (std::getline(in, line)) {
         const std::string row = trim(line);
         if (row.empty())
             continue;
         // Any malformed row is treated as the torn tail of the crash
         // that made resuming necessary: drop it and everything after.
-        const std::size_t lastComma = row.rfind(',');
-        std::uint64_t storedSum = 0;
-        if (lastComma == std::string::npos ||
-            !parseHexU64(row.substr(lastComma + 1), &storedSum) ||
-            storedSum !=
-                checkpointRowSum(row.substr(0, lastComma))) {
-            std::fprintf(stderr,
-                         "graphport: warning: checkpoint '%s': "
-                         "dropping torn tail row\n",
-                         path.c_str());
+        std::size_t w = 0;
+        if (!parseCheckpointRow(row, items, universe.runs, &w, bits,
+                                &tornCause)) {
+            torn = true;
             break;
         }
-        const std::vector<std::string> f = split(row, ',');
-        if (f.size() != 3 + universe.runs || f[0] != "cell") {
-            std::fprintf(stderr,
-                         "graphport: warning: checkpoint '%s': "
-                         "dropping malformed row\n",
-                         path.c_str());
-            break;
-        }
-        std::uint64_t w = 0;
-        if (f[1].empty() ||
-            f[1].find_first_not_of("0123456789") !=
-                std::string::npos ||
-            (w = std::strtoull(f[1].c_str(), nullptr, 10)) >= items) {
-            std::fprintf(stderr,
-                         "graphport: warning: checkpoint '%s': "
-                         "dropping row with bad work index\n",
-                         path.c_str());
-            break;
-        }
-        std::vector<std::uint64_t> bits(universe.runs);
-        bool okBits = true;
-        for (unsigned r = 0; r < universe.runs && okBits; ++r)
-            okBits = parseHexU64(f[2 + r], &bits[r]);
-        if (!okBits) {
-            std::fprintf(stderr,
-                         "graphport: warning: checkpoint '%s': "
-                         "dropping row with bad payload\n",
-                         path.c_str());
-            break;
-        }
-        if (done[w])
-            continue; // duplicate append (flushed twice): harmless
         const std::size_t slot =
             cellSlot(w, nApps, nInputs, nChips, nCfg, universe.runs);
+        if (done[w]) {
+            // Duplicate append (flushed twice): harmless when the
+            // payload matches, poison when it doesn't.
+            if (!sameCellBits(runsNs, slot, bits))
+                return reject(
+                    "conflicting duplicate row for work index " +
+                    std::to_string(w));
+            continue;
+        }
         for (unsigned r = 0; r < universe.runs; ++r)
             runsNs[slot + r] = std::bit_cast<double>(bits[r]);
         done[w] = 1;
         ++restored;
+        restoredWs.push_back(w);
         validRows.push_back(row);
+    }
+    if (torn) {
+        std::size_t resumeAt = rangeEnd;
+        for (std::size_t w = rangeBegin; w < rangeEnd; ++w) {
+            if (!done[w]) {
+                resumeAt = w;
+                break;
+            }
+        }
+        std::fprintf(stderr,
+                     "graphport: warning: checkpoint '%s': dropping "
+                     "torn tail (%s); %zu intact rows kept, resume "
+                     "re-prices from work index %zu\n",
+                     path.c_str(), tornCause.c_str(), restored,
+                     resumeAt);
     }
     return restored;
 }
@@ -451,6 +516,25 @@ Dataset::build(const Universe &universe, const BuildOptions &options)
     const std::size_t cells = ds.numTests() * nCfg;
     ds.runsNs_.assign(cells * universe.runs, 0.0);
 
+    // Optional shard slice: price only [workBegin, workEnd) of the
+    // flat (trace, chip, config) work-item order. The slice shares
+    // every per-cell seed with the full build, so the cells it does
+    // price are bit-identical to the same cells of a full sweep.
+    const std::size_t nTraces = universe.apps.size() * nInputs;
+    const std::size_t itemsTotal = nTraces * nChips * nCfg;
+    const bool ranged = options.workEnd > options.workBegin;
+    fatalIf(ranged && options.workEnd > itemsTotal,
+            "Dataset::build: work range end " +
+                std::to_string(options.workEnd) + " exceeds the " +
+                std::to_string(itemsTotal) + " work items");
+    fatalIf(!ranged &&
+                (options.workBegin != 0 || options.workEnd != 0),
+            "Dataset::build: bad work range [" +
+                std::to_string(options.workBegin) + ", " +
+                std::to_string(options.workEnd) + ")");
+    const std::size_t rangeBegin = ranged ? options.workBegin : 0;
+    const std::size_t rangeEnd = ranged ? options.workEnd : itemsTotal;
+
     const auto &configs = dsl::allConfigs();
     std::vector<const sim::ChipModel *> chips;
     chips.reserve(nChips);
@@ -490,12 +574,19 @@ Dataset::build(const Universe &universe, const BuildOptions &options)
     };
     // Sized up front: CompactTrace points at its trace, so entries
     // must never move after compaction.
-    std::vector<TraceEntry> traces(universe.apps.size() * nInputs);
+    std::vector<TraceEntry> traces(nTraces);
+    // A contiguous work range covers a contiguous trace span (work
+    // order is trace-major), so a shard worker records only its own
+    // traces instead of the whole study's.
+    const std::size_t traceLo = rangeBegin / (nCfg * nChips);
+    const std::size_t traceHi =
+        (rangeEnd - 1) / (nCfg * nChips) + 1;
     obs::Span recordSpan(buildSpan, "record", 0);
     pool.parallelFor(
-        traces.size(),
+        traceHi - traceLo,
         [&](std::size_t begin, std::size_t end) {
-            for (std::size_t w = begin; w < end; ++w) {
+            for (std::size_t k = begin; k < end; ++k) {
+                const std::size_t w = traceLo + k;
                 TraceEntry &entry = traces[w];
                 entry.input = w / universe.apps.size();
                 entry.app = w % universe.apps.size();
@@ -532,9 +623,9 @@ Dataset::build(const Universe &universe, const BuildOptions &options)
         /*chunk=*/1);
     std::size_t launchesTotal = 0;
     std::size_t launchesUnique = 0;
-    for (const TraceEntry &entry : traces) {
-        launchesTotal += entry.compact.launchCount();
-        launchesUnique += entry.compact.uniqueCount();
+    for (std::size_t t = traceLo; t < traceHi; ++t) {
+        launchesTotal += traces[t].compact.launchCount();
+        launchesUnique += traces[t].compact.uniqueCount();
     }
     // Per-test seed bases, so the fan-out hashes no strings.
     std::vector<std::uint64_t> seedBase(ds.numTests());
@@ -562,9 +653,9 @@ Dataset::build(const Universe &universe, const BuildOptions &options)
         done.assign(items, 0);
         const std::uint64_t identity = universeIdentityHash(universe);
         std::vector<std::string> validRows;
-        restored = restoreCheckpoint(options.checkpointPath,
-                                     identity, universe, items, nCfg,
-                                     ds.runsNs_, done, validRows);
+        restored = restoreCheckpoint(
+            options.checkpointPath, identity, universe, items, nCfg,
+            rangeBegin, rangeEnd, ds.runsNs_, done, validRows);
         // Rewrite as exactly the restored prefix, dropping any torn
         // tail, so appends extend a clean file.
         support::atomicWriteFile(
@@ -622,13 +713,14 @@ Dataset::build(const Universe &universe, const BuildOptions &options)
     };
 
     if (!checkpointing) {
-        priceBlock(0, items);
+        priceBlock(rangeBegin, rangeEnd);
     } else {
         const std::size_t blockSize =
-            options.checkpointEvery == 0 ? items
+            options.checkpointEvery == 0 ? rangeEnd - rangeBegin
                                          : options.checkpointEvery;
-        for (std::size_t b = 0; b < items; b += blockSize) {
-            const std::size_t e = std::min(items, b + blockSize);
+        for (std::size_t b = rangeBegin; b < rangeEnd;
+             b += blockSize) {
+            const std::size_t e = std::min(rangeEnd, b + blockSize);
             priceBlock(b, e);
             // The block completed: make it durable before starting
             // the next one. A crash inside priceBlock leaves this
@@ -679,7 +771,8 @@ Dataset::build(const Universe &universe, const BuildOptions &options)
         local.counter("sweep.configs").add(nCfg);
         local.counter("sweep.cells").add(cells);
         local.counter("sweep.runs_per_cell").add(universe.runs);
-        local.counter("sweep.traces_recorded").add(traces.size());
+        local.counter("sweep.traces_recorded")
+            .add(traceHi - traceLo);
         local.counter("sweep.launches_total").add(launchesTotal);
         local.counter("sweep.launches_unique").add(launchesUnique);
         local.gauge("sweep.record_seconds").set(recordSeconds);
@@ -698,11 +791,105 @@ Dataset::build(const Universe &universe, const BuildOptions &options)
             options.obs->metrics.merge(local);
     }
     if (checkpointing) {
-        // The sweep completed: the checkpoint has served its purpose
-        // and a stale one must not shadow the next (different) run.
         ckOut.close();
-        std::remove(options.checkpointPath.c_str());
+        // The sweep completed: the checkpoint has served its purpose
+        // and a stale one must not shadow the next (different) run —
+        // unless the caller is a shard worker, whose completed .gpk
+        // IS the result the coordinator merges.
+        if (!options.keepCheckpoint)
+            std::remove(options.checkpointPath.c_str());
     }
+    return ds;
+}
+
+Dataset
+Dataset::fromShardCheckpoints(const Universe &universe,
+                              const std::vector<std::string> &paths)
+{
+    universe.validate();
+    fatalIf(paths.empty(), "shard merge: no checkpoint files");
+    Dataset ds;
+    ds.universe_ = universe;
+    const std::size_t nApps = universe.apps.size();
+    const std::size_t nInputs = universe.inputs.size();
+    const std::size_t nChips = universe.chips.size();
+    const std::size_t nCfg = ds.numConfigs();
+    const std::size_t items = nApps * nInputs * nChips * nCfg;
+    ds.runsNs_.assign(ds.numTests() * nCfg * universe.runs, 0.0);
+    std::vector<char> done(items, 0);
+
+    const std::uint64_t identity = universeIdentityHash(universe);
+    std::vector<std::uint64_t> bits;
+    for (const std::string &path : paths) {
+        const std::string label = "shard checkpoint '" + path + "'";
+        std::ifstream in(path);
+        fatalIf(!in.good(), label + ": cannot open");
+        std::string line;
+        fatalIf(!std::getline(in, line) ||
+                    trim(line) != kCheckpointMagic,
+                label + ": bad header");
+        fatalIf(!std::getline(in, line),
+                label + ": missing universe stamp");
+        const std::vector<std::string> stamp =
+            split(trim(line), ',');
+        std::uint64_t storedIdentity = 0;
+        fatalIf(stamp.size() != 2 || stamp[0] != "universe" ||
+                    !parseHexU64(stamp[1], &storedIdentity),
+                label + ": bad universe stamp");
+        fatalIf(storedIdentity != identity,
+                label + ": written for a different universe");
+
+        std::size_t lineNo = 2;
+        while (std::getline(in, line)) {
+            ++lineNo;
+            const std::string row = trim(line);
+            if (row.empty())
+                continue;
+            std::size_t w = 0;
+            std::string cause;
+            // Strict, unlike the in-build resume: a coordinator has
+            // no way to re-price a worker's torn tail, so any defect
+            // is an error, not a warning. The parse must run before
+            // the message is built — fatalIf's arguments have no
+            // ordering guarantee, and the cause is filled by the call.
+            const bool rowOk = parseCheckpointRow(
+                row, items, universe.runs, &w, bits, &cause);
+            fatalIf(!rowOk, label + " line " + std::to_string(lineNo) +
+                                ": " + cause);
+            const std::size_t slot = cellSlot(
+                w, nApps, nInputs, nChips, nCfg, universe.runs);
+            if (done[w]) {
+                // Retried workers may overlap; identical payloads
+                // merge, diverging ones mean two sweeps got mixed.
+                fatalIf(!sameCellBits(ds.runsNs_, slot, bits),
+                        label + " line " + std::to_string(lineNo) +
+                            ": conflicting duplicate row for work "
+                            "index " +
+                            std::to_string(w));
+                continue;
+            }
+            for (unsigned r = 0; r < universe.runs; ++r)
+                ds.runsNs_[slot + r] =
+                    std::bit_cast<double>(bits[r]);
+            done[w] = 1;
+        }
+    }
+
+    std::size_t missing = 0;
+    std::size_t firstMissing = items;
+    for (std::size_t w = 0; w < items; ++w) {
+        if (!done[w]) {
+            if (firstMissing == items)
+                firstMissing = w;
+            ++missing;
+        }
+    }
+    fatalIf(missing != 0,
+            "shard merge: " + std::to_string(missing) +
+                " of " + std::to_string(items) +
+                " cells unpriced (first missing work index " +
+                std::to_string(firstMissing) + ")");
+    ds.finalise();
     return ds;
 }
 

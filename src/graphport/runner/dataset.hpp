@@ -92,6 +92,25 @@ struct BuildOptions
 
     /** Cells priced between checkpoint appends (default 256). */
     std::size_t checkpointEvery = 256;
+
+    /**
+     * Work-item range [workBegin, workEnd) to price, in the same flat
+     * (trace, chip, config) order the checkpoint rows use. When
+     * workEnd > workBegin the build prices only that range (a shard
+     * worker's slice from shard::Partitioner); cells outside it stay
+     * zero and only the traces the range touches are recorded. The
+     * default (0, 0) prices everything. Priced cells are bit-identical
+     * to the same cells of a full build.
+     */
+    std::size_t workBegin = 0;
+    std::size_t workEnd = 0;
+
+    /**
+     * Keep the checkpoint file after a successful build instead of
+     * deleting it. Shard workers set this: their completed .gpk IS
+     * the result the coordinator merges via fromShardCheckpoints.
+     */
+    bool keepCheckpoint = false;
 };
 
 /**
@@ -123,6 +142,21 @@ class Dataset
      */
     static Dataset build(const Universe &universe,
                          const BuildOptions &options);
+
+    /**
+     * Merge completed shard checkpoints (.gpk, one per worker) into a
+     * full dataset. Unlike the lenient in-build resume path, the
+     * merge is strict: a missing file, foreign universe stamp, torn
+     * or malformed row, conflicting duplicate payload, or any
+     * unpriced cell throws FatalError naming the file and cause —
+     * a coordinator must never silently serve a partial merge.
+     * Overlapping rows with bit-identical payloads are tolerated
+     * (workers may have been retried with overlapping ranges). The
+     * merged dataset is bit-identical to a single-process build.
+     */
+    static Dataset
+    fromShardCheckpoints(const Universe &universe,
+                         const std::vector<std::string> &paths);
 
     /**
      * Load the dataset from @p path if the file exists, otherwise

@@ -63,6 +63,22 @@ decodeKey(const std::string &field)
     return field == "-" ? "" : field;
 }
 
+/**
+ * The chip component of a chip-bearing partition key. Keys join their
+ * dimension values in "app|input|chip|" order, each followed by "|",
+ * so for a byChip spec the chip is the last segment.
+ */
+std::string
+chipOfPartitionKey(const std::string &key)
+{
+    panicIf(key.size() < 2 || key.back() != '|',
+            "StrategyIndex: malformed chip partition key '" + key +
+                "'");
+    const std::size_t sep = key.rfind('|', key.size() - 2);
+    const std::size_t start = sep == std::string::npos ? 0 : sep + 1;
+    return key.substr(start, key.size() - 1 - start);
+}
+
 } // namespace
 
 void
@@ -366,6 +382,54 @@ StrategyIndex::load(std::istream &is, const std::string &what)
     r.expectEnd();
     index.rebuildLookups();
     return index;
+}
+
+StrategyIndex
+StrategyIndex::sliceByChips(const std::vector<std::string> &chips)
+    const
+{
+    fatalIf(chips.empty(),
+            "StrategyIndex::sliceByChips: empty chip set");
+    std::set<std::string> keep;
+    for (const std::string &chip : chips) {
+        fatalIf(!hasChip(chip),
+                "StrategyIndex::sliceByChips: chip '" + chip +
+                    "' is not in the index");
+        fatalIf(!keep.insert(chip).second,
+                "StrategyIndex::sliceByChips: duplicate chip '" +
+                    chip + "'");
+    }
+
+    StrategyIndex out = *this;
+    // Order-preserving subset, so every slice agrees with the full
+    // index (and with every other slice) on chip order.
+    out.chips_.clear();
+    for (const std::string &chip : chips_) {
+        if (keep.count(chip))
+            out.chips_.push_back(chip);
+    }
+    for (port::StrategyTable &table : out.tables_) {
+        if (!table.spec.byChip)
+            continue;
+        for (auto it = table.configByPartition.begin();
+             it != table.configByPartition.end();) {
+            if (keep.count(chipOfPartitionKey(it->first)))
+                ++it;
+            else
+                it = table.configByPartition.erase(it);
+        }
+        for (auto it = table.slowdownByPartition.begin();
+             it != table.slowdownByPartition.end();) {
+            if (keep.count(chipOfPartitionKey(it->first)))
+                ++it;
+            else
+                it = table.slowdownByPartition.erase(it);
+        }
+    }
+    // rebuildLookups() interns the *owned* chips only, so an
+    // un-owned chip probes as unknown and takes the predictive path.
+    out.rebuildLookups();
+    return out;
 }
 
 StrategyIndex

@@ -159,6 +159,22 @@ class StrategyIndex
     const port::WorkloadFeatures *
     featuresFor(const std::string &app, const std::string &input) const;
 
+    /**
+     * A copy of this index that *owns* only @p chips (each must be
+     * one of chips(), no duplicates): the chip-bearing strategy
+     * tables keep only the partitions of the owned chips, while every
+     * chip-free tier, the whole k-NN example pool, the input specs
+     * and the stored features are kept verbatim. Queries for an owned
+     * chip therefore answer bit-identically to the full index, and
+     * queries for any other chip take the predictive path — exactly
+     * as the full index treats a chip outside the study. Table-level
+     * geomeans are the full-study figures, not recomputed: they
+     * describe the strategy, not the slice. This is what a shard
+     * serve-worker loads.
+     */
+    StrategyIndex
+    sliceByChips(const std::vector<std::string> &chips) const;
+
   private:
     StrategyIndex() = default;
 

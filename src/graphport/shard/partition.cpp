@@ -1,0 +1,91 @@
+#include "graphport/shard/partition.hpp"
+
+#include "graphport/support/error.hpp"
+#include "graphport/support/rng.hpp"
+#include "graphport/support/strings.hpp"
+
+namespace graphport {
+namespace shard {
+
+WorkRange
+rangeOf(std::size_t shard, std::size_t shards, std::size_t rows)
+{
+    panicIf(shards == 0, "shard::rangeOf: zero shards");
+    panicIf(shard >= shards, "shard::rangeOf: shard out of range");
+    const std::size_t base = rows / shards;
+    const std::size_t rem = rows % shards;
+    WorkRange r;
+    r.begin = shard * base + std::min(shard, rem);
+    r.end = r.begin + base + (shard < rem ? 1 : 0);
+    return r;
+}
+
+std::size_t
+ownerOfRow(std::size_t row, std::size_t shards, std::size_t rows)
+{
+    panicIf(row >= rows, "shard::ownerOfRow: row out of range");
+    const std::size_t base = rows / shards;
+    const std::size_t rem = rows % shards;
+    // The first `rem` shards each own base+1 rows.
+    const std::size_t fat = rem * (base + 1);
+    if (row < fat)
+        return row / (base + 1);
+    return rem + (row - fat) / base;
+}
+
+std::vector<std::string>
+chipsOf(std::size_t shard, std::size_t shards,
+        const std::vector<std::string> &chips)
+{
+    const WorkRange r = rangeOf(shard, shards, chips.size());
+    return std::vector<std::string>(chips.begin() + r.begin,
+                                    chips.begin() + r.end);
+}
+
+std::size_t
+homeShardForUnknownChip(const std::string &chip, std::size_t shards)
+{
+    panicIf(shards == 0, "shard::homeShardForUnknownChip: zero "
+                         "shards");
+    return hashStr(chip) % shards;
+}
+
+void
+validateShardCount(const std::string &cmd, std::size_t shards,
+                   std::size_t nChips)
+{
+    fatalIf(shards == 0, cmd + ": --shards expects at least 1 shard, "
+                               "got 0");
+    fatalIf(shards > nChips,
+            cmd + ": --shards (" + std::to_string(shards) +
+                ") cannot exceed the chip count (" +
+                std::to_string(nChips) +
+                "); a shard owning no chip can answer nothing");
+}
+
+std::string
+stripCrashSites(const std::string &spec)
+{
+    std::string out;
+    for (const std::string &part : split(spec, ';')) {
+        const std::string clause = trim(part);
+        if (clause.empty())
+            continue;
+        const std::size_t colon = clause.find(':');
+        if (colon != std::string::npos) {
+            const std::string site = trim(clause.substr(0, colon));
+            const std::string suffix = ".crash";
+            if (site.size() >= suffix.size() &&
+                site.compare(site.size() - suffix.size(),
+                             suffix.size(), suffix) == 0)
+                continue;
+        }
+        if (!out.empty())
+            out += ';';
+        out += clause;
+    }
+    return out;
+}
+
+} // namespace shard
+} // namespace graphport

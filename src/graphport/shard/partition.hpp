@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic ownership for the shard layer. Two resources get
+ * partitioned, both with the same contiguous balanced rule:
+ *
+ *  - Sweep work items: the flat (trace, chip, config) row order of
+ *    Dataset::build is split into N contiguous ranges, one per worker
+ *    process. Contiguity matters twice over — a worker's range maps
+ *    to a contiguous trace span (it records only its own traces), and
+ *    its checkpoint blocks stay sequential on disk.
+ *  - Serve chips: the index's chip list is split into N contiguous
+ *    slices; a worker serves StrategyIndex::sliceByChips of its
+ *    slice. A query whose chip no shard owns (the predictive path) is
+ *    routed to a deterministic home shard by chip-name hash; any home
+ *    works because the k-NN example pool is replicated on every
+ *    shard, so the predictive answer is shard-independent.
+ *
+ * Everything here is a pure function of (resource size, shard count):
+ * coordinator, router and workers can each recompute ownership
+ * locally and always agree.
+ */
+#ifndef GRAPHPORT_SHARD_PARTITION_HPP
+#define GRAPHPORT_SHARD_PARTITION_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace graphport {
+namespace shard {
+
+/** Half-open row range [begin, end). */
+struct WorkRange
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t size() const { return end - begin; }
+    bool contains(std::size_t row) const
+    {
+        return row >= begin && row < end;
+    }
+};
+
+/**
+ * Contiguous balanced range of shard @p shard out of @p shards over
+ * @p rows rows: every shard gets rows/shards rows, the first
+ * rows%shards shards one extra. Ranges tile [0, rows) exactly.
+ */
+WorkRange rangeOf(std::size_t shard, std::size_t shards,
+                  std::size_t rows);
+
+/** Inverse of rangeOf: which shard owns @p row. */
+std::size_t ownerOfRow(std::size_t row, std::size_t shards,
+                       std::size_t rows);
+
+/** Chip-name slice shard @p shard serves (rangeOf over the list). */
+std::vector<std::string> chipsOf(std::size_t shard,
+                                 std::size_t shards,
+                                 const std::vector<std::string> &chips);
+
+/**
+ * Home shard for a chip outside the index (predictive queries):
+ * deterministic hash of the chip name modulo the shard count.
+ */
+std::size_t homeShardForUnknownChip(const std::string &chip,
+                                    std::size_t shards);
+
+/**
+ * Reject inconsistent shard counts with the uniform cliopts error
+ * format ("<cmd>: ..."): zero shards, or more shards than the index
+ * has chips (a shard that owns no chip can answer nothing).
+ */
+void validateShardCount(const std::string &cmd, std::size_t shards,
+                        std::size_t nChips);
+
+/**
+ * Drop every site whose name ends in ".crash" from a fault-spec
+ * string, preserving the other clauses verbatim. Used when a
+ * coordinator respawns a crashed worker (or a router respawns a dead
+ * one): the crash already happened — replaying "sweep.crash:once=K"
+ * into the replacement would kill it at the same cell forever, since
+ * injection decisions are pure functions of (seed, site, key). Same
+ * convention as the chaos-smoke CI job's resume-without-fault-spec.
+ */
+std::string stripCrashSites(const std::string &spec);
+
+} // namespace shard
+} // namespace graphport
+
+#endif // GRAPHPORT_SHARD_PARTITION_HPP

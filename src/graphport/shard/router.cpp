@@ -1,0 +1,333 @@
+#include "graphport/shard/router.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "graphport/fault/injector.hpp"
+#include "graphport/obs/metrics.hpp"
+#include "graphport/shard/partition.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/framing.hpp"
+
+namespace graphport {
+namespace shard {
+
+Router::Router(std::vector<std::string> chips, RouterOptions options)
+    : options_(std::move(options)), chips_(std::move(chips))
+{
+    fatalIf(chips_.empty(), "shard::Router: empty chip list");
+    fatalIf(options_.shards == 0, "shard::Router: zero shards");
+    fatalIf(options_.shards > chips_.size(),
+            "shard::Router: " + std::to_string(options_.shards) +
+                " shards for " + std::to_string(chips_.size()) +
+                " chips");
+    fatalIf(options_.baseWorkerArgv.empty(),
+            "shard::Router: empty worker argv");
+    for (std::size_t s = 0; s < options_.shards; ++s) {
+        for (const std::string &chip :
+             chipsOf(s, options_.shards, chips_)) {
+            const bool inserted =
+                chipShard_.emplace(chip, s).second;
+            fatalIf(!inserted,
+                    "shard::Router: duplicate chip '" + chip + "'");
+        }
+    }
+    workers_.resize(options_.shards);
+    scatter_.resize(options_.shards);
+    pendingFrame_.resize(options_.shards);
+    pendingKey_.resize(options_.shards);
+    for (std::size_t s = 0; s < options_.shards; ++s)
+        spawnWorker(s, options_.faultSpec);
+}
+
+Router::~Router()
+{
+    shutdown();
+}
+
+void
+Router::spawnWorker(std::size_t shard, const std::string &spec)
+{
+    std::vector<std::string> argv = options_.baseWorkerArgv;
+    argv.push_back("--index");
+    argv.push_back(options_.indexPath);
+    argv.push_back("--shard");
+    argv.push_back(std::to_string(shard));
+    argv.push_back("--shards");
+    argv.push_back(std::to_string(options_.shards));
+    if (!spec.empty()) {
+        argv.push_back("--fault-spec");
+        argv.push_back(spec);
+    }
+    workers_[shard] = support::spawnPiped(argv);
+}
+
+void
+Router::respawnWorker(std::size_t shard)
+{
+    std::fprintf(stderr,
+                 "graphport: shard: serve worker %zu lost; "
+                 "respawning with crash sites stripped\n",
+                 shard);
+    (void)support::waitExit(workers_[shard]);
+    ++respawns_;
+    spawnWorker(shard, stripCrashSites(options_.faultSpec));
+}
+
+std::size_t
+Router::shardOf(const std::string &chip) const
+{
+    const auto it = chipShard_.find(chip);
+    if (it != chipShard_.end())
+        return it->second;
+    return homeShardForUnknownChip(chip, options_.shards);
+}
+
+void
+Router::sendShardFrame(std::size_t shard)
+{
+    const std::uint64_t key = ++sendCounter_;
+    pendingKey_[shard] = key;
+    // Re-stamp the cached frame bytes with the fresh key (the header
+    // sits right behind the frame kind byte and its padding).
+    std::string &frame = pendingFrame_[shard];
+    std::memcpy(frame.data() + 8, &key, sizeof key);
+    const bool torn = fault::shouldInject("shard.frame.torn", key);
+    ++framesSent_;
+    if (torn)
+        ++framesTorn_;
+    if (!support::writeFrame(workers_[shard].stdinFd, frame, torn)) {
+        // Worker already gone (EPIPE); the read side will respawn.
+    }
+}
+
+void
+Router::readShardReply(std::size_t shard,
+                       std::vector<WireAdvice> &advices)
+{
+    for (unsigned attempt = 0;; ++attempt) {
+        fatalIf(attempt > options_.respawns + 4,
+                "shard::Router: shard " + std::to_string(shard) +
+                    " failed to answer after " +
+                    std::to_string(attempt) + " attempts");
+        std::string payload;
+        std::string cause;
+        const support::FrameStatus st = support::readFrame(
+            workers_[shard].stdoutFd, payload, cause);
+        if (st == support::FrameStatus::Eof) {
+            // Worker died (e.g. shard.worker.crash). Respawn with
+            // the crash sites stripped and resend the batch.
+            respawnWorker(shard);
+            sendShardFrame(shard);
+            continue;
+        }
+        if (st == support::FrameStatus::Bad) {
+            // The reply stream itself is defective; a framed pipe
+            // has no resync point short of a fresh process.
+            std::fprintf(stderr,
+                         "graphport: shard: worker %zu reply "
+                         "defective (%s); respawning\n",
+                         shard, cause.c_str());
+            respawnWorker(shard);
+            sendShardFrame(shard);
+            continue;
+        }
+        if (frameKind(payload) == 'e') {
+            // The worker rejected our frame (torn on the wire).
+            // Resend under a fresh key, which the torn site will not
+            // fire on again unless the schedule says so.
+            sendShardFrame(shard);
+            continue;
+        }
+        std::uint64_t echoedKey = 0;
+        if (!unpackAdviceFrame(payload, &echoedKey, &advices,
+                               &cause)) {
+            std::fprintf(stderr,
+                         "graphport: shard: worker %zu sent a "
+                         "malformed advice frame (%s); respawning\n",
+                         shard, cause.c_str());
+            respawnWorker(shard);
+            sendShardFrame(shard);
+            continue;
+        }
+        if (echoedKey != pendingKey_[shard] ||
+            advices.size() != scatter_[shard].size()) {
+            std::fprintf(stderr,
+                         "graphport: shard: worker %zu reply "
+                         "desynced (key %llu vs %llu, %zu of %zu "
+                         "answers); respawning\n",
+                         shard,
+                         static_cast<unsigned long long>(echoedKey),
+                         static_cast<unsigned long long>(
+                             pendingKey_[shard]),
+                         advices.size(), scatter_[shard].size());
+            respawnWorker(shard);
+            sendShardFrame(shard);
+            continue;
+        }
+        return;
+    }
+}
+
+void
+Router::routeWire(const std::vector<serve::Query> &queries,
+                  const std::vector<std::uint64_t> &keys,
+                  std::vector<WireAdvice> &out)
+{
+    panicIf(queries.size() != keys.size(),
+            "shard::Router: queries/keys size mismatch");
+    out.resize(queries.size());
+    for (std::vector<std::size_t> &s : scatter_)
+        s.clear();
+    for (std::size_t i = 0; i < queries.size(); ++i)
+        scatter_[shardOf(queries[i].chip)].push_back(i);
+
+    // Send every shard's frame before reading any reply: the workers
+    // price their slices concurrently, which is the whole point of
+    // sharding the serve path.
+    for (std::size_t s = 0; s < options_.shards; ++s) {
+        if (scatter_[s].empty())
+            continue;
+        pendingFrame_[s] =
+            packQueryFrame(0, queries, keys, scatter_[s]);
+        sendShardFrame(s);
+    }
+    std::vector<WireAdvice> advices;
+    for (std::size_t s = 0; s < options_.shards; ++s) {
+        if (scatter_[s].empty())
+            continue;
+        readShardReply(s, advices);
+        for (std::size_t k = 0; k < advices.size(); ++k)
+            out[scatter_[s][k]] = advices[k];
+    }
+    queriesRouted_ += queries.size();
+    ++batches_;
+}
+
+std::vector<serve::Advice>
+Router::route(const std::vector<serve::Query> &queries,
+              const std::vector<std::uint64_t> &keys)
+{
+    std::vector<WireAdvice> wire;
+    routeWire(queries, keys, wire);
+    std::vector<serve::Advice> advices;
+    advices.reserve(wire.size());
+    for (const WireAdvice &w : wire)
+        advices.push_back(adviceFromWire(w));
+    return advices;
+}
+
+void
+Router::shutdown()
+{
+    if (shutdownDone_)
+        return;
+    shutdownDone_ = true;
+    const std::string bye = packShutdownFrame();
+    for (support::ChildProcess &worker : workers_) {
+        if (worker.pid < 0)
+            continue;
+        (void)support::writeFrame(worker.stdinFd, bye);
+        (void)support::waitExit(worker);
+    }
+}
+
+void
+Router::mergeMetrics(obs::MetricsRegistry &metrics) const
+{
+    obs::MetricsRegistry local;
+    local.counter("shard.route.batches").add(batches_);
+    local.counter("shard.route.queries").add(queriesRouted_);
+    local.counter("shard.route.frames_sent").add(framesSent_);
+    local.counter("shard.route.frames_torn").add(framesTorn_);
+    local.counter("shard.route.worker_respawns").add(respawns_);
+    metrics.merge(local);
+}
+
+serve::OpenLoopResult
+routerOpenLoop(Router &router,
+               const std::vector<serve::Query> &queries,
+               const std::vector<std::uint64_t> &keys,
+               double targetQps, std::uint64_t seed)
+{
+    using Clock = std::chrono::steady_clock;
+    constexpr std::size_t kMaxBatch = 512;
+
+    serve::OpenLoopResult result;
+    result.targetQps = targetQps;
+    result.queries = queries.size();
+    if (queries.empty())
+        return result;
+
+    const std::vector<std::uint64_t> schedule =
+        serve::makeArrivalScheduleNs(queries.size(), targetQps,
+                                     seed);
+    result.offeredQps = static_cast<double>(queries.size()) /
+                        (static_cast<double>(schedule.back()) * 1e-9 +
+                         1e-12);
+
+    // Warm pass: worker LRUs and scratch, off the clock.
+    {
+        std::vector<WireAdvice> warm;
+        router.routeWire(queries, keys, warm);
+    }
+
+    std::vector<serve::Query> batch;
+    std::vector<std::uint64_t> batchKeys;
+    std::vector<std::uint64_t> batchIntended;
+    std::vector<WireAdvice> answers;
+    const Clock::time_point t0 = Clock::now();
+    std::size_t next = 0;
+    while (next < queries.size()) {
+        const std::uint64_t nowNs =
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - t0)
+                    .count());
+        if (nowNs < schedule[next]) {
+            // Nothing due yet; the open loop waits for the schedule,
+            // never the other way round.
+            continue;
+        }
+        batch.clear();
+        batchKeys.clear();
+        batchIntended.clear();
+        while (next < queries.size() && schedule[next] <= nowNs &&
+               batch.size() < kMaxBatch) {
+            batch.push_back(queries[next]);
+            batchKeys.push_back(keys[next]);
+            batchIntended.push_back(schedule[next]);
+            ++next;
+        }
+        const Clock::time_point sent = Clock::now();
+        router.routeWire(batch, batchKeys, answers);
+        const std::uint64_t doneNs =
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - t0)
+                    .count());
+        const double serviceNs =
+            static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - sent)
+                    .count()) /
+            static_cast<double>(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            // Coordinated-omission safe: latency from the intended
+            // send time, so queueing behind a slow batch is charged.
+            result.latency.record(static_cast<double>(
+                doneNs - batchIntended[i]));
+            result.serviceTime.record(serviceNs);
+        }
+    }
+    result.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    result.achievedQps =
+        static_cast<double>(queries.size()) / result.wallSeconds;
+    result.keptUp = result.achievedQps >= 0.97 * result.offeredQps;
+    return result;
+}
+
+} // namespace shard
+} // namespace graphport

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The serve-side shard router: N `serve-worker` processes, each
+ * holding the chip slice of the index that shard::chipsOf assigns it
+ * (behind its own Advisor/EpochPtr bundle), fed over the framed pipe
+ * protocol in wire.hpp/framing.hpp.
+ *
+ * Routing: a query whose chip a shard owns goes to that shard — its
+ * sliced index retains the full chip-tier partitions for owned chips
+ * plus every chip-free tier and the whole k-NN example pool, so its
+ * answer is bit-identical to the full index's. A query whose chip no
+ * shard owns takes the predictive path on its deterministic home
+ * shard (homeShardForUnknownChip); the example pool is replicated,
+ * so the home choice cannot change the answer. Batch fan-out writes
+ * every shard's frame before reading any reply — the shards compute
+ * in parallel, which is the whole point.
+ *
+ * Failure policy, all deterministic under a seeded schedule:
+ *  - "shard.frame.torn" (router send path, keyed by the global send
+ *    counter) corrupts the frame checksum on the wire; the worker
+ *    detects it and replies an error frame; the router counts it and
+ *    resends.
+ *  - a worker that dies (EOF / EPIPE — e.g. "shard.worker.crash"
+ *    keyed by query-frame send counter) is respawned with ".crash"
+ *    sites stripped from its fault spec, and the batch is resent.
+ *  - reply-stream desync (bad frame, wrong frame key) respawns too:
+ *    a framed pipe has no resync point short of a fresh process.
+ */
+#ifndef GRAPHPORT_SHARD_ROUTER_HPP
+#define GRAPHPORT_SHARD_ROUTER_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graphport/serve/loadgen.hpp"
+#include "graphport/shard/wire.hpp"
+#include "graphport/support/proc.hpp"
+
+namespace graphport {
+
+namespace obs {
+class MetricsRegistry;
+}
+
+namespace shard {
+
+/** Knobs for Router. */
+struct RouterOptions
+{
+    /** Worker process count (1..chip count). */
+    std::size_t shards = 2;
+
+    /** Index snapshot (.gpi) every worker loads and slices. */
+    std::string indexPath;
+
+    /** Fault spec forwarded to workers (respawns strip ".crash"). */
+    std::string faultSpec;
+
+    /**
+     * Base worker argv (e.g. {exe, "serve-worker"}); the router
+     * appends --index/--shard/--shards and, when set, --fault-spec.
+     */
+    std::vector<std::string> baseWorkerArgv;
+
+    /** Worker respawns tolerated per route() call per shard. */
+    unsigned respawns = 4;
+};
+
+class Router
+{
+  public:
+    /**
+     * Spawn the workers. @p chips is the served index's chip list,
+     * in index order — the same list every worker slices, so router
+     * and workers agree on ownership by construction.
+     */
+    Router(std::vector<std::string> chips, RouterOptions options);
+    ~Router();
+
+    Router(const Router &) = delete;
+    Router &operator=(const Router &) = delete;
+
+    /** Shard owning @p chip (home shard for unknown chips). */
+    std::size_t shardOf(const std::string &chip) const;
+
+    /**
+     * Route one batch: scatter by chip owner, fan out, gather, and
+     * return answers in request order as POD wire records (the hot
+     * form; `out[i]` answers `queries[i]`). This is the path the
+     * bench times — inflate with adviceFromWire off the clock.
+     */
+    void routeWire(const std::vector<serve::Query> &queries,
+                   const std::vector<std::uint64_t> &keys,
+                   std::vector<WireAdvice> &out);
+
+    /** As routeWire, materialised into Advice (request order). */
+    std::vector<serve::Advice>
+    route(const std::vector<serve::Query> &queries,
+          const std::vector<std::uint64_t> &keys);
+
+    /**
+     * Send shutdown frames and reap every worker. Idempotent; the
+     * destructor calls it (killing instead of waiting on workers
+     * that ignore the shutdown frame).
+     */
+    void shutdown();
+
+    /** Merge "shard.route.*" counters into @p metrics. */
+    void mergeMetrics(obs::MetricsRegistry &metrics) const;
+
+    std::size_t shards() const { return options_.shards; }
+
+  private:
+    void spawnWorker(std::size_t shard, const std::string &spec);
+    void respawnWorker(std::size_t shard);
+    /** Send shard @p s's pending frame (fresh key; maybe torn). */
+    void sendShardFrame(std::size_t shard);
+    /** Read shard @p s's reply, driving resend/respawn recovery. */
+    void readShardReply(std::size_t shard,
+                        std::vector<WireAdvice> &advices);
+
+    RouterOptions options_;
+    std::vector<std::string> chips_;
+    std::unordered_map<std::string, std::size_t> chipShard_;
+    std::vector<support::ChildProcess> workers_;
+
+    // Per-shard in-flight batch state (valid during routeWire).
+    std::vector<std::vector<std::size_t>> scatter_;
+    std::vector<std::string> pendingFrame_;
+    std::vector<std::uint64_t> pendingKey_;
+
+    std::uint64_t sendCounter_ = 0;
+    std::uint64_t framesSent_ = 0;
+    std::uint64_t framesTorn_ = 0;
+    std::uint64_t respawns_ = 0;
+    std::uint64_t queriesRouted_ = 0;
+    std::uint64_t batches_ = 0;
+    bool shutdownDone_ = false;
+};
+
+/**
+ * Open-loop pass through the router: Poisson arrivals at
+ * @p targetQps (serve::makeArrivalScheduleNs), due queries routed in
+ * micro-batches, latency measured from each query's intended send
+ * time (coordinated-omission safe, exactly as serve::runOpenLoop
+ * measures the in-process path). steadyQueries is left 0 — the
+ * router cannot see which path answered inside the worker.
+ */
+serve::OpenLoopResult
+routerOpenLoop(Router &router,
+               const std::vector<serve::Query> &queries,
+               const std::vector<std::uint64_t> &keys,
+               double targetQps, std::uint64_t seed);
+
+} // namespace shard
+} // namespace graphport
+
+#endif // GRAPHPORT_SHARD_ROUTER_HPP

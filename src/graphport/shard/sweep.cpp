@@ -1,0 +1,201 @@
+#include "graphport/shard/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "graphport/fault/injector.hpp"
+#include "graphport/obs/obs.hpp"
+#include "graphport/shard/partition.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/proc.hpp"
+
+namespace graphport {
+namespace shard {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+struct WorkerSlot
+{
+    support::ChildProcess child;
+    std::chrono::steady_clock::time_point start;
+    unsigned attempts = 0;
+    double wallSeconds = 0.0;
+    bool done = false;
+};
+
+} // namespace
+
+std::string
+shardCheckpointPath(const std::string &dir, std::size_t shard,
+                    std::size_t shards)
+{
+    return dir + "/shard-" + std::to_string(shard) + "-of-" +
+           std::to_string(shards) + ".gpk";
+}
+
+runner::Dataset
+shardedSweep(const runner::Universe &universe,
+             const SweepShardOptions &options)
+{
+    universe.validate();
+    fatalIf(options.shards == 0, "shardedSweep: zero shards");
+    fatalIf(options.baseWorkerArgv.empty(),
+            "shardedSweep: empty worker argv");
+    fatalIf(options.shardDir.empty(),
+            "shardedSweep: no shard directory");
+    const std::size_t items = universe.apps.size() *
+                              universe.inputs.size() *
+                              universe.chips.size() *
+                              dsl::kNumConfigs;
+    fatalIf(options.shards > items,
+            "shardedSweep: " + std::to_string(options.shards) +
+                " shards for " + std::to_string(items) +
+                " work items");
+
+    const std::string retrySpec = stripCrashSites(options.faultSpec);
+    std::vector<WorkerSlot> slots(options.shards);
+    std::size_t retriesUsed = 0;
+
+    const auto spawnWorker = [&](std::size_t shard,
+                                 const std::string &spec) {
+        const WorkRange range =
+            rangeOf(shard, options.shards, items);
+        std::vector<std::string> argv = options.baseWorkerArgv;
+        argv.push_back("--shard");
+        argv.push_back(std::to_string(shard));
+        argv.push_back("--shards");
+        argv.push_back(std::to_string(options.shards));
+        argv.push_back("--threads");
+        argv.push_back(std::to_string(options.workerThreads));
+        argv.push_back("--checkpoint");
+        argv.push_back(shardCheckpointPath(options.shardDir, shard,
+                                           options.shards));
+        argv.push_back("--checkpoint-every");
+        argv.push_back(std::to_string(options.checkpointEvery));
+        if (!spec.empty()) {
+            argv.push_back("--fault-spec");
+            argv.push_back(spec);
+        }
+        (void)range; // the worker recomputes its own range
+        WorkerSlot &slot = slots[shard];
+        slot.start = std::chrono::steady_clock::now();
+        slot.attempts += 1;
+        slot.child = support::spawnInherit(argv);
+    };
+
+    for (std::size_t s = 0; s < options.shards; ++s)
+        spawnWorker(s, options.faultSpec);
+
+    // Reap in completion order so a straggler's wall clock is its
+    // own, then retry crashes (exit 137) with the crash sites
+    // stripped — the injected crash already happened; replaying it
+    // into the resumed worker would kill it at the same cell forever.
+    std::size_t live = options.shards;
+    while (live != 0) {
+        int exitCode = 0;
+        const long pid = support::waitAnyExit(&exitCode);
+        fatalIf(pid < 0, "shardedSweep: lost track of workers");
+        std::size_t shard = options.shards;
+        for (std::size_t s = 0; s < options.shards; ++s) {
+            if (!slots[s].done && slots[s].child.pid == pid) {
+                shard = s;
+                break;
+            }
+        }
+        fatalIf(shard == options.shards,
+                "shardedSweep: reaped unknown pid");
+        WorkerSlot &slot = slots[shard];
+        slot.child.pid = -1;
+        if (exitCode == 0) {
+            slot.wallSeconds = secondsSince(slot.start);
+            slot.done = true;
+            --live;
+            continue;
+        }
+        fatalIf(exitCode != 137,
+                "shardedSweep: worker " + std::to_string(shard) +
+                    " exited with code " + std::to_string(exitCode));
+        fatalIf(slot.attempts > options.retries,
+                "shardedSweep: worker " + std::to_string(shard) +
+                    " crashed " + std::to_string(slot.attempts) +
+                    " times (retry budget " +
+                    std::to_string(options.retries) + ")");
+        std::fprintf(stderr,
+                     "graphport: shard: worker %zu crashed (exit "
+                     "137); respawning with crash sites stripped\n",
+                     shard);
+        ++retriesUsed;
+        spawnWorker(shard, retrySpec);
+    }
+
+    // Straggler detection: workers price near-equal ranges, so one
+    // taking twice the median means a sick process or host, worth a
+    // counter even when the merge below still succeeds.
+    std::vector<double> walls;
+    walls.reserve(options.shards);
+    for (const WorkerSlot &slot : slots)
+        walls.push_back(slot.wallSeconds);
+    std::sort(walls.begin(), walls.end());
+    const double median = walls[walls.size() / 2];
+    std::size_t stragglers = 0;
+    for (std::size_t s = 0; s < options.shards; ++s) {
+        if (slots[s].wallSeconds >
+            std::max(2.0 * median, median + 0.05)) {
+            ++stragglers;
+            std::fprintf(stderr,
+                         "graphport: shard: worker %zu straggled "
+                         "(%.3fs vs %.3fs median)\n",
+                         s, slots[s].wallSeconds, median);
+        }
+    }
+
+    // Merge, passing the reject rehearsal site once per shard; an
+    // injected reject is retried so chaos schedules exercise the
+    // recovery path without failing the sweep.
+    std::vector<std::string> paths;
+    std::size_t mergeRejects = 0;
+    for (std::size_t s = 0; s < options.shards; ++s) {
+        for (unsigned attempt = 0;; ++attempt) {
+            try {
+                fault::maybeFault("shard.merge.reject", s);
+                break;
+            } catch (const fault::InjectedFault &) {
+                ++mergeRejects;
+                fatalIf(attempt >= 2,
+                        "shardedSweep: shard " + std::to_string(s) +
+                            " merge rejected repeatedly");
+            }
+        }
+        paths.push_back(shardCheckpointPath(options.shardDir, s,
+                                            options.shards));
+    }
+    runner::Dataset ds =
+        runner::Dataset::fromShardCheckpoints(universe, paths);
+    if (!options.keepShards) {
+        for (const std::string &path : paths)
+            std::remove(path.c_str());
+    }
+
+    if (options.obs) {
+        obs::MetricsRegistry local;
+        local.counter("shard.sweep.workers").add(options.shards);
+        local.counter("shard.sweep.retries").add(retriesUsed);
+        local.counter("shard.sweep.stragglers").add(stragglers);
+        local.counter("shard.sweep.merged_cells").add(items);
+        local.counter("shard.merge.rejects").add(mergeRejects);
+        options.obs->metrics.merge(local);
+    }
+    return ds;
+}
+
+} // namespace shard
+} // namespace graphport

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The sweep-sharding coordinator: fork/exec N `sweep-worker`
+ * processes, each pricing one contiguous Partitioner range of the
+ * (app, input, chip, config) universe into its own .gpk checkpoint,
+ * then merge the completed shards into a Dataset bit-identical to a
+ * single-process sweep.
+ *
+ * Failure policy: a worker that exits 137 (an injected "sweep.crash"
+ * or a literal kill -9) is respawned with every ".crash" site
+ * stripped from the fault spec (see shard::stripCrashSites) up to
+ * `retries` times — its completed checkpoint prefix survives on
+ * disk, so the replacement resumes instead of re-pricing the range.
+ * Any other nonzero exit is fatal. Workers that take more than twice
+ * the median wall time are counted as stragglers (`shard.sweep.
+ * stragglers`) and named on stderr. The merge itself passes the
+ * "shard.merge.reject" fault site once per shard; an injected reject
+ * is retried, so chaos schedules exercise the recovery path without
+ * failing the sweep.
+ */
+#ifndef GRAPHPORT_SHARD_SWEEP_HPP
+#define GRAPHPORT_SHARD_SWEEP_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graphport/runner/dataset.hpp"
+
+namespace graphport {
+
+namespace obs {
+struct Obs;
+}
+
+namespace shard {
+
+/** Knobs for shardedSweep. */
+struct SweepShardOptions
+{
+    /** Worker process count (>= 1; capped by the work-item count). */
+    std::size_t shards = 2;
+
+    /** Respawns allowed per worker after an exit-137 crash. */
+    unsigned retries = 2;
+
+    /** Directory the per-shard .gpk files live in (must exist). */
+    std::string shardDir;
+
+    /**
+     * Fault spec forwarded to every worker verbatim (and installed
+     * in the coordinator for the merge site). Respawns strip the
+     * ".crash" sites.
+     */
+    std::string faultSpec;
+
+    /**
+     * Base worker argv: the executable plus everything that
+     * reconstructs the universe in the child (e.g. {exe,
+     * "sweep-worker", "--small", "4"}). The coordinator appends
+     * --shard/--shards/--checkpoint/--checkpoint-every/--threads
+     * and, when set, --fault-spec.
+     */
+    std::vector<std::string> baseWorkerArgv;
+
+    /** Cells per checkpoint flush inside each worker. */
+    std::size_t checkpointEvery = 256;
+
+    /** Threads per worker process. */
+    unsigned workerThreads = 1;
+
+    /** Keep the shard .gpk files after a successful merge. */
+    bool keepShards = false;
+
+    /** When non-null, "shard.*" metrics are merged into it. */
+    obs::Obs *obs = nullptr;
+};
+
+/** Path of shard @p shard's checkpoint under @p dir. */
+std::string shardCheckpointPath(const std::string &dir,
+                                std::size_t shard,
+                                std::size_t shards);
+
+/**
+ * Run the sharded sweep for @p universe and return the merged
+ * dataset. Byte-identical CSV to Dataset::build(universe) at any
+ * shard count. Fatal when a worker fails beyond its retry budget or
+ * the merged checkpoints do not cover the universe.
+ */
+runner::Dataset shardedSweep(const runner::Universe &universe,
+                             const SweepShardOptions &options);
+
+} // namespace shard
+} // namespace graphport
+
+#endif // GRAPHPORT_SHARD_SWEEP_HPP

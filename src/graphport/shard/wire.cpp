@@ -1,0 +1,246 @@
+#include "graphport/shard/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "graphport/dsl/optconfig.hpp"
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+namespace shard {
+
+namespace {
+
+/** Common payload header; `count` is records ('q'/'a') or bytes ('e'). */
+struct WireHeader
+{
+    char kind = 0;
+    char pad[7] = {};
+    std::uint64_t frameKey = 0;
+    std::uint64_t count = 0;
+};
+
+static_assert(sizeof(WireHeader) == 24);
+
+void
+copyName(char (&dst)[kWireNameCap], const std::string &src,
+         const char *what)
+{
+    fatalIf(src.size() >= kWireNameCap,
+            std::string("shard wire: ") + what + " '" + src +
+                "' exceeds " + std::to_string(kWireNameCap - 1) +
+                " bytes");
+    std::memcpy(dst, src.data(), src.size());
+    dst[src.size()] = '\0';
+}
+
+template <typename Record>
+std::string
+packRecords(char kind, std::uint64_t frameKey,
+            const Record *records, std::size_t n)
+{
+    WireHeader h;
+    h.kind = kind;
+    h.frameKey = frameKey;
+    h.count = n;
+    std::string payload;
+    payload.resize(sizeof h + n * sizeof(Record));
+    std::memcpy(payload.data(), &h, sizeof h);
+    if (n != 0)
+        std::memcpy(payload.data() + sizeof h, records,
+                    n * sizeof(Record));
+    return payload;
+}
+
+bool
+unpackHeader(const std::string &payload, char wantKind,
+             std::size_t recordSize, WireHeader *h,
+             std::string *cause)
+{
+    if (payload.size() < sizeof(WireHeader)) {
+        *cause = "short payload (" +
+                 std::to_string(payload.size()) + " bytes)";
+        return false;
+    }
+    std::memcpy(h, payload.data(), sizeof(WireHeader));
+    if (h->kind != wantKind) {
+        *cause = std::string("unexpected frame kind '") + h->kind +
+                 "' (want '" + wantKind + "')";
+        return false;
+    }
+    if (payload.size() !=
+        sizeof(WireHeader) + h->count * recordSize) {
+        *cause = "payload size mismatch (" +
+                 std::to_string(payload.size()) + " bytes for " +
+                 std::to_string(h->count) + " records)";
+        return false;
+    }
+    return true;
+}
+
+std::string
+nameOf(const char *field, std::size_t cap)
+{
+    return std::string(field, strnlen(field, cap));
+}
+
+} // namespace
+
+serve::Advice
+adviceFromWire(const WireAdvice &w)
+{
+    serve::Advice a;
+    a.config = w.config;
+    a.configLabel = dsl::OptConfig::decode(w.config).label();
+    a.tierId = static_cast<serve::Tier>(w.tierId);
+    a.tier = serve::tierName(a.tierId);
+    a.predictive = w.predictive != 0;
+    a.partition = nameOf(w.partition, kWirePartitionCap);
+    a.expectedSlowdownVsOracle =
+        std::bit_cast<double>(w.expectedBits);
+    a.partitionSlowdownVsOracle =
+        std::bit_cast<double>(w.partitionBits);
+    a.featureSource =
+        static_cast<serve::FeatureSource>(w.featureSource);
+    a.intendedTier = serve::tierName(
+        static_cast<serve::Tier>(w.intendedTierId));
+    a.degraded = w.degraded != 0;
+    a.degradeSteps = w.degradeSteps;
+    a.retries = w.retries;
+    a.portfolioMember = w.portfolioMember;
+    a.portabilityCostVsOracle =
+        std::bit_cast<double>(w.portabilityBits);
+    return a;
+}
+
+WireAdvice
+adviceToWire(const serve::Advice &a)
+{
+    WireAdvice w;
+    w.config = a.config;
+    w.tierId = static_cast<std::uint8_t>(a.tierId);
+    const int intended = serve::tierFromName(a.intendedTier);
+    fatalIf(intended < 0, "shard wire: unknown intended tier '" +
+                              a.intendedTier + "'");
+    w.intendedTierId = static_cast<std::uint8_t>(intended);
+    w.predictive = a.predictive ? 1 : 0;
+    w.degraded = a.degraded ? 1 : 0;
+    w.featureSource = static_cast<std::uint8_t>(a.featureSource);
+    fatalIf(a.partition.size() >= kWirePartitionCap,
+            "shard wire: partition key '" + a.partition +
+                "' exceeds " +
+                std::to_string(kWirePartitionCap - 1) + " bytes");
+    std::memcpy(w.partition, a.partition.data(), a.partition.size());
+    w.partition[a.partition.size()] = '\0';
+    w.expectedBits =
+        std::bit_cast<std::uint64_t>(a.expectedSlowdownVsOracle);
+    w.partitionBits =
+        std::bit_cast<std::uint64_t>(a.partitionSlowdownVsOracle);
+    w.portabilityBits =
+        std::bit_cast<std::uint64_t>(a.portabilityCostVsOracle);
+    w.degradeSteps = a.degradeSteps;
+    w.retries = a.retries;
+    w.portfolioMember = a.portfolioMember;
+    return w;
+}
+
+std::string
+packQueryFrame(std::uint64_t frameKey,
+               const std::vector<serve::Query> &queries,
+               const std::vector<std::uint64_t> &keys,
+               const std::vector<std::size_t> &indices)
+{
+    std::vector<WireQuery> records(indices.size());
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+        const std::size_t i = indices[k];
+        panicIf(i >= queries.size() || i >= keys.size(),
+                "shard wire: query index out of range");
+        WireQuery &r = records[k];
+        r.key = keys[i];
+        copyName(r.app, queries[i].app, "app");
+        copyName(r.input, queries[i].input, "input");
+        copyName(r.chip, queries[i].chip, "chip");
+    }
+    return packRecords('q', frameKey, records.data(),
+                       records.size());
+}
+
+bool
+unpackQueryFrame(const std::string &payload, std::uint64_t *frameKey,
+                 std::vector<serve::Query> *queries,
+                 std::vector<std::uint64_t> *keys,
+                 std::string *cause)
+{
+    WireHeader h;
+    if (!unpackHeader(payload, 'q', sizeof(WireQuery), &h, cause))
+        return false;
+    *frameKey = h.frameKey;
+    queries->resize(h.count);
+    keys->resize(h.count);
+    const char *p = payload.data() + sizeof h;
+    WireQuery r;
+    for (std::size_t i = 0; i < h.count; ++i) {
+        std::memcpy(&r, p + i * sizeof r, sizeof r);
+        (*keys)[i] = r.key;
+        (*queries)[i].app = nameOf(r.app, kWireNameCap);
+        (*queries)[i].input = nameOf(r.input, kWireNameCap);
+        (*queries)[i].chip = nameOf(r.chip, kWireNameCap);
+    }
+    return true;
+}
+
+std::string
+packAdviceFrame(std::uint64_t frameKey,
+                const std::vector<WireAdvice> &advices)
+{
+    return packRecords('a', frameKey, advices.data(),
+                       advices.size());
+}
+
+bool
+unpackAdviceFrame(const std::string &payload,
+                  std::uint64_t *frameKey,
+                  std::vector<WireAdvice> *advices,
+                  std::string *cause)
+{
+    WireHeader h;
+    if (!unpackHeader(payload, 'a', sizeof(WireAdvice), &h, cause))
+        return false;
+    *frameKey = h.frameKey;
+    advices->resize(h.count);
+    if (h.count != 0)
+        std::memcpy(advices->data(), payload.data() + sizeof h,
+                    h.count * sizeof(WireAdvice));
+    return true;
+}
+
+std::string
+packErrorFrame(const std::string &cause)
+{
+    return packRecords('e', 0, cause.data(), cause.size());
+}
+
+std::string
+packShutdownFrame()
+{
+    return packRecords<char>('x', 0, nullptr, 0);
+}
+
+char
+frameKind(const std::string &payload)
+{
+    return payload.empty() ? '\0' : payload[0];
+}
+
+std::string
+frameErrorCause(const std::string &payload)
+{
+    WireHeader h;
+    std::string cause;
+    if (!unpackHeader(payload, 'e', 1, &h, &cause))
+        return "malformed error frame (" + cause + ")";
+    return payload.substr(sizeof h);
+}
+
+} // namespace shard
+} // namespace graphport

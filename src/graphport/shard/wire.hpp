@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Payload codec for the router <-> serve-worker frames (the frame
+ * envelope itself — magic, length, checksum — is
+ * support/framing.hpp). Payloads are packed POD records, not text:
+ * the router touches every query twice (scatter out, gather back), so
+ * its per-query cost must stay far below one advise, or fanning out
+ * to N processes could never beat one. Both ends are the same binary
+ * on the same machine, so raw struct bytes are exact and cheap;
+ * doubles travel as bit patterns and tiers as dense IDs.
+ *
+ * Frame kinds (first payload byte):
+ *   'q'  query batch   header + WireQuery[count]
+ *   'a'  advice batch  header + WireAdvice[count]
+ *   'e'  error         header + cause text (count = byte length)
+ *   'x'  shutdown      header only
+ *
+ * A query batch's frameKey is the router's global send counter — the
+ * key the "shard.worker.crash" site is checked against, so a fault
+ * spec can say "kill the worker serving frame K" and mean it
+ * deterministically.
+ */
+#ifndef GRAPHPORT_SHARD_WIRE_HPP
+#define GRAPHPORT_SHARD_WIRE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graphport/serve/advisor.hpp"
+
+namespace graphport {
+namespace shard {
+
+/** Max name / partition-key bytes on the wire (incl. terminator). */
+constexpr std::size_t kWireNameCap = 48;
+constexpr std::size_t kWirePartitionCap = 152;
+
+/** One routed query (fixed-size; names are NUL-terminated). */
+struct WireQuery
+{
+    std::uint64_t key = 0; ///< adviseResilient query key
+    char app[kWireNameCap] = {};
+    char input[kWireNameCap] = {};
+    char chip[kWireNameCap] = {};
+};
+
+/** One answer, carrying every field Advice::sameAnswer compares. */
+struct WireAdvice
+{
+    std::uint64_t expectedBits = 0;    ///< expectedSlowdownVsOracle
+    std::uint64_t partitionBits = 0;   ///< partitionSlowdownVsOracle
+    std::uint64_t portabilityBits = 0; ///< portabilityCostVsOracle
+    std::uint32_t config = 0;
+    std::uint32_t degradeSteps = 0;
+    std::uint32_t retries = 0;
+    std::uint32_t portfolioMember = 0;
+    std::uint8_t tierId = 0;
+    std::uint8_t intendedTierId = 0;
+    std::uint8_t predictive = 0;
+    std::uint8_t degraded = 0;
+    std::uint8_t featureSource = 0;
+    char partition[kWirePartitionCap] = {};
+};
+
+/** Inflate a wire answer back into the string-bearing Advice. */
+serve::Advice adviceFromWire(const WireAdvice &w);
+
+/** Pack an Advice (fatal when the partition key overflows the cap). */
+WireAdvice adviceToWire(const serve::Advice &a);
+
+/**
+ * Pack queries[i] / keys[i] for each i in @p indices (the scatter
+ * set one shard owns out of a batch).
+ */
+std::string packQueryFrame(std::uint64_t frameKey,
+                           const std::vector<serve::Query> &queries,
+                           const std::vector<std::uint64_t> &keys,
+                           const std::vector<std::size_t> &indices);
+
+bool unpackQueryFrame(const std::string &payload,
+                      std::uint64_t *frameKey,
+                      std::vector<serve::Query> *queries,
+                      std::vector<std::uint64_t> *keys,
+                      std::string *cause);
+
+std::string packAdviceFrame(std::uint64_t frameKey,
+                            const std::vector<WireAdvice> &advices);
+
+bool unpackAdviceFrame(const std::string &payload,
+                       std::uint64_t *frameKey,
+                       std::vector<WireAdvice> *advices,
+                       std::string *cause);
+
+std::string packErrorFrame(const std::string &cause);
+std::string packShutdownFrame();
+
+/** First payload byte ('q'/'a'/'e'/'x'), or 0 for an empty payload. */
+char frameKind(const std::string &payload);
+
+/** Cause text of an 'e' frame (empty for other kinds). */
+std::string frameErrorCause(const std::string &payload);
+
+} // namespace shard
+} // namespace graphport
+
+#endif // GRAPHPORT_SHARD_WIRE_HPP

@@ -1,0 +1,143 @@
+#include "graphport/support/framing.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "graphport/support/rng.hpp"
+#include "graphport/support/snapshot.hpp"
+
+namespace graphport {
+namespace support {
+
+namespace {
+
+/** Read exactly n bytes. Returns bytes read (short only at EOF). */
+std::size_t readAll(int fd, void *buf, std::size_t n) {
+    char *p = static_cast<char *>(buf);
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::read(fd, p + got, n - got);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (r == 0) break;
+        got += static_cast<std::size_t>(r);
+    }
+    return got;
+}
+
+bool writeAll(int fd, const void *buf, std::size_t n) {
+    const char *p = static_cast<const char *>(buf);
+    std::size_t put = 0;
+    while (put < n) {
+        const ssize_t r = ::write(fd, p + put, n - put);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        put += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+}  // namespace
+
+std::uint64_t frameChecksum(const std::string &payload) {
+    // Word-wide, 4 independent lanes: both pipe ends hash every query
+    // and reply payload, so this sits on the router's per-query hot
+    // path where the byte-at-a-time snapshot chain would dominate.
+    std::uint64_t lane[4] = {kSnapshotSumInit ^ payload.size(),
+                             0x9e3779b97f4a7c15ull,
+                             0xbf58476d1ce4e5b9ull,
+                             0x94d049bb133111ebull};
+    const char *p = payload.data();
+    std::size_t n = payload.size();
+    while (n >= 32) {
+        std::uint64_t w[4];
+        std::memcpy(w, p, 32);
+        lane[0] = splitmix64(lane[0] ^ w[0]);
+        lane[1] = splitmix64(lane[1] ^ w[1]);
+        lane[2] = splitmix64(lane[2] ^ w[2]);
+        lane[3] = splitmix64(lane[3] ^ w[3]);
+        p += 32;
+        n -= 32;
+    }
+    if (n != 0) {
+        std::uint64_t w[4] = {0, 0, 0, 0};
+        std::memcpy(w, p, n);
+        lane[0] = splitmix64(lane[0] ^ w[0]);
+        lane[1] = splitmix64(lane[1] ^ w[1]);
+        lane[2] = splitmix64(lane[2] ^ w[2]);
+        lane[3] = splitmix64(lane[3] ^ w[3]);
+    }
+    return splitmix64(
+        lane[0] ^
+        splitmix64(lane[1] ^ splitmix64(lane[2] ^ lane[3])));
+}
+
+FrameStatus readFrame(int fd, std::string &payload,
+                      std::string &cause) {
+    payload.clear();
+    cause.clear();
+    std::uint32_t header[2];
+    std::uint64_t sum = 0;
+    std::size_t got = readAll(fd, header, sizeof header);
+    if (got == 0) return FrameStatus::Eof;
+    if (got < sizeof header) {
+        cause = "short frame header (" + std::to_string(got) + " of " +
+                std::to_string(sizeof header) + " bytes)";
+        return FrameStatus::Bad;
+    }
+    if (header[0] != kFrameMagic) {
+        cause = "bad frame magic";
+        return FrameStatus::Bad;
+    }
+    if (header[1] > kFrameMaxLen) {
+        cause = "oversized frame (" + std::to_string(header[1]) +
+                " bytes)";
+        return FrameStatus::Bad;
+    }
+    got = readAll(fd, &sum, sizeof sum);
+    if (got < sizeof sum) {
+        cause = "short frame checksum (" + std::to_string(got) +
+                " of " + std::to_string(sizeof sum) + " bytes)";
+        return FrameStatus::Bad;
+    }
+    payload.resize(header[1]);
+    if (header[1] != 0) {
+        got = readAll(fd, payload.data(), payload.size());
+        if (got < payload.size()) {
+            cause = "short frame payload (" + std::to_string(got) +
+                    " of " + std::to_string(payload.size()) +
+                    " bytes)";
+            payload.clear();
+            return FrameStatus::Bad;
+        }
+    }
+    if (frameChecksum(payload) != sum) {
+        cause = "frame checksum mismatch";
+        payload.clear();
+        return FrameStatus::Bad;
+    }
+    return FrameStatus::Ok;
+}
+
+bool writeFrame(int fd, const std::string &payload,
+                bool corruptChecksum) {
+    const std::uint32_t header[2] = {
+        kFrameMagic, static_cast<std::uint32_t>(payload.size())};
+    std::uint64_t sum = frameChecksum(payload);
+    if (corruptChecksum) sum ^= 1;
+    if (!writeAll(fd, header, sizeof header)) return false;
+    if (!writeAll(fd, &sum, sizeof sum)) return false;
+    if (!payload.empty() &&
+        !writeAll(fd, payload.data(), payload.size()))
+        return false;
+    return true;
+}
+
+}  // namespace support
+}  // namespace graphport

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Length-prefixed, checksummed message frames over a byte stream (the
+ * shard router <-> serve-worker pipe protocol). Wire layout, all
+ * little-endian on every platform graphport targets:
+ *
+ *     u32 magic      'GPF1'
+ *     u32 length     payload byte count
+ *     u64 checksum   4-lane word-wide splitmix64 chain over the
+ *                    payload, length mixed into lane 0 (see
+ *                    frameChecksum)
+ *     u8  payload[length]
+ *
+ * The checksum is computed 32 payload bytes per step (four
+ * independent splitmix64 lanes folded at the end) rather than with
+ * the byte-at-a-time snapshot-row chain: both ends of the pipe hash
+ * every query and reply payload, and at snapshot-hash throughput
+ * (~0.1 GB/s) the checksum alone would dominate the router's
+ * per-query budget and cap the multi-shard speedup. Any flipped or
+ * dropped bit still lands in some lane's chain, so a torn frame is
+ * detected just like a torn .gpk row. readFrame distinguishes a
+ * clean EOF (stream closed between frames) from a defective frame
+ * (bad magic, short read, checksum mismatch) so the router can tell
+ * "worker exited" from "frame corrupted".
+ */
+#ifndef GRAPHPORT_SUPPORT_FRAMING_HPP
+#define GRAPHPORT_SUPPORT_FRAMING_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace graphport {
+namespace support {
+
+constexpr std::uint32_t kFrameMagic = 0x31465047u;  // "GPF1"
+/** Frames above this are rejected as defective (64 MiB). */
+constexpr std::uint32_t kFrameMaxLen = 64u << 20;
+
+enum class FrameStatus { Ok, Eof, Bad };
+
+/**
+ * Frame checksum: a 4-lane splitmix64 chain consuming 32 payload
+ * bytes per step (zero-padded tail), payload length mixed into the
+ * seed, lanes folded with one final splitmix64 cascade.
+ */
+std::uint64_t frameChecksum(const std::string &payload);
+
+/**
+ * Read one frame from `fd` into `payload`. Returns Ok on success,
+ * Eof when the stream closed cleanly at a frame boundary, Bad on any
+ * defect (cause set: short header/payload, bad magic, oversized
+ * length, checksum mismatch). Retries EINTR and partial reads.
+ */
+FrameStatus readFrame(int fd, std::string &payload, std::string &cause);
+
+/**
+ * Write one frame. Returns false when the stream is closed (EPIPE)
+ * or errors; the caller decides whether that is fatal. An optional
+ * `corruptChecksum` flips the checksum on the wire — the seam the
+ * `shard.frame.torn` fault site uses to exercise the reject path.
+ */
+bool writeFrame(int fd, const std::string &payload,
+                bool corruptChecksum = false);
+
+}  // namespace support
+}  // namespace graphport
+
+#endif  // GRAPHPORT_SUPPORT_FRAMING_HPP

@@ -1,0 +1,134 @@
+#include "graphport/support/proc.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "graphport/support/error.hpp"
+
+namespace graphport {
+namespace support {
+
+namespace {
+
+[[noreturn]] void execChild(const std::vector<std::string> &argv) {
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string &a : argv)
+        cargv.push_back(const_cast<char *>(a.c_str()));
+    cargv.push_back(nullptr);
+    ::execv(cargv[0], cargv.data());
+    // Only reached when exec itself failed; 127 matches shell
+    // convention for "command not found / not runnable".
+    ::_exit(127);
+}
+
+ChildProcess spawnImpl(const std::vector<std::string> &argv, bool piped) {
+    fatalIf(argv.empty(), "spawn: empty argv");
+    int inPipe[2] = {-1, -1};
+    int outPipe[2] = {-1, -1};
+    if (piped) {
+        fatalIf(::pipe(inPipe) != 0 || ::pipe(outPipe) != 0,
+                "spawn: pipe failed: " +
+                    std::string(std::strerror(errno)));
+    }
+    const pid_t pid = ::fork();
+    fatalIf(pid < 0,
+            "spawn: fork failed: " + std::string(std::strerror(errno)));
+    if (pid == 0) {
+        if (piped) {
+            ::dup2(inPipe[0], STDIN_FILENO);
+            ::dup2(outPipe[1], STDOUT_FILENO);
+            ::close(inPipe[0]);
+            ::close(inPipe[1]);
+            ::close(outPipe[0]);
+            ::close(outPipe[1]);
+        }
+        execChild(argv);
+    }
+    ChildProcess child;
+    child.pid = pid;
+    if (piped) {
+        ::close(inPipe[0]);
+        ::close(outPipe[1]);
+        child.stdinFd = inPipe[1];
+        child.stdoutFd = outPipe[0];
+    }
+    return child;
+}
+
+}  // namespace
+
+ChildProcess spawnPiped(const std::vector<std::string> &argv) {
+    return spawnImpl(argv, true);
+}
+
+ChildProcess spawnInherit(const std::vector<std::string> &argv) {
+    return spawnImpl(argv, false);
+}
+
+int waitExit(ChildProcess &child) {
+    if (child.stdinFd >= 0) {
+        ::close(child.stdinFd);
+        child.stdinFd = -1;
+    }
+    if (child.stdoutFd >= 0) {
+        ::close(child.stdoutFd);
+        child.stdoutFd = -1;
+    }
+    if (child.pid < 0) return 127;
+    int status = 0;
+    pid_t got;
+    do {
+        got = ::waitpid(static_cast<pid_t>(child.pid), &status, 0);
+    } while (got < 0 && errno == EINTR);
+    child.pid = -1;
+    if (got < 0) return 127;
+    if (WIFEXITED(status)) return WEXITSTATUS(status);
+    if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+    return 127;
+}
+
+long waitAnyExit(int *exitCode) {
+    int status = 0;
+    pid_t got;
+    do {
+        got = ::waitpid(-1, &status, 0);
+    } while (got < 0 && errno == EINTR);
+    if (got < 0) return -1;
+    if (WIFEXITED(status))
+        *exitCode = WEXITSTATUS(status);
+    else if (WIFSIGNALED(status))
+        *exitCode = 128 + WTERMSIG(status);
+    else
+        *exitCode = 127;
+    return got;
+}
+
+void killProcess(const ChildProcess &child) {
+    if (child.pid > 0) ::kill(static_cast<pid_t>(child.pid), SIGKILL);
+}
+
+std::string selfExePath(const std::string &fallbackArgv0) {
+    char buf[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0) return fallbackArgv0;
+    buf[n] = '\0';
+    return std::string(buf);
+}
+
+void ensureDir(const std::string &path) {
+    if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return;
+    fatal("ensureDir: cannot create '" + path +
+          "': " + std::strerror(errno));
+}
+
+}  // namespace support
+}  // namespace graphport

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Child-process plumbing for the shard layer: fork/exec with either
+ * inherited stdio (sweep workers, which talk through checkpoint files)
+ * or a stdin/stdout pipe pair (serve workers, which speak the framed
+ * protocol in framing.hpp). Exit codes are normalised the way shells
+ * do it — a signal death reports 128+signo, so the coordinator's
+ * crash-retry rule ("exit 137 means retry") covers both an injected
+ * `InjectedCrash` (the CLI returns 137 itself) and a literal kill -9.
+ */
+#ifndef GRAPHPORT_SUPPORT_PROC_HPP
+#define GRAPHPORT_SUPPORT_PROC_HPP
+
+#include <string>
+#include <vector>
+
+namespace graphport {
+namespace support {
+
+/** A spawned child. Fds are -1 when the stream was inherited. */
+struct ChildProcess {
+    long pid = -1;
+    int stdinFd = -1;   ///< write end of the child's stdin, or -1
+    int stdoutFd = -1;  ///< read end of the child's stdout, or -1
+};
+
+/**
+ * Fork/exec `argv` (argv[0] is the executable path) with the child's
+ * stdin and stdout each replaced by a pipe back to the caller. stderr
+ * is inherited so worker diagnostics land on the coordinator's
+ * stderr. Throws FatalError if the plumbing fails; a failed exec in
+ * the child exits 127.
+ */
+ChildProcess spawnPiped(const std::vector<std::string> &argv);
+
+/** Fork/exec with all three stdio streams inherited. */
+ChildProcess spawnInherit(const std::vector<std::string> &argv);
+
+/**
+ * Block until `child` exits and return its shell-style exit code
+ * (0..125 from _exit, 127 exec failure, 128+signo for signal deaths).
+ * Closes any pipe fds still open on the ChildProcess.
+ */
+int waitExit(ChildProcess &child);
+
+/**
+ * Reap whichever child exits next (completion order, not spawn
+ * order — a straggler's wall clock must not be charged to its
+ * neighbours). Returns the reaped pid with *exitCode set shell-style,
+ * or -1 when no children remain.
+ */
+long waitAnyExit(int *exitCode);
+
+/** SIGKILL the child (best-effort; no-op for pid < 0). */
+void killProcess(const ChildProcess &child);
+
+/**
+ * Path of the currently running executable (/proc/self/exe), so a
+ * coordinator can respawn itself as a worker subcommand. Falls back
+ * to `fallbackArgv0` when the proc link is unreadable.
+ */
+std::string selfExePath(const std::string &fallbackArgv0);
+
+/** mkdir -p one level (parent must exist). Existing dir is fine. */
+void ensureDir(const std::string &path);
+
+}  // namespace support
+}  // namespace graphport
+
+#endif  // GRAPHPORT_SUPPORT_PROC_HPP

@@ -145,8 +145,10 @@ SnapshotReader::nextRow()
 {
     std::string line;
     while (std::getline(is_, line)) {
+        bytesRead_ += line.size() + 1;
         if (trim(line).empty())
             continue;
+        ++recordsRead_;
         std::vector<std::string> row = csvParseLine(line);
         // Mirror the writer's chained checksum over every record
         // line; the sum/end trailer rows are not part of the sum.
@@ -154,7 +156,19 @@ SnapshotReader::nextRow()
             sum_ = splitmix64(sum_ ^ hashStr(line));
         return row;
     }
-    reject("truncated (missing 'end' marker)");
+    // Size the stream so the reject names actual vs expected bytes.
+    // The shortest legal continuation is the sum/end trailer:
+    // "sum,<16 hex>\n" + "end\n" = 25 bytes past what we consumed.
+    std::uint64_t actual = bytesRead_;
+    is_.clear();
+    is_.seekg(0, std::ios::end);
+    if (is_.good() && is_.tellg() >= 0)
+        actual = static_cast<std::uint64_t>(is_.tellg());
+    reject("truncated (missing 'end' marker): " +
+           std::to_string(actual) + " bytes present, but " +
+           std::to_string(recordsRead_) +
+           " records plus the trailer need at least " +
+           std::to_string(bytesRead_ + 25));
 }
 
 std::vector<std::string>
@@ -166,7 +180,10 @@ SnapshotReader::expect(const std::string &keyword,
              "expected '" + keyword + "' record, got '" +
                  (row.empty() ? "" : row[0]) + "'");
     rejectIf(row.size() < minFields,
-             "short '" + keyword + "' record");
+             "short '" + keyword + "' record (" +
+                 std::to_string(row.size()) +
+                 " fields, expected at least " +
+                 std::to_string(minFields) + ")");
     return row;
 }
 

@@ -139,6 +139,9 @@ class SnapshotReader
     std::istream &is_;
     std::string label_;
     std::uint64_t sum_ = kSnapshotSumInit;
+    /** Bytes and records consumed, for truncation diagnostics. */
+    std::uint64_t bytesRead_ = 0;
+    std::size_t recordsRead_ = 0;
 };
 
 /**

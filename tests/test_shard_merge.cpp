@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Strict shard-checkpoint merging (Dataset::fromShardCheckpoints):
+ * checkpoint blocks written at different --checkpoint-every
+ * granularities, listed out of order, or overlapping with identical
+ * payloads must merge into a dataset bit-identical to a
+ * single-process build — while a conflicting duplicate payload, a
+ * coverage gap, or a foreign-universe checkpoint rejects with a
+ * cause naming the file and defect.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graphport/dsl/optconfig.hpp"
+#include "graphport/runner/dataset.hpp"
+#include "graphport/runner/universe.hpp"
+#include "graphport/shard/partition.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/rng.hpp"
+#include "graphport/support/snapshot.hpp"
+#include "graphport/support/strings.hpp"
+
+using namespace graphport;
+
+namespace {
+
+runner::Universe
+universe()
+{
+    return runner::smallUniverse(2);
+}
+
+std::size_t
+workItems()
+{
+    return universe().numTests() * dsl::kNumConfigs;
+}
+
+std::string
+shardPath(const std::string &name)
+{
+    return ::testing::TempDir() + "graphport_shard_" + name + ".gpk";
+}
+
+/** Price [begin, end) into @p path, flushing every @p every cells. */
+void
+buildShard(const std::string &path, std::size_t begin,
+           std::size_t end, std::size_t every)
+{
+    std::remove(path.c_str());
+    runner::BuildOptions options;
+    options.checkpointPath = path;
+    options.checkpointEvery = every;
+    options.workBegin = begin;
+    options.workEnd = end;
+    options.keepCheckpoint = true;
+    (void)runner::Dataset::build(universe(), options);
+}
+
+std::string
+csvBytes(const runner::Dataset &ds)
+{
+    std::ostringstream os;
+    ds.saveCsv(os);
+    return os.str();
+}
+
+/** The row checksum the .gpk format appends to every cell row. */
+std::uint64_t
+rowSum(const std::string &payload)
+{
+    return splitmix64(support::kSnapshotSumInit ^ hashStr(payload));
+}
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+void
+writeLines(const std::string &path,
+           const std::vector<std::string> &lines)
+{
+    std::ofstream out(path, std::ios::trunc);
+    for (const std::string &line : lines)
+        out << line << "\n";
+}
+
+} // namespace
+
+TEST(ShardMerge, MixedGranularitiesMergeBitIdentically)
+{
+    const runner::Dataset expected = runner::Dataset::build(universe());
+    const std::size_t items = workItems();
+
+    // Three shards, each flushing at a different cadence — the block
+    // boundaries inside the .gpk files disagree, the cells don't.
+    const std::size_t granularity[3] = {64, 100, 256};
+    std::vector<std::string> paths;
+    for (std::size_t s = 0; s < 3; ++s) {
+        const shard::WorkRange r = shard::rangeOf(s, 3, items);
+        paths.push_back(shardPath("gran" + std::to_string(s)));
+        buildShard(paths.back(), r.begin, r.end, granularity[s]);
+    }
+
+    const runner::Dataset merged =
+        runner::Dataset::fromShardCheckpoints(universe(), paths);
+    EXPECT_EQ(merged.contentHash(), expected.contentHash());
+    EXPECT_EQ(csvBytes(merged), csvBytes(expected));
+}
+
+TEST(ShardMerge, OutOfOrderCheckpointListMergesIdentically)
+{
+    const runner::Dataset expected = runner::Dataset::build(universe());
+    const std::size_t items = workItems();
+
+    std::vector<std::string> paths;
+    for (std::size_t s = 0; s < 4; ++s) {
+        const shard::WorkRange r = shard::rangeOf(s, 4, items);
+        paths.push_back(shardPath("ooo" + std::to_string(s)));
+        buildShard(paths.back(), r.begin, r.end, 128);
+    }
+    std::vector<std::string> reversed(paths.rbegin(), paths.rend());
+
+    const runner::Dataset merged =
+        runner::Dataset::fromShardCheckpoints(universe(), reversed);
+    EXPECT_EQ(merged.contentHash(), expected.contentHash());
+    EXPECT_EQ(csvBytes(merged), csvBytes(expected));
+}
+
+TEST(ShardMerge, OverlappingIdenticalRowsAreTolerated)
+{
+    const runner::Dataset expected = runner::Dataset::build(universe());
+    const std::size_t items = workItems();
+
+    // A retried worker re-prices a range its predecessor partially
+    // covered: the two files overlap on [800, 1200) with identical
+    // payloads.
+    const std::string a = shardPath("ovl_a");
+    const std::string b = shardPath("ovl_b");
+    buildShard(a, 0, 1200, 64);
+    buildShard(b, 800, items, 256);
+
+    const runner::Dataset merged =
+        runner::Dataset::fromShardCheckpoints(universe(), {a, b});
+    EXPECT_EQ(merged.contentHash(), expected.contentHash());
+    EXPECT_EQ(csvBytes(merged), csvBytes(expected));
+}
+
+TEST(ShardMerge, ConflictingDuplicatePayloadRejectsWithCause)
+{
+    const std::size_t items = workItems();
+    const std::string a = shardPath("conf_a");
+    const std::string b = shardPath("conf_b");
+    buildShard(a, 0, 1200, 128);
+    buildShard(b, 1200, items, 128);
+
+    // Forge a divergent duplicate of one of A's rows into B: flip a
+    // payload bit and re-seal the row checksum, so the row itself
+    // parses cleanly and only the cross-file comparison can object.
+    std::vector<std::string> lines = readLines(a);
+    std::string forged;
+    for (const std::string &line : lines) {
+        const std::string row = trim(line);
+        if (row.rfind("cell,", 0) != 0)
+            continue;
+        const std::size_t lastComma = row.rfind(',');
+        std::string payload = row.substr(0, lastComma);
+        payload.back() = payload.back() == '0' ? '1' : '0';
+        forged = payload + ',' + support::hexU64(rowSum(payload));
+        break;
+    }
+    ASSERT_FALSE(forged.empty()) << "no cell row found in " << a;
+    std::vector<std::string> blines = readLines(b);
+    blines.push_back(forged);
+    writeLines(b, blines);
+
+    try {
+        runner::Dataset::fromShardCheckpoints(universe(), {a, b});
+        FAIL() << "conflicting duplicate accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("conflicting duplicate row"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find(b), std::string::npos)
+            << "cause must name the offending file: " << e.what();
+    }
+}
+
+TEST(ShardMerge, CoverageGapRejectsNamingFirstMissingIndex)
+{
+    const std::size_t items = workItems();
+    const std::string a = shardPath("gap_a");
+    const std::string b = shardPath("gap_b");
+    buildShard(a, 0, 1000, 128);
+    buildShard(b, 1200, items, 128);
+
+    try {
+        runner::Dataset::fromShardCheckpoints(universe(), {a, b});
+        FAIL() << "partial coverage accepted";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("200 of 2304 cells unpriced"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("first missing work index 1000"),
+                  std::string::npos)
+            << what;
+    }
+}
+
+TEST(ShardMerge, ForeignUniverseCheckpointRejects)
+{
+    const std::string foreign = shardPath("foreign");
+    {
+        std::remove(foreign.c_str());
+        runner::BuildOptions options;
+        options.checkpointPath = foreign;
+        options.checkpointEvery = 128;
+        options.workBegin = 0;
+        options.workEnd = 500;
+        options.keepCheckpoint = true;
+        (void)runner::Dataset::build(runner::smallUniverse(3),
+                                     options);
+    }
+    const std::string rest = shardPath("foreign_rest");
+    buildShard(rest, 0, workItems(), 256);
+
+    try {
+        runner::Dataset::fromShardCheckpoints(universe(),
+                                              {foreign, rest});
+        FAIL() << "foreign-universe checkpoint accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("written for a different universe"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ShardMerge, TornRowRejectsStrictlyInTheMergePath)
+{
+    // The in-build resume drops a torn tail with a warning; the
+    // coordinator merge must instead refuse — it has no way to
+    // re-price another process's range.
+    const std::size_t items = workItems();
+    const std::string a = shardPath("torn_a");
+    buildShard(a, 0, items, 256);
+    std::vector<std::string> lines = readLines(a);
+    ASSERT_GT(lines.size(), 3u);
+    lines.back() = lines.back().substr(0, lines.back().size() / 2);
+    writeLines(a, lines);
+
+    try {
+        runner::Dataset::fromShardCheckpoints(universe(), {a});
+        FAIL() << "torn row accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("torn row"),
+                  std::string::npos)
+            << e.what();
+    }
+}

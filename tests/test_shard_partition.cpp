@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The partitioner contract (DESIGN §19): contiguous balanced ranges
+ * that tile the row space at any shard count, chip slices that
+ * reassemble to the index's chip list in order, a deterministic home
+ * shard for unknown chips, the uniform shard-count rejection message,
+ * and ".crash" site stripping for respawned workers.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graphport/shard/partition.hpp"
+#include "graphport/support/error.hpp"
+
+using namespace graphport;
+
+TEST(ShardPartition, RangesTileTheRowSpaceExactly)
+{
+    for (std::size_t rows : {0u, 1u, 5u, 96u, 97u, 2304u}) {
+        for (std::size_t shards : {1u, 2u, 3u, 4u, 7u, 16u}) {
+            std::size_t covered = 0;
+            std::size_t prevEnd = 0;
+            for (std::size_t s = 0; s < shards; ++s) {
+                const shard::WorkRange r =
+                    shard::rangeOf(s, shards, rows);
+                EXPECT_EQ(r.begin, prevEnd)
+                    << "gap/overlap at shard " << s << " of "
+                    << shards << " over " << rows;
+                EXPECT_LE(r.begin, r.end);
+                prevEnd = r.end;
+                covered += r.size();
+            }
+            EXPECT_EQ(prevEnd, rows);
+            EXPECT_EQ(covered, rows);
+        }
+    }
+}
+
+TEST(ShardPartition, RangesAreBalancedToWithinOneRow)
+{
+    const std::size_t rows = 2304;
+    for (std::size_t shards : {2u, 3u, 5u, 7u}) {
+        std::size_t lo = rows;
+        std::size_t hi = 0;
+        for (std::size_t s = 0; s < shards; ++s) {
+            const std::size_t n =
+                shard::rangeOf(s, shards, rows).size();
+            lo = std::min(lo, n);
+            hi = std::max(hi, n);
+        }
+        EXPECT_LE(hi - lo, 1u) << shards << " shards";
+    }
+}
+
+TEST(ShardPartition, OwnerOfRowInvertsRangeOf)
+{
+    const std::size_t rows = 997; // prime: every remainder exercised
+    for (std::size_t shards : {1u, 2u, 3u, 8u}) {
+        for (std::size_t row = 0; row < rows; ++row) {
+            const std::size_t owner =
+                shard::ownerOfRow(row, shards, rows);
+            EXPECT_TRUE(shard::rangeOf(owner, shards, rows)
+                            .contains(row))
+                << "row " << row << ", " << shards << " shards";
+        }
+    }
+}
+
+TEST(ShardPartition, ChipSlicesConcatenateToTheChipList)
+{
+    const std::vector<std::string> chips = {"P100", "V100", "A100",
+                                            "MI50", "MI100", "H100"};
+    for (std::size_t shards : {1u, 2u, 3u, 4u, 6u}) {
+        std::vector<std::string> reassembled;
+        for (std::size_t s = 0; s < shards; ++s) {
+            const std::vector<std::string> slice =
+                shard::chipsOf(s, shards, chips);
+            EXPECT_FALSE(slice.empty())
+                << "shard " << s << " of " << shards
+                << " owns no chip";
+            reassembled.insert(reassembled.end(), slice.begin(),
+                               slice.end());
+        }
+        EXPECT_EQ(reassembled, chips) << shards << " shards";
+    }
+}
+
+TEST(ShardPartition, HomeShardForUnknownChipIsStableAndInRange)
+{
+    for (std::size_t shards : {1u, 2u, 5u}) {
+        std::set<std::size_t> seen;
+        for (const char *chip :
+             {"FutureChip", "TPUv9", "", "H100", "hopper-ng"}) {
+            const std::size_t home =
+                shard::homeShardForUnknownChip(chip, shards);
+            EXPECT_LT(home, shards);
+            EXPECT_EQ(home,
+                      shard::homeShardForUnknownChip(chip, shards))
+                << "not deterministic for '" << chip << "'";
+            seen.insert(home);
+        }
+        if (shards >= 5) {
+            EXPECT_GT(seen.size(), 1u)
+                << "hash sends every chip to one shard";
+        }
+    }
+}
+
+TEST(ShardPartition, ValidateShardCountUsesTheUniformErrorFormat)
+{
+    // Satellite contract: the rejection reads exactly like a cliopts
+    // parse error ("<cmd>: ..."), so shard misuse and flag misuse
+    // are indistinguishable to scripts grepping stderr.
+    try {
+        shard::validateShardCount("serve-bench", 0, 6);
+        FAIL() << "0 shards accepted";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(),
+                     "fatal: serve-bench: --shards expects at "
+                     "least 1 shard, got 0");
+    }
+    try {
+        shard::validateShardCount("study", 7, 6);
+        FAIL() << "7 shards over 6 chips accepted";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(),
+                     "fatal: study: --shards (7) cannot exceed the "
+                     "chip count (6); a shard owning no chip can "
+                     "answer nothing");
+    }
+    EXPECT_NO_THROW(shard::validateShardCount("serve-bench", 1, 6));
+    EXPECT_NO_THROW(shard::validateShardCount("serve-bench", 6, 6));
+}
+
+TEST(ShardPartition, StripCrashSitesDropsOnlyCrashClauses)
+{
+    EXPECT_EQ(shard::stripCrashSites(
+                  "seed=1;sweep.crash:once=500;serve.lookup:p=0.2"),
+              "seed=1;serve.lookup:p=0.2");
+    EXPECT_EQ(shard::stripCrashSites(
+                  "seed=9;shard.worker.crash:once=3"),
+              "seed=9");
+    EXPECT_EQ(shard::stripCrashSites("seed=2;serve.lookup:p=0.5"),
+              "seed=2;serve.lookup:p=0.5");
+    EXPECT_EQ(shard::stripCrashSites(""), "");
+}

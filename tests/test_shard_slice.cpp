@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Chip-sharded serving must not change a single answer: a
+ * StrategyIndex sliced to one shard's chips answers its own chips'
+ * queries bit-identically to the full index, routes unknown chips
+ * through the replicated predictive pool to the same answer any
+ * other shard would give, and the POD wire codec between router and
+ * worker round-trips queries and advice without loss.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graphport/runner/dataset.hpp"
+#include "graphport/runner/universe.hpp"
+#include "graphport/serve/advisor.hpp"
+#include "graphport/serve/index.hpp"
+#include "graphport/serve/loadgen.hpp"
+#include "graphport/shard/partition.hpp"
+#include "graphport/shard/wire.hpp"
+#include "graphport/support/error.hpp"
+
+using namespace graphport;
+
+namespace {
+
+const serve::StrategyIndex &
+fullIndex()
+{
+    static const serve::StrategyIndex index = [] {
+        const runner::Dataset ds =
+            runner::Dataset::build(runner::smallUniverse(2));
+        return serve::StrategyIndex::build(ds);
+    }();
+    return index;
+}
+
+} // namespace
+
+TEST(ShardSlice, OwnedChipsAnswerBitIdenticallyToTheFullIndex)
+{
+    const serve::StrategyIndex &full = fullIndex();
+    const serve::Advisor fullAdvisor(full);
+    const std::vector<serve::Query> stream =
+        serve::makeQueryStream(full, 500, 7);
+    const serve::ServePolicy policy;
+
+    for (std::size_t shards : {2u, 3u}) {
+        for (std::size_t s = 0; s < shards; ++s) {
+            const std::vector<std::string> mine =
+                shard::chipsOf(s, shards, full.chips());
+            const serve::StrategyIndex sliced =
+                full.sliceByChips(mine);
+            const serve::Advisor shardAdvisor(sliced);
+            for (std::size_t i = 0; i < stream.size(); ++i) {
+                bool owned = false;
+                for (const std::string &c : mine)
+                    owned |= c == stream[i].chip;
+                if (!owned)
+                    continue;
+                const serve::Advice a = fullAdvisor.adviseResilient(
+                    stream[i], i, policy, nullptr);
+                const serve::Advice b = shardAdvisor.adviseResilient(
+                    stream[i], i, policy, nullptr);
+                EXPECT_TRUE(a.sameAnswer(b))
+                    << stream[i].app << "/" << stream[i].input
+                    << "/" << stream[i].chip << " on shard " << s
+                    << " of " << shards;
+            }
+        }
+    }
+}
+
+TEST(ShardSlice, UnknownChipsTakeTheSamePredictivePathOnEveryShard)
+{
+    // The k-NN example pool is replicated on every slice, so a chip
+    // outside the index gets the same predictive answer regardless
+    // of which home shard the router hashes it to.
+    const serve::StrategyIndex &full = fullIndex();
+    const serve::Advisor fullAdvisor(full);
+    const serve::ServePolicy policy;
+    serve::Query q = serve::makeQueryStream(full, 1, 5).front();
+    q.chip = "NotAChip";
+
+    const serve::Advice reference =
+        fullAdvisor.adviseResilient(q, 0, policy, nullptr);
+    EXPECT_TRUE(reference.predictive);
+
+    for (std::size_t s = 0; s < 3; ++s) {
+        const serve::StrategyIndex sliced = full.sliceByChips(
+            shard::chipsOf(s, 3, full.chips()));
+        const serve::Advisor shardAdvisor(sliced);
+        const serve::Advice a =
+            shardAdvisor.adviseResilient(q, 0, policy, nullptr);
+        EXPECT_TRUE(a.predictive) << "shard " << s;
+        EXPECT_TRUE(a.sameAnswer(reference)) << "shard " << s;
+    }
+}
+
+TEST(ShardSlice, SliceRejectsEmptyUnknownAndDuplicateChips)
+{
+    const serve::StrategyIndex &full = fullIndex();
+    EXPECT_THROW(full.sliceByChips({}), FatalError);
+    EXPECT_THROW(full.sliceByChips({"NotAChip"}),
+                 FatalError);
+    const std::vector<std::string> dup = {full.chips().front(),
+                                          full.chips().front()};
+    EXPECT_THROW(full.sliceByChips(dup), FatalError);
+}
+
+TEST(ShardWire, QueryFrameRoundTripsScatterSets)
+{
+    std::vector<serve::Query> queries = {
+        {"bfs", "road", "P100"},
+        {"sssp", "social", "MI50"},
+        {"pagerank", "random", "H100"},
+        {"cc", "road", "V100"},
+    };
+    std::vector<std::uint64_t> keys = {11, 22, 33, 44};
+    const std::vector<std::size_t> scatter = {2, 0};
+
+    const std::string payload =
+        shard::packQueryFrame(77, queries, keys, scatter);
+    EXPECT_EQ(shard::frameKind(payload), 'q');
+
+    std::uint64_t frameKey = 0;
+    std::vector<serve::Query> got;
+    std::vector<std::uint64_t> gotKeys;
+    std::string cause;
+    ASSERT_TRUE(shard::unpackQueryFrame(payload, &frameKey, &got,
+                                        &gotKeys, &cause))
+        << cause;
+    EXPECT_EQ(frameKey, 77u);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].app, "pagerank");
+    EXPECT_EQ(got[0].chip, "H100");
+    EXPECT_EQ(got[1].app, "bfs");
+    EXPECT_EQ(gotKeys, (std::vector<std::uint64_t>{33, 11}));
+}
+
+TEST(ShardWire, AdviceRoundTripPreservesEveryComparedField)
+{
+    const serve::StrategyIndex &full = fullIndex();
+    const serve::Advisor advisor(full);
+    const serve::ServePolicy policy;
+    const std::vector<serve::Query> stream =
+        serve::makeQueryStream(full, 64, 3);
+
+    std::vector<shard::WireAdvice> wire;
+    std::vector<serve::Advice> original;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        original.push_back(
+            advisor.adviseResilient(stream[i], i, policy, nullptr));
+        wire.push_back(shard::adviceToWire(original.back()));
+    }
+    const std::string payload = shard::packAdviceFrame(5, wire);
+    EXPECT_EQ(shard::frameKind(payload), 'a');
+
+    std::uint64_t frameKey = 0;
+    std::vector<shard::WireAdvice> got;
+    std::string cause;
+    ASSERT_TRUE(
+        shard::unpackAdviceFrame(payload, &frameKey, &got, &cause))
+        << cause;
+    EXPECT_EQ(frameKey, 5u);
+    ASSERT_EQ(got.size(), original.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_TRUE(
+            shard::adviceFromWire(got[i]).sameAnswer(original[i]))
+            << "query " << i;
+    }
+}
+
+TEST(ShardWire, ErrorAndShutdownFramesCarryTheirKinds)
+{
+    const std::string err = shard::packErrorFrame("pipe desync");
+    EXPECT_EQ(shard::frameKind(err), 'e');
+    EXPECT_EQ(shard::frameErrorCause(err), "pipe desync");
+
+    const std::string bye = shard::packShutdownFrame();
+    EXPECT_EQ(shard::frameKind(bye), 'x');
+
+    std::uint64_t frameKey = 0;
+    std::vector<shard::WireAdvice> advices;
+    std::string cause;
+    EXPECT_FALSE(
+        shard::unpackAdviceFrame(err, &frameKey, &advices, &cause));
+    EXPECT_FALSE(cause.empty());
+}
+
+TEST(ShardWire, TruncatedPayloadIsRejectedWithCause)
+{
+    std::vector<serve::Query> queries = {{"bfs", "road", "P100"}};
+    std::vector<std::uint64_t> keys = {1};
+    std::string payload =
+        shard::packQueryFrame(9, queries, keys, {0});
+    payload.resize(payload.size() - 10);
+
+    std::uint64_t frameKey = 0;
+    std::vector<serve::Query> got;
+    std::vector<std::uint64_t> gotKeys;
+    std::string cause;
+    EXPECT_FALSE(shard::unpackQueryFrame(payload, &frameKey, &got,
+                                         &gotKeys, &cause));
+    EXPECT_FALSE(cause.empty());
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Child-process plumbing and the framed pipe protocol under it:
+ * spawnPiped round-trips frames through a real child, exit codes are
+ * normalised shell-style (signal death = 128+signo), and the frame
+ * envelope detects torn checksums, bit flips, and mid-frame EOF
+ * while distinguishing all of them from a clean between-frames EOF.
+ */
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "graphport/support/error.hpp"
+#include "graphport/support/framing.hpp"
+#include "graphport/support/proc.hpp"
+
+using namespace graphport;
+
+TEST(SupportProc, SpawnPipedRoundTripsFramesThroughCat)
+{
+    support::ChildProcess cat =
+        support::spawnPiped({"/bin/cat"});
+    ASSERT_GE(cat.pid, 0);
+    ASSERT_GE(cat.stdinFd, 0);
+    ASSERT_GE(cat.stdoutFd, 0);
+
+    const std::string payload(10000, 'z');
+    ASSERT_TRUE(support::writeFrame(cat.stdinFd, payload));
+    ASSERT_TRUE(support::writeFrame(cat.stdinFd, "second"));
+
+    std::string got;
+    std::string cause;
+    EXPECT_EQ(support::readFrame(cat.stdoutFd, got, cause),
+              support::FrameStatus::Ok)
+        << cause;
+    EXPECT_EQ(got, payload);
+    EXPECT_EQ(support::readFrame(cat.stdoutFd, got, cause),
+              support::FrameStatus::Ok);
+    EXPECT_EQ(got, "second");
+
+    ::close(cat.stdinFd);
+    cat.stdinFd = -1;
+    // cat exits on stdin EOF; the stream then reports a clean Eof,
+    // not a defect.
+    EXPECT_EQ(support::readFrame(cat.stdoutFd, got, cause),
+              support::FrameStatus::Eof);
+    EXPECT_EQ(support::waitExit(cat), 0);
+}
+
+TEST(SupportProc, WaitExitNormalisesExitAndSignalDeaths)
+{
+    support::ChildProcess ok = support::spawnInherit({"/bin/true"});
+    EXPECT_EQ(support::waitExit(ok), 0);
+
+    support::ChildProcess bad =
+        support::spawnInherit({"/bin/false"});
+    EXPECT_EQ(support::waitExit(bad), 1);
+
+    support::ChildProcess hung =
+        support::spawnPiped({"/bin/cat"});
+    support::killProcess(hung);
+    EXPECT_EQ(support::waitExit(hung), 128 + SIGKILL)
+        << "a kill -9 must report shell-style 137";
+}
+
+TEST(SupportProc, ExecFailureReports127)
+{
+    support::ChildProcess child = support::spawnInherit(
+        {"/nonexistent/definitely-not-a-binary"});
+    EXPECT_EQ(support::waitExit(child), 127);
+}
+
+TEST(SupportProc, SelfExePathResolvesOrFallsBack)
+{
+    const std::string path = support::selfExePath("fallback-name");
+    EXPECT_FALSE(path.empty());
+    // On Linux /proc/self/exe resolves to this test binary.
+    EXPECT_NE(path, "fallback-name");
+}
+
+TEST(SupportFraming, CorruptedChecksumIsDetectedAsBad)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    ASSERT_TRUE(
+        support::writeFrame(fds[1], "torn on the wire", true));
+    ::close(fds[1]);
+
+    std::string payload;
+    std::string cause;
+    EXPECT_EQ(support::readFrame(fds[0], payload, cause),
+              support::FrameStatus::Bad);
+    EXPECT_NE(cause.find("checksum"), std::string::npos) << cause;
+    ::close(fds[0]);
+}
+
+TEST(SupportFraming, MidFrameEofIsBadNotEof)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    const std::uint32_t header[2] = {support::kFrameMagic, 100};
+    ASSERT_EQ(::write(fds[1], header, sizeof header),
+              static_cast<ssize_t>(sizeof header));
+    ::close(fds[1]); // die before checksum/payload
+
+    std::string payload;
+    std::string cause;
+    EXPECT_EQ(support::readFrame(fds[0], payload, cause),
+              support::FrameStatus::Bad);
+    EXPECT_FALSE(cause.empty());
+    ::close(fds[0]);
+}
+
+TEST(SupportFraming, ChecksumSeesEveryBitAndTheLength)
+{
+    const std::string base(1000, 'a');
+    const std::uint64_t sum = support::frameChecksum(base);
+    EXPECT_EQ(support::frameChecksum(base), sum)
+        << "checksum must be deterministic";
+
+    for (std::size_t pos : {0u, 7u, 31u, 32u, 999u}) {
+        std::string flipped = base;
+        flipped[pos] = static_cast<char>(flipped[pos] ^ 1);
+        EXPECT_NE(support::frameChecksum(flipped), sum)
+            << "flip at byte " << pos << " undetected";
+    }
+    // Same bytes, shorter length: the zero-padded tail must not
+    // collide with explicit zero bytes.
+    EXPECT_NE(support::frameChecksum(base.substr(0, 995)), sum);
+    std::string padded = base.substr(0, 995) + std::string(5, '\0');
+    EXPECT_NE(support::frameChecksum(base.substr(0, 995)),
+              support::frameChecksum(padded));
+}

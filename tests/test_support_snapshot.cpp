@@ -123,11 +123,45 @@ TEST(SnapshotRejectTest, VersionMismatchQuotesBothAndTheHint)
 
 TEST(SnapshotRejectTest, TruncationIsDetected)
 {
-    const std::string cause =
-        rejectCause(std::string(kMagic) + ",7\n");
+    // "graphport-testsnap,7\n" is 21 bytes; the shortest legal
+    // continuation is the 25-byte sum/end trailer, so the reject
+    // must report 21 actual vs a 46-byte floor for 1 record read.
+    const std::string text = std::string(kMagic) + ",7\n";
+    ASSERT_EQ(text.size(), 21u);
+    const std::string cause = rejectCause(text);
     EXPECT_NE(cause.find("truncated"), std::string::npos) << cause;
     EXPECT_NE(cause.find("missing 'end' marker"), std::string::npos)
         << cause;
+    EXPECT_NE(cause.find("21 bytes present"), std::string::npos)
+        << cause;
+    EXPECT_NE(cause.find("1 records plus the trailer need at "
+                         "least 46"),
+              std::string::npos)
+        << cause;
+}
+
+TEST(SnapshotRejectTest, TruncationCountsRecordsPastTheHeader)
+{
+    // A record line after the header grows both figures: the byte
+    // floor tracks what was consumed, the record count what parsed.
+    const std::string text =
+        std::string(kMagic) + ",7\nmeta,3\n"; // 21 + 7 = 28 bytes
+    ASSERT_EQ(text.size(), 28u);
+    std::istringstream is(text);
+    SnapshotReader r = reader(is);
+    r.expect("meta", 2);
+    try {
+        r.expectEnd();
+        FAIL() << "truncated stream accepted";
+    } catch (const FatalError &e) {
+        const std::string cause = e.what();
+        EXPECT_NE(cause.find("28 bytes present"), std::string::npos)
+            << cause;
+        EXPECT_NE(cause.find("2 records plus the trailer need at "
+                             "least 53"),
+                  std::string::npos)
+            << cause;
+    }
 }
 
 TEST(SnapshotRejectTest, WrongKeywordAndShortRecords)

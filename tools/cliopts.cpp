@@ -139,14 +139,33 @@ FlagSet::parse(const std::vector<std::string> &args) const
             printHelp(stdout);
             return false;
         }
+        // "--flag=value" is the same flag with an inline value.
+        std::string name = arg;
+        std::string inlineValue;
+        bool hasInlineValue = false;
+        if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+            const std::size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                name = arg.substr(0, eq);
+                inlineValue = arg.substr(eq + 1);
+                hasInlineValue = true;
+            }
+        }
         const Spec *spec = nullptr;
         for (const Spec &s : specs_) {
-            if (s.flag == arg) {
+            if (s.flag == name) {
                 spec = &s;
                 break;
             }
         }
-        if (spec != nullptr) {
+        if (spec != nullptr && hasInlineValue) {
+            fatalIf(spec->valueName.empty(),
+                    command_ + ": " + spec->flag +
+                        " does not take a value");
+            if (spec->optionalValue)
+                spec->applyToggle();
+            spec->applyValue(inlineValue);
+        } else if (spec != nullptr) {
             if (spec->valueName.empty()) {
                 spec->applyToggle();
             } else if (spec->optionalValue) {
