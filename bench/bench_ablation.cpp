@@ -31,7 +31,7 @@ namespace {
  * optimisation when the geomean of its (unfiltered or filtered)
  * enabled/disabled ratios is below 1.
  */
-dsl::OptConfig
+dsl::Schedule
 magnitudeOptsForPartition(const runner::Dataset &ds,
                           const std::vector<std::size_t> &tests,
                           bool significance_filter)
@@ -51,7 +51,7 @@ magnitudeOptsForPartition(const runner::Dataset &ds,
             }
         }
         port::OptDecision d;
-        d.opt = opt;
+        d.opt = dsl::knobOf(opt);
         if (!ratios.empty()) {
             d.medianRatio = geomean(ratios);
             d.verdict = d.medianRatio < 1.0
@@ -92,7 +92,7 @@ printSelectorComparison(const runner::Dataset &ds)
         unsigned differing = 0;
         for (const std::string &chip : ds.universe().chips) {
             const auto tests = ds.testsWhere("", "", chip);
-            dsl::OptConfig cfg;
+            dsl::Schedule cfg;
             if (v.useMwu)
                 cfg = port::optsForPartition(ds, tests).config;
             else

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "graphport/dsl/schedule.hpp"
 #include "graphport/obs/obs.hpp"
 #include "graphport/runner/dataset.hpp"
 #include "graphport/runner/sweepstats.hpp"
@@ -70,6 +71,7 @@ main(int argc, char **argv)
     bool quick = false;
     unsigned maxThreads = 4;
     std::string outPath = "BENCH_sweep.json";
+    dsl::ScheduleSpace space;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--quick")
@@ -78,10 +80,14 @@ main(int argc, char **argv)
             maxThreads = static_cast<unsigned>(std::stoul(argv[++i]));
         else if (arg == "--out" && i + 1 < argc)
             outPath = argv[++i];
+        else if (arg == "--schedule-space" && i + 1 < argc &&
+                 dsl::ScheduleSpace::tryByName(argv[i + 1], &space))
+            ++i;
         else {
             std::fprintf(stderr,
                          "usage: bench_sweep_throughput [--quick] "
-                         "[--threads N] [--out FILE]\n");
+                         "[--threads N] [--out FILE] "
+                         "[--schedule-space legacy|extended]\n");
             return 2;
         }
     }
@@ -90,12 +96,15 @@ main(int argc, char **argv)
                   "Dataset::build wall time: serial vs. trace "
                   "compaction vs. parallel pricing");
 
-    const runner::Universe universe =
+    runner::Universe universe =
         quick ? runner::smallUniverse() : runner::studyUniverse();
-    std::printf("universe: %s (%zu tests x 96 configs x %u runs); "
-                "%u hardware threads\n\n",
+    universe.space = space;
+    std::printf("universe: %s (%zu tests x %u configs x %u runs, "
+                "%s schedule space); %u hardware threads\n\n",
                 quick ? "small" : "study", universe.numTests(),
-                universe.runs, support::hardwareThreads());
+                universe.space.size(), universe.runs,
+                universe.space.name().c_str(),
+                support::hardwareThreads());
 
     std::vector<Variant> variants;
     variants.push_back({"serial (no compaction)", 1, false, {}, true});
@@ -194,9 +203,11 @@ main(int argc, char **argv)
     ex.beginObject();
     ex.field("bench", "sweep_throughput");
     ex.field("universe", quick ? "small" : "study");
+    ex.field("schedule_space", universe.space.name());
+    ex.field("num_configs", universe.space.size());
     ex.field("hardware_threads", support::hardwareThreads());
     ex.field("tests", universe.numTests());
-    ex.field("cells", universe.numTests() * 96);
+    ex.field("cells", universe.numTests() * universe.space.size());
     ex.field("runs_per_cell", universe.runs);
     ex.field("launches_total", compactStats.launchesTotal);
     ex.field("launches_unique", compactStats.launchesUnique);

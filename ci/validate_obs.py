@@ -7,6 +7,7 @@ Usage:
     python3 ci/validate_obs.py serve FILE [FILE...]
     python3 ci/validate_obs.py portfolio FILE [FILE...]
     python3 ci/validate_obs.py shard FILE [FILE...]
+    python3 ci/validate_obs.py schedule FILE [FILE...]
 
 "summary" validates a --metrics-out document (the canonical
 graphport-obs-summary JSON); "trace" validates a --trace-out Chrome
@@ -33,6 +34,10 @@ figure whenever the record says the gate was enforceable
 (speedup_enforced — >= 2 shards on a machine with >= 2 CPUs; a
 1-CPU run records the speedup without enforcing it, since N workers
 time-slicing one core cannot beat one process).
+"schedule" validates a BENCH_sweep.json record (schedule-smoke
+job): the schedule space named, num_configs matching the space (96
+legacy / 576 extended), cells == tests * num_configs, and every
+variant bit-identical to the serial reference.
 Standard library only — CI must not install anything.
 """
 import json
@@ -273,6 +278,37 @@ def check_shard(doc):
     return doc["shards"]
 
 
+def check_schedule(doc):
+    expect(isinstance(doc, dict), "$", "object")
+    expect(doc.get("bench") == "sweep_throughput", "bench",
+           '"sweep_throughput"')
+    space = doc.get("schedule_space")
+    expect(space in ("legacy", "extended"), "schedule_space",
+           '"legacy" or "extended"')
+    want_configs = 96 if space == "legacy" else 576
+    expect(doc.get("num_configs") == want_configs, "num_configs",
+           f"{want_configs} (the {space} schedule space)")
+    expect(is_count(doc.get("tests")) and doc["tests"] >= 1, "tests",
+           "integer >= 1")
+    expect(doc.get("cells") == doc["tests"] * want_configs, "cells",
+           "tests * num_configs")
+    expect(is_count(doc.get("runs_per_cell")) and
+           doc["runs_per_cell"] >= 1, "runs_per_cell",
+           "integer >= 1")
+    expect(doc.get("all_bit_identical") is True, "all_bit_identical",
+           "true (every variant bit-identical to the serial "
+           "reference)")
+    variants = doc.get("variants")
+    expect(isinstance(variants, list) and len(variants) >= 2,
+           "variants", "array with >= 2 entries")
+    for i, var in enumerate(variants):
+        expect(isinstance(var, dict), f"variants[{i}]", "object")
+        expect(is_num(var.get("total_seconds")) and
+               var["total_seconds"] > 0,
+               f"variants[{i}].total_seconds", "positive number")
+    return want_configs
+
+
 def check_trace(doc):
     expect(isinstance(doc, dict), "$", "object")
     expect(isinstance(doc.get("traceEvents"), list), "traceEvents",
@@ -298,7 +334,7 @@ def main(argv):
     if require_fault:
         args.remove("--require-fault")
     if len(args) < 2 or args[0] not in ("summary", "trace", "serve",
-                                    "portfolio", "shard"):
+                                    "portfolio", "shard", "schedule"):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     if require_fault and args[0] != "summary":
@@ -308,7 +344,8 @@ def main(argv):
     check = {"summary": check_summary, "trace": check_trace,
              "serve": check_serve,
              "portfolio": check_portfolio,
-             "shard": check_shard}[args[0]]
+             "shard": check_shard,
+             "schedule": check_schedule}[args[0]]
     for path in args[1:]:
         try:
             with open(path) as f:
@@ -322,7 +359,8 @@ def main(argv):
         unit = {"summary": "spans", "trace": "events",
                 "serve": "variants",
                 "portfolio": "frontier points",
-                "shard": "shards"}[args[0]]
+                "shard": "shards",
+                "schedule": "configs"}[args[0]]
         print(f"{path}: ok ({n} {unit})")
     return 0
 

@@ -49,7 +49,7 @@ main(int argc, char **argv)
                 : (d.verdict == port::Verdict::Disable ? "disable"
                                                        : "unsure");
         std::printf("%-8s %-7s %.2f  %.3f    %zu\n",
-                    dsl::optName(d.opt).c_str(), verdict,
+                    dsl::knobName(d.opt).c_str(), verdict,
                     d.mwu.clEffectSize, d.medianRatio,
                     d.significantPairs);
     }

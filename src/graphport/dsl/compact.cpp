@@ -38,6 +38,7 @@ launchSignature(const KernelLaunch &l)
     h = mix(h, l.edges);
     for (std::uint64_t b : l.hist.buckets)
         h = mix(h, b);
+    h = mix(h, l.graphNodes);
     h = mix(h, l.contendedPushes);
     h = mix(h, l.scatteredRmw);
     h = mix(h, l.flatReads);
@@ -58,6 +59,7 @@ bool
 sameWorkload(const KernelLaunch &a, const KernelLaunch &b)
 {
     return a.items == b.items && a.edges == b.edges &&
+           a.graphNodes == b.graphNodes &&
            a.hist.buckets == b.hist.buckets &&
            a.contendedPushes == b.contendedPushes &&
            a.scatteredRmw == b.scatteredRmw &&

@@ -45,5 +45,12 @@ partitionSchemes(const OptConfig &config, unsigned sg_size,
     return part;
 }
 
+SchemePartition
+partitionSchemes(const Schedule &schedule, unsigned sg_size,
+                 unsigned wg_size)
+{
+    return partitionSchemes(schedule.loadBalance(), sg_size, wg_size);
+}
+
 } // namespace dsl
 } // namespace graphport

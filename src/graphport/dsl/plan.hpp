@@ -16,6 +16,7 @@
 #include <array>
 
 #include "graphport/dsl/optconfig.hpp"
+#include "graphport/dsl/schedule.hpp"
 #include "graphport/dsl/trace.hpp"
 
 namespace graphport {
@@ -62,6 +63,14 @@ struct SchemePartition
  * @p sg_size, using workgroup size @p wg_size.
  */
 SchemePartition partitionSchemes(const OptConfig &config,
+                                 unsigned sg_size, unsigned wg_size);
+
+/**
+ * Lower a schedule's load-balance settings. Direction and fusion do
+ * not affect which scheme handles a degree class, so this is exactly
+ * partitionSchemes(schedule.loadBalance(), ...).
+ */
+SchemePartition partitionSchemes(const Schedule &schedule,
                                  unsigned sg_size, unsigned wg_size);
 
 } // namespace dsl

@@ -37,6 +37,7 @@ TraceRecorder::makeLaunch(const KernelParams &params) const
     l.computePerItem = params.computePerItem;
     l.computePerEdge = params.computePerEdge;
     l.hostSyncAfter = params.hostSyncAfter;
+    l.graphNodes = graph_.numNodes();
     return l;
 }
 

@@ -1,0 +1,523 @@
+#include "graphport/dsl/schedule.hpp"
+
+#include "graphport/support/error.hpp"
+#include "graphport/support/rng.hpp"
+#include "graphport/support/strings.hpp"
+
+namespace graphport {
+namespace dsl {
+
+namespace {
+
+unsigned
+fuseIndex(unsigned fuse)
+{
+    switch (fuse) {
+      case 1:
+        return 0;
+      case 2:
+        return 1;
+      case 4:
+        return 2;
+      default:
+        panic("Schedule: invalid fuse count " + std::to_string(fuse));
+    }
+}
+
+unsigned
+fuseFromIndex(unsigned idx)
+{
+    static const unsigned counts[3] = {1, 2, 4};
+    panicIf(idx >= 3, "Schedule: invalid fuse index");
+    return counts[idx];
+}
+
+} // namespace
+
+Knob
+knobOf(Opt opt)
+{
+    panicIf(static_cast<unsigned>(opt) >= kNumOpts,
+            "knobOf: invalid Opt");
+    return static_cast<Knob>(static_cast<unsigned>(opt));
+}
+
+std::string
+knobName(Knob knob)
+{
+    switch (knob) {
+      case Knob::Pull:
+        return "pull";
+      case Knob::Fuse2:
+        return "fuse2";
+      case Knob::Fuse4:
+        return "fuse4";
+      default:
+        panicIf(static_cast<unsigned>(knob) >= kNumOpts,
+                "knobName: invalid Knob");
+        return optName(static_cast<Opt>(knob));
+    }
+}
+
+unsigned
+Schedule::fgChunk() const
+{
+    switch (fg) {
+      case FgMode::Off:
+        return 0;
+      case FgMode::Fg1:
+        return 1;
+      case FgMode::Fg8:
+        return 8;
+    }
+    panic("Schedule::fgChunk: invalid FgMode");
+}
+
+bool
+Schedule::isBaseline() const
+{
+    return *this == Schedule{};
+}
+
+bool
+Schedule::has(Knob knob) const
+{
+    switch (knob) {
+      case Knob::CoopCv:
+        return coopCv;
+      case Knob::Wg:
+        return wg;
+      case Knob::Sg:
+        return sg;
+      case Knob::Fg1:
+        return fg == FgMode::Fg1;
+      case Knob::Fg8:
+        return fg == FgMode::Fg8;
+      case Knob::OiterGb:
+        return oitergb;
+      case Knob::Sz256:
+        return sz256;
+      case Knob::Pull:
+        return dir == Direction::Pull;
+      case Knob::Fuse2:
+        return fuse == 2;
+      case Knob::Fuse4:
+        return fuse == 4;
+      default:
+        panic("Schedule::has: invalid Knob");
+    }
+}
+
+Schedule
+Schedule::with(Knob knob) const
+{
+    Schedule s = *this;
+    switch (knob) {
+      case Knob::CoopCv:
+        s.coopCv = true;
+        break;
+      case Knob::Wg:
+        s.wg = true;
+        break;
+      case Knob::Sg:
+        s.sg = true;
+        break;
+      case Knob::Fg1:
+        s.fg = FgMode::Fg1;
+        break;
+      case Knob::Fg8:
+        s.fg = FgMode::Fg8;
+        break;
+      case Knob::OiterGb:
+        s.oitergb = true;
+        break;
+      case Knob::Sz256:
+        s.sz256 = true;
+        break;
+      case Knob::Pull:
+        s.dir = Direction::Pull;
+        break;
+      case Knob::Fuse2:
+        s.fuse = 2;
+        break;
+      case Knob::Fuse4:
+        s.fuse = 4;
+        break;
+      default:
+        panic("Schedule::with: invalid Knob");
+    }
+    return s;
+}
+
+Schedule
+Schedule::without(Knob knob) const
+{
+    Schedule s = *this;
+    switch (knob) {
+      case Knob::CoopCv:
+        s.coopCv = false;
+        break;
+      case Knob::Wg:
+        s.wg = false;
+        break;
+      case Knob::Sg:
+        s.sg = false;
+        break;
+      case Knob::Fg1:
+      case Knob::Fg8:
+        s.fg = FgMode::Off;
+        break;
+      case Knob::OiterGb:
+        s.oitergb = false;
+        break;
+      case Knob::Sz256:
+        s.sz256 = false;
+        break;
+      case Knob::Pull:
+        s.dir = Direction::Push;
+        break;
+      case Knob::Fuse2:
+      case Knob::Fuse4:
+        s.fuse = 1;
+        break;
+      default:
+        panic("Schedule::without: invalid Knob");
+    }
+    return s;
+}
+
+std::string
+Schedule::label() const
+{
+    std::string out = loadBalance().label();
+    if (isLegacy())
+        return out;
+    if (out == "baseline")
+        out.clear();
+    const auto append = [&](const std::string &s) {
+        if (!out.empty())
+            out += ", ";
+        out += s;
+    };
+    if (dir == Direction::Pull)
+        append("pull");
+    if (fuse != 1)
+        append("fuse" + std::to_string(fuse));
+    return out;
+}
+
+std::string
+Schedule::spec() const
+{
+    std::string out =
+        "dir=" + std::string(dir == Direction::Pull ? "pull" : "push");
+    std::string lb;
+    const auto scheme = [&](const std::string &s) {
+        if (!lb.empty())
+            lb += "+";
+        lb += s;
+    };
+    if (wg)
+        scheme("wg");
+    if (sg)
+        scheme("sg");
+    if (fg == FgMode::Fg1)
+        scheme("fg1");
+    if (fg == FgMode::Fg8)
+        scheme("fg8");
+    out += ",lb=" + (lb.empty() ? std::string("serial") : lb);
+    if (coopCv)
+        out += ",coop=cv";
+    if (oitergb)
+        out += ",oiter=gb";
+    out += ",wgsize=" + std::to_string(workgroupSize());
+    if (fuse != 1)
+        out += ",fuse=" + std::to_string(fuse);
+    return out;
+}
+
+bool
+Schedule::tryParseSpec(const std::string &text, Schedule *out,
+                       std::string *error)
+{
+    const auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    Schedule s;
+    bool seen[6] = {};
+    enum { kDir = 0, kLb, kCoop, kOiter, kWgSize, kFuse };
+    for (const std::string &rawEntry : split(text, ',')) {
+        const std::string entry = trim(rawEntry);
+        if (entry.empty())
+            return fail("empty schedule entry");
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string::npos)
+            return fail("entry '" + entry +
+                        "' is not of the form key=value");
+        const std::string key = trim(entry.substr(0, eq));
+        const std::string value = trim(entry.substr(eq + 1));
+        const auto once = [&](int k) {
+            if (seen[k])
+                return false;
+            seen[k] = true;
+            return true;
+        };
+        const auto badValue = [&](const char *expects) {
+            return fail("schedule key '" + key + "' expects " +
+                        expects + ", got '" + value + "'");
+        };
+        if (key == "dir") {
+            if (!once(kDir))
+                return fail("duplicate schedule key 'dir'");
+            if (value == "push")
+                s.dir = Direction::Push;
+            else if (value == "pull")
+                s.dir = Direction::Pull;
+            else
+                return badValue("push|pull");
+        } else if (key == "lb") {
+            if (!once(kLb))
+                return fail("duplicate schedule key 'lb'");
+            s.wg = s.sg = false;
+            s.fg = FgMode::Off;
+            bool serial = false;
+            const std::vector<std::string> schemes =
+                split(value, '+');
+            for (const std::string &rawScheme : schemes) {
+                const std::string sch = trim(rawScheme);
+                if (sch == "serial")
+                    serial = true;
+                else if (sch == "wg" && !s.wg)
+                    s.wg = true;
+                else if (sch == "sg" && !s.sg)
+                    s.sg = true;
+                else if ((sch == "fg1" || sch == "fg") &&
+                         s.fg == FgMode::Off)
+                    s.fg = FgMode::Fg1;
+                else if (sch == "fg8" && s.fg == FgMode::Off)
+                    s.fg = FgMode::Fg8;
+                else
+                    return badValue(
+                        "serial or a +-joined subset of wg|sg|fg1|fg8");
+            }
+            if (serial && (schemes.size() != 1 || s.wg || s.sg ||
+                           s.fg != FgMode::Off))
+                return badValue(
+                    "serial or a +-joined subset of wg|sg|fg1|fg8");
+        } else if (key == "coop") {
+            if (!once(kCoop))
+                return fail("duplicate schedule key 'coop'");
+            if (value == "cv")
+                s.coopCv = true;
+            else if (value == "off")
+                s.coopCv = false;
+            else
+                return badValue("cv|off");
+        } else if (key == "oiter") {
+            if (!once(kOiter))
+                return fail("duplicate schedule key 'oiter'");
+            if (value == "gb")
+                s.oitergb = true;
+            else if (value == "host" || value == "off")
+                s.oitergb = false;
+            else
+                return badValue("gb|host");
+        } else if (key == "wgsize") {
+            if (!once(kWgSize))
+                return fail("duplicate schedule key 'wgsize'");
+            if (value == "128")
+                s.sz256 = false;
+            else if (value == "256")
+                s.sz256 = true;
+            else
+                return badValue("128|256");
+        } else if (key == "fuse") {
+            if (!once(kFuse))
+                return fail("duplicate schedule key 'fuse'");
+            if (value == "1")
+                s.fuse = 1;
+            else if (value == "2")
+                s.fuse = 2;
+            else if (value == "4")
+                s.fuse = 4;
+            else
+                return badValue("1|2|4");
+        } else {
+            return fail("unknown schedule key '" + key + "'");
+        }
+    }
+    *out = s;
+    if (error)
+        error->clear();
+    return true;
+}
+
+Schedule
+Schedule::parseSpec(const std::string &text)
+{
+    Schedule s;
+    std::string error;
+    const bool ok = tryParseSpec(text, &s, &error);
+    fatalIf(!ok, "bad schedule spec '" + text + "': " + error);
+    return s;
+}
+
+unsigned
+Schedule::encode() const
+{
+    const unsigned legacyPart = loadBalance().encode();
+    const unsigned block =
+        (dir == Direction::Pull ? 1u : 0u) + 2u * fuseIndex(fuse);
+    return legacyPart + kNumConfigs * block;
+}
+
+Schedule
+Schedule::decode(unsigned id)
+{
+    fatalIf(id >= kNumSchedules, "Schedule::decode id out of range");
+    Schedule s = fromLegacy(OptConfig::decode(id % kNumConfigs));
+    const unsigned block = id / kNumConfigs;
+    s.dir = (block & 1u) ? Direction::Pull : Direction::Push;
+    s.fuse = fuseFromIndex(block / 2u);
+    return s;
+}
+
+Schedule
+Schedule::fromLegacy(const OptConfig &config)
+{
+    Schedule s;
+    s.coopCv = config.coopCv;
+    s.wg = config.wg;
+    s.sg = config.sg;
+    s.fg = config.fg;
+    s.oitergb = config.oitergb;
+    s.sz256 = config.sz256;
+    return s;
+}
+
+OptConfig
+Schedule::toLegacy() const
+{
+    fatalIf(!isLegacy(),
+            "Schedule::toLegacy: schedule '" + spec() +
+                "' uses extended axes");
+    return loadBalance();
+}
+
+OptConfig
+Schedule::loadBalance() const
+{
+    OptConfig c;
+    c.coopCv = coopCv;
+    c.wg = wg;
+    c.sg = sg;
+    c.fg = fg;
+    c.oitergb = oitergb;
+    c.sz256 = sz256;
+    return c;
+}
+
+ScheduleSpace
+ScheduleSpace::byName(const std::string &name)
+{
+    ScheduleSpace space;
+    fatalIf(!tryByName(name, &space),
+            "unknown schedule space '" + name +
+                "' (legacy | extended)");
+    return space;
+}
+
+bool
+ScheduleSpace::tryByName(const std::string &name, ScheduleSpace *out)
+{
+    if (name == "legacy")
+        *out = legacy();
+    else if (name == "extended")
+        *out = extended();
+    else
+        return false;
+    return true;
+}
+
+unsigned
+ScheduleSpace::size() const
+{
+    return isLegacy() ? kNumConfigs : kNumSchedules;
+}
+
+std::string
+ScheduleSpace::name() const
+{
+    return isLegacy() ? "legacy" : "extended";
+}
+
+std::string
+ScheduleSpace::versionString() const
+{
+    return name() + "/v1 (" + std::to_string(size()) + " schedules)";
+}
+
+std::uint64_t
+ScheduleSpace::identityTag() const
+{
+    // Legacy contributes nothing so every pre-existing artifact stamp
+    // (computed before the space existed) stays valid.
+    if (isLegacy())
+        return 0;
+    return hashStr("graphport-schedule-space-extended-v1");
+}
+
+const std::vector<Schedule> &
+ScheduleSpace::all() const
+{
+    static const std::vector<Schedule> legacyAll = [] {
+        std::vector<Schedule> out;
+        out.reserve(kNumConfigs);
+        for (unsigned id = 0; id < kNumConfigs; ++id)
+            out.push_back(Schedule::decode(id));
+        return out;
+    }();
+    static const std::vector<Schedule> extendedAll = [] {
+        std::vector<Schedule> out;
+        out.reserve(kNumSchedules);
+        for (unsigned id = 0; id < kNumSchedules; ++id)
+            out.push_back(Schedule::decode(id));
+        return out;
+    }();
+    return isLegacy() ? legacyAll : extendedAll;
+}
+
+std::vector<Schedule>
+ScheduleSpace::allWith(Knob knob) const
+{
+    std::vector<Schedule> out;
+    for (const Schedule &s : all()) {
+        if (s.has(knob))
+            out.push_back(s);
+    }
+    return out;
+}
+
+const std::vector<Knob> &
+ScheduleSpace::knobs() const
+{
+    static const std::vector<Knob> legacyKnobs = [] {
+        std::vector<Knob> out;
+        for (Opt opt : allOpts())
+            out.push_back(knobOf(opt));
+        return out;
+    }();
+    static const std::vector<Knob> extendedKnobs = [] {
+        std::vector<Knob> out = legacyKnobs;
+        out.push_back(Knob::Pull);
+        out.push_back(Knob::Fuse2);
+        out.push_back(Knob::Fuse4);
+        return out;
+    }();
+    return isLegacy() ? legacyKnobs : extendedKnobs;
+}
+
+} // namespace dsl
+} // namespace graphport

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * The schedule language: a composable description of *how* a graph
+ * application executes, separated from *what* it computes (GraphIt
+ *-style algorithm/schedule split).
+ *
+ * A Schedule extends the paper's fixed flag tuple (dsl::OptConfig)
+ * with two additional axes the cost model prices:
+ *
+ *  - dir:  traversal direction. Push expands the frontier through
+ *          atomic worklist pushes; Pull iterates all nodes and gathers
+ *          from in-neighbours — no atomics, but every off-frontier
+ *          node pays an overscan check.
+ *  - fuse: fused-kernel launch count. Consecutive kernels of one host
+ *          iteration are fused into mega-kernels of up to `fuse`
+ *          stages: followers replace their launch overhead with a
+ *          device-side barrier, at an occupancy penalty.
+ *
+ * The id space is layered so the paper's 96 OptConfig ids survive
+ * unchanged as a strict prefix:
+ *
+ *     id = legacyId + 96 * (dirIdx + 2 * fuseIdx)
+ *
+ * with dirIdx in {push=0, pull=1} and fuseIdx indexing {1, 2, 4}.
+ * Block 0 (push, fuse=1) IS the legacy space: every dataset, CSV,
+ * snapshot and strategy table built over OptConfig ids keeps its
+ * meaning bit for bit. Schedule::decode is total over the extended
+ * range, so consumers can decode any id from either space; the
+ * ScheduleSpace chosen by the universe only controls which ids a
+ * sweep enumerates.
+ */
+#ifndef GRAPHPORT_DSL_SCHEDULE_HPP
+#define GRAPHPORT_DSL_SCHEDULE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graphport/dsl/optconfig.hpp"
+
+namespace graphport {
+namespace dsl {
+
+/** Frontier traversal direction. */
+enum class Direction { Push = 0, Pull = 1 };
+
+/**
+ * The individual schedule knobs Algorithm 1 reasons about. The first
+ * seven mirror Opt (same order, same semantics); the remainder are
+ * the extended axes. Like fg1/fg8, fuse2/fuse4 are recorded as
+ * mutually exclusive binary knobs.
+ */
+enum class Knob
+{
+    CoopCv = 0,
+    Wg,
+    Sg,
+    Fg1,
+    Fg8,
+    OiterGb,
+    Sz256,
+    Pull,
+    Fuse2,
+    Fuse4,
+    NumKnobs,
+};
+
+/** Number of distinct Knob values. */
+constexpr unsigned kNumKnobs = static_cast<unsigned>(Knob::NumKnobs);
+
+/** The Knob mirroring a paper optimisation. */
+Knob knobOf(Opt opt);
+
+/** Name of a knob ("coop-cv", "pull", "fuse2", ...). */
+std::string knobName(Knob knob);
+
+/** (dir, fuse) blocks layered on top of the 96 legacy ids. */
+constexpr unsigned kNumExtendedBlocks = 6;
+
+/** Total ids in the extended space (576). */
+constexpr unsigned kNumSchedules = kNumConfigs * kNumExtendedBlocks;
+
+/**
+ * One point of the schedule space. The default-constructed Schedule
+ * is the paper's baseline (push, everything off, one kernel per
+ * launch).
+ */
+struct Schedule
+{
+    Direction dir = Direction::Push;
+    bool coopCv = false;
+    bool wg = false;
+    bool sg = false;
+    FgMode fg = FgMode::Off;
+    bool oitergb = false;
+    bool sz256 = false;
+    /** Kernels fused per launch: 1 (off), 2 or 4. */
+    unsigned fuse = 1;
+
+    /** Workgroup size implied by sz256. */
+    unsigned workgroupSize() const { return sz256 ? 256u : 128u; }
+
+    /** Edges per thread per fg round (0 when fg is off). */
+    unsigned fgChunk() const;
+
+    /** True when every knob is at its default. */
+    bool isBaseline() const;
+
+    /** True when the schedule lies in the legacy OptConfig space. */
+    bool isLegacy() const
+    {
+        return dir == Direction::Push && fuse == 1;
+    }
+
+    /** Whether knob @p knob is enabled. */
+    bool has(Knob knob) const;
+
+    /** Return a copy with @p knob enabled. */
+    Schedule with(Knob knob) const;
+
+    /**
+     * Return a copy with @p knob disabled (Algorithm 1's mirror
+     * setting). Disabling Fg1/Fg8 sets fg = Off; disabling
+     * Fuse2/Fuse4 sets fuse = 1; disabling Pull sets dir = Push.
+     */
+    Schedule without(Knob knob) const;
+
+    /**
+     * Paper-style label: the OptConfig label extended with "pull" /
+     * "fuseN" entries. Identical to OptConfig::label() for every
+     * legacy schedule.
+     */
+    std::string label() const;
+
+    /**
+     * Canonical printable spec, e.g.
+     * "dir=push,lb=wg+sg+fg8,oiter=gb,wgsize=256". `dir`, `lb` and
+     * `wgsize` always print; `coop=cv`, `oiter=gb` and `fuse=N`
+     * print only when enabled. parseSpec(spec()) round-trips.
+     */
+    std::string spec() const;
+
+    /**
+     * Parse a spec string (keys in any order; each key at most once).
+     * Returns false with *error set to a "key 'k' ..." message on an
+     * unknown key, unknown value, duplicate key or malformed entry.
+     */
+    static bool tryParseSpec(const std::string &text, Schedule *out,
+                             std::string *error);
+
+    /** tryParseSpec or FatalError carrying the parse error. */
+    static Schedule parseSpec(const std::string &text);
+
+    /** Dense stable id in [0, kNumSchedules). Legacy ids < 96. */
+    unsigned encode() const;
+
+    /** Inverse of encode(); total over the extended range. */
+    static Schedule decode(unsigned id);
+
+    /** Lift a legacy config; fromLegacy(c).encode() == c.encode(). */
+    static Schedule fromLegacy(const OptConfig &config);
+
+    /**
+     * Project onto the legacy tuple. @throws FatalError when the
+     * schedule uses an extended axis (check isLegacy() first).
+     */
+    OptConfig toLegacy() const;
+
+    /**
+     * The legacy load-balance view: the OptConfig carrying this
+     * schedule's wg/sg/fg/oitergb/sz256/coop-cv settings with the
+     * extended axes dropped. Always valid; this is what lowers
+     * through partitionSchemes — direction and fusion do not change
+     * which scheme handles a degree class.
+     */
+    OptConfig loadBalance() const;
+
+    /** The all-default schedule. */
+    static Schedule baseline() { return {}; }
+
+    bool operator==(const Schedule &other) const = default;
+};
+
+/**
+ * Which slice of the schedule space a sweep enumerates. Legacy is the
+ * paper's 96-config space (the default everywhere, keeping the
+ * reproduction exact); Extended opens the direction and fusion axes
+ * (576 ids). The space is part of a universe's identity: artifacts
+ * built over different spaces never silently mix.
+ */
+class ScheduleSpace
+{
+  public:
+    enum class Kind { Legacy = 0, Extended = 1 };
+
+    /** Defaults to the legacy space. */
+    ScheduleSpace() = default;
+
+    static ScheduleSpace legacy() { return ScheduleSpace(Kind::Legacy); }
+    static ScheduleSpace extended()
+    {
+        return ScheduleSpace(Kind::Extended);
+    }
+
+    /** Space by CLI name. @throws FatalError on an unknown name. */
+    static ScheduleSpace byName(const std::string &name);
+
+    /** Non-throwing byName. */
+    static bool tryByName(const std::string &name, ScheduleSpace *out);
+
+    Kind kind() const { return kind_; }
+    bool isLegacy() const { return kind_ == Kind::Legacy; }
+
+    /** Number of schedule ids the space enumerates (96 or 576). */
+    unsigned size() const;
+
+    /** CLI name: "legacy" or "extended". */
+    std::string name() const;
+
+    /**
+     * Versioned display form naming the space and its id-layout
+     * revision, e.g. "legacy/v1 (96 schedules)". Cache and
+     * checkpoint rejects quote this so a foreign-space artifact is
+     * diagnosable at a glance.
+     */
+    std::string versionString() const;
+
+    /**
+     * Identity-hash contribution. Zero for the legacy space — legacy
+     * universe hashes (and thus every pre-existing .gpk/.gpi/.gpc/
+     * .gpp stamp) are unchanged; extended spaces mix a versioned tag
+     * so their artifacts can never be restored into a legacy sweep
+     * or vice versa.
+     */
+    std::uint64_t identityTag() const;
+
+    /** All schedules of the space, ordered by encode() id. */
+    const std::vector<Schedule> &all() const;
+
+    /**
+     * All schedules of the space with @p knob enabled (Algorithm 1's
+     * ALL_OPT_SETTINGS), in id order. For the legacy space and a
+     * legacy knob this enumerates exactly allConfigsWith(opt).
+     */
+    std::vector<Schedule> allWith(Knob knob) const;
+
+    /**
+     * The knobs Algorithm 1 iterates for this space, in decision
+     * order: the seven paper opts (allOpts() order), then the
+     * extended axes for the extended space.
+     */
+    const std::vector<Knob> &knobs() const;
+
+    bool operator==(const ScheduleSpace &other) const = default;
+
+  private:
+    explicit ScheduleSpace(Kind kind) : kind_(kind) {}
+
+    Kind kind_ = Kind::Legacy;
+};
+
+} // namespace dsl
+} // namespace graphport
+
+#endif // GRAPHPORT_DSL_SCHEDULE_HPP

@@ -172,6 +172,13 @@ struct KernelLaunch
 
     /** Inner iterations between gratuitous barriers. */
     unsigned barrierStride = 6;
+
+    /**
+     * Total nodes of the graph this launch ran over (0 when unknown,
+     * e.g. synthetic microbenchmark launches). Pull-direction pricing
+     * charges an overscan check for every node not among the items.
+     */
+    std::uint64_t graphNodes = 0;
 };
 
 /** The complete workload trace of one (application, input) execution. */

@@ -80,5 +80,95 @@ mDivgSpeedup(const sim::ChipModel &chip, std::uint64_t items,
     return without / with;
 }
 
+namespace {
+
+/**
+ * An edge-relax kernel over a frontier of @p items nodes out of
+ * @p nodes total: every frontier node walks its neighbours and pushes
+ * one contended update per edge.
+ */
+dsl::KernelLaunch
+relaxKernel(std::uint64_t items, std::uint64_t nodes,
+            double avg_degree)
+{
+    dsl::KernelLaunch l;
+    l.name = "relax";
+    l.items = items;
+    l.graphNodes = nodes;
+    l.hasNeighborLoop = true;
+    l.randomAccess = true;
+    const std::uint64_t deg =
+        static_cast<std::uint64_t>(avg_degree);
+    for (std::uint64_t i = 0; i < items; ++i)
+        l.hist.add(deg);
+    l.edges = items * deg;
+    l.contendedPushes = l.edges;
+    l.computePerItem = 1.0;
+    l.computePerEdge = 1.0;
+    return l;
+}
+
+} // namespace
+
+double
+pullVsPushSpeedup(const sim::ChipModel &chip, double frontier_frac,
+                  std::uint64_t nodes, double avg_degree)
+{
+    std::uint64_t items =
+        static_cast<std::uint64_t>(frontier_frac *
+                                   static_cast<double>(nodes));
+    if (items < 1)
+        items = 1;
+    if (items > nodes)
+        items = nodes;
+    const dsl::KernelLaunch kernel =
+        relaxKernel(items, nodes, avg_degree);
+    const sim::CostEngine push(chip, dsl::Schedule::baseline());
+    const sim::CostEngine pull(
+        chip, dsl::Schedule::baseline().with(dsl::Knob::Pull));
+    return push.kernelTimeNs(kernel) / pull.kernelTimeNs(kernel);
+}
+
+double
+fusionSpeedup(const sim::ChipModel &chip, unsigned fuse,
+              double kernel_ns, unsigned launches)
+{
+    // The fixpoint loop: `launches` identical kernels, one iteration
+    // each, no host syncs — exactly the shape a fused launch graph
+    // covers. Model the fused timing from the engine's own
+    // ingredients so the fixture tracks the cost model.
+    dsl::KernelLaunch l;
+    l.name = "fused_fixpoint";
+    l.items = 1024;
+    l.computePerItem = 1.0;
+    dsl::Schedule fusedSched = dsl::Schedule::baseline();
+    fusedSched.fuse = fuse;
+    const sim::CostEngine plain(chip, dsl::Schedule::baseline());
+    const sim::CostEngine fused(chip, fusedSched);
+
+    dsl::AppTrace trace;
+    trace.app = "fixpoint";
+    for (unsigned i = 0; i < launches; ++i) {
+        dsl::KernelLaunch k = l;
+        k.iteration = i / fuse; // keep each fused group in-iteration
+        trace.launches.push_back(k);
+    }
+    // Scale compute so the unfused kernel takes ~kernel_ns. Kernel
+    // time is affine in computePerItem (base cost + floor + linear
+    // compute), not proportional, so fit the slope on two probes and
+    // solve for the target instead of scaling the ratio.
+    const double t1 = plain.kernelTimeNs(l);
+    dsl::KernelLaunch highProbe = l;
+    highProbe.computePerItem = 1024.0;
+    const double t2 = plain.kernelTimeNs(highProbe);
+    if (t2 > t1 && kernel_ns > t1) {
+        const double perUnit = (t2 - t1) / (1024.0 - 1.0);
+        const double target = 1.0 + (kernel_ns - t1) / perUnit;
+        for (dsl::KernelLaunch &k : trace.launches)
+            k.computePerItem = target;
+    }
+    return plain.appTimeNs(trace) / fused.appTimeNs(trace);
+}
+
 } // namespace micro
 } // namespace graphport

@@ -13,6 +13,20 @@
  *  - mDivgSpeedup: the Table X m-divg row — a strided-access kernel
  *    with and without a gratuitous in-loop workgroup barrier that
  *    re-converges the workgroup's memory accesses.
+ *  - pullVsPushSpeedup: the extended-axis direction fixture — an
+ *    edge-relax kernel priced under dir=push and dir=pull as the
+ *    frontier density varies. Dense frontiers favour pull (contended
+ *    atomic pushes become coalesced stores); sparse frontiers favour
+ *    push (pull pays an overscan check for every off-frontier node),
+ *    except on chips whose contended atomics are so dear that pull
+ *    wins at every density.
+ *  - fusionSpeedup: the extended-axis fusion fixture — a
+ *    launch-dominated fixpoint loop priced under fuse=1 vs fuse=N.
+ *    Fusion trades follower launch overheads for device-side global
+ *    barriers at a small occupancy penalty: tiny kernels win where
+ *    the barrier is cheaper than the launch, long kernels lose
+ *    everywhere. Both fixtures are one-size-doesn't-fit-all stories:
+ *    the winning setting differs per chip.
  */
 #ifndef GRAPHPORT_MICRO_MICRO_HPP
 #define GRAPHPORT_MICRO_MICRO_HPP
@@ -70,6 +84,41 @@ double sgCmbSpeedup(const sim::ChipModel &chip,
 double mDivgSpeedup(const sim::ChipModel &chip,
                     std::uint64_t items = 4096,
                     std::uint64_t stride_len = 64);
+
+/**
+ * Extended axis, direction: speedup of a pull-direction schedule over
+ * push on one edge-relax kernel whose frontier holds
+ * @p frontier_frac of the graph's @p nodes. Greater than 1 when pull
+ * wins; monotone in the frontier density (pull removes the contended
+ * atomics but scans every node). Where the crossover lands is
+ * chip-specific: chips whose drivers combine contended atomics
+ * cheaply (the sg-cmb ~1x rows of Table X) prefer push until the
+ * frontier is a few percent of the graph, while the atomic-hobbled
+ * chips (R9, IRIS) prefer pull at every density.
+ */
+double pullVsPushSpeedup(const sim::ChipModel &chip,
+                         double frontier_frac,
+                         std::uint64_t nodes = 65536,
+                         double avg_degree = 8.0);
+
+/**
+ * Extended axis, fusion: speedup of fusing @p fuse consecutive
+ * launches of a @p kernel_ns constant-time kernel into one
+ * device-side loop, over launching each from the host. Follower
+ * launches cost a global-barrier episode instead of a kernel launch,
+ * while every kernel pays the fusion occupancy penalty. Launch-bound
+ * fixpoints (small kernel_ns) therefore speed up exactly on the
+ * chips whose portable barrier undercuts their launch overhead (the
+ * integrated and mobile chips, dramatically so on MALI) and slow
+ * down where launches are cheap (the Nvidia chips); compute-bound
+ * fixpoints lose the occupancy penalty everywhere.
+ *
+ * @param fuse      Fused-group length (2 or 4).
+ * @param launches  Total launches in the fixpoint loop.
+ */
+double fusionSpeedup(const sim::ChipModel &chip, unsigned fuse,
+                     double kernel_ns = 2000.0,
+                     unsigned launches = 256);
 
 } // namespace micro
 } // namespace graphport

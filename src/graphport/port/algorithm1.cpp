@@ -9,31 +9,47 @@ namespace graphport {
 namespace port {
 
 const OptDecision &
-PartitionAnalysis::decisionFor(dsl::Opt opt) const
+PartitionAnalysis::decisionFor(dsl::Knob knob) const
 {
     for (const OptDecision &d : decisions) {
-        if (d.opt == opt)
+        if (d.opt == knob)
             return d;
     }
-    panic("PartitionAnalysis: no decision for " + dsl::optName(opt));
+    panic("PartitionAnalysis: no decision for " +
+          dsl::knobName(knob));
 }
 
-dsl::OptConfig
+const OptDecision &
+PartitionAnalysis::decisionFor(dsl::Opt opt) const
+{
+    return decisionFor(dsl::knobOf(opt));
+}
+
+dsl::Schedule
 resolveConfig(const std::vector<OptDecision> &decisions)
 {
-    dsl::OptConfig config;
-    // fg1/fg8 are mutually exclusive; remember both candidates.
+    dsl::Schedule config;
+    // fg1/fg8 (and fuse2/fuse4) are mutually exclusive; remember
+    // both candidates of each pair.
     const OptDecision *fg1 = nullptr;
     const OptDecision *fg8 = nullptr;
+    const OptDecision *fuse2 = nullptr;
+    const OptDecision *fuse4 = nullptr;
     for (const OptDecision &d : decisions) {
         if (d.verdict != Verdict::Enable)
             continue;
         switch (d.opt) {
-          case dsl::Opt::Fg1:
+          case dsl::Knob::Fg1:
             fg1 = &d;
             break;
-          case dsl::Opt::Fg8:
+          case dsl::Knob::Fg8:
             fg8 = &d;
+            break;
+          case dsl::Knob::Fuse2:
+            fuse2 = &d;
+            break;
+          case dsl::Knob::Fuse4:
+            fuse4 = &d;
             break;
           default:
             config = config.with(d.opt);
@@ -50,6 +66,14 @@ resolveConfig(const std::vector<OptDecision> &decisions)
     } else if (fg8) {
         config.fg = dsl::FgMode::Fg8;
     }
+    if (fuse2 && fuse4) {
+        config.fuse =
+            fuse4->medianRatio <= fuse2->medianRatio ? 4u : 2u;
+    } else if (fuse2) {
+        config.fuse = 2;
+    } else if (fuse4) {
+        config.fuse = 4;
+    }
     return config;
 }
 
@@ -57,15 +81,16 @@ PartitionAnalysis
 optsForPartition(const runner::Dataset &ds,
                  const std::vector<std::size_t> &tests, double alpha)
 {
+    const dsl::ScheduleSpace &space = ds.universe().space;
     PartitionAnalysis analysis;
-    for (dsl::Opt opt : dsl::allOpts()) {
+    for (dsl::Knob knob : space.knobs()) {
         OptDecision decision;
-        decision.opt = opt;
+        decision.opt = knob;
 
         std::vector<double> a;
         std::vector<double> b;
-        for (const dsl::OptConfig &os : dsl::allConfigsWith(opt)) {
-            const dsl::OptConfig dis = os.without(opt);
+        for (const dsl::Schedule &os : space.allWith(knob)) {
+            const dsl::Schedule dis = os.without(knob);
             const unsigned osId = os.encode();
             const unsigned disId = dis.encode();
             for (std::size_t t : tests) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "graphport/dsl/optconfig.hpp"
+#include "graphport/dsl/schedule.hpp"
 #include "graphport/runner/dataset.hpp"
 #include "graphport/stats/mwu.hpp"
 
@@ -27,10 +28,10 @@ namespace port {
 /** Verdict of Algorithm 1 for one optimisation on one partition. */
 enum class Verdict { Enable, Disable, Inconclusive };
 
-/** Decision record for one optimisation (one row of Table IX). */
+/** Decision record for one schedule knob (one row of Table IX). */
 struct OptDecision
 {
-    dsl::Opt opt = dsl::Opt::CoopCv;
+    dsl::Knob opt = dsl::Knob::CoopCv;
     Verdict verdict = Verdict::Inconclusive;
     /** MWU outcome; clEffectSize is the CL column of Table IX. */
     stats::MwuResult mwu;
@@ -43,18 +44,27 @@ struct OptDecision
 /** Full analysis result for one partition. */
 struct PartitionAnalysis
 {
-    /** One decision per optimisation, in allOpts() order. */
+    /** One decision per knob, in the space's knobs() order. */
     std::vector<OptDecision> decisions;
-    /** The enabled set, with fg1/fg8 conflicts resolved. */
-    dsl::OptConfig config;
+    /**
+     * The enabled set, with fg1/fg8 (and fuse2/fuse4) conflicts
+     * resolved. Legacy for legacy-space datasets.
+     */
+    dsl::Schedule config;
 
-    /** Decision for @p opt. @throws PanicError when missing. */
+    /** Decision for @p knob. @throws PanicError when missing. */
+    const OptDecision &decisionFor(dsl::Knob knob) const;
+
+    /** Decision for a paper optimisation (via knobOf). */
     const OptDecision &decisionFor(dsl::Opt opt) const;
 };
 
 /**
  * OPTS_FOR_PARTITION (Algorithm 1, line 7) over the tests in
- * @p tests.
+ * @p tests, generalised over the dataset's schedule space: every
+ * knob of the space is decided against all pairs (s, s[knob=off])
+ * the space contains. For a legacy-space dataset this is exactly
+ * the paper's analysis over allOpts().
  *
  * @param ds    The dataset to analyse.
  * @param tests Indices of the tests forming the partition.
@@ -65,10 +75,11 @@ PartitionAnalysis optsForPartition(const runner::Dataset &ds,
                                    double alpha = 0.05);
 
 /**
- * Resolve a set of per-optimisation verdicts into a configuration,
- * picking the stronger of fg1/fg8 when both are recommended.
+ * Resolve a set of per-knob verdicts into a schedule, picking the
+ * stronger of fg1/fg8 (and of fuse2/fuse4) when both are
+ * recommended.
  */
-dsl::OptConfig resolveConfig(const std::vector<OptDecision> &decisions);
+dsl::Schedule resolveConfig(const std::vector<OptDecision> &decisions);
 
 } // namespace port
 } // namespace graphport

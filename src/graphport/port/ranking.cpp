@@ -20,7 +20,7 @@ rankCombos(const runner::Dataset &ds)
             continue;
         ComboStats cs;
         cs.config = cfg;
-        cs.label = dsl::OptConfig::decode(cfg).label();
+        cs.label = dsl::Schedule::decode(cfg).label();
         std::vector<double> ratios;
         ratios.reserve(ds.numTests());
         for (std::size_t t = 0; t < ds.numTests(); ++t) {
@@ -84,14 +84,14 @@ computeEnvelope(const runner::Dataset &ds)
                     row.speedupApp = test.app;
                     row.speedupInput = test.input;
                     row.speedupConfig =
-                        dsl::OptConfig::decode(cfg).label();
+                        dsl::Schedule::decode(cfg).label();
                 }
                 if (1.0 / ratio > row.maxSlowdown) {
                     row.maxSlowdown = 1.0 / ratio;
                     row.slowdownApp = test.app;
                     row.slowdownInput = test.input;
                     row.slowdownConfig =
-                        dsl::OptConfig::decode(cfg).label();
+                        dsl::Schedule::decode(cfg).label();
                 }
             }
         }

@@ -18,10 +18,10 @@ computeTopSpeedups(const runner::Dataset &ds)
                 continue;
             }
             ++row.testsWithSpeedup;
-            const dsl::OptConfig cfg = dsl::OptConfig::decode(best);
+            const dsl::Schedule cfg = dsl::Schedule::decode(best);
             const auto &opts = dsl::allOpts();
             for (std::size_t i = 0; i < opts.size(); ++i) {
-                if (cfg.has(opts[i]))
+                if (cfg.has(dsl::knobOf(opts[i])))
                     ++row.optCounts[i];
             }
         }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graphport/dsl/optconfig.hpp"
+#include "graphport/dsl/schedule.hpp"
 #include "graphport/runner/dataset.hpp"
 
 namespace graphport {

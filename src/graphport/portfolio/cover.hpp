@@ -60,7 +60,7 @@ class SlowdownMatrix
     /** Number of (app, input, chip) cells (dataset tests). */
     std::size_t cells() const { return cells_; }
 
-    /** Number of configurations (dsl::kNumConfigs). */
+    /** Number of configurations (the dataset's schedule-space size). */
     unsigned configs() const { return configs_; }
 
     /** Slowdown vs oracle of one (cell, config); >= 1 at oracle. */

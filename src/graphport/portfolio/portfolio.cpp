@@ -36,6 +36,7 @@ Portfolio::fromSolution(const runner::Dataset &ds,
             "mismatch");
     Portfolio p;
     p.datasetHash_ = ds.contentHash();
+    p.space_ = ds.universe().space;
     p.epsilon_ = s.epsilon;
     p.exact_ = s.exact;
     p.members_ = s.members;
@@ -74,7 +75,12 @@ Portfolio::solveOrLoadCached(const runner::Dataset &ds,
         [&](std::ifstream &in) {
             Portfolio p = load(in, "'" + path + "'");
             // A portfolio is only valid for the exact dataset it was
-            // solved over, at the requested radius.
+            // solved over, at the requested radius (space check
+            // first, for the clearer cause).
+            fatalIf(!(p.space_ == ds.universe().space),
+                    "solved over schedule space " +
+                        p.space_.versionString() + ", expected " +
+                        ds.universe().space.versionString());
             fatalIf(p.datasetHash_ != ds.contentHash(),
                     "solved over a different dataset (hash " +
                         hexU64(p.datasetHash_) + ", expected " +
@@ -96,6 +102,10 @@ Portfolio::save(std::ostream &os) const
     w.row({"dataset_hash", hexU64(datasetHash_)});
     w.row({"epsilon", hexDouble(epsilon_)});
     w.row({"exact", exact_ ? "1" : "0"});
+    // Written only for the extended space: legacy snapshots stay
+    // byte-identical to those of pre-schedule-language builds.
+    if (!space_.isLegacy())
+        w.row({"schedule_space", space_.name()});
     w.row({"summary", hexDouble(maxSlowdown_),
            hexDouble(geomeanSlowdown_)});
     w.row({"best_global", std::to_string(bestGlobalMember_),
@@ -134,6 +144,11 @@ Portfolio::load(std::istream &is, const std::string &what)
                "exact must be 0 or 1");
     p.exact_ = row[1] == "1";
 
+    if (r.tryExpect("schedule_space", 2, row)) {
+        r.rejectIf(!dsl::ScheduleSpace::tryByName(row[1], &p.space_),
+                   "unknown schedule space '" + row[1] + "'");
+    }
+
     row = r.expect("summary", 3);
     p.maxSlowdown_ = r.number(row[1]);
     p.geomeanSlowdown_ = r.number(row[2]);
@@ -148,8 +163,10 @@ Portfolio::load(std::istream &is, const std::string &what)
     for (unsigned m = 0; m < nMembers; ++m) {
         row = r.expect("member", 2);
         const unsigned cfg = r.smallCount(row[1]);
-        r.rejectIf(cfg >= dsl::kNumConfigs,
-                   "config id out of range: " + row[1]);
+        r.rejectIf(cfg >= p.space_.size(),
+                   "config id out of range: " + row[1] +
+                       " (schedule space " +
+                       p.space_.versionString() + ")");
         p.members_.push_back(cfg);
     }
     r.rejectIf(p.bestGlobalMember_ >= nMembers,

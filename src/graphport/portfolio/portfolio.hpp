@@ -66,6 +66,13 @@ class Portfolio
     /** Content hash of the dataset the cover was solved over. */
     std::uint64_t datasetHash() const { return datasetHash_; }
 
+    /**
+     * Schedule space the cover's member ids live in. Legacy
+     * snapshots carry no space row and load as the legacy space, so
+     * pre-existing .gpp files stay byte-identical and valid.
+     */
+    const dsl::ScheduleSpace &space() const { return space_; }
+
     /** The radius the cover was solved for. */
     double epsilon() const { return epsilon_; }
 
@@ -109,6 +116,7 @@ class Portfolio
 
   private:
     std::uint64_t datasetHash_ = 0;
+    dsl::ScheduleSpace space_;
     double epsilon_ = 0.0;
     bool exact_ = false;
     std::vector<unsigned> members_;

@@ -232,7 +232,9 @@ restoreCheckpoint(const std::string &path, std::uint64_t identity,
         !parseHexU64(stamp[1], &storedIdentity))
         return reject("bad universe stamp");
     if (storedIdentity != identity)
-        return reject("written for a different universe");
+        return reject("written for a different universe (this sweep's "
+                      "schedule space: " +
+                      universe.space.versionString() + ")");
 
     const std::size_t nApps = universe.apps.size();
     const std::size_t nInputs = universe.inputs.size();
@@ -460,6 +462,11 @@ universeIdentityHash(const Universe &universe)
     }
     mix(universe.runs);
     mix(universe.seed);
+    // The legacy space contributes 0, keeping every hash computed
+    // before schedule spaces existed (and every artifact stamped with
+    // one) valid; extended spaces mix a versioned tag.
+    if (const std::uint64_t tag = universe.space.identityTag())
+        mix(tag);
     return h;
 }
 
@@ -535,7 +542,7 @@ Dataset::build(const Universe &universe, const BuildOptions &options)
     const std::size_t rangeBegin = ranged ? options.workBegin : 0;
     const std::size_t rangeEnd = ranged ? options.workEnd : itemsTotal;
 
-    const auto &configs = dsl::allConfigs();
+    const auto &schedules = universe.space.all();
     std::vector<const sim::ChipModel *> chips;
     chips.reserve(nChips);
     for (const std::string &name : universe.chips)
@@ -694,7 +701,8 @@ Dataset::build(const Universe &universe, const BuildOptions &options)
                     const std::size_t test =
                         (entry.app * nInputs + entry.input) * nChips +
                         c;
-                    const sim::CostEngine engine(chip, configs[cfg]);
+                    const sim::CostEngine engine(chip,
+                                                 schedules[cfg]);
                     const double base =
                         options.compact
                             ? engine.appTimeNs(entry.compact)
@@ -837,7 +845,9 @@ Dataset::fromShardCheckpoints(const Universe &universe,
                     !parseHexU64(stamp[1], &storedIdentity),
                 label + ": bad universe stamp");
         fatalIf(storedIdentity != identity,
-                label + ": written for a different universe");
+                label + ": written for a different universe (this "
+                        "sweep's schedule space: " +
+                    universe.space.versionString() + ")");
 
         std::size_t lineNo = 2;
         while (std::getline(in, line)) {
@@ -1010,7 +1020,9 @@ Dataset::loadCsv(const Universe &universe, std::istream &is)
         fatalIf(cfg64 >= ds.numConfigs(),
                 at("config index " + f[3] + " out of range (column "
                    "4, " +
-                   std::to_string(ds.numConfigs()) + " configs)"));
+                   std::to_string(ds.numConfigs()) +
+                   " configs in schedule space " +
+                   universe.space.versionString() + ")"));
         fatalIf(run64 >= universe.runs,
                 at("run index " + f[4] + " out of range (column 5, " +
                    std::to_string(universe.runs) + " runs)"));

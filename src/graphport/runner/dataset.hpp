@@ -197,8 +197,11 @@ class Dataset
     /** Number of tests (app x input x chip). */
     std::size_t numTests() const;
 
-    /** Number of configurations per test (always 96). */
-    unsigned numConfigs() const { return dsl::kNumConfigs; }
+    /**
+     * Number of configurations per test: the universe's schedule
+     * space size (96 for the paper's legacy space).
+     */
+    unsigned numConfigs() const { return universe_.space.size(); }
 
     /** Identity of test @p t. */
     Test testAt(std::size_t t) const;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "graphport/dsl/schedule.hpp"
 #include "graphport/graph/csr.hpp"
 #include "graphport/sim/chip.hpp"
 
@@ -54,6 +55,17 @@ struct Universe
     unsigned runs = 3;
     /** Master seed for measurement noise. */
     std::uint64_t seed = 0x5eed;
+    /**
+     * Which schedule space the sweep enumerates. Defaults to the
+     * paper's legacy 96-config space; the extended space (push/pull
+     * direction and kernel fusion) widens every downstream table,
+     * lattice and cover. Part of the universe identity: caches and
+     * checkpoints built over one space reject under the other,
+     * naming the space version. Because per-cell seeds depend only
+     * on the schedule id, the legacy ids of an extended sweep carry
+     * timings bit-identical to a legacy sweep's.
+     */
+    dsl::ScheduleSpace space;
 
     /** Number of (app, input, chip) tests. */
     std::size_t numTests() const;

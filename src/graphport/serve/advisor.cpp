@@ -42,7 +42,7 @@ materialise(const FrozenIndex &frozen, const AdviceView &v)
 {
     Advice a;
     a.config = v.config;
-    a.configLabel = dsl::OptConfig::decode(v.config).label();
+    a.configLabel = dsl::Schedule::decode(v.config).label();
     a.tier = tierName(v.tier);
     a.tierId = v.tier;
     a.predictive = v.predictive;
@@ -309,7 +309,7 @@ Advisor::adviseReference(const Query &q, std::uint64_t queryKey,
             Advice advice;
             advice.config = cfg;
             advice.configLabel =
-                dsl::OptConfig::decode(cfg).label();
+                dsl::Schedule::decode(cfg).label();
             advice.tier = name;
             advice.tierId =
                 static_cast<Tier>(tierFromName(name));
@@ -375,7 +375,7 @@ Advisor::adviseReference(const Query &q, std::uint64_t queryKey,
         }
         advice.config = predictor.predict(features);
         advice.configLabel =
-            dsl::OptConfig::decode(advice.config).label();
+            dsl::Schedule::decode(advice.config).label();
         return finish(advice);
     }
 

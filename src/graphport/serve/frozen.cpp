@@ -28,7 +28,12 @@ struct PredictScratch
 {
     std::vector<double> dist;
     std::vector<std::pair<double, unsigned>> ranked;
-    std::array<unsigned, dsl::kNumConfigs> votes;
+    /**
+     * Sized to the frozen index's schedule-space size on first use
+     * (and re-sized only after a swap to a wider index), so the
+     * steady path stays allocation-free.
+     */
+    std::vector<unsigned> votes;
 };
 
 PredictScratch &
@@ -188,6 +193,7 @@ FrozenIndex::FrozenIndex(const StrategyIndex &index)
     featureRowByPair_.build(rows);
 
     knnK_ = index.knnK();
+    numConfigs_ = index.space().size();
     predictiveGeomean_ = index.predictiveGeomean();
 }
 
@@ -289,12 +295,14 @@ FrozenIndex::predictConfig(const port::WorkloadFeatures &query,
     // walked in ascending config order reproduces the scalar path's
     // std::map<config, votes> iteration exactly (unvoted configs
     // hold zero and can never displace the incumbent).
-    scr.votes.fill(0);
+    if (scr.votes.size() < numConfigs_)
+        scr.votes.resize(numConfigs_);
+    std::fill(scr.votes.begin(), scr.votes.end(), 0u);
     for (std::size_t i = 0; i < take; ++i)
         ++scr.votes[scr.ranked[i].second];
     unsigned best = scr.ranked.front().second;
     unsigned bestVotes = scr.votes[best];
-    for (unsigned cfg = 0; cfg < dsl::kNumConfigs; ++cfg) {
+    for (unsigned cfg = 0; cfg < numConfigs_; ++cfg) {
         if (scr.votes[cfg] > bestVotes) {
             best = cfg;
             bestVotes = scr.votes[cfg];

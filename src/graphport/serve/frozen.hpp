@@ -200,6 +200,9 @@ class FrozenIndex
     double predictiveGeomean() const { return predictiveGeomean_; }
     std::size_t exampleCount() const { return numExamples_; }
 
+    /** Config ids answered by this index are < numConfigs(). */
+    unsigned numConfigs() const { return numConfigs_; }
+
     /**
      * Row of the snapshot feature matrix holding (app, input name),
      * or -1 when the study never traced the pair. Never allocates.
@@ -271,6 +274,8 @@ class FrozenIndex
     std::array<TierTable, kNumLatticeTiers> tiers_;
 
     unsigned knnK_ = 3;
+    /** Schedule-space size of the source index (vote-array bound). */
+    unsigned numConfigs_ = 0;
     double predictiveGeomean_ = 1.0;
     std::size_t numExamples_ = 0;
     /** SoA feature matrix: feat_[d * numExamples_ + e]. */

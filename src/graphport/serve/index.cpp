@@ -174,6 +174,7 @@ StrategyIndex::build(const runner::Dataset &ds, double alpha,
     fatalIf(knnK == 0, "StrategyIndex: knnK must be >= 1");
     StrategyIndex index;
     index.datasetHash_ = ds.contentHash();
+    index.space_ = ds.universe().space;
     index.apps_ = ds.universe().apps;
     index.inputs_ = ds.universe().inputs;
     index.chips_ = ds.universe().chips;
@@ -247,6 +248,10 @@ StrategyIndex::save(std::ostream &os) const
     w.row({"dataset_hash", hexU64(datasetHash_)});
     w.row({"alpha", hexDouble(alpha_)});
     w.row({"knn_k", std::to_string(knnK_)});
+    // Written only for the extended space: legacy snapshots stay
+    // byte-identical to those of pre-schedule-language builds.
+    if (!space_.isLegacy())
+        w.row({"schedule_space", space_.name()});
     w.row({"predictive_geomean", hexDouble(predictiveGeomean_)});
 
     std::vector<std::string> appsRow = {
@@ -313,6 +318,12 @@ StrategyIndex::load(std::istream &is, const std::string &what)
     index.knnK_ = r.smallCount(row[1]);
     r.rejectIf(index.knnK_ == 0, "knn_k must be >= 1");
 
+    if (r.tryExpect("schedule_space", 2, row)) {
+        r.rejectIf(!dsl::ScheduleSpace::tryByName(row[1],
+                                                  &index.space_),
+                   "unknown schedule space '" + row[1] + "'");
+    }
+
     row = r.expect("predictive_geomean", 2);
     index.predictiveGeomean_ = r.number(row[1]);
 
@@ -355,8 +366,10 @@ StrategyIndex::load(std::istream &is, const std::string &what)
             row = r.expect("partition", 4);
             const std::string key = decodeKey(row[1]);
             const unsigned cfg = r.smallCount(row[2]);
-            r.rejectIf(cfg >= dsl::kNumConfigs,
-                       "config id out of range: " + row[2]);
+            r.rejectIf(cfg >= index.space_.size(),
+                       "config id out of range: " + row[2] +
+                           " (schedule space " +
+                           index.space_.versionString() + ")");
             table.configByPartition[key] = cfg;
             table.slowdownByPartition[key] = r.number(row[3]);
         }
@@ -372,8 +385,10 @@ StrategyIndex::load(std::istream &is, const std::string &what)
         ex.input = row[2];
         ex.chip = row[3];
         ex.bestConfig = r.smallCount(row[4]);
-        r.rejectIf(ex.bestConfig >= dsl::kNumConfigs,
-                   "config id out of range: " + row[4]);
+        r.rejectIf(ex.bestConfig >= index.space_.size(),
+                   "config id out of range: " + row[4] +
+                       " (schedule space " +
+                       index.space_.versionString() + ")");
         for (unsigned d = 0; d < port::kNumWorkloadFeatures; ++d)
             ex.features[d] = r.number(row[5 + d]);
         index.examples_.push_back(std::move(ex));
@@ -459,7 +474,12 @@ StrategyIndex::buildOrLoadCached(const runner::Dataset &ds,
         [&](std::ifstream &in) {
             StrategyIndex index = load(in, "'" + path + "'");
             // An index is only valid for the exact dataset it was
-            // built from; treat a hash mismatch as a reject.
+            // built from; treat a space or hash mismatch as a
+            // reject (the space check first, for the clearer cause).
+            fatalIf(!(index.space_ == ds.universe().space),
+                    "built over schedule space " +
+                        index.space_.versionString() + ", expected " +
+                        ds.universe().space.versionString());
             fatalIf(index.datasetHash_ != ds.contentHash(),
                     "built from a different dataset (hash " +
                         hexU64(index.datasetHash_) + ", expected " +

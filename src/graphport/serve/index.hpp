@@ -102,6 +102,14 @@ class StrategyIndex
     /** Content hash of the dataset this index was derived from. */
     std::uint64_t datasetHash() const { return datasetHash_; }
 
+    /**
+     * Schedule space the source dataset swept. Config ids in the
+     * tables and examples are bounded by space().size(). Legacy
+     * snapshots carry no space row and load as the legacy space, so
+     * pre-existing .gpi files stay byte-identical and valid.
+     */
+    const dsl::ScheduleSpace &space() const { return space_; }
+
     /** Universe dimension names. */
     const std::vector<std::string> &apps() const { return apps_; }
     const std::vector<runner::InputSpec> &inputs() const
@@ -179,6 +187,7 @@ class StrategyIndex
     StrategyIndex() = default;
 
     std::uint64_t datasetHash_ = 0;
+    dsl::ScheduleSpace space_;
     std::vector<std::string> apps_;
     std::vector<runner::InputSpec> inputs_;
     std::vector<std::string> chips_;

@@ -55,7 +55,7 @@ shardedSweep(const runner::Universe &universe,
     const std::size_t items = universe.apps.size() *
                               universe.inputs.size() *
                               universe.chips.size() *
-                              dsl::kNumConfigs;
+                              universe.space.size();
     fatalIf(options.shards > items,
             "shardedSweep: " + std::to_string(options.shards) +
                 " shards for " + std::to_string(items) +

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "graphport/dsl/optconfig.hpp"
+#include "graphport/dsl/schedule.hpp"
 #include "graphport/support/error.hpp"
 
 namespace graphport {
@@ -91,7 +92,7 @@ adviceFromWire(const WireAdvice &w)
 {
     serve::Advice a;
     a.config = w.config;
-    a.configLabel = dsl::OptConfig::decode(w.config).label();
+    a.configLabel = dsl::Schedule::decode(w.config).label();
     a.tierId = static_cast<serve::Tier>(w.tierId);
     a.tier = serve::tierName(a.tierId);
     a.predictive = w.predictive != 0;

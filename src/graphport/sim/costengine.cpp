@@ -43,6 +43,10 @@ constexpr double kCombinedRmwFactor = 2.0;
 /// Threads parked at a phase barrier are switched out, so only a
 /// fraction of their stall shows up as lost execution bandwidth.
 constexpr double kBarrierStallFactor = 0.3;
+/// Occupancy penalty of fused mega-kernels: the fused stages share
+/// one register/scratchpad budget, costing resident workgroups.
+constexpr double kFuse2Penalty = 1.03;
+constexpr double kFuse4Penalty = 1.08;
 
 double
 log2ceil(unsigned v)
@@ -59,15 +63,48 @@ log2ceil(unsigned v)
 } // namespace
 
 CostEngine::CostEngine(const ChipModel &chip,
+                       const dsl::Schedule &schedule)
+    : chip_(chip), sched_(schedule),
+      wgSize_(
+          std::min(schedule.workgroupSize(), chip.maxWorkgroupSize)),
+      part_(dsl::partitionSchemes(schedule, chip.subgroupSize,
+                                  wgSize_))
+{
+}
+
+CostEngine::CostEngine(const ChipModel &chip,
                        const dsl::OptConfig &config)
-    : chip_(chip), config_(config),
-      wgSize_(std::min(config.workgroupSize(), chip.maxWorkgroupSize)),
-      part_(dsl::partitionSchemes(config, chip.subgroupSize, wgSize_))
+    : CostEngine(chip, dsl::Schedule::fromLegacy(config))
 {
 }
 
 KernelCost
 CostEngine::kernelCost(const dsl::KernelLaunch &launch) const
+{
+    if (sched_.dir == dsl::Direction::Pull && launch.hasNeighborLoop &&
+        launch.graphNodes > 0) {
+        // Pull direction: the kernel iterates destinations and
+        // gathers from in-neighbours, so the frontier's contended
+        // worklist pushes and scattered RMWs land as plain coalesced
+        // stores — no atomic serialisation — while every node *not*
+        // on the frontier pays an overscan check (one flat read of
+        // its active flag). Dense frontiers win, sparse ones lose:
+        // the classic direction-optimization tradeoff.
+        dsl::KernelLaunch pull = launch;
+        pull.flatWrites +=
+            launch.contendedPushes + launch.scatteredRmw;
+        pull.contendedPushes = 0;
+        pull.scatteredRmw = 0;
+        pull.flatReads += launch.graphNodes > launch.items
+                              ? launch.graphNodes - launch.items
+                              : 0;
+        return pushKernelCost(pull);
+    }
+    return pushKernelCost(launch);
+}
+
+KernelCost
+CostEngine::pushKernelCost(const dsl::KernelLaunch &launch) const
 {
     KernelCost cost;
     const ChipModel &c = chip_;
@@ -262,14 +299,14 @@ CostEngine::kernelCost(const dsl::KernelLaunch &launch) const
     double pushCostNs = c.contendedRmwNs;
     if (pushes > 0.0) {
         const bool combined =
-            (config_.coopCv || c.driverCombinesAtomics) && S > 1;
+            (sched_.coopCv || c.driverCombinesAtomics) && S > 1;
         if (combined) {
             effectivePushes = std::ceil(pushes / S);
             pushCostNs *= kCombinedRmwFactor;
             // Subgroup scan participation for explicit coop-cv. The
             // driver's built-in combining is already reflected in the
             // baseline, so it adds no extra work.
-            if (config_.coopCv) {
+            if (sched_.coopCv) {
                 busy += pushes * log2ceil(S) * 2.0 * c.localOpNs;
                 busy += effectivePushes * static_cast<double>(S) * 2.0 *
                         c.sgBarrierNs;
@@ -281,7 +318,7 @@ CostEngine::kernelCost(const dsl::KernelLaunch &launch) const
                     pushCostNs *= 1.15;
                 }
             }
-        } else if (config_.coopCv) {
+        } else if (sched_.coopCv) {
             // coop-cv requested but no usable subgroup (S == 1):
             // orchestration with no gain.
             busy += pushes * 2.0 * c.localOpNs;
@@ -319,7 +356,7 @@ CostEngine::kernelTimeNs(const dsl::KernelLaunch &launch) const
 double
 CostEngine::launchOverheadNs(const dsl::KernelLaunch &launch) const
 {
-    if (config_.oitergb) {
+    if (sched_.oitergb) {
         // Outlined: the relaunch becomes a device-side global barrier
         // episode; the convergence flag is read on-device.
         return chip_.globalBarrierBaseNs +
@@ -329,18 +366,63 @@ CostEngine::launchOverheadNs(const dsl::KernelLaunch &launch) const
            (launch.hostSyncAfter ? chip_.hostMemcpyNs : 0.0);
 }
 
+bool
+CostEngine::startsFusedGroup(const dsl::KernelLaunch *prev,
+                             const dsl::KernelLaunch &launch,
+                             std::size_t in_group) const
+{
+    // A fused group never crosses a host iteration or a host
+    // read-back: the host must observe the intermediate state.
+    return prev == nullptr || in_group >= sched_.fuse ||
+           launch.iteration != prev->iteration || prev->hostSyncAfter;
+}
+
 AppCost
 CostEngine::appCost(const dsl::AppTrace &trace) const
 {
+    if (sched_.fuse > 1)
+        return fusedAppCost(trace);
     AppCost app;
     app.launches = trace.launches.size();
     for (const dsl::KernelLaunch &l : trace.launches) {
         app.kernelNs += kernelTimeNs(l);
         app.overheadNs += launchOverheadNs(l);
     }
-    if (config_.oitergb) {
+    if (sched_.oitergb) {
         // One real launch for the outlined mega-kernel plus the final
         // flag read-back.
+        app.overheadNs += chip_.kernelLaunchNs + chip_.hostMemcpyNs;
+    }
+    app.totalNs = app.kernelNs + app.overheadNs;
+    return app;
+}
+
+AppCost
+CostEngine::fusedAppCost(const dsl::AppTrace &trace) const
+{
+    // Kernels are fused into mega-kernels of up to `fuse` stages:
+    // only the group leader pays the launch overhead; followers
+    // synchronise with a device-side barrier instead. Every kernel
+    // pays an occupancy penalty for the fatter fused binary.
+    AppCost app;
+    app.launches = trace.launches.size();
+    const double penalty =
+        sched_.fuse == 2 ? kFuse2Penalty : kFuse4Penalty;
+    const double followerNs = chip_.globalBarrierCostNs(wgSize_);
+    std::size_t inGroup = 0;
+    const dsl::KernelLaunch *prev = nullptr;
+    for (const dsl::KernelLaunch &l : trace.launches) {
+        app.kernelNs += kernelTimeNs(l) * penalty;
+        if (startsFusedGroup(prev, l, inGroup)) {
+            app.overheadNs += launchOverheadNs(l);
+            inGroup = 1;
+        } else {
+            app.overheadNs += followerNs;
+            ++inGroup;
+        }
+        prev = &l;
+    }
+    if (sched_.oitergb) {
         app.overheadNs += chip_.kernelLaunchNs + chip_.hostMemcpyNs;
     }
     app.totalNs = app.kernelNs + app.overheadNs;
@@ -353,6 +435,8 @@ CostEngine::appCost(const dsl::CompactTrace &compact) const
     panicIf(compact.trace == nullptr,
             "CostEngine::appCost: compact trace without source");
     const dsl::AppTrace &trace = *compact.trace;
+    if (sched_.fuse > 1)
+        return fusedAppCost(compact);
     // Price each distinct workload once...
     std::vector<double> kernelNs(compact.uniqueCount());
     std::vector<double> overheadNs(compact.uniqueCount());
@@ -370,7 +454,51 @@ CostEngine::appCost(const dsl::CompactTrace &compact) const
         app.kernelNs += kernelNs[g];
         app.overheadNs += overheadNs[g];
     }
-    if (config_.oitergb) {
+    if (sched_.oitergb) {
+        app.overheadNs += chip_.kernelLaunchNs + chip_.hostMemcpyNs;
+    }
+    app.totalNs = app.kernelNs + app.overheadNs;
+    return app;
+}
+
+AppCost
+CostEngine::fusedAppCost(const dsl::CompactTrace &compact) const
+{
+    const dsl::AppTrace &trace = *compact.trace;
+    const double penalty =
+        sched_.fuse == 2 ? kFuse2Penalty : kFuse4Penalty;
+    const double followerNs = chip_.globalBarrierCostNs(wgSize_);
+    // Price each distinct workload once (penalty folded in so the
+    // replay adds the identical double the uncompacted path adds)...
+    std::vector<double> kernelNs(compact.uniqueCount());
+    std::vector<double> overheadNs(compact.uniqueCount());
+    for (std::size_t g = 0; g < compact.uniqueCount(); ++g) {
+        const dsl::KernelLaunch &l =
+            trace.launches[compact.representative[g]];
+        kernelNs[g] = kernelTimeNs(l) * penalty;
+        overheadNs[g] = launchOverheadNs(l);
+    }
+    // ...then replay in original launch order: fusion-group
+    // boundaries depend on each launch's position, so the overhead
+    // walk must see the real sequence, not the deduped groups.
+    AppCost app;
+    app.launches = trace.launches.size();
+    std::size_t inGroup = 0;
+    const dsl::KernelLaunch *prev = nullptr;
+    for (std::size_t i = 0; i < trace.launches.size(); ++i) {
+        const dsl::KernelLaunch &l = trace.launches[i];
+        const std::size_t g = compact.groupOf[i];
+        app.kernelNs += kernelNs[g];
+        if (startsFusedGroup(prev, l, inGroup)) {
+            app.overheadNs += overheadNs[g];
+            inGroup = 1;
+        } else {
+            app.overheadNs += followerNs;
+            ++inGroup;
+        }
+        prev = &l;
+    }
+    if (sched_.oitergb) {
         app.overheadNs += chip_.kernelLaunchNs + chip_.hostMemcpyNs;
     }
     app.totalNs = app.kernelNs + app.overheadNs;
@@ -401,7 +529,15 @@ double
 measureAppRunNs(const ChipModel &chip, const dsl::OptConfig &config,
                 const dsl::AppTrace &trace, std::uint64_t run_seed)
 {
-    const CostEngine engine(chip, config);
+    return measureAppRunNs(chip, dsl::Schedule::fromLegacy(config),
+                           trace, run_seed);
+}
+
+double
+measureAppRunNs(const ChipModel &chip, const dsl::Schedule &schedule,
+                const dsl::AppTrace &trace, std::uint64_t run_seed)
+{
+    const CostEngine engine(chip, schedule);
     return noisyTimeNs(engine.appTimeNs(trace), chip.noiseSigma,
                        run_seed);
 }

@@ -30,6 +30,7 @@
 #include "graphport/dsl/compact.hpp"
 #include "graphport/dsl/optconfig.hpp"
 #include "graphport/dsl/plan.hpp"
+#include "graphport/dsl/schedule.hpp"
 #include "graphport/dsl/trace.hpp"
 #include "graphport/sim/chip.hpp"
 
@@ -69,10 +70,20 @@ class CostEngine
 {
   public:
     /**
-     * @param chip   Chip model (kept by reference; must outlive the
-     *               engine).
-     * @param config Optimisation configuration to lower with.
+     * @param chip     Chip model (kept by reference; must outlive the
+     *                 engine).
+     * @param schedule Schedule to lower with. The extended axes change
+     *                 the pricing: pull direction replaces contended
+     *                 atomics with coalesced stores but charges an
+     *                 overscan check per off-frontier node; fuse > 1
+     *                 replaces follower launch overheads with
+     *                 device-side barriers at an occupancy penalty.
+     *                 Push/fuse=1 schedules price bit-identically to
+     *                 the legacy OptConfig model.
      */
+    CostEngine(const ChipModel &chip, const dsl::Schedule &schedule);
+
+    /** Legacy entry point: lowers via Schedule::fromLegacy. */
     CostEngine(const ChipModel &chip, const dsl::OptConfig &config);
 
     /** Workgroup size used after clamping to the chip maximum. */
@@ -112,8 +123,15 @@ class CostEngine
     double appTimeNs(const dsl::CompactTrace &compact) const;
 
   private:
+    KernelCost pushKernelCost(const dsl::KernelLaunch &launch) const;
+    bool startsFusedGroup(const dsl::KernelLaunch *prev,
+                          const dsl::KernelLaunch &launch,
+                          std::size_t in_group) const;
+    AppCost fusedAppCost(const dsl::AppTrace &trace) const;
+    AppCost fusedAppCost(const dsl::CompactTrace &compact) const;
+
     const ChipModel &chip_;
-    dsl::OptConfig config_;
+    dsl::Schedule sched_;
     unsigned wgSize_;
     dsl::SchemePartition part_;
 };
@@ -127,6 +145,12 @@ class CostEngine
  */
 double measureAppRunNs(const ChipModel &chip,
                        const dsl::OptConfig &config,
+                       const dsl::AppTrace &trace,
+                       std::uint64_t run_seed);
+
+/** As above, under a full schedule. */
+double measureAppRunNs(const ChipModel &chip,
+                       const dsl::Schedule &schedule,
                        const dsl::AppTrace &trace,
                        std::uint64_t run_seed);
 

@@ -143,6 +143,10 @@ SnapshotReader::reject(const std::string &cause) const
 std::vector<std::string>
 SnapshotReader::nextRow()
 {
+    if (hasPending_) {
+        hasPending_ = false;
+        return std::move(pending_);
+    }
     std::string line;
     while (std::getline(is_, line)) {
         bytesRead_ += line.size() + 1;
@@ -185,6 +189,26 @@ SnapshotReader::expect(const std::string &keyword,
                  " fields, expected at least " +
                  std::to_string(minFields) + ")");
     return row;
+}
+
+bool
+SnapshotReader::tryExpect(const std::string &keyword,
+                          std::size_t minFields,
+                          std::vector<std::string> &out)
+{
+    std::vector<std::string> row = nextRow();
+    if (row.empty() || row[0] != keyword) {
+        pending_ = std::move(row);
+        hasPending_ = true;
+        return false;
+    }
+    rejectIf(row.size() < minFields,
+             "short '" + keyword + "' record (" +
+                 std::to_string(row.size()) +
+                 " fields, expected at least " +
+                 std::to_string(minFields) + ")");
+    out = std::move(row);
+    return true;
 }
 
 void

@@ -105,6 +105,17 @@ class SnapshotReader
                                     std::size_t minFields);
 
     /**
+     * Optional-record variant of expect: when the next record's
+     * keyword matches, consume it into @p out and return true;
+     * otherwise leave the record for the next expect()/tryExpect()
+     * and return false. A matching record that is too short still
+     * rejects. Lets formats add optional rows without breaking
+     * byte-identity of snapshots that omit them.
+     */
+    bool tryExpect(const std::string &keyword, std::size_t minFields,
+                   std::vector<std::string> &out);
+
+    /**
      * Require the `sum` checksum row (verified against every line
      * read so far) followed by the `end` marker.
      */
@@ -138,6 +149,9 @@ class SnapshotReader
 
     std::istream &is_;
     std::string label_;
+    /** Record deferred by tryExpect, served by the next nextRow(). */
+    std::vector<std::string> pending_;
+    bool hasPending_ = false;
     std::uint64_t sum_ = kSnapshotSumInit;
     /** Bytes and records consumed, for truncation diagnostics. */
     std::uint64_t bytesRead_ = 0;

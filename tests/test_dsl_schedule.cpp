@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for the schedule language: the extended id space layers the
+ * paper's 96 OptConfig ids as a strict prefix, encode/decode is a
+ * bijection over all 576 ids, the canonical spec string round-trips
+ * through the parser, and the space enumerations Algorithm 1 consumes
+ * match the legacy OptConfig enumerations exactly.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graphport/dsl/optconfig.hpp"
+#include "graphport/dsl/schedule.hpp"
+#include "graphport/support/error.hpp"
+
+using namespace graphport;
+using namespace graphport::dsl;
+
+TEST(ScheduleSpaceTest, SizesAndNames)
+{
+    EXPECT_EQ(kNumSchedules, 576u);
+    EXPECT_EQ(ScheduleSpace::legacy().size(), 96u);
+    EXPECT_EQ(ScheduleSpace::extended().size(), 576u);
+    EXPECT_EQ(ScheduleSpace::legacy().name(), "legacy");
+    EXPECT_EQ(ScheduleSpace::extended().name(), "extended");
+    EXPECT_EQ(ScheduleSpace().kind(), ScheduleSpace::Kind::Legacy);
+    EXPECT_EQ(ScheduleSpace::legacy().versionString(),
+              "legacy/v1 (96 schedules)");
+    EXPECT_EQ(ScheduleSpace::extended().versionString(),
+              "extended/v1 (576 schedules)");
+}
+
+TEST(ScheduleSpaceTest, ByNameRoundTrips)
+{
+    EXPECT_TRUE(ScheduleSpace::byName("legacy").isLegacy());
+    EXPECT_FALSE(ScheduleSpace::byName("extended").isLegacy());
+    ScheduleSpace out;
+    EXPECT_TRUE(ScheduleSpace::tryByName("extended", &out));
+    EXPECT_EQ(out, ScheduleSpace::extended());
+    EXPECT_FALSE(ScheduleSpace::tryByName("wide", &out));
+    EXPECT_THROW(ScheduleSpace::byName("wide"), FatalError);
+}
+
+TEST(ScheduleSpaceTest, IdentityTagZeroOnlyForLegacy)
+{
+    // Legacy universes must hash exactly as before the schedule
+    // language existed, so the legacy tag is the no-op value.
+    EXPECT_EQ(ScheduleSpace::legacy().identityTag(), 0u);
+    EXPECT_NE(ScheduleSpace::extended().identityTag(), 0u);
+}
+
+TEST(ScheduleTest, EncodeDecodeIsBijectionOver576)
+{
+    std::set<unsigned> seen;
+    for (unsigned id = 0; id < kNumSchedules; ++id) {
+        const Schedule s = Schedule::decode(id);
+        EXPECT_EQ(s.encode(), id);
+        seen.insert(s.encode());
+        // Spec and label round-trip through decode too.
+        EXPECT_EQ(Schedule::parseSpec(s.spec()), s) << s.spec();
+    }
+    EXPECT_EQ(seen.size(), kNumSchedules);
+}
+
+TEST(ScheduleTest, LegacyIdsAreAStrictPrefix)
+{
+    for (unsigned id = 0; id < kNumConfigs; ++id) {
+        const OptConfig legacy = OptConfig::decode(id);
+        const Schedule s = Schedule::fromLegacy(legacy);
+        EXPECT_EQ(s.encode(), id);
+        EXPECT_TRUE(s.isLegacy());
+        EXPECT_EQ(s.label(), legacy.label());
+        EXPECT_EQ(s.workgroupSize(), legacy.workgroupSize());
+        EXPECT_EQ(s.toLegacy().encode(), id);
+        // decode agrees with fromLegacy on the shared prefix.
+        EXPECT_EQ(Schedule::decode(id), s);
+    }
+    for (unsigned id = kNumConfigs; id < kNumSchedules; ++id)
+        EXPECT_FALSE(Schedule::decode(id).isLegacy()) << id;
+}
+
+TEST(ScheduleTest, ExtendedBlockLayout)
+{
+    // id = legacy + 96 * (dirIdx + 2 * fuseIdx)
+    for (unsigned id = 0; id < kNumSchedules; ++id) {
+        const Schedule s = Schedule::decode(id);
+        const unsigned block = id / kNumConfigs;
+        EXPECT_EQ(s.dir == Direction::Pull ? 1u : 0u, block % 2);
+        const unsigned fuseIdx = block / 2;
+        EXPECT_EQ(s.fuse, fuseIdx == 0 ? 1u : fuseIdx == 1 ? 2u : 4u);
+        EXPECT_EQ(s.loadBalance().encode(), id % kNumConfigs);
+    }
+}
+
+TEST(ScheduleTest, ToLegacyThrowsOffTheLegacyPrefix)
+{
+    Schedule pull;
+    pull.dir = Direction::Pull;
+    EXPECT_THROW(pull.toLegacy(), FatalError);
+    Schedule fused;
+    fused.fuse = 2;
+    EXPECT_THROW(fused.toLegacy(), FatalError);
+    // loadBalance() stays total: it just drops the extended axes.
+    EXPECT_EQ(pull.loadBalance().encode(), 0u);
+    EXPECT_EQ(fused.loadBalance().encode(), 0u);
+}
+
+TEST(ScheduleTest, BaselineIsIdZero)
+{
+    EXPECT_EQ(Schedule::baseline().encode(), 0u);
+    EXPECT_TRUE(Schedule::decode(0).isBaseline());
+    EXPECT_TRUE(Schedule::baseline().isLegacy());
+    EXPECT_FALSE(Schedule::baseline().with(Knob::Pull).isBaseline());
+}
+
+TEST(ScheduleTest, KnobsMirrorOpts)
+{
+    for (Opt opt : allOpts())
+        EXPECT_EQ(knobName(knobOf(opt)), optName(opt));
+    EXPECT_EQ(knobName(Knob::Pull), "pull");
+    EXPECT_EQ(knobName(Knob::Fuse2), "fuse2");
+    EXPECT_EQ(knobName(Knob::Fuse4), "fuse4");
+}
+
+TEST(ScheduleTest, WithWithoutAlgebra)
+{
+    const Schedule base = Schedule::baseline();
+    for (unsigned k = 0; k < kNumKnobs; ++k) {
+        const Knob knob = static_cast<Knob>(k);
+        EXPECT_FALSE(base.has(knob));
+        const Schedule on = base.with(knob);
+        EXPECT_TRUE(on.has(knob)) << knobName(knob);
+        EXPECT_EQ(on.without(knob), base) << knobName(knob);
+    }
+    // Mutually exclusive pairs: enabling one disables the other.
+    EXPECT_FALSE(base.with(Knob::Fg1).with(Knob::Fg8).has(Knob::Fg1));
+    EXPECT_FALSE(base.with(Knob::Fuse2).with(Knob::Fuse4).has(
+        Knob::Fuse2));
+    EXPECT_EQ(base.with(Knob::Fuse4).fuse, 4u);
+    EXPECT_EQ(base.with(Knob::Pull).dir, Direction::Pull);
+}
+
+TEST(ScheduleTest, CanonicalSpecFormatting)
+{
+    EXPECT_EQ(Schedule::baseline().spec(),
+              "dir=push,lb=serial,wgsize=128");
+    Schedule s;
+    s.wg = true;
+    s.sg = true;
+    s.fg = FgMode::Fg8;
+    s.oitergb = true;
+    s.sz256 = true;
+    EXPECT_EQ(s.spec(), "dir=push,lb=wg+sg+fg8,oiter=gb,wgsize=256");
+    s.dir = Direction::Pull;
+    s.coopCv = true;
+    s.fuse = 4;
+    EXPECT_EQ(s.spec(),
+              "dir=pull,lb=wg+sg+fg8,coop=cv,oiter=gb,wgsize=256,"
+              "fuse=4");
+}
+
+TEST(ScheduleTest, ParseAcceptsAnyOrderAndAliases)
+{
+    const Schedule a = Schedule::parseSpec(
+        "wgsize=256, lb=fg8+wg, dir=pull, fuse=2");
+    EXPECT_TRUE(a.sz256);
+    EXPECT_TRUE(a.wg);
+    EXPECT_EQ(a.fg, FgMode::Fg8);
+    EXPECT_EQ(a.dir, Direction::Pull);
+    EXPECT_EQ(a.fuse, 2u);
+    // "fg" is an alias for fg1; omitted keys default to baseline.
+    EXPECT_EQ(Schedule::parseSpec("lb=fg").fg, FgMode::Fg1);
+    EXPECT_EQ(Schedule::parseSpec("lb=fg1").fg, FgMode::Fg1);
+    EXPECT_EQ(Schedule::parseSpec("dir=pull").fuse, 1u);
+    EXPECT_EQ(Schedule::parseSpec("coop=off"), Schedule::baseline());
+    EXPECT_EQ(Schedule::parseSpec("oiter=off"), Schedule::baseline());
+}
+
+TEST(ScheduleTest, ParseRejectsWithUniformMessages)
+{
+    Schedule out;
+    std::string error;
+    EXPECT_FALSE(Schedule::tryParseSpec("speed=11", &out, &error));
+    EXPECT_EQ(error, "unknown schedule key 'speed'");
+    EXPECT_FALSE(Schedule::tryParseSpec("dir=sideways", &out, &error));
+    EXPECT_EQ(error,
+              "schedule key 'dir' expects push|pull, got 'sideways'");
+    EXPECT_FALSE(
+        Schedule::tryParseSpec("dir=push,dir=pull", &out, &error));
+    EXPECT_EQ(error, "duplicate schedule key 'dir'");
+    EXPECT_FALSE(Schedule::tryParseSpec("dir=push,,fuse=2", &out,
+                                        &error));
+    EXPECT_EQ(error, "empty schedule entry");
+    EXPECT_FALSE(Schedule::tryParseSpec("pull", &out, &error));
+    EXPECT_EQ(error, "entry 'pull' is not of the form key=value");
+    EXPECT_FALSE(Schedule::tryParseSpec("fuse=3", &out, &error));
+    EXPECT_EQ(error, "schedule key 'fuse' expects 1|2|4, got '3'");
+    EXPECT_FALSE(Schedule::tryParseSpec("wgsize=512", &out, &error));
+    EXPECT_EQ(error,
+              "schedule key 'wgsize' expects 128|256, got '512'");
+    EXPECT_THROW(Schedule::parseSpec("speed=11"), FatalError);
+}
+
+TEST(ScheduleSpaceTest, AllEnumeratesInIdOrder)
+{
+    const std::vector<Schedule> &legacy =
+        ScheduleSpace::legacy().all();
+    ASSERT_EQ(legacy.size(), 96u);
+    for (unsigned id = 0; id < 96u; ++id)
+        EXPECT_EQ(legacy[id].encode(), id);
+    const std::vector<Schedule> &ext =
+        ScheduleSpace::extended().all();
+    ASSERT_EQ(ext.size(), kNumSchedules);
+    for (unsigned id = 0; id < kNumSchedules; ++id)
+        EXPECT_EQ(ext[id].encode(), id);
+}
+
+TEST(ScheduleSpaceTest, LegacyAllWithMatchesOptConfigEnumeration)
+{
+    // Algorithm 1's enumerations must be exactly the legacy ones so
+    // strategy tables stay bit-identical.
+    for (Opt opt : allOpts()) {
+        const std::vector<OptConfig> expect = allConfigsWith(opt);
+        const std::vector<Schedule> got =
+            ScheduleSpace::legacy().allWith(knobOf(opt));
+        ASSERT_EQ(got.size(), expect.size()) << optName(opt);
+        for (std::size_t i = 0; i < got.size(); ++i)
+            EXPECT_EQ(got[i].encode(), expect[i].encode());
+    }
+}
+
+TEST(ScheduleSpaceTest, KnobDecisionOrder)
+{
+    const std::vector<Knob> &legacy = ScheduleSpace::legacy().knobs();
+    ASSERT_EQ(legacy.size(), kNumOpts);
+    for (std::size_t i = 0; i < legacy.size(); ++i)
+        EXPECT_EQ(legacy[i], knobOf(allOpts()[i]));
+    const std::vector<Knob> &ext = ScheduleSpace::extended().knobs();
+    ASSERT_EQ(ext.size(), kNumKnobs);
+    EXPECT_EQ(ext[kNumOpts + 0], Knob::Pull);
+    EXPECT_EQ(ext[kNumOpts + 1], Knob::Fuse2);
+    EXPECT_EQ(ext[kNumOpts + 2], Knob::Fuse4);
+}
+
+TEST(ScheduleSpaceTest, ExtendedAllWithCoversExtendedKnobs)
+{
+    const ScheduleSpace ext = ScheduleSpace::extended();
+    const std::vector<Schedule> pull = ext.allWith(Knob::Pull);
+    EXPECT_EQ(pull.size(), kNumSchedules / 2);
+    for (const Schedule &s : pull)
+        EXPECT_EQ(s.dir, Direction::Pull);
+    const std::vector<Schedule> fuse2 = ext.allWith(Knob::Fuse2);
+    EXPECT_EQ(fuse2.size(), kNumSchedules / 3);
+    for (const Schedule &s : fuse2)
+        EXPECT_EQ(s.fuse, 2u);
+}

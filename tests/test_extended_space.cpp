@@ -1,0 +1,224 @@
+/**
+ * @file
+ * End-to-end coverage of the extended schedule space: an extended
+ * sweep prices the two new axes (direction, fusion) while carrying
+ * the paper's 96 legacy ids bit-identically as a prefix; Algorithm 1,
+ * the serve index and the portfolio cover all widen to 576 ids; and
+ * artifacts built over one space reject under the other with a cause
+ * naming the schedule-space version.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graphport/dsl/schedule.hpp"
+#include "graphport/port/algorithm1.hpp"
+#include "graphport/port/strategy.hpp"
+#include "graphport/portfolio/portfolio.hpp"
+#include "graphport/runner/dataset.hpp"
+#include "graphport/runner/universe.hpp"
+#include "graphport/serve/advisor.hpp"
+#include "graphport/serve/index.hpp"
+#include "graphport/support/error.hpp"
+
+using namespace graphport;
+using dsl::Knob;
+using dsl::ScheduleSpace;
+
+namespace {
+
+runner::Universe
+tinyUniverse(ScheduleSpace space)
+{
+    runner::Universe u = runner::smallUniverse(2, {"M4000", "R9"});
+    u.space = space;
+    return u;
+}
+
+/** Extended small dataset, built once per binary. */
+const runner::Dataset &
+extendedDataset()
+{
+    static const runner::Dataset ds =
+        runner::Dataset::build(tinyUniverse(ScheduleSpace::extended()));
+    return ds;
+}
+
+const runner::Dataset &
+legacyDataset()
+{
+    static const runner::Dataset ds =
+        runner::Dataset::build(tinyUniverse(ScheduleSpace::legacy()));
+    return ds;
+}
+
+} // namespace
+
+TEST(ExtendedSpace, SweepWidensTo576Configs)
+{
+    const runner::Dataset &ds = extendedDataset();
+    EXPECT_EQ(ds.numConfigs(), dsl::kNumSchedules);
+    EXPECT_EQ(ds.numTests(), legacyDataset().numTests());
+    // Extended cells are really priced (non-zero timings).
+    for (unsigned cfg : {96u, 191u, 575u})
+        EXPECT_GT(ds.meanNs(0, cfg), 0.0) << cfg;
+}
+
+TEST(ExtendedSpace, LegacyPrefixIsBitIdentical)
+{
+    // Per-cell seeds depend only on the schedule id, so the first 96
+    // ids of an extended sweep must reproduce the legacy sweep
+    // bit for bit — this is what lets CI diff the prefix.
+    const runner::Dataset &legacy = legacyDataset();
+    const runner::Dataset &ext = extendedDataset();
+    for (std::size_t t = 0; t < legacy.numTests(); ++t)
+        for (unsigned cfg = 0; cfg < legacy.numConfigs(); ++cfg)
+            ASSERT_EQ(legacy.runs(t, cfg), ext.runs(t, cfg))
+                << "test " << t << " config " << cfg;
+}
+
+TEST(ExtendedSpace, UniverseIdentityDependsOnSpace)
+{
+    const std::uint64_t legacy = runner::universeIdentityHash(
+        tinyUniverse(ScheduleSpace::legacy()));
+    const std::uint64_t ext = runner::universeIdentityHash(
+        tinyUniverse(ScheduleSpace::extended()));
+    EXPECT_NE(legacy, ext);
+    EXPECT_NE(legacyDataset().contentHash(),
+              extendedDataset().contentHash());
+}
+
+TEST(ExtendedSpace, Algorithm1DecidesExtendedKnobs)
+{
+    const runner::Dataset &ds = extendedDataset();
+    std::vector<std::size_t> tests;
+    for (std::size_t t = 0; t < ds.numTests(); ++t)
+        tests.push_back(t);
+    const port::PartitionAnalysis pa =
+        port::optsForPartition(ds, tests);
+    ASSERT_EQ(pa.decisions.size(), dsl::kNumKnobs);
+    // Decisions follow the space's knob order and include the two
+    // new axes.
+    const std::vector<Knob> &knobs =
+        ds.universe().space.knobs();
+    for (std::size_t i = 0; i < knobs.size(); ++i)
+        EXPECT_EQ(pa.decisions[i].opt, knobs[i]);
+    EXPECT_NO_THROW(pa.decisionFor(Knob::Pull));
+    EXPECT_NO_THROW(pa.decisionFor(Knob::Fuse2));
+    EXPECT_NO_THROW(pa.decisionFor(Knob::Fuse4));
+    EXPECT_LT(pa.config.encode(), dsl::kNumSchedules);
+}
+
+TEST(ExtendedSpace, StrategiesStayInsideTheSpace)
+{
+    const runner::Dataset &ds = extendedDataset();
+    const std::vector<port::Strategy> strategies =
+        port::allStrategies(ds);
+    ASSERT_FALSE(strategies.empty());
+    bool anyExtended = false;
+    for (const port::Strategy &s : strategies)
+        for (unsigned cfg : s.configPerTest) {
+            EXPECT_LT(cfg, dsl::kNumSchedules) << s.name;
+            anyExtended = anyExtended || cfg >= dsl::kNumConfigs;
+        }
+    // The oracle at least must exploit the widened space whenever an
+    // extended schedule wins any cell; with 576 candidates over 8
+    // tests that is overwhelmingly likely — assert it so a silently
+    // truncated enumeration can't pass.
+    EXPECT_TRUE(anyExtended);
+}
+
+TEST(ExtendedSpace, IndexAndAdvisorServeExtendedIds)
+{
+    const runner::Dataset &ds = extendedDataset();
+    serve::StrategyIndex index = serve::StrategyIndex::build(ds);
+    EXPECT_EQ(index.space(), ScheduleSpace::extended());
+
+    // Round-trip through the snapshot keeps the space.
+    std::stringstream ss;
+    index.save(ss);
+    const serve::StrategyIndex loaded =
+        serve::StrategyIndex::load(ss, "<test>");
+    EXPECT_EQ(loaded.space(), ScheduleSpace::extended());
+
+    const serve::Advisor advisor(std::move(index));
+    const runner::Test test = ds.testAt(0);
+    const serve::Advice advice = advisor.advise(
+        serve::Query{test.app, test.input, test.chip});
+    EXPECT_LT(advice.config, dsl::kNumSchedules);
+    EXPECT_EQ(advice.configLabel,
+              dsl::Schedule::decode(advice.config).label());
+}
+
+TEST(ExtendedSpace, PortfolioCoversExtendedSpace)
+{
+    const runner::Dataset &ds = extendedDataset();
+    portfolio::CoverOptions opts;
+    opts.epsilon = 0.25;
+    const portfolio::Portfolio p = portfolio::Portfolio::solve(ds, opts);
+    EXPECT_EQ(p.space(), ScheduleSpace::extended());
+    ASSERT_FALSE(p.members().empty());
+    for (unsigned member : p.members())
+        EXPECT_LT(member, dsl::kNumSchedules);
+
+    // Snapshot round-trip keeps the space row.
+    std::stringstream ss;
+    p.save(ss);
+    const portfolio::Portfolio loaded =
+        portfolio::Portfolio::load(ss, "<test>");
+    EXPECT_EQ(loaded.space(), ScheduleSpace::extended());
+}
+
+TEST(ExtendedSpace, CheckpointRejectNamesScheduleSpace)
+{
+    // A .gpk written for the legacy universe must reject under the
+    // extended universe, and the cause must name the space so the
+    // operator can tell a schedule-space flip from dataset drift.
+    const std::string path = ::testing::TempDir() +
+                             "graphport_extended_space_test.gpk";
+    std::remove(path.c_str());
+    runner::BuildOptions options;
+    options.checkpointPath = path;
+    options.keepCheckpoint = true;
+    (void)runner::Dataset::build(tinyUniverse(ScheduleSpace::legacy()),
+                                 options);
+    try {
+        (void)runner::Dataset::fromShardCheckpoints(
+            tinyUniverse(ScheduleSpace::extended()), {path});
+        FAIL() << "foreign-space checkpoint merged";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("written for a different universe"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("extended/v1"), std::string::npos) << what;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ExtendedSpace, StaleIndexCacheIsRejectedAndRebuilt)
+{
+    // An index cached over the legacy space must not answer for an
+    // extended dataset: buildOrLoadCached warns (cause names both
+    // space versions) and rebuilds over the widened space.
+    const std::string path = ::testing::TempDir() +
+                             "graphport_extended_space_test.gpi";
+    std::remove(path.c_str());
+    (void)serve::StrategyIndex::buildOrLoadCached(legacyDataset(),
+                                                  path);
+    EXPECT_EQ(serve::StrategyIndex::loadFile(path).space(),
+              ScheduleSpace::legacy());
+
+    const serve::StrategyIndex rebuilt =
+        serve::StrategyIndex::buildOrLoadCached(extendedDataset(),
+                                                path);
+    EXPECT_EQ(rebuilt.space(), ScheduleSpace::extended());
+    // The rebuilt snapshot replaced the stale one on disk.
+    EXPECT_EQ(serve::StrategyIndex::loadFile(path).space(),
+              ScheduleSpace::extended());
+    std::remove(path.c_str());
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Golden bit-identity pins for the schedule-language refactor: the
+ * legacy 96-config study must produce byte-identical artifacts
+ * before and after dsl::Schedule replaced the OptConfig tuple in the
+ * pricing and analysis pipeline.
+ *
+ * The constants below were captured from a build of the pre-refactor
+ * tree (the seed of this PR); any drift in dataset content hashes,
+ * study CSV checksums or strategy tables is a reproduction break,
+ * not a test to update lightly.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graphport/dsl/optconfig.hpp"
+#include "graphport/port/strategy.hpp"
+#include "graphport/runner/dataset.hpp"
+#include "graphport/runner/universe.hpp"
+#include "graphport/shard/partition.hpp"
+#include "graphport/support/rng.hpp"
+#include "graphport/support/strings.hpp"
+#include "testutil.hpp"
+
+using namespace graphport;
+
+namespace {
+
+// Captured from the pre-refactor seed (legacy OptConfig pipeline).
+constexpr std::uint64_t kGoldenSmall2ContentHash =
+    0x8961ab9c56014df2ull;
+constexpr std::uint64_t kGoldenSmall3ContentHash =
+    0xfc83d5c7228dacceull;
+const char *const kGoldenSmall2CsvSum = "# sum ecab24b28c2adb25";
+const char *const kGoldenSmall3CsvSum = "# sum daef247d04d7f18f";
+constexpr std::uint64_t kGoldenSmall2StrategiesHash =
+    0xa24ed78823ce5929ull;
+
+std::string
+csvBytes(const runner::Dataset &ds)
+{
+    std::ostringstream os;
+    ds.saveCsv(os);
+    return os.str();
+}
+
+/** Last non-empty line of the CSV — the "# sum <hex>" trailer. */
+std::string
+csvTrailer(const std::string &bytes)
+{
+    std::string last;
+    for (const std::string &line : split(bytes, '\n'))
+        if (!trim(line).empty())
+            last = trim(line);
+    return last;
+}
+
+/** Order-sensitive chain hash over every strategy's full table. */
+std::uint64_t
+strategiesHash(const runner::Dataset &ds)
+{
+    std::uint64_t h = 0x5eed;
+    for (const port::Strategy &s : port::allStrategies(ds)) {
+        h = splitmix64(h ^ hashStr(s.name));
+        for (unsigned c : s.configPerTest)
+            h = splitmix64(h ^ c);
+    }
+    return h;
+}
+
+} // namespace
+
+TEST(GoldenBitIdentity, Small2StudyMatchesSeed)
+{
+    const runner::Dataset ds =
+        runner::Dataset::build(runner::smallUniverse(2));
+    EXPECT_EQ(ds.universe().space.size(), 96u);
+    EXPECT_EQ(ds.contentHash(), kGoldenSmall2ContentHash);
+    EXPECT_EQ(csvTrailer(csvBytes(ds)), kGoldenSmall2CsvSum);
+}
+
+TEST(GoldenBitIdentity, Small3StudyMatchesSeed)
+{
+    const runner::Dataset ds =
+        runner::Dataset::build(runner::smallUniverse(3));
+    EXPECT_EQ(ds.contentHash(), kGoldenSmall3ContentHash);
+    EXPECT_EQ(csvTrailer(csvBytes(ds)), kGoldenSmall3CsvSum);
+}
+
+TEST(GoldenBitIdentity, Small2StrategyTablesMatchSeed)
+{
+    const runner::Dataset ds =
+        runner::Dataset::build(runner::smallUniverse(2));
+    EXPECT_EQ(strategiesHash(ds), kGoldenSmall2StrategiesHash);
+}
+
+TEST(GoldenBitIdentity, ThreadCountsPreserveSeedBytes)
+{
+    const runner::Universe u = runner::smallUniverse(2);
+    for (unsigned threads : {4u, 8u}) {
+        runner::BuildOptions options;
+        options.threads = threads;
+        const runner::Dataset ds = runner::Dataset::build(u, options);
+        EXPECT_EQ(ds.contentHash(), kGoldenSmall2ContentHash)
+            << threads << " threads";
+        EXPECT_EQ(csvTrailer(csvBytes(ds)), kGoldenSmall2CsvSum)
+            << threads << " threads";
+    }
+}
+
+TEST(GoldenBitIdentity, ShardedBuildsPreserveSeedBytes)
+{
+    const runner::Universe u = runner::smallUniverse(2);
+    const std::size_t items = u.numTests() * dsl::kNumConfigs;
+    for (std::size_t shards : {2u, 4u}) {
+        std::vector<std::string> paths;
+        for (std::size_t s = 0; s < shards; ++s) {
+            const shard::WorkRange r =
+                shard::rangeOf(s, shards, items);
+            const std::string path =
+                ::testing::TempDir() + "graphport_golden_shard" +
+                std::to_string(shards) + "_" + std::to_string(s) +
+                ".gpk";
+            std::remove(path.c_str());
+            runner::BuildOptions options;
+            options.checkpointPath = path;
+            options.workBegin = r.begin;
+            options.workEnd = r.end;
+            options.keepCheckpoint = true;
+            (void)runner::Dataset::build(u, options);
+            paths.push_back(path);
+        }
+        const runner::Dataset merged =
+            runner::Dataset::fromShardCheckpoints(u, paths);
+        EXPECT_EQ(merged.contentHash(), kGoldenSmall2ContentHash)
+            << shards << " shards";
+        EXPECT_EQ(csvTrailer(csvBytes(merged)), kGoldenSmall2CsvSum)
+            << shards << " shards";
+        for (const std::string &path : paths)
+            std::remove(path.c_str());
+    }
+}

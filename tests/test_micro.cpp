@@ -107,3 +107,87 @@ TEST(LaunchSweep, LaunchCountCancelsOut)
     const auto b = micro::launchOverheadSweep(chip, {5e4}, 10000);
     EXPECT_DOUBLE_EQ(a[0].utilisation, b[0].utilisation);
 }
+
+TEST(PullVsPush, DenseFrontiersFavourPull)
+{
+    // Pull removes the contended atomic pushes, so it must win when
+    // (almost) every node is on the frontier.
+    for (const ChipModel &chip : allChips())
+        EXPECT_GT(micro::pullVsPushSpeedup(chip, 1.0), 1.0)
+            << chip.shortName;
+}
+
+TEST(PullVsPush, SparseFrontierWinnerIsChipSpecific)
+{
+    // At a 1% frontier pull still scans every node while push touches
+    // 1% of the work — push wins on the chips whose drivers combine
+    // contended atomics cheaply (the sg-cmb ~1x rows of Table X).
+    for (const char *name : {"M4000", "GTX1080", "HD5500", "MALI"})
+        EXPECT_LT(micro::pullVsPushSpeedup(chipByName(name), 0.01),
+                  1.0)
+            << name;
+    // The atomic-hobbled chips prefer pull at every density: the
+    // overscan check never costs what the serialised atomics did.
+    for (const char *name : {"R9", "IRIS"})
+        EXPECT_GT(micro::pullVsPushSpeedup(chipByName(name), 0.01),
+                  1.0)
+            << name;
+}
+
+TEST(PullVsPush, MonotoneInFrontierDensity)
+{
+    // Denser frontiers only ever help pull, on every chip; on the
+    // push-friendly chips the curve crosses 1 exactly once.
+    for (const ChipModel &chip : allChips()) {
+        double prev = micro::pullVsPushSpeedup(chip, 0.01);
+        unsigned crossings = prev > 1.0 ? 1 : 0;
+        for (double frac : {0.05, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+            const double s = micro::pullVsPushSpeedup(chip, frac);
+            EXPECT_GE(s, prev) << chip.shortName << " @" << frac;
+            if (prev <= 1.0 && s > 1.0)
+                ++crossings;
+            prev = s;
+        }
+        EXPECT_EQ(crossings, 1u) << chip.shortName;
+    }
+}
+
+TEST(Fusion, TinyKernelsWinWhereBarrierUndercutsLaunch)
+{
+    // Launch-bound fixpoint: a follower trades kernelLaunchNs for a
+    // global-barrier episode, so the model itself names the winners.
+    for (const ChipModel &chip : allChips()) {
+        const bool barrierCheaper =
+            chip.globalBarrierCostNs(128) < chip.kernelLaunchNs;
+        const double s = micro::fusionSpeedup(chip, 4, 500.0);
+        if (barrierCheaper)
+            EXPECT_GT(s, 1.0) << chip.shortName;
+        else
+            EXPECT_LT(s, 1.0) << chip.shortName;
+    }
+}
+
+TEST(Fusion, LongKernelsLoseEverywhere)
+{
+    // Compute-bound fixpoint: the occupancy penalty on 2ms kernels
+    // dwarfs any launch saving on every chip.
+    for (const ChipModel &chip : allChips()) {
+        for (unsigned fuse : {2u, 4u})
+            EXPECT_LT(micro::fusionSpeedup(chip, fuse, 2e6), 1.0)
+                << chip.shortName << " fuse=" << fuse;
+    }
+}
+
+TEST(Fusion, DeeperFusionAmplifiesTheTrade)
+{
+    // fuse=4 elides more launches than fuse=2, so it amplifies
+    // whichever way the barrier/launch trade goes.
+    for (const ChipModel &chip : allChips()) {
+        const double f2 = micro::fusionSpeedup(chip, 2, 500.0);
+        const double f4 = micro::fusionSpeedup(chip, 4, 500.0);
+        if (chip.globalBarrierCostNs(128) < chip.kernelLaunchNs)
+            EXPECT_GT(f4, f2) << chip.shortName;
+        else
+            EXPECT_LT(f4, f2) << chip.shortName;
+    }
+}

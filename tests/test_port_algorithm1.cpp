@@ -32,7 +32,7 @@ TEST(Algorithm1, ProducesOneDecisionPerOpt)
         optsForPartition(ds, allTests(ds));
     EXPECT_EQ(pa.decisions.size(), dsl::allOpts().size());
     for (dsl::Opt opt : dsl::allOpts())
-        EXPECT_EQ(pa.decisionFor(opt).opt, opt);
+        EXPECT_EQ(pa.decisionFor(opt).opt, dsl::knobOf(opt));
 }
 
 TEST(Algorithm1, VerdictsAreConsistentWithStatistics)
@@ -70,10 +70,10 @@ TEST(Algorithm1, EnabledOptsAppearInConfig)
         if (d.verdict != Verdict::Enable)
             continue;
         const bool fgVariant =
-            d.opt == dsl::Opt::Fg1 || d.opt == dsl::Opt::Fg8;
+            d.opt == dsl::Knob::Fg1 || d.opt == dsl::Knob::Fg8;
         if (!fgVariant) {
             EXPECT_TRUE(pa.config.has(d.opt))
-                << dsl::optName(d.opt);
+                << dsl::knobName(d.opt);
         } else {
             // At least one fg variant must be selected.
             EXPECT_NE(pa.config.fg, dsl::FgMode::Off);
@@ -112,13 +112,13 @@ TEST(Algorithm1, StricterAlphaEnablesFewerOpts)
 TEST(ResolveConfig, PlainEnables)
 {
     std::vector<OptDecision> decisions(3);
-    decisions[0].opt = dsl::Opt::Sg;
+    decisions[0].opt = dsl::Knob::Sg;
     decisions[0].verdict = Verdict::Enable;
-    decisions[1].opt = dsl::Opt::CoopCv;
+    decisions[1].opt = dsl::Knob::CoopCv;
     decisions[1].verdict = Verdict::Disable;
-    decisions[2].opt = dsl::Opt::OiterGb;
+    decisions[2].opt = dsl::Knob::OiterGb;
     decisions[2].verdict = Verdict::Inconclusive;
-    const dsl::OptConfig c = resolveConfig(decisions);
+    const dsl::Schedule c = resolveConfig(decisions);
     EXPECT_TRUE(c.sg);
     EXPECT_FALSE(c.coopCv);
     EXPECT_FALSE(c.oitergb);
@@ -127,10 +127,10 @@ TEST(ResolveConfig, PlainEnables)
 TEST(ResolveConfig, FgConflictPicksStrongerMedian)
 {
     std::vector<OptDecision> decisions(2);
-    decisions[0].opt = dsl::Opt::Fg1;
+    decisions[0].opt = dsl::Knob::Fg1;
     decisions[0].verdict = Verdict::Enable;
     decisions[0].medianRatio = 0.9;
-    decisions[1].opt = dsl::Opt::Fg8;
+    decisions[1].opt = dsl::Knob::Fg8;
     decisions[1].verdict = Verdict::Enable;
     decisions[1].medianRatio = 0.7; // stronger speedup
     EXPECT_EQ(resolveConfig(decisions).fg, dsl::FgMode::Fg8);
@@ -142,10 +142,10 @@ TEST(ResolveConfig, FgConflictPicksStrongerMedian)
 TEST(ResolveConfig, SingleFgVariant)
 {
     std::vector<OptDecision> decisions(1);
-    decisions[0].opt = dsl::Opt::Fg1;
+    decisions[0].opt = dsl::Knob::Fg1;
     decisions[0].verdict = Verdict::Enable;
     EXPECT_EQ(resolveConfig(decisions).fg, dsl::FgMode::Fg1);
-    decisions[0].opt = dsl::Opt::Fg8;
+    decisions[0].opt = dsl::Knob::Fg8;
     EXPECT_EQ(resolveConfig(decisions).fg, dsl::FgMode::Fg8);
 }
 

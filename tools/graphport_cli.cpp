@@ -169,13 +169,17 @@ printUsage(std::FILE *to)
         "[--out FILE]\n"
         "           [--shards N] [--shard-retries N] "
         "[--shard-dir DIR] [--keep-shards]\n"
+        "           [--schedule-space legacy|extended] "
+        "[--schedule SPEC] [--list-schedules]\n"
         "  index    [--small [n_apps]] [--threads N] "
         "[--dataset FILE] [--out FILE]\n"
+        "           [--schedule-space legacy|extended]\n"
         "  advise   [--index FILE] [--portfolio FILE.gpp] "
         "(<app> <input> <chip> |\n"
         "           --batch FILE|- [--threads N] "
         "[--format csv|json] [--out FILE]\n"
-        "           [--stats])\n"
+        "           [--stats] | --schedule SPEC | "
+        "--list-schedules)\n"
         "  portfolio solve|frontier|inspect "
         "[--small [n_apps]] [--dataset FILE]\n"
         "           [--eps E] [--exact] [--threads N] "
@@ -210,6 +214,11 @@ printUsage(std::FILE *to)
         "prints its\nfull flag reference\n"
         "\n<input> = road | social | random | path to .gr/.el file\n"
         "opts = coop-cv wg sg fg fg8 oitergb sz256\n"
+        "schedule spec: dir=push|pull, lb=serial|wg+sg+fg8..., "
+        "coop=cv, oiter=gb,\n"
+        "wgsize=128|256, fuse=1|2|4  (e.g. "
+        "\"dir=pull,lb=wg+sg,fuse=2\"); the extended\n"
+        "axes (dir, fuse) need --schedule-space extended\n"
         "study: full 17x3x6x96 sweep; --threads 0 = all cores, "
         "--stats prints sweep\n"
         "observability, --small uses the reduced test universe, "
@@ -422,11 +431,59 @@ cmdRecommend(const std::string &chipName, unsigned n_apps)
                        ? "disable"
                        : "unsure ");
         std::printf("  %-8s %s (CL %.2f, median %.3f, %zu pairs)\n",
-                    dsl::optName(d.opt).c_str(), verdict,
+                    dsl::knobName(d.opt).c_str(), verdict,
                     d.mwu.clEffectSize, d.medianRatio,
                     d.significantPairs);
     }
     return 0;
+}
+
+/**
+ * Register the uniform --schedule-space flag: every sweeping
+ * subcommand names the space the same way, and cliopts rejects an
+ * unknown value in its standard "expects legacy | extended" format.
+ */
+void
+addScheduleSpaceFlag(cli::FlagSet &flags, std::string *name)
+{
+    flags.choice("--schedule-space", name, {"legacy", "extended"},
+                 "schedule space to sweep: the paper's 96-config "
+                 "legacy space (default) or the 576-schedule "
+                 "extended space (adds push/pull direction and "
+                 "kernel fusion)");
+}
+
+/** Print every schedule of @p space: id, canonical spec, label. */
+int
+listSchedules(const dsl::ScheduleSpace &space)
+{
+    std::printf("%u schedules (%s space):\n", space.size(),
+                space.name().c_str());
+    for (const dsl::Schedule &sched : space.all()) {
+        std::printf("  %3u  %-44s [%s]\n", sched.encode(),
+                    sched.spec().c_str(), sched.label().c_str());
+    }
+    return 0;
+}
+
+/**
+ * Parse a --schedule spec, rejecting in the subcommand's uniform
+ * error format and refusing schedules outside the active space.
+ */
+dsl::Schedule
+parseScheduleArg(const std::string &cmd, const std::string &spec,
+                 const dsl::ScheduleSpace &space)
+{
+    dsl::Schedule sched;
+    std::string error;
+    const bool ok = dsl::Schedule::tryParseSpec(spec, &sched, &error);
+    fatalIf(!ok, cmd + ": --schedule: " + error);
+    fatalIf(sched.encode() >= space.size(),
+            cmd + ": --schedule '" + sched.spec() +
+                "' uses extended axes outside schedule space " +
+                space.versionString() +
+                " (pass --schedule-space extended)");
+    return sched;
 }
 
 /**
@@ -462,6 +519,8 @@ cmdSweepWorker(const std::vector<std::string> &args)
                "cells priced between checkpoint flushes")
         .text("--fault-spec", &faultSpec, "SPEC",
               "deterministic fault schedule");
+    std::string spaceName = "legacy";
+    addScheduleSpaceFlag(flags, &spaceName);
     if (!flags.parse(args))
         return 0;
     fatalIf(shards == 0, "sweep-worker: --shards needs at least 1");
@@ -478,11 +537,11 @@ cmdSweepWorker(const std::vector<std::string> &args)
             fault::FaultSchedule::parse(faultSpec));
     fault::ScopedInjector injectorScope(injector.get());
 
-    const runner::Universe universe =
-        small ? runner::smallUniverse(smallApps)
-              : runner::studyUniverse();
+    runner::Universe universe = small ? runner::smallUniverse(smallApps)
+                                      : runner::studyUniverse();
+    universe.space = dsl::ScheduleSpace::byName(spaceName);
     const std::size_t items =
-        universe.numTests() * dsl::kNumConfigs;
+        universe.numTests() * universe.space.size();
     const shard::WorkRange range =
         shard::rangeOf(shard, shards, items);
     fatalIf(range.begin >= range.end,
@@ -628,10 +687,14 @@ cmdStudy(const std::vector<std::string> &args)
     bool keepShards = false;
     std::string metricsOut;
     std::string traceOut;
+    std::string spaceName = "legacy";
+    std::string scheduleSpec;
+    bool listOnly = false;
     cli::FlagSet flags("study",
                        "[--threads N] [--stats] [--small [n_apps]] "
                        "[--out FILE] [--checkpoint FILE] "
-                       "[--shards N]");
+                       "[--shards N] [--schedule-space SPACE] "
+                       "[--schedule SPEC] [--list-schedules]");
     flags
         .count("--threads", &threads, "N",
                "worker threads (0 = all hardware threads; with "
@@ -657,7 +720,13 @@ cmdStudy(const std::vector<std::string> &args)
         .toggle("--keep-shards", &keepShards,
                 "keep per-shard .gpk files after a successful merge")
         .text("--fault-spec", &faultSpec, "SPEC",
-              "inject faults, e.g. \"seed=1;sweep.crash:once=500\"");
+              "inject faults, e.g. \"seed=1;sweep.crash:once=500\"")
+        .text("--schedule", &scheduleSpec, "SPEC",
+              "report one schedule after the sweep, e.g. "
+              "\"dir=pull,lb=wg+sg,fuse=2\"")
+        .toggle("--list-schedules", &listOnly,
+                "print every schedule of the active space and exit");
+    addScheduleSpaceFlag(flags, &spaceName);
     cli::addObsFlags(flags, &metricsOut, &traceOut);
     if (!flags.parse(args))
         return 0;
@@ -678,19 +747,28 @@ cmdStudy(const std::vector<std::string> &args)
             fault::FaultSchedule::parse(faultSpec));
     fault::ScopedInjector injectorScope(injector.get());
 
-    const runner::Universe universe =
-        small ? runner::smallUniverse(smallApps)
-              : runner::studyUniverse();
+    runner::Universe universe = small ? runner::smallUniverse(smallApps)
+                                      : runner::studyUniverse();
+    universe.space = dsl::ScheduleSpace::byName(spaceName);
+    if (listOnly)
+        return listSchedules(universe.space);
+    // Parse (and so validate) the requested schedule before the
+    // sweep, so a bad spec fails in milliseconds, not minutes.
+    dsl::Schedule reportSchedule;
+    if (!scheduleSpec.empty())
+        reportSchedule =
+            parseScheduleArg("study", scheduleSpec, universe.space);
     const std::string threadDesc =
         sharded ? std::to_string(shards) + " worker processes"
         : threads == 1 ? "serial"
         : threads == 0
             ? "all hardware threads"
             : std::to_string(threads) + " threads";
-    std::printf("sweeping %zu tests x 96 configs x %u runs "
-                "(%s universe, %s)...\n",
-                universe.numTests(), universe.runs,
-                small ? "small" : "study", threadDesc.c_str());
+    std::printf("sweeping %zu tests x %u schedules x %u runs "
+                "(%s universe, %s space, %s)...\n",
+                universe.numTests(), universe.space.size(),
+                universe.runs, small ? "small" : "study",
+                universe.space.name().c_str(), threadDesc.c_str());
     runner::SweepStats sweepStats;
     obs::Obs o;
     obs::Obs *obsPtr =
@@ -715,6 +793,11 @@ cmdStudy(const std::vector<std::string> &args)
                 sopts.baseWorkerArgv.push_back(
                     std::to_string(smallApps));
             }
+            if (!universe.space.isLegacy()) {
+                sopts.baseWorkerArgv.push_back("--schedule-space");
+                sopts.baseWorkerArgv.push_back(
+                    universe.space.name());
+            }
             return shard::shardedSweep(universe, sopts);
         }
         runner::BuildOptions options;
@@ -732,7 +815,7 @@ cmdStudy(const std::vector<std::string> &args)
                 std::chrono::steady_clock::now() - sweepStart)
                 .count();
         const std::size_t cells =
-            universe.numTests() * dsl::kNumConfigs;
+            universe.numTests() * universe.space.size();
         std::printf("swept %zu cells across %u shard(s) in %.3f s "
                     "(%.0f cells/s, merged bit-identically)\n",
                     cells, shards, wall, cells / wall);
@@ -747,6 +830,19 @@ cmdStudy(const std::vector<std::string> &args)
         std::printf("\n");
         sweepStats.print(std::cout);
         std::printf("\njson: %s\n", sweepStats.toJson().c_str());
+    }
+    if (!scheduleSpec.empty()) {
+        const unsigned cfg = reportSchedule.encode();
+        const unsigned base = dsl::OptConfig::baseline().encode();
+        std::printf("\nschedule %s (id %u) [%s]:\n",
+                    reportSchedule.spec().c_str(), cfg,
+                    reportSchedule.label().c_str());
+        for (std::size_t t = 0; t < ds.numTests(); ++t) {
+            std::printf("  %-32s %12.0f ns  %5.2fx vs baseline\n",
+                        ds.testAt(t).label().c_str(),
+                        ds.meanNs(t, cfg),
+                        ds.meanNs(t, base) / ds.meanNs(t, cfg));
+        }
     }
     if (!outPath.empty()) {
         support::atomicWriteFile(
@@ -769,9 +865,11 @@ cmdIndex(const std::vector<std::string> &args)
     unsigned smallApps = 4;
     std::string datasetPath;
     std::string outPath = "graphport_index.gpi";
+    std::string spaceName = "legacy";
     cli::FlagSet flags("index",
                        "[--small [n_apps]] [--threads N] "
-                       "[--dataset FILE] [--out FILE]");
+                       "[--dataset FILE] [--out FILE] "
+                       "[--schedule-space SPACE]");
     flags
         .toggleWithCount("--small", &small, &smallApps, "n_apps",
                          "use the reduced test universe")
@@ -781,14 +879,15 @@ cmdIndex(const std::vector<std::string> &args)
               "load a saved dataset CSV instead of sweeping")
         .text("--out", &outPath, "FILE",
               "index snapshot path (default graphport_index.gpi)");
+    addScheduleSpaceFlag(flags, &spaceName);
     if (!flags.parse(args))
         return 0;
     fatalIf(small && smallApps == 0,
             "index: --small needs at least 1 app");
 
-    const runner::Universe universe =
-        small ? runner::smallUniverse(smallApps)
-              : runner::studyUniverse();
+    runner::Universe universe = small ? runner::smallUniverse(smallApps)
+                                      : runner::studyUniverse();
+    universe.space = dsl::ScheduleSpace::byName(spaceName);
     const runner::Dataset ds = [&] {
         if (!datasetPath.empty()) {
             std::ifstream in(datasetPath);
@@ -798,10 +897,11 @@ cmdIndex(const std::vector<std::string> &args)
                         datasetPath.c_str());
             return runner::Dataset::loadCsv(universe, in);
         }
-        std::printf("sweeping %zu tests x 96 configs x %u runs "
-                    "(%s universe)...\n",
-                    universe.numTests(), universe.runs,
-                    small ? "small" : "study");
+        std::printf("sweeping %zu tests x %u schedules x %u runs "
+                    "(%s universe, %s space)...\n",
+                    universe.numTests(), universe.space.size(),
+                    universe.runs, small ? "small" : "study",
+                    universe.space.name().c_str());
         runner::BuildOptions options;
         options.threads = threads;
         return runner::Dataset::build(universe, options);
@@ -828,11 +928,12 @@ cmdIndex(const std::vector<std::string> &args)
 /** Dataset for the portfolio solver: saved CSV or a fresh sweep. */
 runner::Dataset
 portfolioDataset(const std::string &datasetPath, bool small,
-                 unsigned smallApps, unsigned threads)
+                 unsigned smallApps, unsigned threads,
+                 const std::string &spaceName)
 {
-    const runner::Universe universe =
-        small ? runner::smallUniverse(smallApps)
-              : runner::studyUniverse();
+    runner::Universe universe = small ? runner::smallUniverse(smallApps)
+                                      : runner::studyUniverse();
+    universe.space = dsl::ScheduleSpace::byName(spaceName);
     if (!datasetPath.empty()) {
         std::ifstream in(datasetPath);
         fatalIf(!in.good(), "portfolio: cannot open " + datasetPath);
@@ -840,10 +941,11 @@ portfolioDataset(const std::string &datasetPath, bool small,
                     datasetPath.c_str());
         return runner::Dataset::loadCsv(universe, in);
     }
-    std::printf("sweeping %zu tests x 96 configs x %u runs (%s "
-                "universe)...\n",
-                universe.numTests(), universe.runs,
-                small ? "small" : "study");
+    std::printf("sweeping %zu tests x %u schedules x %u runs (%s "
+                "universe, %s space)...\n",
+                universe.numTests(), universe.space.size(),
+                universe.runs, small ? "small" : "study",
+                universe.space.name().c_str());
     runner::BuildOptions options;
     options.threads = threads;
     return runner::Dataset::build(universe, options);
@@ -860,7 +962,7 @@ printPortfolioMembers(const portfolio::Portfolio &p)
     for (std::size_t m = 0; m < p.members().size(); ++m) {
         const unsigned cfg = p.members()[m];
         std::printf("  member %zu: [%s] (id %u), %zu cell(s)%s\n", m,
-                    dsl::OptConfig::decode(cfg).label().c_str(), cfg,
+                    dsl::Schedule::decode(cfg).label().c_str(), cfg,
                     cellsOf[m],
                     m == p.bestGlobalMember()
                         ? "  <- best-global floor"
@@ -930,8 +1032,8 @@ cmdPortfolio(const std::vector<std::string> &args)
         if (!verify)
             return 0;
 
-        const runner::Dataset ds =
-            portfolioDataset(datasetPath, small, smallApps, threads);
+        const runner::Dataset ds = portfolioDataset(
+            datasetPath, small, smallApps, threads, p.space().name());
         fatalIf(ds.contentHash() != p.datasetHash(),
                 "portfolio inspect: dataset hash mismatch (dataset " +
                     support::hexU64(ds.contentHash()) +
@@ -1036,6 +1138,8 @@ cmdPortfolio(const std::vector<std::string> &args)
         .toggle("--exact", &exact,
                 "exact branch-and-bound instead of the greedy "
                 "(1+ln n)-approximation");
+    std::string spaceName = "legacy";
+    addScheduleSpaceFlag(flags, &spaceName);
     if (solveMode) {
         flags
             .number("--eps", &eps, "E",
@@ -1055,8 +1159,8 @@ cmdPortfolio(const std::vector<std::string> &args)
     fatalIf(small && smallApps == 0,
             "portfolio: --small needs at least 1 app");
 
-    const runner::Dataset ds =
-        portfolioDataset(datasetPath, small, smallApps, threads);
+    const runner::Dataset ds = portfolioDataset(
+        datasetPath, small, smallApps, threads, spaceName);
 
     obs::Obs o;
     obs::Obs *obsPtr =
@@ -1177,9 +1281,12 @@ cmdAdvise(const std::vector<std::string> &args)
     std::string metricsOut;
     std::string traceOut;
     std::vector<std::string> positional;
+    std::string scheduleSpec;
+    bool listOnly = false;
     cli::FlagSet flags("advise",
                        "[--index FILE] [--portfolio FILE.gpp] "
-                       "(<app> <input> <chip> | --batch FILE|-)");
+                       "(<app> <input> <chip> | --batch FILE|- | "
+                       "--schedule SPEC | --list-schedules)");
     flags
         .text("--index", &indexPath, "FILE",
               "strategy index snapshot "
@@ -1196,6 +1303,11 @@ cmdAdvise(const std::vector<std::string> &args)
               "write answers here instead of stdout")
         .toggle("--stats", &stats,
                 "print batch serving stats to stderr")
+        .text("--schedule", &scheduleSpec, "SPEC",
+              "parse and echo one schedule spec against the index's "
+              "schedule space, e.g. \"dir=pull,lb=wg+sg,fuse=2\"")
+        .toggle("--list-schedules", &listOnly,
+                "print every schedule of the index's space and exit")
         .positionals(&positional,
                      "<app> <input> <chip>  one-shot query");
     faultOpts.addFlags(flags);
@@ -1210,6 +1322,21 @@ cmdAdvise(const std::vector<std::string> &args)
 
     const serve::StrategyIndex index =
         serve::StrategyIndex::loadFile(indexPath);
+    if (listOnly)
+        return listSchedules(index.space());
+    if (!scheduleSpec.empty()) {
+        fatalIf(!positional.empty() || !batchPath.empty(),
+                "advise: --schedule is exclusive with a query");
+        const dsl::Schedule sched =
+            parseScheduleArg("advise", scheduleSpec, index.space());
+        std::printf("schedule '%s':\n", scheduleSpec.c_str());
+        std::printf("  canonical  %s\n", sched.spec().c_str());
+        std::printf("  id         %u (schedule space %s)\n",
+                    sched.encode(),
+                    index.space().versionString().c_str());
+        std::printf("  label      [%s]\n", sched.label().c_str());
+        return 0;
+    }
     serve::Advisor advisor(index);
     if (!portfolioPath.empty())
         advisor.attachPortfolio(
