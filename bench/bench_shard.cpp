@@ -14,21 +14,42 @@
  * Flags:
  *   --batch N      queries per frame (default 512)
  *   --frames N     timed frames per component (default 2000)
- *   --out FILE     JSON output path (default BENCH_shard_wire.json)
+ *   --out FILE     JSON output path (default BENCH_shard_wire.json;
+ *                  BENCH_shard.json with --supervise)
+ *   --supervise    run the supervision chaos gate instead (requires
+ *                  --cli): a seeded schedule SIGSTOPs one sweep
+ *                  worker and permanently kills one serve worker,
+ *                  then the bench enforces the merged study CSV
+ *                  byte-identical to a 1-process sweep, 100% of
+ *                  queries answered with the dead shard's chips
+ *                  labeled degraded, 0 allocs/query on in-shard
+ *                  dispatch, and a hedge that recovers a stalled
+ *                  batch bit-identically
+ *   --cli PATH     graphport_cli binary the workers exec
  */
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <unistd.h>
 
+#include "graphport/fault/injector.hpp"
 #include "graphport/obs/obs.hpp"
+#include "graphport/runner/dataset.hpp"
 #include "graphport/serve/advisor.hpp"
+#include "graphport/serve/index.hpp"
+#include "graphport/serve/loadgen.hpp"
+#include "graphport/shard/partition.hpp"
+#include "graphport/shard/router.hpp"
+#include "graphport/shard/sweep.hpp"
 #include "graphport/shard/wire.hpp"
 #include "graphport/support/framing.hpp"
+#include "graphport/support/proc.hpp"
 #include "graphport/support/rng.hpp"
 
 using namespace graphport;
@@ -63,6 +84,257 @@ makeBatch(std::size_t batch, std::vector<serve::Query> *queries,
     }
 }
 
+/**
+ * The supervision chaos gate (--supervise): three seeded phases over
+ * real worker processes, each enforcing one acceptance invariant of
+ * the shard supervision subsystem. Returns the process exit code.
+ */
+int
+runSupervise(const std::string &cliPath, const std::string &outPath)
+{
+    std::printf("=============================================="
+                "================\n"
+                "graphport reproduction | shard supervision "
+                "(infrastructure)\n"
+                "stall -> steal, kill-forever -> degraded, "
+                "stall -> hedge, under seeded chaos\n"
+                "=============================================="
+                "================\n\n");
+
+    const runner::Universe universe = runner::smallUniverse(2);
+    obs::Obs o;
+
+    // ---- reference: the 1-process sweep --------------------------
+    const runner::Dataset reference = runner::Dataset::build(universe);
+    std::string referenceCsv;
+    {
+        std::ostringstream os;
+        reference.saveCsv(os);
+        referenceCsv = os.str();
+    }
+
+    // ---- phase 1: SIGSTOP one sweep worker; steal; byte-compare --
+    std::printf("phase 1: supervised 2-shard sweep, worker 1 "
+                "SIGSTOPped at spawn...\n");
+    const std::string sweepSpec = "seed=7;shard.worker.stall:once=1";
+    bool sweepByteIdentical = false;
+    {
+        auto injector = std::make_unique<fault::Injector>(
+            fault::FaultSchedule::parse(sweepSpec));
+        fault::ScopedInjector scope(injector.get());
+        shard::SweepShardOptions sopts;
+        sopts.shards = 2;
+        sopts.shardDir = ".graphport_bench_supervise";
+        support::ensureDir(sopts.shardDir);
+        sopts.faultSpec = sweepSpec;
+        sopts.stallAfterMs = 400;
+        sopts.obs = &o;
+        sopts.baseWorkerArgv = {cliPath, "sweep-worker", "--small",
+                                "2"};
+        const runner::Dataset ds =
+            shard::shardedSweep(universe, sopts);
+        std::ostringstream os;
+        ds.saveCsv(os);
+        sweepByteIdentical = os.str() == referenceCsv;
+    }
+    std::printf("  merged CSV %s the 1-process sweep (steal "
+                "victims: %llu)\n\n",
+                sweepByteIdentical ? "byte-identical to"
+                                   : "DIFFERS FROM",
+                static_cast<unsigned long long>(
+                    o.metrics.counterValue("shard.steal.victims")));
+
+    // ---- phase 2: kill one serve worker forever; serve degraded --
+    std::printf("phase 2: 2-shard serve, worker 1 killed at every "
+                "(re)spawn, budget 1...\n");
+    const serve::StrategyIndex index =
+        serve::StrategyIndex::build(reference);
+    const std::string indexPath =
+        ".graphport_bench_supervise/index.gpi";
+    index.saveFile(indexPath);
+    const serve::Advisor fullAdvisor(index);
+    const serve::ServePolicy policy;
+
+    const std::vector<serve::Query> stream =
+        serve::makeQueryStream(index, 2000, 42);
+    std::vector<std::uint64_t> keys(stream.size());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        keys[i] = i;
+
+    std::size_t answered = 0;
+    std::size_t degraded = 0;
+    std::size_t mismatches = 0;
+    std::size_t labelErrors = 0;
+    std::size_t deadShards = 0;
+    double allocsPerQuery = -1.0;
+    {
+        shard::RouterOptions ropts;
+        ropts.shards = 2;
+        ropts.indexPath = indexPath;
+        ropts.faultSpec = "seed=5;shard.worker.die:once=1";
+        ropts.maxRespawns = 1;
+        ropts.baseWorkerArgv = {cliPath, "serve-worker"};
+        shard::Router router(index.chips(), ropts);
+
+        std::unique_ptr<serve::StrategyIndex> liveSlice;
+        std::unique_ptr<serve::Advisor> liveAdvisor;
+        constexpr std::size_t kBatch = 256;
+        for (std::size_t b = 0; b < stream.size(); b += kBatch) {
+            const std::size_t e =
+                std::min(b + kBatch, stream.size());
+            const std::vector<serve::Query> q(stream.begin() + b,
+                                              stream.begin() + e);
+            const std::vector<std::uint64_t> k(keys.begin() + b,
+                                               keys.begin() + e);
+            const std::vector<serve::Advice> advices =
+                router.route(q, k);
+            answered += advices.size();
+            for (std::size_t i = 0; i < advices.size(); ++i) {
+                const bool ownerDead =
+                    router.isDead(router.shardOf(q[i].chip));
+                if (advices[i].shardDegraded != ownerDead) {
+                    ++labelErrors;
+                    continue;
+                }
+                if (!ownerDead) {
+                    if (!advices[i].sameAnswer(
+                            fullAdvisor.adviseResilient(
+                                q[i], k[i], policy, nullptr)))
+                        ++mismatches;
+                    continue;
+                }
+                ++degraded;
+                if (liveAdvisor == nullptr) {
+                    std::vector<std::string> liveChips;
+                    for (std::size_t s = 0; s < router.shards();
+                         ++s) {
+                        if (router.isDead(s))
+                            continue;
+                        for (const std::string &chip :
+                             shard::chipsOf(s, router.shards(),
+                                            index.chips()))
+                            liveChips.push_back(chip);
+                    }
+                    liveSlice =
+                        std::make_unique<serve::StrategyIndex>(
+                            index.sliceByChips(liveChips));
+                    liveAdvisor = std::make_unique<serve::Advisor>(
+                        *liveSlice);
+                }
+                serve::ServePolicy degradedPolicy = policy;
+                degradedPolicy.floorUnresolvable = true;
+                if (!advices[i].sameAnswer(
+                        liveAdvisor->adviseResilient(
+                            q[i], k[i], degradedPolicy, nullptr)))
+                    ++mismatches;
+            }
+        }
+        deadShards = router.deadShards();
+
+        // The zero-allocation invariant on in-shard dispatch, per
+        // live shard slice (the counting allocator is linked in).
+        for (std::size_t s = 0; s < router.shards(); ++s) {
+            if (router.isDead(s))
+                continue;
+            const serve::StrategyIndex sliced = index.sliceByChips(
+                shard::chipsOf(s, router.shards(), index.chips()));
+            std::vector<serve::Query> owned;
+            for (const serve::Query &q : stream) {
+                if (router.shardOf(q.chip) == s)
+                    owned.push_back(q);
+            }
+            if (owned.empty())
+                continue;
+            const serve::Advisor shardAdvisor(sliced);
+            const double a = serve::measureSteadyAllocsPerQuery(
+                shardAdvisor, owned);
+            if (a < 0.0) {
+                allocsPerQuery = a;
+                break;
+            }
+            allocsPerQuery = std::max(allocsPerQuery, a);
+        }
+
+        router.mergeMetrics(o.metrics);
+        router.shutdown();
+    }
+    std::printf("  %zu/%zu answered, %zu degraded, %zu dead "
+                "shard(s), %zu mismatches, %zu label errors, "
+                "%.3f allocs/query in-shard\n\n",
+                answered, stream.size(), degraded, deadShards,
+                mismatches, labelErrors, allocsPerQuery);
+
+    // ---- phase 3: SIGSTOP a serve worker mid-batch; hedge --------
+    std::printf("phase 3: 2-shard serve, worker stalls holding "
+                "frame 1, hedge after 50 ms...\n");
+    std::size_t hedgeMismatches = 0;
+    {
+        shard::RouterOptions ropts;
+        ropts.shards = 2;
+        ropts.indexPath = indexPath;
+        ropts.faultSpec = "seed=3;shard.worker.stall:once=1";
+        ropts.hedgeMs = 50;
+        ropts.baseWorkerArgv = {cliPath, "serve-worker"};
+        shard::Router router(index.chips(), ropts);
+        const std::vector<serve::Query> q(stream.begin(),
+                                          stream.begin() + 256);
+        const std::vector<std::uint64_t> k(keys.begin(),
+                                           keys.begin() + 256);
+        const std::vector<serve::Advice> advices = router.route(q, k);
+        for (std::size_t i = 0; i < advices.size(); ++i) {
+            if (!advices[i].sameAnswer(fullAdvisor.adviseResilient(
+                    q[i], k[i], policy, nullptr)))
+                ++hedgeMismatches;
+        }
+        router.mergeMetrics(o.metrics);
+        router.shutdown();
+    }
+    const std::uint64_t hedgesFired =
+        o.metrics.counterValue("shard.hedge.fired");
+    std::printf("  hedges fired %llu, replica won %llu, %zu "
+                "mismatches\n\n",
+                static_cast<unsigned long long>(hedgesFired),
+                static_cast<unsigned long long>(o.metrics.counterValue(
+                    "shard.hedge.replica_won")),
+                hedgeMismatches);
+
+    const bool pass =
+        sweepByteIdentical &&
+        o.metrics.counterValue("shard.steal.victims") >= 1 &&
+        answered == stream.size() && degraded >= 1 &&
+        deadShards >= 1 && mismatches == 0 && labelErrors == 0 &&
+        allocsPerQuery == 0.0 && hedgesFired >= 1 &&
+        hedgeMismatches == 0;
+    std::printf("supervision gate: %s\n", pass ? "PASS" : "FAIL");
+
+    std::ofstream out(outPath);
+    if (!out.good()) {
+        std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+        return 1;
+    }
+    obs::Exporter ex(out);
+    ex.beginObject();
+    ex.field("bench", "shard");
+    ex.field("supervise", true);
+    ex.field("queries", stream.size());
+    ex.field("sweep_byte_identical", sweepByteIdentical);
+    ex.field("answered", answered);
+    ex.field("degraded_queries", degraded);
+    ex.field("dead_shards", deadShards);
+    ex.field("bit_identical",
+             mismatches == 0 && labelErrors == 0 &&
+                 hedgeMismatches == 0);
+    ex.field("allocs_per_query", allocsPerQuery, 3);
+    ex.beginObject("counters");
+    for (const auto &[name, value] :
+         o.metrics.countersWithPrefix("shard."))
+        ex.field(name.c_str(), value);
+    ex.endObject();
+    ex.endObject();
+    std::printf("perf record written to %s\n", outPath.c_str());
+    return pass ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -70,7 +342,9 @@ main(int argc, char **argv)
 {
     std::size_t batch = 512;
     std::size_t frames = 2000;
-    std::string outPath = "BENCH_shard_wire.json";
+    std::string outPath;
+    bool supervise = false;
+    std::string cliPath;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--batch" && i + 1 < argc)
@@ -79,13 +353,30 @@ main(int argc, char **argv)
             frames = std::stoul(argv[++i]);
         else if (arg == "--out" && i + 1 < argc)
             outPath = argv[++i];
+        else if (arg == "--supervise")
+            supervise = true;
+        else if (arg == "--cli" && i + 1 < argc)
+            cliPath = argv[++i];
         else {
             std::fprintf(stderr,
                          "usage: bench_shard [--batch N] [--frames N] "
-                         "[--out FILE]\n");
+                         "[--out FILE] [--supervise --cli PATH]\n");
             return 2;
         }
     }
+    if (supervise) {
+        if (cliPath.empty()) {
+            std::fprintf(stderr, "bench_shard: --supervise needs "
+                                 "--cli PATH (the graphport_cli "
+                                 "binary workers exec)\n");
+            return 2;
+        }
+        return runSupervise(cliPath, outPath.empty()
+                                         ? "BENCH_shard.json"
+                                         : outPath);
+    }
+    if (outPath.empty())
+        outPath = "BENCH_shard_wire.json";
 
     std::printf("=============================================="
                 "================\n"

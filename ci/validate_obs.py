@@ -7,6 +7,7 @@ Usage:
     python3 ci/validate_obs.py serve FILE [FILE...]
     python3 ci/validate_obs.py portfolio FILE [FILE...]
     python3 ci/validate_obs.py shard FILE [FILE...]
+    python3 ci/validate_obs.py supervise FILE [FILE...]
     python3 ci/validate_obs.py schedule FILE [FILE...]
 
 "summary" validates a --metrics-out document (the canonical
@@ -34,6 +35,15 @@ figure whenever the record says the gate was enforceable
 (speedup_enforced — >= 2 shards on a machine with >= 2 CPUs; a
 1-CPU run records the speedup without enforcing it, since N workers
 time-slicing one core cannot beat one process).
+"supervise" validates the BENCH_shard.json record that
+`bench_shard --supervise` emits (shard-smoke job): under a seeded
+chaos schedule that SIGSTOPs one sweep worker and permanently kills
+one serve worker, the merged study CSV must be byte-identical to a
+1-process sweep (with >= 1 steal victim and stolen cells counted),
+100% of queries answered with >= 1 of them labeled degraded and >= 1
+shard dead, answers bit-identical to their references,
+allocs_per_query exactly 0, and >= 1 hedge fired with a stall
+verdict behind it.
 "schedule" validates a BENCH_sweep.json record (schedule-smoke
 job): the schedule space named, num_configs matching the space (96
 legacy / 576 extended), cells == tests * num_configs, and every
@@ -244,6 +254,21 @@ def check_shard(doc):
     expect(doc["allocs_per_query"] == 0, "allocs_per_query",
            "exactly 0 (zero-allocation in-shard dispatch)")
 
+    # Shard-death accounting (present once the router supports
+    # permanent death): every query must still be answered, and the
+    # degraded count can only be nonzero when a shard actually died.
+    if "answered" in doc:
+        expect(doc["answered"] == doc["queries"], "answered",
+               "== queries (100% answered)")
+    if "dead_shards" in doc:
+        expect(is_count(doc["dead_shards"]), "dead_shards",
+               "non-negative integer")
+        expect(is_count(doc.get("degraded_queries")),
+               "degraded_queries", "non-negative integer")
+        if doc["dead_shards"] == 0:
+            expect(doc["degraded_queries"] == 0, "degraded_queries",
+                   "0 when no shard died")
+
     expect(isinstance(doc.get("speedup_enforced"), bool),
            "speedup_enforced", "boolean")
     if doc["speedup_enforced"]:
@@ -276,6 +301,47 @@ def check_shard(doc):
         expect(ol.get("kept_up") is True, "open_loop.kept_up",
                "true (offered load sustained)")
     return doc["shards"]
+
+
+def check_supervise(doc):
+    expect(isinstance(doc, dict), "$", "object")
+    expect(doc.get("bench") == "shard", "bench", '"shard"')
+    expect(doc.get("supervise") is True, "supervise", "true")
+    expect(is_count(doc.get("queries")) and doc["queries"] >= 1,
+           "queries", "integer >= 1")
+    expect(doc.get("sweep_byte_identical") is True,
+           "sweep_byte_identical",
+           "true (merged CSV byte-identical to the 1-process sweep "
+           "under the stall-and-steal schedule)")
+    expect(doc.get("answered") == doc["queries"], "answered",
+           "== queries (100% answered under shard death)")
+    expect(is_count(doc.get("degraded_queries")) and
+           doc["degraded_queries"] >= 1, "degraded_queries",
+           ">= 1 (the dead shard's chips must be served degraded)")
+    expect(is_count(doc.get("dead_shards")) and
+           doc["dead_shards"] >= 1, "dead_shards", ">= 1")
+    expect(doc.get("bit_identical") is True, "bit_identical",
+           "true (healthy answers match the full reference, "
+           "degraded ones the live-slice reference)")
+    expect("allocs_per_query" in doc, "allocs_per_query",
+           "field present (counting allocator linked)")
+    expect(doc["allocs_per_query"] == 0, "allocs_per_query",
+           "exactly 0 (zero-allocation in-shard dispatch)")
+
+    counters = doc.get("counters")
+    expect(isinstance(counters, dict), "counters", "object")
+    for name in ("shard.steal.victims", "shard.steal.workers",
+                 "shard.steal.cells", "shard.sweep.stall_verdicts",
+                 "shard.dead.shards", "shard.hedge.fired",
+                 "shard.hedge.stall_verdicts"):
+        expect(is_count(counters.get(name)) and counters[name] >= 1,
+               f"counters.{name}", "integer >= 1")
+    expect(is_count(counters.get("shard.dead.degraded_queries")) and
+           counters["shard.dead.degraded_queries"] >=
+           doc["degraded_queries"],
+           "counters.shard.dead.degraded_queries",
+           ">= the identity pass's degraded count")
+    return doc["dead_shards"]
 
 
 def check_schedule(doc):
@@ -334,7 +400,8 @@ def main(argv):
     if require_fault:
         args.remove("--require-fault")
     if len(args) < 2 or args[0] not in ("summary", "trace", "serve",
-                                    "portfolio", "shard", "schedule"):
+                                    "portfolio", "shard",
+                                    "supervise", "schedule"):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     if require_fault and args[0] != "summary":
@@ -345,6 +412,7 @@ def main(argv):
              "serve": check_serve,
              "portfolio": check_portfolio,
              "shard": check_shard,
+             "supervise": check_supervise,
              "schedule": check_schedule}[args[0]]
     for path in args[1:]:
         try:
@@ -360,6 +428,7 @@ def main(argv):
                 "serve": "variants",
                 "portfolio": "frontier points",
                 "shard": "shards",
+                "supervise": "dead shards",
                 "schedule": "configs"}[args[0]]
         print(f"{path}: ok ({n} {unit})")
     return 0

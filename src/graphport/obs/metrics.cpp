@@ -208,6 +208,16 @@ isRunDependentMetric(const std::string &name)
 {
     if (isWallTimeMetric(name))
         return true;
+    // Supervision counters are timing races, not pure functions of
+    // the seed: how many hedges fire, which copy wins, and how far a
+    // stall victim got before its verdict (and hence how many cells
+    // get stolen) all depend on scheduler interleaving even under a
+    // fixed fault schedule.
+    for (const char *prefix : {"shard.hedge.", "shard.steal."}) {
+        const std::string p = prefix;
+        if (name.compare(0, p.size(), p) == 0)
+            return true;
+    }
     const std::string s = ".threads";
     return name == "threads" ||
            (name.size() >= s.size() &&

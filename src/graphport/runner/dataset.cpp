@@ -754,6 +754,10 @@ Dataset::build(const Universe &universe, const BuildOptions &options)
                             options.checkpointPath);
                 ++flushes;
             }
+            // Heartbeat after the block is durable: the figure a
+            // supervisor sees never runs ahead of the .gpk.
+            if (options.onProgress)
+                options.onProgress(e - rangeBegin);
         }
     }
     const double priceSeconds = secondsSince(priceStart);
@@ -901,6 +905,70 @@ Dataset::fromShardCheckpoints(const Universe &universe,
                 std::to_string(firstMissing) + ")");
     ds.finalise();
     return ds;
+}
+
+void
+Dataset::pruneShardCheckpoint(const Universe &universe,
+                              const std::string &path,
+                              std::size_t *durableEnd)
+{
+    universe.validate();
+    *durableEnd = 0;
+    const std::size_t nCfg = universe.space.size();
+    const std::size_t items = universe.apps.size() *
+                              universe.inputs.size() *
+                              universe.chips.size() * nCfg;
+    const std::uint64_t identity = universeIdentityHash(universe);
+
+    std::vector<std::string> survivors;
+    {
+        std::ifstream in(path);
+        if (!in.good())
+            return; // never started: nothing durable
+        std::string line;
+        if (!std::getline(in, line) || trim(line) != kCheckpointMagic)
+            line.clear(); // headerless: 0 rows survive
+        else if (std::getline(in, line)) {
+            const std::vector<std::string> stamp =
+                split(trim(line), ',');
+            std::uint64_t storedIdentity = 0;
+            if (stamp.size() == 2 && stamp[0] == "universe" &&
+                parseHexU64(stamp[1], &storedIdentity) &&
+                storedIdentity == identity) {
+                // Rows land in ascending work order per flush block,
+                // so the valid prefix is exactly the contiguous range
+                // the victim finished; the first defect (the SIGKILL's
+                // torn tail) ends it.
+                std::vector<std::uint64_t> bits;
+                while (std::getline(in, line)) {
+                    const std::string row = trim(line);
+                    if (row.empty())
+                        continue;
+                    std::size_t w = 0;
+                    std::string cause;
+                    if (!parseCheckpointRow(row, items, universe.runs,
+                                            &w, bits, &cause))
+                        break;
+                    if (w + 1 > *durableEnd)
+                        *durableEnd = w + 1;
+                    survivors.push_back(row);
+                }
+            }
+        }
+    }
+
+    if (survivors.empty()) {
+        *durableEnd = 0;
+        std::remove(path.c_str());
+        return;
+    }
+    support::atomicWriteFile(
+        path, "pruned shard checkpoint", [&](std::ostream &os) {
+            os << kCheckpointMagic << "\n";
+            os << "universe," << support::hexU64(identity) << "\n";
+            for (const std::string &row : survivors)
+                os << row << "\n";
+        });
 }
 
 void

@@ -14,6 +14,7 @@
 #ifndef GRAPHPORT_RUNNER_DATASET_HPP
 #define GRAPHPORT_RUNNER_DATASET_HPP
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -111,6 +112,17 @@ struct BuildOptions
      * the result the coordinator merges via fromShardCheckpoints.
      */
     bool keepCheckpoint = false;
+
+    /**
+     * When set, called once per flushed checkpoint block (and once
+     * after the final partial block) with the number of work items
+     * priced so far in this build. This is the sweep worker's
+     * heartbeat hook: a supervised worker forwards the figure as an
+     * 'h' frame so the coordinator can tell "slow but alive" from
+     * "wedged". Called from the coordinating thread only, after the
+     * block's rows are durable.
+     */
+    std::function<void(std::size_t cellsDone)> onProgress;
 };
 
 /**
@@ -157,6 +169,24 @@ class Dataset
     static Dataset
     fromShardCheckpoints(const Universe &universe,
                          const std::vector<std::string> &paths);
+
+    /**
+     * Truncate @p path to its durable prefix: parse rows in order,
+     * stop at the first defective or foreign row, rewrite the file
+     * (atomically) with only the rows that survived, and report one
+     * past the highest surviving work index in @p durableEnd (0 when
+     * nothing survived — the file is then removed). Checkpoint rows
+     * are appended in ascending work order per flush block, so the
+     * surviving prefix is exactly the contiguous range a stall victim
+     * completed before it was killed; the supervisor re-partitions
+     * [durableEnd, range.end) across thieves and the strict merge's
+     * identical-overlap rule verifies the seam. Lenient like the
+     * resume path — a missing or headerless file yields durableEnd 0,
+     * never an error.
+     */
+    static void pruneShardCheckpoint(const Universe &universe,
+                                     const std::string &path,
+                                     std::size_t *durableEnd);
 
     /**
      * Load the dataset from @p path if the file exists, otherwise

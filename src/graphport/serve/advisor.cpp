@@ -236,6 +236,12 @@ Advisor::adviseResilient(const Query &q, std::uint64_t queryKey,
                 *index, q->app, spec ? spec->name : q->input,
                 source);
         }
+
+        bool canResolve() override
+        {
+            return index->featuresFor(q->app, q->input) != nullptr ||
+                   index->findInput(q->input) != nullptr;
+        }
     };
     StringResolver resolver;
     resolver.self = this;
@@ -352,7 +358,13 @@ Advisor::adviseReference(const Query &q, std::uint64_t queryKey,
     }
 
     intendedTier = "predictive";
-    if (attempt("serve.predict", queryKey * 10)) {
+    // Mirror of the frozen gate: under policy.floorUnresolvable an
+    // untraceable pair skips the predictive branch (no fault key
+    // consumed) and floors; default policy keeps the lookup fatal.
+    const bool resolvable =
+        !policy.floorUnresolvable || input != nullptr ||
+        index.featuresFor(q.app, q.input) != nullptr;
+    if (resolvable && attempt("serve.predict", queryKey * 10)) {
         Advice advice;
         advice.predictive = true;
         advice.tier = "predictive";

@@ -102,6 +102,17 @@ struct Advice
     unsigned retries = 0;
 
     /**
+     * Shard-level degradation label (routed serving only): true when
+     * the chip's owning shard was permanently dead and the answer
+     * came from a live shard's replicated chip-free tiers / k-NN
+     * fallback. Excluded from sameAnswer — like featureSource it is
+     * provenance (who answered), not the answer itself: the degraded
+     * answer is compared against its own live-slice reference, which
+     * carries no shard routing at all.
+     */
+    bool shardDegraded = false;
+
+    /**
      * Portfolio dispatch only: index into the portfolio's member
      * list of the answering member (0 off the portfolio tier).
      */

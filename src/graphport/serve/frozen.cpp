@@ -437,14 +437,24 @@ FrozenIndex::advise(const IdQuery &q, std::uint64_t queryKey,
 
     // Unknown chip: no descriptive tier applies (configurations do
     // not transfer across chips); predict from workload features.
-    if (attempt("serve.predict", queryKey * 10, Tier::Predictive)) {
+    // Under policy.floorUnresolvable, a pair with no snapshot row
+    // whose resolver cannot produce features either (input neither
+    // in the study nor generatable — e.g. a dead-shard redirect of a
+    // query only its owner's chip tier could answer) skips the
+    // predictive branch and takes the floor below instead of
+    // fataling mid-serve. Default policy keeps the fatal.
+    const std::int32_t row = featureRow(q.app, inputSym);
+    const bool resolvable = !policy.floorUnresolvable || row >= 0 ||
+                            resolver == nullptr ||
+                            resolver->canResolve();
+    if (resolvable &&
+        attempt("serve.predict", queryKey * 10, Tier::Predictive)) {
         AdviceView v;
         v.predictive = true;
         v.tier = Tier::Predictive;
         v.expectedSlowdownVsOracle = predictiveGeomean_;
         v.partitionSlowdownVsOracle = predictiveGeomean_;
         port::WorkloadFeatures features{};
-        const std::int32_t row = featureRow(q.app, inputSym);
         if (row >= 0) {
             v.featureSource = FeatureSource::Snapshot;
             features = featureAt(row);
@@ -460,9 +470,9 @@ FrozenIndex::advise(const IdQuery &q, std::uint64_t queryKey,
         return finish(v, Tier::Predictive);
     }
 
-    // Predictive path exhausted: the global tier's single
-    // configuration is the ladder's floor even for unknown chips —
-    // a transferable-if-mediocre answer beats no answer.
+    // Predictive path exhausted (or never viable): the global tier's
+    // single configuration is the ladder's floor even for unknown
+    // chips — a transferable-if-mediocre answer beats no answer.
     ++degradeSteps;
     const TierTable &g =
         tiers_[static_cast<std::size_t>(Tier::Global)];

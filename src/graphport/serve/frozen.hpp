@@ -108,6 +108,17 @@ class FeatureResolver
     /** Resolve the query pair's features and report provenance. */
     virtual port::WorkloadFeatures
     resolve(FeatureSource *source) = 0;
+    /**
+     * Whether resolve() can succeed for this query. Consulted only
+     * under ServePolicy::floorUnresolvable: when false there, the
+     * predictive branch is skipped entirely and the descent degrades
+     * to the global-tier floor — the case of an unknown chip paired
+     * with an input that is neither in the study nor generatable
+     * (e.g. a dead-shard redirect of a chip-tier-only query), where
+     * fataling inside a serve worker would turn a degradable query
+     * into an outage.
+     */
+    virtual bool canResolve() { return true; }
 };
 
 class FrozenIndex

@@ -58,6 +58,16 @@ struct ServePolicy
 
     /** Consecutive failures on a shard that open its breaker. */
     unsigned breakerFailureThreshold = 5;
+
+    /**
+     * When true, a query whose features cannot be resolved at all
+     * (unknown chip plus an input neither in the study nor
+     * generatable — e.g. a dead-shard redirect of a chip-tier-only
+     * query) degrades to the global-tier floor instead of fataling.
+     * Off by default: interactive callers want the fatal, serve
+     * workers answering redirected traffic want the floor.
+     */
+    bool floorUnresolvable = false;
 };
 
 } // namespace serve

@@ -1,5 +1,7 @@
 #include "graphport/shard/partition.hpp"
 
+#include <cmath>
+
 #include "graphport/support/error.hpp"
 #include "graphport/support/rng.hpp"
 #include "graphport/support/strings.hpp"
@@ -61,6 +63,15 @@ validateShardCount(const std::string &cmd, std::size_t shards,
                 ") cannot exceed the chip count (" +
                 std::to_string(nChips) +
                 "); a shard owning no chip can answer nothing");
+}
+
+void
+validateStragglerFactor(const std::string &cmd, double factor)
+{
+    fatalIf(!std::isfinite(factor) || factor < 1.0,
+            cmd + ": --straggler-factor expects a finite factor >= 1"
+                  ", got " +
+                std::to_string(factor));
 }
 
 std::string

@@ -75,6 +75,14 @@ void validateShardCount(const std::string &cmd, std::size_t shards,
                         std::size_t nChips);
 
 /**
+ * Reject a nonsensical --straggler-factor with the uniform cliopts
+ * error format: the factor multiplies the median worker wall time, so
+ * anything below 1 would declare the median itself a straggler, and
+ * NaN/inf would make the verdict vacuous or unreachable.
+ */
+void validateStragglerFactor(const std::string &cmd, double factor);
+
+/**
  * Drop every site whose name ends in ".crash" from a fault-spec
  * string, preserving the other clauses verbatim. Used when a
  * coordinator respawns a crashed worker (or a router respawns a dead

@@ -4,9 +4,12 @@
 #include <cstdio>
 #include <cstring>
 
+#include <unistd.h>
+
 #include "graphport/fault/injector.hpp"
 #include "graphport/obs/metrics.hpp"
 #include "graphport/shard/partition.hpp"
+#include "graphport/shard/supervise.hpp"
 #include "graphport/support/error.hpp"
 #include "graphport/support/framing.hpp"
 
@@ -37,6 +40,9 @@ Router::Router(std::vector<std::string> chips, RouterOptions options)
     scatter_.resize(options_.shards);
     pendingFrame_.resize(options_.shards);
     pendingKey_.resize(options_.shards);
+    lifetimeRespawns_.assign(options_.shards, 0);
+    consecutiveRespawns_.assign(options_.shards, 0);
+    dead_.assign(options_.shards, 0);
     for (std::size_t s = 0; s < options_.shards; ++s)
         spawnWorker(s, options_.faultSpec);
 }
@@ -63,16 +69,43 @@ Router::spawnWorker(std::size_t shard, const std::string &spec)
     workers_[shard] = support::spawnPiped(argv);
 }
 
-void
+bool
 Router::respawnWorker(std::size_t shard)
 {
+    (void)support::waitExit(workers_[shard]);
+    if (lifetimeRespawns_[shard] >= options_.maxRespawns) {
+        markShardDead(shard);
+        return false;
+    }
     std::fprintf(stderr,
                  "graphport: shard: serve worker %zu lost; "
                  "respawning with crash sites stripped\n",
                  shard);
-    (void)support::waitExit(workers_[shard]);
     ++respawns_;
+    ++lifetimeRespawns_[shard];
+    // Capped exponential backoff: a worker that dies at startup
+    // (e.g. shard.worker.die) burns its whole budget in well under a
+    // second without fork-bombing the host.
+    ::usleep(1000u * backoffMsFor(consecutiveRespawns_[shard]));
+    ++consecutiveRespawns_[shard];
     spawnWorker(shard, stripCrashSites(options_.faultSpec));
+    return true;
+}
+
+void
+Router::markShardDead(std::size_t shard)
+{
+    if (dead_[shard])
+        return;
+    dead_[shard] = 1;
+    support::killProcess(workers_[shard]);
+    (void)support::waitExit(workers_[shard]);
+    std::fprintf(stderr,
+                 "graphport: shard: serve worker %zu exhausted its "
+                 "respawn budget (%u); marking the shard permanently "
+                 "dead — its chips will be served degraded from "
+                 "live shards\n",
+                 shard, options_.maxRespawns);
 }
 
 std::size_t
@@ -82,6 +115,26 @@ Router::shardOf(const std::string &chip) const
     if (it != chipShard_.end())
         return it->second;
     return homeShardForUnknownChip(chip, options_.shards);
+}
+
+std::size_t
+Router::aliveShardFor(std::size_t shard) const
+{
+    for (std::size_t step = 1; step <= options_.shards; ++step) {
+        const std::size_t s = (shard + step) % options_.shards;
+        if (!dead_[s])
+            return s;
+    }
+    fatal("shard::Router: every shard is dead; nothing can answer");
+}
+
+std::size_t
+Router::deadShards() const
+{
+    std::size_t n = 0;
+    for (char d : dead_)
+        n += d != 0;
+    return n;
 }
 
 void
@@ -102,11 +155,11 @@ Router::sendShardFrame(std::size_t shard)
     }
 }
 
-void
-Router::readShardReply(std::size_t shard,
-                       std::vector<WireAdvice> &advices)
+Router::Reply
+Router::gatherReply(std::size_t shard,
+                    std::vector<WireAdvice> &advices)
 {
-    for (unsigned attempt = 0;; ++attempt) {
+    for (unsigned attempt = 0;;) {
         fatalIf(attempt > options_.respawns + 4,
                 "shard::Router: shard " + std::to_string(shard) +
                     " failed to answer after " +
@@ -117,8 +170,11 @@ Router::readShardReply(std::size_t shard,
             workers_[shard].stdoutFd, payload, cause);
         if (st == support::FrameStatus::Eof) {
             // Worker died (e.g. shard.worker.crash). Respawn with
-            // the crash sites stripped and resend the batch.
-            respawnWorker(shard);
+            // the crash sites stripped and resend the batch — unless
+            // its budget is gone, which declares the shard dead.
+            ++attempt;
+            if (!respawnWorker(shard))
+                return Reply::Dead;
             sendShardFrame(shard);
             continue;
         }
@@ -129,14 +185,22 @@ Router::readShardReply(std::size_t shard,
                          "graphport: shard: worker %zu reply "
                          "defective (%s); respawning\n",
                          shard, cause.c_str());
-            respawnWorker(shard);
+            ++attempt;
+            if (!respawnWorker(shard))
+                return Reply::Dead;
             sendShardFrame(shard);
+            continue;
+        }
+        if (frameKind(payload) == 'h') {
+            // A late liveness-ping echo interleaved before the
+            // answer; skip it without charging an attempt.
             continue;
         }
         if (frameKind(payload) == 'e') {
             // The worker rejected our frame (torn on the wire).
             // Resend under a fresh key, which the torn site will not
             // fire on again unless the schedule says so.
+            ++attempt;
             sendShardFrame(shard);
             continue;
         }
@@ -147,7 +211,9 @@ Router::readShardReply(std::size_t shard,
                          "graphport: shard: worker %zu sent a "
                          "malformed advice frame (%s); respawning\n",
                          shard, cause.c_str());
-            respawnWorker(shard);
+            ++attempt;
+            if (!respawnWorker(shard))
+                return Reply::Dead;
             sendShardFrame(shard);
             continue;
         }
@@ -162,12 +228,181 @@ Router::readShardReply(std::size_t shard,
                          static_cast<unsigned long long>(
                              pendingKey_[shard]),
                          advices.size(), scatter_[shard].size());
-            respawnWorker(shard);
+            ++attempt;
+            if (!respawnWorker(shard))
+                return Reply::Dead;
             sendShardFrame(shard);
             continue;
         }
-        return;
+        consecutiveRespawns_[shard] = 0;
+        return Reply::Ok;
     }
+}
+
+Router::Reply
+Router::hedgedRace(std::size_t shard,
+                   std::vector<WireAdvice> &advices)
+{
+    ++hedgesFired_;
+    std::fprintf(stderr,
+                 "graphport: shard: worker %zu silent past the "
+                 "hedge deadline (%u ms, ping unanswered); racing a "
+                 "replica\n",
+                 shard, options_.hedgeMs);
+    // The replica runs the same deterministic advise over the same
+    // slice, so whichever copy answers, the answer bits are the
+    // same; only run-dependent counters can differ.
+    support::ChildProcess replica;
+    {
+        std::vector<std::string> argv = options_.baseWorkerArgv;
+        argv.push_back("--index");
+        argv.push_back(options_.indexPath);
+        argv.push_back("--shard");
+        argv.push_back(std::to_string(shard));
+        argv.push_back("--shards");
+        argv.push_back(std::to_string(options_.shards));
+        const std::string spec =
+            stripCrashSites(options_.faultSpec);
+        if (!spec.empty()) {
+            argv.push_back("--fault-spec");
+            argv.push_back(spec);
+        }
+        replica = support::spawnPiped(argv);
+    }
+    std::uint64_t replicaKey = ++sendCounter_;
+    {
+        std::string frame = pendingFrame_[shard];
+        std::memcpy(frame.data() + 8, &replicaKey,
+                    sizeof replicaKey);
+        ++framesSent_;
+        (void)support::writeFrame(replica.stdinFd, frame);
+    }
+
+    const auto dropReplica = [&]() {
+        support::killProcess(replica);
+        (void)support::waitExit(replica);
+    };
+
+    bool primaryAlive = true;
+    bool replicaAlive = true;
+    std::string payload;
+    std::string cause;
+    unsigned silentRounds = 0;
+    while (primaryAlive || replicaAlive) {
+        std::vector<int> fds;
+        std::vector<int> who;
+        if (primaryAlive) {
+            fds.push_back(workers_[shard].stdoutFd);
+            who.push_back(0);
+        }
+        if (replicaAlive) {
+            fds.push_back(replica.stdoutFd);
+            who.push_back(1);
+        }
+        const int ready = support::waitReadable(fds, 200);
+        if (ready < 0) {
+            // Both contenders silent. A healthy replica answers a
+            // small batch quickly; give the race a generous bound,
+            // then abandon it for the respawn ladder.
+            if (++silentRounds > 50)
+                break;
+            continue;
+        }
+        silentRounds = 0;
+        const bool fromPrimary = who[ready] == 0;
+        const int fd = fromPrimary ? workers_[shard].stdoutFd
+                                   : replica.stdoutFd;
+        const support::FrameStatus st =
+            support::readFrame(fd, payload, cause);
+        if (st != support::FrameStatus::Ok) {
+            if (fromPrimary) {
+                primaryAlive = false;
+            } else {
+                dropReplica();
+                replicaAlive = false;
+            }
+            continue;
+        }
+        const char kind = frameKind(payload);
+        if (kind == 'h')
+            continue; // the ping echo that arrived too late
+        if (kind == 'e') {
+            // Torn on the wire; resend to that contender only.
+            if (fromPrimary) {
+                sendShardFrame(shard);
+            } else {
+                replicaKey = ++sendCounter_;
+                std::string frame = pendingFrame_[shard];
+                std::memcpy(frame.data() + 8, &replicaKey,
+                            sizeof replicaKey);
+                ++framesSent_;
+                (void)support::writeFrame(replica.stdinFd, frame);
+            }
+            continue;
+        }
+        std::uint64_t echoedKey = 0;
+        const std::uint64_t wantKey =
+            fromPrimary ? pendingKey_[shard] : replicaKey;
+        if (!unpackAdviceFrame(payload, &echoedKey, &advices,
+                               &cause) ||
+            echoedKey != wantKey ||
+            advices.size() != scatter_[shard].size()) {
+            if (fromPrimary) {
+                support::killProcess(workers_[shard]);
+                primaryAlive = false;
+            } else {
+                dropReplica();
+                replicaAlive = false;
+            }
+            continue;
+        }
+        // A valid answer: first across the line wins, loser dies.
+        if (fromPrimary) {
+            ++hedgePrimaryWon_;
+            dropReplica();
+        } else {
+            ++hedgeReplicaWon_;
+            support::killProcess(workers_[shard]);
+            (void)support::waitExit(workers_[shard]);
+            workers_[shard] = replica;
+            pendingKey_[shard] = replicaKey;
+        }
+        consecutiveRespawns_[shard] = 0;
+        return Reply::Ok;
+    }
+    // Both contenders gone (or the race timed out): kill whatever is
+    // left and fall back to the plain respawn ladder.
+    if (replicaAlive || replica.pid >= 0)
+        dropReplica();
+    support::killProcess(workers_[shard]);
+    if (!respawnWorker(shard))
+        return Reply::Dead;
+    sendShardFrame(shard);
+    return gatherReply(shard, advices);
+}
+
+Router::Reply
+Router::readShardReply(std::size_t shard,
+                       std::vector<WireAdvice> &advices)
+{
+    if (options_.hedgeMs != 0) {
+        const std::vector<int> fd = {workers_[shard].stdoutFd};
+        if (support::waitReadable(
+                fd, static_cast<int>(options_.hedgeMs)) < 0) {
+            // Silent past the virtual deadline. Ping first: an
+            // idle-but-alive worker echoes 'h' instantly, and only a
+            // wedged one stays silent through the grace period.
+            (void)support::writeFrame(
+                workers_[shard].stdinFd,
+                packHeartbeatFrame(++pingCounter_, 0));
+            if (support::waitReadable(
+                    fd, static_cast<int>(options_.hedgeMs)) < 0) {
+                ++hedgeStallVerdicts_;
+                return hedgedRace(shard, advices);
+            }
+        }
+    }
+    return gatherReply(shard, advices);
 }
 
 void
@@ -180,8 +415,14 @@ Router::routeWire(const std::vector<serve::Query> &queries,
     out.resize(queries.size());
     for (std::vector<std::size_t> &s : scatter_)
         s.clear();
-    for (std::size_t i = 0; i < queries.size(); ++i)
-        scatter_[shardOf(queries[i].chip)].push_back(i);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        const std::size_t owner = shardOf(queries[i].chip);
+        // A dead owner's chips are served by a live shard: its slice
+        // keeps every chip-free tier and the full k-NN pool, so the
+        // (degraded) answer is shard-independent.
+        scatter_[dead_[owner] ? aliveShardFor(owner) : owner]
+            .push_back(i);
+    }
 
     // Send every shard's frame before reading any reply: the workers
     // price their slices concurrently, which is the whole point of
@@ -194,12 +435,46 @@ Router::routeWire(const std::vector<serve::Query> &queries,
         sendShardFrame(s);
     }
     std::vector<WireAdvice> advices;
+    std::vector<std::size_t> orphaned;
     for (std::size_t s = 0; s < options_.shards; ++s) {
         if (scatter_[s].empty())
             continue;
-        readShardReply(s, advices);
+        if (readShardReply(s, advices) == Reply::Dead) {
+            // The shard died permanently mid-batch: its scatter set
+            // is redispatched to a live shard below.
+            orphaned.insert(orphaned.end(), scatter_[s].begin(),
+                            scatter_[s].end());
+            scatter_[s].clear();
+            continue;
+        }
         for (std::size_t k = 0; k < advices.size(); ++k)
             out[scatter_[s][k]] = advices[k];
+    }
+    std::size_t retryFrom = 0;
+    while (!orphaned.empty()) {
+        ++redispatches_;
+        const std::size_t target = aliveShardFor(retryFrom);
+        scatter_[target] = orphaned;
+        pendingFrame_[target] =
+            packQueryFrame(0, queries, keys, scatter_[target]);
+        sendShardFrame(target);
+        if (readShardReply(target, advices) == Reply::Dead) {
+            retryFrom = target;
+            continue;
+        }
+        for (std::size_t k = 0; k < advices.size(); ++k)
+            out[scatter_[target][k]] = advices[k];
+        orphaned.clear();
+    }
+
+    // Label (and count) every answer whose owning shard is dead; the
+    // router stamps this, never a worker — the worker that answered
+    // has no idea it was standing in for a corpse.
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        if (dead_[shardOf(queries[i].chip)]) {
+            out[i].shardDegraded = 1;
+            ++degradedQueries_;
+        }
     }
     queriesRouted_ += queries.size();
     ++batches_;
@@ -242,6 +517,15 @@ Router::mergeMetrics(obs::MetricsRegistry &metrics) const
     local.counter("shard.route.frames_sent").add(framesSent_);
     local.counter("shard.route.frames_torn").add(framesTorn_);
     local.counter("shard.route.worker_respawns").add(respawns_);
+    local.counter("shard.route.redispatches").add(redispatches_);
+    local.counter("shard.hedge.fired").add(hedgesFired_);
+    local.counter("shard.hedge.primary_won").add(hedgePrimaryWon_);
+    local.counter("shard.hedge.replica_won").add(hedgeReplicaWon_);
+    local.counter("shard.hedge.stall_verdicts")
+        .add(hedgeStallVerdicts_);
+    local.counter("shard.dead.shards").add(deadShards());
+    local.counter("shard.dead.degraded_queries")
+        .add(degradedQueries_);
     metrics.merge(local);
 }
 

@@ -25,6 +25,20 @@
  *    sites stripped from its fault spec, and the batch is resent.
  *  - reply-stream desync (bad frame, wrong frame key) respawns too:
  *    a framed pipe has no resync point short of a fresh process.
+ *  - hedged dispatch (hedgeMs > 0): a shard silent past the virtual
+ *    deadline is pinged ('h' frame; an idle-but-alive worker echoes
+ *    instantly). Still silent, it gets a stall verdict and the batch
+ *    is hedged to a freshly spawned replica; primary and replica
+ *    race, first valid answer wins, the loser is killed. Answers are
+ *    bit-identical whichever copy responds — both run the same
+ *    deterministic advise over the same slice.
+ *  - permanent death: each respawn sleeps a capped exponential
+ *    backoff and counts against the shard's lifetime maxRespawns
+ *    budget. A shard over budget is marked *dead*; its chips are
+ *    re-routed to a live shard, whose replicated chip-free tiers and
+ *    k-NN pool still answer them (shard-independently), and every
+ *    such answer is stamped shardDegraded — 100% of queries stay
+ *    answered under shard-level permanent failure.
  */
 #ifndef GRAPHPORT_SHARD_ROUTER_HPP
 #define GRAPHPORT_SHARD_ROUTER_HPP
@@ -66,6 +80,23 @@ struct RouterOptions
 
     /** Worker respawns tolerated per route() call per shard. */
     unsigned respawns = 4;
+
+    /**
+     * Virtual deadline in milliseconds before a silent shard is
+     * pinged, and again before the batch is hedged to a replica.
+     * 0 (the default) disables hedged dispatch entirely — the read
+     * path blocks exactly as before.
+     */
+    unsigned hedgeMs = 0;
+
+    /**
+     * Lifetime respawn budget per shard. Once exhausted the shard is
+     * declared permanently dead: no further respawns, its chips are
+     * served degraded from live shards. Each respawn backs off
+     * exponentially (capped) so a worker dying at startup cannot
+     * melt the host.
+     */
+    unsigned maxRespawns = 8;
 };
 
 class Router
@@ -112,14 +143,52 @@ class Router
 
     std::size_t shards() const { return options_.shards; }
 
+    /** Shards declared permanently dead so far. */
+    std::size_t deadShards() const;
+
+    /** Whether @p shard has been declared permanently dead. */
+    bool isDead(std::size_t shard) const
+    {
+        return dead_[shard] != 0;
+    }
+
+    /** Queries answered degraded (owner dead) so far. */
+    std::uint64_t degradedQueries() const
+    {
+        return degradedQueries_;
+    }
+
   private:
+    /** Outcome of gathering one shard's reply. */
+    enum class Reply { Ok, Dead };
+
     void spawnWorker(std::size_t shard, const std::string &spec);
-    void respawnWorker(std::size_t shard);
+    /**
+     * Reap the lost worker and respawn it with ".crash" sites
+     * stripped, after a capped exponential backoff. Returns false —
+     * with the shard marked dead — once the lifetime maxRespawns
+     * budget is exhausted.
+     */
+    bool respawnWorker(std::size_t shard);
+    void markShardDead(std::size_t shard);
+    /** First live shard on the ring after @p shard (fatal: none). */
+    std::size_t aliveShardFor(std::size_t shard) const;
     /** Send shard @p s's pending frame (fresh key; maybe torn). */
     void sendShardFrame(std::size_t shard);
-    /** Read shard @p s's reply, driving resend/respawn recovery. */
-    void readShardReply(std::size_t shard,
-                        std::vector<WireAdvice> &advices);
+    /**
+     * Read shard @p s's reply, driving resend/respawn recovery and —
+     * when hedgeMs is set — the ping + hedge ladder. Reply::Dead
+     * means the shard was declared permanently dead mid-gather; the
+     * caller redispatches the scatter set.
+     */
+    Reply readShardReply(std::size_t shard,
+                         std::vector<WireAdvice> &advices);
+    /** The blocking read/resend/respawn loop (no hedging). */
+    Reply gatherReply(std::size_t shard,
+                      std::vector<WireAdvice> &advices);
+    /** Race the stalled primary against a fresh replica. */
+    Reply hedgedRace(std::size_t shard,
+                     std::vector<WireAdvice> &advices);
 
     RouterOptions options_;
     std::vector<std::string> chips_;
@@ -131,12 +200,24 @@ class Router
     std::vector<std::string> pendingFrame_;
     std::vector<std::uint64_t> pendingKey_;
 
+    // Per-shard supervision state.
+    std::vector<unsigned> lifetimeRespawns_;
+    std::vector<unsigned> consecutiveRespawns_;
+    std::vector<char> dead_;
+
     std::uint64_t sendCounter_ = 0;
+    std::uint64_t pingCounter_ = 0;
     std::uint64_t framesSent_ = 0;
     std::uint64_t framesTorn_ = 0;
     std::uint64_t respawns_ = 0;
     std::uint64_t queriesRouted_ = 0;
     std::uint64_t batches_ = 0;
+    std::uint64_t redispatches_ = 0;
+    std::uint64_t degradedQueries_ = 0;
+    std::uint64_t hedgesFired_ = 0;
+    std::uint64_t hedgePrimaryWon_ = 0;
+    std::uint64_t hedgeReplicaWon_ = 0;
+    std::uint64_t hedgeStallVerdicts_ = 0;
     bool shutdownDone_ = false;
 };
 

@@ -1,0 +1,399 @@
+#include "graphport/shard/supervise.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "graphport/fault/injector.hpp"
+#include "graphport/shard/wire.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/framing.hpp"
+#include "graphport/support/proc.hpp"
+
+namespace graphport {
+namespace shard {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Current byte size of @p path, or -1 when it does not exist. */
+long
+fileSize(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return -1;
+    return static_cast<long>(st.st_size);
+}
+
+/** One worker the supervision loop owns (primary or thief). */
+struct Ward
+{
+    std::size_t shard = 0;        ///< --shard value (range identity)
+    std::string checkpointPath;
+    std::size_t workBegin = kWorkUnset; ///< explicit steal range,
+    std::size_t workEnd = kWorkUnset;   ///< or kWorkUnset pair
+    std::uint64_t stallKey = 0;   ///< "shard.worker.stall" key
+    std::string label;            ///< for diagnostics
+
+    support::ChildProcess child;
+    std::chrono::steady_clock::time_point start;
+    std::chrono::steady_clock::time_point lastPulse;
+    long lastSize = -1;
+    unsigned attempts = 0;
+    bool done = false;
+    bool stalled = false;
+    double wallSeconds = 0.0;
+};
+
+struct GenerationKnobs
+{
+    const std::vector<std::string> *baseArgv = nullptr;
+    std::size_t shards = 0;
+    unsigned threads = 1;
+    std::size_t checkpointEvery = 256;
+    std::string faultSpec;
+    std::string retrySpec;
+    unsigned stallAfterMs = 0;
+    unsigned retries = 0;
+    bool fatalOnStall = false;
+};
+
+void
+spawnWard(Ward &w, const GenerationKnobs &k, const std::string &spec)
+{
+    const std::vector<std::string> argv = sweepWorkerArgv(
+        *k.baseArgv, w.shard, k.shards, k.threads, w.checkpointPath,
+        k.checkpointEvery, spec, /*heartbeat=*/true, w.workBegin,
+        w.workEnd);
+    w.child = support::spawnPiped(argv);
+    w.start = w.lastPulse = std::chrono::steady_clock::now();
+    w.lastSize = fileSize(w.checkpointPath);
+    w.attempts += 1;
+    // The stall site fires here, in the supervisor, at spawn time:
+    // SIGSTOP makes the worker a *real* frozen process — pipes held
+    // open, never exiting — the failure mode crash injection cannot
+    // express. Keyed by stallKey so schedules aimed at primary shard
+    // S ("once=S") cannot re-fire on the thieves that replace it.
+    if (fault::shouldInject("shard.worker.stall", w.stallKey)) {
+        std::fprintf(stderr,
+                     "graphport: shard: injecting stall (SIGSTOP) "
+                     "into %s\n",
+                     w.label.c_str());
+        support::pauseProcess(w.child);
+    }
+}
+
+/**
+ * Run every ward to completion (or verdict). The loop interleaves
+ * four observations at a ~20ms cadence: drain heartbeat frames, reap
+ * exits (retrying exit-137 crashes within the budget), stat .gpk
+ * growth, and issue stall verdicts for wards with no pulse inside
+ * stallAfterMs. A verdicted ward is SIGKILLed and left marked
+ * `stalled` for the caller to steal from — unless fatalOnStall (the
+ * steal generation), where a second-order stall has no recovery left.
+ */
+void
+superviseGeneration(std::vector<Ward> &wards,
+                    const GenerationKnobs &k, SuperviseStats *stats)
+{
+    for (Ward &w : wards)
+        spawnWard(w, k, k.faultSpec);
+
+    std::size_t live = wards.size();
+    std::string payload;
+    std::string cause;
+    while (live != 0) {
+        // 1. Drain one heartbeat (any readable ward stdout).
+        std::vector<int> fds;
+        std::vector<std::size_t> owner;
+        for (std::size_t i = 0; i < wards.size(); ++i) {
+            if (!wards[i].done && wards[i].child.stdoutFd >= 0) {
+                fds.push_back(wards[i].child.stdoutFd);
+                owner.push_back(i);
+            }
+        }
+        if (fds.empty()) {
+            ::usleep(5000);
+        } else {
+            const int ready = support::waitReadable(fds, 20);
+            if (ready >= 0) {
+                Ward &w = wards[owner[ready]];
+                const support::FrameStatus st = support::readFrame(
+                    w.child.stdoutFd, payload, cause);
+                if (st == support::FrameStatus::Ok) {
+                    w.lastPulse = std::chrono::steady_clock::now();
+                    std::uint64_t key = 0;
+                    std::uint64_t progress = 0;
+                    if (unpackHeartbeatFrame(payload, &key, &progress,
+                                             &cause))
+                        stats->heartbeats += 1;
+                } else if (st == support::FrameStatus::Eof) {
+                    // Stdout closed: the worker is exiting — stop
+                    // polling the fd and let the reap below see it.
+                    ::close(w.child.stdoutFd);
+                    w.child.stdoutFd = -1;
+                    w.lastPulse = std::chrono::steady_clock::now();
+                } else {
+                    // A torn frame still proves bytes are flowing;
+                    // liveness is this channel's only job.
+                    w.lastPulse = std::chrono::steady_clock::now();
+                }
+            }
+        }
+
+        for (Ward &w : wards) {
+            if (w.done)
+                continue;
+
+            // 2. Reap exits without blocking on the stopped ones.
+            int exitCode = 0;
+            if (w.child.pid >= 0 &&
+                support::waitExitFor(w.child, 0, &exitCode) ==
+                    support::WaitStatus::Exited) {
+                if (exitCode == 0) {
+                    w.wallSeconds = secondsSince(w.start);
+                    w.done = true;
+                    --live;
+                    continue;
+                }
+                fatalIf(exitCode != 137,
+                        "shardedSweep: " + w.label +
+                            " exited with code " +
+                            std::to_string(exitCode));
+                fatalIf(w.attempts > k.retries,
+                        "shardedSweep: " + w.label + " crashed " +
+                            std::to_string(w.attempts) +
+                            " times (retry budget " +
+                            std::to_string(k.retries) + ")");
+                std::fprintf(
+                    stderr,
+                    "graphport: shard: %s crashed (exit 137); "
+                    "respawning with crash sites stripped\n",
+                    w.label.c_str());
+                stats->retriesUsed += 1;
+                ::usleep(1000u *
+                         backoffMsFor(w.attempts - 1));
+                spawnWard(w, k, k.retrySpec);
+                continue;
+            }
+
+            // 3. Checkpoint growth is a pulse even when the
+            // heartbeat pipe is wedged.
+            const long size = fileSize(w.checkpointPath);
+            if (size > w.lastSize) {
+                w.lastSize = size;
+                w.lastPulse = std::chrono::steady_clock::now();
+            }
+
+            // 4. Stall verdict: no pulse on either channel within
+            // the deadline.
+            if (secondsSince(w.lastPulse) * 1000.0 >=
+                static_cast<double>(k.stallAfterMs)) {
+                stats->stallVerdicts += 1;
+                std::fprintf(stderr,
+                             "graphport: shard: %s stalled (no "
+                             "heartbeat or checkpoint growth for "
+                             "%u ms); killing it\n",
+                             w.label.c_str(), k.stallAfterMs);
+                fatalIf(k.fatalOnStall,
+                        "shardedSweep: " + w.label +
+                            " stalled; a steal worker cannot be "
+                            "re-stolen");
+                // SIGKILL cannot be blocked by a stopped process;
+                // the reap below must therefore succeed promptly.
+                support::killProcess(w.child);
+                int ignored = 0;
+                fatalIf(support::waitExitFor(w.child, 5000,
+                                             &ignored) !=
+                            support::WaitStatus::Exited,
+                        "shardedSweep: " + w.label +
+                            " survived SIGKILL");
+                w.wallSeconds = secondsSince(w.start);
+                w.stalled = true;
+                w.done = true;
+                --live;
+            }
+        }
+    }
+}
+
+} // namespace
+
+unsigned
+backoffMsFor(unsigned consecutive, unsigned baseMs, unsigned capMs)
+{
+    unsigned ms = baseMs;
+    for (unsigned i = 0; i < consecutive && ms < capMs; ++i)
+        ms *= 2;
+    return std::min(ms, capMs);
+}
+
+std::vector<std::string>
+sweepWorkerArgv(const std::vector<std::string> &base,
+                std::size_t shard, std::size_t shards,
+                unsigned threads, const std::string &checkpointPath,
+                std::size_t checkpointEvery,
+                const std::string &faultSpec, bool heartbeat,
+                std::size_t workBegin, std::size_t workEnd)
+{
+    std::vector<std::string> argv = base;
+    argv.push_back("--shard");
+    argv.push_back(std::to_string(shard));
+    argv.push_back("--shards");
+    argv.push_back(std::to_string(shards));
+    argv.push_back("--threads");
+    argv.push_back(std::to_string(threads));
+    argv.push_back("--checkpoint");
+    argv.push_back(checkpointPath);
+    argv.push_back("--checkpoint-every");
+    argv.push_back(std::to_string(checkpointEvery));
+    if (!faultSpec.empty()) {
+        argv.push_back("--fault-spec");
+        argv.push_back(faultSpec);
+    }
+    if (heartbeat)
+        argv.push_back("--heartbeat");
+    if (workBegin != kWorkUnset || workEnd != kWorkUnset) {
+        panicIf(workBegin == kWorkUnset || workEnd == kWorkUnset,
+                "sweepWorkerArgv: half-specified work range");
+        argv.push_back("--work-begin");
+        argv.push_back(std::to_string(workBegin));
+        argv.push_back("--work-end");
+        argv.push_back(std::to_string(workEnd));
+    }
+    return argv;
+}
+
+StealPlan
+planSteal(const WorkRange &victim, std::size_t durableEnd,
+          std::size_t thieves, std::size_t overlapCap)
+{
+    panicIf(thieves == 0, "planSteal: zero thieves");
+    const std::size_t durable =
+        std::min(std::max(durableEnd, victim.begin), victim.end);
+    StealPlan plan;
+    plan.overlapCells = std::min(overlapCap, durable - victim.begin);
+    plan.stealBegin = durable - plan.overlapCells;
+    const std::size_t total = victim.end - plan.stealBegin;
+    for (std::size_t j = 0; j < thieves; ++j) {
+        WorkRange r = rangeOf(j, thieves, total);
+        r.begin += plan.stealBegin;
+        r.end += plan.stealBegin;
+        if (r.size() != 0)
+            plan.thiefRanges.push_back(r);
+    }
+    return plan;
+}
+
+std::vector<std::string>
+superviseSweep(const runner::Universe &universe,
+               const SweepShardOptions &options, std::size_t items,
+               SuperviseStats *stats)
+{
+    panicIf(options.stallAfterMs == 0,
+            "superviseSweep: zero stall deadline");
+    GenerationKnobs knobs;
+    knobs.baseArgv = &options.baseWorkerArgv;
+    knobs.shards = options.shards;
+    knobs.threads = options.workerThreads;
+    knobs.checkpointEvery = options.checkpointEvery;
+    knobs.faultSpec = options.faultSpec;
+    knobs.retrySpec = stripCrashSites(options.faultSpec);
+    knobs.stallAfterMs = options.stallAfterMs;
+    knobs.retries = options.retries;
+
+    std::vector<Ward> primaries(options.shards);
+    for (std::size_t s = 0; s < options.shards; ++s) {
+        Ward &w = primaries[s];
+        w.shard = s;
+        w.checkpointPath = shardCheckpointPath(options.shardDir, s,
+                                               options.shards);
+        w.stallKey = s;
+        w.label = "worker " + std::to_string(s);
+    }
+    superviseGeneration(primaries, knobs, stats);
+
+    stats->wallSeconds.clear();
+    for (const Ward &w : primaries)
+        stats->wallSeconds.push_back(w.wallSeconds);
+
+    std::vector<std::string> paths;
+    std::size_t finished = 0;
+    for (const Ward &w : primaries) {
+        if (!w.stalled) {
+            paths.push_back(w.checkpointPath);
+            ++finished;
+        }
+    }
+    if (finished == options.shards)
+        return paths; // no victims: nothing to steal
+
+    // Work-stealing resweep: each victim's unwritten suffix (plus a
+    // verified overlap) is re-partitioned across as many thieves as
+    // workers finished cleanly — they have proven throughput and
+    // idle processes now.
+    const std::size_t thieves = std::max<std::size_t>(1, finished);
+    std::vector<Ward> stealWards;
+    std::size_t stealIdx = 0;
+    for (const Ward &victim : primaries) {
+        if (!victim.stalled)
+            continue;
+        stats->stealVictims += 1;
+        std::size_t durableEnd = 0;
+        runner::Dataset::pruneShardCheckpoint(
+            universe, victim.checkpointPath, &durableEnd);
+        if (durableEnd != 0)
+            paths.push_back(victim.checkpointPath);
+        const WorkRange range =
+            rangeOf(victim.shard, options.shards, items);
+        const StealPlan plan =
+            planSteal(range, durableEnd, thieves);
+        stats->overlapCells += plan.overlapCells;
+        std::fprintf(stderr,
+                     "graphport: shard: stealing rows [%zu, %zu) of "
+                     "worker %zu across %zu thieves (%zu overlap "
+                     "rows re-verified)\n",
+                     plan.stealBegin, range.end, victim.shard,
+                     plan.thiefRanges.size(), plan.overlapCells);
+        for (const WorkRange &r : plan.thiefRanges) {
+            Ward w;
+            w.shard = victim.shard;
+            w.checkpointPath =
+                options.shardDir + "/shard-" +
+                std::to_string(victim.shard) + "-steal-" +
+                std::to_string(stealIdx) + ".gpk";
+            w.workBegin = r.begin;
+            w.workEnd = r.end;
+            w.stallKey = options.shards + stealIdx;
+            w.label = "steal worker " + std::to_string(stealIdx) +
+                      " (for worker " +
+                      std::to_string(victim.shard) + ")";
+            stats->stealCells += r.size();
+            stealWards.push_back(std::move(w));
+            ++stealIdx;
+        }
+    }
+    if (!stealWards.empty()) {
+        GenerationKnobs stealKnobs = knobs;
+        stealKnobs.fatalOnStall = true;
+        superviseGeneration(stealWards, stealKnobs, stats);
+        stats->stealWorkers += stealWards.size();
+        for (const Ward &w : stealWards)
+            paths.push_back(w.checkpointPath);
+    }
+    return paths;
+}
+
+} // namespace shard
+} // namespace graphport

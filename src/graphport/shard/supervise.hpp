@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Sweep-worker supervision: the liveness channel, stall verdicts and
+ * work-stealing resweep behind shardedSweep's --stall-after-ms mode.
+ *
+ * Liveness is judged on two pulses, either of which proves progress:
+ *
+ *  - the worker's heartbeat frames — with --heartbeat a sweep worker
+ *    writes one 'h' frame (frameKey = shard, count = cells priced) to
+ *    stdout after every durable checkpoint flush, and the supervisor
+ *    drains them via waitReadable at its verdict cadence;
+ *  - the worker's .gpk file growing on disk — a belt-and-braces stat,
+ *    so a worker whose stdout pipe is wedged but whose checkpoint
+ *    still advances is never declared dead.
+ *
+ * A worker with neither pulse for stallAfterMs is given a *stall
+ * verdict*: deterministic under injection ("shard.worker.stall" fires
+ * at spawn time in the supervisor, which SIGSTOPs the worker — a real
+ * frozen process, not a simulated one), and recoverable — the victim
+ * is SIGKILLed, its checkpoint pruned to the durable prefix
+ * (Dataset::pruneShardCheckpoint), and the unwritten suffix of its
+ * row range re-partitioned across steal workers. Each steal range is
+ * extended backwards over the last few durable rows on purpose: the
+ * merge's identical-overlap rule then proves the thief priced the
+ * seam bit-identically to the victim, so a corrupted steal can never
+ * slip into the study. The merged CSV stays byte-identical to a
+ * 1-process sweep under any stall schedule.
+ *
+ * Steal workers are supervised by the same loop with stall keys past
+ * the shard count (so "once=K" schedules aimed at primaries cannot
+ * re-fire on thieves); there is exactly one steal generation — a
+ * stalled thief is fatal, not re-stolen.
+ */
+#ifndef GRAPHPORT_SHARD_SUPERVISE_HPP
+#define GRAPHPORT_SHARD_SUPERVISE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graphport/shard/partition.hpp"
+#include "graphport/shard/sweep.hpp"
+
+namespace graphport {
+namespace shard {
+
+/** Sentinel for "no explicit work range" in sweepWorkerArgv. */
+constexpr std::size_t kWorkUnset = static_cast<std::size_t>(-1);
+
+/**
+ * Capped exponential backoff before respawn attempt @p consecutive
+ * (0-based): baseMs << consecutive, saturating at capMs. Keeps a
+ * worker that dies instantly at startup from turning the supervisor
+ * into a fork bomb while staying far below any liveness deadline.
+ */
+unsigned backoffMsFor(unsigned consecutive, unsigned baseMs = 1,
+                      unsigned capMs = 64);
+
+/**
+ * Build a sweep-worker argv from @p base (executable + universe
+ * reconstruction args) plus the coordinator-owned flags. @p workBegin
+ * / @p workEnd of kWorkUnset mean "price the shard's own rangeOf
+ * range"; anything else is forwarded as --work-begin/--work-end (a
+ * steal worker's stolen slice). @p heartbeat adds --heartbeat.
+ */
+std::vector<std::string>
+sweepWorkerArgv(const std::vector<std::string> &base,
+                std::size_t shard, std::size_t shards,
+                unsigned threads, const std::string &checkpointPath,
+                std::size_t checkpointEvery,
+                const std::string &faultSpec, bool heartbeat,
+                std::size_t workBegin = kWorkUnset,
+                std::size_t workEnd = kWorkUnset);
+
+/** A stall victim's resweep plan. */
+struct StealPlan
+{
+    /** First row the thieves re-price (overlap included). */
+    std::size_t stealBegin = 0;
+    /**
+     * Rows in [stealBegin, durableEnd): already durable in the
+     * victim's pruned checkpoint and re-priced by a thief anyway, so
+     * the merge's identical-overlap rule verifies the seam.
+     */
+    std::size_t overlapCells = 0;
+    /** Contiguous balanced thief ranges tiling [stealBegin, end). */
+    std::vector<WorkRange> thiefRanges;
+};
+
+/**
+ * Plan the resweep of @p victim's range given that rows before
+ * @p durableEnd survived in its pruned checkpoint: re-price
+ * [durableEnd - overlap, victim.end) split contiguously across
+ * @p thieves workers, with overlap = min(overlapCap, durable rows).
+ * Empty thief ranges are dropped. Pure function — unit-testable
+ * without processes.
+ */
+StealPlan planSteal(const WorkRange &victim, std::size_t durableEnd,
+                    std::size_t thieves,
+                    std::size_t overlapCap = 32);
+
+/** What the supervised sweep observed (merged into shard.* metrics). */
+struct SuperviseStats
+{
+    std::size_t heartbeats = 0;    ///< 'h' frames drained
+    std::size_t stallVerdicts = 0; ///< workers declared stalled
+    std::size_t retriesUsed = 0;   ///< exit-137 respawns
+    std::size_t stealVictims = 0;  ///< stalled workers resweeped
+    std::size_t stealWorkers = 0;  ///< thief processes spawned
+    std::size_t stealCells = 0;    ///< rows re-priced by thieves
+    std::size_t overlapCells = 0;  ///< rows double-priced for the seam
+    std::vector<double> wallSeconds; ///< per primary shard (stalled:
+                                     ///< time until the verdict)
+};
+
+/**
+ * The supervised counterpart of shardedSweep's spawn/reap loop: run
+ * all @p options.shards workers with liveness supervision
+ * (options.stallAfterMs must be > 0), steal stalled workers' ranges,
+ * and return the checkpoint paths whose union covers the universe —
+ * ready for Dataset::fromShardCheckpoints. @p items is the total
+ * work-item count. Fatal on non-crash worker failures, exhausted
+ * retry budgets, or a stalled steal worker.
+ */
+std::vector<std::string>
+superviseSweep(const runner::Universe &universe,
+               const SweepShardOptions &options, std::size_t items,
+               SuperviseStats *stats);
+
+} // namespace shard
+} // namespace graphport
+
+#endif // GRAPHPORT_SHARD_SUPERVISE_HPP

@@ -7,6 +7,7 @@
 #include "graphport/fault/injector.hpp"
 #include "graphport/obs/obs.hpp"
 #include "graphport/shard/partition.hpp"
+#include "graphport/shard/supervise.hpp"
 #include "graphport/support/error.hpp"
 #include "graphport/support/proc.hpp"
 
@@ -32,60 +33,27 @@ struct WorkerSlot
     bool done = false;
 };
 
-} // namespace
-
-std::string
-shardCheckpointPath(const std::string &dir, std::size_t shard,
-                    std::size_t shards)
+/**
+ * The classic unsupervised path: spawn every worker with inherited
+ * stdio, block in waitAnyExit, retry exit-137 crashes. Returns the
+ * per-shard wall seconds; checkpoint paths are the canonical
+ * shardCheckpointPath set.
+ */
+std::vector<double>
+blockingSweepWorkers(const SweepShardOptions &options,
+                     std::size_t *retriesUsed)
 {
-    return dir + "/shard-" + std::to_string(shard) + "-of-" +
-           std::to_string(shards) + ".gpk";
-}
-
-runner::Dataset
-shardedSweep(const runner::Universe &universe,
-             const SweepShardOptions &options)
-{
-    universe.validate();
-    fatalIf(options.shards == 0, "shardedSweep: zero shards");
-    fatalIf(options.baseWorkerArgv.empty(),
-            "shardedSweep: empty worker argv");
-    fatalIf(options.shardDir.empty(),
-            "shardedSweep: no shard directory");
-    const std::size_t items = universe.apps.size() *
-                              universe.inputs.size() *
-                              universe.chips.size() *
-                              universe.space.size();
-    fatalIf(options.shards > items,
-            "shardedSweep: " + std::to_string(options.shards) +
-                " shards for " + std::to_string(items) +
-                " work items");
-
     const std::string retrySpec = stripCrashSites(options.faultSpec);
     std::vector<WorkerSlot> slots(options.shards);
-    std::size_t retriesUsed = 0;
 
     const auto spawnWorker = [&](std::size_t shard,
                                  const std::string &spec) {
-        const WorkRange range =
-            rangeOf(shard, options.shards, items);
-        std::vector<std::string> argv = options.baseWorkerArgv;
-        argv.push_back("--shard");
-        argv.push_back(std::to_string(shard));
-        argv.push_back("--shards");
-        argv.push_back(std::to_string(options.shards));
-        argv.push_back("--threads");
-        argv.push_back(std::to_string(options.workerThreads));
-        argv.push_back("--checkpoint");
-        argv.push_back(shardCheckpointPath(options.shardDir, shard,
-                                           options.shards));
-        argv.push_back("--checkpoint-every");
-        argv.push_back(std::to_string(options.checkpointEvery));
-        if (!spec.empty()) {
-            argv.push_back("--fault-spec");
-            argv.push_back(spec);
-        }
-        (void)range; // the worker recomputes its own range
+        const std::vector<std::string> argv = sweepWorkerArgv(
+            options.baseWorkerArgv, shard, options.shards,
+            options.workerThreads,
+            shardCheckpointPath(options.shardDir, shard,
+                                options.shards),
+            options.checkpointEvery, spec, /*heartbeat=*/false);
         WorkerSlot &slot = slots[shard];
         slot.start = std::chrono::steady_clock::now();
         slot.attempts += 1;
@@ -133,50 +101,100 @@ shardedSweep(const runner::Universe &universe,
                      "graphport: shard: worker %zu crashed (exit "
                      "137); respawning with crash sites stripped\n",
                      shard);
-        ++retriesUsed;
+        *retriesUsed += 1;
         spawnWorker(shard, retrySpec);
     }
 
-    // Straggler detection: workers price near-equal ranges, so one
-    // taking twice the median means a sick process or host, worth a
-    // counter even when the merge below still succeeds.
     std::vector<double> walls;
     walls.reserve(options.shards);
     for (const WorkerSlot &slot : slots)
         walls.push_back(slot.wallSeconds);
-    std::sort(walls.begin(), walls.end());
-    const double median = walls[walls.size() / 2];
+    return walls;
+}
+
+} // namespace
+
+std::string
+shardCheckpointPath(const std::string &dir, std::size_t shard,
+                    std::size_t shards)
+{
+    return dir + "/shard-" + std::to_string(shard) + "-of-" +
+           std::to_string(shards) + ".gpk";
+}
+
+runner::Dataset
+shardedSweep(const runner::Universe &universe,
+             const SweepShardOptions &options)
+{
+    universe.validate();
+    fatalIf(options.shards == 0, "shardedSweep: zero shards");
+    fatalIf(options.baseWorkerArgv.empty(),
+            "shardedSweep: empty worker argv");
+    fatalIf(options.shardDir.empty(),
+            "shardedSweep: no shard directory");
+    validateStragglerFactor("shardedSweep", options.stragglerFactor);
+    const std::size_t items = universe.apps.size() *
+                              universe.inputs.size() *
+                              universe.chips.size() *
+                              universe.space.size();
+    fatalIf(options.shards > items,
+            "shardedSweep: " + std::to_string(options.shards) +
+                " shards for " + std::to_string(items) +
+                " work items");
+
+    std::size_t retriesUsed = 0;
+    SuperviseStats sup;
+    std::vector<double> walls;
+    std::vector<std::string> paths;
+    if (options.stallAfterMs != 0) {
+        paths = superviseSweep(universe, options, items, &sup);
+        retriesUsed = sup.retriesUsed;
+        walls = sup.wallSeconds;
+    } else {
+        walls = blockingSweepWorkers(options, &retriesUsed);
+        for (std::size_t s = 0; s < options.shards; ++s)
+            paths.push_back(shardCheckpointPath(
+                options.shardDir, s, options.shards));
+    }
+
+    // Straggler detection: workers price near-equal ranges, so one
+    // taking stragglerFactor times the median means a sick process
+    // or host, worth a counter even when the merge below still
+    // succeeds. (A stall victim's wall clock is its time-to-verdict,
+    // which the same rule naturally flags.)
+    std::vector<double> sorted = walls;
+    std::sort(sorted.begin(), sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    const double threshold = std::max(
+        options.stragglerFactor * median, median + 0.05);
     std::size_t stragglers = 0;
-    for (std::size_t s = 0; s < options.shards; ++s) {
-        if (slots[s].wallSeconds >
-            std::max(2.0 * median, median + 0.05)) {
+    for (std::size_t s = 0; s < walls.size(); ++s) {
+        if (walls[s] > threshold) {
             ++stragglers;
             std::fprintf(stderr,
                          "graphport: shard: worker %zu straggled "
                          "(%.3fs vs %.3fs median)\n",
-                         s, slots[s].wallSeconds, median);
+                         s, walls[s], median);
         }
     }
 
-    // Merge, passing the reject rehearsal site once per shard; an
-    // injected reject is retried so chaos schedules exercise the
+    // Merge, passing the reject rehearsal site once per checkpoint;
+    // an injected reject is retried so chaos schedules exercise the
     // recovery path without failing the sweep.
-    std::vector<std::string> paths;
     std::size_t mergeRejects = 0;
-    for (std::size_t s = 0; s < options.shards; ++s) {
+    for (std::size_t i = 0; i < paths.size(); ++i) {
         for (unsigned attempt = 0;; ++attempt) {
             try {
-                fault::maybeFault("shard.merge.reject", s);
+                fault::maybeFault("shard.merge.reject", i);
                 break;
             } catch (const fault::InjectedFault &) {
                 ++mergeRejects;
                 fatalIf(attempt >= 2,
-                        "shardedSweep: shard " + std::to_string(s) +
+                        "shardedSweep: checkpoint " +
+                            std::to_string(i) +
                             " merge rejected repeatedly");
             }
         }
-        paths.push_back(shardCheckpointPath(options.shardDir, s,
-                                            options.shards));
     }
     runner::Dataset ds =
         runner::Dataset::fromShardCheckpoints(universe, paths);
@@ -192,6 +210,19 @@ shardedSweep(const runner::Universe &universe,
         local.counter("shard.sweep.stragglers").add(stragglers);
         local.counter("shard.sweep.merged_cells").add(items);
         local.counter("shard.merge.rejects").add(mergeRejects);
+        if (options.stallAfterMs != 0) {
+            local.counter("shard.sweep.heartbeats")
+                .add(sup.heartbeats);
+            local.counter("shard.sweep.stall_verdicts")
+                .add(sup.stallVerdicts);
+            local.counter("shard.steal.victims")
+                .add(sup.stealVictims);
+            local.counter("shard.steal.workers")
+                .add(sup.stealWorkers);
+            local.counter("shard.steal.cells").add(sup.stealCells);
+            local.counter("shard.steal.overlap_cells")
+                .add(sup.overlapCells);
+        }
         options.obs->metrics.merge(local);
     }
     return ds;

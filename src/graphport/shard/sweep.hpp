@@ -11,9 +11,13 @@
  * stripped from the fault spec (see shard::stripCrashSites) up to
  * `retries` times — its completed checkpoint prefix survives on
  * disk, so the replacement resumes instead of re-pricing the range.
- * Any other nonzero exit is fatal. Workers that take more than twice
- * the median wall time are counted as stragglers (`shard.sweep.
- * stragglers`) and named on stderr. The merge itself passes the
+ * Any other nonzero exit is fatal. Workers that take more than
+ * stragglerFactor times the median wall time are counted as
+ * stragglers (`shard.sweep.stragglers`) and named on stderr; with
+ * stallAfterMs set the sweep is additionally *supervised* — a worker
+ * with no liveness pulse inside the deadline is killed and its
+ * remaining rows re-priced by steal workers (see supervise.hpp),
+ * still merging byte-identical. The merge itself passes the
  * "shard.merge.reject" fault site once per shard; an injected reject
  * is retried, so chaos schedules exercise the recovery path without
  * failing the sweep.
@@ -71,6 +75,24 @@ struct SweepShardOptions
 
     /** Keep the shard .gpk files after a successful merge. */
     bool keepShards = false;
+
+    /**
+     * Liveness deadline in milliseconds. 0 (the default) keeps the
+     * classic blocking spawn/reap loop. When > 0 the sweep runs
+     * supervised (shard/supervise.hpp): workers are spawned with
+     * heartbeat pipes, a worker with no heartbeat and no .gpk growth
+     * for this long gets a stall verdict, is killed, and the
+     * unwritten suffix of its range is re-priced by steal workers —
+     * the merged CSV stays byte-identical either way.
+     */
+    unsigned stallAfterMs = 0;
+
+    /**
+     * Straggler threshold as a multiple of the median worker wall
+     * time (a worker is counted when wall > max(factor * median,
+     * median + 0.05s)). Validated by validateStragglerFactor.
+     */
+    double stragglerFactor = 2.0;
 
     /** When non-null, "shard.*" metrics are merged into it. */
     obs::Obs *obs = nullptr;

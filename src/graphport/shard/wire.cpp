@@ -111,6 +111,7 @@ adviceFromWire(const WireAdvice &w)
     a.portfolioMember = w.portfolioMember;
     a.portabilityCostVsOracle =
         std::bit_cast<double>(w.portabilityBits);
+    a.shardDegraded = w.shardDegraded != 0;
     return a;
 }
 
@@ -142,6 +143,7 @@ adviceToWire(const serve::Advice &a)
     w.degradeSteps = a.degradeSteps;
     w.retries = a.retries;
     w.portfolioMember = a.portfolioMember;
+    w.shardDegraded = a.shardDegraded ? 1 : 0;
     return w;
 }
 
@@ -225,6 +227,40 @@ std::string
 packShutdownFrame()
 {
     return packRecords<char>('x', 0, nullptr, 0);
+}
+
+std::string
+packHeartbeatFrame(std::uint64_t key, std::uint64_t progress)
+{
+    WireHeader h;
+    h.kind = 'h';
+    h.frameKey = key;
+    h.count = progress;
+    std::string payload;
+    payload.resize(sizeof h);
+    std::memcpy(payload.data(), &h, sizeof h);
+    return payload;
+}
+
+bool
+unpackHeartbeatFrame(const std::string &payload, std::uint64_t *key,
+                     std::uint64_t *progress, std::string *cause)
+{
+    if (payload.size() != sizeof(WireHeader)) {
+        *cause = "heartbeat size mismatch (" +
+                 std::to_string(payload.size()) + " bytes)";
+        return false;
+    }
+    WireHeader h;
+    std::memcpy(&h, payload.data(), sizeof h);
+    if (h.kind != 'h') {
+        *cause = std::string("unexpected frame kind '") + h.kind +
+                 "' (want 'h')";
+        return false;
+    }
+    *key = h.frameKey;
+    *progress = h.count;
+    return true;
 }
 
 char

@@ -14,6 +14,13 @@
  *   'a'  advice batch  header + WireAdvice[count]
  *   'e'  error         header + cause text (count = byte length)
  *   'x'  shutdown      header only
+ *   'h'  heartbeat     header only (frameKey = sender identity,
+ *                      count = progress). Doubles as the liveness
+ *                      ping: a serve worker echoes any 'h' frame it
+ *                      receives verbatim, so the router can tell an
+ *                      idle-but-alive worker from a wedged one; a
+ *                      sweep worker emits one per checkpoint flush
+ *                      as its progress pulse to the supervisor.
  *
  * A query batch's frameKey is the router's global send counter — the
  * key the "shard.worker.crash" site is checked against, so a fault
@@ -60,6 +67,13 @@ struct WireAdvice
     std::uint8_t predictive = 0;
     std::uint8_t degraded = 0;
     std::uint8_t featureSource = 0;
+    /**
+     * Stamped by the *router*, never by a worker: 1 when the chip's
+     * owning shard was declared permanently dead and this answer
+     * came from a live shard's replicated chip-free/predictive
+     * ladder instead.
+     */
+    std::uint8_t shardDegraded = 0;
     char partition[kWirePartitionCap] = {};
 };
 
@@ -95,7 +109,21 @@ bool unpackAdviceFrame(const std::string &payload,
 std::string packErrorFrame(const std::string &cause);
 std::string packShutdownFrame();
 
-/** First payload byte ('q'/'a'/'e'/'x'), or 0 for an empty payload. */
+/**
+ * Heartbeat / liveness ping: @p key names the sender (shard index on
+ * the sweep pulse path, the router's ping counter on the serve ping
+ * path); @p progress is the sender's monotone progress figure
+ * (cells priced; 0 for pings).
+ */
+std::string packHeartbeatFrame(std::uint64_t key,
+                               std::uint64_t progress);
+
+bool unpackHeartbeatFrame(const std::string &payload,
+                          std::uint64_t *key,
+                          std::uint64_t *progress,
+                          std::string *cause);
+
+/** First payload byte ('q'/'a'/'e'/'x'/'h'), or 0 when empty. */
 char frameKind(const std::string &payload);
 
 /** Cause text of an 'e' frame (empty for other kinds). */

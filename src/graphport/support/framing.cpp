@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include <poll.h>
 #include <unistd.h>
 
 #include "graphport/support/rng.hpp"
@@ -137,6 +138,32 @@ bool writeFrame(int fd, const std::string &payload,
         !writeAll(fd, payload.data(), payload.size()))
         return false;
     return true;
+}
+
+int waitReadable(const std::vector<int> &fds, int timeoutMs) {
+    std::vector<struct pollfd> pfds(fds.size());
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+        pfds[i].fd = fds[i];
+        pfds[i].events = POLLIN;
+    }
+    for (;;) {
+        const int n =
+            ::poll(pfds.data(),
+                   static_cast<nfds_t>(pfds.size()), timeoutMs);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return -1;
+        }
+        if (n == 0) return -1;
+        for (std::size_t i = 0; i < pfds.size(); ++i) {
+            // HUP/ERR count as readable: the pending read sees the
+            // EOF (or error) instantly instead of blocking.
+            if (pfds[i].revents &
+                (POLLIN | POLLHUP | POLLERR | POLLNVAL))
+                return static_cast<int>(i);
+        }
+        return -1;
+    }
 }
 
 }  // namespace support

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace graphport {
 namespace support {
@@ -61,6 +62,18 @@ FrameStatus readFrame(int fd, std::string &payload, std::string &cause);
  */
 bool writeFrame(int fd, const std::string &payload,
                 bool corruptChecksum = false);
+
+/**
+ * poll(2) @p fds until one becomes readable (or hits EOF/error,
+ * which a read would also observe immediately). Returns the index of
+ * the first ready fd, or -1 on timeout. @p timeoutMs < 0 blocks
+ * forever. This is the supervision primitive on top of readFrame: a
+ * hedged router polls the primary's reply fd for the virtual
+ * deadline before firing the hedge, then races primary and replica
+ * by polling both; a sweep supervisor polls its workers' heartbeat
+ * pipes at its verdict cadence.
+ */
+int waitReadable(const std::vector<int> &fds, int timeoutMs);
 
 }  // namespace support
 }  // namespace graphport

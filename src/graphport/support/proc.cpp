@@ -95,6 +95,54 @@ int waitExit(ChildProcess &child) {
     return 127;
 }
 
+WaitStatus waitExitFor(ChildProcess &child, unsigned timeoutMs,
+                       int *exitCode) {
+    if (child.pid < 0) {
+        *exitCode = 127;
+        return WaitStatus::Exited;
+    }
+    // WNOHANG polling at 1 ms: the callers are supervision loops
+    // whose cadence is tens of milliseconds, so a coarse poll is
+    // plenty and never blocks on a stopped (SIGSTOP) child the way
+    // a plain waitpid would.
+    for (unsigned elapsed = 0;; ++elapsed) {
+        int status = 0;
+        const pid_t got = ::waitpid(static_cast<pid_t>(child.pid),
+                                    &status, WNOHANG);
+        if (got < 0 && errno == EINTR) {
+            --elapsed;
+            continue;
+        }
+        if (got > 0) {
+            if (child.stdinFd >= 0) {
+                ::close(child.stdinFd);
+                child.stdinFd = -1;
+            }
+            if (child.stdoutFd >= 0) {
+                ::close(child.stdoutFd);
+                child.stdoutFd = -1;
+            }
+            child.pid = -1;
+            if (WIFEXITED(status))
+                *exitCode = WEXITSTATUS(status);
+            else if (WIFSIGNALED(status))
+                *exitCode = 128 + WTERMSIG(status);
+            else
+                *exitCode = 127;
+            return WaitStatus::Exited;
+        }
+        if (got < 0) {
+            // Not our child (already reaped elsewhere): report it
+            // exited rather than spinning until the timeout.
+            child.pid = -1;
+            *exitCode = 127;
+            return WaitStatus::Exited;
+        }
+        if (elapsed >= timeoutMs) return WaitStatus::Running;
+        ::usleep(1000);
+    }
+}
+
 long waitAnyExit(int *exitCode) {
     int status = 0;
     pid_t got;
@@ -114,6 +162,16 @@ long waitAnyExit(int *exitCode) {
 void killProcess(const ChildProcess &child) {
     if (child.pid > 0) ::kill(static_cast<pid_t>(child.pid), SIGKILL);
 }
+
+void pauseProcess(const ChildProcess &child) {
+    if (child.pid > 0) ::kill(static_cast<pid_t>(child.pid), SIGSTOP);
+}
+
+void resumeProcess(const ChildProcess &child) {
+    if (child.pid > 0) ::kill(static_cast<pid_t>(child.pid), SIGCONT);
+}
+
+void pauseSelf() { ::raise(SIGSTOP); }
 
 std::string selfExePath(const std::string &fallbackArgv0) {
     char buf[4096];

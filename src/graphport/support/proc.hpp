@@ -51,8 +51,42 @@ int waitExit(ChildProcess &child);
  */
 long waitAnyExit(int *exitCode);
 
+/** Outcome of a bounded wait: the child exited, or it is still up. */
+enum class WaitStatus { Exited, Running };
+
+/**
+ * Bounded waitExit: poll (WNOHANG) for up to @p timeoutMs
+ * milliseconds and return Running instead of blocking forever on a
+ * wedged child — the supervisor's reap primitive. On Exited the
+ * child is reaped exactly as waitExit reaps it (*exitCode set
+ * shell-style, pipe fds closed, pid invalidated); on Running the
+ * ChildProcess is untouched. timeoutMs 0 is a single non-blocking
+ * probe.
+ */
+WaitStatus waitExitFor(ChildProcess &child, unsigned timeoutMs,
+                       int *exitCode);
+
 /** SIGKILL the child (best-effort; no-op for pid < 0). */
 void killProcess(const ChildProcess &child);
+
+/**
+ * SIGSTOP the child: it stays alive but makes no progress until
+ * resumeProcess (or SIGKILL, which a stopped process cannot block).
+ * The shard chaos suites use this pair to inject *stalls* — a
+ * failure mode crash injection cannot express, because a stopped
+ * worker holds its pipes open and never exits.
+ */
+void pauseProcess(const ChildProcess &child);
+
+/** SIGCONT the child paused by pauseProcess. */
+void resumeProcess(const ChildProcess &child);
+
+/**
+ * SIGSTOP the calling process (a worker-side stall: the
+ * "shard.worker.stall" site fires inside a serve worker, which then
+ * freezes mid-batch until a supervisor kills or resumes it).
+ */
+void pauseSelf();
 
 /**
  * Path of the currently running executable (/proc/self/exe), so a

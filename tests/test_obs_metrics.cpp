@@ -213,3 +213,17 @@ TEST(ObsNamingTest, RunDependentCoversWallTimesAndThreadCounts)
     EXPECT_FALSE(obs::isRunDependentMetric("sweep.cells"));
     EXPECT_FALSE(obs::isRunDependentMetric("calib.evals"));
 }
+
+TEST(ObsNamingTest, SupervisionRacesAreRunDependentDeathsAreNot)
+{
+    // Hedge and steal outcomes depend on wall-clock races (which
+    // worker the deadline catches), so trajectory diffs must ignore
+    // them; a permanent death under a seeded schedule is exact.
+    EXPECT_TRUE(obs::isRunDependentMetric("shard.hedge.fired"));
+    EXPECT_TRUE(obs::isRunDependentMetric("shard.hedge.replica_won"));
+    EXPECT_TRUE(obs::isRunDependentMetric("shard.steal.cells"));
+    EXPECT_TRUE(obs::isRunDependentMetric("shard.steal.victims"));
+    EXPECT_FALSE(obs::isRunDependentMetric("shard.dead.shards"));
+    EXPECT_FALSE(
+        obs::isRunDependentMetric("shard.dead.degraded_queries"));
+}

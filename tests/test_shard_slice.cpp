@@ -173,6 +173,48 @@ TEST(ShardWire, AdviceRoundTripPreservesEveryComparedField)
     }
 }
 
+TEST(ShardWire, ShardDegradedSurvivesTheWireButNotSameAnswer)
+{
+    const serve::StrategyIndex &full = fullIndex();
+    const serve::Advisor advisor(full);
+    const serve::ServePolicy policy;
+    const serve::Query q = serve::makeQueryStream(full, 1, 9).front();
+
+    serve::Advice a = advisor.adviseResilient(q, 0, policy, nullptr);
+    a.shardDegraded = true;
+    const shard::WireAdvice w = shard::adviceToWire(a);
+    EXPECT_EQ(w.shardDegraded, 1u);
+
+    const serve::Advice back = shard::adviceFromWire(w);
+    EXPECT_TRUE(back.shardDegraded);
+    // Degradation is provenance, like featureSource: the answer a
+    // live shard computes is the answer, wherever it was computed.
+    serve::Advice undegraded = back;
+    undegraded.shardDegraded = false;
+    EXPECT_TRUE(back.sameAnswer(undegraded));
+}
+
+TEST(ShardWire, HeartbeatFramesAreTheirOwnKind)
+{
+    const std::string ping = shard::packHeartbeatFrame(3, 0);
+    EXPECT_EQ(shard::frameKind(ping), 'h');
+
+    std::uint64_t key = 0;
+    std::uint64_t progress = 0;
+    std::string cause;
+    ASSERT_TRUE(
+        shard::unpackHeartbeatFrame(ping, &key, &progress, &cause))
+        << cause;
+    EXPECT_EQ(key, 3u);
+    EXPECT_EQ(progress, 0u);
+
+    // A heartbeat must never unpack as an advice batch: the router's
+    // gather loop tells pings from answers by kind, not by luck.
+    std::vector<shard::WireAdvice> advices;
+    EXPECT_FALSE(
+        shard::unpackAdviceFrame(ping, &key, &advices, &cause));
+}
+
 TEST(ShardWire, ErrorAndShutdownFramesCarryTheirKinds)
 {
     const std::string err = shard::packErrorFrame("pipe desync");

@@ -1,0 +1,613 @@
+/**
+ * @file
+ * Shard supervision: the pure planning layer (steal plans, respawn
+ * backoff, worker argv, checkpoint pruning) and the full supervised
+ * machinery over real worker processes — a SIGSTOPped sweep worker is
+ * declared stalled, its rows stolen, and the merged CSV stays
+ * byte-identical to a 1-process sweep; a serve worker killed at every
+ * (re)spawn is declared permanently dead and its chips answered from
+ * live slices with the degraded label; a worker stalled mid-batch is
+ * hedged to a replica that answers bit-identically.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graphport/dsl/optconfig.hpp"
+#include "graphport/fault/injector.hpp"
+#include "graphport/obs/obs.hpp"
+#include "graphport/runner/dataset.hpp"
+#include "graphport/runner/universe.hpp"
+#include "graphport/serve/advisor.hpp"
+#include "graphport/serve/index.hpp"
+#include "graphport/serve/loadgen.hpp"
+#include "graphport/shard/partition.hpp"
+#include "graphport/shard/router.hpp"
+#include "graphport/shard/supervise.hpp"
+#include "graphport/shard/sweep.hpp"
+#include "graphport/shard/wire.hpp"
+#include "graphport/support/error.hpp"
+#include "graphport/support/proc.hpp"
+
+using namespace graphport;
+
+namespace {
+
+runner::Universe
+universe()
+{
+    return runner::smallUniverse(2);
+}
+
+std::size_t
+workItems()
+{
+    return universe().numTests() * dsl::kNumConfigs;
+}
+
+std::string
+shardPath(const std::string &name)
+{
+    return ::testing::TempDir() + "graphport_supervise_" + name +
+           ".gpk";
+}
+
+/** Price [begin, end) into @p path, flushing every @p every cells. */
+void
+buildShard(const std::string &path, std::size_t begin,
+           std::size_t end, std::size_t every)
+{
+    std::remove(path.c_str());
+    runner::BuildOptions options;
+    options.checkpointPath = path;
+    options.checkpointEvery = every;
+    options.workBegin = begin;
+    options.workEnd = end;
+    options.keepCheckpoint = true;
+    (void)runner::Dataset::build(universe(), options);
+}
+
+std::string
+csvBytes(const runner::Dataset &ds)
+{
+    std::ostringstream os;
+    ds.saveCsv(os);
+    return os.str();
+}
+
+const std::string &
+referenceCsv()
+{
+    static const std::string csv =
+        csvBytes(runner::Dataset::build(universe()));
+    return csv;
+}
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void
+writeAll(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return std::ifstream(path).good();
+}
+
+/**
+ * The graphport_cli the supervised sweeps and routers exec: tests are
+ * emitted into <build>/tests, the CLI into <build>/tools. Empty when
+ * the binary is not there (a standalone test run), in which case the
+ * process-level suites skip.
+ */
+std::string
+cliPath()
+{
+    const std::string self = support::selfExePath("");
+    const std::size_t slash = self.rfind('/');
+    if (slash == std::string::npos)
+        return "";
+    const std::string cli =
+        self.substr(0, slash) + "/../tools/graphport_cli";
+    return fileExists(cli) ? cli : "";
+}
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir =
+        ::testing::TempDir() + "graphport_supervise_" + name;
+    support::ensureDir(dir);
+    return dir;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Pure planning layer: no processes involved.
+// ---------------------------------------------------------------------
+
+TEST(SuperviseBackoff, DoublesFromBaseAndSaturatesAtCap)
+{
+    EXPECT_EQ(shard::backoffMsFor(0), 1u);
+    EXPECT_EQ(shard::backoffMsFor(1), 2u);
+    EXPECT_EQ(shard::backoffMsFor(3), 8u);
+    EXPECT_EQ(shard::backoffMsFor(6), 64u);
+    EXPECT_EQ(shard::backoffMsFor(7), 64u);
+    EXPECT_EQ(shard::backoffMsFor(1000), 64u);
+
+    EXPECT_EQ(shard::backoffMsFor(0, 5, 40), 5u);
+    EXPECT_EQ(shard::backoffMsFor(2, 5, 40), 20u);
+    EXPECT_EQ(shard::backoffMsFor(3, 5, 40), 40u);
+    EXPECT_EQ(shard::backoffMsFor(50, 5, 40), 40u);
+}
+
+TEST(PlanSteal, NothingDurableMeansFullRangeNoOverlap)
+{
+    const shard::WorkRange victim{100, 200};
+    const shard::StealPlan plan = shard::planSteal(victim, 0, 3);
+    EXPECT_EQ(plan.stealBegin, 100u);
+    EXPECT_EQ(plan.overlapCells, 0u);
+    ASSERT_EQ(plan.thiefRanges.size(), 3u);
+    EXPECT_EQ(plan.thiefRanges.front().begin, 100u);
+    EXPECT_EQ(plan.thiefRanges.back().end, 200u);
+    for (std::size_t j = 1; j < plan.thiefRanges.size(); ++j)
+        EXPECT_EQ(plan.thiefRanges[j].begin,
+                  plan.thiefRanges[j - 1].end);
+}
+
+TEST(PlanSteal, MidRangeDurableOverlapsSeamByTheCap)
+{
+    const shard::WorkRange victim{0, 1000};
+    const shard::StealPlan plan = shard::planSteal(victim, 500, 2);
+    EXPECT_EQ(plan.overlapCells, 32u);
+    EXPECT_EQ(plan.stealBegin, 468u);
+    ASSERT_EQ(plan.thiefRanges.size(), 2u);
+    EXPECT_EQ(plan.thiefRanges[0].begin, 468u);
+    EXPECT_EQ(plan.thiefRanges[0].end, plan.thiefRanges[1].begin);
+    EXPECT_EQ(plan.thiefRanges[1].end, 1000u);
+    EXPECT_EQ(plan.thiefRanges[0].size() + plan.thiefRanges[1].size(),
+              1000u - 468u);
+}
+
+TEST(PlanSteal, ShortDurablePrefixLimitsTheOverlap)
+{
+    const shard::WorkRange victim{10, 40};
+    const shard::StealPlan plan = shard::planSteal(victim, 15, 1);
+    EXPECT_EQ(plan.overlapCells, 5u);
+    EXPECT_EQ(plan.stealBegin, 10u);
+    ASSERT_EQ(plan.thiefRanges.size(), 1u);
+    EXPECT_EQ(plan.thiefRanges[0].begin, 10u);
+    EXPECT_EQ(plan.thiefRanges[0].end, 40u);
+}
+
+TEST(PlanSteal, DurableEndIsClampedIntoTheVictimRange)
+{
+    // A durableEnd past the victim's end (a checkpoint that somehow
+    // covers more than the range — e.g. a pre-steal full file) must
+    // not produce ranges outside [begin, end).
+    const shard::WorkRange victim{0, 100};
+    const shard::StealPlan plan = shard::planSteal(victim, 5000, 2);
+    EXPECT_EQ(plan.overlapCells, 32u);
+    EXPECT_EQ(plan.stealBegin, 68u);
+    EXPECT_EQ(plan.thiefRanges.back().end, 100u);
+}
+
+TEST(PlanSteal, EmptyThiefRangesAreDropped)
+{
+    // 2 cells left across 8 thieves: only 2 non-empty ranges remain.
+    const shard::WorkRange victim{0, 10};
+    const shard::StealPlan plan =
+        shard::planSteal(victim, 8, 8, /*overlapCap=*/0);
+    EXPECT_EQ(plan.overlapCells, 0u);
+    EXPECT_EQ(plan.stealBegin, 8u);
+    ASSERT_EQ(plan.thiefRanges.size(), 2u);
+    EXPECT_EQ(plan.thiefRanges[0].size() + plan.thiefRanges[1].size(),
+              2u);
+    EXPECT_THROW(shard::planSteal(victim, 8, 0), PanicError);
+}
+
+TEST(SweepWorkerArgv, ForwardsEveryCoordinatorFlag)
+{
+    const std::vector<std::string> base = {"exe", "sweep-worker",
+                                           "--small", "2"};
+    const std::vector<std::string> argv = shard::sweepWorkerArgv(
+        base, 1, 4, 2, "x.gpk", 128, "seed=1;a.crash:once=2", true);
+    const std::vector<std::string> want = {
+        "exe",          "sweep-worker",
+        "--small",      "2",
+        "--shard",      "1",
+        "--shards",     "4",
+        "--threads",    "2",
+        "--checkpoint", "x.gpk",
+        "--checkpoint-every", "128",
+        "--fault-spec", "seed=1;a.crash:once=2",
+        "--heartbeat"};
+    EXPECT_EQ(argv, want);
+}
+
+TEST(SweepWorkerArgv, StealRangeAndOmittedExtrasAreHonoured)
+{
+    const std::vector<std::string> base = {"exe", "sweep-worker"};
+    const std::vector<std::string> argv = shard::sweepWorkerArgv(
+        base, 0, 2, 1, "s.gpk", 256, "", false, 468, 1000);
+    const std::vector<std::string> want = {
+        "exe",          "sweep-worker",
+        "--shard",      "0",
+        "--shards",     "2",
+        "--threads",    "1",
+        "--checkpoint", "s.gpk",
+        "--checkpoint-every", "256",
+        "--work-begin", "468",
+        "--work-end",   "1000"};
+    EXPECT_EQ(argv, want);
+
+    // A half-specified range is a coordinator bug, not a worker one.
+    EXPECT_THROW(shard::sweepWorkerArgv(base, 0, 2, 1, "s.gpk", 256,
+                                        "", false, 468),
+                 PanicError);
+}
+
+TEST(StragglerFactor, RejectsBelowOneAndNonFinite)
+{
+    shard::validateStragglerFactor("study", 1.0);
+    shard::validateStragglerFactor("study", 2.5);
+    EXPECT_THROW(shard::validateStragglerFactor("study", 0.5),
+                 FatalError);
+    EXPECT_THROW(shard::validateStragglerFactor("study", 0.0),
+                 FatalError);
+    EXPECT_THROW(shard::validateStragglerFactor(
+                     "study", std::numeric_limits<double>::quiet_NaN()),
+                 FatalError);
+    EXPECT_THROW(shard::validateStragglerFactor(
+                     "study", std::numeric_limits<double>::infinity()),
+                 FatalError);
+}
+
+TEST(HeartbeatFrame, RoundTripsKeyAndProgress)
+{
+    const std::string payload = shard::packHeartbeatFrame(7, 1234);
+    EXPECT_EQ(shard::frameKind(payload), 'h');
+
+    std::uint64_t key = 0;
+    std::uint64_t progress = 0;
+    std::string cause;
+    ASSERT_TRUE(shard::unpackHeartbeatFrame(payload, &key, &progress,
+                                            &cause))
+        << cause;
+    EXPECT_EQ(key, 7u);
+    EXPECT_EQ(progress, 1234u);
+
+    EXPECT_FALSE(shard::unpackHeartbeatFrame("junk", &key, &progress,
+                                             &cause));
+    EXPECT_FALSE(cause.empty());
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint pruning: the durable-prefix recovery behind a steal.
+// ---------------------------------------------------------------------
+
+TEST(PruneCheckpoint, CleanFileKeepsEveryRow)
+{
+    const std::string path = shardPath("prune_clean");
+    buildShard(path, 100, 300, 64);
+
+    std::size_t durableEnd = 0;
+    runner::Dataset::pruneShardCheckpoint(universe(), path,
+                                          &durableEnd);
+    // durableEnd is one past the highest surviving work index, not a
+    // row count: the victim priced [100, 300).
+    EXPECT_EQ(durableEnd, 300u);
+    EXPECT_TRUE(fileExists(path));
+}
+
+TEST(PruneCheckpoint, TrailingGarbageIsTruncatedAway)
+{
+    const std::string path = shardPath("prune_garbage");
+    buildShard(path, 0, 500, 100);
+    writeAll(path, readAll(path) + "cell,not,a,row\n");
+
+    std::size_t durableEnd = 0;
+    runner::Dataset::pruneShardCheckpoint(universe(), path,
+                                          &durableEnd);
+    EXPECT_EQ(durableEnd, 500u);
+
+    // Idempotent: the rewrite dropped the garbage, so a second prune
+    // sees a clean file.
+    std::size_t again = 0;
+    runner::Dataset::pruneShardCheckpoint(universe(), path, &again);
+    EXPECT_EQ(again, 500u);
+}
+
+TEST(PruneCheckpoint, TornTailRowLosesExactlyThatRow)
+{
+    const std::string path = shardPath("prune_torn");
+    buildShard(path, 0, 500, 100);
+    const std::string bytes = readAll(path);
+    // Chop into the final row (the file ends with "...\n"): its
+    // checksum no longer seals, so the durable prefix ends one row
+    // earlier.
+    writeAll(path, bytes.substr(0, bytes.size() - 5));
+
+    std::size_t durableEnd = 0;
+    runner::Dataset::pruneShardCheckpoint(universe(), path,
+                                          &durableEnd);
+    EXPECT_EQ(durableEnd, 499u);
+}
+
+TEST(PruneCheckpoint, ForeignOrHeaderlessFilesYieldNothingDurable)
+{
+    const std::string foreign = shardPath("prune_foreign");
+    writeAll(foreign, "graphport-checkpoint,1\n"
+                      "universe,00000000deadbeef\n"
+                      "cell,whatever\n");
+    std::size_t durableEnd = 77;
+    runner::Dataset::pruneShardCheckpoint(universe(), foreign,
+                                          &durableEnd);
+    EXPECT_EQ(durableEnd, 0u);
+    EXPECT_FALSE(fileExists(foreign));
+
+    const std::string headerless = shardPath("prune_headerless");
+    writeAll(headerless, "not a checkpoint\n");
+    durableEnd = 77;
+    runner::Dataset::pruneShardCheckpoint(universe(), headerless,
+                                          &durableEnd);
+    EXPECT_EQ(durableEnd, 0u);
+    EXPECT_FALSE(fileExists(headerless));
+
+    const std::string missing = shardPath("prune_missing");
+    std::remove(missing.c_str());
+    durableEnd = 77;
+    runner::Dataset::pruneShardCheckpoint(universe(), missing,
+                                          &durableEnd);
+    EXPECT_EQ(durableEnd, 0u);
+}
+
+TEST(PlanSteal, PrunedVictimPlusThievesMergeByteIdentically)
+{
+    // The whole steal pipeline without processes: a victim that died
+    // mid-range leaves a durable prefix; planSteal re-partitions the
+    // suffix (overlap included); pricing the planned ranges and
+    // merging victim + thieves + the healthy shard reproduces the
+    // 1-process CSV bit for bit — the overlap rows are double-priced
+    // and the merge's identical-overlap rule accepts them.
+    const std::size_t items = workItems();
+    const shard::WorkRange victim = shard::rangeOf(0, 2, items);
+    const shard::WorkRange healthy = shard::rangeOf(1, 2, items);
+
+    const std::string victimPath = shardPath("steal_victim");
+    const std::size_t diedAt = victim.begin + 700;
+    buildShard(victimPath, victim.begin, diedAt, 100);
+
+    std::size_t durableEnd = 0;
+    runner::Dataset::pruneShardCheckpoint(universe(), victimPath,
+                                          &durableEnd);
+    ASSERT_EQ(durableEnd, diedAt);
+
+    const shard::StealPlan plan =
+        shard::planSteal(victim, durableEnd, 2);
+    EXPECT_EQ(plan.overlapCells, 32u);
+    std::vector<std::string> paths = {victimPath};
+    for (std::size_t j = 0; j < plan.thiefRanges.size(); ++j) {
+        paths.push_back(
+            shardPath("steal_thief" + std::to_string(j)));
+        buildShard(paths.back(), plan.thiefRanges[j].begin,
+                   plan.thiefRanges[j].end, 64);
+    }
+    paths.push_back(shardPath("steal_healthy"));
+    buildShard(paths.back(), healthy.begin, healthy.end, 256);
+
+    const runner::Dataset merged =
+        runner::Dataset::fromShardCheckpoints(universe(), paths);
+    EXPECT_EQ(csvBytes(merged), referenceCsv());
+}
+
+// ---------------------------------------------------------------------
+// Process-level suites: real workers under seeded chaos. These need
+// the graphport_cli binary next to the test tree and skip without it.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Run a supervised sweep with @p shards workers, stalling the worker
+ *  "once=K" names, and require the byte-identical merge plus a steal. */
+void
+runStalledSweep(const std::string &cli, std::size_t shards,
+                const std::string &spec, const std::string &dirName)
+{
+    auto injector = std::make_unique<fault::Injector>(
+        fault::FaultSchedule::parse(spec));
+    fault::ScopedInjector scope(injector.get());
+
+    obs::Obs o;
+    shard::SweepShardOptions sopts;
+    sopts.shards = shards;
+    sopts.shardDir = freshDir(dirName);
+    sopts.faultSpec = spec;
+    sopts.stallAfterMs = 400;
+    sopts.obs = &o;
+    sopts.baseWorkerArgv = {cli, "sweep-worker", "--small", "2"};
+
+    const runner::Dataset merged =
+        shard::shardedSweep(universe(), sopts);
+    EXPECT_EQ(csvBytes(merged), referenceCsv());
+    EXPECT_GE(o.metrics.counterValue("shard.sweep.stall_verdicts"),
+              1u);
+    EXPECT_GE(o.metrics.counterValue("shard.steal.victims"), 1u);
+    EXPECT_GE(o.metrics.counterValue("shard.steal.workers"), 1u);
+    EXPECT_GE(o.metrics.counterValue("shard.steal.cells"), 1u);
+}
+
+} // namespace
+
+TEST(SuperviseSweep, StalledWorkerIsStolenByteIdenticallyAt2Shards)
+{
+    const std::string cli = cliPath();
+    if (cli.empty())
+        GTEST_SKIP() << "graphport_cli not built next to tests";
+    runStalledSweep(cli, 2, "seed=11;shard.worker.stall:once=1",
+                    "sweep2");
+}
+
+TEST(SuperviseSweep, StalledWorkerIsStolenByteIdenticallyAt4Shards)
+{
+    const std::string cli = cliPath();
+    if (cli.empty())
+        GTEST_SKIP() << "graphport_cli not built next to tests";
+    runStalledSweep(cli, 4, "seed=13;shard.worker.stall:once=2",
+                    "sweep4");
+}
+
+TEST(SuperviseRouter, PermanentlyDeadShardStillAnswersEverything)
+{
+    const std::string cli = cliPath();
+    if (cli.empty())
+        GTEST_SKIP() << "graphport_cli not built next to tests";
+
+    const runner::Dataset ds = runner::Dataset::build(universe());
+    const serve::StrategyIndex index = serve::StrategyIndex::build(ds);
+    const std::string indexPath =
+        freshDir("router_dead") + "/index.gpi";
+    index.saveFile(indexPath);
+    const serve::Advisor fullAdvisor(index);
+    const serve::ServePolicy policy;
+
+    const std::vector<serve::Query> stream =
+        serve::makeQueryStream(index, 800, 21);
+
+    shard::RouterOptions ropts;
+    ropts.shards = 2;
+    ropts.indexPath = indexPath;
+    // The ".die" site survives respawn spec-stripping, so the
+    // replacement dies at startup too and the budget of 1 exhausts.
+    ropts.faultSpec = "seed=5;shard.worker.die:once=1";
+    ropts.maxRespawns = 1;
+    ropts.baseWorkerArgv = {cli, "serve-worker"};
+    shard::Router router(index.chips(), ropts);
+
+    std::unique_ptr<serve::StrategyIndex> liveSlice;
+    std::unique_ptr<serve::Advisor> liveAdvisor;
+    std::size_t answered = 0;
+    std::size_t degraded = 0;
+    constexpr std::size_t kBatch = 200;
+    for (std::size_t b = 0; b < stream.size(); b += kBatch) {
+        const std::size_t e = std::min(b + kBatch, stream.size());
+        const std::vector<serve::Query> q(stream.begin() + b,
+                                          stream.begin() + e);
+        std::vector<std::uint64_t> k;
+        for (std::size_t i = b; i < e; ++i)
+            k.push_back(i);
+        const std::vector<serve::Advice> advices = router.route(q, k);
+        answered += advices.size();
+        for (std::size_t i = 0; i < advices.size(); ++i) {
+            const bool ownerDead =
+                router.isDead(router.shardOf(q[i].chip));
+            // The degraded label is provenance: exactly the queries
+            // whose owning shard is dead carry it.
+            ASSERT_EQ(advices[i].shardDegraded, ownerDead)
+                << q[i].app << "/" << q[i].input << "/" << q[i].chip;
+            if (!ownerDead) {
+                EXPECT_TRUE(advices[i].sameAnswer(
+                    fullAdvisor.adviseResilient(q[i], k[i], policy,
+                                                nullptr)))
+                    << "healthy query " << b + i;
+                continue;
+            }
+            ++degraded;
+            if (liveAdvisor == nullptr) {
+                std::vector<std::string> liveChips;
+                for (std::size_t s = 0; s < router.shards(); ++s) {
+                    if (router.isDead(s))
+                        continue;
+                    for (const std::string &chip : shard::chipsOf(
+                             s, router.shards(), index.chips()))
+                        liveChips.push_back(chip);
+                }
+                liveSlice = std::make_unique<serve::StrategyIndex>(
+                    index.sliceByChips(liveChips));
+                liveAdvisor =
+                    std::make_unique<serve::Advisor>(*liveSlice);
+            }
+            // The redirect oracle floors untraceable pairs exactly
+            // like the worker does.
+            serve::ServePolicy degradedPolicy = policy;
+            degradedPolicy.floorUnresolvable = true;
+            EXPECT_TRUE(advices[i].sameAnswer(
+                liveAdvisor->adviseResilient(q[i], k[i],
+                                             degradedPolicy,
+                                             nullptr)))
+                << "degraded query " << b + i;
+        }
+    }
+
+    EXPECT_EQ(answered, stream.size());
+    EXPECT_GE(degraded, 1u);
+    EXPECT_EQ(router.deadShards(), 1u);
+    EXPECT_GE(router.degradedQueries(), degraded);
+    router.shutdown();
+}
+
+TEST(SuperviseRouter, HedgedReplicaAnswersAStalledBatchBitIdentically)
+{
+    const std::string cli = cliPath();
+    if (cli.empty())
+        GTEST_SKIP() << "graphport_cli not built next to tests";
+
+    const runner::Dataset ds = runner::Dataset::build(universe());
+    const serve::StrategyIndex index = serve::StrategyIndex::build(ds);
+    const std::string indexPath =
+        freshDir("router_hedge") + "/index.gpi";
+    index.saveFile(indexPath);
+    const serve::Advisor fullAdvisor(index);
+    const serve::ServePolicy policy;
+
+    const std::vector<serve::Query> stream =
+        serve::makeQueryStream(index, 256, 33);
+    std::vector<std::uint64_t> keys;
+    for (std::size_t i = 0; i < stream.size(); ++i)
+        keys.push_back(i);
+
+    shard::RouterOptions ropts;
+    ropts.shards = 2;
+    ropts.indexPath = indexPath;
+    // The router's frame keys count up from 1, so "once=1" freezes
+    // whichever worker holds the very first batch mid-answer.
+    ropts.faultSpec = "seed=3;shard.worker.stall:once=1";
+    ropts.hedgeMs = 50;
+    ropts.baseWorkerArgv = {cli, "serve-worker"};
+    shard::Router router(index.chips(), ropts);
+
+    const std::vector<serve::Advice> advices =
+        router.route(stream, keys);
+    ASSERT_EQ(advices.size(), stream.size());
+    for (std::size_t i = 0; i < advices.size(); ++i) {
+        EXPECT_FALSE(advices[i].shardDegraded) << "query " << i;
+        EXPECT_TRUE(advices[i].sameAnswer(fullAdvisor.adviseResilient(
+            stream[i], keys[i], policy, nullptr)))
+            << "query " << i;
+    }
+
+    obs::MetricsRegistry metrics;
+    router.mergeMetrics(metrics);
+    EXPECT_GE(metrics.counterValue("shard.hedge.fired"), 1u);
+    EXPECT_GE(metrics.counterValue("shard.hedge.stall_verdicts"), 1u);
+    EXPECT_EQ(router.deadShards(), 0u);
+    router.shutdown();
+}

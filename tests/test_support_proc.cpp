@@ -74,6 +74,62 @@ TEST(SupportProc, ExecFailureReports127)
     EXPECT_EQ(support::waitExit(child), 127);
 }
 
+TEST(SupportProc, WaitExitForTimesOutOnRunningChildThenReaps)
+{
+    support::ChildProcess cat = support::spawnPiped({"/bin/cat"});
+    ASSERT_GE(cat.pid, 0);
+
+    // Still holding its stdin open: a bounded wait must come back
+    // Running without reaping (both a 0 probe and a real timeout).
+    int exitCode = -1;
+    EXPECT_EQ(support::waitExitFor(cat, 0, &exitCode),
+              support::WaitStatus::Running);
+    EXPECT_EQ(support::waitExitFor(cat, 50, &exitCode),
+              support::WaitStatus::Running);
+    EXPECT_GE(cat.pid, 0) << "a Running verdict must not invalidate";
+
+    ::close(cat.stdinFd);
+    cat.stdinFd = -1;
+    EXPECT_EQ(support::waitExitFor(cat, 5000, &exitCode),
+              support::WaitStatus::Exited);
+    EXPECT_EQ(exitCode, 0);
+    EXPECT_LT(cat.pid, 0) << "Exited must reap like waitExit";
+}
+
+TEST(SupportProc, PausedChildMakesNoProgressUntilResumed)
+{
+    support::ChildProcess cat = support::spawnPiped({"/bin/cat"});
+    ASSERT_GE(cat.pid, 0);
+
+    support::pauseProcess(cat);
+    // A stopped cat holds its pipes open and echoes nothing: exactly
+    // the stall shape the supervisor must distinguish from a crash.
+    ASSERT_TRUE(support::writeFrame(cat.stdinFd, "frozen"));
+    std::vector<int> fds = {cat.stdoutFd};
+    EXPECT_EQ(support::waitReadable(fds, 150), -1)
+        << "a SIGSTOPped child must not answer";
+    int exitCode = -1;
+    EXPECT_EQ(support::waitExitFor(cat, 0, &exitCode),
+              support::WaitStatus::Running)
+        << "stopped is not exited";
+
+    support::resumeProcess(cat);
+    std::string got;
+    std::string cause;
+    EXPECT_EQ(support::readFrame(cat.stdoutFd, got, cause),
+              support::FrameStatus::Ok)
+        << cause;
+    EXPECT_EQ(got, "frozen");
+
+    // SIGKILL cannot be blocked by a stopped process — the verdict
+    // path (pause, kill, bounded reap) must always terminate.
+    support::pauseProcess(cat);
+    support::killProcess(cat);
+    EXPECT_EQ(support::waitExitFor(cat, 5000, &exitCode),
+              support::WaitStatus::Exited);
+    EXPECT_EQ(exitCode, 128 + SIGKILL);
+}
+
 TEST(SupportProc, SelfExePathResolvesOrFallsBack)
 {
     const std::string path = support::selfExePath("fallback-name");

@@ -97,6 +97,7 @@
 #include <chrono>
 #include <climits>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -126,6 +127,7 @@
 #include "graphport/serve/loadgen.hpp"
 #include "graphport/shard/partition.hpp"
 #include "graphport/shard/router.hpp"
+#include "graphport/shard/supervise.hpp"
 #include "graphport/shard/sweep.hpp"
 #include "graphport/shard/wire.hpp"
 #include "graphport/sim/chip.hpp"
@@ -504,9 +506,13 @@ cmdSweepWorker(const std::vector<std::string> &args)
     std::string checkpointPath;
     std::size_t checkpointEvery = 256;
     std::string faultSpec;
+    bool heartbeat = false;
+    std::size_t workBegin = shard::kWorkUnset;
+    std::size_t workEnd = shard::kWorkUnset;
     cli::FlagSet flags("sweep-worker",
                        "--shard I --shards N --checkpoint FILE "
-                       "[--small [n_apps]] [--threads N]");
+                       "[--small [n_apps]] [--threads N] "
+                       "[--heartbeat] [--work-begin B --work-end E]");
     flags
         .count("--shard", &shard, "I", "this worker's shard index")
         .count("--shards", &shards, "N", "total shard count")
@@ -517,6 +523,14 @@ cmdSweepWorker(const std::vector<std::string> &args)
               "per-shard checkpoint (.gpk) the rows land in")
         .count("--checkpoint-every", &checkpointEvery, "N",
                "cells priced between checkpoint flushes")
+        .toggle("--heartbeat", &heartbeat,
+                "emit an 'h' frame on stdout per checkpoint flush "
+                "(the supervised sweep's liveness pulse)")
+        .count("--work-begin", &workBegin, "B",
+               "explicit work range start (steal workers; overrides "
+               "the shard's own range)")
+        .count("--work-end", &workEnd, "E",
+               "explicit work range end (exclusive)")
         .text("--fault-spec", &faultSpec, "SPEC",
               "deterministic fault schedule");
     std::string spaceName = "legacy";
@@ -542,8 +556,25 @@ cmdSweepWorker(const std::vector<std::string> &args)
     universe.space = dsl::ScheduleSpace::byName(spaceName);
     const std::size_t items =
         universe.numTests() * universe.space.size();
-    const shard::WorkRange range =
-        shard::rangeOf(shard, shards, items);
+    shard::WorkRange range = shard::rangeOf(shard, shards, items);
+    const bool explicitRange = workBegin != shard::kWorkUnset ||
+                               workEnd != shard::kWorkUnset;
+    if (explicitRange) {
+        // A steal worker's stolen slice: the supervisor hands the
+        // victim's unwritten suffix out explicitly instead of the
+        // shard's own partitioner range.
+        fatalIf(workBegin == shard::kWorkUnset ||
+                    workEnd == shard::kWorkUnset,
+                "sweep-worker: --work-begin and --work-end must be "
+                "given together");
+        fatalIf(workBegin >= workEnd || workEnd > items,
+                "sweep-worker: bad work range [" +
+                    std::to_string(workBegin) + ", " +
+                    std::to_string(workEnd) + ") of " +
+                    std::to_string(items) + " items");
+        range.begin = workBegin;
+        range.end = workEnd;
+    }
     fatalIf(range.begin >= range.end,
             "sweep-worker: shard " + std::to_string(shard) +
                 " owns no work (" + std::to_string(items) +
@@ -557,6 +588,16 @@ cmdSweepWorker(const std::vector<std::string> &args)
     options.checkpointPath = checkpointPath;
     options.checkpointEvery = checkpointEvery;
     options.keepCheckpoint = true;
+    if (heartbeat) {
+        // Liveness pulse to the supervisor: one 'h' frame per
+        // durable flush block, progress = cells priced so far. A
+        // closed pipe (supervisor gone) is not an error here — the
+        // checkpoint file remains the real product.
+        options.onProgress = [shard](std::size_t cellsDone) {
+            (void)support::writeFrame(
+                1, shard::packHeartbeatFrame(shard, cellsDone));
+        };
+    }
     // The dataset itself is discarded: the checkpoint rows are the
     // product, and the coordinator merges them across shards.
     (void)runner::Dataset::build(universe, options);
@@ -600,6 +641,11 @@ cmdServeWorker(const std::vector<std::string> &args)
         injector = std::make_unique<fault::Injector>(
             fault::FaultSchedule::parse(faultSpec));
     fault::ScopedInjector injectorScope(injector.get());
+    // Permanent-death rehearsal: unlike "shard.worker.crash" this
+    // site has no ".crash" suffix, so respawn spec-stripping leaves
+    // it live and the replacement dies at startup too — exactly the
+    // shape that exhausts the router's maxRespawns budget.
+    fault::maybeCrash("shard.worker.die", shard);
 
     const serve::StrategyIndex full =
         serve::StrategyIndex::loadFile(indexPath);
@@ -615,6 +661,10 @@ cmdServeWorker(const std::vector<std::string> &args)
     serve::Advisor advisor(sliced);
     serve::ServePolicy policy;
     policy.deadlineNs = deadlineMs * 1000000ull;
+    // A dead shard's redirected traffic can include chip-tier-only
+    // queries this slice cannot trace; answer them from the floor
+    // rather than dying and cascading the outage.
+    policy.floorUnresolvable = true;
 
     std::vector<serve::Query> queries;
     std::vector<std::uint64_t> keys;
@@ -637,6 +687,14 @@ cmdServeWorker(const std::vector<std::string> &args)
         const char kind = shard::frameKind(payload);
         if (kind == 'x')
             return 0;
+        if (kind == 'h') {
+            // Liveness ping: echo it verbatim. An idle-but-alive
+            // worker answers instantly; only a truly wedged one
+            // stays silent and earns the router's stall verdict.
+            if (!support::writeFrame(1, payload))
+                return 0;
+            continue;
+        }
         if (kind != 'q') {
             if (!support::writeFrame(
                     1, shard::packErrorFrame(
@@ -657,6 +715,11 @@ cmdServeWorker(const std::vector<std::string> &args)
         // send counter, so a schedule can kill the worker serving
         // exactly frame K. Propagates to main() -> exit 137.
         fault::maybeCrash("shard.worker.crash", frameKey);
+        // The stall rehearsal: a real SIGSTOP (not a sleep), keyed
+        // the same way, so a schedule can wedge the worker holding
+        // exactly frame K and exercise the ping -> hedge ladder.
+        if (fault::shouldInject("shard.worker.stall", frameKey))
+            support::pauseSelf();
         answers.clear();
         answers.reserve(queries.size());
         for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -685,6 +748,8 @@ cmdStudy(const std::vector<std::string> &args)
     unsigned shardRetries = 2;
     std::string shardDir = ".graphport_shards";
     bool keepShards = false;
+    unsigned stallAfterMs = 0;
+    double stragglerFactor = 2.0;
     std::string metricsOut;
     std::string traceOut;
     std::string spaceName = "legacy";
@@ -719,6 +784,13 @@ cmdStudy(const std::vector<std::string> &args)
               ".graphport_shards)")
         .toggle("--keep-shards", &keepShards,
                 "keep per-shard .gpk files after a successful merge")
+        .count("--stall-after-ms", &stallAfterMs, "N",
+               "supervise sharded workers: declare one silent for N "
+               "ms stalled and resweep its unwritten rows on the "
+               "finished workers (0 = off, the default)")
+        .number("--straggler-factor", &stragglerFactor, "F",
+                "flag a sharded worker as a straggler when its wall "
+                "time exceeds F x the median (default 2)")
         .text("--fault-spec", &faultSpec, "SPEC",
               "inject faults, e.g. \"seed=1;sweep.crash:once=500\"")
         .text("--schedule", &scheduleSpec, "SPEC",
@@ -739,7 +811,11 @@ cmdStudy(const std::vector<std::string> &args)
         fatalIf(!checkpointPath.empty(),
                 "study: --checkpoint and --shards are exclusive "
                 "(workers keep per-shard checkpoints)");
+    } else {
+        fatalIf(stallAfterMs != 0,
+                "study: --stall-after-ms requires --shards");
     }
+    shard::validateStragglerFactor("study", stragglerFactor);
 
     std::unique_ptr<fault::Injector> injector;
     if (!faultSpec.empty())
@@ -785,6 +861,8 @@ cmdStudy(const std::vector<std::string> &args)
             sopts.checkpointEvery = checkpointEvery;
             sopts.workerThreads = threads == 0 ? 1 : threads;
             sopts.keepShards = keepShards;
+            sopts.stallAfterMs = stallAfterMs;
+            sopts.stragglerFactor = stragglerFactor;
             sopts.obs = obsPtr;
             sopts.baseWorkerArgv = {support::selfExePath(g_argv0),
                                     "sweep-worker"};
@@ -1438,7 +1516,8 @@ runShardServeBench(const serve::StrategyIndex &index,
                    const std::string &loadedIndexPath,
                    const std::vector<serve::Query> &stream,
                    std::uint64_t seed, unsigned shards, bool openLoop,
-                   double targetQps, const std::string &outPath,
+                   double targetQps, unsigned hedgeMs,
+                   unsigned maxRespawns, const std::string &outPath,
                    FaultOpts &faultOpts, obs::Obs *obsPtr,
                    const std::string &metricsOut,
                    const std::string &traceOut, obs::Obs &o)
@@ -1493,6 +1572,8 @@ runShardServeBench(const serve::StrategyIndex &index,
     shard::RouterOptions ropts;
     ropts.indexPath = workerIndexPath;
     ropts.faultSpec = faultOpts.spec;
+    ropts.hedgeMs = hedgeMs;
+    ropts.maxRespawns = maxRespawns;
     ropts.baseWorkerArgv = {support::selfExePath(g_argv0),
                             "serve-worker"};
     if (faultOpts.deadlineMs != 0) {
@@ -1538,17 +1619,55 @@ runShardServeBench(const serve::StrategyIndex &index,
     const double speedup =
         singleQps > 0.0 ? routerQps / singleQps : 0.0;
 
-    // Bit-identity of the routed answers, off the clock.
+    // Bit-identity of the routed answers, off the clock. A query
+    // whose owning shard died permanently is answered degraded from
+    // a live shard's replicated chip-free tiers / k-NN pool; its
+    // oracle is an in-process Advisor over the union of live chips
+    // (the replication makes the answer the same whichever live
+    // shard actually served it). Healthy answers keep the full-index
+    // oracle. Every query must produce exactly one answer either
+    // way — that is the 100%-answered invariant under shard death.
     std::size_t mismatches = 0;
+    std::size_t answered = 0;
+    std::size_t degradedAnswers = 0;
+    std::unique_ptr<serve::Advisor> degradedAdvisor;
+    std::unique_ptr<serve::StrategyIndex> degradedSlice;
     for (const Chunk &c : chunks) {
         const std::vector<serve::Advice> advices =
             router.route(c.queries, c.keys);
+        answered += advices.size();
         for (std::size_t i = 0; i < advices.size(); ++i) {
-            if (!advices[i].sameAnswer(reference[c.base + i]))
+            if (!advices[i].shardDegraded) {
+                if (!advices[i].sameAnswer(reference[c.base + i]))
+                    ++mismatches;
+                continue;
+            }
+            ++degradedAnswers;
+            if (degradedAdvisor == nullptr) {
+                std::vector<std::string> liveChips;
+                for (unsigned s = 0; s < shards; ++s) {
+                    if (router.isDead(s))
+                        continue;
+                    for (const std::string &chip : shard::chipsOf(
+                             s, shards, index.chips()))
+                        liveChips.push_back(chip);
+                }
+                degradedSlice =
+                    std::make_unique<serve::StrategyIndex>(
+                        index.sliceByChips(liveChips));
+                degradedAdvisor =
+                    std::make_unique<serve::Advisor>(*degradedSlice);
+            }
+            serve::ServePolicy degradedPolicy = policy;
+            degradedPolicy.floorUnresolvable = true;
+            serve::Advice want = degradedAdvisor->adviseResilient(
+                c.queries[i], c.keys[i], degradedPolicy, nullptr);
+            if (!advices[i].sameAnswer(want))
                 ++mismatches;
         }
     }
     const bool bitIdentical = mismatches == 0;
+    const bool allAnswered = answered == stream.size();
 
     // In-shard dispatch allocations: worst shard's steady-path count
     // over the queries it owns (the repo invariant is exactly 0).
@@ -1610,6 +1729,8 @@ runShardServeBench(const serve::StrategyIndex &index,
 
     obs::MetricsRegistry routeMetrics;
     router.mergeMetrics(routeMetrics);
+    const std::size_t deadShards = router.deadShards();
+    const std::uint64_t degradedTotal = router.degradedQueries();
     router.shutdown();
     if (obsPtr != nullptr)
         obsPtr->metrics.merge(routeMetrics);
@@ -1624,11 +1745,16 @@ runShardServeBench(const serve::StrategyIndex &index,
     // which CI runners provide).
     const unsigned cpus =
         std::max(1u, std::thread::hardware_concurrency());
-    const bool speedupEnforced = shards >= 2 && cpus >= 2;
+    // A permanently-dead shard also suspends the gate: the survivors
+    // absorb its redirected chips, so the N-shard figure no longer
+    // expresses N-way parallelism. The run still must answer 100%.
+    const bool speedupEnforced =
+        shards >= 2 && cpus >= 2 && deadShards == 0;
     const bool speedupOk =
         !speedupEnforced || speedup >= kSpeedupBudget;
     const bool allocsOk = allocsPerQuery == 0.0;
-    const bool pass = bitIdentical && allocsOk && speedupOk;
+    const bool pass =
+        bitIdentical && allAnswered && allocsOk && speedupOk;
 
     std::printf("shard bench: single %.0f q/s, %u-shard %.0f q/s "
                 "(%.2fx, budget %.1fx %s); %s; in-shard allocs "
@@ -1647,6 +1773,14 @@ runShardServeBench(const serve::StrategyIndex &index,
                     "time-slice one core, so the %.1fx gate is "
                     "recorded but not enforced on this machine\n",
                     shards, kSpeedupBudget);
+    if (deadShards != 0)
+        std::printf("shard bench: %zu shard(s) permanently dead; "
+                    "%zu/%zu queries answered in the identity pass "
+                    "(%zu degraded via live-shard fallback, %llu "
+                    "degraded across the whole run)\n",
+                    deadShards, answered, stream.size(),
+                    degradedAnswers,
+                    static_cast<unsigned long long>(degradedTotal));
 
     support::atomicWriteFile(
         outPath, "serve-bench: shard perf record",
@@ -1672,6 +1806,10 @@ runShardServeBench(const serve::StrategyIndex &index,
                << (speedupEnforced ? "true" : "false") << ",\n";
             os << "  \"bit_identical\": "
                << (bitIdentical ? "true" : "false") << ",\n";
+            os << "  \"answered\": " << answered << ",\n";
+            os << "  \"dead_shards\": " << deadShards << ",\n";
+            os << "  \"degraded_queries\": " << degradedAnswers
+               << ",\n";
             os << "  \"allocs_per_query\": " << num(allocsPerQuery)
                << ",\n";
             os << "  \"counters\": {";
@@ -1722,6 +1860,8 @@ cmdServeBench(const std::vector<std::string> &args)
     std::string portfolioPath;
     double portfolioEps = 0.10;
     unsigned shards = kShardsUnset;
+    unsigned hedgeMs = 0;
+    unsigned maxRespawns = 8;
     std::string outPath;
     FaultOpts faultOpts;
     std::string metricsOut;
@@ -1755,6 +1895,13 @@ cmdServeBench(const std::vector<std::string> &args)
         .count("--shards", &shards, "N",
                "bench the chip-sharded router over N serve-worker "
                "processes instead of in-process threads")
+        .count("--hedge-ms", &hedgeMs, "N",
+               "with --shards: hedge a shard silent for N ms to a "
+               "fresh replica after a ping (0 = off, the default)")
+        .count("--max-respawns", &maxRespawns, "N",
+               "with --shards: lifetime respawn budget per shard "
+               "before it is declared dead and its chips served "
+               "degraded (default 8)")
         .text("--out", &outPath, "FILE",
               "perf record path (default BENCH_serve.json; "
               "BENCH_shard.json with --shards)");
@@ -1768,6 +1915,10 @@ cmdServeBench(const std::vector<std::string> &args)
             "serve-bench: --threads needs at least 1");
     fatalIf(shards != kShardsUnset && !portfolioPath.empty(),
             "serve-bench: --shards and --portfolio are exclusive");
+    fatalIf(shards == kShardsUnset && (hedgeMs != 0 ||
+                                       maxRespawns != 8),
+            "serve-bench: --hedge-ms / --max-respawns require "
+            "--shards");
     if (outPath.empty())
         outPath = shards != kShardsUnset ? "BENCH_shard.json"
                                          : "BENCH_serve.json";
@@ -1797,8 +1948,9 @@ cmdServeBench(const std::vector<std::string> &args)
             cli::obsRequested(metricsOut, traceOut) ? &o : nullptr;
         return runShardServeBench(index, indexPath, stream, seed,
                                   shards, openLoop, targetQps,
-                                  outPath, faultOpts, obsPtr,
-                                  metricsOut, traceOut, o);
+                                  hedgeMs, maxRespawns, outPath,
+                                  faultOpts, obsPtr, metricsOut,
+                                  traceOut, o);
     }
 
     serve::Advisor advisor(index);
@@ -2167,6 +2319,10 @@ main(int argc, char **argv)
 {
     if (argc > 0 && argv[0] != nullptr && argv[0][0] != '\0')
         g_argv0 = argv[0];
+    // Pipe teardown must surface as writeFrame() == false, never as
+    // a SIGPIPE death: a worker whose supervisor/router vanished
+    // mid-write exits cleanly instead of reporting signal 13.
+    ::signal(SIGPIPE, SIG_IGN);
     std::vector<std::string> args(argv + 1, argv + argc);
     try {
         if (args.empty())
